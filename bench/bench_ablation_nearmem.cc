@@ -1,0 +1,80 @@
+// Ablation (Section 6.5 / future work): sensitivity of memory-mode
+// performance to near-memory capacity. The paper identifies improving the
+// near-memory hit rate as the main avenue for future work; this sweep
+// quantifies how bfs time and the near-memory hit rate respond as the
+// per-socket DRAM cache shrinks or grows around the default (12MB at
+// 1/16384 scale), for a graph that nearly fills it (clueweb12) and one
+// that fits easily (kron30).
+
+#include <cstdio>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/scenarios/report.h"
+#include "pmg/scenarios/scenarios.h"
+
+int main() {
+  using namespace pmg;
+  using frameworks::App;
+  using frameworks::FrameworkKind;
+
+  std::printf(
+      "Ablation: near-memory (per-socket DRAM cache) capacity sweep,\n"
+      "bfs in the Galois profile on Optane PMM, 96 threads\n\n");
+  scenarios::Table table({"graph", "near-mem/socket", "time (s)",
+                          "near-mem hit rate", "pmm read MB"});
+  for (const char* name : {"kron30", "clueweb12"}) {
+    const scenarios::Scenario s = scenarios::MakeScenario(name);
+    const frameworks::AppInputs inputs =
+        frameworks::AppInputs::Prepare(s.topo, s.represented_vertices);
+    for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      frameworks::RunConfig cfg;
+      cfg.machine = memsim::OptanePmmConfig();
+      cfg.machine.topology.dram_bytes_per_socket = static_cast<uint64_t>(
+          static_cast<double>(cfg.machine.topology.dram_bytes_per_socket) *
+          factor);
+      cfg.threads = 96;
+      const frameworks::AppRunResult r =
+          RunApp(FrameworkKind::kGalois, App::kBfs, inputs, cfg);
+      char label[32];
+      std::snprintf(label, sizeof(label), "%.1fMB (x%.2f)",
+                    cfg.machine.topology.dram_bytes_per_socket / 1e6,
+                    factor);
+      table.AddRow({name, label, scenarios::FormatSeconds(r.time_ns),
+                    scenarios::FormatDouble(100.0 * r.stats.NearMemHitRate(),
+                                            2) +
+                        "%",
+                    scenarios::FormatDouble(r.stats.pmm_read_bytes / 1e6,
+                                            1)});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nAblation: near-memory associativity (Section 6.5 future work:\n"
+      "improving the near-memory hit rate), bfs on clueweb12:\n\n");
+  scenarios::Table assoc({"ways", "time (s)", "near-mem hit rate",
+                          "pmm read MB"});
+  {
+    const scenarios::Scenario s = scenarios::MakeScenario("clueweb12");
+    const frameworks::AppInputs inputs =
+        frameworks::AppInputs::Prepare(s.topo, s.represented_vertices);
+    for (const uint32_t ways : {1u, 2u, 4u, 8u}) {
+      frameworks::RunConfig cfg;
+      cfg.machine = memsim::OptanePmmConfig();
+      cfg.machine.near_mem_ways = ways;
+      cfg.threads = 96;
+      const frameworks::AppRunResult r =
+          RunApp(FrameworkKind::kGalois, App::kBfs, inputs, cfg);
+      assoc.AddRow({std::to_string(ways),
+                    scenarios::FormatSeconds(r.time_ns),
+                    scenarios::FormatDouble(100.0 * r.stats.NearMemHitRate(),
+                                            2) +
+                        "%",
+                    scenarios::FormatDouble(r.stats.pmm_read_bytes / 1e6,
+                                            1)});
+    }
+  }
+  assoc.Print();
+  return 0;
+}

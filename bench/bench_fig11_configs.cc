@@ -1,0 +1,87 @@
+// Reproduces Figure 11: six configurations per (graph, app):
+//   DB: D-Galois, 256 hosts (CVC partitioning), all threads
+//   DM: D-Galois, minimum hosts holding the graph (OEC), all threads
+//   DS: D-Galois, minimum hosts, 80 threads total
+//   OS: Optane PMM, same vertex-program algorithm as DS, 80 threads
+//   OA: Optane PMM, vertex programs, 96 threads
+//   OB: Optane PMM, best (non-vertex / asynchronous) algorithm, 96 threads
+// Expected shapes: OS >= DS almost everywhere (same algorithm and
+// resources, no communication); OB matches or beats even DB for bc, bfs,
+// kcore and sssp; pr remains the cluster's win.
+
+#include <cstdio>
+
+#include "bench/cluster_common.h"
+#include "pmg/scenarios/report.h"
+
+namespace {
+
+using namespace pmg;
+using benchcluster::ClusterEngines;
+using benchcluster::ClusterInputs;
+using frameworks::App;
+using frameworks::FrameworkKind;
+
+constexpr uint32_t kPrRounds = 20;
+
+SimNs OptaneRun(const frameworks::AppInputs& fin, App app, uint32_t threads,
+                bool vertex_programs) {
+  frameworks::RunConfig cfg;
+  cfg.machine = memsim::OptanePmmConfig();
+  cfg.threads = threads;
+  cfg.pr_max_rounds = kPrRounds;
+  cfg.force_vertex_programs = vertex_programs;
+  return RunApp(FrameworkKind::kGalois, app, fin, cfg).time_ns;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 11: cluster configurations (DB/DM/DS) vs Optane PMM\n"
+      "configurations (OS/OA/OB); times in seconds\n\n");
+  for (const char* name : {"clueweb12", "uk14", "wdc12"}) {
+    const scenarios::Scenario s = scenarios::MakeScenario(name);
+    const ClusterInputs cin = ClusterInputs::Prepare(s);
+    const frameworks::AppInputs fin =
+        frameworks::AppInputs::Prepare(s.topo, s.represented_vertices);
+    const uint32_t min_hosts = benchcluster::MinHosts(name);
+
+    distsim::DistConfig db_cfg;
+    db_cfg.hosts = 256;
+    db_cfg.threads_per_host = 48;
+    db_cfg.policy = distsim::PartitionPolicy::kCvc;
+    db_cfg.host_machine = memsim::StampedeHostConfig();
+    ClusterEngines db = ClusterEngines::Build(cin, db_cfg);
+
+    distsim::DistConfig dm_cfg = db_cfg;
+    dm_cfg.hosts = min_hosts;
+    dm_cfg.policy = distsim::PartitionPolicy::kOec;
+    ClusterEngines dm = ClusterEngines::Build(cin, dm_cfg);
+
+    distsim::DistConfig ds_cfg = dm_cfg;
+    ds_cfg.threads_per_host = std::max(1u, 80 / min_hosts);
+    ClusterEngines ds = ClusterEngines::Build(cin, ds_cfg);
+
+    scenarios::Table table(
+        {"app", "DB", "DM", "DS", "OS", "OA", "OB"});
+    for (App app : {App::kBc, App::kBfs, App::kCc, App::kKcore, App::kPr,
+                    App::kSssp}) {
+      table.AddRow(
+          {frameworks::AppName(app),
+           scenarios::FormatSeconds(
+               RunCluster(db, app, cin, kPrRounds).time_ns),
+           scenarios::FormatSeconds(
+               RunCluster(dm, app, cin, kPrRounds).time_ns),
+           scenarios::FormatSeconds(
+               RunCluster(ds, app, cin, kPrRounds).time_ns),
+           scenarios::FormatSeconds(OptaneRun(fin, app, 80, true)),
+           scenarios::FormatSeconds(OptaneRun(fin, app, 96, true)),
+           scenarios::FormatSeconds(OptaneRun(fin, app, 96, false))});
+    }
+    std::printf("(%s; DM/DS hosts = %u)\n", name, min_hosts);
+    table.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

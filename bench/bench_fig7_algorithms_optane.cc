@@ -1,0 +1,19 @@
+// Reproduces Figure 7: execution time of different data-driven algorithms
+// in the Galois-like runtime on the Optane PMM machine, 96 threads.
+// Expected shapes: Direction-Opt wins bfs on low-diameter rmat32 but
+// Sparse-WL wins on the high-diameter web crawls; LabelProp-SC beats the
+// dense vertex program for cc; asynchronous Delta-Step beats the dense
+// data-driven sssp everywhere, most dramatically on high diameters.
+
+#include <cstdio>
+
+#include "bench/variants_common.h"
+#include "pmg/memsim/machine_configs.h"
+
+int main() {
+  std::printf(
+      "Figure 7: data-driven algorithm variants on Optane PMM (96 "
+      "threads)\n");
+  pmg::benchvariants::RunVariantStudy(pmg::memsim::OptanePmmConfig(), 96);
+  return 0;
+}

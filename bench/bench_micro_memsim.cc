@@ -1,0 +1,90 @@
+// Google-benchmark microbenchmarks of the simulator's host-side
+// performance (wall-clock cost of the modelling itself, not simulated
+// time). These bound how large a scenario the harness can drive.
+
+#include <benchmark/benchmark.h>
+
+#include "pmg/analytics/bfs.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/runtime/runtime.h"
+
+namespace {
+
+using namespace pmg;
+
+void BM_AccessCpuCacheHit(benchmark::State& state) {
+  memsim::Machine m(memsim::DramOnlyConfig());
+  memsim::PagePolicy policy;
+  const VirtAddr base = m.BaseOf(m.Alloc(4096, policy, "b"));
+  m.BeginEpoch(1);
+  m.Access(0, base, 8, AccessType::kRead);
+  for (auto _ : state) {
+    m.Access(0, base, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+}
+BENCHMARK(BM_AccessCpuCacheHit);
+
+void BM_AccessCacheMissDram(benchmark::State& state) {
+  memsim::Machine m(memsim::DramOnlyConfig());
+  memsim::PagePolicy policy;
+  const uint64_t bytes = 8ull * 1024 * 1024;
+  const VirtAddr base = m.BaseOf(m.Alloc(bytes, policy, "b"));
+  m.BeginEpoch(1);
+  uint64_t line = 0;
+  const uint64_t lines = bytes / 64;
+  for (auto _ : state) {
+    m.Access(0, base + line * 64, 8, AccessType::kRead);
+    line = (line + 1048583ull) % lines;
+  }
+  m.EndEpoch();
+}
+BENCHMARK(BM_AccessCacheMissDram);
+
+void BM_AccessCacheMissMemoryMode(benchmark::State& state) {
+  memsim::Machine m(memsim::OptanePmmConfig());
+  memsim::PagePolicy policy;
+  const uint64_t bytes = 8ull * 1024 * 1024;
+  const VirtAddr base = m.BaseOf(m.Alloc(bytes, policy, "b"));
+  m.BeginEpoch(1);
+  uint64_t line = 0;
+  const uint64_t lines = bytes / 64;
+  for (auto _ : state) {
+    m.Access(0, base + line * 64, 8, AccessType::kRead);
+    line = (line + 1048583ull) % lines;
+  }
+  m.EndEpoch();
+}
+BENCHMARK(BM_AccessCacheMissMemoryMode);
+
+void BM_EndToEndBfsSparse(benchmark::State& state) {
+  const graph::CsrTopology topo =
+      graph::Rmat(static_cast<uint32_t>(state.range(0)), 8, 3);
+  for (auto _ : state) {
+    memsim::Machine m(memsim::OptanePmmConfig());
+    runtime::Runtime rt(&m, 96);
+    graph::GraphLayout layout;
+    layout.policy.placement = memsim::Placement::kInterleaved;
+    graph::CsrGraph g(&m, topo, layout, "g");
+    analytics::AlgoOptions opt;
+    opt.label_policy = layout.policy;
+    benchmark::DoNotOptimize(
+        analytics::BfsSparseWl(rt, g, 0, opt).time_ns);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(topo.NumEdges()));
+}
+BENCHMARK(BM_EndToEndBfsSparse)->Arg(12)->Arg(14);
+
+void BM_MachineConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    memsim::Machine m(memsim::OptanePmmConfig());
+    benchmark::DoNotOptimize(m.MaxThreads());
+  }
+}
+BENCHMARK(BM_MachineConstruction);
+
+}  // namespace

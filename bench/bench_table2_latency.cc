@@ -1,0 +1,108 @@
+// Reproduces Table 2: idle access latency (ns) of the simulated memory
+// system by mode and locality. Memory-mode rows are measured with a
+// single-thread dependent pointer chase over a near-memory-resident
+// buffer; near-memory-miss latency is measured with a working set larger
+// than the socket's DRAM. App-direct rows report the calibrated media
+// latencies the model charges through the storage path.
+
+#include <cstdio>
+
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/scenarios/report.h"
+
+namespace {
+
+using pmg::AccessType;
+using pmg::SimNs;
+using pmg::ThreadId;
+using pmg::VirtAddr;
+using pmg::memsim::Machine;
+using pmg::memsim::MachineConfig;
+using pmg::memsim::PagePolicy;
+using pmg::memsim::Placement;
+
+/// Average per-access ns of a strided chase by one thread.
+double ChaseNs(Machine& m, VirtAddr base, uint64_t bytes, ThreadId t) {
+  const uint64_t lines = bytes / 64;
+  constexpr uint64_t kAccesses = 100000;
+  m.CloseEpochIfOpen();
+  const SimNs before = m.now();
+  m.BeginEpoch(t + 1);
+  uint64_t line = 0;
+  for (uint64_t i = 0; i < kAccesses; ++i) {
+    m.Access(t, base + line * 64, 8, AccessType::kRead);
+    line = (line + 1048583ull) % lines;  // defeat the CPU line cache
+  }
+  m.EndEpoch();
+  return static_cast<double>(m.now() - before) / kAccesses;
+}
+
+/// Memory-mode latency with a buffer that fits (hit) or thrashes (miss)
+/// near-memory, accessed locally or remotely.
+double MemoryModeNs(bool remote, bool force_miss) {
+  MachineConfig cfg = pmg::memsim::OptanePmmConfig();
+  cfg.timings.mem_parallelism = 1.0;  // dependent pointer chase
+  Machine m(cfg);
+  const uint64_t near_mem = cfg.topology.dram_bytes_per_socket;
+  const uint64_t bytes = force_miss ? near_mem * 2 : near_mem / 4;
+  PagePolicy policy;
+  policy.placement = Placement::kLocal;
+  policy.preferred_node = 0;
+  policy.page_size = pmg::memsim::PageSizeClass::k2M;
+  const VirtAddr base = m.BaseOf(m.Alloc(bytes, policy, "buf"));
+  m.BeginEpoch(1);
+  m.AccessRange(0, base, bytes, AccessType::kRead);  // warm / fault
+  m.EndEpoch();
+  m.FlushVolatileState();
+  if (!force_miss) {
+    // Re-warm near-memory after the flush so the chase hits.
+    m.BeginEpoch(1);
+    m.AccessRange(0, base, bytes, AccessType::kRead);
+    m.EndEpoch();
+  }
+  return ChaseNs(m, base, bytes, remote ? 24 : 0);
+}
+
+double DramNs(bool remote) {
+  MachineConfig cfg = pmg::memsim::DramOnlyConfig();
+  cfg.timings.mem_parallelism = 1.0;  // dependent pointer chase
+  Machine m(cfg);
+  PagePolicy policy;
+  policy.placement = Placement::kLocal;
+  policy.preferred_node = 0;
+  policy.page_size = pmg::memsim::PageSizeClass::k2M;
+  const uint64_t bytes = 4ull * 1024 * 1024;
+  const VirtAddr base = m.BaseOf(m.Alloc(bytes, policy, "buf"));
+  m.BeginEpoch(1);
+  m.AccessRange(0, base, bytes, AccessType::kRead);
+  m.EndEpoch();
+  return ChaseNs(m, base, bytes, remote ? 24 : 0);
+}
+
+}  // namespace
+
+int main() {
+  const pmg::memsim::MemoryTimings tm = pmg::memsim::DefaultTimings();
+  std::printf(
+      "Table 2: Latency (ns) of simulated Intel Optane PMM\n"
+      "(paper values: Memory 95 local / 150 remote;\n"
+      " App-direct 164 local / 232 remote)\n\n");
+  pmg::scenarios::Table table({"Mode", "Local", "Remote"});
+  table.AddRow({"Memory (near-mem hit)",
+                pmg::scenarios::FormatDouble(MemoryModeNs(false, false), 1),
+                pmg::scenarios::FormatDouble(MemoryModeNs(true, false), 1)});
+  table.AddRow({"Memory (near-mem miss)",
+                pmg::scenarios::FormatDouble(MemoryModeNs(false, true), 1),
+                pmg::scenarios::FormatDouble(MemoryModeNs(true, true), 1)});
+  table.AddRow({"App-direct (calibrated)",
+                pmg::scenarios::FormatDouble(
+                    static_cast<double>(tm.appdirect_local_ns), 1),
+                pmg::scenarios::FormatDouble(
+                    static_cast<double>(tm.appdirect_remote_ns), 1)});
+  table.AddRow({"DDR4 DRAM (reference)",
+                pmg::scenarios::FormatDouble(DramNs(false), 1),
+                pmg::scenarios::FormatDouble(DramNs(true), 1)});
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,87 @@
+#ifndef PMG_BENCH_CLUSTER_COMMON_H_
+#define PMG_BENCH_CLUSTER_COMMON_H_
+
+// Shared driver for Table 4 and Figure 11: runs one app either on the
+// simulated Stampede2 cluster (D-Galois-like BSP vertex programs) or on
+// the Optane PMM machine (Galois profile), against one scenario.
+
+#include <memory>
+#include <string>
+
+#include "pmg/distsim/dist_engine.h"
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/properties.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/scenarios/scenarios.h"
+
+namespace pmg::benchcluster {
+
+/// Hosts needed to hold each graph in cluster memory, following the
+/// paper (5 for clueweb12 and uk14, 20 for wdc12; iso_m100 by the same
+/// 192GB-per-host rule).
+inline uint32_t MinHosts(const std::string& name) {
+  if (name == "wdc12") return 20;
+  if (name == "iso_m100") return 6;
+  return 5;
+}
+
+/// Per-app graph variants prepared once per scenario.
+struct ClusterInputs {
+  graph::CsrTopology base;
+  graph::CsrTopology weighted;
+  graph::CsrTopology sym;
+  VertexId source = 0;
+
+  static ClusterInputs Prepare(const scenarios::Scenario& s) {
+    ClusterInputs in;
+    in.base = s.topo;
+    in.weighted = s.topo;
+    graph::AssignRandomWeights(&in.weighted, 100, 12345);
+    in.sym = graph::Symmetrize(s.topo);
+    in.source = graph::MaxOutDegreeVertex(s.topo);
+    return in;
+  }
+};
+
+/// Cached engines: one DistEngine per topology variant per configuration.
+struct ClusterEngines {
+  std::unique_ptr<distsim::DistEngine> base;
+  std::unique_ptr<distsim::DistEngine> weighted;
+  std::unique_ptr<distsim::DistEngine> sym;
+
+  static ClusterEngines Build(const ClusterInputs& in,
+                              const distsim::DistConfig& cfg) {
+    ClusterEngines e;
+    e.base = std::make_unique<distsim::DistEngine>(in.base, cfg);
+    e.weighted = std::make_unique<distsim::DistEngine>(in.weighted, cfg);
+    e.sym = std::make_unique<distsim::DistEngine>(in.sym, cfg);
+    return e;
+  }
+};
+
+inline distsim::DistRunResult RunCluster(ClusterEngines& engines,
+                                         frameworks::App app,
+                                         const ClusterInputs& in,
+                                         uint32_t pr_rounds) {
+  using frameworks::App;
+  switch (app) {
+    case App::kBc:
+      return engines.base->Bc(in.source);
+    case App::kBfs:
+      return engines.base->Bfs(in.source);
+    case App::kCc:
+      return engines.sym->Cc();
+    case App::kKcore:
+      return engines.sym->Kcore(100);
+    case App::kPr:
+      return engines.base->Pr(pr_rounds, 1e-6);
+    case App::kSssp:
+      return engines.weighted->Sssp(in.source);
+    default:
+      return {};
+  }
+}
+
+}  // namespace pmg::benchcluster
+
+#endif  // PMG_BENCH_CLUSTER_COMMON_H_

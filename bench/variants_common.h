@@ -1,0 +1,122 @@
+#ifndef PMG_BENCH_VARIANTS_COMMON_H_
+#define PMG_BENCH_VARIANTS_COMMON_H_
+
+// Shared driver for Figures 7 and 8: runs the paper's algorithm-variant
+// comparison (bfs: Dense-WL / Direction-Opt / Sparse-WL; cc: Dense-WL /
+// LabelProp-SC; sssp: Dense-WL / Delta-Step) for one machine
+// configuration over rmat32, clueweb12 and wdc12.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "pmg/analytics/bfs.h"
+#include "pmg/analytics/cc.h"
+#include "pmg/analytics/sssp.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/graph/properties.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/runtime/runtime.h"
+#include "pmg/scenarios/report.h"
+#include "pmg/scenarios/scenarios.h"
+
+namespace pmg::benchvariants {
+
+inline analytics::AlgoOptions Options() {
+  analytics::AlgoOptions opt;
+  opt.label_policy.placement = memsim::Placement::kInterleaved;
+  opt.label_policy.page_size = memsim::PageSizeClass::k2M;
+  return opt;
+}
+
+struct Cell {
+  std::string variant;
+  SimNs time_ns = 0;
+};
+
+/// Runs all variants of one problem on one graph with a fresh machine per
+/// run (cold caches, as in the paper's independent executions).
+inline void RunVariantStudy(const memsim::MachineConfig& machine_config,
+                            uint32_t threads) {
+  using graph::CsrGraph;
+  using graph::GraphLayout;
+  for (const char* problem : {"bfs", "cc", "sssp"}) {
+    scenarios::Table table({"graph", "variant", "time (s)", "vs best"});
+    for (const char* name : {"rmat32", "clueweb12", "wdc12"}) {
+      const scenarios::Scenario s = scenarios::MakeScenario(name);
+      std::vector<Cell> cells;
+      auto run = [&](const std::string& variant, auto&& fn,
+                     const graph::CsrTopology& topo, bool in_edges,
+                     bool weights) {
+        memsim::Machine m(machine_config);
+        runtime::Runtime rt(&m, threads);
+        GraphLayout layout;
+        layout.policy = Options().label_policy;
+        layout.load_in_edges = in_edges;
+        layout.with_weights = weights;
+        CsrGraph g(&m, topo, layout, "g");
+        g.Prefault(threads);
+        cells.push_back({variant, fn(rt, g)});
+      };
+      const VertexId src = graph::MaxOutDegreeVertex(s.topo);
+      if (std::string(problem) == "bfs") {
+        auto opt = Options();
+        run("Dense-WL",
+            [&](runtime::Runtime& rt, const CsrGraph& g) {
+              return analytics::BfsDenseWl(rt, g, src, opt).time_ns;
+            },
+            s.topo, false, false);
+        run("Direction-Opt",
+            [&](runtime::Runtime& rt, const CsrGraph& g) {
+              return analytics::BfsDirectionOpt(rt, g, src, opt).time_ns;
+            },
+            s.topo, true, false);
+        run("Sparse-WL",
+            [&](runtime::Runtime& rt, const CsrGraph& g) {
+              return analytics::BfsSparseWl(rt, g, src, opt).time_ns;
+            },
+            s.topo, false, false);
+      } else if (std::string(problem) == "cc") {
+        const graph::CsrTopology sym = graph::Symmetrize(s.topo);
+        auto opt = Options();
+        run("Dense-WL",
+            [&](runtime::Runtime& rt, const CsrGraph& g) {
+              return analytics::CcLabelProp(rt, g, opt).time_ns;
+            },
+            sym, false, false);
+        run("LabelProp-SC",
+            [&](runtime::Runtime& rt, const CsrGraph& g) {
+              return analytics::CcLabelPropSC(rt, g, opt).time_ns;
+            },
+            sym, false, false);
+      } else {
+        graph::CsrTopology weighted = s.topo;
+        graph::AssignRandomWeights(&weighted, 100, 7);
+        auto opt = Options();
+        run("Dense-WL",
+            [&](runtime::Runtime& rt, const CsrGraph& g) {
+              return analytics::SsspDenseWl(rt, g, src, opt).time_ns;
+            },
+            weighted, false, true);
+        run("Delta-Step",
+            [&](runtime::Runtime& rt, const CsrGraph& g) {
+              return analytics::SsspDeltaStep(rt, g, src, opt).time_ns;
+            },
+            weighted, false, true);
+      }
+      SimNs best = cells[0].time_ns;
+      for (const Cell& c : cells) best = std::min(best, c.time_ns);
+      for (const Cell& c : cells) {
+        table.AddRow({name, c.variant, scenarios::FormatSeconds(c.time_ns),
+                      scenarios::FormatRatio(static_cast<double>(c.time_ns) /
+                                             static_cast<double>(best))});
+      }
+    }
+    std::printf("\n(%s)\n", problem);
+    table.Print();
+  }
+}
+
+}  // namespace pmg::benchvariants
+
+#endif  // PMG_BENCH_VARIANTS_COMMON_H_

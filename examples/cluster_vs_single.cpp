@@ -1,0 +1,70 @@
+// Cluster vs single machine, as an application (the paper's Section 6.3
+// question): you have a graph that fits either on N cluster hosts or on
+// one Optane PMM machine — which runs your workload faster, and why?
+// Sweeps host counts for BFS on a high-diameter crawl and prints the
+// compute/communication split that explains the answer.
+//
+//   ./cluster_vs_single [tail_length]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pmg/distsim/dist_engine.h"
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/properties.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/scenarios/report.h"
+
+int main(int argc, char** argv) {
+  using namespace pmg;
+
+  graph::WebCrawlParams params;
+  params.vertices = 30000;
+  params.avg_out_degree = 12;
+  params.communities = 20;
+  params.tail_length = argc > 1 ? std::atoll(argv[1]) : 800;
+  params.tail_width = 4;
+  params.seed = 9;
+  const graph::CsrTopology crawl = graph::WebCrawl(params);
+  const VertexId src = graph::MaxOutDegreeVertex(crawl);
+  std::printf("crawl: %s\n\n",
+              graph::ComputeProperties(crawl).ToString().c_str());
+
+  // Single Optane PMM machine, best (asynchronous sparse) algorithm.
+  const frameworks::AppInputs inputs = frameworks::AppInputs::Prepare(crawl);
+  frameworks::RunConfig single;
+  single.machine = memsim::OptanePmmConfig();
+  single.threads = 96;
+  const frameworks::AppRunResult ob =
+      RunApp(frameworks::FrameworkKind::kGalois, frameworks::App::kBfs,
+             inputs, single);
+
+  scenarios::Table table({"configuration", "time (ms)", "compute (ms)",
+                          "comm (ms)", "comm bytes (KB)", "rounds"});
+  for (const uint32_t hosts : {2u, 4u, 8u, 16u}) {
+    distsim::DistConfig cfg;
+    cfg.hosts = hosts;
+    cfg.threads_per_host = 48;
+    cfg.host_machine = memsim::StampedeHostConfig();
+    distsim::DistEngine engine(crawl, cfg);
+    const distsim::DistRunResult r = engine.Bfs(src);
+    table.AddRow({"cluster, " + std::to_string(hosts) + " hosts",
+                  scenarios::FormatMillis(r.time_ns),
+                  scenarios::FormatMillis(r.compute_ns),
+                  scenarios::FormatMillis(r.comm_ns),
+                  scenarios::FormatDouble(r.comm_bytes / 1e3, 1),
+                  std::to_string(r.rounds)});
+  }
+  table.AddRow({"Optane PMM, 1 machine", scenarios::FormatMillis(ob.time_ns),
+                scenarios::FormatMillis(ob.time_ns), "0", "0",
+                std::to_string(ob.rounds)});
+  table.Print();
+  std::printf(
+      "\nAdding hosts shrinks per-host compute but every BFS level still\n"
+      "pays a communication round trip — with diameter ~%llu, round\n"
+      "latency dominates and the single big-memory machine wins\n"
+      "(Section 6.3 / Figure 11 of the paper).\n",
+      static_cast<unsigned long long>(params.tail_length));
+  return 0;
+}

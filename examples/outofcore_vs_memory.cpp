@@ -1,0 +1,68 @@
+// Out-of-core vs memory mode, as an application (the paper's Section 6.4
+// question): given a machine with Optane PMM, should you stream the graph
+// from PMM as storage (GridGraph style) or let the hardware treat PMM as
+// memory and run a shared-memory framework? Runs BFS both ways over
+// growing diameters and prints the crossover-free verdict.
+//
+//   ./outofcore_vs_memory
+
+#include <cstdio>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/properties.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/outofcore/grid_engine.h"
+#include "pmg/scenarios/report.h"
+#include "pmg/scenarios/scenarios.h"
+
+int main() {
+  using namespace pmg;
+
+  std::printf(
+      "BFS: GridGraph-style streaming from app-direct PMM vs Galois-style\n"
+      "execution in memory mode, as crawl diameter grows:\n\n");
+  scenarios::Table table({"diameter", "out-of-core (ms)", "memory mode (ms)",
+                          "ratio", "storage read (MB)"});
+  for (const uint64_t tail : {50ull, 200ull, 800ull, 2000ull}) {
+    graph::WebCrawlParams params;
+    params.vertices = 25000;
+    params.avg_out_degree = 12;
+    params.communities = 16;
+    params.tail_length = tail;
+    params.tail_width = 4;
+    params.seed = 5;
+    // Out-of-core engines see scattered ids, as real crawls have.
+    const graph::CsrTopology crawl =
+        scenarios::ScatterIds(graph::WebCrawl(params), 31);
+    const VertexId src = graph::MaxOutDegreeVertex(crawl);
+
+    memsim::Machine ad(memsim::AppDirectConfig());
+    outofcore::GridConfig grid;
+    grid.grid_p = 32;
+    grid.threads = 96;
+    outofcore::GridEngine engine(&ad, crawl, grid);
+    const outofcore::OocResult ooc = engine.Bfs(src, nullptr);
+
+    const frameworks::AppInputs inputs =
+        frameworks::AppInputs::Prepare(crawl);
+    frameworks::RunConfig cfg;
+    cfg.machine = memsim::OptanePmmConfig();
+    cfg.threads = 96;
+    const frameworks::AppRunResult mm =
+        RunApp(frameworks::FrameworkKind::kGalois, frameworks::App::kBfs,
+               inputs, cfg);
+
+    table.AddRow({std::to_string(tail), scenarios::FormatMillis(ooc.time_ns),
+                  scenarios::FormatMillis(mm.time_ns),
+                  scenarios::FormatRatio(static_cast<double>(ooc.time_ns) /
+                                         static_cast<double>(mm.time_ns)),
+                  scenarios::FormatDouble(ooc.storage_read_bytes / 1e6, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nThe gap widens with diameter: every extra BFS round re-streams\n"
+      "edge blocks from storage, while memory mode touches only the\n"
+      "frontier (Table 5 of the paper: 268-890x at full scale).\n");
+  return 0;
+}

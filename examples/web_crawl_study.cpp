@@ -1,0 +1,122 @@
+// Web-crawl algorithm study: the paper's Section 5 experiment as an
+// application. Generates a high-diameter synthetic crawl, then compares
+// dense-worklist, direction-optimizing and sparse-worklist BFS, and
+// bulk-synchronous vs asynchronous delta-stepping SSSP on the simulated
+// Optane PMM machine — showing why frameworks restricted to vertex
+// programs with dense frontiers collapse on real crawl structure.
+//
+//   ./web_crawl_study [tail_length]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pmg/analytics/bfs.h"
+#include "pmg/analytics/sssp.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/properties.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/runtime/runtime.h"
+#include "pmg/scenarios/report.h"
+
+namespace {
+
+using namespace pmg;
+
+graph::GraphLayout Layout(bool in_edges, bool weights) {
+  graph::GraphLayout layout;
+  layout.policy.placement = memsim::Placement::kInterleaved;
+  layout.policy.page_size = memsim::PageSizeClass::k2M;
+  layout.load_in_edges = in_edges;
+  layout.with_weights = weights;
+  return layout;
+}
+
+template <typename Fn>
+SimNs Measure(const graph::CsrTopology& topo, bool in_edges, bool weights,
+              Fn&& fn) {
+  memsim::Machine machine(memsim::OptanePmmConfig());
+  runtime::Runtime rt(&machine, 96);
+  graph::CsrGraph g(&machine, topo, Layout(in_edges, weights), "g");
+  g.Prefault(rt.threads());
+  analytics::AlgoOptions opt;
+  opt.label_policy = Layout(false, false).policy;
+  return fn(rt, g, opt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  graph::WebCrawlParams params;
+  params.vertices = 30000;
+  params.avg_out_degree = 16;
+  params.communities = 24;
+  params.tail_length = argc > 1 ? std::atoll(argv[1]) : 1000;
+  params.tail_width = 4;
+  params.seed = 7;
+  const graph::CsrTopology crawl = graph::WebCrawl(params);
+  graph::CsrTopology weighted = crawl;
+  graph::AssignRandomWeights(&weighted, 100, 3);
+  const VertexId src = graph::MaxOutDegreeVertex(crawl);
+
+  std::printf("synthetic crawl: %s\n\n",
+              graph::ComputeProperties(crawl).ToString().c_str());
+
+  scenarios::Table table({"problem", "algorithm", "time (ms)", "vs best"});
+  struct Row {
+    const char* problem;
+    const char* algo;
+    SimNs ns;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"bfs", "dense worklist",
+                  Measure(crawl, false, false,
+                          [&](auto& rt, auto& g, auto& opt) {
+                            return analytics::BfsDenseWl(rt, g, src, opt)
+                                .time_ns;
+                          })});
+  rows.push_back({"bfs", "direction-optimizing",
+                  Measure(crawl, true, false,
+                          [&](auto& rt, auto& g, auto& opt) {
+                            return analytics::BfsDirectionOpt(rt, g, src, opt)
+                                .time_ns;
+                          })});
+  rows.push_back({"bfs", "sparse worklist",
+                  Measure(crawl, false, false,
+                          [&](auto& rt, auto& g, auto& opt) {
+                            return analytics::BfsSparseWl(rt, g, src, opt)
+                                .time_ns;
+                          })});
+  rows.push_back({"sssp", "bulk-sync dense",
+                  Measure(weighted, false, true,
+                          [&](auto& rt, auto& g, auto& opt) {
+                            return analytics::SsspDenseWl(rt, g, src, opt)
+                                .time_ns;
+                          })});
+  rows.push_back({"sssp", "async delta-stepping",
+                  Measure(weighted, false, true,
+                          [&](auto& rt, auto& g, auto& opt) {
+                            return analytics::SsspDeltaStep(rt, g, src, opt)
+                                .time_ns;
+                          })});
+
+  for (const char* problem : {"bfs", "sssp"}) {
+    SimNs best = ~0ull;
+    for (const Row& r : rows) {
+      if (std::string(r.problem) == problem && r.ns < best) best = r.ns;
+    }
+    for (const Row& r : rows) {
+      if (std::string(r.problem) != problem) continue;
+      table.AddRow({r.problem, r.algo, scenarios::FormatMillis(r.ns),
+                    scenarios::FormatRatio(static_cast<double>(r.ns) /
+                                           static_cast<double>(best))});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nTakeaway: with diameter ~%llu, per-round O(|V|) frontier scans\n"
+      "dominate dense scheduling; sparse worklists and asynchronous\n"
+      "execution track the actual work (Section 5 of the paper).\n",
+      static_cast<unsigned long long>(params.tail_length));
+  return 0;
+}

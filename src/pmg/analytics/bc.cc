@@ -1,0 +1,180 @@
+#include "pmg/analytics/bc.h"
+
+#include <vector>
+
+#include "pmg/runtime/worklist.h"
+
+namespace pmg::analytics {
+
+namespace {
+
+struct BcState {
+  runtime::NumaArray<double> sigma;  // shortest-path counts
+  runtime::NumaArray<double> delta;  // dependency accumulators
+};
+
+BcState InitState(runtime::Runtime& rt, const graph::CsrGraph& g,
+                  const AlgoOptions& opt, BcResult* out) {
+  memsim::Machine& m = g.machine();
+  const uint64_t n = g.num_vertices();
+  out->centrality =
+      runtime::NumaArray<double>(&m, n, opt.label_policy, "bc.cent");
+  out->level =
+      runtime::NumaArray<uint32_t>(&m, n, opt.label_policy, "bc.level");
+  BcState st;
+  st.sigma = runtime::NumaArray<double>(&m, n, opt.label_policy, "bc.sigma");
+  st.delta = runtime::NumaArray<double>(&m, n, opt.label_policy, "bc.delta");
+  rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+    out->centrality.Set(t, v, 0.0);
+    out->level.Set(t, v, kInfLevel);
+    st.sigma.Set(t, v, 0.0);
+    st.delta.Set(t, v, 0.0);
+  });
+  return st;
+}
+
+}  // namespace
+
+BcResult BcSparse(runtime::Runtime& rt, const graph::CsrGraph& g,
+                  VertexId source, const AlgoOptions& opt) {
+  BcResult out;
+  out.time_ns = rt.Timed([&] {
+    memsim::Machine& m = g.machine();
+    BcState st = InitState(rt, g, opt, &out);
+    // Per-level frontier lists; their push/pop traffic is charged to a
+    // NUMA-local scratch ring like any sparse worklist.
+    runtime::CostRing ring(&m, rt.threads(), "bc.levels",
+                           WorklistPolicy(opt));
+    std::vector<std::vector<VertexId>> levels;
+
+    out.level.Set(0, source, 0);
+    st.sigma.Set(0, source, 1.0);
+    levels.push_back({source});
+    ring.Charge(0, sizeof(VertexId), AccessType::kWrite);
+
+    // Forward sweep: level-synchronous BFS accumulating sigma.
+    while (!levels.back().empty()) {
+      const uint32_t cur = static_cast<uint32_t>(levels.size() - 1);
+      std::vector<VertexId> next;
+      m.CloseEpochIfOpen();
+      m.BeginEpoch(rt.threads());
+      ThreadId t = 0;
+      for (VertexId v : levels[cur]) {
+        ring.Charge(t, sizeof(VertexId), AccessType::kRead);
+        const double sv = st.sigma.Get(t, v);
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          const uint32_t lu = out.level.Get(tt, u);
+          if (lu == kInfLevel) {
+            out.level.Set(tt, u, cur + 1);
+            st.sigma.Set(tt, u, sv);
+            next.push_back(u);
+            ring.Charge(tt, sizeof(VertexId), AccessType::kWrite);
+          } else if (lu == cur + 1) {
+            st.sigma.Update(tt, u, [&](double& s) { s += sv; });
+          }
+        });
+        t = (t + 1) % rt.threads();
+      }
+      m.EndEpoch();
+      levels.push_back(std::move(next));
+    }
+    levels.pop_back();  // drop the empty terminator
+
+    // Backward sweep: accumulate dependencies level by level.
+    for (size_t li = levels.size(); li-- > 1;) {
+      m.CloseEpochIfOpen();
+      m.BeginEpoch(rt.threads());
+      ThreadId t = 0;
+      for (VertexId v : levels[li - 1]) {
+        ring.Charge(t, sizeof(VertexId), AccessType::kRead);
+        const double sv = st.sigma.Get(t, v);
+        double acc = 0;
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          if (out.level.Get(tt, u) == static_cast<uint32_t>(li)) {
+            acc += sv / st.sigma.Get(tt, u) * (1.0 + st.delta.Get(tt, u));
+          }
+        });
+        st.delta.Update(t, v, [&](double& d) { d += acc; });
+        if (v != source) {
+          out.centrality.Update(t, v, [&](double& cnt) {
+            cnt += st.delta.Get(t, v);
+          });
+        }
+        t = (t + 1) % rt.threads();
+      }
+      m.EndEpoch();
+    }
+    // Leaves (deepest level) contribute their delta too.
+    if (!levels.empty()) {
+      m.CloseEpochIfOpen();
+      m.BeginEpoch(rt.threads());
+      ThreadId t = 0;
+      for (VertexId v : levels.back()) {
+        if (v != source && levels.size() > 1) {
+          out.centrality.Update(t, v, [&](double& cnt) {
+            cnt += st.delta.Get(t, v);
+          });
+        }
+        t = (t + 1) % rt.threads();
+      }
+      m.EndEpoch();
+    }
+    out.rounds = levels.size();
+  });
+  return out;
+}
+
+BcResult BcDense(runtime::Runtime& rt, const graph::CsrGraph& g,
+                 VertexId source, const AlgoOptions& opt) {
+  BcResult out;
+  out.time_ns = rt.Timed([&] {
+    BcState st = InitState(rt, g, opt, &out);
+    const uint64_t n = g.num_vertices();
+    out.level.Set(0, source, 0);
+    st.sigma.Set(0, source, 1.0);
+
+    // Forward: scan all vertices each round (vertex-program style).
+    uint32_t cur = 0;
+    bool advanced = true;
+    while (advanced) {
+      advanced = false;
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        if (out.level.Get(t, v) != cur) return;
+        const double sv = st.sigma.Get(t, v);
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          const uint32_t lu = out.level.Get(tt, u);
+          if (lu == kInfLevel) {
+            out.level.Set(tt, u, cur + 1);
+            st.sigma.Set(tt, u, sv);
+            advanced = true;
+          } else if (lu == cur + 1) {
+            st.sigma.Update(tt, u, [&](double& s) { s += sv; });
+          }
+        });
+      });
+      ++cur;
+    }
+
+    // Backward: same dense scans, one per level.
+    for (uint32_t li = cur; li-- > 0;) {
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        if (out.level.Get(t, v) != li) return;
+        const double sv = st.sigma.Get(t, v);
+        double acc = 0;
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          if (out.level.Get(tt, u) == li + 1) {
+            acc += sv / st.sigma.Get(tt, u) * (1.0 + st.delta.Get(tt, u));
+          }
+        });
+        st.delta.Update(t, v, [&](double& d) { d += acc; });
+        if (v != source && out.level.Get(t, v) != kInfLevel) {
+          out.centrality.Set(t, v, st.delta.Get(t, v));
+        }
+      });
+    }
+    out.rounds = cur;
+  });
+  return out;
+}
+
+}  // namespace pmg::analytics

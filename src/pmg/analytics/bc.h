@@ -1,0 +1,35 @@
+#ifndef PMG_ANALYTICS_BC_H_
+#define PMG_ANALYTICS_BC_H_
+
+#include "pmg/analytics/common.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/runtime/numa_array.h"
+#include "pmg/runtime/runtime.h"
+
+/// \file bc.h
+/// Single-source betweenness centrality (Brandes): a forward BFS
+/// accumulating shortest-path counts, then a level-by-level backward
+/// dependency sweep.
+///   - BcSparse keeps explicit per-level vertex lists (Galois).
+///   - BcDense re-scans all |V| vertices per level in both sweeps — the
+///     vertex-program formulation, which collapses on high-diameter
+///     graphs (the paper's largest Optane-vs-cluster win, 13.7x on wdc12).
+
+namespace pmg::analytics {
+
+struct BcResult {
+  runtime::NumaArray<double> centrality;
+  runtime::NumaArray<uint32_t> level;
+  uint64_t rounds = 0;
+  SimNs time_ns = 0;
+};
+
+BcResult BcSparse(runtime::Runtime& rt, const graph::CsrGraph& g,
+                  VertexId source, const AlgoOptions& opt);
+
+BcResult BcDense(runtime::Runtime& rt, const graph::CsrGraph& g,
+                 VertexId source, const AlgoOptions& opt);
+
+}  // namespace pmg::analytics
+
+#endif  // PMG_ANALYTICS_BC_H_

@@ -1,0 +1,158 @@
+#include "pmg/analytics/bfs.h"
+
+#include <memory>
+#include <utility>
+
+#include "pmg/common/check.h"
+#include "pmg/runtime/worklist.h"
+
+namespace pmg::analytics {
+
+namespace {
+
+runtime::NumaArray<uint32_t> InitLevels(runtime::Runtime& rt,
+                                        const graph::CsrGraph& g,
+                                        const AlgoOptions& opt) {
+  runtime::NumaArray<uint32_t> level(&g.machine(), g.num_vertices(),
+                                     opt.label_policy, "bfs.level");
+  rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
+    level.Set(t, v, kInfLevel);
+  });
+  return level;
+}
+
+}  // namespace
+
+BfsResult BfsDenseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
+                     VertexId source, const AlgoOptions& opt) {
+  BfsResult out;
+  out.time_ns = rt.Timed([&] {
+    out.level = InitLevels(rt, g, opt);
+    runtime::DenseWorklist wl(&g.machine(), g.num_vertices(),
+                              opt.label_policy, "bfs.wl");
+    out.level.Set(0, source, 0);
+    wl.ActivateCur(0, source);
+    uint32_t round = 0;
+    while (!wl.Empty()) {
+      wl.ForEachActive(rt, [&](ThreadId t, uint64_t v) {
+        const uint32_t next_level = round + 1;
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          if (out.level.CasMin(tt, u, next_level)) wl.Activate(tt, u);
+        });
+      });
+      wl.Advance(rt);
+      ++round;
+    }
+    out.rounds = round;
+  });
+  return out;
+}
+
+BfsResult BfsDirectionOpt(runtime::Runtime& rt, const graph::CsrGraph& g,
+                          VertexId source, const AlgoOptions& opt) {
+  PMG_CHECK_MSG(g.has_in_edges(),
+                "direction-optimizing bfs needs in-edges loaded");
+  BfsResult out;
+  out.time_ns = rt.Timed([&] {
+    out.level = InitLevels(rt, g, opt);
+    runtime::DenseWorklist wl(&g.machine(), g.num_vertices(),
+                              opt.label_policy, "bfs.wl");
+    out.level.Set(0, source, 0);
+    wl.ActivateCur(0, source);
+    uint32_t round = 0;
+    const uint64_t pull_threshold =
+        g.num_vertices() / opt.dir_opt_denominator;
+    while (!wl.Empty()) {
+      const uint32_t next_level = round + 1;
+      if (wl.ActiveCount() <= pull_threshold) {
+        // Push phase.
+        wl.ForEachActive(rt, [&](ThreadId t, uint64_t v) {
+          g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+            if (out.level.CasMin(tt, u, next_level)) wl.Activate(tt, u);
+          });
+        });
+      } else {
+        // Pull phase: every unreached vertex scans its in-edges for a
+        // parent on the current frontier.
+        rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
+          if (out.level.Get(t, v) != kInfLevel) return;
+          const auto [first, last] = g.InRange(t, v);
+          for (EdgeId e = first; e < last; ++e) {
+            const VertexId u = g.InSrc(t, e);
+            if (out.level.Get(t, u) == round) {
+              out.level.Set(t, v, next_level);
+              wl.Activate(t, v);
+              break;
+            }
+          }
+        });
+      }
+      wl.Advance(rt);
+      ++round;
+    }
+    out.rounds = round;
+  });
+  return out;
+}
+
+BfsResult BfsSparseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
+                      VertexId source, const AlgoOptions& opt) {
+  BfsResult out;
+  out.time_ns = rt.Timed([&] {
+    out.level = InitLevels(rt, g, opt);
+    memsim::Machine& m = g.machine();
+    runtime::SparseWorklist<VertexId> a(&m, rt.threads(),
+        "bfs.cur", WorklistPolicy(opt));
+    runtime::SparseWorklist<VertexId> b(&m, rt.threads(),
+        "bfs.next", WorklistPolicy(opt));
+    runtime::SparseWorklist<VertexId>* cur = &a;
+    runtime::SparseWorklist<VertexId>* next = &b;
+    out.level.Set(0, source, 0);
+    cur->Push(0, source);
+    uint32_t round = 0;
+    while (!cur->Empty()) {
+      const uint32_t next_level = round + 1;
+      // One bulk-synchronous round: drain `cur`, activations go to `next`.
+      m.CloseEpochIfOpen();
+      m.BeginEpoch(rt.threads());
+      VertexId v;
+      ThreadId t = 0;
+      while (cur->Pop(t, &v)) {
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          if (out.level.CasMin(tt, u, next_level)) next->Push(tt, u);
+        });
+        t = (t + 1) % rt.threads();
+      }
+      m.EndEpoch();
+      std::swap(cur, next);
+      ++round;
+    }
+    out.rounds = round;
+  });
+  return out;
+}
+
+BfsResult BfsAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
+                   VertexId source, const AlgoOptions& opt) {
+  BfsResult out;
+  out.time_ns = rt.Timed([&] {
+    out.level = InitLevels(rt, g, opt);
+    runtime::SparseWorklist<VertexId> wl(&g.machine(), rt.threads(),
+        "bfs.async", WorklistPolicy(opt));
+    out.level.Set(0, source, 0);
+    wl.Push(0, source);
+    // Label-correcting: no rounds; a vertex may be processed again if a
+    // shorter level arrives later.
+    runtime::DrainAsync(rt, wl, [&](ThreadId t, VertexId v) {
+      const uint32_t lv = out.level.Get(t, v);
+      if (lv == kInfLevel) return;
+      g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+        if (out.level.CasMin(tt, u, lv + 1)) wl.Push(tt, u);
+      });
+    });
+    out.rounds = 1;
+  });
+  return out;
+}
+
+}  // namespace pmg::analytics

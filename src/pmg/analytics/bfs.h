@@ -1,0 +1,42 @@
+#ifndef PMG_ANALYTICS_BFS_H_
+#define PMG_ANALYTICS_BFS_H_
+
+#include "pmg/analytics/common.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/runtime/numa_array.h"
+#include "pmg/runtime/runtime.h"
+
+/// \file bfs.h
+/// Breadth-first search variants (Figure 7a/8a):
+///   - BfsDenseWl: bulk-synchronous push with a dense (bit-vector)
+///     frontier — the vertex-program baseline of GAP/GraphIt/GBBS.
+///   - BfsDirectionOpt: Beamer push/pull switching; needs in-edges and
+///     touches both edge directions.
+///   - BfsSparseWl: bulk-synchronous push over sparse per-round bags —
+///     memory traffic proportional to the frontier (Galois).
+///   - BfsAsync: asynchronous label-correcting on one sparse worklist.
+
+namespace pmg::analytics {
+
+struct BfsResult {
+  runtime::NumaArray<uint32_t> level;  // kInfLevel when unreached
+  uint64_t rounds = 0;
+  SimNs time_ns = 0;
+};
+
+BfsResult BfsDenseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
+                     VertexId source, const AlgoOptions& opt);
+
+/// Requires g.has_in_edges().
+BfsResult BfsDirectionOpt(runtime::Runtime& rt, const graph::CsrGraph& g,
+                          VertexId source, const AlgoOptions& opt);
+
+BfsResult BfsSparseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
+                      VertexId source, const AlgoOptions& opt);
+
+BfsResult BfsAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
+                   VertexId source, const AlgoOptions& opt);
+
+}  // namespace pmg::analytics
+
+#endif  // PMG_ANALYTICS_BFS_H_

@@ -1,0 +1,263 @@
+#include "pmg/analytics/cc.h"
+
+#include <utility>
+
+#include "pmg/runtime/worklist.h"
+
+namespace pmg::analytics {
+
+namespace {
+
+runtime::NumaArray<uint64_t> InitLabels(runtime::Runtime& rt,
+                                        const graph::CsrGraph& g,
+                                        const AlgoOptions& opt) {
+  runtime::NumaArray<uint64_t> label(&g.machine(), g.num_vertices(),
+                                     opt.label_policy, "cc.label");
+  rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
+    label.Set(t, v, v);
+  });
+  return label;
+}
+
+}  // namespace
+
+CcResult CcLabelProp(runtime::Runtime& rt, const graph::CsrGraph& g,
+                     const AlgoOptions& opt) {
+  // Double-buffered (Jacobi) label propagation: each round reads the
+  // previous round's labels and writes the next — the semantics a
+  // Pregel-style vertex program compiles to. Information travels one hop
+  // per round, so rounds scale with the component diameter; each round
+  // additionally pays an O(|V|) copy, the vertex-program tax the paper's
+  // Figure 7b measures against LabelProp-SC.
+  CcResult out;
+  out.time_ns = rt.Timed([&] {
+    out.label = InitLabels(rt, g, opt);
+    runtime::NumaArray<uint64_t> next(&g.machine(), g.num_vertices(),
+                                      opt.label_policy, "cc.next");
+    runtime::DenseWorklist wl(&g.machine(), g.num_vertices(),
+                              opt.label_policy, "cc.wl");
+    rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
+      wl.ActivateCur(t, v);
+    });
+    uint64_t round = 0;
+    while (!wl.Empty()) {
+      rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
+        next.Set(t, v, out.label.Get(t, v));
+      });
+      wl.ForEachActive(rt, [&](ThreadId t, uint64_t v) {
+        const uint64_t lv = out.label.Get(t, v);
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          if (next.CasMin(tt, u, lv)) wl.Activate(tt, u);
+        });
+      });
+      std::swap(out.label, next);
+      wl.Advance(rt);
+      ++round;
+    }
+    out.rounds = round;
+  });
+  return out;
+}
+
+CcResult CcLabelPropSC(runtime::Runtime& rt, const graph::CsrGraph& g,
+                       const AlgoOptions& opt) {
+  // Work items carry the label at push time; entries whose vertex has
+  // since improved are stale and skipped without touching edges (lazy
+  // deduplication, as in Galois's label-correcting operators).
+  struct Item {
+    VertexId v;
+    uint64_t label;
+  };
+  CcResult out;
+  out.time_ns = rt.Timed([&] {
+    out.label = InitLabels(rt, g, opt);
+    memsim::Machine& m = g.machine();
+    runtime::SparseWorklist<Item> a(&m, rt.threads(),
+        "cc.cur", WorklistPolicy(opt));
+    runtime::SparseWorklist<Item> b(&m, rt.threads(),
+        "cc.next", WorklistPolicy(opt));
+    runtime::SparseWorklist<Item>* cur = &a;
+    runtime::SparseWorklist<Item>* next = &b;
+    {
+      m.CloseEpochIfOpen();
+      m.BeginEpoch(rt.threads());
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        cur->Push(static_cast<ThreadId>(v % rt.threads()), {v, v});
+      }
+      m.EndEpoch();
+    }
+    uint64_t round = 0;
+    while (!cur->Empty()) {
+      // One propagation round over the active set.
+      m.CloseEpochIfOpen();
+      m.BeginEpoch(rt.threads());
+      Item item;
+      ThreadId t = 0;
+      while (cur->Pop(t, &item)) {
+        const uint64_t lv = out.label.Get(t, item.v);
+        if (lv == item.label) {
+          g.ForEachOutEdge(t, item.v,
+                           [&](ThreadId tt, VertexId u, uint32_t) {
+            if (out.label.CasMin(tt, u, lv)) next->Push(tt, {u, lv});
+          });
+        }
+        t = (t + 1) % rt.threads();
+      }
+      m.EndEpoch();
+      // Shortcut: one pointer-jump level — label[v] <- label[label[v]].
+      // This operator reads an arbitrary vertex's label: a non-vertex
+      // program, inexpressible in vertex-program-only systems.
+      rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t2, uint64_t v2) {
+        const uint64_t lv2 = out.label.Get(t2, v2);
+        const uint64_t ll = out.label.Get(t2, lv2);
+        if (ll < lv2) {
+          out.label.Set(t2, v2, ll);
+          // The improved label must still be propagated: re-queue.
+          next->Push(t2, {static_cast<VertexId>(v2), ll});
+        }
+      });
+      std::swap(cur, next);
+      ++round;
+    }
+    out.rounds = round;
+  });
+  return out;
+}
+
+CcResult CcLabelPropSCDir(runtime::Runtime& rt, const graph::CsrGraph& g,
+                          const AlgoOptions& opt) {
+  struct Item {
+    VertexId v;
+    uint64_t label;
+  };
+  CcResult out;
+  out.time_ns = rt.Timed([&] {
+    out.label = InitLabels(rt, g, opt);
+    memsim::Machine& m = g.machine();
+    runtime::SparseWorklist<Item> a(&m, rt.threads(),
+        "cc.cur", WorklistPolicy(opt));
+    runtime::SparseWorklist<Item> b(&m, rt.threads(),
+        "cc.next", WorklistPolicy(opt));
+    runtime::SparseWorklist<Item>* cur = &a;
+    runtime::SparseWorklist<Item>* next = &b;
+    {
+      m.CloseEpochIfOpen();
+      m.BeginEpoch(rt.threads());
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        cur->Push(static_cast<ThreadId>(v % rt.threads()), {v, v});
+      }
+      m.EndEpoch();
+    }
+    uint64_t round = 0;
+    while (!cur->Empty()) {
+      m.CloseEpochIfOpen();
+      m.BeginEpoch(rt.threads());
+      Item item;
+      ThreadId t = 0;
+      while (cur->Pop(t, &item)) {
+        uint64_t lv = out.label.Get(t, item.v);
+        if (lv == item.label) {
+          // Phase 1: gather the minimum over the neighbourhood.
+          const auto [first, last] = g.OutRange(t, item.v);
+          uint64_t mn = lv;
+          for (EdgeId e = first; e < last; ++e) {
+            const uint64_t lu = out.label.Get(t, g.OutDst(t, e));
+            if (lu < mn) mn = lu;
+          }
+          // Phase 2: hook every endpoint (and the vertex) to the minimum.
+          if (out.label.CasMin(t, item.v, mn)) {
+            next->Push(t, {item.v, mn});
+          }
+          for (EdgeId e = first; e < last; ++e) {
+            const VertexId u = g.OutDst(t, e);
+            if (out.label.CasMin(t, u, mn)) next->Push(t, {u, mn});
+          }
+        }
+        t = (t + 1) % rt.threads();
+      }
+      m.EndEpoch();
+      // Shortcut pass, re-queueing improved vertices.
+      rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t2, uint64_t v2) {
+        const uint64_t lv2 = out.label.Get(t2, v2);
+        const uint64_t ll = out.label.Get(t2, lv2);
+        if (ll < lv2) {
+          out.label.Set(t2, v2, ll);
+          next->Push(t2, {static_cast<VertexId>(v2), ll});
+        }
+      });
+      std::swap(cur, next);
+      ++round;
+    }
+    out.rounds = round;
+  });
+  return out;
+}
+
+CcResult CcUnionFind(runtime::Runtime& rt, const graph::CsrGraph& g,
+                     const AlgoOptions& opt) {
+  CcResult out;
+  out.time_ns = rt.Timed([&] {
+    out.label = InitLabels(rt, g, opt);  // parent pointers
+    bool changed = true;
+    uint64_t round = 0;
+    while (changed) {
+      changed = false;
+      // Hook: point the larger root at the smaller endpoint's root.
+      rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
+        const uint64_t pv = out.label.Get(t, v);
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          const uint64_t pu = out.label.Get(tt, u);
+          if (pv < pu && out.label.Get(tt, pu) == pu) {
+            out.label.Set(tt, pu, pv);
+            changed = true;
+          }
+        });
+      });
+      // Compress: one pointer-jump pass per round (Shiloach-Vishkin
+      // halves chain depth each round, giving the O(log) round count of
+      // the real parallel algorithm).
+      rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
+        const uint64_t p = out.label.Get(t, v);
+        const uint64_t pp = out.label.Get(t, p);
+        if (pp != p) {
+          out.label.Set(t, v, pp);
+          changed = true;
+        }
+      });
+      ++round;
+    }
+    out.rounds = round;
+  });
+  return out;
+}
+
+CcResult CcAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
+                 const AlgoOptions& opt) {
+  struct Item {
+    VertexId v;
+    uint64_t label;
+  };
+  CcResult out;
+  out.time_ns = rt.Timed([&] {
+    out.label = InitLabels(rt, g, opt);
+    runtime::SparseWorklist<Item> wl(&g.machine(), rt.threads(),
+        "cc.async", WorklistPolicy(opt));
+    g.machine().CloseEpochIfOpen();
+    g.machine().BeginEpoch(rt.threads());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      wl.Push(static_cast<ThreadId>(v % rt.threads()), {v, v});
+    }
+    g.machine().EndEpoch();
+    runtime::DrainAsync(rt, wl, [&](ThreadId t, Item item) {
+      const uint64_t lv = out.label.Get(t, item.v);
+      if (lv != item.label) return;  // stale entry
+      g.ForEachOutEdge(t, item.v, [&](ThreadId tt, VertexId u, uint32_t) {
+        if (out.label.CasMin(tt, u, lv)) wl.Push(tt, {u, lv});
+      });
+    });
+    out.rounds = 1;
+  });
+  return out;
+}
+
+}  // namespace pmg::analytics

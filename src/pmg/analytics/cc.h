@@ -1,0 +1,55 @@
+#ifndef PMG_ANALYTICS_CC_H_
+#define PMG_ANALYTICS_CC_H_
+
+#include "pmg/analytics/common.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/runtime/numa_array.h"
+#include "pmg/runtime/runtime.h"
+
+/// \file cc.h
+/// Connected components variants (Figure 7b/8b). All expect a symmetrized
+/// graph (components of the undirected view); callers symmetrize the
+/// topology before building the CsrGraph, mirroring how the evaluated
+/// frameworks treat cc inputs.
+///   - CcLabelProp: bulk-synchronous label propagation, vertex program
+///     with a dense worklist (GraphIt's only expressible choice).
+///   - CcLabelPropSC: label propagation + shortcutting — a *non-vertex*
+///     operator (reads labels of arbitrary vertices), Galois's algorithm.
+///   - CcUnionFind: Shiloach-Vishkin-style hook + pointer-jump compress
+///     (GAP/GBBS's algorithm).
+///   - CcAsync: asynchronous data-driven label propagation on a sparse
+///     worklist.
+/// Labels converge to the minimum vertex id of each component.
+
+namespace pmg::analytics {
+
+struct CcResult {
+  runtime::NumaArray<uint64_t> label;
+  uint64_t rounds = 0;
+  SimNs time_ns = 0;
+};
+
+CcResult CcLabelProp(runtime::Runtime& rt, const graph::CsrGraph& g,
+                     const AlgoOptions& opt);
+
+CcResult CcLabelPropSC(runtime::Runtime& rt, const graph::CsrGraph& g,
+                       const AlgoOptions& opt);
+
+/// Directed-input WCC: like CcLabelPropSC but the operator hooks *both*
+/// endpoints of every out-edge (min flows against edge direction too), so
+/// weak components emerge without materializing the transpose — this is
+/// how Galois runs cc on crawls whose symmetrized form would not fit
+/// (another non-vertex operator: it updates the active vertex *and* its
+/// neighbourhood).
+CcResult CcLabelPropSCDir(runtime::Runtime& rt, const graph::CsrGraph& g,
+                          const AlgoOptions& opt);
+
+CcResult CcUnionFind(runtime::Runtime& rt, const graph::CsrGraph& g,
+                     const AlgoOptions& opt);
+
+CcResult CcAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
+                 const AlgoOptions& opt);
+
+}  // namespace pmg::analytics
+
+#endif  // PMG_ANALYTICS_CC_H_

@@ -1,0 +1,48 @@
+#ifndef PMG_ANALYTICS_COMMON_H_
+#define PMG_ANALYTICS_COMMON_H_
+
+#include <cstdint>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/page_table.h"
+
+/// \file common.h
+/// Shared options and constants of the analytics kernels.
+
+namespace pmg::analytics {
+
+/// "Unreached" marker for level/distance labels.
+inline constexpr uint32_t kInfLevel = ~0u;
+inline constexpr uint64_t kInfDist = ~0ull;
+
+/// Options shared by the kernels. Which variant runs is chosen by calling
+/// the variant's function; these knobs configure a chosen variant.
+struct AlgoOptions {
+  /// Placement of node-data (label) arrays. The paper's Galois picks
+  /// interleaved for bfs/cc/sssp and blocked for bc/pr (Section 6.1).
+  memsim::PagePolicy label_policy;
+  /// Delta-stepping bucket width.
+  uint32_t delta = 8;
+  /// PageRank: damping, tolerance and round cap (paper: 0.85, 1e-6, 100).
+  double pr_damping = 0.85;
+  double pr_tolerance = 1e-6;
+  uint32_t pr_max_rounds = 100;
+  /// k-core threshold (paper: k = 100).
+  uint32_t kcore_k = 100;
+  /// Direction-optimizing BFS: switch to pull when the frontier exceeds
+  /// |V| / denominator.
+  uint32_t dir_opt_denominator = 20;
+};
+
+/// Scratch-worklist policy: NUMA-local first-touch placement with the
+/// page size the run is configured for (so page-size studies cover the
+/// whole footprint).
+inline memsim::PagePolicy WorklistPolicy(const AlgoOptions& opt) {
+  memsim::PagePolicy p = opt.label_policy;
+  p.placement = memsim::Placement::kBlocked;
+  return p;
+}
+
+}  // namespace pmg::analytics
+
+#endif  // PMG_ANALYTICS_COMMON_H_

@@ -1,0 +1,105 @@
+#include "pmg/analytics/kcore.h"
+
+#include "pmg/runtime/worklist.h"
+
+namespace pmg::analytics {
+
+namespace {
+
+runtime::NumaArray<uint32_t> InitDegrees(runtime::Runtime& rt,
+                                         const graph::CsrGraph& g,
+                                         const AlgoOptions& opt) {
+  runtime::NumaArray<uint32_t> deg(&g.machine(), g.num_vertices(),
+                                   opt.label_policy, "kcore.deg");
+  rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
+    const auto [first, last] = g.OutRange(t, v);
+    deg.Set(t, v, static_cast<uint32_t>(last - first));
+  });
+  return deg;
+}
+
+uint64_t CountAlive(const runtime::NumaArray<uint8_t>& alive) {
+  uint64_t n = 0;
+  for (size_t v = 0; v < alive.size(); ++v) n += alive[v];
+  return n;
+}
+
+}  // namespace
+
+KcoreResult KcoreAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
+                       const AlgoOptions& opt) {
+  KcoreResult out;
+  const uint32_t k = opt.kcore_k;
+  out.time_ns = rt.Timed([&] {
+    memsim::Machine& m = g.machine();
+    const uint64_t n = g.num_vertices();
+    runtime::NumaArray<uint32_t> deg = InitDegrees(rt, g, opt);
+    out.alive = runtime::NumaArray<uint8_t>(&m, n, opt.label_policy,
+                                            "kcore.alive");
+    rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+      out.alive.Set(t, v, 1);
+    });
+    runtime::SparseWorklist<VertexId> wl(&m, rt.threads(),
+        "kcore.wl", WorklistPolicy(opt));
+    rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+      if (deg.Get(t, v) < k) wl.Push(t, v);
+    });
+    // Asynchronous peeling: removing a vertex may push its neighbours.
+    runtime::DrainAsync(rt, wl, [&](ThreadId t, VertexId v) {
+      if (out.alive.Get(t, v) == 0) return;
+      out.alive.Set(t, v, 0);
+      g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+        if (out.alive.Get(tt, u) == 0) return;
+        uint32_t before = 0;
+        deg.Update(tt, u, [&](uint32_t& d) {
+          before = d;
+          if (d > 0) --d;
+        });
+        if (before == k) wl.Push(tt, u);
+      });
+    });
+    out.rounds = 1;
+  });
+  out.in_core = CountAlive(out.alive);
+  return out;
+}
+
+KcoreResult KcoreDense(runtime::Runtime& rt, const graph::CsrGraph& g,
+                       const AlgoOptions& opt) {
+  KcoreResult out;
+  const uint32_t k = opt.kcore_k;
+  out.time_ns = rt.Timed([&] {
+    memsim::Machine& m = g.machine();
+    const uint64_t n = g.num_vertices();
+    runtime::NumaArray<uint32_t> deg = InitDegrees(rt, g, opt);
+    out.alive = runtime::NumaArray<uint8_t>(&m, n, opt.label_policy,
+                                            "kcore.alive");
+    rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+      out.alive.Set(t, v, 1);
+    });
+    // Bulk-synchronous peeling: every round scans all vertices.
+    bool removed = true;
+    uint64_t round = 0;
+    while (removed) {
+      removed = false;
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        if (out.alive.Get(t, v) == 0 || deg.Get(t, v) >= k) return;
+        out.alive.Set(t, v, 0);
+        removed = true;
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          if (out.alive.Get(tt, u) != 0) {
+            deg.Update(tt, u, [](uint32_t& d) {
+              if (d > 0) --d;
+            });
+          }
+        });
+      });
+      ++round;
+    }
+    out.rounds = round;
+  });
+  out.in_core = CountAlive(out.alive);
+  return out;
+}
+
+}  // namespace pmg::analytics

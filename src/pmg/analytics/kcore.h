@@ -1,0 +1,32 @@
+#ifndef PMG_ANALYTICS_KCORE_H_
+#define PMG_ANALYTICS_KCORE_H_
+
+#include "pmg/analytics/common.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/runtime/numa_array.h"
+#include "pmg/runtime/runtime.h"
+
+/// \file kcore.h
+/// k-core decomposition by peeling (paper: k = 100) on a symmetrized
+/// graph. KcoreAsync peels with a sparse worklist (Galois); KcoreDense
+/// re-scans all vertices per peeling round (vertex-program style).
+/// Result: alive[v] != 0 iff v is in the k-core.
+
+namespace pmg::analytics {
+
+struct KcoreResult {
+  runtime::NumaArray<uint8_t> alive;
+  uint64_t in_core = 0;
+  uint64_t rounds = 0;
+  SimNs time_ns = 0;
+};
+
+KcoreResult KcoreAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
+                       const AlgoOptions& opt);
+
+KcoreResult KcoreDense(runtime::Runtime& rt, const graph::CsrGraph& g,
+                       const AlgoOptions& opt);
+
+}  // namespace pmg::analytics
+
+#endif  // PMG_ANALYTICS_KCORE_H_

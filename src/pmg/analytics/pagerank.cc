@@ -1,0 +1,112 @@
+#include "pmg/analytics/pagerank.h"
+
+#include <cmath>
+
+#include "pmg/common/check.h"
+#include "pmg/runtime/worklist.h"
+
+namespace pmg::analytics {
+
+PrResult PrPull(runtime::Runtime& rt, const graph::CsrGraph& g,
+                const AlgoOptions& opt) {
+  PMG_CHECK_MSG(g.has_in_edges(), "pull pagerank needs in-edges loaded");
+  PrResult out;
+  out.time_ns = rt.Timed([&] {
+    memsim::Machine& m = g.machine();
+    const uint64_t n = g.num_vertices();
+    const double base = 1.0 - opt.pr_damping;
+    out.rank = runtime::NumaArray<double>(&m, n, opt.label_policy, "pr.rank");
+    runtime::NumaArray<double> contrib(&m, n, opt.label_policy, "pr.contrib");
+    rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+      out.rank.Set(t, v, base);
+    });
+    uint64_t round = 0;
+    double mean_delta = opt.pr_tolerance + 1;
+    while (round < opt.pr_max_rounds && mean_delta > opt.pr_tolerance) {
+      // Phase 1: contrib[u] = rank[u] / outdeg[u].
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        const auto [first, last] = g.OutRange(t, v);
+        const uint64_t deg = last - first;
+        contrib.Set(t, v,
+                    deg == 0 ? 0.0 : out.rank.Get(t, v) / static_cast<double>(deg));
+      });
+      // Phase 2: pull contributions along in-edges.
+      double total_delta = 0;
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        double sum = 0;
+        const auto [first, last] = g.InRange(t, v);
+        for (EdgeId e = first; e < last; ++e) {
+          sum += contrib.Get(t, g.InSrc(t, e));
+        }
+        const double next = base + opt.pr_damping * sum;
+        total_delta += std::fabs(next - out.rank.Get(t, v));
+        out.rank.Set(t, v, next);
+      });
+      mean_delta = total_delta / static_cast<double>(n);
+      ++round;
+    }
+    out.rounds = round;
+  });
+  return out;
+}
+
+PrResult PrPushResidual(runtime::Runtime& rt, const graph::CsrGraph& g,
+                        const AlgoOptions& opt) {
+  PrResult out;
+  out.time_ns = rt.Timed([&] {
+    memsim::Machine& m = g.machine();
+    const uint64_t n = g.num_vertices();
+    const double base = 1.0 - opt.pr_damping;
+    out.rank = runtime::NumaArray<double>(&m, n, opt.label_policy, "pr.rank");
+    runtime::NumaArray<double> residual(&m, n, opt.label_policy, "pr.res");
+    runtime::SparseWorklist<VertexId> wl(&m, rt.threads(),
+        "pr.wl", WorklistPolicy(opt));
+    rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+      out.rank.Set(t, v, base);
+      residual.Set(t, v, 0.0);
+    });
+    // Seed residuals as if one synchronous round had run.
+    rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+      const auto [first, last] = g.OutRange(t, v);
+      const uint64_t deg = last - first;
+      if (deg == 0) return;
+      const double share = opt.pr_damping * base / static_cast<double>(deg);
+      for (EdgeId e = first; e < last; ++e) {
+        const VertexId u = g.OutDst(t, e);
+        residual.Update(t, u, [&](double& r) { r += share; });
+      }
+    });
+    const double eps = opt.pr_tolerance;
+    m.CloseEpochIfOpen();
+    m.BeginEpoch(rt.threads());
+    for (VertexId v = 0; v < n; ++v) {
+      if (residual[v] > eps) {
+        wl.Push(static_cast<ThreadId>(v % rt.threads()), v);
+      }
+    }
+    m.EndEpoch();
+    runtime::DrainAsync(rt, wl, [&](ThreadId t, VertexId v) {
+      const double res = residual.Get(t, v);
+      if (res <= eps) return;
+      residual.Set(t, v, 0.0);
+      out.rank.Update(t, v, [&](double& r) { r += res; });
+      const auto [first, last] = g.OutRange(t, v);
+      const uint64_t deg = last - first;
+      if (deg == 0) return;
+      const double share = opt.pr_damping * res / static_cast<double>(deg);
+      for (EdgeId e = first; e < last; ++e) {
+        const VertexId u = g.OutDst(t, e);
+        double before = 0;
+        residual.Update(t, u, [&](double& r) {
+          before = r;
+          r += share;
+        });
+        if (before <= eps && before + share > eps) wl.Push(t, u);
+      }
+    });
+    out.rounds = 1;
+  });
+  return out;
+}
+
+}  // namespace pmg::analytics

@@ -1,0 +1,34 @@
+#ifndef PMG_ANALYTICS_PAGERANK_H_
+#define PMG_ANALYTICS_PAGERANK_H_
+
+#include "pmg/analytics/common.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/runtime/numa_array.h"
+#include "pmg/runtime/runtime.h"
+
+/// \file pagerank.h
+/// PageRank. The paper's systems all run the same pull-style
+/// topology-driven algorithm (Section 6.1), provided here as PrPull
+/// (requires in-edges). PrPushResidual is the data-driven push variant
+/// with a sparse worklist, used in ablations.
+/// Scores follow the GAP convention: init 1-d, base (1-d), so the scores
+/// sum to ~|V|; convergence when mean |delta| < pr_tolerance.
+
+namespace pmg::analytics {
+
+struct PrResult {
+  runtime::NumaArray<double> rank;
+  uint64_t rounds = 0;
+  SimNs time_ns = 0;
+};
+
+/// Requires g.has_in_edges().
+PrResult PrPull(runtime::Runtime& rt, const graph::CsrGraph& g,
+                const AlgoOptions& opt);
+
+PrResult PrPushResidual(runtime::Runtime& rt, const graph::CsrGraph& g,
+                        const AlgoOptions& opt);
+
+}  // namespace pmg::analytics
+
+#endif  // PMG_ANALYTICS_PAGERANK_H_

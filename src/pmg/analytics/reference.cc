@@ -1,0 +1,191 @@
+#include "pmg/analytics/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace pmg::analytics {
+
+std::vector<uint32_t> RefBfs(const graph::CsrTopology& g, VertexId source) {
+  std::vector<uint32_t> level(g.num_vertices, kInfLevel);
+  std::queue<VertexId> q;
+  level[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      const VertexId u = g.dst[e];
+      if (level[u] == kInfLevel) {
+        level[u] = level[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<uint64_t> RefSssp(const graph::CsrTopology& g, VertexId source) {
+  std::vector<uint64_t> dist(g.num_vertices, kInfDist);
+  using Entry = std::pair<uint64_t, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  dist[source] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d != dist[v]) continue;
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      const VertexId u = g.dst[e];
+      const uint32_t w = g.HasWeights() ? g.weight[e] : 1;
+      if (d + w < dist[u]) {
+        dist[u] = d + w;
+        pq.push({dist[u], u});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> RefCc(const graph::CsrTopology& g) {
+  // Union-find with path halving, then canonicalize to min id.
+  std::vector<uint64_t> parent(g.num_vertices);
+  for (uint64_t v = 0; v < g.num_vertices; ++v) parent[v] = v;
+  auto find = [&](uint64_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (uint64_t v = 0; v < g.num_vertices; ++v) {
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      const uint64_t a = find(v);
+      const uint64_t b = find(g.dst[e]);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::vector<uint64_t> label(g.num_vertices);
+  for (uint64_t v = 0; v < g.num_vertices; ++v) label[v] = find(v);
+  return label;
+}
+
+std::vector<double> RefPagerank(const graph::CsrTopology& g, double damping,
+                                double tolerance, uint32_t max_rounds) {
+  const uint64_t n = g.num_vertices;
+  const double base = 1.0 - damping;
+  const graph::CsrTopology t = graph::Transpose(g);
+  std::vector<double> rank(n, base);
+  std::vector<double> contrib(n, 0.0);
+  for (uint32_t round = 0; round < max_rounds; ++round) {
+    for (uint64_t v = 0; v < n; ++v) {
+      const uint64_t deg = g.OutDegree(v);
+      contrib[v] = deg == 0 ? 0.0 : rank[v] / static_cast<double>(deg);
+    }
+    double total_delta = 0;
+    for (uint64_t v = 0; v < n; ++v) {
+      double sum = 0;
+      for (uint64_t e = t.index[v]; e < t.index[v + 1]; ++e) {
+        sum += contrib[t.dst[e]];
+      }
+      const double next = base + damping * sum;
+      total_delta += std::fabs(next - rank[v]);
+      rank[v] = next;
+    }
+    if (total_delta / static_cast<double>(n) <= tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<double> RefBc(const graph::CsrTopology& g, VertexId source) {
+  const uint64_t n = g.num_vertices;
+  std::vector<double> bc(n, 0.0);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  std::vector<int64_t> dist(n, -1);
+  std::vector<VertexId> order;  // vertices in visit order
+  order.reserve(n);
+  std::queue<VertexId> q;
+  sigma[source] = 1;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    order.push_back(v);
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      const VertexId u = g.dst[e];
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+      if (dist[u] == dist[v] + 1) sigma[u] += sigma[v];
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId v = *it;
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      const VertexId u = g.dst[e];
+      if (dist[u] == dist[v] + 1) {
+        delta[v] += sigma[v] / sigma[u] * (1.0 + delta[u]);
+      }
+    }
+    if (v != source) bc[v] += delta[v];
+  }
+  return bc;
+}
+
+std::vector<uint8_t> RefKcore(const graph::CsrTopology& sym, uint32_t k) {
+  const uint64_t n = sym.num_vertices;
+  std::vector<uint64_t> deg(n);
+  std::vector<uint8_t> alive(n, 1);
+  std::vector<VertexId> stack;
+  for (uint64_t v = 0; v < n; ++v) {
+    deg[v] = sym.OutDegree(v);
+    if (deg[v] < k) stack.push_back(v);
+  }
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    if (alive[v] == 0) continue;
+    alive[v] = 0;
+    for (uint64_t e = sym.index[v]; e < sym.index[v + 1]; ++e) {
+      const VertexId u = sym.dst[e];
+      if (alive[u] != 0 && deg[u]-- == k) stack.push_back(u);
+    }
+  }
+  return alive;
+}
+
+uint64_t RefTc(const graph::CsrTopology& g) {
+  graph::CsrTopology sym = graph::Symmetrize(g);
+  graph::SortAdjacency(&sym);
+  uint64_t total = 0;
+  // For each edge v < u, count common neighbours w > u (each triangle
+  // counted once with v < u < w).
+  for (VertexId v = 0; v < sym.num_vertices; ++v) {
+    for (uint64_t e = sym.index[v]; e < sym.index[v + 1]; ++e) {
+      const VertexId u = sym.dst[e];
+      if (u <= v) continue;
+      uint64_t a = sym.index[v];
+      uint64_t b = sym.index[u];
+      while (a < sym.index[v + 1] && b < sym.index[u + 1]) {
+        const VertexId wa = sym.dst[a];
+        const VertexId wb = sym.dst[b];
+        if (wa == wb) {
+          if (wa > u) ++total;
+          ++a;
+          ++b;
+        } else if (wa < wb) {
+          ++a;
+        } else {
+          ++b;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace pmg::analytics

@@ -1,0 +1,43 @@
+#ifndef PMG_ANALYTICS_REFERENCE_H_
+#define PMG_ANALYTICS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pmg/analytics/common.h"
+#include "pmg/graph/topology.h"
+
+/// \file reference.h
+/// Serial, host-side oracle implementations used to verify every measured
+/// kernel. They use textbook algorithms structurally different from the
+/// parallel variants (e.g., Dijkstra with a binary heap against
+/// delta-stepping), so agreement is meaningful.
+
+namespace pmg::analytics {
+
+/// BFS levels from `source` over out-edges; kInfLevel if unreachable.
+std::vector<uint32_t> RefBfs(const graph::CsrTopology& g, VertexId source);
+
+/// Dijkstra distances from `source`; kInfDist if unreachable.
+std::vector<uint64_t> RefSssp(const graph::CsrTopology& g, VertexId source);
+
+/// Connected components of the undirected view; label = min vertex id of
+/// the component.
+std::vector<uint64_t> RefCc(const graph::CsrTopology& g);
+
+/// Pull PageRank with identical parameters to PrPull.
+std::vector<double> RefPagerank(const graph::CsrTopology& g, double damping,
+                                double tolerance, uint32_t max_rounds);
+
+/// Single-source Brandes betweenness (unweighted, out-edges).
+std::vector<double> RefBc(const graph::CsrTopology& g, VertexId source);
+
+/// k-core membership of a symmetrized graph.
+std::vector<uint8_t> RefKcore(const graph::CsrTopology& sym, uint32_t k);
+
+/// Exact triangle count of the undirected view.
+uint64_t RefTc(const graph::CsrTopology& g);
+
+}  // namespace pmg::analytics
+
+#endif  // PMG_ANALYTICS_REFERENCE_H_

@@ -1,0 +1,117 @@
+#include "pmg/analytics/sssp.h"
+
+#include <utility>
+
+#include "pmg/common/check.h"
+#include "pmg/runtime/worklist.h"
+
+namespace pmg::analytics {
+
+namespace {
+
+runtime::NumaArray<uint64_t> InitDist(runtime::Runtime& rt,
+                                      const graph::CsrGraph& g,
+                                      const AlgoOptions& opt) {
+  runtime::NumaArray<uint64_t> dist(&g.machine(), g.num_vertices(),
+                                    opt.label_policy, "sssp.dist");
+  rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
+    dist.Set(t, v, kInfDist);
+  });
+  return dist;
+}
+
+}  // namespace
+
+SsspResult SsspBellmanFord(runtime::Runtime& rt, const graph::CsrGraph& g,
+                           VertexId source, const AlgoOptions& opt) {
+  PMG_CHECK(g.has_weights());
+  SsspResult out;
+  out.time_ns = rt.Timed([&] {
+    out.dist = InitDist(rt, g, opt);
+    out.dist.Set(0, source, 0);
+    bool changed = true;
+    uint64_t round = 0;
+    while (changed && round < g.num_vertices()) {
+      changed = false;
+      // Topology-driven: every vertex relaxes its edges every round.
+      rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
+        const uint64_t dv = out.dist.Get(t, v);
+        if (dv == kInfDist) return;
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t w) {
+          if (out.dist.CasMin(tt, u, dv + w)) changed = true;
+        });
+      });
+      ++round;
+    }
+    out.rounds = round;
+  });
+  return out;
+}
+
+SsspResult SsspDenseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
+                       VertexId source, const AlgoOptions& opt) {
+  PMG_CHECK(g.has_weights());
+  SsspResult out;
+  out.time_ns = rt.Timed([&] {
+    out.dist = InitDist(rt, g, opt);
+    runtime::DenseWorklist wl(&g.machine(), g.num_vertices(),
+                              opt.label_policy, "sssp.wl");
+    out.dist.Set(0, source, 0);
+    wl.ActivateCur(0, source);
+    uint64_t round = 0;
+    while (!wl.Empty()) {
+      wl.ForEachActive(rt, [&](ThreadId t, uint64_t v) {
+        const uint64_t dv = out.dist.Get(t, v);
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t w) {
+          if (out.dist.CasMin(tt, u, dv + w)) wl.Activate(tt, u);
+        });
+      });
+      wl.Advance(rt);
+      ++round;
+    }
+    out.rounds = round;
+  });
+  return out;
+}
+
+SsspResult SsspDeltaStep(runtime::Runtime& rt, const graph::CsrGraph& g,
+                         VertexId source, const AlgoOptions& opt) {
+  PMG_CHECK(g.has_weights());
+  PMG_CHECK(opt.delta >= 1);
+  SsspResult out;
+  out.time_ns = rt.Timed([&] {
+    out.dist = InitDist(rt, g, opt);
+    memsim::Machine& m = g.machine();
+    // Work items carry the distance at push time; stale items are skipped
+    // on pop (lazy deletion).
+    struct Item {
+      VertexId v;
+      uint64_t d;
+    };
+    runtime::BucketWorklist<Item> wl(&m, rt.threads(), "sssp.obim",
+                                     WorklistPolicy(opt));
+    out.dist.Set(0, source, 0);
+    wl.Push(0, 0, {source, 0});
+    m.CloseEpochIfOpen();
+    m.BeginEpoch(rt.threads());
+    ThreadId t = 0;
+    uint32_t bucket = 0;
+    Item item;
+    while (wl.PopMin(t, &bucket, &item)) {
+      t = (t + 1) % rt.threads();
+      const uint64_t dv = out.dist.Get(t, item.v);
+      if (item.d != dv) continue;  // stale entry
+      g.ForEachOutEdge(t, item.v, [&](ThreadId tt, VertexId u, uint32_t w) {
+        const uint64_t nd = dv + w;
+        if (out.dist.CasMin(tt, u, nd)) {
+          wl.Push(tt, static_cast<uint32_t>(nd / opt.delta), {u, nd});
+        }
+      });
+    }
+    m.EndEpoch();
+    out.rounds = 1;
+  });
+  return out;
+}
+
+}  // namespace pmg::analytics

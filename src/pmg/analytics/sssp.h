@@ -1,0 +1,36 @@
+#ifndef PMG_ANALYTICS_SSSP_H_
+#define PMG_ANALYTICS_SSSP_H_
+
+#include "pmg/analytics/common.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/runtime/numa_array.h"
+#include "pmg/runtime/runtime.h"
+
+/// \file sssp.h
+/// Single-source shortest paths variants (Figure 7c/8c):
+///   - SsspBellmanFord: topology-driven rounds over every vertex.
+///   - SsspDenseWl: bulk-synchronous data-driven with a dense frontier.
+///   - SsspDeltaStep: asynchronous delta-stepping over priority buckets —
+///     the sparse-worklist algorithm only Galois supports (Section 5.2).
+/// Requires a graph built with weights.
+
+namespace pmg::analytics {
+
+struct SsspResult {
+  runtime::NumaArray<uint64_t> dist;  // kInfDist when unreached
+  uint64_t rounds = 0;
+  SimNs time_ns = 0;
+};
+
+SsspResult SsspBellmanFord(runtime::Runtime& rt, const graph::CsrGraph& g,
+                           VertexId source, const AlgoOptions& opt);
+
+SsspResult SsspDenseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
+                       VertexId source, const AlgoOptions& opt);
+
+SsspResult SsspDeltaStep(runtime::Runtime& rt, const graph::CsrGraph& g,
+                         VertexId source, const AlgoOptions& opt);
+
+}  // namespace pmg::analytics
+
+#endif  // PMG_ANALYTICS_SSSP_H_

@@ -1,0 +1,32 @@
+#ifndef PMG_ANALYTICS_TC_H_
+#define PMG_ANALYTICS_TC_H_
+
+#include "pmg/analytics/common.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/graph/topology.h"
+#include "pmg/runtime/runtime.h"
+
+/// \file tc.h
+/// Triangle counting by ordered adjacency intersection. The input is
+/// preprocessed (host-side, as all the evaluated frameworks do and the
+/// paper excludes from timing) into a degree-ordered "forward" orientation
+/// where each undirected edge appears once, low rank -> high rank, with
+/// sorted adjacency. Counting itself is fully costed.
+
+namespace pmg::analytics {
+
+struct TcResult {
+  uint64_t triangles = 0;
+  SimNs time_ns = 0;
+};
+
+/// Preprocesses an arbitrary directed graph into the forward orientation
+/// expected by Tc (symmetrize, rank by degree, orient, sort).
+graph::CsrTopology TcPrepare(const graph::CsrTopology& g);
+
+/// Counts triangles of a graph built from TcPrepare() output.
+TcResult Tc(runtime::Runtime& rt, const graph::CsrGraph& g);
+
+}  // namespace pmg::analytics
+
+#endif  // PMG_ANALYTICS_TC_H_

@@ -1,0 +1,36 @@
+#ifndef PMG_COMMON_CHECK_H_
+#define PMG_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// Invariant-checking macros. The library does not use C++ exceptions:
+/// unrecoverable programming errors abort with a diagnostic, while
+/// recoverable conditions are reported through return values.
+
+/// Aborts with a message naming the failed condition and its location.
+/// Enabled in all build types: the checks guard simulator invariants whose
+/// violation would silently corrupt measured results.
+#define PMG_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PMG_CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Like PMG_CHECK but prints a printf-style explanation.
+#define PMG_CHECK_MSG(cond, ...)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "PMG_CHECK failed: %s at %s:%d: ", #cond,       \
+                   __FILE__, __LINE__);                                    \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // PMG_COMMON_CHECK_H_

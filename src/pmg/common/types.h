@@ -1,0 +1,48 @@
+#ifndef PMG_COMMON_TYPES_H_
+#define PMG_COMMON_TYPES_H_
+
+#include <cstdint>
+
+/// \file types.h
+/// Shared vocabulary types for the PMG simulator and runtime.
+
+namespace pmg {
+
+/// Simulated time in nanoseconds. All simulator clocks use this unit.
+using SimNs = uint64_t;
+
+/// Identifier of a (virtual) hardware thread. Virtual threads model the
+/// paper's 96-thread machine regardless of how many host cores exist.
+using ThreadId = uint32_t;
+
+/// Identifier of a NUMA node (socket).
+using NodeId = uint32_t;
+
+/// Simulated virtual address.
+using VirtAddr = uint64_t;
+
+/// Simulated physical page number (globally unique across nodes).
+using PhysPage = uint64_t;
+
+/// Graph vertex and edge identifiers. 64-bit: one of the paper's findings
+/// is that 32-bit node IDs (GAP/GraphIt/GridGraph) cannot represent wdc12.
+using VertexId = uint64_t;
+using EdgeId = uint64_t;
+
+/// Direction of a memory access.
+enum class AccessType { kRead, kWrite };
+
+inline constexpr SimNs kNsPerUs = 1000;
+inline constexpr SimNs kNsPerMs = 1000 * 1000;
+inline constexpr SimNs kNsPerSec = 1000ull * 1000 * 1000;
+
+/// Byte-size helpers (user-defined literals are avoided per style guide).
+inline constexpr uint64_t KiB(uint64_t v) { return v * 1024ull; }
+inline constexpr uint64_t MiB(uint64_t v) { return v * 1024ull * 1024ull; }
+inline constexpr uint64_t GiB(uint64_t v) {
+  return v * 1024ull * 1024ull * 1024ull;
+}
+
+}  // namespace pmg
+
+#endif  // PMG_COMMON_TYPES_H_

@@ -1,0 +1,509 @@
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "pmg/analytics/common.h"
+#include "pmg/common/check.h"
+#include "pmg/distsim/dist_engine.h"
+
+/// \file dist_apps.cc
+/// The accumulate-style distributed apps: PageRank (sum-reduce, no
+/// broadcast), k-core (decrement-reduce), and betweenness centrality
+/// (forward level/sigma phase with min+sum reduction, then a backward
+/// dependency phase that must broadcast sigma/delta to mirrors each level
+/// — the communication pattern that makes distributed bc so expensive on
+/// high-diameter graphs, Table 4's 13.7x).
+
+namespace pmg::distsim {
+
+namespace {
+constexpr uint64_t kMsgBytes = 16;
+
+memsim::PagePolicy HostPolicy() {
+  // At mini scale each host's arrays are far below 2MB, so explicit
+  // huge pages would round every allocation up past the scaled per-host
+  // capacity; model hosts with 4KB + THP instead.
+  memsim::PagePolicy p;
+  p.placement = memsim::Placement::kInterleaved;
+  p.page_size = memsim::PageSizeClass::k4K;
+  p.thp = true;
+  return p;
+}
+}  // namespace
+
+DistRunResult DistEngine::Pr(uint32_t max_rounds, double tolerance,
+                             std::vector<double>* ranks) {
+  DistRunResult out;
+  const uint32_t nh = config_.hosts;
+  const double damping = 0.85;
+  const double base = 1.0 - damping;
+  uint64_t total_vertices = 0;
+
+  struct State {
+    runtime::NumaArray<double> rank;   // owned
+    runtime::NumaArray<double> accum;  // local copies (owned + mirrors)
+    std::vector<uint8_t> mirror_dirty;
+  };
+  std::vector<State> st(nh);
+  std::vector<SimNs> times(nh, 0);
+  for (uint32_t h = 0; h < nh; ++h) {
+    Host& host = hosts_[h];
+    State& s = st[h];
+    total_vertices += host.owned;
+    s.rank = runtime::NumaArray<double>(host.machine.get(),
+                                        std::max<uint64_t>(host.owned, 1),
+                                        HostPolicy(), "pr.rank");
+    s.accum = runtime::NumaArray<double>(
+        host.machine.get(), std::max<uint64_t>(host.LocalCount(), 1),
+        HostPolicy(), "pr.accum");
+    s.mirror_dirty.assign(host.mirror_global.size(), 0);
+    times[h] = host.rt->Timed([&] {
+      host.rt->ParallelFor(0, host.owned, [&](ThreadId t, uint64_t v) {
+        s.rank.Set(t, v, base);
+      });
+    });
+  }
+  CommitPhase(times, &out);
+
+  double mean_delta = tolerance + 1;
+  while (out.rounds < max_rounds && mean_delta > tolerance) {
+    ++out.rounds;
+    // Compute: reset accumulators, push rank/deg shares along out-edges.
+    std::fill(times.begin(), times.end(), 0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      times[h] = host.rt->Timed([&] {
+        host.rt->ParallelFor(0, host.LocalCount(),
+                             [&](ThreadId t, uint64_t v) {
+          s.accum.Set(t, v, 0.0);
+        });
+        memsim::Machine& m = *host.machine;
+        m.BeginEpoch(host.rt->threads());
+        ThreadId t = 0;
+        for (uint64_t v = 0; v < host.owned; ++v) {
+          const auto [first, last] = host.graph->OutRange(t, v);
+          const uint64_t deg = last - first;
+          if (deg == 0) continue;
+          const double share =
+              s.rank.Get(t, v) / static_cast<double>(deg);
+          for (EdgeId e = first; e < last; ++e) {
+            const VertexId u = host.graph->OutDst(t, e);
+            s.accum.Update(t, u, [&](double& x) { x += share; });
+            if (!host.IsOwnedLocal(u)) s.mirror_dirty[u - host.owned] = 1;
+          }
+          t = (t + 1) % host.rt->threads();
+        }
+        m.EndEpoch();
+      });
+    }
+    CommitPhase(times, &out);
+
+    // Reduce: mirror accumulators sum into masters. No broadcast: ranks
+    // are only ever read by their owner.
+    uint64_t bytes = 0;
+    std::vector<std::vector<std::pair<uint32_t, double>>> inbox(nh);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      for (uint32_t i = 0; i < s.mirror_dirty.size(); ++i) {
+        if (s.mirror_dirty[i] == 0) continue;
+        s.mirror_dirty[i] = 0;
+        const VertexId g = host.mirror_global[i];
+        const uint32_t owner = HostOf(g);
+        inbox[owner].emplace_back(
+            static_cast<uint32_t>(g - hosts_[owner].begin),
+            s.accum.raw()[host.owned + i]);
+        bytes += kMsgBytes;
+      }
+    }
+    std::fill(times.begin(), times.end(), 0);
+    double total_delta = 0;
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      times[h] = host.rt->Timed([&] {
+        memsim::Machine& m = *host.machine;
+        m.BeginEpoch(host.rt->threads());
+        ThreadId t = 0;
+        for (const auto& [local, val] : inbox[h]) {
+          s.accum.Update(t, local, [&](double& x) { x += val; });
+          t = (t + 1) % host.rt->threads();
+        }
+        m.EndEpoch();
+        // Apply: new rank from the fully reduced accumulator.
+        host.rt->ParallelFor(0, host.owned, [&](ThreadId t2, uint64_t v) {
+          const double next = base + damping * s.accum.Get(t2, v);
+          total_delta += std::fabs(next - s.rank.Get(t2, v));
+          s.rank.Set(t2, v, next);
+        });
+      });
+    }
+    CommitPhase(times, &out);
+    CommitComm(bytes, &out);
+    mean_delta = total_delta / static_cast<double>(total_vertices);
+  }
+  if (ranks != nullptr) {
+    ranks->assign(range_.back(), 0.0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      for (uint64_t v = 0; v < hosts_[h].owned; ++v) {
+        (*ranks)[hosts_[h].begin + v] = st[h].rank.raw()[v];
+      }
+    }
+  }
+  out.supported = true;
+  return out;
+}
+
+DistRunResult DistEngine::Kcore(uint32_t k, std::vector<uint8_t>* alive) {
+  DistRunResult out;
+  const uint32_t nh = config_.hosts;
+  struct State {
+    runtime::NumaArray<uint32_t> deg;    // owned
+    runtime::NumaArray<uint8_t> alive;   // owned
+    runtime::NumaArray<uint32_t> decr;   // local copies
+    std::vector<uint8_t> mirror_dirty;
+  };
+  std::vector<State> st(nh);
+  std::vector<SimNs> times(nh, 0);
+  for (uint32_t h = 0; h < nh; ++h) {
+    Host& host = hosts_[h];
+    State& s = st[h];
+    s.deg = runtime::NumaArray<uint32_t>(host.machine.get(),
+                                         std::max<uint64_t>(host.owned, 1),
+                                         HostPolicy(), "kcore.deg");
+    s.alive = runtime::NumaArray<uint8_t>(host.machine.get(),
+                                          std::max<uint64_t>(host.owned, 1),
+                                          HostPolicy(), "kcore.alive");
+    s.decr = runtime::NumaArray<uint32_t>(
+        host.machine.get(), std::max<uint64_t>(host.LocalCount(), 1),
+        HostPolicy(), "kcore.decr");
+    s.mirror_dirty.assign(host.mirror_global.size(), 0);
+    times[h] = host.rt->Timed([&] {
+      host.rt->ParallelFor(0, host.owned, [&](ThreadId t, uint64_t v) {
+        const auto [first, last] = host.graph->OutRange(t, v);
+        s.deg.Set(t, v, static_cast<uint32_t>(last - first));
+        s.alive.Set(t, v, 1);
+      });
+      host.rt->ParallelFor(0, host.LocalCount(), [&](ThreadId t, uint64_t v) {
+        s.decr.Set(t, v, 0);
+      });
+    });
+  }
+  CommitPhase(times, &out);
+
+  uint64_t removed = 1;
+  while (removed > 0) {
+    ++out.rounds;
+    removed = 0;
+    std::fill(times.begin(), times.end(), 0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      times[h] = host.rt->Timed([&] {
+        memsim::Machine& m = *host.machine;
+        m.BeginEpoch(host.rt->threads());
+        ThreadId t = 0;
+        // Bulk-synchronous peel: scan every owned vertex.
+        for (uint64_t v = 0; v < host.owned; ++v) {
+          if (s.alive.Get(t, v) == 0 || s.deg.Get(t, v) >= k) continue;
+          s.alive.Set(t, v, 0);
+          ++removed;
+          host.graph->ForEachOutEdge(
+              t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+                s.decr.Update(tt, u, [](uint32_t& x) { ++x; });
+                if (!host.IsOwnedLocal(u)) {
+                  s.mirror_dirty[u - host.owned] = 1;
+                }
+              });
+          t = (t + 1) % host.rt->threads();
+        }
+        m.EndEpoch();
+      });
+    }
+    CommitPhase(times, &out);
+
+    uint64_t bytes = 0;
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> inbox(nh);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      for (uint32_t i = 0; i < s.mirror_dirty.size(); ++i) {
+        if (s.mirror_dirty[i] == 0) continue;
+        s.mirror_dirty[i] = 0;
+        const VertexId g = host.mirror_global[i];
+        const uint32_t owner = HostOf(g);
+        inbox[owner].emplace_back(
+            static_cast<uint32_t>(g - hosts_[owner].begin),
+            s.decr.raw()[host.owned + i]);
+        bytes += kMsgBytes;
+      }
+    }
+    std::fill(times.begin(), times.end(), 0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      times[h] = host.rt->Timed([&] {
+        memsim::Machine& m = *host.machine;
+        m.BeginEpoch(host.rt->threads());
+        ThreadId t = 0;
+        for (const auto& [local, cnt] : inbox[h]) {
+          s.decr.Update(t, local, [&](uint32_t& x) { x += cnt; });
+          t = (t + 1) % host.rt->threads();
+        }
+        m.EndEpoch();
+        // Apply the fully reduced decrements, then reset local counters.
+        host.rt->ParallelFor(0, host.LocalCount(),
+                             [&](ThreadId t2, uint64_t v) {
+          if (v < host.owned) {
+            const uint32_t d = s.decr.Get(t2, v);
+            if (d != 0) {
+              s.deg.Update(t2, v, [&](uint32_t& x) {
+                x = x >= d ? x - d : 0;
+              });
+            }
+          }
+          s.decr.Set(t2, v, 0);
+        });
+      });
+    }
+    CommitPhase(times, &out);
+    CommitComm(bytes, &out);
+  }
+  if (alive != nullptr) {
+    alive->assign(range_.back(), 0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      for (uint64_t v = 0; v < hosts_[h].owned; ++v) {
+        (*alive)[hosts_[h].begin + v] = st[h].alive.raw()[v];
+      }
+    }
+  }
+  out.supported = true;
+  return out;
+}
+
+DistRunResult DistEngine::Bc(VertexId source, std::vector<double>* bc) {
+  DistRunResult out;
+  const uint32_t nh = config_.hosts;
+  struct State {
+    runtime::NumaArray<uint64_t> level;   // local copies
+    runtime::NumaArray<double> sigma;     // local copies
+    runtime::NumaArray<double> sig_acc;   // local copies, per-round
+    runtime::NumaArray<double> delta;     // local copies
+    runtime::NumaArray<double> bc;        // owned
+    std::vector<uint8_t> mirror_dirty;
+    std::vector<std::vector<uint32_t>> frontier;  // owned locals per level
+  };
+  std::vector<State> st(nh);
+  std::vector<SimNs> times(nh, 0);
+  for (uint32_t h = 0; h < nh; ++h) {
+    Host& host = hosts_[h];
+    State& s = st[h];
+    const uint64_t lc = std::max<uint64_t>(host.LocalCount(), 1);
+    s.level = runtime::NumaArray<uint64_t>(host.machine.get(), lc,
+                                           HostPolicy(), "bc.level");
+    s.sigma = runtime::NumaArray<double>(host.machine.get(), lc,
+                                         HostPolicy(), "bc.sigma");
+    s.sig_acc = runtime::NumaArray<double>(host.machine.get(), lc,
+                                           HostPolicy(), "bc.sigacc");
+    s.delta = runtime::NumaArray<double>(host.machine.get(), lc,
+                                         HostPolicy(), "bc.delta");
+    s.bc = runtime::NumaArray<double>(host.machine.get(),
+                                      std::max<uint64_t>(host.owned, 1),
+                                      HostPolicy(), "bc.bc");
+    s.mirror_dirty.assign(host.mirror_global.size(), 0);
+    times[h] = host.rt->Timed([&] {
+      host.rt->ParallelFor(0, host.LocalCount(), [&](ThreadId t, uint64_t v) {
+        s.level.Set(t, v, analytics::kInfDist);
+        s.sigma.Set(t, v, 0.0);
+        s.sig_acc.Set(t, v, 0.0);
+        s.delta.Set(t, v, 0.0);
+      });
+      host.rt->ParallelFor(0, host.owned, [&](ThreadId t, uint64_t v) {
+        s.bc.Set(t, v, 0.0);
+      });
+    });
+  }
+  CommitPhase(times, &out);
+
+  const uint32_t src_host = HostOf(source);
+  st[src_host].level.raw()[source - hosts_[src_host].begin] = 0;
+  st[src_host].sigma.raw()[source - hosts_[src_host].begin] = 1.0;
+  st[src_host].frontier.push_back(
+      {static_cast<uint32_t>(source - hosts_[src_host].begin)});
+  for (uint32_t h = 0; h < nh; ++h) {
+    if (h != src_host) st[h].frontier.push_back({});
+  }
+
+  // --- Forward phase: level + sigma, one BSP round per level. ---
+  uint64_t depth = 0;
+  bool any = true;
+  while (any) {
+    any = false;
+    const uint64_t round = depth;
+    uint64_t bytes = 0;
+    std::fill(times.begin(), times.end(), 0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      times[h] = host.rt->Timed([&] {
+        memsim::Machine& m = *host.machine;
+        m.BeginEpoch(host.rt->threads());
+        ThreadId t = 0;
+        for (uint32_t v : s.frontier[round]) {
+          const double sv = s.sigma.Get(t, v);
+          host.graph->ForEachOutEdge(
+              t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+                const uint64_t lu = s.level.Get(tt, u);
+                if (lu == analytics::kInfDist || lu == round + 1) {
+                  s.level.CasMin(tt, u, round + 1);
+                  s.sig_acc.Update(tt, u, [&](double& x) { x += sv; });
+                  if (!host.IsOwnedLocal(u)) {
+                    s.mirror_dirty[u - host.owned] = 1;
+                  }
+                }
+              });
+          t = (t + 1) % host.rt->threads();
+        }
+        m.EndEpoch();
+      });
+    }
+    CommitPhase(times, &out);
+
+    // Reduce: min(level), sum(sigma accumulator) for dirty mirrors.
+    struct Msg {
+      uint32_t local;
+      uint64_t level;
+      double sig;
+    };
+    std::vector<std::vector<Msg>> inbox(nh);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      for (uint32_t i = 0; i < s.mirror_dirty.size(); ++i) {
+        if (s.mirror_dirty[i] == 0) continue;
+        s.mirror_dirty[i] = 0;
+        const VertexId g = host.mirror_global[i];
+        const uint32_t owner = HostOf(g);
+        inbox[owner].push_back(
+            {static_cast<uint32_t>(g - hosts_[owner].begin),
+             s.level.raw()[host.owned + i],
+             s.sig_acc.raw()[host.owned + i]});
+        bytes += kMsgBytes + 8;
+        // Reset the mirror-side accumulator and provisional level.
+        s.sig_acc.raw()[host.owned + i] = 0.0;
+        s.level.raw()[host.owned + i] = analytics::kInfDist;
+      }
+    }
+    std::fill(times.begin(), times.end(), 0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      times[h] = host.rt->Timed([&] {
+        memsim::Machine& m = *host.machine;
+        m.BeginEpoch(host.rt->threads());
+        ThreadId t = 0;
+        for (const Msg& msg : inbox[h]) {
+          s.level.CasMin(t, msg.local, msg.level);
+          s.sig_acc.Update(t, msg.local, [&](double& x) { x += msg.sig; });
+          t = (t + 1) % host.rt->threads();
+        }
+        m.EndEpoch();
+        // Commit the new frontier: owned vertices discovered this round.
+        s.frontier.emplace_back();
+        host.rt->ParallelFor(0, host.owned, [&](ThreadId t2, uint64_t v) {
+          if (s.level.Get(t2, v) == round + 1) {
+            const double acc = s.sig_acc.Get(t2, v);
+            if (s.sigma.Get(t2, v) == 0.0) {
+              s.sigma.Set(t2, v, acc);
+              s.frontier.back().push_back(static_cast<uint32_t>(v));
+            }
+            s.sig_acc.Set(t2, v, 0.0);
+          }
+        });
+      });
+      if (!st[h].frontier.back().empty()) any = true;
+    }
+    CommitPhase(times, &out);
+    CommitComm(bytes, &out);
+    ++depth;
+    ++out.rounds;
+  }
+
+  // --- Backward phase: one BSP round per level, deepest first. Each
+  // round broadcasts (level, sigma, delta) of level-(L+1) masters to
+  // their mirrors, then hosts accumulate dependencies locally. ---
+  for (uint64_t level = depth; level-- > 1;) {
+    // Broadcast values of vertices at `level` to mirrors.
+    uint64_t bytes = 0;
+    struct BMsg {
+      uint32_t mirror;
+      uint64_t lvl;
+      double sigma;
+      double delta;
+    };
+    std::vector<std::vector<BMsg>> bcast(nh);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      for (uint32_t v : s.frontier[level]) {
+        const VertexId g = host.begin + v;
+        for (uint32_t mh : mirror_hosts_[g]) {
+          bcast[mh].push_back({hosts_[mh].mirror_of.at(g),
+                               level, s.sigma.raw()[v], s.delta.raw()[v]});
+          bytes += kMsgBytes + 16;
+        }
+      }
+    }
+    std::fill(times.begin(), times.end(), 0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      times[h] = host.rt->Timed([&] {
+        memsim::Machine& m = *host.machine;
+        m.BeginEpoch(host.rt->threads());
+        ThreadId t = 0;
+        for (const BMsg& msg : bcast[h]) {
+          s.level.Set(t, host.owned + msg.mirror, msg.lvl);
+          s.sigma.Set(t, host.owned + msg.mirror, msg.sigma);
+          s.delta.Set(t, host.owned + msg.mirror, msg.delta);
+          t = (t + 1) % host.rt->threads();
+        }
+        // Dependency accumulation for the previous level.
+        for (uint32_t v : s.frontier[level - 1]) {
+          const double sv = s.sigma.Get(t, v);
+          double acc = 0;
+          host.graph->ForEachOutEdge(
+              t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+                if (s.level.Get(tt, u) == level) {
+                  acc += sv / s.sigma.Get(tt, u) *
+                         (1.0 + s.delta.Get(tt, u));
+                }
+              });
+          s.delta.Update(t, v, [&](double& x) { x += acc; });
+          if (host.begin + v != source) {
+            s.bc.Update(t, v, [&](double& x) { x += s.delta.Get(t, v); });
+          }
+          t = (t + 1) % host.rt->threads();
+        }
+        m.EndEpoch();
+      });
+    }
+    CommitPhase(times, &out);
+    CommitComm(bytes, &out);
+    ++out.rounds;
+  }
+  if (bc != nullptr) {
+    bc->assign(range_.back(), 0.0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      for (uint64_t v = 0; v < hosts_[h].owned; ++v) {
+        (*bc)[hosts_[h].begin + v] = st[h].bc.raw()[v];
+      }
+    }
+  }
+  out.supported = true;
+  return out;
+}
+
+}  // namespace pmg::distsim

@@ -1,0 +1,353 @@
+#include "pmg/distsim/dist_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "pmg/analytics/common.h"
+#include "pmg/common/check.h"
+
+namespace pmg::distsim {
+
+namespace {
+
+/// Bytes per synchronization message: vertex id + value.
+constexpr uint64_t kMsgBytes = 16;
+
+memsim::PagePolicy HostPolicy() {
+  // D-Galois hosts run the Galois runtime: explicit huge pages,
+  // interleaved across the host's sockets.
+  // At mini scale each host's arrays are far below 2MB, so explicit
+  // huge pages would round every allocation up past the scaled per-host
+  // capacity; model hosts with 4KB + THP instead.
+  memsim::PagePolicy p;
+  p.placement = memsim::Placement::kInterleaved;
+  p.page_size = memsim::PageSizeClass::k4K;
+  p.thp = true;
+  return p;
+}
+
+}  // namespace
+
+DistEngine::DistEngine(const graph::CsrTopology& topo,
+                       const DistConfig& config)
+    : config_(config) {
+  PMG_CHECK(config_.hosts >= 1);
+  const uint64_t n = topo.num_vertices;
+  const uint64_t m = topo.NumEdges();
+  weighted_ = topo.HasWeights();
+
+  // Outgoing edge cut: contiguous vertex ranges balanced by out-edges.
+  range_.assign(config_.hosts + 1, n);
+  range_[0] = 0;
+  {
+    uint64_t acc = 0;
+    uint32_t h = 1;
+    for (VertexId v = 0; v < n && h < config_.hosts; ++v) {
+      acc += topo.OutDegree(v);
+      if (acc * config_.hosts >= m * h) {
+        range_[h] = v + 1;
+        ++h;
+      }
+    }
+    for (; h < config_.hosts; ++h) range_[h] = n;
+  }
+
+  mirror_hosts_.resize(n);
+  hosts_.resize(config_.hosts);
+  for (uint32_t h = 0; h < config_.hosts; ++h) {
+    Host& host = hosts_[h];
+    host.begin = range_[h];
+    host.end = range_[h + 1];
+    host.owned = host.end - host.begin;
+
+    // Local topology: owned vertices first, then mirrors.
+    graph::EdgeList local_edges;
+    for (VertexId v = host.begin; v < host.end; ++v) {
+      for (uint64_t e = topo.index[v]; e < topo.index[v + 1]; ++e) {
+        const VertexId d = topo.dst[e];
+        uint64_t local_d;
+        if (d >= host.begin && d < host.end) {
+          local_d = d - host.begin;
+        } else {
+          auto [it, inserted] = host.mirror_of.try_emplace(
+              d, static_cast<uint32_t>(host.mirror_global.size()));
+          if (inserted) {
+            host.mirror_global.push_back(d);
+            mirror_hosts_[d].push_back(h);
+          }
+          local_d = host.owned + it->second;
+        }
+        local_edges.push_back({v - host.begin, local_d,
+                               weighted_ ? topo.weight[e] : 1});
+      }
+    }
+    graph::CsrTopology local = graph::BuildCsr(
+        host.owned + host.mirror_global.size(), local_edges, weighted_);
+    host.graph_bytes = graph::CsrBytes(local);
+
+    host.machine = std::make_unique<memsim::Machine>(config_.host_machine);
+    const uint32_t threads =
+        std::min(config_.threads_per_host, host.machine->MaxThreads());
+    host.rt = std::make_unique<runtime::Runtime>(host.machine.get(), threads);
+    graph::GraphLayout layout;
+    layout.policy = HostPolicy();
+    layout.with_weights = weighted_;
+    host.graph = std::make_unique<graph::CsrGraph>(host.machine.get(), local,
+                                                   layout, "dist.g");
+    host.graph->Prefault(threads);
+  }
+}
+
+uint32_t DistEngine::HostOf(VertexId v) const {
+  const auto it = std::upper_bound(range_.begin(), range_.end(), v);
+  return static_cast<uint32_t>(it - range_.begin()) - 1;
+}
+
+double DistEngine::CommVolumeFactor() const {
+  if (config_.policy == PartitionPolicy::kCvc) {
+    // 2D partitions bound each host's communication partners by the grid
+    // row + column: volume scales ~ 2/sqrt(hosts) of the 1D cut.
+    return std::min(1.0, 2.0 / std::sqrt(static_cast<double>(config_.hosts)));
+  }
+  return 1.0;
+}
+
+void DistEngine::CommitPhase(const std::vector<SimNs>& host_times,
+                             DistRunResult* r) {
+  SimNs mx = 0;
+  for (SimNs t : host_times) mx = std::max(mx, t);
+  r->compute_ns += mx;
+  r->time_ns += mx;
+}
+
+void DistEngine::CommitComm(uint64_t bytes, DistRunResult* r) {
+  const uint64_t scaled =
+      static_cast<uint64_t>(static_cast<double>(bytes) * CommVolumeFactor());
+  r->comm_bytes += scaled;
+  const double per_host =
+      static_cast<double>(scaled) / static_cast<double>(config_.hosts);
+  const SimNs ns = config_.round_latency_ns +
+                   static_cast<SimNs>(per_host / config_.network_bw_gbs);
+  r->comm_ns += ns;
+  r->time_ns += ns;
+}
+
+uint64_t DistEngine::MaxHostGraphBytes() const {
+  uint64_t mx = 0;
+  for (const Host& h : hosts_) mx = std::max(mx, h.graph_bytes);
+  return mx;
+}
+
+DistRunResult DistEngine::RunMinPush(MinRelax relax, bool init_to_id,
+                                     bool seed_all, VertexId seed,
+                                     std::vector<uint64_t>* gathered) {
+  DistRunResult out;
+  const uint32_t nh = config_.hosts;
+  struct State {
+    runtime::NumaArray<uint64_t> label;
+    runtime::NumaArray<uint8_t> cur;
+    runtime::NumaArray<uint8_t> next;
+    std::vector<uint8_t> mirror_dirty;
+    std::vector<uint32_t> changed;  // owned locals activated this round
+    uint64_t active = 0;
+  };
+  std::vector<State> st(nh);
+
+  // Initialization (costed per host, excluded phase bookkeeping kept
+  // simple: it is part of the measured run, as on the shared-memory side).
+  std::vector<SimNs> times(nh, 0);
+  for (uint32_t h = 0; h < nh; ++h) {
+    Host& host = hosts_[h];
+    State& s = st[h];
+    s.label = runtime::NumaArray<uint64_t>(host.machine.get(),
+                                           std::max<uint64_t>(
+                                               host.LocalCount(), 1),
+                                           HostPolicy(), "dist.label");
+    s.cur = runtime::NumaArray<uint8_t>(host.machine.get(),
+                                        std::max<uint64_t>(host.owned, 1),
+                                        HostPolicy(), "dist.cur");
+    s.next = runtime::NumaArray<uint8_t>(host.machine.get(),
+                                         std::max<uint64_t>(host.owned, 1),
+                                         HostPolicy(), "dist.next");
+    s.mirror_dirty.assign(host.mirror_global.size(), 0);
+    times[h] = host.rt->Timed([&] {
+      host.rt->ParallelFor(0, host.LocalCount(), [&](ThreadId t, uint64_t v) {
+        uint64_t init = analytics::kInfDist;
+        if (init_to_id) {
+          init = v < host.owned ? host.begin + v
+                                : host.mirror_global[v - host.owned];
+        }
+        s.label.Set(t, v, init);
+      });
+      host.rt->ParallelFor(0, host.owned, [&](ThreadId t, uint64_t v) {
+        s.cur.Set(t, v, seed_all ? 1 : 0);
+        s.next.Set(t, v, 0);
+      });
+    });
+    if (seed_all) s.active = host.owned;
+  }
+  CommitPhase(times, &out);
+  if (!seed_all) {
+    const uint32_t h = HostOf(seed);
+    st[h].label.raw()[seed - hosts_[h].begin] = 0;
+    st[h].cur.raw()[seed - hosts_[h].begin] = 1;
+    st[h].active = 1;
+  }
+
+  uint64_t total_active = seed_all ? 0 : 1;
+  if (seed_all) {
+    for (const State& s : st) total_active += s.active;
+  }
+
+  while (total_active > 0) {
+    ++out.rounds;
+    // --- Compute phase: every host scans its owned frontier. ---
+    std::fill(times.begin(), times.end(), 0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      times[h] = host.rt->Timed([&] {
+        memsim::Machine& m = *host.machine;
+        m.BeginEpoch(host.rt->threads());
+        ThreadId t = 0;
+        for (uint64_t v = 0; v < host.owned; ++v) {
+          if (s.cur.Get(t, v) == 0) continue;  // dense frontier scan
+          const uint64_t lv = s.label.Get(t, v);
+          host.graph->ForEachOutEdge(
+              t, v, [&](ThreadId tt, VertexId u, uint32_t w) {
+                uint64_t cand = lv;
+                if (relax == MinRelax::kLevel) cand = lv + 1;
+                if (relax == MinRelax::kWeight) cand = lv + w;
+                if (s.label.CasMin(tt, u, cand)) {
+                  if (host.IsOwnedLocal(u)) {
+                    if (s.next.Get(tt, u) == 0) {
+                      s.next.Set(tt, u, 1);
+                      s.changed.push_back(static_cast<uint32_t>(u));
+                    }
+                  } else {
+                    s.mirror_dirty[u - host.owned] = 1;
+                  }
+                }
+              });
+          t = (t + 1) % host.rt->threads();
+        }
+        // Clear the consumed frontier.
+        host.rt->machine().EndEpoch();
+        host.rt->ParallelFor(0, host.owned, [&](ThreadId t2, uint64_t v2) {
+          s.cur.Set(t2, v2, 0);
+        });
+      });
+    }
+    CommitPhase(times, &out);
+
+    // --- Reduce phase: dirty mirrors -> masters (min). ---
+    uint64_t bytes = 0;
+    std::vector<std::vector<std::pair<uint32_t, uint64_t>>> inbox(nh);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      for (uint32_t i = 0; i < s.mirror_dirty.size(); ++i) {
+        if (s.mirror_dirty[i] == 0) continue;
+        s.mirror_dirty[i] = 0;
+        const VertexId g = host.mirror_global[i];
+        const uint32_t owner = HostOf(g);
+        inbox[owner].emplace_back(
+            static_cast<uint32_t>(g - hosts_[owner].begin),
+            s.label.raw()[host.owned + i]);
+        bytes += kMsgBytes;
+      }
+    }
+    std::fill(times.begin(), times.end(), 0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      if (inbox[h].empty()) continue;
+      Host& host = hosts_[h];
+      State& s = st[h];
+      times[h] = host.rt->Timed([&] {
+        memsim::Machine& m = *host.machine;
+        m.BeginEpoch(host.rt->threads());
+        ThreadId t = 0;
+        for (const auto& [local, val] : inbox[h]) {
+          if (s.label.CasMin(t, local, val)) {
+            if (s.next.Get(t, local) == 0) {
+              s.next.Set(t, local, 1);
+              s.changed.push_back(local);
+            }
+          }
+          t = (t + 1) % host.rt->threads();
+        }
+        m.EndEpoch();
+      });
+    }
+    CommitPhase(times, &out);
+
+    // --- Broadcast phase: changed masters -> their mirrors. ---
+    std::vector<std::vector<std::pair<uint32_t, uint64_t>>> bcast(nh);
+    for (uint32_t h = 0; h < nh; ++h) {
+      Host& host = hosts_[h];
+      State& s = st[h];
+      for (uint32_t local : s.changed) {
+        const VertexId g = host.begin + local;
+        const uint64_t val = s.label.raw()[local];
+        for (uint32_t mh : mirror_hosts_[g]) {
+          bcast[mh].emplace_back(hosts_[mh].mirror_of.at(g), val);
+          bytes += kMsgBytes;
+        }
+      }
+    }
+    std::fill(times.begin(), times.end(), 0);
+    for (uint32_t h = 0; h < nh; ++h) {
+      if (bcast[h].empty()) continue;
+      Host& host = hosts_[h];
+      State& s = st[h];
+      times[h] = host.rt->Timed([&] {
+        memsim::Machine& m = *host.machine;
+        m.BeginEpoch(host.rt->threads());
+        ThreadId t = 0;
+        for (const auto& [mirror, val] : bcast[h]) {
+          s.label.Set(t, host.owned + mirror, val);
+          t = (t + 1) % host.rt->threads();
+        }
+        m.EndEpoch();
+      });
+    }
+    CommitPhase(times, &out);
+    CommitComm(bytes, &out);
+
+    // --- Advance frontiers. ---
+    total_active = 0;
+    for (uint32_t h = 0; h < nh; ++h) {
+      State& s = st[h];
+      total_active += s.changed.size();
+      s.changed.clear();
+      std::swap(s.cur, s.next);
+    }
+  }
+  if (gathered != nullptr) {
+    gathered->assign(range_.back(), analytics::kInfDist);
+    for (uint32_t h = 0; h < nh; ++h) {
+      for (uint64_t v = 0; v < hosts_[h].owned; ++v) {
+        (*gathered)[hosts_[h].begin + v] = st[h].label.raw()[v];
+      }
+    }
+  }
+  out.supported = true;
+  return out;
+}
+
+DistRunResult DistEngine::Bfs(VertexId source, std::vector<uint64_t>* levels) {
+  return RunMinPush(MinRelax::kLevel, /*init_to_id=*/false,
+                    /*seed_all=*/false, source, levels);
+}
+
+DistRunResult DistEngine::Cc(std::vector<uint64_t>* labels) {
+  return RunMinPush(MinRelax::kCopy, /*init_to_id=*/true, /*seed_all=*/true,
+                    /*seed=*/0, labels);
+}
+
+DistRunResult DistEngine::Sssp(VertexId source, std::vector<uint64_t>* dists) {
+  PMG_CHECK_MSG(weighted_, "distributed sssp needs a weighted graph");
+  return RunMinPush(MinRelax::kWeight, false, false, source, dists);
+}
+
+}  // namespace pmg::distsim

@@ -1,0 +1,260 @@
+#include "pmg/frameworks/framework.h"
+
+#include <utility>
+
+#include "pmg/analytics/bc.h"
+#include "pmg/analytics/bfs.h"
+#include "pmg/analytics/cc.h"
+#include "pmg/analytics/kcore.h"
+#include "pmg/analytics/pagerank.h"
+#include "pmg/analytics/sssp.h"
+#include "pmg/analytics/tc.h"
+#include "pmg/common/check.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/graph/properties.h"
+#include "pmg/runtime/runtime.h"
+
+namespace pmg::frameworks {
+
+FrameworkProfile GetProfile(FrameworkKind kind) {
+  FrameworkProfile p;
+  p.kind = kind;
+  switch (kind) {
+    case FrameworkKind::kGalois:
+      p.name = "Galois";
+      p.sparse_worklists = true;
+      p.async_execution = true;
+      p.explicit_huge_pages = true;
+      p.per_app_numa_policy = true;
+      p.loads_both_directions = false;
+      break;
+    case FrameworkKind::kGap:
+      p.name = "GAP";
+      p.supports_kcore = false;
+      p.node_ids_32bit = true;
+      break;
+    case FrameworkKind::kGraphIt:
+      p.name = "GraphIt";
+      p.vertex_programs_only = true;
+      p.supports_bc = false;
+      p.supports_kcore = false;
+      p.node_ids_32bit = true;
+      break;
+    case FrameworkKind::kGbbs:
+      p.name = "GBBS";
+      break;
+  }
+  return p;
+}
+
+const std::vector<FrameworkKind>& AllFrameworks() {
+  static const std::vector<FrameworkKind> kAll = {
+      FrameworkKind::kGraphIt, FrameworkKind::kGap, FrameworkKind::kGbbs,
+      FrameworkKind::kGalois};
+  return kAll;
+}
+
+std::string AppName(App app) {
+  switch (app) {
+    case App::kBc:
+      return "bc";
+    case App::kBfs:
+      return "bfs";
+    case App::kCc:
+      return "cc";
+    case App::kKcore:
+      return "kcore";
+    case App::kPr:
+      return "pr";
+    case App::kSssp:
+      return "sssp";
+    case App::kTc:
+      return "tc";
+  }
+  return "?";
+}
+
+const std::vector<App>& AllApps() {
+  static const std::vector<App> kAll = {App::kBc,    App::kBfs, App::kCc,
+                                        App::kKcore, App::kPr,  App::kSssp,
+                                        App::kTc};
+  return kAll;
+}
+
+AppInputs AppInputs::Prepare(graph::CsrTopology base,
+                             uint64_t represented_vertices) {
+  AppInputs in;
+  in.base = std::move(base);
+  in.weighted = in.base;
+  graph::AssignRandomWeights(&in.weighted, 100, /*seed=*/12345);
+  in.sym = graph::Symmetrize(in.base);
+  in.tc_fwd = analytics::TcPrepare(in.base);
+  in.source = graph::MaxOutDegreeVertex(in.base);
+  in.represented_vertices =
+      represented_vertices != 0 ? represented_vertices : in.base.num_vertices;
+  return in;
+}
+
+namespace {
+
+bool Supports(const FrameworkProfile& p, App app, const AppInputs& in) {
+  if (app == App::kBc && !p.supports_bc) return false;
+  if (app == App::kKcore && !p.supports_kcore) return false;
+  if (p.node_ids_32bit && in.represented_vertices > 0x7fffffffull) {
+    return false;
+  }
+  return true;
+}
+
+/// Placement the framework would pick for this app, unless overridden.
+memsim::Placement PlacementFor(const FrameworkProfile& p, App app,
+                               const RunConfig& cfg) {
+  if (cfg.placement.has_value()) return *cfg.placement;
+  if (p.per_app_numa_policy && (app == App::kBc || app == App::kPr)) {
+    return memsim::Placement::kBlocked;
+  }
+  return memsim::Placement::kInterleaved;
+}
+
+memsim::PagePolicy PolicyFor(const FrameworkProfile& p, App app,
+                             const RunConfig& cfg) {
+  memsim::PagePolicy policy;
+  policy.placement = PlacementFor(p, app, cfg);
+  if (cfg.page_size.has_value()) {
+    // Explicit page-size override: a Section 4.3-style page-size study,
+    // so THP is off and the requested size is used verbatim.
+    policy.page_size = *cfg.page_size;
+    policy.thp = false;
+  } else if (p.explicit_huge_pages) {
+    policy.page_size = memsim::PageSizeClass::k2M;
+  } else {
+    policy.page_size = memsim::PageSizeClass::k4K;
+    policy.thp = true;  // rely on the OS
+  }
+  return policy;
+}
+
+const graph::CsrTopology& TopologyFor(const FrameworkProfile& p, App app,
+                                      const AppInputs& in) {
+  switch (app) {
+    case App::kSssp:
+      return in.weighted;
+    case App::kCc:
+      // Galois hooks both endpoints of directed edges (non-vertex
+      // operator), so it skips the symmetrized copy the dense systems
+      // need; forced-vertex-program runs use the symmetric view too.
+      return p.sparse_worklists && !p.vertex_programs_only ? in.base
+                                                           : in.sym;
+    case App::kKcore:
+      return in.sym;
+    case App::kTc:
+      return in.tc_fwd;
+    default:
+      return in.base;
+  }
+}
+
+}  // namespace
+
+AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
+                    const RunConfig& config) {
+  FrameworkProfile profile = GetProfile(kind);
+  AppRunResult out;
+  if (!Supports(profile, app, inputs)) return out;
+  if (config.force_vertex_programs) {
+    profile.vertex_programs_only = true;
+    profile.sparse_worklists = false;
+    profile.async_execution = false;
+  }
+
+  memsim::Machine machine(config.machine);
+  runtime::Runtime rt(&machine, config.threads);
+
+  const memsim::PagePolicy policy = PolicyFor(profile, app, config);
+  graph::GraphLayout layout;
+  layout.policy = policy;
+  layout.with_weights = app == App::kSssp;
+  // Direction needs: pull pagerank reads in-edges; direction-optimizing
+  // bfs reads both. Frameworks that always materialize both pay the
+  // footprint on every app.
+  const bool needs_in = app == App::kPr || (!profile.sparse_worklists &&
+                                            app == App::kBfs);
+  layout.load_in_edges = profile.loads_both_directions || needs_in;
+
+  const graph::CsrTopology& topo = TopologyFor(profile, app, inputs);
+  graph::CsrGraph graph(&machine, topo, layout, "g");
+  graph.Prefault(config.threads);
+
+  analytics::AlgoOptions opt;
+  opt.label_policy = policy;
+  opt.pr_max_rounds = config.pr_max_rounds;
+
+  const memsim::MachineStats before = machine.stats();
+  switch (app) {
+    case App::kBc: {
+      const auto r = profile.sparse_worklists
+                         ? analytics::BcSparse(rt, graph, inputs.source, opt)
+                         : analytics::BcDense(rt, graph, inputs.source, opt);
+      out.time_ns = r.time_ns;
+      out.rounds = r.rounds;
+      break;
+    }
+    case App::kBfs: {
+      const auto r =
+          profile.sparse_worklists
+              ? analytics::BfsSparseWl(rt, graph, inputs.source, opt)
+              : analytics::BfsDirectionOpt(rt, graph, inputs.source, opt);
+      out.time_ns = r.time_ns;
+      out.rounds = r.rounds;
+      break;
+    }
+    case App::kCc: {
+      analytics::CcResult r;
+      if (profile.vertex_programs_only) {
+        r = analytics::CcLabelProp(rt, graph, opt);  // GraphIt
+      } else if (profile.sparse_worklists) {
+        // Galois: directed-input shortcutted label propagation.
+        r = analytics::CcLabelPropSCDir(rt, graph, opt);
+      } else {
+        r = analytics::CcUnionFind(rt, graph, opt);  // GAP / GBBS
+      }
+      out.time_ns = r.time_ns;
+      out.rounds = r.rounds;
+      break;
+    }
+    case App::kKcore: {
+      const auto r = profile.async_execution
+                         ? analytics::KcoreAsync(rt, graph, opt)
+                         : analytics::KcoreDense(rt, graph, opt);
+      out.time_ns = r.time_ns;
+      out.rounds = r.rounds;
+      break;
+    }
+    case App::kPr: {
+      const auto r = analytics::PrPull(rt, graph, opt);
+      out.time_ns = r.time_ns;
+      out.rounds = r.rounds;
+      break;
+    }
+    case App::kSssp: {
+      const auto r =
+          profile.vertex_programs_only
+              ? analytics::SsspDenseWl(rt, graph, inputs.source, opt)
+              : analytics::SsspDeltaStep(rt, graph, inputs.source, opt);
+      out.time_ns = r.time_ns;
+      out.rounds = r.rounds;
+      break;
+    }
+    case App::kTc: {
+      const auto r = analytics::Tc(rt, graph);
+      out.time_ns = r.time_ns;
+      out.rounds = 1;
+      break;
+    }
+  }
+  out.stats = machine.stats() - before;
+  out.supported = true;
+  return out;
+}
+
+}  // namespace pmg::frameworks

@@ -1,0 +1,111 @@
+#ifndef PMG_FRAMEWORKS_FRAMEWORK_H_
+#define PMG_FRAMEWORKS_FRAMEWORK_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pmg/analytics/common.h"
+#include "pmg/graph/topology.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/stats.h"
+
+/// \file framework.h
+/// The four shared-memory frameworks of the paper's Section 6.1, expressed
+/// as *profiles* over one algorithm library. Each profile encodes exactly
+/// the restrictions and allocation habits the paper attributes the
+/// performance differences to:
+///
+///   - Galois-like: sparse worklists, asynchronous & non-vertex operators,
+///     explicit 2MB huge pages, per-application NUMA blocked/interleaved
+///     choice, allocates only the edge direction(s) the algorithm needs.
+///   - GAP-like: expert-written kernels, dense worklists,
+///     direction-optimizing bfs (both edge directions always), 4KB pages
+///     with THP, numactl interleaved; no kcore; 32-bit node ids.
+///   - GraphIt-like: vertex programs only (no delta-stepping, plain label
+///     propagation), dense worklists, both directions, 4KB + THP; no bc,
+///     no kcore; 32-bit node ids.
+///   - GBBS-like (Ligra): dense worklists, direction optimization,
+///     union-find cc, bulk-synchronous kcore, both directions, 4KB + THP.
+
+namespace pmg::frameworks {
+
+enum class FrameworkKind { kGalois, kGap, kGraphIt, kGbbs };
+
+enum class App { kBc, kBfs, kCc, kKcore, kPr, kSssp, kTc };
+
+/// Static capabilities/habits of a framework.
+struct FrameworkProfile {
+  FrameworkKind kind = FrameworkKind::kGalois;
+  std::string name;
+  bool vertex_programs_only = false;
+  bool sparse_worklists = false;
+  bool async_execution = false;
+  /// Explicit 2MB pages (Galois) vs 4KB + Transparent Huge Pages.
+  bool explicit_huge_pages = false;
+  /// Chooses NUMA blocked for topology-driven apps (bc, pr) and
+  /// interleaved for data-driven ones; others interleave everything.
+  bool per_app_numa_policy = false;
+  /// Always materializes both in- and out-edges.
+  bool loads_both_directions = true;
+  bool supports_bc = true;
+  bool supports_kcore = true;
+  /// Uses signed 32-bit node ids: graphs with > 2^31 - 1 vertices (the
+  /// paper's wdc12) cannot be represented.
+  bool node_ids_32bit = false;
+};
+
+FrameworkProfile GetProfile(FrameworkKind kind);
+const std::vector<FrameworkKind>& AllFrameworks();
+std::string AppName(App app);
+const std::vector<App>& AllApps();
+
+/// Graph inputs shared by every framework run of one scenario: the
+/// preprocessing (symmetrization, weight assignment, tc orientation) that
+/// the paper excludes from measured time, done once.
+struct AppInputs {
+  graph::CsrTopology base;      // directed, unweighted
+  graph::CsrTopology weighted;  // base + random weights (sssp)
+  graph::CsrTopology sym;       // symmetrized (cc, kcore)
+  graph::CsrTopology tc_fwd;    // degree-ordered forward orientation (tc)
+  VertexId source = 0;          // max out-degree vertex (bc, bfs, sssp)
+  /// Vertex count of the paper-scale original this mini graph stands in
+  /// for; used to enforce 32-bit-id limits the way the paper hits them.
+  uint64_t represented_vertices = 0;
+
+  static AppInputs Prepare(graph::CsrTopology base,
+                           uint64_t represented_vertices = 0);
+};
+
+/// One framework x app x machine execution request.
+struct RunConfig {
+  memsim::MachineConfig machine;
+  uint32_t threads = 96;
+  /// Overrides of the profile's allocation habits (used by the Section 4
+  /// studies: page-size and placement sweeps).
+  std::optional<memsim::PageSizeClass> page_size;
+  std::optional<memsim::Placement> placement;
+  /// Cap on PageRank rounds (scenarios use the paper's 100).
+  uint32_t pr_max_rounds = 100;
+  /// Force bulk-synchronous vertex programs with dense worklists even on
+  /// frameworks that support more (the Figure 11 "OS"/"OA" configurations:
+  /// the same algorithms D-Galois runs, executed on the Optane machine).
+  bool force_vertex_programs = false;
+};
+
+struct AppRunResult {
+  bool supported = false;
+  SimNs time_ns = 0;
+  uint64_t rounds = 0;
+  memsim::MachineStats stats;  // delta over the measured region
+};
+
+/// Builds a fresh simulated machine, materializes the graph per the
+/// framework's habits, runs the framework's algorithm for `app`, and
+/// returns simulated time and hardware counters.
+AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
+                    const RunConfig& config);
+
+}  // namespace pmg::frameworks
+
+#endif  // PMG_FRAMEWORKS_FRAMEWORK_H_

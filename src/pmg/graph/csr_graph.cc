@@ -1,0 +1,87 @@
+#include "pmg/graph/csr_graph.h"
+
+#include <cstring>
+
+#include "pmg/common/check.h"
+
+namespace pmg::graph {
+
+CsrGraph::CsrGraph(memsim::Machine* machine, const CsrTopology& topo,
+                   const GraphLayout& layout, std::string_view name)
+    : machine_(machine),
+      layout_(layout),
+      num_vertices_(topo.num_vertices),
+      num_edges_(topo.NumEdges()) {
+  PMG_CHECK(machine != nullptr);
+  PMG_CHECK(layout.load_out_edges || layout.load_in_edges);
+  const std::string base(name);
+
+  if (layout.load_out_edges) {
+    out_index_ = runtime::NumaArray<uint64_t>(
+        machine, num_vertices_ + 1, layout.policy, base + ".out.index");
+    out_dst_ = runtime::NumaArray<VertexId>(machine, std::max<uint64_t>(
+                                                num_edges_, 1),
+                                            layout.policy, base + ".out.dst");
+    std::memcpy(out_index_.raw(), topo.index.data(),
+                topo.index.size() * sizeof(uint64_t));
+    if (num_edges_ > 0) {
+      std::memcpy(out_dst_.raw(), topo.dst.data(),
+                  num_edges_ * sizeof(VertexId));
+    }
+    if (layout.with_weights) {
+      out_weight_ = runtime::NumaArray<uint32_t>(
+          machine, std::max<uint64_t>(num_edges_, 1), layout.policy,
+          base + ".out.w");
+      for (uint64_t e = 0; e < num_edges_; ++e) {
+        out_weight_.raw()[e] = topo.HasWeights() ? topo.weight[e] : 1;
+      }
+    }
+  }
+
+  if (layout.load_in_edges) {
+    const CsrTopology t = Transpose(topo);
+    in_index_ = runtime::NumaArray<uint64_t>(machine, num_vertices_ + 1,
+                                             layout.policy, base + ".in.index");
+    in_src_ = runtime::NumaArray<VertexId>(machine, std::max<uint64_t>(
+                                               num_edges_, 1),
+                                           layout.policy, base + ".in.src");
+    std::memcpy(in_index_.raw(), t.index.data(),
+                t.index.size() * sizeof(uint64_t));
+    if (num_edges_ > 0) {
+      std::memcpy(in_src_.raw(), t.dst.data(), num_edges_ * sizeof(VertexId));
+    }
+    if (layout.with_weights) {
+      in_weight_ = runtime::NumaArray<uint32_t>(
+          machine, std::max<uint64_t>(num_edges_, 1), layout.policy,
+          base + ".in.w");
+      for (uint64_t e = 0; e < num_edges_; ++e) {
+        in_weight_.raw()[e] = t.HasWeights() ? t.weight[e] : 1;
+      }
+    }
+  }
+}
+
+void CsrGraph::Prefault(uint32_t threads) {
+  machine_->CloseEpochIfOpen();
+  machine_->BeginEpoch(threads);
+  auto touch = [&](auto& arr, size_t elem_bytes) {
+    if (!arr.valid()) return;
+    const uint64_t total = arr.size() * elem_bytes;
+    const uint64_t per = (total + threads - 1) / threads;
+    for (ThreadId t = 0; t < threads; ++t) {
+      const uint64_t lo = uint64_t{t} * per;
+      if (lo >= total) break;
+      const uint64_t len = std::min<uint64_t>(per, total - lo);
+      machine_->AccessRange(t, arr.AddrOf(0) + lo, len, AccessType::kRead);
+    }
+  };
+  touch(out_index_, sizeof(uint64_t));
+  touch(out_dst_, sizeof(VertexId));
+  touch(out_weight_, sizeof(uint32_t));
+  touch(in_index_, sizeof(uint64_t));
+  touch(in_src_, sizeof(VertexId));
+  touch(in_weight_, sizeof(uint32_t));
+  machine_->EndEpoch();
+}
+
+}  // namespace pmg::graph

@@ -1,0 +1,279 @@
+#include "pmg/graph/generators.h"
+
+#include <algorithm>
+
+#include "pmg/common/check.h"
+
+namespace pmg::graph {
+
+namespace {
+
+/// Deterministic 64-bit PRNG (xorshift128+); avoids libstdc++ distribution
+/// differences so generated graphs are identical everywhere.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    s0_ = seed * 0x9e3779b97f4a7c15ull + 1;
+    s1_ = (seed ^ 0xda942042e4dd58b5ull) * 0x2545f4914f6cdd1dull + 1;
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform in [0, 1).
+  double Unit() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+CsrTopology RmatFamily(uint32_t scale, uint32_t edge_factor, uint64_t seed,
+                       double a, double b, double c, double noise) {
+  PMG_CHECK(scale >= 1 && scale < 40);
+  const uint64_t n = uint64_t{1} << scale;
+  const uint64_t m = n * edge_factor;
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(m);
+  for (uint64_t e = 0; e < m; ++e) {
+    // Re-descend with one RNG: src and dst bits come from the same walk.
+    VertexId src = 0;
+    VertexId dst = 0;
+    double aa = a;
+    double bb = b;
+    double cc = c;
+    for (uint32_t level = 0; level < scale; ++level) {
+      const double r = rng.Unit();
+      uint32_t sb = 0;
+      uint32_t db = 0;
+      if (r < aa) {
+      } else if (r < aa + bb) {
+        db = 1;
+      } else if (r < aa + bb + cc) {
+        sb = 1;
+      } else {
+        sb = 1;
+        db = 1;
+      }
+      src = (src << 1) | sb;
+      dst = (dst << 1) | db;
+      if (noise > 0) {
+        const double mu = (rng.Unit() - 0.5) * noise;
+        aa = a + mu;
+        bb = b - mu / 3;
+        cc = c - mu / 3;
+      }
+    }
+    edges.push_back({src, dst, 1});
+  }
+  return BuildCsr(n, edges, /*keep_weights=*/false);
+}
+
+}  // namespace
+
+CsrTopology Rmat(uint32_t scale, uint32_t edge_factor, uint64_t seed,
+                 double a, double b, double c) {
+  return RmatFamily(scale, edge_factor, seed, a, b, c, /*noise=*/0.0);
+}
+
+CsrTopology Kron(uint32_t scale, uint32_t edge_factor, uint64_t seed) {
+  return RmatFamily(scale, edge_factor, seed, 0.57, 0.19, 0.19,
+                    /*noise=*/0.1);
+}
+
+CsrTopology ErdosRenyi(uint64_t vertices, uint64_t edges, uint64_t seed) {
+  PMG_CHECK(vertices >= 1);
+  Rng rng(seed);
+  EdgeList list;
+  list.reserve(edges);
+  for (uint64_t e = 0; e < edges; ++e) {
+    list.push_back({rng.Below(vertices), rng.Below(vertices), 1});
+  }
+  return BuildCsr(vertices, list, false);
+}
+
+CsrTopology WebCrawl(const WebCrawlParams& p) {
+  PMG_CHECK(p.communities >= 1);
+  PMG_CHECK(p.avg_out_degree >= 2);
+  PMG_CHECK(p.tail_width >= 1);
+  PMG_CHECK(p.tail_length * p.tail_width < p.vertices / 2);
+  Rng rng(p.seed);
+  // The last tail_length * tail_width ids form the deep structure; the
+  // rest are the community-structured core.
+  const uint64_t n = p.vertices - p.tail_length * p.tail_width;
+  PMG_CHECK(n >= p.communities);
+  const uint64_t k = p.communities;
+  const uint64_t comm_size = n / k;  // last community absorbs the remainder
+  EdgeList edges;
+  edges.reserve(n * p.avg_out_degree);
+
+  auto community_of = [&](VertexId v) {
+    const uint64_t c = v / comm_size;
+    return c >= k ? k - 1 : c;
+  };
+  auto community_begin = [&](uint64_t c) { return c * comm_size; };
+  auto community_size = [&](uint64_t c) {
+    return c == k - 1 ? n - (k - 1) * comm_size : comm_size;
+  };
+  auto hub_of = [&](uint64_t c) { return community_begin(c); };
+
+  std::vector<VertexId> global_hubs;
+  for (uint32_t h = 0; h < p.hubs; ++h) {
+    global_hubs.push_back(hub_of((uint64_t{h} * k) / p.hubs));
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t c = community_of(v);
+    const uint64_t cb = community_begin(c);
+    const uint64_t cs = community_size(c);
+    if (v == hub_of(c)) {
+      // The community hub links to every member: reachability within a
+      // community is one hop, and hubs carry the max out-degree.
+      for (VertexId u = cb + 1; u < cb + cs; ++u) edges.push_back({v, u, 1});
+      continue;
+    }
+    // Every vertex links to its community hub (navigational backbone).
+    edges.push_back({v, hub_of(c), 1});
+    const uint64_t deg = 1 + rng.Below(2 * (p.avg_out_degree - 1));
+    for (uint64_t d = 0; d < deg; ++d) {
+      if (rng.Below(100) < p.hub_percent && !global_hubs.empty()) {
+        edges.push_back({v, global_hubs[rng.Below(global_hubs.size())], 1});
+        continue;
+      }
+      // Skewed community-internal target (popular pages attract links).
+      const double r = rng.Unit();
+      const uint64_t off = static_cast<uint64_t>(r * r * cs);
+      edges.push_back({v, cb + (off >= cs ? cs - 1 : off), 1});
+    }
+  }
+  // Sparse bridges chain the communities; both directions keep the whole
+  // crawl mutually reachable with ~3 hops per community step.
+  for (uint64_t c = 0; c + 1 < k; ++c) {
+    for (uint32_t b = 0; b < p.bridge_edges; ++b) {
+      const VertexId u = community_begin(c) + rng.Below(community_size(c));
+      const VertexId w =
+          community_begin(c + 1) + rng.Below(community_size(c + 1));
+      edges.push_back({u, w, 1});
+      edges.push_back({w, u, 1});
+    }
+  }
+  // Deep link structure (pagination tail): tail_length levels of
+  // tail_width pages each; every page links to its successor level's
+  // corresponding page plus one random page there. This is what gives
+  // real crawls their multi-thousand estimated diameters, the long
+  // sparse-frontier phase that distinguishes dense from sparse worklist
+  // scheduling, and — because each level's handful of vertices scatter
+  // across id space under permutation — what defeats out-of-core
+  // block-granularity selective scheduling.
+  if (p.tail_length > 0) {
+    const uint64_t w = p.tail_width;
+    auto tail_vertex = [&](uint64_t level, uint64_t i) {
+      return n + level * w + i;
+    };
+    for (uint64_t i = 0; i < w; ++i) {
+      edges.push_back({hub_of(k - 1), tail_vertex(0, i), 1});
+    }
+    for (uint64_t level = 0; level + 1 < p.tail_length; ++level) {
+      for (uint64_t i = 0; i < w; ++i) {
+        edges.push_back({tail_vertex(level, i), tail_vertex(level + 1, i), 1});
+        edges.push_back(
+            {tail_vertex(level, i), tail_vertex(level + 1, rng.Below(w)), 1});
+      }
+    }
+  }
+  return BuildCsr(p.vertices, edges, false);
+}
+
+CsrTopology ProteinCluster(uint32_t clusters, uint32_t cluster_size,
+                           uint32_t intra_degree, uint64_t seed) {
+  PMG_CHECK(clusters >= 1 && cluster_size >= 2);
+  Rng rng(seed);
+  const uint64_t n = uint64_t{clusters} * cluster_size;
+  EdgeList edges;
+  edges.reserve(n * (intra_degree + 1) * 2);
+  for (uint64_t c = 0; c < clusters; ++c) {
+    const uint64_t cb = c * cluster_size;
+    for (uint64_t i = 0; i < cluster_size; ++i) {
+      const VertexId v = cb + i;
+      for (uint32_t d = 0; d < intra_degree; ++d) {
+        VertexId u = cb + rng.Below(cluster_size);
+        if (u == v) u = cb + (i + 1) % cluster_size;
+        edges.push_back({v, u, 1});
+        edges.push_back({u, v, 1});
+      }
+    }
+    if (c + 1 < clusters) {
+      // Backbone: a couple of undirected edges to the next cluster.
+      for (int b = 0; b < 2; ++b) {
+        const VertexId u = cb + rng.Below(cluster_size);
+        const VertexId w = cb + cluster_size + rng.Below(cluster_size);
+        edges.push_back({u, w, 1});
+        edges.push_back({w, u, 1});
+      }
+    }
+  }
+  return BuildCsr(n, edges, false);
+}
+
+CsrTopology Path(uint64_t vertices) {
+  EdgeList edges;
+  for (VertexId v = 0; v + 1 < vertices; ++v) edges.push_back({v, v + 1, 1});
+  return BuildCsr(vertices, edges, false);
+}
+
+CsrTopology Cycle(uint64_t vertices) {
+  EdgeList edges;
+  for (VertexId v = 0; v < vertices; ++v) {
+    edges.push_back({v, (v + 1) % vertices, 1});
+  }
+  return BuildCsr(vertices, edges, false);
+}
+
+CsrTopology Star(uint64_t leaves) {
+  EdgeList edges;
+  for (VertexId v = 1; v <= leaves; ++v) edges.push_back({0, v, 1});
+  return BuildCsr(leaves + 1, edges, false);
+}
+
+CsrTopology Complete(uint64_t vertices) {
+  EdgeList edges;
+  for (VertexId u = 0; u < vertices; ++u) {
+    for (VertexId v = 0; v < vertices; ++v) {
+      if (u != v) edges.push_back({u, v, 1});
+    }
+  }
+  return BuildCsr(vertices, edges, false);
+}
+
+CsrTopology Grid2d(uint64_t rows, uint64_t cols) {
+  EdgeList edges;
+  auto id = [&](uint64_t r, uint64_t c) { return r * cols + c; };
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.push_back({id(r, c), id(r, c + 1), 1});
+        edges.push_back({id(r, c + 1), id(r, c), 1});
+      }
+      if (r + 1 < rows) {
+        edges.push_back({id(r, c), id(r + 1, c), 1});
+        edges.push_back({id(r + 1, c), id(r, c), 1});
+      }
+    }
+  }
+  return BuildCsr(rows * cols, edges, false);
+}
+
+}  // namespace pmg::graph

@@ -1,0 +1,75 @@
+#ifndef PMG_GRAPH_GENERATORS_H_
+#define PMG_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "pmg/graph/topology.h"
+
+/// \file generators.h
+/// Deterministic graph generators. Two families matter to the paper:
+///   - synthetic power-law graphs (rmat / kron, Table 3's rmat32 and
+///     kron30), which have tiny diameters; and
+///   - real-world web crawls (clueweb12, uk14, wdc12), which have large
+///     diameters (500-5000) and heavy-tailed in-degrees. WebCrawl()
+///     synthesizes that structure: a long chain of scale-free communities
+///     with sparse bridges and a few global super-hubs.
+/// Section 5's thesis is exactly that conclusions drawn from the first
+/// family do not transfer to the second.
+
+namespace pmg::graph {
+
+/// R-MAT generator with the graph500 partition probabilities
+/// (a=0.57, b=0.19, c=0.19, d=0.05). 2^scale vertices,
+/// edge_factor * 2^scale edges.
+CsrTopology Rmat(uint32_t scale, uint32_t edge_factor, uint64_t seed,
+                 double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Kronecker generator (graph500 kron): same recursive family as R-MAT
+/// but with symmetric noise per level, yielding kron30-like structure.
+CsrTopology Kron(uint32_t scale, uint32_t edge_factor, uint64_t seed);
+
+/// Uniform random directed multigraph.
+CsrTopology ErdosRenyi(uint64_t vertices, uint64_t edges, uint64_t seed);
+
+/// Parameters of the synthetic web-crawl generator.
+struct WebCrawlParams {
+  uint64_t vertices = 100000;
+  uint32_t avg_out_degree = 20;
+  /// Communities chained on a path with sparse bridges.
+  uint32_t communities = 64;
+  /// Bridge edges between adjacent communities.
+  uint32_t bridge_edges = 2;
+  /// Vertices that act as global super-hubs with huge in-degree
+  /// (clueweb12's max in-degree is 75M on 978M vertices).
+  uint32_t hubs = 4;
+  /// Fraction (percent) of edges pointing at hubs.
+  uint32_t hub_percent = 4;
+  /// Depth of the deep link structure hanging off the last community.
+  /// Real crawls owe their estimated diameters (500-5274, Table 3) to such
+  /// structures; the generated graph's diameter is roughly this value.
+  uint64_t tail_length = 1000;
+  /// Width of each tail level: a BFS walking the tail carries a frontier
+  /// of about this many vertices per round (real crawl levels are sparse
+  /// but not singletons). tail_length * tail_width must be < vertices / 2.
+  uint64_t tail_width = 8;
+  uint64_t seed = 1;
+};
+
+/// High-diameter scale-free web-crawl-like graph (see WebCrawlParams).
+CsrTopology WebCrawl(const WebCrawlParams& params);
+
+/// Dense-cluster protein-similarity-like graph (iso_m100: avg degree 896,
+/// diameter ~83): cliques-ish clusters with a sparse backbone.
+CsrTopology ProteinCluster(uint32_t clusters, uint32_t cluster_size,
+                           uint32_t intra_degree, uint64_t seed);
+
+// Small deterministic shapes used heavily by tests.
+CsrTopology Path(uint64_t vertices);            // 0 -> 1 -> ... -> n-1
+CsrTopology Cycle(uint64_t vertices);           // directed ring
+CsrTopology Star(uint64_t leaves);              // 0 -> 1..leaves
+CsrTopology Complete(uint64_t vertices);        // all ordered pairs
+CsrTopology Grid2d(uint64_t rows, uint64_t cols);  // 4-neighbour, both dirs
+
+}  // namespace pmg::graph
+
+#endif  // PMG_GRAPH_GENERATORS_H_

@@ -1,0 +1,140 @@
+#include "pmg/graph/graph_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace pmg::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'M', 'G', 'R'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kFlagWeights = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteVec(std::FILE* f, const std::vector<T>& v) {
+  if (v.empty()) return true;
+  return std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+template <typename T>
+bool ReadVec(std::FILE* f, uint64_t count, std::vector<T>* v) {
+  v->resize(count);
+  if (count == 0) return true;
+  return std::fread(v->data(), sizeof(T), count, f) == count;
+}
+
+}  // namespace
+
+bool SaveCsr(const CsrTopology& g, const std::string& path) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) return false;
+  const uint64_t n = g.num_vertices;
+  const uint64_t m = g.NumEdges();
+  const uint32_t flags = g.HasWeights() ? kFlagWeights : 0;
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) return false;
+  if (std::fwrite(&kVersion, sizeof(kVersion), 1, f.get()) != 1) return false;
+  if (std::fwrite(&n, sizeof(n), 1, f.get()) != 1) return false;
+  if (std::fwrite(&m, sizeof(m), 1, f.get()) != 1) return false;
+  if (std::fwrite(&flags, sizeof(flags), 1, f.get()) != 1) return false;
+  if (!WriteVec(f.get(), g.index)) return false;
+  if (!WriteVec(f.get(), g.dst)) return false;
+  if (g.HasWeights() && !WriteVec(f.get(), g.weight)) return false;
+  return true;
+}
+
+bool LoadCsr(const std::string& path, CsrTopology* out) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr || out == nullptr) return false;
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t n = 0;
+  uint64_t m = 0;
+  uint32_t flags = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4) return false;
+  if (std::memcmp(magic, kMagic, 4) != 0) return false;
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1) return false;
+  if (version != kVersion) return false;
+  if (std::fread(&n, sizeof(n), 1, f.get()) != 1) return false;
+  if (std::fread(&m, sizeof(m), 1, f.get()) != 1) return false;
+  if (std::fread(&flags, sizeof(flags), 1, f.get()) != 1) return false;
+  out->num_vertices = n;
+  if (!ReadVec(f.get(), n + 1, &out->index)) return false;
+  if (!ReadVec(f.get(), m, &out->dst)) return false;
+  out->weight.clear();
+  if ((flags & kFlagWeights) != 0 &&
+      !ReadVec(f.get(), m, &out->weight)) {
+    return false;
+  }
+  // Sanity: index must be monotone and end at m.
+  if (out->index.empty() || out->index.front() != 0 ||
+      out->index.back() != m) {
+    return false;
+  }
+  for (size_t i = 1; i < out->index.size(); ++i) {
+    if (out->index[i] < out->index[i - 1]) return false;
+  }
+  for (VertexId d : out->dst) {
+    if (d >= n) return false;
+  }
+  return true;
+}
+
+bool ReadEdgeList(const std::string& path, uint64_t num_vertices,
+                  CsrTopology* out) {
+  File f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr || out == nullptr) return false;
+  EdgeList edges;
+  uint64_t max_id = 0;
+  bool any_weight = false;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+    unsigned long long s = 0;
+    unsigned long long d = 0;
+    unsigned long long w = 1;
+    const int got = std::sscanf(line, "%llu %llu %llu", &s, &d, &w);
+    if (got < 2) return false;
+    if (got >= 3) any_weight = true;
+    edges.push_back({s, d, static_cast<uint32_t>(w)});
+    max_id = std::max<uint64_t>(max_id, std::max<uint64_t>(s, d));
+  }
+  const uint64_t n =
+      num_vertices != 0 ? num_vertices : (edges.empty() ? 0 : max_id + 1);
+  for (const Edge& e : edges) {
+    if (e.src >= n || e.dst >= n) return false;
+  }
+  *out = BuildCsr(n, edges, any_weight);
+  return true;
+}
+
+bool WriteEdgeList(const CsrTopology& g, const std::string& path) {
+  File f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) return false;
+  const bool w = g.HasWeights();
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      if (w) {
+        std::fprintf(f.get(), "%llu %llu %u\n",
+                     static_cast<unsigned long long>(v),
+                     static_cast<unsigned long long>(g.dst[e]), g.weight[e]);
+      } else {
+        std::fprintf(f.get(), "%llu %llu\n",
+                     static_cast<unsigned long long>(v),
+                     static_cast<unsigned long long>(g.dst[e]));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace pmg::graph

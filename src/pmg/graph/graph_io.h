@@ -1,0 +1,33 @@
+#ifndef PMG_GRAPH_GRAPH_IO_H_
+#define PMG_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "pmg/graph/topology.h"
+
+/// \file graph_io.h
+/// Binary CSR persistence (a .gr-like format) and text edge-list reading.
+/// All functions return false on I/O or format errors (no exceptions).
+
+namespace pmg::graph {
+
+/// Binary format: magic "PMGR", u32 version, u64 n, u64 m, u32 flags
+/// (bit 0: weights), then index[n+1], dst[m], and weight[m] if flagged.
+bool SaveCsr(const CsrTopology& g, const std::string& path);
+
+/// Loads a file written by SaveCsr. On failure returns false and leaves
+/// `*out` unspecified.
+bool LoadCsr(const std::string& path, CsrTopology* out);
+
+/// Reads a whitespace-separated "src dst [weight]" edge list; lines
+/// starting with '#' or '%' are comments. Vertex count is
+/// max id + 1 unless `num_vertices` is nonzero.
+bool ReadEdgeList(const std::string& path, uint64_t num_vertices,
+                  CsrTopology* out);
+
+/// Writes an edge list in the same text format.
+bool WriteEdgeList(const CsrTopology& g, const std::string& path);
+
+}  // namespace pmg::graph
+
+#endif  // PMG_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,95 @@
+#include "pmg/graph/properties.h"
+
+#include <cstdio>
+#include <queue>
+#include <vector>
+
+namespace pmg::graph {
+
+VertexId MaxOutDegreeVertex(const CsrTopology& g) {
+  VertexId best = 0;
+  uint64_t best_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    const uint64_t d = g.OutDegree(v);
+    if (d > best_deg) {
+      best_deg = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::pair<VertexId, uint64_t> FarthestVertex(const CsrTopology& g,
+                                             const CsrTopology& t,
+                                             VertexId start) {
+  std::vector<uint64_t> dist(g.num_vertices, ~0ull);
+  std::queue<VertexId> q;
+  dist[start] = 0;
+  q.push(start);
+  VertexId far = start;
+  uint64_t far_d = 0;
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    auto visit = [&](VertexId u) {
+      if (dist[u] == ~0ull) {
+        dist[u] = dist[v] + 1;
+        if (dist[u] > far_d) {
+          far_d = dist[u];
+          far = u;
+        }
+        q.push(u);
+      }
+    };
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) visit(g.dst[e]);
+    for (uint64_t e = t.index[v]; e < t.index[v + 1]; ++e) visit(t.dst[e]);
+  }
+  return {far, far_d};
+}
+
+GraphProperties ComputeProperties(const CsrTopology& g) {
+  GraphProperties p;
+  p.num_vertices = g.num_vertices;
+  p.num_edges = g.NumEdges();
+  p.avg_degree = g.num_vertices == 0
+                     ? 0
+                     : static_cast<double>(p.num_edges) / g.num_vertices;
+  p.csr_bytes = CsrBytes(g);
+
+  const CsrTopology t = Transpose(g);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    const uint64_t od = g.OutDegree(v);
+    if (od > p.max_out_degree) {
+      p.max_out_degree = od;
+      p.max_out_degree_vertex = v;
+    }
+    p.max_in_degree = std::max(p.max_in_degree, t.OutDegree(v));
+  }
+
+  // Double-sweep: BFS from the max-degree vertex, then from the farthest
+  // vertex found; the second eccentricity lower-bounds the diameter.
+  if (g.num_vertices > 0) {
+    const auto [far, d1] = FarthestVertex(g, t, p.max_out_degree_vertex);
+    (void)d1;
+    const auto [far2, d2] = FarthestVertex(g, t, far);
+    (void)far2;
+    p.estimated_diameter = d2;
+  }
+  return p;
+}
+
+std::string GraphProperties::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "|V|=%llu |E|=%llu |E|/|V|=%.1f maxDout=%llu maxDin=%llu "
+                "est.diameter=%llu size=%.1fMB",
+                static_cast<unsigned long long>(num_vertices),
+                static_cast<unsigned long long>(num_edges), avg_degree,
+                static_cast<unsigned long long>(max_out_degree),
+                static_cast<unsigned long long>(max_in_degree),
+                static_cast<unsigned long long>(estimated_diameter),
+                csr_bytes / 1e6);
+  return buf;
+}
+
+}  // namespace pmg::graph

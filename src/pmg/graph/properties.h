@@ -1,0 +1,43 @@
+#ifndef PMG_GRAPH_PROPERTIES_H_
+#define PMG_GRAPH_PROPERTIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "pmg/graph/topology.h"
+
+/// \file properties.h
+/// Structural statistics of a graph — the columns of the paper's Table 3
+/// (|V|, |E|, |E|/|V|, max out-/in-degree, estimated diameter, CSR size).
+
+namespace pmg::graph {
+
+struct GraphProperties {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  double avg_degree = 0;
+  uint64_t max_out_degree = 0;
+  uint64_t max_in_degree = 0;
+  VertexId max_out_degree_vertex = 0;
+  /// Lower bound from a double-sweep BFS on the undirected view.
+  uint64_t estimated_diameter = 0;
+  uint64_t csr_bytes = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes all properties (runs two BFS sweeps; host-side, uncosted).
+GraphProperties ComputeProperties(const CsrTopology& g);
+
+/// Maximum out-degree vertex — the paper's source for bc/bfs/sssp.
+VertexId MaxOutDegreeVertex(const CsrTopology& g);
+
+/// BFS eccentricity lower bound: runs BFS on the undirected view from
+/// `start`, returns the farthest vertex and its distance.
+std::pair<VertexId, uint64_t> FarthestVertex(const CsrTopology& g,
+                                             const CsrTopology& transpose,
+                                             VertexId start);
+
+}  // namespace pmg::graph
+
+#endif  // PMG_GRAPH_PROPERTIES_H_

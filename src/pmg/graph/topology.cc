@@ -1,0 +1,162 @@
+#include "pmg/graph/topology.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pmg/common/check.h"
+
+namespace pmg::graph {
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CsrTopology BuildCsr(uint64_t num_vertices, const EdgeList& edges,
+                     bool keep_weights) {
+  CsrTopology g;
+  g.num_vertices = num_vertices;
+  g.index.assign(num_vertices + 1, 0);
+  for (const Edge& e : edges) {
+    PMG_CHECK(e.src < num_vertices && e.dst < num_vertices);
+    ++g.index[e.src + 1];
+  }
+  for (uint64_t v = 0; v < num_vertices; ++v) g.index[v + 1] += g.index[v];
+  g.dst.resize(edges.size());
+  if (keep_weights) g.weight.resize(edges.size());
+  std::vector<uint64_t> cursor(g.index.begin(), g.index.end() - 1);
+  for (const Edge& e : edges) {
+    const uint64_t slot = cursor[e.src]++;
+    g.dst[slot] = e.dst;
+    if (keep_weights) g.weight[slot] = e.weight;
+  }
+  return g;
+}
+
+CsrTopology Transpose(const CsrTopology& g) {
+  CsrTopology t;
+  t.num_vertices = g.num_vertices;
+  t.index.assign(g.num_vertices + 1, 0);
+  for (VertexId d : g.dst) ++t.index[d + 1];
+  for (uint64_t v = 0; v < g.num_vertices; ++v) t.index[v + 1] += t.index[v];
+  t.dst.resize(g.dst.size());
+  const bool w = g.HasWeights();
+  if (w) t.weight.resize(g.dst.size());
+  std::vector<uint64_t> cursor(t.index.begin(), t.index.end() - 1);
+  for (uint64_t v = 0; v < g.num_vertices; ++v) {
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      const uint64_t slot = cursor[g.dst[e]]++;
+      t.dst[slot] = v;
+      if (w) t.weight[slot] = g.weight[e];
+    }
+  }
+  return t;
+}
+
+CsrTopology Symmetrize(const CsrTopology& g) {
+  EdgeList edges;
+  edges.reserve(2 * g.dst.size());
+  const bool w = g.HasWeights();
+  for (uint64_t v = 0; v < g.num_vertices; ++v) {
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      const uint32_t wt = w ? g.weight[e] : 1;
+      edges.push_back({v, g.dst[e], wt});
+      edges.push_back({g.dst[e], v, wt});
+    }
+  }
+  CsrTopology s = BuildCsr(g.num_vertices, edges, w);
+  return DedupAndDropSelfLoops(s);
+}
+
+void SortAdjacency(CsrTopology* g) {
+  PMG_CHECK(g != nullptr);
+  const bool w = g->HasWeights();
+  for (uint64_t v = 0; v < g->num_vertices; ++v) {
+    const uint64_t lo = g->index[v];
+    const uint64_t hi = g->index[v + 1];
+    if (!w) {
+      std::sort(g->dst.begin() + lo, g->dst.begin() + hi);
+      continue;
+    }
+    std::vector<std::pair<VertexId, uint32_t>> tmp;
+    tmp.reserve(hi - lo);
+    for (uint64_t e = lo; e < hi; ++e) tmp.emplace_back(g->dst[e], g->weight[e]);
+    std::sort(tmp.begin(), tmp.end());
+    for (uint64_t e = lo; e < hi; ++e) {
+      g->dst[e] = tmp[e - lo].first;
+      g->weight[e] = tmp[e - lo].second;
+    }
+  }
+}
+
+CsrTopology DedupAndDropSelfLoops(const CsrTopology& g) {
+  CsrTopology out;
+  out.num_vertices = g.num_vertices;
+  out.index.assign(g.num_vertices + 1, 0);
+  const bool w = g.HasWeights();
+  std::vector<std::pair<VertexId, uint32_t>> tmp;
+  // First pass: count surviving edges per vertex.
+  std::vector<std::vector<std::pair<VertexId, uint32_t>>> kept(g.num_vertices);
+  for (uint64_t v = 0; v < g.num_vertices; ++v) {
+    tmp.clear();
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      if (g.dst[e] == v) continue;
+      tmp.emplace_back(g.dst[e], w ? g.weight[e] : 1);
+    }
+    std::sort(tmp.begin(), tmp.end());
+    tmp.erase(std::unique(tmp.begin(), tmp.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          }),
+              tmp.end());
+    kept[v] = tmp;
+    out.index[v + 1] = out.index[v] + tmp.size();
+  }
+  out.dst.resize(out.index.back());
+  if (w) out.weight.resize(out.index.back());
+  for (uint64_t v = 0; v < g.num_vertices; ++v) {
+    uint64_t slot = out.index[v];
+    for (const auto& [d, wt] : kept[v]) {
+      out.dst[slot] = d;
+      if (w) out.weight[slot] = wt;
+      ++slot;
+    }
+  }
+  return out;
+}
+
+void AssignRandomWeights(CsrTopology* g, uint32_t max_weight, uint64_t seed) {
+  PMG_CHECK(g != nullptr && max_weight >= 1);
+  g->weight.resize(g->dst.size());
+  for (uint64_t e = 0; e < g->dst.size(); ++e) {
+    g->weight[e] = 1 + static_cast<uint32_t>(Mix(seed ^ e) % max_weight);
+  }
+}
+
+uint64_t CsrBytes(const CsrTopology& g) {
+  uint64_t bytes = g.index.size() * sizeof(uint64_t) +
+                   g.dst.size() * sizeof(VertexId);
+  if (g.HasWeights()) bytes += g.weight.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+CsrTopology Relabel(const CsrTopology& g, const std::vector<VertexId>& perm) {
+  PMG_CHECK(perm.size() == g.num_vertices);
+  EdgeList edges;
+  edges.reserve(g.dst.size());
+  const bool w = g.HasWeights();
+  for (uint64_t v = 0; v < g.num_vertices; ++v) {
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      edges.push_back({perm[v], perm[g.dst[e]], w ? g.weight[e] : 1});
+    }
+  }
+  return BuildCsr(g.num_vertices, edges, w);
+}
+
+}  // namespace pmg::graph

@@ -1,0 +1,73 @@
+#ifndef PMG_GRAPH_TOPOLOGY_H_
+#define PMG_GRAPH_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pmg/common/types.h"
+
+/// \file topology.h
+/// Host-side (uncosted) graph representation: edge lists and CSR topology.
+/// Construction, generators, I/O and reference algorithms operate on these;
+/// measured algorithms run on the machine-resident CsrGraph built from one.
+/// The paper excludes graph loading and construction from reported times,
+/// so host-side construction does not distort any experiment.
+
+namespace pmg::graph {
+
+/// One directed edge with an optional weight.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  uint32_t weight = 1;
+};
+
+using EdgeList = std::vector<Edge>;
+
+/// Compressed Sparse Row adjacency (out-edges).
+struct CsrTopology {
+  uint64_t num_vertices = 0;
+  /// index[v]..index[v+1) are v's out-edges. Size num_vertices + 1.
+  std::vector<uint64_t> index;
+  std::vector<VertexId> dst;
+  /// Empty, or parallel to dst.
+  std::vector<uint32_t> weight;
+
+  uint64_t NumEdges() const { return dst.size(); }
+  uint64_t OutDegree(VertexId v) const { return index[v + 1] - index[v]; }
+  bool HasWeights() const { return !weight.empty(); }
+};
+
+/// Builds CSR from an edge list (vertices [0, n)). Preserves weights when
+/// `keep_weights`; multi-edges and self-loops are preserved as-is.
+CsrTopology BuildCsr(uint64_t num_vertices, const EdgeList& edges,
+                     bool keep_weights);
+
+/// Reverses every edge (weights follow).
+CsrTopology Transpose(const CsrTopology& g);
+
+/// Makes the graph undirected: adds the reverse of every edge, then
+/// removes duplicate edges and self-loops. Used by tc and kcore.
+CsrTopology Symmetrize(const CsrTopology& g);
+
+/// Sorts every adjacency list by target id (required by tc intersection).
+void SortAdjacency(CsrTopology* g);
+
+/// Removes duplicate edges (keeping the first weight) and self-loops.
+CsrTopology DedupAndDropSelfLoops(const CsrTopology& g);
+
+/// Assigns deterministic pseudo-random weights in [1, max_weight] — the
+/// paper's graphs are unweighted, weights are generated for sssp.
+void AssignRandomWeights(CsrTopology* g, uint32_t max_weight, uint64_t seed);
+
+/// Bytes of the CSR form (index + dst + weights if present): the "size on
+/// disk" figure of Table 3.
+uint64_t CsrBytes(const CsrTopology& g);
+
+/// Renames vertices by the permutation `perm` (new id of v = perm[v]).
+/// Used by metamorphic relabeling tests.
+CsrTopology Relabel(const CsrTopology& g, const std::vector<VertexId>& perm);
+
+}  // namespace pmg::graph
+
+#endif  // PMG_GRAPH_TOPOLOGY_H_

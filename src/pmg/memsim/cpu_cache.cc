@@ -1,0 +1,15 @@
+#include "pmg/memsim/cpu_cache.h"
+
+#include "pmg/common/check.h"
+
+namespace pmg::memsim {
+
+CpuCache::CpuCache(uint32_t lines) {
+  PMG_CHECK(lines > 0 && (lines & (lines - 1)) == 0);
+  mask_ = lines - 1;
+  tags_.assign(lines, ~0ull);
+}
+
+void CpuCache::Clear() { tags_.assign(tags_.size(), ~0ull); }
+
+}  // namespace pmg::memsim

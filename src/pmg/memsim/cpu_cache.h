@@ -1,0 +1,45 @@
+#ifndef PMG_MEMSIM_CPU_CACHE_H_
+#define PMG_MEMSIM_CPU_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pmg/common/types.h"
+
+/// \file cpu_cache.h
+/// A per-thread direct-mapped cache of 64-byte lines modelling the private
+/// L1/L2 of one core. It decides whether an access reaches the memory
+/// system at all, which is what gives sequential scans their bandwidth
+/// character and pointer chasing its latency character.
+
+namespace pmg::memsim {
+
+inline constexpr uint64_t kCacheLineBytes = 64;
+
+/// Direct-mapped line cache. Not thread-safe (one instance per virtual
+/// thread).
+class CpuCache {
+ public:
+  /// `lines` must be a power of two (default 16384 lines = 1MB, the L2 of
+  /// the paper's Cascade Lake cores).
+  explicit CpuCache(uint32_t lines);
+
+  /// Returns true if `line` (vaddr >> 6) is resident; installs it if not.
+  bool AccessLine(uint64_t line) {
+    const uint32_t idx = static_cast<uint32_t>(line) & mask_;
+    if (tags_[idx] == line) return true;
+    tags_[idx] = line;
+    return false;
+  }
+
+  /// Empties the cache.
+  void Clear();
+
+ private:
+  uint32_t mask_;
+  std::vector<uint64_t> tags_;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_CPU_CACHE_H_

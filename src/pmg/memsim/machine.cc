@@ -1,0 +1,474 @@
+#include "pmg/memsim/machine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "pmg/common/check.h"
+
+namespace pmg::memsim {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config), pages_(config.thp_percent, config.seed) {
+  const NumaTopology& topo = config_.topology;
+  PMG_CHECK(topo.sockets > 0);
+  PMG_CHECK(config_.MainBytesPerSocket() > 0);
+
+  if (config_.kind == MachineKind::kMemoryMode) {
+    PMG_CHECK_MSG(topo.dram_bytes_per_socket > 0,
+                  "memory mode needs DRAM for near-memory");
+    near_mem_ = std::make_unique<NearMemoryCache>(
+        topo.sockets, topo.dram_bytes_per_socket / kSmallPageBytes,
+        config_.near_mem_ways);
+  }
+
+  PMG_CHECK(config_.timings.mem_parallelism >= 1.0);
+  inv_mlp_ = 1.0 / config_.timings.mem_parallelism;
+  threads_.resize(topo.TotalThreads());
+  channels_.resize(topo.sockets);
+  const uint64_t frames_per_node =
+      config_.MainBytesPerSocket() / kSmallPageBytes;
+  frames_capacity_.assign(topo.sockets, frames_per_node);
+  frames_used_.assign(topo.sockets, 0);
+  free_runs_.resize(topo.sockets);
+  frame_stride_ = frames_per_node + 1;
+}
+
+Machine::ThreadState& Machine::Thread(ThreadId t) {
+  PMG_CHECK_MSG(t < threads_.size(), "thread id %u out of range", t);
+  ThreadState& ts = threads_[t];
+  if (ts.tlb == nullptr) {
+    ts.tlb = std::make_unique<Tlb>(config_.tlb);
+    ts.cache = std::make_unique<CpuCache>(config_.cpu_cache_lines);
+  }
+  return ts;
+}
+
+uint64_t Machine::MainMemoryCapacity() const {
+  return config_.MainBytesPerSocket() * config_.topology.sockets;
+}
+
+uint64_t Machine::NodeBytesUsed(NodeId node) const {
+  PMG_CHECK(node < frames_used_.size());
+  uint64_t free_frames = 0;
+  for (const auto& [frame, count] : free_runs_[node]) {
+    (void)frame;
+    free_frames += count;
+  }
+  return (frames_used_[node] - free_frames) * kSmallPageBytes;
+}
+
+RegionId Machine::Alloc(uint64_t bytes, const PagePolicy& policy,
+                        std::string_view name) {
+  return pages_.CreateRegion(bytes, policy, std::string(name));
+}
+
+void Machine::Free(RegionId id) {
+  pages_.ForEachMappedPage(
+      [&](Region& r, PageInfo& p, VirtAddr /*base*/, PageSizeClass cls) {
+        if (&r != &pages_.region(id)) return;
+        const uint64_t n = PageBytes(cls) / kSmallPageBytes;
+        if (near_mem_ != nullptr) near_mem_->Invalidate(p.node, p.frame, n);
+        FreeFrames(p.node, p.frame, n);
+        p.frame = kInvalidFrame;
+      });
+  pages_.DestroyRegion(id);
+}
+
+VirtAddr Machine::BaseOf(RegionId id) const { return pages_.region(id).base; }
+
+NodeId Machine::PlacePage(const Region& region, uint32_t page_index,
+                          NodeId toucher_socket) const {
+  switch (region.policy.placement) {
+    case Placement::kLocal:
+      return region.policy.preferred_node % config_.topology.sockets;
+    case Placement::kInterleaved: {
+      // Rotate the starting node per region (hashed from its base) so
+      // that many small allocations still spread across sockets.
+      const uint64_t rotate =
+          (region.base * 0x9e3779b97f4a7c15ull) >> 32;
+      return (page_index + rotate) % config_.topology.sockets;
+    }
+    case Placement::kBlocked:
+      return toucher_socket;
+  }
+  return 0;
+}
+
+PhysPage Machine::AllocFrames(NodeId node, uint64_t n) {
+  const uint32_t sockets = config_.topology.sockets;
+  for (uint32_t attempt = 0; attempt < sockets; ++attempt) {
+    const NodeId nd = (node + attempt) % sockets;
+    // Reuse a freed run of the exact size first.
+    auto& runs = free_runs_[nd];
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (runs[i].second == n) {
+        const PhysPage f = runs[i].first;
+        runs[i] = runs.back();
+        runs.pop_back();
+        return f;
+      }
+    }
+    if (frames_used_[nd] + n <= frames_capacity_[nd]) {
+      const PhysPage f = uint64_t{nd} * frame_stride_ + frames_used_[nd];
+      frames_used_[nd] += n;
+      return f;
+    }
+  }
+  return kInvalidFrame;
+}
+
+void Machine::FreeFrames(NodeId node, PhysPage frame, uint64_t n) {
+  free_runs_[node].emplace_back(frame, n);
+}
+
+NodeId Machine::NodeOfFrame(PhysPage frame) const {
+  return static_cast<NodeId>(frame / frame_stride_);
+}
+
+SimNs Machine::KernelCost(SimNs dram_cost) const {
+  if (config_.kind == MachineKind::kMemoryMode) {
+    return static_cast<SimNs>(static_cast<double>(dram_cost) *
+                              config_.timings.pmm_kernel_factor);
+  }
+  return dram_cost;
+}
+
+void Machine::HandleFault(ThreadId t, const PageLookup& lk) {
+  const uint64_t n = PageBytes(lk.cls) / kSmallPageBytes;
+  const NodeId target =
+      PlacePage(*lk.region, lk.page_index, SocketOfThread(t));
+  const PhysPage f = AllocFrames(target, n);
+  PMG_CHECK_MSG(f != kInvalidFrame,
+                "simulated machine out of memory mapping region '%s'",
+                lk.region->name.c_str());
+  lk.page->frame = f;
+  lk.page->node = NodeOfFrame(f);
+  pages_.NoteMapped();
+  if (lk.cls == PageSizeClass::k4K) {
+    ++stats_.pages_mapped_small;
+  } else {
+    ++stats_.pages_mapped_huge;
+  }
+  ++stats_.minor_faults;
+  const SimNs base = lk.cls == PageSizeClass::k4K
+                         ? config_.timings.fault_small_dram_ns
+                         : config_.timings.fault_huge_dram_ns;
+  Thread(t).kernel_ns += KernelCost(base);
+}
+
+void Machine::ChargeChannel(NodeId node, bool pmm, bool remote,
+                            bool sequential, bool write, uint64_t bytes) {
+  ChannelBytes& ch = channels_[node];
+  if (pmm) {
+    ch.pmm[remote ? 1 : 0][sequential ? 0 : 1][write ? 1 : 0] += bytes;
+  } else {
+    ch.dram[remote ? 1 : 0][sequential ? 0 : 1][write ? 1 : 0] += bytes;
+  }
+}
+
+SimNs Machine::ChannelTime(const ChannelBytes& ch) const {
+  const MemoryTimings& tm = config_.timings;
+  auto time = [](uint64_t bytes, double gbs) {
+    return static_cast<double>(bytes) / gbs;  // 1 GB/s == 1 byte/ns
+  };
+  auto side = [&](const uint64_t counters[2][2], const ChannelBandwidth& bw) {
+    double ns = 0;
+    ns += time(counters[0][0], bw.seq_read_gbs);
+    ns += time(counters[0][1], bw.seq_write_gbs);
+    ns += time(counters[1][0], bw.rand_read_gbs);
+    ns += time(counters[1][1], bw.rand_write_gbs);
+    return ns;
+  };
+  double ns = 0;
+  ns += side(ch.dram[0], tm.dram_local);
+  ns += side(ch.dram[1], tm.dram_remote);
+  ns += side(ch.pmm[0], tm.pmm_local);
+  ns += side(ch.pmm[1], tm.pmm_remote);
+  return static_cast<SimNs>(ns);
+}
+
+void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
+                     AccessType type) {
+  if (!in_epoch_) BeginEpoch(1);
+  ThreadState& ts = Thread(t);
+  const MemoryTimings& tm = config_.timings;
+
+  ++stats_.accesses;
+  if (type == AccessType::kRead) {
+    ++stats_.reads;
+  } else {
+    ++stats_.writes;
+  }
+
+  const uint64_t line = addr / kCacheLineBytes;
+  const bool sequential = line == ts.last_line + 1;
+  const bool was_resident = ts.cache->AccessLine(line);
+  ts.last_line = line;
+  if (was_resident) {
+    ++stats_.cpu_cache_hits;
+    ts.user_ns += static_cast<double>(tm.cpu_cache_hit_ns);
+    return;
+  }
+  ++stats_.cpu_cache_misses;
+
+  PageLookup lk = pages_.Lookup(addr);
+  if (lk.page->frame == kInvalidFrame) HandleFault(t, lk);
+
+  if (lk.page->hint_armed) {
+    // AutoNUMA hint fault: the kernel unmapped the PTE to sample access
+    // locality; this access traps.
+    lk.page->hint_armed = false;
+    ++stats_.hint_faults;
+    ts.kernel_ns += KernelCost(tm.fault_small_dram_ns);
+    ts.tlb->InvalidatePage(lk.page_base, lk.cls);
+  }
+
+  if (ts.tlb->Lookup(lk.page_base, lk.cls)) {
+    ++stats_.tlb_hits;
+  } else {
+    ++stats_.tlb_misses;
+    const uint32_t levels = lk.cls == PageSizeClass::k4K   ? 4
+                            : lk.cls == PageSizeClass::k2M ? 3
+                                                           : 2;
+    const SimNs step = config_.kind == MachineKind::kMemoryMode
+                           ? tm.walk_step_pmm_ns
+                           : tm.walk_step_dram_ns;
+    const SimNs walk = levels * step;
+    ts.user_ns += static_cast<double>(walk) * inv_mlp_;
+    stats_.page_walk_ns += walk;
+    ts.tlb->Insert(lk.page_base, lk.cls);
+  }
+
+  const NodeId home = lk.page->node;
+  const NodeId socket = SocketOfThread(t);
+  const bool local = home == socket;
+  if (local) {
+    ++stats_.local_accesses;
+  } else {
+    ++stats_.remote_accesses;
+  }
+  if (config_.migration.enabled) {
+    if (local) {
+      ++lk.page->local_accesses;
+    } else {
+      ++lk.page->remote_accesses;
+      lk.page->last_remote_node = static_cast<uint8_t>(socket);
+    }
+  }
+
+  const bool write = type == AccessType::kWrite;
+  SimNs lat = 0;
+  if (config_.kind == MachineKind::kMemoryMode) {
+    const PhysPage frame =
+        lk.page->frame + ((addr - lk.page_base) / kSmallPageBytes);
+    const NearMemoryCache::Result r = near_mem_->Access(home, frame, write);
+    if (r.hit) {
+      ++stats_.near_mem_hits;
+      lat = local ? tm.near_mem_hit_local_ns : tm.near_mem_hit_remote_ns;
+    } else {
+      ++stats_.near_mem_misses;
+      lat = (local ? tm.near_mem_hit_local_ns : tm.near_mem_hit_remote_ns) +
+            tm.near_mem_miss_extra_ns;
+      // 4KB fill from PMM media; dirty victims are written back first.
+      // Fills are media-side sequential bursts, local to the home socket.
+      ChargeChannel(home, /*pmm=*/true, /*remote=*/false,
+                    /*sequential=*/true, /*write=*/false, kSmallPageBytes);
+      stats_.pmm_read_bytes += kSmallPageBytes;
+      if (r.writeback) {
+        ++stats_.near_mem_writebacks;
+        ChargeChannel(home, true, false, true, true, kSmallPageBytes);
+        stats_.pmm_write_bytes += kSmallPageBytes;
+      }
+    }
+    ChargeChannel(home, /*pmm=*/false, !local, sequential, write,
+                  kCacheLineBytes);
+    stats_.dram_bytes += kCacheLineBytes;
+  } else {
+    lat = local ? tm.dram_local_ns : tm.dram_remote_ns;
+    ChargeChannel(home, /*pmm=*/false, !local, sequential, write,
+                  kCacheLineBytes);
+    stats_.dram_bytes += kCacheLineBytes;
+  }
+  ts.user_ns += static_cast<double>(lat) * inv_mlp_;
+  (void)bytes;
+}
+
+void Machine::AccessRange(ThreadId t, VirtAddr addr, uint64_t bytes,
+                          AccessType type) {
+  if (bytes == 0) return;
+  const VirtAddr first_line = addr / kCacheLineBytes;
+  const VirtAddr last_line = (addr + bytes - 1) / kCacheLineBytes;
+  for (VirtAddr line = first_line; line <= last_line; ++line) {
+    Access(t, line * kCacheLineBytes, kCacheLineBytes, type);
+  }
+}
+
+void Machine::AddCompute(ThreadId t, SimNs ns) {
+  if (!in_epoch_) BeginEpoch(1);
+  Thread(t).user_ns += static_cast<double>(ns);
+}
+
+void Machine::StorageRead(ThreadId t, uint64_t bytes, NodeId node,
+                          bool sequential, bool remote) {
+  PMG_CHECK_MSG(config_.kind == MachineKind::kAppDirect,
+                "storage I/O requires app-direct mode");
+  if (!in_epoch_) BeginEpoch(1);
+  ChargeChannel(node % config_.topology.sockets, /*pmm=*/true, remote,
+                sequential, /*write=*/false, bytes);
+  stats_.storage_read_bytes += bytes;
+  Thread(t).user_ns += static_cast<double>(
+      remote ? config_.timings.appdirect_remote_ns
+             : config_.timings.appdirect_local_ns);
+}
+
+void Machine::StorageWrite(ThreadId t, uint64_t bytes, NodeId node,
+                           bool sequential, bool remote) {
+  PMG_CHECK_MSG(config_.kind == MachineKind::kAppDirect,
+                "storage I/O requires app-direct mode");
+  if (!in_epoch_) BeginEpoch(1);
+  ChargeChannel(node % config_.topology.sockets, /*pmm=*/true, remote,
+                sequential, /*write=*/true, bytes);
+  stats_.storage_write_bytes += bytes;
+  Thread(t).user_ns += static_cast<double>(
+      remote ? config_.timings.appdirect_remote_ns
+             : config_.timings.appdirect_local_ns);
+}
+
+void Machine::BeginEpoch(uint32_t active_threads) {
+  PMG_CHECK(!in_epoch_);
+  PMG_CHECK(active_threads >= 1 && active_threads <= MaxThreads());
+  for (ThreadState& ts : threads_) {
+    ts.user_ns = 0;
+    ts.kernel_ns = 0;
+  }
+  for (ChannelBytes& ch : channels_) ch = ChannelBytes{};
+  epoch_active_threads_ = active_threads;
+  in_epoch_ = true;
+}
+
+EpochReport Machine::EndEpoch() {
+  PMG_CHECK(in_epoch_);
+  SimNs lat = 0;
+  SimNs crit_user = 0;
+  SimNs crit_kernel = 0;
+  for (const ThreadState& ts : threads_) {
+    const SimNs user = static_cast<SimNs>(ts.user_ns);
+    const SimNs total = user + ts.kernel_ns;
+    if (total > lat) {
+      lat = total;
+      crit_user = user;
+      crit_kernel = ts.kernel_ns;
+    }
+  }
+  SimNs bw = 0;
+  for (const ChannelBytes& ch : channels_) bw = std::max(bw, ChannelTime(ch));
+
+  EpochReport report;
+  report.latency_path_ns = lat;
+  report.bandwidth_path_ns = bw;
+  report.bandwidth_bound = bw > lat;
+  SimNs total = std::max(lat, bw);
+  if (report.bandwidth_bound) {
+    crit_user += bw - lat;
+    ++stats_.bandwidth_bound_epochs;
+  }
+
+  SimNs daemon = 0;
+  if (config_.migration.enabled &&
+      stats_.total_ns + total - last_scan_ns_ >=
+          config_.migration.scan_interval_ns) {
+    last_scan_ns_ = stats_.total_ns + total;
+    daemon = RunMigrationDaemon();
+  }
+  report.daemon_ns = daemon;
+  report.total_ns = total + daemon;
+
+  stats_.user_ns += crit_user;
+  stats_.kernel_ns += crit_kernel + daemon;
+  stats_.total_ns += report.total_ns;
+  ++stats_.epochs;
+  in_epoch_ = false;
+  return report;
+}
+
+SimNs Machine::RunMigrationDaemon() {
+  const MigrationConfig& mc = config_.migration;
+  ++scan_counter_;
+  ++stats_.migration_scans;
+  SimNs cost = KernelCost(pages_.mapped_pages() * mc.scan_per_page_ns);
+
+  uint32_t migrated = 0;
+  uint64_t page_seq = 0;
+  migrate_budget_bytes_ = std::min<uint64_t>(
+      migrate_budget_bytes_ + mc.migrate_bytes_per_scan,
+      8 * mc.migrate_bytes_per_scan);
+  pages_.ForEachMappedPage([&](Region& /*r*/, PageInfo& p, VirtAddr base,
+                               PageSizeClass cls) {
+    // Arm AutoNUMA hint faults on a rotating subset of pages.
+    if ((page_seq + scan_counter_) % mc.hint_every == 0) p.hint_armed = true;
+    ++page_seq;
+
+    const uint32_t threshold =
+        cls == PageSizeClass::k4K
+            ? mc.min_remote_accesses
+            : mc.min_remote_accesses * mc.huge_page_threshold_factor;
+    const bool candidate = p.remote_accesses >= threshold &&
+                           p.remote_accesses > p.local_accesses &&
+                           migrated < mc.max_migrations_per_scan &&
+                           PageBytes(cls) <= migrate_budget_bytes_;
+    if (candidate) {
+      const NodeId target = p.last_remote_node % config_.topology.sockets;
+      const uint64_t n = PageBytes(cls) / kSmallPageBytes;
+      const PhysPage nf = AllocFrames(target, n);
+      if (nf != kInvalidFrame && NodeOfFrame(nf) == target) {
+        if (near_mem_ != nullptr) near_mem_->Invalidate(p.node, p.frame, n);
+        FreeFrames(p.node, p.frame, n);
+        // Copy + PTE remap.
+        cost += static_cast<SimNs>(static_cast<double>(PageBytes(cls)) /
+                                   mc.copy_bw_gbs) +
+                KernelCost(1000);
+        p.frame = nf;
+        p.node = target;
+        migrate_budget_bytes_ -= PageBytes(cls);
+        ++migrated;
+        ++stats_.migrations;
+        // Remap invalidates the translation on every core.
+        for (ThreadState& ts : threads_) {
+          if (ts.tlb != nullptr) ts.tlb->InvalidatePage(base, cls);
+        }
+      } else if (nf != kInvalidFrame) {
+        // Spilled to the wrong node: give the frames back, skip.
+        FreeFrames(NodeOfFrame(nf), nf, n);
+      }
+    }
+    p.local_accesses = 0;
+    p.remote_accesses = 0;
+  });
+
+  if (migrated > 0) {
+    ++stats_.tlb_shootdowns;
+    // One batched shootdown: the IPI wave interrupts all cores in
+    // parallel, so the critical path grows by one handler, not by the
+    // sum over cores.
+    cost += KernelCost(mc.shootdown_base_ns +
+                       SimNs{migrated} * mc.shootdown_per_page_ns);
+  }
+  return cost;
+}
+
+void Machine::FlushVolatileState() {
+  PMG_CHECK(!in_epoch_);
+  for (ThreadState& ts : threads_) {
+    if (ts.tlb != nullptr) ts.tlb->InvalidateAll();
+    if (ts.cache != nullptr) ts.cache->Clear();
+    ts.last_line = ~0ull;
+  }
+  if (near_mem_ != nullptr) {
+    near_mem_ = std::make_unique<NearMemoryCache>(
+        config_.topology.sockets,
+        config_.topology.dram_bytes_per_socket / kSmallPageBytes,
+        config_.near_mem_ways);
+  }
+}
+
+}  // namespace pmg::memsim

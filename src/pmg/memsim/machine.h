@@ -1,0 +1,237 @@
+#ifndef PMG_MEMSIM_MACHINE_H_
+#define PMG_MEMSIM_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/cpu_cache.h"
+#include "pmg/memsim/near_memory.h"
+#include "pmg/memsim/numa_topology.h"
+#include "pmg/memsim/page_table.h"
+#include "pmg/memsim/stats.h"
+#include "pmg/memsim/timings.h"
+#include "pmg/memsim/tlb.h"
+
+/// \file machine.h
+/// The discrete-cost model of one machine. Application code (the runtime's
+/// NumaArray accessors) reports every memory access; the machine prices it
+/// through CPU cache -> TLB/page table -> NUMA placement -> medium
+/// (DRAM, or near-memory-cached Optane PMM), accumulating per-virtual-thread
+/// user/kernel clocks and per-channel byte counts. Execution proceeds in
+/// *epochs* (one parallel region each): epoch duration is
+/// max(latency critical path over threads, bandwidth roofline over
+/// channels), after which the optional NUMA-migration daemon runs.
+///
+/// The machine is deliberately NOT thread-safe: the runtime interleaves
+/// virtual threads deterministically on one host thread, which is what makes
+/// simulated results bit-reproducible.
+
+namespace pmg::memsim {
+
+/// Which memory system the machine runs (Figure 2).
+enum class MachineKind {
+  /// DRAM is main memory (paper's DRAM baseline and "Entropy").
+  kDramMain,
+  /// Optane PMM is main memory; DRAM is the per-socket near-memory cache.
+  kMemoryMode,
+  /// DRAM is main memory; PMM is byte-addressable storage reached through
+  /// the StorageRead/StorageWrite interface (GridGraph's configuration).
+  kAppDirect,
+};
+
+/// Knobs of the Linux AutoNUMA-style migration model (Section 4.2).
+struct MigrationConfig {
+  bool enabled = false;
+  /// Minimum simulated time between daemon scans (Linux AutoNUMA scans
+  /// on a period, not per scheduler quantum).
+  SimNs scan_interval_ns = 500000;
+  /// One of every `hint_every` pages gets a hint fault armed per scan.
+  uint32_t hint_every = 128;
+  /// Remote-access count at which a page becomes a migration candidate.
+  uint32_t min_remote_accesses = 4;
+  /// Daemon bookkeeping cost per mapped page per scan.
+  SimNs scan_per_page_ns = 3;
+  /// TLB shootdown: base IPI cost charged to every thread, plus a per-page
+  /// invalidation term.
+  SimNs shootdown_base_ns = 4000;
+  SimNs shootdown_per_page_ns = 60;
+  /// Page-copy bandwidth during migration.
+  double copy_bw_gbs = 8.0;
+  /// Upper bound on migrations per scan (kernel rate limit).
+  uint32_t max_migrations_per_scan = 64;
+  /// Byte budget per scan (Linux rate-limits NUMA-balancing migration
+  /// bandwidth); unused budget accumulates so an occasional huge page
+  /// can still move.
+  uint64_t migrate_bytes_per_scan = 512 * 1024;
+  /// Huge pages take one hint fault for 512x the memory, so their
+  /// migration trigger is proportionally higher.
+  uint32_t huge_page_threshold_factor = 64;
+};
+
+/// Full static configuration of a machine.
+struct MachineConfig {
+  MachineKind kind = MachineKind::kDramMain;
+  NumaTopology topology;
+  MemoryTimings timings;
+  TlbConfig tlb;
+  MigrationConfig migration;
+  /// Lines in each virtual thread's private cache (power of two).
+  uint32_t cpu_cache_lines = 16384;
+  /// Near-memory associativity (memory mode): 1 = direct-mapped, as the
+  /// hardware; higher values model the Section 6.5 future-work question
+  /// of improving the near-memory hit rate.
+  uint32_t near_mem_ways = 1;
+  /// Fraction (percent) of 2MB chunks THP manages to promote.
+  uint32_t thp_percent = 70;
+  uint64_t seed = 1;
+  std::string name = "machine";
+
+  /// Main-memory bytes per socket given the kind.
+  uint64_t MainBytesPerSocket() const {
+    return kind == MachineKind::kMemoryMode
+               ? topology.pmm_bytes_per_socket
+               : topology.dram_bytes_per_socket;
+  }
+};
+
+/// Duration breakdown of one epoch, returned by EndEpoch.
+struct EpochReport {
+  SimNs total_ns = 0;
+  SimNs latency_path_ns = 0;
+  SimNs bandwidth_path_ns = 0;
+  SimNs daemon_ns = 0;
+  bool bandwidth_bound = false;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- Allocation ---
+
+  /// Maps a region; physical frames are assigned lazily at first touch
+  /// (minor fault), which is when the placement policy runs.
+  RegionId Alloc(uint64_t bytes, const PagePolicy& policy,
+                 std::string_view name);
+  void Free(RegionId id);
+  VirtAddr BaseOf(RegionId id) const;
+
+  // --- Access costing (hot path) ---
+
+  /// One load/store of `bytes` (<= one cache line) at `addr` by virtual
+  /// thread `t`.
+  void Access(ThreadId t, VirtAddr addr, uint32_t bytes, AccessType type);
+
+  /// A streaming access of arbitrary length, charged line by line.
+  void AccessRange(ThreadId t, VirtAddr addr, uint64_t bytes,
+                   AccessType type);
+
+  /// Pure-compute time on thread `t` (no memory traffic).
+  void AddCompute(ThreadId t, SimNs ns);
+
+  // --- App-direct storage I/O (kAppDirect only) ---
+
+  /// `remote`: the issuing core is on a different socket than `node`.
+  void StorageRead(ThreadId t, uint64_t bytes, NodeId node, bool sequential,
+                   bool remote = false);
+  void StorageWrite(ThreadId t, uint64_t bytes, NodeId node, bool sequential,
+                    bool remote = false);
+
+  // --- Epochs ---
+
+  /// Begins a parallel region executing on threads [0, active_threads).
+  void BeginEpoch(uint32_t active_threads);
+  /// Ends the region: computes its duration, advances the global clock,
+  /// and runs the migration daemon.
+  EpochReport EndEpoch();
+  /// Ends any epoch opened implicitly by a stray Access (no-op otherwise).
+  void CloseEpochIfOpen() {
+    if (in_epoch_) EndEpoch();
+  }
+  bool in_epoch() const { return in_epoch_; }
+
+  // --- Introspection ---
+
+  SimNs now() const { return stats_.total_ns; }
+  const MachineStats& stats() const { return stats_; }
+  const MachineConfig& config() const { return config_; }
+  NodeId SocketOfThread(ThreadId t) const {
+    return config_.topology.SocketOfThread(t);
+  }
+  uint32_t MaxThreads() const { return config_.topology.TotalThreads(); }
+  /// Main-memory bytes across all sockets.
+  uint64_t MainMemoryCapacity() const;
+  /// Bytes currently backed by frames on `node`.
+  uint64_t NodeBytesUsed(NodeId node) const;
+  const NearMemoryCache* near_memory() const { return near_mem_.get(); }
+  const PageTable& page_table() const { return pages_; }
+
+  /// Drops all cached state (CPU caches, TLBs, near-memory) without
+  /// unmapping pages — used between benchmark trials.
+  void FlushVolatileState();
+
+ private:
+  struct ThreadState {
+    double user_ns = 0;  // fractional: per-miss cost is latency / MLP
+    SimNs kernel_ns = 0;
+    uint64_t last_line = ~0ull;
+    std::unique_ptr<Tlb> tlb;
+    std::unique_ptr<CpuCache> cache;
+  };
+
+  /// Byte counters of one socket's channels for the current epoch.
+  struct ChannelBytes {
+    // [local/remote][seq/rand][read/write]; remote traffic crosses the
+    // interconnect and is priced with the remote-bandwidth rows.
+    uint64_t dram[2][2][2] = {};
+    uint64_t pmm[2][2][2] = {};
+  };
+
+  ThreadState& Thread(ThreadId t);
+  /// Handles a minor fault: places the page per policy and maps frames.
+  void HandleFault(ThreadId t, const PageLookup& lk);
+  /// Picks the home node for a faulting page.
+  NodeId PlacePage(const Region& region, uint32_t page_index,
+                   NodeId toucher_socket) const;
+  /// Allocates `n` consecutive 4KB frames on `node` (or any node with
+  /// room, preferring `node`). Returns kInvalidFrame when memory is full.
+  PhysPage AllocFrames(NodeId node, uint64_t n);
+  void FreeFrames(NodeId node, PhysPage frame, uint64_t n);
+  NodeId NodeOfFrame(PhysPage frame) const;
+  SimNs KernelCost(SimNs dram_cost) const;
+  /// Runs one migration-daemon scan; returns its kernel cost.
+  SimNs RunMigrationDaemon();
+  void ChargeChannel(NodeId node, bool pmm, bool remote, bool sequential,
+                     bool write, uint64_t bytes);
+  SimNs ChannelTime(const ChannelBytes& ch) const;
+
+  MachineConfig config_;
+  PageTable pages_;
+  std::unique_ptr<NearMemoryCache> near_mem_;
+  std::vector<ThreadState> threads_;
+  std::vector<ChannelBytes> channels_;  // per socket
+  /// Per-node frame accounting.
+  std::vector<uint64_t> frames_used_;
+  std::vector<uint64_t> frames_capacity_;
+  /// Free lists of (frame, count) runs per node, from migrations/frees.
+  std::vector<std::vector<std::pair<PhysPage, uint64_t>>> free_runs_;
+  uint64_t frame_stride_ = 0;  // frames per node id-space
+  MachineStats stats_;
+  uint32_t epoch_active_threads_ = 0;
+  bool in_epoch_ = false;
+  uint64_t scan_counter_ = 0;
+  SimNs last_scan_ns_ = 0;
+  uint64_t migrate_budget_bytes_ = 0;
+  double inv_mlp_ = 1.0;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_MACHINE_H_

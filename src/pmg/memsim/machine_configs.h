@@ -1,0 +1,43 @@
+#ifndef PMG_MEMSIM_MACHINE_CONFIGS_H_
+#define PMG_MEMSIM_MACHINE_CONFIGS_H_
+
+#include <cstdint>
+
+#include "pmg/memsim/machine.h"
+
+/// \file machine_configs.h
+/// Factory configurations for the machines of the paper's evaluation
+/// (Section 3), with capacities divided by a scale factor so that
+/// scaled-down graphs keep the paper's working-set-to-capacity ratios.
+/// At the default scale (1/16384):
+///   - Optane PMM machine: 12MiB DRAM/socket (near-memory),
+///     192MiB PMM/socket, 2 sockets x 24 cores x 2 SMT = 96 threads.
+///   - DRAM machine: same box with PMM in app-direct mode unused.
+///   - "Entropy": 2 sockets x 28 cores, 48MiB DRAM/socket, 56 threads.
+///   - Stampede2 host: 2 sockets x 24 cores, 6MiB DRAM/socket, 48 threads.
+
+namespace pmg::memsim {
+
+/// Default capacity scale: all byte capacities are divided by this.
+inline constexpr uint64_t kDefaultCapacityScale = 16384;
+
+/// The paper's 6TB Optane PMM machine in memory mode.
+MachineConfig OptanePmmConfig(uint64_t scale = kDefaultCapacityScale);
+
+/// The same machine with PMM in app-direct mode and DRAM as main memory
+/// (the paper's DRAM baseline).
+MachineConfig DramOnlyConfig(uint64_t scale = kDefaultCapacityScale);
+
+/// The same machine in app-direct mode with PMM as storage (GridGraph).
+MachineConfig AppDirectConfig(uint64_t scale = kDefaultCapacityScale);
+
+/// The 4-socket 1.5TB DRAM machine, restricted to 2 sockets / 56 threads
+/// as in the paper's Entropy experiments.
+MachineConfig EntropyConfig(uint64_t scale = kDefaultCapacityScale);
+
+/// One Stampede2 Skylake host (192GB DRAM, 48 threads).
+MachineConfig StampedeHostConfig(uint64_t scale = kDefaultCapacityScale);
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_MACHINE_CONFIGS_H_

@@ -1,0 +1,115 @@
+#include "pmg/memsim/near_memory.h"
+
+#include "pmg/common/check.h"
+
+namespace pmg::memsim {
+
+namespace {
+constexpr PhysPage kNoFrame = ~0ull;
+
+/// Physical pages land in cache sets effectively at random on real
+/// machines (the kernel's free lists scatter physical allocation), so the
+/// set index is a hash of the frame number rather than a plain modulo —
+/// conflicts are statistical, not systematic.
+uint64_t SetHash(PhysPage frame) {
+  uint64_t x = frame + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+NearMemoryCache::NearMemoryCache(uint32_t sockets,
+                                 uint64_t frames_per_socket, uint32_t ways)
+    : ways_(ways) {
+  PMG_CHECK(sockets > 0 && frames_per_socket > 0 && ways > 0);
+  PMG_CHECK_MSG(frames_per_socket % ways == 0,
+                "near-memory frames must divide evenly into ways");
+  sets_ = frames_per_socket / ways;
+  tags_.resize(sockets);
+  dirty_.resize(sockets);
+  age_.resize(sockets);
+  for (uint32_t s = 0; s < sockets; ++s) {
+    tags_[s].assign(frames_per_socket, kNoFrame);
+    dirty_[s].assign(frames_per_socket, 0);
+    age_[s].assign(frames_per_socket, 0);
+  }
+}
+
+uint64_t NearMemoryCache::SetIndex(PhysPage frame) const {
+  return SetHash(frame) % sets_;
+}
+
+NearMemoryCache::Result NearMemoryCache::Access(NodeId node, PhysPage frame,
+                                                bool write) {
+  PMG_CHECK(node < tags_.size());
+  const uint64_t base = SetIndex(frame) * ways_;
+  auto& tags = tags_[node];
+  auto& dirty = dirty_[node];
+  Result out;
+
+  if (ways_ == 1) {
+    // Direct-mapped fast path (the hardware's configuration).
+    if (tags[base] == frame) {
+      out.hit = true;
+      if (write) dirty[base] = 1;
+      return out;
+    }
+    out.writeback = tags[base] != kNoFrame && dirty[base] != 0;
+    tags[base] = frame;
+    dirty[base] = write ? 1 : 0;
+    return out;
+  }
+
+  auto& age = age_[node];
+  uint32_t victim = 0;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (tags[base + w] == frame) {
+      // Hit: refresh LRU.
+      for (uint32_t v = 0; v < ways_; ++v) {
+        if (age[base + v] < age[base + w]) ++age[base + v];
+      }
+      age[base + w] = 0;
+      out.hit = true;
+      if (write) dirty[base + w] = 1;
+      return out;
+    }
+    if (tags[base + w] == kNoFrame) {
+      victim = w;
+    } else if (tags[base + victim] != kNoFrame &&
+               age[base + w] > age[base + victim]) {
+      victim = w;
+    }
+  }
+  out.writeback = tags[base + victim] != kNoFrame && dirty[base + victim] != 0;
+  for (uint32_t v = 0; v < ways_; ++v) ++age[base + v];
+  tags[base + victim] = frame;
+  dirty[base + victim] = write ? 1 : 0;
+  age[base + victim] = 0;
+  return out;
+}
+
+void NearMemoryCache::Invalidate(NodeId node, PhysPage frame,
+                                 uint64_t count) {
+  PMG_CHECK(node < tags_.size());
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t base = SetIndex(frame + i) * ways_;
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (tags_[node][base + w] == frame + i) {
+        tags_[node][base + w] = kNoFrame;
+        dirty_[node][base + w] = 0;
+      }
+    }
+  }
+}
+
+double NearMemoryCache::Occupancy(NodeId node) const {
+  PMG_CHECK(node < tags_.size());
+  uint64_t used = 0;
+  for (PhysPage t : tags_[node]) {
+    if (t != kNoFrame) ++used;
+  }
+  return static_cast<double>(used) / static_cast<double>(tags_[node].size());
+}
+
+}  // namespace pmg::memsim

@@ -1,0 +1,69 @@
+#ifndef PMG_MEMSIM_NEAR_MEMORY_H_
+#define PMG_MEMSIM_NEAR_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pmg/common/types.h"
+
+/// \file near_memory.h
+/// The memory-mode near-memory cache: per socket, DRAM acts as a
+/// physically-indexed, physically-tagged cache in front of the socket's
+/// Optane PMM, with 4KB caching granularity (Section 2). Each socket's
+/// PMM can only use its own socket's DRAM as near-memory, so the cache is
+/// partitioned by home node. The real hardware is direct-mapped — conflict
+/// misses are the effect behind Figure 4(a)'s super-linear degradation of
+/// NUMA-local allocations — but the cache is also configurable as
+/// set-associative with LRU, implementing the paper's Section 6.5 future
+/// work ("techniques can be developed to improve near-memory hit rate");
+/// bench_ablation_nearmem quantifies what associativity would buy.
+
+namespace pmg::memsim {
+
+/// Page cache for all sockets of a memory-mode machine.
+class NearMemoryCache {
+ public:
+  /// Outcome of a near-memory access.
+  struct Result {
+    bool hit = false;
+    /// A dirty victim page must be written back to PMM media.
+    bool writeback = false;
+  };
+
+  /// `frames_per_socket` = socket DRAM bytes / 4KB. `ways` = 1 models the
+  /// hardware's direct-mapped cache; higher values add LRU associativity
+  /// at the same total capacity. `frames_per_socket` must be divisible by
+  /// `ways`.
+  NearMemoryCache(uint32_t sockets, uint64_t frames_per_socket,
+                  uint32_t ways = 1);
+
+  /// Accesses physical 4KB frame `frame`, homed on `node`. On a miss the
+  /// frame is installed (the caller charges fill/writeback traffic).
+  Result Access(NodeId node, PhysPage frame, bool write);
+
+  /// Drops `count` consecutive frames starting at `frame` from `node`'s
+  /// cache (page migrated away or freed). Dirty contents are discarded;
+  /// the caller accounts for the writeback if it matters.
+  void Invalidate(NodeId node, PhysPage frame, uint64_t count);
+
+  /// Fraction of frames currently holding a page (diagnostics).
+  double Occupancy(NodeId node) const;
+
+  uint64_t sets_per_socket() const { return sets_; }
+  uint32_t ways() const { return ways_; }
+
+ private:
+  uint64_t SetIndex(PhysPage frame) const;
+
+  uint64_t sets_;
+  uint32_t ways_;
+  /// tags_[node][set * ways + way]: resident frame, kNoFrame if empty.
+  std::vector<std::vector<PhysPage>> tags_;
+  std::vector<std::vector<uint8_t>> dirty_;
+  /// LRU ages per way (0 = most recent); unused when ways_ == 1.
+  std::vector<std::vector<uint8_t>> age_;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_NEAR_MEMORY_H_

@@ -1,0 +1,42 @@
+#ifndef PMG_MEMSIM_NUMA_TOPOLOGY_H_
+#define PMG_MEMSIM_NUMA_TOPOLOGY_H_
+
+#include <cstdint>
+
+#include "pmg/common/types.h"
+
+/// \file numa_topology.h
+/// Socket layout of the simulated machine: how many NUMA nodes exist, how
+/// much DRAM and PMM each carries, and which socket runs each hardware
+/// thread.
+
+namespace pmg::memsim {
+
+/// Static description of the machine's NUMA layout.
+struct NumaTopology {
+  uint32_t sockets = 2;
+  /// Physical cores per socket. Hardware threads are assigned to sockets by
+  /// filling the physical cores of socket 0, then socket 1, ..., then the
+  /// hyperthread siblings in the same order — matching the paper's machine,
+  /// where runs with t <= 24 threads stay entirely on socket 0 (Figure 4b).
+  uint32_t cores_per_socket = 24;
+  /// SMT ways (2 = hyperthreading on the paper's machine: 96 threads).
+  uint32_t smt = 2;
+  /// DRAM capacity per socket (bytes). In memory mode this is the
+  /// near-memory cache size of the socket.
+  uint64_t dram_bytes_per_socket = 0;
+  /// Optane PMM capacity per socket (bytes); 0 on DRAM-only machines.
+  uint64_t pmm_bytes_per_socket = 0;
+
+  /// Total schedulable hardware threads.
+  uint32_t TotalThreads() const { return sockets * cores_per_socket * smt; }
+
+  /// Socket that hardware thread `t` runs on (block mapping, see above).
+  NodeId SocketOfThread(ThreadId t) const {
+    return (t / cores_per_socket) % sockets;
+  }
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_NUMA_TOPOLOGY_H_

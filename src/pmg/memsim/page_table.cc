@@ -1,0 +1,190 @@
+#include "pmg/memsim/page_table.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "pmg/common/check.h"
+
+namespace pmg::memsim {
+
+namespace {
+
+/// Deterministic chunk-promotion hash (splitmix64 step).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+PageTable::PageTable(uint32_t thp_percent, uint64_t seed)
+    : thp_percent_(thp_percent),
+      seed_(seed),
+      // Start away from zero so a stray null-ish address trips the lookup
+      // check instead of silently resolving.
+      next_base_(1ull << 30) {}
+
+RegionId PageTable::CreateRegion(uint64_t bytes, const PagePolicy& policy,
+                                 std::string name) {
+  PMG_CHECK(bytes > 0);
+  PMG_CHECK_MSG(policy.page_size != PageSizeClass::k1G,
+                "1GB pages are not supported by the page table model");
+
+  Slot slot;
+  Region& r = slot.region;
+  r.base = next_base_;
+  r.bytes = bytes;
+  r.policy = policy;
+  r.name = std::move(name);
+
+  const uint64_t chunks = (bytes + kHugePageBytes - 1) / kHugePageBytes;
+  r.chunk_first_page.reserve(chunks);
+  r.chunk_is_huge.reserve(chunks);
+
+  const RegionId id = static_cast<RegionId>(slots_.size());
+  for (uint64_t c = 0; c < chunks; ++c) {
+    const uint64_t chunk_bytes =
+        std::min(kHugePageBytes, bytes - c * kHugePageBytes);
+    const bool full_chunk = chunk_bytes == kHugePageBytes;
+    bool huge = false;
+    if (r.policy.page_size == PageSizeClass::k2M) {
+      // Explicit huge-page allocation (a Galois-style huge-page arena)
+      // rounds a tail of >= 1MB up to a whole 2MB page (the internal
+      // fragmentation is modelled by the 512-frame backing allocation);
+      // smaller allocations fall back to base pages, as an arena
+      // allocator packs small objects rather than dedicating huge pages.
+      huge = full_chunk || chunk_bytes >= kHugePageBytes / 2;
+    } else if (full_chunk && r.policy.thp) {
+      huge = Mix(seed_ ^ (uint64_t{id} << 32) ^ c) % 100 < thp_percent_;
+    }
+    r.chunk_first_page.push_back(static_cast<uint32_t>(r.pages.size()));
+    r.chunk_is_huge.push_back(huge ? 1 : 0);
+    if (huge) {
+      r.pages.emplace_back();
+    } else {
+      const uint64_t small_pages =
+          (chunk_bytes + kSmallPageBytes - 1) / kSmallPageBytes;
+      r.pages.resize(r.pages.size() + small_pages);
+    }
+  }
+
+  // Keep regions 2MB-aligned and separated so page bases never collide in
+  // the TLB across regions.
+  next_base_ += (bytes + kHugePageBytes - 1) / kHugePageBytes * kHugePageBytes +
+                kHugePageBytes;
+
+  slot.live = true;
+  slots_.push_back(std::move(slot));
+  RebuildIndex();
+  return id;
+}
+
+void PageTable::DestroyRegion(RegionId id) {
+  PMG_CHECK(id < slots_.size() && slots_[id].live);
+  uint64_t mapped = 0;
+  for (const PageInfo& p : slots_[id].region.pages) {
+    if (p.frame != kInvalidFrame) ++mapped;
+  }
+  NoteUnmapped(mapped);
+  slots_[id].live = false;
+  slots_[id].region.pages.clear();
+  slots_[id].region.pages.shrink_to_fit();
+  last_slot_ = ~0u;
+  RebuildIndex();
+}
+
+void PageTable::RebuildIndex() {
+  index_.clear();
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) index_.emplace_back(slots_[i].region.base, i);
+  }
+  std::sort(index_.begin(), index_.end());
+}
+
+PageLookup PageTable::Lookup(VirtAddr addr) {
+  // Fast path: same region as the previous lookup.
+  uint32_t slot_idx = ~0u;
+  if (last_slot_ != ~0u) {
+    const Region& r = slots_[last_slot_].region;
+    if (addr >= r.base && addr < r.end()) slot_idx = last_slot_;
+  }
+  if (slot_idx == ~0u) {
+    auto it = std::upper_bound(index_.begin(), index_.end(),
+                               std::make_pair(addr, ~0u));
+    PMG_CHECK_MSG(it != index_.begin(), "address below all regions");
+    --it;
+    slot_idx = it->second;
+    const Region& r = slots_[slot_idx].region;
+    PMG_CHECK_MSG(addr >= r.base && addr < r.end(),
+                  "address 0x%llx outside any region",
+                  static_cast<unsigned long long>(addr));
+    last_slot_ = slot_idx;
+  }
+
+  Region& r = slots_[slot_idx].region;
+  const uint64_t off = addr - r.base;
+  const uint64_t chunk = off >> 21;
+  PageLookup out;
+  out.region = &r;
+  if (r.chunk_is_huge[chunk]) {
+    out.page_index = r.chunk_first_page[chunk];
+    out.page_base = r.base + chunk * kHugePageBytes;
+    out.cls = PageSizeClass::k2M;
+  } else {
+    const uint64_t in_chunk = off & (kHugePageBytes - 1);
+    out.page_index = r.chunk_first_page[chunk] +
+                     static_cast<uint32_t>(in_chunk >> 12);
+    out.page_base = addr & ~(kSmallPageBytes - 1);
+    out.cls = PageSizeClass::k4K;
+  }
+  out.page = &r.pages[out.page_index];
+  return out;
+}
+
+Region& PageTable::region(RegionId id) {
+  PMG_CHECK(id < slots_.size() && slots_[id].live);
+  return slots_[id].region;
+}
+
+const Region& PageTable::region(RegionId id) const {
+  PMG_CHECK(id < slots_.size() && slots_[id].live);
+  return slots_[id].region;
+}
+
+bool PageTable::IsLive(RegionId id) const {
+  return id < slots_.size() && slots_[id].live;
+}
+
+void PageTable::ForEachMappedPage(
+    const std::function<void(Region&, PageInfo&, VirtAddr, PageSizeClass)>&
+        fn) {
+  for (Slot& s : slots_) {
+    if (!s.live) continue;
+    Region& r = s.region;
+    for (uint64_t c = 0; c < r.chunk_first_page.size(); ++c) {
+      const VirtAddr chunk_base = r.base + c * kHugePageBytes;
+      const uint32_t first = r.chunk_first_page[c];
+      if (r.chunk_is_huge[c]) {
+        PageInfo& p = r.pages[first];
+        if (p.frame != kInvalidFrame) {
+          fn(r, p, chunk_base, PageSizeClass::k2M);
+        }
+        continue;
+      }
+      const uint32_t last = c + 1 < r.chunk_first_page.size()
+                                ? r.chunk_first_page[c + 1]
+                                : static_cast<uint32_t>(r.pages.size());
+      for (uint32_t i = first; i < last; ++i) {
+        PageInfo& p = r.pages[i];
+        if (p.frame != kInvalidFrame) {
+          fn(r, p, chunk_base + uint64_t{i - first} * kSmallPageBytes,
+             PageSizeClass::k4K);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pmg::memsim

@@ -1,0 +1,164 @@
+#ifndef PMG_MEMSIM_PAGE_TABLE_H_
+#define PMG_MEMSIM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+
+/// \file page_table.h
+/// Simulated virtual memory: regions, pages, placement policies.
+///
+/// A Region is one allocation (e.g., one NumaArray). Regions are divided
+/// into 2MB chunks; each chunk is backed either by one 2MB huge page or by
+/// 512 4KB small pages, which lets the model express (a) explicit huge-page
+/// allocation (Galois), (b) small pages, and (c) small pages with
+/// Transparent Huge Pages, where the kernel promotes only a fraction of
+/// chunks (Section 6.1: frameworks relying on THP still trail explicit huge
+/// pages).
+
+namespace pmg::memsim {
+
+inline constexpr uint64_t kSmallPageBytes = 4096;
+inline constexpr uint64_t kHugePageBytes = 2ull * 1024 * 1024;
+inline constexpr PhysPage kInvalidFrame = ~0ull;
+
+/// Page size requested for a region. k1G is accepted by the TLB model but
+/// not by the page table (the paper excludes 1GB pages from its study).
+enum class PageSizeClass : uint8_t { k4K = 0, k2M = 1, k1G = 2 };
+
+/// Bytes covered by one page of the class.
+constexpr uint64_t PageBytes(PageSizeClass cls) {
+  switch (cls) {
+    case PageSizeClass::k4K:
+      return 4096;
+    case PageSizeClass::k2M:
+      return 2ull * 1024 * 1024;
+    case PageSizeClass::k1G:
+      return 1ull * 1024 * 1024 * 1024;
+  }
+  return 4096;
+}
+
+/// NUMA placement policy of a region (Figure 3).
+///   kLocal:       all pages on `preferred_node`, spilling to other nodes
+///                 only when it is full.
+///   kInterleaved: pages round-robin across nodes by page index.
+///   kBlocked:     first-touch; the page lands on the socket of the thread
+///                 that first accesses it.
+enum class Placement : uint8_t { kLocal = 0, kInterleaved = 1, kBlocked = 2 };
+
+/// Allocation policy for one region.
+struct PagePolicy {
+  Placement placement = Placement::kInterleaved;
+  PageSizeClass page_size = PageSizeClass::k4K;
+  /// With page_size == k4K: model Linux THP, promoting a configured
+  /// fraction of 2MB chunks to huge pages.
+  bool thp = false;
+  /// Preferred node for Placement::kLocal.
+  NodeId preferred_node = 0;
+};
+
+/// Per-page state. `frame` is the first backing 4KB physical frame
+/// (huge pages occupy 512 consecutive frames); kInvalidFrame = unmapped.
+struct PageInfo {
+  PhysPage frame = kInvalidFrame;
+  NodeId node = 0;
+  /// Access counters sampled by the migration daemon, reset every scan.
+  uint32_t local_accesses = 0;
+  uint32_t remote_accesses = 0;
+  /// Most recent remote socket to access the page (migration target).
+  uint8_t last_remote_node = 0;
+  /// AutoNUMA hint fault armed: next access takes a kernel fault.
+  bool hint_armed = false;
+  bool dirty = false;
+};
+
+using RegionId = uint32_t;
+
+/// One mapped allocation.
+struct Region {
+  VirtAddr base = 0;
+  uint64_t bytes = 0;
+  PagePolicy policy;
+  std::string name;
+  /// Page records, ordered chunk by chunk.
+  std::vector<PageInfo> pages;
+  /// Index into `pages` of each 2MB chunk's first page.
+  std::vector<uint32_t> chunk_first_page;
+  /// Whether each chunk is backed by a single huge page.
+  std::vector<uint8_t> chunk_is_huge;
+
+  VirtAddr end() const { return base + bytes; }
+};
+
+/// Result of translating a virtual address.
+struct PageLookup {
+  Region* region = nullptr;
+  PageInfo* page = nullptr;
+  uint32_t page_index = 0;  // within region->pages
+  VirtAddr page_base = 0;
+  PageSizeClass cls = PageSizeClass::k4K;
+};
+
+/// The simulated page table: owns all regions and translates addresses.
+/// Not thread-safe; the runtime executes virtual threads serially.
+class PageTable {
+ public:
+  /// `thp_percent`: fraction of chunks promoted when PagePolicy::thp is
+  /// set. `seed` makes promotion decisions deterministic.
+  PageTable(uint32_t thp_percent, uint64_t seed);
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  /// Creates a region of `bytes` bytes and returns its id. The virtual
+  /// base address is assigned by an internal bump allocator.
+  RegionId CreateRegion(uint64_t bytes, const PagePolicy& policy,
+                        std::string name);
+
+  /// Unmaps a region. Frames are released by the caller (Machine).
+  void DestroyRegion(RegionId id);
+
+  /// Translates `addr`. Aborts if the address is not in any live region.
+  PageLookup Lookup(VirtAddr addr);
+
+  Region& region(RegionId id);
+  const Region& region(RegionId id) const;
+  bool IsLive(RegionId id) const;
+
+  /// Total pages currently mapped (frame assigned), for daemon costing.
+  uint64_t mapped_pages() const { return mapped_pages_; }
+  void NoteMapped() { ++mapped_pages_; }
+  void NoteUnmapped(uint64_t n) { mapped_pages_ -= n; }
+
+  /// Invokes `fn(region, page, page_base, cls)` for every mapped page.
+  void ForEachMappedPage(
+      const std::function<void(Region&, PageInfo&, VirtAddr, PageSizeClass)>&
+          fn);
+
+ private:
+  struct Slot {
+    Region region;
+    bool live = false;
+  };
+
+  /// Rebuilds the sorted (base -> slot index) view used by Lookup.
+  void RebuildIndex();
+
+  uint32_t thp_percent_;
+  uint64_t seed_;
+  VirtAddr next_base_;
+  std::vector<Slot> slots_;
+  /// Sorted by base address; pairs of (base, slot index).
+  std::vector<std::pair<VirtAddr, uint32_t>> index_;
+  uint64_t mapped_pages_ = 0;
+  /// One-entry lookup cache: graph kernels hammer few regions.
+  uint32_t last_slot_ = ~0u;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_PAGE_TABLE_H_

@@ -1,0 +1,66 @@
+#include "pmg/memsim/stats.h"
+
+#include <cstdio>
+
+namespace pmg::memsim {
+
+MachineStats MachineStats::operator-(const MachineStats& o) const {
+  MachineStats d;
+  d.accesses = accesses - o.accesses;
+  d.reads = reads - o.reads;
+  d.writes = writes - o.writes;
+  d.cpu_cache_hits = cpu_cache_hits - o.cpu_cache_hits;
+  d.cpu_cache_misses = cpu_cache_misses - o.cpu_cache_misses;
+  d.tlb_hits = tlb_hits - o.tlb_hits;
+  d.tlb_misses = tlb_misses - o.tlb_misses;
+  d.page_walk_ns = page_walk_ns - o.page_walk_ns;
+  d.minor_faults = minor_faults - o.minor_faults;
+  d.hint_faults = hint_faults - o.hint_faults;
+  d.migrations = migrations - o.migrations;
+  d.migration_scans = migration_scans - o.migration_scans;
+  d.tlb_shootdowns = tlb_shootdowns - o.tlb_shootdowns;
+  d.local_accesses = local_accesses - o.local_accesses;
+  d.remote_accesses = remote_accesses - o.remote_accesses;
+  d.pages_mapped_small = pages_mapped_small - o.pages_mapped_small;
+  d.pages_mapped_huge = pages_mapped_huge - o.pages_mapped_huge;
+  d.near_mem_hits = near_mem_hits - o.near_mem_hits;
+  d.near_mem_misses = near_mem_misses - o.near_mem_misses;
+  d.near_mem_writebacks = near_mem_writebacks - o.near_mem_writebacks;
+  d.dram_bytes = dram_bytes - o.dram_bytes;
+  d.pmm_read_bytes = pmm_read_bytes - o.pmm_read_bytes;
+  d.pmm_write_bytes = pmm_write_bytes - o.pmm_write_bytes;
+  d.storage_read_bytes = storage_read_bytes - o.storage_read_bytes;
+  d.storage_write_bytes = storage_write_bytes - o.storage_write_bytes;
+  d.total_ns = total_ns - o.total_ns;
+  d.user_ns = user_ns - o.user_ns;
+  d.kernel_ns = kernel_ns - o.kernel_ns;
+  d.epochs = epochs - o.epochs;
+  d.bandwidth_bound_epochs = bandwidth_bound_epochs - o.bandwidth_bound_epochs;
+  return d;
+}
+
+std::string MachineStats::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "time %.3fs (user %.3fs, kernel %.3fs), epochs %llu (%llu bw-bound)\n"
+      "accesses %llu (cpu-cache hit %.1f%%), tlb miss %.3f%%, faults %llu, "
+      "hint-faults %llu\n"
+      "local %.1f%%, near-mem hit %.2f%%, migrations %llu, shootdowns %llu\n"
+      "dram %.1fMB, pmm read %.1fMB, pmm write %.1fMB",
+      TotalSeconds(), static_cast<double>(user_ns) / 1e9,
+      static_cast<double>(kernel_ns) / 1e9,
+      static_cast<unsigned long long>(epochs),
+      static_cast<unsigned long long>(bandwidth_bound_epochs),
+      static_cast<unsigned long long>(accesses),
+      accesses == 0 ? 0.0 : 100.0 * cpu_cache_hits / accesses,
+      100.0 * TlbMissRate(), static_cast<unsigned long long>(minor_faults),
+      static_cast<unsigned long long>(hint_faults),
+      100.0 * LocalAccessFraction(), 100.0 * NearMemHitRate(),
+      static_cast<unsigned long long>(migrations),
+      static_cast<unsigned long long>(tlb_shootdowns),
+      dram_bytes / 1e6, pmm_read_bytes / 1e6, pmm_write_bytes / 1e6);
+  return buf;
+}
+
+}  // namespace pmg::memsim

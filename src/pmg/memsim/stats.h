@@ -1,0 +1,88 @@
+#ifndef PMG_MEMSIM_STATS_H_
+#define PMG_MEMSIM_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "pmg/common/types.h"
+
+/// \file stats.h
+/// Aggregate hardware-event counters of a simulated run — the model's
+/// equivalent of the paper's VTune / Platform Profiler measurements.
+
+namespace pmg::memsim {
+
+struct MachineStats {
+  // Access mix.
+  uint64_t accesses = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  // CPU cache.
+  uint64_t cpu_cache_hits = 0;
+  uint64_t cpu_cache_misses = 0;
+
+  // Translation.
+  uint64_t tlb_hits = 0;
+  uint64_t tlb_misses = 0;
+  SimNs page_walk_ns = 0;
+
+  // Kernel events.
+  uint64_t minor_faults = 0;
+  uint64_t hint_faults = 0;
+  uint64_t migrations = 0;
+  uint64_t migration_scans = 0;
+  uint64_t tlb_shootdowns = 0;
+
+  // Placement.
+  uint64_t local_accesses = 0;
+  uint64_t remote_accesses = 0;
+  uint64_t pages_mapped_small = 0;
+  uint64_t pages_mapped_huge = 0;
+
+  // Near-memory (memory mode only).
+  uint64_t near_mem_hits = 0;
+  uint64_t near_mem_misses = 0;
+  uint64_t near_mem_writebacks = 0;
+
+  // Traffic (bytes).
+  uint64_t dram_bytes = 0;
+  uint64_t pmm_read_bytes = 0;
+  uint64_t pmm_write_bytes = 0;
+  uint64_t storage_read_bytes = 0;
+  uint64_t storage_write_bytes = 0;
+
+  // Time. total_ns advances once per epoch by
+  // max(latency critical path, bandwidth roofline) plus daemon overheads.
+  SimNs total_ns = 0;
+  SimNs user_ns = 0;
+  SimNs kernel_ns = 0;
+  uint64_t epochs = 0;
+  /// Epochs in which the bandwidth roofline (not the latency path) set the
+  /// epoch duration.
+  uint64_t bandwidth_bound_epochs = 0;
+
+  /// Element-wise difference (for measuring one phase of a run).
+  MachineStats operator-(const MachineStats& other) const;
+
+  double NearMemHitRate() const {
+    const uint64_t n = near_mem_hits + near_mem_misses;
+    return n == 0 ? 1.0 : static_cast<double>(near_mem_hits) / n;
+  }
+  double TlbMissRate() const {
+    const uint64_t n = tlb_hits + tlb_misses;
+    return n == 0 ? 0.0 : static_cast<double>(tlb_misses) / n;
+  }
+  double LocalAccessFraction() const {
+    const uint64_t n = local_accesses + remote_accesses;
+    return n == 0 ? 1.0 : static_cast<double>(local_accesses) / n;
+  }
+  double TotalSeconds() const { return static_cast<double>(total_ns) / 1e9; }
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_STATS_H_

@@ -1,0 +1,7 @@
+#include "pmg/memsim/timings.h"
+
+namespace pmg::memsim {
+
+MemoryTimings DefaultTimings() { return MemoryTimings{}; }
+
+}  // namespace pmg::memsim

@@ -1,0 +1,92 @@
+#ifndef PMG_MEMSIM_TIMINGS_H_
+#define PMG_MEMSIM_TIMINGS_H_
+
+#include "pmg/common/types.h"
+
+/// \file timings.h
+/// Latency and bandwidth constants of the simulated memory system.
+///
+/// The default values are taken directly from the paper:
+///   - Table 1: bandwidth (GB/s) of Intel Optane PMM by mode (memory /
+///     app-direct), pattern (random / sequential), locality and direction.
+///   - Table 2: idle latency (ns) by mode and locality.
+/// DRAM-baseline values (the paper's machine with PMM in app-direct mode and
+/// DRAM as main memory) use typical Cascade Lake figures.
+
+namespace pmg::memsim {
+
+/// Bandwidth of one class of traffic on one socket's memory channel set,
+/// in gigabytes per second.
+struct ChannelBandwidth {
+  double seq_read_gbs;
+  double seq_write_gbs;
+  double rand_read_gbs;
+  double rand_write_gbs;
+};
+
+/// All timing constants of a machine. Latencies are per cache-line access
+/// (the cost the paper's Table 2 measures with dependent loads); bandwidths
+/// bound aggregate throughput via the epoch roofline in Machine.
+struct MemoryTimings {
+  // --- Latency (ns), Table 2 plus DRAM baseline. ---
+  /// DRAM access on a DRAM-main-memory machine.
+  SimNs dram_local_ns = 81;
+  SimNs dram_remote_ns = 138;
+  /// Memory mode: access that hits in near-memory (DRAM cache).
+  SimNs near_mem_hit_local_ns = 95;
+  SimNs near_mem_hit_remote_ns = 150;
+  /// Extra latency added on a near-memory miss (PMM media read on the
+  /// critical path). 95 + 210 = ~305ns observed media latency.
+  SimNs near_mem_miss_extra_ns = 210;
+  /// App-direct mode: direct load/store against PMM media.
+  SimNs appdirect_local_ns = 164;
+  SimNs appdirect_remote_ns = 232;
+
+  // --- Bandwidth (GB/s), Table 1. ---
+  /// DRAM channels. In memory mode nearly all hit traffic is DRAM traffic,
+  /// so these are exactly the paper's "Memory" rows; the same silicon serves
+  /// the DRAM-only configuration.
+  ChannelBandwidth dram_local{106.0, 54.0, 90.0, 50.0};
+  ChannelBandwidth dram_remote{100.0, 29.5, 34.0, 29.5};
+  /// PMM media channels ("App-direct" rows). In memory mode these price
+  /// near-memory fills and writebacks; in app-direct mode, storage I/O.
+  ChannelBandwidth pmm_local{31.0, 10.5, 8.2, 3.6};
+  ChannelBandwidth pmm_remote{21.0, 7.5, 5.5, 2.3};
+
+  // --- CPU-side costs. ---
+  /// Cost of a hit in the simulated per-thread line cache (models L1/L2).
+  SimNs cpu_cache_hit_ns = 1;
+  /// Memory-level parallelism: out-of-order cores keep several misses in
+  /// flight, so a thread's effective per-miss cost is latency / this
+  /// factor. Set to 1 to model a fully dependent pointer chase (the
+  /// Table 2 measurement).
+  double mem_parallelism = 4.0;
+  /// Cost of one level of a hardware page walk. The walk touches in-memory
+  /// page-table structures; on the PMM machine those reside behind the
+  /// near-memory cache, so each level costs roughly a near-memory access
+  /// (Section 4.3: TLB misses raise near-memory access latency because
+  /// translation is on the critical path of the physically-indexed cache).
+  SimNs walk_step_dram_ns = 20;
+  SimNs walk_step_pmm_ns = 60;
+
+  // --- Kernel operation costs (Section 4.2: kernel time is higher on PMM
+  // because kernel data structures live in slower memory). ---
+  /// Minor page fault (allocate + zero + map) for a 4KB page.
+  SimNs fault_small_dram_ns = 1200;
+  /// Minor fault for a 2MB page (one fault maps 512x the memory).
+  SimNs fault_huge_dram_ns = 2600;
+  /// Multiplier applied to kernel costs when main memory is PMM.
+  double pmm_kernel_factor = 1.8;
+
+  /// Per-message interconnect latency for distributed simulation (used by
+  /// pmg::distsim, kept here so all timing constants live in one place).
+  SimNs network_round_latency_ns = 30000;
+  double network_bw_gbs = 12.5;  // 100 Gb/s Omni-Path
+};
+
+/// Returns the defaults above (paper Tables 1 and 2).
+MemoryTimings DefaultTimings();
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_TIMINGS_H_

@@ -1,0 +1,101 @@
+#include "pmg/memsim/tlb.h"
+
+#include "pmg/common/check.h"
+
+namespace pmg::memsim {
+
+namespace {
+constexpr VirtAddr kNoTag = ~0ull;
+}  // namespace
+
+void Tlb::Array::Init(uint32_t entries, uint32_t ways_in) {
+  PMG_CHECK(entries > 0 && ways_in > 0 && entries % ways_in == 0);
+  ways = ways_in;
+  sets = entries / ways_in;
+  tags.assign(entries, kNoTag);
+  age.assign(entries, 0);
+}
+
+bool Tlb::Array::Lookup(VirtAddr key) {
+  const uint32_t set = static_cast<uint32_t>(key) % sets;
+  const uint32_t base = set * ways;
+  for (uint32_t w = 0; w < ways; ++w) {
+    if (tags[base + w] == key) {
+      // Age-based LRU: the hit way becomes youngest.
+      for (uint32_t v = 0; v < ways; ++v) {
+        if (age[base + v] < age[base + w]) ++age[base + v];
+      }
+      age[base + w] = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Tlb::Array::Insert(VirtAddr key) {
+  const uint32_t set = static_cast<uint32_t>(key) % sets;
+  const uint32_t base = set * ways;
+  uint32_t victim = 0;
+  for (uint32_t w = 0; w < ways; ++w) {
+    if (tags[base + w] == kNoTag) {
+      victim = w;
+      break;
+    }
+    if (age[base + w] > age[base + victim]) victim = w;
+  }
+  for (uint32_t v = 0; v < ways; ++v) ++age[base + v];
+  tags[base + victim] = key;
+  age[base + victim] = 0;
+}
+
+void Tlb::Array::Invalidate(VirtAddr key) {
+  const uint32_t set = static_cast<uint32_t>(key) % sets;
+  const uint32_t base = set * ways;
+  for (uint32_t w = 0; w < ways; ++w) {
+    if (tags[base + w] == key) tags[base + w] = kNoTag;
+  }
+}
+
+void Tlb::Array::Clear() {
+  tags.assign(tags.size(), kNoTag);
+  age.assign(age.size(), 0);
+}
+
+Tlb::Tlb(const TlbConfig& config) {
+  small_.Init(config.entries_4k, config.ways_4k);
+  huge_.Init(config.entries_2m, config.ways_2m);
+  giant_.Init(config.entries_1g, config.ways_1g);
+}
+
+Tlb::Array& Tlb::ArrayFor(PageSizeClass cls) {
+  switch (cls) {
+    case PageSizeClass::k4K:
+      return small_;
+    case PageSizeClass::k2M:
+      return huge_;
+    case PageSizeClass::k1G:
+      return giant_;
+  }
+  return small_;
+}
+
+bool Tlb::Lookup(VirtAddr page_base, PageSizeClass cls) {
+  // Index by page number so consecutive pages land in different sets.
+  return ArrayFor(cls).Lookup(page_base / PageBytes(cls));
+}
+
+void Tlb::Insert(VirtAddr page_base, PageSizeClass cls) {
+  ArrayFor(cls).Insert(page_base / PageBytes(cls));
+}
+
+void Tlb::InvalidatePage(VirtAddr page_base, PageSizeClass cls) {
+  ArrayFor(cls).Invalidate(page_base / PageBytes(cls));
+}
+
+void Tlb::InvalidateAll() {
+  small_.Clear();
+  huge_.Clear();
+  giant_.Clear();
+}
+
+}  // namespace pmg::memsim

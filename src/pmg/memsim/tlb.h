@@ -1,0 +1,70 @@
+#ifndef PMG_MEMSIM_TLB_H_
+#define PMG_MEMSIM_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/page_table.h"
+
+/// \file tlb.h
+/// Per-thread translation lookaside buffer with separate entry pools per
+/// page-size class, mirroring the paper's machine: a 4-way associative data
+/// TLB with 64 entries for small pages, 32 entries for 2MB pages, and 4
+/// entries for 1GB pages (Section 3). Huge pages multiply "TLB reach"
+/// (entries x page size), which is the mechanism behind Figure 5's huge-page
+/// wins.
+
+namespace pmg::memsim {
+
+/// Geometry of the per-class TLB arrays.
+struct TlbConfig {
+  uint32_t entries_4k = 64;
+  uint32_t ways_4k = 4;
+  uint32_t entries_2m = 32;
+  uint32_t ways_2m = 4;
+  uint32_t entries_1g = 4;
+  uint32_t ways_1g = 4;
+};
+
+/// A set-associative TLB for one hardware thread.
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& config);
+
+  /// Returns true on hit (and refreshes LRU). Does not insert on miss.
+  bool Lookup(VirtAddr page_base, PageSizeClass cls);
+
+  /// Installs a translation, evicting the LRU way of its set.
+  void Insert(VirtAddr page_base, PageSizeClass cls);
+
+  /// Drops one translation if present (migration shootdown).
+  void InvalidatePage(VirtAddr page_base, PageSizeClass cls);
+
+  /// Drops everything (full shootdown / context switch).
+  void InvalidateAll();
+
+ private:
+  struct Array {
+    uint32_t sets = 0;
+    uint32_t ways = 0;
+    std::vector<VirtAddr> tags;  // sets x ways, kNoTag = empty
+    std::vector<uint8_t> age;    // LRU ages per way
+
+    void Init(uint32_t entries, uint32_t ways_in);
+    bool Lookup(VirtAddr key);
+    void Insert(VirtAddr key);
+    void Invalidate(VirtAddr key);
+    void Clear();
+  };
+
+  Array& ArrayFor(PageSizeClass cls);
+
+  Array small_;
+  Array huge_;
+  Array giant_;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_TLB_H_

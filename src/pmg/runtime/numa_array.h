@@ -1,0 +1,143 @@
+#ifndef PMG_RUNTIME_NUMA_ARRAY_H_
+#define PMG_RUNTIME_NUMA_ARRAY_H_
+
+#include <cstddef>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pmg/common/check.h"
+#include "pmg/common/types.h"
+#include "pmg/memsim/machine.h"
+
+/// \file numa_array.h
+/// A typed array whose storage lives in the simulated machine: every
+/// element access is priced through the memory model. This is the only way
+/// application code (graphs, labels, worklists) touches memory, which is
+/// what makes per-allocation NUMA policy and page-size choices — the
+/// paper's Section 4 levers — visible in measured time.
+
+namespace pmg::runtime {
+
+/// Move-only costed array. The `raw()` accessors bypass cost accounting
+/// and exist for result verification and (re)initialization outside the
+/// measured window.
+template <typename T>
+class NumaArray {
+ public:
+  NumaArray() = default;
+
+  NumaArray(memsim::Machine* machine, size_t size,
+            const memsim::PagePolicy& policy, std::string_view name)
+      : machine_(machine), data_(size) {
+    PMG_CHECK(machine != nullptr);
+    PMG_CHECK(size > 0);
+    region_ = machine_->Alloc(size * sizeof(T), policy, name);
+    base_ = machine_->BaseOf(region_);
+  }
+
+  ~NumaArray() { Reset(); }
+
+  NumaArray(const NumaArray&) = delete;
+  NumaArray& operator=(const NumaArray&) = delete;
+
+  NumaArray(NumaArray&& other) noexcept { *this = std::move(other); }
+  NumaArray& operator=(NumaArray&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      machine_ = other.machine_;
+      region_ = other.region_;
+      base_ = other.base_;
+      data_ = std::move(other.data_);
+      other.machine_ = nullptr;
+    }
+    return *this;
+  }
+
+  bool valid() const { return machine_ != nullptr; }
+  size_t size() const { return data_.size(); }
+  VirtAddr AddrOf(size_t i) const { return base_ + i * sizeof(T); }
+
+  /// Costed read by virtual thread `t`.
+  T Get(ThreadId t, size_t i) const {
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kRead);
+    return data_[i];
+  }
+
+  /// Costed write.
+  void Set(ThreadId t, size_t i, const T& v) {
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kWrite);
+    data_[i] = v;
+  }
+
+  /// Costed read-modify-write: `fn(T&)` mutates in place.
+  template <typename Fn>
+  void Update(ThreadId t, size_t i, Fn&& fn) {
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kRead);
+    fn(data_[i]);
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kWrite);
+  }
+
+  /// Atomic-min idiom (the CAS loop of label-update operators): writes `v`
+  /// if it is smaller than the current value. Returns true on update.
+  /// Costed as a read plus, when it succeeds, a write.
+  bool CasMin(ThreadId t, size_t i, const T& v) {
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kRead);
+    if (v < data_[i]) {
+      machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kWrite);
+      data_[i] = v;
+      return true;
+    }
+    return false;
+  }
+
+  /// Atomic fetch-add idiom. Returns the previous value.
+  T FetchAdd(ThreadId t, size_t i, const T& delta) {
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kRead);
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kWrite);
+    const T old = data_[i];
+    data_[i] = old + delta;
+    return old;
+  }
+
+  /// Costed sequential fill using thread-blocked partitioning (first
+  /// touch). Runs inside the caller's epoch if one is open.
+  void FillBlocked(memsim::Machine* m, uint32_t threads, const T& v) {
+    const size_t n = data_.size();
+    const size_t per = n / threads;
+    const size_t extra = n % threads;
+    size_t cursor = 0;
+    for (ThreadId t = 0; t < threads; ++t) {
+      const size_t len = per + (t < extra ? 1 : 0);
+      if (len > 0) {
+        m->AccessRange(t, AddrOf(cursor), len * sizeof(T),
+                       AccessType::kWrite);
+      }
+      for (size_t i = cursor; i < cursor + len; ++i) data_[i] = v;
+      cursor += len;
+    }
+  }
+
+  /// Uncosted access for verification / setup outside measurement.
+  const T* raw() const { return data_.data(); }
+  T* raw() { return data_.data(); }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& operator[](size_t i) { return data_[i]; }
+
+ private:
+  void Reset() {
+    if (machine_ != nullptr) {
+      machine_->Free(region_);
+      machine_ = nullptr;
+    }
+  }
+
+  memsim::Machine* machine_ = nullptr;
+  memsim::RegionId region_ = 0;
+  VirtAddr base_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace pmg::runtime
+
+#endif  // PMG_RUNTIME_NUMA_ARRAY_H_

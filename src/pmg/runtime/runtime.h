@@ -1,0 +1,102 @@
+#ifndef PMG_RUNTIME_RUNTIME_H_
+#define PMG_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "pmg/common/check.h"
+#include "pmg/common/types.h"
+#include "pmg/memsim/machine.h"
+
+/// \file runtime.h
+/// The Galois-like parallel runtime over the simulated machine.
+///
+/// Parallelism is *virtual*: a loop over T virtual threads is executed
+/// deterministically on the host, each virtual thread accumulating its own
+/// simulated clock inside one machine epoch; the epoch's duration is the
+/// critical path (max over threads) bounded below by the per-socket
+/// bandwidth roofline. This reproduces thread-count scaling effects
+/// (Figures 4 and 10) without host-machine nondeterminism.
+
+namespace pmg::runtime {
+
+/// Execution context binding a machine to a thread count.
+class Runtime {
+ public:
+  /// `threads` <= machine->MaxThreads(). The runtime does not own the
+  /// machine.
+  Runtime(memsim::Machine* machine, uint32_t threads)
+      : machine_(machine), threads_(threads) {
+    PMG_CHECK(machine != nullptr);
+    PMG_CHECK(threads >= 1 && threads <= machine->MaxThreads());
+  }
+
+  memsim::Machine& machine() { return *machine_; }
+  const memsim::Machine& machine() const { return *machine_; }
+  uint32_t threads() const { return threads_; }
+
+  /// Bulk-synchronous loop over [begin, end): contiguous block per thread
+  /// (the partitioning Galois's do_all uses, and what makes first-touch
+  /// "NUMA blocked" placement work). One machine epoch.
+  template <typename Body>  // void(ThreadId, uint64_t index)
+  void ParallelFor(uint64_t begin, uint64_t end, Body&& body) {
+    machine_->CloseEpochIfOpen();
+    machine_->BeginEpoch(threads_);
+    const uint64_t n = end - begin;
+    const uint64_t per = n / threads_;
+    const uint64_t extra = n % threads_;
+    uint64_t cursor = begin;
+    for (ThreadId t = 0; t < threads_; ++t) {
+      const uint64_t len = per + (t < extra ? 1 : 0);
+      for (uint64_t i = cursor; i < cursor + len; ++i) body(t, i);
+      cursor += len;
+    }
+    machine_->EndEpoch();
+  }
+
+  /// Bulk-synchronous loop with dynamic (round-robin chunk) scheduling:
+  /// models a work-stealing do_all where load balance is good but
+  /// contiguity is not guaranteed. One machine epoch.
+  template <typename Body>
+  void ParallelForDynamic(uint64_t begin, uint64_t end, uint64_t chunk,
+                          Body&& body) {
+    PMG_CHECK(chunk > 0);
+    machine_->CloseEpochIfOpen();
+    machine_->BeginEpoch(threads_);
+    uint64_t chunk_index = 0;
+    for (uint64_t c = begin; c < end; c += chunk, ++chunk_index) {
+      const ThreadId t = static_cast<ThreadId>(chunk_index % threads_);
+      const uint64_t hi = c + chunk < end ? c + chunk : end;
+      for (uint64_t i = c; i < hi; ++i) body(t, i);
+    }
+    machine_->EndEpoch();
+  }
+
+  /// Runs `body(t)` once per virtual thread in one epoch (for per-thread
+  /// setup such as first-touch initialization).
+  template <typename Body>
+  void ParallelExecute(Body&& body) {
+    machine_->CloseEpochIfOpen();
+    machine_->BeginEpoch(threads_);
+    for (ThreadId t = 0; t < threads_; ++t) body(t);
+    machine_->EndEpoch();
+  }
+
+  /// Measures simulated time across a callable (closing stray epochs).
+  template <typename Fn>
+  SimNs Timed(Fn&& fn) {
+    machine_->CloseEpochIfOpen();
+    const SimNs before = machine_->now();
+    std::forward<Fn>(fn)();
+    machine_->CloseEpochIfOpen();
+    return machine_->now() - before;
+  }
+
+ private:
+  memsim::Machine* machine_;
+  uint32_t threads_;
+};
+
+}  // namespace pmg::runtime
+
+#endif  // PMG_RUNTIME_RUNTIME_H_

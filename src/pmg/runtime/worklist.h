@@ -1,0 +1,273 @@
+#ifndef PMG_RUNTIME_WORKLIST_H_
+#define PMG_RUNTIME_WORKLIST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmg/common/check.h"
+#include "pmg/common/types.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/runtime/numa_array.h"
+#include "pmg/runtime/runtime.h"
+
+/// \file worklist.h
+/// Worklists for data-driven graph algorithms (Section 5.1).
+///
+///   - DenseWorklist: a |V|-sized byte-vector frontier (what Ligra/GBBS,
+///     GAP and GraphIt use). Cheap membership, but every round costs O(|V|)
+///     memory traffic to scan and clear — ruinous on high-diameter graphs
+///     with sparse frontiers.
+///   - SparseWorklist: per-thread chunked bags with stealing (Galois).
+///     Traffic proportional to the number of *active* vertices.
+///   - BucketWorklist: priority buckets over sparse bags (Galois OBIM),
+///     enabling asynchronous delta-stepping.
+///
+/// Worklist memory itself is costed through a NUMA-local scratch ring, so
+/// the footprint difference between dense and sparse scheduling shows up
+/// in simulated time, exactly as the paper argues.
+
+namespace pmg::runtime {
+
+/// Charges worklist push/pop traffic to the machine: each thread owns a
+/// slice of a first-touch (NUMA-local) scratch region and cycles through
+/// it sequentially, modelling chunked bag storage.
+class CostRing {
+ public:
+  /// Default scratch policy: NUMA-local (first touch) huge pages, the
+  /// allocation Galois's runtime makes for its chunked bags.
+  static memsim::PagePolicy DefaultPolicy() {
+    memsim::PagePolicy policy;
+    policy.placement = memsim::Placement::kBlocked;
+    policy.page_size = memsim::PageSizeClass::k2M;
+    return policy;
+  }
+
+  // Each thread gets its own scratch region (chunk pools are per-thread
+  // allocations in real runtimes, so first-touch keeps them NUMA-local
+  // under any page size). The slice is sized for the 1/16384-scaled
+  // machines: big enough to defeat line reuse, small enough that worklist
+  // scratch stays a sliver of the scaled DRAM capacity.
+  CostRing(memsim::Machine* machine, uint32_t threads, std::string_view name,
+           const memsim::PagePolicy& policy = DefaultPolicy(),
+           uint64_t slice_bytes = 16 * 1024)
+      : machine_(machine), slice_bytes_(slice_bytes), cursors_(threads, 0) {
+    regions_.reserve(threads);
+    bases_.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+      regions_.push_back(machine_->Alloc(slice_bytes_, policy, name));
+      bases_.push_back(machine_->BaseOf(regions_.back()));
+    }
+  }
+
+  ~CostRing() {
+    for (memsim::RegionId r : regions_) machine_->Free(r);
+  }
+
+  CostRing(const CostRing&) = delete;
+  CostRing& operator=(const CostRing&) = delete;
+
+  void Charge(ThreadId t, uint32_t bytes, AccessType type) {
+    uint64_t& cur = cursors_[t];
+    machine_->Access(t, bases_[t] + cur, bytes, type);
+    cur = (cur + bytes) % (slice_bytes_ - 64);
+  }
+
+ private:
+  memsim::Machine* machine_;
+  std::vector<memsim::RegionId> regions_;
+  std::vector<VirtAddr> bases_;
+  uint64_t slice_bytes_;
+  std::vector<uint64_t> cursors_;
+};
+
+/// Bit-vector frontier of the bulk-synchronous vertex-program systems.
+class DenseWorklist {
+ public:
+  DenseWorklist(memsim::Machine* machine, uint64_t vertices,
+                const memsim::PagePolicy& policy, std::string_view name)
+      : cur_(machine, vertices, policy, std::string(name) + ".cur"),
+        next_(machine, vertices, policy, std::string(name) + ".next") {
+    // Frontier flags start clear; initialization is part of the measured
+    // footprint (two |V| byte arrays).
+    for (uint64_t v = 0; v < vertices; ++v) {
+      cur_.raw()[v] = 0;
+      next_.raw()[v] = 0;
+    }
+  }
+
+  uint64_t size() const { return cur_.size(); }
+  uint64_t ActiveCount() const { return cur_count_; }
+  bool Empty() const { return cur_count_ == 0; }
+
+  /// Marks `v` active for the *next* round.
+  void Activate(ThreadId t, uint64_t v) {
+    if (next_.Get(t, v) == 0) {
+      next_.Set(t, v, 1);
+      ++next_count_;
+    }
+  }
+
+  /// Marks `v` active in the *current* round (initial frontier).
+  void ActivateCur(ThreadId t, uint64_t v) {
+    if (cur_.Get(t, v) == 0) {
+      cur_.Set(t, v, 1);
+      ++cur_count_;
+    }
+  }
+
+  bool IsActive(ThreadId t, uint64_t v) const { return cur_.Get(t, v) != 0; }
+
+  /// Ends a round: next becomes current; the stale frontier is cleared
+  /// with a full costed sweep — the O(|V|)-per-round tax of dense
+  /// worklists.
+  void Advance(Runtime& rt) {
+    std::swap(cur_, next_);
+    cur_count_ = next_count_;
+    next_count_ = 0;
+    rt.ParallelFor(0, next_.size(), [&](ThreadId t, uint64_t v) {
+      next_.Set(t, v, 0);
+    });
+  }
+
+  /// Applies `body(t, v)` to every *active* vertex by scanning all |V|
+  /// flags (dense scheduling always pays the scan). One epoch.
+  template <typename Body>
+  void ForEachActive(Runtime& rt, Body&& body) {
+    rt.ParallelFor(0, cur_.size(), [&](ThreadId t, uint64_t v) {
+      if (cur_.Get(t, v) != 0) body(t, v);
+    });
+  }
+
+ private:
+  NumaArray<uint8_t> cur_;
+  NumaArray<uint8_t> next_;
+  uint64_t cur_count_ = 0;
+  uint64_t next_count_ = 0;
+};
+
+/// Galois-style chunked bags: per-thread LIFO with stealing. Memory
+/// traffic is proportional to pushes/pops, not |V|.
+template <typename T>
+class SparseWorklist {
+ public:
+  SparseWorklist(memsim::Machine* machine, uint32_t threads,
+                 std::string_view name,
+                 const memsim::PagePolicy& policy = CostRing::DefaultPolicy())
+      : ring_(machine, threads, name, policy), local_(threads) {}
+
+  void Push(ThreadId t, const T& item) {
+    ring_.Charge(t, sizeof(T), AccessType::kWrite);
+    local_[t].push_back(item);
+    ++size_;
+  }
+
+  /// Pops from `t`'s bag, stealing from the next non-empty bag when it is
+  /// empty. Returns false when the whole worklist is drained.
+  bool Pop(ThreadId t, T* out) {
+    if (size_ == 0) return false;
+    const uint32_t n = static_cast<uint32_t>(local_.size());
+    for (uint32_t k = 0; k < n; ++k) {
+      std::vector<T>& bag = local_[(t + k) % n];
+      if (!bag.empty()) {
+        ring_.Charge(t, sizeof(T), AccessType::kRead);
+        *out = bag.back();
+        bag.pop_back();
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint64_t size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+ private:
+  CostRing ring_;
+  std::vector<std::vector<T>> local_;
+  uint64_t size_ = 0;
+};
+
+/// Asynchronously drains `wl` in one machine epoch: virtual threads take
+/// turns processing chunks, and `body` may push new work. This is the
+/// execution mode unavailable in round-based systems (Section 5.1's
+/// "asynchronous data-driven" class).
+template <typename T, typename Body>
+void DrainAsync(Runtime& rt, SparseWorklist<T>& wl, Body&& body,
+                uint32_t chunk = 64) {
+  memsim::Machine& m = rt.machine();
+  m.CloseEpochIfOpen();
+  m.BeginEpoch(rt.threads());
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (ThreadId t = 0; t < rt.threads(); ++t) {
+      for (uint32_t k = 0; k < chunk; ++k) {
+        T item;
+        if (!wl.Pop(t, &item)) break;
+        body(t, item);
+        progressed = true;
+      }
+    }
+  }
+  m.EndEpoch();
+}
+
+/// Priority buckets over sparse bags (the OBIM scheduler shape), used by
+/// asynchronous delta-stepping sssp.
+template <typename T>
+class BucketWorklist {
+ public:
+  BucketWorklist(memsim::Machine* machine, uint32_t threads,
+                 std::string_view name,
+                 const memsim::PagePolicy& policy = CostRing::DefaultPolicy())
+      : ring_(machine, threads, name, policy), threads_(threads) {}
+
+  void Push(ThreadId t, uint32_t bucket, const T& item) {
+    if (bucket >= buckets_.size()) buckets_.resize(bucket + 1);
+    if (buckets_[bucket].empty()) buckets_[bucket].resize(threads_);
+    ring_.Charge(t, sizeof(T), AccessType::kWrite);
+    buckets_[bucket][t].push_back(item);
+    ++size_;
+    if (bucket < min_bucket_) min_bucket_ = bucket;
+  }
+
+  /// Pops an item from the lowest non-empty bucket (stealing across
+  /// threads within the bucket). Returns false when empty.
+  bool PopMin(ThreadId t, uint32_t* bucket, T* out) {
+    if (size_ == 0) return false;
+    for (uint32_t b = min_bucket_; b < buckets_.size(); ++b) {
+      if (buckets_[b].empty()) continue;
+      for (uint32_t k = 0; k < threads_; ++k) {
+        std::vector<T>& bag = buckets_[b][(t + k) % threads_];
+        if (!bag.empty()) {
+          ring_.Charge(t, sizeof(T), AccessType::kRead);
+          *out = bag.back();
+          bag.pop_back();
+          --size_;
+          *bucket = b;
+          min_bucket_ = b;
+          return true;
+        }
+      }
+    }
+    min_bucket_ = static_cast<uint32_t>(buckets_.size());
+    return false;
+  }
+
+  uint64_t size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+ private:
+  CostRing ring_;
+  uint32_t threads_;
+  std::vector<std::vector<std::vector<T>>> buckets_;  // [bucket][thread]
+  uint64_t size_ = 0;
+  uint32_t min_bucket_ = 0;
+};
+
+}  // namespace pmg::runtime
+
+#endif  // PMG_RUNTIME_WORKLIST_H_

@@ -1,0 +1,76 @@
+#include "pmg/scenarios/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace pmg::scenarios {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::FILE* out) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::fprintf(out, "%-*s  ", static_cast<int>(width[c]),
+                   c < row.size() ? row[c].c_str() : "");
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : width) total += w + 2;
+  for (size_t i = 0; i < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSeconds(SimNs ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e9);
+  return buf;
+}
+
+std::string FormatMillis(SimNs ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string FormatRatio(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+  return buf;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+double Geomean(const std::vector<double>& values) {
+  double log_sum = 0;
+  int n = 0;
+  for (double v : values) {
+    if (v > 0) {
+      log_sum += std::log(v);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : std::exp(log_sum / n);
+}
+
+}  // namespace pmg::scenarios

@@ -1,0 +1,47 @@
+#ifndef PMG_SCENARIOS_REPORT_H_
+#define PMG_SCENARIOS_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+
+/// \file report.h
+/// Plain-text table rendering and summary statistics for the benchmark
+/// binaries, which print each paper table/figure as an aligned table.
+
+namespace pmg::scenarios {
+
+/// A fixed-header text table with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Prints the header, a separator, and all rows.
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Seconds with 3 fractional digits, e.g. "1.234".
+std::string FormatSeconds(SimNs ns);
+
+/// Milliseconds with 3 fractional digits (for microbenchmark tables).
+std::string FormatMillis(SimNs ns);
+
+/// "12.3x" style ratio.
+std::string FormatRatio(double ratio);
+
+/// Fixed-precision double.
+std::string FormatDouble(double v, int precision = 2);
+
+/// Geometric mean (ignores non-positive entries).
+double Geomean(const std::vector<double>& values);
+
+}  // namespace pmg::scenarios
+
+#endif  // PMG_SCENARIOS_REPORT_H_

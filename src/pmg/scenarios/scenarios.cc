@@ -1,0 +1,109 @@
+#include "pmg/scenarios/scenarios.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pmg/common/check.h"
+#include "pmg/graph/generators.h"
+
+namespace pmg::scenarios {
+
+Scenario MakeScenario(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  if (name == "kron30") {
+    s.topo = graph::Kron(/*scale=*/16, /*edge_factor=*/16, /*seed=*/30);
+    s.represented_vertices = 1073ull * 1000 * 1000;
+    s.paper_size_gb = 136;
+    s.paper_vertices_m = 1073;
+    s.paper_edges_m = 10791;
+    s.paper_diameter = 6;
+  } else if (name == "rmat32") {
+    s.topo = graph::Rmat(/*scale=*/18, /*edge_factor=*/16, /*seed=*/32);
+    s.represented_vertices = 4295ull * 1000 * 1000;  // > 2^31 - 1
+    s.paper_size_gb = 544;
+    s.paper_vertices_m = 4295;
+    s.paper_edges_m = 68719;
+    s.paper_diameter = 7;
+  } else if (name == "clueweb12") {
+    graph::WebCrawlParams p;
+    // Sized so the CSR plus labels fill ~95% of the scaled machine's
+    // total near-memory, as the paper's 365GB-of-384GB clueweb12 does.
+    p.vertices = 58000;
+    p.avg_out_degree = 44;
+    p.communities = 40;
+    p.tail_length = 500;
+    p.hubs = 4;
+    p.seed = 12;
+    s.topo = graph::WebCrawl(p);
+    s.represented_vertices = 978ull * 1000 * 1000;
+    s.paper_size_gb = 325;
+    s.paper_vertices_m = 978;
+    s.paper_edges_m = 42574;
+    s.paper_diameter = 498;
+  } else if (name == "uk14") {
+    graph::WebCrawlParams p;
+    p.vertices = 40000;
+    p.avg_out_degree = 60;
+    p.communities = 28;
+    p.tail_length = 2500;
+    p.tail_width = 4;
+    p.hubs = 4;
+    p.seed = 14;
+    s.topo = graph::WebCrawl(p);
+    s.represented_vertices = 788ull * 1000 * 1000;
+    s.paper_size_gb = 361;
+    s.paper_vertices_m = 788;
+    s.paper_edges_m = 47615;
+    s.paper_diameter = 2498;
+  } else if (name == "iso_m100") {
+    s.topo = graph::ProteinCluster(/*clusters=*/50, /*cluster_size=*/160,
+                                   /*intra_degree=*/120, /*seed=*/100);
+    s.represented_vertices = 76ull * 1000 * 1000;
+    s.paper_size_gb = 509;
+    s.paper_vertices_m = 76;
+    s.paper_edges_m = 68211;
+    s.paper_diameter = 83;
+  } else if (name == "wdc12") {
+    graph::WebCrawlParams p;
+    p.vertices = 120000;
+    p.avg_out_degree = 36;
+    p.communities = 64;
+    p.tail_length = 5000;
+    p.hubs = 6;
+    p.seed = 2012;
+    s.topo = graph::WebCrawl(p);
+    s.represented_vertices = 3563ull * 1000 * 1000;  // > 2^31 - 1
+    s.paper_size_gb = 986;
+    s.paper_vertices_m = 3563;
+    s.paper_edges_m = 128736;
+    s.paper_diameter = 5274;
+  } else {
+    PMG_CHECK_MSG(false, "unknown scenario '%s'", name.c_str());
+  }
+  return s;
+}
+
+std::vector<std::string> AllScenarioNames() {
+  return {"kron30", "clueweb12", "uk14", "iso_m100", "rmat32", "wdc12"};
+}
+
+graph::CsrTopology ScatterIds(const graph::CsrTopology& g, uint64_t seed) {
+  std::vector<VertexId> perm(g.num_vertices);
+  std::iota(perm.begin(), perm.end(), 0);
+  // Deterministic Fisher-Yates with a splitmix-style generator.
+  uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+  auto next = [&x]() {
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (uint64_t i = g.num_vertices; i > 1; --i) {
+    std::swap(perm[i - 1], perm[next() % i]);
+  }
+  return graph::Relabel(g, perm);
+}
+
+}  // namespace pmg::scenarios

@@ -1,0 +1,149 @@
+#include "pmg/analytics/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "pmg/analytics/reference.h"
+#include "pmg/graph/properties.h"
+#include "tests/analytics/test_util.h"
+
+namespace pmg::analytics {
+namespace {
+
+using testutil::Corpus;
+using testutil::DefaultOptions;
+using testutil::Env;
+using testutil::NamedGraph;
+
+class BfsCorpusTest : public testing::TestWithParam<NamedGraph> {};
+
+void ExpectLevelsMatch(const runtime::NumaArray<uint32_t>& got,
+                       const std::vector<uint32_t>& want,
+                       const std::string& tag) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t v = 0; v < want.size(); ++v) {
+    ASSERT_EQ(got[v], want[v]) << tag << " vertex " << v;
+  }
+}
+
+TEST_P(BfsCorpusTest, DenseMatchesReference) {
+  const NamedGraph& g = GetParam();
+  const VertexId src = graph::MaxOutDegreeVertex(g.topo);
+  const std::vector<uint32_t> want = RefBfs(g.topo, src);
+  Env env(g.topo, /*in_edges=*/false, /*weights=*/false);
+  const BfsResult r = BfsDenseWl(env.rt(), env.graph(), src, DefaultOptions());
+  ExpectLevelsMatch(r.level, want, "dense");
+}
+
+TEST_P(BfsCorpusTest, DirectionOptMatchesReference) {
+  const NamedGraph& g = GetParam();
+  const VertexId src = graph::MaxOutDegreeVertex(g.topo);
+  const std::vector<uint32_t> want = RefBfs(g.topo, src);
+  Env env(g.topo, /*in_edges=*/true, /*weights=*/false);
+  const BfsResult r =
+      BfsDirectionOpt(env.rt(), env.graph(), src, DefaultOptions());
+  ExpectLevelsMatch(r.level, want, "dir-opt");
+}
+
+TEST_P(BfsCorpusTest, SparseMatchesReference) {
+  const NamedGraph& g = GetParam();
+  const VertexId src = graph::MaxOutDegreeVertex(g.topo);
+  const std::vector<uint32_t> want = RefBfs(g.topo, src);
+  Env env(g.topo, false, false);
+  const BfsResult r =
+      BfsSparseWl(env.rt(), env.graph(), src, DefaultOptions());
+  ExpectLevelsMatch(r.level, want, "sparse");
+}
+
+TEST_P(BfsCorpusTest, AsyncMatchesReference) {
+  const NamedGraph& g = GetParam();
+  const VertexId src = graph::MaxOutDegreeVertex(g.topo);
+  const std::vector<uint32_t> want = RefBfs(g.topo, src);
+  Env env(g.topo, false, false);
+  const BfsResult r = BfsAsync(env.rt(), env.graph(), src, DefaultOptions());
+  ExpectLevelsMatch(r.level, want, "async");
+}
+
+TEST_P(BfsCorpusTest, EdgeRelaxationInvariant) {
+  // For every edge (v, u) with v reached: level[u] <= level[v] + 1.
+  const NamedGraph& g = GetParam();
+  const VertexId src = graph::MaxOutDegreeVertex(g.topo);
+  Env env(g.topo, false, false);
+  const BfsResult r =
+      BfsSparseWl(env.rt(), env.graph(), src, DefaultOptions());
+  for (VertexId v = 0; v < g.topo.num_vertices; ++v) {
+    if (r.level[v] == kInfLevel) continue;
+    for (uint64_t e = g.topo.index[v]; e < g.topo.index[v + 1]; ++e) {
+      EXPECT_LE(r.level[g.topo.dst[e]], r.level[v] + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, BfsCorpusTest, testing::ValuesIn(Corpus()),
+    [](const testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(BfsTest, RoundsEqualEccentricityOnPath) {
+  graph::CsrTopology topo = graph::Path(64);
+  Env env(topo, false, false);
+  const BfsResult r = BfsDenseWl(env.rt(), env.graph(), 0, DefaultOptions());
+  // 63 productive rounds + one empty-detection round.
+  EXPECT_GE(r.rounds, 63u);
+  EXPECT_LE(r.rounds, 64u);
+  EXPECT_EQ(r.level[63], 63u);
+}
+
+TEST(BfsTest, SourceOnlyGraph) {
+  graph::CsrTopology topo = graph::BuildCsr(1, {}, false);
+  Env env(topo, false, false);
+  const BfsResult r = BfsSparseWl(env.rt(), env.graph(), 0, DefaultOptions());
+  EXPECT_EQ(r.level[0], 0u);
+}
+
+TEST(BfsTest, UnreachableVerticesStayInf) {
+  // Two disconnected paths; start in the first.
+  graph::EdgeList edges = {{0, 1, 1}, {2, 3, 1}};
+  graph::CsrTopology topo = graph::BuildCsr(4, edges, false);
+  Env env(topo, false, false);
+  const BfsResult r = BfsAsync(env.rt(), env.graph(), 0, DefaultOptions());
+  EXPECT_EQ(r.level[1], 1u);
+  EXPECT_EQ(r.level[2], kInfLevel);
+  EXPECT_EQ(r.level[3], kInfLevel);
+}
+
+TEST(BfsTest, SparseBeatsDenseOnHighDiameterGraph) {
+  // The Section 5 claim that motivates sparse worklists: on a
+  // high-diameter graph the dense frontier's per-round O(|V|) scans make
+  // it far slower than sparse scheduling.
+  graph::WebCrawlParams wp;
+  wp.vertices = 20000;
+  wp.communities = 16;
+  wp.tail_length = 2000;
+  wp.tail_width = 4;
+  wp.avg_out_degree = 8;
+  graph::CsrTopology topo = graph::WebCrawl(wp);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  Env dense_env(topo, false, false);
+  Env sparse_env(topo, false, false);
+  const BfsResult dense =
+      BfsDenseWl(dense_env.rt(), dense_env.graph(), src, DefaultOptions());
+  const BfsResult sparse =
+      BfsSparseWl(sparse_env.rt(), sparse_env.graph(), src, DefaultOptions());
+  EXPECT_GT(dense.time_ns, 3 * sparse.time_ns);
+}
+
+TEST(BfsTest, DirectionOptWinsOnLowDiameterScaleFree) {
+  // On rmat-like graphs the giant middle frontier makes pull profitable.
+  graph::CsrTopology topo = graph::Rmat(13, 16, 3);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  Env a(topo, true, false);
+  Env b(topo, false, false);
+  const BfsResult dir =
+      BfsDirectionOpt(a.rt(), a.graph(), src, DefaultOptions());
+  const BfsResult dense = BfsDenseWl(b.rt(), b.graph(), src, DefaultOptions());
+  EXPECT_LT(dir.time_ns, dense.time_ns);
+}
+
+}  // namespace
+}  // namespace pmg::analytics

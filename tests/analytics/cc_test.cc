@@ -1,0 +1,138 @@
+#include "pmg/analytics/cc.h"
+
+#include <gtest/gtest.h>
+
+#include "pmg/analytics/reference.h"
+#include "pmg/graph/generators.h"
+#include "tests/analytics/test_util.h"
+
+namespace pmg::analytics {
+namespace {
+
+using testutil::Corpus;
+using testutil::DefaultOptions;
+using testutil::Env;
+using testutil::NamedGraph;
+
+class CcCorpusTest : public testing::TestWithParam<NamedGraph> {};
+
+void ExpectLabelsMatch(const runtime::NumaArray<uint64_t>& got,
+                       const std::vector<uint64_t>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t v = 0; v < want.size(); ++v) {
+    ASSERT_EQ(got[v], want[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(CcCorpusTest, LabelPropMatchesReference) {
+  const graph::CsrTopology sym = graph::Symmetrize(GetParam().topo);
+  const std::vector<uint64_t> want = RefCc(sym);
+  Env env(sym, false, false);
+  const CcResult r = CcLabelProp(env.rt(), env.graph(), DefaultOptions());
+  ExpectLabelsMatch(r.label, want);
+}
+
+TEST_P(CcCorpusTest, LabelPropScMatchesReference) {
+  const graph::CsrTopology sym = graph::Symmetrize(GetParam().topo);
+  const std::vector<uint64_t> want = RefCc(sym);
+  Env env(sym, false, false);
+  const CcResult r = CcLabelPropSC(env.rt(), env.graph(), DefaultOptions());
+  ExpectLabelsMatch(r.label, want);
+}
+
+TEST_P(CcCorpusTest, LabelPropScDirMatchesReferenceOnDirectedInput) {
+  // The directed-input variant computes weak components without a
+  // symmetrized copy; RefCc already treats edges as undirected.
+  const graph::CsrTopology& topo = GetParam().topo;
+  const std::vector<uint64_t> want = RefCc(topo);
+  Env env(topo, false, false);
+  const CcResult r = CcLabelPropSCDir(env.rt(), env.graph(), DefaultOptions());
+  ExpectLabelsMatch(r.label, want);
+}
+
+TEST(CcTest, DirectedVariantHalvesGraphFootprint) {
+  // The point of the directed variant: no transpose, no symmetrized copy.
+  const graph::CsrTopology topo = graph::Rmat(11, 8, 3);
+  const graph::CsrTopology sym = graph::Symmetrize(topo);
+  EXPECT_GT(graph::CsrBytes(sym), graph::CsrBytes(topo) * 3 / 2);
+}
+
+TEST_P(CcCorpusTest, UnionFindMatchesReference) {
+  const graph::CsrTopology sym = graph::Symmetrize(GetParam().topo);
+  const std::vector<uint64_t> want = RefCc(sym);
+  Env env(sym, false, false);
+  const CcResult r = CcUnionFind(env.rt(), env.graph(), DefaultOptions());
+  ExpectLabelsMatch(r.label, want);
+}
+
+TEST_P(CcCorpusTest, AsyncMatchesReference) {
+  const graph::CsrTopology sym = graph::Symmetrize(GetParam().topo);
+  const std::vector<uint64_t> want = RefCc(sym);
+  Env env(sym, false, false);
+  const CcResult r = CcAsync(env.rt(), env.graph(), DefaultOptions());
+  ExpectLabelsMatch(r.label, want);
+}
+
+TEST_P(CcCorpusTest, LabelsFormEquivalenceOverEdges) {
+  const graph::CsrTopology sym = graph::Symmetrize(GetParam().topo);
+  Env env(sym, false, false);
+  const CcResult r = CcLabelPropSC(env.rt(), env.graph(), DefaultOptions());
+  for (VertexId v = 0; v < sym.num_vertices; ++v) {
+    // The label is a component representative: itself labeled by itself.
+    EXPECT_LE(r.label[v], v);
+    EXPECT_EQ(r.label[r.label[v]], r.label[v]);
+    for (uint64_t e = sym.index[v]; e < sym.index[v + 1]; ++e) {
+      EXPECT_EQ(r.label[v], r.label[sym.dst[e]]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CcCorpusTest, testing::ValuesIn(Corpus()),
+    [](const testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(CcTest, CountsIsolatedVerticesAsComponents) {
+  // 5 isolated vertices + one 3-cycle.
+  graph::EdgeList edges = {{5, 6, 1}, {6, 7, 1}, {7, 5, 1}};
+  graph::CsrTopology sym = graph::Symmetrize(graph::BuildCsr(8, edges, false));
+  Env env(sym, false, false);
+  const CcResult r = CcAsync(env.rt(), env.graph(), DefaultOptions());
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(r.label[v], v);
+  EXPECT_EQ(r.label[5], 5u);
+  EXPECT_EQ(r.label[6], 5u);
+  EXPECT_EQ(r.label[7], 5u);
+}
+
+TEST(CcTest, ShortcuttingConvergesInFewerRoundsOnLongPath) {
+  // Plain label propagation needs O(path length) rounds; shortcutting
+  // compresses labels along the way (the paper's LabelProp-SC argument).
+  graph::CsrTopology sym = graph::Symmetrize(graph::Path(512));
+  Env e1(sym, false, false);
+  Env e2(sym, false, false);
+  const CcResult plain = CcLabelProp(e1.rt(), e1.graph(), DefaultOptions());
+  const CcResult sc = CcLabelPropSC(e2.rt(), e2.graph(), DefaultOptions());
+  // Jacobi label propagation needs ~path-length rounds; shortcutting
+  // collapses the pointer chains.
+  EXPECT_GE(plain.rounds, 256u);
+  EXPECT_LT(sc.rounds, plain.rounds / 8);
+}
+
+TEST(CcTest, ShortcuttingFasterOnHighDiameter) {
+  graph::WebCrawlParams wp;
+  wp.vertices = 12000;
+  wp.communities = 10;
+  wp.tail_length = 1200;
+  wp.tail_width = 4;
+  wp.avg_out_degree = 6;
+  graph::CsrTopology sym = graph::Symmetrize(graph::WebCrawl(wp));
+  Env e1(sym, false, false);
+  Env e2(sym, false, false);
+  const CcResult dense = CcLabelProp(e1.rt(), e1.graph(), DefaultOptions());
+  const CcResult sc = CcLabelPropSC(e2.rt(), e2.graph(), DefaultOptions());
+  EXPECT_GT(dense.time_ns, 2 * sc.time_ns);
+}
+
+}  // namespace
+}  // namespace pmg::analytics

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pmg/analytics/kcore.h"
+#include "pmg/analytics/reference.h"
+#include "pmg/analytics/tc.h"
+#include "tests/analytics/test_util.h"
+
+namespace pmg::analytics {
+namespace {
+
+using testutil::Corpus;
+using testutil::DefaultOptions;
+using testutil::Env;
+using testutil::NamedGraph;
+
+class KcoreCorpusTest : public testing::TestWithParam<NamedGraph> {};
+class TcCorpusTest : public testing::TestWithParam<NamedGraph> {};
+
+TEST_P(KcoreCorpusTest, AsyncMatchesReference) {
+  const graph::CsrTopology sym = graph::Symmetrize(GetParam().topo);
+  for (uint32_t k : {2u, 3u, 6u}) {
+    const std::vector<uint8_t> want = RefKcore(sym, k);
+    Env env(sym, false, false);
+    AlgoOptions opt = DefaultOptions();
+    opt.kcore_k = k;
+    const KcoreResult r = KcoreAsync(env.rt(), env.graph(), opt);
+    for (size_t v = 0; v < want.size(); ++v) {
+      ASSERT_EQ(r.alive[v], want[v]) << "k=" << k << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(KcoreCorpusTest, DenseMatchesReference) {
+  const graph::CsrTopology sym = graph::Symmetrize(GetParam().topo);
+  const std::vector<uint8_t> want = RefKcore(sym, 3);
+  Env env(sym, false, false);
+  AlgoOptions opt = DefaultOptions();
+  opt.kcore_k = 3;
+  const KcoreResult r = KcoreDense(env.rt(), env.graph(), opt);
+  for (size_t v = 0; v < want.size(); ++v) {
+    ASSERT_EQ(r.alive[v], want[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(KcoreCorpusTest, CoreMembersHaveKAliveNeighbors) {
+  // The defining invariant of the k-core.
+  const graph::CsrTopology sym = graph::Symmetrize(GetParam().topo);
+  Env env(sym, false, false);
+  AlgoOptions opt = DefaultOptions();
+  opt.kcore_k = 3;
+  const KcoreResult r = KcoreAsync(env.rt(), env.graph(), opt);
+  for (VertexId v = 0; v < sym.num_vertices; ++v) {
+    if (r.alive[v] == 0) continue;
+    uint32_t alive_neighbors = 0;
+    for (uint64_t e = sym.index[v]; e < sym.index[v + 1]; ++e) {
+      alive_neighbors += r.alive[sym.dst[e]];
+    }
+    EXPECT_GE(alive_neighbors, 3u) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, KcoreCorpusTest, testing::ValuesIn(Corpus()),
+    [](const testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(KcoreTest, CompleteGraphIsItsOwnCore) {
+  const graph::CsrTopology sym = graph::Symmetrize(graph::Complete(10));
+  Env env(sym, false, false);
+  AlgoOptions opt = DefaultOptions();
+  opt.kcore_k = 9;
+  const KcoreResult r = KcoreAsync(env.rt(), env.graph(), opt);
+  EXPECT_EQ(r.in_core, 10u);
+  opt.kcore_k = 10;
+  Env env2(sym, false, false);
+  const KcoreResult r2 = KcoreAsync(env2.rt(), env2.graph(), opt);
+  EXPECT_EQ(r2.in_core, 0u);
+}
+
+TEST(KcoreTest, PeelingCascades) {
+  // A clique of 5 with a pendant chain: the chain must unravel entirely.
+  graph::EdgeList edges;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) edges.push_back({u, v, 1});
+  }
+  edges.push_back({4, 5, 1});
+  edges.push_back({5, 6, 1});
+  edges.push_back({6, 7, 1});
+  const graph::CsrTopology sym =
+      graph::Symmetrize(graph::BuildCsr(8, edges, false));
+  Env env(sym, false, false);
+  AlgoOptions opt = DefaultOptions();
+  opt.kcore_k = 4;
+  const KcoreResult r = KcoreAsync(env.rt(), env.graph(), opt);
+  EXPECT_EQ(r.in_core, 5u);
+  for (VertexId v = 5; v < 8; ++v) EXPECT_EQ(r.alive[v], 0);
+}
+
+TEST_P(TcCorpusTest, MatchesReference) {
+  const NamedGraph& g = GetParam();
+  const uint64_t want = RefTc(g.topo);
+  const graph::CsrTopology fwd = TcPrepare(g.topo);
+  Env env(fwd, false, false);
+  const TcResult r = Tc(env.rt(), env.graph());
+  EXPECT_EQ(r.triangles, want);
+}
+
+TEST_P(TcCorpusTest, InvariantUnderRelabeling) {
+  const NamedGraph& g = GetParam();
+  std::vector<VertexId> perm(g.topo.num_vertices);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::reverse(perm.begin(), perm.end());
+  const graph::CsrTopology relabeled = graph::Relabel(g.topo, perm);
+  const graph::CsrTopology f1 = TcPrepare(g.topo);
+  const graph::CsrTopology f2 = TcPrepare(relabeled);
+  Env e1(f1, false, false);
+  Env e2(f2, false, false);
+  EXPECT_EQ(Tc(e1.rt(), e1.graph()).triangles,
+            Tc(e2.rt(), e2.graph()).triangles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, TcCorpusTest, testing::ValuesIn(Corpus()),
+    [](const testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(TcTest, KnownCounts) {
+  struct Case {
+    graph::CsrTopology topo;
+    uint64_t want;
+  };
+  const Case cases[] = {
+      {graph::Complete(6), 20},   // C(6,3)
+      {graph::Complete(12), 220}, // C(12,3)
+      {graph::Path(20), 0},
+      {graph::Grid2d(5, 5), 0},
+      {graph::Star(10), 0},
+      {graph::BuildCsr(3, {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}}, false), 1},
+  };
+  for (const Case& c : cases) {
+    const graph::CsrTopology fwd = TcPrepare(c.topo);
+    Env env(fwd, false, false);
+    EXPECT_EQ(Tc(env.rt(), env.graph()).triangles, c.want);
+  }
+}
+
+}  // namespace
+}  // namespace pmg::analytics

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "pmg/analytics/bfs.h"
+#include "pmg/analytics/cc.h"
+#include "pmg/analytics/pagerank.h"
+#include "pmg/analytics/sssp.h"
+#include "pmg/graph/properties.h"
+#include "tests/analytics/test_util.h"
+
+// Metamorphic properties: transformations of the input with a known
+// effect on the output. These catch bugs that oracle-equality tests on
+// fixed graphs can miss (e.g. accidental dependence on vertex order or
+// weight magnitudes).
+
+namespace pmg::analytics {
+namespace {
+
+using testutil::DefaultOptions;
+using testutil::Env;
+
+graph::CsrTopology TestGraph() { return graph::Rmat(9, 8, 21); }
+
+std::vector<VertexId> ReversePerm(uint64_t n) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::reverse(perm.begin(), perm.end());
+  return perm;
+}
+
+TEST(MetamorphicTest, BfsLevelsInvariantUnderRelabeling) {
+  const graph::CsrTopology g = TestGraph();
+  const std::vector<VertexId> perm = ReversePerm(g.num_vertices);
+  const graph::CsrTopology r = graph::Relabel(g, perm);
+  const VertexId src = graph::MaxOutDegreeVertex(g);
+  Env e1(g, false, false);
+  Env e2(r, false, false);
+  const BfsResult a = BfsSparseWl(e1.rt(), e1.graph(), src, DefaultOptions());
+  const BfsResult b =
+      BfsSparseWl(e2.rt(), e2.graph(), perm[src], DefaultOptions());
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(a.level[v], b.level[perm[v]]) << v;
+  }
+}
+
+TEST(MetamorphicTest, SsspDistancesScaleWithWeights) {
+  graph::CsrTopology g = TestGraph();
+  graph::AssignRandomWeights(&g, 50, 5);
+  graph::CsrTopology scaled = g;
+  for (uint32_t& w : scaled.weight) w *= 3;
+  const VertexId src = graph::MaxOutDegreeVertex(g);
+  Env e1(g, false, true);
+  Env e2(scaled, false, true);
+  const SsspResult a =
+      SsspDeltaStep(e1.rt(), e1.graph(), src, DefaultOptions());
+  const SsspResult b =
+      SsspDeltaStep(e2.rt(), e2.graph(), src, DefaultOptions());
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    if (a.dist[v] == kInfDist) {
+      EXPECT_EQ(b.dist[v], kInfDist);
+    } else {
+      EXPECT_EQ(b.dist[v], 3 * a.dist[v]) << v;
+    }
+  }
+}
+
+TEST(MetamorphicTest, SsspMonotoneUnderExtraEdges) {
+  // Adding edges can only shorten (or preserve) distances.
+  graph::CsrTopology g = TestGraph();
+  graph::AssignRandomWeights(&g, 50, 5);
+  graph::EdgeList extra;
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      extra.push_back({v, g.dst[e], g.weight[e]});
+    }
+  }
+  for (VertexId v = 0; v + 7 < g.num_vertices; v += 7) {
+    extra.push_back({v, v + 7, 1});
+  }
+  graph::CsrTopology denser = graph::BuildCsr(g.num_vertices, extra, true);
+  const VertexId src = graph::MaxOutDegreeVertex(g);
+  Env e1(g, false, true);
+  Env e2(denser, false, true);
+  const SsspResult a =
+      SsspDeltaStep(e1.rt(), e1.graph(), src, DefaultOptions());
+  const SsspResult b =
+      SsspDeltaStep(e2.rt(), e2.graph(), src, DefaultOptions());
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    EXPECT_LE(b.dist[v], a.dist[v]) << v;
+  }
+}
+
+TEST(MetamorphicTest, CcComponentCountInvariantUnderRelabeling) {
+  const graph::CsrTopology sym = graph::Symmetrize(TestGraph());
+  const std::vector<VertexId> perm = ReversePerm(sym.num_vertices);
+  const graph::CsrTopology r = graph::Relabel(sym, perm);
+  auto count = [](const runtime::NumaArray<uint64_t>& labels) {
+    uint64_t n = 0;
+    for (size_t v = 0; v < labels.size(); ++v) {
+      if (labels[v] == v) ++n;
+    }
+    return n;
+  };
+  Env e1(sym, false, false);
+  Env e2(r, false, false);
+  const CcResult a = CcLabelPropSC(e1.rt(), e1.graph(), DefaultOptions());
+  const CcResult b = CcLabelPropSC(e2.rt(), e2.graph(), DefaultOptions());
+  EXPECT_EQ(count(a.label), count(b.label));
+}
+
+TEST(MetamorphicTest, PrConservesMassOnClosedGraph) {
+  // On a graph with no dangling vertices, the stationary total score is
+  // |V| regardless of the damping factor (rank mass is conserved).
+  const graph::CsrTopology g = graph::Cycle(128);
+  for (double damping : {0.5, 0.7, 0.85}) {
+    Env env(g, true, false);
+    AlgoOptions opt = DefaultOptions();
+    opt.pr_damping = damping;
+    const PrResult r = PrPull(env.rt(), env.graph(), opt);
+    double total = 0;
+    for (size_t v = 0; v < r.rank.size(); ++v) total += r.rank[v];
+    EXPECT_NEAR(total, 128.0, 1e-2) << "damping " << damping;
+  }
+}
+
+TEST(MetamorphicTest, BfsUnaffectedByWeightValues) {
+  // BFS ignores weights: the same graph with random weights must give
+  // identical levels.
+  graph::CsrTopology g = TestGraph();
+  graph::CsrTopology weighted = g;
+  graph::AssignRandomWeights(&weighted, 99, 9);
+  const VertexId src = graph::MaxOutDegreeVertex(g);
+  Env e1(g, false, false);
+  Env e2(weighted, false, true);
+  const BfsResult a = BfsSparseWl(e1.rt(), e1.graph(), src, DefaultOptions());
+  const BfsResult b = BfsSparseWl(e2.rt(), e2.graph(), src, DefaultOptions());
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    EXPECT_EQ(a.level[v], b.level[v]);
+  }
+}
+
+TEST(MetamorphicTest, SimulatedTimeIsDeterministic) {
+  // Bit-identical simulated time across repeated runs (the property all
+  // benchmark comparisons rest on).
+  const graph::CsrTopology g = TestGraph();
+  const VertexId src = graph::MaxOutDegreeVertex(g);
+  SimNs first = 0;
+  for (int i = 0; i < 3; ++i) {
+    Env env(g, false, false);
+    const BfsResult r =
+        BfsSparseWl(env.rt(), env.graph(), src, DefaultOptions());
+    if (i == 0) {
+      first = r.time_ns;
+    } else {
+      EXPECT_EQ(r.time_ns, first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmg::analytics

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pmg/analytics/bc.h"
+#include "pmg/analytics/pagerank.h"
+#include "pmg/analytics/reference.h"
+#include "pmg/graph/properties.h"
+#include "tests/analytics/test_util.h"
+
+namespace pmg::analytics {
+namespace {
+
+using testutil::Corpus;
+using testutil::DefaultOptions;
+using testutil::Env;
+using testutil::NamedGraph;
+
+class PrCorpusTest : public testing::TestWithParam<NamedGraph> {};
+class BcCorpusTest : public testing::TestWithParam<NamedGraph> {};
+
+TEST_P(PrCorpusTest, PullMatchesReference) {
+  const NamedGraph& g = GetParam();
+  const std::vector<double> want =
+      RefPagerank(g.topo, 0.85, 1e-6, /*max_rounds=*/100);
+  Env env(g.topo, /*in_edges=*/true, false);
+  const PrResult r = PrPull(env.rt(), env.graph(), DefaultOptions());
+  ASSERT_EQ(r.rank.size(), want.size());
+  for (size_t v = 0; v < want.size(); ++v) {
+    ASSERT_NEAR(r.rank[v], want[v], 1e-6) << "vertex " << v;
+  }
+}
+
+TEST_P(PrCorpusTest, PushResidualApproximatesPull) {
+  const NamedGraph& g = GetParam();
+  const std::vector<double> want = RefPagerank(g.topo, 0.85, 1e-9, 200);
+  Env env(g.topo, false, false);
+  AlgoOptions opt = DefaultOptions();
+  opt.pr_tolerance = 1e-7;
+  const PrResult r = PrPushResidual(env.rt(), env.graph(), opt);
+  for (size_t v = 0; v < want.size(); ++v) {
+    // Residual push converges from below within eps-dependent slack.
+    ASSERT_NEAR(r.rank[v], want[v], 0.02 * want[v] + 1e-3) << "vertex " << v;
+  }
+}
+
+TEST_P(PrCorpusTest, RanksBoundedBelowByBase) {
+  const NamedGraph& g = GetParam();
+  Env env(g.topo, true, false);
+  const PrResult r = PrPull(env.rt(), env.graph(), DefaultOptions());
+  for (size_t v = 0; v < r.rank.size(); ++v) {
+    EXPECT_GE(r.rank[v], 0.15 - 1e-12);
+    EXPECT_TRUE(std::isfinite(r.rank[v]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, PrCorpusTest, testing::ValuesIn(Corpus()),
+    [](const testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(PrTest, RoundCapRespected) {
+  graph::CsrTopology topo = graph::Cycle(100);
+  Env env(topo, true, false);
+  AlgoOptions opt = DefaultOptions();
+  opt.pr_max_rounds = 5;
+  opt.pr_tolerance = 0;  // never converge by tolerance
+  const PrResult r = PrPull(env.rt(), env.graph(), opt);
+  EXPECT_EQ(r.rounds, 5u);
+}
+
+TEST(PrTest, UniformGraphGivesUniformRanks) {
+  graph::CsrTopology topo = graph::Cycle(64);
+  Env env(topo, true, false);
+  const PrResult r = PrPull(env.rt(), env.graph(), DefaultOptions());
+  for (size_t v = 1; v < r.rank.size(); ++v) {
+    EXPECT_NEAR(r.rank[v], r.rank[0], 1e-9);
+  }
+}
+
+TEST_P(BcCorpusTest, SparseMatchesReference) {
+  const NamedGraph& g = GetParam();
+  const VertexId src = graph::MaxOutDegreeVertex(g.topo);
+  const std::vector<double> want = RefBc(g.topo, src);
+  Env env(g.topo, false, false);
+  const BcResult r = BcSparse(env.rt(), env.graph(), src, DefaultOptions());
+  ASSERT_EQ(r.centrality.size(), want.size());
+  for (size_t v = 0; v < want.size(); ++v) {
+    ASSERT_NEAR(r.centrality[v], want[v], 1e-7 * (1.0 + std::fabs(want[v])))
+        << "vertex " << v;
+  }
+}
+
+TEST_P(BcCorpusTest, DenseMatchesReference) {
+  const NamedGraph& g = GetParam();
+  const VertexId src = graph::MaxOutDegreeVertex(g.topo);
+  const std::vector<double> want = RefBc(g.topo, src);
+  Env env(g.topo, false, false);
+  const BcResult r = BcDense(env.rt(), env.graph(), src, DefaultOptions());
+  for (size_t v = 0; v < want.size(); ++v) {
+    ASSERT_NEAR(r.centrality[v], want[v], 1e-7 * (1.0 + std::fabs(want[v])))
+        << "vertex " << v;
+  }
+}
+
+TEST_P(BcCorpusTest, CentralityNonNegativeAndZeroOnLeaves) {
+  const NamedGraph& g = GetParam();
+  const VertexId src = graph::MaxOutDegreeVertex(g.topo);
+  Env env(g.topo, false, false);
+  const BcResult r = BcSparse(env.rt(), env.graph(), src, DefaultOptions());
+  for (size_t v = 0; v < r.centrality.size(); ++v) {
+    EXPECT_GE(r.centrality[v], 0.0);
+    if (g.topo.OutDegree(v) == 0) {
+      EXPECT_DOUBLE_EQ(r.centrality[v], 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, BcCorpusTest, testing::ValuesIn(Corpus()),
+    [](const testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(BcTest, PathCentralityIsClosedForm) {
+  // On a directed path 0->1->...->n-1 from source 0, bc[v] = n-1-v - ...:
+  // vertex v lies on paths to all deeper vertices: bc[v] = n-1-v-1 + 1?
+  // Exactly: delta[v] = number of shortest paths through v = (n-1-v).
+  // With the pair-dependency recursion, bc[v] = n - 1 - v for interior
+  // vertices (v != 0), 0 for the last.
+  constexpr uint64_t kN = 10;
+  graph::CsrTopology topo = graph::Path(kN);
+  Env env(topo, false, false);
+  const BcResult r = BcSparse(env.rt(), env.graph(), 0, DefaultOptions());
+  for (VertexId v = 1; v < kN; ++v) {
+    EXPECT_DOUBLE_EQ(r.centrality[v], static_cast<double>(kN - 1 - v));
+  }
+}
+
+TEST(BcTest, SparseBeatsDenseOnHighDiameter) {
+  graph::WebCrawlParams wp;
+  wp.vertices = 12000;
+  wp.communities = 10;
+  wp.tail_length = 1500;
+  wp.tail_width = 2;
+  wp.avg_out_degree = 6;
+  graph::CsrTopology topo = graph::WebCrawl(wp);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  Env e1(topo, false, false);
+  Env e2(topo, false, false);
+  const uint64_t a1 = e1.rt().machine().stats().accesses;
+  const uint64_t a2 = e2.rt().machine().stats().accesses;
+  const BcResult sparse = BcSparse(e1.rt(), e1.graph(), src, DefaultOptions());
+  const BcResult dense = BcDense(e2.rt(), e2.graph(), src, DefaultOptions());
+  const uint64_t sparse_work = e1.rt().machine().stats().accesses - a1;
+  const uint64_t dense_work = e2.rt().machine().stats().accesses - a2;
+  // The vertex-program formulation re-scans all |V| labels per level:
+  // orders of magnitude more memory operations, and slower end to end.
+  // (The time gap at this miniature |V| is modest because sequential
+  // scans amortize; at the paper's scale the same mechanism dominates.)
+  EXPECT_GT(dense_work, 20 * sparse_work);
+  EXPECT_GT(dense.time_ns, 3 * sparse.time_ns / 2);
+}
+
+}  // namespace
+}  // namespace pmg::analytics

@@ -1,0 +1,148 @@
+#include "pmg/analytics/sssp.h"
+
+#include <gtest/gtest.h>
+
+#include "pmg/analytics/bfs.h"
+#include "pmg/analytics/reference.h"
+#include "pmg/graph/properties.h"
+#include "tests/analytics/test_util.h"
+
+namespace pmg::analytics {
+namespace {
+
+using testutil::Corpus;
+using testutil::DefaultOptions;
+using testutil::Env;
+using testutil::NamedGraph;
+
+graph::CsrTopology Weighted(const graph::CsrTopology& g, uint64_t seed = 17) {
+  graph::CsrTopology w = g;
+  graph::AssignRandomWeights(&w, 100, seed);
+  return w;
+}
+
+class SsspCorpusTest : public testing::TestWithParam<NamedGraph> {};
+
+void ExpectDistsMatch(const runtime::NumaArray<uint64_t>& got,
+                      const std::vector<uint64_t>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t v = 0; v < want.size(); ++v) {
+    ASSERT_EQ(got[v], want[v]) << "vertex " << v;
+  }
+}
+
+TEST_P(SsspCorpusTest, BellmanFordMatchesDijkstra) {
+  const graph::CsrTopology topo = Weighted(GetParam().topo);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  const std::vector<uint64_t> want = RefSssp(topo, src);
+  Env env(topo, false, /*weights=*/true);
+  const SsspResult r =
+      SsspBellmanFord(env.rt(), env.graph(), src, DefaultOptions());
+  ExpectDistsMatch(r.dist, want);
+}
+
+TEST_P(SsspCorpusTest, DenseWlMatchesDijkstra) {
+  const graph::CsrTopology topo = Weighted(GetParam().topo);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  const std::vector<uint64_t> want = RefSssp(topo, src);
+  Env env(topo, false, true);
+  const SsspResult r =
+      SsspDenseWl(env.rt(), env.graph(), src, DefaultOptions());
+  ExpectDistsMatch(r.dist, want);
+}
+
+TEST_P(SsspCorpusTest, DeltaStepMatchesDijkstra) {
+  const graph::CsrTopology topo = Weighted(GetParam().topo);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  const std::vector<uint64_t> want = RefSssp(topo, src);
+  Env env(topo, false, true);
+  const SsspResult r =
+      SsspDeltaStep(env.rt(), env.graph(), src, DefaultOptions());
+  ExpectDistsMatch(r.dist, want);
+}
+
+TEST_P(SsspCorpusTest, TriangleInequalityOverEdges) {
+  const graph::CsrTopology topo = Weighted(GetParam().topo);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  Env env(topo, false, true);
+  const SsspResult r =
+      SsspDeltaStep(env.rt(), env.graph(), src, DefaultOptions());
+  for (VertexId v = 0; v < topo.num_vertices; ++v) {
+    if (r.dist[v] == kInfDist) continue;
+    for (uint64_t e = topo.index[v]; e < topo.index[v + 1]; ++e) {
+      EXPECT_LE(r.dist[topo.dst[e]], r.dist[v] + topo.weight[e]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, SsspCorpusTest, testing::ValuesIn(Corpus()),
+    [](const testing::TestParamInfo<NamedGraph>& info) {
+      return info.param.name;
+    });
+
+TEST(SsspTest, UnitWeightsReduceToBfs) {
+  graph::CsrTopology topo = graph::Rmat(9, 8, 4);
+  graph::AssignRandomWeights(&topo, 1, 1);  // all weights 1
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  Env env(topo, false, true);
+  Env env2(topo, false, false);
+  const SsspResult d =
+      SsspDeltaStep(env.rt(), env.graph(), src, DefaultOptions());
+  const BfsResult b =
+      BfsSparseWl(env2.rt(), env2.graph(), src, DefaultOptions());
+  for (VertexId v = 0; v < topo.num_vertices; ++v) {
+    if (b.level[v] == kInfLevel) {
+      EXPECT_EQ(d.dist[v], kInfDist);
+    } else {
+      EXPECT_EQ(d.dist[v], b.level[v]);
+    }
+  }
+}
+
+TEST(SsspTest, DeltaParameterDoesNotChangeResult) {
+  graph::CsrTopology topo = Weighted(graph::Rmat(9, 8, 6), 5);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  AlgoOptions small_delta = DefaultOptions();
+  small_delta.delta = 1;
+  AlgoOptions big_delta = DefaultOptions();
+  big_delta.delta = 512;
+  Env e1(topo, false, true);
+  Env e2(topo, false, true);
+  const SsspResult a = SsspDeltaStep(e1.rt(), e1.graph(), src, small_delta);
+  const SsspResult b = SsspDeltaStep(e2.rt(), e2.graph(), src, big_delta);
+  for (VertexId v = 0; v < topo.num_vertices; ++v) {
+    EXPECT_EQ(a.dist[v], b.dist[v]);
+  }
+}
+
+TEST(SsspTest, DeltaStepBeatsDenseOnHighDiameter) {
+  // Figure 7c: asynchronous delta-stepping vs bulk-synchronous dense.
+  graph::WebCrawlParams wp;
+  wp.vertices = 15000;
+  wp.communities = 12;
+  wp.tail_length = 1500;
+  wp.tail_width = 4;
+  wp.avg_out_degree = 8;
+  graph::CsrTopology topo = Weighted(graph::WebCrawl(wp), 3);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  Env e1(topo, false, true);
+  Env e2(topo, false, true);
+  const SsspResult dense =
+      SsspDenseWl(e1.rt(), e1.graph(), src, DefaultOptions());
+  const SsspResult delta =
+      SsspDeltaStep(e2.rt(), e2.graph(), src, DefaultOptions());
+  EXPECT_GT(dense.time_ns, 2 * delta.time_ns);
+}
+
+TEST(SsspTest, BellmanFordRoundsBoundedByLongestPath) {
+  graph::CsrTopology topo = Weighted(graph::Path(30));
+  Env env(topo, false, true);
+  const SsspResult r =
+      SsspBellmanFord(env.rt(), env.graph(), 0, DefaultOptions());
+  EXPECT_LE(r.rounds, 31u);
+  EXPECT_NE(r.dist[29], kInfDist);
+}
+
+}  // namespace
+}  // namespace pmg::analytics

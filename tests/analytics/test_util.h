@@ -1,0 +1,78 @@
+#ifndef PMG_TESTS_ANALYTICS_TEST_UTIL_H_
+#define PMG_TESTS_ANALYTICS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmg/graph/csr_graph.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/properties.h"
+#include "pmg/graph/topology.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/runtime/runtime.h"
+
+/// Shared fixtures for analytics tests: a corpus of structurally diverse
+/// graphs and a helper bundling machine + runtime + machine-resident graph.
+
+namespace pmg::analytics::testutil {
+
+struct NamedGraph {
+  std::string name;
+  graph::CsrTopology topo;
+};
+
+/// Deterministic corpus covering path/star/cycle extremes, grids, dense
+/// cliques, scale-free (rmat), uniform random, and high-diameter crawls.
+inline std::vector<NamedGraph> Corpus() {
+  std::vector<NamedGraph> out;
+  out.push_back({"path50", graph::Path(50)});
+  out.push_back({"cycle40", graph::Cycle(40)});
+  out.push_back({"star30", graph::Star(30)});
+  out.push_back({"grid8x9", graph::Grid2d(8, 9)});
+  out.push_back({"complete12", graph::Complete(12)});
+  out.push_back({"rmat10", graph::Rmat(10, 8, 7)});
+  out.push_back({"er", graph::ErdosRenyi(400, 2400, 5)});
+  graph::WebCrawlParams wp;
+  wp.vertices = 3000;
+  wp.communities = 12;
+  wp.tail_length = 120;
+  wp.avg_out_degree = 6;
+  wp.seed = 9;
+  out.push_back({"crawl", graph::WebCrawl(wp)});
+  out.push_back({"protein", graph::ProteinCluster(6, 50, 8, 3)});
+  return out;
+}
+
+/// A machine + runtime + resident graph in one object.
+class Env {
+ public:
+  Env(const graph::CsrTopology& topo, bool in_edges, bool weights,
+      uint32_t threads = 8)
+      : machine_(memsim::DramOnlyConfig()) {
+    graph::GraphLayout layout;
+    layout.policy.placement = memsim::Placement::kInterleaved;
+    layout.load_in_edges = in_edges;
+    layout.with_weights = weights;
+    graph_ = std::make_unique<graph::CsrGraph>(&machine_, topo, layout, "g");
+    rt_ = std::make_unique<runtime::Runtime>(&machine_, threads);
+  }
+
+  runtime::Runtime& rt() { return *rt_; }
+  const graph::CsrGraph& graph() const { return *graph_; }
+
+ private:
+  memsim::Machine machine_;
+  std::unique_ptr<graph::CsrGraph> graph_;
+  std::unique_ptr<runtime::Runtime> rt_;
+};
+
+inline AlgoOptions DefaultOptions() {
+  AlgoOptions opt;
+  opt.label_policy.placement = memsim::Placement::kInterleaved;
+  return opt;
+}
+
+}  // namespace pmg::analytics::testutil
+
+#endif  // PMG_TESTS_ANALYTICS_TEST_UTIL_H_

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pmg/analytics/reference.h"
+#include "pmg/distsim/dist_engine.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/properties.h"
+#include "pmg/memsim/machine_configs.h"
+
+// Parameterized correctness sweep of the distributed engine: every
+// min-push app must agree with the serial oracles on a structurally
+// diverse corpus across several host counts, including hosts > vertices'
+// natural balance points.
+
+namespace pmg::distsim {
+namespace {
+
+struct Case {
+  std::string name;
+  graph::CsrTopology topo;
+  uint32_t hosts;
+};
+
+std::vector<Case> Cases() {
+  std::vector<Case> out;
+  const std::vector<uint32_t> host_counts = {2, 5, 9};
+  auto add = [&](const std::string& name, graph::CsrTopology topo) {
+    for (uint32_t h : host_counts) {
+      out.push_back({name + "_h" + std::to_string(h), topo, h});
+    }
+  };
+  add("path", graph::Path(300));
+  add("star", graph::Star(200));
+  add("rmat", graph::Rmat(9, 8, 5));
+  add("grid", graph::Grid2d(12, 13));
+  graph::WebCrawlParams wp;
+  wp.vertices = 2500;
+  wp.communities = 6;
+  wp.tail_length = 80;
+  wp.tail_width = 2;
+  wp.avg_out_degree = 5;
+  wp.seed = 17;
+  add("crawl", graph::WebCrawl(wp));
+  return out;
+}
+
+DistConfig Config(uint32_t hosts) {
+  DistConfig c;
+  c.hosts = hosts;
+  c.threads_per_host = 4;
+  c.host_machine = memsim::StampedeHostConfig();
+  return c;
+}
+
+class DistCorpusTest : public testing::TestWithParam<Case> {};
+
+TEST_P(DistCorpusTest, BfsMatchesOracle) {
+  const Case& c = GetParam();
+  const VertexId src = graph::MaxOutDegreeVertex(c.topo);
+  const std::vector<uint32_t> want = analytics::RefBfs(c.topo, src);
+  DistEngine engine(c.topo, Config(c.hosts));
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(engine.Bfs(src, &got).supported);
+  for (VertexId v = 0; v < c.topo.num_vertices; ++v) {
+    const uint64_t expect = want[v] == analytics::kInfLevel
+                                ? analytics::kInfDist
+                                : want[v];
+    ASSERT_EQ(got[v], expect) << c.name << " vertex " << v;
+  }
+}
+
+TEST_P(DistCorpusTest, CcMatchesOracle) {
+  const Case& c = GetParam();
+  const graph::CsrTopology sym = graph::Symmetrize(c.topo);
+  const std::vector<uint64_t> want = analytics::RefCc(sym);
+  DistEngine engine(sym, Config(c.hosts));
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(engine.Cc(&got).supported);
+  EXPECT_EQ(got, want) << c.name;
+}
+
+TEST_P(DistCorpusTest, SsspMatchesOracle) {
+  const Case& c = GetParam();
+  graph::CsrTopology weighted = c.topo;
+  graph::AssignRandomWeights(&weighted, 30, 9);
+  const VertexId src = graph::MaxOutDegreeVertex(weighted);
+  const std::vector<uint64_t> want = analytics::RefSssp(weighted, src);
+  DistEngine engine(weighted, Config(c.hosts));
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(engine.Sssp(src, &got).supported);
+  EXPECT_EQ(got, want) << c.name;
+}
+
+TEST_P(DistCorpusTest, KcoreMatchesOracle) {
+  const Case& c = GetParam();
+  const graph::CsrTopology sym = graph::Symmetrize(c.topo);
+  const std::vector<uint8_t> want = analytics::RefKcore(sym, 3);
+  DistEngine engine(sym, Config(c.hosts));
+  std::vector<uint8_t> got;
+  ASSERT_TRUE(engine.Kcore(3, &got).supported);
+  EXPECT_EQ(got, want) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DistCorpusTest, testing::ValuesIn(Cases()),
+    [](const testing::TestParamInfo<Case>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace pmg::distsim

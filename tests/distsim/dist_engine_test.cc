@@ -1,0 +1,162 @@
+#include "pmg/distsim/dist_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pmg/analytics/reference.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/properties.h"
+#include "pmg/memsim/machine_configs.h"
+
+namespace pmg::distsim {
+namespace {
+
+DistConfig Config(uint32_t hosts,
+                  PartitionPolicy policy = PartitionPolicy::kOec) {
+  DistConfig c;
+  c.hosts = hosts;
+  c.threads_per_host = 8;
+  c.policy = policy;
+  c.host_machine = memsim::StampedeHostConfig();
+  return c;
+}
+
+graph::CsrTopology Crawl(uint64_t n = 4000, uint64_t tail = 150) {
+  graph::WebCrawlParams p;
+  p.vertices = n;
+  p.avg_out_degree = 6;
+  p.communities = 8;
+  p.tail_length = tail;
+  p.tail_width = 2;
+  p.seed = 11;
+  return graph::WebCrawl(p);
+}
+
+TEST(DistEngineTest, BfsMatchesReference) {
+  const graph::CsrTopology topo = Crawl();
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  const std::vector<uint32_t> want = analytics::RefBfs(topo, src);
+  DistEngine engine(topo, Config(4));
+  std::vector<uint64_t> got;
+  const DistRunResult r = engine.Bfs(src, &got);
+  ASSERT_TRUE(r.supported);
+  for (VertexId v = 0; v < topo.num_vertices; ++v) {
+    const uint64_t expect = want[v] == analytics::kInfLevel
+                                ? analytics::kInfDist
+                                : want[v];
+    ASSERT_EQ(got[v], expect) << "vertex " << v;
+  }
+}
+
+TEST(DistEngineTest, CcMatchesReference) {
+  const graph::CsrTopology sym = graph::Symmetrize(Crawl());
+  const std::vector<uint64_t> want = analytics::RefCc(sym);
+  DistEngine engine(sym, Config(4));
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(engine.Cc(&got).supported);
+  EXPECT_EQ(got, want);
+}
+
+TEST(DistEngineTest, SsspMatchesDijkstra) {
+  graph::CsrTopology topo = Crawl();
+  graph::AssignRandomWeights(&topo, 50, 5);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  const std::vector<uint64_t> want = analytics::RefSssp(topo, src);
+  DistEngine engine(topo, Config(3));
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(engine.Sssp(src, &got).supported);
+  EXPECT_EQ(got, want);
+}
+
+TEST(DistEngineTest, PrMatchesReference) {
+  const graph::CsrTopology topo = graph::Rmat(9, 8, 3);
+  const std::vector<double> want =
+      analytics::RefPagerank(topo, 0.85, /*tolerance=*/0, /*max_rounds=*/8);
+  DistEngine engine(topo, Config(4));
+  std::vector<double> got;
+  ASSERT_TRUE(engine.Pr(8, /*tolerance=*/0, &got).supported);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t v = 0; v < want.size(); ++v) {
+    EXPECT_NEAR(got[v], want[v], 1e-9) << v;
+  }
+}
+
+TEST(DistEngineTest, KcoreMatchesReference) {
+  const graph::CsrTopology sym = graph::Symmetrize(Crawl());
+  const std::vector<uint8_t> want = analytics::RefKcore(sym, 4);
+  DistEngine engine(sym, Config(4));
+  std::vector<uint8_t> got;
+  ASSERT_TRUE(engine.Kcore(4, &got).supported);
+  EXPECT_EQ(got, want);
+}
+
+TEST(DistEngineTest, BcMatchesReference) {
+  const graph::CsrTopology topo = Crawl(2000, 80);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  const std::vector<double> want = analytics::RefBc(topo, src);
+  DistEngine engine(topo, Config(3));
+  std::vector<double> got;
+  ASSERT_TRUE(engine.Bc(src, &got).supported);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t v = 0; v < want.size(); ++v) {
+    ASSERT_NEAR(got[v], want[v], 1e-6 * (1.0 + std::fabs(want[v]))) << v;
+  }
+}
+
+TEST(DistEngineTest, SingleHostHasNoComm) {
+  const graph::CsrTopology topo = Crawl();
+  DistEngine engine(topo, Config(1));
+  const DistRunResult r = engine.Bfs(graph::MaxOutDegreeVertex(topo));
+  EXPECT_EQ(r.comm_bytes, 0u);
+}
+
+TEST(DistEngineTest, MoreHostsMoreCommunication) {
+  const graph::CsrTopology topo = Crawl();
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  DistEngine e2(topo, Config(2));
+  DistEngine e8(topo, Config(8));
+  const DistRunResult r2 = e2.Bfs(src);
+  const DistRunResult r8 = e8.Bfs(src);
+  EXPECT_GT(r8.comm_bytes, r2.comm_bytes);
+}
+
+TEST(DistEngineTest, CvcReducesCommVolumeAtScale) {
+  const graph::CsrTopology topo = Crawl();
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  DistEngine oec(topo, Config(16, PartitionPolicy::kOec));
+  DistEngine cvc(topo, Config(16, PartitionPolicy::kCvc));
+  const DistRunResult ro = oec.Bfs(src);
+  const DistRunResult rc = cvc.Bfs(src);
+  EXPECT_LT(rc.comm_bytes, ro.comm_bytes);
+}
+
+TEST(DistEngineTest, TimeSplitsIntoComputeAndComm) {
+  const graph::CsrTopology topo = Crawl();
+  DistEngine engine(topo, Config(4));
+  const DistRunResult r = engine.Bfs(graph::MaxOutDegreeVertex(topo));
+  EXPECT_EQ(r.time_ns, r.compute_ns + r.comm_ns);
+  EXPECT_GT(r.comm_ns, 0u);
+  EXPECT_GT(r.compute_ns, 0u);
+}
+
+TEST(DistEngineTest, PartitionCoversGraphAndBoundsHostMemory) {
+  const graph::CsrTopology topo = Crawl(8000, 100);
+  DistEngine engine(topo, Config(8));
+  // Every host's local graph is a fraction of the whole.
+  EXPECT_LT(engine.MaxHostGraphBytes(), graph::CsrBytes(topo));
+  EXPECT_GT(engine.MaxHostGraphBytes(), 0u);
+}
+
+TEST(DistEngineTest, HighDiameterCostsManyRounds) {
+  const graph::CsrTopology topo = Crawl(4000, 600);
+  DistEngine engine(topo, Config(4));
+  const DistRunResult r = engine.Bfs(graph::MaxOutDegreeVertex(topo));
+  // One BSP round (with its collective latency) per BFS level: the
+  // round-trip count is what a single big-memory machine avoids.
+  EXPECT_GT(r.rounds, 600u);
+  EXPECT_GT(r.comm_ns, 600u * 30000u / 2);
+}
+
+}  // namespace
+}  // namespace pmg::distsim

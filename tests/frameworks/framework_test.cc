@@ -1,0 +1,172 @@
+#include "pmg/frameworks/framework.h"
+
+#include <gtest/gtest.h>
+
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine_configs.h"
+
+namespace pmg::frameworks {
+namespace {
+
+const AppInputs& SmallInputs() {
+  static const AppInputs* kInputs = [] {
+    graph::WebCrawlParams p;
+    p.vertices = 6000;
+    p.avg_out_degree = 8;
+    p.communities = 10;
+    p.tail_length = 300;
+    p.seed = 4;
+    return new AppInputs(AppInputs::Prepare(graph::WebCrawl(p)));
+  }();
+  return *kInputs;
+}
+
+RunConfig SmallConfig() {
+  RunConfig cfg;
+  cfg.machine = memsim::OptanePmmConfig();
+  cfg.threads = 16;
+  cfg.pr_max_rounds = 5;
+  return cfg;
+}
+
+TEST(ProfileTest, CapabilityMatrixMatchesPaper) {
+  const FrameworkProfile galois = GetProfile(FrameworkKind::kGalois);
+  EXPECT_TRUE(galois.sparse_worklists);
+  EXPECT_TRUE(galois.async_execution);
+  EXPECT_TRUE(galois.explicit_huge_pages);
+  EXPECT_FALSE(galois.loads_both_directions);
+  EXPECT_FALSE(galois.node_ids_32bit);
+
+  const FrameworkProfile gap = GetProfile(FrameworkKind::kGap);
+  EXPECT_FALSE(gap.supports_kcore);
+  EXPECT_TRUE(gap.node_ids_32bit);
+  EXPECT_TRUE(gap.loads_both_directions);
+
+  const FrameworkProfile graphit = GetProfile(FrameworkKind::kGraphIt);
+  EXPECT_TRUE(graphit.vertex_programs_only);
+  EXPECT_FALSE(graphit.supports_bc);
+  EXPECT_FALSE(graphit.supports_kcore);
+
+  const FrameworkProfile gbbs = GetProfile(FrameworkKind::kGbbs);
+  EXPECT_TRUE(gbbs.supports_kcore);
+  EXPECT_FALSE(gbbs.node_ids_32bit);
+}
+
+TEST(RunAppTest, UnsupportedAppsReportUnsupported) {
+  const RunConfig cfg = SmallConfig();
+  EXPECT_FALSE(
+      RunApp(FrameworkKind::kGraphIt, App::kBc, SmallInputs(), cfg).supported);
+  EXPECT_FALSE(RunApp(FrameworkKind::kGraphIt, App::kKcore, SmallInputs(), cfg)
+                   .supported);
+  EXPECT_FALSE(
+      RunApp(FrameworkKind::kGap, App::kKcore, SmallInputs(), cfg).supported);
+  EXPECT_TRUE(
+      RunApp(FrameworkKind::kGbbs, App::kKcore, SmallInputs(), cfg).supported);
+}
+
+TEST(RunAppTest, ThirtyTwoBitFrameworksRejectHugeGraphs) {
+  graph::CsrTopology topo = graph::Rmat(9, 8, 2);
+  // Stand-in for a graph with more than 2^31 - 1 vertices (wdc12).
+  const AppInputs inputs = AppInputs::Prepare(topo, 3563ull * 1000 * 1000);
+  const RunConfig cfg = SmallConfig();
+  EXPECT_FALSE(RunApp(FrameworkKind::kGap, App::kBfs, inputs, cfg).supported);
+  EXPECT_FALSE(
+      RunApp(FrameworkKind::kGraphIt, App::kBfs, inputs, cfg).supported);
+  EXPECT_TRUE(RunApp(FrameworkKind::kGbbs, App::kBfs, inputs, cfg).supported);
+  EXPECT_TRUE(
+      RunApp(FrameworkKind::kGalois, App::kBfs, inputs, cfg).supported);
+}
+
+TEST(RunAppTest, DeterministicAcrossRuns) {
+  const RunConfig cfg = SmallConfig();
+  const AppRunResult a =
+      RunApp(FrameworkKind::kGalois, App::kBfs, SmallInputs(), cfg);
+  const AppRunResult b =
+      RunApp(FrameworkKind::kGalois, App::kBfs, SmallInputs(), cfg);
+  EXPECT_EQ(a.time_ns, b.time_ns);
+  EXPECT_EQ(a.stats.accesses, b.stats.accesses);
+}
+
+TEST(RunAppTest, GaloisUsesHugePagesOthersMostlySmall) {
+  // Use a graph whose label arrays exceed the arena's 1MB huge-page
+  // threshold so the measured (post-construction) region of the run maps
+  // huge pages.
+  const AppInputs inputs = AppInputs::Prepare(graph::Rmat(18, 4, 3));
+  RunConfig cfg = SmallConfig();
+  cfg.threads = 96;
+  const AppRunResult galois =
+      RunApp(FrameworkKind::kGalois, App::kBfs, inputs, cfg);
+  const AppRunResult gap = RunApp(FrameworkKind::kGap, App::kBfs, inputs, cfg);
+  EXPECT_GT(galois.stats.pages_mapped_huge, 0u);
+  // GAP relies on THP, which only promotes full 2MB chunks: this run's
+  // 1MB label array stays on base pages there.
+  EXPECT_EQ(gap.stats.pages_mapped_huge, 0u);
+  EXPECT_GT(gap.stats.pages_mapped_small, 0u);
+}
+
+TEST(RunAppTest, GaloisBeatsGraphItOnHighDiameterSssp) {
+  // Figure 9's biggest gaps: GraphIt has no delta-stepping and no sparse
+  // worklists, so sssp on a high-diameter crawl collapses.
+  const RunConfig cfg = SmallConfig();
+  const AppRunResult galois =
+      RunApp(FrameworkKind::kGalois, App::kSssp, SmallInputs(), cfg);
+  const AppRunResult graphit =
+      RunApp(FrameworkKind::kGraphIt, App::kSssp, SmallInputs(), cfg);
+  ASSERT_TRUE(galois.supported && graphit.supported);
+  EXPECT_GT(graphit.time_ns, 2 * galois.time_ns);
+}
+
+TEST(RunAppTest, GaloisBeatsDenseFrameworksOnHighDiameterBfs) {
+  const RunConfig cfg = SmallConfig();
+  const AppRunResult galois =
+      RunApp(FrameworkKind::kGalois, App::kBfs, SmallInputs(), cfg);
+  const AppRunResult gbbs =
+      RunApp(FrameworkKind::kGbbs, App::kBfs, SmallInputs(), cfg);
+  ASSERT_TRUE(galois.supported && gbbs.supported);
+  EXPECT_GT(gbbs.time_ns, galois.time_ns);
+}
+
+TEST(RunAppTest, PageSizeOverrideApplies) {
+  RunConfig cfg = SmallConfig();
+  cfg.page_size = memsim::PageSizeClass::k4K;
+  const AppRunResult r =
+      RunApp(FrameworkKind::kGalois, App::kBfs, SmallInputs(), cfg);
+  EXPECT_EQ(r.stats.pages_mapped_huge, 0u);
+  EXPECT_GT(r.stats.pages_mapped_small, 0u);
+}
+
+TEST(RunAppTest, PlacementOverrideApplies) {
+  RunConfig cfg = SmallConfig();
+  cfg.placement = memsim::Placement::kLocal;
+  const AppRunResult local =
+      RunApp(FrameworkKind::kGalois, App::kBfs, SmallInputs(), cfg);
+  cfg.placement = memsim::Placement::kInterleaved;
+  const AppRunResult il =
+      RunApp(FrameworkKind::kGalois, App::kBfs, SmallInputs(), cfg);
+  // Local placement puts everything on socket 0: all socket-1 threads
+  // access remotely, so locality must differ between the two runs.
+  EXPECT_NE(local.stats.remote_accesses, il.stats.remote_accesses);
+}
+
+TEST(RunAppTest, AllSupportedCellsRun) {
+  // Smoke-run the full Figure 9 matrix on a small graph.
+  RunConfig cfg = SmallConfig();
+  cfg.pr_max_rounds = 3;
+  for (FrameworkKind fw : AllFrameworks()) {
+    for (App app : AllApps()) {
+      const AppRunResult r = RunApp(fw, app, SmallInputs(), cfg);
+      const FrameworkProfile p = GetProfile(fw);
+      const bool expect_supported =
+          !(app == App::kBc && !p.supports_bc) &&
+          !(app == App::kKcore && !p.supports_kcore);
+      EXPECT_EQ(r.supported, expect_supported)
+          << p.name << " " << AppName(app);
+      if (r.supported) {
+        EXPECT_GT(r.time_ns, 0u) << p.name << " " << AppName(app);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmg::frameworks

@@ -1,0 +1,105 @@
+#include "pmg/graph/csr_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine_configs.h"
+
+namespace pmg::graph {
+namespace {
+
+using memsim::DramOnlyConfig;
+using memsim::Machine;
+using memsim::OptanePmmConfig;
+
+GraphLayout OutOnly() {
+  GraphLayout l;
+  l.policy.placement = memsim::Placement::kInterleaved;
+  return l;
+}
+
+TEST(CsrGraphTest, CostedAccessorsMatchTopology) {
+  Machine m(DramOnlyConfig());
+  CsrTopology topo = Rmat(8, 8, 3);
+  AssignRandomWeights(&topo, 64, 1);
+  GraphLayout l = OutOnly();
+  l.with_weights = true;
+  CsrGraph g(&m, topo, l, "g");
+  ASSERT_EQ(g.num_vertices(), topo.num_vertices);
+  ASSERT_EQ(g.num_edges(), topo.NumEdges());
+  for (VertexId v = 0; v < 50; ++v) {
+    const auto [first, last] = g.OutRange(0, v);
+    EXPECT_EQ(first, topo.index[v]);
+    EXPECT_EQ(last, topo.index[v + 1]);
+    for (EdgeId e = first; e < last; ++e) {
+      EXPECT_EQ(g.OutDst(0, e), topo.dst[e]);
+      EXPECT_EQ(g.OutWeight(0, e), topo.weight[e]);
+    }
+  }
+}
+
+TEST(CsrGraphTest, InEdgesAreTranspose) {
+  Machine m(DramOnlyConfig());
+  CsrTopology topo = Rmat(7, 6, 4);
+  GraphLayout l = OutOnly();
+  l.load_in_edges = true;
+  CsrGraph g(&m, topo, l, "g");
+  const CsrTopology t = Transpose(topo);
+  for (VertexId v = 0; v < 40; ++v) {
+    const auto [first, last] = g.InRange(0, v);
+    EXPECT_EQ(last - first, t.OutDegree(v));
+    for (EdgeId e = first; e < last; ++e) {
+      EXPECT_EQ(g.InSrc(0, e), t.dst[e]);
+    }
+  }
+}
+
+TEST(CsrGraphTest, AccessesAreCosted) {
+  Machine m(DramOnlyConfig());
+  CsrTopology topo = Rmat(8, 8, 3);
+  CsrGraph g(&m, topo, OutOnly(), "g");
+  m.CloseEpochIfOpen();
+  const uint64_t before = m.stats().accesses;
+  int edges = 0;
+  g.ForEachOutEdge(0, 1, [&](ThreadId, VertexId, uint32_t) { ++edges; });
+  m.CloseEpochIfOpen();
+  // 2 index reads + one read per edge.
+  EXPECT_EQ(m.stats().accesses - before, 2u + edges);
+}
+
+TEST(CsrGraphTest, BothDirectionsDoubleFootprint) {
+  Machine out_only_m(OptanePmmConfig());
+  Machine both_m(OptanePmmConfig());
+  CsrTopology topo = Rmat(10, 8, 5);
+  CsrGraph a(&out_only_m, topo, OutOnly(), "a");
+  GraphLayout both = OutOnly();
+  both.load_in_edges = true;
+  CsrGraph b(&both_m, topo, both, "b");
+  a.Prefault(8);
+  b.Prefault(8);
+  const uint64_t bytes_a =
+      out_only_m.NodeBytesUsed(0) + out_only_m.NodeBytesUsed(1);
+  const uint64_t bytes_b = both_m.NodeBytesUsed(0) + both_m.NodeBytesUsed(1);
+  EXPECT_GT(bytes_b, bytes_a * 3 / 2);
+}
+
+TEST(CsrGraphTest, WeightsDefaultToOneWhenAbsent) {
+  Machine m(DramOnlyConfig());
+  CsrTopology topo = Path(10);
+  GraphLayout l = OutOnly();
+  l.with_weights = true;
+  CsrGraph g(&m, topo, l, "g");
+  EXPECT_EQ(g.OutWeight(0, 0), 1u);
+}
+
+TEST(CsrGraphTest, PrefaultMapsPages) {
+  Machine m(OptanePmmConfig());
+  CsrTopology topo = Rmat(10, 8, 5);
+  CsrGraph g(&m, topo, OutOnly(), "g");
+  g.Prefault(4);
+  EXPECT_GT(m.NodeBytesUsed(0) + m.NodeBytesUsed(1),
+            topo.NumEdges() * sizeof(VertexId));
+}
+
+}  // namespace
+}  // namespace pmg::graph

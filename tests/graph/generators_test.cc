@@ -1,0 +1,157 @@
+#include "pmg/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "pmg/graph/properties.h"
+
+namespace pmg::graph {
+namespace {
+
+TEST(GeneratorsTest, RmatSizes) {
+  CsrTopology g = Rmat(10, 16, 1);
+  EXPECT_EQ(g.num_vertices, 1024u);
+  EXPECT_EQ(g.NumEdges(), 16u * 1024);
+}
+
+TEST(GeneratorsTest, RmatDeterministic) {
+  CsrTopology a = Rmat(9, 8, 42);
+  CsrTopology b = Rmat(9, 8, 42);
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.dst, b.dst);
+  CsrTopology c = Rmat(9, 8, 43);
+  EXPECT_NE(a.dst, c.dst);
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  // Power-law-ish: the max degree should far exceed the average.
+  CsrTopology g = Rmat(12, 16, 1);
+  GraphProperties p = ComputeProperties(g);
+  EXPECT_GT(p.max_out_degree, 20 * static_cast<uint64_t>(p.avg_degree));
+}
+
+TEST(GeneratorsTest, RmatHasSmallDiameter) {
+  CsrTopology g = Rmat(12, 16, 1);
+  GraphProperties p = ComputeProperties(g);
+  EXPECT_LE(p.estimated_diameter, 12u);
+}
+
+TEST(GeneratorsTest, KronDiffersFromRmatButSameScale) {
+  CsrTopology k = Kron(10, 8, 5);
+  CsrTopology r = Rmat(10, 8, 5);
+  EXPECT_EQ(k.num_vertices, r.num_vertices);
+  EXPECT_EQ(k.NumEdges(), r.NumEdges());
+  EXPECT_NE(k.dst, r.dst);
+}
+
+TEST(GeneratorsTest, ErdosRenyiSizes) {
+  CsrTopology g = ErdosRenyi(1000, 5000, 3);
+  EXPECT_EQ(g.num_vertices, 1000u);
+  EXPECT_EQ(g.NumEdges(), 5000u);
+}
+
+TEST(GeneratorsTest, WebCrawlHasTargetDiameter) {
+  WebCrawlParams p;
+  p.vertices = 20000;
+  p.avg_out_degree = 10;
+  p.communities = 50;
+  p.tail_length = 500;
+  p.seed = 7;
+  CsrTopology g = WebCrawl(p);
+  GraphProperties props = ComputeProperties(g);
+  // The deep chain dominates the diameter: roughly tail_length.
+  EXPECT_GT(props.estimated_diameter, 450u);
+  EXPECT_LT(props.estimated_diameter, 700u);
+}
+
+TEST(GeneratorsTest, WebCrawlDiameterScalesWithTailLength) {
+  WebCrawlParams a;
+  a.vertices = 10000;
+  a.communities = 20;
+  a.tail_length = 100;
+  a.tail_width = 2;
+  WebCrawlParams b = a;
+  b.tail_length = 1000;
+  const uint64_t da = ComputeProperties(WebCrawl(a)).estimated_diameter;
+  const uint64_t db = ComputeProperties(WebCrawl(b)).estimated_diameter;
+  EXPECT_GT(db, 3 * da);
+}
+
+TEST(GeneratorsTest, WebCrawlHasHeavyInDegreeHubs) {
+  WebCrawlParams p;
+  p.vertices = 20000;
+  p.communities = 50;
+  p.hubs = 2;
+  p.hub_percent = 5;
+  CsrTopology g = WebCrawl(p);
+  GraphProperties props = ComputeProperties(g);
+  EXPECT_GT(props.max_in_degree, 100 * static_cast<uint64_t>(props.avg_degree));
+}
+
+TEST(GeneratorsTest, WebCrawlFullyReachableFromHub) {
+  WebCrawlParams p;
+  p.vertices = 5000;
+  p.communities = 25;
+  p.tail_length = 100;
+  CsrTopology g = WebCrawl(p);
+  // BFS (directed) from vertex 0 (community-0 hub) reaches everything.
+  std::vector<bool> seen(g.num_vertices, false);
+  std::vector<VertexId> stack = {0};
+  seen[0] = true;
+  uint64_t count = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (uint64_t e = g.index[v]; e < g.index[v + 1]; ++e) {
+      if (!seen[g.dst[e]]) {
+        seen[g.dst[e]] = true;
+        ++count;
+        stack.push_back(g.dst[e]);
+      }
+    }
+  }
+  EXPECT_EQ(count, g.num_vertices);
+}
+
+TEST(GeneratorsTest, ProteinClusterDenseAndModerateDiameter) {
+  CsrTopology g = ProteinCluster(/*clusters=*/30, /*cluster_size=*/100,
+                                 /*intra_degree=*/40, /*seed=*/3);
+  GraphProperties p = ComputeProperties(g);
+  EXPECT_EQ(p.num_vertices, 3000u);
+  EXPECT_GT(p.avg_degree, 40.0);
+  EXPECT_GT(p.estimated_diameter, 15u);
+  EXPECT_LT(p.estimated_diameter, 120u);
+}
+
+TEST(GeneratorsTest, PathProperties) {
+  CsrTopology g = Path(100);
+  GraphProperties p = ComputeProperties(g);
+  EXPECT_EQ(p.num_edges, 99u);
+  EXPECT_EQ(p.estimated_diameter, 99u);
+}
+
+TEST(GeneratorsTest, CycleAllDegreeOne) {
+  CsrTopology g = Cycle(10);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.OutDegree(v), 1u);
+}
+
+TEST(GeneratorsTest, StarShape) {
+  CsrTopology g = Star(9);
+  EXPECT_EQ(g.num_vertices, 10u);
+  EXPECT_EQ(g.OutDegree(0), 9u);
+  EXPECT_EQ(MaxOutDegreeVertex(g), 0u);
+}
+
+TEST(GeneratorsTest, CompleteGraphEdgeCount) {
+  CsrTopology g = Complete(6);
+  EXPECT_EQ(g.NumEdges(), 30u);
+}
+
+TEST(GeneratorsTest, Grid2dDiameter) {
+  CsrTopology g = Grid2d(5, 7);
+  GraphProperties p = ComputeProperties(g);
+  EXPECT_EQ(p.num_vertices, 35u);
+  EXPECT_EQ(p.estimated_diameter, 4u + 6u);
+}
+
+}  // namespace
+}  // namespace pmg::graph

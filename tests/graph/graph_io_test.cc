@@ -1,0 +1,108 @@
+#include "pmg/graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "pmg/graph/generators.h"
+
+namespace pmg::graph {
+namespace {
+
+std::string TmpPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripUnweighted) {
+  CsrTopology g = Rmat(8, 8, 11);
+  const std::string path = TmpPath("rt_unweighted.pmgr");
+  ASSERT_TRUE(SaveCsr(g, path));
+  CsrTopology r;
+  ASSERT_TRUE(LoadCsr(path, &r));
+  EXPECT_EQ(g.num_vertices, r.num_vertices);
+  EXPECT_EQ(g.index, r.index);
+  EXPECT_EQ(g.dst, r.dst);
+  EXPECT_FALSE(r.HasWeights());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripWeighted) {
+  CsrTopology g = Rmat(7, 4, 2);
+  AssignRandomWeights(&g, 255, 9);
+  const std::string path = TmpPath("rt_weighted.pmgr");
+  ASSERT_TRUE(SaveCsr(g, path));
+  CsrTopology r;
+  ASSERT_TRUE(LoadCsr(path, &r));
+  EXPECT_EQ(g.weight, r.weight);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsMissingFile) {
+  CsrTopology r;
+  EXPECT_FALSE(LoadCsr(TmpPath("does_not_exist.pmgr"), &r));
+}
+
+TEST(GraphIoTest, LoadRejectsBadMagic) {
+  const std::string path = TmpPath("bad_magic.pmgr");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOPE", 1, 4, f);
+  std::fclose(f);
+  CsrTopology r;
+  EXPECT_FALSE(LoadCsr(path, &r));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsTruncated) {
+  CsrTopology g = Rmat(6, 4, 2);
+  const std::string path = TmpPath("truncated.pmgr");
+  ASSERT_TRUE(SaveCsr(g, path));
+  // Truncate the file to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  CsrTopology r;
+  EXPECT_FALSE(LoadCsr(path, &r));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  CsrTopology g = Rmat(6, 6, 5);
+  AssignRandomWeights(&g, 50, 2);
+  const std::string path = TmpPath("edges.txt");
+  ASSERT_TRUE(WriteEdgeList(g, path));
+  CsrTopology r;
+  ASSERT_TRUE(ReadEdgeList(path, g.num_vertices, &r));
+  EXPECT_EQ(g.index, r.index);
+  EXPECT_EQ(g.dst, r.dst);
+  EXPECT_EQ(g.weight, r.weight);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EdgeListSkipsComments) {
+  const std::string path = TmpPath("comments.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "# header\n%% another\n0 1\n1 2\n");
+  std::fclose(f);
+  CsrTopology r;
+  ASSERT_TRUE(ReadEdgeList(path, 0, &r));
+  EXPECT_EQ(r.num_vertices, 3u);
+  EXPECT_EQ(r.NumEdges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, EdgeListRejectsOutOfRangeIds) {
+  const std::string path = TmpPath("oor.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "0 5\n");
+  std::fclose(f);
+  CsrTopology r;
+  EXPECT_FALSE(ReadEdgeList(path, 3, &r));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pmg::graph

@@ -1,0 +1,139 @@
+#include "pmg/graph/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "pmg/graph/generators.h"
+
+namespace pmg::graph {
+namespace {
+
+TEST(BuildCsrTest, SimpleTriangle) {
+  EdgeList edges = {{0, 1, 5}, {1, 2, 6}, {2, 0, 7}, {0, 2, 8}};
+  CsrTopology g = BuildCsr(3, edges, /*keep_weights=*/true);
+  EXPECT_EQ(g.num_vertices, 3u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(2), 1u);
+  // Edge (1 -> 2) keeps weight 6.
+  EXPECT_EQ(g.dst[g.index[1]], 2u);
+  EXPECT_EQ(g.weight[g.index[1]], 6u);
+}
+
+TEST(BuildCsrTest, EmptyGraph) {
+  CsrTopology g = BuildCsr(5, {}, false);
+  EXPECT_EQ(g.num_vertices, 5u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.OutDegree(v), 0u);
+}
+
+TEST(TransposeTest, ReversesEdges) {
+  EdgeList edges = {{0, 1, 3}, {0, 2, 4}, {2, 1, 5}};
+  CsrTopology g = BuildCsr(3, edges, true);
+  CsrTopology t = Transpose(g);
+  EXPECT_EQ(t.NumEdges(), 3u);
+  EXPECT_EQ(t.OutDegree(1), 2u);  // in-degree of 1
+  EXPECT_EQ(t.OutDegree(0), 0u);
+  // Weight travels with the edge.
+  bool found = false;
+  for (uint64_t e = t.index[1]; e < t.index[2]; ++e) {
+    if (t.dst[e] == 2) {
+      EXPECT_EQ(t.weight[e], 5u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentity) {
+  CsrTopology g = Rmat(8, 8, /*seed=*/3);
+  CsrTopology tt = Transpose(Transpose(g));
+  SortAdjacency(&g);
+  SortAdjacency(&tt);
+  EXPECT_EQ(g.index, tt.index);
+  EXPECT_EQ(g.dst, tt.dst);
+}
+
+TEST(SymmetrizeTest, MakesUndirectedNoLoopsNoDups) {
+  EdgeList edges = {{0, 1, 1}, {1, 0, 1}, {1, 1, 1}, {1, 2, 1}, {1, 2, 1}};
+  CsrTopology s = Symmetrize(BuildCsr(3, edges, false));
+  // Expected undirected edges: {0,1}, {1,2} -> 4 directed arcs.
+  EXPECT_EQ(s.NumEdges(), 4u);
+  for (VertexId v = 0; v < 3; ++v) {
+    for (uint64_t e = s.index[v]; e < s.index[v + 1]; ++e) {
+      EXPECT_NE(s.dst[e], v);  // no self loops
+    }
+  }
+  // Symmetric: u in adj(v) iff v in adj(u).
+  CsrTopology t = Transpose(s);
+  SortAdjacency(&s);
+  SortAdjacency(&t);
+  EXPECT_EQ(s.dst, t.dst);
+  EXPECT_EQ(s.index, t.index);
+}
+
+TEST(SortAdjacencyTest, SortsWithWeights) {
+  EdgeList edges = {{0, 3, 30}, {0, 1, 10}, {0, 2, 20}};
+  CsrTopology g = BuildCsr(4, edges, true);
+  SortAdjacency(&g);
+  EXPECT_EQ(g.dst[0], 1u);
+  EXPECT_EQ(g.weight[0], 10u);
+  EXPECT_EQ(g.dst[1], 2u);
+  EXPECT_EQ(g.weight[1], 20u);
+  EXPECT_EQ(g.dst[2], 3u);
+  EXPECT_EQ(g.weight[2], 30u);
+}
+
+TEST(DedupTest, RemovesDuplicatesAndLoops) {
+  EdgeList edges = {{0, 1, 9}, {0, 1, 4}, {0, 0, 1}, {1, 0, 2}};
+  CsrTopology g = DedupAndDropSelfLoops(BuildCsr(2, edges, true));
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+}
+
+TEST(WeightsTest, AssignRandomWeightsInRange) {
+  CsrTopology g = Rmat(8, 4, 1);
+  AssignRandomWeights(&g, 100, /*seed=*/7);
+  ASSERT_TRUE(g.HasWeights());
+  for (uint32_t w : g.weight) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 100u);
+  }
+  // Deterministic for a fixed seed.
+  CsrTopology g2 = Rmat(8, 4, 1);
+  AssignRandomWeights(&g2, 100, 7);
+  EXPECT_EQ(g.weight, g2.weight);
+}
+
+TEST(CsrBytesTest, CountsAllArrays) {
+  CsrTopology g = BuildCsr(3, {{0, 1, 1}, {1, 2, 1}}, false);
+  EXPECT_EQ(CsrBytes(g), 4 * 8 + 2 * 8u);
+  AssignRandomWeights(&g, 10, 1);
+  EXPECT_EQ(CsrBytes(g), 4 * 8 + 2 * 8 + 2 * 4u);
+}
+
+TEST(RelabelTest, PreservesDegreeMultiset) {
+  CsrTopology g = Rmat(7, 6, 2);
+  std::vector<VertexId> perm(g.num_vertices);
+  std::iota(perm.begin(), perm.end(), 0);
+  // Deterministic shuffle: reverse.
+  std::reverse(perm.begin(), perm.end());
+  CsrTopology r = Relabel(g, perm);
+  std::vector<uint64_t> d1(g.num_vertices);
+  std::vector<uint64_t> d2(g.num_vertices);
+  for (VertexId v = 0; v < g.num_vertices; ++v) {
+    d1[v] = g.OutDegree(v);
+    d2[v] = r.OutDegree(v);
+  }
+  std::sort(d1.begin(), d1.end());
+  std::sort(d2.begin(), d2.end());
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(g.NumEdges(), r.NumEdges());
+}
+
+}  // namespace
+}  // namespace pmg::graph

@@ -1,0 +1,396 @@
+#include "pmg/memsim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "pmg/memsim/machine_configs.h"
+
+namespace pmg::memsim {
+namespace {
+
+/// A small 2-socket machine for fast unit tests.
+MachineConfig TinyConfig(MachineKind kind) {
+  MachineConfig c;
+  c.kind = kind;
+  c.name = "tiny";
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;  // 4 threads: 0,1 on socket 0; 2,3 on socket 1
+  c.topology.dram_bytes_per_socket = MiB(1);
+  c.topology.pmm_bytes_per_socket =
+      kind == MachineKind::kDramMain ? 0 : MiB(16);
+  c.cpu_cache_lines = 64;
+  return c;
+}
+
+PagePolicy Policy(Placement pl, PageSizeClass ps = PageSizeClass::k4K) {
+  PagePolicy p;
+  p.placement = pl;
+  p.page_size = ps;
+  return p;
+}
+
+TEST(MachineTest, ThreadToSocketMapping) {
+  Machine m(TinyConfig(MachineKind::kDramMain));
+  EXPECT_EQ(m.SocketOfThread(0), 0u);
+  EXPECT_EQ(m.SocketOfThread(1), 0u);
+  EXPECT_EQ(m.SocketOfThread(2), 1u);
+  EXPECT_EQ(m.SocketOfThread(3), 1u);
+}
+
+TEST(MachineTest, PaperMachineThreadMapping) {
+  // On the paper's machine, runs with t <= 24 threads stay on socket 0.
+  Machine m(OptanePmmConfig());
+  for (ThreadId t = 0; t < 24; ++t) EXPECT_EQ(m.SocketOfThread(t), 0u);
+  for (ThreadId t = 24; t < 48; ++t) EXPECT_EQ(m.SocketOfThread(t), 1u);
+  for (ThreadId t = 48; t < 72; ++t) EXPECT_EQ(m.SocketOfThread(t), 0u);
+}
+
+TEST(MachineTest, FirstTouchFaultsOncePerPage) {
+  Machine m(TinyConfig(MachineKind::kDramMain));
+  const RegionId r = m.Alloc(4 * kSmallPageBytes,
+                             Policy(Placement::kInterleaved), "r");
+  const VirtAddr base = m.BaseOf(r);
+  m.BeginEpoch(1);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (uint64_t p = 0; p < 4; ++p) {
+      m.Access(0, base + p * kSmallPageBytes, 8, AccessType::kRead);
+    }
+  }
+  m.EndEpoch();
+  EXPECT_EQ(m.stats().minor_faults, 4u);
+  EXPECT_EQ(m.stats().pages_mapped_small, 4u);
+}
+
+TEST(MachineTest, InterleavedPlacementAlternatesNodes) {
+  Machine m(TinyConfig(MachineKind::kDramMain));
+  const RegionId r = m.Alloc(4 * kSmallPageBytes,
+                             Policy(Placement::kInterleaved), "r");
+  const VirtAddr base = m.BaseOf(r);
+  m.BeginEpoch(1);
+  for (uint64_t p = 0; p < 4; ++p) {
+    m.Access(0, base + p * kSmallPageBytes, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+  const Region& reg = m.page_table().region(r);
+  // Interleaving alternates; the starting node is a per-region rotation.
+  const NodeId first = reg.pages[0].node;
+  EXPECT_EQ(reg.pages[1].node, 1u - first);
+  EXPECT_EQ(reg.pages[2].node, first);
+  EXPECT_EQ(reg.pages[3].node, 1u - first);
+}
+
+TEST(MachineTest, LocalPlacementPrefersNodeThenSpills) {
+  MachineConfig c = TinyConfig(MachineKind::kDramMain);
+  c.topology.dram_bytes_per_socket = 8 * kSmallPageBytes;
+  Machine m(c);
+  PagePolicy p = Policy(Placement::kLocal);
+  p.preferred_node = 0;
+  // 12 pages: 8 fit on node 0, 4 spill to node 1.
+  const RegionId r = m.Alloc(12 * kSmallPageBytes, p, "r");
+  const VirtAddr base = m.BaseOf(r);
+  m.BeginEpoch(1);
+  for (uint64_t i = 0; i < 12; ++i) {
+    m.Access(0, base + i * kSmallPageBytes, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+  EXPECT_EQ(m.NodeBytesUsed(0), 8 * kSmallPageBytes);
+  EXPECT_EQ(m.NodeBytesUsed(1), 4 * kSmallPageBytes);
+}
+
+TEST(MachineTest, BlockedPlacementFollowsTouchingThread) {
+  Machine m(TinyConfig(MachineKind::kDramMain));
+  const RegionId r =
+      m.Alloc(2 * kSmallPageBytes, Policy(Placement::kBlocked), "r");
+  const VirtAddr base = m.BaseOf(r);
+  m.BeginEpoch(4);
+  m.Access(0, base, 8, AccessType::kWrite);                    // socket 0
+  m.Access(2, base + kSmallPageBytes, 8, AccessType::kWrite);  // socket 1
+  m.EndEpoch();
+  const Region& reg = m.page_table().region(r);
+  EXPECT_EQ(reg.pages[0].node, 0u);
+  EXPECT_EQ(reg.pages[1].node, 1u);
+}
+
+TEST(MachineTest, LocalVsRemoteAccounting) {
+  Machine m(TinyConfig(MachineKind::kDramMain));
+  PagePolicy p = Policy(Placement::kLocal);
+  p.preferred_node = 0;
+  const RegionId r = m.Alloc(kSmallPageBytes, p, "r");
+  const VirtAddr base = m.BaseOf(r);
+  m.BeginEpoch(4);
+  m.Access(0, base, 8, AccessType::kRead);        // local (socket 0)
+  m.Access(2, base + 64, 8, AccessType::kRead);   // remote (socket 1)
+  m.EndEpoch();
+  EXPECT_EQ(m.stats().local_accesses, 1u);
+  EXPECT_EQ(m.stats().remote_accesses, 1u);
+}
+
+TEST(MachineTest, CpuCacheAbsorbsRepeatedAccess) {
+  Machine m(TinyConfig(MachineKind::kDramMain));
+  const RegionId r = m.Alloc(kSmallPageBytes, Policy(Placement::kLocal), "r");
+  const VirtAddr base = m.BaseOf(r);
+  m.BeginEpoch(1);
+  m.Access(0, base, 8, AccessType::kRead);
+  const uint64_t misses = m.stats().cpu_cache_misses;
+  m.Access(0, base, 8, AccessType::kRead);
+  m.Access(0, base + 8, 8, AccessType::kRead);  // same line
+  m.EndEpoch();
+  EXPECT_EQ(m.stats().cpu_cache_misses, misses);
+  EXPECT_EQ(m.stats().cpu_cache_hits, 2u);
+}
+
+TEST(MachineTest, RemoteCostsMoreThanLocalDram) {
+  Machine m1(TinyConfig(MachineKind::kDramMain));
+  Machine m2(TinyConfig(MachineKind::kDramMain));
+  PagePolicy p = Policy(Placement::kLocal);
+  p.preferred_node = 0;
+  const VirtAddr b1 = m1.BaseOf(m1.Alloc(MiB(1) / 2, p, "r"));
+  const VirtAddr b2 = m2.BaseOf(m2.Alloc(MiB(1) / 2, p, "r"));
+  m1.BeginEpoch(1);
+  m2.BeginEpoch(4);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    m1.Access(0, b1 + i * 64, 8, AccessType::kRead);  // local
+    m2.Access(2, b2 + i * 64, 8, AccessType::kRead);  // remote
+  }
+  const SimNs local_time = m1.EndEpoch().total_ns;
+  const SimNs remote_time = m2.EndEpoch().total_ns;
+  EXPECT_GT(remote_time, local_time);
+}
+
+TEST(MachineTest, MemoryModeNearMemoryHitsAfterFill) {
+  Machine m(TinyConfig(MachineKind::kMemoryMode));
+  const RegionId r = m.Alloc(kSmallPageBytes, Policy(Placement::kLocal), "r");
+  const VirtAddr base = m.BaseOf(r);
+  m.BeginEpoch(1);
+  m.Access(0, base, 8, AccessType::kRead);        // miss: fill
+  m.Access(0, base + 128, 8, AccessType::kRead);  // same 4KB page: hit
+  m.EndEpoch();
+  EXPECT_EQ(m.stats().near_mem_misses, 1u);
+  EXPECT_EQ(m.stats().near_mem_hits, 1u);
+  EXPECT_EQ(m.stats().pmm_read_bytes, kSmallPageBytes);
+}
+
+TEST(MachineTest, MemoryModeWorkingSetBeyondNearMemThrashes) {
+  // Working set 2x near-memory: a second pass must keep missing.
+  MachineConfig c = TinyConfig(MachineKind::kMemoryMode);
+  c.topology.dram_bytes_per_socket = 16 * kSmallPageBytes;
+  Machine m(c);
+  PagePolicy p = Policy(Placement::kLocal);
+  p.preferred_node = 0;
+  const RegionId r = m.Alloc(32 * kSmallPageBytes, p, "r");
+  const VirtAddr base = m.BaseOf(r);
+  m.BeginEpoch(1);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t pg = 0; pg < 32; ++pg) {
+      m.Access(0, base + pg * kSmallPageBytes, 8, AccessType::kRead);
+    }
+  }
+  m.EndEpoch();
+  // Hashed set placement keeps this statistical: the overwhelming
+  // majority of the 64 page touches must miss.
+  EXPECT_LT(m.stats().near_mem_hits, 16u);
+  EXPECT_GT(m.stats().near_mem_misses, 48u);
+}
+
+TEST(MachineTest, DirtyEvictionWritesBack) {
+  MachineConfig c = TinyConfig(MachineKind::kMemoryMode);
+  c.topology.dram_bytes_per_socket = 4 * kSmallPageBytes;
+  Machine m(c);
+  PagePolicy p = Policy(Placement::kLocal);
+  const RegionId r = m.Alloc(8 * kSmallPageBytes, p, "r");
+  const VirtAddr base = m.BaseOf(r);
+  m.BeginEpoch(1);
+  for (uint64_t pg = 0; pg < 8; ++pg) {
+    m.Access(0, base + pg * kSmallPageBytes, 8, AccessType::kWrite);
+  }
+  // Second pass evicts dirty pages installed by the first.
+  for (uint64_t pg = 0; pg < 8; ++pg) {
+    m.Access(0, base + pg * kSmallPageBytes, 8, AccessType::kWrite);
+  }
+  m.EndEpoch();
+  EXPECT_GT(m.stats().near_mem_writebacks, 0u);
+  EXPECT_GT(m.stats().pmm_write_bytes, 0u);
+}
+
+TEST(MachineTest, KernelCostsHigherOnPmm) {
+  Machine dram(TinyConfig(MachineKind::kDramMain));
+  Machine pmm(TinyConfig(MachineKind::kMemoryMode));
+  const VirtAddr bd = dram.BaseOf(
+      dram.Alloc(16 * kSmallPageBytes, Policy(Placement::kLocal), "r"));
+  const VirtAddr bp = pmm.BaseOf(
+      pmm.Alloc(16 * kSmallPageBytes, Policy(Placement::kLocal), "r"));
+  dram.BeginEpoch(1);
+  pmm.BeginEpoch(1);
+  for (uint64_t pg = 0; pg < 16; ++pg) {
+    dram.Access(0, bd + pg * kSmallPageBytes, 8, AccessType::kWrite);
+    pmm.Access(0, bp + pg * kSmallPageBytes, 8, AccessType::kWrite);
+  }
+  dram.EndEpoch();
+  pmm.EndEpoch();
+  EXPECT_GT(pmm.stats().kernel_ns, dram.stats().kernel_ns);
+}
+
+TEST(MachineTest, HugePagesReduceTlbMissesAndFaults) {
+  MachineConfig c = TinyConfig(MachineKind::kDramMain);
+  c.topology.dram_bytes_per_socket = MiB(32);
+  Machine small(c);
+  Machine huge(c);
+  const uint64_t bytes = MiB(8);
+  const VirtAddr bs = small.BaseOf(
+      small.Alloc(bytes, Policy(Placement::kLocal, PageSizeClass::k4K), "r"));
+  const VirtAddr bh = huge.BaseOf(
+      huge.Alloc(bytes, Policy(Placement::kLocal, PageSizeClass::k2M), "r"));
+  small.BeginEpoch(1);
+  huge.BeginEpoch(1);
+  // Strided access pattern: one line per page-ish stride.
+  for (uint64_t off = 0; off < bytes; off += 8192) {
+    small.Access(0, bs + off, 8, AccessType::kRead);
+    huge.Access(0, bh + off, 8, AccessType::kRead);
+  }
+  const SimNs ts = small.EndEpoch().total_ns;
+  const SimNs th = huge.EndEpoch().total_ns;
+  EXPECT_LT(huge.stats().tlb_misses, small.stats().tlb_misses);
+  EXPECT_LT(huge.stats().minor_faults, small.stats().minor_faults);
+  EXPECT_LT(th, ts);
+}
+
+TEST(MachineTest, MigrationDaemonAddsKernelOverhead) {
+  MachineConfig on = TinyConfig(MachineKind::kDramMain);
+  on.migration.enabled = true;
+  on.migration.scan_interval_ns = 0;  // scan every epoch in this test
+  on.migration.hint_every = 32;
+  MachineConfig off = TinyConfig(MachineKind::kDramMain);
+  Machine m_on(on);
+  Machine m_off(off);
+  const uint64_t bytes = 64 * kSmallPageBytes;
+  const VirtAddr b1 = m_on.BaseOf(
+      m_on.Alloc(bytes, Policy(Placement::kInterleaved), "r"));
+  const VirtAddr b2 = m_off.BaseOf(
+      m_off.Alloc(bytes, Policy(Placement::kInterleaved), "r"));
+  for (int round = 0; round < 10; ++round) {
+    m_on.BeginEpoch(4);
+    m_off.BeginEpoch(4);
+    for (uint64_t off_b = 0; off_b < bytes; off_b += 256) {
+      // Threads on both sockets touch everything: shared irregular access.
+      m_on.Access(round % 4, b1 + off_b, 8, AccessType::kRead);
+      m_off.Access(round % 4, b2 + off_b, 8, AccessType::kRead);
+    }
+    m_on.EndEpoch();
+    m_off.EndEpoch();
+  }
+  EXPECT_GT(m_on.stats().kernel_ns, m_off.stats().kernel_ns);
+  EXPECT_GT(m_on.stats().total_ns, m_off.stats().total_ns);
+  EXPECT_GT(m_on.stats().hint_faults, 0u);
+}
+
+TEST(MachineTest, MigrationMovesRemoteHotPage) {
+  MachineConfig c = TinyConfig(MachineKind::kDramMain);
+  c.migration.enabled = true;
+  c.migration.scan_interval_ns = 0;
+  c.migration.min_remote_accesses = 2;
+  Machine m(c);
+  PagePolicy p = Policy(Placement::kLocal);
+  p.preferred_node = 0;
+  const RegionId r = m.Alloc(kSmallPageBytes, p, "r");
+  const VirtAddr base = m.BaseOf(r);
+  for (int round = 0; round < 3; ++round) {
+    m.BeginEpoch(4);
+    for (int i = 0; i < 8; ++i) {
+      // Only socket-1 threads touch the page.
+      m.Access(2, base + (static_cast<uint64_t>(i) * 64) % kSmallPageBytes, 8,
+               AccessType::kRead);
+    }
+    m.EndEpoch();
+    m.FlushVolatileState();  // defeat the CPU cache between rounds
+  }
+  EXPECT_GT(m.stats().migrations, 0u);
+  EXPECT_EQ(m.page_table().region(r).pages[0].node, 1u);
+}
+
+TEST(MachineTest, EpochRooflineDetectsBandwidthBound) {
+  // 96 "threads" streaming writes: per-thread latency cost is amortized
+  // by cache lines, so channel bandwidth should set the epoch time.
+  MachineConfig c = OptanePmmConfig();
+  Machine m(c);
+  PagePolicy p = Policy(Placement::kInterleaved);
+  const uint64_t bytes = MiB(4);
+  const VirtAddr base = m.BaseOf(m.Alloc(bytes, p, "buf"));
+  const uint32_t threads = 96;
+  m.BeginEpoch(threads);
+  const uint64_t per_thread = bytes / threads;
+  for (ThreadId t = 0; t < threads; ++t) {
+    m.AccessRange(t, base + uint64_t{t} * per_thread, per_thread,
+                  AccessType::kWrite);
+  }
+  const EpochReport rep = m.EndEpoch();
+  EXPECT_GT(rep.bandwidth_path_ns, 0u);
+  EXPECT_GT(rep.total_ns, 0u);
+}
+
+TEST(MachineTest, StorageIoOnlyInAppDirect) {
+  Machine m(TinyConfig(MachineKind::kAppDirect));
+  m.BeginEpoch(1);
+  m.StorageRead(0, MiB(1), 0, /*sequential=*/true);
+  m.StorageWrite(0, MiB(1) / 2, 0, true);
+  m.EndEpoch();
+  EXPECT_EQ(m.stats().storage_read_bytes, MiB(1));
+  EXPECT_EQ(m.stats().storage_write_bytes, MiB(1) / 2);
+  EXPECT_GT(m.stats().total_ns, 0u);
+}
+
+TEST(MachineTest, FreeReturnsMemory) {
+  Machine m(TinyConfig(MachineKind::kDramMain));
+  const RegionId r =
+      m.Alloc(16 * kSmallPageBytes, Policy(Placement::kLocal), "r");
+  const VirtAddr base = m.BaseOf(r);
+  m.BeginEpoch(1);
+  for (uint64_t pg = 0; pg < 16; ++pg) {
+    m.Access(0, base + pg * kSmallPageBytes, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+  EXPECT_EQ(m.NodeBytesUsed(0), 16 * kSmallPageBytes);
+  m.Free(r);
+  EXPECT_EQ(m.NodeBytesUsed(0), 0u);
+  // Space is reusable.
+  const RegionId r2 =
+      m.Alloc(16 * kSmallPageBytes, Policy(Placement::kLocal), "r2");
+  const VirtAddr b2 = m.BaseOf(r2);
+  m.BeginEpoch(1);
+  for (uint64_t pg = 0; pg < 16; ++pg) {
+    m.Access(0, b2 + pg * kSmallPageBytes, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+  EXPECT_EQ(m.NodeBytesUsed(0), 16 * kSmallPageBytes);
+}
+
+TEST(MachineTest, TotalTimeMonotonicAcrossEpochs) {
+  Machine m(TinyConfig(MachineKind::kDramMain));
+  const VirtAddr base =
+      m.BaseOf(m.Alloc(kSmallPageBytes, Policy(Placement::kLocal), "r"));
+  SimNs prev = m.now();
+  for (int e = 0; e < 5; ++e) {
+    m.BeginEpoch(1);
+    m.Access(0, base + static_cast<uint64_t>(e) * 64, 8, AccessType::kRead);
+    m.EndEpoch();
+    EXPECT_GT(m.now(), prev);
+    prev = m.now();
+  }
+}
+
+TEST(MachineTest, UserKernelSplitSumsBelowTotal) {
+  Machine m(TinyConfig(MachineKind::kMemoryMode));
+  const VirtAddr base = m.BaseOf(
+      m.Alloc(32 * kSmallPageBytes, Policy(Placement::kInterleaved), "r"));
+  m.BeginEpoch(2);
+  for (uint64_t off = 0; off < 32 * kSmallPageBytes; off += 128) {
+    m.Access(off % 2 == 0 ? 0 : 1, base + off, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+  EXPECT_GT(m.stats().user_ns, 0u);
+  EXPECT_GT(m.stats().kernel_ns, 0u);  // faults
+  EXPECT_LE(m.stats().user_ns + m.stats().kernel_ns,
+            m.stats().total_ns + 1);
+}
+
+}  // namespace
+}  // namespace pmg::memsim

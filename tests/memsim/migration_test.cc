@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/machine_configs.h"
+
+// Focused tests of the AutoNUMA migration model's rate controls.
+
+namespace pmg::memsim {
+namespace {
+
+MachineConfig Base() {
+  MachineConfig c;
+  c.kind = MachineKind::kDramMain;
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;
+  c.topology.dram_bytes_per_socket = MiB(8);
+  c.cpu_cache_lines = 64;
+  c.migration.enabled = true;
+  c.migration.scan_interval_ns = 0;  // scan every epoch unless stated
+  c.migration.min_remote_accesses = 2;
+  return c;
+}
+
+PagePolicy LocalPolicy(PageSizeClass ps = PageSizeClass::k4K) {
+  PagePolicy p;
+  p.placement = Placement::kLocal;
+  p.preferred_node = 0;
+  p.page_size = ps;
+  return p;
+}
+
+/// Hammers `pages` 4KB pages of `r` from a socket-1 thread for `rounds`
+/// epochs.
+void HammerRemote(Machine& m, VirtAddr base, uint64_t pages, int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    m.BeginEpoch(4);
+    for (uint64_t pg = 0; pg < pages; ++pg) {
+      for (int i = 0; i < 4; ++i) {
+        m.Access(2, base + pg * kSmallPageBytes + uint64_t{i} * 64, 8,
+                 AccessType::kRead);
+      }
+    }
+    m.EndEpoch();
+    m.FlushVolatileState();
+  }
+}
+
+TEST(MigrationTest, ScanIntervalSuppressesScans) {
+  MachineConfig c = Base();
+  c.migration.scan_interval_ns = kNsPerSec;  // effectively never
+  Machine m(c);
+  const VirtAddr base = m.BaseOf(m.Alloc(8 * kSmallPageBytes,
+                                         LocalPolicy(), "r"));
+  HammerRemote(m, base, 8, 5);
+  EXPECT_EQ(m.stats().migration_scans, 0u);
+  EXPECT_EQ(m.stats().migrations, 0u);
+}
+
+TEST(MigrationTest, ZeroIntervalScansEveryEpoch) {
+  Machine m(Base());
+  const VirtAddr base = m.BaseOf(m.Alloc(8 * kSmallPageBytes,
+                                         LocalPolicy(), "r"));
+  HammerRemote(m, base, 8, 5);
+  EXPECT_GE(m.stats().migration_scans, 5u);
+  EXPECT_GT(m.stats().migrations, 0u);
+}
+
+TEST(MigrationTest, ByteBudgetLimitsPerScanMigrations) {
+  MachineConfig c = Base();
+  c.migration.migrate_bytes_per_scan = 2 * kSmallPageBytes;
+  Machine m(c);
+  const VirtAddr base = m.BaseOf(m.Alloc(64 * kSmallPageBytes,
+                                         LocalPolicy(), "r"));
+  // One hammer round then one scan: at most budget-many pages move
+  // (budget may have accumulated one extra installment).
+  m.BeginEpoch(4);
+  for (uint64_t pg = 0; pg < 64; ++pg) {
+    for (int i = 0; i < 4; ++i) {
+      m.Access(2, base + pg * kSmallPageBytes + uint64_t{i} * 64, 8,
+               AccessType::kRead);
+    }
+  }
+  m.EndEpoch();
+  EXPECT_LE(m.stats().migrations, 4u);
+}
+
+TEST(MigrationTest, HugePagesMigrateMoreReluctantly) {
+  MachineConfig c = Base();
+  c.migration.migrate_bytes_per_scan = MiB(16);  // no byte limit in play
+  Machine small_m(c);
+  Machine huge_m(c);
+  const VirtAddr sb = small_m.BaseOf(
+      small_m.Alloc(kHugePageBytes, LocalPolicy(PageSizeClass::k4K), "r"));
+  const VirtAddr hb = huge_m.BaseOf(
+      huge_m.Alloc(kHugePageBytes, LocalPolicy(PageSizeClass::k2M), "r"));
+  // The same number of remote touches: enough to trip the 4KB threshold
+  // on every small page, far below the huge-page threshold.
+  HammerRemote(small_m, sb, 8, 3);
+  HammerRemote(huge_m, hb, 8, 3);
+  EXPECT_GT(small_m.stats().migrations, 0u);
+  EXPECT_EQ(huge_m.stats().migrations, 0u);
+}
+
+TEST(MigrationTest, MigrationCountsAsKernelTime) {
+  Machine m(Base());
+  const VirtAddr base = m.BaseOf(m.Alloc(16 * kSmallPageBytes,
+                                         LocalPolicy(), "r"));
+  HammerRemote(m, base, 16, 4);
+  EXPECT_GT(m.stats().migrations, 0u);
+  EXPECT_GT(m.stats().kernel_ns, 0u);
+  EXPECT_GT(m.stats().tlb_shootdowns, 0u);
+}
+
+}  // namespace
+}  // namespace pmg::memsim

@@ -1,0 +1,133 @@
+#include "pmg/memsim/page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace pmg::memsim {
+namespace {
+
+PagePolicy SmallPages() {
+  PagePolicy p;
+  p.page_size = PageSizeClass::k4K;
+  return p;
+}
+
+PagePolicy HugePages() {
+  PagePolicy p;
+  p.page_size = PageSizeClass::k2M;
+  return p;
+}
+
+TEST(PageTableTest, LookupResolvesWithinRegion) {
+  PageTable pt(/*thp_percent=*/0, /*seed=*/1);
+  const RegionId id = pt.CreateRegion(4 * kHugePageBytes, SmallPages(), "r");
+  const Region& r = pt.region(id);
+  PageLookup lk = pt.Lookup(r.base);
+  EXPECT_EQ(lk.page_base, r.base);
+  EXPECT_EQ(lk.cls, PageSizeClass::k4K);
+  lk = pt.Lookup(r.base + 4097);
+  EXPECT_EQ(lk.page_base, r.base + 4096);
+}
+
+TEST(PageTableTest, SmallRegionPageCount) {
+  PageTable pt(0, 1);
+  const RegionId id = pt.CreateRegion(10 * kSmallPageBytes + 1, SmallPages(),
+                                      "r");
+  EXPECT_EQ(pt.region(id).pages.size(), 11u);
+}
+
+TEST(PageTableTest, HugeRegionPageCount) {
+  PageTable pt(0, 1);
+  // 5MB = two full 2MB chunks + a 1MB tail; explicit huge-page arenas
+  // round the tail up to a third huge page.
+  const RegionId id = pt.CreateRegion(5 * 1024 * 1024, HugePages(), "r");
+  const Region& r = pt.region(id);
+  EXPECT_EQ(r.pages.size(), 3u);
+  EXPECT_EQ(r.chunk_is_huge[0], 1);
+  EXPECT_EQ(r.chunk_is_huge[1], 1);
+  EXPECT_EQ(r.chunk_is_huge[2], 1);
+}
+
+TEST(PageTableTest, HugeLookupUsesChunkBase) {
+  PageTable pt(0, 1);
+  const RegionId id = pt.CreateRegion(4 * kHugePageBytes, HugePages(), "r");
+  const Region& r = pt.region(id);
+  const PageLookup lk = pt.Lookup(r.base + kHugePageBytes + 12345);
+  EXPECT_EQ(lk.cls, PageSizeClass::k2M);
+  EXPECT_EQ(lk.page_base, r.base + kHugePageBytes);
+}
+
+TEST(PageTableTest, ThpPromotesConfiguredFraction) {
+  PageTable pt(/*thp_percent=*/70, /*seed=*/42);
+  PagePolicy p = SmallPages();
+  p.thp = true;
+  const RegionId id = pt.CreateRegion(256 * kHugePageBytes, p, "r");
+  const Region& r = pt.region(id);
+  int huge = 0;
+  for (uint8_t h : r.chunk_is_huge) huge += h;
+  // Expect roughly 70% promotion with deterministic hashing.
+  EXPECT_GT(huge, 256 * 55 / 100);
+  EXPECT_LT(huge, 256 * 85 / 100);
+}
+
+TEST(PageTableTest, ThpZeroPercentStaysSmall) {
+  PageTable pt(/*thp_percent=*/0, /*seed=*/42);
+  PagePolicy p = SmallPages();
+  p.thp = true;
+  const RegionId id = pt.CreateRegion(32 * kHugePageBytes, p, "r");
+  for (uint8_t h : pt.region(id).chunk_is_huge) EXPECT_EQ(h, 0);
+}
+
+TEST(PageTableTest, RegionsDoNotOverlap) {
+  PageTable pt(0, 1);
+  const RegionId a = pt.CreateRegion(kHugePageBytes + 1, SmallPages(), "a");
+  const RegionId b = pt.CreateRegion(3, SmallPages(), "b");
+  const Region& ra = pt.region(a);
+  const Region& rb = pt.region(b);
+  EXPECT_TRUE(ra.end() <= rb.base || rb.end() <= ra.base);
+  EXPECT_EQ(pt.Lookup(rb.base).region, &rb);
+  EXPECT_EQ(pt.Lookup(ra.base + kHugePageBytes).region, &ra);
+}
+
+TEST(PageTableTest, DestroyedRegionIsNotLive) {
+  PageTable pt(0, 1);
+  const RegionId a = pt.CreateRegion(4096, SmallPages(), "a");
+  EXPECT_TRUE(pt.IsLive(a));
+  pt.DestroyRegion(a);
+  EXPECT_FALSE(pt.IsLive(a));
+}
+
+TEST(PageTableTest, ForEachMappedPageVisitsOnlyMapped) {
+  PageTable pt(0, 1);
+  const RegionId id = pt.CreateRegion(8 * kSmallPageBytes, SmallPages(), "r");
+  Region& r = pt.region(id);
+  r.pages[3].frame = 100;
+  pt.NoteMapped();
+  int visited = 0;
+  VirtAddr base_seen = 0;
+  pt.ForEachMappedPage(
+      [&](Region&, PageInfo&, VirtAddr base, PageSizeClass cls) {
+        ++visited;
+        base_seen = base;
+        EXPECT_EQ(cls, PageSizeClass::k4K);
+      });
+  EXPECT_EQ(visited, 1);
+  EXPECT_EQ(base_seen, r.base + 3 * kSmallPageBytes);
+  EXPECT_EQ(pt.mapped_pages(), 1u);
+}
+
+TEST(PageTableTest, MixedThpLookupConsistent) {
+  PageTable pt(/*thp_percent=*/50, /*seed=*/7);
+  PagePolicy p = SmallPages();
+  p.thp = true;
+  const RegionId id = pt.CreateRegion(64 * kHugePageBytes, p, "r");
+  const Region& r = pt.region(id);
+  // Every address maps to a page whose [base, base+size) contains it.
+  for (VirtAddr a = r.base; a < r.end(); a += 777777) {
+    const PageLookup lk = pt.Lookup(a);
+    EXPECT_LE(lk.page_base, a);
+    EXPECT_LT(a, lk.page_base + PageBytes(lk.cls));
+  }
+}
+
+}  // namespace
+}  // namespace pmg::memsim

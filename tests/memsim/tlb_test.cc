@@ -1,0 +1,103 @@
+#include "pmg/memsim/tlb.h"
+
+#include <gtest/gtest.h>
+
+#include "pmg/memsim/page_table.h"
+
+namespace pmg::memsim {
+namespace {
+
+TEST(TlbTest, MissThenHit) {
+  Tlb tlb{TlbConfig{}};
+  EXPECT_FALSE(tlb.Lookup(0x1000, PageSizeClass::k4K));
+  tlb.Insert(0x1000, PageSizeClass::k4K);
+  EXPECT_TRUE(tlb.Lookup(0x1000, PageSizeClass::k4K));
+}
+
+TEST(TlbTest, ClassesAreSeparatePools) {
+  Tlb tlb{TlbConfig{}};
+  tlb.Insert(0, PageSizeClass::k4K);
+  EXPECT_FALSE(tlb.Lookup(0, PageSizeClass::k2M));
+  EXPECT_FALSE(tlb.Lookup(0, PageSizeClass::k1G));
+  EXPECT_TRUE(tlb.Lookup(0, PageSizeClass::k4K));
+}
+
+TEST(TlbTest, CapacityEviction) {
+  // 64 entries for 4KB pages: touching 65 distinct pages that all map to
+  // different sets must evict at least one.
+  Tlb tlb{TlbConfig{}};
+  constexpr uint64_t kPages = 65;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    tlb.Insert(p * kSmallPageBytes, PageSizeClass::k4K);
+  }
+  int hits = 0;
+  for (uint64_t p = 0; p < kPages; ++p) {
+    if (tlb.Lookup(p * kSmallPageBytes, PageSizeClass::k4K)) ++hits;
+  }
+  EXPECT_LT(hits, static_cast<int>(kPages));
+  EXPECT_GE(hits, 1);
+}
+
+TEST(TlbTest, LruKeepsHotEntryInSet) {
+  // Pages p, p+16, p+32, ... share a set (16 sets for the 4KB class).
+  Tlb tlb{TlbConfig{}};
+  const uint64_t hot = 0;
+  tlb.Insert(hot, PageSizeClass::k4K);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    tlb.Insert(i * 16 * kSmallPageBytes, PageSizeClass::k4K);
+    ASSERT_TRUE(tlb.Lookup(hot, PageSizeClass::k4K));  // refresh LRU
+  }
+  // A fourth conflicting insert evicts the LRU way, which is not `hot`.
+  tlb.Insert(4 * 16 * kSmallPageBytes, PageSizeClass::k4K);
+  EXPECT_TRUE(tlb.Lookup(hot, PageSizeClass::k4K));
+}
+
+TEST(TlbTest, InvalidatePage) {
+  Tlb tlb{TlbConfig{}};
+  tlb.Insert(0x2000, PageSizeClass::k4K);
+  tlb.InvalidatePage(0x2000, PageSizeClass::k4K);
+  EXPECT_FALSE(tlb.Lookup(0x2000, PageSizeClass::k4K));
+}
+
+TEST(TlbTest, InvalidateAll) {
+  Tlb tlb{TlbConfig{}};
+  for (uint64_t p = 0; p < 8; ++p) {
+    tlb.Insert(p * kHugePageBytes, PageSizeClass::k2M);
+  }
+  tlb.InvalidateAll();
+  for (uint64_t p = 0; p < 8; ++p) {
+    EXPECT_FALSE(tlb.Lookup(p * kHugePageBytes, PageSizeClass::k2M));
+  }
+}
+
+TEST(TlbTest, HugePagesExtendReach) {
+  // 32 huge-page entries cover 64MB; sweeping 16MB of huge pages fits,
+  // while the same sweep with 4KB pages (4096 pages vs 64 entries) thrashes.
+  Tlb tlb{TlbConfig{}};
+  constexpr uint64_t kBytes = 16ull * 1024 * 1024;
+  int huge_misses = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t b = 0; b < kBytes; b += kHugePageBytes) {
+      if (!tlb.Lookup(b, PageSizeClass::k2M)) {
+        ++huge_misses;
+        tlb.Insert(b, PageSizeClass::k2M);
+      }
+    }
+  }
+  int small_misses = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t b = 0; b < kBytes; b += kSmallPageBytes) {
+      if (!tlb.Lookup(b, PageSizeClass::k4K)) {
+        ++small_misses;
+        tlb.Insert(b, PageSizeClass::k4K);
+      }
+    }
+  }
+  // Second pass of huge pages hits entirely: misses == pages of one pass.
+  EXPECT_EQ(huge_misses, static_cast<int>(kBytes / kHugePageBytes));
+  // Small pages miss on both passes.
+  EXPECT_EQ(small_misses, static_cast<int>(2 * kBytes / kSmallPageBytes));
+}
+
+}  // namespace
+}  // namespace pmg::memsim

@@ -1,0 +1,173 @@
+#include "pmg/runtime/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/runtime/numa_array.h"
+
+namespace pmg::runtime {
+namespace {
+
+using memsim::Machine;
+using memsim::MachineConfig;
+using memsim::PagePolicy;
+using memsim::Placement;
+
+MachineConfig SmallDram() {
+  MachineConfig c = memsim::DramOnlyConfig();
+  return c;
+}
+
+TEST(RuntimeTest, ParallelForVisitsEveryIndexOnce) {
+  Machine m(SmallDram());
+  Runtime rt(&m, 8);
+  std::vector<int> seen(1000, 0);
+  rt.ParallelFor(0, 1000, [&](ThreadId, uint64_t i) { ++seen[i]; });
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(RuntimeTest, ParallelForBlockedPartitionIsContiguous) {
+  Machine m(SmallDram());
+  Runtime rt(&m, 4);
+  std::vector<ThreadId> owner(100);
+  rt.ParallelFor(0, 100, [&](ThreadId t, uint64_t i) { owner[i] = t; });
+  // Owners must be non-decreasing for a contiguous block partition.
+  for (size_t i = 1; i < owner.size(); ++i) EXPECT_GE(owner[i], owner[i - 1]);
+  EXPECT_EQ(owner.front(), 0u);
+  EXPECT_EQ(owner.back(), 3u);
+}
+
+TEST(RuntimeTest, ParallelForDynamicRoundRobinsChunks) {
+  Machine m(SmallDram());
+  Runtime rt(&m, 2);
+  std::vector<ThreadId> owner(64);
+  rt.ParallelForDynamic(0, 64, 16, [&](ThreadId t, uint64_t i) {
+    owner[i] = t;
+  });
+  EXPECT_EQ(owner[0], 0u);
+  EXPECT_EQ(owner[16], 1u);
+  EXPECT_EQ(owner[32], 0u);
+  EXPECT_EQ(owner[48], 1u);
+}
+
+TEST(RuntimeTest, EachParallelForIsOneEpoch) {
+  Machine m(SmallDram());
+  Runtime rt(&m, 4);
+  const uint64_t before = m.stats().epochs;
+  rt.ParallelFor(0, 10, [](ThreadId, uint64_t) {});
+  rt.ParallelFor(0, 10, [](ThreadId, uint64_t) {});
+  EXPECT_EQ(m.stats().epochs, before + 2);
+}
+
+TEST(RuntimeTest, MoreThreadsShortenLatencyBoundWork) {
+  // The same total work split over more virtual threads has a shorter
+  // critical path (strong scaling, Figure 10's mechanism).
+  Machine m1(SmallDram());
+  Machine m2(SmallDram());
+  PagePolicy pol;
+  pol.placement = Placement::kInterleaved;
+  NumaArray<uint64_t> a1(&m1, 1 << 17, pol, "a1");
+  NumaArray<uint64_t> a2(&m2, 1 << 17, pol, "a2");
+  Runtime rt1(&m1, 1);
+  Runtime rt96(&m2, 96);
+  // Pointer-chase-like strided reads (defeat line amortization).
+  auto body1 = [&](ThreadId t, uint64_t i) {
+    a1.Get(t, (i * 129) % a1.size());
+  };
+  auto body96 = [&](ThreadId t, uint64_t i) {
+    a2.Get(t, (i * 129) % a2.size());
+  };
+  const SimNs t1 = rt1.Timed([&] { rt1.ParallelFor(0, 1 << 17, body1); });
+  const SimNs t96 = rt96.Timed([&] { rt96.ParallelFor(0, 1 << 17, body96); });
+  EXPECT_GT(t1, 10 * t96);
+}
+
+TEST(RuntimeTest, TimedClosesStrayEpochs) {
+  Machine m(SmallDram());
+  Runtime rt(&m, 2);
+  PagePolicy pol;
+  NumaArray<uint32_t> a(&m, 64, pol, "a");
+  const SimNs dt = rt.Timed([&] {
+    a.Set(0, 5, 7);  // stray access auto-opens an epoch
+  });
+  EXPECT_GT(dt, 0u);
+  EXPECT_FALSE(m.in_epoch());
+}
+
+TEST(NumaArrayTest, ReadBackWrites) {
+  Machine m(SmallDram());
+  PagePolicy pol;
+  NumaArray<uint32_t> a(&m, 100, pol, "a");
+  a.Set(0, 42, 1234);
+  EXPECT_EQ(a.Get(0, 42), 1234u);
+  EXPECT_EQ(a[42], 1234u);
+}
+
+TEST(NumaArrayTest, CasMinOnlyWritesWhenSmaller) {
+  Machine m(SmallDram());
+  PagePolicy pol;
+  NumaArray<uint32_t> a(&m, 4, pol, "a");
+  a.Set(0, 0, 10);
+  m.CloseEpochIfOpen();
+  const uint64_t writes_before = m.stats().writes;
+  EXPECT_FALSE(a.CasMin(0, 0, 20));
+  EXPECT_EQ(m.stats().writes, writes_before);
+  EXPECT_TRUE(a.CasMin(0, 0, 5));
+  EXPECT_EQ(m.stats().writes, writes_before + 1);
+  EXPECT_EQ(a[0], 5u);
+}
+
+TEST(NumaArrayTest, FetchAddAccumulates) {
+  Machine m(SmallDram());
+  PagePolicy pol;
+  NumaArray<uint64_t> a(&m, 2, pol, "a");
+  a.Set(0, 1, 100);
+  EXPECT_EQ(a.FetchAdd(0, 1, 5), 100u);
+  EXPECT_EQ(a.FetchAdd(0, 1, 5), 105u);
+  EXPECT_EQ(a[1], 110u);
+}
+
+TEST(NumaArrayTest, UpdateChargesReadAndWrite) {
+  Machine m(SmallDram());
+  PagePolicy pol;
+  NumaArray<uint32_t> a(&m, 4, pol, "a");
+  a.Set(0, 2, 1);
+  m.CloseEpochIfOpen();
+  const uint64_t r0 = m.stats().reads;
+  const uint64_t w0 = m.stats().writes;
+  a.Update(0, 2, [](uint32_t& v) { v *= 3; });
+  EXPECT_EQ(m.stats().reads, r0 + 1);
+  EXPECT_EQ(m.stats().writes, w0 + 1);
+  EXPECT_EQ(a[2], 3u);
+}
+
+TEST(NumaArrayTest, MoveTransfersOwnership) {
+  Machine m(SmallDram());
+  PagePolicy pol;
+  NumaArray<uint32_t> a(&m, 16, pol, "a");
+  a.Set(0, 3, 9);
+  NumaArray<uint32_t> b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b[3], 9u);
+}
+
+TEST(NumaArrayTest, DistinctPoliciesAffectPlacement) {
+  Machine m(SmallDram());
+  PagePolicy local;
+  local.placement = Placement::kLocal;
+  local.preferred_node = 1;
+  NumaArray<uint8_t> a(&m, 4 * memsim::kSmallPageBytes, local, "a");
+  Runtime rt(&m, 1);
+  rt.ParallelFor(0, a.size(), [&](ThreadId t, uint64_t i) {
+    a.Set(t, i, 1);
+  });
+  EXPECT_GT(m.NodeBytesUsed(1), 0u);
+  EXPECT_EQ(m.NodeBytesUsed(0), 0u);
+}
+
+}  // namespace
+}  // namespace pmg::runtime

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/runtime/worklist.h"
+
+// Model-based fuzzing of the worklists: long deterministic pseudo-random
+// operation sequences are mirrored against simple reference containers;
+// any divergence in contents or counts is a bug.
+
+namespace pmg::runtime {
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : x_(seed * 2654435761u + 1) {}
+  uint64_t Next() {
+    x_ ^= x_ << 13;
+    x_ ^= x_ >> 7;
+    x_ ^= x_ << 17;
+    return x_;
+  }
+
+ private:
+  uint64_t x_;
+};
+
+class WorklistFuzzTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorklistFuzzTest, SparseWorklistMatchesMultisetModel) {
+  memsim::Machine m(memsim::DramOnlyConfig());
+  constexpr uint32_t kThreads = 4;
+  SparseWorklist<uint64_t> wl(&m, kThreads, "fuzz");
+  std::multiset<uint64_t> model;
+  Rng rng(GetParam());
+  for (int step = 0; step < 20000; ++step) {
+    const ThreadId t = static_cast<ThreadId>(rng.Next() % kThreads);
+    if (rng.Next() % 100 < 60) {
+      const uint64_t v = rng.Next() % 1000;
+      wl.Push(t, v);
+      model.insert(v);
+    } else {
+      uint64_t got = 0;
+      const bool ok = wl.Pop(t, &got);
+      ASSERT_EQ(ok, !model.empty()) << "step " << step;
+      if (ok) {
+        const auto it = model.find(got);
+        ASSERT_NE(it, model.end())
+            << "popped value " << got << " not in model at step " << step;
+        model.erase(it);
+      }
+    }
+    ASSERT_EQ(wl.size(), model.size());
+    ASSERT_EQ(wl.Empty(), model.empty());
+  }
+  // Drain completely; every remaining element must come back exactly once.
+  uint64_t v = 0;
+  while (wl.Pop(0, &v)) {
+    const auto it = model.find(v);
+    ASSERT_NE(it, model.end());
+    model.erase(it);
+  }
+  EXPECT_TRUE(model.empty());
+}
+
+TEST_P(WorklistFuzzTest, BucketWorklistRespectsPriorityAndContents) {
+  memsim::Machine m(memsim::DramOnlyConfig());
+  constexpr uint32_t kThreads = 3;
+  BucketWorklist<uint64_t> wl(&m, kThreads, "fuzz");
+  // model[bucket] = multiset of values.
+  std::map<uint32_t, std::multiset<uint64_t>> model;
+  uint64_t model_size = 0;
+  Rng rng(GetParam() ^ 0xabcdef);
+  uint32_t last_popped_bucket = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const ThreadId t = static_cast<ThreadId>(rng.Next() % kThreads);
+    if (rng.Next() % 100 < 55) {
+      // Delta-stepping style: pushes go to the current bucket or later.
+      const uint32_t bucket =
+          last_popped_bucket + static_cast<uint32_t>(rng.Next() % 8);
+      const uint64_t v = rng.Next() % 1000;
+      wl.Push(t, bucket, v);
+      model[bucket].insert(v);
+      ++model_size;
+    } else {
+      uint32_t bucket = 0;
+      uint64_t got = 0;
+      const bool ok = wl.PopMin(t, &bucket, &got);
+      ASSERT_EQ(ok, model_size != 0) << "step " << step;
+      if (ok) {
+        // Must come from the lowest non-empty model bucket.
+        auto it = model.begin();
+        while (it != model.end() && it->second.empty()) ++it;
+        ASSERT_NE(it, model.end());
+        ASSERT_EQ(bucket, it->first) << "step " << step;
+        const auto vit = it->second.find(got);
+        ASSERT_NE(vit, it->second.end()) << "step " << step;
+        it->second.erase(vit);
+        if (it->second.empty()) model.erase(it);
+        --model_size;
+        last_popped_bucket = bucket;
+      }
+    }
+    ASSERT_EQ(wl.size(), model_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorklistFuzzTest,
+                         testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace pmg::runtime

@@ -1,0 +1,170 @@
+#include "pmg/runtime/worklist.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "pmg/memsim/machine_configs.h"
+
+namespace pmg::runtime {
+namespace {
+
+using memsim::Machine;
+using memsim::MachineConfig;
+using memsim::PagePolicy;
+
+MachineConfig Dram() { return memsim::DramOnlyConfig(); }
+
+TEST(DenseWorklistTest, ActivateAndAdvance) {
+  Machine m(Dram());
+  Runtime rt(&m, 4);
+  PagePolicy pol;
+  DenseWorklist wl(&m, 100, pol, "wl");
+  EXPECT_TRUE(wl.Empty());
+  wl.ActivateCur(0, 5);
+  EXPECT_EQ(wl.ActiveCount(), 1u);
+  EXPECT_TRUE(wl.IsActive(0, 5));
+  wl.Activate(0, 7);
+  wl.Activate(0, 7);  // duplicate: counted once
+  wl.Advance(rt);
+  EXPECT_EQ(wl.ActiveCount(), 1u);
+  EXPECT_TRUE(wl.IsActive(0, 7));
+  EXPECT_FALSE(wl.IsActive(0, 5));
+}
+
+TEST(DenseWorklistTest, ForEachActiveVisitsExactlyActives) {
+  Machine m(Dram());
+  Runtime rt(&m, 4);
+  PagePolicy pol;
+  DenseWorklist wl(&m, 256, pol, "wl");
+  for (uint64_t v : {3u, 99u, 255u}) wl.ActivateCur(0, v);
+  std::set<uint64_t> seen;
+  wl.ForEachActive(rt, [&](ThreadId, uint64_t v) { seen.insert(v); });
+  EXPECT_EQ(seen, (std::set<uint64_t>{3, 99, 255}));
+}
+
+TEST(DenseWorklistTest, AdvanceCostsFullSweep) {
+  // The dense worklist's per-round O(|V|) traffic must be visible.
+  Machine m(Dram());
+  Runtime rt(&m, 4);
+  PagePolicy pol;
+  DenseWorklist wl(&m, 1 << 14, pol, "wl");
+  m.CloseEpochIfOpen();
+  const uint64_t before = m.stats().accesses;
+  wl.Advance(rt);
+  EXPECT_GE(m.stats().accesses - before, uint64_t{1} << 14);
+}
+
+TEST(SparseWorklistTest, PushPopLifo) {
+  Machine m(Dram());
+  SparseWorklist<uint64_t> wl(&m, 4, "wl");
+  wl.Push(0, 10);
+  wl.Push(0, 20);
+  uint64_t x = 0;
+  EXPECT_TRUE(wl.Pop(0, &x));
+  EXPECT_EQ(x, 20u);
+  EXPECT_TRUE(wl.Pop(0, &x));
+  EXPECT_EQ(x, 10u);
+  EXPECT_FALSE(wl.Pop(0, &x));
+}
+
+TEST(SparseWorklistTest, StealingDrainsOtherBags) {
+  Machine m(Dram());
+  SparseWorklist<uint64_t> wl(&m, 4, "wl");
+  wl.Push(2, 77);
+  uint64_t x = 0;
+  EXPECT_TRUE(wl.Pop(0, &x));  // thread 0 steals from thread 2
+  EXPECT_EQ(x, 77u);
+  EXPECT_TRUE(wl.Empty());
+}
+
+TEST(SparseWorklistTest, TrafficProportionalToItems) {
+  Machine m1(Dram());
+  Machine m2(Dram());
+  SparseWorklist<uint64_t> small(&m1, 2, "s");
+  SparseWorklist<uint64_t> big(&m2, 2, "b");
+  m1.CloseEpochIfOpen();
+  m2.CloseEpochIfOpen();
+  const uint64_t a1 = m1.stats().accesses;
+  const uint64_t a2 = m2.stats().accesses;
+  for (int i = 0; i < 10; ++i) small.Push(0, i);
+  for (int i = 0; i < 1000; ++i) big.Push(0, i);
+  const uint64_t small_traffic = m1.stats().accesses - a1;
+  const uint64_t big_traffic = m2.stats().accesses - a2;
+  EXPECT_GT(big_traffic, 50 * small_traffic);
+}
+
+TEST(DrainAsyncTest, ProcessesAllIncludingGenerated) {
+  Machine m(Dram());
+  Runtime rt(&m, 4);
+  SparseWorklist<uint64_t> wl(&m, 4, "wl");
+  for (uint64_t i = 0; i < 10; ++i) wl.Push(0, i);
+  std::vector<int> hits(20, 0);
+  DrainAsync(rt, wl, [&](ThreadId t, uint64_t v) {
+    ++hits[v];
+    if (v < 10) wl.Push(t, v + 10);  // generate follow-up work
+  });
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(hits[i], 1) << i;
+  EXPECT_TRUE(wl.Empty());
+}
+
+TEST(DrainAsyncTest, SingleEpoch) {
+  Machine m(Dram());
+  Runtime rt(&m, 2);
+  SparseWorklist<uint32_t> wl(&m, 2, "wl");
+  for (uint32_t i = 0; i < 100; ++i) wl.Push(0, i);
+  m.CloseEpochIfOpen();
+  const uint64_t epochs = m.stats().epochs;
+  DrainAsync(rt, wl, [](ThreadId, uint32_t) {});
+  EXPECT_EQ(m.stats().epochs, epochs + 1);
+}
+
+TEST(BucketWorklistTest, PopsInPriorityOrder) {
+  Machine m(Dram());
+  BucketWorklist<uint64_t> wl(&m, 2, "wl");
+  wl.Push(0, 3, 30);
+  wl.Push(0, 1, 10);
+  wl.Push(0, 2, 20);
+  uint32_t b = 0;
+  uint64_t x = 0;
+  EXPECT_TRUE(wl.PopMin(0, &b, &x));
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(x, 10u);
+  EXPECT_TRUE(wl.PopMin(0, &b, &x));
+  EXPECT_EQ(b, 2u);
+  EXPECT_TRUE(wl.PopMin(0, &b, &x));
+  EXPECT_EQ(b, 3u);
+  EXPECT_FALSE(wl.PopMin(0, &b, &x));
+}
+
+TEST(BucketWorklistTest, ReinsertionIntoCurrentBucket) {
+  // Delta-stepping reinserts relaxed vertices into the active bucket.
+  Machine m(Dram());
+  BucketWorklist<uint64_t> wl(&m, 2, "wl");
+  wl.Push(0, 0, 1);
+  uint32_t b = 0;
+  uint64_t x = 0;
+  ASSERT_TRUE(wl.PopMin(0, &b, &x));
+  wl.Push(0, 0, 2);  // back into bucket 0 after it was drained
+  ASSERT_TRUE(wl.PopMin(0, &b, &x));
+  EXPECT_EQ(b, 0u);
+  EXPECT_EQ(x, 2u);
+}
+
+TEST(BucketWorklistTest, SizeTracksPushPop) {
+  Machine m(Dram());
+  BucketWorklist<uint32_t> wl(&m, 2, "wl");
+  EXPECT_TRUE(wl.Empty());
+  wl.Push(0, 5, 1);
+  wl.Push(1, 5, 2);
+  EXPECT_EQ(wl.size(), 2u);
+  uint32_t b;
+  uint32_t x;
+  wl.PopMin(0, &b, &x);
+  wl.PopMin(0, &b, &x);
+  EXPECT_TRUE(wl.Empty());
+}
+
+}  // namespace
+}  // namespace pmg::runtime

@@ -1,0 +1,107 @@
+#include "pmg/scenarios/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "pmg/graph/properties.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/scenarios/report.h"
+
+namespace pmg::scenarios {
+namespace {
+
+TEST(ScenariosTest, AllSixBuild) {
+  for (const std::string& name : AllScenarioNames()) {
+    const Scenario s = MakeScenario(name);
+    EXPECT_EQ(s.name, name);
+    EXPECT_GT(s.topo.num_vertices, 0u);
+    EXPECT_GT(s.topo.NumEdges(), 0u);
+  }
+}
+
+TEST(ScenariosTest, DiameterOrderingMatchesPaper) {
+  // kron/rmat tiny; iso ~ 100; clueweb ~ 500; uk14 ~ 2500; wdc12 ~ 5000.
+  auto diam = [](const std::string& name) {
+    return graph::ComputeProperties(MakeScenario(name).topo)
+        .estimated_diameter;
+  };
+  const uint64_t kron = diam("kron30");
+  const uint64_t clueweb = diam("clueweb12");
+  const uint64_t uk = diam("uk14");
+  const uint64_t wdc = diam("wdc12");
+  const uint64_t iso = diam("iso_m100");
+  EXPECT_LT(kron, 16u);
+  EXPECT_GT(clueweb, 300u);
+  EXPECT_LT(clueweb, 900u);
+  EXPECT_GT(uk, 3 * clueweb);
+  EXPECT_GT(wdc, uk);
+  EXPECT_GT(iso, 30u);
+  EXPECT_LT(iso, 300u);
+}
+
+TEST(ScenariosTest, CapacityRelationshipsPreserved) {
+  // kron30 fits well inside total DRAM; clueweb12 nearly fills it; the
+  // rest exceed DRAM and only fit in PMM — the relationships that drive
+  // Figures 9-10 and Table 4.
+  const memsim::MachineConfig pmm = memsim::OptanePmmConfig();
+  const uint64_t dram_total =
+      pmm.topology.dram_bytes_per_socket * pmm.topology.sockets;
+  const uint64_t pmm_total =
+      pmm.topology.pmm_bytes_per_socket * pmm.topology.sockets;
+  auto bytes = [](const std::string& name) {
+    return graph::CsrBytes(MakeScenario(name).topo);
+  };
+  EXPECT_LT(bytes("kron30"), dram_total / 2);
+  EXPECT_GT(bytes("clueweb12"), dram_total / 2);
+  EXPECT_GT(bytes("rmat32"), dram_total);
+  EXPECT_GT(bytes("uk14"), dram_total / 2);
+  EXPECT_GT(bytes("wdc12"), dram_total);
+  for (const std::string& name : AllScenarioNames()) {
+    EXPECT_LT(bytes(name), pmm_total / 2) << name;
+  }
+}
+
+TEST(ScenariosTest, RepresentedVerticesGate32BitSystems) {
+  EXPECT_GT(MakeScenario("wdc12").represented_vertices, 0x7fffffffull);
+  EXPECT_GT(MakeScenario("rmat32").represented_vertices, 0x7fffffffull);
+  EXPECT_LT(MakeScenario("clueweb12").represented_vertices, 0x7fffffffull);
+}
+
+TEST(ScenariosTest, ScatterIdsPreservesStructure) {
+  const Scenario s = MakeScenario("kron30");
+  const graph::CsrTopology scattered = ScatterIds(s.topo, 7);
+  EXPECT_EQ(scattered.NumEdges(), s.topo.NumEdges());
+  EXPECT_EQ(scattered.num_vertices, s.topo.num_vertices);
+  const auto p1 = graph::ComputeProperties(s.topo);
+  const auto p2 = graph::ComputeProperties(scattered);
+  EXPECT_EQ(p1.max_out_degree, p2.max_out_degree);
+}
+
+TEST(ReportTest, TableAlignsAndPrints) {
+  Table t({"graph", "time"});
+  t.AddRow({"kron30", "1.234"});
+  t.AddRow({"a-much-longer-name", "0.5"});
+  // Smoke: printing to a memory stream must not crash and must contain
+  // the cells.
+  char buf[512] = {0};
+  std::FILE* mem = fmemopen(buf, sizeof(buf), "w");
+  t.Print(mem);
+  std::fclose(mem);
+  const std::string out(buf);
+  EXPECT_NE(out.find("kron30"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+}
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(FormatSeconds(1234567890), "1.235");
+  EXPECT_EQ(FormatRatio(2.5), "2.50x");
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.142");
+}
+
+TEST(ReportTest, GeomeanBasics) {
+  EXPECT_DOUBLE_EQ(Geomean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Geomean({2.0, 0.0, 8.0}), 4.0);  // non-positive skipped
+}
+
+}  // namespace
+}  // namespace pmg::scenarios

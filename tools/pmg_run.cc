@@ -1,0 +1,178 @@
+// pmg_run: command-line driver for one (framework, app, machine, graph)
+// cell of the paper's experiment space.
+//
+//   pmg_run --graph clueweb12 --app bfs --framework galois \
+//           --machine pmm --threads 96 [--pages 4k|2m] [--migration]
+//           [--placement local|interleaved|blocked] [--pr-rounds N]
+//
+// Graph can be a Table 3 scenario name, or "file:<path>" for a binary CSR
+// written by pmg::graph::SaveCsr. Prints the simulated time and the
+// hardware-counter summary.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/graph_io.h"
+#include "pmg/graph/properties.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/scenarios/scenarios.h"
+
+namespace {
+
+using namespace pmg;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --graph <name|file:path> --app <bc|bfs|cc|kcore|pr|sssp|tc>\n"
+      "          [--framework galois|gap|graphit|gbbs] [--machine pmm|dram|"
+      "entropy]\n"
+      "          [--threads N] [--pages 4k|2m] [--placement "
+      "local|interleaved|blocked]\n"
+      "          [--migration] [--pr-rounds N] [--vertex-programs]\n"
+      "graph names: kron30 clueweb12 uk14 iso_m100 rmat32 wdc12\n",
+      argv0);
+  return 2;
+}
+
+bool ParseApp(const std::string& s, frameworks::App* out) {
+  for (frameworks::App app : frameworks::AllApps()) {
+    if (frameworks::AppName(app) == s) {
+      *out = app;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseFramework(const std::string& s, frameworks::FrameworkKind* out) {
+  if (s == "galois") *out = frameworks::FrameworkKind::kGalois;
+  else if (s == "gap") *out = frameworks::FrameworkKind::kGap;
+  else if (s == "graphit") *out = frameworks::FrameworkKind::kGraphIt;
+  else if (s == "gbbs") *out = frameworks::FrameworkKind::kGbbs;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string graph_name;
+  std::string app_name;
+  std::string framework_name = "galois";
+  std::string machine_name = "pmm";
+  frameworks::RunConfig cfg;
+  cfg.threads = 96;
+
+  std::string pages;
+  std::string placement;
+  bool migration = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--graph") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      graph_name = v;
+    } else if (arg == "--app") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      app_name = v;
+    } else if (arg == "--framework") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      framework_name = v;
+    } else if (arg == "--machine") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      machine_name = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      cfg.threads = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--pages") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      pages = v;
+    } else if (arg == "--placement") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      placement = v;
+    } else if (arg == "--pr-rounds") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      cfg.pr_max_rounds = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--migration") {
+      migration = true;
+    } else if (arg == "--vertex-programs") {
+      cfg.force_vertex_programs = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (graph_name.empty() || app_name.empty()) return Usage(argv[0]);
+
+  frameworks::App app;
+  frameworks::FrameworkKind fw;
+  if (!ParseApp(app_name, &app) || !ParseFramework(framework_name, &fw)) {
+    return Usage(argv[0]);
+  }
+  if (machine_name == "pmm") {
+    cfg.machine = memsim::OptanePmmConfig();
+  } else if (machine_name == "dram") {
+    cfg.machine = memsim::DramOnlyConfig();
+  } else if (machine_name == "entropy") {
+    cfg.machine = memsim::EntropyConfig();
+  } else {
+    return Usage(argv[0]);
+  }
+  cfg.machine.migration.enabled = migration;
+  if (pages == "4k") cfg.page_size = memsim::PageSizeClass::k4K;
+  else if (pages == "2m") cfg.page_size = memsim::PageSizeClass::k2M;
+  else if (!pages.empty()) return Usage(argv[0]);
+  if (placement == "local") cfg.placement = memsim::Placement::kLocal;
+  else if (placement == "interleaved") {
+    cfg.placement = memsim::Placement::kInterleaved;
+  } else if (placement == "blocked") {
+    cfg.placement = memsim::Placement::kBlocked;
+  } else if (!placement.empty()) {
+    return Usage(argv[0]);
+  }
+
+  graph::CsrTopology topo;
+  uint64_t represented = 0;
+  if (graph_name.rfind("file:", 0) == 0) {
+    if (!graph::LoadCsr(graph_name.substr(5), &topo)) {
+      std::fprintf(stderr, "cannot load graph from %s\n",
+                   graph_name.c_str() + 5);
+      return 1;
+    }
+  } else {
+    const scenarios::Scenario s = scenarios::MakeScenario(graph_name);
+    topo = s.topo;
+    represented = s.represented_vertices;
+  }
+  std::printf("graph %s: %s\n", graph_name.c_str(),
+              graph::ComputeProperties(topo).ToString().c_str());
+
+  const frameworks::AppInputs inputs =
+      frameworks::AppInputs::Prepare(std::move(topo), represented);
+  const frameworks::AppRunResult r = RunApp(fw, app, inputs, cfg);
+  if (!r.supported) {
+    std::printf("%s cannot run %s on this graph (framework limitation)\n",
+                framework_name.c_str(), app_name.c_str());
+    return 0;
+  }
+  std::printf("\n%s %s on %s (%u threads): %.3f ms simulated, %llu rounds\n",
+              framework_name.c_str(), app_name.c_str(), machine_name.c_str(),
+              cfg.threads, static_cast<double>(r.time_ns) / 1e6,
+              static_cast<unsigned long long>(r.rounds));
+  std::printf("\ncounters:\n%s\n", r.stats.ToString().c_str());
+  return 0;
+}
