@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nearmem.dir/bench_ablation_nearmem.cc.o"
+  "CMakeFiles/bench_ablation_nearmem.dir/bench_ablation_nearmem.cc.o.d"
+  "bench_ablation_nearmem"
+  "bench_ablation_nearmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nearmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

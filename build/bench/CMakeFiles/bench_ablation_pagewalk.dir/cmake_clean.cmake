@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pagewalk.dir/bench_ablation_pagewalk.cc.o"
+  "CMakeFiles/bench_ablation_pagewalk.dir/bench_ablation_pagewalk.cc.o.d"
+  "bench_ablation_pagewalk"
+  "bench_ablation_pagewalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pagewalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

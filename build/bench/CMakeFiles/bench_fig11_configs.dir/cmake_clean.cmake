@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_configs.dir/bench_fig11_configs.cc.o"
+  "CMakeFiles/bench_fig11_configs.dir/bench_fig11_configs.cc.o.d"
+  "bench_fig11_configs"
+  "bench_fig11_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_numa_alloc.dir/bench_fig4_numa_alloc.cc.o"
+  "CMakeFiles/bench_fig4_numa_alloc.dir/bench_fig4_numa_alloc.cc.o.d"
+  "bench_fig4_numa_alloc"
+  "bench_fig4_numa_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_numa_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

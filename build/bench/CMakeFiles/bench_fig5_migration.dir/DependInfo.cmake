@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_migration.cc" "bench/CMakeFiles/bench_fig5_migration.dir/bench_fig5_migration.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_migration.dir/bench_fig5_migration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmg/scenarios/CMakeFiles/pmg_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmg/frameworks/CMakeFiles/pmg_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmg/analytics/CMakeFiles/pmg_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmg/distsim/CMakeFiles/pmg_distsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmg/outofcore/CMakeFiles/pmg_outofcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmg/graph/CMakeFiles/pmg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmg/memsim/CMakeFiles/pmg_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_kernel_user.dir/bench_fig6_kernel_user.cc.o"
+  "CMakeFiles/bench_fig6_kernel_user.dir/bench_fig6_kernel_user.cc.o.d"
+  "bench_fig6_kernel_user"
+  "bench_fig6_kernel_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_kernel_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_frameworks.dir/bench_fig9_frameworks.cc.o"
+  "CMakeFiles/bench_fig9_frameworks.dir/bench_fig9_frameworks.cc.o.d"
+  "bench_fig9_frameworks"
+  "bench_fig9_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_inputs.dir/bench_table3_inputs.cc.o"
+  "CMakeFiles/bench_table3_inputs.dir/bench_table3_inputs.cc.o.d"
+  "bench_table3_inputs"
+  "bench_table3_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cluster.dir/bench_table4_cluster.cc.o"
+  "CMakeFiles/bench_table4_cluster.dir/bench_table4_cluster.cc.o.d"
+  "bench_table4_cluster"
+  "bench_table4_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

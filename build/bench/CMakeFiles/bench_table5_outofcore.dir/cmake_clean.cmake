@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_outofcore.dir/bench_table5_outofcore.cc.o"
+  "CMakeFiles/bench_table5_outofcore.dir/bench_table5_outofcore.cc.o.d"
+  "bench_table5_outofcore"
+  "bench_table5_outofcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

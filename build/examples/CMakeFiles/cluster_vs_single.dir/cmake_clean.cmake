@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_vs_single.dir/cluster_vs_single.cpp.o"
+  "CMakeFiles/cluster_vs_single.dir/cluster_vs_single.cpp.o.d"
+  "cluster_vs_single"
+  "cluster_vs_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_vs_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outofcore_vs_memory.dir/outofcore_vs_memory.cpp.o"
+  "CMakeFiles/outofcore_vs_memory.dir/outofcore_vs_memory.cpp.o.d"
+  "outofcore_vs_memory"
+  "outofcore_vs_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outofcore_vs_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

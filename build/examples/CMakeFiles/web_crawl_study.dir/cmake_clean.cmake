@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_crawl_study.dir/web_crawl_study.cpp.o"
+  "CMakeFiles/web_crawl_study.dir/web_crawl_study.cpp.o.d"
+  "web_crawl_study"
+  "web_crawl_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_crawl_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("pmg/memsim")
+subdirs("pmg/runtime")
+subdirs("pmg/graph")
+subdirs("pmg/analytics")
+subdirs("pmg/frameworks")
+subdirs("pmg/outofcore")
+subdirs("pmg/distsim")
+subdirs("pmg/scenarios")

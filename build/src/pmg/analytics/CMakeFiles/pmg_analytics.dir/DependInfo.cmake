@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmg/analytics/bc.cc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/bc.cc.o" "gcc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/bc.cc.o.d"
+  "/root/repo/src/pmg/analytics/bfs.cc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/bfs.cc.o" "gcc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/bfs.cc.o.d"
+  "/root/repo/src/pmg/analytics/cc.cc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/cc.cc.o" "gcc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/cc.cc.o.d"
+  "/root/repo/src/pmg/analytics/kcore.cc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/kcore.cc.o" "gcc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/kcore.cc.o.d"
+  "/root/repo/src/pmg/analytics/pagerank.cc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/pagerank.cc.o" "gcc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/pagerank.cc.o.d"
+  "/root/repo/src/pmg/analytics/reference.cc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/reference.cc.o" "gcc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/reference.cc.o.d"
+  "/root/repo/src/pmg/analytics/sssp.cc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/sssp.cc.o" "gcc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/sssp.cc.o.d"
+  "/root/repo/src/pmg/analytics/tc.cc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/tc.cc.o" "gcc" "src/pmg/analytics/CMakeFiles/pmg_analytics.dir/tc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmg/graph/CMakeFiles/pmg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmg/memsim/CMakeFiles/pmg_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

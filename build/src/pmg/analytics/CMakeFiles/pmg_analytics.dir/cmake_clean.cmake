@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmg_analytics.dir/bc.cc.o"
+  "CMakeFiles/pmg_analytics.dir/bc.cc.o.d"
+  "CMakeFiles/pmg_analytics.dir/bfs.cc.o"
+  "CMakeFiles/pmg_analytics.dir/bfs.cc.o.d"
+  "CMakeFiles/pmg_analytics.dir/cc.cc.o"
+  "CMakeFiles/pmg_analytics.dir/cc.cc.o.d"
+  "CMakeFiles/pmg_analytics.dir/kcore.cc.o"
+  "CMakeFiles/pmg_analytics.dir/kcore.cc.o.d"
+  "CMakeFiles/pmg_analytics.dir/pagerank.cc.o"
+  "CMakeFiles/pmg_analytics.dir/pagerank.cc.o.d"
+  "CMakeFiles/pmg_analytics.dir/reference.cc.o"
+  "CMakeFiles/pmg_analytics.dir/reference.cc.o.d"
+  "CMakeFiles/pmg_analytics.dir/sssp.cc.o"
+  "CMakeFiles/pmg_analytics.dir/sssp.cc.o.d"
+  "CMakeFiles/pmg_analytics.dir/tc.cc.o"
+  "CMakeFiles/pmg_analytics.dir/tc.cc.o.d"
+  "libpmg_analytics.a"
+  "libpmg_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmg_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmg_distsim.dir/dist_apps.cc.o"
+  "CMakeFiles/pmg_distsim.dir/dist_apps.cc.o.d"
+  "CMakeFiles/pmg_distsim.dir/dist_engine.cc.o"
+  "CMakeFiles/pmg_distsim.dir/dist_engine.cc.o.d"
+  "libpmg_distsim.a"
+  "libpmg_distsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmg_distsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

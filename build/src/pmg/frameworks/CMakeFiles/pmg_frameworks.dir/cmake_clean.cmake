@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmg_frameworks.dir/framework.cc.o"
+  "CMakeFiles/pmg_frameworks.dir/framework.cc.o.d"
+  "libpmg_frameworks.a"
+  "libpmg_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmg_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

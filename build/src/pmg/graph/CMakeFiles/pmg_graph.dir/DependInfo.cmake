@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmg/graph/csr_graph.cc" "src/pmg/graph/CMakeFiles/pmg_graph.dir/csr_graph.cc.o" "gcc" "src/pmg/graph/CMakeFiles/pmg_graph.dir/csr_graph.cc.o.d"
+  "/root/repo/src/pmg/graph/generators.cc" "src/pmg/graph/CMakeFiles/pmg_graph.dir/generators.cc.o" "gcc" "src/pmg/graph/CMakeFiles/pmg_graph.dir/generators.cc.o.d"
+  "/root/repo/src/pmg/graph/graph_io.cc" "src/pmg/graph/CMakeFiles/pmg_graph.dir/graph_io.cc.o" "gcc" "src/pmg/graph/CMakeFiles/pmg_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/pmg/graph/properties.cc" "src/pmg/graph/CMakeFiles/pmg_graph.dir/properties.cc.o" "gcc" "src/pmg/graph/CMakeFiles/pmg_graph.dir/properties.cc.o.d"
+  "/root/repo/src/pmg/graph/topology.cc" "src/pmg/graph/CMakeFiles/pmg_graph.dir/topology.cc.o" "gcc" "src/pmg/graph/CMakeFiles/pmg_graph.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmg/memsim/CMakeFiles/pmg_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

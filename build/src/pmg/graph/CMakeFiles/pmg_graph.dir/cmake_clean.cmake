@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmg_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/pmg_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/pmg_graph.dir/generators.cc.o"
+  "CMakeFiles/pmg_graph.dir/generators.cc.o.d"
+  "CMakeFiles/pmg_graph.dir/graph_io.cc.o"
+  "CMakeFiles/pmg_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/pmg_graph.dir/properties.cc.o"
+  "CMakeFiles/pmg_graph.dir/properties.cc.o.d"
+  "CMakeFiles/pmg_graph.dir/topology.cc.o"
+  "CMakeFiles/pmg_graph.dir/topology.cc.o.d"
+  "libpmg_graph.a"
+  "libpmg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

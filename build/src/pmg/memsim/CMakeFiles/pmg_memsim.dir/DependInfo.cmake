@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmg/memsim/cpu_cache.cc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/cpu_cache.cc.o" "gcc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/cpu_cache.cc.o.d"
+  "/root/repo/src/pmg/memsim/machine.cc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/machine.cc.o" "gcc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/machine.cc.o.d"
+  "/root/repo/src/pmg/memsim/machine_configs.cc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/machine_configs.cc.o" "gcc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/machine_configs.cc.o.d"
+  "/root/repo/src/pmg/memsim/near_memory.cc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/near_memory.cc.o" "gcc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/near_memory.cc.o.d"
+  "/root/repo/src/pmg/memsim/page_table.cc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/page_table.cc.o" "gcc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/page_table.cc.o.d"
+  "/root/repo/src/pmg/memsim/stats.cc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/stats.cc.o" "gcc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/stats.cc.o.d"
+  "/root/repo/src/pmg/memsim/timings.cc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/timings.cc.o" "gcc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/timings.cc.o.d"
+  "/root/repo/src/pmg/memsim/tlb.cc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/tlb.cc.o" "gcc" "src/pmg/memsim/CMakeFiles/pmg_memsim.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmg_memsim.dir/cpu_cache.cc.o"
+  "CMakeFiles/pmg_memsim.dir/cpu_cache.cc.o.d"
+  "CMakeFiles/pmg_memsim.dir/machine.cc.o"
+  "CMakeFiles/pmg_memsim.dir/machine.cc.o.d"
+  "CMakeFiles/pmg_memsim.dir/machine_configs.cc.o"
+  "CMakeFiles/pmg_memsim.dir/machine_configs.cc.o.d"
+  "CMakeFiles/pmg_memsim.dir/near_memory.cc.o"
+  "CMakeFiles/pmg_memsim.dir/near_memory.cc.o.d"
+  "CMakeFiles/pmg_memsim.dir/page_table.cc.o"
+  "CMakeFiles/pmg_memsim.dir/page_table.cc.o.d"
+  "CMakeFiles/pmg_memsim.dir/stats.cc.o"
+  "CMakeFiles/pmg_memsim.dir/stats.cc.o.d"
+  "CMakeFiles/pmg_memsim.dir/timings.cc.o"
+  "CMakeFiles/pmg_memsim.dir/timings.cc.o.d"
+  "CMakeFiles/pmg_memsim.dir/tlb.cc.o"
+  "CMakeFiles/pmg_memsim.dir/tlb.cc.o.d"
+  "libpmg_memsim.a"
+  "libpmg_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmg_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

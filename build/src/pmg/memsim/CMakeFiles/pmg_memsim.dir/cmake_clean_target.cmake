@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmg_memsim.a"
+)

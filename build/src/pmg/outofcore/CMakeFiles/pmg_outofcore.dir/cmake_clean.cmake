@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmg_outofcore.dir/grid_engine.cc.o"
+  "CMakeFiles/pmg_outofcore.dir/grid_engine.cc.o.d"
+  "libpmg_outofcore.a"
+  "libpmg_outofcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmg_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

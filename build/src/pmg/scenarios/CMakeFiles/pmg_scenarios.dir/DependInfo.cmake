@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmg/scenarios/report.cc" "src/pmg/scenarios/CMakeFiles/pmg_scenarios.dir/report.cc.o" "gcc" "src/pmg/scenarios/CMakeFiles/pmg_scenarios.dir/report.cc.o.d"
+  "/root/repo/src/pmg/scenarios/scenarios.cc" "src/pmg/scenarios/CMakeFiles/pmg_scenarios.dir/scenarios.cc.o" "gcc" "src/pmg/scenarios/CMakeFiles/pmg_scenarios.dir/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmg/graph/CMakeFiles/pmg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmg/memsim/CMakeFiles/pmg_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmg_scenarios.dir/report.cc.o"
+  "CMakeFiles/pmg_scenarios.dir/report.cc.o.d"
+  "CMakeFiles/pmg_scenarios.dir/scenarios.cc.o"
+  "CMakeFiles/pmg_scenarios.dir/scenarios.cc.o.d"
+  "libpmg_scenarios.a"
+  "libpmg_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmg_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_test.dir/analytics/bfs_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/bfs_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/cc_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/cc_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/kcore_tc_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/kcore_tc_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/metamorphic_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/metamorphic_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/pr_bc_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/pr_bc_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/sssp_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/sssp_test.cc.o.d"
+  "analytics_test"
+  "analytics_test.pdb"
+  "analytics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distsim_test.dir/distsim/dist_corpus_test.cc.o"
+  "CMakeFiles/distsim_test.dir/distsim/dist_corpus_test.cc.o.d"
+  "CMakeFiles/distsim_test.dir/distsim/dist_engine_test.cc.o"
+  "CMakeFiles/distsim_test.dir/distsim/dist_engine_test.cc.o.d"
+  "distsim_test"
+  "distsim_test.pdb"
+  "distsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_test.dir/memsim/machine_test.cc.o"
+  "CMakeFiles/memsim_test.dir/memsim/machine_test.cc.o.d"
+  "CMakeFiles/memsim_test.dir/memsim/migration_test.cc.o"
+  "CMakeFiles/memsim_test.dir/memsim/migration_test.cc.o.d"
+  "CMakeFiles/memsim_test.dir/memsim/near_memory_test.cc.o"
+  "CMakeFiles/memsim_test.dir/memsim/near_memory_test.cc.o.d"
+  "CMakeFiles/memsim_test.dir/memsim/page_table_test.cc.o"
+  "CMakeFiles/memsim_test.dir/memsim/page_table_test.cc.o.d"
+  "CMakeFiles/memsim_test.dir/memsim/tlb_test.cc.o"
+  "CMakeFiles/memsim_test.dir/memsim/tlb_test.cc.o.d"
+  "memsim_test"
+  "memsim_test.pdb"
+  "memsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

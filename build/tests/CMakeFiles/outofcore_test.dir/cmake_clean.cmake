@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outofcore_test.dir/outofcore/grid_engine_test.cc.o"
+  "CMakeFiles/outofcore_test.dir/outofcore/grid_engine_test.cc.o.d"
+  "outofcore_test"
+  "outofcore_test.pdb"
+  "outofcore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outofcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/memsim_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/frameworks_test[1]_include.cmake")
+include("/root/repo/build/tests/outofcore_test[1]_include.cmake")
+include("/root/repo/build/tests/distsim_test[1]_include.cmake")
+include("/root/repo/build/tests/scenarios_test[1]_include.cmake")
+include("/root/repo/build/tests/analytics_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")

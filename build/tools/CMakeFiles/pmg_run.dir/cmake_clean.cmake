@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmg_run.dir/pmg_run.cc.o"
+  "CMakeFiles/pmg_run.dir/pmg_run.cc.o.d"
+  "pmg_run"
+  "pmg_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmg_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
