@@ -61,16 +61,21 @@ BcResult BcSparse(runtime::Runtime& rt, const graph::CsrGraph& g,
       ThreadId t = 0;
       for (VertexId v : levels[cur]) {
         ring.Charge(t, sizeof(VertexId), AccessType::kRead);
+        // sigma of a current-level vertex is not written this epoch (all
+        // writes target level cur+1), so the own read stays plain; the
+        // next level's level/sigma entries are claimed and accumulated by
+        // any thread, so those accesses are atomic (a real implementation
+        // claims with CAS and accumulates with atomic adds).
         const double sv = st.sigma.Get(t, v);
         g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
-          const uint32_t lu = out.level.Get(tt, u);
+          const uint32_t lu = out.level.GetAtomic(tt, u);
           if (lu == kInfLevel) {
-            out.level.Set(tt, u, cur + 1);
-            st.sigma.Set(tt, u, sv);
+            out.level.SetAtomic(tt, u, cur + 1);
+            st.sigma.SetAtomic(tt, u, sv);
             next.push_back(u);
             ring.Charge(tt, sizeof(VertexId), AccessType::kWrite);
           } else if (lu == cur + 1) {
-            st.sigma.Update(tt, u, [&](double& s) { s += sv; });
+            st.sigma.UpdateAtomic(tt, u, [&](double& s) { s += sv; });
           }
         });
         t = (t + 1) % rt.threads();
@@ -80,7 +85,10 @@ BcResult BcSparse(runtime::Runtime& rt, const graph::CsrGraph& g,
     }
     levels.pop_back();  // drop the empty terminator
 
-    // Backward sweep: accumulate dependencies level by level.
+    // Backward sweep: accumulate dependencies level by level. Each epoch
+    // reads level/sigma/delta of the next deeper level and writes only
+    // its own level's delta/centrality — disjoint vertex sets, so all
+    // accesses stay plain.
     for (size_t li = levels.size(); li-- > 1;) {
       m.CloseEpochIfOpen();
       m.BeginEpoch(rt.threads());
@@ -138,17 +146,20 @@ BcResult BcDense(runtime::Runtime& rt, const graph::CsrGraph& g,
     bool advanced = true;
     while (advanced) {
       advanced = false;
+      // The frontier check reads a level another thread may be claiming
+      // (an unreached vertex becomes cur+1 mid-round), so it is atomic;
+      // same annotations on the edge side as the sparse variant.
       rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
-        if (out.level.Get(t, v) != cur) return;
+        if (out.level.GetAtomic(t, v) != cur) return;
         const double sv = st.sigma.Get(t, v);
         g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
-          const uint32_t lu = out.level.Get(tt, u);
+          const uint32_t lu = out.level.GetAtomic(tt, u);
           if (lu == kInfLevel) {
-            out.level.Set(tt, u, cur + 1);
-            st.sigma.Set(tt, u, sv);
+            out.level.SetAtomic(tt, u, cur + 1);
+            st.sigma.SetAtomic(tt, u, sv);
             advanced = true;
           } else if (lu == cur + 1) {
-            st.sigma.Update(tt, u, [&](double& s) { s += sv; });
+            st.sigma.UpdateAtomic(tt, u, [&](double& s) { s += sv; });
           }
         });
       });

@@ -74,13 +74,17 @@ BfsResult BfsDirectionOpt(runtime::Runtime& rt, const graph::CsrGraph& g,
       } else {
         // Pull phase: every unreached vertex scans its in-edges for a
         // parent on the current frontier.
+        // level[v] is written only by v's owner in this pass, so the
+        // unreached check stays plain; the parent read targets a vertex
+        // another thread may be setting right now, and the store is read
+        // as a parent by other threads — both atomic.
         rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
           if (out.level.Get(t, v) != kInfLevel) return;
           const auto [first, last] = g.InRange(t, v);
           for (EdgeId e = first; e < last; ++e) {
             const VertexId u = g.InSrc(t, e);
-            if (out.level.Get(t, u) == round) {
-              out.level.Set(t, v, next_level);
+            if (out.level.GetAtomic(t, u) == round) {
+              out.level.SetAtomic(t, v, next_level);
               wl.Activate(t, v);
               break;
             }
@@ -144,7 +148,9 @@ BfsResult BfsAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
     // Label-correcting: no rounds; a vertex may be processed again if a
     // shorter level arrives later.
     runtime::DrainAsync(rt, wl, [&](ThreadId t, VertexId v) {
-      const uint32_t lv = out.level.Get(t, v);
+      // The whole drain is one epoch; any thread may CasMin this level
+      // concurrently, so read it atomically.
+      const uint32_t lv = out.level.GetAtomic(t, v);
       if (lv == kInfLevel) return;
       g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
         if (out.level.CasMin(tt, u, lv + 1)) wl.Push(tt, u);

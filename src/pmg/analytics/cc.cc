@@ -94,7 +94,9 @@ CcResult CcLabelPropSC(runtime::Runtime& rt, const graph::CsrGraph& g,
       Item item;
       ThreadId t = 0;
       while (cur->Pop(t, &item)) {
-        const uint64_t lv = out.label.Get(t, item.v);
+        // Any thread may CasMin this vertex's label in the same epoch, so
+        // the staleness check reads it atomically.
+        const uint64_t lv = out.label.GetAtomic(t, item.v);
         if (lv == item.label) {
           g.ForEachOutEdge(t, item.v,
                            [&](ThreadId tt, VertexId u, uint32_t) {
@@ -106,12 +108,16 @@ CcResult CcLabelPropSC(runtime::Runtime& rt, const graph::CsrGraph& g,
       m.EndEpoch();
       // Shortcut: one pointer-jump level — label[v] <- label[label[v]].
       // This operator reads an arbitrary vertex's label: a non-vertex
-      // program, inexpressible in vertex-program-only systems.
+      // program, inexpressible in vertex-program-only systems. label[lv2]
+      // belongs to another thread's partition and may be written by its
+      // owner in this very pass, so the jump read and the store are
+      // atomic; the read of the thread's own label[v2] stays plain (only
+      // its owner writes it here).
       rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t2, uint64_t v2) {
         const uint64_t lv2 = out.label.Get(t2, v2);
-        const uint64_t ll = out.label.Get(t2, lv2);
+        const uint64_t ll = out.label.GetAtomic(t2, lv2);
         if (ll < lv2) {
-          out.label.Set(t2, v2, ll);
+          out.label.SetAtomic(t2, v2, ll);
           // The improved label must still be propagated: re-queue.
           next->Push(t2, {static_cast<VertexId>(v2), ll});
         }
@@ -155,13 +161,15 @@ CcResult CcLabelPropSCDir(runtime::Runtime& rt, const graph::CsrGraph& g,
       Item item;
       ThreadId t = 0;
       while (cur->Pop(t, &item)) {
-        uint64_t lv = out.label.Get(t, item.v);
+        uint64_t lv = out.label.GetAtomic(t, item.v);
         if (lv == item.label) {
-          // Phase 1: gather the minimum over the neighbourhood.
+          // Phase 1: gather the minimum over the neighbourhood. Neighbour
+          // labels are concurrently hooked (CasMin) by other threads, so
+          // the gather reads are atomic loads.
           const auto [first, last] = g.OutRange(t, item.v);
           uint64_t mn = lv;
           for (EdgeId e = first; e < last; ++e) {
-            const uint64_t lu = out.label.Get(t, g.OutDst(t, e));
+            const uint64_t lu = out.label.GetAtomic(t, g.OutDst(t, e));
             if (lu < mn) mn = lu;
           }
           // Phase 2: hook every endpoint (and the vertex) to the minimum.
@@ -176,12 +184,14 @@ CcResult CcLabelPropSCDir(runtime::Runtime& rt, const graph::CsrGraph& g,
         t = (t + 1) % rt.threads();
       }
       m.EndEpoch();
-      // Shortcut pass, re-queueing improved vertices.
+      // Shortcut pass, re-queueing improved vertices (same annotation as
+      // the LabelProp-SC shortcut: the pointer-jump read and the store
+      // are atomic, the own-label read is private to its owner).
       rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t2, uint64_t v2) {
         const uint64_t lv2 = out.label.Get(t2, v2);
-        const uint64_t ll = out.label.Get(t2, lv2);
+        const uint64_t ll = out.label.GetAtomic(t2, lv2);
         if (ll < lv2) {
-          out.label.Set(t2, v2, ll);
+          out.label.SetAtomic(t2, v2, ll);
           next->Push(t2, {static_cast<VertexId>(v2), ll});
         }
       });
@@ -202,25 +212,30 @@ CcResult CcUnionFind(runtime::Runtime& rt, const graph::CsrGraph& g,
     uint64_t round = 0;
     while (changed) {
       changed = false;
-      // Hook: point the larger root at the smaller endpoint's root.
+      // Hook: point the larger root at the smaller endpoint's root. Every
+      // parent pointer here can be read and written by any thread (the
+      // root pu of an edge is an arbitrary vertex), so all accesses are
+      // atomic — the real algorithm hooks with a CAS on the root.
       rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
-        const uint64_t pv = out.label.Get(t, v);
+        const uint64_t pv = out.label.GetAtomic(t, v);
         g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
-          const uint64_t pu = out.label.Get(tt, u);
-          if (pv < pu && out.label.Get(tt, pu) == pu) {
-            out.label.Set(tt, pu, pv);
+          const uint64_t pu = out.label.GetAtomic(tt, u);
+          if (pv < pu && out.label.GetAtomic(tt, pu) == pu) {
+            out.label.SetAtomic(tt, pu, pv);
             changed = true;
           }
         });
       });
       // Compress: one pointer-jump pass per round (Shiloach-Vishkin
       // halves chain depth each round, giving the O(log) round count of
-      // the real parallel algorithm).
+      // the real parallel algorithm). Writes target only the thread's own
+      // v, but label[p] belongs to an arbitrary owner, so the jump read
+      // and the store are atomic.
       rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
         const uint64_t p = out.label.Get(t, v);
-        const uint64_t pp = out.label.Get(t, p);
+        const uint64_t pp = out.label.GetAtomic(t, p);
         if (pp != p) {
-          out.label.Set(t, v, pp);
+          out.label.SetAtomic(t, v, pp);
           changed = true;
         }
       });
@@ -249,7 +264,9 @@ CcResult CcAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
     }
     g.machine().EndEpoch();
     runtime::DrainAsync(rt, wl, [&](ThreadId t, Item item) {
-      const uint64_t lv = out.label.Get(t, item.v);
+      // The whole drain is one epoch; any thread may CasMin this label
+      // concurrently, so the staleness check is an atomic load.
+      const uint64_t lv = out.label.GetAtomic(t, item.v);
       if (lv != item.label) return;  // stale entry
       g.ForEachOutEdge(t, item.v, [&](ThreadId tt, VertexId u, uint32_t) {
         if (out.label.CasMin(tt, u, lv)) wl.Push(tt, {u, lv});

@@ -45,13 +45,16 @@ KcoreResult KcoreAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
       if (deg.Get(t, v) < k) wl.Push(t, v);
     });
     // Asynchronous peeling: removing a vertex may push its neighbours.
+    // The whole drain is one epoch, and alive/deg of any vertex may be
+    // touched by any thread in it, so every access is atomic (real
+    // peeling uses a CAS on alive and fetch-sub on deg).
     runtime::DrainAsync(rt, wl, [&](ThreadId t, VertexId v) {
-      if (out.alive.Get(t, v) == 0) return;
-      out.alive.Set(t, v, 0);
+      if (out.alive.GetAtomic(t, v) == 0) return;
+      out.alive.SetAtomic(t, v, 0);
       g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
-        if (out.alive.Get(tt, u) == 0) return;
+        if (out.alive.GetAtomic(tt, u) == 0) return;
         uint32_t before = 0;
-        deg.Update(tt, u, [&](uint32_t& d) {
+        deg.UpdateAtomic(tt, u, [&](uint32_t& d) {
           before = d;
           if (d > 0) --d;
         });
@@ -82,13 +85,17 @@ KcoreResult KcoreDense(runtime::Runtime& rt, const graph::CsrGraph& g,
     uint64_t round = 0;
     while (removed) {
       removed = false;
+      // alive[v] is written only by v's owner this round, so the own
+      // checks stay plain; deg[v] and the neighbours' alive/deg are
+      // concurrently decremented/read by other threads, so those are
+      // atomic.
       rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
-        if (out.alive.Get(t, v) == 0 || deg.Get(t, v) >= k) return;
-        out.alive.Set(t, v, 0);
+        if (out.alive.Get(t, v) == 0 || deg.GetAtomic(t, v) >= k) return;
+        out.alive.SetAtomic(t, v, 0);
         removed = true;
         g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
-          if (out.alive.Get(tt, u) != 0) {
-            deg.Update(tt, u, [](uint32_t& d) {
+          if (out.alive.GetAtomic(tt, u) != 0) {
+            deg.UpdateAtomic(tt, u, [](uint32_t& d) {
               if (d > 0) --d;
             });
           }

@@ -73,7 +73,8 @@ PrResult PrPushResidual(runtime::Runtime& rt, const graph::CsrGraph& g,
       const double share = opt.pr_damping * base / static_cast<double>(deg);
       for (EdgeId e = first; e < last; ++e) {
         const VertexId u = g.OutDst(t, e);
-        residual.Update(t, u, [&](double& r) { r += share; });
+        // Any thread may push into u's residual concurrently: atomic add.
+        residual.UpdateAtomic(t, u, [&](double& r) { r += share; });
       }
     });
     const double eps = opt.pr_tolerance;
@@ -85,11 +86,14 @@ PrResult PrPushResidual(runtime::Runtime& rt, const graph::CsrGraph& g,
       }
     }
     m.EndEpoch();
+    // The whole drain is one epoch: residuals and ranks of any vertex can
+    // be touched by any thread, so every access below is atomic (a real
+    // implementation reads, exchanges and accumulates with atomics).
     runtime::DrainAsync(rt, wl, [&](ThreadId t, VertexId v) {
-      const double res = residual.Get(t, v);
+      const double res = residual.GetAtomic(t, v);
       if (res <= eps) return;
-      residual.Set(t, v, 0.0);
-      out.rank.Update(t, v, [&](double& r) { r += res; });
+      residual.SetAtomic(t, v, 0.0);
+      out.rank.UpdateAtomic(t, v, [&](double& r) { r += res; });
       const auto [first, last] = g.OutRange(t, v);
       const uint64_t deg = last - first;
       if (deg == 0) return;
@@ -97,7 +101,7 @@ PrResult PrPushResidual(runtime::Runtime& rt, const graph::CsrGraph& g,
       for (EdgeId e = first; e < last; ++e) {
         const VertexId u = g.OutDst(t, e);
         double before = 0;
-        residual.Update(t, u, [&](double& r) {
+        residual.UpdateAtomic(t, u, [&](double& r) {
           before = r;
           r += share;
         });

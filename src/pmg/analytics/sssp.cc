@@ -35,7 +35,9 @@ SsspResult SsspBellmanFord(runtime::Runtime& rt, const graph::CsrGraph& g,
       changed = false;
       // Topology-driven: every vertex relaxes its edges every round.
       rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
-        const uint64_t dv = out.dist.Get(t, v);
+        // dist[v] may be concurrently relaxed (CasMin) by any thread in
+        // this same round, so the read is an atomic load.
+        const uint64_t dv = out.dist.GetAtomic(t, v);
         if (dv == kInfDist) return;
         g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t w) {
           if (out.dist.CasMin(tt, u, dv + w)) changed = true;
@@ -61,7 +63,10 @@ SsspResult SsspDenseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
     uint64_t round = 0;
     while (!wl.Empty()) {
       wl.ForEachActive(rt, [&](ThreadId t, uint64_t v) {
-        const uint64_t dv = out.dist.Get(t, v);
+        // An active vertex's distance can still improve in this round
+        // (another active vertex may relax an edge into it), so read it
+        // atomically.
+        const uint64_t dv = out.dist.GetAtomic(t, v);
         g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t w) {
           if (out.dist.CasMin(tt, u, dv + w)) wl.Activate(tt, u);
         });
@@ -99,7 +104,9 @@ SsspResult SsspDeltaStep(runtime::Runtime& rt, const graph::CsrGraph& g,
     Item item;
     while (wl.PopMin(t, &bucket, &item)) {
       t = (t + 1) % rt.threads();
-      const uint64_t dv = out.dist.Get(t, item.v);
+      // The whole delta-stepping drain is one epoch; the staleness check
+      // reads a distance any thread may CasMin concurrently.
+      const uint64_t dv = out.dist.GetAtomic(t, item.v);
       if (item.d != dv) continue;  // stale entry
       g.ForEachOutEdge(t, item.v, [&](ThreadId tt, VertexId u, uint32_t w) {
         const uint64_t nd = dv + w;

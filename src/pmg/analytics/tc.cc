@@ -39,7 +39,10 @@ TcResult Tc(runtime::Runtime& rt, const graph::CsrGraph& g) {
   out.time_ns = rt.Timed([&] {
     uint64_t total = 0;
     // Node iterator: for each edge (v, u), count |adj+(v) n adj+(u)| via
-    // a sorted two-pointer merge with costed reads.
+    // a sorted two-pointer merge with costed reads. Race audit: the
+    // kernel only reads the (immutable) oriented graph — the `total`
+    // accumulator is host-side and uncosted — so no atomic annotations
+    // are needed.
     rt.ParallelForDynamic(0, g.num_vertices(), /*chunk=*/64,
                           [&](ThreadId t, uint64_t v) {
       const auto [v_first, v_last] = g.OutRange(t, v);

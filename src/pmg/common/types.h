@@ -29,8 +29,52 @@ using PhysPage = uint64_t;
 using VertexId = uint64_t;
 using EdgeId = uint64_t;
 
-/// Direction of a memory access.
-enum class AccessType { kRead, kWrite };
+/// Direction of a memory access, plus atomicity. The plain variants are
+/// ordinary loads/stores; the atomic variants are the honest annotation of
+/// accesses that a real parallel implementation performs with hardware
+/// atomics (atomic loads/stores, CAS, fetch-add). Atomicity does not change
+/// how an access is priced — an atomic costs what its direction costs — but
+/// the sancheck race detector treats atomics as synchronization: a pair of
+/// conflicting accesses is only a data race when neither side is atomic.
+enum class AccessType : uint8_t {
+  kRead,
+  kWrite,
+  kAtomicRead,
+  kAtomicWrite,
+  /// One access that both reads and writes its location (lock xadd,
+  /// compare-and-swap). Counts as a read and a write in the access mix and
+  /// is priced as a write (the line is dirtied).
+  kAtomicRMW,
+};
+
+constexpr bool IsRead(AccessType t) {
+  return t == AccessType::kRead || t == AccessType::kAtomicRead ||
+         t == AccessType::kAtomicRMW;
+}
+constexpr bool IsWrite(AccessType t) {
+  return t == AccessType::kWrite || t == AccessType::kAtomicWrite ||
+         t == AccessType::kAtomicRMW;
+}
+constexpr bool IsAtomic(AccessType t) {
+  return t == AccessType::kAtomicRead || t == AccessType::kAtomicWrite ||
+         t == AccessType::kAtomicRMW;
+}
+
+constexpr const char* AccessTypeName(AccessType t) {
+  switch (t) {
+    case AccessType::kRead:
+      return "read";
+    case AccessType::kWrite:
+      return "write";
+    case AccessType::kAtomicRead:
+      return "atomic-read";
+    case AccessType::kAtomicWrite:
+      return "atomic-write";
+    case AccessType::kAtomicRMW:
+      return "atomic-rmw";
+  }
+  return "?";
+}
 
 inline constexpr SimNs kNsPerUs = 1000;
 inline constexpr SimNs kNsPerMs = 1000 * 1000;

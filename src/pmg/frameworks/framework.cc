@@ -1,5 +1,6 @@
 #include "pmg/frameworks/framework.h"
 
+#include <memory>
 #include <utility>
 
 #include "pmg/analytics/bc.h"
@@ -170,6 +171,14 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
   memsim::Machine machine(config.machine);
   runtime::Runtime rt(&machine, config.threads);
 
+  // Attach the sanitizer before the graph is materialized so its shadow
+  // region table sees every allocation.
+  std::unique_ptr<sancheck::Sancheck> checker;
+  if (config.sanitize) {
+    checker = std::make_unique<sancheck::Sancheck>(config.sancheck);
+    machine.SetObserver(checker.get());
+  }
+
   const memsim::PagePolicy policy = PolicyFor(profile, app, config);
   graph::GraphLayout layout;
   layout.policy = policy;
@@ -253,6 +262,13 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
     }
   }
   out.stats = machine.stats() - before;
+  if (checker != nullptr) {
+    // Detach before the graph's regions are freed on return: the checker
+    // must not outlive its view of the region table.
+    machine.SetObserver(nullptr);
+    out.sanitized = true;
+    out.sancheck = checker->summary();
+  }
   out.supported = true;
   return out;
 }

@@ -9,6 +9,7 @@
 #include "pmg/graph/topology.h"
 #include "pmg/memsim/machine.h"
 #include "pmg/memsim/stats.h"
+#include "pmg/sancheck/sancheck.h"
 
 /// \file framework.h
 /// The four shared-memory frameworks of the paper's Section 6.1, expressed
@@ -91,6 +92,11 @@ struct RunConfig {
   /// frameworks that support more (the Figure 11 "OS"/"OA" configurations:
   /// the same algorithms D-Galois runs, executed on the Optane machine).
   bool force_vertex_programs = false;
+  /// Attach the pmg::sancheck dynamic-analysis layer for this run (epoch
+  /// race detection + shadow bounds checking). Off by default: the
+  /// checker changes no results but slows simulation.
+  bool sanitize = false;
+  sancheck::SancheckOptions sancheck;
 };
 
 struct AppRunResult {
@@ -98,6 +104,9 @@ struct AppRunResult {
   SimNs time_ns = 0;
   uint64_t rounds = 0;
   memsim::MachineStats stats;  // delta over the measured region
+  /// Filled when RunConfig::sanitize was set.
+  bool sanitized = false;
+  sancheck::SancheckSummary sancheck;
 };
 
 /// Builds a fresh simulated machine, materializes the graph per the

@@ -1,0 +1,53 @@
+#ifndef PMG_MEMSIM_ACCESS_OBSERVER_H_
+#define PMG_MEMSIM_ACCESS_OBSERVER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/page_table.h"
+
+/// \file access_observer.h
+/// The dynamic-analysis seam of the machine model. An AccessObserver
+/// attached via Machine::SetObserver() sees every allocation, free, costed
+/// access and epoch boundary *before* the access is priced — the same
+/// interposition point a compiler-inserted sanitizer runtime owns on real
+/// hardware. The machine itself knows nothing about what observers do;
+/// `pmg::sancheck` implements the race detector and shadow bounds checker
+/// on top of this interface.
+///
+/// The hot path pays one predictable null-pointer branch when no observer
+/// is attached, so Release-mode costing keeps its profile (verified by
+/// bench_micro_memsim).
+
+namespace pmg::memsim {
+
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+
+  /// A region was mapped at [base, base + bytes).
+  virtual void OnAlloc(RegionId id, VirtAddr base, uint64_t bytes,
+                       std::string_view name) = 0;
+
+  /// The region was unmapped; its address range is dead from here on.
+  virtual void OnFree(RegionId id) = 0;
+
+  /// One costed access, before pricing. Unlike Machine::Access — which
+  /// prices whole cache lines — range accesses report the precise byte
+  /// extent touched within each line, so observers can check bounds and
+  /// overlap exactly.
+  virtual void OnAccess(ThreadId t, VirtAddr addr, uint32_t bytes,
+                        AccessType type) = 0;
+
+  /// A parallel region started on threads [0, active_threads).
+  virtual void OnEpochBegin(uint32_t active_threads) = 0;
+
+  /// The region ended. Returns the number of race violations detected in
+  /// the epoch; the machine folds the count into MachineStats.
+  virtual uint64_t OnEpochEnd() = 0;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_ACCESS_OBSERVER_H_

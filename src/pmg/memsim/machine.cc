@@ -59,10 +59,15 @@ uint64_t Machine::NodeBytesUsed(NodeId node) const {
 
 RegionId Machine::Alloc(uint64_t bytes, const PagePolicy& policy,
                         std::string_view name) {
-  return pages_.CreateRegion(bytes, policy, std::string(name));
+  const RegionId id = pages_.CreateRegion(bytes, policy, std::string(name));
+  if (observer_ != nullptr) {
+    observer_->OnAlloc(id, pages_.region(id).base, bytes, name);
+  }
+  return id;
 }
 
 void Machine::Free(RegionId id) {
+  if (observer_ != nullptr) observer_->OnFree(id);
   pages_.ForEachMappedPage(
       [&](Region& r, PageInfo& p, VirtAddr /*base*/, PageSizeClass cls) {
         if (&r != &pages_.region(id)) return;
@@ -190,15 +195,15 @@ SimNs Machine::ChannelTime(const ChannelBytes& ch) const {
 void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
                      AccessType type) {
   if (!in_epoch_) BeginEpoch(1);
+  if (observer_ != nullptr) [[unlikely]] {
+    observer_->OnAccess(t, addr, bytes, type);
+  }
   ThreadState& ts = Thread(t);
   const MemoryTimings& tm = config_.timings;
 
   ++stats_.accesses;
-  if (type == AccessType::kRead) {
-    ++stats_.reads;
-  } else {
-    ++stats_.writes;
-  }
+  if (IsRead(type)) ++stats_.reads;
+  if (IsWrite(type)) ++stats_.writes;
 
   const uint64_t line = addr / kCacheLineBytes;
   const bool sequential = line == ts.last_line + 1;
@@ -256,7 +261,7 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
     }
   }
 
-  const bool write = type == AccessType::kWrite;
+  const bool write = IsWrite(type);
   SimNs lat = 0;
   if (config_.kind == MachineKind::kMemoryMode) {
     const PhysPage frame =
@@ -299,7 +304,13 @@ void Machine::AccessRange(ThreadId t, VirtAddr addr, uint64_t bytes,
   const VirtAddr first_line = addr / kCacheLineBytes;
   const VirtAddr last_line = (addr + bytes - 1) / kCacheLineBytes;
   for (VirtAddr line = first_line; line <= last_line; ++line) {
-    Access(t, line * kCacheLineBytes, kCacheLineBytes, type);
+    // Pass the precise byte extent within the line: pricing only looks at
+    // the line number, but an attached observer checks bounds and overlap
+    // byte-exactly, and must not see neighbouring bytes that a blocked
+    // partition never touched.
+    const VirtAddr lo = std::max(addr, line * kCacheLineBytes);
+    const VirtAddr hi = std::min(addr + bytes, (line + 1) * kCacheLineBytes);
+    Access(t, lo, static_cast<uint32_t>(hi - lo), type);
   }
 }
 
@@ -344,6 +355,7 @@ void Machine::BeginEpoch(uint32_t active_threads) {
   for (ChannelBytes& ch : channels_) ch = ChannelBytes{};
   epoch_active_threads_ = active_threads;
   in_epoch_ = true;
+  if (observer_ != nullptr) observer_->OnEpochBegin(active_threads);
 }
 
 EpochReport Machine::EndEpoch() {
@@ -388,6 +400,11 @@ EpochReport Machine::EndEpoch() {
   stats_.total_ns += report.total_ns;
   ++stats_.epochs;
   in_epoch_ = false;
+  if (observer_ != nullptr) {
+    const uint64_t races = observer_->OnEpochEnd();
+    stats_.sancheck_races += races;
+    if (races > 0) ++stats_.sancheck_race_epochs;
+  }
   return report;
 }
 

@@ -7,7 +7,9 @@
 #include <string_view>
 #include <vector>
 
+#include "pmg/common/check.h"
 #include "pmg/common/types.h"
+#include "pmg/memsim/access_observer.h"
 #include "pmg/memsim/cpu_cache.h"
 #include "pmg/memsim/near_memory.h"
 #include "pmg/memsim/numa_topology.h"
@@ -177,6 +179,17 @@ class Machine {
   /// unmapping pages — used between benchmark trials.
   void FlushVolatileState();
 
+  // --- Dynamic analysis (sancheck) ---
+
+  /// Attaches `observer` to the access path (nullptr detaches). The
+  /// observer is not owned and must outlive its attachment. Attach/detach
+  /// outside an epoch so the observer sees balanced epoch events.
+  void SetObserver(AccessObserver* observer) {
+    PMG_CHECK_MSG(!in_epoch_, "attach/detach an observer outside an epoch");
+    observer_ = observer;
+  }
+  AccessObserver* observer() const { return observer_; }
+
  private:
   struct ThreadState {
     double user_ns = 0;  // fractional: per-miss cost is latency / MLP
@@ -230,6 +243,9 @@ class Machine {
   SimNs last_scan_ns_ = 0;
   uint64_t migrate_budget_bytes_ = 0;
   double inv_mlp_ = 1.0;
+  /// Not owned; null when no dynamic analysis is attached (the common
+  /// case — the hot path pays only this null check).
+  AccessObserver* observer_ = nullptr;
 };
 
 }  // namespace pmg::memsim

@@ -36,6 +36,8 @@ MachineStats MachineStats::operator-(const MachineStats& o) const {
   d.kernel_ns = kernel_ns - o.kernel_ns;
   d.epochs = epochs - o.epochs;
   d.bandwidth_bound_epochs = bandwidth_bound_epochs - o.bandwidth_bound_epochs;
+  d.sancheck_races = sancheck_races - o.sancheck_races;
+  d.sancheck_race_epochs = sancheck_race_epochs - o.sancheck_race_epochs;
   return d;
 }
 
@@ -60,7 +62,15 @@ std::string MachineStats::ToString() const {
       static_cast<unsigned long long>(migrations),
       static_cast<unsigned long long>(tlb_shootdowns),
       dram_bytes / 1e6, pmm_read_bytes / 1e6, pmm_write_bytes / 1e6);
-  return buf;
+  std::string out = buf;
+  if (sancheck_races > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nSANCHECK: %llu data race(s) in %llu epoch(s)",
+                  static_cast<unsigned long long>(sancheck_races),
+                  static_cast<unsigned long long>(sancheck_race_epochs));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace pmg::memsim

@@ -62,6 +62,12 @@ struct MachineStats {
   /// epoch duration.
   uint64_t bandwidth_bound_epochs = 0;
 
+  // Sancheck (only nonzero while a sancheck observer is attached).
+  /// Data-race violations reported by the epoch race detector, and the
+  /// number of epochs that contained at least one.
+  uint64_t sancheck_races = 0;
+  uint64_t sancheck_race_epochs = 0;
+
   /// Element-wise difference (for measuring one phase of a run).
   MachineStats operator-(const MachineStats& other) const;
 

@@ -70,6 +70,20 @@ class NumaArray {
     data_[i] = v;
   }
 
+  /// Costed atomic load: same price as Get, but annotated as
+  /// synchronization. Use for any element a concurrent virtual thread may
+  /// write in the same epoch (see DESIGN.md, "Atomicity contract").
+  T GetAtomic(ThreadId t, size_t i) const {
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kAtomicRead);
+    return data_[i];
+  }
+
+  /// Costed atomic store: same price as Set, annotated as synchronization.
+  void SetAtomic(ThreadId t, size_t i, const T& v) {
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kAtomicWrite);
+    data_[i] = v;
+  }
+
   /// Costed read-modify-write: `fn(T&)` mutates in place.
   template <typename Fn>
   void Update(ThreadId t, size_t i, Fn&& fn) {
@@ -78,13 +92,23 @@ class NumaArray {
     machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kWrite);
   }
 
+  /// Update with atomic semantics (a real implementation would use a CAS
+  /// loop or hardware RMW). Costed identically to Update: one read leg and
+  /// one write leg, both marked atomic.
+  template <typename Fn>
+  void UpdateAtomic(ThreadId t, size_t i, Fn&& fn) {
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kAtomicRead);
+    fn(data_[i]);
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kAtomicWrite);
+  }
+
   /// Atomic-min idiom (the CAS loop of label-update operators): writes `v`
   /// if it is smaller than the current value. Returns true on update.
-  /// Costed as a read plus, when it succeeds, a write.
+  /// Costed as a read plus, when it succeeds, a write — both atomic.
   bool CasMin(ThreadId t, size_t i, const T& v) {
-    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kRead);
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kAtomicRead);
     if (v < data_[i]) {
-      machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kWrite);
+      machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kAtomicWrite);
       data_[i] = v;
       return true;
     }
@@ -93,8 +117,8 @@ class NumaArray {
 
   /// Atomic fetch-add idiom. Returns the previous value.
   T FetchAdd(ThreadId t, size_t i, const T& delta) {
-    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kRead);
-    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kWrite);
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kAtomicRead);
+    machine_->Access(t, AddrOf(i), sizeof(T), AccessType::kAtomicWrite);
     const T old = data_[i];
     data_[i] = old + delta;
     return old;

@@ -69,9 +69,16 @@ class CostRing {
   CostRing& operator=(const CostRing&) = delete;
 
   void Charge(ThreadId t, uint32_t bytes, AccessType type) {
+    PMG_CHECK_MSG(bytes <= slice_bytes_,
+                  "worklist item (%u bytes) larger than its scratch slice "
+                  "(%llu bytes)",
+                  bytes, static_cast<unsigned long long>(slice_bytes_));
     uint64_t& cur = cursors_[t];
+    // Wrap before charging so the access always stays inside the slice
+    // (charging first and wrapping after can run past the region end).
+    if (cur + bytes > slice_bytes_) cur = 0;
     machine_->Access(t, bases_[t] + cur, bytes, type);
-    cur = (cur + bytes) % (slice_bytes_ - 64);
+    cur += bytes;
   }
 
  private:
@@ -101,18 +108,20 @@ class DenseWorklist {
   uint64_t ActiveCount() const { return cur_count_; }
   bool Empty() const { return cur_count_ == 0; }
 
-  /// Marks `v` active for the *next* round.
+  /// Marks `v` active for the *next* round. Any thread may activate any
+  /// vertex, so the flag test-and-set is atomic (real frontiers use a CAS
+  /// or an idempotent atomic store on the byte).
   void Activate(ThreadId t, uint64_t v) {
-    if (next_.Get(t, v) == 0) {
-      next_.Set(t, v, 1);
+    if (next_.GetAtomic(t, v) == 0) {
+      next_.SetAtomic(t, v, 1);
       ++next_count_;
     }
   }
 
   /// Marks `v` active in the *current* round (initial frontier).
   void ActivateCur(ThreadId t, uint64_t v) {
-    if (cur_.Get(t, v) == 0) {
-      cur_.Set(t, v, 1);
+    if (cur_.GetAtomic(t, v) == 0) {
+      cur_.SetAtomic(t, v, 1);
       ++cur_count_;
     }
   }

@@ -1,0 +1,252 @@
+#include "pmg/sancheck/sancheck.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "pmg/common/check.h"
+#include "pmg/memsim/cpu_cache.h"
+
+namespace pmg::sancheck {
+namespace {
+
+/// Byte mask of [lo, hi) within one cache line (bit i = byte i).
+uint64_t LineMask(uint64_t lo, uint64_t hi) {
+  const uint64_t width = hi - lo;
+  const uint64_t bits = width >= 64 ? ~0ull : ((1ull << width) - 1);
+  return bits << lo;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RaceReport::ToString() const {
+  std::string out;
+  AppendF(&out,
+          "data race in epoch %" PRIu64 ": region '%s' +%" PRIu64
+          " (line 0x%" PRIx64 "): %s by thread %u vs %s by thread %u",
+          epoch, region.c_str(), offset, line_addr,
+          AccessTypeName(first_type), first_thread,
+          AccessTypeName(second_type), second_thread);
+  return out;
+}
+
+std::string SancheckSummary::ToString() const {
+  std::string out;
+  AppendF(&out,
+          "sancheck: %" PRIu64 " access(es) checked over %" PRIu64
+          " epoch(s); %" PRIu64 " race(s) in %" PRIu64 " epoch(s)",
+          checked_accesses, checked_epochs, races, race_epochs);
+  for (const RaceReport& r : reports) {
+    out += "\n  ";
+    out += r.ToString();
+  }
+  const uint64_t dropped = races - static_cast<uint64_t>(reports.size());
+  if (dropped > 0) {
+    AppendF(&out, "\n  ... %" PRIu64 " further race(s) not shown", dropped);
+  }
+  return out;
+}
+
+Sancheck::Sancheck(const SancheckOptions& options) : options_(options) {}
+
+void Sancheck::OnAlloc(memsim::RegionId id, VirtAddr base, uint64_t bytes,
+                       std::string_view name) {
+  // The page table's bump allocator hands out strictly increasing bases,
+  // so appending keeps shadow_ sorted; check rather than assume.
+  PMG_CHECK_MSG(shadow_.empty() || base >= shadow_.back().base +
+                                               shadow_.back().bytes,
+                "region bases must be monotone for the shadow table");
+  ShadowRegion r;
+  r.id = id;
+  r.base = base;
+  r.bytes = bytes;
+  r.name.assign(name.data(), name.size());
+  r.live = true;
+  shadow_.push_back(std::move(r));
+}
+
+void Sancheck::OnFree(memsim::RegionId id) {
+  for (ShadowRegion& r : shadow_) {
+    if (r.id == id) {
+      PMG_CHECK_MSG(r.live, "double free of region '%s' (id %u)",
+                    r.name.c_str(), id);
+      r.live = false;  // keep as a tombstone for use-after-free diagnosis
+      return;
+    }
+  }
+  PMG_CHECK_MSG(false, "free of unknown region id %u", id);
+}
+
+int64_t Sancheck::FindShadow(VirtAddr addr) const {
+  // Last region with base <= addr (shadow_ is sorted by base).
+  auto it = std::upper_bound(
+      shadow_.begin(), shadow_.end(), addr,
+      [](VirtAddr a, const ShadowRegion& r) { return a < r.base; });
+  if (it == shadow_.begin()) return -1;
+  return static_cast<int64_t>(std::distance(shadow_.begin(), it) - 1);
+}
+
+void Sancheck::DumpRegionMap(std::FILE* out) const {
+  std::fprintf(out, "sancheck region map (%zu region(s)):\n", shadow_.size());
+  for (const ShadowRegion& r : shadow_) {
+    std::fprintf(out,
+                 "  [0x%" PRIx64 ", 0x%" PRIx64 ") %10" PRIu64
+                 " bytes  %-5s '%s'\n",
+                 r.base, r.base + r.bytes, r.bytes,
+                 r.live ? "live" : "FREED", r.name.c_str());
+  }
+}
+
+void Sancheck::BoundsAbort(const char* what, ThreadId t, VirtAddr addr,
+                           uint32_t bytes, AccessType type,
+                           const ShadowRegion* region) const {
+  std::fprintf(stderr,
+               "sancheck: %s: %s of %u byte(s) at 0x%" PRIx64
+               " by thread %u\n",
+               what, AccessTypeName(type), bytes, addr, t);
+  if (region != nullptr) {
+    std::fprintf(stderr, "  nearest region: '%s' [0x%" PRIx64 ", 0x%" PRIx64
+                         ") (%s)\n",
+                 region->name.c_str(), region->base,
+                 region->base + region->bytes,
+                 region->live ? "live" : "freed");
+  }
+  DumpRegionMap(stderr);
+  PMG_CHECK_MSG(false, "sancheck bounds violation (%s)", what);
+}
+
+void Sancheck::CheckBounds(ThreadId t, VirtAddr addr, uint32_t bytes,
+                           AccessType type) const {
+  const int64_t idx = FindShadow(addr);
+  if (idx < 0) {
+    BoundsAbort("wild access (never-allocated address)", t, addr, bytes,
+                type, nullptr);
+  }
+  const ShadowRegion& r = shadow_[static_cast<size_t>(idx)];
+  if (addr + bytes > r.base + r.bytes) {
+    // Past the end of the nearest region: either an overflow off a live
+    // region or a stray pointer into the allocator's guard gap.
+    BoundsAbort(addr < r.base + r.bytes
+                    ? "out-of-bounds access (straddles region end)"
+                    : "out-of-bounds access (past region end)",
+                t, addr, bytes, type, &r);
+  }
+  if (!r.live) {
+    BoundsAbort("use-after-free access", t, addr, bytes, type, &r);
+  }
+}
+
+void Sancheck::RecordRace(VirtAddr line_addr, const ThreadMasks& prior,
+                          ThreadId thread, AccessType type) {
+  ++epoch_races_;
+  ++summary_.races;
+  RaceReport report;
+  report.line_addr = line_addr;
+  report.epoch = summary_.checked_epochs;  // current epoch's index
+  report.first_thread = prior.thread;
+  // Report the prior thread's strongest involvement: a write if it wrote.
+  report.first_type =
+      prior.plain_write != 0 ? AccessType::kWrite : AccessType::kRead;
+  report.second_thread = thread;
+  report.second_type = type;
+  const int64_t idx = FindShadow(line_addr);
+  if (idx >= 0) {
+    const ShadowRegion& r = shadow_[static_cast<size_t>(idx)];
+    report.region = r.name;
+    report.offset = line_addr - r.base;
+  } else {
+    report.region = "<unknown>";
+    report.offset = 0;
+  }
+  if (options_.abort_on_race) {
+    std::fprintf(stderr, "sancheck: %s\n", report.ToString().c_str());
+    PMG_CHECK_MSG(false, "sancheck data race (abort_on_race)");
+  }
+  if (summary_.reports.size() < options_.max_reports) {
+    summary_.reports.push_back(std::move(report));
+  }
+}
+
+void Sancheck::TrackRace(ThreadId t, VirtAddr addr, uint32_t bytes,
+                         AccessType type) {
+  const bool atomic = IsAtomic(type);
+  const uint64_t first_line = addr / memsim::kCacheLineBytes;
+  const uint64_t last_line = (addr + bytes - 1) / memsim::kCacheLineBytes;
+  for (uint64_t line = first_line; line <= last_line; ++line) {
+    const VirtAddr line_base = line * memsim::kCacheLineBytes;
+    const uint64_t lo = std::max<VirtAddr>(addr, line_base) - line_base;
+    const uint64_t hi =
+        std::min<VirtAddr>(addr + bytes, line_base + memsim::kCacheLineBytes) -
+        line_base;
+    const uint64_t mask = LineMask(lo, hi);
+
+    LineState& state = lines_[line];
+    ThreadMasks* mine = nullptr;
+    for (ThreadMasks& m : state.threads) {
+      if (m.thread == t) {
+        mine = &m;
+        continue;
+      }
+      if (state.reported || atomic) continue;
+      // Conflict: my plain access overlaps the other thread's plain bytes,
+      // and at least one side wrote. Atomic bytes never conflict.
+      const uint64_t other_plain = m.plain_read | m.plain_write;
+      const bool conflict =
+          IsWrite(type) ? (mask & other_plain) != 0
+                        : (mask & m.plain_write) != 0;
+      if (conflict) {
+        state.reported = true;  // one report per line per epoch
+        RecordRace(line_base, m, t, type);
+      }
+    }
+    if (mine == nullptr) {
+      state.threads.push_back(ThreadMasks{t, 0, 0, 0});
+      mine = &state.threads.back();
+    }
+    if (atomic) {
+      mine->atomic |= mask;
+    } else {
+      if (IsRead(type)) mine->plain_read |= mask;
+      if (IsWrite(type)) mine->plain_write |= mask;
+    }
+  }
+}
+
+void Sancheck::OnAccess(ThreadId t, VirtAddr addr, uint32_t bytes,
+                        AccessType type) {
+  ++summary_.checked_accesses;
+  if (options_.check_bounds) CheckBounds(t, addr, bytes, type);
+  // Single-threaded epochs (and the implicit epochs of stray accesses)
+  // cannot race; skip the shadow map entirely.
+  if (options_.detect_races && active_threads_ > 1) {
+    TrackRace(t, addr, bytes, type);
+  }
+}
+
+void Sancheck::OnEpochBegin(uint32_t active_threads) {
+  active_threads_ = active_threads;
+  epoch_races_ = 0;
+  lines_.clear();
+}
+
+uint64_t Sancheck::OnEpochEnd() {
+  ++summary_.checked_epochs;
+  if (epoch_races_ > 0) ++summary_.race_epochs;
+  const uint64_t races = epoch_races_;
+  epoch_races_ = 0;
+  lines_.clear();
+  active_threads_ = 1;
+  return races;
+}
+
+}  // namespace pmg::sancheck

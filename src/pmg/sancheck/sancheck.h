@@ -1,0 +1,157 @@
+#ifndef PMG_SANCHECK_SANCHECK_H_
+#define PMG_SANCHECK_SANCHECK_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/access_observer.h"
+#include "pmg/memsim/machine.h"
+
+/// \file sancheck.h
+/// `pmg::sancheck` — a sanitizer for the *simulated* machine, attached to
+/// the `memsim::Machine` access path through the AccessObserver seam. Two
+/// analyses run on every costed access:
+///
+///   1. An **epoch race detector**: the runtime interleaves virtual threads
+///      deterministically, so two conflicting accesses that land in the
+///      same machine epoch would run concurrently on real hardware. The
+///      detector keeps a per-epoch shadow map at cache-line granularity; a
+///      line with a plain (non-atomic) write from one virtual thread and a
+///      plain conflicting access from another, with byte-true overlap, is a
+///      data race — exactly the happens-before-free window ThreadSanitizer
+///      would flag in the real parallel program the operator models.
+///      Accesses marked atomic (AccessType::kAtomic*) are synchronization
+///      and never race.
+///   2. A **shadow bounds/lifetime checker**: a shadow copy of the
+///      live-region table validates every access byte-exactly. Accesses
+///      past a region's size (the page table rounds regions up to pages,
+///      so the machine itself cannot see these), accesses to a freed
+///      region (use-after-free — invisible to the machine when the line
+///      still sits in a CPU cache), and accesses to never-allocated
+///      addresses abort with a region-map dump.
+///
+/// The layer is strictly opt-in: a machine with no observer attached pays
+/// one predictable null-check per access and nothing else.
+
+namespace pmg::sancheck {
+
+struct SancheckOptions {
+  /// Validate every access against the shadow region table (aborts on
+  /// violation — these are host-program bugs, not simulated-program bugs).
+  bool check_bounds = true;
+  /// Run the epoch race detector.
+  bool detect_races = true;
+  /// Abort on the first race instead of collecting reports.
+  bool abort_on_race = false;
+  /// Keep at most this many detailed race reports (all races are counted).
+  uint32_t max_reports = 64;
+};
+
+/// One detected data race (a pair of conflicting plain accesses by two
+/// virtual threads inside one epoch).
+struct RaceReport {
+  std::string region;     ///< name of the region holding the line
+  uint64_t offset = 0;    ///< byte offset of the line within the region
+  VirtAddr line_addr = 0; ///< virtual address of the cache line
+  uint64_t epoch = 0;     ///< epoch index (counting from attach)
+  ThreadId first_thread = 0;
+  ThreadId second_thread = 0;
+  AccessType first_type = AccessType::kRead;
+  AccessType second_type = AccessType::kWrite;
+
+  std::string ToString() const;
+};
+
+/// Aggregate result of a sanitized run.
+struct SancheckSummary {
+  uint64_t checked_accesses = 0;
+  uint64_t checked_epochs = 0;
+  uint64_t races = 0;
+  uint64_t race_epochs = 0;
+  /// First `SancheckOptions::max_reports` races in detail; `races` minus
+  /// `reports.size()` reports were dropped.
+  std::vector<RaceReport> reports;
+
+  std::string ToString() const;
+};
+
+class Sancheck : public memsim::AccessObserver {
+ public:
+  explicit Sancheck(const SancheckOptions& options = SancheckOptions());
+
+  Sancheck(const Sancheck&) = delete;
+  Sancheck& operator=(const Sancheck&) = delete;
+
+  /// Convenience: machine->SetObserver(this).
+  void Attach(memsim::Machine* machine) { machine->SetObserver(this); }
+
+  // AccessObserver:
+  void OnAlloc(memsim::RegionId id, VirtAddr base, uint64_t bytes,
+               std::string_view name) override;
+  void OnFree(memsim::RegionId id) override;
+  void OnAccess(ThreadId t, VirtAddr addr, uint32_t bytes,
+                AccessType type) override;
+  void OnEpochBegin(uint32_t active_threads) override;
+  uint64_t OnEpochEnd() override;
+
+  const SancheckSummary& summary() const { return summary_; }
+
+ private:
+  /// Shadow of one (live or freed) region. Region bases come from a bump
+  /// allocator, so address ranges never overlap and freed extents stay
+  /// valid tombstones for use-after-free diagnosis.
+  struct ShadowRegion {
+    memsim::RegionId id = 0;
+    VirtAddr base = 0;
+    uint64_t bytes = 0;
+    std::string name;
+    bool live = false;
+  };
+
+  /// Per-(line, thread) byte masks of the current epoch. Bit i covers the
+  /// line's byte i; conflicts are tested by mask intersection, so two
+  /// threads sharing a line without sharing bytes (adjacent blocked
+  /// partitions) never produce a false positive.
+  struct ThreadMasks {
+    ThreadId thread = 0;
+    uint64_t plain_read = 0;
+    uint64_t plain_write = 0;
+    uint64_t atomic = 0;
+  };
+
+  struct LineState {
+    /// One entry per virtual thread that touched the line this epoch
+    /// (almost always one or two).
+    std::vector<ThreadMasks> threads;
+    bool reported = false;
+  };
+
+  /// Index into shadow_ of the region containing addr, or -1.
+  int64_t FindShadow(VirtAddr addr) const;
+  void CheckBounds(ThreadId t, VirtAddr addr, uint32_t bytes,
+                   AccessType type) const;
+  [[noreturn]] void BoundsAbort(const char* what, ThreadId t, VirtAddr addr,
+                                uint32_t bytes, AccessType type,
+                                const ShadowRegion* region) const;
+  void TrackRace(ThreadId t, VirtAddr addr, uint32_t bytes, AccessType type);
+  void RecordRace(VirtAddr line_addr, const ThreadMasks& prior,
+                  ThreadId thread, AccessType type);
+  void DumpRegionMap(std::FILE* out) const;
+
+  SancheckOptions options_;
+  /// Sorted by base (bump allocation appends in order); includes
+  /// tombstones of freed regions.
+  std::vector<ShadowRegion> shadow_;
+  std::unordered_map<uint64_t, LineState> lines_;  // keyed by line index
+  uint32_t active_threads_ = 1;
+  uint64_t epoch_races_ = 0;
+  SancheckSummary summary_;
+};
+
+}  // namespace pmg::sancheck
+
+#endif  // PMG_SANCHECK_SANCHECK_H_

@@ -61,6 +61,39 @@ std::string FormatDouble(double v, int precision) {
   return buf;
 }
 
+void PrintSancheckReport(const sancheck::SancheckSummary& summary,
+                         std::FILE* out) {
+  if (summary.races == 0) {
+    std::fprintf(out,
+                 "\nsancheck: PASS — %llu access(es) over %llu epoch(s), "
+                 "no data races\n",
+                 static_cast<unsigned long long>(summary.checked_accesses),
+                 static_cast<unsigned long long>(summary.checked_epochs));
+    return;
+  }
+  std::fprintf(out, "\nsancheck: FAIL — %llu data race(s) in %llu epoch(s)\n",
+               static_cast<unsigned long long>(summary.races),
+               static_cast<unsigned long long>(summary.race_epochs));
+  Table table({"epoch", "region", "offset", "first", "second"});
+  for (const sancheck::RaceReport& r : summary.reports) {
+    char offset[32];
+    std::snprintf(offset, sizeof(offset), "+%llu",
+                  static_cast<unsigned long long>(r.offset));
+    table.AddRow({std::to_string(r.epoch), r.region, offset,
+                  std::string(AccessTypeName(r.first_type)) + " t" +
+                      std::to_string(r.first_thread),
+                  std::string(AccessTypeName(r.second_type)) + " t" +
+                      std::to_string(r.second_thread)});
+  }
+  table.Print(out);
+  const uint64_t dropped =
+      summary.races - static_cast<uint64_t>(summary.reports.size());
+  if (dropped > 0) {
+    std::fprintf(out, "... %llu further race(s) not shown\n",
+                 static_cast<unsigned long long>(dropped));
+  }
+}
+
 double Geomean(const std::vector<double>& values) {
   double log_sum = 0;
   int n = 0;

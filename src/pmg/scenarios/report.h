@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "pmg/common/types.h"
+#include "pmg/sancheck/sancheck.h"
 
 /// \file report.h
 /// Plain-text table rendering and summary statistics for the benchmark
@@ -41,6 +42,11 @@ std::string FormatDouble(double v, int precision = 2);
 
 /// Geometric mean (ignores non-positive entries).
 double Geomean(const std::vector<double>& values);
+
+/// Prints a sanitized run's verdict: a one-line PASS when no races were
+/// found, otherwise the summary with one table row per stored report.
+void PrintSancheckReport(const sancheck::SancheckSummary& summary,
+                         std::FILE* out = stdout);
 
 }  // namespace pmg::scenarios
 

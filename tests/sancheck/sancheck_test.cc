@@ -1,0 +1,500 @@
+#include "pmg/sancheck/sancheck.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "pmg/analytics/bc.h"
+#include "pmg/analytics/bfs.h"
+#include "pmg/analytics/cc.h"
+#include "pmg/analytics/kcore.h"
+#include "pmg/analytics/pagerank.h"
+#include "pmg/analytics/sssp.h"
+#include "pmg/analytics/tc.h"
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/properties.h"
+#include "pmg/graph/topology.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/runtime/numa_array.h"
+#include "pmg/runtime/runtime.h"
+#include "pmg/runtime/worklist.h"
+#include "tests/analytics/test_util.h"
+
+namespace pmg::sancheck {
+namespace {
+
+using analytics::testutil::Corpus;
+using analytics::testutil::DefaultOptions;
+using analytics::testutil::NamedGraph;
+
+memsim::PagePolicy TestPolicy() {
+  memsim::PagePolicy policy;
+  policy.placement = memsim::Placement::kInterleaved;
+  return policy;
+}
+
+// ---------------------------------------------------------------------------
+// Race-detector semantics on a bare machine.
+// ---------------------------------------------------------------------------
+
+class RaceDetectorTest : public testing::Test {
+ protected:
+  RaceDetectorTest() : machine_(memsim::DramOnlyConfig()) {
+    machine_.SetObserver(&checker_);
+    region_ = machine_.Alloc(4096, TestPolicy(), "arr");
+    base_ = machine_.BaseOf(region_);
+  }
+  ~RaceDetectorTest() override { machine_.SetObserver(nullptr); }
+
+  memsim::Machine machine_;
+  Sancheck checker_;
+  memsim::RegionId region_ = 0;
+  VirtAddr base_ = 0;
+};
+
+TEST_F(RaceDetectorTest, ConflictingPlainWritesAreARace) {
+  machine_.BeginEpoch(2);
+  machine_.Access(0, base_, 8, AccessType::kWrite);
+  machine_.Access(1, base_, 8, AccessType::kWrite);
+  machine_.EndEpoch();
+  EXPECT_EQ(machine_.stats().sancheck_races, 1u);
+  EXPECT_EQ(machine_.stats().sancheck_race_epochs, 1u);
+  ASSERT_EQ(checker_.summary().reports.size(), 1u);
+  const RaceReport& r = checker_.summary().reports[0];
+  EXPECT_EQ(r.region, "arr");
+  EXPECT_EQ(r.offset, 0u);
+  EXPECT_EQ(r.first_thread, 0u);
+  EXPECT_EQ(r.second_thread, 1u);
+  EXPECT_NE(r.ToString().find("data race"), std::string::npos);
+}
+
+TEST_F(RaceDetectorTest, PlainReadAgainstPlainWriteIsARace) {
+  machine_.BeginEpoch(2);
+  machine_.Access(0, base_, 8, AccessType::kRead);
+  machine_.Access(1, base_, 8, AccessType::kWrite);
+  machine_.EndEpoch();
+  EXPECT_EQ(machine_.stats().sancheck_races, 1u);
+}
+
+TEST_F(RaceDetectorTest, ConcurrentPlainReadsAreNotARace) {
+  machine_.BeginEpoch(2);
+  machine_.Access(0, base_, 8, AccessType::kRead);
+  machine_.Access(1, base_, 8, AccessType::kRead);
+  machine_.EndEpoch();
+  EXPECT_EQ(machine_.stats().sancheck_races, 0u);
+}
+
+TEST_F(RaceDetectorTest, DisjointBytesOfOneLineAreNotARace) {
+  // Adjacent blocked partitions share boundary cache lines without sharing
+  // bytes; the detector must not flag that.
+  machine_.BeginEpoch(2);
+  machine_.Access(0, base_, 8, AccessType::kWrite);
+  machine_.Access(1, base_ + 8, 8, AccessType::kWrite);
+  machine_.EndEpoch();
+  EXPECT_EQ(machine_.stats().sancheck_races, 0u);
+}
+
+TEST_F(RaceDetectorTest, AtomicAccessesSuppressTheRace) {
+  // Neither side atomic -> race; either side atomic -> synchronization.
+  machine_.BeginEpoch(2);
+  machine_.Access(0, base_, 8, AccessType::kAtomicWrite);
+  machine_.Access(1, base_, 8, AccessType::kAtomicRead);
+  machine_.Access(0, base_ + 64, 8, AccessType::kWrite);
+  machine_.Access(1, base_ + 64, 8, AccessType::kAtomicRead);
+  machine_.Access(0, base_ + 128, 8, AccessType::kAtomicRMW);
+  machine_.Access(1, base_ + 128, 8, AccessType::kAtomicRMW);
+  machine_.EndEpoch();
+  EXPECT_EQ(machine_.stats().sancheck_races, 0u);
+}
+
+TEST_F(RaceDetectorTest, SingleThreadedEpochIsNeverARace) {
+  machine_.BeginEpoch(1);
+  machine_.Access(0, base_, 8, AccessType::kWrite);
+  machine_.Access(0, base_, 8, AccessType::kWrite);
+  machine_.EndEpoch();
+  EXPECT_EQ(machine_.stats().sancheck_races, 0u);
+}
+
+TEST_F(RaceDetectorTest, OneReportPerLinePerEpoch) {
+  machine_.BeginEpoch(4);
+  for (ThreadId t = 0; t < 4; ++t) {
+    machine_.Access(t, base_, 8, AccessType::kWrite);       // line 0
+    machine_.Access(t, base_ + 64, 8, AccessType::kWrite);  // line 1
+  }
+  machine_.EndEpoch();
+  EXPECT_EQ(machine_.stats().sancheck_races, 2u);
+  EXPECT_EQ(machine_.stats().sancheck_race_epochs, 1u);
+}
+
+TEST_F(RaceDetectorTest, ShadowStateResetsBetweenEpochs) {
+  machine_.BeginEpoch(2);
+  machine_.Access(0, base_, 8, AccessType::kWrite);
+  machine_.EndEpoch();
+  // The earlier write must not carry into this epoch.
+  machine_.BeginEpoch(2);
+  machine_.Access(1, base_, 8, AccessType::kRead);
+  machine_.EndEpoch();
+  EXPECT_EQ(machine_.stats().sancheck_races, 0u);
+  EXPECT_EQ(checker_.summary().checked_epochs, 2u);
+}
+
+TEST_F(RaceDetectorTest, AtomicRmwKeepsAccessMixParity) {
+  const memsim::MachineStats before = machine_.stats();
+  machine_.BeginEpoch(1);
+  machine_.Access(0, base_, 8, AccessType::kAtomicRMW);
+  machine_.EndEpoch();
+  const memsim::MachineStats d = machine_.stats() - before;
+  EXPECT_EQ(d.accesses, 1u);
+  EXPECT_EQ(d.reads, 1u);
+  EXPECT_EQ(d.writes, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Shadow bounds/lifetime checker (death tests).
+// ---------------------------------------------------------------------------
+
+using BoundsCheckerDeathTest = RaceDetectorTest;
+
+TEST_F(BoundsCheckerDeathTest, OutOfBoundsPastRegionSizeAborts) {
+  // The region is 4096 bytes but the page table rounds it up to a page, so
+  // only the shadow checker can see this overflow.
+  EXPECT_DEATH(machine_.Access(0, base_ + 4092, 8, AccessType::kWrite),
+               "out-of-bounds");
+}
+
+TEST_F(BoundsCheckerDeathTest, AccessIntoAllocatorGapAborts) {
+  EXPECT_DEATH(machine_.Access(0, base_ + 8192, 8, AccessType::kRead),
+               "out-of-bounds");
+}
+
+TEST_F(BoundsCheckerDeathTest, UseAfterFreeAborts) {
+  const memsim::RegionId id = machine_.Alloc(4096, TestPolicy(), "tmp");
+  const VirtAddr tmp = machine_.BaseOf(id);
+  machine_.Access(0, tmp, 8, AccessType::kWrite);
+  machine_.CloseEpochIfOpen();
+  machine_.Free(id);
+  EXPECT_DEATH(machine_.Access(0, tmp, 8, AccessType::kRead),
+               "use-after-free");
+}
+
+TEST_F(BoundsCheckerDeathTest, NeverAllocatedAddressAborts) {
+  EXPECT_DEATH(machine_.Access(0, 64, 8, AccessType::kRead), "wild access");
+}
+
+TEST_F(BoundsCheckerDeathTest, AttachInsideAnEpochAborts) {
+  machine_.BeginEpoch(2);
+  Sancheck other;
+  EXPECT_DEATH(machine_.SetObserver(&other), "outside an epoch");
+  machine_.EndEpoch();
+}
+
+TEST(AbortOnRaceTest, AbortsAtTheFirstRace) {
+  memsim::Machine machine(memsim::DramOnlyConfig());
+  SancheckOptions options;
+  options.abort_on_race = true;
+  Sancheck checker(options);
+  machine.SetObserver(&checker);
+  const memsim::RegionId id = machine.Alloc(4096, TestPolicy(), "arr");
+  const VirtAddr base = machine.BaseOf(id);
+  machine.BeginEpoch(2);
+  machine.Access(0, base, 8, AccessType::kWrite);
+  EXPECT_DEATH(machine.Access(1, base, 8, AccessType::kWrite), "data race");
+  machine.EndEpoch();
+  machine.SetObserver(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// CostRing wrap regression.
+// ---------------------------------------------------------------------------
+
+TEST(CostRingTest, MinimalSliceWrapsInsteadOfOverflowing) {
+  // Regression: the old cursor arithmetic computed modulo
+  // (slice_bytes - 64), which divides by zero on a 64-byte slice and runs
+  // past the slice end for anything smaller than a line. With sancheck
+  // attached, any overflow would abort as out-of-bounds.
+  memsim::Machine machine(memsim::DramOnlyConfig());
+  Sancheck checker;
+  machine.SetObserver(&checker);
+  {
+    runtime::CostRing ring(&machine, 2, "ring", runtime::CostRing::DefaultPolicy(),
+                           /*slice_bytes=*/64);
+    machine.BeginEpoch(2);
+    for (int i = 0; i < 20; ++i) {
+      ring.Charge(0, 8, AccessType::kWrite);
+      ring.Charge(1, 8, AccessType::kRead);
+    }
+    machine.EndEpoch();
+    EXPECT_EQ(machine.stats().sancheck_races, 0u);
+  }
+  machine.SetObserver(nullptr);
+}
+
+TEST(CostRingTest, SubLineSliceStaysInBounds) {
+  memsim::Machine machine(memsim::DramOnlyConfig());
+  Sancheck checker;
+  machine.SetObserver(&checker);
+  {
+    runtime::CostRing ring(&machine, 1, "ring", runtime::CostRing::DefaultPolicy(),
+                           /*slice_bytes=*/48);
+    machine.BeginEpoch(1);
+    for (int i = 0; i < 50; ++i) ring.Charge(0, 16, AccessType::kWrite);
+    machine.EndEpoch();
+  }
+  machine.SetObserver(nullptr);
+}
+
+TEST(CostRingDeathTest, ChargeLargerThanSliceAborts) {
+  memsim::Machine machine(memsim::DramOnlyConfig());
+  runtime::CostRing ring(&machine, 1, "ring",
+                         runtime::CostRing::DefaultPolicy(),
+                         /*slice_bytes=*/16);
+  EXPECT_DEATH(ring.Charge(0, 32, AccessType::kWrite),
+               "larger than its scratch slice");
+}
+
+// ---------------------------------------------------------------------------
+// A deliberately racy kernel must be flagged.
+// ---------------------------------------------------------------------------
+
+/// Machine + sanitizer + resident graph, with the sanitizer attached
+/// *before* the graph is materialized so its shadow table is complete.
+class SanEnv {
+ public:
+  SanEnv(const graph::CsrTopology& topo, bool in_edges, bool weights,
+         uint32_t threads = 8)
+      : machine_(memsim::DramOnlyConfig()) {
+    machine_.SetObserver(&checker_);
+    graph::GraphLayout layout;
+    layout.policy.placement = memsim::Placement::kInterleaved;
+    layout.load_in_edges = in_edges;
+    layout.with_weights = weights;
+    graph_ = std::make_unique<graph::CsrGraph>(&machine_, topo, layout, "g");
+    rt_ = std::make_unique<runtime::Runtime>(&machine_, threads);
+  }
+
+  ~SanEnv() {
+    // Detach before members are torn down so the machine never calls a
+    // destroyed observer.
+    graph_.reset();
+    machine_.SetObserver(nullptr);
+  }
+
+  runtime::Runtime& rt() { return *rt_; }
+  const graph::CsrGraph& graph() const { return *graph_; }
+  memsim::Machine& machine() { return machine_; }
+  const Sancheck& checker() const { return checker_; }
+
+ private:
+  memsim::Machine machine_;
+  Sancheck checker_;
+  std::unique_ptr<graph::CsrGraph> graph_;
+  std::unique_ptr<runtime::Runtime> rt_;
+};
+
+TEST(RacyKernelTest, RacyLabelPropagationIsFlagged) {
+  // CC-style label propagation written the racy way: every vertex reads
+  // its successor's label with a plain load while the successor's owner
+  // plain-writes it in the same epoch. On a cycle, every partition
+  // boundary is such a pair.
+  const graph::CsrTopology topo = graph::Cycle(40);
+  SanEnv env(topo, false, false);
+  runtime::NumaArray<uint64_t> label(&env.machine(), topo.num_vertices,
+                                     TestPolicy(), "racy.label");
+  env.rt().ParallelFor(0, topo.num_vertices, [&](ThreadId t, uint64_t v) {
+    label.Set(t, v, v);
+  });
+  EXPECT_EQ(env.checker().summary().races, 0u) << "init must be clean";
+  env.rt().ParallelFor(0, topo.num_vertices, [&](ThreadId t, uint64_t v) {
+    const uint64_t lv = label.Get(t, v);
+    env.graph().ForEachOutEdge(t, v,
+                               [&](ThreadId tt, VertexId u, uint32_t) {
+      const uint64_t lu = label.Get(tt, u);          // racy cross read
+      label.Set(tt, v, lu < lv ? lu : lv);           // racy write
+    });
+  });
+  EXPECT_GT(env.checker().summary().races, 0u);
+  EXPECT_GT(env.machine().stats().sancheck_races, 0u);
+  // The fixed spelling of the same round is clean: atomic neighbour reads
+  // against atomic owner writes.
+  const uint64_t before = env.checker().summary().races;
+  env.rt().ParallelFor(0, topo.num_vertices, [&](ThreadId t, uint64_t v) {
+    const uint64_t lv = label.Get(t, v);
+    env.graph().ForEachOutEdge(t, v,
+                               [&](ThreadId tt, VertexId u, uint32_t) {
+      const uint64_t lu = label.GetAtomic(tt, u);
+      label.SetAtomic(tt, v, lu < lv ? lu : lv);
+    });
+  });
+  EXPECT_EQ(env.checker().summary().races, before);
+}
+
+// ---------------------------------------------------------------------------
+// Every seed analytics kernel runs clean under the detector.
+// ---------------------------------------------------------------------------
+
+class CleanKernelTest : public testing::TestWithParam<NamedGraph> {
+ protected:
+  /// Runs `body(env)` under an attached sanitizer and returns the race
+  /// count (bounds violations abort, so returning at all proves in-bounds).
+  template <typename Body>
+  static uint64_t RacesIn(const graph::CsrTopology& topo, bool in_edges,
+                          bool weights, Body&& body) {
+    SanEnv env(topo, in_edges, weights);
+    body(env);
+    return env.checker().summary().races;
+  }
+};
+
+TEST_P(CleanKernelTest, Bfs) {
+  const graph::CsrTopology& topo = GetParam().topo;
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  const analytics::AlgoOptions opt = DefaultOptions();
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::BfsDenseWl(e.rt(), e.graph(), src, opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::BfsSparseWl(e.rt(), e.graph(), src, opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::BfsAsync(e.rt(), e.graph(), src, opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, true, false, [&](SanEnv& e) {
+    analytics::BfsDirectionOpt(e.rt(), e.graph(), src, opt);
+  }), 0u);
+}
+
+TEST_P(CleanKernelTest, Sssp) {
+  graph::CsrTopology topo = GetParam().topo;
+  graph::AssignRandomWeights(&topo, 100, 17);
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  const analytics::AlgoOptions opt = DefaultOptions();
+  EXPECT_EQ(RacesIn(topo, false, true, [&](SanEnv& e) {
+    analytics::SsspBellmanFord(e.rt(), e.graph(), src, opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, false, true, [&](SanEnv& e) {
+    analytics::SsspDenseWl(e.rt(), e.graph(), src, opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, false, true, [&](SanEnv& e) {
+    analytics::SsspDeltaStep(e.rt(), e.graph(), src, opt);
+  }), 0u);
+}
+
+TEST_P(CleanKernelTest, Cc) {
+  const graph::CsrTopology& topo = GetParam().topo;
+  const analytics::AlgoOptions opt = DefaultOptions();
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::CcLabelProp(e.rt(), e.graph(), opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::CcLabelPropSC(e.rt(), e.graph(), opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::CcLabelPropSCDir(e.rt(), e.graph(), opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::CcUnionFind(e.rt(), e.graph(), opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::CcAsync(e.rt(), e.graph(), opt);
+  }), 0u);
+}
+
+TEST_P(CleanKernelTest, PageRank) {
+  const graph::CsrTopology& topo = GetParam().topo;
+  analytics::AlgoOptions opt = DefaultOptions();
+  opt.pr_max_rounds = 5;
+  EXPECT_EQ(RacesIn(topo, true, false, [&](SanEnv& e) {
+    analytics::PrPull(e.rt(), e.graph(), opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::PrPushResidual(e.rt(), e.graph(), opt);
+  }), 0u);
+}
+
+TEST_P(CleanKernelTest, Kcore) {
+  const graph::CsrTopology sym = graph::Symmetrize(GetParam().topo);
+  analytics::AlgoOptions opt = DefaultOptions();
+  opt.kcore_k = 3;
+  EXPECT_EQ(RacesIn(sym, false, false, [&](SanEnv& e) {
+    analytics::KcoreAsync(e.rt(), e.graph(), opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(sym, false, false, [&](SanEnv& e) {
+    analytics::KcoreDense(e.rt(), e.graph(), opt);
+  }), 0u);
+}
+
+TEST_P(CleanKernelTest, Bc) {
+  const graph::CsrTopology& topo = GetParam().topo;
+  const VertexId src = graph::MaxOutDegreeVertex(topo);
+  const analytics::AlgoOptions opt = DefaultOptions();
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::BcSparse(e.rt(), e.graph(), src, opt);
+  }), 0u);
+  EXPECT_EQ(RacesIn(topo, false, false, [&](SanEnv& e) {
+    analytics::BcDense(e.rt(), e.graph(), src, opt);
+  }), 0u);
+}
+
+TEST_P(CleanKernelTest, Tc) {
+  const graph::CsrTopology fwd = analytics::TcPrepare(GetParam().topo);
+  EXPECT_EQ(RacesIn(fwd, false, false, [&](SanEnv& e) {
+    analytics::Tc(e.rt(), e.graph());
+  }), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CleanKernelTest, testing::ValuesIn(Corpus()),
+                         [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// Framework-level plumbing: RunApp(sanitize) across the full matrix.
+// ---------------------------------------------------------------------------
+
+TEST(SanitizedRunAppTest, FullMatrixRunsRaceFree) {
+  graph::WebCrawlParams p;
+  p.vertices = 1500;
+  p.avg_out_degree = 6;
+  p.communities = 8;
+  p.tail_length = 60;
+  p.seed = 4;
+  const frameworks::AppInputs inputs =
+      frameworks::AppInputs::Prepare(graph::WebCrawl(p));
+  frameworks::RunConfig cfg;
+  cfg.machine = memsim::DramOnlyConfig();
+  cfg.threads = 8;
+  cfg.pr_max_rounds = 3;
+  cfg.sanitize = true;
+  for (frameworks::FrameworkKind fw : frameworks::AllFrameworks()) {
+    for (frameworks::App app : frameworks::AllApps()) {
+      const frameworks::AppRunResult r = RunApp(fw, app, inputs, cfg);
+      if (!r.supported) continue;
+      EXPECT_TRUE(r.sanitized);
+      EXPECT_EQ(r.sancheck.races, 0u)
+          << frameworks::GetProfile(fw).name << " "
+          << frameworks::AppName(app) << "\n"
+          << r.sancheck.ToString();
+      EXPECT_EQ(r.stats.sancheck_races, 0u);
+      EXPECT_GT(r.sancheck.checked_accesses, 0u);
+    }
+  }
+}
+
+TEST(SanitizedRunAppTest, UnsanitizedRunCarriesNoSummary) {
+  const frameworks::AppInputs inputs =
+      frameworks::AppInputs::Prepare(graph::ErdosRenyi(400, 2400, 5));
+  frameworks::RunConfig cfg;
+  cfg.machine = memsim::DramOnlyConfig();
+  cfg.threads = 4;
+  const frameworks::AppRunResult r =
+      RunApp(frameworks::FrameworkKind::kGalois, frameworks::App::kBfs,
+             inputs, cfg);
+  ASSERT_TRUE(r.supported);
+  EXPECT_FALSE(r.sanitized);
+  EXPECT_EQ(r.sancheck.checked_accesses, 0u);
+  EXPECT_EQ(r.stats.sancheck_races, 0u);
+}
+
+}  // namespace
+}  // namespace pmg::sancheck

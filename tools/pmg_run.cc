@@ -4,6 +4,7 @@
 //   pmg_run --graph clueweb12 --app bfs --framework galois \
 //           --machine pmm --threads 96 [--pages 4k|2m] [--migration]
 //           [--placement local|interleaved|blocked] [--pr-rounds N]
+//           [--sanitize]
 //
 // Graph can be a Table 3 scenario name, or "file:<path>" for a binary CSR
 // written by pmg::graph::SaveCsr. Prints the simulated time and the
@@ -17,6 +18,7 @@
 #include "pmg/graph/graph_io.h"
 #include "pmg/graph/properties.h"
 #include "pmg/memsim/machine_configs.h"
+#include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
 
 namespace {
@@ -31,7 +33,8 @@ int Usage(const char* argv0) {
       "entropy]\n"
       "          [--threads N] [--pages 4k|2m] [--placement "
       "local|interleaved|blocked]\n"
-      "          [--migration] [--pr-rounds N] [--vertex-programs]\n"
+      "          [--migration] [--pr-rounds N] [--vertex-programs] "
+      "[--sanitize]\n"
       "graph names: kron30 clueweb12 uk14 iso_m100 rmat32 wdc12\n",
       argv0);
   return 2;
@@ -111,6 +114,8 @@ int main(int argc, char** argv) {
       migration = true;
     } else if (arg == "--vertex-programs") {
       cfg.force_vertex_programs = true;
+    } else if (arg == "--sanitize") {
+      cfg.sanitize = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -174,5 +179,11 @@ int main(int argc, char** argv) {
               cfg.threads, static_cast<double>(r.time_ns) / 1e6,
               static_cast<unsigned long long>(r.rounds));
   std::printf("\ncounters:\n%s\n", r.stats.ToString().c_str());
+  if (r.sanitized) {
+    scenarios::PrintSancheckReport(r.sancheck);
+    // A sanitized run that found races is a failed run: the kernel (or a
+    // missing atomic annotation) is broken.
+    if (r.sancheck.races > 0) return 1;
+  }
   return 0;
 }
