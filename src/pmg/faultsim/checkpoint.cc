@@ -1,0 +1,158 @@
+#include "pmg/faultsim/checkpoint.h"
+
+#include <algorithm>
+#include <array>
+
+#include "pmg/common/check.h"
+
+namespace pmg::faultsim {
+
+uint32_t Crc32(const void* data, uint64_t n, uint32_t crc) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (uint64_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t CheckpointStore::MetaCrc(const Slot& s) {
+  uint32_t crc = Crc32(&s.seq, sizeof(s.seq));
+  crc = Crc32(&s.payload_bytes, sizeof(s.payload_bytes), crc);
+  if (!s.chunk_crcs.empty()) {
+    crc = Crc32(s.chunk_crcs.data(),
+                s.chunk_crcs.size() * sizeof(uint32_t), crc);
+  }
+  return crc;
+}
+
+void CheckpointStore::Write(memsim::Machine& machine, uint32_t threads,
+                            const void* payload, uint64_t bytes) {
+  PMG_CHECK_MSG(!machine.in_epoch(),
+                "checkpoint writes run in their own epoch");
+  PMG_CHECK(threads >= 1 && bytes > 0);
+  // A/B scheme: overwrite the torn or older slot, never the newest
+  // committed one.
+  auto worth = [](const Slot& s) { return s.committed ? s.seq : uint64_t{0}; };
+  Slot& slot = slots_[worth(slots_[0]) <= worth(slots_[1]) ? 0 : 1];
+  ++stats_.writes_started;
+  // From here until the commit record lands, the slot is torn.
+  slot.committed = false;
+  slot.seq = next_seq_++;
+  slot.payload_bytes = bytes;
+  slot.data.clear();
+  slot.chunk_crcs.clear();
+  slot.meta_crc = 0;
+
+  const auto* src = static_cast<const uint8_t*>(payload);
+  machine.BeginEpoch(threads);
+  uint64_t off = 0;
+  uint32_t chunk_index = 0;
+  while (off < bytes) {
+    const uint64_t len = std::min<uint64_t>(opt_.chunk_bytes, bytes - off);
+    // Host state first, priced I/O second: a SimulatedCrash thrown from
+    // the storage path leaves this chunk present but uncommitted — torn.
+    slot.data.insert(slot.data.end(), src + off, src + off + len);
+    slot.chunk_crcs.push_back(Crc32(src + off, len));
+    machine.StorageWrite(chunk_index % threads, len, opt_.node,
+                         /*sequential=*/true);
+    stats_.bytes_written += len;
+    off += len;
+    ++chunk_index;
+  }
+  slot.meta_crc = MetaCrc(slot);
+  // Commit record: one cache-line publication store.
+  machine.StorageWrite(0, 64, opt_.node, /*sequential=*/true);
+  stats_.bytes_written += 64;
+  slot.committed = true;
+  ++stats_.writes_committed;
+  machine.EndEpoch();
+}
+
+bool CheckpointStore::Validate(const Slot& s) {
+  if (!s.committed) {
+    ++stats_.torn_detected;
+    return false;
+  }
+  if (s.meta_crc != MetaCrc(s) || s.data.size() != s.payload_bytes) {
+    ++stats_.crc_failures;
+    return false;
+  }
+  uint64_t off = 0;
+  for (const uint32_t expect : s.chunk_crcs) {
+    const uint64_t len =
+        std::min<uint64_t>(opt_.chunk_bytes, s.data.size() - off);
+    if (len == 0 || Crc32(s.data.data() + off, len) != expect) {
+      ++stats_.crc_failures;
+      return false;
+    }
+    off += len;
+  }
+  if (off != s.data.size()) {
+    ++stats_.torn_detected;
+    return false;
+  }
+  return true;
+}
+
+bool CheckpointStore::Restore(memsim::Machine& machine,
+                              std::vector<uint8_t>* payload) {
+  PMG_CHECK_MSG(!machine.in_epoch(),
+                "checkpoint restores run in their own epoch");
+  // Newest slot by seq first; a torn slot carries its seq, so a torn
+  // newest is examined — and rejected — before the older committed one.
+  int order[2] = {0, 1};
+  if (slots_[1].seq > slots_[0].seq) {
+    order[0] = 1;
+    order[1] = 0;
+  }
+  machine.BeginEpoch(1);
+  bool found = false;
+  bool newest_candidate = true;
+  for (int k = 0; k < 2 && !found; ++k) {
+    Slot& s = slots_[order[k]];
+    if (s.seq == 0) continue;
+    // Header probe plus a sequential payload scan, both priced.
+    machine.StorageRead(0, 64, opt_.node, /*sequential=*/true);
+    stats_.bytes_read += 64;
+    if (!s.data.empty()) {
+      machine.StorageRead(0, s.data.size(), opt_.node, /*sequential=*/true);
+      stats_.bytes_read += s.data.size();
+    }
+    if (Validate(s)) {
+      payload->assign(s.data.begin(),
+                      s.data.begin() + static_cast<int64_t>(s.payload_bytes));
+      ++stats_.restores;
+      if (!newest_candidate) ++stats_.fallbacks;
+      found = true;
+    }
+    newest_candidate = false;
+  }
+  machine.EndEpoch();
+  return found;
+}
+
+void CheckpointStore::CorruptNewest() {
+  Slot* target = nullptr;
+  for (Slot& s : slots_) {
+    if (s.committed && !s.data.empty() &&
+        (target == nullptr || s.seq > target->seq)) {
+      target = &s;
+    }
+  }
+  PMG_CHECK_MSG(target != nullptr, "no committed checkpoint to corrupt");
+  target->data[target->data.size() / 2] ^= 0x01;
+}
+
+}  // namespace pmg::faultsim

@@ -1,0 +1,157 @@
+#ifndef PMG_FAULTSIM_CHECKPOINT_H_
+#define PMG_FAULTSIM_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/machine.h"
+
+/// \file checkpoint.h
+/// An epoch-granular checkpoint store over the app-direct storage model.
+///
+/// Layout is the classic persistent-memory A/B (dual-slot) scheme: writes
+/// alternate between two slots, so the newest *committed* checkpoint is
+/// never overwritten by an in-progress one. A slot is a sequence number,
+/// the payload split into fixed-size chunks each protected by a CRC32, and
+/// a commit record written last (one cache-line store, the PM publication
+/// idiom). A crash mid-write leaves the slot without its commit record —
+/// torn — and recovery falls back to the other slot.
+///
+/// Every byte written or read is priced through Machine::StorageWrite /
+/// StorageRead, i.e. with the paper's app-direct bandwidth rows; the
+/// host-side slot buffers are mutated *before* each priced call, so a
+/// SimulatedCrash thrown from the storage path leaves exactly the torn
+/// state a real power cut would.
+
+namespace pmg::faultsim {
+
+/// CRC-32 (IEEE 802.3, reflected). `crc` chains partial computations;
+/// Crc32("123456789") == 0xCBF43926.
+uint32_t Crc32(const void* data, uint64_t n, uint32_t crc = 0);
+
+struct CheckpointStats {
+  uint64_t writes_started = 0;
+  uint64_t writes_committed = 0;
+  uint64_t restores = 0;
+  /// Slots rejected during restore: missing commit record / CRC mismatch.
+  uint64_t torn_detected = 0;
+  uint64_t crc_failures = 0;
+  /// Restores that had to fall back past the newest slot.
+  uint64_t fallbacks = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+};
+
+/// Little-endian-of-host byte serializer for checkpoint payloads.
+class PayloadWriter {
+ public:
+  void U32(uint32_t v) { Bytes(&v, sizeof(v)); }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void F64(double v) { Bytes(&v, sizeof(v)); }
+  void Bytes(const void* p, uint64_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  const std::vector<uint8_t>& data() const { return buf_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader; `ok()` goes false on over-read instead of UB,
+/// so a corrupted payload that slipped past the CRCs still fails loudly.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<uint8_t>& buf)
+      : p_(buf.data()), end_(buf.data() + buf.size()) {}
+  uint32_t U32() {
+    uint32_t v = 0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Bytes(&v, sizeof(v));
+    return v;
+  }
+  bool Bytes(void* out, uint64_t n) {
+    if (static_cast<uint64_t>(end_ - p_) < n) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(out, p_, n);
+    p_ += n;
+    return true;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool ok_ = true;
+};
+
+class CheckpointStore {
+ public:
+  struct Options {
+    /// Chunk size of the payload split (one CRC per chunk).
+    uint32_t chunk_bytes = 4096;
+    /// Home node of the app-direct namespace.
+    NodeId node = 0;
+  };
+
+  CheckpointStore() = default;
+  explicit CheckpointStore(const Options& opt) : opt_(opt) {}
+
+  /// Writes `bytes` of `payload` as the next checkpoint, pricing the I/O
+  /// on `machine` in one epoch with `threads` writers. May propagate
+  /// SimulatedCrash from the machine's fault hook — in that case the
+  /// target slot is torn (host state mutated, commit record absent).
+  void Write(memsim::Machine& machine, uint32_t threads, const void* payload,
+             uint64_t bytes);
+
+  /// Validates the newest slot (commit record + meta CRC + chunk CRCs),
+  /// falling back to the other slot if torn or corrupt. Returns false when
+  /// no valid checkpoint exists. Reads are priced on `machine`.
+  bool Restore(memsim::Machine& machine, std::vector<uint8_t>* payload);
+
+  bool HasCommitted() const {
+    return slots_[0].committed || slots_[1].committed;
+  }
+  const CheckpointStats& stats() const { return stats_; }
+
+  /// Test hook: flips one payload byte of the newest committed slot
+  /// without touching its CRCs, simulating silent media corruption.
+  void CorruptNewest();
+
+ private:
+  struct Slot {
+    uint64_t seq = 0;  // 0 = never written
+    bool committed = false;
+    uint64_t payload_bytes = 0;
+    std::vector<uint8_t> data;
+    std::vector<uint32_t> chunk_crcs;
+    uint32_t meta_crc = 0;
+  };
+
+  /// CRC over the slot header (seq, payload size, chunk CRCs).
+  static uint32_t MetaCrc(const Slot& s);
+  /// True when the slot holds a complete, uncorrupted checkpoint.
+  bool Validate(const Slot& s);
+
+  Slot slots_[2];
+  uint64_t next_seq_ = 1;
+  Options opt_;
+  CheckpointStats stats_;
+};
+
+}  // namespace pmg::faultsim
+
+#endif  // PMG_FAULTSIM_CHECKPOINT_H_

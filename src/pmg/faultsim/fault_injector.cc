@@ -1,0 +1,119 @@
+#include "pmg/faultsim/fault_injector.h"
+
+#include "pmg/memsim/cpu_cache.h"
+
+namespace pmg::faultsim {
+
+namespace {
+
+/// splitmix64: the standard 64-bit finalizer — deterministic, stateless,
+/// good avalanche for seeded per-ordinal draws.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultSchedule& schedule)
+    : seed_(schedule.seed) {
+  armed_.reserve(schedule.events.size());
+  for (const FaultEvent& ev : schedule.events) armed_.push_back({ev, false});
+}
+
+uint32_t FaultInjector::RetriesFor(uint64_t ordinal,
+                                   const FaultEvent& ev) const {
+  return 1 + static_cast<uint32_t>(SplitMix64(seed_ ^ ordinal) %
+                                   ev.max_retries);
+}
+
+SimNs FaultInjector::LatencyStall(uint64_t ordinal, uint32_t* retries) {
+  SimNs stall = 0;
+  for (Armed& a : armed_) {
+    if (a.ev.kind != FaultKind::kLatency) continue;
+    if (ordinal < a.ev.at || ordinal >= a.ev.at + a.ev.count) continue;
+    const uint32_t r = RetriesFor(ordinal, a.ev);
+    // Exponential backoff: retry k waits base * 2^(k-1), summing to
+    // base * (2^r - 1).
+    stall += a.ev.stall_ns * ((uint64_t{1} << r) - 1);
+    *retries += r;
+    ++report_.transient_faults;
+  }
+  report_.retries += *retries;
+  report_.stall_ns += stall;
+  return stall;
+}
+
+void FaultInjector::MaybeCrashAtOp(uint64_t ordinal) {
+  for (Armed& a : armed_) {
+    if (a.ev.kind != FaultKind::kCrash || a.fired) continue;
+    if (a.ev.trigger != TriggerKind::kAccess || ordinal < a.ev.at) continue;
+    // Consume before throwing: the event must not re-fire after restart.
+    a.fired = true;
+    ++report_.crashes;
+    throw memsim::SimulatedCrash{ordinal, 0};
+  }
+}
+
+memsim::FaultAction FaultInjector::OnMediaAccess(ThreadId /*t*/,
+                                                 VirtAddr addr,
+                                                 bool /*pmm_media*/) {
+  const uint64_t ord = report_.media_ops++;
+  memsim::FaultAction action;
+  for (Armed& a : armed_) {
+    if (a.ev.kind != FaultKind::kUe || a.fired) continue;
+    const bool hit =
+        a.ev.trigger == TriggerKind::kAccess
+            ? ord >= a.ev.at
+            : addr / memsim::kCacheLineBytes ==
+                  a.ev.at / memsim::kCacheLineBytes;
+    if (hit) {
+      a.fired = true;
+      action.uncorrectable = true;
+      ++report_.ue_delivered;
+    }
+  }
+  action.stall_ns = LatencyStall(ord, &action.retries);
+  MaybeCrashAtOp(ord);
+  return action;
+}
+
+SimNs FaultInjector::OnStorageOp(ThreadId /*t*/, uint64_t /*bytes*/,
+                                 bool /*write*/) {
+  const uint64_t ord = report_.media_ops++;
+  uint32_t retries = 0;
+  const SimNs stall = LatencyStall(ord, &retries);
+  MaybeCrashAtOp(ord);
+  return stall;
+}
+
+void FaultInjector::OnQuarantined(VirtAddr page_base, uint64_t page_bytes,
+                                  std::string_view region) {
+  report_.losses.push_back({std::string(region), page_base, page_bytes});
+}
+
+double FaultInjector::RemoteBandwidthFactor(uint64_t epoch) {
+  double factor = 1.0;
+  for (const Armed& a : armed_) {
+    if (a.ev.kind != FaultKind::kLink) continue;
+    if (epoch >= a.ev.at && epoch < a.ev.at + a.ev.epochs) {
+      factor = factor < a.ev.factor ? factor : a.ev.factor;
+    }
+  }
+  if (factor < 1.0) ++report_.degraded_epochs;
+  return factor;
+}
+
+void FaultInjector::OnEpochEnd(uint64_t epoch) {
+  for (Armed& a : armed_) {
+    if (a.ev.kind != FaultKind::kCrash || a.fired) continue;
+    if (a.ev.trigger != TriggerKind::kEpoch || epoch < a.ev.at) continue;
+    a.fired = true;
+    ++report_.crashes;
+    throw memsim::SimulatedCrash{0, epoch};
+  }
+}
+
+}  // namespace pmg::faultsim

@@ -1,0 +1,78 @@
+#ifndef PMG_FAULTSIM_FAULT_INJECTOR_H_
+#define PMG_FAULTSIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/faultsim/fault_schedule.h"
+#include "pmg/memsim/fault_hook.h"
+
+/// \file fault_injector.h
+/// The FaultHook implementation that replays a FaultSchedule. The injector
+/// keeps one shared media-op ordinal across costed accesses and storage
+/// I/Os, so `access:N` triggers land on a deterministic event stream.
+/// One-shot events (UEs, crashes) are consumed *before* they fire, which
+/// is what lets a recovery driver keep the same injector attached across
+/// restarts without the crash re-firing.
+
+namespace pmg::faultsim {
+
+/// What the injector delivered over its lifetime (which may span several
+/// machine instances when a recovery driver restarts after crashes).
+struct FaultReport {
+  uint64_t media_ops = 0;
+  uint64_t ue_delivered = 0;
+  uint64_t transient_faults = 0;
+  uint64_t retries = 0;
+  SimNs stall_ns = 0;
+  uint64_t degraded_epochs = 0;
+  uint64_t crashes = 0;
+  /// Data the machine reported lost to quarantine, oldest first.
+  struct Loss {
+    std::string region;
+    VirtAddr page_base = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<Loss> losses;
+};
+
+class FaultInjector final : public memsim::FaultHook {
+ public:
+  explicit FaultInjector(const FaultSchedule& schedule);
+
+  memsim::FaultAction OnMediaAccess(ThreadId t, VirtAddr addr,
+                                    bool pmm_media) override;
+  SimNs OnStorageOp(ThreadId t, uint64_t bytes, bool write) override;
+  void OnQuarantined(VirtAddr page_base, uint64_t page_bytes,
+                     std::string_view region) override;
+  double RemoteBandwidthFactor(uint64_t epoch) override;
+  void OnEpochEnd(uint64_t epoch) override;
+
+  uint64_t media_ops() const { return report_.media_ops; }
+  const FaultReport& report() const { return report_; }
+
+ private:
+  struct Armed {
+    FaultEvent ev;
+    bool fired = false;
+  };
+
+  /// Seeded deterministic retry count in [1, max_retries] for media op
+  /// `ordinal`, and the exponential-backoff stall it implies.
+  uint32_t RetriesFor(uint64_t ordinal, const FaultEvent& ev) const;
+  /// Applies latency events to op `ordinal`; returns the total stall and
+  /// adds the retry count to `*retries`.
+  SimNs LatencyStall(uint64_t ordinal, uint32_t* retries);
+  /// Fires any armed access-triggered crash at op `ordinal` (throws).
+  void MaybeCrashAtOp(uint64_t ordinal);
+
+  std::vector<Armed> armed_;
+  uint64_t seed_ = 1;
+  FaultReport report_;
+};
+
+}  // namespace pmg::faultsim
+
+#endif  // PMG_FAULTSIM_FAULT_INJECTOR_H_

@@ -1,0 +1,189 @@
+#include "pmg/faultsim/fault_schedule.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace pmg::faultsim {
+
+namespace {
+
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+    base = 16;
+  }
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out,
+                                       base);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool ParseF64(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool Fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+bool ParseEvent(std::string_view token, FaultEvent* ev, std::string* error) {
+  const std::string tok(token);  // for error messages
+  // Head: kind@trigger:value, then ,key=val pairs.
+  const size_t comma = token.find(',');
+  std::string_view head = token.substr(0, comma);
+  const size_t at_pos = head.find('@');
+  if (at_pos == std::string_view::npos) {
+    return Fail(error, "fault event '" + tok + "' is missing '@trigger'");
+  }
+  const std::string_view kind = head.substr(0, at_pos);
+  std::string_view trig = head.substr(at_pos + 1);
+  const size_t colon = trig.find(':');
+  if (colon == std::string_view::npos) {
+    return Fail(error, "fault trigger in '" + tok + "' is missing ':value'");
+  }
+  const std::string_view trig_kind = trig.substr(0, colon);
+  const std::string_view trig_value = trig.substr(colon + 1);
+
+  if (kind == "ue") {
+    ev->kind = FaultKind::kUe;
+  } else if (kind == "lat") {
+    ev->kind = FaultKind::kLatency;
+  } else if (kind == "link") {
+    ev->kind = FaultKind::kLink;
+  } else if (kind == "crash") {
+    ev->kind = FaultKind::kCrash;
+  } else {
+    return Fail(error, "unknown fault kind '" + std::string(kind) + "'");
+  }
+
+  if (trig_kind == "access") {
+    ev->trigger = TriggerKind::kAccess;
+  } else if (trig_kind == "addr") {
+    ev->trigger = TriggerKind::kAddr;
+  } else if (trig_kind == "epoch") {
+    ev->trigger = TriggerKind::kEpoch;
+  } else {
+    return Fail(error,
+                "unknown fault trigger '" + std::string(trig_kind) + "'");
+  }
+  if (!ParseU64(trig_value, &ev->at)) {
+    return Fail(error,
+                "bad trigger value '" + std::string(trig_value) + "'");
+  }
+
+  // Kind/trigger compatibility.
+  const bool ok =
+      (ev->kind == FaultKind::kUe && (ev->trigger == TriggerKind::kAccess ||
+                                      ev->trigger == TriggerKind::kAddr)) ||
+      (ev->kind == FaultKind::kLatency &&
+       ev->trigger == TriggerKind::kAccess) ||
+      (ev->kind == FaultKind::kLink && ev->trigger == TriggerKind::kEpoch) ||
+      (ev->kind == FaultKind::kCrash && (ev->trigger == TriggerKind::kAccess ||
+                                         ev->trigger == TriggerKind::kEpoch));
+  if (!ok) {
+    return Fail(error, "fault kind '" + std::string(kind) +
+                           "' cannot use trigger '" + std::string(trig_kind) +
+                           "'");
+  }
+
+  std::string_view rest =
+      comma == std::string_view::npos ? std::string_view{}
+                                      : token.substr(comma + 1);
+  while (!rest.empty()) {
+    const size_t next = rest.find(',');
+    const std::string_view kv = rest.substr(0, next);
+    rest = next == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(next + 1);
+    const size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) {
+      return Fail(error, "fault option '" + std::string(kv) +
+                             "' is not key=value");
+    }
+    const std::string_view key = kv.substr(0, eq);
+    const std::string_view val = kv.substr(eq + 1);
+    uint64_t u = 0;
+    if (key == "ns" && ev->kind == FaultKind::kLatency) {
+      if (!ParseU64(val, &u) || u == 0) {
+        return Fail(error, "bad ns value '" + std::string(val) + "'");
+      }
+      ev->stall_ns = u;
+    } else if (key == "count" && ev->kind == FaultKind::kLatency) {
+      if (!ParseU64(val, &u) || u == 0 || u > 0xffffffffull) {
+        return Fail(error, "bad count value '" + std::string(val) + "'");
+      }
+      ev->count = static_cast<uint32_t>(u);
+    } else if (key == "retries" && ev->kind == FaultKind::kLatency) {
+      if (!ParseU64(val, &u) || u == 0 || u > 16) {
+        return Fail(error, "retries must be in [1, 16]");
+      }
+      ev->max_retries = static_cast<uint32_t>(u);
+    } else if (key == "x" && ev->kind == FaultKind::kLink) {
+      double f = 0;
+      if (!ParseF64(val, &f) || !(f > 0.0 && f <= 1.0)) {
+        return Fail(error, "link factor x must be in (0, 1]");
+      }
+      ev->factor = f;
+    } else if (key == "epochs" && ev->kind == FaultKind::kLink) {
+      if (!ParseU64(val, &u) || u == 0 || u > 0xffffffffull) {
+        return Fail(error, "bad epochs value '" + std::string(val) + "'");
+      }
+      ev->epochs = static_cast<uint32_t>(u);
+    } else {
+      return Fail(error, "option '" + std::string(key) +
+                             "' does not apply to fault kind '" +
+                             std::string(kind) + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kUe:
+      return "ue";
+    case FaultKind::kLatency:
+      return "lat";
+    case FaultKind::kLink:
+      return "link";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+bool FaultSchedule::HasCrash() const {
+  for (const FaultEvent& ev : events) {
+    if (ev.kind == FaultKind::kCrash) return true;
+  }
+  return false;
+}
+
+bool FaultSchedule::Parse(std::string_view spec, FaultSchedule* out,
+                          std::string* error) {
+  out->events.clear();
+  while (!spec.empty()) {
+    const size_t semi = spec.find(';');
+    const std::string_view token = spec.substr(0, semi);
+    spec = semi == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(semi + 1);
+    if (token.empty()) continue;
+    if (token.rfind("seed=", 0) == 0) {
+      if (!ParseU64(token.substr(5), &out->seed)) {
+        return Fail(error, "bad seed value '" + std::string(token) + "'");
+      }
+      continue;
+    }
+    FaultEvent ev;
+    if (!ParseEvent(token, &ev, error)) return false;
+    out->events.push_back(ev);
+  }
+  return true;
+}
+
+}  // namespace pmg::faultsim

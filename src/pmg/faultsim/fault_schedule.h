@@ -1,0 +1,78 @@
+#ifndef PMG_FAULTSIM_FAULT_SCHEDULE_H_
+#define PMG_FAULTSIM_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmg/common/types.h"
+
+/// \file fault_schedule.h
+/// Declarative, fully deterministic fault schedules. A schedule is a list
+/// of armed events over *media-op ordinals* (the count of costed media
+/// accesses plus storage I/Os since the injector was created), virtual
+/// addresses, or epoch indices — never wall-clock or host randomness, so
+/// every injected run is bit-reproducible.
+///
+/// Text grammar (the `pmg_run --faults=` spec): events separated by `;`,
+/// each `kind@trigger:value[,key=val...]`:
+///
+///   ue@access:N          uncorrectable media error at media op N
+///   ue@addr:0xHEX        UE on first touch of the line holding 0xHEX
+///   lat@access:N,ns=T,count=M,retries=R
+///                        transient media faults on ops [N, N+M): each op
+///                        retries 1..R times (seeded) with exponential
+///                        backoff of base T ns
+///   link@epoch:E,x=F,epochs=K
+///                        remote-link bandwidth scaled by F for epochs
+///                        [E, E+K)
+///   crash@epoch:E        process crash at the end of epoch E
+///   crash@access:N       process crash at media op N
+///   seed=S               seed of the deterministic retry draw
+///
+/// Example: "ue@access:5000;lat@access:9000,ns=2000,count=16;crash@epoch:3"
+
+namespace pmg::faultsim {
+
+enum class FaultKind { kUe, kLatency, kLink, kCrash };
+enum class TriggerKind { kAccess, kAddr, kEpoch };
+
+const char* FaultKindName(FaultKind k);
+
+/// One armed event. Fields beyond `kind`/`trigger`/`at` apply only to the
+/// kinds that read them.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kUe;
+  TriggerKind trigger = TriggerKind::kAccess;
+  /// Media-op ordinal, virtual address, or epoch index, per `trigger`.
+  uint64_t at = 0;
+  /// kLatency: backoff base per retry.
+  SimNs stall_ns = 1000;
+  /// kLatency: number of consecutive media ops affected.
+  uint32_t count = 1;
+  /// kLatency: retry bound (each affected op retries 1..max_retries times).
+  uint32_t max_retries = 3;
+  /// kLink: remote-bandwidth multiplier in (0, 1].
+  double factor = 0.5;
+  /// kLink: duration in epochs.
+  uint32_t epochs = 1;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+  /// Seeds the deterministic pseudo-random retry-count draw.
+  uint64_t seed = 1;
+
+  bool empty() const { return events.empty(); }
+  bool HasCrash() const;
+
+  /// Parses the text grammar above. On failure returns false and sets
+  /// `*error` to a one-line description (for the CLI's exit-2 path).
+  static bool Parse(std::string_view spec, FaultSchedule* out,
+                    std::string* error);
+};
+
+}  // namespace pmg::faultsim
+
+#endif  // PMG_FAULTSIM_FAULT_SCHEDULE_H_

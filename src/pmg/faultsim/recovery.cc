@@ -1,0 +1,241 @@
+#include "pmg/faultsim/recovery.h"
+
+#include <cmath>
+#include <vector>
+
+#include "pmg/common/check.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/runtime/numa_array.h"
+#include "pmg/runtime/runtime.h"
+#include "pmg/runtime/worklist.h"
+
+namespace pmg::faultsim {
+
+namespace {
+
+/// Attempt loop shared by the drivers: build a fresh machine per attempt
+/// (DRAM does not survive a crash), keep the injector attached across
+/// attempts (the fault schedule and its consumed one-shot events do), and
+/// account every attempt's simulated time — including the partial work a
+/// crash threw away, which is exactly the cost recovery must beat.
+template <typename Attempt>
+void RunAttempts(const RecoveryConfig& cfg, FaultInjector& injector,
+                 RecoveryResult& out, Attempt&& attempt) {
+  for (uint32_t i = 0; i <= cfg.max_restarts; ++i) {
+    ++out.attempts;
+    memsim::Machine machine(cfg.machine);
+    machine.SetFaultHook(&injector);
+    bool done = false;
+    try {
+      done = attempt(machine, i);
+      machine.CloseEpochIfOpen();
+    } catch (const memsim::SimulatedCrash&) {
+      ++out.crashes;
+      // Close the interrupted epoch so time spent before the crash is
+      // accounted. A second crash fired while closing is swallowed: this
+      // machine is already dead.
+      try {
+        machine.CloseEpochIfOpen();
+      } catch (const memsim::SimulatedCrash&) {
+        ++out.crashes;
+      }
+    }
+    out.total_ns += machine.now();
+    if (done) {
+      out.stats = machine.stats();
+      out.completed = true;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+RecoveryResult RunBfsWithRecovery(const graph::CsrTopology& topo,
+                                  VertexId source,
+                                  const RecoveryConfig& cfg) {
+  RecoveryResult out;
+  FaultInjector injector(cfg.faults);
+  CheckpointStore store;
+  const uint64_t n = topo.num_vertices;
+  PMG_CHECK(source < n);
+
+  RunAttempts(cfg, injector, out,
+              [&](memsim::Machine& machine, uint32_t attempt_index) {
+    runtime::Runtime rt(&machine, cfg.threads);
+    graph::GraphLayout layout;
+    layout.policy = cfg.algo.label_policy;
+    graph::CsrGraph g(&machine, topo, layout, "g");
+    g.Prefault(cfg.threads);
+
+    runtime::NumaArray<uint32_t> level(&machine, n, cfg.algo.label_policy,
+                                       "bfs.level");
+    runtime::DenseWorklist wl(&machine, n, cfg.algo.label_policy, "bfs.wl");
+    uint32_t round = 0;
+    bool resumed = false;
+    if (attempt_index > 0) {
+      std::vector<uint8_t> payload;
+      const SimNs t0 = machine.now();
+      const bool ok = store.Restore(machine, &payload);
+      out.restore_ns += machine.now() - t0;
+      if (ok) {
+        PayloadReader r(payload);
+        round = r.U32();
+        const uint64_t active = r.U64();
+        std::vector<uint32_t> lv(n);
+        std::vector<uint8_t> flags(n);
+        r.Bytes(lv.data(), n * sizeof(uint32_t));
+        r.Bytes(flags.data(), n);
+        PMG_CHECK_MSG(r.ok(), "bfs checkpoint payload truncated");
+        rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+          level.Set(t, v, lv[v]);
+        });
+        wl.RestoreCur(rt, flags.data(), active);
+        resumed = true;
+        ++out.restarts_from_checkpoint;
+      }
+    }
+    if (!resumed) {
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        level.Set(t, v, analytics::kInfLevel);
+      });
+      level.Set(0, source, 0);
+      wl.ActivateCur(0, source);
+      if (attempt_index > 0) ++out.restarts_from_scratch;
+    }
+
+    while (!wl.Empty()) {
+      const uint32_t next_level = round + 1;
+      wl.ForEachActive(rt, [&](ThreadId t, uint64_t v) {
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          if (level.CasMin(tt, u, next_level)) wl.Activate(tt, u);
+        });
+      });
+      wl.Advance(rt);
+      ++round;
+      if (cfg.checkpoint_every > 0 && !wl.Empty() &&
+          round % cfg.checkpoint_every == 0) {
+        PayloadWriter w;
+        w.U32(round);
+        w.U64(wl.ActiveCount());
+        w.Bytes(level.raw(), n * sizeof(uint32_t));
+        w.Bytes(wl.cur_flags().raw(), n);
+        OpRange range;
+        range.begin_op = injector.media_ops();
+        const SimNs t0 = machine.now();
+        store.Write(machine, cfg.threads, w.data().data(), w.data().size());
+        out.checkpoint_write_ns += machine.now() - t0;
+        range.end_op = injector.media_ops();
+        out.ckpt_op_ranges.push_back(range);
+      }
+    }
+    out.rounds = round;
+    out.bfs_levels.assign(level.raw(), level.raw() + n);
+    return true;
+  });
+  out.fault = injector.report();
+  out.ckpt = store.stats();
+  return out;
+}
+
+RecoveryResult RunPrWithRecovery(const graph::CsrTopology& topo,
+                                 const RecoveryConfig& cfg) {
+  RecoveryResult out;
+  FaultInjector injector(cfg.faults);
+  CheckpointStore store;
+  const uint64_t n = topo.num_vertices;
+
+  RunAttempts(cfg, injector, out,
+              [&](memsim::Machine& machine, uint32_t attempt_index) {
+    runtime::Runtime rt(&machine, cfg.threads);
+    graph::GraphLayout layout;
+    layout.policy = cfg.algo.label_policy;
+    layout.load_in_edges = true;
+    graph::CsrGraph g(&machine, topo, layout, "g");
+    g.Prefault(cfg.threads);
+
+    const double base = 1.0 - cfg.algo.pr_damping;
+    runtime::NumaArray<double> rank(&machine, n, cfg.algo.label_policy,
+                                    "pr.rank");
+    runtime::NumaArray<double> contrib(&machine, n, cfg.algo.label_policy,
+                                       "pr.contrib");
+    uint64_t round = 0;
+    double mean_delta = cfg.algo.pr_tolerance + 1;
+    bool resumed = false;
+    if (attempt_index > 0) {
+      std::vector<uint8_t> payload;
+      const SimNs t0 = machine.now();
+      const bool ok = store.Restore(machine, &payload);
+      out.restore_ns += machine.now() - t0;
+      if (ok) {
+        PayloadReader r(payload);
+        round = r.U64();
+        mean_delta = r.F64();
+        std::vector<double> rk(n);
+        r.Bytes(rk.data(), n * sizeof(double));
+        PMG_CHECK_MSG(r.ok(), "pagerank checkpoint payload truncated");
+        rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+          rank.Set(t, v, rk[v]);
+        });
+        resumed = true;
+        ++out.restarts_from_checkpoint;
+      }
+    }
+    if (!resumed) {
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        rank.Set(t, v, base);
+      });
+      if (attempt_index > 0) ++out.restarts_from_scratch;
+    }
+
+    // The PrPull loop: contrib is recomputed from rank each round, so
+    // (round, mean_delta, rank[]) is the complete round state.
+    while (round < cfg.algo.pr_max_rounds &&
+           mean_delta > cfg.algo.pr_tolerance) {
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        const auto [first, last] = g.OutRange(t, v);
+        const uint64_t deg = last - first;
+        contrib.Set(
+            t, v,
+            deg == 0 ? 0.0 : rank.Get(t, v) / static_cast<double>(deg));
+      });
+      double total_delta = 0;
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        double sum = 0;
+        const auto [first, last] = g.InRange(t, v);
+        for (EdgeId e = first; e < last; ++e) {
+          sum += contrib.Get(t, g.InSrc(t, e));
+        }
+        const double next = base + cfg.algo.pr_damping * sum;
+        total_delta += std::fabs(next - rank.Get(t, v));
+        rank.Set(t, v, next);
+      });
+      mean_delta = total_delta / static_cast<double>(n);
+      ++round;
+      const bool will_continue = round < cfg.algo.pr_max_rounds &&
+                                 mean_delta > cfg.algo.pr_tolerance;
+      if (cfg.checkpoint_every > 0 && will_continue &&
+          round % cfg.checkpoint_every == 0) {
+        PayloadWriter w;
+        w.U64(round);
+        w.F64(mean_delta);
+        w.Bytes(rank.raw(), n * sizeof(double));
+        OpRange range;
+        range.begin_op = injector.media_ops();
+        const SimNs t0 = machine.now();
+        store.Write(machine, cfg.threads, w.data().data(), w.data().size());
+        out.checkpoint_write_ns += machine.now() - t0;
+        range.end_op = injector.media_ops();
+        out.ckpt_op_ranges.push_back(range);
+      }
+    }
+    out.rounds = round;
+    out.pr_ranks.assign(rank.raw(), rank.raw() + n);
+    return true;
+  });
+  out.fault = injector.report();
+  out.ckpt = store.stats();
+  return out;
+}
+
+}  // namespace pmg::faultsim

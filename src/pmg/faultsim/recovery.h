@@ -1,0 +1,83 @@
+#ifndef PMG_FAULTSIM_RECOVERY_H_
+#define PMG_FAULTSIM_RECOVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pmg/analytics/common.h"
+#include "pmg/faultsim/checkpoint.h"
+#include "pmg/faultsim/fault_injector.h"
+#include "pmg/faultsim/fault_schedule.h"
+#include "pmg/graph/topology.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/stats.h"
+
+/// \file recovery.h
+/// Crash-recovery drivers: run an algorithm under a fault schedule with
+/// epoch-granular checkpointing, restarting after every simulated crash
+/// from the newest valid checkpoint (or from scratch when none exists).
+///
+/// The contract these drivers prove — and the faultsim tests enforce — is
+/// *bit-identical equivalence*: for any crash point, the final result of
+/// the interrupted-and-recovered run equals the uninterrupted run's,
+/// because checkpoints capture the complete round state (labels +
+/// frontier + round counter) of deterministic bulk-synchronous loops.
+///
+/// The injector and checkpoint store persist across restarts (they model
+/// the PM namespace, which survives process death); each attempt builds a
+/// fresh Machine (DRAM contents and caches do not survive).
+
+namespace pmg::faultsim {
+
+struct RecoveryConfig {
+  memsim::MachineConfig machine;
+  uint32_t threads = 8;
+  FaultSchedule faults;
+  /// Checkpoint every N algorithm rounds; 0 disables checkpointing
+  /// (crashes then restart from scratch).
+  uint32_t checkpoint_every = 0;
+  /// Give up after this many restarts (completed = false in the result).
+  uint32_t max_restarts = 8;
+  analytics::AlgoOptions algo;
+};
+
+/// Media-op ordinal window of one checkpoint write, recorded so tests can
+/// aim a `crash@access:N` inside a write and exercise torn-slot fallback.
+struct OpRange {
+  uint64_t begin_op = 0;
+  uint64_t end_op = 0;
+};
+
+struct RecoveryResult {
+  bool completed = false;
+  /// Total runs started; 1 means no crash occurred.
+  uint32_t attempts = 0;
+  uint64_t crashes = 0;
+  uint32_t restarts_from_checkpoint = 0;
+  uint32_t restarts_from_scratch = 0;
+  uint64_t rounds = 0;
+  /// Simulated time summed over all attempts (the cost a deployment pays).
+  SimNs total_ns = 0;
+  SimNs checkpoint_write_ns = 0;
+  SimNs restore_ns = 0;
+  FaultReport fault;
+  CheckpointStats ckpt;
+  std::vector<OpRange> ckpt_op_ranges;
+  /// Machine stats of the final (completing) attempt.
+  memsim::MachineStats stats;
+  /// Final labels: levels for bfs, ranks for pagerank.
+  std::vector<uint32_t> bfs_levels;
+  std::vector<double> pr_ranks;
+};
+
+/// Dense-worklist BFS (the BfsDenseWl loop) under faults + checkpointing.
+RecoveryResult RunBfsWithRecovery(const graph::CsrTopology& topo,
+                                  VertexId source, const RecoveryConfig& cfg);
+
+/// Pull PageRank (the PrPull loop) under faults + checkpointing.
+RecoveryResult RunPrWithRecovery(const graph::CsrTopology& topo,
+                                 const RecoveryConfig& cfg);
+
+}  // namespace pmg::faultsim
+
+#endif  // PMG_FAULTSIM_RECOVERY_H_

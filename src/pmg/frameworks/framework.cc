@@ -1,6 +1,7 @@
 #include "pmg/frameworks/framework.h"
 
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "pmg/analytics/bc.h"
@@ -179,6 +180,14 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
     machine.SetObserver(checker.get());
   }
 
+  // Likewise the fault injector: media errors during graph construction
+  // are part of the fault model, not just the measured region.
+  std::unique_ptr<faultsim::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<faultsim::FaultInjector>(config.faults);
+    machine.SetFaultHook(injector.get());
+  }
+
   const memsim::PagePolicy policy = PolicyFor(profile, app, config);
   graph::GraphLayout layout;
   layout.policy = policy;
@@ -191,77 +200,98 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
   layout.load_in_edges = profile.loads_both_directions || needs_in;
 
   const graph::CsrTopology& topo = TopologyFor(profile, app, inputs);
-  graph::CsrGraph graph(&machine, topo, layout, "g");
-  graph.Prefault(config.threads);
+  // Held in an optional so a simulated crash can unwind out of the run
+  // while the regions are still torn down after the observer detaches.
+  std::optional<graph::CsrGraph> graph;
+  try {
+    graph.emplace(&machine, topo, layout, "g");
+    graph->Prefault(config.threads);
 
-  analytics::AlgoOptions opt;
-  opt.label_policy = policy;
-  opt.pr_max_rounds = config.pr_max_rounds;
+    analytics::AlgoOptions opt;
+    opt.label_policy = policy;
+    opt.pr_max_rounds = config.pr_max_rounds;
 
-  const memsim::MachineStats before = machine.stats();
-  switch (app) {
-    case App::kBc: {
-      const auto r = profile.sparse_worklists
-                         ? analytics::BcSparse(rt, graph, inputs.source, opt)
-                         : analytics::BcDense(rt, graph, inputs.source, opt);
-      out.time_ns = r.time_ns;
-      out.rounds = r.rounds;
-      break;
-    }
-    case App::kBfs: {
-      const auto r =
-          profile.sparse_worklists
-              ? analytics::BfsSparseWl(rt, graph, inputs.source, opt)
-              : analytics::BfsDirectionOpt(rt, graph, inputs.source, opt);
-      out.time_ns = r.time_ns;
-      out.rounds = r.rounds;
-      break;
-    }
-    case App::kCc: {
-      analytics::CcResult r;
-      if (profile.vertex_programs_only) {
-        r = analytics::CcLabelProp(rt, graph, opt);  // GraphIt
-      } else if (profile.sparse_worklists) {
-        // Galois: directed-input shortcutted label propagation.
-        r = analytics::CcLabelPropSCDir(rt, graph, opt);
-      } else {
-        r = analytics::CcUnionFind(rt, graph, opt);  // GAP / GBBS
+    const memsim::MachineStats before = machine.stats();
+    switch (app) {
+      case App::kBc: {
+        const auto r =
+            profile.sparse_worklists
+                ? analytics::BcSparse(rt, *graph, inputs.source, opt)
+                : analytics::BcDense(rt, *graph, inputs.source, opt);
+        out.time_ns = r.time_ns;
+        out.rounds = r.rounds;
+        break;
       }
-      out.time_ns = r.time_ns;
-      out.rounds = r.rounds;
-      break;
+      case App::kBfs: {
+        const auto r =
+            profile.sparse_worklists
+                ? analytics::BfsSparseWl(rt, *graph, inputs.source, opt)
+                : analytics::BfsDirectionOpt(rt, *graph, inputs.source, opt);
+        out.time_ns = r.time_ns;
+        out.rounds = r.rounds;
+        break;
+      }
+      case App::kCc: {
+        analytics::CcResult r;
+        if (profile.vertex_programs_only) {
+          r = analytics::CcLabelProp(rt, *graph, opt);  // GraphIt
+        } else if (profile.sparse_worklists) {
+          // Galois: directed-input shortcutted label propagation.
+          r = analytics::CcLabelPropSCDir(rt, *graph, opt);
+        } else {
+          r = analytics::CcUnionFind(rt, *graph, opt);  // GAP / GBBS
+        }
+        out.time_ns = r.time_ns;
+        out.rounds = r.rounds;
+        break;
+      }
+      case App::kKcore: {
+        const auto r = profile.async_execution
+                           ? analytics::KcoreAsync(rt, *graph, opt)
+                           : analytics::KcoreDense(rt, *graph, opt);
+        out.time_ns = r.time_ns;
+        out.rounds = r.rounds;
+        break;
+      }
+      case App::kPr: {
+        const auto r = analytics::PrPull(rt, *graph, opt);
+        out.time_ns = r.time_ns;
+        out.rounds = r.rounds;
+        break;
+      }
+      case App::kSssp: {
+        const auto r =
+            profile.vertex_programs_only
+                ? analytics::SsspDenseWl(rt, *graph, inputs.source, opt)
+                : analytics::SsspDeltaStep(rt, *graph, inputs.source, opt);
+        out.time_ns = r.time_ns;
+        out.rounds = r.rounds;
+        break;
+      }
+      case App::kTc: {
+        const auto r = analytics::Tc(rt, *graph);
+        out.time_ns = r.time_ns;
+        out.rounds = 1;
+        break;
+      }
     }
-    case App::kKcore: {
-      const auto r = profile.async_execution
-                         ? analytics::KcoreAsync(rt, graph, opt)
-                         : analytics::KcoreDense(rt, graph, opt);
-      out.time_ns = r.time_ns;
-      out.rounds = r.rounds;
-      break;
+    out.stats = machine.stats() - before;
+  } catch (const memsim::SimulatedCrash&) {
+    out.crashed = true;
+    // Close the interrupted epoch so time spent before the crash is
+    // accounted; a second crash fired while closing is swallowed — this
+    // machine is already dead.
+    try {
+      machine.CloseEpochIfOpen();
+    } catch (const memsim::SimulatedCrash&) {
     }
-    case App::kPr: {
-      const auto r = analytics::PrPull(rt, graph, opt);
-      out.time_ns = r.time_ns;
-      out.rounds = r.rounds;
-      break;
-    }
-    case App::kSssp: {
-      const auto r =
-          profile.vertex_programs_only
-              ? analytics::SsspDenseWl(rt, graph, inputs.source, opt)
-              : analytics::SsspDeltaStep(rt, graph, inputs.source, opt);
-      out.time_ns = r.time_ns;
-      out.rounds = r.rounds;
-      break;
-    }
-    case App::kTc: {
-      const auto r = analytics::Tc(rt, graph);
-      out.time_ns = r.time_ns;
-      out.rounds = 1;
-      break;
-    }
+    out.stats = machine.stats();  // whole run up to the crash
   }
-  out.stats = machine.stats() - before;
+  if (injector != nullptr) {
+    machine.SetFaultHook(nullptr);
+    out.fault_injected = true;
+    out.fault = injector->report();
+  }
   if (checker != nullptr) {
     // Detach before the graph's regions are freed on return: the checker
     // must not outlive its view of the region table.

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "pmg/analytics/common.h"
+#include "pmg/faultsim/fault_injector.h"
+#include "pmg/faultsim/fault_schedule.h"
 #include "pmg/graph/topology.h"
 #include "pmg/memsim/machine.h"
 #include "pmg/memsim/stats.h"
@@ -97,6 +99,14 @@ struct RunConfig {
   /// checker changes no results but slows simulation.
   bool sanitize = false;
   sancheck::SancheckOptions sancheck;
+  /// Fault schedule injected through the machine's fault hook. Empty (the
+  /// default) attaches nothing: simulated timings stay bit-identical to a
+  /// fault-free build.
+  faultsim::FaultSchedule faults;
+  /// Checkpoint every N algorithm rounds. RunApp itself never checkpoints
+  /// (the plain kernels have no recovery path); the CLI and scenarios use
+  /// this to route crash schedules to the faultsim recovery drivers.
+  uint32_t checkpoint_every = 0;
 };
 
 struct AppRunResult {
@@ -107,6 +117,12 @@ struct AppRunResult {
   /// Filled when RunConfig::sanitize was set.
   bool sanitized = false;
   sancheck::SancheckSummary sancheck;
+  /// Filled when RunConfig::faults had events armed.
+  bool fault_injected = false;
+  /// The schedule crashed the run: time_ns/rounds are unset and stats
+  /// cover the whole run up to the crash.
+  bool crashed = false;
+  faultsim::FaultReport fault;
 };
 
 /// Builds a fresh simulated machine, materializes the graph per the

@@ -1,0 +1,88 @@
+#ifndef PMG_MEMSIM_FAULT_HOOK_H_
+#define PMG_MEMSIM_FAULT_HOOK_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "pmg/common/types.h"
+
+/// \file fault_hook.h
+/// The fault-injection seam of the machine model, the sibling of the
+/// AccessObserver dynamic-analysis seam. A FaultHook attached via
+/// Machine::SetFaultHook() is consulted on every *media-visible* event —
+/// a costed access that missed the CPU cache, a storage I/O, an epoch end —
+/// and can direct the machine to degrade: stall the issuing thread
+/// (transient media fault with retries), deliver an uncorrectable media
+/// error (machine-check + page quarantine + remap), scale down remote-link
+/// bandwidth, or crash the simulated process.
+///
+/// The machine knows nothing about fault *scheduling*; `pmg::faultsim`
+/// implements the deterministic schedule on top of this interface. A
+/// machine with no hook attached pays one predictable null-pointer branch
+/// per media event and prices bit-identically to a hook-free build.
+
+namespace pmg::memsim {
+
+/// What the hook asks the machine to do with one media access.
+struct FaultAction {
+  /// Extra time the issuing thread stalls (retry/backoff of a transient
+  /// media fault). Charged as non-overlappable user time: a retried issue
+  /// is a dependent replay, so MLP does not hide it.
+  SimNs stall_ns = 0;
+  /// Number of retried issues folded into `stall_ns` (counted in stats).
+  uint32_t retries = 0;
+  /// Deliver an uncorrectable media error: the machine charges a
+  /// machine-check kernel cost, quarantines the backing frames (capacity
+  /// is lost), remaps the page to fresh frames and reports the data loss
+  /// back through FaultHook::OnQuarantine.
+  bool uncorrectable = false;
+};
+
+/// Thrown by a FaultHook to model a process crash (power loss, SIGKILL,
+/// fatal machine check). This is the one place the library uses a C++
+/// exception deliberately: a simulated crash is not a programming error —
+/// it must unwind out of arbitrary application code so a recovery driver
+/// can discard the dead machine and restart from a checkpoint, exactly as
+/// a real process restart discards DRAM while app-direct PM survives.
+struct SimulatedCrash {
+  /// Media-event ordinal at which the crash fired (0 when epoch-triggered).
+  uint64_t media_ops = 0;
+  /// Epoch index for epoch-boundary crashes.
+  uint64_t epoch = 0;
+};
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// One costed access that reached the memory system (CPU-cache miss).
+  /// Cache hits are not reported: poison lives on media, and a line that
+  /// hits in the CPU cache was filled before the error was armed. May
+  /// throw SimulatedCrash. `pmm_media` is true when main memory is PMM.
+  virtual FaultAction OnMediaAccess(ThreadId t, VirtAddr addr,
+                                    bool pmm_media) = 0;
+
+  /// One app-direct storage operation (StorageRead/StorageWrite). Returns
+  /// extra stall time for the issuing thread; may throw SimulatedCrash —
+  /// a crash here is what tears a checkpoint mid-write.
+  virtual SimNs OnStorageOp(ThreadId t, uint64_t bytes, bool write) = 0;
+
+  /// The machine quarantined a poisoned page: data in
+  /// [page_base, page_base + page_bytes) of `region` is lost (the remapped
+  /// frames read back zero-filled on real hardware).
+  virtual void OnQuarantined(VirtAddr page_base, uint64_t page_bytes,
+                             std::string_view region) = 0;
+
+  /// Bandwidth multiplier applied to the remote (interconnect) rows when
+  /// pricing the epoch with index `epoch`. 1.0 = healthy link; 0.5 =
+  /// half bandwidth. Must be in (0, 1].
+  virtual double RemoteBandwidthFactor(uint64_t epoch) = 0;
+
+  /// The epoch with index `epoch` ended and its time was accounted. May
+  /// throw SimulatedCrash (crash at an epoch boundary).
+  virtual void OnEpochEnd(uint64_t epoch) = 0;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_FAULT_HOOK_H_

@@ -161,6 +161,36 @@ void Machine::HandleFault(ThreadId t, const PageLookup& lk) {
   Thread(t).kernel_ns += KernelCost(base);
 }
 
+void Machine::QuarantinePage(ThreadId t, const PageLookup& lk) {
+  const uint64_t n = PageBytes(lk.cls) / kSmallPageBytes;
+  const NodeId old_node = lk.page->node;
+  if (near_mem_ != nullptr) {
+    near_mem_->Invalidate(old_node, lk.page->frame, n);
+  }
+  // Poisoned frames are retired, NOT returned to the free lists: the
+  // node's capacity shrinks for the rest of the run, as on real hardware.
+  const PhysPage nf = AllocFrames(old_node, n);
+  PMG_CHECK_MSG(nf != kInvalidFrame,
+                "simulated machine out of memory remapping quarantined "
+                "page in region '%s'",
+                lk.region->name.c_str());
+  lk.page->frame = nf;
+  lk.page->node = NodeOfFrame(nf);
+  ++stats_.media_ue_events;
+  stats_.pages_quarantined += n;
+  const SimNs mce = KernelCost(config_.timings.machine_check_ns);
+  Thread(t).kernel_ns += mce;
+  stats_.machine_check_ns += mce;
+  // The remap invalidates the stale translation on every core.
+  for (ThreadState& ts : threads_) {
+    if (ts.tlb != nullptr) ts.tlb->InvalidatePage(lk.page_base, lk.cls);
+  }
+  if (fault_hook_ != nullptr) {
+    fault_hook_->OnQuarantined(lk.page_base, PageBytes(lk.cls),
+                               lk.region->name);
+  }
+}
+
 void Machine::ChargeChannel(NodeId node, bool pmm, bool remote,
                             bool sequential, bool write, uint64_t bytes) {
   ChannelBytes& ch = channels_[node];
@@ -171,7 +201,8 @@ void Machine::ChargeChannel(NodeId node, bool pmm, bool remote,
   }
 }
 
-SimNs Machine::ChannelTime(const ChannelBytes& ch) const {
+SimNs Machine::ChannelTime(const ChannelBytes& ch,
+                           double remote_factor) const {
   const MemoryTimings& tm = config_.timings;
   auto time = [](uint64_t bytes, double gbs) {
     return static_cast<double>(bytes) / gbs;  // 1 GB/s == 1 byte/ns
@@ -184,11 +215,18 @@ SimNs Machine::ChannelTime(const ChannelBytes& ch) const {
     ns += time(counters[1][1], bw.rand_write_gbs);
     return ns;
   };
+  // Summation order is load-bearing: the healthy-link path (factor 1.0)
+  // must stay bit-identical to the pre-faultsim pricing, so the remote
+  // rows are scaled in place without reordering the adds.
   double ns = 0;
   ns += side(ch.dram[0], tm.dram_local);
-  ns += side(ch.dram[1], tm.dram_remote);
+  double dram_remote = side(ch.dram[1], tm.dram_remote);
+  if (remote_factor != 1.0) dram_remote /= remote_factor;
+  ns += dram_remote;
   ns += side(ch.pmm[0], tm.pmm_local);
-  ns += side(ch.pmm[1], tm.pmm_remote);
+  double pmm_remote = side(ch.pmm[1], tm.pmm_remote);
+  if (remote_factor != 1.0) pmm_remote /= remote_factor;
+  ns += pmm_remote;
   return static_cast<SimNs>(ns);
 }
 
@@ -218,6 +256,22 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
 
   PageLookup lk = pages_.Lookup(addr);
   if (lk.page->frame == kInvalidFrame) HandleFault(t, lk);
+
+  if (fault_hook_ != nullptr) [[unlikely]] {
+    // Only cache misses reach the hook: poison lives on media, and a line
+    // already resident in the CPU cache was filled before the error armed.
+    const FaultAction fa = fault_hook_->OnMediaAccess(
+        t, addr, config_.kind == MachineKind::kMemoryMode);
+    if (fa.stall_ns > 0) {
+      // Retried issues are dependent replays: MLP cannot hide them.
+      ts.user_ns += static_cast<double>(fa.stall_ns);
+      stats_.fault_stall_ns += fa.stall_ns;
+      stats_.fault_retries += fa.retries;
+    }
+    // Quarantine before pricing, so the access below is served by the
+    // freshly mapped replacement frame, as after a real machine check.
+    if (fa.uncorrectable) QuarantinePage(t, lk);
+  }
 
   if (lk.page->hint_armed) {
     // AutoNUMA hint fault: the kernel unmapped the PTE to sample access
@@ -319,11 +373,22 @@ void Machine::AddCompute(ThreadId t, SimNs ns) {
   Thread(t).user_ns += static_cast<double>(ns);
 }
 
+// Storage I/O is priced with the app-direct rows in every machine kind:
+// an app-direct namespace can be carved out of the same media alongside
+// memory-mode interleave sets, which is how the checkpoint store persists
+// state on machines whose main memory is DRAM or memory-mode PMM.
+
 void Machine::StorageRead(ThreadId t, uint64_t bytes, NodeId node,
                           bool sequential, bool remote) {
-  PMG_CHECK_MSG(config_.kind == MachineKind::kAppDirect,
-                "storage I/O requires app-direct mode");
   if (!in_epoch_) BeginEpoch(1);
+  if (fault_hook_ != nullptr) [[unlikely]] {
+    const SimNs stall =
+        fault_hook_->OnStorageOp(t, bytes, /*write=*/false);
+    if (stall > 0) {
+      Thread(t).user_ns += static_cast<double>(stall);
+      stats_.fault_stall_ns += stall;
+    }
+  }
   ChargeChannel(node % config_.topology.sockets, /*pmm=*/true, remote,
                 sequential, /*write=*/false, bytes);
   stats_.storage_read_bytes += bytes;
@@ -334,9 +399,16 @@ void Machine::StorageRead(ThreadId t, uint64_t bytes, NodeId node,
 
 void Machine::StorageWrite(ThreadId t, uint64_t bytes, NodeId node,
                            bool sequential, bool remote) {
-  PMG_CHECK_MSG(config_.kind == MachineKind::kAppDirect,
-                "storage I/O requires app-direct mode");
   if (!in_epoch_) BeginEpoch(1);
+  if (fault_hook_ != nullptr) [[unlikely]] {
+    // May throw SimulatedCrash: a crash here is what tears a checkpoint
+    // whose host-side buffer was mutated before this priced write.
+    const SimNs stall = fault_hook_->OnStorageOp(t, bytes, /*write=*/true);
+    if (stall > 0) {
+      Thread(t).user_ns += static_cast<double>(stall);
+      stats_.fault_stall_ns += stall;
+    }
+  }
   ChargeChannel(node % config_.topology.sockets, /*pmm=*/true, remote,
                 sequential, /*write=*/true, bytes);
   stats_.storage_write_bytes += bytes;
@@ -360,6 +432,7 @@ void Machine::BeginEpoch(uint32_t active_threads) {
 
 EpochReport Machine::EndEpoch() {
   PMG_CHECK(in_epoch_);
+  const uint64_t epoch_index = stats_.epochs;
   SimNs lat = 0;
   SimNs crit_user = 0;
   SimNs crit_kernel = 0;
@@ -372,8 +445,17 @@ EpochReport Machine::EndEpoch() {
       crit_kernel = ts.kernel_ns;
     }
   }
+  double remote_factor = 1.0;
+  if (fault_hook_ != nullptr) [[unlikely]] {
+    remote_factor = fault_hook_->RemoteBandwidthFactor(epoch_index);
+    PMG_CHECK_MSG(remote_factor > 0.0 && remote_factor <= 1.0,
+                  "remote bandwidth factor must be in (0, 1]");
+    if (remote_factor < 1.0) ++stats_.link_degraded_epochs;
+  }
   SimNs bw = 0;
-  for (const ChannelBytes& ch : channels_) bw = std::max(bw, ChannelTime(ch));
+  for (const ChannelBytes& ch : channels_) {
+    bw = std::max(bw, ChannelTime(ch, remote_factor));
+  }
 
   EpochReport report;
   report.latency_path_ns = lat;
@@ -404,6 +486,12 @@ EpochReport Machine::EndEpoch() {
     const uint64_t races = observer_->OnEpochEnd();
     stats_.sancheck_races += races;
     if (races > 0) ++stats_.sancheck_race_epochs;
+  }
+  if (fault_hook_ != nullptr) [[unlikely]] {
+    // Runs last, with the epoch fully accounted and closed, so a
+    // SimulatedCrash thrown here leaves the machine in a consistent
+    // (out-of-epoch) state for post-mortem stats.
+    fault_hook_->OnEpochEnd(epoch_index);
   }
   return report;
 }

@@ -10,6 +10,7 @@
 #include "pmg/common/check.h"
 #include "pmg/common/types.h"
 #include "pmg/memsim/access_observer.h"
+#include "pmg/memsim/fault_hook.h"
 #include "pmg/memsim/cpu_cache.h"
 #include "pmg/memsim/near_memory.h"
 #include "pmg/memsim/numa_topology.h"
@@ -138,7 +139,9 @@ class Machine {
   /// Pure-compute time on thread `t` (no memory traffic).
   void AddCompute(ThreadId t, SimNs ns);
 
-  // --- App-direct storage I/O (kAppDirect only) ---
+  // --- App-direct storage I/O (an app-direct namespace carved out of
+  // the PMM media; available in every machine kind, e.g. for checkpoints)
+  // ---
 
   /// `remote`: the issuing core is on a different socket than `node`.
   void StorageRead(ThreadId t, uint64_t bytes, NodeId node, bool sequential,
@@ -190,6 +193,18 @@ class Machine {
   }
   AccessObserver* observer() const { return observer_; }
 
+  // --- Fault injection (faultsim) ---
+
+  /// Attaches `hook` to the media-event path (nullptr detaches). The hook
+  /// is not owned and must outlive its attachment; attach/detach outside
+  /// an epoch. With no hook attached the machine prices bit-identically
+  /// to a hook-free build (the hot path pays only a null check).
+  void SetFaultHook(FaultHook* hook) {
+    PMG_CHECK_MSG(!in_epoch_, "attach/detach a fault hook outside an epoch");
+    fault_hook_ = hook;
+  }
+  FaultHook* fault_hook() const { return fault_hook_; }
+
  private:
   struct ThreadState {
     double user_ns = 0;  // fractional: per-miss cost is latency / MLP
@@ -210,6 +225,11 @@ class Machine {
   ThreadState& Thread(ThreadId t);
   /// Handles a minor fault: places the page per policy and maps frames.
   void HandleFault(ThreadId t, const PageLookup& lk);
+  /// Delivers an uncorrectable media error on the page under `lk`: charges
+  /// the machine-check handler, retires the poisoned frames (capacity is
+  /// lost), remaps the page to fresh frames and notifies the fault hook
+  /// of the data loss.
+  void QuarantinePage(ThreadId t, const PageLookup& lk);
   /// Picks the home node for a faulting page.
   NodeId PlacePage(const Region& region, uint32_t page_index,
                    NodeId toucher_socket) const;
@@ -223,7 +243,11 @@ class Machine {
   SimNs RunMigrationDaemon();
   void ChargeChannel(NodeId node, bool pmm, bool remote, bool sequential,
                      bool write, uint64_t bytes);
-  SimNs ChannelTime(const ChannelBytes& ch) const;
+  /// Epoch time of one socket's channels. `remote_factor` scales the
+  /// interconnect rows down (fault injection of a degraded link); 1.0
+  /// takes a branch-free path that is bit-identical to the pre-fault
+  /// pricing.
+  SimNs ChannelTime(const ChannelBytes& ch, double remote_factor = 1.0) const;
 
   MachineConfig config_;
   PageTable pages_;
@@ -246,6 +270,9 @@ class Machine {
   /// Not owned; null when no dynamic analysis is attached (the common
   /// case — the hot path pays only this null check).
   AccessObserver* observer_ = nullptr;
+  /// Not owned; null when no fault injection is attached (same contract
+  /// as observer_).
+  FaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace pmg::memsim

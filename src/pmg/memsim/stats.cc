@@ -38,6 +38,12 @@ MachineStats MachineStats::operator-(const MachineStats& o) const {
   d.bandwidth_bound_epochs = bandwidth_bound_epochs - o.bandwidth_bound_epochs;
   d.sancheck_races = sancheck_races - o.sancheck_races;
   d.sancheck_race_epochs = sancheck_race_epochs - o.sancheck_race_epochs;
+  d.media_ue_events = media_ue_events - o.media_ue_events;
+  d.pages_quarantined = pages_quarantined - o.pages_quarantined;
+  d.fault_retries = fault_retries - o.fault_retries;
+  d.fault_stall_ns = fault_stall_ns - o.fault_stall_ns;
+  d.machine_check_ns = machine_check_ns - o.machine_check_ns;
+  d.link_degraded_epochs = link_degraded_epochs - o.link_degraded_epochs;
   return d;
 }
 
@@ -63,6 +69,19 @@ std::string MachineStats::ToString() const {
       static_cast<unsigned long long>(tlb_shootdowns),
       dram_bytes / 1e6, pmm_read_bytes / 1e6, pmm_write_bytes / 1e6);
   std::string out = buf;
+  if (media_ue_events > 0 || fault_retries > 0 || link_degraded_epochs > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nfaults: %llu UE(s) (%llu frame(s) quarantined, mce %.3fms), "
+        "%llu retry(ies) (stall %.3fms), %llu degraded-link epoch(s)",
+        static_cast<unsigned long long>(media_ue_events),
+        static_cast<unsigned long long>(pages_quarantined),
+        static_cast<double>(machine_check_ns) / 1e6,
+        static_cast<unsigned long long>(fault_retries),
+        static_cast<double>(fault_stall_ns) / 1e6,
+        static_cast<unsigned long long>(link_degraded_epochs));
+    out += buf;
+  }
   if (sancheck_races > 0) {
     std::snprintf(buf, sizeof(buf),
                   "\nSANCHECK: %llu data race(s) in %llu epoch(s)",

@@ -68,6 +68,19 @@ struct MachineStats {
   uint64_t sancheck_races = 0;
   uint64_t sancheck_race_epochs = 0;
 
+  // Fault injection (only nonzero while a fault hook is attached).
+  /// Uncorrectable media errors delivered, and 4KB frames retired by the
+  /// quarantine-and-remap path.
+  uint64_t media_ue_events = 0;
+  uint64_t pages_quarantined = 0;
+  /// Transient-fault retries and the stall time they charged.
+  uint64_t fault_retries = 0;
+  SimNs fault_stall_ns = 0;
+  /// Machine-check handler time charged for UE recovery.
+  SimNs machine_check_ns = 0;
+  /// Epochs priced with a degraded (factor < 1) remote link.
+  uint64_t link_degraded_epochs = 0;
+
   /// Element-wise difference (for measuring one phase of a run).
   MachineStats operator-(const MachineStats& other) const;
 

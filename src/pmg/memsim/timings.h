@@ -77,6 +77,10 @@ struct MemoryTimings {
   SimNs fault_huge_dram_ns = 2600;
   /// Multiplier applied to kernel costs when main memory is PMM.
   double pmm_kernel_factor = 1.8;
+  /// Machine-check handler for an uncorrectable media error: poison
+  /// consumption traps to the kernel, which signals, unmaps and remaps the
+  /// page (hwpoison soft-offline path, ~hundreds of microseconds).
+  SimNs machine_check_ns = 500000;
 
   /// Per-message interconnect latency for distributed simulation (used by
   /// pmg::distsim, kept here so all timing constants live in one place).

@@ -40,6 +40,12 @@ class Runtime {
   /// "NUMA blocked" placement work). One machine epoch.
   template <typename Body>  // void(ThreadId, uint64_t index)
   void ParallelFor(uint64_t begin, uint64_t end, Body&& body) {
+    // An inverted range would underflow n below; an *empty* range is fine
+    // and still costs an (empty) epoch like any other round.
+    PMG_CHECK_MSG(end >= begin,
+                  "ParallelFor range is inverted: [%llu, %llu)",
+                  static_cast<unsigned long long>(begin),
+                  static_cast<unsigned long long>(end));
     machine_->CloseEpochIfOpen();
     machine_->BeginEpoch(threads_);
     const uint64_t n = end - begin;
@@ -61,6 +67,10 @@ class Runtime {
   void ParallelForDynamic(uint64_t begin, uint64_t end, uint64_t chunk,
                           Body&& body) {
     PMG_CHECK(chunk > 0);
+    PMG_CHECK_MSG(end >= begin,
+                  "ParallelForDynamic range is inverted: [%llu, %llu)",
+                  static_cast<unsigned long long>(begin),
+                  static_cast<unsigned long long>(end));
     machine_->CloseEpochIfOpen();
     machine_->BeginEpoch(threads_);
     uint64_t chunk_index = 0;

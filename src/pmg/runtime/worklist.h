@@ -149,6 +149,21 @@ class DenseWorklist {
     });
   }
 
+  /// Uncosted view of the current-round flag array, for checkpointing the
+  /// frontier outside the measured loop body.
+  const NumaArray<uint8_t>& cur_flags() const { return cur_; }
+
+  /// Rebuilds the frontier from a checkpointed flag array with a costed
+  /// sweep (crash recovery); `active` is the stored ActiveCount. One epoch.
+  void RestoreCur(Runtime& rt, const uint8_t* flags, uint64_t active) {
+    rt.ParallelFor(0, cur_.size(), [&](ThreadId t, uint64_t v) {
+      cur_.Set(t, v, flags[v]);
+      next_.Set(t, v, 0);
+    });
+    cur_count_ = active;
+    next_count_ = 0;
+  }
+
  private:
   NumaArray<uint8_t> cur_;
   NumaArray<uint8_t> next_;

@@ -94,6 +94,91 @@ void PrintSancheckReport(const sancheck::SancheckSummary& summary,
   }
 }
 
+void PrintFaultReport(const faultsim::FaultReport& fault,
+                      const memsim::MachineStats& stats, std::FILE* out) {
+  const bool fired = fault.ue_delivered > 0 || fault.transient_faults > 0 ||
+                     fault.degraded_epochs > 0 || fault.crashes > 0;
+  if (!fired) {
+    std::fprintf(out,
+                 "\nfaults: none delivered over %llu media op(s)\n",
+                 static_cast<unsigned long long>(fault.media_ops));
+    return;
+  }
+  std::fprintf(out, "\nfault report (%llu media op(s) observed)\n",
+               static_cast<unsigned long long>(fault.media_ops));
+  Table table({"fault", "events", "effect"});
+  if (fault.ue_delivered > 0) {
+    // machine_check_ns bills every trapping thread; kernel_ns only the
+    // per-epoch critical path, so the run total is the honest denominator.
+    const double mce_share =
+        stats.total_ns == 0
+            ? 0.0
+            : static_cast<double>(stats.machine_check_ns) /
+                  static_cast<double>(stats.total_ns);
+    char effect[128];
+    std::snprintf(effect, sizeof(effect),
+                  "%llu frame(s) quarantined, mce %s ms (%.1f%% of run)",
+                  static_cast<unsigned long long>(stats.pages_quarantined),
+                  FormatMillis(stats.machine_check_ns).c_str(),
+                  mce_share * 100.0);
+    table.AddRow({"uncorrectable", std::to_string(fault.ue_delivered),
+                  effect});
+  }
+  if (fault.transient_faults > 0) {
+    char effect[128];
+    std::snprintf(effect, sizeof(effect), "%llu retr%s, stall %s ms",
+                  static_cast<unsigned long long>(fault.retries),
+                  fault.retries == 1 ? "y" : "ies",
+                  FormatMillis(fault.stall_ns).c_str());
+    table.AddRow({"transient", std::to_string(fault.transient_faults),
+                  effect});
+  }
+  if (fault.degraded_epochs > 0) {
+    table.AddRow({"link", std::to_string(fault.degraded_epochs),
+                  "epoch(s) priced at degraded remote bandwidth"});
+  }
+  if (fault.crashes > 0) {
+    table.AddRow({"crash", std::to_string(fault.crashes),
+                  "process terminated"});
+  }
+  table.Print(out);
+  if (!fault.losses.empty()) {
+    Table loss({"lost region", "page", "bytes"});
+    for (const faultsim::FaultReport::Loss& l : fault.losses) {
+      char page[32];
+      std::snprintf(page, sizeof(page), "0x%llx",
+                    static_cast<unsigned long long>(l.page_base));
+      loss.AddRow({l.region, page, std::to_string(l.bytes)});
+    }
+    std::fprintf(out, "data lost to quarantine:\n");
+    loss.Print(out);
+  }
+}
+
+void PrintRecoveryReport(const faultsim::RecoveryResult& r, std::FILE* out) {
+  std::fprintf(out, "\nrecovery: %s after %u attempt(s), %llu round(s)\n",
+               r.completed ? "COMPLETED" : "GAVE UP",
+               r.attempts, static_cast<unsigned long long>(r.rounds));
+  Table table({"metric", "value"});
+  table.AddRow({"crashes", std::to_string(r.fault.crashes)});
+  table.AddRow({"restarts from checkpoint",
+                std::to_string(r.restarts_from_checkpoint)});
+  table.AddRow({"restarts from scratch",
+                std::to_string(r.restarts_from_scratch)});
+  table.AddRow({"checkpoints committed",
+                std::to_string(r.ckpt.writes_committed) + " of " +
+                    std::to_string(r.ckpt.writes_started)});
+  table.AddRow({"torn / crc-failed slots",
+                std::to_string(r.ckpt.torn_detected) + " / " +
+                    std::to_string(r.ckpt.crc_failures)});
+  table.AddRow({"checkpoint fallbacks", std::to_string(r.ckpt.fallbacks)});
+  table.AddRow({"total simulated time (s)", FormatSeconds(r.total_ns)});
+  table.AddRow({"checkpoint write time (s)",
+                FormatSeconds(r.checkpoint_write_ns)});
+  table.AddRow({"restore time (s)", FormatSeconds(r.restore_ns)});
+  table.Print(out);
+}
+
 double Geomean(const std::vector<double>& values) {
   double log_sum = 0;
   int n = 0;

@@ -6,6 +6,9 @@
 #include <vector>
 
 #include "pmg/common/types.h"
+#include "pmg/faultsim/fault_injector.h"
+#include "pmg/faultsim/recovery.h"
+#include "pmg/memsim/stats.h"
 #include "pmg/sancheck/sancheck.h"
 
 /// \file report.h
@@ -46,6 +49,18 @@ double Geomean(const std::vector<double>& values);
 /// Prints a sanitized run's verdict: a one-line PASS when no races were
 /// found, otherwise the summary with one table row per stored report.
 void PrintSancheckReport(const sancheck::SancheckSummary& summary,
+                         std::FILE* out = stdout);
+
+/// Prints what a fault schedule delivered: one table row per fault class,
+/// the machine-check share of kernel time, and any data-loss rows from
+/// quarantined pages. One clean line when nothing fired.
+void PrintFaultReport(const faultsim::FaultReport& fault,
+                      const memsim::MachineStats& stats,
+                      std::FILE* out = stdout);
+
+/// Prints a crash-recovery run: attempts/restart breakdown plus the time
+/// split between useful work, checkpoint writes, and restores.
+void PrintRecoveryReport(const faultsim::RecoveryResult& r,
                          std::FILE* out = stdout);
 
 }  // namespace pmg::scenarios

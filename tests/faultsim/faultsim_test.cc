@@ -1,0 +1,658 @@
+#include "pmg/faultsim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pmg/faultsim/checkpoint.h"
+#include "pmg/faultsim/fault_schedule.h"
+#include "pmg/faultsim/recovery.h"
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/machine_configs.h"
+
+namespace pmg::faultsim {
+namespace {
+
+
+using memsim::Machine;
+using memsim::MachineConfig;
+using memsim::MachineKind;
+
+
+/// The small 2-socket machine of the memsim tests: 4 threads, tiny caches.
+MachineConfig TinyConfig(MachineKind kind = MachineKind::kDramMain) {
+  MachineConfig c;
+  c.kind = kind;
+  c.name = "tiny";
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;
+  c.topology.dram_bytes_per_socket = MiB(8);
+  c.topology.pmm_bytes_per_socket = kind == MachineKind::kDramMain ? 0
+                                                                   : MiB(16);
+  c.cpu_cache_lines = 64;
+  return c;
+}
+
+memsim::PagePolicy TestPolicy() {
+  memsim::PagePolicy policy;
+  policy.placement = memsim::Placement::kInterleaved;
+  return policy;
+}
+
+FaultSchedule MustParse(const std::string& spec) {
+  FaultSchedule s;
+  std::string error;
+  EXPECT_TRUE(FaultSchedule::Parse(spec, &s, &error)) << error;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule grammar.
+// ---------------------------------------------------------------------------
+
+TEST(FaultScheduleTest, ParsesFullGrammar) {
+  const FaultSchedule s = MustParse(
+      "ue@access:5000;ue@addr:0x1f40;"
+      "lat@access:9000,ns=2000,count=16,retries=4;"
+      "link@epoch:3,x=0.25,epochs=2;crash@epoch:3;crash@access:77;seed=9");
+  ASSERT_EQ(s.events.size(), 6u);
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_TRUE(s.HasCrash());
+  EXPECT_EQ(s.events[0].kind, FaultKind::kUe);
+  EXPECT_EQ(s.events[0].trigger, TriggerKind::kAccess);
+  EXPECT_EQ(s.events[0].at, 5000u);
+  EXPECT_EQ(s.events[1].trigger, TriggerKind::kAddr);
+  EXPECT_EQ(s.events[1].at, 0x1f40u);
+  EXPECT_EQ(s.events[2].kind, FaultKind::kLatency);
+  EXPECT_EQ(s.events[2].stall_ns, 2000);
+  EXPECT_EQ(s.events[2].count, 16u);
+  EXPECT_EQ(s.events[2].max_retries, 4u);
+  EXPECT_EQ(s.events[3].kind, FaultKind::kLink);
+  EXPECT_DOUBLE_EQ(s.events[3].factor, 0.25);
+  EXPECT_EQ(s.events[3].epochs, 2u);
+  EXPECT_EQ(s.events[4].trigger, TriggerKind::kEpoch);
+  EXPECT_EQ(s.events[5].trigger, TriggerKind::kAccess);
+}
+
+TEST(FaultScheduleTest, EmptySpecParsesToEmptySchedule) {
+  const FaultSchedule s = MustParse("");
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.HasCrash());
+}
+
+TEST(FaultScheduleTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "boom@access:1",            // unknown kind
+      "ue@tick:1",                // unknown trigger
+      "ue@epoch:3",               // incompatible kind/trigger
+      "lat@addr:0x10",            // incompatible kind/trigger
+      "link@access:1",            // incompatible kind/trigger
+      "crash@addr:0x10",          // incompatible kind/trigger
+      "ue@access:12abc",          // trailing junk in number
+      "ue@access:",               // missing value
+      "ue:5",                     // missing @trigger
+      "lat@access:1,ns=0",        // zero stall
+      "lat@access:1,retries=17",  // retry bound out of range
+      "lat@access:1,x=0.5",       // option of another kind
+      "link@epoch:1,x=0",         // factor out of (0, 1]
+      "link@epoch:1,x=1.5",       // factor out of (0, 1]
+      "link@epoch:1,x",           // not key=value
+      "seed=zzz",                 // bad seed
+  };
+  for (const char* spec : bad) {
+    FaultSchedule s;
+    std::string error;
+    EXPECT_FALSE(FaultSchedule::Parse(spec, &s, &error)) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CRC and checkpoint store.
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 test vector.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, ChainingEqualsOneShot) {
+  const char* data = "the quick brown fox jumps over the lazy dog";
+  const uint64_t n = std::strlen(data);
+  const uint32_t whole = Crc32(data, n);
+  const uint32_t part = Crc32(data + 10, n - 10, Crc32(data, 10));
+  EXPECT_EQ(part, whole);
+  EXPECT_NE(whole, Crc32(data, n - 1));
+}
+
+std::vector<uint8_t> TestPayload(uint64_t n, uint8_t salt) {
+  std::vector<uint8_t> p(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<uint8_t>(salt + i * 7);
+  }
+  return p;
+}
+
+TEST(CheckpointTest, RoundTripsThroughPricedStorage) {
+  Machine m(TinyConfig());
+  CheckpointStore store;
+  const std::vector<uint8_t> payload = TestPayload(10000, 3);
+  EXPECT_FALSE(store.HasCommitted());
+  store.Write(m, 2, payload.data(), payload.size());
+  EXPECT_TRUE(store.HasCommitted());
+  // Storage I/O must be priced: the write epoch advanced the clock and
+  // counted bytes (payload chunks + the 64-byte commit record).
+  EXPECT_GT(m.now(), 0);
+  EXPECT_EQ(m.stats().storage_write_bytes, payload.size() + 64);
+
+  std::vector<uint8_t> restored;
+  ASSERT_TRUE(store.Restore(m, &restored));
+  EXPECT_EQ(restored, payload);
+  EXPECT_GE(m.stats().storage_read_bytes, payload.size() + 64);
+  EXPECT_EQ(store.stats().writes_started, 1u);
+  EXPECT_EQ(store.stats().writes_committed, 1u);
+  EXPECT_EQ(store.stats().restores, 1u);
+  EXPECT_EQ(store.stats().torn_detected, 0u);
+  EXPECT_EQ(store.stats().fallbacks, 0u);
+}
+
+TEST(CheckpointTest, NewestCommittedSlotWins) {
+  Machine m(TinyConfig());
+  CheckpointStore store;
+  const std::vector<uint8_t> p1 = TestPayload(5000, 1);
+  const std::vector<uint8_t> p2 = TestPayload(5000, 2);
+  const std::vector<uint8_t> p3 = TestPayload(5000, 3);
+  store.Write(m, 2, p1.data(), p1.size());
+  store.Write(m, 2, p2.data(), p2.size());
+  store.Write(m, 2, p3.data(), p3.size());  // reuses p1's slot
+  std::vector<uint8_t> restored;
+  ASSERT_TRUE(store.Restore(m, &restored));
+  EXPECT_EQ(restored, p3);
+}
+
+TEST(CheckpointTest, CrashMidWriteLeavesTornSlotAndFallsBack) {
+  // Learn the media-op stream with a fault-free twin, then aim a crash
+  // into the middle of the second write.
+  uint64_t ops_after_p1 = 0;
+  {
+    Machine m(TinyConfig());
+    FaultInjector counter((FaultSchedule()));
+    m.SetFaultHook(&counter);
+    CheckpointStore store;
+    const std::vector<uint8_t> p1 = TestPayload(10000, 1);
+    store.Write(m, 2, p1.data(), p1.size());
+    ops_after_p1 = counter.media_ops();
+    EXPECT_GT(ops_after_p1, 1u);  // chunks + commit record
+  }
+
+  Machine m(TinyConfig());
+  FaultSchedule sched = MustParse(
+      "crash@access:" + std::to_string(ops_after_p1 + 1));
+  FaultInjector injector(sched);
+  m.SetFaultHook(&injector);
+  CheckpointStore store;
+  const std::vector<uint8_t> p1 = TestPayload(10000, 1);
+  const std::vector<uint8_t> p2 = TestPayload(10000, 2);
+  store.Write(m, 2, p1.data(), p1.size());
+  bool crashed = false;
+  try {
+    store.Write(m, 2, p2.data(), p2.size());
+  } catch (const memsim::SimulatedCrash&) {
+    crashed = true;
+    m.CloseEpochIfOpen();
+  }
+  ASSERT_TRUE(crashed);
+  EXPECT_EQ(store.stats().writes_started, 2u);
+  EXPECT_EQ(store.stats().writes_committed, 1u);
+
+  std::vector<uint8_t> restored;
+  ASSERT_TRUE(store.Restore(m, &restored));
+  EXPECT_EQ(restored, p1);  // the torn p2 slot was rejected
+  EXPECT_GE(store.stats().torn_detected, 1u);
+  EXPECT_EQ(store.stats().fallbacks, 1u);
+}
+
+TEST(CheckpointTest, SilentCorruptionFailsCrcAndFallsBack) {
+  Machine m(TinyConfig());
+  CheckpointStore store;
+  const std::vector<uint8_t> p1 = TestPayload(9000, 1);
+  const std::vector<uint8_t> p2 = TestPayload(9000, 2);
+  store.Write(m, 2, p1.data(), p1.size());
+  store.Write(m, 2, p2.data(), p2.size());
+  store.CorruptNewest();
+  std::vector<uint8_t> restored;
+  ASSERT_TRUE(store.Restore(m, &restored));
+  EXPECT_EQ(restored, p1);
+  EXPECT_GE(store.stats().crc_failures, 1u);
+  EXPECT_EQ(store.stats().fallbacks, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Injection and degradation on a bare machine.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, UncorrectableErrorQuarantinesAndRemaps) {
+  Machine m(TinyConfig());
+  const memsim::RegionId id =
+      m.Alloc(4 * memsim::kSmallPageBytes, TestPolicy(), "arr");
+  const VirtAddr base = m.BaseOf(id);
+  // Map every page first so the UE hits a live frame.
+  m.BeginEpoch(1);
+  for (uint64_t p = 0; p < 4; ++p) {
+    m.Access(0, base + p * memsim::kSmallPageBytes, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+  const PhysPage frame_before = m.page_table().region(id).pages[1].frame;
+
+  FaultSchedule sched = MustParse(
+      "ue@addr:" + std::to_string(base + memsim::kSmallPageBytes));
+  FaultInjector injector(sched);
+  m.SetFaultHook(&injector);
+  m.FlushVolatileState();  // the poisoned line must miss the CPU cache
+  const memsim::MachineStats before = m.stats();
+  m.BeginEpoch(1);
+  m.Access(0, base + memsim::kSmallPageBytes, 8, AccessType::kRead);
+  // The page survives quarantine: later accesses hit the replacement
+  // frame without further machine checks.
+  m.Access(0, base + memsim::kSmallPageBytes + 64, 8, AccessType::kRead);
+  m.EndEpoch();
+  m.SetFaultHook(nullptr);
+
+  const memsim::MachineStats d = m.stats() - before;
+  EXPECT_EQ(d.media_ue_events, 1u);
+  EXPECT_EQ(d.pages_quarantined, 1u);
+  EXPECT_GT(d.machine_check_ns, 0);
+  EXPECT_GT(d.kernel_ns, 0);
+  EXPECT_NE(m.page_table().region(id).pages[1].frame, frame_before);
+  ASSERT_EQ(injector.report().losses.size(), 1u);
+  EXPECT_EQ(injector.report().losses[0].region, "arr");
+  EXPECT_EQ(injector.report().losses[0].bytes, memsim::kSmallPageBytes);
+  EXPECT_EQ(injector.report().ue_delivered, 1u);
+}
+
+TEST(FaultInjectorTest, TransientFaultsChargeSeededRetriesAndBackoff) {
+  Machine m(TinyConfig());
+  const memsim::RegionId id =
+      m.Alloc(memsim::kSmallPageBytes, TestPolicy(), "arr");
+  const VirtAddr base = m.BaseOf(id);
+  FaultInjector injector(
+      MustParse("lat@access:0,ns=1000,count=5,retries=3;seed=42"));
+  m.SetFaultHook(&injector);
+  m.BeginEpoch(1);
+  for (int i = 0; i < 8; ++i) {
+    m.Access(0, base + uint64_t{i} * 64, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+  m.SetFaultHook(nullptr);
+  EXPECT_EQ(injector.report().transient_faults, 5u);
+  EXPECT_GE(injector.report().retries, 5u);   // at least one retry per op
+  EXPECT_LE(injector.report().retries, 15u);  // at most three
+  EXPECT_EQ(m.stats().fault_retries, injector.report().retries);
+  EXPECT_EQ(m.stats().fault_stall_ns, injector.report().stall_ns);
+  // Backoff of base 1000ns: r retries stall 1000 * (2^r - 1).
+  EXPECT_GE(injector.report().stall_ns, 5 * 1000);
+  // The stall is charged to simulated user time, so the clock moved at
+  // least as far as the stall itself.
+  EXPECT_GE(m.now(), injector.report().stall_ns);
+}
+
+TEST(FaultInjectorTest, RetryDrawsAreSeedDeterministic) {
+  auto run = [&](uint64_t seed) {
+    Machine m(TinyConfig());
+    const memsim::RegionId id =
+        m.Alloc(memsim::kSmallPageBytes, TestPolicy(), "arr");
+    const VirtAddr base = m.BaseOf(id);
+    FaultSchedule sched =
+        MustParse("lat@access:0,ns=1000,count=8,retries=8");
+    sched.seed = seed;
+    FaultInjector injector(sched);
+    m.SetFaultHook(&injector);
+    m.BeginEpoch(1);
+    for (int i = 0; i < 8; ++i) {
+      m.Access(0, base + uint64_t{i} * 64, 8, AccessType::kRead);
+    }
+    m.EndEpoch();
+    return injector.report().stall_ns;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // astronomically unlikely to collide
+}
+
+TEST(FaultInjectorTest, LinkDegradationPricesRemoteWindowEpochs) {
+  // A machine wide enough for the bandwidth roofline to bind: 64 remote
+  // threads at ~1.9 GB/s of demand each (64B per 138/4 ns) oversubscribe
+  // the 100 GB/s interconnect, so scaling the link down must stretch the
+  // epoch. A couple of threads could never expose the degradation — their
+  // aggregate demand sits far under the link and the epoch stays
+  // latency-bound.
+  auto run = [&](const std::string& spec) {
+    MachineConfig c = TinyConfig();
+    c.topology.cores_per_socket = 64;
+    Machine m(c);
+    memsim::PagePolicy local0;
+    local0.placement = memsim::Placement::kLocal;
+    local0.preferred_node = 0;
+    const memsim::RegionId id =
+        m.Alloc(64 * memsim::kSmallPageBytes, local0, "arr");
+    const VirtAddr base = m.BaseOf(id);
+    FaultInjector injector(MustParse(spec));
+    m.SetFaultHook(&injector);
+    // Three epochs: every socket-1 thread streams one node-0 page.
+    for (int e = 0; e < 3; ++e) {
+      m.BeginEpoch(128);
+      for (uint32_t t = 64; t < 128; ++t) {
+        m.AccessRange(t, base + uint64_t{t - 64} * memsim::kSmallPageBytes,
+                      memsim::kSmallPageBytes, AccessType::kRead);
+      }
+      m.EndEpoch();
+      m.FlushVolatileState();
+    }
+    m.SetFaultHook(nullptr);
+    return std::pair<SimNs, uint64_t>(m.now(),
+                                      m.stats().link_degraded_epochs);
+  };
+  const auto [clean_ns, clean_degraded] = run("");
+  const auto [slow_ns, slow_degraded] = run("link@epoch:1,x=0.25,epochs=2");
+  EXPECT_EQ(clean_degraded, 0u);
+  EXPECT_EQ(slow_degraded, 2u);
+  EXPECT_GT(slow_ns, clean_ns);
+}
+
+TEST(FaultInjectorTest, EpochCrashThrowsAfterTheEpochCloses) {
+  Machine m(TinyConfig());
+  const memsim::RegionId id =
+      m.Alloc(memsim::kSmallPageBytes, TestPolicy(), "arr");
+  const VirtAddr base = m.BaseOf(id);
+  FaultInjector injector(MustParse("crash@epoch:1"));
+  m.SetFaultHook(&injector);
+  m.BeginEpoch(1);
+  m.Access(0, base, 8, AccessType::kRead);
+  m.EndEpoch();  // epoch 0: survives
+  bool crashed = false;
+  SimNs at_crash = 0;
+  try {
+    m.BeginEpoch(1);
+    m.Access(0, base + 64, 8, AccessType::kRead);
+    m.EndEpoch();  // epoch 1: throws after pricing
+  } catch (const memsim::SimulatedCrash& c) {
+    crashed = true;
+    at_crash = m.now();
+    EXPECT_EQ(c.epoch, 1u);
+  }
+  ASSERT_TRUE(crashed);
+  EXPECT_FALSE(m.in_epoch());     // the epoch closed before the throw
+  EXPECT_EQ(m.stats().epochs, 2u);
+  EXPECT_GT(at_crash, 0);
+  EXPECT_EQ(injector.report().crashes, 1u);
+  // One-shot: the consumed event must not re-fire.
+  m.BeginEpoch(1);
+  m.Access(0, base + 128, 8, AccessType::kRead);
+  m.EndEpoch();
+}
+
+TEST(FaultInjectorTest, EmptyScheduleHookIsBitIdenticalToNoHook) {
+  auto run = [&](bool attach) {
+    Machine m(TinyConfig());
+    FaultInjector injector((FaultSchedule()));
+    if (attach) m.SetFaultHook(&injector);
+    memsim::PagePolicy local0;
+    local0.placement = memsim::Placement::kLocal;
+    local0.preferred_node = 0;
+    const memsim::RegionId id =
+        m.Alloc(32 * memsim::kSmallPageBytes, local0, "arr");
+    const VirtAddr base = m.BaseOf(id);
+    for (int e = 0; e < 3; ++e) {
+      m.BeginEpoch(4);
+      for (ThreadId t = 0; t < 4; ++t) {
+        m.AccessRange(t, base, 8 * memsim::kSmallPageBytes,
+                      AccessType::kRead);
+      }
+      m.EndEpoch();
+    }
+    return m.now();
+  };
+  // A hook with nothing armed must not perturb a single simulated
+  // nanosecond — including remote-bandwidth pricing at factor 1.0.
+  EXPECT_EQ(run(false), run(true));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery equivalence (the PR's core contract).
+// ---------------------------------------------------------------------------
+
+RecoveryConfig BaseRecoveryConfig() {
+  RecoveryConfig cfg;
+  cfg.machine = TinyConfig();
+  cfg.threads = 4;
+  cfg.algo.label_policy = TestPolicy();
+  cfg.algo.pr_max_rounds = 10;
+  return cfg;
+}
+
+TEST(RecoveryTest, BfsSurvivesEveryEpochCrashPointBitIdentically) {
+  const graph::CsrTopology topo = graph::Grid2d(6, 6);
+  RecoveryConfig clean_cfg = BaseRecoveryConfig();
+  clean_cfg.checkpoint_every = 2;
+  const RecoveryResult clean = RunBfsWithRecovery(topo, 0, clean_cfg);
+  ASSERT_TRUE(clean.completed);
+  EXPECT_EQ(clean.attempts, 1u);
+  EXPECT_GT(clean.ckpt.writes_committed, 1u);
+  ASSERT_GT(clean.stats.epochs, 4u);
+
+  for (uint64_t e = 0; e < clean.stats.epochs; ++e) {
+    RecoveryConfig cfg = BaseRecoveryConfig();
+    cfg.checkpoint_every = 2;
+    cfg.faults = MustParse("crash@epoch:" + std::to_string(e));
+    const RecoveryResult r = RunBfsWithRecovery(topo, 0, cfg);
+    ASSERT_TRUE(r.completed) << "crash at epoch " << e;
+    EXPECT_EQ(r.attempts, 2u) << "crash at epoch " << e;
+    EXPECT_EQ(r.fault.crashes, 1u);
+    EXPECT_EQ(r.bfs_levels, clean.bfs_levels) << "crash at epoch " << e;
+    EXPECT_EQ(r.rounds, clean.rounds) << "crash at epoch " << e;
+    // Recovery always costs more than never crashing.
+    EXPECT_GT(r.total_ns, clean.total_ns) << "crash at epoch " << e;
+  }
+}
+
+TEST(RecoveryTest, BfsSurvivesAMidEpochCrashBitIdentically) {
+  const graph::CsrTopology topo = graph::Grid2d(6, 6);
+  RecoveryConfig clean_cfg = BaseRecoveryConfig();
+  clean_cfg.checkpoint_every = 2;
+  const RecoveryResult clean = RunBfsWithRecovery(topo, 0, clean_cfg);
+  ASSERT_TRUE(clean.completed);
+  ASSERT_GT(clean.fault.media_ops, 100u);
+
+  // A crash in the middle of the media-op stream lands inside an epoch,
+  // between the round boundaries the epoch sweep exercises.
+  RecoveryConfig cfg = BaseRecoveryConfig();
+  cfg.checkpoint_every = 2;
+  cfg.faults = MustParse("crash@access:" +
+                         std::to_string(clean.fault.media_ops / 2));
+  const RecoveryResult r = RunBfsWithRecovery(topo, 0, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.fault.crashes, 1u);
+  EXPECT_EQ(r.bfs_levels, clean.bfs_levels);
+}
+
+TEST(RecoveryTest, BfsWithoutCheckpointsRestartsFromScratch) {
+  const graph::CsrTopology topo = graph::Grid2d(6, 6);
+  const RecoveryResult clean = RunBfsWithRecovery(topo, 0,
+                                                  BaseRecoveryConfig());
+  ASSERT_TRUE(clean.completed);
+  RecoveryConfig cfg = BaseRecoveryConfig();
+  cfg.faults = MustParse("crash@epoch:12");
+  const RecoveryResult r = RunBfsWithRecovery(topo, 0, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.restarts_from_scratch, 1u);
+  EXPECT_EQ(r.restarts_from_checkpoint, 0u);
+  EXPECT_EQ(r.bfs_levels, clean.bfs_levels);
+}
+
+TEST(RecoveryTest, TornNewestCheckpointFallsBackToPreviousValid) {
+  const graph::CsrTopology topo = graph::Grid2d(6, 6);
+  RecoveryConfig clean_cfg = BaseRecoveryConfig();
+  clean_cfg.checkpoint_every = 1;
+  const RecoveryResult clean = RunBfsWithRecovery(topo, 0, clean_cfg);
+  ASSERT_TRUE(clean.completed);
+  ASSERT_GE(clean.ckpt_op_ranges.size(), 2u);
+
+  // Aim the crash inside the second checkpoint write: its slot tears,
+  // and recovery must fall back to the first (older but valid) one.
+  const OpRange target = clean.ckpt_op_ranges[1];
+  ASSERT_GT(target.end_op, target.begin_op);
+  RecoveryConfig cfg = BaseRecoveryConfig();
+  cfg.checkpoint_every = 1;
+  cfg.faults = MustParse(
+      "crash@access:" +
+      std::to_string(target.begin_op + (target.end_op - target.begin_op) / 2));
+  const RecoveryResult r = RunBfsWithRecovery(topo, 0, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.fault.crashes, 1u);
+  EXPECT_GE(r.ckpt.torn_detected, 1u);
+  EXPECT_GE(r.ckpt.fallbacks, 1u);
+  EXPECT_EQ(r.restarts_from_checkpoint, 1u);
+  EXPECT_EQ(r.bfs_levels, clean.bfs_levels);
+}
+
+TEST(RecoveryTest, PagerankSurvivesEpochAndMidEpochCrashesBitIdentically) {
+  const graph::CsrTopology topo = graph::Grid2d(6, 6);
+  RecoveryConfig clean_cfg = BaseRecoveryConfig();
+  clean_cfg.checkpoint_every = 3;
+  const RecoveryResult clean = RunPrWithRecovery(topo, clean_cfg);
+  ASSERT_TRUE(clean.completed);
+  ASSERT_GT(clean.stats.epochs, 4u);
+  ASSERT_FALSE(clean.pr_ranks.empty());
+
+  // Every epoch boundary, plus one mid-epoch media-op crash point.
+  std::vector<std::string> specs;
+  for (uint64_t e = 0; e < clean.stats.epochs; ++e) {
+    specs.push_back("crash@epoch:" + std::to_string(e));
+  }
+  specs.push_back("crash@access:" +
+                  std::to_string(clean.fault.media_ops / 2));
+  for (const std::string& spec : specs) {
+    RecoveryConfig cfg = BaseRecoveryConfig();
+    cfg.checkpoint_every = 3;
+    cfg.faults = MustParse(spec);
+    const RecoveryResult r = RunPrWithRecovery(topo, cfg);
+    ASSERT_TRUE(r.completed) << spec;
+    EXPECT_EQ(r.rounds, clean.rounds) << spec;
+    ASSERT_EQ(r.pr_ranks.size(), clean.pr_ranks.size());
+    // Bit-identical, not approximately equal: recovery replays the exact
+    // FP summation order of the uninterrupted run.
+    EXPECT_EQ(0, std::memcmp(r.pr_ranks.data(), clean.pr_ranks.data(),
+                             clean.pr_ranks.size() * sizeof(double)))
+        << spec;
+  }
+}
+
+TEST(RecoveryTest, InjectedRunsAreFullyDeterministic) {
+  const graph::CsrTopology topo = graph::Grid2d(6, 6);
+  // Fault-free twin run to learn the media-op and epoch counts, so the
+  // schedule below aims its faults inside the run instead of past its end.
+  RecoveryConfig clean_cfg = BaseRecoveryConfig();
+  clean_cfg.checkpoint_every = 2;
+  const RecoveryResult clean = RunBfsWithRecovery(topo, 0, clean_cfg);
+  ASSERT_TRUE(clean.completed);
+  const uint64_t ops = clean.fault.media_ops;
+  const uint64_t epochs = clean.stats.epochs;
+  ASSERT_GT(ops, 6u);
+  ASSERT_GT(epochs, 1u);
+  auto run = [&] {
+    RecoveryConfig cfg = BaseRecoveryConfig();
+    cfg.checkpoint_every = 2;
+    char spec[160];
+    std::snprintf(spec, sizeof(spec),
+                  "ue@access:%llu;lat@access:%llu,ns=500,count=32,retries=3;"
+                  "crash@epoch:%llu;seed=11",
+                  static_cast<unsigned long long>(ops / 3),
+                  static_cast<unsigned long long>(ops / 2),
+                  static_cast<unsigned long long>(epochs / 2));
+    cfg.faults = MustParse(spec);
+    return RunBfsWithRecovery(topo, 0, cfg);
+  };
+  const RecoveryResult a = run();
+  const RecoveryResult b = run();
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.total_ns, b.total_ns);
+  EXPECT_EQ(a.bfs_levels, b.bfs_levels);
+  EXPECT_EQ(a.fault.media_ops, b.fault.media_ops);
+  EXPECT_EQ(a.fault.stall_ns, b.fault.stall_ns);
+  EXPECT_EQ(a.ckpt.bytes_written, b.ckpt.bytes_written);
+  EXPECT_EQ(a.fault.ue_delivered, 1u);
+  EXPECT_EQ(a.fault.crashes, 1u);
+}
+
+TEST(RecoveryTest, GivesUpAfterMaxRestarts) {
+  const graph::CsrTopology topo = graph::Grid2d(6, 6);
+  RecoveryConfig cfg = BaseRecoveryConfig();
+  cfg.max_restarts = 2;
+  // One crash per attempt: epoch triggers re-arm... they do not — each
+  // event is one-shot, so arm one crash per attempt the run can make.
+  cfg.faults = MustParse("crash@epoch:0;crash@epoch:0;crash@epoch:0");
+  const RecoveryResult r = RunBfsWithRecovery(topo, 0, cfg);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.attempts, 3u);  // initial + 2 restarts
+  EXPECT_EQ(r.fault.crashes, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation through the framework driver.
+// ---------------------------------------------------------------------------
+
+TEST(FrameworkFaultTest, UncorrectableErrorsDegradeButComplete) {
+  const frameworks::AppInputs inputs =
+      frameworks::AppInputs::Prepare(graph::Grid2d(8, 8));
+  frameworks::RunConfig cfg;
+  cfg.machine = memsim::DramOnlyConfig();
+  cfg.threads = 8;
+  // Twin run with a never-firing fault (so the injector is attached and
+  // counts) to learn how many media ops the run makes, then aim two UEs
+  // inside that range.
+  cfg.faults = MustParse("lat@access:0xffffffffff,ns=1,count=1");
+  const frameworks::AppRunResult probe =
+      RunApp(frameworks::FrameworkKind::kGbbs, frameworks::App::kBfs,
+             inputs, cfg);
+  ASSERT_TRUE(probe.supported);
+  const uint64_t ops = probe.fault.media_ops;
+  ASSERT_GT(ops, 3u);
+  char spec[96];
+  std::snprintf(spec, sizeof(spec), "ue@access:%llu;ue@access:%llu",
+                static_cast<unsigned long long>(ops / 3),
+                static_cast<unsigned long long>(2 * ops / 3));
+  cfg.faults = MustParse(spec);
+  const frameworks::AppRunResult r =
+      RunApp(frameworks::FrameworkKind::kGbbs, frameworks::App::kBfs,
+             inputs, cfg);
+  ASSERT_TRUE(r.supported);
+  EXPECT_FALSE(r.crashed);
+  EXPECT_TRUE(r.fault_injected);
+  EXPECT_EQ(r.fault.ue_delivered, 2u);
+  EXPECT_EQ(r.fault.losses.size(), 2u);
+  EXPECT_EQ(r.fault.crashes, 0u);
+}
+
+TEST(FrameworkFaultTest, UnrecoveredCrashIsReportedNotFatal) {
+  const frameworks::AppInputs inputs =
+      frameworks::AppInputs::Prepare(graph::Grid2d(8, 8));
+  frameworks::RunConfig cfg;
+  cfg.machine = memsim::DramOnlyConfig();
+  cfg.threads = 8;
+  cfg.faults = MustParse("crash@epoch:6");
+  const frameworks::AppRunResult r =
+      RunApp(frameworks::FrameworkKind::kGbbs, frameworks::App::kBfs,
+             inputs, cfg);
+  ASSERT_TRUE(r.supported);
+  EXPECT_TRUE(r.crashed);
+  EXPECT_EQ(r.fault.crashes, 1u);
+  EXPECT_GT(r.stats.epochs, 0u);  // partial work was still accounted
+}
+
+}  // namespace
+}  // namespace pmg::faultsim

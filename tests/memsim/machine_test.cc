@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "pmg/memsim/machine_configs.h"
 
 namespace pmg::memsim {
@@ -375,6 +377,51 @@ TEST(MachineTest, TotalTimeMonotonicAcrossEpochs) {
     EXPECT_GT(m.now(), prev);
     prev = m.now();
   }
+}
+
+/// Frames currently mapped under region `id` (only pages that took their
+/// minor fault).
+std::set<PhysPage> FramesOf(const Machine& m, RegionId id) {
+  std::set<PhysPage> frames;
+  for (const PageInfo& pg : m.page_table().region(id).pages) {
+    if (pg.frame != kInvalidFrame) frames.insert(pg.frame);
+  }
+  return frames;
+}
+
+TEST(MachineTest, RecycledFramesNeverAliasLivePages) {
+  Machine m(TinyConfig(MachineKind::kDramMain));
+  const RegionId live =
+      m.Alloc(8 * kSmallPageBytes, Policy(Placement::kLocal), "live");
+  const RegionId dead =
+      m.Alloc(8 * kSmallPageBytes, Policy(Placement::kLocal), "dead");
+  m.BeginEpoch(1);
+  for (uint64_t pg = 0; pg < 8; ++pg) {
+    m.Access(0, m.BaseOf(live) + pg * kSmallPageBytes, 8, AccessType::kRead);
+    m.Access(0, m.BaseOf(dead) + pg * kSmallPageBytes, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+  const std::set<PhysPage> live_frames = FramesOf(m, live);
+  const std::set<PhysPage> dead_frames = FramesOf(m, dead);
+  m.Free(dead);
+  // A fresh region must draw from the freed runs (the machine is sized so
+  // the free list is the only place those frames can come from)...
+  const RegionId renew =
+      m.Alloc(8 * kSmallPageBytes, Policy(Placement::kLocal), "renew");
+  m.BeginEpoch(1);
+  for (uint64_t pg = 0; pg < 8; ++pg) {
+    m.Access(0, m.BaseOf(renew) + pg * kSmallPageBytes, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+  const std::set<PhysPage> renew_frames = FramesOf(m, renew);
+  EXPECT_EQ(renew_frames.size(), 8u);
+  uint64_t recycled = 0;
+  for (PhysPage f : renew_frames) {
+    // ...and must never hand back a frame still mapped by a live region.
+    EXPECT_EQ(live_frames.count(f), 0u) << "frame " << f << " aliased";
+    recycled += dead_frames.count(f);
+  }
+  EXPECT_GT(recycled, 0u);
 }
 
 TEST(MachineTest, UserKernelSplitSumsBelowTotal) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "pmg/memsim/machine.h"
 #include "pmg/memsim/machine_configs.h"
 
@@ -110,6 +112,33 @@ TEST(MigrationTest, MigrationCountsAsKernelTime) {
   EXPECT_GT(m.stats().migrations, 0u);
   EXPECT_GT(m.stats().kernel_ns, 0u);
   EXPECT_GT(m.stats().tlb_shootdowns, 0u);
+}
+
+TEST(MigrationTest, MigrationFreedFramesDoNotAliasLivePages) {
+  // Migrating a page frees its node-0 source frames into the free list;
+  // a later allocation that recycles them must not collide with any page
+  // that is still mapped.
+  Machine m(Base());
+  const RegionId moved =
+      m.Alloc(16 * kSmallPageBytes, LocalPolicy(), "moved");
+  HammerRemote(m, m.BaseOf(moved), 16, 4);
+  ASSERT_GT(m.stats().migrations, 0u);
+  const RegionId renew =
+      m.Alloc(16 * kSmallPageBytes, LocalPolicy(), "renew");
+  m.BeginEpoch(4);
+  for (uint64_t pg = 0; pg < 16; ++pg) {
+    m.Access(0, m.BaseOf(renew) + pg * kSmallPageBytes, 8,
+             AccessType::kRead);
+  }
+  m.EndEpoch();
+  std::set<PhysPage> seen;
+  for (const RegionId id : {moved, renew}) {
+    for (const PageInfo& pg : m.page_table().region(id).pages) {
+      if (pg.frame == kInvalidFrame) continue;
+      EXPECT_TRUE(seen.insert(pg.frame).second)
+          << "frame " << pg.frame << " mapped twice";
+    }
+  }
 }
 
 }  // namespace

@@ -155,6 +155,36 @@ TEST(NumaArrayTest, MoveTransfersOwnership) {
   EXPECT_EQ(b[3], 9u);
 }
 
+TEST(RuntimeTest, EmptyParallelForStillCostsAnEpoch) {
+  Machine m(SmallDram());
+  Runtime rt(&m, 4);
+  const uint64_t before = m.stats().epochs;
+  int visits = 0;
+  // begin == end is a legal empty round; it must still open and close a
+  // machine epoch (bulk-synchronous loops count rounds by epochs).
+  rt.ParallelFor(10, 10, [&](ThreadId, uint64_t) { ++visits; });
+  rt.ParallelForDynamic(10, 10, 4, [&](ThreadId, uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  EXPECT_EQ(m.stats().epochs, before + 2);
+}
+
+using RuntimeDeathTest = ::testing::Test;
+
+TEST(RuntimeDeathTest, InvertedParallelForRangeAborts) {
+  Machine m(SmallDram());
+  Runtime rt(&m, 4);
+  // end < begin would underflow n = end - begin into ~2^64 iterations.
+  EXPECT_DEATH(rt.ParallelFor(10, 9, [&](ThreadId, uint64_t) {}),
+               "inverted");
+}
+
+TEST(RuntimeDeathTest, InvertedParallelForDynamicRangeAborts) {
+  Machine m(SmallDram());
+  Runtime rt(&m, 4);
+  EXPECT_DEATH(rt.ParallelForDynamic(10, 9, 4, [&](ThreadId, uint64_t) {}),
+               "inverted");
+}
+
 TEST(NumaArrayTest, DistinctPoliciesAffectPlacement) {
   Machine m(SmallDram());
   PagePolicy local;

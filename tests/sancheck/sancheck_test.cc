@@ -180,6 +180,22 @@ TEST_F(BoundsCheckerDeathTest, UseAfterFreeAborts) {
                "use-after-free");
 }
 
+TEST_F(BoundsCheckerDeathTest, UseAfterFreeStillCaughtAfterFrameRecycling) {
+  // Free a region, then allocate and touch a same-sized one so the machine
+  // hands the freed frames back out. The stale virtual address must still
+  // trip the tombstone even though its old frames are live again elsewhere.
+  const memsim::RegionId id = machine_.Alloc(4096, TestPolicy(), "tmp");
+  const VirtAddr tmp = machine_.BaseOf(id);
+  machine_.Access(0, tmp, 8, AccessType::kWrite);
+  machine_.CloseEpochIfOpen();
+  machine_.Free(id);
+  const memsim::RegionId renew = machine_.Alloc(4096, TestPolicy(), "renew");
+  machine_.Access(0, machine_.BaseOf(renew), 8, AccessType::kWrite);
+  machine_.CloseEpochIfOpen();
+  EXPECT_DEATH(machine_.Access(0, tmp, 8, AccessType::kRead),
+               "use-after-free");
+}
+
 TEST_F(BoundsCheckerDeathTest, NeverAllocatedAddressAborts) {
   EXPECT_DEATH(machine_.Access(0, 64, 8, AccessType::kRead), "wild access");
 }

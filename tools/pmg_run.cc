@@ -4,16 +4,29 @@
 //   pmg_run --graph clueweb12 --app bfs --framework galois \
 //           --machine pmm --threads 96 [--pages 4k|2m] [--migration]
 //           [--placement local|interleaved|blocked] [--pr-rounds N]
-//           [--sanitize]
+//           [--sanitize] [--faults <spec>] [--checkpoint-every N]
 //
 // Graph can be a Table 3 scenario name, or "file:<path>" for a binary CSR
 // written by pmg::graph::SaveCsr. Prints the simulated time and the
 // hardware-counter summary.
+//
+// Flags take "--flag value" or "--flag=value". Every flag and input is
+// validated up front: an unknown flag, a malformed value (including a
+// --faults spec FaultSchedule::Parse rejects), or an unloadable graph is
+// a one-line error and exit code 2.
+//
+// A schedule containing a crash — or any nonzero --checkpoint-every —
+// routes bfs/pr to the faultsim recovery drivers, which restart after
+// simulated crashes from the newest valid checkpoint.
 
+#include <charconv>
+#include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "pmg/faultsim/recovery.h"
 #include "pmg/frameworks/framework.h"
 #include "pmg/graph/graph_io.h"
 #include "pmg/graph/properties.h"
@@ -25,6 +38,16 @@ namespace {
 
 using namespace pmg;
 
+[[noreturn]] void Die(const char* fmt, ...) {
+  std::fprintf(stderr, "pmg_run: ");
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  std::exit(2);
+}
+
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
@@ -35,7 +58,11 @@ int Usage(const char* argv0) {
       "local|interleaved|blocked]\n"
       "          [--migration] [--pr-rounds N] [--vertex-programs] "
       "[--sanitize]\n"
-      "graph names: kron30 clueweb12 uk14 iso_m100 rmat32 wdc12\n",
+      "          [--faults <spec>] [--checkpoint-every N]\n"
+      "graph names: kron30 clueweb12 uk14 iso_m100 rmat32 wdc12\n"
+      "fault spec:  ';'-separated events, e.g.\n"
+      "             'ue@access:500;lat@access:100,ns=2000,count=8;"
+      "crash@epoch:3;seed=7'\n",
       argv0);
   return 2;
 }
@@ -59,9 +86,21 @@ bool ParseFramework(const std::string& s, frameworks::FrameworkKind* out) {
   return true;
 }
 
+/// Whole-string unsigned decimal; rejects "12abc", "-1", "" and overflow.
+bool ParseU32(const std::string& s, uint32_t* out) {
+  if (s.empty()) return false;
+  uint32_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc <= 1) return Usage(argv[0]);
+
   std::string graph_name;
   std::string app_name;
   std::string framework_name = "galois";
@@ -71,62 +110,86 @@ int main(int argc, char** argv) {
 
   std::string pages;
   std::string placement;
+  std::string faults_spec;
   bool migration = false;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
+    std::string flag = argv[i];
+    std::string value;
+    bool has_value = false;
+    if (flag.rfind("--", 0) == 0) {
+      const size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        value = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+        has_value = true;
+      }
+    }
+    // Pulls the flag's value from "=..." or the next argv slot.
+    auto need_value = [&]() -> const std::string& {
+      if (!has_value) {
+        if (i + 1 >= argc) Die("flag %s requires a value", flag.c_str());
+        value = argv[++i];
+        has_value = true;
+      }
+      return value;
     };
-    if (arg == "--graph") {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      graph_name = v;
-    } else if (arg == "--app") {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      app_name = v;
-    } else if (arg == "--framework") {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      framework_name = v;
-    } else if (arg == "--machine") {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      machine_name = v;
-    } else if (arg == "--threads") {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      cfg.threads = static_cast<uint32_t>(std::atoi(v));
-    } else if (arg == "--pages") {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      pages = v;
-    } else if (arg == "--placement") {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      placement = v;
-    } else if (arg == "--pr-rounds") {
-      const char* v = next();
-      if (v == nullptr) return Usage(argv[0]);
-      cfg.pr_max_rounds = static_cast<uint32_t>(std::atoi(v));
-    } else if (arg == "--migration") {
+    auto no_value = [&]() {
+      if (has_value) Die("flag %s takes no value", flag.c_str());
+    };
+    if (flag == "--graph") {
+      graph_name = need_value();
+    } else if (flag == "--app") {
+      app_name = need_value();
+    } else if (flag == "--framework") {
+      framework_name = need_value();
+    } else if (flag == "--machine") {
+      machine_name = need_value();
+    } else if (flag == "--threads") {
+      if (!ParseU32(need_value(), &cfg.threads) || cfg.threads == 0) {
+        Die("--threads wants a positive integer, got '%s'", value.c_str());
+      }
+    } else if (flag == "--pages") {
+      pages = need_value();
+    } else if (flag == "--placement") {
+      placement = need_value();
+    } else if (flag == "--pr-rounds") {
+      if (!ParseU32(need_value(), &cfg.pr_max_rounds) ||
+          cfg.pr_max_rounds == 0) {
+        Die("--pr-rounds wants a positive integer, got '%s'", value.c_str());
+      }
+    } else if (flag == "--faults") {
+      faults_spec = need_value();
+    } else if (flag == "--checkpoint-every") {
+      if (!ParseU32(need_value(), &cfg.checkpoint_every)) {
+        Die("--checkpoint-every wants an integer, got '%s'", value.c_str());
+      }
+    } else if (flag == "--migration") {
+      no_value();
       migration = true;
-    } else if (arg == "--vertex-programs") {
+    } else if (flag == "--vertex-programs") {
+      no_value();
       cfg.force_vertex_programs = true;
-    } else if (arg == "--sanitize") {
+    } else if (flag == "--sanitize") {
+      no_value();
       cfg.sanitize = true;
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      return Usage(argv[0]);
+      Die("unknown flag '%s' (run with no arguments for usage)",
+          argv[i]);
     }
   }
-  if (graph_name.empty() || app_name.empty()) return Usage(argv[0]);
+  if (graph_name.empty()) Die("--graph is required");
+  if (app_name.empty()) Die("--app is required");
 
   frameworks::App app;
+  if (!ParseApp(app_name, &app)) {
+    Die("unknown app '%s' (want bc|bfs|cc|kcore|pr|sssp|tc)",
+        app_name.c_str());
+  }
   frameworks::FrameworkKind fw;
-  if (!ParseApp(app_name, &app) || !ParseFramework(framework_name, &fw)) {
-    return Usage(argv[0]);
+  if (!ParseFramework(framework_name, &fw)) {
+    Die("unknown framework '%s' (want galois|gap|graphit|gbbs)",
+        framework_name.c_str());
   }
   if (machine_name == "pmm") {
     cfg.machine = memsim::OptanePmmConfig();
@@ -135,36 +198,88 @@ int main(int argc, char** argv) {
   } else if (machine_name == "entropy") {
     cfg.machine = memsim::EntropyConfig();
   } else {
-    return Usage(argv[0]);
+    Die("unknown machine '%s' (want pmm|dram|entropy)", machine_name.c_str());
   }
   cfg.machine.migration.enabled = migration;
   if (pages == "4k") cfg.page_size = memsim::PageSizeClass::k4K;
   else if (pages == "2m") cfg.page_size = memsim::PageSizeClass::k2M;
-  else if (!pages.empty()) return Usage(argv[0]);
+  else if (!pages.empty()) Die("unknown page size '%s' (want 4k|2m)",
+                               pages.c_str());
   if (placement == "local") cfg.placement = memsim::Placement::kLocal;
   else if (placement == "interleaved") {
     cfg.placement = memsim::Placement::kInterleaved;
   } else if (placement == "blocked") {
     cfg.placement = memsim::Placement::kBlocked;
   } else if (!placement.empty()) {
-    return Usage(argv[0]);
+    Die("unknown placement '%s' (want local|interleaved|blocked)",
+        placement.c_str());
+  }
+  if (!faults_spec.empty()) {
+    std::string error;
+    if (!faultsim::FaultSchedule::Parse(faults_spec, &cfg.faults, &error)) {
+      Die("bad --faults spec: %s", error.c_str());
+    }
   }
 
   graph::CsrTopology topo;
   uint64_t represented = 0;
   if (graph_name.rfind("file:", 0) == 0) {
     if (!graph::LoadCsr(graph_name.substr(5), &topo)) {
-      std::fprintf(stderr, "cannot load graph from %s\n",
-                   graph_name.c_str() + 5);
-      return 1;
+      Die("cannot load graph from '%s'", graph_name.c_str() + 5);
     }
   } else {
+    bool known = false;
+    for (const std::string& name : scenarios::AllScenarioNames()) {
+      known = known || name == graph_name;
+    }
+    if (!known) {
+      Die("unknown graph '%s' (want a scenario name or file:<path>)",
+          graph_name.c_str());
+    }
     const scenarios::Scenario s = scenarios::MakeScenario(graph_name);
     topo = s.topo;
     represented = s.represented_vertices;
   }
   std::printf("graph %s: %s\n", graph_name.c_str(),
               graph::ComputeProperties(topo).ToString().c_str());
+
+  // Crash schedules and checkpointing run through the recovery drivers,
+  // which know how to resume the bulk-synchronous loops mid-run.
+  const bool wants_recovery =
+      cfg.checkpoint_every > 0 || cfg.faults.HasCrash();
+  if (wants_recovery) {
+    if (app != frameworks::App::kBfs && app != frameworks::App::kPr) {
+      Die("crash recovery supports --app bfs or pr, not %s",
+          app_name.c_str());
+    }
+    faultsim::RecoveryConfig rc;
+    rc.machine = cfg.machine;
+    rc.threads = cfg.threads;
+    rc.faults = cfg.faults;
+    rc.checkpoint_every = cfg.checkpoint_every;
+    rc.algo.pr_max_rounds = cfg.pr_max_rounds;
+    if (cfg.page_size.has_value()) {
+      rc.algo.label_policy.page_size = *cfg.page_size;
+      rc.algo.label_policy.thp = false;
+    }
+    if (cfg.placement.has_value()) {
+      rc.algo.label_policy.placement = *cfg.placement;
+    }
+    const VertexId source = graph::MaxOutDegreeVertex(topo);
+    const faultsim::RecoveryResult r =
+        app == frameworks::App::kBfs
+            ? faultsim::RunBfsWithRecovery(topo, source, rc)
+            : faultsim::RunPrWithRecovery(topo, rc);
+    std::printf("\n%s on %s (%u threads): %.3f ms simulated over %u "
+                "attempt(s)\n",
+                app_name.c_str(), machine_name.c_str(), cfg.threads,
+                static_cast<double>(r.total_ns) / 1e6, r.attempts);
+    scenarios::PrintRecoveryReport(r);
+    scenarios::PrintFaultReport(r.fault, r.stats);
+    std::printf("\ncounters (final attempt):\n%s\n",
+                r.stats.ToString().c_str());
+    return r.completed ? 0 : 1;
+  }
 
   const frameworks::AppInputs inputs =
       frameworks::AppInputs::Prepare(std::move(topo), represented);
@@ -174,11 +289,19 @@ int main(int argc, char** argv) {
                 framework_name.c_str(), app_name.c_str());
     return 0;
   }
+  if (r.crashed) {
+    std::printf("\n%s %s on %s: CRASHED (no recovery configured)\n",
+                framework_name.c_str(), app_name.c_str(),
+                machine_name.c_str());
+    scenarios::PrintFaultReport(r.fault, r.stats);
+    return 1;
+  }
   std::printf("\n%s %s on %s (%u threads): %.3f ms simulated, %llu rounds\n",
               framework_name.c_str(), app_name.c_str(), machine_name.c_str(),
               cfg.threads, static_cast<double>(r.time_ns) / 1e6,
               static_cast<unsigned long long>(r.rounds));
   std::printf("\ncounters:\n%s\n", r.stats.ToString().c_str());
+  if (r.fault_injected) scenarios::PrintFaultReport(r.fault, r.stats);
   if (r.sanitized) {
     scenarios::PrintSancheckReport(r.sancheck);
     // A sanitized run that found races is a failed run: the kernel (or a
