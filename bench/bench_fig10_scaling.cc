@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "pmg/frameworks/framework.h"
 #include "pmg/graph/topology.h"
 #include "pmg/memsim/machine_configs.h"
@@ -54,6 +55,7 @@ int main() {
   const std::vector<App> apps = frameworks::AllApps();
   std::vector<double> overhead_96;
   std::vector<double> speedup_8_96_pmm;
+  bench::BenchJson json("fig10");
 
   for (const char* name : {"kron30", "clueweb12"}) {
     const scenarios::Scenario s = scenarios::MakeScenario(name);
@@ -91,6 +93,13 @@ int main() {
           const SimNs ns =
               RunApp(FrameworkKind::kGalois, app, inputs, cfg).time_ns;
           row.push_back(scenarios::FormatSeconds(ns));
+          json.BeginRow();
+          json.writer().Key("graph").String(name);
+          json.writer().Key("app").String(frameworks::AppName(app));
+          json.writer().Key("machine").String(pmm ? "pmm" : "dram");
+          json.writer().Key("threads").UInt(t);
+          json.writer().Key("time_ns").UInt(ns);
+          json.EndRow();
           if (t == 96) (pmm ? pmm96 : dram96) = ns;
           if (t == 6 && pmm) pmm8 = ns;
         }
@@ -113,5 +122,7 @@ int main() {
       "  geomean PMM speedup 6 -> 96 threads: %s (paper 8->96: ~4.2-4.7x)\n",
       scenarios::FormatRatio(scenarios::Geomean(overhead_96)).c_str(),
       scenarios::FormatRatio(scenarios::Geomean(speedup_8_96_pmm)).c_str());
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "pmg/frameworks/framework.h"
 #include "pmg/graph/topology.h"
 #include "pmg/memsim/machine_configs.h"
@@ -37,7 +38,8 @@ SimNs AppTime(App app, const AppInputs& inputs,
 }
 
 void RunMachine(const char* title, const MachineConfig& machine,
-                const std::vector<std::string>& graphs) {
+                const std::vector<std::string>& graphs,
+                pmg::bench::BenchJson* json) {
   std::printf("%s\n\n", title);
   pmg::scenarios::Table t({"graph", "app", "pages", "migration ON (s)",
                            "migration OFF (s)", "OFF improves by"});
@@ -69,6 +71,16 @@ void RunMachine(const char* title, const MachineConfig& machine,
                   pmg::scenarios::FormatSeconds(on),
                   pmg::scenarios::FormatSeconds(off),
                   pmg::scenarios::FormatDouble(pct, 1) + "%"});
+        json->BeginRow();
+        json->writer().Key("machine").String(title);
+        json->writer().Key("graph").String(name);
+        json->writer().Key("app").String(pmg::frameworks::AppName(app));
+        json->writer().Key("pages").String(
+            ps == PageSizeClass::k4K ? "4KB" : "2MB");
+        json->writer().Key("migration_on_ns").UInt(on);
+        json->writer().Key("migration_off_ns").UInt(off);
+        json->writer().Key("off_improvement_pct").Fixed(pct, 2);
+        json->EndRow();
       }
     }
   }
@@ -84,9 +96,12 @@ int main() {
       "(paper: turning migration OFF improves 4KB runs by 29-53%% on PMM\n"
       " and helps less with 2MB pages; effects are larger on PMM than "
       "DRAM)\n\n");
+  pmg::bench::BenchJson json("fig5");
   RunMachine("(a) Optane PMM", pmg::memsim::OptanePmmConfig(),
-             {"kron30", "clueweb12", "uk14", "wdc12"});
+             {"kron30", "clueweb12", "uk14", "wdc12"}, &json);
   RunMachine("(b) DDR4 DRAM", pmg::memsim::DramOnlyConfig(),
-             {"kron30", "clueweb12"});
+             {"kron30", "clueweb12"}, &json);
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -14,6 +14,10 @@ int main() {
   std::printf(
       "Figure 7: data-driven algorithm variants on Optane PMM (96 "
       "threads)\n");
-  pmg::benchvariants::RunVariantStudy(pmg::memsim::OptanePmmConfig(), 96);
+  pmg::bench::BenchJson json("fig7");
+  pmg::benchvariants::RunVariantStudy(pmg::memsim::OptanePmmConfig(), 96,
+                                      &json);
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
   return 0;
 }

@@ -1,0 +1,61 @@
+#ifndef PMG_BENCH_BENCH_JSON_H_
+#define PMG_BENCH_BENCH_JSON_H_
+
+// Shared BENCH_*.json emitter. A figure/table binary adds one row per
+// measured cell and writes a schema-versioned document into the working
+// directory (CI archives them as artifacts), so the paper numbers are
+// machine-readable, not just table text.
+//
+//   pmg::bench::BenchJson out("fig5");
+//   out.BeginRow();
+//   out.writer().Key("graph").String("kron30");
+//   ...
+//   out.EndRow();
+//   out.Write();  // -> BENCH_fig5.json
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "pmg/trace/json.h"
+#include "pmg/trace/trace_session.h"
+
+namespace pmg::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    w_.BeginObject();
+    w_.Key("schema_version").UInt(trace::kTraceSchemaVersion);
+    w_.Key("bench").String(name_);
+    w_.Key("rows").BeginArray();
+  }
+
+  void BeginRow() { w_.BeginObject(); }
+  void EndRow() { w_.EndObject(); }
+  /// The row under construction; add fields with Key(...).<value>().
+  trace::JsonWriter& writer() { return w_; }
+
+  /// Closes the document and writes BENCH_<name>.json. Returns the path
+  /// (empty on I/O failure).
+  std::string Write() {
+    w_.EndArray();
+    w_.EndObject();
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return "";
+    const std::string& body = w_.str();
+    const size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    const bool ok = n == body.size() && std::fputc('\n', f) != EOF &&
+                    std::fclose(f) == 0;
+    return ok ? path : "";
+  }
+
+ private:
+  std::string name_;
+  trace::JsonWriter w_;
+};
+
+}  // namespace pmg::bench
+
+#endif  // PMG_BENCH_BENCH_JSON_H_

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "pmg/analytics/bfs.h"
 #include "pmg/analytics/cc.h"
 #include "pmg/analytics/sssp.h"
@@ -35,9 +36,11 @@ struct Cell {
 };
 
 /// Runs all variants of one problem on one graph with a fresh machine per
-/// run (cold caches, as in the paper's independent executions).
+/// run (cold caches, as in the paper's independent executions). When
+/// `json` is given, every cell also lands as a machine-readable row.
 inline void RunVariantStudy(const memsim::MachineConfig& machine_config,
-                            uint32_t threads) {
+                            uint32_t threads,
+                            bench::BenchJson* json = nullptr) {
   using graph::CsrGraph;
   using graph::GraphLayout;
   for (const char* problem : {"bfs", "cc", "sssp"}) {
@@ -107,9 +110,19 @@ inline void RunVariantStudy(const memsim::MachineConfig& machine_config,
       SimNs best = cells[0].time_ns;
       for (const Cell& c : cells) best = std::min(best, c.time_ns);
       for (const Cell& c : cells) {
+        const double vs_best = static_cast<double>(c.time_ns) /
+                               static_cast<double>(best);
         table.AddRow({name, c.variant, scenarios::FormatSeconds(c.time_ns),
-                      scenarios::FormatRatio(static_cast<double>(c.time_ns) /
-                                             static_cast<double>(best))});
+                      scenarios::FormatRatio(vs_best)});
+        if (json != nullptr) {
+          json->BeginRow();
+          json->writer().Key("problem").String(problem);
+          json->writer().Key("graph").String(name);
+          json->writer().Key("variant").String(c.variant);
+          json->writer().Key("time_ns").UInt(c.time_ns);
+          json->writer().Key("vs_best").Fixed(vs_best, 4);
+          json->EndRow();
+        }
       }
     }
     std::printf("\n(%s)\n", problem);

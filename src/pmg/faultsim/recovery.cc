@@ -8,6 +8,7 @@
 #include "pmg/runtime/numa_array.h"
 #include "pmg/runtime/runtime.h"
 #include "pmg/runtime/worklist.h"
+#include "pmg/trace/trace_session.h"
 
 namespace pmg::faultsim {
 
@@ -25,12 +26,17 @@ void RunAttempts(const RecoveryConfig& cfg, FaultInjector& injector,
     ++out.attempts;
     memsim::Machine machine(cfg.machine);
     machine.SetFaultHook(&injector);
+    // Re-attach the trace session to this attempt's fresh machine; its
+    // timeline continues where the crashed attempt's ended.
+    if (cfg.trace != nullptr) cfg.trace->Attach(&machine);
     bool done = false;
+    bool crashed = false;
     try {
       done = attempt(machine, i);
       machine.CloseEpochIfOpen();
     } catch (const memsim::SimulatedCrash&) {
       ++out.crashes;
+      crashed = true;
       // Close the interrupted epoch so time spent before the crash is
       // accounted. A second crash fired while closing is swallowed: this
       // machine is already dead.
@@ -40,6 +46,11 @@ void RunAttempts(const RecoveryConfig& cfg, FaultInjector& injector,
         ++out.crashes;
       }
     }
+    if (crashed && machine.trace_sink() != nullptr) {
+      machine.trace_sink()->OnInstant(memsim::TraceInstantKind::kCrash, 0,
+                                      machine.now(), 1);
+    }
+    if (cfg.trace != nullptr) cfg.trace->Detach();
     out.total_ns += machine.now();
     if (done) {
       out.stats = machine.stats();
@@ -78,6 +89,11 @@ RecoveryResult RunBfsWithRecovery(const graph::CsrTopology& topo,
       const SimNs t0 = machine.now();
       const bool ok = store.Restore(machine, &payload);
       out.restore_ns += machine.now() - t0;
+      if (machine.trace_sink() != nullptr) {
+        machine.trace_sink()->OnInstant(
+            memsim::TraceInstantKind::kCheckpointRestore, 0, machine.now(),
+            payload.size());
+      }
       if (ok) {
         PayloadReader r(payload);
         round = r.U32();
@@ -125,6 +141,11 @@ RecoveryResult RunBfsWithRecovery(const graph::CsrTopology& topo,
         const SimNs t0 = machine.now();
         store.Write(machine, cfg.threads, w.data().data(), w.data().size());
         out.checkpoint_write_ns += machine.now() - t0;
+        if (machine.trace_sink() != nullptr) {
+          machine.trace_sink()->OnInstant(
+              memsim::TraceInstantKind::kCheckpointWrite, 0, machine.now(),
+              w.data().size());
+        }
         range.end_op = injector.media_ops();
         out.ckpt_op_ranges.push_back(range);
       }
@@ -167,6 +188,11 @@ RecoveryResult RunPrWithRecovery(const graph::CsrTopology& topo,
       const SimNs t0 = machine.now();
       const bool ok = store.Restore(machine, &payload);
       out.restore_ns += machine.now() - t0;
+      if (machine.trace_sink() != nullptr) {
+        machine.trace_sink()->OnInstant(
+            memsim::TraceInstantKind::kCheckpointRestore, 0, machine.now(),
+            payload.size());
+      }
       if (ok) {
         PayloadReader r(payload);
         round = r.U64();
@@ -225,6 +251,11 @@ RecoveryResult RunPrWithRecovery(const graph::CsrTopology& topo,
         const SimNs t0 = machine.now();
         store.Write(machine, cfg.threads, w.data().data(), w.data().size());
         out.checkpoint_write_ns += machine.now() - t0;
+        if (machine.trace_sink() != nullptr) {
+          machine.trace_sink()->OnInstant(
+              memsim::TraceInstantKind::kCheckpointWrite, 0, machine.now(),
+              w.data().size());
+        }
         range.end_op = injector.media_ops();
         out.ckpt_op_ranges.push_back(range);
       }

@@ -27,6 +27,10 @@
 /// the PM namespace, which survives process death); each attempt builds a
 /// fresh Machine (DRAM contents and caches do not survive).
 
+namespace pmg::trace {
+class TraceSession;
+}  // namespace pmg::trace
+
 namespace pmg::faultsim {
 
 struct RecoveryConfig {
@@ -39,6 +43,10 @@ struct RecoveryConfig {
   /// Give up after this many restarts (completed = false in the result).
   uint32_t max_restarts = 8;
   analytics::AlgoOptions algo;
+  /// Trace session re-attached to each attempt's fresh machine; its
+  /// simulated timeline runs monotonically across the attempts, with
+  /// instant events marking checkpoint writes, restores, and crashes.
+  trace::TraceSession* trace = nullptr;
 };
 
 /// Media-op ordinal window of one checkpoint write, recorded so tests can

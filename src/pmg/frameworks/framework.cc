@@ -15,6 +15,7 @@
 #include "pmg/graph/csr_graph.h"
 #include "pmg/graph/properties.h"
 #include "pmg/runtime/runtime.h"
+#include "pmg/trace/trace_session.h"
 
 namespace pmg::frameworks {
 
@@ -172,12 +173,16 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
   memsim::Machine machine(config.machine);
   runtime::Runtime rt(&machine, config.threads);
 
+  // The trace session covers the whole run, graph construction included:
+  // the conservation law is over everything the machine bills.
+  if (config.trace != nullptr) config.trace->Attach(&machine);
+
   // Attach the sanitizer before the graph is materialized so its shadow
   // region table sees every allocation.
   std::unique_ptr<sancheck::Sancheck> checker;
   if (config.sanitize) {
     checker = std::make_unique<sancheck::Sancheck>(config.sancheck);
-    machine.SetObserver(checker.get());
+    checker->Attach(&machine);
   }
 
   // Likewise the fault injector: media errors during graph construction
@@ -286,6 +291,10 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
     } catch (const memsim::SimulatedCrash&) {
     }
     out.stats = machine.stats();  // whole run up to the crash
+    if (machine.trace_sink() != nullptr) {
+      machine.trace_sink()->OnInstant(memsim::TraceInstantKind::kCrash, 0,
+                                      machine.now(), 1);
+    }
   }
   if (injector != nullptr) {
     machine.SetFaultHook(nullptr);
@@ -295,10 +304,11 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
   if (checker != nullptr) {
     // Detach before the graph's regions are freed on return: the checker
     // must not outlive its view of the region table.
-    machine.SetObserver(nullptr);
+    checker->Detach(&machine);
     out.sanitized = true;
     out.sancheck = checker->summary();
   }
+  if (config.trace != nullptr) config.trace->Detach();
   out.supported = true;
   return out;
 }

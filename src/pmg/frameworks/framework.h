@@ -31,6 +31,10 @@
 ///   - GBBS-like (Ligra): dense worklists, direction optimization,
 ///     union-find cc, bulk-synchronous kcore, both directions, 4KB + THP.
 
+namespace pmg::trace {
+class TraceSession;
+}  // namespace pmg::trace
+
 namespace pmg::frameworks {
 
 enum class FrameworkKind { kGalois, kGap, kGraphIt, kGbbs };
@@ -107,6 +111,11 @@ struct RunConfig {
   /// (the plain kernels have no recovery path); the CLI and scenarios use
   /// this to route crash schedules to the faultsim recovery drivers.
   uint32_t checkpoint_every = 0;
+  /// Attach this pmg::trace session for the run (per-bucket time
+  /// attribution + Chrome trace). Like the sanitizer, tracing changes no
+  /// simulated result. The session is attached before the graph is built
+  /// and detached before the machine dies.
+  trace::TraceSession* trace = nullptr;
 };
 
 struct AppRunResult {

@@ -9,7 +9,7 @@
 
 /// \file access_observer.h
 /// The dynamic-analysis seam of the machine model. An AccessObserver
-/// attached via Machine::SetObserver() sees every allocation, free, costed
+/// attached via Machine::AddObserver() sees every allocation, free, costed
 /// access and epoch boundary *before* the access is priced — the same
 /// interposition point a compiler-inserted sanitizer runtime owns on real
 /// hardware. The machine itself knows nothing about what observers do;

@@ -32,6 +32,16 @@ class CpuCache {
     return false;
   }
 
+  /// Drops `count` consecutive lines starting at `first_line` if resident
+  /// (e.g. a quarantined page whose frames were retired: the stale copies
+  /// must not serve hits after the remap).
+  void InvalidateRange(uint64_t first_line, uint64_t count) {
+    for (uint64_t line = first_line; line < first_line + count; ++line) {
+      const uint32_t idx = static_cast<uint32_t>(line) & mask_;
+      if (tags_[idx] == line) tags_[idx] = ~0ull;
+    }
+  }
+
   /// Empties the cache.
   void Clear();
 

@@ -60,14 +60,14 @@ uint64_t Machine::NodeBytesUsed(NodeId node) const {
 RegionId Machine::Alloc(uint64_t bytes, const PagePolicy& policy,
                         std::string_view name) {
   const RegionId id = pages_.CreateRegion(bytes, policy, std::string(name));
-  if (observer_ != nullptr) {
-    observer_->OnAlloc(id, pages_.region(id).base, bytes, name);
+  for (AccessObserver* o : observers_) {
+    o->OnAlloc(id, pages_.region(id).base, bytes, name);
   }
   return id;
 }
 
 void Machine::Free(RegionId id) {
-  if (observer_ != nullptr) observer_->OnFree(id);
+  for (AccessObserver* o : observers_) o->OnFree(id);
   pages_.ForEachMappedPage(
       [&](Region& r, PageInfo& p, VirtAddr /*base*/, PageSizeClass cls) {
         if (&r != &pages_.region(id)) return;
@@ -158,7 +158,7 @@ void Machine::HandleFault(ThreadId t, const PageLookup& lk) {
   const SimNs base = lk.cls == PageSizeClass::k4K
                          ? config_.timings.fault_small_dram_ns
                          : config_.timings.fault_huge_dram_ns;
-  Thread(t).kernel_ns += KernelCost(base);
+  ChargeKernel(Thread(t), TraceBucket::kMinorFault, KernelCost(base));
 }
 
 void Machine::QuarantinePage(ThreadId t, const PageLookup& lk) {
@@ -179,11 +179,19 @@ void Machine::QuarantinePage(ThreadId t, const PageLookup& lk) {
   ++stats_.media_ue_events;
   stats_.pages_quarantined += n;
   const SimNs mce = KernelCost(config_.timings.machine_check_ns);
-  Thread(t).kernel_ns += mce;
+  ChargeKernel(Thread(t), TraceBucket::kMachineCheck, mce);
   stats_.machine_check_ns += mce;
-  // The remap invalidates the stale translation on every core.
+  // The remap invalidates the stale translation on every core, and the
+  // machine-check flow flushes the poisoned lines from the private CPU
+  // caches so no later hit is served from a retired frame.
+  const uint64_t first_line = lk.page_base / kCacheLineBytes;
+  const uint64_t page_lines = PageBytes(lk.cls) / kCacheLineBytes;
   for (ThreadState& ts : threads_) {
     if (ts.tlb != nullptr) ts.tlb->InvalidatePage(lk.page_base, lk.cls);
+    if (ts.cache != nullptr) ts.cache->InvalidateRange(first_line, page_lines);
+  }
+  if (trace_ != nullptr) [[unlikely]] {
+    trace_->OnInstant(TraceInstantKind::kQuarantine, t, stats_.total_ns, n);
   }
   if (fault_hook_ != nullptr) {
     fault_hook_->OnQuarantined(lk.page_base, PageBytes(lk.cls),
@@ -233,8 +241,8 @@ SimNs Machine::ChannelTime(const ChannelBytes& ch,
 void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
                      AccessType type) {
   if (!in_epoch_) BeginEpoch(1);
-  if (observer_ != nullptr) [[unlikely]] {
-    observer_->OnAccess(t, addr, bytes, type);
+  if (!observers_.empty()) [[unlikely]] {
+    for (AccessObserver* o : observers_) o->OnAccess(t, addr, bytes, type);
   }
   ThreadState& ts = Thread(t);
   const MemoryTimings& tm = config_.timings;
@@ -249,7 +257,14 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
   ts.last_line = line;
   if (was_resident) {
     ++stats_.cpu_cache_hits;
-    ts.user_ns += static_cast<double>(tm.cpu_cache_hit_ns);
+    ChargeUser(ts, TraceBucket::kCpuCacheHit,
+               static_cast<double>(tm.cpu_cache_hit_ns));
+    if (trace_ != nullptr) [[unlikely]] {
+      // The region lookup stays off the untraced hot path: hits never
+      // consult the page table unless attribution needs the region id.
+      ChargeRegion(pages_.Lookup(addr).region->id,
+                   static_cast<double>(tm.cpu_cache_hit_ns));
+    }
     return;
   }
   ++stats_.cpu_cache_misses;
@@ -257,6 +272,8 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
   PageLookup lk = pages_.Lookup(addr);
   if (lk.page->frame == kInvalidFrame) HandleFault(t, lk);
 
+  // This access's user-side charges, for per-region attribution.
+  double access_user_ns = 0.0;
   if (fault_hook_ != nullptr) [[unlikely]] {
     // Only cache misses reach the hook: poison lives on media, and a line
     // already resident in the CPU cache was filled before the error armed.
@@ -264,7 +281,9 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
         t, addr, config_.kind == MachineKind::kMemoryMode);
     if (fa.stall_ns > 0) {
       // Retried issues are dependent replays: MLP cannot hide them.
-      ts.user_ns += static_cast<double>(fa.stall_ns);
+      ChargeUser(ts, TraceBucket::kRetryBackoff,
+                 static_cast<double>(fa.stall_ns));
+      access_user_ns += static_cast<double>(fa.stall_ns);
       stats_.fault_stall_ns += fa.stall_ns;
       stats_.fault_retries += fa.retries;
     }
@@ -278,7 +297,8 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
     // locality; this access traps.
     lk.page->hint_armed = false;
     ++stats_.hint_faults;
-    ts.kernel_ns += KernelCost(tm.fault_small_dram_ns);
+    ChargeKernel(ts, TraceBucket::kHintFault,
+                 KernelCost(tm.fault_small_dram_ns));
     ts.tlb->InvalidatePage(lk.page_base, lk.cls);
   }
 
@@ -293,7 +313,9 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
                            ? tm.walk_step_pmm_ns
                            : tm.walk_step_dram_ns;
     const SimNs walk = levels * step;
-    ts.user_ns += static_cast<double>(walk) * inv_mlp_;
+    const double walk_ns = static_cast<double>(walk) * inv_mlp_;
+    ChargeUser(ts, TraceBucket::kTlbWalk, walk_ns);
+    access_user_ns += walk_ns;
     stats_.page_walk_ns += walk;
     ts.tlb->Insert(lk.page_base, lk.cls);
   }
@@ -317,6 +339,7 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
 
   const bool write = IsWrite(type);
   SimNs lat = 0;
+  TraceBucket lat_bucket = TraceBucket::kDramLocal;
   if (config_.kind == MachineKind::kMemoryMode) {
     const PhysPage frame =
         lk.page->frame + ((addr - lk.page_base) / kSmallPageBytes);
@@ -324,10 +347,13 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
     if (r.hit) {
       ++stats_.near_mem_hits;
       lat = local ? tm.near_mem_hit_local_ns : tm.near_mem_hit_remote_ns;
+      lat_bucket = local ? TraceBucket::kNearMemHitLocal
+                         : TraceBucket::kNearMemHitRemote;
     } else {
       ++stats_.near_mem_misses;
       lat = (local ? tm.near_mem_hit_local_ns : tm.near_mem_hit_remote_ns) +
             tm.near_mem_miss_extra_ns;
+      lat_bucket = TraceBucket::kPmmMediaMiss;
       // 4KB fill from PMM media; dirty victims are written back first.
       // Fills are media-side sequential bursts, local to the home socket.
       ChargeChannel(home, /*pmm=*/true, /*remote=*/false,
@@ -344,11 +370,18 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
     stats_.dram_bytes += kCacheLineBytes;
   } else {
     lat = local ? tm.dram_local_ns : tm.dram_remote_ns;
+    lat_bucket =
+        local ? TraceBucket::kDramLocal : TraceBucket::kDramRemote;
     ChargeChannel(home, /*pmm=*/false, !local, sequential, write,
                   kCacheLineBytes);
     stats_.dram_bytes += kCacheLineBytes;
   }
-  ts.user_ns += static_cast<double>(lat) * inv_mlp_;
+  const double lat_ns = static_cast<double>(lat) * inv_mlp_;
+  ChargeUser(ts, lat_bucket, lat_ns);
+  access_user_ns += lat_ns;
+  if (trace_ != nullptr) [[unlikely]] {
+    ChargeRegion(lk.region->id, access_user_ns);
+  }
   (void)bytes;
 }
 
@@ -370,7 +403,7 @@ void Machine::AccessRange(ThreadId t, VirtAddr addr, uint64_t bytes,
 
 void Machine::AddCompute(ThreadId t, SimNs ns) {
   if (!in_epoch_) BeginEpoch(1);
-  Thread(t).user_ns += static_cast<double>(ns);
+  ChargeUser(Thread(t), TraceBucket::kCompute, static_cast<double>(ns));
 }
 
 // Storage I/O is priced with the app-direct rows in every machine kind:
@@ -385,16 +418,17 @@ void Machine::StorageRead(ThreadId t, uint64_t bytes, NodeId node,
     const SimNs stall =
         fault_hook_->OnStorageOp(t, bytes, /*write=*/false);
     if (stall > 0) {
-      Thread(t).user_ns += static_cast<double>(stall);
+      ChargeUser(Thread(t), TraceBucket::kRetryBackoff,
+                 static_cast<double>(stall));
       stats_.fault_stall_ns += stall;
     }
   }
   ChargeChannel(node % config_.topology.sockets, /*pmm=*/true, remote,
                 sequential, /*write=*/false, bytes);
   stats_.storage_read_bytes += bytes;
-  Thread(t).user_ns += static_cast<double>(
-      remote ? config_.timings.appdirect_remote_ns
-             : config_.timings.appdirect_local_ns);
+  ChargeUser(Thread(t), TraceBucket::kStorageIo,
+             static_cast<double>(remote ? config_.timings.appdirect_remote_ns
+                                        : config_.timings.appdirect_local_ns));
 }
 
 void Machine::StorageWrite(ThreadId t, uint64_t bytes, NodeId node,
@@ -405,16 +439,17 @@ void Machine::StorageWrite(ThreadId t, uint64_t bytes, NodeId node,
     // whose host-side buffer was mutated before this priced write.
     const SimNs stall = fault_hook_->OnStorageOp(t, bytes, /*write=*/true);
     if (stall > 0) {
-      Thread(t).user_ns += static_cast<double>(stall);
+      ChargeUser(Thread(t), TraceBucket::kRetryBackoff,
+                 static_cast<double>(stall));
       stats_.fault_stall_ns += stall;
     }
   }
   ChargeChannel(node % config_.topology.sockets, /*pmm=*/true, remote,
                 sequential, /*write=*/true, bytes);
   stats_.storage_write_bytes += bytes;
-  Thread(t).user_ns += static_cast<double>(
-      remote ? config_.timings.appdirect_remote_ns
-             : config_.timings.appdirect_local_ns);
+  ChargeUser(Thread(t), TraceBucket::kStorageIo,
+             static_cast<double>(remote ? config_.timings.appdirect_remote_ns
+                                        : config_.timings.appdirect_local_ns));
 }
 
 void Machine::BeginEpoch(uint32_t active_threads) {
@@ -423,11 +458,16 @@ void Machine::BeginEpoch(uint32_t active_threads) {
   for (ThreadState& ts : threads_) {
     ts.user_ns = 0;
     ts.kernel_ns = 0;
+    if (trace_ != nullptr) [[unlikely]] {
+      std::fill(std::begin(ts.user_bucket), std::end(ts.user_bucket), 0.0);
+      std::fill(std::begin(ts.kernel_bucket), std::end(ts.kernel_bucket),
+                SimNs{0});
+    }
   }
   for (ChannelBytes& ch : channels_) ch = ChannelBytes{};
   epoch_active_threads_ = active_threads;
   in_epoch_ = true;
-  if (observer_ != nullptr) observer_->OnEpochBegin(active_threads);
+  for (AccessObserver* o : observers_) o->OnEpochBegin(active_threads);
 }
 
 EpochReport Machine::EndEpoch() {
@@ -436,15 +476,19 @@ EpochReport Machine::EndEpoch() {
   SimNs lat = 0;
   SimNs crit_user = 0;
   SimNs crit_kernel = 0;
-  for (const ThreadState& ts : threads_) {
+  uint32_t crit_index = 0;
+  for (uint32_t i = 0; i < threads_.size(); ++i) {
+    const ThreadState& ts = threads_[i];
     const SimNs user = static_cast<SimNs>(ts.user_ns);
     const SimNs total = user + ts.kernel_ns;
     if (total > lat) {
       lat = total;
       crit_user = user;
       crit_kernel = ts.kernel_ns;
+      crit_index = i;
     }
   }
+  const SimNs crit_user_base = crit_user;
   double remote_factor = 1.0;
   if (fault_hook_ != nullptr) [[unlikely]] {
     remote_factor = fault_hook_->RemoteBandwidthFactor(epoch_index);
@@ -477,13 +521,22 @@ EpochReport Machine::EndEpoch() {
   report.daemon_ns = daemon;
   report.total_ns = total + daemon;
 
+  const SimNs epoch_start_ns = stats_.total_ns;
   stats_.user_ns += crit_user;
   stats_.kernel_ns += crit_kernel + daemon;
   stats_.total_ns += report.total_ns;
   ++stats_.epochs;
   in_epoch_ = false;
-  if (observer_ != nullptr) {
-    const uint64_t races = observer_->OnEpochEnd();
+  if (trace_ != nullptr) [[unlikely]] {
+    // Before observers and the fault hook: the epoch's accounting is
+    // final here, and a SimulatedCrash from the hook below must not lose
+    // the crashing epoch's trace.
+    EmitEpochTrace(epoch_index, report, epoch_start_ns, crit_index,
+                   crit_user_base, crit_kernel);
+  }
+  if (!observers_.empty()) [[unlikely]] {
+    uint64_t races = 0;
+    for (AccessObserver* o : observers_) races += o->OnEpochEnd();
     stats_.sancheck_races += races;
     if (races > 0) ++stats_.sancheck_race_epochs;
   }
@@ -496,11 +549,142 @@ EpochReport Machine::EndEpoch() {
   return report;
 }
 
+void Machine::ChargeRegion(RegionId id, double ns) {
+  if (id >= region_user_.size()) {
+    region_user_.resize(id + 1, 0.0);
+    region_accesses_.resize(id + 1, 0);
+  }
+  if (region_accesses_[id] == 0) epoch_regions_.push_back(id);
+  region_user_[id] += ns;
+  ++region_accesses_[id];
+}
+
+void Machine::EmitEpochTrace(uint64_t epoch_index, const EpochReport& report,
+                             SimNs start_ns, uint32_t crit_index,
+                             SimNs crit_user, SimNs crit_kernel) {
+  EpochTrace et;
+  et.epoch_index = epoch_index;
+  et.active_threads = epoch_active_threads_;
+  et.start_ns = start_ns;
+  et.total_ns = report.total_ns;
+  et.latency_path_ns = report.latency_path_ns;
+  et.bandwidth_path_ns = report.bandwidth_path_ns;
+  et.daemon_ns = report.daemon_ns;
+  et.bandwidth_bound = report.bandwidth_bound;
+  et.critical_thread = crit_index;
+
+  // User buckets: cumulative rounding of the critical thread's fractional
+  // buckets, so the integer buckets sum to the rounded bucket total; the
+  // residual versus the thread's integer user clock (the two sum the same
+  // terms in different orders, so they can differ by a few ulps) is folded
+  // into the largest bucket. A genuinely unattributed cost site would
+  // produce a residual far above ulp scale and trips the check instead.
+  const ThreadState& crit = threads_[crit_index];
+  double cum = 0.0;
+  SimNs assigned = 0;
+  size_t largest = 0;
+  for (size_t b = 0; b < kFirstKernelBucket; ++b) {
+    cum += crit.user_bucket[b];
+    const SimNs floor = static_cast<SimNs>(cum);
+    et.buckets[b] = floor - assigned;
+    assigned = floor;
+    if (crit.user_bucket[b] > crit.user_bucket[largest]) largest = b;
+  }
+  const int64_t residual =
+      static_cast<int64_t>(crit_user) - static_cast<int64_t>(assigned);
+  const int64_t tolerance =
+      1024 + static_cast<int64_t>(crit_user >> 20);
+  PMG_CHECK_MSG(residual <= tolerance && -residual <= tolerance,
+                "unattributed user time: %lld ns escaped the trace buckets",
+                static_cast<long long>(residual));
+  int64_t debit = residual;
+  for (size_t b = largest; debit != 0;) {
+    const int64_t value = static_cast<int64_t>(et.buckets[b]) + debit;
+    if (value >= 0) {
+      et.buckets[b] = static_cast<SimNs>(value);
+      debit = 0;
+    } else {
+      // The largest bucket cannot absorb the (negative) residual; drain
+      // it and move on. Unreachable in practice (residual is ulp-scale)
+      // but keeps the buckets non-negative no matter what.
+      debit += static_cast<int64_t>(et.buckets[b]);
+      et.buckets[b] = 0;
+      b = (b + 1) % kFirstKernelBucket;
+    }
+  }
+  if (report.bandwidth_bound) {
+    et.buckets[static_cast<size_t>(TraceBucket::kRooflineStall)] +=
+        report.bandwidth_path_ns - report.latency_path_ns;
+  }
+
+  // Kernel buckets are integral, so they must balance exactly.
+  SimNs kernel_sum = 0;
+  for (size_t b = kFirstKernelBucket; b < kTraceBucketCount; ++b) {
+    et.buckets[b] = crit.kernel_bucket[b];
+    kernel_sum += crit.kernel_bucket[b];
+  }
+  PMG_CHECK_MSG(kernel_sum == crit_kernel,
+                "unattributed kernel time escaped the trace buckets");
+  if (report.daemon_ns > 0) {
+    et.buckets[static_cast<size_t>(TraceBucket::kMigrationScan)] +=
+        last_daemon_.scan;
+    et.buckets[static_cast<size_t>(TraceBucket::kMigrationMove)] +=
+        last_daemon_.move;
+    et.buckets[static_cast<size_t>(TraceBucket::kMigrationRemap)] +=
+        last_daemon_.remap;
+    et.buckets[static_cast<size_t>(TraceBucket::kTlbShootdown)] +=
+        last_daemon_.shootdown;
+    PMG_CHECK_MSG(last_daemon_.scan + last_daemon_.move + last_daemon_.remap +
+                          last_daemon_.shootdown ==
+                      report.daemon_ns,
+                  "unattributed migration-daemon time");
+    et.migrations = last_daemon_.migrated;
+  }
+
+  for (uint32_t i = 0; i < threads_.size(); ++i) {
+    const ThreadState& ts = threads_[i];
+    const SimNs user = static_cast<SimNs>(ts.user_ns);
+    if (user == 0 && ts.kernel_ns == 0) continue;
+    et.threads.push_back({static_cast<ThreadId>(i), user, ts.kernel_ns});
+  }
+
+  std::sort(epoch_regions_.begin(), epoch_regions_.end());
+  for (const RegionId id : epoch_regions_) {
+    et.regions.push_back({id, region_accesses_[id],
+                          static_cast<SimNs>(region_user_[id])});
+    region_user_[id] = 0.0;
+    region_accesses_[id] = 0;
+  }
+  epoch_regions_.clear();
+
+  for (const ChannelBytes& ch : channels_) {
+    EpochTrace::SocketTraffic sk;
+    for (int a = 0; a < 2; ++a) {
+      for (int s = 0; s < 2; ++s) {
+        for (int w = 0; w < 2; ++w) {
+          sk.dram_bytes += ch.dram[a][s][w];
+          sk.pmm_bytes += ch.pmm[a][s][w];
+        }
+      }
+    }
+    et.sockets.push_back(sk);
+  }
+
+  stats_.trace_attributed_ns += et.BucketSum();
+  ++stats_.traced_epochs;
+  trace_->OnEpochTrace(et);
+  if (et.migrations > 0) {
+    trace_->OnInstant(TraceInstantKind::kMigration, crit_index,
+                      start_ns + et.total_ns, et.migrations);
+  }
+}
+
 SimNs Machine::RunMigrationDaemon() {
   const MigrationConfig& mc = config_.migration;
   ++scan_counter_;
   ++stats_.migration_scans;
-  SimNs cost = KernelCost(pages_.mapped_pages() * mc.scan_per_page_ns);
+  DaemonCost dc;
+  dc.scan = KernelCost(pages_.mapped_pages() * mc.scan_per_page_ns);
 
   uint32_t migrated = 0;
   uint64_t page_seq = 0;
@@ -529,9 +713,9 @@ SimNs Machine::RunMigrationDaemon() {
         if (near_mem_ != nullptr) near_mem_->Invalidate(p.node, p.frame, n);
         FreeFrames(p.node, p.frame, n);
         // Copy + PTE remap.
-        cost += static_cast<SimNs>(static_cast<double>(PageBytes(cls)) /
-                                   mc.copy_bw_gbs) +
-                KernelCost(1000);
+        dc.move += static_cast<SimNs>(static_cast<double>(PageBytes(cls)) /
+                                      mc.copy_bw_gbs);
+        dc.remap += KernelCost(1000);
         p.frame = nf;
         p.node = target;
         migrate_budget_bytes_ -= PageBytes(cls);
@@ -555,10 +739,12 @@ SimNs Machine::RunMigrationDaemon() {
     // One batched shootdown: the IPI wave interrupts all cores in
     // parallel, so the critical path grows by one handler, not by the
     // sum over cores.
-    cost += KernelCost(mc.shootdown_base_ns +
-                       SimNs{migrated} * mc.shootdown_per_page_ns);
+    dc.shootdown = KernelCost(mc.shootdown_base_ns +
+                              SimNs{migrated} * mc.shootdown_per_page_ns);
   }
-  return cost;
+  dc.migrated = migrated;
+  last_daemon_ = dc;
+  return dc.scan + dc.move + dc.remap + dc.shootdown;
 }
 
 void Machine::FlushVolatileState() {

@@ -18,6 +18,7 @@
 #include "pmg/memsim/stats.h"
 #include "pmg/memsim/timings.h"
 #include "pmg/memsim/tlb.h"
+#include "pmg/memsim/trace_sink.h"
 
 /// \file machine.h
 /// The discrete-cost model of one machine. Application code (the runtime's
@@ -182,16 +183,46 @@ class Machine {
   /// unmapping pages — used between benchmark trials.
   void FlushVolatileState();
 
-  // --- Dynamic analysis (sancheck) ---
+  // --- Dynamic analysis (sancheck and friends) ---
 
-  /// Attaches `observer` to the access path (nullptr detaches). The
-  /// observer is not owned and must outlive its attachment. Attach/detach
-  /// outside an epoch so the observer sees balanced epoch events.
-  void SetObserver(AccessObserver* observer) {
+  /// Appends `observer` to the access-path dispatch chain. Observers are
+  /// not owned and must outlive their attachment; events are dispatched in
+  /// attachment order. Attach/detach outside an epoch so every observer
+  /// sees balanced epoch events. With the chain empty the hot path pays
+  /// one emptiness check and the machine prices bit-identically to an
+  /// observer-free build.
+  void AddObserver(AccessObserver* observer) {
     PMG_CHECK_MSG(!in_epoch_, "attach/detach an observer outside an epoch");
-    observer_ = observer;
+    PMG_CHECK(observer != nullptr);
+    for (const AccessObserver* o : observers_) PMG_CHECK(o != observer);
+    observers_.push_back(observer);
   }
-  AccessObserver* observer() const { return observer_; }
+  /// Removes `observer` from the chain (it must be attached).
+  void RemoveObserver(AccessObserver* observer) {
+    PMG_CHECK_MSG(!in_epoch_, "attach/detach an observer outside an epoch");
+    for (size_t i = 0; i < observers_.size(); ++i) {
+      if (observers_[i] == observer) {
+        observers_.erase(observers_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+    PMG_CHECK_MSG(false, "removing an observer that is not attached");
+  }
+  const std::vector<AccessObserver*>& observers() const { return observers_; }
+
+  // --- Time attribution (pmg::trace) ---
+
+  /// Attaches `sink` to the attribution path (nullptr detaches). The sink
+  /// is not owned and must outlive its attachment; attach/detach outside
+  /// an epoch. With no sink attached the machine prices bit-identically
+  /// to a sink-free build (the hot path pays only a null check); with one
+  /// attached, pricing is unchanged and every nanosecond added to the
+  /// user/kernel clocks is additionally attributed to a TraceBucket.
+  void SetTraceSink(TraceSink* sink) {
+    PMG_CHECK_MSG(!in_epoch_, "attach/detach a trace sink outside an epoch");
+    trace_ = sink;
+  }
+  TraceSink* trace_sink() const { return trace_; }
 
   // --- Fault injection (faultsim) ---
 
@@ -212,6 +243,20 @@ class Machine {
     uint64_t last_line = ~0ull;
     std::unique_ptr<Tlb> tlb;
     std::unique_ptr<CpuCache> cache;
+    /// Trace attribution mirrors of the two clocks, maintained only while
+    /// a TraceSink is attached. Each user-side add to user_ns lands in one
+    /// user_bucket; each kernel-side add in one kernel_bucket.
+    double user_bucket[kTraceBucketCount] = {};
+    SimNs kernel_bucket[kTraceBucketCount] = {};
+  };
+
+  /// Kernel-cost breakdown of the last migration-daemon scan.
+  struct DaemonCost {
+    SimNs scan = 0;
+    SimNs move = 0;
+    SimNs remap = 0;
+    SimNs shootdown = 0;
+    uint64_t migrated = 0;
   };
 
   /// Byte counters of one socket's channels for the current epoch.
@@ -239,8 +284,32 @@ class Machine {
   void FreeFrames(NodeId node, PhysPage frame, uint64_t n);
   NodeId NodeOfFrame(PhysPage frame) const;
   SimNs KernelCost(SimNs dram_cost) const;
-  /// Runs one migration-daemon scan; returns its kernel cost.
+  /// Runs one migration-daemon scan; returns its kernel cost. Always
+  /// records the scan/move/remap/shootdown breakdown in last_daemon_.
   SimNs RunMigrationDaemon();
+
+  // Every add to a thread's clocks goes through one of these so no cost
+  // site can exist without a bucket (the trace conservation law).
+  void ChargeUser(ThreadState& ts, TraceBucket b, double ns) {
+    ts.user_ns += ns;
+    if (trace_ != nullptr) [[unlikely]] {
+      ts.user_bucket[static_cast<size_t>(b)] += ns;
+    }
+  }
+  void ChargeKernel(ThreadState& ts, TraceBucket b, SimNs ns) {
+    ts.kernel_ns += ns;
+    if (trace_ != nullptr) [[unlikely]] {
+      ts.kernel_bucket[static_cast<size_t>(b)] += ns;
+    }
+  }
+  /// Attributes access-path user time to a region (tracing only).
+  void ChargeRegion(RegionId id, double ns);
+  /// Converts the critical thread's fractional buckets to integer
+  /// nanoseconds, folds in roofline/daemon time, and delivers the epoch
+  /// to the attached sink (tracing only; called from EndEpoch).
+  void EmitEpochTrace(uint64_t epoch_index, const EpochReport& report,
+                      SimNs start_ns, uint32_t crit_index, SimNs crit_user,
+                      SimNs crit_kernel);
   void ChargeChannel(NodeId node, bool pmm, bool remote, bool sequential,
                      bool write, uint64_t bytes);
   /// Epoch time of one socket's channels. `remote_factor` scales the
@@ -267,12 +336,23 @@ class Machine {
   SimNs last_scan_ns_ = 0;
   uint64_t migrate_budget_bytes_ = 0;
   double inv_mlp_ = 1.0;
-  /// Not owned; null when no dynamic analysis is attached (the common
-  /// case — the hot path pays only this null check).
-  AccessObserver* observer_ = nullptr;
-  /// Not owned; null when no fault injection is attached (same contract
-  /// as observer_).
+  /// Not owned; empty when no dynamic analysis is attached (the common
+  /// case — the hot path pays only this emptiness check). Dispatch is in
+  /// attachment order.
+  std::vector<AccessObserver*> observers_;
+  /// Not owned; null when no fault injection is attached (the hot path
+  /// pays only a null check).
   FaultHook* fault_hook_ = nullptr;
+  /// Not owned; null when no time attribution is attached (same
+  /// zero-cost-when-empty contract as the other seams).
+  TraceSink* trace_ = nullptr;
+  DaemonCost last_daemon_;
+  /// Per-region access-path scratch for the current epoch, maintained
+  /// only while tracing; indexed by RegionId, compacted via
+  /// epoch_regions_ at epoch end.
+  std::vector<double> region_user_;
+  std::vector<uint64_t> region_accesses_;
+  std::vector<RegionId> epoch_regions_;
 };
 
 }  // namespace pmg::memsim

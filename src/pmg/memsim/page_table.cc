@@ -44,6 +44,7 @@ RegionId PageTable::CreateRegion(uint64_t bytes, const PagePolicy& policy,
   r.chunk_is_huge.reserve(chunks);
 
   const RegionId id = static_cast<RegionId>(slots_.size());
+  r.id = id;
   for (uint64_t c = 0; c < chunks; ++c) {
     const uint64_t chunk_bytes =
         std::min(kHugePageBytes, bytes - c * kHugePageBytes);

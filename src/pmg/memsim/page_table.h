@@ -80,6 +80,7 @@ using RegionId = uint32_t;
 
 /// One mapped allocation.
 struct Region {
+  RegionId id = 0;
   VirtAddr base = 0;
   uint64_t bytes = 0;
   PagePolicy policy;

@@ -44,6 +44,8 @@ MachineStats MachineStats::operator-(const MachineStats& o) const {
   d.fault_stall_ns = fault_stall_ns - o.fault_stall_ns;
   d.machine_check_ns = machine_check_ns - o.machine_check_ns;
   d.link_degraded_epochs = link_degraded_epochs - o.link_degraded_epochs;
+  d.trace_attributed_ns = trace_attributed_ns - o.trace_attributed_ns;
+  d.traced_epochs = traced_epochs - o.traced_epochs;
   return d;
 }
 

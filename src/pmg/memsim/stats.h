@@ -81,6 +81,13 @@ struct MachineStats {
   /// Epochs priced with a degraded (factor < 1) remote link.
   uint64_t link_degraded_epochs = 0;
 
+  // Trace attribution (only nonzero while a TraceSink is attached).
+  /// Simulated time attributed to TraceBucket's — equals the user+kernel
+  /// time of the traced epochs (the conservation law; see trace_sink.h).
+  SimNs trace_attributed_ns = 0;
+  /// Epochs that delivered an EpochTrace to the attached sink.
+  uint64_t traced_epochs = 0;
+
   /// Element-wise difference (for measuring one phase of a run).
   MachineStats operator-(const MachineStats& other) const;
 

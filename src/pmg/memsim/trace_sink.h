@@ -1,0 +1,213 @@
+#ifndef PMG_MEMSIM_TRACE_SINK_H_
+#define PMG_MEMSIM_TRACE_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/page_table.h"
+
+/// \file trace_sink.h
+/// The machine-side seam of the pmg::trace attribution layer (the sibling
+/// of access_observer.h / fault_hook.h). While a TraceSink is attached the
+/// machine attributes every simulated nanosecond it adds to
+/// MachineStats::user_ns / kernel_ns to one bucket of TraceBucket, and
+/// hands the finished breakdown to the sink once per epoch. The contract
+/// matches the other seams: with no sink attached the hot path pays one
+/// null check and the machine prices bit-identically to a sink-free
+/// build; attach/detach only outside an epoch.
+///
+/// The conservation law (enforced by tests/trace): per epoch, the bucket
+/// values summed over EpochTrace::buckets equal exactly the user+kernel
+/// time the epoch added to MachineStats. User-side costs accumulate in
+/// doubles (per-miss cost is latency / MLP); the machine converts them to
+/// integer nanoseconds by cumulative rounding and folds the cast residual
+/// into the largest bucket, so the integer buckets always sum to the
+/// reported integer time. A cost site added to the simulator without a
+/// bucket attribution trips the machine's unattributed-time check long
+/// before it could hide in that residual.
+
+namespace pmg::memsim {
+
+/// Where one simulated nanosecond went. User-side buckets price the
+/// latency critical path of the epoch's critical thread; kernel-side
+/// buckets price traps on the critical thread plus the migration daemon.
+enum class TraceBucket : uint8_t {
+  // --- User side ---
+  kCpuCacheHit = 0,     ///< Line resident in the private CPU cache.
+  kTlbWalk,             ///< Page-table walk on a TLB miss (TLB hits are free).
+  kDramLocal,           ///< DRAM-main-memory access, same socket.
+  kDramRemote,          ///< DRAM-main-memory access across the interconnect.
+  kNearMemHitLocal,     ///< Memory mode: near-memory (DRAM cache) hit, local.
+  kNearMemHitRemote,    ///< Memory mode: near-memory hit, remote socket.
+  kPmmMediaMiss,        ///< Memory mode: near-memory miss; the media-side
+                        ///< 4KB fill (and any dirty-victim writeback) is on
+                        ///< the latency path.
+  kStorageIo,           ///< App-direct storage reads/writes (checkpoints).
+  kCompute,             ///< Pure compute time reported via AddCompute.
+  kRetryBackoff,        ///< Fault-injection stalls: transient-media retries
+                        ///< and storage-op delays (MLP cannot hide replays).
+  kRooflineStall,       ///< Bandwidth-bound epochs: the excess of the
+                        ///< channel roofline over the latency path.
+  // --- Kernel side ---
+  kMinorFault,          ///< First-touch page mapping (placement runs here).
+  kHintFault,           ///< AutoNUMA hint fault sampling access locality.
+  kMachineCheck,        ///< Machine-check handler for uncorrectable errors.
+  kMigrationScan,       ///< Daemon bookkeeping: per-mapped-page scan cost.
+  kMigrationMove,       ///< Page copy at the configured migration bandwidth.
+  kMigrationRemap,      ///< PTE remap of each migrated page.
+  kTlbShootdown,        ///< Batched TLB-shootdown IPI after migrations.
+  kCount,
+};
+
+inline constexpr size_t kTraceBucketCount =
+    static_cast<size_t>(TraceBucket::kCount);
+/// Buckets below this index accumulate user time, at or above kernel time.
+inline constexpr size_t kFirstKernelBucket =
+    static_cast<size_t>(TraceBucket::kMinorFault);
+
+constexpr const char* TraceBucketName(TraceBucket b) {
+  switch (b) {
+    case TraceBucket::kCpuCacheHit:
+      return "cpu-cache-hit";
+    case TraceBucket::kTlbWalk:
+      return "tlb-walk";
+    case TraceBucket::kDramLocal:
+      return "dram-local";
+    case TraceBucket::kDramRemote:
+      return "dram-remote";
+    case TraceBucket::kNearMemHitLocal:
+      return "near-mem-hit-local";
+    case TraceBucket::kNearMemHitRemote:
+      return "near-mem-hit-remote";
+    case TraceBucket::kPmmMediaMiss:
+      return "pmm-media-miss";
+    case TraceBucket::kStorageIo:
+      return "storage-io";
+    case TraceBucket::kCompute:
+      return "compute";
+    case TraceBucket::kRetryBackoff:
+      return "retry-backoff";
+    case TraceBucket::kRooflineStall:
+      return "roofline-stall";
+    case TraceBucket::kMinorFault:
+      return "minor-fault";
+    case TraceBucket::kHintFault:
+      return "hint-fault";
+    case TraceBucket::kMachineCheck:
+      return "machine-check";
+    case TraceBucket::kMigrationScan:
+      return "migration-scan";
+    case TraceBucket::kMigrationMove:
+      return "migration-move";
+    case TraceBucket::kMigrationRemap:
+      return "migration-remap";
+    case TraceBucket::kTlbShootdown:
+      return "tlb-shootdown";
+    case TraceBucket::kCount:
+      break;
+  }
+  return "?";
+}
+
+constexpr bool IsKernelBucket(TraceBucket b) {
+  return static_cast<size_t>(b) >= kFirstKernelBucket;
+}
+
+/// The finished accounting of one epoch, delivered to the sink by
+/// EndEpoch after the machine's own stats are updated.
+struct EpochTrace {
+  uint64_t epoch_index = 0;
+  uint32_t active_threads = 0;
+  /// Machine clock when the epoch began / its duration (incl. daemon).
+  SimNs start_ns = 0;
+  SimNs total_ns = 0;
+  SimNs latency_path_ns = 0;
+  SimNs bandwidth_path_ns = 0;
+  SimNs daemon_ns = 0;
+  bool bandwidth_bound = false;
+  ThreadId critical_thread = 0;
+  /// Sums exactly to the user+kernel time this epoch added to the stats.
+  SimNs buckets[kTraceBucketCount] = {};
+
+  /// Integer clocks of every thread that ran this epoch (zero-time
+  /// threads are omitted).
+  struct ThreadSlice {
+    ThreadId thread = 0;
+    SimNs user_ns = 0;
+    SimNs kernel_ns = 0;
+  };
+  std::vector<ThreadSlice> threads;
+
+  /// Access-path user time charged against each region touched this
+  /// epoch (compute and storage I/O have no region and are not listed).
+  struct RegionCharge {
+    RegionId region = 0;
+    uint64_t accesses = 0;
+    SimNs user_ns = 0;
+  };
+  std::vector<RegionCharge> regions;
+
+  /// Bytes moved on each socket's channels this epoch.
+  struct SocketTraffic {
+    uint64_t dram_bytes = 0;
+    uint64_t pmm_bytes = 0;
+  };
+  std::vector<SocketTraffic> sockets;
+
+  /// Pages migrated by the daemon scan that ran at this epoch's end.
+  uint64_t migrations = 0;
+
+  SimNs BucketSum() const {
+    SimNs sum = 0;
+    for (SimNs b : buckets) sum += b;
+    return sum;
+  }
+};
+
+/// Point events the machine (or a driver holding the machine) reports
+/// between epoch records.
+enum class TraceInstantKind : uint8_t {
+  kQuarantine = 0,      ///< value = first retired 4KB frame count.
+  kMigration,           ///< value = pages migrated by a daemon scan.
+  kCheckpointWrite,     ///< value = payload bytes committed.
+  kCheckpointRestore,   ///< value = payload bytes restored.
+  kCrash,               ///< value = crash ordinal.
+};
+
+constexpr const char* TraceInstantName(TraceInstantKind k) {
+  switch (k) {
+    case TraceInstantKind::kQuarantine:
+      return "quarantine";
+    case TraceInstantKind::kMigration:
+      return "migration";
+    case TraceInstantKind::kCheckpointWrite:
+      return "checkpoint-write";
+    case TraceInstantKind::kCheckpointRestore:
+      return "checkpoint-restore";
+    case TraceInstantKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+/// Receiver of the attribution stream. Not owned by the machine; must
+/// outlive its attachment. Implemented by trace::TraceSession.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// One finished epoch. Called after MachineStats are updated, before
+  /// observers and the fault hook see the epoch end.
+  virtual void OnEpochTrace(const EpochTrace& epoch) = 0;
+
+  /// A point event at simulated time `at_ns` (the clock of the epoch the
+  /// event fell in; mid-epoch events carry the epoch's start clock, since
+  /// simulated time only advances at epoch end).
+  virtual void OnInstant(TraceInstantKind kind, ThreadId thread, SimNs at_ns,
+                        uint64_t value) = 0;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_TRACE_SINK_H_

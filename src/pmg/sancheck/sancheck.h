@@ -86,8 +86,9 @@ class Sancheck : public memsim::AccessObserver {
   Sancheck(const Sancheck&) = delete;
   Sancheck& operator=(const Sancheck&) = delete;
 
-  /// Convenience: machine->SetObserver(this).
-  void Attach(memsim::Machine* machine) { machine->SetObserver(this); }
+  /// Convenience wrappers around the machine's observer chain.
+  void Attach(memsim::Machine* machine) { machine->AddObserver(this); }
+  void Detach(memsim::Machine* machine) { machine->RemoveObserver(this); }
 
   // AccessObserver:
   void OnAlloc(memsim::RegionId id, VirtAddr base, uint64_t bytes,

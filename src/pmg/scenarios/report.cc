@@ -179,6 +179,49 @@ void PrintRecoveryReport(const faultsim::RecoveryResult& r, std::FILE* out) {
   table.Print(out);
 }
 
+void PrintTraceReport(const trace::TraceReport& report, std::FILE* out) {
+  std::fprintf(out,
+               "\ntrace: %llu epoch(s), %s ms attributed, conservation %s\n",
+               static_cast<unsigned long long>(report.epochs),
+               FormatMillis(report.attributed_ns).c_str(),
+               report.Conserves() ? "OK" : "VIOLATED");
+  Table table({"bucket", "side", "time (ms)", "share"});
+  const double denom = report.attributed_ns == 0
+                           ? 1.0
+                           : static_cast<double>(report.attributed_ns);
+  for (size_t b = 0; b < memsim::kTraceBucketCount; ++b) {
+    const SimNs ns = report.buckets[b];
+    if (ns == 0) continue;
+    const auto bucket = static_cast<memsim::TraceBucket>(b);
+    table.AddRow({std::string(memsim::TraceBucketName(bucket)),
+                  memsim::IsKernelBucket(bucket) ? "kernel" : "user",
+                  FormatMillis(ns),
+                  FormatDouble(static_cast<double>(ns) / denom * 100.0, 1) +
+                      "%"});
+  }
+  table.Print(out);
+  if (!report.regions.empty()) {
+    Table regions({"region", "accesses", "access time (ms)"});
+    for (const trace::TraceReport::RegionRow& r : report.regions) {
+      regions.AddRow({r.name, std::to_string(r.accesses),
+                      FormatMillis(r.user_ns)});
+    }
+    std::fprintf(out, "access time by region:\n");
+    regions.Print(out);
+  }
+  if (report.quarantines + report.checkpoint_writes +
+          report.checkpoint_restores + report.crashes >
+      0) {
+    std::fprintf(out,
+                 "events: %llu quarantine(s), %llu checkpoint write(s), "
+                 "%llu restore(s), %llu crash(es)\n",
+                 static_cast<unsigned long long>(report.quarantines),
+                 static_cast<unsigned long long>(report.checkpoint_writes),
+                 static_cast<unsigned long long>(report.checkpoint_restores),
+                 static_cast<unsigned long long>(report.crashes));
+  }
+}
+
 double Geomean(const std::vector<double>& values) {
   double log_sum = 0;
   int n = 0;

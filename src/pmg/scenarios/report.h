@@ -10,6 +10,7 @@
 #include "pmg/faultsim/recovery.h"
 #include "pmg/memsim/stats.h"
 #include "pmg/sancheck/sancheck.h"
+#include "pmg/trace/trace_session.h"
 
 /// \file report.h
 /// Plain-text table rendering and summary statistics for the benchmark
@@ -62,6 +63,12 @@ void PrintFaultReport(const faultsim::FaultReport& fault,
 /// split between useful work, checkpoint writes, and restores.
 void PrintRecoveryReport(const faultsim::RecoveryResult& r,
                          std::FILE* out = stdout);
+
+/// Prints a traced run's attribution: one row per nonzero bucket with its
+/// share of attributed time (user buckets first, then kernel), the
+/// per-region access-time table, and the conservation verdict.
+void PrintTraceReport(const trace::TraceReport& report,
+                      std::FILE* out = stdout);
 
 }  // namespace pmg::scenarios
 

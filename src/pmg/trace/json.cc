@@ -1,0 +1,459 @@
+#include "pmg/trace/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "pmg/common/check.h"
+
+namespace pmg::trace {
+
+// --------------------------------------------------------------------------
+// Writer
+// --------------------------------------------------------------------------
+
+void AppendEscaped(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonWriter::OnValue() {
+  PMG_CHECK_MSG(!done_, "writing past the end of the JSON document");
+  if (stack_.empty()) {
+    // Top-level value: exactly one allowed.
+    done_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    PMG_CHECK_MSG(key_pending_, "object values need a Key() first");
+    key_pending_ = false;
+  } else {
+    if (top.has_element) out_.push_back(',');
+  }
+  top.has_element = true;
+}
+
+void JsonWriter::Push(bool is_object) {
+  stack_.push_back(Frame{false, is_object});
+}
+
+void JsonWriter::Pop(bool is_object) {
+  PMG_CHECK_MSG(!stack_.empty() && stack_.back().is_object == is_object,
+                "unbalanced JSON writer End call");
+  PMG_CHECK_MSG(!key_pending_, "dangling Key() at container end");
+  stack_.pop_back();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  OnValue();
+  out_.push_back('{');
+  Push(/*is_object=*/true);
+  done_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  Pop(/*is_object=*/true);
+  out_.push_back('}');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  OnValue();
+  out_.push_back('[');
+  Push(/*is_object=*/false);
+  done_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  Pop(/*is_object=*/false);
+  out_.push_back(']');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  PMG_CHECK_MSG(!stack_.empty() && stack_.back().is_object,
+                "Key() outside an object");
+  PMG_CHECK_MSG(!key_pending_, "two keys in a row");
+  if (stack_.back().has_element) out_.push_back(',');
+  stack_.back().has_element = true;
+  AppendEscaped(&out_, key);
+  out_.push_back(':');
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  OnValue();
+  AppendEscaped(&out_, value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  OnValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  OnValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  OnValue();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Fixed(double value, int precision) {
+  OnValue();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  out_.append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  OnValue();
+  out_.append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  OnValue();
+  out_.append("null");
+  return *this;
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Run(JsonValue* out) {
+    SkipSpace();
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const char* what) {
+    if (error_ != nullptr) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%s at offset %zu", what, pos_);
+      *error_ = buf;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected '\"'");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only; the writer never emits surrogates).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (depth_ >= kMaxDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Literal("false");
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == '[') {
+      ++pos_;
+      ++depth_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      while (true) {
+        out->array.emplace_back();
+        if (!ParseValue(&out->array.back())) return false;
+        SkipSpace();
+        if (pos_ >= text_.size()) return Fail("unterminated array");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          --depth_;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      ++depth_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      while (true) {
+        SkipSpace();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return Fail("expected ':'");
+        }
+        ++pos_;
+        out->object.emplace_back(std::move(key), JsonValue());
+        if (!ParseValue(&out->object.back().second)) return false;
+        SkipSpace();
+        if (pos_ >= text_.size()) return Fail("unterminated object");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          --depth_;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    // Number.
+    const size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("unexpected character");
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return Fail("malformed number");
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 64;
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void DumpTo(const JsonValue& v, JsonWriter* w) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      w->Null();
+      break;
+    case JsonValue::Kind::kBool:
+      w->Bool(v.bool_value);
+      break;
+    case JsonValue::Kind::kNumber: {
+      // Integral values round-trip as integers, matching what the writer
+      // originally emitted for counters and nanosecond totals.
+      const int64_t i = static_cast<int64_t>(v.number);
+      if (static_cast<double>(i) == v.number) {
+        w->Int(i);
+      } else {
+        w->Double(v.number);
+      }
+      break;
+    }
+    case JsonValue::Kind::kString:
+      w->String(v.string_value);
+      break;
+    case JsonValue::Kind::kArray:
+      w->BeginArray();
+      for (const JsonValue& e : v.array) DumpTo(e, w);
+      w->EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      w->BeginObject();
+      for (const auto& [key, value] : v.object) {
+        w->Key(key);
+        DumpTo(value, w);
+      }
+      w->EndObject();
+      break;
+  }
+}
+
+}  // namespace
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out,
+                      std::string* error) {
+  *out = JsonValue();
+  return Parser(text, error).Run(out);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::Dump() const {
+  JsonWriter w;
+  DumpTo(*this, &w);
+  return w.str();
+}
+
+}  // namespace pmg::trace

@@ -1,0 +1,98 @@
+#ifndef PMG_TRACE_JSON_H_
+#define PMG_TRACE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file json.h
+/// A minimal, dependency-free JSON writer and parser for the trace layer's
+/// machine-readable outputs (run reports, BENCH_*.json, Chrome traces).
+/// The writer emits compact, deterministically formatted text — identical
+/// inputs produce byte-identical documents, which is what the determinism
+/// regression tests diff. The parser exists so tests (and tools) can
+/// round-trip what the writer produced; it accepts standard JSON minus
+/// exotica (no \u surrogate pairs beyond the BMP escape itself).
+
+namespace pmg::trace {
+
+/// Streaming JSON writer with explicit structure calls. Misuse (a value
+/// where a key is required, unbalanced End calls) aborts via PMG_CHECK.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Object key; must be followed by exactly one value (or Begin*).
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  /// Shortest round-trip formatting ("%.17g").
+  JsonWriter& Double(double value);
+  /// Fixed-point formatting ("%.*f") — what the Chrome exporter uses for
+  /// microsecond timestamps so output is byte-stable.
+  JsonWriter& Fixed(double value, int precision);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document so far. Valid once every Begin has been Ended.
+  const std::string& str() const { return out_; }
+
+ private:
+  void OnValue();
+  void Push(bool is_object);
+  void Pop(bool is_object);
+
+  std::string out_;
+  /// One frame per open container: whether it already has an element,
+  /// and whether it is an object (keys required).
+  struct Frame {
+    bool has_element = false;
+    bool is_object = false;
+  };
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+/// Writes `value` with the writer's string escaping (helper shared with
+/// the Chrome exporter).
+void AppendEscaped(std::string* out, std::string_view value);
+
+/// Parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered key/value pairs.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Parses `text` into `*out`. On failure returns false and describes
+  /// the problem in `*error` (when non-null).
+  static bool Parse(std::string_view text, JsonValue* out,
+                    std::string* error);
+
+  /// Object member lookup; null when absent or this is not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  uint64_t AsUInt() const { return static_cast<uint64_t>(number); }
+  int64_t AsInt() const { return static_cast<int64_t>(number); }
+
+  /// Re-serializes this value with JsonWriter formatting (round-trip
+  /// support for the golden tests).
+  std::string Dump() const;
+};
+
+}  // namespace pmg::trace
+
+#endif  // PMG_TRACE_JSON_H_

@@ -1,0 +1,360 @@
+#include "pmg/trace/trace_session.h"
+
+#include <cstdio>
+
+#include "pmg/common/check.h"
+
+namespace pmg::trace {
+
+using memsim::EpochTrace;
+using memsim::kFirstKernelBucket;
+using memsim::kTraceBucketCount;
+using memsim::TraceBucket;
+using memsim::TraceBucketName;
+using memsim::TraceInstantKind;
+using memsim::TraceInstantName;
+
+namespace {
+
+/// The synthetic Chrome tid carrying one event per epoch (the per-bucket
+/// breakdown); real virtual threads use their own ids below it.
+constexpr uint64_t kEpochTrackTid = 1000000;
+
+double ToUs(SimNs ns) { return static_cast<double>(ns) / 1000.0; }
+
+bool WriteFile(const std::string& path, const std::string& body,
+               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int closed = std::fclose(f);
+  if (written != body.size() || closed != 0) {
+    if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void TraceReport::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("schema_version").UInt(schema_version);
+  w->Key("conserves").Bool(Conserves());
+  w->Key("total_ns").UInt(total_ns);
+  w->Key("user_ns").UInt(user_ns);
+  w->Key("kernel_ns").UInt(kernel_ns);
+  w->Key("attributed_ns").UInt(attributed_ns);
+  w->Key("epochs").UInt(epochs);
+  w->Key("bandwidth_bound_epochs").UInt(bandwidth_bound_epochs);
+  w->Key("migrated_pages").UInt(migrated_pages);
+  w->Key("quarantines").UInt(quarantines);
+  w->Key("checkpoint_writes").UInt(checkpoint_writes);
+  w->Key("checkpoint_restores").UInt(checkpoint_restores);
+  w->Key("crashes").UInt(crashes);
+  w->Key("dropped_epochs").UInt(dropped_epochs);
+  w->Key("buckets").BeginObject();
+  for (size_t b = 0; b < kTraceBucketCount; ++b) {
+    w->Key(TraceBucketName(static_cast<TraceBucket>(b))).UInt(buckets[b]);
+  }
+  w->EndObject();
+  w->Key("threads").BeginArray();
+  for (const ThreadRow& t : threads) {
+    w->BeginObject();
+    w->Key("thread").UInt(t.thread);
+    w->Key("user_ns").UInt(t.user_ns);
+    w->Key("kernel_ns").UInt(t.kernel_ns);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("regions").BeginArray();
+  for (const RegionRow& r : regions) {
+    w->BeginObject();
+    w->Key("name").String(r.name);
+    w->Key("accesses").UInt(r.accesses);
+    w->Key("user_ns").UInt(r.user_ns);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string TraceReport::ToJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.str();
+}
+
+TraceSession::TraceSession(const TraceOptions& options) : options_(options) {}
+
+void TraceSession::Attach(memsim::Machine* machine) {
+  PMG_CHECK_MSG(machine_ == nullptr,
+                "TraceSession is already attached to a machine");
+  PMG_CHECK(machine != nullptr);
+  machine_ = machine;
+  stats_base_ = machine->stats();
+  clock_offset_ = static_cast<int64_t>(last_end_ns_) -
+                  static_cast<int64_t>(machine->now());
+  machine->SetTraceSink(this);
+}
+
+void TraceSession::Detach() {
+  PMG_CHECK_MSG(machine_ != nullptr, "TraceSession is not attached");
+  const memsim::MachineStats delta = machine_->stats() - stats_base_;
+  done_user_ns_ += delta.user_ns;
+  done_kernel_ns_ += delta.kernel_ns;
+  done_total_ns_ += delta.total_ns;
+  machine_->SetTraceSink(nullptr);
+  machine_ = nullptr;
+}
+
+void TraceSession::OnEpochTrace(const EpochTrace& epoch) {
+  const SimNs start = static_cast<SimNs>(
+      static_cast<int64_t>(epoch.start_ns) + clock_offset_);
+  last_end_ns_ = start + epoch.total_ns;
+
+  for (size_t b = 0; b < kTraceBucketCount; ++b) {
+    buckets_[b] += epoch.buckets[b];
+  }
+  ++epochs_seen_;
+  if (epoch.bandwidth_bound) ++bandwidth_bound_epochs_;
+  migrated_pages_ += epoch.migrations;
+
+  for (const EpochTrace::ThreadSlice& slice : epoch.threads) {
+    if (slice.thread >= thread_agg_.size()) {
+      thread_agg_.resize(slice.thread + 1);
+    }
+    ThreadRowAgg& agg = thread_agg_[slice.thread];
+    agg.user_ns += slice.user_ns;
+    agg.kernel_ns += slice.kernel_ns;
+    agg.seen = true;
+  }
+
+  for (const EpochTrace::RegionCharge& rc : epoch.regions) {
+    std::string name;
+    if (machine_ != nullptr && machine_->page_table().IsLive(rc.region)) {
+      name = machine_->page_table().region(rc.region).name;
+    } else {
+      name = "region#" + std::to_string(rc.region);
+    }
+    RegionAgg* agg = nullptr;
+    for (RegionAgg& a : region_agg_) {
+      if (a.name == name) {
+        agg = &a;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      region_agg_.push_back(RegionAgg{name, 0, 0});
+      agg = &region_agg_.back();
+    }
+    agg->accesses += rc.accesses;
+    agg->user_ns += rc.user_ns;
+  }
+
+  if (options_.keep_epochs) {
+    if (epochs_.size() < options_.max_epochs) {
+      epochs_.push_back(epoch);
+      epochs_.back().start_ns = start;
+    } else {
+      ++dropped_epochs_;
+    }
+  }
+}
+
+void TraceSession::OnInstant(TraceInstantKind kind, ThreadId thread,
+                             SimNs at_ns, uint64_t value) {
+  switch (kind) {
+    case TraceInstantKind::kQuarantine:
+      ++quarantines_;
+      break;
+    case TraceInstantKind::kMigration:
+      break;  // pages counted via EpochTrace::migrations
+    case TraceInstantKind::kCheckpointWrite:
+      ++checkpoint_writes_;
+      break;
+    case TraceInstantKind::kCheckpointRestore:
+      ++checkpoint_restores_;
+      break;
+    case TraceInstantKind::kCrash:
+      ++crashes_;
+      break;
+  }
+  Instant in;
+  in.kind = kind;
+  in.thread = thread;
+  in.at_ns =
+      static_cast<SimNs>(static_cast<int64_t>(at_ns) + clock_offset_);
+  in.value = value;
+  instants_.push_back(in);
+}
+
+const TraceReport& TraceSession::report() {
+  report_ = TraceReport();
+  SimNs attributed = 0;
+  for (size_t b = 0; b < kTraceBucketCount; ++b) {
+    report_.buckets[b] = buckets_[b];
+    attributed += buckets_[b];
+  }
+  report_.attributed_ns = attributed;
+  report_.user_ns = done_user_ns_;
+  report_.kernel_ns = done_kernel_ns_;
+  report_.total_ns = done_total_ns_;
+  if (machine_ != nullptr) {
+    const memsim::MachineStats delta = machine_->stats() - stats_base_;
+    report_.user_ns += delta.user_ns;
+    report_.kernel_ns += delta.kernel_ns;
+    report_.total_ns += delta.total_ns;
+  }
+  report_.epochs = epochs_seen_;
+  report_.bandwidth_bound_epochs = bandwidth_bound_epochs_;
+  report_.migrated_pages = migrated_pages_;
+  report_.quarantines = quarantines_;
+  report_.checkpoint_writes = checkpoint_writes_;
+  report_.checkpoint_restores = checkpoint_restores_;
+  report_.crashes = crashes_;
+  report_.dropped_epochs = dropped_epochs_;
+  for (size_t t = 0; t < thread_agg_.size(); ++t) {
+    const ThreadRowAgg& agg = thread_agg_[t];
+    if (!agg.seen) continue;
+    report_.threads.push_back(
+        {static_cast<ThreadId>(t), agg.user_ns, agg.kernel_ns});
+  }
+  for (const RegionAgg& agg : region_agg_) {
+    report_.regions.push_back({agg.name, agg.accesses, agg.user_ns});
+  }
+  return report_;
+}
+
+std::string TraceSession::ChromeTraceJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("otherData").BeginObject();
+  w.Key("tool").String("pmg_trace");
+  w.Key("schema_version").UInt(kTraceSchemaVersion);
+  w.EndObject();
+  w.Key("traceEvents").BeginArray();
+
+  auto metadata = [&](uint64_t tid, const std::string& name) {
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").UInt(0);
+    w.Key("tid").UInt(tid);
+    w.Key("args").BeginObject();
+    w.Key("name").String(name);
+    w.EndObject();
+    w.EndObject();
+  };
+
+  w.BeginObject();
+  w.Key("name").String("process_name");
+  w.Key("ph").String("M");
+  w.Key("pid").UInt(0);
+  w.Key("args").BeginObject();
+  w.Key("name").String("pmg simulated machine");
+  w.EndObject();
+  w.EndObject();
+
+  // One named track per virtual thread that ever ran, plus the epoch track.
+  std::vector<uint8_t> thread_seen;
+  for (const EpochTrace& e : epochs_) {
+    for (const EpochTrace::ThreadSlice& s : e.threads) {
+      if (s.thread >= thread_seen.size()) thread_seen.resize(s.thread + 1, 0);
+      thread_seen[s.thread] = 1;
+    }
+  }
+  metadata(kEpochTrackTid, "epochs");
+  for (size_t t = 0; t < thread_seen.size(); ++t) {
+    if (thread_seen[t]) metadata(t, "vthread " + std::to_string(t));
+  }
+
+  for (const EpochTrace& e : epochs_) {
+    // The epoch event with the full bucket breakdown.
+    w.BeginObject();
+    w.Key("name").String("epoch " + std::to_string(e.epoch_index));
+    w.Key("ph").String("X");
+    w.Key("pid").UInt(0);
+    w.Key("tid").UInt(kEpochTrackTid);
+    w.Key("ts").Fixed(ToUs(e.start_ns), 3);
+    w.Key("dur").Fixed(ToUs(e.total_ns), 3);
+    w.Key("args").BeginObject();
+    w.Key("critical_thread").UInt(e.critical_thread);
+    w.Key("bandwidth_bound").Bool(e.bandwidth_bound);
+    w.Key("daemon_ns").UInt(e.daemon_ns);
+    if (e.migrations > 0) w.Key("migrations").UInt(e.migrations);
+    for (size_t b = 0; b < kTraceBucketCount; ++b) {
+      if (e.buckets[b] == 0) continue;
+      w.Key(TraceBucketName(static_cast<TraceBucket>(b))).UInt(e.buckets[b]);
+    }
+    w.EndObject();
+    w.EndObject();
+
+    // One slice per active thread.
+    for (const EpochTrace::ThreadSlice& s : e.threads) {
+      w.BeginObject();
+      w.Key("name").String("e" + std::to_string(e.epoch_index));
+      w.Key("ph").String("X");
+      w.Key("pid").UInt(0);
+      w.Key("tid").UInt(s.thread);
+      w.Key("ts").Fixed(ToUs(e.start_ns), 3);
+      w.Key("dur").Fixed(ToUs(s.user_ns + s.kernel_ns), 3);
+      w.Key("args").BeginObject();
+      w.Key("user_ns").UInt(s.user_ns);
+      w.Key("kernel_ns").UInt(s.kernel_ns);
+      w.EndObject();
+      w.EndObject();
+    }
+
+    // Per-socket bandwidth-utilisation counters (GB/s == bytes/ns).
+    for (size_t sk = 0; sk < e.sockets.size(); ++sk) {
+      const EpochTrace::SocketTraffic& tr = e.sockets[sk];
+      w.BeginObject();
+      w.Key("name").String("socket" + std::to_string(sk) + " GB/s");
+      w.Key("ph").String("C");
+      w.Key("pid").UInt(0);
+      w.Key("ts").Fixed(ToUs(e.start_ns), 3);
+      w.Key("args").BeginObject();
+      const double dur = static_cast<double>(
+          e.total_ns == 0 ? SimNs{1} : e.total_ns);
+      w.Key("dram").Fixed(static_cast<double>(tr.dram_bytes) / dur, 3);
+      w.Key("pmm").Fixed(static_cast<double>(tr.pmm_bytes) / dur, 3);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+
+  for (const Instant& in : instants_) {
+    w.BeginObject();
+    w.Key("name").String(TraceInstantName(in.kind));
+    w.Key("ph").String("i");
+    w.Key("s").String("g");
+    w.Key("pid").UInt(0);
+    w.Key("tid").UInt(in.thread);
+    w.Key("ts").Fixed(ToUs(in.at_ns), 3);
+    w.Key("args").BeginObject();
+    w.Key("value").UInt(in.value);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool TraceSession::WriteChromeTrace(const std::string& path,
+                                    std::string* error) const {
+  return WriteFile(path, ChromeTraceJson(), error);
+}
+
+bool TraceSession::WriteReportJson(const std::string& path,
+                                   std::string* error) {
+  return WriteFile(path, report().ToJson() + "\n", error);
+}
+
+}  // namespace pmg::trace

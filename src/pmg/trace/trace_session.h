@@ -1,0 +1,192 @@
+#ifndef PMG_TRACE_TRACE_SESSION_H_
+#define PMG_TRACE_TRACE_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/trace_sink.h"
+#include "pmg/trace/json.h"
+
+/// \file trace_session.h
+/// pmg::trace — the observability layer of the simulated machine. A
+/// TraceSession attaches to a memsim::Machine as its TraceSink, collects
+/// the per-epoch attribution stream, and turns it into
+///   - a TraceReport: aggregate per-bucket / per-thread / per-region
+///     simulated time, obeying the conservation law (buckets sum exactly
+///     to the user+kernel time of the traced interval);
+///   - a Chrome trace-event JSON document (load in Perfetto or
+///     chrome://tracing): one track per virtual thread, an epoch track
+///     with the bucket breakdown, per-socket bandwidth counter tracks,
+///     and instant events for migrations, quarantines, checkpoints and
+///     crashes;
+///   - a versioned machine-readable JSON report (`pmg_run --json=`).
+///
+/// Attaching a session does not change pricing: a traced run is
+/// bit-identical to an untraced one, and to one that also has sancheck
+/// or faultsim attached (the seams are independent). A session may be
+/// re-attached across machines (the recovery drivers build a fresh
+/// Machine per crash attempt); simulated timestamps continue
+/// monotonically across attachments.
+
+namespace pmg::trace {
+
+/// Version stamp of every JSON document this layer emits.
+inline constexpr uint32_t kTraceSchemaVersion = 1;
+
+struct TraceOptions {
+  /// Retain per-epoch records (needed by the Chrome export; the aggregate
+  /// report works without them).
+  bool keep_epochs = true;
+  /// Cap on retained epoch records; beyond it epochs still aggregate into
+  /// the report but are dropped from the Chrome export.
+  uint64_t max_epochs = 1ull << 20;
+};
+
+/// Aggregate attribution of everything the session observed.
+struct TraceReport {
+  uint32_t schema_version = kTraceSchemaVersion;
+  /// Simulated time per TraceBucket, summed over traced epochs.
+  SimNs buckets[memsim::kTraceBucketCount] = {};
+  /// Sum of `buckets`.
+  SimNs attributed_ns = 0;
+  /// Machine-side clocks accumulated while attached (from MachineStats
+  /// deltas — an accounting path independent of the buckets).
+  SimNs user_ns = 0;
+  SimNs kernel_ns = 0;
+  SimNs total_ns = 0;
+  uint64_t epochs = 0;
+  uint64_t bandwidth_bound_epochs = 0;
+  uint64_t migrated_pages = 0;
+  uint64_t quarantines = 0;
+  uint64_t checkpoint_writes = 0;
+  uint64_t checkpoint_restores = 0;
+  uint64_t crashes = 0;
+  /// Epoch records dropped from the Chrome export by TraceOptions.
+  uint64_t dropped_epochs = 0;
+
+  struct ThreadRow {
+    ThreadId thread = 0;
+    SimNs user_ns = 0;
+    SimNs kernel_ns = 0;
+  };
+  /// Per-virtual-thread clock sums over all epochs, ordered by thread id.
+  std::vector<ThreadRow> threads;
+
+  struct RegionRow {
+    std::string name;
+    uint64_t accesses = 0;
+    SimNs user_ns = 0;
+  };
+  /// Access-path user time per region name (merged across regions that
+  /// share a name), in first-touch order.
+  std::vector<RegionRow> regions;
+
+  SimNs UserBucketNs() const {
+    SimNs sum = 0;
+    for (size_t b = 0; b < memsim::kFirstKernelBucket; ++b) {
+      sum += buckets[b];
+    }
+    return sum;
+  }
+  SimNs KernelBucketNs() const { return attributed_ns - UserBucketNs(); }
+
+  /// The conservation law: every simulated nanosecond the machine billed
+  /// while traced is in exactly one bucket.
+  bool Conserves() const { return attributed_ns == user_ns + kernel_ns; }
+
+  /// Appends this report as one JSON object to `w`.
+  void AppendJson(JsonWriter* w) const;
+  /// Standalone versioned JSON document.
+  std::string ToJson() const;
+};
+
+/// Collects the attribution stream of one or more machine attachments.
+/// Not copyable; must outlive any machine it is attached to — or rather,
+/// must be detached before the machine dies.
+class TraceSession : public memsim::TraceSink {
+ public:
+  explicit TraceSession(const TraceOptions& options = TraceOptions());
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Registers this session as `machine`'s trace sink and snapshots its
+  /// stats. Simulated timestamps of a later attachment continue after the
+  /// previous one (the recovery drivers rebuild the machine per attempt).
+  void Attach(memsim::Machine* machine);
+  /// Folds the machine's stats delta into the report and unregisters.
+  void Detach();
+  bool attached() const { return machine_ != nullptr; }
+
+  // TraceSink:
+  void OnEpochTrace(const memsim::EpochTrace& epoch) override;
+  void OnInstant(memsim::TraceInstantKind kind, ThreadId thread, SimNs at_ns,
+                 uint64_t value) override;
+
+  /// The aggregate report (rebuilt on each call; includes the live
+  /// machine's stats delta while attached).
+  const TraceReport& report();
+
+  /// Chrome trace-event JSON of the retained epochs.
+  std::string ChromeTraceJson() const;
+
+  /// File emitters; on failure return false and set `*error`.
+  bool WriteChromeTrace(const std::string& path, std::string* error) const;
+  bool WriteReportJson(const std::string& path, std::string* error);
+
+ private:
+  struct Instant {
+    memsim::TraceInstantKind kind = memsim::TraceInstantKind::kMigration;
+    ThreadId thread = 0;
+    SimNs at_ns = 0;
+    uint64_t value = 0;
+  };
+  struct RegionAgg {
+    std::string name;
+    uint64_t accesses = 0;
+    SimNs user_ns = 0;
+  };
+  struct ThreadRowAgg {
+    SimNs user_ns = 0;
+    SimNs kernel_ns = 0;
+    bool seen = false;
+  };
+
+  TraceOptions options_;
+  memsim::Machine* machine_ = nullptr;
+  memsim::MachineStats stats_base_;
+  /// Maps this attachment's machine clock into the session's continuous
+  /// simulated timeline.
+  SimNs clock_offset_ = 0;
+  SimNs last_end_ns_ = 0;
+
+  // Aggregation state.
+  SimNs buckets_[memsim::kTraceBucketCount] = {};
+  SimNs done_user_ns_ = 0;
+  SimNs done_kernel_ns_ = 0;
+  SimNs done_total_ns_ = 0;
+  uint64_t epochs_seen_ = 0;
+  uint64_t bandwidth_bound_epochs_ = 0;
+  uint64_t migrated_pages_ = 0;
+  uint64_t quarantines_ = 0;
+  uint64_t checkpoint_writes_ = 0;
+  uint64_t checkpoint_restores_ = 0;
+  uint64_t crashes_ = 0;
+  uint64_t dropped_epochs_ = 0;
+  std::vector<ThreadRowAgg> thread_agg_;
+  std::vector<RegionAgg> region_agg_;  // first-touch order
+
+  /// Retained per-epoch records (timestamps already offset into the
+  /// session timeline) and point events.
+  std::vector<memsim::EpochTrace> epochs_;
+  std::vector<Instant> instants_;
+
+  TraceReport report_;
+};
+
+}  // namespace pmg::trace
+
+#endif  // PMG_TRACE_TRACE_SESSION_H_

@@ -1,0 +1,133 @@
+# One pmg_run CLI smoke case per ctest invocation:
+#
+#   cmake -DEXE=<pmg_run> -DCASE=<name> -DOUT_DIR=<scratch> -P cli_case.cmake
+#
+# Checks the CLI contract the tools README promises: --help exits 0 with
+# usage on stdout; any bad flag or input is exit code 2 with exactly one
+# stderr line; --sanitize/--trace/--faults compose in one run and produce
+# parseable artifacts.
+
+if(NOT DEFINED EXE OR NOT DEFINED CASE OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "cli_case.cmake needs -DEXE=, -DCASE= and -DOUT_DIR=")
+endif()
+
+function(run_cli)
+  execute_process(
+    COMMAND ${EXE} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    TIMEOUT 120)
+  set(rc "${rc}" PARENT_SCOPE)
+  set(out "${out}" PARENT_SCOPE)
+  set(err "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_exit expected)
+  if(NOT rc EQUAL ${expected})
+    message(FATAL_ERROR
+            "case ${CASE}: expected exit ${expected}, got '${rc}'\n"
+            "stdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+# The one-line-error contract: stderr is a single "pmg_run: ..." line.
+function(expect_one_stderr_line)
+  string(REGEX REPLACE "\n$" "" trimmed "${err}")
+  if(trimmed STREQUAL "")
+    message(FATAL_ERROR "case ${CASE}: expected one stderr line, got none")
+  endif()
+  string(FIND "${trimmed}" "\n" nl)
+  if(NOT nl EQUAL -1)
+    message(FATAL_ERROR
+            "case ${CASE}: expected exactly one stderr line, got:\n${err}")
+  endif()
+  if(NOT trimmed MATCHES "^pmg_run: ")
+    message(FATAL_ERROR
+            "case ${CASE}: stderr line not prefixed 'pmg_run: ': ${trimmed}")
+  endif()
+endfunction()
+
+function(expect_json_file path)
+  if(NOT EXISTS "${path}")
+    message(FATAL_ERROR "case ${CASE}: expected output file ${path}")
+  endif()
+  file(READ "${path}" body LIMIT 64)
+  if(NOT body MATCHES "^{")
+    message(FATAL_ERROR
+            "case ${CASE}: ${path} does not start a JSON object: '${body}'")
+  endif()
+endfunction()
+
+if(CASE STREQUAL "help")
+  run_cli(--help)
+  expect_exit(0)
+  if(NOT out MATCHES "usage:")
+    message(FATAL_ERROR "case help: no usage text on stdout:\n${out}")
+  endif()
+  if(NOT err STREQUAL "")
+    message(FATAL_ERROR "case help: --help must not write stderr:\n${err}")
+  endif()
+
+elseif(CASE STREQUAL "no_args")
+  run_cli()
+  expect_exit(2)
+  if(NOT err MATCHES "usage:")
+    message(FATAL_ERROR "case no_args: no usage text on stderr:\n${err}")
+  endif()
+
+elseif(CASE STREQUAL "unknown_flag")
+  run_cli(--graph kron30 --app bfs --bogus-flag)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "missing_graph")
+  run_cli(--app bfs)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "bad_graph")
+  run_cli(--graph no_such_graph --app bfs)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "bad_graph_file")
+  run_cli(--graph file:${OUT_DIR}/does_not_exist.csr --app bfs)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "bad_faults")
+  run_cli(--graph kron30 --app bfs --faults thisisnotaspec)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "bad_threads")
+  run_cli(--graph kron30 --app bfs --threads 0)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "compose")
+  # --sanitize, --trace, --faults (plus --json) in one run.
+  set(trace_file "${OUT_DIR}/compose.trace.json")
+  set(report_file "${OUT_DIR}/compose.report.json")
+  file(REMOVE "${trace_file}" "${report_file}")
+  # \; keeps the spec one argument: an unescaped ; is a CMake list split.
+  run_cli(--graph kron30 --app bfs --threads 8 --sanitize
+          --faults "lat@access:1000,ns=2000,count=4\;seed=7"
+          --trace "${trace_file}" --json "${report_file}")
+  expect_exit(0)
+  expect_json_file("${trace_file}")
+  expect_json_file("${report_file}")
+  file(READ "${report_file}" report)
+  foreach(needle "\"schema_version\":" "\"trace\":" "\"sancheck\":"
+          "\"fault\":" "\"conserves\":true")
+    string(FIND "${report}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "case compose: report.json lacks ${needle}:\n${report}")
+    endif()
+  endforeach()
+
+else()
+  message(FATAL_ERROR "unknown CASE '${CASE}'")
+endif()

@@ -1,0 +1,80 @@
+#include "pmg/memsim/cpu_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace pmg::memsim {
+namespace {
+
+TEST(CpuCacheTest, MissThenHit) {
+  CpuCache cache(16);
+  EXPECT_FALSE(cache.AccessLine(7));  // cold miss installs the line
+  EXPECT_TRUE(cache.AccessLine(7));
+}
+
+TEST(CpuCacheTest, DirectMappedConflictEviction) {
+  // Lines 3 and 3+16 share index 3 in a 16-line cache: each install
+  // evicts the other, so alternating accesses never hit.
+  CpuCache cache(16);
+  EXPECT_FALSE(cache.AccessLine(3));
+  EXPECT_FALSE(cache.AccessLine(3 + 16));
+  EXPECT_FALSE(cache.AccessLine(3));
+  EXPECT_FALSE(cache.AccessLine(3 + 16));
+}
+
+TEST(CpuCacheTest, DistinctIndicesCoexist) {
+  CpuCache cache(16);
+  for (uint64_t line = 0; line < 16; ++line) {
+    EXPECT_FALSE(cache.AccessLine(line));
+  }
+  for (uint64_t line = 0; line < 16; ++line) {
+    EXPECT_TRUE(cache.AccessLine(line));
+  }
+}
+
+TEST(CpuCacheTest, ClearDropsEverything) {
+  CpuCache cache(16);
+  for (uint64_t line = 0; line < 16; ++line) cache.AccessLine(line);
+  cache.Clear();
+  for (uint64_t line = 0; line < 16; ++line) {
+    EXPECT_FALSE(cache.AccessLine(line));
+  }
+}
+
+TEST(CpuCacheTest, InvalidateRangeDropsResidentLines) {
+  // The quarantine/victim-fill contract: stale copies of an invalidated
+  // range must not serve hits afterwards.
+  CpuCache cache(64);
+  for (uint64_t line = 10; line < 20; ++line) cache.AccessLine(line);
+  cache.InvalidateRange(12, 4);  // lines 12..15
+  for (uint64_t line = 10; line < 20; ++line) {
+    const bool hit = cache.AccessLine(line);
+    if (line >= 12 && line < 16) {
+      EXPECT_FALSE(hit) << "line " << line << " must have been invalidated";
+    } else {
+      EXPECT_TRUE(hit) << "line " << line << " must have stayed resident";
+    }
+  }
+}
+
+TEST(CpuCacheTest, InvalidateRangeLeavesConflictingResidentAlone) {
+  // Index 5 holds line 5+64 (not line 5): invalidating line 5 must not
+  // evict the unrelated occupant that happens to share the slot.
+  CpuCache cache(64);
+  EXPECT_FALSE(cache.AccessLine(5 + 64));
+  cache.InvalidateRange(5, 1);
+  EXPECT_TRUE(cache.AccessLine(5 + 64));
+}
+
+TEST(CpuCacheTest, PerThreadIsolation) {
+  // One CpuCache instance per virtual thread: installs in one must not
+  // produce hits in another.
+  CpuCache a(16);
+  CpuCache b(16);
+  EXPECT_FALSE(a.AccessLine(42));
+  EXPECT_FALSE(b.AccessLine(42));
+  EXPECT_TRUE(a.AccessLine(42));
+  EXPECT_TRUE(b.AccessLine(42));
+}
+
+}  // namespace
+}  // namespace pmg::memsim

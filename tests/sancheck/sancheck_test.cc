@@ -43,11 +43,11 @@ memsim::PagePolicy TestPolicy() {
 class RaceDetectorTest : public testing::Test {
  protected:
   RaceDetectorTest() : machine_(memsim::DramOnlyConfig()) {
-    machine_.SetObserver(&checker_);
+    machine_.AddObserver(&checker_);
     region_ = machine_.Alloc(4096, TestPolicy(), "arr");
     base_ = machine_.BaseOf(region_);
   }
-  ~RaceDetectorTest() override { machine_.SetObserver(nullptr); }
+  ~RaceDetectorTest() override { machine_.RemoveObserver(&checker_); }
 
   memsim::Machine machine_;
   Sancheck checker_;
@@ -203,7 +203,7 @@ TEST_F(BoundsCheckerDeathTest, NeverAllocatedAddressAborts) {
 TEST_F(BoundsCheckerDeathTest, AttachInsideAnEpochAborts) {
   machine_.BeginEpoch(2);
   Sancheck other;
-  EXPECT_DEATH(machine_.SetObserver(&other), "outside an epoch");
+  EXPECT_DEATH(machine_.AddObserver(&other), "outside an epoch");
   machine_.EndEpoch();
 }
 
@@ -212,14 +212,14 @@ TEST(AbortOnRaceTest, AbortsAtTheFirstRace) {
   SancheckOptions options;
   options.abort_on_race = true;
   Sancheck checker(options);
-  machine.SetObserver(&checker);
+  machine.AddObserver(&checker);
   const memsim::RegionId id = machine.Alloc(4096, TestPolicy(), "arr");
   const VirtAddr base = machine.BaseOf(id);
   machine.BeginEpoch(2);
   machine.Access(0, base, 8, AccessType::kWrite);
   EXPECT_DEATH(machine.Access(1, base, 8, AccessType::kWrite), "data race");
   machine.EndEpoch();
-  machine.SetObserver(nullptr);
+  machine.RemoveObserver(&checker);
 }
 
 // ---------------------------------------------------------------------------
@@ -233,7 +233,7 @@ TEST(CostRingTest, MinimalSliceWrapsInsteadOfOverflowing) {
   // attached, any overflow would abort as out-of-bounds.
   memsim::Machine machine(memsim::DramOnlyConfig());
   Sancheck checker;
-  machine.SetObserver(&checker);
+  machine.AddObserver(&checker);
   {
     runtime::CostRing ring(&machine, 2, "ring", runtime::CostRing::DefaultPolicy(),
                            /*slice_bytes=*/64);
@@ -245,13 +245,13 @@ TEST(CostRingTest, MinimalSliceWrapsInsteadOfOverflowing) {
     machine.EndEpoch();
     EXPECT_EQ(machine.stats().sancheck_races, 0u);
   }
-  machine.SetObserver(nullptr);
+  machine.RemoveObserver(&checker);
 }
 
 TEST(CostRingTest, SubLineSliceStaysInBounds) {
   memsim::Machine machine(memsim::DramOnlyConfig());
   Sancheck checker;
-  machine.SetObserver(&checker);
+  machine.AddObserver(&checker);
   {
     runtime::CostRing ring(&machine, 1, "ring", runtime::CostRing::DefaultPolicy(),
                            /*slice_bytes=*/48);
@@ -259,7 +259,7 @@ TEST(CostRingTest, SubLineSliceStaysInBounds) {
     for (int i = 0; i < 50; ++i) ring.Charge(0, 16, AccessType::kWrite);
     machine.EndEpoch();
   }
-  machine.SetObserver(nullptr);
+  machine.RemoveObserver(&checker);
 }
 
 TEST(CostRingDeathTest, ChargeLargerThanSliceAborts) {
@@ -282,7 +282,7 @@ class SanEnv {
   SanEnv(const graph::CsrTopology& topo, bool in_edges, bool weights,
          uint32_t threads = 8)
       : machine_(memsim::DramOnlyConfig()) {
-    machine_.SetObserver(&checker_);
+    machine_.AddObserver(&checker_);
     graph::GraphLayout layout;
     layout.policy.placement = memsim::Placement::kInterleaved;
     layout.load_in_edges = in_edges;
@@ -295,7 +295,7 @@ class SanEnv {
     // Detach before members are torn down so the machine never calls a
     // destroyed observer.
     graph_.reset();
-    machine_.SetObserver(nullptr);
+    machine_.RemoveObserver(&checker_);
   }
 
   runtime::Runtime& rt() { return *rt_; }

@@ -1,0 +1,161 @@
+// Golden-file tests for the scenarios/report.cc table renderers and the
+// pmg::trace JSON emitters. The expected outputs live next to this file
+// in goldens/; regenerate them after an intentional format change with
+//
+//   ./scenarios_golden_test --update-goldens
+//
+// The JSON goldens are additionally required to carry the schema version
+// and to round-trip through the bundled parser.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pmg/scenarios/report.h"
+#include "pmg/trace/json.h"
+#include "pmg/trace/trace_session.h"
+
+namespace pmg::scenarios {
+
+bool g_update_goldens = false;
+
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(PMG_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compares `actual` against goldens/<name>, or rewrites the golden when
+/// the binary runs with --update-goldens.
+void ExpectMatchesGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_goldens) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with --update-goldens to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "output drifted from " << path
+      << "; rerun with --update-goldens if the change is intentional";
+}
+
+/// Renders through a real FILE* so the goldens capture exactly what the
+/// bench binaries print.
+template <typename Fn>
+std::string Capture(Fn&& fn) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  fn(f);
+  std::fflush(f);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  std::string out(static_cast<size_t>(size), '\0');
+  const size_t read = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  EXPECT_EQ(read, out.size());
+  return out;
+}
+
+/// A fully populated synthetic report exercising every formatting path.
+trace::TraceReport SyntheticTraceReport() {
+  using memsim::TraceBucket;
+  trace::TraceReport r;
+  auto set = [&](TraceBucket b, SimNs ns) {
+    r.buckets[static_cast<size_t>(b)] = ns;
+  };
+  set(TraceBucket::kCpuCacheHit, 1200000);
+  set(TraceBucket::kTlbWalk, 800000);
+  set(TraceBucket::kNearMemHitLocal, 2500000);
+  set(TraceBucket::kNearMemHitRemote, 4700000);
+  set(TraceBucket::kPmmMediaMiss, 1500000);
+  set(TraceBucket::kCompute, 300000);
+  set(TraceBucket::kRooflineStall, 900000);
+  set(TraceBucket::kMinorFault, 400000);
+  set(TraceBucket::kMigrationScan, 120000);
+  set(TraceBucket::kMigrationMove, 340000);
+  set(TraceBucket::kMigrationRemap, 90000);
+  set(TraceBucket::kTlbShootdown, 50000);
+  for (size_t b = 0; b < memsim::kTraceBucketCount; ++b) {
+    r.attributed_ns += r.buckets[b];
+  }
+  r.user_ns = r.UserBucketNs();
+  r.kernel_ns = r.KernelBucketNs();
+  r.total_ns = r.attributed_ns;
+  r.epochs = 12;
+  r.bandwidth_bound_epochs = 3;
+  r.migrated_pages = 64;
+  r.quarantines = 1;
+  r.checkpoint_writes = 2;
+  r.checkpoint_restores = 1;
+  r.crashes = 1;
+  r.threads = {{0, 6000000, 500000}, {1, 5900000, 400000}};
+  r.regions = {{"g.out.index", 10000, 2000000},
+               {"g.out.dst", 90000, 5000000},
+               {"labels", 50000, 3000000}};
+  return r;
+}
+
+TEST(ReportGoldenTest, TableFormatting) {
+  Table t({"graph", "time (s)", "speedup"});
+  t.AddRow({"kron30", FormatSeconds(1234567890), FormatRatio(1.0)});
+  t.AddRow({"clueweb12", FormatSeconds(98765432100), FormatRatio(12.34)});
+  t.AddRow({"a-very-long-graph-name", FormatMillis(1500000),
+            FormatDouble(0.5, 3)});
+  ExpectMatchesGolden("table_basic.golden",
+                      Capture([&](std::FILE* f) { t.Print(f); }));
+}
+
+TEST(ReportGoldenTest, TraceReportTable) {
+  const trace::TraceReport r = SyntheticTraceReport();
+  ExpectMatchesGolden(
+      "trace_report.golden",
+      Capture([&](std::FILE* f) { PrintTraceReport(r, f); }));
+}
+
+TEST(ReportGoldenTest, TraceReportJson) {
+  const trace::TraceReport r = SyntheticTraceReport();
+  const std::string doc = r.ToJson();
+  ExpectMatchesGolden("trace_report.json.golden", doc);
+  // Schema contract: versioned, parseable, and stable through a
+  // parse -> dump -> parse cycle.
+  trace::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(trace::JsonValue::Parse(doc, &v, &err)) << err;
+  EXPECT_EQ(v.Find("schema_version")->AsUInt(), trace::kTraceSchemaVersion);
+  EXPECT_TRUE(v.Find("conserves")->bool_value);
+  const std::string dumped = v.Dump();
+  trace::JsonValue again;
+  ASSERT_TRUE(trace::JsonValue::Parse(dumped, &again, &err)) << err;
+  EXPECT_EQ(again.Dump(), dumped);
+}
+
+TEST(ReportGoldenTest, SancheckReportTable) {
+  sancheck::SancheckSummary s;
+  s.checked_accesses = 123456;
+  s.checked_epochs = 10;
+  ExpectMatchesGolden(
+      "sancheck_pass.golden",
+      Capture([&](std::FILE* f) { PrintSancheckReport(s, f); }));
+}
+
+}  // namespace
+}  // namespace pmg::scenarios
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-goldens") {
+      pmg::scenarios::g_update_goldens = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

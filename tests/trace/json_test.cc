@@ -1,0 +1,97 @@
+#include "pmg/trace/json.h"
+
+#include <gtest/gtest.h>
+
+namespace pmg::trace {
+namespace {
+
+TEST(JsonWriterTest, ObjectsArraysAndScalars) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(-3);
+  w.Key("b").UInt(18446744073709551615ull);
+  w.Key("c").Bool(true);
+  w.Key("d").Null();
+  w.Key("e").BeginArray();
+  w.String("x");
+  w.Fixed(1.25, 3);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"a\":-3,\"b\":18446744073709551615,\"c\":true,\"d\":null,"
+            "\"e\":[\"x\",1.250]}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuote) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("k").String("a\"b\\c\nd\te\x01");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+}
+
+TEST(JsonWriterTest, DeterministicDoubles) {
+  JsonWriter a, b;
+  a.BeginArray();
+  a.Double(0.1);
+  a.EndArray();
+  b.BeginArray();
+  b.Double(0.1);
+  b.EndArray();
+  EXPECT_EQ(a.str(), b.str());
+  // %.17g round-trips through strtod exactly.
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(a.str(), &v, nullptr));
+  EXPECT_EQ(v.array[0].number, 0.1);
+}
+
+TEST(JsonParserTest, ParsesNestedDocument) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(
+      R"({"n": 42, "s": "hiA", "l": [1, 2.5, null, false], "o": {}})",
+      &v, &err))
+      << err;
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(v.Find("n")->AsUInt(), 42u);
+  EXPECT_EQ(v.Find("s")->string_value, "hiA");
+  ASSERT_EQ(v.Find("l")->array.size(), 4u);
+  EXPECT_EQ(v.Find("l")->array[1].number, 2.5);
+  EXPECT_EQ(v.Find("l")->array[2].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.Find("l")->array[3].bool_value, false);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(JsonValue::Parse("{", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("[1,]", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("tru", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("[1] x", &v, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParserTest, RejectsExcessiveDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(JsonValue::Parse(deep, &v, &err));
+}
+
+TEST(JsonRoundTripTest, DumpReparsesToSameDump) {
+  const std::string doc =
+      R"({"a":1,"b":[true,null,"s\n"],"c":{"d":2.5,"e":-7}})";
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(doc, &v, nullptr));
+  const std::string once = v.Dump();
+  JsonValue again;
+  ASSERT_TRUE(JsonValue::Parse(once, &again, nullptr));
+  EXPECT_EQ(again.Dump(), once);
+}
+
+}  // namespace
+}  // namespace pmg::trace

@@ -1,0 +1,136 @@
+// The headline invariant of pmg::trace: for every app x graph in the
+// corpus, the attributed buckets sum bit-exactly to the run's reported
+// user+kernel simulated time. Nothing the machine bills may escape the
+// bucket taxonomy — a new cost site that forgets to attribute aborts the
+// machine (PMG_CHECK in EmitEpochTrace), and this test locks the law down
+// end-to-end through the framework layer, on latency-bound and
+// bandwidth-bound machines, with and without the migration daemon.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/scenarios/scenarios.h"
+#include "pmg/trace/trace_session.h"
+
+namespace pmg::trace {
+namespace {
+
+using frameworks::App;
+using frameworks::AppInputs;
+using frameworks::FrameworkKind;
+using frameworks::RunApp;
+using frameworks::RunConfig;
+
+/// Runs one cell traced and checks the conservation law plus the
+/// machine-side mirrors of it.
+void ExpectConserves(App app, const AppInputs& inputs, RunConfig cfg,
+                     const std::string& label) {
+  TraceSession session;
+  cfg.trace = &session;
+  const auto r = RunApp(FrameworkKind::kGalois, app, inputs, cfg);
+  ASSERT_TRUE(r.supported) << label;
+  const TraceReport& report = session.report();
+  EXPECT_TRUE(report.Conserves())
+      << label << ": attributed " << report.attributed_ns << " != user "
+      << report.user_ns << " + kernel " << report.kernel_ns;
+  EXPECT_EQ(report.attributed_ns, report.user_ns + report.kernel_ns)
+      << label;
+  // MachineStats mirrors the law through an independent accumulation.
+  // r.stats is the app-phase delta — the session additionally covers graph
+  // construction — and because attribution matches user+kernel at every
+  // epoch boundary, the delta conserves on its own.
+  EXPECT_EQ(r.stats.trace_attributed_ns, r.stats.user_ns + r.stats.kernel_ns)
+      << label;
+  EXPECT_GE(report.attributed_ns, r.stats.trace_attributed_ns) << label;
+  EXPECT_GE(report.epochs, r.stats.traced_epochs) << label;
+  EXPECT_GT(r.stats.traced_epochs, 0u) << label;
+  EXPECT_GT(report.epochs, 0u) << label;
+}
+
+const AppInputs& CorpusInputs(const std::string& name) {
+  static std::vector<std::pair<std::string, AppInputs>>* cache =
+      new std::vector<std::pair<std::string, AppInputs>>();
+  for (auto& [n, in] : *cache) {
+    if (n == name) return in;
+  }
+  const scenarios::Scenario s = scenarios::MakeScenario(name);
+  cache->emplace_back(name,
+                      AppInputs::Prepare(s.topo, s.represented_vertices));
+  return cache->back().second;
+}
+
+RunConfig SmallConfig() {
+  RunConfig cfg;
+  cfg.machine = memsim::OptanePmmConfig();
+  cfg.threads = 8;
+  cfg.pr_max_rounds = 5;
+  return cfg;
+}
+
+// Every app on every corpus graph, on the paper's Optane PMM machine.
+class ConservationLaw
+    : public ::testing::TestWithParam<std::tuple<std::string, App>> {};
+
+TEST_P(ConservationLaw, HoldsOnOptanePmm) {
+  const auto& [graph, app] = GetParam();
+  ExpectConserves(app, CorpusInputs(graph), SmallConfig(),
+                  graph + "/" + frameworks::AppName(app));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ConservationLaw,
+    ::testing::Combine(::testing::Values("kron30", "clueweb12", "uk14",
+                                         "iso_m100", "rmat32", "wdc12"),
+                       ::testing::ValuesIn(frameworks::AllApps())),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             frameworks::AppName(std::get<1>(info.param));
+    });
+
+TEST(ConservationLawTest, HoldsOnDramMachine) {
+  RunConfig cfg = SmallConfig();
+  cfg.machine = memsim::DramOnlyConfig();
+  for (App app : {App::kBfs, App::kPr, App::kCc}) {
+    ExpectConserves(app, CorpusInputs("kron30"), cfg,
+                    "dram/" + frameworks::AppName(app));
+  }
+}
+
+TEST(ConservationLawTest, HoldsWithMigrationDaemon) {
+  // The daemon's scan/move/remap/shootdown kernel costs must be
+  // attributed too.
+  RunConfig cfg = SmallConfig();
+  cfg.machine.migration.enabled = true;
+  cfg.page_size = memsim::PageSizeClass::k4K;
+  for (App app : {App::kBfs, App::kPr}) {
+    ExpectConserves(app, CorpusInputs("kron30"), cfg,
+                    "migration/" + frameworks::AppName(app));
+  }
+}
+
+TEST(ConservationLawTest, HoldsOnAppDirectMachine) {
+  RunConfig cfg = SmallConfig();
+  cfg.machine = memsim::AppDirectConfig();
+  ExpectConserves(App::kBfs, CorpusInputs("kron30"), cfg, "appdirect/bfs");
+}
+
+TEST(ConservationLawTest, HoldsUnderSancheckAndFaults) {
+  // All three machine seams attached at once: observer chain (sancheck),
+  // fault hook (transient latency faults), and the trace sink.
+  RunConfig cfg = SmallConfig();
+  cfg.sanitize = true;
+  std::string err;
+  ASSERT_TRUE(faultsim::FaultSchedule::Parse(
+      "lat@access:1000,ns=2000,count=8;seed=7", &cfg.faults, &err))
+      << err;
+  ExpectConserves(App::kBfs, CorpusInputs("kron30"), cfg,
+                  "sanitize+faults/bfs");
+}
+
+}  // namespace
+}  // namespace pmg::trace

@@ -1,0 +1,123 @@
+// Determinism regression: two identical seeded runs with tracing enabled
+// must produce byte-identical trace and report files, and a third run
+// that also attaches sancheck must price bit-identically to the
+// trace-only runs (the seams are independent and cost nothing).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/scenarios/scenarios.h"
+#include "pmg/trace/trace_session.h"
+
+namespace pmg::trace {
+namespace {
+
+using frameworks::App;
+using frameworks::AppInputs;
+using frameworks::AppRunResult;
+using frameworks::FrameworkKind;
+using frameworks::RunApp;
+using frameworks::RunConfig;
+
+const AppInputs& Kron30Inputs() {
+  static const AppInputs* kInputs = [] {
+    const scenarios::Scenario s = scenarios::MakeScenario("kron30");
+    return new AppInputs(AppInputs::Prepare(s.topo, s.represented_vertices));
+  }();
+  return *kInputs;
+}
+
+struct TracedRun {
+  AppRunResult result;
+  std::string chrome;
+  std::string report;
+};
+
+TracedRun RunTraced(App app, bool sanitize) {
+  RunConfig cfg;
+  cfg.machine = memsim::OptanePmmConfig();
+  cfg.threads = 8;
+  cfg.pr_max_rounds = 5;
+  cfg.sanitize = sanitize;
+  TraceSession session;
+  cfg.trace = &session;
+  TracedRun out;
+  out.result = RunApp(FrameworkKind::kGalois, app, Kron30Inputs(), cfg);
+  out.chrome = session.ChromeTraceJson();
+  out.report = session.report().ToJson();
+  return out;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(TraceDeterminismTest, IdenticalRunsProduceByteIdenticalFiles) {
+  for (App app : {App::kBfs, App::kPr}) {
+    SCOPED_TRACE(frameworks::AppName(app));
+    TraceSession first_session;
+    TraceSession second_session;
+    RunConfig cfg;
+    cfg.machine = memsim::OptanePmmConfig();
+    cfg.threads = 8;
+    cfg.pr_max_rounds = 5;
+
+    cfg.trace = &first_session;
+    const AppRunResult r1 =
+        RunApp(FrameworkKind::kGalois, app, Kron30Inputs(), cfg);
+    cfg.trace = &second_session;
+    const AppRunResult r2 =
+        RunApp(FrameworkKind::kGalois, app, Kron30Inputs(), cfg);
+    EXPECT_EQ(r1.time_ns, r2.time_ns);
+
+    const std::string dir = ::testing::TempDir();
+    const std::string base =
+        dir + "/pmg_det_" + frameworks::AppName(app) + "_";
+    std::string err;
+    ASSERT_TRUE(first_session.WriteChromeTrace(base + "1.trace", &err))
+        << err;
+    ASSERT_TRUE(second_session.WriteChromeTrace(base + "2.trace", &err))
+        << err;
+    ASSERT_TRUE(first_session.WriteReportJson(base + "1.json", &err)) << err;
+    ASSERT_TRUE(second_session.WriteReportJson(base + "2.json", &err))
+        << err;
+    const std::string trace1 = Slurp(base + "1.trace");
+    EXPECT_FALSE(trace1.empty());
+    EXPECT_EQ(trace1, Slurp(base + "2.trace"));
+    const std::string report1 = Slurp(base + "1.json");
+    EXPECT_FALSE(report1.empty());
+    EXPECT_EQ(report1, Slurp(base + "2.json"));
+    for (const char* suffix : {"1.trace", "2.trace", "1.json", "2.json"}) {
+      std::remove((base + suffix).c_str());
+    }
+  }
+}
+
+TEST(TraceDeterminismTest, SancheckAttachmentDoesNotPerturbTrace) {
+  for (App app : {App::kBfs, App::kPr}) {
+    SCOPED_TRACE(frameworks::AppName(app));
+    const TracedRun plain = RunTraced(app, /*sanitize=*/false);
+    const TracedRun sanitized = RunTraced(app, /*sanitize=*/true);
+    // Bit-identical pricing with the extra observer attached...
+    EXPECT_EQ(plain.result.time_ns, sanitized.result.time_ns);
+    EXPECT_EQ(plain.result.stats.total_ns, sanitized.result.stats.total_ns);
+    EXPECT_EQ(plain.result.stats.user_ns, sanitized.result.stats.user_ns);
+    EXPECT_EQ(plain.result.stats.kernel_ns,
+              sanitized.result.stats.kernel_ns);
+    // ...and byte-identical trace artifacts.
+    EXPECT_EQ(plain.chrome, sanitized.chrome);
+    EXPECT_EQ(plain.report, sanitized.report);
+  }
+}
+
+}  // namespace
+}  // namespace pmg::trace

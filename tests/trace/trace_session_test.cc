@@ -1,0 +1,266 @@
+#include "pmg/trace/trace_session.h"
+
+#include <gtest/gtest.h>
+
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/trace/json.h"
+
+namespace pmg::trace {
+namespace {
+
+using memsim::Machine;
+using memsim::MachineConfig;
+using memsim::MachineKind;
+using memsim::PagePolicy;
+using memsim::Placement;
+using memsim::TraceInstantKind;
+
+MachineConfig TinyConfig(MachineKind kind = MachineKind::kMemoryMode) {
+  MachineConfig c;
+  c.kind = kind;
+  c.name = "tiny";
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;
+  c.topology.dram_bytes_per_socket = MiB(1);
+  c.topology.pmm_bytes_per_socket =
+      kind == MachineKind::kDramMain ? 0 : MiB(16);
+  c.cpu_cache_lines = 64;
+  return c;
+}
+
+PagePolicy Policy() {
+  PagePolicy p;
+  p.placement = Placement::kInterleaved;
+  return p;
+}
+
+/// Touches `pages` small pages from two threads over `epochs` epochs.
+void RunWorkload(Machine& m, memsim::RegionId r, int epochs,
+                 uint64_t pages = 32) {
+  const VirtAddr base = m.BaseOf(r);
+  for (int e = 0; e < epochs; ++e) {
+    m.BeginEpoch(2);
+    for (uint64_t p = 0; p < pages; ++p) {
+      m.Access(0, base + p * memsim::kSmallPageBytes, 8, AccessType::kRead);
+      m.Access(1, base + p * memsim::kSmallPageBytes + 64, 8,
+               AccessType::kWrite);
+    }
+    m.AddCompute(0, 500);
+    m.EndEpoch();
+  }
+}
+
+TEST(TraceSessionTest, AttachOutsideEpochOnly) {
+  Machine m(TinyConfig());
+  TraceSession session;
+  m.BeginEpoch(1);
+  EXPECT_DEATH(session.Attach(&m), "outside an epoch");
+  m.EndEpoch();
+  session.Attach(&m);
+  m.BeginEpoch(1);
+  EXPECT_DEATH(session.Detach(), "outside an epoch");
+  m.EndEpoch();
+  session.Detach();
+}
+
+TEST(TraceSessionTest, ConservationOnHandDrivenMachine) {
+  Machine m(TinyConfig());
+  TraceSession session;
+  session.Attach(&m);
+  const memsim::RegionId r = m.Alloc(32 * memsim::kSmallPageBytes,
+                                     Policy(), "r");
+  RunWorkload(m, r, 3);
+  const TraceReport& report = session.report();
+  EXPECT_TRUE(report.Conserves());
+  EXPECT_EQ(report.attributed_ns, m.stats().user_ns + m.stats().kernel_ns);
+  EXPECT_EQ(report.attributed_ns, m.stats().trace_attributed_ns);
+  EXPECT_EQ(report.epochs, m.stats().epochs);
+  EXPECT_EQ(report.epochs, m.stats().traced_epochs);
+  EXPECT_GT(report.UserBucketNs(), 0u);
+  EXPECT_GT(report.KernelBucketNs(), 0u);  // first-touch faults
+  session.Detach();
+  // Detached: the report is frozen and still conserves.
+  EXPECT_TRUE(session.report().Conserves());
+}
+
+TEST(TraceSessionTest, TracingDoesNotChangePricing) {
+  Machine plain(TinyConfig());
+  Machine traced(TinyConfig());
+  TraceSession session;
+  session.Attach(&traced);
+  for (Machine* m : {&plain, &traced}) {
+    const memsim::RegionId r = m->Alloc(32 * memsim::kSmallPageBytes,
+                                        Policy(), "r");
+    RunWorkload(*m, r, 3);
+  }
+  EXPECT_EQ(plain.stats().total_ns, traced.stats().total_ns);
+  EXPECT_EQ(plain.stats().user_ns, traced.stats().user_ns);
+  EXPECT_EQ(plain.stats().kernel_ns, traced.stats().kernel_ns);
+  EXPECT_EQ(plain.stats().accesses, traced.stats().accesses);
+  session.Detach();
+}
+
+TEST(TraceSessionTest, RegionsAreNamedAndCharged) {
+  Machine m(TinyConfig());
+  TraceSession session;
+  session.Attach(&m);
+  const memsim::RegionId r = m.Alloc(32 * memsim::kSmallPageBytes,
+                                     Policy(), "labels");
+  RunWorkload(m, r, 2);
+  const TraceReport& report = session.report();
+  ASSERT_EQ(report.regions.size(), 1u);
+  EXPECT_EQ(report.regions[0].name, "labels");
+  EXPECT_GT(report.regions[0].accesses, 0u);
+  EXPECT_GT(report.regions[0].user_ns, 0u);
+  session.Detach();
+}
+
+TEST(TraceSessionTest, ThreadRowsCoverActiveThreads) {
+  Machine m(TinyConfig());
+  TraceSession session;
+  session.Attach(&m);
+  const memsim::RegionId r = m.Alloc(32 * memsim::kSmallPageBytes,
+                                     Policy(), "r");
+  RunWorkload(m, r, 1);
+  const TraceReport& report = session.report();
+  ASSERT_EQ(report.threads.size(), 2u);
+  EXPECT_EQ(report.threads[0].thread, 0u);
+  EXPECT_EQ(report.threads[1].thread, 1u);
+  EXPECT_GT(report.threads[0].user_ns, 0u);
+  EXPECT_GT(report.threads[1].user_ns, 0u);
+  session.Detach();
+}
+
+TEST(TraceSessionTest, InstantEventsAreCounted) {
+  TraceSession session;
+  session.OnInstant(TraceInstantKind::kCheckpointWrite, 0, 100, 64);
+  session.OnInstant(TraceInstantKind::kCheckpointRestore, 0, 200, 64);
+  session.OnInstant(TraceInstantKind::kCrash, 0, 300, 1);
+  session.OnInstant(TraceInstantKind::kQuarantine, 1, 400, 2);
+  const TraceReport& report = session.report();
+  EXPECT_EQ(report.checkpoint_writes, 1u);
+  EXPECT_EQ(report.checkpoint_restores, 1u);
+  EXPECT_EQ(report.crashes, 1u);
+  EXPECT_EQ(report.quarantines, 1u);
+  // And they land in the Chrome export as instant events.
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(session.ChromeTraceJson(), &v, nullptr));
+  int instants = 0;
+  for (const JsonValue& e : v.Find("traceEvents")->array) {
+    if (e.Find("ph")->string_value == "i") ++instants;
+  }
+  EXPECT_EQ(instants, 4);
+}
+
+TEST(TraceSessionTest, ChromeTraceIsValidJsonWithTracks) {
+  Machine m(TinyConfig());
+  TraceSession session;
+  session.Attach(&m);
+  const memsim::RegionId r = m.Alloc(32 * memsim::kSmallPageBytes,
+                                     Policy(), "r");
+  RunWorkload(m, r, 2);
+  session.Detach();
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(session.ChromeTraceJson(), &v, &err)) << err;
+  const JsonValue* events = v.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int slices = 0, counters = 0, metadata = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string& ph = e.Find("ph")->string_value;
+    if (ph == "X") {
+      ++slices;
+      EXPECT_NE(e.Find("ts"), nullptr);
+      EXPECT_NE(e.Find("dur"), nullptr);
+      EXPECT_NE(e.Find("tid"), nullptr);
+    } else if (ph == "C") {
+      ++counters;
+    } else if (ph == "M") {
+      ++metadata;
+    }
+  }
+  // 2 epochs x (1 epoch slice + 2 thread slices); 2 sockets x 2 epochs
+  // counters; process + epoch track + 2 thread names.
+  EXPECT_EQ(slices, 6);
+  EXPECT_EQ(counters, 4);
+  EXPECT_EQ(metadata, 4);
+}
+
+TEST(TraceSessionTest, ReattachKeepsTimelineMonotonic) {
+  TraceSession session;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Machine m(TinyConfig());
+    session.Attach(&m);
+    const memsim::RegionId r = m.Alloc(32 * memsim::kSmallPageBytes,
+                                       Policy(), "r");
+    RunWorkload(m, r, 2);
+    session.Detach();
+  }
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(session.ChromeTraceJson(), &v, nullptr));
+  // Epoch-track slices must not rewind when the second machine starts.
+  double last_ts = -1.0;
+  int epoch_slices = 0;
+  for (const JsonValue& e : v.Find("traceEvents")->array) {
+    if (e.Find("ph")->string_value != "X") continue;
+    if (e.Find("tid")->AsUInt() != 1000000u) continue;
+    ++epoch_slices;
+    EXPECT_GE(e.Find("ts")->number, last_ts);
+    last_ts = e.Find("ts")->number + e.Find("dur")->number;
+  }
+  EXPECT_EQ(epoch_slices, 4);
+  EXPECT_EQ(session.report().epochs, 4u);
+  EXPECT_TRUE(session.report().Conserves());
+}
+
+TEST(TraceSessionTest, ReportJsonIsVersionedAndRoundTrips) {
+  Machine m(TinyConfig());
+  TraceSession session;
+  session.Attach(&m);
+  const memsim::RegionId r = m.Alloc(32 * memsim::kSmallPageBytes,
+                                     Policy(), "r");
+  RunWorkload(m, r, 1);
+  session.Detach();
+  const std::string doc = session.report().ToJson();
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(doc, &v, &err)) << err;
+  EXPECT_EQ(v.Find("schema_version")->AsUInt(), kTraceSchemaVersion);
+  EXPECT_TRUE(v.Find("conserves")->bool_value);
+  ASSERT_NE(v.Find("buckets"), nullptr);
+  EXPECT_EQ(v.Find("buckets")->object.size(), memsim::kTraceBucketCount);
+  // Sum of the serialized buckets equals the serialized attributed_ns.
+  uint64_t sum = 0;
+  for (const auto& [name, ns] : v.Find("buckets")->object) sum += ns.AsUInt();
+  EXPECT_EQ(sum, v.Find("attributed_ns")->AsUInt());
+}
+
+TEST(TraceSessionTest, EpochCapDropsFromExportNotReport) {
+  TraceOptions options;
+  options.max_epochs = 1;
+  TraceSession session(options);
+  Machine m(TinyConfig());
+  session.Attach(&m);
+  const memsim::RegionId r = m.Alloc(32 * memsim::kSmallPageBytes,
+                                     Policy(), "r");
+  RunWorkload(m, r, 3);
+  session.Detach();
+  const TraceReport& report = session.report();
+  EXPECT_EQ(report.epochs, 3u);           // aggregation sees everything
+  EXPECT_EQ(report.dropped_epochs, 2u);   // export kept only the first
+  EXPECT_TRUE(report.Conserves());
+}
+
+TEST(TraceSessionTest, StatsFieldsStayZeroWithoutSink) {
+  Machine m(TinyConfig());
+  const memsim::RegionId r = m.Alloc(32 * memsim::kSmallPageBytes,
+                                     Policy(), "r");
+  RunWorkload(m, r, 2);
+  EXPECT_EQ(m.stats().trace_attributed_ns, 0u);
+  EXPECT_EQ(m.stats().traced_epochs, 0u);
+}
+
+}  // namespace
+}  // namespace pmg::trace

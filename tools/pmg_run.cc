@@ -5,6 +5,7 @@
 //           --machine pmm --threads 96 [--pages 4k|2m] [--migration]
 //           [--placement local|interleaved|blocked] [--pr-rounds N]
 //           [--sanitize] [--faults <spec>] [--checkpoint-every N]
+//           [--trace out.json] [--json report.json]
 //
 // Graph can be a Table 3 scenario name, or "file:<path>" for a binary CSR
 // written by pmg::graph::SaveCsr. Prints the simulated time and the
@@ -33,6 +34,8 @@
 #include "pmg/memsim/machine_configs.h"
 #include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
+#include "pmg/trace/json.h"
+#include "pmg/trace/trace_session.h"
 
 namespace {
 
@@ -48,9 +51,9 @@ using namespace pmg;
   std::exit(2);
 }
 
-int Usage(const char* argv0) {
+void Usage(std::FILE* out, const char* argv0) {
   std::fprintf(
-      stderr,
+      out,
       "usage: %s --graph <name|file:path> --app <bc|bfs|cc|kcore|pr|sssp|tc>\n"
       "          [--framework galois|gap|graphit|gbbs] [--machine pmm|dram|"
       "entropy]\n"
@@ -59,12 +62,62 @@ int Usage(const char* argv0) {
       "          [--migration] [--pr-rounds N] [--vertex-programs] "
       "[--sanitize]\n"
       "          [--faults <spec>] [--checkpoint-every N]\n"
+      "          [--trace <chrome-trace.json>] [--json <report.json>]\n"
       "graph names: kron30 clueweb12 uk14 iso_m100 rmat32 wdc12\n"
       "fault spec:  ';'-separated events, e.g.\n"
       "             'ue@access:500;lat@access:100,ns=2000,count=8;"
-      "crash@epoch:3;seed=7'\n",
+      "crash@epoch:3;seed=7'\n"
+      "--trace writes a Chrome trace-event file (load in Perfetto);\n"
+      "--json writes a versioned machine-readable run report.\n",
       argv0);
-  return 2;
+}
+
+/// The machine-counter section of the --json report.
+void AppendStatsJson(pmg::trace::JsonWriter* w,
+                     const memsim::MachineStats& s) {
+  w->BeginObject();
+  w->Key("accesses").UInt(s.accesses);
+  w->Key("reads").UInt(s.reads);
+  w->Key("writes").UInt(s.writes);
+  w->Key("cpu_cache_hits").UInt(s.cpu_cache_hits);
+  w->Key("cpu_cache_misses").UInt(s.cpu_cache_misses);
+  w->Key("tlb_hits").UInt(s.tlb_hits);
+  w->Key("tlb_misses").UInt(s.tlb_misses);
+  w->Key("page_walk_ns").UInt(s.page_walk_ns);
+  w->Key("minor_faults").UInt(s.minor_faults);
+  w->Key("hint_faults").UInt(s.hint_faults);
+  w->Key("migrations").UInt(s.migrations);
+  w->Key("tlb_shootdowns").UInt(s.tlb_shootdowns);
+  w->Key("local_accesses").UInt(s.local_accesses);
+  w->Key("remote_accesses").UInt(s.remote_accesses);
+  w->Key("near_mem_hits").UInt(s.near_mem_hits);
+  w->Key("near_mem_misses").UInt(s.near_mem_misses);
+  w->Key("near_mem_writebacks").UInt(s.near_mem_writebacks);
+  w->Key("dram_bytes").UInt(s.dram_bytes);
+  w->Key("pmm_read_bytes").UInt(s.pmm_read_bytes);
+  w->Key("pmm_write_bytes").UInt(s.pmm_write_bytes);
+  w->Key("storage_read_bytes").UInt(s.storage_read_bytes);
+  w->Key("storage_write_bytes").UInt(s.storage_write_bytes);
+  w->Key("total_ns").UInt(s.total_ns);
+  w->Key("user_ns").UInt(s.user_ns);
+  w->Key("kernel_ns").UInt(s.kernel_ns);
+  w->Key("epochs").UInt(s.epochs);
+  w->Key("bandwidth_bound_epochs").UInt(s.bandwidth_bound_epochs);
+  w->Key("pages_quarantined").UInt(s.pages_quarantined);
+  w->Key("machine_check_ns").UInt(s.machine_check_ns);
+  w->Key("trace_attributed_ns").UInt(s.trace_attributed_ns);
+  w->Key("traced_epochs").UInt(s.traced_epochs);
+  w->EndObject();
+}
+
+/// Emits `body` to `path`; exit code 2 on an unwritable path.
+void WriteOrDie(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) Die("cannot open '%s' for writing", path.c_str());
+  const size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  if (n != body.size() || std::fclose(f) != 0) {
+    Die("short write to '%s'", path.c_str());
+  }
 }
 
 bool ParseApp(const std::string& s, frameworks::App* out) {
@@ -99,7 +152,17 @@ bool ParseU32(const std::string& s, uint32_t* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc <= 1) return Usage(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      Usage(stdout, argv[0]);
+      return 0;
+    }
+  }
+  if (argc <= 1) {
+    Usage(stderr, argv[0]);
+    return 2;
+  }
 
   std::string graph_name;
   std::string app_name;
@@ -111,6 +174,8 @@ int main(int argc, char** argv) {
   std::string pages;
   std::string placement;
   std::string faults_spec;
+  std::string trace_path;
+  std::string json_path;
   bool migration = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -160,6 +225,12 @@ int main(int argc, char** argv) {
       }
     } else if (flag == "--faults") {
       faults_spec = need_value();
+    } else if (flag == "--trace") {
+      trace_path = need_value();
+      if (trace_path.empty()) Die("--trace wants an output path");
+    } else if (flag == "--json") {
+      json_path = need_value();
+      if (json_path.empty()) Die("--json wants an output path");
     } else if (flag == "--checkpoint-every") {
       if (!ParseU32(need_value(), &cfg.checkpoint_every)) {
         Die("--checkpoint-every wants an integer, got '%s'", value.c_str());
@@ -243,6 +314,22 @@ int main(int argc, char** argv) {
   std::printf("graph %s: %s\n", graph_name.c_str(),
               graph::ComputeProperties(topo).ToString().c_str());
 
+  // Tracing is on whenever either output file was requested; the same
+  // session also feeds the human-readable attribution table.
+  trace::TraceSession session;
+  const bool traced = !trace_path.empty() || !json_path.empty();
+  // Report preamble shared by both run modes.
+  auto json_preamble = [&](trace::JsonWriter* w, const char* mode) {
+    w->Key("schema_version").UInt(trace::kTraceSchemaVersion);
+    w->Key("tool").String("pmg_run");
+    w->Key("mode").String(mode);
+    w->Key("graph").String(graph_name);
+    w->Key("app").String(app_name);
+    w->Key("framework").String(framework_name);
+    w->Key("machine").String(machine_name);
+    w->Key("threads").UInt(cfg.threads);
+  };
+
   // Crash schedules and checkpointing run through the recovery drivers,
   // which know how to resume the bulk-synchronous loops mid-run.
   const bool wants_recovery =
@@ -265,6 +352,7 @@ int main(int argc, char** argv) {
     if (cfg.placement.has_value()) {
       rc.algo.label_policy.placement = *cfg.placement;
     }
+    if (traced) rc.trace = &session;
     const VertexId source = graph::MaxOutDegreeVertex(topo);
     const faultsim::RecoveryResult r =
         app == frameworks::App::kBfs
@@ -276,17 +364,86 @@ int main(int argc, char** argv) {
                 static_cast<double>(r.total_ns) / 1e6, r.attempts);
     scenarios::PrintRecoveryReport(r);
     scenarios::PrintFaultReport(r.fault, r.stats);
+    if (traced) scenarios::PrintTraceReport(session.report());
     std::printf("\ncounters (final attempt):\n%s\n",
                 r.stats.ToString().c_str());
+    if (!trace_path.empty()) {
+      std::string err;
+      if (!session.WriteChromeTrace(trace_path, &err)) Die("%s", err.c_str());
+    }
+    if (!json_path.empty()) {
+      trace::JsonWriter w;
+      w.BeginObject();
+      json_preamble(&w, "recovery");
+      w.Key("completed").Bool(r.completed);
+      w.Key("attempts").UInt(r.attempts);
+      w.Key("crashes").UInt(r.crashes);
+      w.Key("restarts_from_checkpoint").UInt(r.restarts_from_checkpoint);
+      w.Key("restarts_from_scratch").UInt(r.restarts_from_scratch);
+      w.Key("rounds").UInt(r.rounds);
+      w.Key("time_ns").UInt(r.total_ns);
+      w.Key("checkpoint_write_ns").UInt(r.checkpoint_write_ns);
+      w.Key("restore_ns").UInt(r.restore_ns);
+      w.Key("stats");
+      AppendStatsJson(&w, r.stats);
+      w.Key("trace");
+      session.report().AppendJson(&w);
+      w.EndObject();
+      WriteOrDie(json_path, w.str() + "\n");
+    }
     return r.completed ? 0 : 1;
   }
 
   const frameworks::AppInputs inputs =
       frameworks::AppInputs::Prepare(std::move(topo), represented);
+  if (traced) cfg.trace = &session;
   const frameworks::AppRunResult r = RunApp(fw, app, inputs, cfg);
+
+  auto emit_outputs = [&]() {
+    if (!trace_path.empty()) {
+      std::string err;
+      if (!session.WriteChromeTrace(trace_path, &err)) Die("%s", err.c_str());
+    }
+    if (json_path.empty()) return;
+    trace::JsonWriter w;
+    w.BeginObject();
+    json_preamble(&w, "run");
+    w.Key("supported").Bool(r.supported);
+    w.Key("crashed").Bool(r.crashed);
+    w.Key("completed").Bool(r.supported && !r.crashed);
+    w.Key("time_ns").UInt(r.time_ns);
+    w.Key("rounds").UInt(r.rounds);
+    w.Key("stats");
+    AppendStatsJson(&w, r.stats);
+    w.Key("trace");
+    session.report().AppendJson(&w);
+    if (r.sanitized) {
+      w.Key("sancheck").BeginObject();
+      w.Key("races").UInt(r.sancheck.races);
+      w.Key("race_epochs").UInt(r.sancheck.race_epochs);
+      w.Key("checked_accesses").UInt(r.sancheck.checked_accesses);
+      w.Key("checked_epochs").UInt(r.sancheck.checked_epochs);
+      w.EndObject();
+    }
+    if (r.fault_injected) {
+      w.Key("fault").BeginObject();
+      w.Key("media_ops").UInt(r.fault.media_ops);
+      w.Key("ue_delivered").UInt(r.fault.ue_delivered);
+      w.Key("transient_faults").UInt(r.fault.transient_faults);
+      w.Key("retries").UInt(r.fault.retries);
+      w.Key("stall_ns").UInt(r.fault.stall_ns);
+      w.Key("degraded_epochs").UInt(r.fault.degraded_epochs);
+      w.Key("crashes").UInt(r.fault.crashes);
+      w.EndObject();
+    }
+    w.EndObject();
+    WriteOrDie(json_path, w.str() + "\n");
+  };
+
   if (!r.supported) {
     std::printf("%s cannot run %s on this graph (framework limitation)\n",
                 framework_name.c_str(), app_name.c_str());
+    emit_outputs();
     return 0;
   }
   if (r.crashed) {
@@ -294,6 +451,8 @@ int main(int argc, char** argv) {
                 framework_name.c_str(), app_name.c_str(),
                 machine_name.c_str());
     scenarios::PrintFaultReport(r.fault, r.stats);
+    if (traced) scenarios::PrintTraceReport(session.report());
+    emit_outputs();
     return 1;
   }
   std::printf("\n%s %s on %s (%u threads): %.3f ms simulated, %llu rounds\n",
@@ -302,6 +461,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.rounds));
   std::printf("\ncounters:\n%s\n", r.stats.ToString().c_str());
   if (r.fault_injected) scenarios::PrintFaultReport(r.fault, r.stats);
+  if (traced) scenarios::PrintTraceReport(session.report());
+  emit_outputs();
   if (r.sanitized) {
     scenarios::PrintSancheckReport(r.sancheck);
     // A sanitized run that found races is a failed run: the kernel (or a
