@@ -8,12 +8,12 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_json.h"
 #include "pmg/frameworks/framework.h"
 #include "pmg/graph/topology.h"
 #include "pmg/memsim/machine_configs.h"
 #include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
+#include "pmg/trace/bench_report.h"
 
 namespace {
 
@@ -55,7 +55,7 @@ int main() {
   const std::vector<App> apps = frameworks::AllApps();
   std::vector<double> overhead_96;
   std::vector<double> speedup_8_96_pmm;
-  bench::BenchJson json("fig10");
+  trace::BenchJson json("fig10");
 
   for (const char* name : {"kron30", "clueweb12"}) {
     const scenarios::Scenario s = scenarios::MakeScenario(name);

@@ -7,12 +7,12 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench/bench_json.h"
 #include "pmg/frameworks/framework.h"
 #include "pmg/graph/topology.h"
 #include "pmg/memsim/machine_configs.h"
 #include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
+#include "pmg/trace/bench_report.h"
 
 namespace {
 
@@ -39,7 +39,7 @@ SimNs AppTime(App app, const AppInputs& inputs,
 
 void RunMachine(const char* title, const MachineConfig& machine,
                 const std::vector<std::string>& graphs,
-                pmg::bench::BenchJson* json) {
+                pmg::trace::BenchJson* json) {
   std::printf("%s\n\n", title);
   pmg::scenarios::Table t({"graph", "app", "pages", "migration ON (s)",
                            "migration OFF (s)", "OFF improves by"});
@@ -96,7 +96,7 @@ int main() {
       "(paper: turning migration OFF improves 4KB runs by 29-53%% on PMM\n"
       " and helps less with 2MB pages; effects are larger on PMM than "
       "DRAM)\n\n");
-  pmg::bench::BenchJson json("fig5");
+  pmg::trace::BenchJson json("fig5");
   RunMachine("(a) Optane PMM", pmg::memsim::OptanePmmConfig(),
              {"kron30", "clueweb12", "uk14", "wdc12"}, &json);
   RunMachine("(b) DDR4 DRAM", pmg::memsim::DramOnlyConfig(),

@@ -11,12 +11,12 @@
 
 #include <cstdio>
 
-#include "bench/bench_json.h"
 #include "pmg/frameworks/framework.h"
 #include "pmg/memsim/machine_configs.h"
 #include "pmg/memsim/trace_sink.h"
 #include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
+#include "pmg/trace/bench_report.h"
 #include "pmg/trace/trace_session.h"
 
 namespace {
@@ -58,7 +58,7 @@ int main() {
   pmg::scenarios::Table t({"graph", "machine", "pages", "migration",
                            "user (s)", "kernel (s)", "kernel share",
                            "faults", "migration", "shootdown"});
-  pmg::bench::BenchJson json("fig6");
+  pmg::trace::BenchJson json("fig6");
   for (const char* name : {"kron30", "clueweb12"}) {
     const pmg::scenarios::Scenario s = pmg::scenarios::MakeScenario(name);
     const AppInputs inputs =

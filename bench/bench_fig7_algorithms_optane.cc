@@ -14,7 +14,7 @@ int main() {
   std::printf(
       "Figure 7: data-driven algorithm variants on Optane PMM (96 "
       "threads)\n");
-  pmg::bench::BenchJson json("fig7");
+  pmg::trace::BenchJson json("fig7");
   pmg::benchvariants::RunVariantStudy(pmg::memsim::OptanePmmConfig(), 96,
                                       &json);
   const std::string path = json.Write();

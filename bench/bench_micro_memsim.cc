@@ -4,11 +4,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "pmg/analytics/bfs.h"
+#include "pmg/common/check.h"
 #include "pmg/graph/csr_graph.h"
 #include "pmg/graph/generators.h"
 #include "pmg/memsim/machine.h"
 #include "pmg/memsim/machine_configs.h"
+#include "pmg/metrics/hooks.h"
+#include "pmg/metrics/metrics_session.h"
 #include "pmg/runtime/runtime.h"
 
 namespace {
@@ -78,6 +83,56 @@ void BM_EndToEndBfsSparse(benchmark::State& state) {
                           static_cast<int64_t>(topo.NumEdges()));
 }
 BENCHMARK(BM_EndToEndBfsSparse)->Arg(12)->Arg(14);
+
+/// The disabled-instrumentation hot path: with no MetricsSession
+/// installed, a worklist hook call must be one predictable
+/// null-check — nothing a kernel inner loop would notice.
+void BM_WorklistHookDisabled(benchmark::State& state) {
+  PMG_CHECK_MSG(!metrics::HooksActive(),
+                "hook table unexpectedly installed in a plain benchmark");
+  for (auto _ : state) {
+    metrics::CountWorklistPush(0);
+    metrics::CountWorklistPop(0, false);
+  }
+}
+BENCHMARK(BM_WorklistHookDisabled);
+
+/// A metered run against its unmetered twin. The benchmark measures the
+/// wall-clock cost of full metering (registry + heatmap + profiler); the
+/// PMG_CHECK asserts the observability acceptance bar — attaching a
+/// MetricsSession must not change pricing, so the two runs' MachineStats
+/// are bit-identical.
+void BM_EndToEndBfsMetered(benchmark::State& state) {
+  const graph::CsrTopology topo = graph::Rmat(12, 8, 3);
+  auto run = [&](metrics::MetricsSession* session) {
+    memsim::Machine m(memsim::OptanePmmConfig());
+    if (session != nullptr) session->Attach(&m);
+    runtime::Runtime rt(&m, 96);
+    graph::GraphLayout layout;
+    layout.policy.placement = memsim::Placement::kInterleaved;
+    graph::CsrGraph g(&m, topo, layout, "g");
+    analytics::AlgoOptions opt;
+    opt.label_policy = layout.policy;
+    analytics::BfsSparseWl(rt, g, 0, opt);
+    // Detach while the graph is still mapped (heat folds need the pages).
+    if (session != nullptr) session->Detach();
+    return m.stats();
+  };
+  const memsim::MachineStats plain = run(nullptr);
+  for (auto _ : state) {
+    metrics::MetricsOptions mopts;
+    mopts.profile = true;
+    metrics::MetricsSession session(mopts);
+    const memsim::MachineStats metered = run(&session);
+    PMG_CHECK_MSG(std::memcmp(&plain, &metered, sizeof(plain)) == 0,
+                  "metered run diverged from its unmetered twin: attaching "
+                  "a MetricsSession must not change pricing");
+    benchmark::DoNotOptimize(session.registry().metric_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(topo.NumEdges()));
+}
+BENCHMARK(BM_EndToEndBfsMetered);
 
 void BM_MachineConstruction(benchmark::State& state) {
   for (auto _ : state) {

@@ -10,7 +10,6 @@
 #include <memory>
 #include <string>
 
-#include "bench/bench_json.h"
 #include "pmg/analytics/bfs.h"
 #include "pmg/analytics/cc.h"
 #include "pmg/analytics/sssp.h"
@@ -20,6 +19,7 @@
 #include "pmg/runtime/runtime.h"
 #include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
+#include "pmg/trace/bench_report.h"
 
 namespace pmg::benchvariants {
 
@@ -40,7 +40,7 @@ struct Cell {
 /// `json` is given, every cell also lands as a machine-readable row.
 inline void RunVariantStudy(const memsim::MachineConfig& machine_config,
                             uint32_t threads,
-                            bench::BenchJson* json = nullptr) {
+                            trace::BenchJson* json = nullptr) {
   using graph::CsrGraph;
   using graph::GraphLayout;
   for (const char* problem : {"bfs", "cc", "sssp"}) {

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "pmg/metrics/profiler.h"
 #include "pmg/runtime/worklist.h"
 
 namespace pmg::analytics {
@@ -37,6 +38,7 @@ BcState InitState(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 BcResult BcSparse(runtime::Runtime& rt, const graph::CsrGraph& g,
                   VertexId source, const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("bc.sparse");
   BcResult out;
   out.time_ns = rt.Timed([&] {
     memsim::Machine& m = g.machine();
@@ -134,6 +136,7 @@ BcResult BcSparse(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 BcResult BcDense(runtime::Runtime& rt, const graph::CsrGraph& g,
                  VertexId source, const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("bc.dense");
   BcResult out;
   out.time_ns = rt.Timed([&] {
     BcState st = InitState(rt, g, opt, &out);

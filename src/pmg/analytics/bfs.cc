@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "pmg/common/check.h"
+#include "pmg/metrics/profiler.h"
 #include "pmg/runtime/worklist.h"
 
 namespace pmg::analytics {
@@ -25,6 +26,7 @@ runtime::NumaArray<uint32_t> InitLevels(runtime::Runtime& rt,
 
 BfsResult BfsDenseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
                      VertexId source, const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("bfs.dense_wl");
   BfsResult out;
   out.time_ns = rt.Timed([&] {
     out.level = InitLevels(rt, g, opt);
@@ -50,6 +52,7 @@ BfsResult BfsDenseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 BfsResult BfsDirectionOpt(runtime::Runtime& rt, const graph::CsrGraph& g,
                           VertexId source, const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("bfs.direction_opt");
   PMG_CHECK_MSG(g.has_in_edges(),
                 "direction-optimizing bfs needs in-edges loaded");
   BfsResult out;
@@ -101,6 +104,7 @@ BfsResult BfsDirectionOpt(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 BfsResult BfsSparseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
                       VertexId source, const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("bfs.sparse_wl");
   BfsResult out;
   out.time_ns = rt.Timed([&] {
     out.level = InitLevels(rt, g, opt);
@@ -138,6 +142,7 @@ BfsResult BfsSparseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 BfsResult BfsAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
                    VertexId source, const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("bfs.async");
   BfsResult out;
   out.time_ns = rt.Timed([&] {
     out.level = InitLevels(rt, g, opt);

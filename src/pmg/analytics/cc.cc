@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "pmg/metrics/profiler.h"
 #include "pmg/runtime/worklist.h"
 
 namespace pmg::analytics {
@@ -23,6 +24,7 @@ runtime::NumaArray<uint64_t> InitLabels(runtime::Runtime& rt,
 
 CcResult CcLabelProp(runtime::Runtime& rt, const graph::CsrGraph& g,
                      const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("cc.label_prop");
   // Double-buffered (Jacobi) label propagation: each round reads the
   // previous round's labels and writes the next — the semantics a
   // Pregel-style vertex program compiles to. Information travels one hop
@@ -61,6 +63,7 @@ CcResult CcLabelProp(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 CcResult CcLabelPropSC(runtime::Runtime& rt, const graph::CsrGraph& g,
                        const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("cc.label_prop_sc");
   // Work items carry the label at push time; entries whose vertex has
   // since improved are stale and skipped without touching edges (lazy
   // deduplication, as in Galois's label-correcting operators).
@@ -132,6 +135,7 @@ CcResult CcLabelPropSC(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 CcResult CcLabelPropSCDir(runtime::Runtime& rt, const graph::CsrGraph& g,
                           const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("cc.label_prop_sc_dir");
   struct Item {
     VertexId v;
     uint64_t label;
@@ -205,6 +209,7 @@ CcResult CcLabelPropSCDir(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 CcResult CcUnionFind(runtime::Runtime& rt, const graph::CsrGraph& g,
                      const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("cc.union_find");
   CcResult out;
   out.time_ns = rt.Timed([&] {
     out.label = InitLabels(rt, g, opt);  // parent pointers
@@ -248,6 +253,7 @@ CcResult CcUnionFind(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 CcResult CcAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
                  const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("cc.async");
   struct Item {
     VertexId v;
     uint64_t label;

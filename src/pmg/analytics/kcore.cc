@@ -1,5 +1,6 @@
 #include "pmg/analytics/kcore.h"
 
+#include "pmg/metrics/profiler.h"
 #include "pmg/runtime/worklist.h"
 
 namespace pmg::analytics {
@@ -28,6 +29,7 @@ uint64_t CountAlive(const runtime::NumaArray<uint8_t>& alive) {
 
 KcoreResult KcoreAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
                        const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("kcore.async");
   KcoreResult out;
   const uint32_t k = opt.kcore_k;
   out.time_ns = rt.Timed([&] {
@@ -69,6 +71,7 @@ KcoreResult KcoreAsync(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 KcoreResult KcoreDense(runtime::Runtime& rt, const graph::CsrGraph& g,
                        const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("kcore.dense");
   KcoreResult out;
   const uint32_t k = opt.kcore_k;
   out.time_ns = rt.Timed([&] {

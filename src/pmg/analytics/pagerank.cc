@@ -3,12 +3,14 @@
 #include <cmath>
 
 #include "pmg/common/check.h"
+#include "pmg/metrics/profiler.h"
 #include "pmg/runtime/worklist.h"
 
 namespace pmg::analytics {
 
 PrResult PrPull(runtime::Runtime& rt, const graph::CsrGraph& g,
                 const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("pagerank.pull");
   PMG_CHECK_MSG(g.has_in_edges(), "pull pagerank needs in-edges loaded");
   PrResult out;
   out.time_ns = rt.Timed([&] {
@@ -52,6 +54,7 @@ PrResult PrPull(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 PrResult PrPushResidual(runtime::Runtime& rt, const graph::CsrGraph& g,
                         const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("pagerank.push_residual");
   PrResult out;
   out.time_ns = rt.Timed([&] {
     memsim::Machine& m = g.machine();

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "pmg/common/check.h"
+#include "pmg/metrics/profiler.h"
 #include "pmg/runtime/worklist.h"
 
 namespace pmg::analytics {
@@ -24,6 +25,7 @@ runtime::NumaArray<uint64_t> InitDist(runtime::Runtime& rt,
 
 SsspResult SsspBellmanFord(runtime::Runtime& rt, const graph::CsrGraph& g,
                            VertexId source, const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("sssp.bellman_ford");
   PMG_CHECK(g.has_weights());
   SsspResult out;
   out.time_ns = rt.Timed([&] {
@@ -52,6 +54,7 @@ SsspResult SsspBellmanFord(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 SsspResult SsspDenseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
                        VertexId source, const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("sssp.dense_wl");
   PMG_CHECK(g.has_weights());
   SsspResult out;
   out.time_ns = rt.Timed([&] {
@@ -81,6 +84,7 @@ SsspResult SsspDenseWl(runtime::Runtime& rt, const graph::CsrGraph& g,
 
 SsspResult SsspDeltaStep(runtime::Runtime& rt, const graph::CsrGraph& g,
                          VertexId source, const AlgoOptions& opt) {
+  PMG_PROF_SCOPE("sssp.delta_step");
   PMG_CHECK(g.has_weights());
   PMG_CHECK(opt.delta >= 1);
   SsspResult out;

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <vector>
 
+#include "pmg/metrics/profiler.h"
+
 namespace pmg::analytics {
 
 graph::CsrTopology TcPrepare(const graph::CsrTopology& g) {
@@ -35,6 +37,7 @@ graph::CsrTopology TcPrepare(const graph::CsrTopology& g) {
 }
 
 TcResult Tc(runtime::Runtime& rt, const graph::CsrGraph& g) {
+  PMG_PROF_SCOPE("tc");
   TcResult out;
   out.time_ns = rt.Timed([&] {
     uint64_t total = 0;

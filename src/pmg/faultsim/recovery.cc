@@ -5,6 +5,7 @@
 
 #include "pmg/common/check.h"
 #include "pmg/graph/csr_graph.h"
+#include "pmg/metrics/metrics_session.h"
 #include "pmg/runtime/numa_array.h"
 #include "pmg/runtime/runtime.h"
 #include "pmg/runtime/worklist.h"
@@ -27,8 +28,10 @@ void RunAttempts(const RecoveryConfig& cfg, FaultInjector& injector,
     memsim::Machine machine(cfg.machine);
     machine.SetFaultHook(&injector);
     // Re-attach the trace session to this attempt's fresh machine; its
-    // timeline continues where the crashed attempt's ended.
+    // timeline continues where the crashed attempt's ended. Same for the
+    // metrics session.
     if (cfg.trace != nullptr) cfg.trace->Attach(&machine);
+    if (cfg.metrics != nullptr) cfg.metrics->Attach(&machine);
     bool done = false;
     bool crashed = false;
     try {
@@ -50,6 +53,7 @@ void RunAttempts(const RecoveryConfig& cfg, FaultInjector& injector,
       machine.trace_sink()->OnInstant(memsim::TraceInstantKind::kCrash, 0,
                                       machine.now(), 1);
     }
+    if (cfg.metrics != nullptr) cfg.metrics->Detach();
     if (cfg.trace != nullptr) cfg.trace->Detach();
     out.total_ns += machine.now();
     if (done) {

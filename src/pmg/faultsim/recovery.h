@@ -27,6 +27,10 @@
 /// the PM namespace, which survives process death); each attempt builds a
 /// fresh Machine (DRAM contents and caches do not survive).
 
+namespace pmg::metrics {
+class MetricsSession;
+}  // namespace pmg::metrics
+
 namespace pmg::trace {
 class TraceSession;
 }  // namespace pmg::trace
@@ -47,6 +51,9 @@ struct RecoveryConfig {
   /// simulated timeline runs monotonically across the attempts, with
   /// instant events marking checkpoint writes, restores, and crashes.
   trace::TraceSession* trace = nullptr;
+  /// Metrics session, re-attached the same way; counters, heat, and
+  /// profiler samples accumulate across the attempts on one timeline.
+  metrics::MetricsSession* metrics = nullptr;
 };
 
 /// Media-op ordinal window of one checkpoint write, recorded so tests can

@@ -14,6 +14,7 @@
 #include "pmg/common/check.h"
 #include "pmg/graph/csr_graph.h"
 #include "pmg/graph/properties.h"
+#include "pmg/metrics/metrics_session.h"
 #include "pmg/runtime/runtime.h"
 #include "pmg/trace/trace_session.h"
 
@@ -177,6 +178,10 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
   // the conservation law is over everything the machine bills.
   if (config.trace != nullptr) config.trace->Attach(&machine);
 
+  // Same for the metrics session: the heatmap must see every allocation
+  // and the counter mirrors cover everything the machine prices.
+  if (config.metrics != nullptr) config.metrics->Attach(&machine);
+
   // Attach the sanitizer before the graph is materialized so its shadow
   // region table sees every allocation.
   std::unique_ptr<sancheck::Sancheck> checker;
@@ -308,6 +313,9 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
     out.sanitized = true;
     out.sancheck = checker->summary();
   }
+  // Detach while the graph is still mapped: the heatmap folds still-live
+  // regions against the page table.
+  if (config.metrics != nullptr) config.metrics->Detach();
   if (config.trace != nullptr) config.trace->Detach();
   out.supported = true;
   return out;

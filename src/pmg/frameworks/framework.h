@@ -31,6 +31,10 @@
 ///   - GBBS-like (Ligra): dense worklists, direction optimization,
 ///     union-find cc, bulk-synchronous kcore, both directions, 4KB + THP.
 
+namespace pmg::metrics {
+class MetricsSession;
+}  // namespace pmg::metrics
+
 namespace pmg::trace {
 class TraceSession;
 }  // namespace pmg::trace
@@ -116,6 +120,10 @@ struct RunConfig {
   /// simulated result. The session is attached before the graph is built
   /// and detached before the machine dies.
   trace::TraceSession* trace = nullptr;
+  /// Attach this pmg::metrics session for the run (live counters, heatmap,
+  /// sampling profiler). Same contract as `trace`: attached before the
+  /// graph is built, detached before the machine dies, changes nothing.
+  metrics::MetricsSession* metrics = nullptr;
 };
 
 struct AppRunResult {

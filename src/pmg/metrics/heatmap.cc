@@ -1,0 +1,195 @@
+#include "pmg/metrics/heatmap.h"
+
+#include <algorithm>
+
+#include "pmg/common/check.h"
+
+namespace pmg::metrics {
+
+namespace {
+
+constexpr uint64_t kSlotsPerChunk =
+    memsim::kHugePageBytes / memsim::kSmallPageBytes;  // 512
+
+/// The total order of hot-page rows. Region ids and addresses are
+/// deliberately excluded so ties break the same way across runs, fold
+/// orders, and thread counts.
+bool HotterThan(const HotPageRow& a, const HotPageRow& b) {
+  if (a.accesses != b.accesses) return a.accesses > b.accesses;
+  if (a.structure != b.structure) return a.structure < b.structure;
+  if (a.page_index != b.page_index) return a.page_index < b.page_index;
+  return a.page_bytes < b.page_bytes;
+}
+
+}  // namespace
+
+HeatTable::HeatTable(size_t top_k) : top_k_(top_k) {}
+
+void HeatTable::OnAlloc(memsim::RegionId id, VirtAddr base, uint64_t bytes,
+                        std::string_view name) {
+  Tracked r;
+  r.id = id;
+  r.base = base;
+  r.bytes = bytes;
+  r.name = std::string(name);
+  r.slots.assign((bytes + memsim::kSmallPageBytes - 1) /
+                     memsim::kSmallPageBytes,
+                 0);
+  auto it = std::lower_bound(
+      live_.begin(), live_.end(), base,
+      [](const Tracked& t, VirtAddr b) { return t.base < b; });
+  live_.insert(it, std::move(r));
+  last_hit_ = static_cast<size_t>(-1);
+}
+
+size_t HeatTable::Find(VirtAddr addr) {
+  if (last_hit_ < live_.size()) {
+    const Tracked& t = live_[last_hit_];
+    if (addr >= t.base && addr < t.base + t.bytes) return last_hit_;
+  }
+  auto it = std::upper_bound(
+      live_.begin(), live_.end(), addr,
+      [](VirtAddr a, const Tracked& t) { return a < t.base; });
+  if (it == live_.begin()) return static_cast<size_t>(-1);
+  --it;
+  if (addr >= it->base + it->bytes) return static_cast<size_t>(-1);
+  last_hit_ = static_cast<size_t>(it - live_.begin());
+  return last_hit_;
+}
+
+void HeatTable::RecordAccess(VirtAddr addr) {
+  const size_t i = Find(addr);
+  if (i == static_cast<size_t>(-1)) {
+    ++unattributed_;
+    return;
+  }
+  Tracked& t = live_[i];
+  ++t.slots[(addr - t.base) / memsim::kSmallPageBytes];
+  ++attributed_;
+}
+
+void HeatTable::Fold(const Tracked& r, const memsim::PageTable& pt) {
+  PMG_CHECK_MSG(pt.IsLive(r.id),
+                "heat table folding region %u after page-table destruction",
+                r.id);
+  const memsim::Region& region = pt.region(r.id);
+  const size_t num_slots = r.slots.size();
+  const size_t num_chunks = region.chunk_first_page.size();
+
+  uint64_t region_total = 0;
+  auto fold_page = [&](uint64_t page_index, uint64_t page_bytes, NodeId node,
+                       uint64_t count) {
+    if (count == 0) return;
+    region_total += count;
+    node_accesses_[node] += count;
+    page_size_accesses_[page_bytes] += count;
+    ++heat_bins_[Log2Bucket(count)];
+    ++touched_pages_;
+    HotPageRow row;
+    row.structure = r.name;
+    row.page_index = page_index;
+    row.page_bytes = page_bytes;
+    row.node = node;
+    row.accesses = count;
+    candidates_.push_back(std::move(row));
+  };
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t slot_begin = c * kSlotsPerChunk;
+    const size_t slot_end = std::min(slot_begin + kSlotsPerChunk, num_slots);
+    const uint32_t first_page = region.chunk_first_page[c];
+    if (region.chunk_is_huge[c]) {
+      uint64_t count = 0;
+      for (size_t s = slot_begin; s < slot_end; ++s) count += r.slots[s];
+      fold_page(c, memsim::kHugePageBytes, region.pages[first_page].node,
+                count);
+    } else {
+      for (size_t s = slot_begin; s < slot_end; ++s) {
+        fold_page(s, memsim::kSmallPageBytes,
+                  region.pages[first_page + (s - slot_begin)].node,
+                  r.slots[s]);
+      }
+    }
+  }
+
+  HeatStructureRow& structure = structures_[r.name];
+  structure.name = r.name;
+  structure.accesses += region_total;
+  structure.bytes += r.bytes;
+  folded_accesses_ += region_total;
+  PruneCandidates();
+}
+
+void HeatTable::PruneCandidates() {
+  if (candidates_.size() <= top_k_) return;
+  std::sort(candidates_.begin(), candidates_.end(), HotterThan);
+  candidates_.resize(top_k_);
+}
+
+void HeatTable::OnFree(memsim::RegionId id, const memsim::PageTable& pt) {
+  for (size_t i = 0; i < live_.size(); ++i) {
+    if (live_[i].id != id) continue;
+    Fold(live_[i], pt);
+    live_.erase(live_.begin() + static_cast<ptrdiff_t>(i));
+    last_hit_ = static_cast<size_t>(-1);
+    return;
+  }
+  // Regions allocated before the session attached are not tracked.
+}
+
+void HeatTable::Finalize(const memsim::PageTable& pt) {
+  for (const Tracked& r : live_) Fold(r, pt);
+  live_.clear();
+  last_hit_ = static_cast<size_t>(-1);
+}
+
+HeatReport HeatTable::BuildReport() const {
+  uint64_t live_remainder = 0;
+  for (const Tracked& r : live_) {
+    for (const uint64_t c : r.slots) live_remainder += c;
+  }
+  PMG_CHECK_MSG(
+      folded_accesses_ + live_remainder == attributed_,
+      "heatmap conservation violated: folded %llu + live %llu != attributed "
+      "%llu",
+      static_cast<unsigned long long>(folded_accesses_),
+      static_cast<unsigned long long>(live_remainder),
+      static_cast<unsigned long long>(attributed_));
+
+  HeatReport report;
+  report.attributed = attributed_;
+  report.unattributed = unattributed_;
+  report.touched_pages = touched_pages_;
+
+  uint64_t structure_sum = 0;
+  for (const auto& [name, row] : structures_) {
+    report.structures.push_back(row);
+    structure_sum += row.accesses;
+  }
+  PMG_CHECK(structure_sum == folded_accesses_);
+  std::sort(report.structures.begin(), report.structures.end(),
+            [](const HeatStructureRow& a, const HeatStructureRow& b) {
+              if (a.accesses != b.accesses) return a.accesses > b.accesses;
+              return a.name < b.name;
+            });
+
+  for (const auto& [node, accesses] : node_accesses_) {
+    report.nodes.push_back({node, accesses});
+  }
+  for (const auto& [page_bytes, accesses] : page_size_accesses_) {
+    report.page_sizes.push_back({page_bytes, accesses});
+  }
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    report.heat_bins[b] = heat_bins_[b];
+  }
+
+  report.hot_pages = candidates_;
+  std::sort(report.hot_pages.begin(), report.hot_pages.end(), HotterThan);
+  uint64_t hot_sum = 0;
+  for (const HotPageRow& row : report.hot_pages) hot_sum += row.accesses;
+  report.dropped_pages = touched_pages_ - report.hot_pages.size();
+  report.dropped_accesses = folded_accesses_ - hot_sum;
+  return report;
+}
+
+}  // namespace pmg::metrics

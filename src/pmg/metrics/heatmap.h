@@ -1,0 +1,153 @@
+#ifndef PMG_METRICS_HEATMAP_H_
+#define PMG_METRICS_HEATMAP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/page_table.h"
+#include "pmg/metrics/registry.h"
+
+/// \file heatmap.h
+/// Spatial attribution: a per-page heat table fed from the machine's
+/// AccessObserver seam. Every region allocation is tagged with its
+/// allocation-site label (the NumaArray / CSR segment name the page table
+/// already carries), accesses are counted per 4KB slot, and at fold time
+/// (region free, or session detach for still-live regions) the slots are
+/// collapsed against the page table into:
+///
+///   - per-structure traffic      ("pagerank spends 61% of reads in dsts")
+///   - per-NUMA-node traffic
+///   - per-page-size traffic      (4KB vs promoted/explicit 2MB pages)
+///   - a log2-binned page-heat distribution
+///   - a deterministic top-K hot-page table
+///
+/// The top-K order is total — (accesses desc, structure name asc, page
+/// index asc) — so pruning to K after each fold keeps the report
+/// byte-identical across runs, fold orders, and thread counts. Whatever
+/// the table drops is reported explicitly (dropped_pages /
+/// dropped_accesses), never silently.
+
+namespace pmg::metrics {
+
+struct HotPageRow {
+  std::string structure;
+  /// Page index within the structure, in units of `page_bytes` (chunk
+  /// index for 2MB pages, 4KB-slot index for small pages).
+  uint64_t page_index = 0;
+  uint64_t page_bytes = 0;
+  NodeId node = 0;
+  uint64_t accesses = 0;
+};
+
+struct HeatStructureRow {
+  std::string name;
+  uint64_t accesses = 0;
+  uint64_t bytes = 0;
+};
+
+struct HeatNodeRow {
+  NodeId node = 0;
+  uint64_t accesses = 0;
+};
+
+struct HeatPageSizeRow {
+  uint64_t page_bytes = 0;
+  uint64_t accesses = 0;
+};
+
+struct HeatReport {
+  /// Accesses landing in a tracked region vs. outside every tracked
+  /// region (regions allocated before the session attached).
+  uint64_t attributed = 0;
+  uint64_t unattributed = 0;
+  /// Sorted by accesses desc, then name asc.
+  std::vector<HeatStructureRow> structures;
+  /// Sorted by node id.
+  std::vector<HeatNodeRow> nodes;
+  /// Sorted by page size.
+  std::vector<HeatPageSizeRow> page_sizes;
+  /// heat_bins[b]: touched pages whose access count falls in log2 bucket
+  /// b (see Log2Bucket); untouched pages are not binned.
+  uint64_t heat_bins[kHistogramBuckets] = {};
+  /// Top-K hottest pages, hottest first.
+  std::vector<HotPageRow> hot_pages;
+  /// Touched pages total, and what the top-K table dropped.
+  uint64_t touched_pages = 0;
+  uint64_t dropped_pages = 0;
+  uint64_t dropped_accesses = 0;
+
+  uint64_t total() const { return attributed + unattributed; }
+};
+
+class HeatTable {
+ public:
+  explicit HeatTable(size_t top_k = 32);
+
+  HeatTable(const HeatTable&) = delete;
+  HeatTable& operator=(const HeatTable&) = delete;
+
+  /// Observer feed: starts tracking a region.
+  void OnAlloc(memsim::RegionId id, VirtAddr base, uint64_t bytes,
+               std::string_view name);
+  /// Folds and stops tracking `id` (must be called while the region is
+  /// still live in `pt` — i.e., from AccessObserver::OnFree).
+  void OnFree(memsim::RegionId id, const memsim::PageTable& pt);
+  /// Counts one access; unattributed if `addr` is in no tracked region.
+  void RecordAccess(VirtAddr addr);
+
+  /// Folds every still-tracked region (session detach). The table keeps
+  /// no per-slot state afterwards; only RecordAccess on already-folded
+  /// ranges is invalid (the session detaches from the machine first).
+  void Finalize(const memsim::PageTable& pt);
+
+  /// Builds the report. PMG_CHECKs conservation: folded per-structure
+  /// traffic sums to the attributed access count.
+  HeatReport BuildReport() const;
+
+  uint64_t attributed() const { return attributed_; }
+  uint64_t unattributed() const { return unattributed_; }
+  size_t top_k() const { return top_k_; }
+
+ private:
+  struct Tracked {
+    memsim::RegionId id = 0;
+    VirtAddr base = 0;
+    uint64_t bytes = 0;
+    std::string name;
+    /// Access count per 4KB slot of the region.
+    std::vector<uint64_t> slots;
+  };
+
+  /// Index of the tracked region containing `addr`, or npos.
+  size_t Find(VirtAddr addr);
+  void Fold(const Tracked& r, const memsim::PageTable& pt);
+  void PruneCandidates();
+
+  size_t top_k_;
+  uint64_t attributed_ = 0;
+  uint64_t unattributed_ = 0;
+
+  /// Live tracked regions, sorted by base (the machine's bump allocator
+  /// never reuses address ranges, so bases are unique forever).
+  std::vector<Tracked> live_;
+  /// One-entry lookup cache, same idea as PageTable's.
+  size_t last_hit_ = static_cast<size_t>(-1);
+
+  // --- Folded aggregates ---
+  std::map<std::string, HeatStructureRow> structures_;
+  std::map<NodeId, uint64_t> node_accesses_;
+  std::map<uint64_t, uint64_t> page_size_accesses_;
+  uint64_t heat_bins_[kHistogramBuckets] = {};
+  uint64_t folded_accesses_ = 0;
+  uint64_t touched_pages_ = 0;
+  /// Top-K candidates, pruned after every fold.
+  std::vector<HotPageRow> candidates_;
+};
+
+}  // namespace pmg::metrics
+
+#endif  // PMG_METRICS_HEATMAP_H_

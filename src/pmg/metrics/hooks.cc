@@ -1,0 +1,24 @@
+#include "pmg/metrics/hooks.h"
+
+#include "pmg/common/check.h"
+
+namespace pmg::metrics {
+
+namespace internal {
+HookTable* g_hooks = nullptr;
+}  // namespace internal
+
+void InstallHooks(HookTable* table) {
+  PMG_CHECK(table != nullptr && table->registry != nullptr);
+  PMG_CHECK_MSG(internal::g_hooks == nullptr,
+                "a metrics hook table is already installed");
+  internal::g_hooks = table;
+}
+
+void UninstallHooks(HookTable* table) {
+  PMG_CHECK_MSG(internal::g_hooks == table,
+                "uninstalling a metrics hook table that is not installed");
+  internal::g_hooks = nullptr;
+}
+
+}  // namespace pmg::metrics

@@ -1,0 +1,66 @@
+#ifndef PMG_METRICS_HOOKS_H_
+#define PMG_METRICS_HOOKS_H_
+
+#include "pmg/common/types.h"
+#include "pmg/metrics/registry.h"
+
+/// \file hooks.h
+/// The runtime-side instrumentation seam. Worklists (and any other
+/// header-only runtime structure) call the inline Count* functions below
+/// at their event sites; with no MetricsSession active the global hook
+/// table is null and each call is one branch-predictable null check —
+/// the same zero-cost-when-detached contract as the machine's observer
+/// seams. A MetricsSession installs its table for the duration of its
+/// attachment; nesting is rejected (one collector at a time, matching
+/// the single-host-thread simulator).
+
+namespace pmg::metrics {
+
+/// Registry plus the pre-registered ids of every runtime event site.
+struct HookTable {
+  Registry* registry = nullptr;
+  MetricId worklist_pushes = 0;
+  MetricId worklist_pops = 0;
+  MetricId worklist_steals = 0;
+  /// Histogram of frontier/worklist occupancy observed at round
+  /// boundaries (DenseWorklist::Advance) and drain starts.
+  MetricId worklist_occupancy = 0;
+};
+
+namespace internal {
+extern HookTable* g_hooks;
+}  // namespace internal
+
+/// Installs `table` as the process-wide collector (PMG_CHECKs that no
+/// other table is active). `table` must outlive the installation.
+void InstallHooks(HookTable* table);
+/// Uninstalls `table` (PMG_CHECKs it is the active one).
+void UninstallHooks(HookTable* table);
+
+inline bool HooksActive() { return internal::g_hooks != nullptr; }
+
+inline void CountWorklistPush(ThreadId t) {
+  HookTable* h = internal::g_hooks;
+  if (h != nullptr) [[unlikely]] {
+    h->registry->AddShard(h->worklist_pushes, t, 1);
+  }
+}
+
+inline void CountWorklistPop(ThreadId t, bool stolen) {
+  HookTable* h = internal::g_hooks;
+  if (h != nullptr) [[unlikely]] {
+    h->registry->AddShard(h->worklist_pops, t, 1);
+    if (stolen) h->registry->AddShard(h->worklist_steals, t, 1);
+  }
+}
+
+inline void ObserveWorklistOccupancy(uint64_t occupancy) {
+  HookTable* h = internal::g_hooks;
+  if (h != nullptr) [[unlikely]] {
+    h->registry->Observe(h->worklist_occupancy, occupancy);
+  }
+}
+
+}  // namespace pmg::metrics
+
+#endif  // PMG_METRICS_HOOKS_H_

@@ -1,0 +1,387 @@
+#include "pmg/metrics/metrics_session.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "pmg/common/check.h"
+#include "pmg/trace/json.h"
+
+namespace pmg::metrics {
+
+MetricsSession::MetricsSession(const MetricsOptions& options)
+    : options_(options), heat_(options.heat_top_k) {
+  ids_.accesses = registry_.AddCounter(
+      "pmg_machine_accesses_total", "Costed accesses priced by the machine");
+  ids_.tlb_misses =
+      registry_.AddCounter("pmg_machine_tlb_misses_total", "TLB misses");
+  ids_.tlb_shootdowns = registry_.AddCounter("pmg_machine_tlb_shootdowns_total",
+                                             "TLB shootdowns broadcast");
+  ids_.near_mem_hits = registry_.AddCounter(
+      "pmg_machine_near_mem_hits_total",
+      "Near-memory (DRAM cache) hits in memory mode");
+  ids_.near_mem_misses = registry_.AddCounter(
+      "pmg_machine_near_mem_misses_total",
+      "Near-memory (DRAM cache) misses in memory mode");
+  ids_.migrated_pages = registry_.AddCounter(
+      "pmg_machine_migrated_pages_total", "Pages moved by the NUMA daemon");
+  ids_.minor_faults = registry_.AddCounter("pmg_machine_minor_faults_total",
+                                           "First-touch minor faults");
+  ids_.hint_faults = registry_.AddCounter("pmg_machine_hint_faults_total",
+                                          "AutoNUMA hint faults");
+  ids_.fault_retries = registry_.AddCounter(
+      "pmg_faultsim_retries_total", "Transient media faults retried");
+  ids_.pages_quarantined = registry_.AddCounter(
+      "pmg_faultsim_pages_quarantined_total",
+      "Frames retired by quarantine-and-remap");
+  ids_.epochs =
+      registry_.AddCounter("pmg_epochs_total", "Parallel epochs completed");
+  ids_.mapped_pages = registry_.AddGauge("pmg_machine_mapped_pages",
+                                         "Pages currently mapped");
+  ids_.epoch_ns = registry_.AddHistogram("pmg_epoch_ns",
+                                         "Simulated epoch duration (ns)");
+
+  hooks_.registry = &registry_;
+  hooks_.worklist_pushes = registry_.AddCounter("pmg_worklist_pushes_total",
+                                                "Worklist items pushed");
+  hooks_.worklist_pops =
+      registry_.AddCounter("pmg_worklist_pops_total", "Worklist items popped");
+  hooks_.worklist_steals = registry_.AddCounter(
+      "pmg_worklist_steals_total", "Worklist pops served from another "
+                                   "thread's bag");
+  hooks_.worklist_occupancy = registry_.AddHistogram(
+      "pmg_worklist_occupancy", "Frontier/worklist occupancy at round "
+                                "boundaries");
+
+  if (options_.profile) {
+    profiler_ = std::make_unique<Profiler>(options_.profile_interval_ns);
+  }
+}
+
+MetricsSession::~MetricsSession() {
+  if (machine_ != nullptr) Detach();
+}
+
+void MetricsSession::Attach(memsim::Machine* machine) {
+  PMG_CHECK_MSG(machine_ == nullptr,
+                "MetricsSession is already attached to a machine");
+  machine_ = machine;
+  attach_base_ = machine_->stats();
+  last_stats_ = attach_base_;
+  attach_now_ = machine_->now();
+  machine_->AddObserver(this);
+  InstallHooks(&hooks_);
+  if (profiler_ != nullptr) profiler_->Activate();
+}
+
+void MetricsSession::Detach() {
+  PMG_CHECK_MSG(machine_ != nullptr, "MetricsSession is not attached");
+  SyncMachineDeltas();
+  heat_.Finalize(machine_->page_table());
+
+  const memsim::MachineStats& cur = machine_->stats();
+  accum_.accesses += cur.accesses - attach_base_.accesses;
+  accum_.tlb_misses += cur.tlb_misses - attach_base_.tlb_misses;
+  accum_.near_mem_misses += cur.near_mem_misses - attach_base_.near_mem_misses;
+  accum_.migrated_pages += cur.migrations - attach_base_.migrations;
+  clock_offset_ += machine_->now() - attach_now_;
+
+  if (profiler_ != nullptr) {
+    profiler_->SampleUpTo(clock_offset_);
+    profiler_->Deactivate();
+  }
+  UninstallHooks(&hooks_);
+  machine_->RemoveObserver(this);
+  machine_ = nullptr;
+  CheckConservation();
+}
+
+SimNs MetricsSession::SessionNow() const {
+  if (machine_ == nullptr) return clock_offset_;
+  return clock_offset_ + (machine_->now() - attach_now_);
+}
+
+void MetricsSession::OnAlloc(memsim::RegionId id, VirtAddr base,
+                             uint64_t bytes, std::string_view name) {
+  heat_.OnAlloc(id, base, bytes, name);
+}
+
+void MetricsSession::OnFree(memsim::RegionId id) {
+  // The machine fires OnFree before destroying the region, so the page
+  // table still resolves it — fold its heat now.
+  heat_.OnFree(id, machine_->page_table());
+}
+
+void MetricsSession::OnAccess(ThreadId t, VirtAddr addr, uint32_t bytes,
+                              AccessType type) {
+  (void)t;
+  (void)bytes;
+  (void)type;
+  heat_.RecordAccess(addr);
+}
+
+void MetricsSession::OnEpochBegin(uint32_t active_threads) {
+  (void)active_threads;
+}
+
+uint64_t MetricsSession::OnEpochEnd() {
+  // EndEpoch advances stats before observers fire, so the delta since the
+  // previous sync is exactly this epoch (plus any between-epoch accesses).
+  const SimNs epoch_ns = machine_->stats().total_ns - last_stats_.total_ns;
+  registry_.Observe(ids_.epoch_ns, epoch_ns);
+  SyncMachineDeltas();
+  registry_.GaugeSet(ids_.mapped_pages,
+                     static_cast<int64_t>(machine_->page_table().mapped_pages()));
+  ++epoch_counter_;
+
+  if (snapshots_.size() < options_.max_snapshots) {
+    EpochSnapshot s;
+    s.epoch = epoch_counter_;
+    s.end_ns = SessionNow();
+    s.accesses = registry_.CounterValue(ids_.accesses);
+    s.tlb_misses = registry_.CounterValue(ids_.tlb_misses);
+    s.near_mem_misses = registry_.CounterValue(ids_.near_mem_misses);
+    s.migrated_pages = registry_.CounterValue(ids_.migrated_pages);
+    s.worklist_pushes = registry_.CounterValue(hooks_.worklist_pushes);
+    s.worklist_pops = registry_.CounterValue(hooks_.worklist_pops);
+    s.worklist_steals = registry_.CounterValue(hooks_.worklist_steals);
+    snapshots_.push_back(s);
+  } else {
+    ++dropped_snapshots_;
+  }
+
+  if (profiler_ != nullptr) profiler_->SampleUpTo(SessionNow());
+  return 0;  // No race violations to fold into MachineStats.
+}
+
+void MetricsSession::SyncMachineDeltas() {
+  const memsim::MachineStats cur = machine_->stats();
+  const memsim::MachineStats d = cur - last_stats_;
+  registry_.Add(ids_.accesses, d.accesses);
+  registry_.Add(ids_.tlb_misses, d.tlb_misses);
+  registry_.Add(ids_.tlb_shootdowns, d.tlb_shootdowns);
+  registry_.Add(ids_.near_mem_hits, d.near_mem_hits);
+  registry_.Add(ids_.near_mem_misses, d.near_mem_misses);
+  registry_.Add(ids_.migrated_pages, d.migrations);
+  registry_.Add(ids_.minor_faults, d.minor_faults);
+  registry_.Add(ids_.hint_faults, d.hint_faults);
+  registry_.Add(ids_.fault_retries, d.fault_retries);
+  registry_.Add(ids_.pages_quarantined, d.pages_quarantined);
+  registry_.Add(ids_.epochs, d.epochs);
+  last_stats_ = cur;
+}
+
+MetricsSession::Expected MetricsSession::ExpectedTotals() const {
+  Expected e = accum_;
+  if (machine_ != nullptr) {
+    const memsim::MachineStats& cur = machine_->stats();
+    e.accesses += cur.accesses - attach_base_.accesses;
+    e.tlb_misses += cur.tlb_misses - attach_base_.tlb_misses;
+    e.near_mem_misses += cur.near_mem_misses - attach_base_.near_mem_misses;
+    e.migrated_pages += cur.migrations - attach_base_.migrations;
+  }
+  return e;
+}
+
+void MetricsSession::CheckConservation() const {
+  // The registry accumulated per-epoch deltas; the expected totals come
+  // from whole-attachment stats subtraction. Both must bit-match, and the
+  // heatmap must have attributed exactly one count per priced access.
+  const Expected e = ExpectedTotals();
+  PMG_CHECK_MSG(registry_.CounterValue(ids_.accesses) == e.accesses,
+                "metrics conservation: accesses mirror diverged from "
+                "MachineStats");
+  PMG_CHECK_MSG(registry_.CounterValue(ids_.tlb_misses) == e.tlb_misses,
+                "metrics conservation: tlb_misses mirror diverged from "
+                "MachineStats");
+  PMG_CHECK_MSG(
+      registry_.CounterValue(ids_.near_mem_misses) == e.near_mem_misses,
+      "metrics conservation: near_mem_misses mirror diverged from "
+      "MachineStats");
+  PMG_CHECK_MSG(
+      registry_.CounterValue(ids_.migrated_pages) == e.migrated_pages,
+      "metrics conservation: migrated_pages mirror diverged from "
+      "MachineStats");
+  PMG_CHECK_MSG(heat_.attributed() + heat_.unattributed() == e.accesses,
+                "metrics conservation: heatmap traffic does not sum to the "
+                "machine's priced accesses");
+}
+
+std::string MetricsSession::PrometheusText() {
+  if (machine_ != nullptr) SyncMachineDeltas();
+  CheckConservation();
+  return registry_.PrometheusText();
+}
+
+HeatReport MetricsSession::BuildHeatReport() {
+  if (machine_ != nullptr) SyncMachineDeltas();
+  CheckConservation();
+  return heat_.BuildReport();
+}
+
+std::string MetricsSession::ProfileFoldedText() const {
+  if (profiler_ == nullptr) return std::string();
+  return profiler_->FoldedText();
+}
+
+std::string MetricsSession::ReportJson() {
+  trace::JsonWriter w;
+  AppendReportJson(&w);
+  return w.str();
+}
+
+void MetricsSession::AppendReportJson(trace::JsonWriter* wp) {
+  if (machine_ != nullptr) SyncMachineDeltas();
+  CheckConservation();
+  const HeatReport heat = heat_.BuildReport();
+
+  trace::JsonWriter& w = *wp;
+  w.BeginObject();
+  w.Key("schema_version").UInt(kMetricsSchemaVersion);
+
+  // --- Registry, sorted by metric name like the Prometheus text ---
+  std::vector<MetricId> order(registry_.metric_count());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<MetricId>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](MetricId a, MetricId b) {
+    return registry_.name(a) < registry_.name(b);
+  });
+
+  w.Key("counters").BeginArray();
+  for (const MetricId id : order) {
+    if (registry_.kind(id) != MetricKind::kCounter) continue;
+    w.BeginObject();
+    w.Key("name").String(registry_.name(id));
+    w.Key("value").UInt(registry_.CounterValue(id));
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("gauges").BeginArray();
+  for (const MetricId id : order) {
+    if (registry_.kind(id) != MetricKind::kGauge) continue;
+    w.BeginObject();
+    w.Key("name").String(registry_.name(id));
+    w.Key("value").Int(registry_.GaugeValue(id));
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("histograms").BeginArray();
+  for (const MetricId id : order) {
+    if (registry_.kind(id) != MetricKind::kHistogram) continue;
+    const HistogramSnapshot snap = registry_.HistogramValue(id);
+    w.BeginObject();
+    w.Key("name").String(registry_.name(id));
+    w.Key("count").UInt(snap.count);
+    w.Key("sum").UInt(snap.sum);
+    w.Key("p50").Double(snap.Quantile(0.5));
+    w.Key("p99").Double(snap.Quantile(0.99));
+    w.Key("buckets").BeginArray();
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (snap.buckets[b] == 0) continue;
+      w.BeginObject();
+      w.Key("bin").UInt(b);
+      w.Key("count").UInt(snap.buckets[b]);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // --- Heatmap ---
+  w.Key("heatmap").BeginObject();
+  w.Key("attributed").UInt(heat.attributed);
+  w.Key("unattributed").UInt(heat.unattributed);
+  w.Key("touched_pages").UInt(heat.touched_pages);
+  w.Key("dropped_pages").UInt(heat.dropped_pages);
+  w.Key("dropped_accesses").UInt(heat.dropped_accesses);
+  w.Key("structures").BeginArray();
+  for (const HeatStructureRow& row : heat.structures) {
+    w.BeginObject();
+    w.Key("name").String(row.name);
+    w.Key("accesses").UInt(row.accesses);
+    w.Key("bytes").UInt(row.bytes);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("nodes").BeginArray();
+  for (const HeatNodeRow& row : heat.nodes) {
+    w.BeginObject();
+    w.Key("node").UInt(row.node);
+    w.Key("accesses").UInt(row.accesses);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("page_sizes").BeginArray();
+  for (const HeatPageSizeRow& row : heat.page_sizes) {
+    w.BeginObject();
+    w.Key("page_bytes").UInt(row.page_bytes);
+    w.Key("accesses").UInt(row.accesses);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("heat_bins").BeginArray();
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (heat.heat_bins[b] == 0) continue;
+    w.BeginObject();
+    w.Key("bin").UInt(b);
+    w.Key("pages").UInt(heat.heat_bins[b]);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("hot_pages").BeginArray();
+  for (const HotPageRow& row : heat.hot_pages) {
+    w.BeginObject();
+    w.Key("structure").String(row.structure);
+    w.Key("page_index").UInt(row.page_index);
+    w.Key("page_bytes").UInt(row.page_bytes);
+    w.Key("node").UInt(row.node);
+    w.Key("accesses").UInt(row.accesses);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  // --- Per-epoch snapshots on the session timeline ---
+  w.Key("snapshots").BeginObject();
+  w.Key("dropped").UInt(dropped_snapshots_);
+  w.Key("rows").BeginArray();
+  for (const EpochSnapshot& s : snapshots_) {
+    w.BeginObject();
+    w.Key("epoch").UInt(s.epoch);
+    w.Key("end_ns").UInt(s.end_ns);
+    w.Key("accesses").UInt(s.accesses);
+    w.Key("tlb_misses").UInt(s.tlb_misses);
+    w.Key("near_mem_misses").UInt(s.near_mem_misses);
+    w.Key("migrated_pages").UInt(s.migrated_pages);
+    w.Key("worklist_pushes").UInt(s.worklist_pushes);
+    w.Key("worklist_pops").UInt(s.worklist_pops);
+    w.Key("worklist_steals").UInt(s.worklist_steals);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  // --- Profile ---
+  w.Key("profile").BeginObject();
+  w.Key("enabled").Bool(profiler_ != nullptr);
+  if (profiler_ != nullptr) {
+    w.Key("interval_ns").UInt(profiler_->sample_interval_ns());
+    w.Key("samples").UInt(profiler_->sample_count());
+    w.Key("folded").BeginArray();
+    for (const auto& [stack, count] : profiler_->folded()) {
+      w.BeginObject();
+      w.Key("stack").String(stack);
+      w.Key("count").UInt(count);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+
+  w.EndObject();
+}
+
+}  // namespace pmg::metrics

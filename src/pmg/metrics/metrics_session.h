@@ -1,0 +1,181 @@
+#ifndef PMG_METRICS_METRICS_SESSION_H_
+#define PMG_METRICS_METRICS_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/access_observer.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/metrics/heatmap.h"
+#include "pmg/metrics/hooks.h"
+#include "pmg/metrics/profiler.h"
+#include "pmg/metrics/registry.h"
+
+/// \file metrics_session.h
+/// pmg::metrics — the live-metrics layer of the simulated machine. A
+/// MetricsSession attaches to a memsim::Machine as an AccessObserver and
+/// coordinates the three observability axes this subsystem adds:
+///
+///   1. A lock-free Registry into which memsim hardware counters are
+///      mirrored per epoch (bit-matching MachineStats — conservation-
+///      checked), the runtime's worklists count pushes/pops/steals and
+///      occupancy through the hook seam, and faultsim's retry/quarantine
+///      counters flow via the same stats mirror. Exposed as deterministic
+///      Prometheus text and a versioned JSON report.
+///   2. Spatial attribution: a HeatTable fed from OnAlloc/OnAccess/OnFree
+///      producing per-structure / per-node / per-page-size heatmaps.
+///   3. A simulated-time sampling Profiler driven from the machine's
+///      epoch clock, snapshotting PMG_PROF_SCOPE stacks.
+///
+/// Per-epoch counter snapshots are recorded on the same continuous
+/// session timeline the trace layer uses (monotonic across recovery
+/// re-attachments), so metrics rows line up with pmg::trace epochs.
+///
+/// Attaching a session never changes pricing: a metered run is
+/// bit-identical to an unmetered one (asserted by bench_micro_memsim).
+
+namespace pmg::trace {
+class JsonWriter;
+}  // namespace pmg::trace
+
+namespace pmg::metrics {
+
+/// Version stamp of the metrics JSON documents.
+inline constexpr uint32_t kMetricsSchemaVersion = 1;
+
+struct MetricsOptions {
+  /// Hot-page rows retained by the heatmap (what falls off the table is
+  /// reported as dropped, never silently discarded).
+  size_t heat_top_k = 32;
+  /// Enable the sampling profiler.
+  bool profile = false;
+  /// Simulated time between profiler samples.
+  SimNs profile_interval_ns = 100 * 1000;
+  /// Cap on retained per-epoch snapshot rows; beyond it counters still
+  /// aggregate but rows are dropped (and counted).
+  uint64_t max_snapshots = 1ull << 16;
+};
+
+/// Cumulative counter values at one epoch boundary.
+struct EpochSnapshot {
+  uint64_t epoch = 0;
+  /// End of the epoch on the continuous session timeline.
+  SimNs end_ns = 0;
+  uint64_t accesses = 0;
+  uint64_t tlb_misses = 0;
+  uint64_t near_mem_misses = 0;
+  uint64_t migrated_pages = 0;
+  uint64_t worklist_pushes = 0;
+  uint64_t worklist_pops = 0;
+  uint64_t worklist_steals = 0;
+};
+
+class MetricsSession : public memsim::AccessObserver {
+ public:
+  explicit MetricsSession(const MetricsOptions& options = MetricsOptions());
+  ~MetricsSession() override;
+
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+  /// Registers as `machine`'s observer, snapshots its stats, installs the
+  /// worklist hook table, and (when profiling) activates the profiler.
+  /// Like a TraceSession, a session may be re-attached across machines
+  /// (the recovery drivers rebuild the machine per crash attempt) and its
+  /// timeline continues monotonically.
+  void Attach(memsim::Machine* machine);
+  /// Final stats sync, folds still-live regions' heat, unregisters.
+  void Detach();
+  bool attached() const { return machine_ != nullptr; }
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  bool profiling() const { return profiler_ != nullptr; }
+
+  // --- AccessObserver ---
+  void OnAlloc(memsim::RegionId id, VirtAddr base, uint64_t bytes,
+               std::string_view name) override;
+  void OnFree(memsim::RegionId id) override;
+  void OnAccess(ThreadId t, VirtAddr addr, uint32_t bytes,
+                AccessType type) override;
+  void OnEpochBegin(uint32_t active_threads) override;
+  uint64_t OnEpochEnd() override;
+
+  // --- Outputs (each syncs live machine deltas and conservation-checks
+  // the registry against MachineStats first) ---
+
+  /// Deterministic Prometheus text exposition of the registry.
+  std::string PrometheusText();
+  /// Versioned JSON document: registry + heatmap + snapshots + profile.
+  std::string ReportJson();
+  /// The same document written as one object into an in-flight writer, so
+  /// callers can embed it as a section of a larger report.
+  void AppendReportJson(trace::JsonWriter* w);
+  /// The spatial report alone.
+  HeatReport BuildHeatReport();
+  /// Folded-stack profile text ("" when not profiling).
+  std::string ProfileFoldedText() const;
+
+  const std::vector<EpochSnapshot>& snapshots() const { return snapshots_; }
+  uint64_t dropped_snapshots() const { return dropped_snapshots_; }
+
+ private:
+  struct Ids {
+    MetricId accesses = 0;
+    MetricId tlb_misses = 0;
+    MetricId tlb_shootdowns = 0;
+    MetricId near_mem_hits = 0;
+    MetricId near_mem_misses = 0;
+    MetricId migrated_pages = 0;
+    MetricId minor_faults = 0;
+    MetricId hint_faults = 0;
+    MetricId fault_retries = 0;
+    MetricId pages_quarantined = 0;
+    MetricId epochs = 0;
+    MetricId mapped_pages = 0;
+    MetricId epoch_ns = 0;
+  };
+  /// The independently-accounted totals the registry must bit-match.
+  struct Expected {
+    uint64_t accesses = 0;
+    uint64_t tlb_misses = 0;
+    uint64_t near_mem_misses = 0;
+    uint64_t migrated_pages = 0;
+  };
+
+  /// Folds the machine stats delta since the last sync into the mirror
+  /// counters.
+  void SyncMachineDeltas();
+  /// Expected totals across all attachments, including the live machine.
+  Expected ExpectedTotals() const;
+  /// PMG_CHECKs registry mirrors and heatmap traffic against MachineStats.
+  void CheckConservation() const;
+  SimNs SessionNow() const;
+
+  MetricsOptions options_;
+  Registry registry_;
+  Ids ids_;
+  HookTable hooks_;
+  HeatTable heat_;
+  std::unique_ptr<Profiler> profiler_;
+
+  memsim::Machine* machine_ = nullptr;
+  memsim::MachineStats attach_base_;
+  memsim::MachineStats last_stats_;
+  /// Maps this attachment's machine clock into the session's continuous
+  /// simulated timeline.
+  SimNs clock_offset_ = 0;
+  SimNs attach_now_ = 0;
+  Expected accum_;
+
+  uint64_t epoch_counter_ = 0;
+  std::vector<EpochSnapshot> snapshots_;
+  uint64_t dropped_snapshots_ = 0;
+};
+
+}  // namespace pmg::metrics
+
+#endif  // PMG_METRICS_METRICS_SESSION_H_

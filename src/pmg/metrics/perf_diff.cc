@@ -1,0 +1,172 @@
+#include "pmg/metrics/perf_diff.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+
+namespace pmg::metrics {
+
+namespace {
+
+bool EndsWithNs(const std::string& field) {
+  return field.size() >= 3 &&
+         field.compare(field.size() - 3, 3, "_ns") == 0;
+}
+
+std::string DocBenchName(const trace::JsonValue& doc) {
+  const trace::JsonValue* name = doc.Find("bench");
+  if (name == nullptr || name->kind != trace::JsonValue::Kind::kString) {
+    return std::string();
+  }
+  return name->string_value;
+}
+
+/// Rows keyed by identity; duplicate identities get a "#n" suffix so no
+/// measurement is silently shadowed.
+std::map<std::string, const trace::JsonValue*> RowsById(
+    const trace::JsonValue& doc) {
+  std::map<std::string, const trace::JsonValue*> rows;
+  const trace::JsonValue* array = doc.Find("rows");
+  if (array == nullptr || array->kind != trace::JsonValue::Kind::kArray) {
+    return rows;
+  }
+  for (const trace::JsonValue& row : array->array) {
+    std::string id = RowIdentity(row);
+    if (rows.count(id) != 0) {
+      int n = 2;
+      std::string candidate;
+      do {
+        candidate = id;
+        candidate += '#';
+        candidate += std::to_string(n++);
+      } while (rows.count(candidate) != 0);
+      id = std::move(candidate);
+    }
+    rows[id] = &row;
+  }
+  return rows;
+}
+
+}  // namespace
+
+bool ParseThreshold(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  std::string body = text;
+  bool percent = false;
+  if (body.back() == '%') {
+    percent = true;
+    body.pop_back();
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(body.c_str(), &end);
+  if (errno != 0 || end == body.c_str() || *end != '\0') return false;
+  if (v < 0.0) return false;
+  *out = percent ? v / 100.0 : v;
+  return true;
+}
+
+std::string RowIdentity(const trace::JsonValue& row) {
+  std::string id;
+  for (const auto& [key, value] : row.object) {
+    std::string text;
+    if (value.kind == trace::JsonValue::Kind::kString) {
+      text = value.string_value;
+    } else if (value.kind == trace::JsonValue::Kind::kBool) {
+      text = value.bool_value ? "true" : "false";
+    } else {
+      continue;
+    }
+    if (!id.empty()) id += ' ';
+    id += key + "=" + text;
+  }
+  if (id.empty()) id = "(row)";
+  return id;
+}
+
+void DiffBenchDocs(const trace::JsonValue& baseline,
+                   const trace::JsonValue& current, double threshold,
+                   PerfDiffResult* out) {
+  const std::string bench = DocBenchName(baseline);
+  if (bench.empty()) {
+    out->failures.push_back("baseline document has no bench name");
+    return;
+  }
+  if (DocBenchName(current) != bench) {
+    out->failures.push_back("bench '" + bench +
+                            "': current document is for bench '" +
+                            DocBenchName(current) + "'");
+    return;
+  }
+
+  const auto base_rows = RowsById(baseline);
+  const auto cur_rows = RowsById(current);
+
+  for (const auto& [id, base_row] : base_rows) {
+    const auto cur_it = cur_rows.find(id);
+    if (cur_it == cur_rows.end()) {
+      out->failures.push_back("bench '" + bench + "': row [" + id +
+                              "] missing from current report");
+      continue;
+    }
+    const trace::JsonValue& cur_row = *cur_it->second;
+    for (const auto& [field, base_value] : base_row->object) {
+      if (!base_value.IsNumber()) continue;
+      const trace::JsonValue* cur_value = cur_row.Find(field);
+      if (cur_value == nullptr || !cur_value->IsNumber()) {
+        out->failures.push_back("bench '" + bench + "': row [" + id +
+                                "] lost numeric field '" + field + "'");
+        continue;
+      }
+      PerfDelta d;
+      d.bench = bench;
+      d.row = id;
+      d.field = field;
+      d.baseline = base_value.number;
+      d.current = cur_value->number;
+      if (d.baseline == 0.0) {
+        d.ratio = d.current == 0.0 ? 1.0 : 2.0 + threshold;
+      } else {
+        d.ratio = d.current / d.baseline;
+      }
+      d.gated = EndsWithNs(field);
+      d.regression = d.gated && d.ratio > 1.0 + threshold;
+      if (d.regression) ++out->regressions;
+      out->deltas.push_back(std::move(d));
+    }
+    for (const auto& [field, cur_value] : cur_row.object) {
+      if (!cur_value.IsNumber()) continue;
+      if (base_row->Find(field) == nullptr) {
+        out->notes.push_back("bench '" + bench + "': row [" + id +
+                             "] has new field '" + field +
+                             "' (no baseline)");
+      }
+    }
+  }
+  for (const auto& [id, row] : cur_rows) {
+    (void)row;
+    if (base_rows.count(id) == 0) {
+      out->notes.push_back("bench '" + bench + "': new row [" + id +
+                           "] (no baseline)");
+    }
+  }
+}
+
+void DiffBenchText(const std::string& baseline_text,
+                   const std::string& current_text, const std::string& label,
+                   double threshold, PerfDiffResult* out) {
+  trace::JsonValue baseline;
+  trace::JsonValue current;
+  std::string error;
+  if (!trace::JsonValue::Parse(baseline_text, &baseline, &error)) {
+    out->failures.push_back(label + ": baseline parse error: " + error);
+    return;
+  }
+  if (!trace::JsonValue::Parse(current_text, &current, &error)) {
+    out->failures.push_back(label + ": current parse error: " + error);
+    return;
+  }
+  DiffBenchDocs(baseline, current, threshold, out);
+}
+
+}  // namespace pmg::metrics

@@ -1,0 +1,75 @@
+#ifndef PMG_METRICS_PERF_DIFF_H_
+#define PMG_METRICS_PERF_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "pmg/trace/json.h"
+
+/// \file perf_diff.h
+/// The perf-regression gate's diff engine: compares two versioned
+/// BENCH_*.json documents (the trajectory artifacts every bench binary
+/// writes) row by row. Rows are matched on their *identity* — the
+/// concatenation of every string/bool field ("problem=bfs graph=rmat32
+/// variant=Dense-WL") — and every shared numeric field becomes a delta.
+/// Fields ending in `_ns` are simulated-time measurements and gate the
+/// result: a gated ratio above 1 + threshold is a regression. Other
+/// numeric fields are reported but informational.
+///
+/// A row present in the baseline but missing from the current report is a
+/// failure (a silently-dropped measurement must not pass the gate); a row
+/// new in the current report is a note. `pmg_perf` wraps this engine with
+/// directory walking and the delta table.
+
+namespace pmg::metrics {
+
+struct PerfDelta {
+  std::string bench;
+  std::string row;
+  std::string field;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// current / baseline; 1.0 when both are zero.
+  double ratio = 1.0;
+  /// Whether this field gates (name ends in "_ns").
+  bool gated = false;
+  /// gated && ratio > 1 + threshold.
+  bool regression = false;
+};
+
+struct PerfDiffResult {
+  std::vector<PerfDelta> deltas;
+  /// Informational: rows/fields new in the current report.
+  std::vector<std::string> notes;
+  /// Hard failures: rows or fields that disappeared, malformed documents.
+  std::vector<std::string> failures;
+  uint64_t regressions = 0;
+
+  bool ok() const { return regressions == 0 && failures.empty(); }
+};
+
+/// Parses "5%" or "0.05" into a fraction. Returns false on bad input or a
+/// negative value.
+bool ParseThreshold(const std::string& text, double* out);
+
+/// The identity of one bench row: every string/bool field, in document
+/// order, as "key=value" joined by spaces.
+std::string RowIdentity(const trace::JsonValue& row);
+
+/// Diffs two parsed BENCH documents into `*out` (appending, so one result
+/// can accumulate a whole baseline directory). Bench-name or schema
+/// mismatches are failures.
+void DiffBenchDocs(const trace::JsonValue& baseline,
+                   const trace::JsonValue& current, double threshold,
+                   PerfDiffResult* out);
+
+/// Text front-end: parses both documents and diffs them. Parse errors are
+/// recorded as failures in `*out`.
+void DiffBenchText(const std::string& baseline_text,
+                   const std::string& current_text,
+                   const std::string& label, double threshold,
+                   PerfDiffResult* out);
+
+}  // namespace pmg::metrics
+
+#endif  // PMG_METRICS_PERF_DIFF_H_

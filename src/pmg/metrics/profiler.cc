@@ -1,0 +1,64 @@
+#include "pmg/metrics/profiler.h"
+
+#include "pmg/common/check.h"
+
+namespace pmg::metrics {
+
+namespace internal {
+Profiler* g_profiler = nullptr;
+}  // namespace internal
+
+Profiler::Profiler(SimNs sample_interval_ns) : interval_(sample_interval_ns) {
+  PMG_CHECK_MSG(interval_ > 0, "profiler sample interval must be positive");
+  next_sample_ = interval_;
+}
+
+Profiler::~Profiler() {
+  if (active_) Deactivate();
+}
+
+void Profiler::Activate() {
+  PMG_CHECK_MSG(internal::g_profiler == nullptr,
+                "a profiler is already active");
+  internal::g_profiler = this;
+  active_ = true;
+}
+
+void Profiler::Deactivate() {
+  PMG_CHECK_MSG(internal::g_profiler == this,
+                "deactivating a profiler that is not active");
+  PMG_CHECK_MSG(stack_.empty(),
+                "profiler deactivated inside a PMG_PROF_SCOPE");
+  internal::g_profiler = nullptr;
+  active_ = false;
+}
+
+void Profiler::SampleUpTo(SimNs session_now) {
+  while (next_sample_ <= session_now) {
+    std::string key;
+    if (stack_.empty()) {
+      key = "(unscoped)";
+    } else {
+      for (size_t i = 0; i < stack_.size(); ++i) {
+        if (i != 0) key += ';';
+        key += stack_[i];
+      }
+    }
+    ++folded_[key];
+    ++sample_count_;
+    next_sample_ += interval_;
+  }
+}
+
+std::string Profiler::FoldedText() const {
+  std::string out;
+  for (const auto& [stack, count] : folded_) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pmg::metrics

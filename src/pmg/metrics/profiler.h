@@ -1,0 +1,104 @@
+#ifndef PMG_METRICS_PROFILER_H_
+#define PMG_METRICS_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+
+/// \file profiler.h
+/// A sampling profiler that runs on *simulated* time. Code marks phases
+/// with PMG_PROF_SCOPE("label"); the active MetricsSession drives
+/// SampleUpTo() from the machine's epoch clock, so the profiler takes one
+/// stack sample every `sample_interval_ns` of simulated time — samples
+/// are proportional to where the modeled machine spent its cycles, not
+/// where the host process did. Output is folded-stack text
+/// ("a;b;c <count>\n", sorted), directly consumable by flamegraph.pl and
+/// speedscope.
+///
+/// Like the metrics hooks, an inactive profiler costs one predictable
+/// null check per scope and nothing per access.
+
+namespace pmg::metrics {
+
+class Profiler {
+ public:
+  /// Takes one sample every `sample_interval_ns` of simulated time.
+  explicit Profiler(SimNs sample_interval_ns);
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Installs this profiler as the process-wide scope collector
+  /// (PMG_CHECKs that none is active).
+  void Activate();
+  void Deactivate();
+
+  /// Scope stack maintenance — called via PMG_PROF_SCOPE, labels must be
+  /// string literals (stored by pointer while on the stack).
+  void Push(const char* label) { stack_.push_back(label); }
+  void Pop() { stack_.pop_back(); }
+
+  /// Advances the sample clock to `session_now` (simulated ns since the
+  /// session began), folding one stack sample per elapsed interval.
+  void SampleUpTo(SimNs session_now);
+
+  /// Folded-stack text: one "frame;frame;frame count" line per distinct
+  /// stack, sorted by stack string. Samples with an empty scope stack
+  /// fold under "(unscoped)".
+  std::string FoldedText() const;
+
+  uint64_t sample_count() const { return sample_count_; }
+  SimNs sample_interval_ns() const { return interval_; }
+  /// Folded stack -> sample count, sorted by stack string.
+  const std::map<std::string, uint64_t>& folded() const { return folded_; }
+
+ private:
+  SimNs interval_;
+  SimNs next_sample_;
+  uint64_t sample_count_ = 0;
+  bool active_ = false;
+  std::vector<const char*> stack_;
+  /// Folded stack -> number of samples; std::map keeps output sorted.
+  std::map<std::string, uint64_t> folded_;
+};
+
+namespace internal {
+extern Profiler* g_profiler;
+}  // namespace internal
+
+/// RAII frame for PMG_PROF_SCOPE. Remembers the profiler it pushed on so
+/// a profiler activated or deactivated mid-scope cannot unbalance the
+/// stack.
+class ProfScope {
+ public:
+  explicit ProfScope(const char* label) : prof_(internal::g_profiler) {
+    if (prof_ != nullptr) [[unlikely]] {
+      prof_->Push(label);
+    }
+  }
+  ~ProfScope() {
+    if (prof_ != nullptr) [[unlikely]] {
+      prof_->Pop();
+    }
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  Profiler* prof_;
+};
+
+}  // namespace pmg::metrics
+
+#define PMG_PROF_CONCAT_INNER(a, b) a##b
+#define PMG_PROF_CONCAT(a, b) PMG_PROF_CONCAT_INNER(a, b)
+/// Marks the enclosing scope with `label` for the sampling profiler.
+#define PMG_PROF_SCOPE(label) \
+  ::pmg::metrics::ProfScope PMG_PROF_CONCAT(pmg_prof_scope_, __LINE__)(label)
+
+#endif  // PMG_METRICS_PROFILER_H_

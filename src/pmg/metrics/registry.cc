@@ -1,0 +1,251 @@
+#include "pmg/metrics/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "pmg/common/check.h"
+
+namespace pmg::metrics {
+
+size_t Log2Bucket(uint64_t value) {
+  if (value == 0) return 0;
+  size_t b = 0;
+  while (value != 0) {
+    value >>= 1;
+    ++b;
+  }
+  // Astronomically large values saturate in the last bucket instead of
+  // indexing out of range.
+  return std::min(b, kHistogramBuckets - 1);
+}
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out->append(buf);
+}
+
+}  // namespace
+
+double HistogramSnapshot::BucketLower(size_t b) {
+  if (b == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(b) - 1);  // 2^(b-1)
+}
+
+double HistogramSnapshot::BucketUpper(size_t b) {
+  if (b == 0) return 0.0;
+  if (b >= kHistogramBuckets - 1) return 1.8446744073709552e19;  // ~2^64
+  return std::ldexp(1.0, static_cast<int>(b)) - 1.0;  // 2^b - 1
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank in [0, count - 1]; linear interpolation within the bucket that
+  // contains the rank, so a rank landing exactly on a bucket's edge
+  // returns that edge.
+  const double rank = q * static_cast<double>(count - 1);
+  uint64_t cum = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double lo_rank = static_cast<double>(cum);
+    cum += buckets[b];
+    const double hi_rank = static_cast<double>(cum - 1);
+    if (rank > hi_rank) continue;
+    const double lo = BucketLower(b);
+    const double hi = BucketUpper(b);
+    if (buckets[b] == 1 || hi_rank == lo_rank) return lo;
+    const double frac = (rank - lo_rank) / (hi_rank - lo_rank);
+    return lo + frac * (hi - lo);
+  }
+  return BucketUpper(kHistogramBuckets - 1);
+}
+
+Registry::Registry() = default;
+
+void Registry::EnsureSlots(size_t slots) {
+  if (slots <= slot_capacity_) {
+    slot_count_ = slots;
+    return;
+  }
+  size_t cap = slot_capacity_ == 0 ? 64 : slot_capacity_;
+  while (cap < slots) cap *= 2;
+  for (size_t s = 0; s < kShards; ++s) {
+    auto grown = std::make_unique<std::atomic<uint64_t>[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      const uint64_t old =
+          i < slot_count_ && shards_[s] != nullptr
+              ? shards_[s][i].load(std::memory_order_relaxed)
+              : 0;
+      grown[i].store(old, std::memory_order_relaxed);
+    }
+    shards_[s] = std::move(grown);
+  }
+  slot_capacity_ = cap;
+  slot_count_ = slots;
+}
+
+MetricId Registry::AddCounter(std::string name, std::string help) {
+  Metric m;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.kind = MetricKind::kCounter;
+  m.slot = static_cast<uint32_t>(slot_count_);
+  EnsureSlots(slot_count_ + 1);
+  metrics_.push_back(std::move(m));
+  return static_cast<MetricId>(metrics_.size() - 1);
+}
+
+MetricId Registry::AddGauge(std::string name, std::string help) {
+  Metric m;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.kind = MetricKind::kGauge;
+  m.slot = static_cast<uint32_t>(gauges_.size());
+  gauges_.emplace_back(0);
+  metrics_.push_back(std::move(m));
+  return static_cast<MetricId>(metrics_.size() - 1);
+}
+
+MetricId Registry::AddHistogram(std::string name, std::string help) {
+  Metric m;
+  m.name = std::move(name);
+  m.help = std::move(help);
+  m.kind = MetricKind::kHistogram;
+  m.slot = static_cast<uint32_t>(slot_count_);
+  EnsureSlots(slot_count_ + kHistogramSlots);
+  metrics_.push_back(std::move(m));
+  return static_cast<MetricId>(metrics_.size() - 1);
+}
+
+const Registry::Metric& Registry::Get(MetricId id, MetricKind kind) const {
+  PMG_CHECK_MSG(id < metrics_.size(), "unknown metric id %u", id);
+  const Metric& m = metrics_[id];
+  PMG_CHECK_MSG(m.kind == kind, "metric '%s' used with the wrong type",
+                m.name.c_str());
+  return m;
+}
+
+void Registry::AddShard(MetricId id, ThreadId t, uint64_t delta) {
+  const Metric& m = Get(id, MetricKind::kCounter);
+  shards_[t % kShards][m.slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::GaugeSet(MetricId id, int64_t value) {
+  const Metric& m = Get(id, MetricKind::kGauge);
+  gauges_[m.slot].store(value, std::memory_order_relaxed);
+}
+
+void Registry::ObserveShard(MetricId id, ThreadId t, uint64_t value) {
+  const Metric& m = Get(id, MetricKind::kHistogram);
+  std::atomic<uint64_t>* base = &shards_[t % kShards][m.slot];
+  base[Log2Bucket(value)].fetch_add(1, std::memory_order_relaxed);
+  base[kHistogramBuckets].fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Registry::MergedSlot(size_t slot) const {
+  uint64_t sum = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    sum += shards_[s][slot].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+const std::string& Registry::name(MetricId id) const {
+  PMG_CHECK_MSG(id < metrics_.size(), "unknown metric id %u", id);
+  return metrics_[id].name;
+}
+
+MetricKind Registry::kind(MetricId id) const {
+  PMG_CHECK_MSG(id < metrics_.size(), "unknown metric id %u", id);
+  return metrics_[id].kind;
+}
+
+uint64_t Registry::CounterValue(MetricId id) const {
+  return MergedSlot(Get(id, MetricKind::kCounter).slot);
+}
+
+int64_t Registry::GaugeValue(MetricId id) const {
+  return gauges_[Get(id, MetricKind::kGauge).slot].load(
+      std::memory_order_relaxed);
+}
+
+HistogramSnapshot Registry::HistogramValue(MetricId id) const {
+  const Metric& m = Get(id, MetricKind::kHistogram);
+  HistogramSnapshot snap;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    snap.buckets[b] = MergedSlot(m.slot + b);
+    snap.count += snap.buckets[b];
+  }
+  snap.sum = MergedSlot(m.slot + kHistogramBuckets);
+  return snap;
+}
+
+std::string Registry::PrometheusText() const {
+  std::vector<size_t> order(metrics_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return metrics_[a].name < metrics_[b].name;
+  });
+
+  std::string out;
+  for (const size_t i : order) {
+    const Metric& m = metrics_[i];
+    out += "# HELP " + m.name + " " + m.help + "\n";
+    switch (m.kind) {
+      case MetricKind::kCounter: {
+        out += "# TYPE " + m.name + " counter\n";
+        out += m.name + " ";
+        AppendU64(&out, MergedSlot(m.slot));
+        out += "\n";
+        break;
+      }
+      case MetricKind::kGauge: {
+        out += "# TYPE " + m.name + " gauge\n";
+        out += m.name + " ";
+        AppendI64(&out, gauges_[m.slot].load(std::memory_order_relaxed));
+        out += "\n";
+        break;
+      }
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + m.name + " histogram\n";
+        const HistogramSnapshot snap =
+            HistogramValue(static_cast<MetricId>(i));
+        uint64_t cum = 0;
+        for (size_t b = 0; b < kHistogramBuckets; ++b) {
+          if (snap.buckets[b] == 0) continue;
+          cum += snap.buckets[b];
+          out += m.name + "_bucket{le=\"";
+          if (b == kHistogramBuckets - 1) {
+            out += "+Inf";
+          } else if (b == 0) {
+            out += "0";
+          } else {
+            AppendU64(&out, (uint64_t{1} << b) - 1);
+          }
+          out += "\"} ";
+          AppendU64(&out, cum);
+          out += "\n";
+        }
+        out += m.name + "_sum ";
+        AppendU64(&out, snap.sum);
+        out += "\n" + m.name + "_count ";
+        AppendU64(&out, snap.count);
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pmg::metrics

@@ -1,0 +1,128 @@
+#ifndef PMG_METRICS_REGISTRY_H_
+#define PMG_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+
+/// \file registry.h
+/// The live metrics registry of pmg::metrics: typed Counter / Gauge /
+/// Histogram<log2> slots that the simulator layers (memsim mirrors,
+/// runtime worklists, faultsim, analytics kernels) register into.
+///
+/// Writes go to per-thread shards (relaxed atomic adds, lock-free) keyed
+/// by the *virtual* ThreadId, and are merged on read — the layout a real
+/// multi-threaded runtime needs, kept even though the simulator serializes
+/// virtual threads on one host thread, so the instrumentation sites stay
+/// correct if the runtime ever runs them concurrently. Reads (merges,
+/// Prometheus text) are deterministic: identical event streams produce
+/// byte-identical output.
+///
+/// Registration is not thread-safe and must happen before concurrent
+/// writers exist (a MetricsSession registers everything up front).
+
+namespace pmg::metrics {
+
+using MetricId = uint32_t;
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+/// Histogram bucketing is log2: bucket 0 holds observations of value 0,
+/// bucket b (1..64) holds values in [2^(b-1), 2^b).
+inline constexpr size_t kHistogramBuckets = 65;
+
+/// The log2 bucket of one value: 0 for 0, else floor(log2(value)) + 1,
+/// saturating in the last bucket. Shared by Histogram and the heatmap's
+/// page-heat bins.
+size_t Log2Bucket(uint64_t value);
+
+/// Merged view of one histogram, with log2 buckets.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t buckets[kHistogramBuckets] = {};
+
+  /// Inclusive upper bound of bucket `b` (as a double; bucket 64's bound
+  /// saturates at 2^64 - 1).
+  static double BucketUpper(size_t b);
+  /// Lower bound of bucket `b`.
+  static double BucketLower(size_t b);
+
+  /// Linear-interpolated quantile (q in [0, 1]) over the log2 buckets.
+  /// Zero observations yield 0. The interpolation is exact at bucket
+  /// boundaries: q ranks falling on a bucket edge return that edge.
+  double Quantile(double q) const;
+};
+
+class Registry {
+ public:
+  Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // --- Registration (single-threaded, up-front) ---
+
+  MetricId AddCounter(std::string name, std::string help);
+  MetricId AddGauge(std::string name, std::string help);
+  MetricId AddHistogram(std::string name, std::string help);
+
+  // --- Writes (lock-free; shard picked from the virtual thread id) ---
+
+  void Add(MetricId id, uint64_t delta) { AddShard(id, 0, delta); }
+  void AddShard(MetricId id, ThreadId t, uint64_t delta);
+  void GaugeSet(MetricId id, int64_t value);
+  void Observe(MetricId id, uint64_t value) { ObserveShard(id, 0, value); }
+  void ObserveShard(MetricId id, ThreadId t, uint64_t value);
+
+  // --- Reads (merge shards; deterministic) ---
+
+  uint64_t CounterValue(MetricId id) const;
+  int64_t GaugeValue(MetricId id) const;
+  HistogramSnapshot HistogramValue(MetricId id) const;
+
+  /// Deterministic Prometheus-style text exposition: families sorted by
+  /// metric name, histogram buckets as cumulative `_bucket{le=...}` rows
+  /// (zero-count buckets elided), then `_sum` and `_count`.
+  std::string PrometheusText() const;
+
+  size_t metric_count() const { return metrics_.size(); }
+  const std::string& name(MetricId id) const;
+  MetricKind kind(MetricId id) const;
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    /// Counter/histogram: base index into the sharded slot array.
+    /// Gauge: index into gauges_.
+    uint32_t slot = 0;
+  };
+
+  static constexpr size_t kShards = 8;
+  /// Slots one histogram occupies: 65 buckets + a sum cell.
+  static constexpr size_t kHistogramSlots = kHistogramBuckets + 1;
+
+  const Metric& Get(MetricId id, MetricKind kind) const;
+  /// Grows every shard to hold `slots` cells (registration phase only).
+  void EnsureSlots(size_t slots);
+  uint64_t MergedSlot(size_t slot) const;
+
+  std::vector<Metric> metrics_;
+  size_t slot_count_ = 0;
+  size_t slot_capacity_ = 0;
+  /// shards_[s][slot]: per-shard counter cells (counters + histograms).
+  std::unique_ptr<std::atomic<uint64_t>[]> shards_[kShards];
+  /// Deque: grows without moving (atomics are not movable).
+  std::deque<std::atomic<int64_t>> gauges_;
+};
+
+}  // namespace pmg::metrics
+
+#endif  // PMG_METRICS_REGISTRY_H_

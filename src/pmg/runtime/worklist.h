@@ -9,6 +9,7 @@
 #include "pmg/common/check.h"
 #include "pmg/common/types.h"
 #include "pmg/memsim/machine.h"
+#include "pmg/metrics/hooks.h"
 #include "pmg/runtime/numa_array.h"
 #include "pmg/runtime/runtime.h"
 
@@ -115,6 +116,7 @@ class DenseWorklist {
     if (next_.GetAtomic(t, v) == 0) {
       next_.SetAtomic(t, v, 1);
       ++next_count_;
+      metrics::CountWorklistPush(t);
     }
   }
 
@@ -123,6 +125,7 @@ class DenseWorklist {
     if (cur_.GetAtomic(t, v) == 0) {
       cur_.SetAtomic(t, v, 1);
       ++cur_count_;
+      metrics::CountWorklistPush(t);
     }
   }
 
@@ -135,6 +138,7 @@ class DenseWorklist {
     std::swap(cur_, next_);
     cur_count_ = next_count_;
     next_count_ = 0;
+    metrics::ObserveWorklistOccupancy(cur_count_);
     rt.ParallelFor(0, next_.size(), [&](ThreadId t, uint64_t v) {
       next_.Set(t, v, 0);
     });
@@ -145,7 +149,10 @@ class DenseWorklist {
   template <typename Body>
   void ForEachActive(Runtime& rt, Body&& body) {
     rt.ParallelFor(0, cur_.size(), [&](ThreadId t, uint64_t v) {
-      if (cur_.Get(t, v) != 0) body(t, v);
+      if (cur_.Get(t, v) != 0) {
+        metrics::CountWorklistPop(t, /*stolen=*/false);
+        body(t, v);
+      }
     });
   }
 
@@ -185,6 +192,7 @@ class SparseWorklist {
     ring_.Charge(t, sizeof(T), AccessType::kWrite);
     local_[t].push_back(item);
     ++size_;
+    metrics::CountWorklistPush(t);
   }
 
   /// Pops from `t`'s bag, stealing from the next non-empty bag when it is
@@ -199,6 +207,7 @@ class SparseWorklist {
         *out = bag.back();
         bag.pop_back();
         --size_;
+        metrics::CountWorklistPop(t, /*stolen=*/k != 0);
         return true;
       }
     }
@@ -222,6 +231,7 @@ template <typename T, typename Body>
 void DrainAsync(Runtime& rt, SparseWorklist<T>& wl, Body&& body,
                 uint32_t chunk = 64) {
   memsim::Machine& m = rt.machine();
+  metrics::ObserveWorklistOccupancy(wl.size());
   m.CloseEpochIfOpen();
   m.BeginEpoch(rt.threads());
   bool progressed = true;
@@ -255,6 +265,7 @@ class BucketWorklist {
     ring_.Charge(t, sizeof(T), AccessType::kWrite);
     buckets_[bucket][t].push_back(item);
     ++size_;
+    metrics::CountWorklistPush(t);
     if (bucket < min_bucket_) min_bucket_ = bucket;
   }
 
@@ -271,6 +282,7 @@ class BucketWorklist {
           *out = bag.back();
           bag.pop_back();
           --size_;
+          metrics::CountWorklistPop(t, /*stolen=*/k != 0);
           *bucket = b;
           min_bucket_ = b;
           return true;

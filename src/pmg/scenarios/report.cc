@@ -222,6 +222,63 @@ void PrintTraceReport(const trace::TraceReport& report, std::FILE* out) {
   }
 }
 
+void PrintHeatReport(const metrics::HeatReport& heat, std::FILE* out) {
+  std::fprintf(out,
+               "\nheatmap: %llu access(es) attributed, %llu outside tracked "
+               "regions, %llu page(s) touched\n",
+               static_cast<unsigned long long>(heat.attributed),
+               static_cast<unsigned long long>(heat.unattributed),
+               static_cast<unsigned long long>(heat.touched_pages));
+  const double denom =
+      heat.attributed == 0 ? 1.0 : static_cast<double>(heat.attributed);
+  Table structures({"structure", "accesses", "share", "bytes"});
+  for (const metrics::HeatStructureRow& row : heat.structures) {
+    structures.AddRow(
+        {row.name, std::to_string(row.accesses),
+         FormatDouble(static_cast<double>(row.accesses) / denom * 100.0, 1) +
+             "%",
+         std::to_string(row.bytes)});
+  }
+  structures.Print(out);
+
+  Table split({"numa node / page size", "accesses", "share"});
+  for (const metrics::HeatNodeRow& row : heat.nodes) {
+    split.AddRow(
+        {"node " + std::to_string(row.node), std::to_string(row.accesses),
+         FormatDouble(static_cast<double>(row.accesses) / denom * 100.0, 1) +
+             "%"});
+  }
+  for (const metrics::HeatPageSizeRow& row : heat.page_sizes) {
+    const char* label = row.page_bytes == memsim::kHugePageBytes
+                            ? "2M pages"
+                            : row.page_bytes == memsim::kSmallPageBytes
+                                  ? "4K pages"
+                                  : "other pages";
+    split.AddRow(
+        {label, std::to_string(row.accesses),
+         FormatDouble(static_cast<double>(row.accesses) / denom * 100.0, 1) +
+             "%"});
+  }
+  split.Print(out);
+
+  if (!heat.hot_pages.empty()) {
+    std::fprintf(out, "hottest pages:\n");
+    Table hot({"structure", "page", "size", "node", "accesses"});
+    for (const metrics::HotPageRow& row : heat.hot_pages) {
+      hot.AddRow({row.structure, std::to_string(row.page_index),
+                  row.page_bytes == memsim::kHugePageBytes ? "2M" : "4K",
+                  std::to_string(row.node), std::to_string(row.accesses)});
+    }
+    hot.Print(out);
+  }
+  // Never drop silently: say what fell off the top-K table.
+  std::fprintf(out,
+               "dropped from top-%llu: %llu page(s) holding %llu access(es)\n",
+               static_cast<unsigned long long>(heat.hot_pages.size()),
+               static_cast<unsigned long long>(heat.dropped_pages),
+               static_cast<unsigned long long>(heat.dropped_accesses));
+}
+
 double Geomean(const std::vector<double>& values) {
   double log_sum = 0;
   int n = 0;

@@ -9,6 +9,7 @@
 #include "pmg/faultsim/fault_injector.h"
 #include "pmg/faultsim/recovery.h"
 #include "pmg/memsim/stats.h"
+#include "pmg/metrics/heatmap.h"
 #include "pmg/sancheck/sancheck.h"
 #include "pmg/trace/trace_session.h"
 
@@ -69,6 +70,12 @@ void PrintRecoveryReport(const faultsim::RecoveryResult& r,
 /// per-region access-time table, and the conservation verdict.
 void PrintTraceReport(const trace::TraceReport& report,
                       std::FILE* out = stdout);
+
+/// Prints a metered run's spatial attribution: per-structure traffic with
+/// shares, per-NUMA-node and per-page-size splits, and the top-K hot
+/// pages — with an explicit line for what the top-K table dropped.
+void PrintHeatReport(const metrics::HeatReport& heat,
+                     std::FILE* out = stdout);
 
 }  // namespace pmg::scenarios
 

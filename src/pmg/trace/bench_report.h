@@ -1,0 +1,69 @@
+#ifndef PMG_TRACE_BENCH_REPORT_H_
+#define PMG_TRACE_BENCH_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "pmg/trace/json.h"
+#include "pmg/trace/trace_session.h"
+
+/// \file bench_report.h
+/// Shared BENCH_*.json emitter. A figure/table binary adds one row per
+/// measured cell and writes a schema-versioned document into the working
+/// directory (CI archives them as artifacts, and `pmg_perf` diffs them
+/// against the committed baselines), so the paper numbers are
+/// machine-readable, not just table text.
+///
+///   pmg::trace::BenchJson out("fig5");
+///   out.BeginRow();
+///   out.writer().Key("graph").String("kron30");
+///   ...
+///   out.EndRow();
+///   out.Write();  // -> BENCH_fig5.json
+///
+/// The perf gate's row-matching contract (see pmg/metrics/perf_diff.h):
+/// a row's string/bool fields are its identity, numeric fields its
+/// measurements, and fields ending in `_ns` gate regressions. Keep the
+/// identity fields stable across commits or the gate reports the renamed
+/// rows as vanished measurements.
+
+namespace pmg::trace {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    w_.BeginObject();
+    w_.Key("schema_version").UInt(kTraceSchemaVersion);
+    w_.Key("bench").String(name_);
+    w_.Key("rows").BeginArray();
+  }
+
+  void BeginRow() { w_.BeginObject(); }
+  void EndRow() { w_.EndObject(); }
+  /// The row under construction; add fields with Key(...).<value>().
+  JsonWriter& writer() { return w_; }
+
+  /// Closes the document and writes BENCH_<name>.json. Returns the path
+  /// (empty on I/O failure).
+  std::string Write() {
+    w_.EndArray();
+    w_.EndObject();
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return "";
+    const std::string& body = w_.str();
+    const size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    const bool ok = n == body.size() && std::fputc('\n', f) != EOF &&
+                    std::fclose(f) == 0;
+    return ok ? path : "";
+  }
+
+ private:
+  std::string name_;
+  JsonWriter w_;
+};
+
+}  // namespace pmg::trace
+
+#endif  // PMG_TRACE_BENCH_REPORT_H_

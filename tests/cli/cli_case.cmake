@@ -106,6 +106,53 @@ elseif(CASE STREQUAL "bad_threads")
   expect_exit(2)
   expect_one_stderr_line()
 
+elseif(CASE STREQUAL "bad_metrics")
+  run_cli(--graph kron30 --app bfs --metrics=xml)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "bad_profile")
+  run_cli(--graph kron30 --app bfs --profile)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "metrics_compose")
+  # Bare --metrics (Prometheus text), --profile, and the --json embedding
+  # in one run.
+  set(report_file "${OUT_DIR}/metrics.report.json")
+  set(folded_file "${OUT_DIR}/metrics.folded")
+  file(REMOVE "${report_file}" "${folded_file}")
+  run_cli(--graph kron30 --app bfs --threads 8 --metrics
+          --profile "${folded_file}" --json "${report_file}")
+  expect_exit(0)
+  expect_json_file("${report_file}")
+  file(READ "${report_file}" report)
+  foreach(needle "\"metrics\":" "\"heatmap\":" "\"counters\":"
+          "\"profile\":" "pmg_machine_accesses_total")
+    string(FIND "${report}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "case metrics_compose: report.json lacks ${needle}:\n${report}")
+    endif()
+  endforeach()
+  if(NOT out MATCHES "heatmap: ")
+    message(FATAL_ERROR
+            "case metrics_compose: no heatmap section on stdout:\n${out}")
+  endif()
+  if(NOT out MATCHES "pmg_machine_accesses_total")
+    message(FATAL_ERROR
+            "case metrics_compose: no Prometheus text on stdout:\n${out}")
+  endif()
+  if(NOT EXISTS "${folded_file}")
+    message(FATAL_ERROR "case metrics_compose: no folded profile written")
+  endif()
+  file(READ "${folded_file}" folded)
+  if(NOT folded MATCHES "bfs\\.")
+    message(FATAL_ERROR
+            "case metrics_compose: folded profile has no bfs samples:\n"
+            "${folded}")
+  endif()
+
 elseif(CASE STREQUAL "compose")
   # --sanitize, --trace, --faults (plus --json) in one run.
   set(trace_file "${OUT_DIR}/compose.trace.json")

@@ -1,0 +1,104 @@
+# One pmg_perf CLI smoke case per ctest invocation:
+#
+#   cmake -DEXE=<pmg_perf> -DCASE=<name> -DOUT_DIR=<scratch> -P perf_case.cmake
+#
+# Exercises the gate contract end to end on synthetic BENCH documents:
+# exit 0 within threshold, exit 1 on a regression or a vanished
+# measurement, exit 2 on usage errors.
+
+if(NOT DEFINED EXE OR NOT DEFINED CASE OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "perf_case.cmake needs -DEXE=, -DCASE= and -DOUT_DIR=")
+endif()
+
+set(work "${OUT_DIR}/perf_case.${CASE}")
+file(REMOVE_RECURSE "${work}")
+file(MAKE_DIRECTORY "${work}/base" "${work}/cur")
+
+# A two-row baseline bench document shared by the cases.
+file(WRITE "${work}/base/BENCH_demo.json"
+  "{\"schema_version\": 3, \"bench\": \"demo\", \"rows\": ["
+  "{\"graph\": \"rmat27\", \"variant\": \"a\", \"time_ns\": 1000000},"
+  "{\"graph\": \"rmat27\", \"variant\": \"b\", \"time_ns\": 2000000}]}\n")
+
+function(write_current a_ns b_ns)
+  file(WRITE "${work}/cur/BENCH_demo.json"
+    "{\"schema_version\": 3, \"bench\": \"demo\", \"rows\": ["
+    "{\"graph\": \"rmat27\", \"variant\": \"a\", \"time_ns\": ${a_ns}},"
+    "{\"graph\": \"rmat27\", \"variant\": \"b\", \"time_ns\": ${b_ns}}]}\n")
+endfunction()
+
+function(run_perf)
+  execute_process(
+    COMMAND ${EXE} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    TIMEOUT 120)
+  set(rc "${rc}" PARENT_SCOPE)
+  set(out "${out}" PARENT_SCOPE)
+  set(err "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_exit expected)
+  if(NOT rc EQUAL ${expected})
+    message(FATAL_ERROR
+            "case ${CASE}: expected exit ${expected}, got '${rc}'\n"
+            "stdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+if(CASE STREQUAL "green")
+  # +3% on one row stays under the 5% gate.
+  write_current(1030000 2000000)
+  run_perf(--baseline "${work}/base" --current "${work}/cur" --threshold 5%)
+  expect_exit(0)
+  if(NOT out MATCHES "verdict: PASS")
+    message(FATAL_ERROR "case green: no PASS verdict:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "regression")
+  # +8% on a gated _ns field must fail a 5% gate.
+  write_current(1080000 2000000)
+  run_perf(--baseline "${work}/base" --current "${work}/cur" --threshold 5%)
+  expect_exit(1)
+  if(NOT out MATCHES "REGRESSION")
+    message(FATAL_ERROR "case regression: no REGRESSION row:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "missing_row")
+  # A measurement that vanished from the current report fails the gate.
+  file(WRITE "${work}/cur/BENCH_demo.json"
+    "{\"schema_version\": 3, \"bench\": \"demo\", \"rows\": ["
+    "{\"graph\": \"rmat27\", \"variant\": \"a\", \"time_ns\": 1000000}]}\n")
+  run_perf(--baseline "${work}/base" --current "${work}/cur" --threshold 5%)
+  expect_exit(1)
+  if(NOT out MATCHES "FAILURE")
+    message(FATAL_ERROR "case missing_row: no FAILURE line:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "missing_file")
+  run_perf(--baseline "${work}/base" --current "${work}/cur" --threshold 5%)
+  expect_exit(1)
+  if(NOT out MATCHES "missing from current")
+    message(FATAL_ERROR "case missing_file: no missing-file FAILURE:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "bad_threshold")
+  write_current(1000000 2000000)
+  run_perf(--baseline "${work}/base" --current "${work}/cur"
+           --threshold nonsense)
+  expect_exit(2)
+  if(NOT err MATCHES "^pmg_perf: ")
+    message(FATAL_ERROR "case bad_threshold: bad stderr:\n${err}")
+  endif()
+
+elseif(CASE STREQUAL "bad_flag")
+  run_perf(--bogus)
+  expect_exit(2)
+  if(NOT err MATCHES "^pmg_perf: ")
+    message(FATAL_ERROR "case bad_flag: bad stderr:\n${err}")
+  endif()
+
+else()
+  message(FATAL_ERROR "unknown CASE '${CASE}'")
+endif()

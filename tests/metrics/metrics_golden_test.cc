@@ -1,0 +1,159 @@
+// Golden-file tests for the pmg::metrics output surfaces: Prometheus
+// text, the versioned JSON report, and the folded-stack profile. The
+// workload is a fixed synthetic access pattern on the simulated machine,
+// so "enabled instrumentation is byte-identical across runs" is enforced
+// twice: in-process (two runs compared) and against the committed golden
+// (across builds and machines). Regenerate after an intentional format
+// change with
+//
+//   ./metrics_golden_test --update-goldens
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/metrics/metrics_session.h"
+#include "pmg/metrics/profiler.h"
+#include "pmg/trace/json.h"
+
+namespace pmg::metrics {
+
+bool g_update_goldens = false;
+
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(PMG_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compares `actual` against goldens/<name>, or rewrites the golden when
+/// the binary runs with --update-goldens.
+void ExpectMatchesGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_goldens) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with --update-goldens to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "output drifted from " << path
+      << "; rerun with --update-goldens if the change is intentional";
+}
+
+struct GoldenOutputs {
+  std::string prom;
+  std::string json;
+  std::string folded;
+};
+
+/// A fixed two-epoch workload with two labeled structures, mixed
+/// read/write traffic, a skewed page-heat distribution, and profiler
+/// scopes spanning the epochs. Everything downstream of this is required
+/// to be deterministic.
+GoldenOutputs RunGoldenWorkload() {
+  MetricsOptions opt;
+  opt.heat_top_k = 8;
+  opt.profile = true;
+  opt.profile_interval_ns = 10 * 1000;
+  MetricsSession session(opt);
+
+  memsim::Machine m(memsim::OptanePmmConfig());
+  session.Attach(&m);
+  memsim::PagePolicy policy;
+  const uint64_t kIndexBytes = 8 * memsim::kSmallPageBytes;
+  const uint64_t kDstBytes = 32 * memsim::kSmallPageBytes;
+  const VirtAddr index = m.BaseOf(m.Alloc(kIndexBytes, policy, "g.index"));
+  const VirtAddr dst = m.BaseOf(m.Alloc(kDstBytes, policy, "g.dst"));
+
+  {
+    PMG_PROF_SCOPE("golden.load");
+    m.BeginEpoch(2);
+    for (uint64_t i = 0; i < 512; ++i) {
+      m.Access(static_cast<ThreadId>(i % 2), index + (i * 64) % kIndexBytes,
+               8, AccessType::kRead);
+    }
+    m.EndEpoch();
+  }
+  {
+    PMG_PROF_SCOPE("golden.run");
+    PMG_PROF_SCOPE("relax");
+    m.BeginEpoch(2);
+    for (uint64_t i = 0; i < 2048; ++i) {
+      // A skewed stride: page 0 of g.dst stays far hotter than the tail.
+      const uint64_t off =
+          (i % 4 == 0) ? (i * 4096 + i * 64) % kDstBytes : (i * 8) % 4096;
+      m.Access(static_cast<ThreadId>(i % 2), dst + off, 8,
+               i % 5 == 0 ? AccessType::kWrite : AccessType::kRead);
+    }
+    m.EndEpoch();
+  }
+  session.Detach();
+
+  GoldenOutputs out;
+  out.prom = session.PrometheusText();
+  out.json = session.ReportJson();
+  out.folded = session.ProfileFoldedText();
+  return out;
+}
+
+TEST(MetricsGoldenTest, OutputsAreIdenticalAcrossRuns) {
+  const GoldenOutputs a = RunGoldenWorkload();
+  const GoldenOutputs b = RunGoldenWorkload();
+  EXPECT_EQ(a.prom, b.prom);
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.folded, b.folded);
+}
+
+TEST(MetricsGoldenTest, PrometheusText) {
+  ExpectMatchesGolden("metrics_prom.golden", RunGoldenWorkload().prom);
+}
+
+TEST(MetricsGoldenTest, ReportJson) {
+  const std::string doc = RunGoldenWorkload().json;
+  ExpectMatchesGolden("metrics_report.json.golden", doc);
+  // Schema contract: versioned, parseable, and stable through a
+  // parse -> dump -> parse cycle.
+  trace::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(trace::JsonValue::Parse(doc, &v, &err)) << err;
+  EXPECT_EQ(v.Find("schema_version")->AsUInt(), kMetricsSchemaVersion);
+  ASSERT_NE(v.Find("heatmap"), nullptr);
+  ASSERT_NE(v.Find("counters"), nullptr);
+  ASSERT_NE(v.Find("profile"), nullptr);
+  const std::string dumped = v.Dump();
+  trace::JsonValue again;
+  ASSERT_TRUE(trace::JsonValue::Parse(dumped, &again, &err)) << err;
+  EXPECT_EQ(again.Dump(), dumped);
+}
+
+TEST(MetricsGoldenTest, ProfileFolded) {
+  const std::string folded = RunGoldenWorkload().folded;
+  ExpectMatchesGolden("metrics_profile.folded.golden", folded);
+  // The scopes wrapping the two epochs must both appear, the nested one
+  // as a two-frame stack.
+  EXPECT_NE(folded.find("golden.load "), std::string::npos);
+  EXPECT_NE(folded.find("golden.run;relax "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmg::metrics
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-goldens") {
+      pmg::metrics::g_update_goldens = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,437 @@
+// pmg::metrics unit tests: histogram edge cases (zero observations,
+// single bucket, saturation at the max bucket, quantile interpolation at
+// bucket boundaries), hook-table seam behavior, profiler stack folding,
+// heatmap top-K tie-break determinism across runs / thread counts /
+// allocation orders, and an independent re-derivation of the
+// conservation laws the session PMG_CHECKs internally.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/metrics/heatmap.h"
+#include "pmg/metrics/hooks.h"
+#include "pmg/metrics/metrics_session.h"
+#include "pmg/metrics/profiler.h"
+#include "pmg/metrics/registry.h"
+
+namespace pmg::metrics {
+namespace {
+
+// --- Log2 bucketing -------------------------------------------------------
+
+TEST(Log2BucketTest, Boundaries) {
+  EXPECT_EQ(Log2Bucket(0), 0u);
+  EXPECT_EQ(Log2Bucket(1), 1u);
+  EXPECT_EQ(Log2Bucket(2), 2u);
+  EXPECT_EQ(Log2Bucket(3), 2u);
+  EXPECT_EQ(Log2Bucket(4), 3u);
+  EXPECT_EQ(Log2Bucket(7), 3u);
+  EXPECT_EQ(Log2Bucket(8), 4u);
+  EXPECT_EQ(Log2Bucket(1ull << 62), 63u);
+  // The top bucket saturates instead of indexing out of range.
+  EXPECT_EQ(Log2Bucket(1ull << 63), 64u);
+  EXPECT_EQ(Log2Bucket(UINT64_MAX), 64u);
+}
+
+// --- Histogram edge cases -------------------------------------------------
+
+TEST(HistogramTest, ZeroObservations) {
+  Registry reg;
+  const MetricId h = reg.AddHistogram("h", "help");
+  const HistogramSnapshot snap = reg.HistogramValue(h);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.Quantile(0.0), 0.0);
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_EQ(snap.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, SingleObservationReturnsBucketLower) {
+  Registry reg;
+  const MetricId h = reg.AddHistogram("h", "help");
+  reg.Observe(h, 6);  // bucket 3: [4, 7]
+  const HistogramSnapshot snap = reg.HistogramValue(h);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 6u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  // A single-count bucket has no rank spread: every quantile is the
+  // bucket's lower bound.
+  EXPECT_EQ(snap.Quantile(0.0), 4.0);
+  EXPECT_EQ(snap.Quantile(0.99), 4.0);
+  EXPECT_EQ(snap.Quantile(1.0), 4.0);
+}
+
+TEST(HistogramTest, SingleBucketInterpolation) {
+  Registry reg;
+  const MetricId h = reg.AddHistogram("h", "help");
+  // Three observations, all in bucket 3 ([4, 7]).
+  reg.Observe(h, 5);
+  reg.Observe(h, 5);
+  reg.Observe(h, 5);
+  const HistogramSnapshot snap = reg.HistogramValue(h);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.buckets[3], 3u);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 5.5);  // midway through [4, 7]
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 7.0);
+}
+
+TEST(HistogramTest, SaturatesAtMaxBucket) {
+  Registry reg;
+  const MetricId h = reg.AddHistogram("h", "help");
+  reg.Observe(h, 1ull << 63);
+  reg.Observe(h, UINT64_MAX);
+  const HistogramSnapshot snap = reg.HistogramValue(h);
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[kHistogramBuckets - 1], 2u);
+  // Rank 0 is the bucket's lower bound (2^63), rank 1 its saturated
+  // upper bound (~2^64).
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 9.223372036854775808e18);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 1.8446744073709552e19);
+}
+
+TEST(HistogramTest, QuantileExactAtBucketBoundaries) {
+  Registry reg;
+  const MetricId h = reg.AddHistogram("h", "help");
+  // Two in bucket 1 ([1, 1]), two in bucket 4 ([8, 15]); ranks 0..3.
+  reg.Observe(h, 1);
+  reg.Observe(h, 1);
+  reg.Observe(h, 8);
+  reg.Observe(h, 9);
+  const HistogramSnapshot snap = reg.HistogramValue(h);
+  ASSERT_EQ(snap.count, 4u);
+  // Rank 1 (q = 1/3) is the last rank of bucket 1: exactly its edge.
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0 / 3.0), 1.0);
+  // Rank 2 (q = 2/3) is the first rank of bucket 4: exactly 8.
+  EXPECT_DOUBLE_EQ(snap.Quantile(2.0 / 3.0), 8.0);
+  // Rank 3 (q = 1) is the far edge of bucket 4.
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 15.0);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(snap.Quantile(-1.0), snap.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(snap.Quantile(2.0), snap.Quantile(1.0));
+}
+
+// --- Registry basics ------------------------------------------------------
+
+TEST(RegistryTest, ShardedCounterMergesAllThreads) {
+  Registry reg;
+  const MetricId c = reg.AddCounter("c", "help");
+  for (ThreadId t = 0; t < 16; ++t) reg.AddShard(c, t, 1);
+  EXPECT_EQ(reg.CounterValue(c), 16u);
+}
+
+TEST(RegistryTest, GaugeHoldsLastValueIncludingNegative) {
+  Registry reg;
+  const MetricId g = reg.AddGauge("g", "help");
+  reg.GaugeSet(g, 42);
+  EXPECT_EQ(reg.GaugeValue(g), 42);
+  reg.GaugeSet(g, -7);
+  EXPECT_EQ(reg.GaugeValue(g), -7);
+}
+
+TEST(RegistryTest, PrometheusTextIsDeterministic) {
+  auto build = [] {
+    Registry reg;
+    const MetricId c = reg.AddCounter("zzz_total", "last name, registered "
+                                                   "first");
+    const MetricId g = reg.AddGauge("aaa_gauge", "first name");
+    const MetricId h = reg.AddHistogram("mmm_hist", "middle");
+    reg.Add(c, 5);
+    reg.GaugeSet(g, 3);
+    reg.Observe(h, 9);
+    return reg.PrometheusText();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+  // Families are sorted by name, not registration order.
+  EXPECT_LT(a.find("aaa_gauge"), a.find("mmm_hist"));
+  EXPECT_LT(a.find("mmm_hist"), a.find("zzz_total"));
+}
+
+// --- Hook seam ------------------------------------------------------------
+
+TEST(HooksTest, DisabledCallsAreNoOps) {
+  ASSERT_FALSE(HooksActive());
+  // Must not crash or touch anything with no table installed.
+  CountWorklistPush(0);
+  CountWorklistPop(3, true);
+  ObserveWorklistOccupancy(100);
+}
+
+TEST(HooksTest, InstalledTableCountsIntoRegistry) {
+  Registry reg;
+  HookTable table;
+  table.registry = &reg;
+  table.worklist_pushes = reg.AddCounter("pushes", "");
+  table.worklist_pops = reg.AddCounter("pops", "");
+  table.worklist_steals = reg.AddCounter("steals", "");
+  table.worklist_occupancy = reg.AddHistogram("occupancy", "");
+  InstallHooks(&table);
+  EXPECT_TRUE(HooksActive());
+  CountWorklistPush(0);
+  CountWorklistPush(1);
+  CountWorklistPop(2, /*stolen=*/false);
+  CountWorklistPop(3, /*stolen=*/true);
+  ObserveWorklistOccupancy(9);
+  UninstallHooks(&table);
+  EXPECT_FALSE(HooksActive());
+  EXPECT_EQ(reg.CounterValue(table.worklist_pushes), 2u);
+  EXPECT_EQ(reg.CounterValue(table.worklist_pops), 2u);
+  EXPECT_EQ(reg.CounterValue(table.worklist_steals), 1u);
+  EXPECT_EQ(reg.HistogramValue(table.worklist_occupancy).count, 1u);
+  // After uninstall the calls are no-ops again.
+  CountWorklistPush(0);
+  EXPECT_EQ(reg.CounterValue(table.worklist_pushes), 2u);
+}
+
+// --- Profiler -------------------------------------------------------------
+
+TEST(ProfilerTest, SamplesScopedStacksOnSimulatedTime) {
+  Profiler p(/*sample_interval_ns=*/100);
+  p.Activate();
+  {
+    PMG_PROF_SCOPE("outer");
+    {
+      PMG_PROF_SCOPE("inner");
+      p.SampleUpTo(250);  // samples at 100 and 200
+    }
+    p.SampleUpTo(320);  // sample at 300
+  }
+  p.SampleUpTo(410);  // sample at 400, stack empty
+  p.Deactivate();
+  EXPECT_EQ(p.sample_count(), 4u);
+  EXPECT_EQ(p.FoldedText(),
+            "(unscoped) 1\nouter 1\nouter;inner 2\n");
+}
+
+TEST(ProfilerTest, ScopesAreNoOpsWithNoActiveProfiler) {
+  // No profiler active: the macro must be safe to execute.
+  PMG_PROF_SCOPE("orphan");
+  SUCCEED();
+}
+
+// --- Heatmap determinism --------------------------------------------------
+
+/// Serializes every field of a HeatReport so byte-equality means
+/// report-equality.
+std::string DumpHeat(const HeatReport& r) {
+  std::string out;
+  auto u64 = [&](uint64_t v) { out += std::to_string(v) + "|"; };
+  u64(r.attributed);
+  u64(r.unattributed);
+  u64(r.touched_pages);
+  u64(r.dropped_pages);
+  u64(r.dropped_accesses);
+  for (const HeatStructureRow& s : r.structures) {
+    out += s.name + ":";
+    u64(s.accesses);
+    u64(s.bytes);
+  }
+  for (const HeatNodeRow& n : r.nodes) {
+    u64(n.node);
+    u64(n.accesses);
+  }
+  for (const HeatPageSizeRow& ps : r.page_sizes) {
+    u64(ps.page_bytes);
+    u64(ps.accesses);
+  }
+  for (size_t b = 0; b < kHistogramBuckets; ++b) u64(r.heat_bins[b]);
+  for (const HotPageRow& h : r.hot_pages) {
+    out += h.structure + ":";
+    u64(h.page_index);
+    u64(h.page_bytes);
+    u64(h.node);
+    u64(h.accesses);
+  }
+  return out;
+}
+
+/// A workload in which every page of both regions ties at two accesses,
+/// so the top-K table is decided purely by the tie-break order. The
+/// allocation order, access order, and virtual-thread spread vary; the
+/// report must not.
+std::string RunTiedWorkload(bool swap_alloc_order, uint32_t threads) {
+  MetricsOptions opt;
+  opt.heat_top_k = 4;
+  MetricsSession session(opt);
+  memsim::Machine m(memsim::DramOnlyConfig());
+  session.Attach(&m);
+
+  memsim::PagePolicy policy;
+  // Pin every page to node 0: interleaved placement rotates per region
+  // base, so the alloc-order swap below would legitimately move pages
+  // between nodes and mask what this test checks (tie-break ordering).
+  policy.placement = memsim::Placement::kLocal;
+  policy.preferred_node = 0;
+  const uint64_t kPages = 4;
+  const uint64_t kBytes = kPages * memsim::kSmallPageBytes;
+  memsim::RegionId ra, rb;
+  if (swap_alloc_order) {
+    rb = m.Alloc(kBytes, policy, "b");
+    ra = m.Alloc(kBytes, policy, "a");
+  } else {
+    ra = m.Alloc(kBytes, policy, "a");
+    rb = m.Alloc(kBytes, policy, "b");
+  }
+  const VirtAddr a = m.BaseOf(ra);
+  const VirtAddr b = m.BaseOf(rb);
+
+  m.BeginEpoch(threads);
+  for (uint64_t rep = 0; rep < 2; ++rep) {
+    for (uint64_t p = 0; p < kPages; ++p) {
+      // Vary the per-page order with the allocation order.
+      const uint64_t page = swap_alloc_order ? kPages - 1 - p : p;
+      m.Access(static_cast<ThreadId>((rep + page) % threads),
+               a + page * memsim::kSmallPageBytes, 8, AccessType::kRead);
+      m.Access(static_cast<ThreadId>((rep + page + 1) % threads),
+               b + page * memsim::kSmallPageBytes, 8, AccessType::kRead);
+    }
+  }
+  m.EndEpoch();
+  session.Detach();
+  return DumpHeat(session.BuildHeatReport());
+}
+
+TEST(HeatmapTest, TopKTieBreakIsDeterministic) {
+  const std::string baseline = RunTiedWorkload(false, 1);
+  EXPECT_EQ(baseline, RunTiedWorkload(false, 1));  // identical rerun
+  EXPECT_EQ(baseline, RunTiedWorkload(true, 1));   // allocation order
+  EXPECT_EQ(baseline, RunTiedWorkload(false, 4));  // thread count
+  EXPECT_EQ(baseline, RunTiedWorkload(true, 4));
+}
+
+TEST(HeatmapTest, TopKDropsAreExplicitAndOrdered) {
+  MetricsOptions opt;
+  opt.heat_top_k = 4;
+  MetricsSession session(opt);
+  memsim::Machine m(memsim::DramOnlyConfig());
+  session.Attach(&m);
+
+  memsim::PagePolicy policy;
+  const uint64_t kPages = 4;
+  const uint64_t kBytes = kPages * memsim::kSmallPageBytes;
+  const VirtAddr a = m.BaseOf(m.Alloc(kBytes, policy, "a"));
+  const VirtAddr b = m.BaseOf(m.Alloc(kBytes, policy, "b"));
+  m.BeginEpoch(1);
+  for (uint64_t rep = 0; rep < 2; ++rep) {
+    for (uint64_t p = 0; p < kPages; ++p) {
+      m.Access(0, a + p * memsim::kSmallPageBytes, 8, AccessType::kRead);
+      m.Access(0, b + p * memsim::kSmallPageBytes, 8, AccessType::kRead);
+    }
+  }
+  m.EndEpoch();
+  session.Detach();
+
+  const HeatReport r = session.BuildHeatReport();
+  EXPECT_EQ(r.attributed, 16u);
+  EXPECT_EQ(r.unattributed, 0u);
+  EXPECT_EQ(r.touched_pages, 8u);
+  // All eight pages tie at two accesses; the tie-break (structure asc,
+  // page index asc) keeps exactly a's pages, in order.
+  ASSERT_EQ(r.hot_pages.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.hot_pages[i].structure, "a");
+    EXPECT_EQ(r.hot_pages[i].page_index, i);
+    EXPECT_EQ(r.hot_pages[i].accesses, 2u);
+  }
+  // What fell off the table is accounted, never silently dropped.
+  EXPECT_EQ(r.dropped_pages, 4u);
+  EXPECT_EQ(r.dropped_accesses, 8u);
+}
+
+// --- Conservation, re-derived independently -------------------------------
+
+TEST(MetricsSessionTest, ConservationRederivedFromReport) {
+  memsim::Machine m(memsim::OptanePmmConfig());
+  memsim::PagePolicy policy;
+  // Allocated before the session attaches: its traffic must land in
+  // `unattributed`, not vanish.
+  const VirtAddr pre =
+      m.BaseOf(m.Alloc(memsim::kSmallPageBytes, policy, "pre"));
+
+  MetricsSession session;
+  session.Attach(&m);
+  const VirtAddr post =
+      m.BaseOf(m.Alloc(4 * memsim::kSmallPageBytes, policy, "post"));
+
+  m.BeginEpoch(2);
+  for (int i = 0; i < 100; ++i) {
+    m.Access(static_cast<ThreadId>(i % 2), post + (i % 4) * 64, 8,
+             i % 3 == 0 ? AccessType::kWrite : AccessType::kRead);
+    if (i % 10 == 0) m.Access(0, pre, 8, AccessType::kRead);
+  }
+  m.EndEpoch();
+  session.Detach();  // PMG_CHECKs the laws internally
+
+  // Re-derive the same laws from the public report, against MachineStats
+  // accounted entirely independently of the registry mirrors.
+  const memsim::MachineStats& stats = m.stats();
+  const HeatReport heat = session.BuildHeatReport();
+  uint64_t structure_sum = 0;
+  for (const HeatStructureRow& s : heat.structures) {
+    structure_sum += s.accesses;
+  }
+  EXPECT_EQ(structure_sum, heat.attributed);
+  EXPECT_EQ(heat.attributed + heat.unattributed, stats.accesses);
+  EXPECT_EQ(heat.unattributed, 10u);  // the pre-attach region's traffic
+
+  const Registry& reg = session.registry();
+  auto counter = [&](const std::string& name) -> uint64_t {
+    for (MetricId id = 0; id < reg.metric_count(); ++id) {
+      if (reg.name(id) == name) return reg.CounterValue(id);
+    }
+    ADD_FAILURE() << "no metric named " << name;
+    return 0;
+  };
+  // The registry mirrors must bit-match the machine's own counters.
+  EXPECT_EQ(counter("pmg_machine_accesses_total"), stats.accesses);
+  EXPECT_EQ(counter("pmg_machine_tlb_misses_total"), stats.tlb_misses);
+  EXPECT_EQ(counter("pmg_machine_near_mem_misses_total"),
+            stats.near_mem_misses);
+  EXPECT_EQ(counter("pmg_machine_migrated_pages_total"), stats.migrations);
+  EXPECT_EQ(counter("pmg_machine_minor_faults_total"), stats.minor_faults);
+  EXPECT_EQ(counter("pmg_epochs_total"), stats.epochs);
+
+  // One epoch ended while attached: one snapshot row, cumulative.
+  ASSERT_EQ(session.snapshots().size(), 1u);
+  EXPECT_EQ(session.snapshots()[0].epoch, 1u);
+  EXPECT_EQ(session.snapshots()[0].accesses, stats.accesses);
+  EXPECT_EQ(session.dropped_snapshots(), 0u);
+}
+
+TEST(MetricsSessionTest, ReattachAccumulatesAcrossMachines) {
+  // The recovery drivers rebuild the machine per crash attempt and
+  // re-attach the same session; totals must accumulate, not reset.
+  MetricsSession session;
+  memsim::PagePolicy policy;
+  uint64_t expected_accesses = 0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    memsim::Machine m(memsim::DramOnlyConfig());
+    session.Attach(&m);
+    const VirtAddr base =
+        m.BaseOf(m.Alloc(memsim::kSmallPageBytes, policy, "r"));
+    m.BeginEpoch(1);
+    for (int i = 0; i < 10 * (attempt + 1); ++i) {
+      m.Access(0, base, 8, AccessType::kRead);
+    }
+    m.EndEpoch();
+    expected_accesses += m.stats().accesses;
+    session.Detach();
+  }
+  const Registry& reg = session.registry();
+  for (MetricId id = 0; id < reg.metric_count(); ++id) {
+    if (reg.name(id) == "pmg_machine_accesses_total") {
+      EXPECT_EQ(reg.CounterValue(id), expected_accesses);
+    }
+  }
+  const HeatReport heat = session.BuildHeatReport();
+  EXPECT_EQ(heat.attributed, expected_accesses);
+  EXPECT_EQ(session.snapshots().size(), 3u);
+}
+
+}  // namespace
+}  // namespace pmg::metrics

@@ -1,0 +1,183 @@
+// Unit tests for the perf gate's diff engine: threshold parsing, row
+// identity matching, the gated-vs-informational field split, and —
+// critically — that a synthetic regression at or past the threshold
+// fails the gate while vanished measurements never pass silently.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pmg/metrics/perf_diff.h"
+
+namespace pmg::metrics {
+namespace {
+
+std::string Doc(const std::string& bench, const std::string& rows) {
+  return "{\"schema_version\":1,\"bench\":\"" + bench +
+         "\",\"rows\":[" + rows + "]}";
+}
+
+PerfDiffResult Diff(const std::string& baseline, const std::string& current,
+                    double threshold = 0.05) {
+  PerfDiffResult result;
+  DiffBenchText(baseline, current, "test", threshold, &result);
+  return result;
+}
+
+TEST(ParseThresholdTest, PercentAndFractionForms) {
+  double v = -1.0;
+  EXPECT_TRUE(ParseThreshold("5%", &v));
+  EXPECT_DOUBLE_EQ(v, 0.05);
+  EXPECT_TRUE(ParseThreshold("0.05", &v));
+  EXPECT_DOUBLE_EQ(v, 0.05);
+  EXPECT_TRUE(ParseThreshold("12.5%", &v));
+  EXPECT_DOUBLE_EQ(v, 0.125);
+  EXPECT_TRUE(ParseThreshold("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ParseThresholdTest, RejectsGarbageAndNegatives) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseThreshold("", &v));
+  EXPECT_FALSE(ParseThreshold("five", &v));
+  EXPECT_FALSE(ParseThreshold("%", &v));
+  EXPECT_FALSE(ParseThreshold("-5%", &v));
+  EXPECT_FALSE(ParseThreshold("-0.01", &v));
+  EXPECT_FALSE(ParseThreshold("5%%", &v));
+  EXPECT_FALSE(ParseThreshold("5% extra", &v));
+}
+
+TEST(PerfDiffTest, IdenticalDocumentsPass) {
+  const std::string doc = Doc(
+      "fig5", "{\"graph\":\"kron30\",\"app\":\"bfs\",\"time_ns\":1000000}");
+  const PerfDiffResult r = Diff(doc, doc);
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_EQ(r.deltas[0].row, "graph=kron30 app=bfs");
+  EXPECT_EQ(r.deltas[0].field, "time_ns");
+  EXPECT_DOUBLE_EQ(r.deltas[0].ratio, 1.0);
+  EXPECT_TRUE(r.deltas[0].gated);
+  EXPECT_FALSE(r.deltas[0].regression);
+}
+
+TEST(PerfDiffTest, RegressionPastThresholdFailsGate) {
+  const PerfDiffResult r =
+      Diff(Doc("b", "{\"app\":\"bfs\",\"time_ns\":1000000}"),
+           Doc("b", "{\"app\":\"bfs\",\"time_ns\":1080000}"));  // +8%
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.regressions, 1u);
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_TRUE(r.deltas[0].regression);
+  EXPECT_DOUBLE_EQ(r.deltas[0].ratio, 1.08);
+}
+
+TEST(PerfDiffTest, RegressionWithinThresholdPasses) {
+  const PerfDiffResult r =
+      Diff(Doc("b", "{\"app\":\"bfs\",\"time_ns\":1000000}"),
+           Doc("b", "{\"app\":\"bfs\",\"time_ns\":1030000}"));  // +3%
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.regressions, 0u);
+}
+
+TEST(PerfDiffTest, ImprovementIsNeverARegression) {
+  const PerfDiffResult r =
+      Diff(Doc("b", "{\"app\":\"bfs\",\"time_ns\":1000000}"),
+           Doc("b", "{\"app\":\"bfs\",\"time_ns\":500000}"));  // -50%
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.deltas[0].ratio, 0.5);
+}
+
+TEST(PerfDiffTest, NonGatedNumericFieldNeverRegresses) {
+  // vs_best triples, but it has no _ns suffix: informational only.
+  const PerfDiffResult r =
+      Diff(Doc("b", "{\"app\":\"bfs\",\"vs_best\":1.0}"),
+           Doc("b", "{\"app\":\"bfs\",\"vs_best\":3.0}"));
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_FALSE(r.deltas[0].gated);
+  EXPECT_FALSE(r.deltas[0].regression);
+}
+
+TEST(PerfDiffTest, MissingRowIsAFailure) {
+  const PerfDiffResult r =
+      Diff(Doc("b", "{\"app\":\"bfs\",\"time_ns\":100}"
+                    ",{\"app\":\"pr\",\"time_ns\":200}"),
+           Doc("b", "{\"app\":\"bfs\",\"time_ns\":100}"));
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("app=pr"), std::string::npos);
+}
+
+TEST(PerfDiffTest, MissingFieldIsAFailure) {
+  const PerfDiffResult r =
+      Diff(Doc("b", "{\"app\":\"bfs\",\"time_ns\":100,\"mem_ns\":50}"),
+           Doc("b", "{\"app\":\"bfs\",\"time_ns\":100}"));
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("mem_ns"), std::string::npos);
+}
+
+TEST(PerfDiffTest, NewRowAndNewFieldAreNotes) {
+  const PerfDiffResult r =
+      Diff(Doc("b", "{\"app\":\"bfs\",\"time_ns\":100}"),
+           Doc("b", "{\"app\":\"bfs\",\"time_ns\":100,\"extra\":7}"
+                    ",{\"app\":\"cc\",\"time_ns\":300}"));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.notes.size(), 2u);
+}
+
+TEST(PerfDiffTest, ZeroBaselineWithNonZeroCurrentGates) {
+  // A measurement appearing from zero cannot produce a finite ratio; the
+  // engine forces it past any threshold.
+  const PerfDiffResult r =
+      Diff(Doc("b", "{\"app\":\"bfs\",\"time_ns\":0}"),
+           Doc("b", "{\"app\":\"bfs\",\"time_ns\":100}"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.regressions, 1u);
+}
+
+TEST(PerfDiffTest, BothZeroIsAUnitRatio) {
+  const PerfDiffResult r = Diff(Doc("b", "{\"app\":\"bfs\",\"time_ns\":0}"),
+                                Doc("b", "{\"app\":\"bfs\",\"time_ns\":0}"));
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.deltas[0].ratio, 1.0);
+}
+
+TEST(PerfDiffTest, BenchNameMismatchFails) {
+  const PerfDiffResult r = Diff(Doc("fig5", "{\"time_ns\":1}"),
+                                Doc("fig6", "{\"time_ns\":1}"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PerfDiffTest, MalformedCurrentIsAFailure) {
+  const PerfDiffResult r = Diff(Doc("b", "{\"time_ns\":1}"), "not json");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.failures.empty());
+}
+
+TEST(PerfDiffTest, BoolFieldsJoinTheIdentity) {
+  // Flipping a bool renames the row: old identity missing (failure), new
+  // identity noted.
+  const PerfDiffResult r =
+      Diff(Doc("b", "{\"app\":\"bfs\",\"huge\":true,\"time_ns\":100}"),
+           Doc("b", "{\"app\":\"bfs\",\"huge\":false,\"time_ns\":100}"));
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("huge=true"), std::string::npos);
+}
+
+TEST(PerfDiffTest, AccumulatesAcrossDocuments) {
+  PerfDiffResult r;
+  DiffBenchText(Doc("b1", "{\"time_ns\":100}"), Doc("b1", "{\"time_ns\":100}"),
+                "b1", 0.05, &r);
+  DiffBenchText(Doc("b2", "{\"time_ns\":100}"), Doc("b2", "{\"time_ns\":120}"),
+                "b2", 0.05, &r);
+  EXPECT_EQ(r.deltas.size(), 2u);
+  EXPECT_EQ(r.regressions, 1u);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace pmg::metrics

@@ -1,0 +1,198 @@
+// pmg_perf: the CI perf-regression gate. Compares the BENCH_*.json
+// reports a bench run just wrote against the committed baselines:
+//
+//   pmg_perf --baseline bench/baselines [--current .] [--threshold 5%]
+//
+// Every BENCH_*.json in the baseline directory must have a counterpart in
+// the current directory; rows are matched by identity (their string/bool
+// fields) and every shared numeric field becomes a delta. Fields ending
+// in _ns are simulated-time measurements and gate the result: a ratio
+// above 1 + threshold is a regression. Missing files, rows, or fields
+// fail the gate outright — a measurement that silently disappears must
+// not pass.
+//
+// Exit codes: 0 = within threshold, 1 = regression or comparison failure,
+// 2 = usage or I/O error.
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pmg/metrics/perf_diff.h"
+#include "pmg/scenarios/report.h"
+
+namespace {
+
+using namespace pmg;
+
+[[noreturn]] void Die(const char* fmt, ...) {
+  std::fprintf(stderr, "pmg_perf: ");
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  std::exit(2);
+}
+
+void Usage(std::FILE* out, const char* argv0) {
+  std::fprintf(
+      out,
+      "usage: %s --baseline <dir> [--current <dir>] [--threshold <pct>]\n"
+      "compares every BENCH_*.json under --baseline against the file of\n"
+      "the same name under --current (default: the working directory).\n"
+      "--threshold takes '5%%' or '0.05' (default 5%%); only *_ns fields\n"
+      "gate. exit 0 = pass, 1 = regression/missing data, 2 = usage.\n",
+      argv0);
+}
+
+/// Reads a whole file; false if it cannot be opened.
+bool ReadFile(const std::filesystem::path& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+std::string FormatPct(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", (ratio - 1.0) * 100.0);
+  return buf;
+}
+
+std::string FormatValue(double v) {
+  char buf[32];
+  // Bench fields are counters and nanoseconds; print integers as such.
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      Usage(stdout, argv[0]);
+      return 0;
+    }
+  }
+
+  std::string baseline_dir;
+  std::string current_dir = ".";
+  std::string threshold_text = "5%";
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    std::string value;
+    bool has_value = false;
+    if (flag.rfind("--", 0) == 0) {
+      const size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        value = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+        has_value = true;
+      }
+    }
+    auto need_value = [&]() -> const std::string& {
+      if (!has_value) {
+        if (i + 1 >= argc) Die("flag %s requires a value", flag.c_str());
+        value = argv[++i];
+        has_value = true;
+      }
+      return value;
+    };
+    if (flag == "--baseline") {
+      baseline_dir = need_value();
+    } else if (flag == "--current") {
+      current_dir = need_value();
+    } else if (flag == "--threshold") {
+      threshold_text = need_value();
+    } else {
+      Die("unknown flag '%s' (run with --help for usage)", argv[i]);
+    }
+  }
+  if (baseline_dir.empty()) Die("--baseline is required");
+  double threshold = 0.0;
+  if (!metrics::ParseThreshold(threshold_text, &threshold)) {
+    Die("bad --threshold '%s' (want e.g. '5%%' or '0.05')",
+        threshold_text.c_str());
+  }
+
+  std::error_code ec;
+  std::filesystem::directory_iterator it(baseline_dir, ec);
+  if (ec) Die("cannot read baseline directory '%s'", baseline_dir.c_str());
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      names.push_back(name);
+    }
+  }
+  if (names.empty()) {
+    Die("no BENCH_*.json files under '%s'", baseline_dir.c_str());
+  }
+  std::sort(names.begin(), names.end());
+
+  metrics::PerfDiffResult result;
+  for (const std::string& name : names) {
+    std::string baseline_text;
+    if (!ReadFile(std::filesystem::path(baseline_dir) / name,
+                  &baseline_text)) {
+      Die("cannot read baseline '%s/%s'", baseline_dir.c_str(),
+          name.c_str());
+    }
+    std::string current_text;
+    if (!ReadFile(std::filesystem::path(current_dir) / name,
+                  &current_text)) {
+      // A bench that stopped producing its report must not pass silently.
+      result.failures.push_back(name + ": missing from current directory '" +
+                                current_dir + "'");
+      continue;
+    }
+    metrics::DiffBenchText(baseline_text, current_text, name, threshold,
+                           &result);
+  }
+
+  scenarios::Table table(
+      {"bench", "row", "field", "baseline", "current", "delta", "verdict"});
+  for (const metrics::PerfDelta& d : result.deltas) {
+    table.AddRow({d.bench, d.row, d.field, FormatValue(d.baseline),
+                  FormatValue(d.current), FormatPct(d.ratio),
+                  d.regression ? "REGRESSION"
+                               : (d.gated ? "ok" : "info")});
+  }
+  table.Print();
+  for (const std::string& note : result.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  for (const std::string& failure : result.failures) {
+    std::printf("FAILURE: %s\n", failure.c_str());
+  }
+  std::printf(
+      "\npmg_perf: %zu bench(es), %zu delta(s), %llu regression(s), "
+      "%zu failure(s) at threshold %s\n",
+      names.size(), result.deltas.size(),
+      static_cast<unsigned long long>(result.regressions),
+      result.failures.size(), threshold_text.c_str());
+  if (!result.ok()) {
+    std::printf("verdict: FAIL\n");
+    return 1;
+  }
+  std::printf("verdict: PASS\n");
+  return 0;
+}

@@ -6,6 +6,7 @@
 //           [--placement local|interleaved|blocked] [--pr-rounds N]
 //           [--sanitize] [--faults <spec>] [--checkpoint-every N]
 //           [--trace out.json] [--json report.json]
+//           [--metrics[=prom|json]] [--profile out.folded]
 //
 // Graph can be a Table 3 scenario name, or "file:<path>" for a binary CSR
 // written by pmg::graph::SaveCsr. Prints the simulated time and the
@@ -25,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "pmg/faultsim/recovery.h"
@@ -32,6 +34,7 @@
 #include "pmg/graph/graph_io.h"
 #include "pmg/graph/properties.h"
 #include "pmg/memsim/machine_configs.h"
+#include "pmg/metrics/metrics_session.h"
 #include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
 #include "pmg/trace/json.h"
@@ -63,12 +66,17 @@ void Usage(std::FILE* out, const char* argv0) {
       "[--sanitize]\n"
       "          [--faults <spec>] [--checkpoint-every N]\n"
       "          [--trace <chrome-trace.json>] [--json <report.json>]\n"
+      "          [--metrics[=prom|json]] [--profile <out.folded>]\n"
       "graph names: kron30 clueweb12 uk14 iso_m100 rmat32 wdc12\n"
       "fault spec:  ';'-separated events, e.g.\n"
       "             'ue@access:500;lat@access:100,ns=2000,count=8;"
       "crash@epoch:3;seed=7'\n"
       "--trace writes a Chrome trace-event file (load in Perfetto);\n"
-      "--json writes a versioned machine-readable run report.\n",
+      "--json writes a versioned machine-readable run report;\n"
+      "--metrics prints the heatmap plus the registry (Prometheus text by\n"
+      "default, or the versioned metrics JSON with --metrics=json);\n"
+      "--profile samples PMG_PROF_SCOPE stacks on simulated time and\n"
+      "writes a folded-stack file (flamegraph.pl-compatible).\n",
       argv0);
 }
 
@@ -176,6 +184,8 @@ int main(int argc, char** argv) {
   std::string faults_spec;
   std::string trace_path;
   std::string json_path;
+  std::string metrics_format;  // empty = no --metrics
+  std::string profile_path;
   bool migration = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -231,6 +241,17 @@ int main(int argc, char** argv) {
     } else if (flag == "--json") {
       json_path = need_value();
       if (json_path.empty()) Die("--json wants an output path");
+    } else if (flag == "--metrics") {
+      // The value is optional, so only the "=" form supplies one: a bare
+      // --metrics must not swallow the next flag as its format.
+      metrics_format = has_value ? value : "prom";
+      if (metrics_format != "prom" && metrics_format != "json") {
+        Die("unknown metrics format '%s' (want prom|json)",
+            metrics_format.c_str());
+      }
+    } else if (flag == "--profile") {
+      profile_path = need_value();
+      if (profile_path.empty()) Die("--profile wants an output path");
     } else if (flag == "--checkpoint-every") {
       if (!ParseU32(need_value(), &cfg.checkpoint_every)) {
         Die("--checkpoint-every wants an integer, got '%s'", value.c_str());
@@ -318,6 +339,29 @@ int main(int argc, char** argv) {
   // session also feeds the human-readable attribution table.
   trace::TraceSession session;
   const bool traced = !trace_path.empty() || !json_path.empty();
+
+  // Metering is on for --metrics (registry + heatmap) and for --profile
+  // (which needs the session's simulated-time sampler).
+  std::optional<metrics::MetricsSession> msession;
+  if (!metrics_format.empty() || !profile_path.empty()) {
+    metrics::MetricsOptions mopts;
+    mopts.profile = !profile_path.empty();
+    msession.emplace(mopts);
+  }
+  // Prints the heatmap + registry and writes the folded profile; shared
+  // by the run and recovery modes.
+  auto emit_metrics = [&]() {
+    if (!msession.has_value()) return;
+    scenarios::PrintHeatReport(msession->BuildHeatReport());
+    if (metrics_format == "prom") {
+      std::printf("\nmetrics:\n%s", msession->PrometheusText().c_str());
+    } else if (metrics_format == "json") {
+      std::printf("%s\n", msession->ReportJson().c_str());
+    }
+    if (!profile_path.empty()) {
+      WriteOrDie(profile_path, msession->ProfileFoldedText());
+    }
+  };
   // Report preamble shared by both run modes.
   auto json_preamble = [&](trace::JsonWriter* w, const char* mode) {
     w->Key("schema_version").UInt(trace::kTraceSchemaVersion);
@@ -353,6 +397,7 @@ int main(int argc, char** argv) {
       rc.algo.label_policy.placement = *cfg.placement;
     }
     if (traced) rc.trace = &session;
+    if (msession.has_value()) rc.metrics = &*msession;
     const VertexId source = graph::MaxOutDegreeVertex(topo);
     const faultsim::RecoveryResult r =
         app == frameworks::App::kBfs
@@ -365,6 +410,7 @@ int main(int argc, char** argv) {
     scenarios::PrintRecoveryReport(r);
     scenarios::PrintFaultReport(r.fault, r.stats);
     if (traced) scenarios::PrintTraceReport(session.report());
+    emit_metrics();
     std::printf("\ncounters (final attempt):\n%s\n",
                 r.stats.ToString().c_str());
     if (!trace_path.empty()) {
@@ -388,6 +434,10 @@ int main(int argc, char** argv) {
       AppendStatsJson(&w, r.stats);
       w.Key("trace");
       session.report().AppendJson(&w);
+      if (msession.has_value()) {
+        w.Key("metrics");
+        msession->AppendReportJson(&w);
+      }
       w.EndObject();
       WriteOrDie(json_path, w.str() + "\n");
     }
@@ -397,6 +447,7 @@ int main(int argc, char** argv) {
   const frameworks::AppInputs inputs =
       frameworks::AppInputs::Prepare(std::move(topo), represented);
   if (traced) cfg.trace = &session;
+  if (msession.has_value()) cfg.metrics = &*msession;
   const frameworks::AppRunResult r = RunApp(fw, app, inputs, cfg);
 
   auto emit_outputs = [&]() {
@@ -417,6 +468,10 @@ int main(int argc, char** argv) {
     AppendStatsJson(&w, r.stats);
     w.Key("trace");
     session.report().AppendJson(&w);
+    if (msession.has_value()) {
+      w.Key("metrics");
+      msession->AppendReportJson(&w);
+    }
     if (r.sanitized) {
       w.Key("sancheck").BeginObject();
       w.Key("races").UInt(r.sancheck.races);
@@ -443,6 +498,9 @@ int main(int argc, char** argv) {
   if (!r.supported) {
     std::printf("%s cannot run %s on this graph (framework limitation)\n",
                 framework_name.c_str(), app_name.c_str());
+    // The session never attached, so the heatmap and registry are empty;
+    // still emit so a scripted --profile always gets its output file.
+    emit_metrics();
     emit_outputs();
     return 0;
   }
@@ -452,6 +510,7 @@ int main(int argc, char** argv) {
                 machine_name.c_str());
     scenarios::PrintFaultReport(r.fault, r.stats);
     if (traced) scenarios::PrintTraceReport(session.report());
+    emit_metrics();
     emit_outputs();
     return 1;
   }
@@ -462,6 +521,7 @@ int main(int argc, char** argv) {
   std::printf("\ncounters:\n%s\n", r.stats.ToString().c_str());
   if (r.fault_injected) scenarios::PrintFaultReport(r.fault, r.stats);
   if (traced) scenarios::PrintTraceReport(session.report());
+  emit_metrics();
   emit_outputs();
   if (r.sanitized) {
     scenarios::PrintSancheckReport(r.sancheck);
