@@ -12,6 +12,7 @@
 #include "pmg/memsim/machine_configs.h"
 #include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
+#include "pmg/trace/bench_report.h"
 
 int main() {
   using namespace pmg;
@@ -21,6 +22,7 @@ int main() {
   std::printf(
       "Ablation: near-memory (per-socket DRAM cache) capacity sweep,\n"
       "bfs in the Galois profile on Optane PMM, 96 threads\n\n");
+  trace::BenchJson json("ablation_nearmem");
   scenarios::Table table({"graph", "near-mem/socket", "time (s)",
                           "near-mem hit rate", "pmm read MB"});
   for (const char* name : {"kron30", "clueweb12"}) {
@@ -46,6 +48,18 @@ int main() {
                         "%",
                     scenarios::FormatDouble(r.stats.pmm_read_bytes / 1e6,
                                             1)});
+      char factor_label[16];
+      std::snprintf(factor_label, sizeof(factor_label), "x%.2f", factor);
+      json.BeginRow();
+      json.writer().Key("sweep").String("capacity");
+      json.writer().Key("graph").String(name);
+      json.writer().Key("near_mem").String(factor_label);
+      json.writer().Key("time_ns").UInt(r.time_ns);
+      json.writer().Key("near_mem_hit_pct").Fixed(
+          100.0 * r.stats.NearMemHitRate(), 2);
+      json.writer().Key("pmm_read_mb").Fixed(r.stats.pmm_read_bytes / 1e6,
+                                             1);
+      json.EndRow();
     }
   }
   table.Print();
@@ -73,8 +87,20 @@ int main() {
                         "%",
                     scenarios::FormatDouble(r.stats.pmm_read_bytes / 1e6,
                                             1)});
+      json.BeginRow();
+      json.writer().Key("sweep").String("associativity");
+      json.writer().Key("graph").String("clueweb12");
+      json.writer().Key("ways").String(std::to_string(ways));
+      json.writer().Key("time_ns").UInt(r.time_ns);
+      json.writer().Key("near_mem_hit_pct").Fixed(
+          100.0 * r.stats.NearMemHitRate(), 2);
+      json.writer().Key("pmm_read_mb").Fixed(r.stats.pmm_read_bytes / 1e6,
+                                             1);
+      json.EndRow();
     }
   }
   assoc.Print();
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "pmg/memsim/machine_configs.h"
 #include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
+#include "pmg/trace/bench_report.h"
 
 int main() {
   using namespace pmg;
@@ -27,6 +28,7 @@ int main() {
       frameworks::AppInputs::Prepare(s.topo, s.represented_vertices);
   scenarios::Table table({"walk step (ns)", "4KB time (s)", "2MB time (s)",
                           "huge-page speedup", "4KB TLB miss rate"});
+  trace::BenchJson json("ablation_pagewalk");
   for (const SimNs step : {10u, 20u, 38u, 60u, 100u}) {
     SimNs t4k = 0;
     SimNs t2m = 0;
@@ -52,7 +54,17 @@ int main() {
                   scenarios::FormatRatio(static_cast<double>(t4k) /
                                          static_cast<double>(t2m)),
                   scenarios::FormatDouble(100.0 * miss_rate, 2) + "%"});
+    json.BeginRow();
+    json.writer().Key("walk_step").String(std::to_string(step));
+    json.writer().Key("time_4k_ns").UInt(t4k);
+    json.writer().Key("time_2m_ns").UInt(t2m);
+    json.writer().Key("huge_page_speedup").Fixed(
+        static_cast<double>(t4k) / static_cast<double>(t2m), 3);
+    json.writer().Key("tlb_miss_pct_4k").Fixed(100.0 * miss_rate, 2);
+    json.EndRow();
   }
   table.Print();
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
   return 0;
 }

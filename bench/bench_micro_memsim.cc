@@ -15,6 +15,8 @@
 #include "pmg/metrics/hooks.h"
 #include "pmg/metrics/metrics_session.h"
 #include "pmg/runtime/runtime.h"
+#include "pmg/whatif/journal.h"
+#include "pmg/whatif/reprice.h"
 
 namespace {
 
@@ -133,6 +135,45 @@ void BM_EndToEndBfsMetered(benchmark::State& state) {
                           static_cast<int64_t>(topo.NumEdges()));
 }
 BENCHMARK(BM_EndToEndBfsMetered);
+
+/// A journaled run against its unjournaled twin. The benchmark measures
+/// the wall-clock cost of cost-journal capture (per-class event counts +
+/// per-epoch snapshots); the PMG_CHECKs assert the whatif acceptance
+/// bar — recording must not change pricing (bit-identical MachineStats),
+/// and the journal must re-price its own run bit-exactly.
+void BM_EndToEndBfsJournaled(benchmark::State& state) {
+  const graph::CsrTopology topo = graph::Rmat(12, 8, 3);
+  auto run = [&](whatif::JournalRecorder* recorder) {
+    memsim::Machine m(memsim::OptanePmmConfig());
+    if (recorder != nullptr) recorder->Attach(&m);
+    runtime::Runtime rt(&m, 96);
+    graph::GraphLayout layout;
+    layout.policy.placement = memsim::Placement::kInterleaved;
+    graph::CsrGraph g(&m, topo, layout, "g");
+    analytics::AlgoOptions opt;
+    opt.label_policy = layout.policy;
+    analytics::BfsSparseWl(rt, g, 0, opt);
+    if (recorder != nullptr) recorder->Detach();
+    return m.stats();
+  };
+  const memsim::MachineStats plain = run(nullptr);
+  for (auto _ : state) {
+    whatif::JournalRecorder recorder;
+    memsim::MachineStats journaled = run(&recorder);
+    // Any attached sink updates the trace bookkeeping counters; pricing
+    // invisibility is about everything else.
+    journaled.trace_attributed_ns = plain.trace_attributed_ns;
+    journaled.traced_epochs = plain.traced_epochs;
+    PMG_CHECK_MSG(std::memcmp(&plain, &journaled, sizeof(plain)) == 0,
+                  "journaled run diverged from its unjournaled twin: "
+                  "attaching a JournalRecorder must not change pricing");
+    whatif::VerifyIdentity(recorder.journal());
+    benchmark::DoNotOptimize(recorder.journal().epochs.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(topo.NumEdges()));
+}
+BENCHMARK(BM_EndToEndBfsJournaled);
 
 void BM_MachineConstruction(benchmark::State& state) {
   for (auto _ : state) {

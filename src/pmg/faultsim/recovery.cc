@@ -10,6 +10,7 @@
 #include "pmg/runtime/runtime.h"
 #include "pmg/runtime/worklist.h"
 #include "pmg/trace/trace_session.h"
+#include "pmg/whatif/journal.h"
 
 namespace pmg::faultsim {
 
@@ -31,6 +32,9 @@ void RunAttempts(const RecoveryConfig& cfg, FaultInjector& injector,
     // timeline continues where the crashed attempt's ended. Same for the
     // metrics session.
     if (cfg.trace != nullptr) cfg.trace->Attach(&machine);
+    // The journal recorder splices in front of the trace session's sink
+    // and PMG_CHECKs that the fresh machine prices like the crashed one.
+    if (cfg.journal != nullptr) cfg.journal->Attach(&machine);
     if (cfg.metrics != nullptr) cfg.metrics->Attach(&machine);
     bool done = false;
     bool crashed = false;
@@ -54,6 +58,7 @@ void RunAttempts(const RecoveryConfig& cfg, FaultInjector& injector,
                                       machine.now(), 1);
     }
     if (cfg.metrics != nullptr) cfg.metrics->Detach();
+    if (cfg.journal != nullptr) cfg.journal->Detach();
     if (cfg.trace != nullptr) cfg.trace->Detach();
     out.total_ns += machine.now();
     if (done) {

@@ -35,6 +35,10 @@ namespace pmg::trace {
 class TraceSession;
 }  // namespace pmg::trace
 
+namespace pmg::whatif {
+class JournalRecorder;
+}  // namespace pmg::whatif
+
 namespace pmg::faultsim {
 
 struct RecoveryConfig {
@@ -54,6 +58,11 @@ struct RecoveryConfig {
   /// Metrics session, re-attached the same way; counters, heat, and
   /// profiler samples accumulate across the attempts on one timeline.
   metrics::MetricsSession* metrics = nullptr;
+  /// Cost-journal recorder, re-attached to each attempt's fresh machine
+  /// (after any trace session — it splices in front and forwards). Epochs
+  /// from every attempt append onto one journal, so the recorded total
+  /// matches RecoveryResult::total_ns.
+  whatif::JournalRecorder* journal = nullptr;
 };
 
 /// Media-op ordinal window of one checkpoint write, recorded so tests can

@@ -17,6 +17,7 @@
 #include "pmg/metrics/metrics_session.h"
 #include "pmg/runtime/runtime.h"
 #include "pmg/trace/trace_session.h"
+#include "pmg/whatif/journal.h"
 
 namespace pmg::frameworks {
 
@@ -178,6 +179,11 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
   // the conservation law is over everything the machine bills.
   if (config.trace != nullptr) config.trace->Attach(&machine);
 
+  // The journal recorder splices in front of the trace session's sink
+  // (forwarding everything downstream), so it must attach after it and
+  // detach before it.
+  if (config.journal != nullptr) config.journal->Attach(&machine);
+
   // Same for the metrics session: the heatmap must see every allocation
   // and the counter mirrors cover everything the machine prices.
   if (config.metrics != nullptr) config.metrics->Attach(&machine);
@@ -313,6 +319,9 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
     out.sanitized = true;
     out.sancheck = checker->summary();
   }
+  // The journal recorder restores the trace session as the machine's
+  // sink, so it detaches first.
+  if (config.journal != nullptr) config.journal->Detach();
   // Detach while the graph is still mapped: the heatmap folds still-live
   // regions against the page table.
   if (config.metrics != nullptr) config.metrics->Detach();

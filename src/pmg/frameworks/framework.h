@@ -39,6 +39,10 @@ namespace pmg::trace {
 class TraceSession;
 }  // namespace pmg::trace
 
+namespace pmg::whatif {
+class JournalRecorder;
+}  // namespace pmg::whatif
+
 namespace pmg::frameworks {
 
 enum class FrameworkKind { kGalois, kGap, kGraphIt, kGbbs };
@@ -124,6 +128,11 @@ struct RunConfig {
   /// sampling profiler). Same contract as `trace`: attached before the
   /// graph is built, detached before the machine dies, changes nothing.
   metrics::MetricsSession* metrics = nullptr;
+  /// Attach this pmg::whatif cost-journal recorder for the run. Attached
+  /// after (in front of) any trace session — it forwards every event
+  /// downstream — and detached first. Recording changes no simulated
+  /// result; the recorded journal re-prices the run bit-exactly.
+  whatif::JournalRecorder* journal = nullptr;
 };
 
 struct AppRunResult {

@@ -1,0 +1,238 @@
+#ifndef PMG_MEMSIM_COST_MODEL_H_
+#define PMG_MEMSIM_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/timings.h"
+
+/// \file cost_model.h
+/// The priced-event vocabulary of the simulated machine, factored out of
+/// Machine so that exactly one piece of code maps (event class, timings)
+/// to nanoseconds. Machine's charge sites call these functions on the hot
+/// path; the pmg::whatif counterfactual re-pricer calls the same functions
+/// on a recorded journal. Because both sides share the expressions —
+/// including the double/integer conversion points, which are load-bearing
+/// for bit-exactness — an identity re-pricing reproduces the machine's
+/// clocks exactly, and a counterfactual differs only where the modified
+/// timings say it should.
+///
+/// A CostClass is finer than a TraceBucket: it splits every bucket whose
+/// per-event price depends on more than the timing struct's one number
+/// (walk level count, fault page size, locality) so that `count x price`
+/// reconstructs the recorded cost without loss. Compute and retry-backoff
+/// time have no per-event class — they are priced by the caller in
+/// arbitrary units and journaled as recorded sums.
+
+namespace pmg::memsim {
+
+/// Which memory system the machine runs (Figure 2).
+enum class MachineKind {
+  /// DRAM is main memory (paper's DRAM baseline and "Entropy").
+  kDramMain,
+  /// Optane PMM is main memory; DRAM is the per-socket near-memory cache.
+  kMemoryMode,
+  /// DRAM is main memory; PMM is byte-addressable storage reached through
+  /// the StorageRead/StorageWrite interface (GridGraph's configuration).
+  kAppDirect,
+};
+
+/// One priced event kind. User-side classes accumulate fractional
+/// nanoseconds (latency / MLP); kernel-side classes cost an integral
+/// number of nanoseconds per event.
+enum class CostClass : uint8_t {
+  // --- User side ---
+  kCacheHit = 0,      ///< Private CPU-cache hit (never divided by MLP).
+  kTlbWalk4,          ///< 4-level walk (4KB page).
+  kTlbWalk3,          ///< 3-level walk (2MB page).
+  kTlbWalk2,          ///< 2-level walk (1GB page).
+  kDramLocal,         ///< DRAM main memory, same socket.
+  kDramRemote,        ///< DRAM main memory, across the interconnect.
+  kNearHitLocal,      ///< Memory mode: near-memory hit, local.
+  kNearHitRemote,     ///< Memory mode: near-memory hit, remote.
+  kPmmMissLocal,      ///< Memory mode: near-memory miss, local.
+  kPmmMissRemote,     ///< Memory mode: near-memory miss, remote.
+  kStorageLocal,      ///< App-direct storage op, local (never MLP-divided).
+  kStorageRemote,     ///< App-direct storage op, remote.
+  // --- Kernel side ---
+  kMinorFaultSmall,   ///< First-touch mapping of a 4KB page.
+  kMinorFaultHuge,    ///< First-touch mapping of a 2MB page.
+  kHintFault,         ///< AutoNUMA hint fault.
+  kMachineCheck,      ///< Machine-check handler (uncorrectable error).
+  kCount,
+};
+
+inline constexpr size_t kCostClassCount =
+    static_cast<size_t>(CostClass::kCount);
+/// Classes below this index are user-side, at or above kernel-side.
+inline constexpr size_t kFirstKernelCostClass =
+    static_cast<size_t>(CostClass::kMinorFaultSmall);
+
+constexpr const char* CostClassName(CostClass c) {
+  switch (c) {
+    case CostClass::kCacheHit:
+      return "cache-hit";
+    case CostClass::kTlbWalk4:
+      return "tlb-walk-4";
+    case CostClass::kTlbWalk3:
+      return "tlb-walk-3";
+    case CostClass::kTlbWalk2:
+      return "tlb-walk-2";
+    case CostClass::kDramLocal:
+      return "dram-local";
+    case CostClass::kDramRemote:
+      return "dram-remote";
+    case CostClass::kNearHitLocal:
+      return "near-hit-local";
+    case CostClass::kNearHitRemote:
+      return "near-hit-remote";
+    case CostClass::kPmmMissLocal:
+      return "pmm-miss-local";
+    case CostClass::kPmmMissRemote:
+      return "pmm-miss-remote";
+    case CostClass::kStorageLocal:
+      return "storage-local";
+    case CostClass::kStorageRemote:
+      return "storage-remote";
+    case CostClass::kMinorFaultSmall:
+      return "minor-fault-small";
+    case CostClass::kMinorFaultHuge:
+      return "minor-fault-huge";
+    case CostClass::kHintFault:
+      return "hint-fault";
+    case CostClass::kMachineCheck:
+      return "machine-check";
+    case CostClass::kCount:
+      break;
+  }
+  return "?";
+}
+
+/// Integral pre-MLP latency of one user-side event. This is the value the
+/// machine computes before multiplying by 1/MLP, so re-pricing can
+/// reproduce `double(latency) * inv_mlp` with the identical operands.
+inline SimNs UserLatencyNs(CostClass c, MachineKind kind,
+                           const MemoryTimings& tm) {
+  const SimNs step = kind == MachineKind::kMemoryMode ? tm.walk_step_pmm_ns
+                                                      : tm.walk_step_dram_ns;
+  switch (c) {
+    case CostClass::kCacheHit:
+      return tm.cpu_cache_hit_ns;
+    case CostClass::kTlbWalk4:
+      return 4 * step;
+    case CostClass::kTlbWalk3:
+      return 3 * step;
+    case CostClass::kTlbWalk2:
+      return 2 * step;
+    case CostClass::kDramLocal:
+      return tm.dram_local_ns;
+    case CostClass::kDramRemote:
+      return tm.dram_remote_ns;
+    case CostClass::kNearHitLocal:
+      return tm.near_mem_hit_local_ns;
+    case CostClass::kNearHitRemote:
+      return tm.near_mem_hit_remote_ns;
+    case CostClass::kPmmMissLocal:
+      return tm.near_mem_hit_local_ns + tm.near_mem_miss_extra_ns;
+    case CostClass::kPmmMissRemote:
+      return tm.near_mem_hit_remote_ns + tm.near_mem_miss_extra_ns;
+    case CostClass::kStorageLocal:
+      return tm.appdirect_local_ns;
+    case CostClass::kStorageRemote:
+      return tm.appdirect_remote_ns;
+    default:
+      break;
+  }
+  return 0;
+}
+
+/// The exact double the machine adds to a thread's user clock for one
+/// event of class `c`. Cache hits and storage ops are not MLP-divided
+/// (hits never leave the core; storage ops are dependent synchronous
+/// I/O), matching Machine's charge sites expression for expression.
+inline double UserEventCostNs(CostClass c, MachineKind kind,
+                              const MemoryTimings& tm, double inv_mlp) {
+  switch (c) {
+    case CostClass::kCacheHit:
+      return static_cast<double>(tm.cpu_cache_hit_ns);
+    case CostClass::kStorageLocal:
+      return static_cast<double>(tm.appdirect_local_ns);
+    case CostClass::kStorageRemote:
+      return static_cast<double>(tm.appdirect_remote_ns);
+    default:
+      return static_cast<double>(UserLatencyNs(c, kind, tm)) * inv_mlp;
+  }
+}
+
+/// Kernel costs scale by pmm_kernel_factor when main memory is PMM
+/// (kernel data structures live in slower memory, Section 4.2).
+inline SimNs ApplyKernelFactor(SimNs dram_cost, MachineKind kind,
+                               const MemoryTimings& tm) {
+  if (kind == MachineKind::kMemoryMode) {
+    return static_cast<SimNs>(static_cast<double>(dram_cost) *
+                              tm.pmm_kernel_factor);
+  }
+  return dram_cost;
+}
+
+/// Integral cost of one kernel-side event of class `c`.
+inline SimNs KernelEventCostNs(CostClass c, MachineKind kind,
+                               const MemoryTimings& tm) {
+  switch (c) {
+    case CostClass::kMinorFaultSmall:
+      return ApplyKernelFactor(tm.fault_small_dram_ns, kind, tm);
+    case CostClass::kMinorFaultHuge:
+      return ApplyKernelFactor(tm.fault_huge_dram_ns, kind, tm);
+    case CostClass::kHintFault:
+      return ApplyKernelFactor(tm.fault_small_dram_ns, kind, tm);
+    case CostClass::kMachineCheck:
+      return ApplyKernelFactor(tm.machine_check_ns, kind, tm);
+    default:
+      break;
+  }
+  return 0;
+}
+
+/// Byte counters of one socket's channels for one epoch,
+/// [local/remote][seq/rand][read/write]; remote traffic crosses the
+/// interconnect and is priced with the remote-bandwidth rows.
+struct ChannelByteCounts {
+  uint64_t dram[2][2][2] = {};
+  uint64_t pmm[2][2][2] = {};
+};
+
+/// Epoch time of one socket's channels. `remote_factor` scales the
+/// interconnect rows down (fault injection of a degraded link); 1.0
+/// takes a branch-free path that is bit-identical to the pre-fault
+/// pricing. The summation order is load-bearing: Machine and the whatif
+/// re-pricer both call this, and the identity re-pricing must reproduce
+/// the machine's roofline bit for bit.
+inline SimNs ChannelTimeNs(const ChannelByteCounts& ch,
+                           const MemoryTimings& tm, double remote_factor) {
+  auto time = [](uint64_t bytes, double gbs) {
+    return static_cast<double>(bytes) / gbs;  // 1 GB/s == 1 byte/ns
+  };
+  auto side = [&](const uint64_t counters[2][2], const ChannelBandwidth& bw) {
+    double ns = 0;
+    ns += time(counters[0][0], bw.seq_read_gbs);
+    ns += time(counters[0][1], bw.seq_write_gbs);
+    ns += time(counters[1][0], bw.rand_read_gbs);
+    ns += time(counters[1][1], bw.rand_write_gbs);
+    return ns;
+  };
+  double ns = 0;
+  ns += side(ch.dram[0], tm.dram_local);
+  double dram_remote = side(ch.dram[1], tm.dram_remote);
+  if (remote_factor != 1.0) dram_remote /= remote_factor;
+  ns += dram_remote;
+  ns += side(ch.pmm[0], tm.pmm_local);
+  double pmm_remote = side(ch.pmm[1], tm.pmm_remote);
+  if (remote_factor != 1.0) pmm_remote /= remote_factor;
+  ns += pmm_remote;
+  return static_cast<SimNs>(ns);
+}
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_COST_MODEL_H_

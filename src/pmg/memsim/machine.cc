@@ -25,6 +25,7 @@ Machine::Machine(const MachineConfig& config)
   inv_mlp_ = 1.0 / config_.timings.mem_parallelism;
   threads_.resize(topo.TotalThreads());
   channels_.resize(topo.sockets);
+  cost_fills_.resize(topo.sockets);
   const uint64_t frames_per_node =
       config_.MainBytesPerSocket() / kSmallPageBytes;
   frames_capacity_.assign(topo.sockets, frames_per_node);
@@ -131,11 +132,7 @@ NodeId Machine::NodeOfFrame(PhysPage frame) const {
 }
 
 SimNs Machine::KernelCost(SimNs dram_cost) const {
-  if (config_.kind == MachineKind::kMemoryMode) {
-    return static_cast<SimNs>(static_cast<double>(dram_cost) *
-                              config_.timings.pmm_kernel_factor);
-  }
-  return dram_cost;
+  return ApplyKernelFactor(dram_cost, config_.kind, config_.timings);
 }
 
 void Machine::HandleFault(ThreadId t, const PageLookup& lk) {
@@ -155,10 +152,13 @@ void Machine::HandleFault(ThreadId t, const PageLookup& lk) {
     ++stats_.pages_mapped_huge;
   }
   ++stats_.minor_faults;
-  const SimNs base = lk.cls == PageSizeClass::k4K
-                         ? config_.timings.fault_small_dram_ns
-                         : config_.timings.fault_huge_dram_ns;
-  ChargeKernel(Thread(t), TraceBucket::kMinorFault, KernelCost(base));
+  const CostClass fc = lk.cls == PageSizeClass::k4K
+                           ? CostClass::kMinorFaultSmall
+                           : CostClass::kMinorFaultHuge;
+  ThreadState& ts = Thread(t);
+  ChargeKernel(ts, TraceBucket::kMinorFault,
+               KernelEventCostNs(fc, config_.kind, config_.timings));
+  CountCost(ts, fc);
 }
 
 void Machine::QuarantinePage(ThreadId t, const PageLookup& lk) {
@@ -178,8 +178,11 @@ void Machine::QuarantinePage(ThreadId t, const PageLookup& lk) {
   lk.page->node = NodeOfFrame(nf);
   ++stats_.media_ue_events;
   stats_.pages_quarantined += n;
-  const SimNs mce = KernelCost(config_.timings.machine_check_ns);
-  ChargeKernel(Thread(t), TraceBucket::kMachineCheck, mce);
+  const SimNs mce =
+      KernelEventCostNs(CostClass::kMachineCheck, config_.kind, config_.timings);
+  ThreadState& tq = Thread(t);
+  ChargeKernel(tq, TraceBucket::kMachineCheck, mce);
+  CountCost(tq, CostClass::kMachineCheck);
   stats_.machine_check_ns += mce;
   // The remap invalidates the stale translation on every core, and the
   // machine-check flow flushes the poisoned lines from the private CPU
@@ -211,31 +214,9 @@ void Machine::ChargeChannel(NodeId node, bool pmm, bool remote,
 
 SimNs Machine::ChannelTime(const ChannelBytes& ch,
                            double remote_factor) const {
-  const MemoryTimings& tm = config_.timings;
-  auto time = [](uint64_t bytes, double gbs) {
-    return static_cast<double>(bytes) / gbs;  // 1 GB/s == 1 byte/ns
-  };
-  auto side = [&](const uint64_t counters[2][2], const ChannelBandwidth& bw) {
-    double ns = 0;
-    ns += time(counters[0][0], bw.seq_read_gbs);
-    ns += time(counters[0][1], bw.seq_write_gbs);
-    ns += time(counters[1][0], bw.rand_read_gbs);
-    ns += time(counters[1][1], bw.rand_write_gbs);
-    return ns;
-  };
-  // Summation order is load-bearing: the healthy-link path (factor 1.0)
-  // must stay bit-identical to the pre-faultsim pricing, so the remote
-  // rows are scaled in place without reordering the adds.
-  double ns = 0;
-  ns += side(ch.dram[0], tm.dram_local);
-  double dram_remote = side(ch.dram[1], tm.dram_remote);
-  if (remote_factor != 1.0) dram_remote /= remote_factor;
-  ns += dram_remote;
-  ns += side(ch.pmm[0], tm.pmm_local);
-  double pmm_remote = side(ch.pmm[1], tm.pmm_remote);
-  if (remote_factor != 1.0) pmm_remote /= remote_factor;
-  ns += pmm_remote;
-  return static_cast<SimNs>(ns);
+  // The body (and its load-bearing summation order) lives in
+  // cost_model.h, shared with the whatif re-pricer.
+  return ChannelTimeNs(ch, config_.timings, remote_factor);
 }
 
 void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
@@ -258,7 +239,9 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
   if (was_resident) {
     ++stats_.cpu_cache_hits;
     ChargeUser(ts, TraceBucket::kCpuCacheHit,
-               static_cast<double>(tm.cpu_cache_hit_ns));
+               UserEventCostNs(CostClass::kCacheHit, config_.kind, tm,
+                               inv_mlp_));
+    CountCost(ts, CostClass::kCacheHit);
     if (trace_ != nullptr) [[unlikely]] {
       // The region lookup stays off the untraced hot path: hits never
       // consult the page table unless attribution needs the region id.
@@ -298,7 +281,8 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
     lk.page->hint_armed = false;
     ++stats_.hint_faults;
     ChargeKernel(ts, TraceBucket::kHintFault,
-                 KernelCost(tm.fault_small_dram_ns));
+                 KernelEventCostNs(CostClass::kHintFault, config_.kind, tm));
+    CountCost(ts, CostClass::kHintFault);
     ts.tlb->InvalidatePage(lk.page_base, lk.cls);
   }
 
@@ -306,15 +290,13 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
     ++stats_.tlb_hits;
   } else {
     ++stats_.tlb_misses;
-    const uint32_t levels = lk.cls == PageSizeClass::k4K   ? 4
-                            : lk.cls == PageSizeClass::k2M ? 3
-                                                           : 2;
-    const SimNs step = config_.kind == MachineKind::kMemoryMode
-                           ? tm.walk_step_pmm_ns
-                           : tm.walk_step_dram_ns;
-    const SimNs walk = levels * step;
+    const CostClass wc = lk.cls == PageSizeClass::k4K   ? CostClass::kTlbWalk4
+                         : lk.cls == PageSizeClass::k2M ? CostClass::kTlbWalk3
+                                                        : CostClass::kTlbWalk2;
+    const SimNs walk = UserLatencyNs(wc, config_.kind, tm);
     const double walk_ns = static_cast<double>(walk) * inv_mlp_;
     ChargeUser(ts, TraceBucket::kTlbWalk, walk_ns);
+    CountCost(ts, wc);
     access_user_ns += walk_ns;
     stats_.page_walk_ns += walk;
     ts.tlb->Insert(lk.page_base, lk.cls);
@@ -340,36 +322,45 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
   const bool write = IsWrite(type);
   SimNs lat = 0;
   TraceBucket lat_bucket = TraceBucket::kDramLocal;
+  CostClass lat_class = CostClass::kDramLocal;
   if (config_.kind == MachineKind::kMemoryMode) {
     const PhysPage frame =
         lk.page->frame + ((addr - lk.page_base) / kSmallPageBytes);
     const NearMemoryCache::Result r = near_mem_->Access(home, frame, write);
     if (r.hit) {
       ++stats_.near_mem_hits;
-      lat = local ? tm.near_mem_hit_local_ns : tm.near_mem_hit_remote_ns;
+      lat_class = local ? CostClass::kNearHitLocal : CostClass::kNearHitRemote;
+      lat = UserLatencyNs(lat_class, config_.kind, tm);
       lat_bucket = local ? TraceBucket::kNearMemHitLocal
                          : TraceBucket::kNearMemHitRemote;
     } else {
       ++stats_.near_mem_misses;
-      lat = (local ? tm.near_mem_hit_local_ns : tm.near_mem_hit_remote_ns) +
-            tm.near_mem_miss_extra_ns;
+      lat_class = local ? CostClass::kPmmMissLocal : CostClass::kPmmMissRemote;
+      lat = UserLatencyNs(lat_class, config_.kind, tm);
       lat_bucket = TraceBucket::kPmmMediaMiss;
       // 4KB fill from PMM media; dirty victims are written back first.
       // Fills are media-side sequential bursts, local to the home socket.
       ChargeChannel(home, /*pmm=*/true, /*remote=*/false,
                     /*sequential=*/true, /*write=*/false, kSmallPageBytes);
       stats_.pmm_read_bytes += kSmallPageBytes;
+      if (trace_cost_) [[unlikely]] {
+        cost_fills_[home].fill_bytes += kSmallPageBytes;
+      }
       if (r.writeback) {
         ++stats_.near_mem_writebacks;
         ChargeChannel(home, true, false, true, true, kSmallPageBytes);
         stats_.pmm_write_bytes += kSmallPageBytes;
+        if (trace_cost_) [[unlikely]] {
+          cost_fills_[home].writeback_bytes += kSmallPageBytes;
+        }
       }
     }
     ChargeChannel(home, /*pmm=*/false, !local, sequential, write,
                   kCacheLineBytes);
     stats_.dram_bytes += kCacheLineBytes;
   } else {
-    lat = local ? tm.dram_local_ns : tm.dram_remote_ns;
+    lat_class = local ? CostClass::kDramLocal : CostClass::kDramRemote;
+    lat = UserLatencyNs(lat_class, config_.kind, tm);
     lat_bucket =
         local ? TraceBucket::kDramLocal : TraceBucket::kDramRemote;
     ChargeChannel(home, /*pmm=*/false, !local, sequential, write,
@@ -378,6 +369,7 @@ void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
   }
   const double lat_ns = static_cast<double>(lat) * inv_mlp_;
   ChargeUser(ts, lat_bucket, lat_ns);
+  CountCost(ts, lat_class);
   access_user_ns += lat_ns;
   if (trace_ != nullptr) [[unlikely]] {
     ChargeRegion(lk.region->id, access_user_ns);
@@ -426,9 +418,12 @@ void Machine::StorageRead(ThreadId t, uint64_t bytes, NodeId node,
   ChargeChannel(node % config_.topology.sockets, /*pmm=*/true, remote,
                 sequential, /*write=*/false, bytes);
   stats_.storage_read_bytes += bytes;
-  ChargeUser(Thread(t), TraceBucket::kStorageIo,
-             static_cast<double>(remote ? config_.timings.appdirect_remote_ns
-                                        : config_.timings.appdirect_local_ns));
+  const CostClass sc =
+      remote ? CostClass::kStorageRemote : CostClass::kStorageLocal;
+  ThreadState& ts = Thread(t);
+  ChargeUser(ts, TraceBucket::kStorageIo,
+             UserEventCostNs(sc, config_.kind, config_.timings, inv_mlp_));
+  CountCost(ts, sc);
 }
 
 void Machine::StorageWrite(ThreadId t, uint64_t bytes, NodeId node,
@@ -447,9 +442,12 @@ void Machine::StorageWrite(ThreadId t, uint64_t bytes, NodeId node,
   ChargeChannel(node % config_.topology.sockets, /*pmm=*/true, remote,
                 sequential, /*write=*/true, bytes);
   stats_.storage_write_bytes += bytes;
-  ChargeUser(Thread(t), TraceBucket::kStorageIo,
-             static_cast<double>(remote ? config_.timings.appdirect_remote_ns
-                                        : config_.timings.appdirect_local_ns));
+  const CostClass sc =
+      remote ? CostClass::kStorageRemote : CostClass::kStorageLocal;
+  ThreadState& ts = Thread(t);
+  ChargeUser(ts, TraceBucket::kStorageIo,
+             UserEventCostNs(sc, config_.kind, config_.timings, inv_mlp_));
+  CountCost(ts, sc);
 }
 
 void Machine::BeginEpoch(uint32_t active_threads) {
@@ -463,8 +461,15 @@ void Machine::BeginEpoch(uint32_t active_threads) {
       std::fill(std::begin(ts.kernel_bucket), std::end(ts.kernel_bucket),
                 SimNs{0});
     }
+    if (trace_cost_) [[unlikely]] {
+      std::fill(std::begin(ts.cost_count), std::end(ts.cost_count),
+                uint64_t{0});
+    }
   }
   for (ChannelBytes& ch : channels_) ch = ChannelBytes{};
+  if (trace_cost_) [[unlikely]] {
+    for (auto& f : cost_fills_) f = EpochTrace::CostRecord::SocketFill{};
+  }
   epoch_active_threads_ = active_threads;
   in_epoch_ = true;
   for (AccessObserver* o : observers_) o->OnEpochBegin(active_threads);
@@ -532,7 +537,7 @@ EpochReport Machine::EndEpoch() {
     // final here, and a SimulatedCrash from the hook below must not lose
     // the crashing epoch's trace.
     EmitEpochTrace(epoch_index, report, epoch_start_ns, crit_index,
-                   crit_user_base, crit_kernel);
+                   crit_user_base, crit_kernel, remote_factor);
   }
   if (!observers_.empty()) [[unlikely]] {
     uint64_t races = 0;
@@ -561,7 +566,8 @@ void Machine::ChargeRegion(RegionId id, double ns) {
 
 void Machine::EmitEpochTrace(uint64_t epoch_index, const EpochReport& report,
                              SimNs start_ns, uint32_t crit_index,
-                             SimNs crit_user, SimNs crit_kernel) {
+                             SimNs crit_user, SimNs crit_kernel,
+                             double remote_factor) {
   EpochTrace et;
   et.epoch_index = epoch_index;
   et.active_threads = epoch_active_threads_;
@@ -646,6 +652,30 @@ void Machine::EmitEpochTrace(uint64_t epoch_index, const EpochReport& report,
     const SimNs user = static_cast<SimNs>(ts.user_ns);
     if (user == 0 && ts.kernel_ns == 0) continue;
     et.threads.push_back({static_cast<ThreadId>(i), user, ts.kernel_ns});
+    if (trace_cost_) [[unlikely]] {
+      EpochTrace::CostRecord::ThreadCost tc;
+      tc.thread = static_cast<ThreadId>(i);
+      for (size_t c = 0; c < kCostClassCount; ++c) {
+        tc.counts[c] = ts.cost_count[c];
+      }
+      tc.compute_ns =
+          ts.user_bucket[static_cast<size_t>(TraceBucket::kCompute)];
+      tc.retry_ns =
+          ts.user_bucket[static_cast<size_t>(TraceBucket::kRetryBackoff)];
+      tc.user_exact_ns = ts.user_ns;
+      et.cost.threads.push_back(tc);
+    }
+  }
+  if (trace_cost_) [[unlikely]] {
+    et.cost.valid = true;
+    et.cost.remote_factor = remote_factor;
+    if (report.daemon_ns > 0) {
+      et.cost.daemon_scan_raw = last_daemon_.scan_raw;
+      et.cost.daemon_shootdown_raw = last_daemon_.shootdown_raw;
+      et.cost.daemon_move_ns = last_daemon_.move;
+    }
+    et.cost.channels.assign(channels_.begin(), channels_.end());
+    et.cost.fills.assign(cost_fills_.begin(), cost_fills_.end());
   }
 
   std::sort(epoch_regions_.begin(), epoch_regions_.end());
@@ -684,7 +714,8 @@ SimNs Machine::RunMigrationDaemon() {
   ++scan_counter_;
   ++stats_.migration_scans;
   DaemonCost dc;
-  dc.scan = KernelCost(pages_.mapped_pages() * mc.scan_per_page_ns);
+  dc.scan_raw = pages_.mapped_pages() * mc.scan_per_page_ns;
+  dc.scan = KernelCost(dc.scan_raw);
 
   uint32_t migrated = 0;
   uint64_t page_seq = 0;
@@ -739,8 +770,9 @@ SimNs Machine::RunMigrationDaemon() {
     // One batched shootdown: the IPI wave interrupts all cores in
     // parallel, so the critical path grows by one handler, not by the
     // sum over cores.
-    dc.shootdown = KernelCost(mc.shootdown_base_ns +
-                              SimNs{migrated} * mc.shootdown_per_page_ns);
+    dc.shootdown_raw =
+        mc.shootdown_base_ns + SimNs{migrated} * mc.shootdown_per_page_ns;
+    dc.shootdown = KernelCost(dc.shootdown_raw);
   }
   dc.migrated = migrated;
   last_daemon_ = dc;

@@ -10,6 +10,7 @@
 #include "pmg/common/check.h"
 #include "pmg/common/types.h"
 #include "pmg/memsim/access_observer.h"
+#include "pmg/memsim/cost_model.h"
 #include "pmg/memsim/fault_hook.h"
 #include "pmg/memsim/cpu_cache.h"
 #include "pmg/memsim/near_memory.h"
@@ -36,16 +37,8 @@
 
 namespace pmg::memsim {
 
-/// Which memory system the machine runs (Figure 2).
-enum class MachineKind {
-  /// DRAM is main memory (paper's DRAM baseline and "Entropy").
-  kDramMain,
-  /// Optane PMM is main memory; DRAM is the per-socket near-memory cache.
-  kMemoryMode,
-  /// DRAM is main memory; PMM is byte-addressable storage reached through
-  /// the StorageRead/StorageWrite interface (GridGraph's configuration).
-  kAppDirect,
-};
+// MachineKind lives in cost_model.h (the shared machine/whatif pricing
+// vocabulary) and is re-exported here for all existing users.
 
 /// Knobs of the Linux AutoNUMA-style migration model (Section 4.2).
 struct MigrationConfig {
@@ -221,6 +214,7 @@ class Machine {
   void SetTraceSink(TraceSink* sink) {
     PMG_CHECK_MSG(!in_epoch_, "attach/detach a trace sink outside an epoch");
     trace_ = sink;
+    trace_cost_ = sink != nullptr && sink->WantsCostModel();
   }
   TraceSink* trace_sink() const { return trace_; }
 
@@ -248,24 +242,28 @@ class Machine {
     /// user_bucket; each kernel-side add in one kernel_bucket.
     double user_bucket[kTraceBucketCount] = {};
     SimNs kernel_bucket[kTraceBucketCount] = {};
+    /// Per-CostClass event counts, maintained only while the attached
+    /// sink wants the cost model (pmg::whatif journaling). Counts never
+    /// feed pricing.
+    uint64_t cost_count[kCostClassCount] = {};
   };
 
-  /// Kernel-cost breakdown of the last migration-daemon scan.
+  /// Kernel-cost breakdown of the last migration-daemon scan. The _raw
+  /// fields are the pre-pmm_kernel_factor integral costs, recorded for
+  /// the whatif cost journal.
   struct DaemonCost {
     SimNs scan = 0;
     SimNs move = 0;
     SimNs remap = 0;
     SimNs shootdown = 0;
+    SimNs scan_raw = 0;
+    SimNs shootdown_raw = 0;
     uint64_t migrated = 0;
   };
 
-  /// Byte counters of one socket's channels for the current epoch.
-  struct ChannelBytes {
-    // [local/remote][seq/rand][read/write]; remote traffic crosses the
-    // interconnect and is priced with the remote-bandwidth rows.
-    uint64_t dram[2][2][2] = {};
-    uint64_t pmm[2][2][2] = {};
-  };
+  /// Byte counters of one socket's channels for the current epoch
+  /// (shared with the whatif re-pricer via cost_model.h).
+  using ChannelBytes = ChannelByteCounts;
 
   ThreadState& Thread(ThreadId t);
   /// Handles a minor fault: places the page per policy and maps frames.
@@ -302,6 +300,13 @@ class Machine {
       ts.kernel_bucket[static_cast<size_t>(b)] += ns;
     }
   }
+  /// Counts one priced event for the whatif cost journal (cost-model
+  /// sinks only; counts never feed pricing).
+  void CountCost(ThreadState& ts, CostClass c) {
+    if (trace_cost_) [[unlikely]] {
+      ++ts.cost_count[static_cast<size_t>(c)];
+    }
+  }
   /// Attributes access-path user time to a region (tracing only).
   void ChargeRegion(RegionId id, double ns);
   /// Converts the critical thread's fractional buckets to integer
@@ -309,7 +314,7 @@ class Machine {
   /// to the attached sink (tracing only; called from EndEpoch).
   void EmitEpochTrace(uint64_t epoch_index, const EpochReport& report,
                       SimNs start_ns, uint32_t crit_index, SimNs crit_user,
-                      SimNs crit_kernel);
+                      SimNs crit_kernel, double remote_factor);
   void ChargeChannel(NodeId node, bool pmm, bool remote, bool sequential,
                      bool write, uint64_t bytes);
   /// Epoch time of one socket's channels. `remote_factor` scales the
@@ -346,6 +351,11 @@ class Machine {
   /// Not owned; null when no time attribution is attached (same
   /// zero-cost-when-empty contract as the other seams).
   TraceSink* trace_ = nullptr;
+  /// Cached trace_->WantsCostModel() so the hot path pays one bool test.
+  bool trace_cost_ = false;
+  /// Per-socket near-memory miss fill/writeback bytes for the current
+  /// epoch, maintained only when trace_cost_.
+  std::vector<EpochTrace::CostRecord::SocketFill> cost_fills_;
   DaemonCost last_daemon_;
   /// Per-region access-path scratch for the current epoch, maintained
   /// only while tracing; indexed by RegionId, compacted via

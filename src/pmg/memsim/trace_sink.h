@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "pmg/common/types.h"
+#include "pmg/memsim/cost_model.h"
 #include "pmg/memsim/page_table.h"
 
 /// \file trace_sink.h
@@ -158,6 +159,50 @@ struct EpochTrace {
   /// Pages migrated by the daemon scan that ran at this epoch's end.
   uint64_t migrations = 0;
 
+  /// The priced inputs of the epoch, sufficient to re-derive its cost
+  /// from a MemoryTimings (pmg::whatif). Populated only for sinks whose
+  /// WantsCostModel() returns true; `valid` is false otherwise.
+  struct CostRecord {
+    bool valid = false;
+    /// Degraded-link factor the roofline was priced with this epoch.
+    double remote_factor = 1.0;
+    /// Migration-daemon components. Scan and shootdown are the raw
+    /// (pre-pmm_kernel_factor) integral costs; remap re-derives from
+    /// `migrations` (a constant per page); move does not depend on
+    /// MemoryTimings and is carried as the final priced value.
+    SimNs daemon_scan_raw = 0;
+    SimNs daemon_shootdown_raw = 0;
+    SimNs daemon_move_ns = 0;
+
+    /// Per-thread event counts and recorded clocks, parallel to
+    /// EpochTrace::threads (same order, same omit-zero rule).
+    struct ThreadCost {
+      ThreadId thread = 0;
+      uint64_t counts[kCostClassCount] = {};
+      /// Recorded sums of the two user-side charges that have no
+      /// per-event class (arbitrary per-call amounts).
+      double compute_ns = 0;
+      double retry_ns = 0;
+      /// The thread's exact fractional user clock at epoch end (the
+      /// integer EpochTrace::ThreadSlice::user_ns is its truncation).
+      double user_exact_ns = 0;
+    };
+    std::vector<ThreadCost> threads;
+
+    /// Per-socket channel byte counters, full split (indexed by socket).
+    std::vector<ChannelByteCounts> channels;
+
+    /// Memory-mode near-memory miss traffic per socket, so a
+    /// perfect-near-memory counterfactual can subtract exactly the
+    /// miss-induced media bytes from the roofline.
+    struct SocketFill {
+      uint64_t fill_bytes = 0;
+      uint64_t writeback_bytes = 0;
+    };
+    std::vector<SocketFill> fills;
+  };
+  CostRecord cost;
+
   SimNs BucketSum() const {
     SimNs sum = 0;
     for (SimNs b : buckets) sum += b;
@@ -200,6 +245,13 @@ class TraceSink {
   /// One finished epoch. Called after MachineStats are updated, before
   /// observers and the fault hook see the epoch end.
   virtual void OnEpochTrace(const EpochTrace& epoch) = 0;
+
+  /// Opt-in to the per-event cost model: when true the machine
+  /// additionally maintains per-thread CostClass counters and fills
+  /// EpochTrace::cost. Costs never feed pricing, so a sink that declines
+  /// (the default) sees the exact pre-whatif EpochTrace and the machine
+  /// does no extra bookkeeping.
+  virtual bool WantsCostModel() const { return false; }
 
   /// A point event at simulated time `at_ns` (the clock of the epoch the
   /// event fell in; mid-epoch events carry the epoch's start clock, since

@@ -150,6 +150,27 @@ void DiffBenchDocs(const trace::JsonValue& baseline,
                            "] (no baseline)");
     }
   }
+
+  // Top-level sections this differ does not know (e.g. a newer tool's
+  // "whatif" block) are surfaced as notes, never failures: reports may
+  // grow sections without invalidating committed baselines.
+  for (const auto& [key, value] : current.object) {
+    (void)value;
+    if (key == "bench" || key == "rows" || key == "schema_version") continue;
+    if (baseline.Find(key) == nullptr) {
+      out->notes.push_back("bench '" + bench + "': unknown section '" + key +
+                           "' in current report (ignored)");
+    }
+  }
+  for (const auto& [key, value] : baseline.object) {
+    (void)value;
+    if (key == "bench" || key == "rows" || key == "schema_version") continue;
+    if (current.Find(key) == nullptr) {
+      out->notes.push_back("bench '" + bench + "': section '" + key +
+                           "' from baseline absent in current report "
+                           "(ignored)");
+    }
+  }
 }
 
 void DiffBenchText(const std::string& baseline_text,

@@ -279,6 +279,65 @@ void PrintHeatReport(const metrics::HeatReport& heat, std::FILE* out) {
                static_cast<unsigned long long>(heat.dropped_accesses));
 }
 
+void PrintWhatifReport(const whatif::ExplainReport& report, std::FILE* out) {
+  std::fprintf(out,
+               "\nwhatif: %s machine '%s', %u socket(s), migration %s, "
+               "%llu epoch(s), %s ms journaled\n",
+               report.kind.c_str(), report.machine_name.c_str(),
+               report.sockets, report.migration_enabled ? "on" : "off",
+               static_cast<unsigned long long>(report.epochs),
+               FormatMillis(report.total_ns).c_str());
+
+  const double denom =
+      report.total_ns == 0 ? 1.0 : static_cast<double>(report.total_ns);
+  Table bound({"bound", "epochs", "time (ms)", "share"});
+  bound.AddRow({"latency", std::to_string(report.latency_bound_epochs),
+                FormatMillis(report.latency_bound_ns),
+                FormatDouble(static_cast<double>(report.latency_bound_ns) /
+                                 denom * 100.0,
+                             1) +
+                    "%"});
+  bound.AddRow({"bandwidth", std::to_string(report.bandwidth_bound_epochs),
+                FormatMillis(report.bandwidth_bound_ns),
+                FormatDouble(static_cast<double>(report.bandwidth_bound_ns) /
+                                 denom * 100.0,
+                             1) +
+                    "%"});
+  bound.AddRow({"daemon", std::to_string(report.daemon_bound_epochs),
+                FormatMillis(report.daemon_bound_ns),
+                FormatDouble(static_cast<double>(report.daemon_bound_ns) /
+                                 denom * 100.0,
+                             1) +
+                    "%"});
+  bound.Print(out);
+
+  if (!report.stragglers.empty()) {
+    std::fprintf(out, "stragglers (thread that set the epoch barrier):\n");
+    Table straggle({"thread", "critical epochs", "critical time (ms)"});
+    for (const whatif::ExplainReport::ThreadBlame& b : report.stragglers) {
+      straggle.AddRow({std::to_string(b.thread),
+                       std::to_string(b.critical_epochs),
+                       FormatMillis(b.critical_ns)});
+    }
+    straggle.Print(out);
+    std::fprintf(out, "barrier idle: %s ms; imbalance (critical/mean):",
+                 FormatMillis(report.barrier_idle_ns).c_str());
+    for (size_t i = 0; i < whatif::kImbalanceBuckets; ++i) {
+      std::fprintf(out, " %s=%llu", whatif::ImbalanceBucketName(i),
+                   static_cast<unsigned long long>(report.imbalance[i]));
+    }
+    std::fprintf(out, "\n");
+  }
+
+  std::fprintf(out, "top levers (counterfactual re-pricing):\n");
+  Table levers({"lever", "predicted (ms)", "speedup", "what it models"});
+  for (const whatif::ExplainReport::Lever& l : report.levers) {
+    levers.AddRow({l.name, FormatMillis(l.predicted_total_ns),
+                   FormatRatio(l.speedup), l.description});
+  }
+  levers.Print(out);
+}
+
 double Geomean(const std::vector<double>& values) {
   double log_sum = 0;
   int n = 0;

@@ -12,6 +12,7 @@
 #include "pmg/metrics/heatmap.h"
 #include "pmg/sancheck/sancheck.h"
 #include "pmg/trace/trace_session.h"
+#include "pmg/whatif/explain.h"
 
 /// \file report.h
 /// Plain-text table rendering and summary statistics for the benchmark
@@ -76,6 +77,12 @@ void PrintTraceReport(const trace::TraceReport& report,
 /// pages — with an explicit line for what the top-K table dropped.
 void PrintHeatReport(const metrics::HeatReport& heat,
                      std::FILE* out = stdout);
+
+/// Prints a journaled run's explanation: the epoch bound-classification
+/// split, the straggler table with the barrier-imbalance histogram, and
+/// the ranked "top levers" counterfactual table.
+void PrintWhatifReport(const whatif::ExplainReport& report,
+                       std::FILE* out = stdout);
 
 }  // namespace pmg::scenarios
 

@@ -1,0 +1,206 @@
+#include "pmg/whatif/explain.h"
+
+#include <algorithm>
+#include <map>
+
+#include "pmg/common/check.h"
+
+namespace pmg::whatif {
+
+namespace {
+
+const char* KindName(memsim::MachineKind kind) {
+  switch (kind) {
+    case memsim::MachineKind::kDramMain:
+      return "dram";
+    case memsim::MachineKind::kMemoryMode:
+      return "memory";
+    case memsim::MachineKind::kAppDirect:
+      return "appdirect";
+  }
+  return "?";
+}
+
+size_t ImbalanceBucket(double ratio) {
+  if (ratio < 1.1) return 0;
+  if (ratio < 1.25) return 1;
+  if (ratio < 1.5) return 2;
+  if (ratio < 2.0) return 3;
+  return 4;
+}
+
+}  // namespace
+
+const char* ImbalanceBucketName(size_t bucket) {
+  switch (bucket) {
+    case 0:
+      return "<1.1x";
+    case 1:
+      return "1.1-1.25x";
+    case 2:
+      return "1.25-1.5x";
+    case 3:
+      return "1.5-2x";
+    case 4:
+      return ">=2x";
+  }
+  return "?";
+}
+
+ExplainReport BuildExplainReport(const CostJournal& journal) {
+  VerifyIdentity(journal);
+
+  ExplainReport r;
+  r.machine_name = journal.machine_name;
+  r.kind = KindName(journal.kind);
+  r.sockets = journal.sockets;
+  r.migration_enabled = journal.migration_enabled;
+  r.epochs = journal.epochs.size();
+  r.total_ns = journal.total_ns;
+
+  std::map<ThreadId, ExplainReport::ThreadBlame> blame;
+  for (const EpochCost& e : journal.epochs) {
+    // Bound classification: daemon first (it is additive on top of
+    // whichever path won), then the recorded path comparison.
+    if (e.daemon_ns * 2 >= e.total_ns && e.daemon_ns > 0) {
+      ++r.daemon_bound_epochs;
+      r.daemon_bound_ns += e.total_ns;
+    } else if (e.bandwidth_bound) {
+      ++r.bandwidth_bound_epochs;
+      r.bandwidth_bound_ns += e.total_ns;
+    } else {
+      ++r.latency_bound_epochs;
+      r.latency_bound_ns += e.total_ns;
+    }
+
+    if (e.latency_path_ns == 0) continue;
+    if (!e.bandwidth_bound) {
+      ExplainReport::ThreadBlame& b = blame[e.critical_thread];
+      b.thread = e.critical_thread;
+      ++b.critical_epochs;
+      b.critical_ns += e.latency_path_ns;
+    }
+    if (e.threads.size() >= 2) {
+      SimNs sum = 0;
+      for (const EpochCost::ThreadCost& tc : e.threads) {
+        const SimNs t = tc.user_ns + tc.kernel_ns;
+        sum += t;
+        r.barrier_idle_ns += e.latency_path_ns - t;
+      }
+      const double mean = static_cast<double>(sum) /
+                          static_cast<double>(e.threads.size());
+      const double ratio =
+          mean <= 0.0 ? 1.0
+                      : static_cast<double>(e.latency_path_ns) / mean;
+      ++r.imbalance[ImbalanceBucket(ratio)];
+    }
+  }
+
+  for (const auto& [tid, b] : blame) r.stragglers.push_back(b);
+  std::stable_sort(r.stragglers.begin(), r.stragglers.end(),
+                   [](const ExplainReport::ThreadBlame& a,
+                      const ExplainReport::ThreadBlame& b) {
+                     if (a.critical_ns != b.critical_ns)
+                       return a.critical_ns > b.critical_ns;
+                     return a.thread < b.thread;
+                   });
+
+  for (const Counterfactual& cf : StandardKnobs(journal)) {
+    const RepriceResult rr = Reprice(journal, cf);
+    ExplainReport::Lever lever;
+    lever.name = cf.name;
+    lever.description = cf.description;
+    lever.predicted_total_ns = rr.total_ns;
+    lever.speedup = rr.total_ns == 0
+                        ? 1.0
+                        : static_cast<double>(journal.total_ns) /
+                              static_cast<double>(rr.total_ns);
+    lever.bandwidth_bound_epochs = rr.bandwidth_bound_epochs;
+    r.levers.push_back(std::move(lever));
+  }
+  std::stable_sort(r.levers.begin(), r.levers.end(),
+                   [](const ExplainReport::Lever& a,
+                      const ExplainReport::Lever& b) {
+                     if (a.speedup != b.speedup) return a.speedup > b.speedup;
+                     return a.name < b.name;
+                   });
+  return r;
+}
+
+void WriteExplainJson(const ExplainReport& report, trace::JsonWriter* w) {
+  PMG_CHECK(w != nullptr);
+  w->BeginObject();
+  w->Key("machine");
+  w->String(report.machine_name);
+  w->Key("kind");
+  w->String(report.kind);
+  w->Key("sockets");
+  w->UInt(report.sockets);
+  w->Key("migration");
+  w->Bool(report.migration_enabled);
+  w->Key("epochs");
+  w->UInt(report.epochs);
+  w->Key("total_ns");
+  w->UInt(report.total_ns);
+
+  w->Key("bound");
+  w->BeginObject();
+  w->Key("latency_epochs");
+  w->UInt(report.latency_bound_epochs);
+  w->Key("latency_ns");
+  w->UInt(report.latency_bound_ns);
+  w->Key("bandwidth_epochs");
+  w->UInt(report.bandwidth_bound_epochs);
+  w->Key("bandwidth_ns");
+  w->UInt(report.bandwidth_bound_ns);
+  w->Key("daemon_epochs");
+  w->UInt(report.daemon_bound_epochs);
+  w->Key("daemon_ns");
+  w->UInt(report.daemon_bound_ns);
+  w->EndObject();
+
+  w->Key("stragglers");
+  w->BeginArray();
+  for (const ExplainReport::ThreadBlame& b : report.stragglers) {
+    w->BeginObject();
+    w->Key("thread");
+    w->UInt(b.thread);
+    w->Key("critical_epochs");
+    w->UInt(b.critical_epochs);
+    w->Key("critical_ns");
+    w->UInt(b.critical_ns);
+    w->EndObject();
+  }
+  w->EndArray();
+
+  w->Key("imbalance");
+  w->BeginObject();
+  for (size_t i = 0; i < kImbalanceBuckets; ++i) {
+    w->Key(ImbalanceBucketName(i));
+    w->UInt(report.imbalance[i]);
+  }
+  w->EndObject();
+  w->Key("barrier_idle_ns");
+  w->UInt(report.barrier_idle_ns);
+
+  w->Key("levers");
+  w->BeginArray();
+  for (const ExplainReport::Lever& l : report.levers) {
+    w->BeginObject();
+    w->Key("name");
+    w->String(l.name);
+    w->Key("description");
+    w->String(l.description);
+    w->Key("predicted_total_ns");
+    w->UInt(l.predicted_total_ns);
+    w->Key("speedup");
+    w->Double(l.speedup);
+    w->Key("bandwidth_bound_epochs");
+    w->UInt(l.bandwidth_bound_epochs);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace pmg::whatif

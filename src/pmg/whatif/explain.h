@@ -1,0 +1,88 @@
+#ifndef PMG_WHATIF_EXPLAIN_H_
+#define PMG_WHATIF_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/trace/json.h"
+#include "pmg/whatif/journal.h"
+#include "pmg/whatif/reprice.h"
+
+/// \file explain.h
+/// The bottleneck explainer: classifies every journaled epoch as
+/// latency-, bandwidth-, or daemon-bound, attributes each epoch barrier
+/// to its critical thread with a straggler-imbalance histogram, and ranks
+/// the standard counterfactual knobs (reprice.h) into a "top levers"
+/// table. BuildExplainReport() runs VerifyIdentity() first, so every
+/// explanation is backed by a journal that provably reproduces the run.
+
+namespace pmg::whatif {
+
+/// Imbalance histogram buckets: critical thread time / mean thread time.
+/// Fixed edges so golden output is stable: <1.1, 1.1-1.25, 1.25-1.5,
+/// 1.5-2, >=2.
+inline constexpr size_t kImbalanceBuckets = 5;
+const char* ImbalanceBucketName(size_t bucket);
+
+struct ExplainReport {
+  std::string machine_name;
+  std::string kind;
+  uint32_t sockets = 0;
+  bool migration_enabled = false;
+  uint64_t epochs = 0;
+  SimNs total_ns = 0;
+
+  /// Epoch bound classification. An epoch is daemon-bound when daemon
+  /// overhead is at least half its total, else bandwidth-bound when the
+  /// roofline exceeded the latency path, else latency-bound. The _ns
+  /// sums are of whole-epoch totals, so they add up to total_ns.
+  uint64_t latency_bound_epochs = 0;
+  uint64_t bandwidth_bound_epochs = 0;
+  uint64_t daemon_bound_epochs = 0;
+  SimNs latency_bound_ns = 0;
+  SimNs bandwidth_bound_ns = 0;
+  SimNs daemon_bound_ns = 0;
+
+  /// Straggler attribution: per-thread share of the epochs whose barrier
+  /// it set (latency-path epochs only), sorted by critical time
+  /// descending, thread id ascending on ties.
+  struct ThreadBlame {
+    ThreadId thread = 0;
+    uint64_t critical_epochs = 0;
+    SimNs critical_ns = 0;  ///< sum of latency paths it set
+  };
+  std::vector<ThreadBlame> stragglers;
+
+  /// Histogram of critical/mean thread-time ratios over multi-thread
+  /// epochs with a nonzero latency path.
+  uint64_t imbalance[kImbalanceBuckets] = {};
+  /// Simulated time journaled threads spent waiting at epoch barriers
+  /// (sum over epochs of latency path minus each thread's own time).
+  SimNs barrier_idle_ns = 0;
+
+  /// The standard knobs, re-priced and ranked by speedup descending
+  /// (name ascending on ties, so the table is deterministic).
+  struct Lever {
+    std::string name;
+    std::string description;
+    SimNs predicted_total_ns = 0;
+    double speedup = 1.0;
+    uint64_t bandwidth_bound_epochs = 0;
+  };
+  std::vector<Lever> levers;
+};
+
+/// Verifies the identity law on `journal` (PMG_CHECK), then classifies
+/// epochs, attributes stragglers, and re-prices the standard knobs.
+ExplainReport BuildExplainReport(const CostJournal& journal);
+
+/// Appends the report as one JSON object value (the caller writes the
+/// surrounding key). Used for --explain=json and the run report's
+/// "whatif" section.
+void WriteExplainJson(const ExplainReport& report, trace::JsonWriter* w);
+
+}  // namespace pmg::whatif
+
+#endif  // PMG_WHATIF_EXPLAIN_H_

@@ -1,0 +1,594 @@
+#include "pmg/whatif/journal.h"
+
+#include <cstdio>
+#include <string>
+
+#include "pmg/common/check.h"
+#include "pmg/trace/json.h"
+
+namespace pmg::whatif {
+
+namespace {
+
+const char* KindName(memsim::MachineKind kind) {
+  switch (kind) {
+    case memsim::MachineKind::kDramMain:
+      return "dram";
+    case memsim::MachineKind::kMemoryMode:
+      return "memory";
+    case memsim::MachineKind::kAppDirect:
+      return "appdirect";
+  }
+  return "?";
+}
+
+bool KindFromName(const std::string& name, memsim::MachineKind* out) {
+  if (name == "dram") {
+    *out = memsim::MachineKind::kDramMain;
+  } else if (name == "memory") {
+    *out = memsim::MachineKind::kMemoryMode;
+  } else if (name == "appdirect") {
+    *out = memsim::MachineKind::kAppDirect;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool TimingsEqual(const memsim::MemoryTimings& a,
+                  const memsim::MemoryTimings& b) {
+  auto bw_eq = [](const memsim::ChannelBandwidth& x,
+                  const memsim::ChannelBandwidth& y) {
+    return x.seq_read_gbs == y.seq_read_gbs &&
+           x.seq_write_gbs == y.seq_write_gbs &&
+           x.rand_read_gbs == y.rand_read_gbs &&
+           x.rand_write_gbs == y.rand_write_gbs;
+  };
+  return a.dram_local_ns == b.dram_local_ns &&
+         a.dram_remote_ns == b.dram_remote_ns &&
+         a.near_mem_hit_local_ns == b.near_mem_hit_local_ns &&
+         a.near_mem_hit_remote_ns == b.near_mem_hit_remote_ns &&
+         a.near_mem_miss_extra_ns == b.near_mem_miss_extra_ns &&
+         a.appdirect_local_ns == b.appdirect_local_ns &&
+         a.appdirect_remote_ns == b.appdirect_remote_ns &&
+         bw_eq(a.dram_local, b.dram_local) &&
+         bw_eq(a.dram_remote, b.dram_remote) &&
+         bw_eq(a.pmm_local, b.pmm_local) && bw_eq(a.pmm_remote, b.pmm_remote) &&
+         a.cpu_cache_hit_ns == b.cpu_cache_hit_ns &&
+         a.mem_parallelism == b.mem_parallelism &&
+         a.walk_step_dram_ns == b.walk_step_dram_ns &&
+         a.walk_step_pmm_ns == b.walk_step_pmm_ns &&
+         a.fault_small_dram_ns == b.fault_small_dram_ns &&
+         a.fault_huge_dram_ns == b.fault_huge_dram_ns &&
+         a.pmm_kernel_factor == b.pmm_kernel_factor &&
+         a.machine_check_ns == b.machine_check_ns;
+}
+
+void WriteBandwidth(trace::JsonWriter* w, const char* key,
+                    const memsim::ChannelBandwidth& bw) {
+  w->Key(key).BeginArray();
+  w->Double(bw.seq_read_gbs).Double(bw.seq_write_gbs);
+  w->Double(bw.rand_read_gbs).Double(bw.rand_write_gbs);
+  w->EndArray();
+}
+
+void WriteTimings(trace::JsonWriter* w, const memsim::MemoryTimings& tm) {
+  w->Key("timings").BeginObject();
+  w->Key("dram_local_ns").UInt(tm.dram_local_ns);
+  w->Key("dram_remote_ns").UInt(tm.dram_remote_ns);
+  w->Key("near_mem_hit_local_ns").UInt(tm.near_mem_hit_local_ns);
+  w->Key("near_mem_hit_remote_ns").UInt(tm.near_mem_hit_remote_ns);
+  w->Key("near_mem_miss_extra_ns").UInt(tm.near_mem_miss_extra_ns);
+  w->Key("appdirect_local_ns").UInt(tm.appdirect_local_ns);
+  w->Key("appdirect_remote_ns").UInt(tm.appdirect_remote_ns);
+  WriteBandwidth(w, "dram_local", tm.dram_local);
+  WriteBandwidth(w, "dram_remote", tm.dram_remote);
+  WriteBandwidth(w, "pmm_local", tm.pmm_local);
+  WriteBandwidth(w, "pmm_remote", tm.pmm_remote);
+  w->Key("cpu_cache_hit_ns").UInt(tm.cpu_cache_hit_ns);
+  w->Key("mem_parallelism").Double(tm.mem_parallelism);
+  w->Key("walk_step_dram_ns").UInt(tm.walk_step_dram_ns);
+  w->Key("walk_step_pmm_ns").UInt(tm.walk_step_pmm_ns);
+  w->Key("fault_small_dram_ns").UInt(tm.fault_small_dram_ns);
+  w->Key("fault_huge_dram_ns").UInt(tm.fault_huge_dram_ns);
+  w->Key("pmm_kernel_factor").Double(tm.pmm_kernel_factor);
+  w->Key("machine_check_ns").UInt(tm.machine_check_ns);
+  w->EndObject();
+}
+
+/// Flattened channel-counter order: dram then pmm, each
+/// [local/remote][seq/rand][read/write] row-major — 16 numbers.
+void WriteChannels(trace::JsonWriter* w,
+                   const memsim::ChannelByteCounts& ch) {
+  w->BeginArray();
+  for (int a = 0; a < 2; ++a) {
+    for (int s = 0; s < 2; ++s) {
+      for (int d = 0; d < 2; ++d) w->UInt(ch.dram[a][s][d]);
+    }
+  }
+  for (int a = 0; a < 2; ++a) {
+    for (int s = 0; s < 2; ++s) {
+      for (int d = 0; d < 2; ++d) w->UInt(ch.pmm[a][s][d]);
+    }
+  }
+  w->EndArray();
+}
+
+// --- Parse helpers: every failure surfaces as a one-line error, never a
+// PMG_CHECK abort (truncated/corrupt journals are expected user input).
+
+bool GetUInt(const trace::JsonValue& obj, const char* key, uint64_t* out,
+             std::string* error) {
+  const trace::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsNumber()) {
+    *error = std::string("missing numeric field '") + key + "'";
+    return false;
+  }
+  *out = v->AsUInt();
+  return true;
+}
+
+bool GetDouble(const trace::JsonValue& obj, const char* key, double* out,
+               std::string* error) {
+  const trace::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsNumber()) {
+    *error = std::string("missing numeric field '") + key + "'";
+    return false;
+  }
+  *out = v->number;
+  return true;
+}
+
+bool GetBandwidth(const trace::JsonValue& obj, const char* key,
+                  memsim::ChannelBandwidth* out, std::string* error) {
+  const trace::JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != trace::JsonValue::Kind::kArray ||
+      v->array.size() != 4) {
+    *error = std::string("missing bandwidth row '") + key + "'";
+    return false;
+  }
+  for (const trace::JsonValue& n : v->array) {
+    if (!n.IsNumber()) {
+      *error = std::string("non-numeric bandwidth in '") + key + "'";
+      return false;
+    }
+  }
+  out->seq_read_gbs = v->array[0].number;
+  out->seq_write_gbs = v->array[1].number;
+  out->rand_read_gbs = v->array[2].number;
+  out->rand_write_gbs = v->array[3].number;
+  return true;
+}
+
+bool ParseTimings(const trace::JsonValue& doc, memsim::MemoryTimings* tm,
+                  std::string* error) {
+  const trace::JsonValue* t = doc.Find("timings");
+  if (t == nullptr || t->kind != trace::JsonValue::Kind::kObject) {
+    *error = "missing 'timings' object";
+    return false;
+  }
+  uint64_t u = 0;
+  auto get_ns = [&](const char* key, SimNs* out) {
+    if (!GetUInt(*t, key, &u, error)) return false;
+    *out = u;
+    return true;
+  };
+  return get_ns("dram_local_ns", &tm->dram_local_ns) &&
+         get_ns("dram_remote_ns", &tm->dram_remote_ns) &&
+         get_ns("near_mem_hit_local_ns", &tm->near_mem_hit_local_ns) &&
+         get_ns("near_mem_hit_remote_ns", &tm->near_mem_hit_remote_ns) &&
+         get_ns("near_mem_miss_extra_ns", &tm->near_mem_miss_extra_ns) &&
+         get_ns("appdirect_local_ns", &tm->appdirect_local_ns) &&
+         get_ns("appdirect_remote_ns", &tm->appdirect_remote_ns) &&
+         GetBandwidth(*t, "dram_local", &tm->dram_local, error) &&
+         GetBandwidth(*t, "dram_remote", &tm->dram_remote, error) &&
+         GetBandwidth(*t, "pmm_local", &tm->pmm_local, error) &&
+         GetBandwidth(*t, "pmm_remote", &tm->pmm_remote, error) &&
+         get_ns("cpu_cache_hit_ns", &tm->cpu_cache_hit_ns) &&
+         GetDouble(*t, "mem_parallelism", &tm->mem_parallelism, error) &&
+         get_ns("walk_step_dram_ns", &tm->walk_step_dram_ns) &&
+         get_ns("walk_step_pmm_ns", &tm->walk_step_pmm_ns) &&
+         get_ns("fault_small_dram_ns", &tm->fault_small_dram_ns) &&
+         get_ns("fault_huge_dram_ns", &tm->fault_huge_dram_ns) &&
+         GetDouble(*t, "pmm_kernel_factor", &tm->pmm_kernel_factor, error) &&
+         get_ns("machine_check_ns", &tm->machine_check_ns);
+}
+
+bool ParseChannels(const trace::JsonValue& v, memsim::ChannelByteCounts* ch,
+                   std::string* error) {
+  if (v.kind != trace::JsonValue::Kind::kArray || v.array.size() != 16) {
+    *error = "channel counter row must have 16 entries";
+    return false;
+  }
+  for (const trace::JsonValue& n : v.array) {
+    if (!n.IsNumber()) {
+      *error = "non-numeric channel counter";
+      return false;
+    }
+  }
+  size_t i = 0;
+  for (int a = 0; a < 2; ++a) {
+    for (int s = 0; s < 2; ++s) {
+      for (int d = 0; d < 2; ++d) ch->dram[a][s][d] = v.array[i++].AsUInt();
+    }
+  }
+  for (int a = 0; a < 2; ++a) {
+    for (int s = 0; s < 2; ++s) {
+      for (int d = 0; d < 2; ++d) ch->pmm[a][s][d] = v.array[i++].AsUInt();
+    }
+  }
+  return true;
+}
+
+bool ParseEpoch(const trace::JsonValue& e, EpochCost* out,
+                std::string* error) {
+  if (e.kind != trace::JsonValue::Kind::kObject) {
+    *error = "epoch entry is not an object";
+    return false;
+  }
+  uint64_t u = 0;
+  if (!GetUInt(e, "i", &out->epoch_index, error)) return false;
+  if (!GetUInt(e, "act", &u, error)) return false;
+  out->active_threads = static_cast<uint32_t>(u);
+  if (!GetUInt(e, "at", &out->start_ns, error)) return false;
+  if (!GetUInt(e, "tot", &out->total_ns, error)) return false;
+  if (!GetUInt(e, "lat", &out->latency_path_ns, error)) return false;
+  if (!GetUInt(e, "bw", &out->bandwidth_path_ns, error)) return false;
+  if (!GetUInt(e, "dm", &out->daemon_ns, error)) return false;
+  const trace::JsonValue* bb = e.Find("bb");
+  if (bb == nullptr || bb->kind != trace::JsonValue::Kind::kBool) {
+    *error = "missing bool field 'bb'";
+    return false;
+  }
+  out->bandwidth_bound = bb->bool_value;
+  if (!GetUInt(e, "crit", &u, error)) return false;
+  out->critical_thread = static_cast<ThreadId>(u);
+  if (!GetDouble(e, "rf", &out->remote_factor, error)) return false;
+  if (!GetUInt(e, "dscan", &out->daemon_scan_raw, error)) return false;
+  if (!GetUInt(e, "dshoot", &out->daemon_shootdown_raw, error)) return false;
+  if (!GetUInt(e, "dmove", &out->daemon_move_ns, error)) return false;
+  if (!GetUInt(e, "mig", &out->migrations, error)) return false;
+
+  const trace::JsonValue* threads = e.Find("threads");
+  if (threads == nullptr || threads->kind != trace::JsonValue::Kind::kArray) {
+    *error = "missing 'threads' array";
+    return false;
+  }
+  for (const trace::JsonValue& t : threads->array) {
+    // [thread, user, kernel, user_exact, compute, retry, [counts x16]]
+    if (t.kind != trace::JsonValue::Kind::kArray ||
+        t.array.size() != 7 ||
+        t.array[6].kind != trace::JsonValue::Kind::kArray ||
+        t.array[6].array.size() != memsim::kCostClassCount) {
+      *error = "malformed thread cost row";
+      return false;
+    }
+    for (size_t k = 0; k < 6; ++k) {
+      if (!t.array[k].IsNumber()) {
+        *error = "non-numeric thread cost field";
+        return false;
+      }
+    }
+    EpochCost::ThreadCost tc;
+    tc.thread = static_cast<ThreadId>(t.array[0].AsUInt());
+    tc.user_ns = t.array[1].AsUInt();
+    tc.kernel_ns = t.array[2].AsUInt();
+    tc.user_exact_ns = t.array[3].number;
+    tc.compute_ns = t.array[4].number;
+    tc.retry_ns = t.array[5].number;
+    for (size_t c = 0; c < memsim::kCostClassCount; ++c) {
+      const trace::JsonValue& n = t.array[6].array[c];
+      if (!n.IsNumber()) {
+        *error = "non-numeric event count";
+        return false;
+      }
+      tc.counts[c] = n.AsUInt();
+    }
+    out->threads.push_back(tc);
+  }
+
+  const trace::JsonValue* channels = e.Find("channels");
+  if (channels == nullptr ||
+      channels->kind != trace::JsonValue::Kind::kArray) {
+    *error = "missing 'channels' array";
+    return false;
+  }
+  for (const trace::JsonValue& c : channels->array) {
+    memsim::ChannelByteCounts ch;
+    if (!ParseChannels(c, &ch, error)) return false;
+    out->channels.push_back(ch);
+  }
+
+  const trace::JsonValue* fills = e.Find("fills");
+  if (fills == nullptr || fills->kind != trace::JsonValue::Kind::kArray) {
+    *error = "missing 'fills' array";
+    return false;
+  }
+  for (const trace::JsonValue& f : fills->array) {
+    if (f.kind != trace::JsonValue::Kind::kArray || f.array.size() != 2 ||
+        !f.array[0].IsNumber() || !f.array[1].IsNumber()) {
+      *error = "malformed fill row";
+      return false;
+    }
+    out->fills.push_back({f.array[0].AsUInt(), f.array[1].AsUInt()});
+  }
+  if (out->fills.size() != out->channels.size()) {
+    *error = "fills/channels socket count mismatch";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void JournalRecorder::Attach(memsim::Machine* machine) {
+  PMG_CHECK(machine != nullptr);
+  PMG_CHECK_MSG(machine_ == nullptr,
+                "JournalRecorder is already attached to a machine");
+  const memsim::MachineConfig& cfg = machine->config();
+  if (!header_set_) {
+    journal_.machine_name = cfg.name;
+    journal_.kind = cfg.kind;
+    journal_.sockets = cfg.topology.sockets;
+    journal_.migration_enabled = cfg.migration.enabled;
+    journal_.timings = cfg.timings;
+    header_set_ = true;
+  } else {
+    // Re-attachment (crash recovery): the replacement machine must price
+    // the same way or the journal would mix incompatible cost models.
+    PMG_CHECK_MSG(cfg.kind == journal_.kind &&
+                      cfg.topology.sockets == journal_.sockets &&
+                      TimingsEqual(cfg.timings, journal_.timings),
+                  "re-attaching the cost journal to an incompatible machine");
+  }
+  machine_ = machine;
+  downstream_ = machine->trace_sink();
+  stats_base_total_ = machine->stats().total_ns;
+  machine->SetTraceSink(this);
+}
+
+void JournalRecorder::Detach() {
+  PMG_CHECK_MSG(machine_ != nullptr, "JournalRecorder is not attached");
+  const SimNs delta = machine_->stats().total_ns - stats_base_total_;
+  captured_total_ += delta;
+  // Every epoch of the attached window must have been journaled: the sum
+  // of recorded epoch totals is exactly the machine-clock delta.
+  PMG_CHECK_MSG(journal_.total_ns == captured_total_,
+                "cost journal lost epochs: recorded %llu ns of %llu ns",
+                static_cast<unsigned long long>(journal_.total_ns),
+                static_cast<unsigned long long>(captured_total_));
+  machine_->SetTraceSink(downstream_);
+  machine_ = nullptr;
+  downstream_ = nullptr;
+}
+
+void JournalRecorder::OnEpochTrace(const memsim::EpochTrace& epoch) {
+  PMG_CHECK_MSG(epoch.cost.valid,
+                "machine delivered an epoch without its cost record");
+  EpochCost ec;
+  ec.epoch_index = epoch.epoch_index;
+  ec.active_threads = epoch.active_threads;
+  ec.start_ns = epoch.start_ns;
+  ec.total_ns = epoch.total_ns;
+  ec.latency_path_ns = epoch.latency_path_ns;
+  ec.bandwidth_path_ns = epoch.bandwidth_path_ns;
+  ec.daemon_ns = epoch.daemon_ns;
+  ec.bandwidth_bound = epoch.bandwidth_bound;
+  ec.critical_thread = epoch.critical_thread;
+  ec.remote_factor = epoch.cost.remote_factor;
+  ec.daemon_scan_raw = epoch.cost.daemon_scan_raw;
+  ec.daemon_shootdown_raw = epoch.cost.daemon_shootdown_raw;
+  ec.daemon_move_ns = epoch.cost.daemon_move_ns;
+  ec.migrations = epoch.migrations;
+  PMG_CHECK(epoch.cost.threads.size() == epoch.threads.size());
+  for (size_t i = 0; i < epoch.threads.size(); ++i) {
+    const memsim::EpochTrace::ThreadSlice& slice = epoch.threads[i];
+    const memsim::EpochTrace::CostRecord::ThreadCost& cost =
+        epoch.cost.threads[i];
+    PMG_CHECK(slice.thread == cost.thread);
+    EpochCost::ThreadCost tc;
+    tc.thread = slice.thread;
+    tc.user_ns = slice.user_ns;
+    tc.kernel_ns = slice.kernel_ns;
+    tc.user_exact_ns = cost.user_exact_ns;
+    tc.compute_ns = cost.compute_ns;
+    tc.retry_ns = cost.retry_ns;
+    for (size_t c = 0; c < memsim::kCostClassCount; ++c) {
+      tc.counts[c] = cost.counts[c];
+    }
+    ec.threads.push_back(tc);
+  }
+  ec.channels = epoch.cost.channels;
+  ec.fills = epoch.cost.fills;
+  journal_.total_ns += epoch.total_ns;
+  journal_.epochs.push_back(std::move(ec));
+  if (downstream_ != nullptr) downstream_->OnEpochTrace(epoch);
+}
+
+void JournalRecorder::OnInstant(memsim::TraceInstantKind kind, ThreadId thread,
+                                SimNs at_ns, uint64_t value) {
+  if (downstream_ != nullptr) downstream_->OnInstant(kind, thread, at_ns, value);
+}
+
+std::string JournalToJson(const CostJournal& journal) {
+  trace::JsonWriter w;
+  w.BeginObject();
+  w.Key("pmgj_version").UInt(journal.schema_version);
+  w.Key("machine").String(journal.machine_name);
+  w.Key("kind").String(KindName(journal.kind));
+  w.Key("sockets").UInt(journal.sockets);
+  w.Key("migration_enabled").Bool(journal.migration_enabled);
+  WriteTimings(&w, journal.timings);
+  w.Key("total_ns").UInt(journal.total_ns);
+  w.Key("epochs_total").UInt(journal.epochs.size());
+  w.Key("epochs").BeginArray();
+  for (const EpochCost& e : journal.epochs) {
+    w.BeginObject();
+    w.Key("i").UInt(e.epoch_index);
+    w.Key("act").UInt(e.active_threads);
+    w.Key("at").UInt(e.start_ns);
+    w.Key("tot").UInt(e.total_ns);
+    w.Key("lat").UInt(e.latency_path_ns);
+    w.Key("bw").UInt(e.bandwidth_path_ns);
+    w.Key("dm").UInt(e.daemon_ns);
+    w.Key("bb").Bool(e.bandwidth_bound);
+    w.Key("crit").UInt(e.critical_thread);
+    w.Key("rf").Double(e.remote_factor);
+    w.Key("dscan").UInt(e.daemon_scan_raw);
+    w.Key("dshoot").UInt(e.daemon_shootdown_raw);
+    w.Key("dmove").UInt(e.daemon_move_ns);
+    w.Key("mig").UInt(e.migrations);
+    w.Key("threads").BeginArray();
+    for (const EpochCost::ThreadCost& t : e.threads) {
+      w.BeginArray();
+      w.UInt(t.thread).UInt(t.user_ns).UInt(t.kernel_ns);
+      w.Double(t.user_exact_ns).Double(t.compute_ns).Double(t.retry_ns);
+      w.BeginArray();
+      for (size_t c = 0; c < memsim::kCostClassCount; ++c) {
+        w.UInt(t.counts[c]);
+      }
+      w.EndArray();
+      w.EndArray();
+    }
+    w.EndArray();
+    w.Key("channels").BeginArray();
+    for (const memsim::ChannelByteCounts& ch : e.channels) {
+      WriteChannels(&w, ch);
+    }
+    w.EndArray();
+    w.Key("fills").BeginArray();
+    for (const auto& f : e.fills) {
+      w.BeginArray().UInt(f.fill_bytes).UInt(f.writeback_bytes).EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool JournalFromJson(const std::string& text, CostJournal* out,
+                     std::string* error) {
+  std::string local_error;
+  if (error == nullptr) error = &local_error;
+  trace::JsonValue doc;
+  if (!trace::JsonValue::Parse(text, &doc, error)) {
+    *error = "journal parse error: " + *error;
+    return false;
+  }
+  if (doc.kind != trace::JsonValue::Kind::kObject) {
+    *error = "journal document is not a JSON object";
+    return false;
+  }
+  uint64_t version = 0;
+  if (!GetUInt(doc, "pmgj_version", &version, error)) return false;
+  if (version != kJournalSchemaVersion) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "unsupported .pmgj version %llu (this tool reads version %u)",
+                  static_cast<unsigned long long>(version),
+                  kJournalSchemaVersion);
+    *error = buf;
+    return false;
+  }
+  CostJournal j;
+  j.schema_version = static_cast<uint32_t>(version);
+  const trace::JsonValue* name = doc.Find("machine");
+  if (name == nullptr || name->kind != trace::JsonValue::Kind::kString) {
+    *error = "missing string field 'machine'";
+    return false;
+  }
+  j.machine_name = name->string_value;
+  const trace::JsonValue* kind = doc.Find("kind");
+  if (kind == nullptr || kind->kind != trace::JsonValue::Kind::kString ||
+      !KindFromName(kind->string_value, &j.kind)) {
+    *error = "missing or unknown machine 'kind'";
+    return false;
+  }
+  uint64_t u = 0;
+  if (!GetUInt(doc, "sockets", &u, error)) return false;
+  j.sockets = static_cast<uint32_t>(u);
+  const trace::JsonValue* mig = doc.Find("migration_enabled");
+  if (mig == nullptr || mig->kind != trace::JsonValue::Kind::kBool) {
+    *error = "missing bool field 'migration_enabled'";
+    return false;
+  }
+  j.migration_enabled = mig->bool_value;
+  if (!ParseTimings(doc, &j.timings, error)) return false;
+  if (j.timings.mem_parallelism < 1.0) {
+    *error = "journal mem_parallelism below 1";
+    return false;
+  }
+  if (!GetUInt(doc, "total_ns", &j.total_ns, error)) return false;
+  uint64_t epochs_total = 0;
+  if (!GetUInt(doc, "epochs_total", &epochs_total, error)) return false;
+  const trace::JsonValue* epochs = doc.Find("epochs");
+  if (epochs == nullptr || epochs->kind != trace::JsonValue::Kind::kArray) {
+    *error = "missing 'epochs' array";
+    return false;
+  }
+  if (epochs->array.size() != epochs_total) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "journal truncated: %zu epochs present, header says %llu",
+                  epochs->array.size(),
+                  static_cast<unsigned long long>(epochs_total));
+    *error = buf;
+    return false;
+  }
+  SimNs sum = 0;
+  for (const trace::JsonValue& e : epochs->array) {
+    EpochCost ec;
+    if (!ParseEpoch(e, &ec, error)) {
+      *error = "epoch " + std::to_string(j.epochs.size()) + ": " + *error;
+      return false;
+    }
+    if (ec.channels.size() != j.sockets) {
+      *error = "epoch " + std::to_string(j.epochs.size()) +
+               ": channel socket count mismatch";
+      return false;
+    }
+    sum += ec.total_ns;
+    j.epochs.push_back(std::move(ec));
+  }
+  if (sum != j.total_ns) {
+    *error = "journal total_ns does not match the sum of its epochs";
+    return false;
+  }
+  *out = std::move(j);
+  return true;
+}
+
+bool SaveJournal(const CostJournal& journal, const std::string& path,
+                 std::string* error) {
+  const std::string text = JournalToJson(journal);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == text.size();
+  if (!ok && error != nullptr) *error = "short write to '" + path + "'";
+  return ok;
+}
+
+bool LoadJournal(const std::string& path, CostJournal* out,
+                 std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot read '" + path + "'";
+    return false;
+  }
+  std::string text;
+  char buf[65536];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return JournalFromJson(text, out, error);
+}
+
+}  // namespace pmg::whatif

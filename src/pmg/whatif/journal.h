@@ -1,0 +1,138 @@
+#ifndef PMG_WHATIF_JOURNAL_H_
+#define PMG_WHATIF_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/cost_model.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/trace_sink.h"
+
+/// \file journal.h
+/// The epoch cost journal: a compact record of every priced input of
+/// Machine::EndEpoch, captured through the TraceSink seam. A journal plus
+/// a MemoryTimings is enough to re-derive every epoch's
+/// max(latency critical path, bandwidth roofline) + daemon cost — the
+/// whatif re-pricer (reprice.h) does exactly that, and with the
+/// recording machine's own timings it reproduces MachineStats::total_ns
+/// bit for bit (the identity law, PMG_CHECKed in VerifyIdentity).
+///
+/// Journals serialize to versioned `.pmgj` JSON documents. Doubles are
+/// written with %.17g (exact IEEE-754 round-trip through strtod), so a
+/// save/load cycle re-prices byte-identically.
+
+namespace pmg::whatif {
+
+/// Bump on any change to the .pmgj document layout; pmg_explain refuses
+/// mismatched files (see docs/observability.md for the procedure).
+inline constexpr uint32_t kJournalSchemaVersion = 1;
+
+/// The priced inputs of one epoch.
+struct EpochCost {
+  uint64_t epoch_index = 0;
+  uint32_t active_threads = 0;
+  SimNs start_ns = 0;
+  /// The recorded outcome (identity re-pricing must reproduce total_ns).
+  SimNs total_ns = 0;
+  SimNs latency_path_ns = 0;
+  SimNs bandwidth_path_ns = 0;
+  SimNs daemon_ns = 0;
+  bool bandwidth_bound = false;
+  ThreadId critical_thread = 0;
+  /// Degraded-link factor the roofline was priced with.
+  double remote_factor = 1.0;
+  /// Migration-daemon inputs (zero when no scan ran this epoch).
+  SimNs daemon_scan_raw = 0;
+  SimNs daemon_shootdown_raw = 0;
+  SimNs daemon_move_ns = 0;
+  uint64_t migrations = 0;
+
+  struct ThreadCost {
+    ThreadId thread = 0;
+    /// Recorded integral clocks (what EndEpoch compared).
+    SimNs user_ns = 0;
+    SimNs kernel_ns = 0;
+    /// The exact fractional user clock (user_ns is its truncation).
+    double user_exact_ns = 0;
+    /// Recorded sums of the class-less user charges.
+    double compute_ns = 0;
+    double retry_ns = 0;
+    uint64_t counts[memsim::kCostClassCount] = {};
+  };
+  /// Threads with nonzero time, ascending thread id.
+  std::vector<ThreadCost> threads;
+
+  /// Per-socket channel byte counters (full split).
+  std::vector<memsim::ChannelByteCounts> channels;
+  /// Per-socket near-memory miss fill/writeback bytes (memory mode).
+  std::vector<memsim::EpochTrace::CostRecord::SocketFill> fills;
+};
+
+/// A recorded run: the pricing context plus every epoch.
+struct CostJournal {
+  uint32_t schema_version = kJournalSchemaVersion;
+  std::string machine_name;
+  memsim::MachineKind kind = memsim::MachineKind::kDramMain;
+  uint32_t sockets = 0;
+  bool migration_enabled = false;
+  memsim::MemoryTimings timings;
+  /// Sum of epoch totals over the recorded window (equals the machine's
+  /// MachineStats::total_ns delta across the attachments, PMG_CHECKed at
+  /// Detach).
+  SimNs total_ns = 0;
+  std::vector<EpochCost> epochs;
+};
+
+/// Records a journal from a live machine. Chains in front of any
+/// already-attached TraceSink (a trace::TraceSession), forwarding every
+/// event downstream, so --trace / --json / --explain compose. Supports
+/// re-attachment across machines (crash recovery): epochs append onto
+/// one journal as long as the machines price identically (same kind,
+/// sockets, timings — PMG_CHECKed).
+class JournalRecorder final : public memsim::TraceSink {
+ public:
+  JournalRecorder() = default;
+
+  /// Captures the machine's pricing context and splices this recorder in
+  /// front of the machine's current sink. Attach after any TraceSession,
+  /// detach before it.
+  void Attach(memsim::Machine* machine);
+  void Detach();
+  bool attached() const { return machine_ != nullptr; }
+
+  const CostJournal& journal() const { return journal_; }
+
+  // TraceSink:
+  bool WantsCostModel() const override { return true; }
+  void OnEpochTrace(const memsim::EpochTrace& epoch) override;
+  void OnInstant(memsim::TraceInstantKind kind, ThreadId thread, SimNs at_ns,
+                 uint64_t value) override;
+
+ private:
+  CostJournal journal_;
+  memsim::Machine* machine_ = nullptr;
+  memsim::TraceSink* downstream_ = nullptr;
+  SimNs stats_base_total_ = 0;
+  SimNs captured_total_ = 0;
+  bool header_set_ = false;
+};
+
+/// Serializes `journal` as a .pmgj document.
+std::string JournalToJson(const CostJournal& journal);
+
+/// Parses a .pmgj document. On failure returns false with a one-line
+/// description in `*error` (never PMG_CHECK-aborts on malformed input).
+bool JournalFromJson(const std::string& text, CostJournal* out,
+                     std::string* error);
+
+/// File convenience wrappers around the two above.
+bool SaveJournal(const CostJournal& journal, const std::string& path,
+                 std::string* error);
+bool LoadJournal(const std::string& path, CostJournal* out,
+                 std::string* error);
+
+}  // namespace pmg::whatif
+
+#endif  // PMG_WHATIF_JOURNAL_H_

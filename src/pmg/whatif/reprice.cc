@@ -1,0 +1,294 @@
+#include "pmg/whatif/reprice.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "pmg/common/check.h"
+#include "pmg/memsim/cost_model.h"
+
+namespace pmg::whatif {
+
+namespace {
+
+using memsim::ApplyKernelFactor;
+using memsim::ChannelByteCounts;
+using memsim::ChannelTimeNs;
+using memsim::CostClass;
+using memsim::KernelEventCostNs;
+using memsim::kCostClassCount;
+using memsim::kFirstKernelCostClass;
+using memsim::UserEventCostNs;
+
+constexpr size_t kWalk4 = static_cast<size_t>(CostClass::kTlbWalk4);
+constexpr size_t kWalk3 = static_cast<size_t>(CostClass::kTlbWalk3);
+constexpr size_t kWalk2 = static_cast<size_t>(CostClass::kTlbWalk2);
+constexpr size_t kMissL = static_cast<size_t>(CostClass::kPmmMissLocal);
+constexpr size_t kMissR = static_cast<size_t>(CostClass::kPmmMissRemote);
+constexpr size_t kHitL = static_cast<size_t>(CostClass::kNearHitLocal);
+constexpr size_t kHitR = static_cast<size_t>(CostClass::kNearHitRemote);
+constexpr size_t kFaultS = static_cast<size_t>(CostClass::kMinorFaultSmall);
+constexpr size_t kFaultH = static_cast<size_t>(CostClass::kMinorFaultHuge);
+constexpr size_t kHint = static_cast<size_t>(CostClass::kHintFault);
+
+/// The per-event price tables of one scenario.
+struct PriceTable {
+  double user[kCostClassCount] = {};
+  SimNs kernel[kCostClassCount] = {};
+};
+
+PriceTable BuildTable(memsim::MachineKind kind,
+                      const memsim::MemoryTimings& tm,
+                      const Counterfactual* cf) {
+  PriceTable pt;
+  const double inv_mlp = 1.0 / tm.mem_parallelism;
+  for (size_t c = 0; c < kFirstKernelCostClass; ++c) {
+    pt.user[c] = UserEventCostNs(static_cast<CostClass>(c), kind, tm, inv_mlp);
+  }
+  for (size_t c = kFirstKernelCostClass; c < kCostClassCount; ++c) {
+    pt.kernel[c] = KernelEventCostNs(static_cast<CostClass>(c), kind, tm);
+  }
+  if (cf == nullptr) return pt;
+  if (cf->perfect_tlb) {
+    pt.user[kWalk4] = 0.0;
+    pt.user[kWalk3] = 0.0;
+    pt.user[kWalk2] = 0.0;
+  } else if (cf->huge_pages) {
+    pt.user[kWalk4] = pt.user[kWalk3];
+  }
+  if (cf->huge_pages) {
+    // One huge fault maps 512 small pages' worth of memory.
+    pt.kernel[kFaultS] = pt.kernel[kFaultH] / 512;
+  }
+  if (cf->perfect_near_mem) {
+    pt.user[kMissL] = pt.user[kHitL];
+    pt.user[kMissR] = pt.user[kHitR];
+  }
+  if (cf->zero_migration) {
+    pt.kernel[kHint] = 0;
+  }
+  return pt;
+}
+
+uint64_t SaturatingSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+}  // namespace
+
+Counterfactual IdentityCounterfactual(const CostJournal& journal) {
+  Counterfactual cf;
+  cf.timings = journal.timings;
+  return cf;
+}
+
+RepriceResult Reprice(const CostJournal& journal, const Counterfactual& cf) {
+  const memsim::MachineKind kind = journal.kind;
+  // The old table is the journal's recorded pricing with no knobs; the
+  // new one applies the counterfactual. Identity: both tables are built
+  // by the same code from the same timings, so every per-class delta is
+  // exactly 0.0.
+  const PriceTable old_pt = BuildTable(kind, journal.timings, nullptr);
+  const PriceTable new_pt = BuildTable(kind, cf.timings, &cf);
+  const SimNs remap_cost = ApplyKernelFactor(1000, kind, cf.timings);
+
+  RepriceResult result;
+  result.epochs.reserve(journal.epochs.size());
+  for (const EpochCost& e : journal.epochs) {
+    EpochReprice er;
+
+    // Latency critical path: max over threads, first maximum winning,
+    // matching Machine::EndEpoch's scan order (threads are journaled in
+    // ascending id order; omitted threads have zero time and never win).
+    SimNs lat = 0;
+    for (const EpochCost::ThreadCost& tc : e.threads) {
+      double delta = 0.0;
+      for (size_t c = 0; c < kFirstKernelCostClass; ++c) {
+        delta += static_cast<double>(tc.counts[c]) *
+                 (new_pt.user[c] - old_pt.user[c]);
+      }
+      const double user_exact = tc.user_exact_ns + delta;
+      const SimNs user =
+          user_exact <= 0.0 ? 0 : static_cast<SimNs>(user_exact);
+      SimNs kernel = 0;
+      for (size_t c = kFirstKernelCostClass; c < kCostClassCount; ++c) {
+        kernel += tc.counts[c] * new_pt.kernel[c];
+      }
+      const SimNs total = user + kernel;
+      if (total > lat) {
+        lat = total;
+        er.critical_thread = tc.thread;
+      }
+    }
+    er.latency_path_ns = lat;
+
+    // Bandwidth roofline: the recorded byte counters under the new
+    // bandwidth rows, with the recorded degraded-link factor.
+    SimNs bw = 0;
+    if (!cf.infinite_bandwidth) {
+      for (size_t s = 0; s < e.channels.size(); ++s) {
+        ChannelByteCounts ch = e.channels[s];
+        if (cf.perfect_near_mem && s < e.fills.size()) {
+          // Fills are media-side local sequential reads; writebacks
+          // local sequential writes (Machine::Access). Saturating, so a
+          // hand-edited journal degrades instead of wrapping.
+          ch.pmm[0][0][0] =
+              SaturatingSub(ch.pmm[0][0][0], e.fills[s].fill_bytes);
+          ch.pmm[0][0][1] =
+              SaturatingSub(ch.pmm[0][0][1], e.fills[s].writeback_bytes);
+        }
+        bw = std::max(bw, ChannelTimeNs(ch, cf.timings, e.remote_factor));
+      }
+    }
+    er.bandwidth_path_ns = bw;
+    er.bandwidth_bound = bw > lat;
+    if (er.bandwidth_bound) ++result.bandwidth_bound_epochs;
+
+    SimNs daemon = 0;
+    if (!cf.zero_migration && e.daemon_ns > 0) {
+      daemon = ApplyKernelFactor(e.daemon_scan_raw, kind, cf.timings) +
+               e.daemon_move_ns + e.migrations * remap_cost;
+      if (e.migrations > 0) {
+        daemon += ApplyKernelFactor(e.daemon_shootdown_raw, kind, cf.timings);
+      }
+    }
+    er.daemon_ns = daemon;
+    er.total_ns = std::max(lat, bw) + daemon;
+    result.total_ns += er.total_ns;
+    result.epochs.push_back(er);
+  }
+  return result;
+}
+
+void VerifyIdentity(const CostJournal& journal) {
+  const RepriceResult identity =
+      Reprice(journal, IdentityCounterfactual(journal));
+  PMG_CHECK(identity.epochs.size() == journal.epochs.size());
+  for (size_t i = 0; i < journal.epochs.size(); ++i) {
+    const EpochCost& e = journal.epochs[i];
+    const EpochReprice& r = identity.epochs[i];
+    PMG_CHECK_MSG(r.latency_path_ns == e.latency_path_ns &&
+                      r.bandwidth_path_ns == e.bandwidth_path_ns &&
+                      r.daemon_ns == e.daemon_ns &&
+                      r.total_ns == e.total_ns &&
+                      r.bandwidth_bound == e.bandwidth_bound &&
+                      r.critical_thread == e.critical_thread,
+                  "identity re-pricing diverged at epoch %llu: "
+                  "%llu ns re-priced vs %llu ns recorded",
+                  static_cast<unsigned long long>(e.epoch_index),
+                  static_cast<unsigned long long>(r.total_ns),
+                  static_cast<unsigned long long>(e.total_ns));
+  }
+  PMG_CHECK_MSG(identity.total_ns == journal.total_ns,
+                "identity re-pricing diverged: %llu ns vs %llu ns recorded",
+                static_cast<unsigned long long>(identity.total_ns),
+                static_cast<unsigned long long>(journal.total_ns));
+}
+
+std::vector<Counterfactual> StandardKnobs(const CostJournal& journal) {
+  std::vector<Counterfactual> knobs;
+
+  {
+    Counterfactual cf;
+    cf.name = "dram-speed-pmm";
+    cf.description = "PMM media as fast as DRAM (latency, bandwidth, kernel)";
+    cf.timings = journal.timings;
+    cf.timings.near_mem_hit_local_ns = cf.timings.dram_local_ns;
+    cf.timings.near_mem_hit_remote_ns = cf.timings.dram_remote_ns;
+    cf.timings.near_mem_miss_extra_ns = 0;
+    cf.timings.appdirect_local_ns = cf.timings.dram_local_ns;
+    cf.timings.appdirect_remote_ns = cf.timings.dram_remote_ns;
+    cf.timings.walk_step_pmm_ns = cf.timings.walk_step_dram_ns;
+    cf.timings.pmm_kernel_factor = 1.0;
+    cf.timings.pmm_local = cf.timings.dram_local;
+    cf.timings.pmm_remote = cf.timings.dram_remote;
+    knobs.push_back(cf);
+  }
+  {
+    Counterfactual cf;
+    cf.name = "perfect-near-mem";
+    cf.description = "every near-memory miss hits (no media fills)";
+    cf.timings = journal.timings;
+    cf.perfect_near_mem = true;
+    knobs.push_back(cf);
+  }
+  {
+    Counterfactual cf;
+    cf.name = "perfect-tlb";
+    cf.description = "page-table walks are free";
+    cf.timings = journal.timings;
+    cf.perfect_tlb = true;
+    knobs.push_back(cf);
+  }
+  {
+    Counterfactual cf;
+    cf.name = "huge-pages";
+    cf.description = "4KB pages priced as 2MB (walk levels, fault batching)";
+    cf.timings = journal.timings;
+    cf.huge_pages = true;
+    knobs.push_back(cf);
+  }
+  {
+    Counterfactual cf;
+    cf.name = "zero-migration";
+    cf.description = "no migration daemon, no hint faults";
+    cf.timings = journal.timings;
+    cf.zero_migration = true;
+    knobs.push_back(cf);
+  }
+  {
+    Counterfactual cf;
+    cf.name = "infinite-bandwidth";
+    cf.description = "the channel roofline never binds";
+    cf.timings = journal.timings;
+    cf.infinite_bandwidth = true;
+    knobs.push_back(cf);
+  }
+  return knobs;
+}
+
+RegionSpeedup EstimateRegionSpeedup(const CostJournal& journal,
+                                    const std::string& folded_text,
+                                    const std::string& label, double factor) {
+  RegionSpeedup out;
+  PMG_CHECK_MSG(factor >= 1.0, "virtual speedup factor must be >= 1");
+  size_t pos = 0;
+  while (pos < folded_text.size()) {
+    size_t eol = folded_text.find('\n', pos);
+    if (eol == std::string::npos) eol = folded_text.size();
+    const std::string line = folded_text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const uint64_t count =
+        std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    const std::string stack = line.substr(0, space);
+    out.total_samples += count;
+    // Frame match: the label must equal one ';'-separated frame exactly.
+    bool matched = false;
+    size_t fpos = 0;
+    while (fpos <= stack.size() && !matched) {
+      size_t fend = stack.find(';', fpos);
+      if (fend == std::string::npos) fend = stack.size();
+      matched = stack.compare(fpos, fend - fpos, label) == 0;
+      fpos = fend + 1;
+    }
+    if (matched) out.samples += count;
+  }
+  out.found = out.samples > 0;
+  out.share = out.total_samples == 0
+                  ? 0.0
+                  : static_cast<double>(out.samples) /
+                        static_cast<double>(out.total_samples);
+  // COZ virtual speedup: the region's share of run time shrinks by
+  // (1 - 1/factor); everything else is unchanged.
+  const double scale = 1.0 - out.share * (1.0 - 1.0 / factor);
+  out.predicted_total_ns =
+      static_cast<SimNs>(static_cast<double>(journal.total_ns) * scale);
+  out.speedup = out.predicted_total_ns == 0
+                    ? 1.0
+                    : static_cast<double>(journal.total_ns) /
+                          static_cast<double>(out.predicted_total_ns);
+  return out;
+}
+
+}  // namespace pmg::whatif

@@ -1,0 +1,99 @@
+#ifndef PMG_WHATIF_REPRICE_H_
+#define PMG_WHATIF_REPRICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/timings.h"
+#include "pmg/whatif/journal.h"
+
+/// \file reprice.h
+/// Counterfactual re-pricing of a cost journal. Reprice() replays every
+/// recorded epoch under a modified MemoryTimings (plus structural knobs),
+/// recomputing max(latency critical path, bandwidth roofline) + daemon
+/// cost through the same cost_model.h functions the machine itself used.
+/// The identity law: re-pricing under an unmodified Counterfactual
+/// reproduces the journal's recorded totals bit for bit, because the
+/// per-thread user clock is adjusted by (new sum - old sum) of
+/// count x price terms that are computed by identical code — an identity
+/// delta is exactly 0.0, not merely small.
+///
+/// The knobs model *pricing* changes only: event streams (hit rates,
+/// fault counts, migration decisions) are the recorded ones. A knob whose
+/// real effect is behavioral (zero-migration changes later locality) is
+/// an upper bound on the recorded run, which is exactly what a "top
+/// levers" ranking needs; tests bound the gap against real re-runs.
+
+namespace pmg::whatif {
+
+/// One what-if scenario.
+struct Counterfactual {
+  std::string name = "identity";
+  std::string description = "recorded timings, unchanged";
+  /// The timings to re-price under (start from the journal's).
+  memsim::MemoryTimings timings;
+  /// Drop the migration daemon and AutoNUMA hint faults entirely.
+  bool zero_migration = false;
+  /// Page-table walks become free (infinite TLB).
+  bool perfect_tlb = false;
+  /// Every near-memory miss is priced as the corresponding hit, and the
+  /// miss-induced media fill/writeback traffic leaves the roofline.
+  bool perfect_near_mem = false;
+  /// The bandwidth roofline never binds.
+  bool infinite_bandwidth = false;
+  /// 4KB pages behave like 2MB: 4-level walks priced as 3-level, and
+  /// small-page minor faults priced at 1/512 of a huge-page fault.
+  bool huge_pages = false;
+};
+
+/// Re-priced outcome of one epoch.
+struct EpochReprice {
+  SimNs total_ns = 0;
+  SimNs latency_path_ns = 0;
+  SimNs bandwidth_path_ns = 0;
+  SimNs daemon_ns = 0;
+  bool bandwidth_bound = false;
+  ThreadId critical_thread = 0;
+};
+
+struct RepriceResult {
+  SimNs total_ns = 0;
+  uint64_t bandwidth_bound_epochs = 0;
+  std::vector<EpochReprice> epochs;
+};
+
+/// The unchanged scenario for `journal` (same timings, no knobs).
+Counterfactual IdentityCounterfactual(const CostJournal& journal);
+
+/// Replays `journal` under `cf`.
+RepriceResult Reprice(const CostJournal& journal, const Counterfactual& cf);
+
+/// PMG_CHECKs the identity law on `journal`: Reprice(identity) must
+/// reproduce every epoch's recorded total and the journal's total_ns
+/// bit-exactly. Run by pmg_explain on every journal it loads.
+void VerifyIdentity(const CostJournal& journal);
+
+/// The standard knob library, in a fixed order (the explainer ranks them
+/// by predicted speedup afterwards).
+std::vector<Counterfactual> StandardKnobs(const CostJournal& journal);
+
+/// COZ-style virtual speedup of one PMG_PROF_SCOPE region: from a folded
+/// profile (metrics::Profiler::FoldedText), the share of samples whose
+/// stack contains `label` is sped up by `factor`.
+struct RegionSpeedup {
+  bool found = false;          ///< label appeared in at least one stack
+  uint64_t samples = 0;        ///< samples containing the label
+  uint64_t total_samples = 0;  ///< all samples in the profile
+  double share = 0.0;
+  SimNs predicted_total_ns = 0;
+  double speedup = 1.0;        ///< recorded total / predicted total
+};
+RegionSpeedup EstimateRegionSpeedup(const CostJournal& journal,
+                                    const std::string& folded_text,
+                                    const std::string& label, double factor);
+
+}  // namespace pmg::whatif
+
+#endif  // PMG_WHATIF_REPRICE_H_

@@ -116,6 +116,44 @@ elseif(CASE STREQUAL "bad_profile")
   expect_exit(2)
   expect_one_stderr_line()
 
+elseif(CASE STREQUAL "bad_explain")
+  run_cli(--graph kron30 --app bfs --explain=yaml)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "explain_compose")
+  # --explain (table on stdout), --journal (.pmgj artifact), and the
+  # "whatif" section of the --json report, all from one run.
+  set(journal_file "${OUT_DIR}/explain.pmgj")
+  set(report_file "${OUT_DIR}/explain.report.json")
+  file(REMOVE "${journal_file}" "${report_file}")
+  run_cli(--graph kron30 --app bfs --threads 8 --explain
+          --journal "${journal_file}" --json "${report_file}")
+  expect_exit(0)
+  expect_json_file("${journal_file}")
+  expect_json_file("${report_file}")
+  file(READ "${journal_file}" journal)
+  if(NOT journal MATCHES "\"pmgj_version\":")
+    message(FATAL_ERROR
+            "case explain_compose: ${journal_file} is not a .pmgj document")
+  endif()
+  file(READ "${report_file}" report)
+  foreach(needle "\"whatif\":" "\"levers\":" "\"stragglers\":" "\"bound\":")
+    string(FIND "${report}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "case explain_compose: report.json lacks ${needle}:\n${report}")
+    endif()
+  endforeach()
+  if(NOT out MATCHES "top levers")
+    message(FATAL_ERROR
+            "case explain_compose: no levers table on stdout:\n${out}")
+  endif()
+  if(NOT out MATCHES "whatif: ")
+    message(FATAL_ERROR
+            "case explain_compose: no whatif header on stdout:\n${out}")
+  endif()
+
 elseif(CASE STREQUAL "metrics_compose")
   # Bare --metrics (Prometheus text), --profile, and the --json embedding
   # in one run.

@@ -1,0 +1,169 @@
+# One pmg_explain CLI smoke case per ctest invocation:
+#
+#   cmake -DEXE=<pmg_explain> -DRUN_EXE=<pmg_run> -DCASE=<name>
+#         -DOUT_DIR=<scratch> -P explain_case.cmake
+#
+# Checks the offline-explanation contract: --help exits 0 with usage on
+# stdout; a missing, corrupt, truncated, or version-mismatched journal
+# (and any bad flag) is exit code 2 with exactly one "pmg_explain: ..."
+# stderr line; a journal recorded by pmg_run --journal explains cleanly
+# in both table and JSON form.
+
+if(NOT DEFINED EXE OR NOT DEFINED RUN_EXE OR NOT DEFINED CASE
+   OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR
+          "explain_case.cmake needs -DEXE=, -DRUN_EXE=, -DCASE=, -DOUT_DIR=")
+endif()
+
+function(run_cli)
+  execute_process(
+    COMMAND ${EXE} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    TIMEOUT 120)
+  set(rc "${rc}" PARENT_SCOPE)
+  set(out "${out}" PARENT_SCOPE)
+  set(err "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_exit expected)
+  if(NOT rc EQUAL ${expected})
+    message(FATAL_ERROR
+            "case ${CASE}: expected exit ${expected}, got '${rc}'\n"
+            "stdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+# The one-line-error contract: stderr is a single "pmg_explain: ..." line.
+function(expect_one_stderr_line)
+  string(REGEX REPLACE "\n$" "" trimmed "${err}")
+  if(trimmed STREQUAL "")
+    message(FATAL_ERROR "case ${CASE}: expected one stderr line, got none")
+  endif()
+  string(FIND "${trimmed}" "\n" nl)
+  if(NOT nl EQUAL -1)
+    message(FATAL_ERROR
+            "case ${CASE}: expected exactly one stderr line, got:\n${err}")
+  endif()
+  if(NOT trimmed MATCHES "^pmg_explain: ")
+    message(FATAL_ERROR
+            "case ${CASE}: stderr not prefixed 'pmg_explain: ': ${trimmed}")
+  endif()
+endfunction()
+
+# Records a fresh journal with pmg_run --journal into ${journal_file}.
+function(record_journal)
+  set(journal_file "${OUT_DIR}/explain_case.pmgj" PARENT_SCOPE)
+  execute_process(
+    COMMAND ${RUN_EXE} --graph kron30 --app bfs --threads 8
+            --journal "${OUT_DIR}/explain_case.pmgj"
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err
+    TIMEOUT 120)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+            "case ${CASE}: pmg_run --journal failed (${run_rc}):\n${run_err}")
+  endif()
+endfunction()
+
+if(CASE STREQUAL "help")
+  run_cli(--help)
+  expect_exit(0)
+  if(NOT out MATCHES "usage:")
+    message(FATAL_ERROR "case help: no usage text on stdout:\n${out}")
+  endif()
+  if(NOT err STREQUAL "")
+    message(FATAL_ERROR "case help: --help must not write stderr:\n${err}")
+  endif()
+
+elseif(CASE STREQUAL "no_args")
+  run_cli()
+  expect_exit(2)
+  if(NOT err MATCHES "usage:")
+    message(FATAL_ERROR "case no_args: no usage text on stderr:\n${err}")
+  endif()
+
+elseif(CASE STREQUAL "unknown_flag")
+  run_cli(whatever.pmgj --bogus-flag)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "missing_journal")
+  run_cli(${OUT_DIR}/does_not_exist.pmgj)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "corrupt_journal")
+  set(journal_file "${OUT_DIR}/corrupt.pmgj")
+  file(WRITE "${journal_file}" "this is not a journal")
+  run_cli("${journal_file}")
+  expect_exit(2)
+  expect_one_stderr_line()
+  if(NOT err MATCHES "parse")
+    message(FATAL_ERROR
+            "case corrupt_journal: error does not mention parsing:\n${err}")
+  endif()
+
+elseif(CASE STREQUAL "version_mismatch")
+  set(journal_file "${OUT_DIR}/future.pmgj")
+  file(WRITE "${journal_file}" "{\"pmgj_version\":99}")
+  run_cli("${journal_file}")
+  expect_exit(2)
+  expect_one_stderr_line()
+  if(NOT err MATCHES "version 99")
+    message(FATAL_ERROR
+            "case version_mismatch: error does not name the version:\n${err}")
+  endif()
+
+elseif(CASE STREQUAL "truncated_journal")
+  record_journal()
+  file(READ "${journal_file}" body)
+  string(LENGTH "${body}" len)
+  math(EXPR half "${len} / 2")
+  string(SUBSTRING "${body}" 0 ${half} prefix)
+  set(cut_file "${OUT_DIR}/truncated.pmgj")
+  file(WRITE "${cut_file}" "${prefix}")
+  run_cli("${cut_file}")
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "bad_speedup")
+  run_cli(whatever.pmgj --folded x.folded --region r --speedup 0.5)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "good")
+  record_journal()
+  run_cli("${journal_file}")
+  expect_exit(0)
+  foreach(needle "whatif: " "top levers" "dram-speed-pmm")
+    string(FIND "${out}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "case good: stdout lacks '${needle}':\n${out}")
+    endif()
+  endforeach()
+
+elseif(CASE STREQUAL "good_json")
+  record_journal()
+  # A synthetic folded profile exercises the region-speedup block too:
+  # the frame name does not matter for the contract, only the math.
+  set(folded_file "${OUT_DIR}/explain_case.folded")
+  file(WRITE "${folded_file}" "bfs;hot 30\nbfs;cold 10\n")
+  run_cli("${journal_file}" --json --folded "${folded_file}" --region hot)
+  expect_exit(0)
+  if(NOT out MATCHES "^{")
+    message(FATAL_ERROR "case good_json: stdout is not JSON:\n${out}")
+  endif()
+  foreach(needle "\"tool\":\"pmg_explain\"" "\"whatif\":" "\"levers\":"
+          "\"region_speedup\":" "\"found\":true")
+    string(FIND "${out}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "case good_json: output lacks ${needle}:\n${out}")
+    endif()
+  endforeach()
+
+else()
+  message(FATAL_ERROR "unknown CASE '${CASE}'")
+endif()

@@ -168,6 +168,33 @@ TEST(PerfDiffTest, BoolFieldsJoinTheIdentity) {
   EXPECT_NE(r.failures[0].find("huge=true"), std::string::npos);
 }
 
+TEST(PerfDiffTest, UnknownTopLevelSectionsAreNotesNotFailures) {
+  // A report that grew a section this differ does not know (the whatif
+  // block) still passes against a pre-section baseline — one note each
+  // direction, never a failure.
+  const std::string base = Doc("b", "{\"app\":\"bfs\",\"time_ns\":100}");
+  const std::string cur =
+      "{\"schema_version\":1,\"bench\":\"b\","
+      "\"rows\":[{\"app\":\"bfs\",\"time_ns\":100}],"
+      "\"whatif\":{\"total_ns\":100,\"levers\":[]}}";
+
+  const PerfDiffResult forward = Diff(base, cur);
+  EXPECT_TRUE(forward.ok());
+  ASSERT_EQ(forward.notes.size(), 1u);
+  EXPECT_EQ(forward.notes[0],
+            "bench 'b': unknown section 'whatif' in current report (ignored)");
+
+  const PerfDiffResult backward = Diff(cur, base);
+  EXPECT_TRUE(backward.ok());
+  ASSERT_EQ(backward.notes.size(), 1u);
+  EXPECT_EQ(backward.notes[0],
+            "bench 'b': section 'whatif' from baseline absent in current "
+            "report (ignored)");
+
+  // Both sides carrying the section is not noteworthy at all.
+  EXPECT_TRUE(Diff(cur, cur).notes.empty());
+}
+
 TEST(PerfDiffTest, AccumulatesAcrossDocuments) {
   PerfDiffResult r;
   DiffBenchText(Doc("b1", "{\"time_ns\":100}"), Doc("b1", "{\"time_ns\":100}"),

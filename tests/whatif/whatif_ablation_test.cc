@@ -1,0 +1,149 @@
+// Tier-2 agreement tests: a counterfactual prediction is only useful if
+// it matches what the simulator actually does when the knob is real. For
+// knobs whose effect is purely a pricing change (DRAM-speed PMM, a
+// cheaper page walk), re-running the workload with the edited timings
+// replays the identical event stream, so the journal's prediction must
+// land within a tight tolerance of the re-run. Zero-migration has a
+// second-order behavioral component (migrated pages keep their improved
+// locality in the recorded events), so its bound is checked on a
+// configuration where pricing dominates — the documented semantics of
+// the knob library (see reprice.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/whatif/journal.h"
+#include "pmg/whatif/reprice.h"
+
+namespace pmg::whatif {
+namespace {
+
+using frameworks::App;
+using frameworks::AppInputs;
+using frameworks::FrameworkKind;
+
+AppInputs CorpusInputs() { return AppInputs::Prepare(graph::Rmat(10, 8, 3)); }
+
+/// Runs `app` under `cfg` with a recorder attached and returns the
+/// journal (whose total covers the same window the journal of the
+/// baseline run covers, so totals are comparable run to run).
+CostJournal Record(App app, const frameworks::RunConfig& cfg,
+                   const AppInputs& inputs) {
+  frameworks::RunConfig journaled = cfg;
+  JournalRecorder recorder;
+  journaled.journal = &recorder;
+  const frameworks::AppRunResult r =
+      RunApp(FrameworkKind::kGalois, app, inputs, journaled);
+  EXPECT_TRUE(r.supported);
+  VerifyIdentity(recorder.journal());
+  return recorder.journal();
+}
+
+const Counterfactual& Knob(const std::vector<Counterfactual>& knobs,
+                           const std::string& name) {
+  for (const Counterfactual& cf : knobs) {
+    if (cf.name == name) return cf;
+  }
+  ADD_FAILURE() << "no standard knob named " << name;
+  static const Counterfactual missing;
+  return missing;
+}
+
+double RelativeError(SimNs predicted, SimNs actual) {
+  return std::abs(static_cast<double>(predicted) -
+                  static_cast<double>(actual)) /
+         static_cast<double>(actual);
+}
+
+TEST(WhatifAblationTest, DramSpeedPmmPredictionMatchesRerunWithin1Percent) {
+  const AppInputs inputs = CorpusInputs();
+  frameworks::RunConfig cfg;
+  cfg.machine = memsim::OptanePmmConfig();
+  cfg.threads = 16;
+  cfg.pr_max_rounds = 10;
+
+  const CostJournal recorded = Record(App::kPr, cfg, inputs);
+  const SimNs predicted =
+      Reprice(recorded, Knob(StandardKnobs(recorded), "dram-speed-pmm"))
+          .total_ns;
+
+  // The real ablation: the same machine with its PMM constants set to
+  // the DRAM ones — exactly the edit the knob makes to the price table.
+  frameworks::RunConfig ablated = cfg;
+  memsim::MemoryTimings& tm = ablated.machine.timings;
+  tm.near_mem_hit_local_ns = tm.dram_local_ns;
+  tm.near_mem_hit_remote_ns = tm.dram_remote_ns;
+  tm.near_mem_miss_extra_ns = 0;
+  tm.appdirect_local_ns = tm.dram_local_ns;
+  tm.appdirect_remote_ns = tm.dram_remote_ns;
+  tm.walk_step_pmm_ns = tm.walk_step_dram_ns;
+  tm.pmm_kernel_factor = 1.0;
+  tm.pmm_local = tm.dram_local;
+  tm.pmm_remote = tm.dram_remote;
+  const CostJournal rerun = Record(App::kPr, ablated, inputs);
+
+  ASSERT_LT(predicted, recorded.total_ns);
+  EXPECT_LT(RelativeError(predicted, rerun.total_ns), 0.01)
+      << "predicted " << predicted << " ns vs re-run " << rerun.total_ns;
+}
+
+TEST(WhatifAblationTest, PageWalkStepPredictionMatchesRerunWithin1Percent) {
+  const AppInputs inputs = CorpusInputs();
+  frameworks::RunConfig cfg;
+  cfg.machine = memsim::OptanePmmConfig();
+  cfg.threads = 16;
+  cfg.pr_max_rounds = 10;
+
+  const CostJournal recorded = Record(App::kPr, cfg, inputs);
+  Counterfactual cf = IdentityCounterfactual(recorded);
+  cf.name = "walk-step-20";
+  cf.timings.walk_step_pmm_ns = 20;
+  const SimNs predicted = Reprice(recorded, cf).total_ns;
+
+  frameworks::RunConfig ablated = cfg;
+  ablated.machine.timings.walk_step_pmm_ns = 20;
+  const CostJournal rerun = Record(App::kPr, ablated, inputs);
+
+  ASSERT_LT(predicted, recorded.total_ns);
+  EXPECT_LT(RelativeError(predicted, rerun.total_ns), 0.01)
+      << "predicted " << predicted << " ns vs re-run " << rerun.total_ns;
+}
+
+TEST(WhatifAblationTest, ZeroMigrationPredictionMatchesRerunWithin1Percent) {
+  const AppInputs inputs = CorpusInputs();
+  frameworks::RunConfig cfg;
+  cfg.machine = memsim::OptanePmmConfig();
+  cfg.machine.migration.enabled = true;
+  // Wake the daemon many times inside this small run (the default 500us
+  // interval would outlast it entirely).
+  cfg.machine.migration.scan_interval_ns = 5000;
+  cfg.threads = 16;
+  cfg.pr_max_rounds = 10;
+
+  const CostJournal recorded = Record(App::kPr, cfg, inputs);
+  SimNs recorded_daemon = 0;
+  for (const EpochCost& e : recorded.epochs) recorded_daemon += e.daemon_ns;
+  ASSERT_GT(recorded_daemon, 0u)
+      << "the daemon never ran; nothing to predict away";
+
+  const SimNs predicted =
+      Reprice(recorded, Knob(StandardKnobs(recorded), "zero-migration"))
+          .total_ns;
+
+  frameworks::RunConfig ablated = cfg;
+  ablated.machine.migration.enabled = false;
+  const CostJournal rerun = Record(App::kPr, ablated, inputs);
+
+  ASSERT_LT(predicted, recorded.total_ns);
+  EXPECT_LT(RelativeError(predicted, rerun.total_ns), 0.01)
+      << "predicted " << predicted << " ns vs re-run " << rerun.total_ns
+      << " (second-order locality drift past the documented bound)";
+}
+
+}  // namespace
+}  // namespace pmg::whatif

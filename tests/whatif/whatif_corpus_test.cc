@@ -1,0 +1,85 @@
+// Tier-2 corpus sweep of the whatif identity law: for every analytics
+// kernel, on every machine kind (and with the migration daemon both off
+// and on), a recorded journal must re-price its own run bit-exactly and
+// survive the .pmgj byte round trip. This is the acceptance bar that
+// makes every counterfactual trustworthy: the re-pricer provably
+// reproduces reality before it is allowed to predict anything else.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/whatif/explain.h"
+#include "pmg/whatif/journal.h"
+#include "pmg/whatif/reprice.h"
+
+namespace pmg::whatif {
+namespace {
+
+using frameworks::App;
+using frameworks::AppInputs;
+using frameworks::FrameworkKind;
+
+struct MachineCase {
+  const char* label;
+  memsim::MachineConfig config;
+};
+
+std::vector<MachineCase> CorpusMachines() {
+  std::vector<MachineCase> cases;
+  cases.push_back({"pmm", memsim::OptanePmmConfig()});
+  {
+    MachineCase mc{"pmm+migration", memsim::OptanePmmConfig()};
+    mc.config.migration.enabled = true;
+    cases.push_back(mc);
+  }
+  cases.push_back({"dram", memsim::DramOnlyConfig()});
+  cases.push_back({"appdirect", memsim::AppDirectConfig()});
+  return cases;
+}
+
+TEST(WhatifCorpusTest, EveryKernelOnEveryMachineRepricesBitExactly) {
+  const AppInputs inputs = AppInputs::Prepare(graph::Rmat(10, 8, 3));
+  for (const MachineCase& mc : CorpusMachines()) {
+    for (const App app : frameworks::AllApps()) {
+      SCOPED_TRACE(std::string(mc.label) + "/" + frameworks::AppName(app));
+      frameworks::RunConfig cfg;
+      cfg.machine = mc.config;
+      cfg.threads = 16;
+      cfg.pr_max_rounds = 10;
+      JournalRecorder recorder;
+      cfg.journal = &recorder;
+      const frameworks::AppRunResult r =
+          RunApp(FrameworkKind::kGalois, app, inputs, cfg);
+      ASSERT_TRUE(r.supported);
+
+      const CostJournal& journal = recorder.journal();
+      ASSERT_GT(journal.epochs.size(), 0u);
+      // The identity law, PMG_CHECKed epoch by epoch.
+      VerifyIdentity(journal);
+
+      // Byte round trip: serialize, parse, serialize again.
+      const std::string text = JournalToJson(journal);
+      CostJournal reloaded;
+      std::string error;
+      ASSERT_TRUE(JournalFromJson(text, &reloaded, &error)) << error;
+      EXPECT_EQ(JournalToJson(reloaded), text);
+      VerifyIdentity(reloaded);
+
+      // The explainer accepts every corpus journal and its class sums
+      // always partition the run.
+      const ExplainReport report = BuildExplainReport(reloaded);
+      EXPECT_EQ(report.total_ns, journal.total_ns);
+      EXPECT_EQ(report.latency_bound_ns + report.bandwidth_bound_ns +
+                    report.daemon_bound_ns,
+                report.total_ns);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmg::whatif

@@ -1,0 +1,183 @@
+// Golden-file tests for the whatif output surfaces: the --explain table,
+// the "whatif" JSON section, and the perf gate's unknown-section notes.
+// The workload is a fixed Galois BFS run on the simulated Optane machine
+// (deterministic by construction), so the explanation a user sees is
+// pinned byte for byte. Regenerate after an intentional format or cost
+// model change with
+//
+//   ./whatif_golden_test --update-goldens
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/metrics/perf_diff.h"
+#include "pmg/scenarios/report.h"
+#include "pmg/trace/json.h"
+#include "pmg/whatif/explain.h"
+#include "pmg/whatif/journal.h"
+#include "pmg/whatif/reprice.h"
+
+namespace pmg::whatif {
+
+bool g_update_goldens = false;
+
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(PMG_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compares `actual` against goldens/<name>, or rewrites the golden when
+/// the binary runs with --update-goldens.
+void ExpectMatchesGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_goldens) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with --update-goldens to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "output drifted from " << path
+      << "; rerun with --update-goldens if the change is intentional";
+}
+
+/// Renders through a real FILE* so the goldens capture exactly what
+/// pmg_run --explain and pmg_explain print.
+template <typename Fn>
+std::string Capture(Fn&& fn) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  fn(f);
+  std::fflush(f);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  std::string out(static_cast<size_t>(size), '\0');
+  const size_t read = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  EXPECT_EQ(read, out.size());
+  return out;
+}
+
+/// The fixed workload behind every golden: Galois BFS on a small rmat
+/// graph, 8 threads, memory-mode Optane machine with the migration
+/// daemon on (so the explanation has daemon rows and stragglers).
+const CostJournal& GoldenJournal() {
+  static const CostJournal journal = [] {
+    frameworks::RunConfig cfg;
+    cfg.machine = memsim::OptanePmmConfig();
+    cfg.machine.migration.enabled = true;
+    cfg.machine.migration.scan_interval_ns = 5000;
+    cfg.threads = 8;
+    JournalRecorder recorder;
+    cfg.journal = &recorder;
+    const frameworks::AppInputs inputs =
+        frameworks::AppInputs::Prepare(graph::Rmat(10, 8, 3));
+    RunApp(frameworks::FrameworkKind::kGalois, frameworks::App::kBfs, inputs,
+           cfg);
+    return recorder.journal();
+  }();
+  return journal;
+}
+
+TEST(WhatifGoldenTest, ExplainTable) {
+  const ExplainReport report = BuildExplainReport(GoldenJournal());
+  ExpectMatchesGolden(
+      "whatif_report.golden",
+      Capture([&](std::FILE* f) { scenarios::PrintWhatifReport(report, f); }));
+}
+
+TEST(WhatifGoldenTest, ExplainJson) {
+  const ExplainReport report = BuildExplainReport(GoldenJournal());
+  trace::JsonWriter w;
+  w.BeginObject().Key("whatif");
+  WriteExplainJson(report, &w);
+  w.EndObject();
+  const std::string doc = w.str();
+  ExpectMatchesGolden("whatif_report.json.golden", doc);
+  // Schema contract: parseable and stable through parse -> dump -> parse.
+  trace::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(trace::JsonValue::Parse(doc, &v, &err)) << err;
+  const std::string dumped = v.Dump();
+  trace::JsonValue again;
+  ASSERT_TRUE(trace::JsonValue::Parse(dumped, &again, &err)) << err;
+  EXPECT_EQ(again.Dump(), dumped);
+}
+
+TEST(WhatifGoldenTest, OfflineExplainEqualsLiveExplain) {
+  // The pmg_explain path: save the journal, load it back, explain the
+  // loaded copy. The rendered explanation must be byte-identical to the
+  // live one (covered by the golden above).
+  const CostJournal& journal = GoldenJournal();
+  std::string dir;
+  const char* tmp = std::getenv("TMPDIR");
+  dir = tmp != nullptr ? tmp : "/tmp";
+  const std::string path = dir + "/whatif_golden_test.pmgj";
+  std::string error;
+  ASSERT_TRUE(SaveJournal(journal, path, &error)) << error;
+  CostJournal loaded;
+  ASSERT_TRUE(LoadJournal(path, &loaded, &error)) << error;
+  std::remove(path.c_str());
+
+  const auto print = [](const CostJournal& j) {
+    const ExplainReport report = BuildExplainReport(j);
+    return Capture(
+        [&](std::FILE* f) { scenarios::PrintWhatifReport(report, f); });
+  };
+  EXPECT_EQ(print(loaded), print(journal));
+}
+
+TEST(WhatifGoldenTest, PerfGateNotesForWhatifSection) {
+  // The perf gate diffing a report that grew a whatif section against a
+  // pre-PR baseline without one (and vice versa): clean pass, one note
+  // each way, printed the way pmg_perf prints notes.
+  const std::string base =
+      "{\"schema_version\":1,\"bench\":\"fig7\","
+      "\"rows\":[{\"app\":\"bfs\",\"time_ns\":1000}]}";
+  const std::string cur =
+      "{\"schema_version\":1,\"bench\":\"fig7\","
+      "\"rows\":[{\"app\":\"bfs\",\"time_ns\":1000}],"
+      "\"whatif\":{\"total_ns\":1000,\"levers\":[]}}";
+
+  metrics::PerfDiffResult forward;
+  metrics::DiffBenchText(base, cur, "fig7", 0.05, &forward);
+  EXPECT_TRUE(forward.ok());
+  metrics::PerfDiffResult backward;
+  metrics::DiffBenchText(cur, base, "fig7", 0.05, &backward);
+  EXPECT_TRUE(backward.ok());
+
+  std::string notes;
+  for (const std::string& note : forward.notes) {
+    notes += "note: " + note + "\n";
+  }
+  for (const std::string& note : backward.notes) {
+    notes += "note: " + note + "\n";
+  }
+  ExpectMatchesGolden("perf_whatif_notes.golden", notes);
+}
+
+}  // namespace
+}  // namespace pmg::whatif
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-goldens") {
+      pmg::whatif::g_update_goldens = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

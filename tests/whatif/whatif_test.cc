@@ -1,0 +1,472 @@
+// Unit and integration tests for pmg::whatif: the cost-journal recorder
+// (invisibility, crash-recovery re-attachment), the .pmgj round trip, the
+// counterfactual re-pricer (identity law + knob semantics), the COZ-style
+// region speedup estimator, and the bottleneck explainer's accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pmg/analytics/common.h"
+#include "pmg/faultsim/fault_schedule.h"
+#include "pmg/faultsim/recovery.h"
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/whatif/explain.h"
+#include "pmg/whatif/journal.h"
+#include "pmg/whatif/reprice.h"
+
+namespace pmg::whatif {
+namespace {
+
+using frameworks::App;
+using frameworks::AppInputs;
+using frameworks::FrameworkKind;
+using frameworks::RunConfig;
+
+/// A deterministic small workload: Galois-profile run on a scaled-down
+/// rmat graph. Big enough to produce multi-epoch, multi-thread journals
+/// with TLB walks and near-memory misses; small enough for tier1.
+AppInputs SmallInputs() {
+  return AppInputs::Prepare(graph::Rmat(10, 8, 3));
+}
+
+RunConfig SmallPmmConfig(uint32_t threads) {
+  RunConfig cfg;
+  cfg.machine = memsim::OptanePmmConfig();
+  cfg.threads = threads;
+  cfg.pr_max_rounds = 10;
+  return cfg;
+}
+
+/// Runs `app` with a recorder attached and returns the captured journal.
+CostJournal Record(App app, const RunConfig& base) {
+  const AppInputs inputs = SmallInputs();
+  RunConfig cfg = base;
+  JournalRecorder recorder;
+  cfg.journal = &recorder;
+  const frameworks::AppRunResult r =
+      RunApp(FrameworkKind::kGalois, app, inputs, cfg);
+  EXPECT_TRUE(r.supported);
+  return recorder.journal();
+}
+
+// ---------------------------------------------------------------------------
+// Recorder invisibility + the identity law.
+// ---------------------------------------------------------------------------
+
+TEST(JournalRecorderTest, RecordingIsInvisibleAndRepricesItselfExactly) {
+  const AppInputs inputs = SmallInputs();
+  const RunConfig cfg = SmallPmmConfig(8);
+
+  const frameworks::AppRunResult plain =
+      RunApp(FrameworkKind::kGalois, App::kBfs, inputs, cfg);
+  ASSERT_TRUE(plain.supported);
+
+  RunConfig journaled_cfg = cfg;
+  JournalRecorder recorder;
+  journaled_cfg.journal = &recorder;
+  const frameworks::AppRunResult journaled =
+      RunApp(FrameworkKind::kGalois, App::kBfs, inputs, journaled_cfg);
+  ASSERT_TRUE(journaled.supported);
+
+  EXPECT_EQ(plain.time_ns, journaled.time_ns);
+  EXPECT_EQ(plain.rounds, journaled.rounds);
+  // Any attached sink updates the trace bookkeeping counters; pricing
+  // invisibility is about every other field of MachineStats.
+  memsim::MachineStats masked = journaled.stats;
+  masked.trace_attributed_ns = plain.stats.trace_attributed_ns;
+  masked.traced_epochs = plain.stats.traced_epochs;
+  EXPECT_EQ(std::memcmp(&plain.stats, &masked, sizeof(masked)), 0)
+      << "attaching a JournalRecorder changed the priced run";
+
+  const CostJournal& journal = recorder.journal();
+  EXPECT_EQ(journal.kind, memsim::MachineKind::kMemoryMode);
+  EXPECT_GT(journal.epochs.size(), 1u);
+  EXPECT_GT(journal.total_ns, 0u);
+  VerifyIdentity(journal);  // PMG_CHECK-aborts on any divergence.
+}
+
+TEST(JournalRecorderTest, CapturesMachineHeaderAndSortedThreads) {
+  const CostJournal journal = Record(App::kBfs, SmallPmmConfig(4));
+  EXPECT_EQ(journal.schema_version, kJournalSchemaVersion);
+  EXPECT_FALSE(journal.machine_name.empty());
+  EXPECT_GT(journal.sockets, 0u);
+  SimNs sum = 0;
+  for (const EpochCost& e : journal.epochs) {
+    sum += e.total_ns;
+    ASSERT_EQ(e.channels.size(), journal.sockets);
+    ASSERT_EQ(e.fills.size(), journal.sockets);
+    for (size_t i = 1; i < e.threads.size(); ++i) {
+      EXPECT_LT(e.threads[i - 1].thread, e.threads[i].thread);
+    }
+    for (const EpochCost::ThreadCost& tc : e.threads) {
+      // user_ns is the truncation of the exact clock the machine kept.
+      EXPECT_EQ(tc.user_ns, static_cast<SimNs>(tc.user_exact_ns));
+    }
+  }
+  EXPECT_EQ(sum, journal.total_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization round trip.
+// ---------------------------------------------------------------------------
+
+TEST(JournalJsonTest, RoundTripIsByteIdenticalAcrossThreadCounts) {
+  for (const uint32_t threads : {1u, 4u, 8u}) {
+    const CostJournal journal = Record(App::kBfs, SmallPmmConfig(threads));
+    const std::string first = JournalToJson(journal);
+
+    CostJournal reloaded;
+    std::string error;
+    ASSERT_TRUE(JournalFromJson(first, &reloaded, &error))
+        << threads << " threads: " << error;
+    // Doubles print with %.17g, so a save/load/save cycle is a fixpoint.
+    EXPECT_EQ(JournalToJson(reloaded), first) << threads << " threads";
+
+    // And the reloaded journal re-prices exactly like the original.
+    VerifyIdentity(reloaded);
+    EXPECT_EQ(Reprice(reloaded, IdentityCounterfactual(reloaded)).total_ns,
+              journal.total_ns);
+  }
+}
+
+TEST(JournalJsonTest, TruncatedDocumentFailsWithErrorNotAbort) {
+  const CostJournal journal = Record(App::kBfs, SmallPmmConfig(4));
+  const std::string text = JournalToJson(journal);
+  // Chop the document at several depths: mid-header, mid-epoch array,
+  // just before the closing brace. Every prefix must fail cleanly.
+  for (const size_t keep :
+       {size_t{0}, size_t{10}, text.size() / 4, text.size() / 2,
+        text.size() - 2}) {
+    CostJournal out;
+    std::string error;
+    EXPECT_FALSE(JournalFromJson(text.substr(0, keep), &out, &error))
+        << "prefix of " << keep << " bytes parsed";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(JournalJsonTest, DroppedEpochsAreReportedAsTruncation) {
+  const CostJournal journal = Record(App::kBfs, SmallPmmConfig(4));
+  ASSERT_GT(journal.epochs.size(), 1u);
+
+  // An epoch vanished from the body but the header still counts it: the
+  // parser names the discrepancy instead of aborting.
+  std::string text = JournalToJson(journal);
+  const std::string tag =
+      "\"epochs_total\":" + std::to_string(journal.epochs.size());
+  const size_t at = text.find(tag);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, tag.size(), "\"epochs_total\":" +
+                                   std::to_string(journal.epochs.size() + 1));
+  CostJournal out;
+  std::string error;
+  EXPECT_FALSE(JournalFromJson(text, &out, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+  // A consistently re-serialized but shortened journal instead trips the
+  // total-vs-epoch-sum cross check.
+  CostJournal shorter = journal;
+  shorter.epochs.pop_back();
+  error.clear();
+  EXPECT_FALSE(JournalFromJson(JournalToJson(shorter), &out, &error));
+  EXPECT_NE(error.find("total_ns"), std::string::npos) << error;
+}
+
+TEST(JournalJsonTest, VersionMismatchNamesBothVersions) {
+  const CostJournal journal = Record(App::kBfs, SmallPmmConfig(4));
+  std::string text = JournalToJson(journal);
+  const std::string tag = "\"pmgj_version\":1";
+  const size_t at = text.find(tag);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, tag.size(), "\"pmgj_version\":99");
+  CostJournal out;
+  std::string error;
+  EXPECT_FALSE(JournalFromJson(text, &out, &error));
+  EXPECT_NE(error.find("version 99"), std::string::npos) << error;
+  EXPECT_NE(error.find("reads version 1"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Crash-recovery re-attachment.
+// ---------------------------------------------------------------------------
+
+/// The small 2-socket machine of the faultsim tests.
+memsim::MachineConfig TinyConfig() {
+  memsim::MachineConfig c;
+  c.kind = memsim::MachineKind::kDramMain;
+  c.name = "tiny";
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;
+  c.topology.dram_bytes_per_socket = MiB(8);
+  c.topology.pmm_bytes_per_socket = 0;
+  c.cpu_cache_lines = 64;
+  return c;
+}
+
+faultsim::FaultSchedule MustParse(const std::string& spec) {
+  faultsim::FaultSchedule s;
+  std::string error;
+  EXPECT_TRUE(faultsim::FaultSchedule::Parse(spec, &s, &error)) << error;
+  return s;
+}
+
+TEST(JournalRecoveryTest, ReattachmentAppendsAllAttemptsOntoOneJournal) {
+  const graph::CsrTopology topo = graph::Grid2d(6, 6);
+  faultsim::RecoveryConfig cfg;
+  cfg.machine = TinyConfig();
+  cfg.threads = 4;
+  cfg.algo.label_policy.placement = memsim::Placement::kInterleaved;
+  cfg.checkpoint_every = 2;
+  cfg.faults = MustParse("crash@epoch:2");
+
+  JournalRecorder recorder;
+  cfg.journal = &recorder;
+  const faultsim::RecoveryResult r =
+      faultsim::RunBfsWithRecovery(topo, 0, cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.attempts, 2u);
+
+  // Both attempts' epochs landed in one journal whose total is the full
+  // deployment cost, and the merged journal still re-prices exactly.
+  const CostJournal& journal = recorder.journal();
+  EXPECT_EQ(journal.total_ns, r.total_ns);
+  VerifyIdentity(journal);
+
+  // The merged journal survives the byte round trip too.
+  const std::string text = JournalToJson(journal);
+  CostJournal reloaded;
+  std::string error;
+  ASSERT_TRUE(JournalFromJson(text, &reloaded, &error)) << error;
+  EXPECT_EQ(JournalToJson(reloaded), text);
+  VerifyIdentity(reloaded);
+
+  // A crash-free run costs strictly less and journals fewer epochs.
+  faultsim::RecoveryConfig clean_cfg = cfg;
+  clean_cfg.faults = faultsim::FaultSchedule();
+  JournalRecorder clean_recorder;
+  clean_cfg.journal = &clean_recorder;
+  const faultsim::RecoveryResult clean =
+      faultsim::RunBfsWithRecovery(topo, 0, clean_cfg);
+  ASSERT_TRUE(clean.completed);
+  EXPECT_EQ(clean_recorder.journal().total_ns, clean.total_ns);
+  EXPECT_LT(clean_recorder.journal().total_ns, journal.total_ns);
+  EXPECT_LT(clean_recorder.journal().epochs.size(), journal.epochs.size());
+}
+
+// ---------------------------------------------------------------------------
+// Counterfactual knob semantics.
+// ---------------------------------------------------------------------------
+
+/// Finds a standard knob by name (the library's order is fixed, but the
+/// tests should not depend on it).
+const Counterfactual& Knob(const std::vector<Counterfactual>& knobs,
+                           const std::string& name) {
+  for (const Counterfactual& cf : knobs) {
+    if (cf.name == name) return cf;
+  }
+  ADD_FAILURE() << "no standard knob named " << name;
+  static const Counterfactual missing;
+  return missing;
+}
+
+/// A memory-mode config whose migration daemon actually wakes during a
+/// tier1-sized run (the default 500us scan interval outlasts the whole
+/// small workload).
+RunConfig MigratingPmmConfig(uint32_t threads) {
+  RunConfig cfg = SmallPmmConfig(threads);
+  cfg.machine.migration.enabled = true;
+  cfg.machine.migration.scan_interval_ns = 5000;
+  return cfg;
+}
+
+TEST(RepriceTest, KnobsOnlyEverSpeedTheRecordedRunUp) {
+  const RunConfig cfg = MigratingPmmConfig(8);
+  const CostJournal journal = Record(App::kPr, cfg);
+  ASSERT_GT(journal.total_ns, 0u);
+  EXPECT_TRUE(journal.migration_enabled);
+
+  for (const Counterfactual& cf : StandardKnobs(journal)) {
+    const RepriceResult r = Reprice(journal, cf);
+    EXPECT_EQ(r.epochs.size(), journal.epochs.size());
+    // Every standard knob removes cost, so no prediction may exceed the
+    // recorded total.
+    EXPECT_LE(r.total_ns, journal.total_ns) << cf.name;
+    EXPECT_GT(r.total_ns, 0u) << cf.name;
+  }
+}
+
+TEST(RepriceTest, ZeroMigrationDropsEveryDaemonCharge) {
+  const CostJournal journal = Record(App::kPr, MigratingPmmConfig(8));
+
+  SimNs recorded_daemon = 0;
+  for (const EpochCost& e : journal.epochs) recorded_daemon += e.daemon_ns;
+  ASSERT_GT(recorded_daemon, 0u)
+      << "workload never woke the migration daemon; the knob is untested";
+
+  const RepriceResult r =
+      Reprice(journal, Knob(StandardKnobs(journal), "zero-migration"));
+  for (const EpochReprice& e : r.epochs) EXPECT_EQ(e.daemon_ns, 0u);
+  EXPECT_LE(r.total_ns, journal.total_ns - recorded_daemon)
+      << "zero-migration must shed at least the daemon itself (hint-fault "
+         "kernel time comes off the latency path on top)";
+}
+
+TEST(RepriceTest, InfiniteBandwidthUnbindsEveryEpoch) {
+  const CostJournal journal = Record(App::kPr, SmallPmmConfig(8));
+  const RepriceResult r =
+      Reprice(journal, Knob(StandardKnobs(journal), "infinite-bandwidth"));
+  EXPECT_EQ(r.bandwidth_bound_epochs, 0u);
+  for (const EpochReprice& e : r.epochs) {
+    EXPECT_EQ(e.bandwidth_path_ns, 0u);
+    EXPECT_FALSE(e.bandwidth_bound);
+  }
+}
+
+TEST(RepriceTest, TlbKnobsShedWalkCostWithoutEverAddingAny) {
+  const CostJournal journal = Record(App::kPr, SmallPmmConfig(8));
+  const std::vector<Counterfactual> knobs = StandardKnobs(journal);
+  const SimNs perfect = Reprice(journal, Knob(knobs, "perfect-tlb")).total_ns;
+  const SimNs huge = Reprice(journal, Knob(knobs, "huge-pages")).total_ns;
+  // Both knobs only remove cost (perfect-tlb frees the walks; huge-pages
+  // cheapens walks *and* batches minor faults, so the two totals are not
+  // ordered against each other — only against the recorded run).
+  EXPECT_LE(huge, journal.total_ns);
+  EXPECT_LT(perfect, journal.total_ns)
+      << "pagerank must pay for some TLB walks";
+}
+
+TEST(RepriceTest, DramSpeedPmmIsAPureTimingsEdit) {
+  const CostJournal journal = Record(App::kBfs, SmallPmmConfig(8));
+  const Counterfactual cf =
+      Knob(StandardKnobs(journal), "dram-speed-pmm");
+  EXPECT_FALSE(cf.zero_migration || cf.perfect_tlb || cf.perfect_near_mem ||
+               cf.infinite_bandwidth || cf.huge_pages);
+  EXPECT_EQ(cf.timings.near_mem_miss_extra_ns, 0u);
+  EXPECT_EQ(cf.timings.pmm_kernel_factor, 1.0);
+  const RepriceResult r = Reprice(journal, cf);
+  EXPECT_LT(r.total_ns, journal.total_ns)
+      << "a memory-mode run priced at DRAM speed must get faster";
+}
+
+// ---------------------------------------------------------------------------
+// COZ-style region speedups from folded profiles.
+// ---------------------------------------------------------------------------
+
+TEST(RegionSpeedupTest, FoldedShareMath) {
+  CostJournal journal;
+  journal.total_ns = 1000000;
+  const std::string folded = "main;hot 30\nmain;cold 10\n";
+
+  const RegionSpeedup hot = EstimateRegionSpeedup(journal, folded, "hot", 2.0);
+  EXPECT_TRUE(hot.found);
+  EXPECT_EQ(hot.samples, 30u);
+  EXPECT_EQ(hot.total_samples, 40u);
+  EXPECT_DOUBLE_EQ(hot.share, 0.75);
+  // scale = 1 - 0.75 * (1 - 1/2) = 0.625
+  EXPECT_EQ(hot.predicted_total_ns, 625000u);
+  EXPECT_DOUBLE_EQ(hot.speedup, 1.6);
+
+  // A frame on every stack owns the whole run.
+  const RegionSpeedup all = EstimateRegionSpeedup(journal, folded, "main", 2.0);
+  EXPECT_DOUBLE_EQ(all.share, 1.0);
+  EXPECT_EQ(all.predicted_total_ns, 500000u);
+
+  // Exact frame match only: "ho" is a prefix, not a frame.
+  const RegionSpeedup missing =
+      EstimateRegionSpeedup(journal, folded, "ho", 4.0);
+  EXPECT_FALSE(missing.found);
+  EXPECT_EQ(missing.samples, 0u);
+  EXPECT_EQ(missing.predicted_total_ns, journal.total_ns);
+  EXPECT_DOUBLE_EQ(missing.speedup, 1.0);
+}
+
+TEST(RegionSpeedupTest, EmptyProfileSpeedsNothingUp) {
+  CostJournal journal;
+  journal.total_ns = 12345;
+  const RegionSpeedup r = EstimateRegionSpeedup(journal, "", "x", 3.0);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.total_samples, 0u);
+  EXPECT_EQ(r.predicted_total_ns, journal.total_ns);
+}
+
+// ---------------------------------------------------------------------------
+// The bottleneck explainer.
+// ---------------------------------------------------------------------------
+
+TEST(ExplainTest, ClassificationAndBlameAccounting) {
+  const CostJournal journal = Record(App::kPr, MigratingPmmConfig(8));
+  const ExplainReport report = BuildExplainReport(journal);
+
+  EXPECT_EQ(report.epochs, journal.epochs.size());
+  EXPECT_EQ(report.total_ns, journal.total_ns);
+  EXPECT_EQ(report.kind, "memory");
+  EXPECT_TRUE(report.migration_enabled);
+
+  // Every epoch lands in exactly one bound class, and the class sums
+  // partition the run's simulated time.
+  EXPECT_EQ(report.latency_bound_epochs + report.bandwidth_bound_epochs +
+                report.daemon_bound_epochs,
+            report.epochs);
+  EXPECT_EQ(report.latency_bound_ns + report.bandwidth_bound_ns +
+                report.daemon_bound_ns,
+            report.total_ns);
+
+  // Straggler blame is sorted by critical time descending and only ever
+  // covers latency-path epochs.
+  uint64_t blamed_epochs = 0;
+  for (size_t i = 0; i < report.stragglers.size(); ++i) {
+    blamed_epochs += report.stragglers[i].critical_epochs;
+    if (i > 0) {
+      EXPECT_GE(report.stragglers[i - 1].critical_ns,
+                report.stragglers[i].critical_ns);
+    }
+  }
+  EXPECT_LE(blamed_epochs, report.epochs - report.bandwidth_bound_epochs);
+
+  uint64_t bucketed = 0;
+  for (size_t b = 0; b < kImbalanceBuckets; ++b) {
+    EXPECT_NE(ImbalanceBucketName(b), nullptr);
+    bucketed += report.imbalance[b];
+  }
+  EXPECT_LE(bucketed, report.epochs);
+
+  // One lever per standard knob, ranked by predicted speedup.
+  EXPECT_EQ(report.levers.size(), StandardKnobs(journal).size());
+  for (size_t i = 0; i < report.levers.size(); ++i) {
+    EXPECT_GE(report.levers[i].speedup, 1.0);
+    if (i > 0) {
+      EXPECT_GE(report.levers[i - 1].speedup, report.levers[i].speedup);
+    }
+  }
+}
+
+TEST(ExplainTest, JsonSectionIsWellFormed) {
+  const CostJournal journal = Record(App::kBfs, SmallPmmConfig(4));
+  const ExplainReport report = BuildExplainReport(journal);
+  trace::JsonWriter w;
+  w.BeginObject().Key("whatif");
+  WriteExplainJson(report, &w);
+  w.EndObject();
+
+  trace::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(trace::JsonValue::Parse(w.str(), &doc, &error)) << error;
+  const trace::JsonValue* whatif = doc.Find("whatif");
+  ASSERT_NE(whatif, nullptr);
+  const trace::JsonValue* levers = whatif->Find("levers");
+  ASSERT_NE(levers, nullptr);
+  EXPECT_EQ(levers->array.size(), report.levers.size());
+  const trace::JsonValue* total = whatif->Find("total_ns");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->AsUInt(), report.total_ns);
+}
+
+}  // namespace
+}  // namespace pmg::whatif

@@ -1,0 +1,191 @@
+// pmg_explain: offline bottleneck explanation of a recorded .pmgj epoch
+// cost journal (written by pmg_run --journal).
+//
+//   pmg_explain <journal.pmgj> [--json]
+//               [--folded <profile.folded> --region <label> [--speedup F]]
+//
+// Loads the journal, re-prices it under its own recorded timings and
+// PMG_CHECKs that this reproduces the recorded run bit for bit (the
+// identity law), then prints the explanation: the epoch bound split, the
+// straggler table, and the counterfactual "top levers" ranking — as an
+// aligned table by default or as one JSON document with --json.
+//
+// With --folded/--region, additionally estimates the COZ-style virtual
+// speedup of one PMG_PROF_SCOPE region from a folded-stack profile
+// (pmg_run --profile): the region's share of samples is sped up by
+// --speedup (default 2.0).
+//
+// A missing, malformed, truncated, or version-mismatched journal is a
+// one-line "pmg_explain: ..." error on stderr and exit code 2.
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "pmg/scenarios/report.h"
+#include "pmg/trace/json.h"
+#include "pmg/whatif/explain.h"
+#include "pmg/whatif/journal.h"
+#include "pmg/whatif/reprice.h"
+
+namespace {
+
+using namespace pmg;
+
+[[noreturn]] void Die(const char* fmt, ...) {
+  std::fprintf(stderr, "pmg_explain: ");
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+  std::exit(2);
+}
+
+void Usage(std::FILE* out, const char* argv0) {
+  std::fprintf(
+      out,
+      "usage: %s <journal.pmgj> [--json]\n"
+      "          [--folded <profile.folded> --region <label> [--speedup F]]\n"
+      "Re-prices a pmg_run --journal file offline: verifies the identity\n"
+      "law, classifies epochs latency/bandwidth/daemon-bound, attributes\n"
+      "stragglers, and ranks counterfactual levers. --folded/--region add\n"
+      "a COZ-style virtual speedup estimate of one profiled region.\n",
+      argv0);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) Die("cannot open '%s'", path.c_str());
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal_path;
+  std::string folded_path;
+  std::string region;
+  double speedup_factor = 2.0;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      Usage(stdout, argv[0]);
+      return 0;
+    }
+    std::string value;
+    bool has_value = false;
+    if (flag.rfind("--", 0) == 0) {
+      const size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        value = flag.substr(eq + 1);
+        flag = flag.substr(0, eq);
+        has_value = true;
+      }
+    }
+    auto need_value = [&]() -> const std::string& {
+      if (!has_value) {
+        if (i + 1 >= argc) Die("flag %s requires a value", flag.c_str());
+        value = argv[++i];
+        has_value = true;
+      }
+      return value;
+    };
+    if (flag == "--json") {
+      if (has_value) Die("flag --json takes no value");
+      json = true;
+    } else if (flag == "--folded") {
+      folded_path = need_value();
+    } else if (flag == "--region") {
+      region = need_value();
+    } else if (flag == "--speedup") {
+      char* end = nullptr;
+      speedup_factor = std::strtod(need_value().c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || speedup_factor < 1.0) {
+        Die("--speedup wants a factor >= 1, got '%s'", value.c_str());
+      }
+    } else if (flag.rfind("--", 0) == 0) {
+      Die("unknown flag '%s' (run with --help for usage)", argv[i]);
+    } else if (journal_path.empty()) {
+      journal_path = flag;
+    } else {
+      Die("more than one journal given ('%s' and '%s')",
+          journal_path.c_str(), flag.c_str());
+    }
+  }
+  if (journal_path.empty()) {
+    Usage(stderr, argv[0]);
+    return 2;
+  }
+  if (folded_path.empty() != region.empty()) {
+    Die("--folded and --region go together");
+  }
+
+  whatif::CostJournal journal;
+  std::string error;
+  if (!whatif::LoadJournal(journal_path, &journal, &error)) {
+    Die("%s", error.c_str());
+  }
+  // BuildExplainReport PMG_CHECKs the identity law: the loaded journal
+  // must re-price to its own recorded totals bit for bit.
+  const whatif::ExplainReport report = whatif::BuildExplainReport(journal);
+
+  whatif::RegionSpeedup region_est;
+  if (!region.empty()) {
+    region_est = whatif::EstimateRegionSpeedup(
+        journal, ReadFileOrDie(folded_path), region, speedup_factor);
+  }
+
+  if (json) {
+    trace::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").UInt(whatif::kJournalSchemaVersion);
+    w.Key("tool").String("pmg_explain");
+    w.Key("journal").String(journal_path);
+    w.Key("whatif");
+    whatif::WriteExplainJson(report, &w);
+    if (!region.empty()) {
+      w.Key("region_speedup").BeginObject();
+      w.Key("region").String(region);
+      w.Key("factor").Double(speedup_factor);
+      w.Key("found").Bool(region_est.found);
+      w.Key("samples").UInt(region_est.samples);
+      w.Key("total_samples").UInt(region_est.total_samples);
+      w.Key("share").Double(region_est.share);
+      w.Key("predicted_total_ns").UInt(region_est.predicted_total_ns);
+      w.Key("speedup").Double(region_est.speedup);
+      w.EndObject();
+    }
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  scenarios::PrintWhatifReport(report);
+  if (!region.empty()) {
+    if (!region_est.found) {
+      std::printf("region '%s': no samples in %s\n", region.c_str(),
+                  folded_path.c_str());
+    } else {
+      std::printf(
+          "region '%s' at %.2fx: %llu/%llu sample(s) (%.1f%%), predicted "
+          "%.3f ms (%.2fx overall)\n",
+          region.c_str(), speedup_factor,
+          static_cast<unsigned long long>(region_est.samples),
+          static_cast<unsigned long long>(region_est.total_samples),
+          region_est.share * 100.0,
+          static_cast<double>(region_est.predicted_total_ns) / 1e6,
+          region_est.speedup);
+    }
+  }
+  return 0;
+}

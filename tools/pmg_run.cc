@@ -39,6 +39,8 @@
 #include "pmg/scenarios/scenarios.h"
 #include "pmg/trace/json.h"
 #include "pmg/trace/trace_session.h"
+#include "pmg/whatif/explain.h"
+#include "pmg/whatif/journal.h"
 
 namespace {
 
@@ -67,6 +69,7 @@ void Usage(std::FILE* out, const char* argv0) {
       "          [--faults <spec>] [--checkpoint-every N]\n"
       "          [--trace <chrome-trace.json>] [--json <report.json>]\n"
       "          [--metrics[=prom|json]] [--profile <out.folded>]\n"
+      "          [--explain[=table|json]] [--journal <out.pmgj>]\n"
       "graph names: kron30 clueweb12 uk14 iso_m100 rmat32 wdc12\n"
       "fault spec:  ';'-separated events, e.g.\n"
       "             'ue@access:500;lat@access:100,ns=2000,count=8;"
@@ -76,7 +79,11 @@ void Usage(std::FILE* out, const char* argv0) {
       "--metrics prints the heatmap plus the registry (Prometheus text by\n"
       "default, or the versioned metrics JSON with --metrics=json);\n"
       "--profile samples PMG_PROF_SCOPE stacks on simulated time and\n"
-      "writes a folded-stack file (flamegraph.pl-compatible).\n",
+      "writes a folded-stack file (flamegraph.pl-compatible);\n"
+      "--explain records an epoch cost journal and prints the bottleneck\n"
+      "explanation (bound split, stragglers, counterfactual levers);\n"
+      "--journal writes the recorded journal to a versioned .pmgj file\n"
+      "that pmg_explain re-prices offline.\n",
       argv0);
 }
 
@@ -186,6 +193,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string metrics_format;  // empty = no --metrics
   std::string profile_path;
+  std::string explain_mode;  // empty = no --explain
+  std::string journal_path;
   bool migration = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -252,6 +261,17 @@ int main(int argc, char** argv) {
     } else if (flag == "--profile") {
       profile_path = need_value();
       if (profile_path.empty()) Die("--profile wants an output path");
+    } else if (flag == "--explain") {
+      // Like --metrics, the value is optional: only the "=" form supplies
+      // one, so a bare --explain must not swallow the next flag.
+      explain_mode = has_value ? value : "table";
+      if (explain_mode != "table" && explain_mode != "json") {
+        Die("unknown explain mode '%s' (want table|json)",
+            explain_mode.c_str());
+      }
+    } else if (flag == "--journal") {
+      journal_path = need_value();
+      if (journal_path.empty()) Die("--journal wants an output path");
     } else if (flag == "--checkpoint-every") {
       if (!ParseU32(need_value(), &cfg.checkpoint_every)) {
         Die("--checkpoint-every wants an integer, got '%s'", value.c_str());
@@ -362,6 +382,40 @@ int main(int argc, char** argv) {
       WriteOrDie(profile_path, msession->ProfileFoldedText());
     }
   };
+  // Cost journaling is on for --explain and/or --journal. The recorder
+  // chains in front of the trace session's sink, so all of --trace,
+  // --json, and --explain compose on one run.
+  whatif::JournalRecorder recorder;
+  const bool journaled = !explain_mode.empty() || !journal_path.empty();
+  // Writes the .pmgj and prints the explanation; shared by the run and
+  // recovery modes. BuildExplainReport PMG_CHECKs the identity law, so a
+  // printed explanation is backed by a journal that reproduces the run.
+  auto emit_whatif = [&]() {
+    if (!journaled) return;
+    if (!journal_path.empty()) {
+      std::string err;
+      if (!whatif::SaveJournal(recorder.journal(), journal_path, &err)) {
+        Die("%s", err.c_str());
+      }
+    }
+    if (explain_mode.empty()) return;
+    const whatif::ExplainReport report =
+        whatif::BuildExplainReport(recorder.journal());
+    if (explain_mode == "json") {
+      trace::JsonWriter w;
+      whatif::WriteExplainJson(report, &w);
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      scenarios::PrintWhatifReport(report);
+    }
+  };
+  // The report's whatif section, present whenever journaling was on.
+  auto append_whatif_json = [&](trace::JsonWriter* w) {
+    if (!journaled) return;
+    w->Key("whatif");
+    whatif::WriteExplainJson(whatif::BuildExplainReport(recorder.journal()),
+                             w);
+  };
   // Report preamble shared by both run modes.
   auto json_preamble = [&](trace::JsonWriter* w, const char* mode) {
     w->Key("schema_version").UInt(trace::kTraceSchemaVersion);
@@ -397,6 +451,7 @@ int main(int argc, char** argv) {
       rc.algo.label_policy.placement = *cfg.placement;
     }
     if (traced) rc.trace = &session;
+    if (journaled) rc.journal = &recorder;
     if (msession.has_value()) rc.metrics = &*msession;
     const VertexId source = graph::MaxOutDegreeVertex(topo);
     const faultsim::RecoveryResult r =
@@ -410,6 +465,7 @@ int main(int argc, char** argv) {
     scenarios::PrintRecoveryReport(r);
     scenarios::PrintFaultReport(r.fault, r.stats);
     if (traced) scenarios::PrintTraceReport(session.report());
+    emit_whatif();
     emit_metrics();
     std::printf("\ncounters (final attempt):\n%s\n",
                 r.stats.ToString().c_str());
@@ -438,6 +494,7 @@ int main(int argc, char** argv) {
         w.Key("metrics");
         msession->AppendReportJson(&w);
       }
+      append_whatif_json(&w);
       w.EndObject();
       WriteOrDie(json_path, w.str() + "\n");
     }
@@ -447,6 +504,7 @@ int main(int argc, char** argv) {
   const frameworks::AppInputs inputs =
       frameworks::AppInputs::Prepare(std::move(topo), represented);
   if (traced) cfg.trace = &session;
+  if (journaled) cfg.journal = &recorder;
   if (msession.has_value()) cfg.metrics = &*msession;
   const frameworks::AppRunResult r = RunApp(fw, app, inputs, cfg);
 
@@ -491,6 +549,7 @@ int main(int argc, char** argv) {
       w.Key("crashes").UInt(r.fault.crashes);
       w.EndObject();
     }
+    append_whatif_json(&w);
     w.EndObject();
     WriteOrDie(json_path, w.str() + "\n");
   };
@@ -498,8 +557,10 @@ int main(int argc, char** argv) {
   if (!r.supported) {
     std::printf("%s cannot run %s on this graph (framework limitation)\n",
                 framework_name.c_str(), app_name.c_str());
-    // The session never attached, so the heatmap and registry are empty;
-    // still emit so a scripted --profile always gets its output file.
+    // The sessions never attached, so the heatmap, registry, and journal
+    // are empty; still emit so scripted --profile/--journal always get
+    // their output files.
+    emit_whatif();
     emit_metrics();
     emit_outputs();
     return 0;
@@ -510,6 +571,7 @@ int main(int argc, char** argv) {
                 machine_name.c_str());
     scenarios::PrintFaultReport(r.fault, r.stats);
     if (traced) scenarios::PrintTraceReport(session.report());
+    emit_whatif();
     emit_metrics();
     emit_outputs();
     return 1;
@@ -521,6 +583,7 @@ int main(int argc, char** argv) {
   std::printf("\ncounters:\n%s\n", r.stats.ToString().c_str());
   if (r.fault_injected) scenarios::PrintFaultReport(r.fault, r.stats);
   if (traced) scenarios::PrintTraceReport(session.report());
+  emit_whatif();
   emit_metrics();
   emit_outputs();
   if (r.sanitized) {
