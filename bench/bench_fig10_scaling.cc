@@ -32,7 +32,7 @@ uint64_t Footprint(pmg::frameworks::App app,
       return CsrBytes(in.weighted) + in.weighted.num_vertices * 16;
     case App::kPr:
       return 2 * CsrBytes(in.base) + in.base.num_vertices * 24;
-    default:
+    default:  // Bfs/Bc/Cc: base topology plus level/score arrays
       return CsrBytes(in.base) + in.base.num_vertices * 16;
   }
 }

@@ -77,7 +77,7 @@ inline distsim::DistRunResult RunCluster(ClusterEngines& engines,
       return engines.base->Pr(pr_rounds, 1e-6);
     case App::kSssp:
       return engines.weighted->Sssp(in.source);
-    default:
+    default:  // kTc is not part of the cluster-scaling benchmark
       return {};
   }
 }

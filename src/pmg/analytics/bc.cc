@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "pmg/metrics/profiler.h"
+#include "pmg/runtime/per_thread.h"
 #include "pmg/runtime/worklist.h"
 
 namespace pmg::analytics {
@@ -146,9 +147,10 @@ BcResult BcDense(runtime::Runtime& rt, const graph::CsrGraph& g,
 
     // Forward: scan all vertices each round (vertex-program style).
     uint32_t cur = 0;
+    runtime::PerThreadFlag adv(rt.threads());
     bool advanced = true;
     while (advanced) {
-      advanced = false;
+      adv.Reset();
       // The frontier check reads a level another thread may be claiming
       // (an unreached vertex becomes cur+1 mid-round), so it is atomic;
       // same annotations on the edge side as the sparse variant.
@@ -160,12 +162,13 @@ BcResult BcDense(runtime::Runtime& rt, const graph::CsrGraph& g,
           if (lu == kInfLevel) {
             out.level.SetAtomic(tt, u, cur + 1);
             st.sigma.SetAtomic(tt, u, sv);
-            advanced = true;
+            adv.Mark(tt);
           } else if (lu == cur + 1) {
             st.sigma.UpdateAtomic(tt, u, [&](double& s) { s += sv; });
           }
         });
       });
+      advanced = adv.Any();
       ++cur;
     }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "pmg/metrics/profiler.h"
+#include "pmg/runtime/per_thread.h"
 #include "pmg/runtime/worklist.h"
 
 namespace pmg::analytics {
@@ -213,10 +214,11 @@ CcResult CcUnionFind(runtime::Runtime& rt, const graph::CsrGraph& g,
   CcResult out;
   out.time_ns = rt.Timed([&] {
     out.label = InitLabels(rt, g, opt);  // parent pointers
+    runtime::PerThreadFlag hooked(rt.threads());
     bool changed = true;
     uint64_t round = 0;
     while (changed) {
-      changed = false;
+      hooked.Reset();
       // Hook: point the larger root at the smaller endpoint's root. Every
       // parent pointer here can be read and written by any thread (the
       // root pu of an edge is an arbitrary vertex), so all accesses are
@@ -227,7 +229,7 @@ CcResult CcUnionFind(runtime::Runtime& rt, const graph::CsrGraph& g,
           const uint64_t pu = out.label.GetAtomic(tt, u);
           if (pv < pu && out.label.GetAtomic(tt, pu) == pu) {
             out.label.SetAtomic(tt, pu, pv);
-            changed = true;
+            hooked.Mark(tt);
           }
         });
       });
@@ -241,9 +243,10 @@ CcResult CcUnionFind(runtime::Runtime& rt, const graph::CsrGraph& g,
         const uint64_t pp = out.label.GetAtomic(t, p);
         if (pp != p) {
           out.label.SetAtomic(t, v, pp);
-          changed = true;
+          hooked.Mark(t);
         }
       });
+      changed = hooked.Any();
       ++round;
     }
     out.rounds = round;

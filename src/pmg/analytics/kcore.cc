@@ -1,6 +1,7 @@
 #include "pmg/analytics/kcore.h"
 
 #include "pmg/metrics/profiler.h"
+#include "pmg/runtime/per_thread.h"
 #include "pmg/runtime/worklist.h"
 
 namespace pmg::analytics {
@@ -84,10 +85,11 @@ KcoreResult KcoreDense(runtime::Runtime& rt, const graph::CsrGraph& g,
       out.alive.Set(t, v, 1);
     });
     // Bulk-synchronous peeling: every round scans all vertices.
+    runtime::PerThreadFlag peeled(rt.threads());
     bool removed = true;
     uint64_t round = 0;
     while (removed) {
-      removed = false;
+      peeled.Reset();
       // alive[v] is written only by v's owner this round, so the own
       // checks stay plain; deg[v] and the neighbours' alive/deg are
       // concurrently decremented/read by other threads, so those are
@@ -95,7 +97,7 @@ KcoreResult KcoreDense(runtime::Runtime& rt, const graph::CsrGraph& g,
       rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
         if (out.alive.Get(t, v) == 0 || deg.GetAtomic(t, v) >= k) return;
         out.alive.SetAtomic(t, v, 0);
-        removed = true;
+        peeled.Mark(t);
         g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
           if (out.alive.GetAtomic(tt, u) != 0) {
             deg.UpdateAtomic(tt, u, [](uint32_t& d) {
@@ -104,6 +106,7 @@ KcoreResult KcoreDense(runtime::Runtime& rt, const graph::CsrGraph& g,
           }
         });
       });
+      removed = peeled.Any();
       ++round;
     }
     out.rounds = round;

@@ -41,6 +41,8 @@ PrResult PrPull(runtime::Runtime& rt, const graph::CsrGraph& g,
           sum += contrib.Get(t, g.InSrc(t, e));
         }
         const double next = base + opt.pr_damping * sum;
+        // pmg-lint: allow(pmg-atomic-shared-write) fp sum in vertex order
+        // is golden-locked; a per-thread reduction would change low bits
         total_delta += std::fabs(next - out.rank.Get(t, v));
         out.rank.Set(t, v, next);
       });

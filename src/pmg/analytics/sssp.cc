@@ -4,6 +4,7 @@
 
 #include "pmg/common/check.h"
 #include "pmg/metrics/profiler.h"
+#include "pmg/runtime/per_thread.h"
 #include "pmg/runtime/worklist.h"
 
 namespace pmg::analytics {
@@ -31,10 +32,11 @@ SsspResult SsspBellmanFord(runtime::Runtime& rt, const graph::CsrGraph& g,
   out.time_ns = rt.Timed([&] {
     out.dist = InitDist(rt, g, opt);
     out.dist.Set(0, source, 0);
+    runtime::PerThreadFlag relaxed(rt.threads());
     bool changed = true;
     uint64_t round = 0;
     while (changed && round < g.num_vertices()) {
-      changed = false;
+      relaxed.Reset();
       // Topology-driven: every vertex relaxes its edges every round.
       rt.ParallelFor(0, g.num_vertices(), [&](ThreadId t, uint64_t v) {
         // dist[v] may be concurrently relaxed (CasMin) by any thread in
@@ -42,9 +44,10 @@ SsspResult SsspBellmanFord(runtime::Runtime& rt, const graph::CsrGraph& g,
         const uint64_t dv = out.dist.GetAtomic(t, v);
         if (dv == kInfDist) return;
         g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t w) {
-          if (out.dist.CasMin(tt, u, dv + w)) changed = true;
+          if (out.dist.CasMin(tt, u, dv + w)) relaxed.Mark(tt);
         });
       });
+      changed = relaxed.Any();
       ++round;
     }
     out.rounds = round;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "pmg/metrics/profiler.h"
+#include "pmg/runtime/per_thread.h"
 
 namespace pmg::analytics {
 
@@ -40,12 +41,12 @@ TcResult Tc(runtime::Runtime& rt, const graph::CsrGraph& g) {
   PMG_PROF_SCOPE("tc");
   TcResult out;
   out.time_ns = rt.Timed([&] {
-    uint64_t total = 0;
+    runtime::PerThreadSum<uint64_t> total(rt.threads());
     // Node iterator: for each edge (v, u), count |adj+(v) n adj+(u)| via
     // a sorted two-pointer merge with costed reads. Race audit: the
-    // kernel only reads the (immutable) oriented graph — the `total`
-    // accumulator is host-side and uncosted — so no atomic annotations
-    // are needed.
+    // kernel only reads the (immutable) oriented graph, and the triangle
+    // count accumulates per thread (an integral sum, so the reduction
+    // order cannot change the result) — no atomic annotations needed.
     rt.ParallelForDynamic(0, g.num_vertices(), /*chunk=*/64,
                           [&](ThreadId t, uint64_t v) {
       const auto [v_first, v_last] = g.OutRange(t, v);
@@ -58,7 +59,7 @@ TcResult Tc(runtime::Runtime& rt, const graph::CsrGraph& g) {
           const VertexId da = g.OutDst(t, a);
           const VertexId db = g.OutDst(t, b);
           if (da == db) {
-            ++total;
+            total.Add(t, 1);
             ++a;
             ++b;
           } else if (da < db) {
@@ -69,7 +70,7 @@ TcResult Tc(runtime::Runtime& rt, const graph::CsrGraph& g) {
         }
       }
     });
-    out.triangles = total;
+    out.triangles = total.Total();
   });
   return out;
 }

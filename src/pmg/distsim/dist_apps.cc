@@ -135,6 +135,8 @@ DistRunResult DistEngine::Pr(uint32_t max_rounds, double tolerance,
         // Apply: new rank from the fully reduced accumulator.
         host.rt->ParallelFor(0, host.owned, [&](ThreadId t2, uint64_t v) {
           const double next = base + damping * s.accum.Get(t2, v);
+          // pmg-lint: allow(pmg-atomic-shared-write) fp sum in vertex
+          // order is golden-locked; per-thread parts would change bits
           total_delta += std::fabs(next - s.rank.Get(t2, v));
           s.rank.Set(t2, v, next);
         });

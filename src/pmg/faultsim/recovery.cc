@@ -242,6 +242,8 @@ RecoveryResult RunPrWithRecovery(const graph::CsrTopology& topo,
           sum += contrib.Get(t, g.InSrc(t, e));
         }
         const double next = base + cfg.algo.pr_damping * sum;
+        // pmg-lint: allow(pmg-atomic-shared-write) fp sum in vertex order
+        // must match the pre-crash run bit for bit across checkpoints
         total_delta += std::fabs(next - rank.Get(t, v));
         rank.Set(t, v, next);
       });

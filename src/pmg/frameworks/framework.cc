@@ -154,7 +154,7 @@ const graph::CsrTopology& TopologyFor(const FrameworkProfile& p, App app,
       return in.sym;
     case App::kTc:
       return in.tc_fwd;
-    default:
+    default:  // kBfs/kBc/kPr run on the unmodified input topology
       return in.base;
   }
 }

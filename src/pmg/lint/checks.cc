@@ -1,0 +1,794 @@
+#include "pmg/lint/checks.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+
+namespace pmg::lint::internal {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+/// Index of the token matching the opener at `i` (e.g. '(' -> its ')').
+/// Returns tokens.size() when unbalanced. `open`/`close` are punct texts.
+size_t MatchForward(const Tokens& t, size_t i, std::string_view open,
+                    std::string_view close) {
+  int depth = 0;
+  for (size_t k = i; k < t.size(); ++k) {
+    if (t[k].kind != TokKind::kPunct) continue;
+    if (t[k].text == open) {
+      ++depth;
+    } else if (t[k].text == close) {
+      if (--depth == 0) return k;
+    }
+  }
+  return t.size();
+}
+
+/// Splits the argument list of a call whose '(' is at `open_idx` into
+/// top-level [begin, end) token ranges. Returns the index of the ')'.
+size_t SplitArgs(const Tokens& t, size_t open_idx,
+                 std::vector<std::pair<size_t, size_t>>* args) {
+  const size_t close = MatchForward(t, open_idx, "(", ")");
+  size_t begin = open_idx + 1;
+  int depth = 0;
+  for (size_t k = open_idx + 1; k < close; ++k) {
+    if (t[k].kind != TokKind::kPunct) continue;
+    const std::string_view p = t[k].text;
+    if (p == "(" || p == "[" || p == "{") ++depth;
+    if (p == ")" || p == "]" || p == "}") --depth;
+    if (p == "," && depth == 0) {
+      args->push_back({begin, k});
+      begin = k + 1;
+    }
+  }
+  if (close > begin || close == begin) args->push_back({begin, close});
+  return close;
+}
+
+bool RangeContainsIdent(const Tokens& t, size_t begin, size_t end,
+                        std::string_view ident) {
+  for (size_t k = begin; k < end && k < t.size(); ++k) {
+    if (t[k].IsIdent(ident)) return true;
+  }
+  return false;
+}
+
+void Add(std::vector<Finding>* out, const SourceFile& file, uint32_t line,
+         const char* check, std::string message) {
+  out->push_back({file.path, line, check, std::move(message)});
+}
+
+}  // namespace
+
+// --- pmg-no-host-clock -----------------------------------------------------
+
+void CheckNoHostClock(const SourceFile& file, const TokenStream& ts,
+                      const LintOptions& options, std::vector<Finding>* out) {
+  for (const std::string& prefix : options.host_dirs) {
+    if (file.path.rfind(prefix, 0) == 0) return;  // host-only code
+  }
+  static const std::set<std::string_view> kBannedCalls = {
+      "time",          "clock",      "rand",         "srand",
+      "gettimeofday",  "localtime",  "gmtime",       "mktime",
+      "clock_gettime", "timespec_get"};
+  static const std::set<std::string_view> kBannedIdents = {
+      "random_device", "steady_clock", "system_clock",
+      "high_resolution_clock"};
+  static const std::set<std::string_view> kBannedIncludes = {
+      "chrono", "ctime", "time.h", "sys/time.h"};
+  const Tokens& t = ts.code;
+  for (size_t i = 0; i < t.size(); ++i) {
+    // #include <chrono> and friends.
+    if (t[i].Is("#") && i + 2 < t.size() && t[i + 1].IsIdent("include") &&
+        t[i + 2].Is("<")) {
+      std::string header;
+      size_t k = i + 3;
+      while (k < t.size() && !t[k].Is(">") && t[k].line == t[i].line) {
+        header += t[k].text;
+        ++k;
+      }
+      if (kBannedIncludes.count(header) > 0) {
+        Add(out, file, t[i].line, kNoHostClock,
+            "#include <" + header +
+                "> in simulated code: all time must come from the "
+                "machine's SimNs clock");
+      }
+      continue;
+    }
+    if (t[i].kind != TokKind::kIdent) continue;
+    const bool member = i > 0 && (t[i - 1].Is(".") || t[i - 1].Is("->"));
+    // std::chrono::* anywhere.
+    if (t[i].Is("chrono") && i >= 2 && t[i - 1].Is("::") &&
+        t[i - 2].IsIdent("std")) {
+      Add(out, file, t[i].line, kNoHostClock,
+          "std::chrono in simulated code: use the machine's SimNs clock");
+      continue;
+    }
+    if (!member && kBannedIdents.count(t[i].text) > 0) {
+      Add(out, file, t[i].line, kNoHostClock,
+          "host entropy/clock type '" + std::string(t[i].text) +
+              "': simulated code must be deterministic (seed a PRNG "
+              "explicitly)");
+      continue;
+    }
+    if (kBannedCalls.count(t[i].text) > 0 && i + 1 < t.size() &&
+        t[i + 1].Is("(")) {
+      if (member) continue;  // foo.time(...) is not the libc call
+      if (i > 0 && t[i - 1].Is("::") &&
+          !(i >= 2 && t[i - 2].IsIdent("std"))) {
+        continue;  // somelib::time(...) is not the libc call
+      }
+      if (i > 0 && t[i - 1].kind == TokKind::kIdent &&
+          !t[i - 1].IsIdent("return")) {
+        continue;  // `uint64_t time(...)` declares a member, calls nothing
+      }
+      Add(out, file, t[i].line, kNoHostClock,
+          "host clock/randomness call '" + std::string(t[i].text) +
+              "()' in simulated code: priced paths must not read host "
+              "state");
+    }
+  }
+}
+
+// --- pmg-unordered-iteration -----------------------------------------------
+
+void CheckUnorderedIteration(const SourceFile& file, const TokenStream& ts,
+                             const ProjectIndex& index,
+                             std::vector<Finding>* out) {
+  const Tokens& t = ts.code;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].IsIdent("for") || !t[i + 1].Is("(")) continue;
+    const size_t close = MatchForward(t, i + 1, "(", ")");
+    if (close == t.size()) continue;
+    // A range-for has a top-level ':' inside the parens ("::" is a single
+    // token, so this cannot misfire on qualified names).
+    size_t colon = t.size();
+    int depth = 0;
+    for (size_t k = i + 2; k < close; ++k) {
+      if (t[k].kind != TokKind::kPunct) continue;
+      if (t[k].Is("(") || t[k].Is("[") || t[k].Is("{")) ++depth;
+      if (t[k].Is(")") || t[k].Is("]") || t[k].Is("}")) --depth;
+      if (t[k].Is(":") && depth == 0) {
+        colon = k;
+        break;
+      }
+    }
+    if (colon == t.size()) continue;
+    // The iterated expression: flag a literal unordered type, or a name
+    // the project index knows is an unordered container.
+    std::string_view iterated;
+    bool unordered = false;
+    for (size_t k = colon + 1; k < close; ++k) {
+      if (t[k].kind != TokKind::kIdent) continue;
+      if (t[k].Is("unordered_map") || t[k].Is("unordered_set")) {
+        unordered = true;
+        iterated = t[k].text;
+      }
+      if (index.unordered_names.count(std::string(t[k].text)) > 0) {
+        unordered = true;
+        iterated = t[k].text;
+      }
+    }
+    if (unordered) {
+      Add(out, file, t[i].line, kUnorderedIteration,
+          "range-for over unordered container '" + std::string(iterated) +
+              "': iteration order is nondeterministic — sort keys first "
+              "(reports, goldens, cost accounting and serialization are "
+              "all byte-stable surfaces)");
+    }
+  }
+}
+
+// --- pmg-check-side-effects ------------------------------------------------
+
+void CheckCheckSideEffects(const SourceFile& file, const TokenStream& ts,
+                           std::vector<Finding>* out) {
+  static const std::set<std::string_view> kCheckMacros = {
+      "PMG_CHECK", "PMG_CHECK_MSG", "PMG_ASSERT", "PMG_ASSERT_MSG"};
+  static const std::set<std::string_view> kAssignOps = {
+      "=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  // Methods of the costed/runtime vocabulary that mutate their receiver.
+  static const std::set<std::string_view> kMutating = {
+      "Pop",        "PopMin",      "Push",       "Advance",  "Activate",
+      "ActivateCur","Set",         "SetAtomic",  "Update",   "UpdateAtomic",
+      "FetchAdd",   "CasMin",      "Charge",     "Alloc",    "Free",
+      "BeginEpoch", "EndEpoch",    "CloseEpochIfOpen",       "erase",
+      "insert",     "emplace",     "emplace_back", "push_back",
+      "pop_back",   "clear",       "resize",     "Attach",   "Detach"};
+  const Tokens& t = ts.code;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || kCheckMacros.count(t[i].text) == 0 ||
+        !t[i + 1].Is("(")) {
+      continue;
+    }
+    // Skip the macro's own definition (check.h): '#define PMG_CHECK(...)'.
+    if (i >= 2 && t[i - 1].IsIdent("define") && t[i - 2].Is("#")) continue;
+    std::vector<std::pair<size_t, size_t>> args;
+    SplitArgs(t, i + 1, &args);
+    if (args.empty()) continue;
+    // Only the condition (first argument) must be pure; _MSG text args are
+    // diagnostics printed on the way to abort.
+    const auto [begin, end] = args[0];
+    for (size_t k = begin; k < end && k < t.size(); ++k) {
+      std::string offender;
+      if (t[k].kind == TokKind::kPunct &&
+          (t[k].Is("++") || t[k].Is("--") ||
+           kAssignOps.count(t[k].text) > 0)) {
+        offender = std::string(t[k].text);
+      } else if (t[k].kind == TokKind::kIdent &&
+                 kMutating.count(t[k].text) > 0 && k + 1 < end &&
+                 t[k + 1].Is("(")) {
+        offender = std::string(t[k].text) + "()";
+      }
+      if (!offender.empty()) {
+        Add(out, file, t[i].line, kCheckSideEffects,
+            std::string(t[i].text) + " condition contains '" + offender +
+                "': checks must be side-effect free (the machine's "
+                "invariants may never depend on a diagnostic running)");
+        break;
+      }
+    }
+  }
+}
+
+// --- pmg-hook-guard ----------------------------------------------------------
+
+namespace {
+
+/// Reconstructs the postfix base expression of a call `BASE->Method(...)`
+/// ending at token `arrow_idx` (the '->' or '.'). Returns the index of
+/// the base's first token, or arrow_idx when none was found.
+size_t BaseBegin(const Tokens& t, size_t arrow_idx) {
+  size_t j = arrow_idx;  // exclusive end; walk left
+  while (j > 0) {
+    const Token& p = t[j - 1];
+    if (p.kind == TokKind::kIdent) {
+      --j;
+      if (j > 0 && (t[j - 1].Is(".") || t[j - 1].Is("->") ||
+                    t[j - 1].Is("::"))) {
+        --j;
+        continue;
+      }
+      return j;
+    }
+    if (p.Is(")") || p.Is("]")) {
+      const std::string_view close = p.text;
+      const std::string_view open = p.Is(")") ? "(" : "[";
+      int depth = 0;
+      size_t k = j;
+      while (k > 0) {
+        --k;
+        if (t[k].kind != TokKind::kPunct) continue;
+        if (t[k].text == close) ++depth;
+        if (t[k].text == open && --depth == 0) break;
+      }
+      if (depth != 0) return j;
+      j = k;
+      continue;  // the '(' may follow a callee identifier
+    }
+    return j;
+  }
+  return j;
+}
+
+bool SameTokenText(const Tokens& t, size_t at, const Tokens& base,
+                   size_t base_begin, size_t base_end) {
+  const size_t len = base_end - base_begin;
+  if (at + len > t.size()) return false;
+  for (size_t k = 0; k < len; ++k) {
+    if (t[at + k].text != base[base_begin + k].text) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void CheckHookGuard(const SourceFile& file, const TokenStream& ts,
+                    std::vector<Finding>* out) {
+  static const std::set<std::string_view> kHookMethods = {
+      "OnEpochTrace", "OnInstant",     "OnMediaAccess", "OnStorageOp",
+      "OnQuarantined","RemoteBandwidthFactor",          "OnEpochBegin",
+      "OnEpochEnd",   "OnAccess",      "OnAlloc",       "OnFree",
+      "WantsCostModel"};
+  // How far back (in tokens) a guard may sit. Wide enough that a
+  // PMG_CHECK(ptr != nullptr) precondition at the top of a long emitter
+  // function still counts; crossing into the previous function only
+  // risks a false negative, which this analyzer accepts by design.
+  constexpr size_t kGuardWindow = 2500;
+  const Tokens& t = ts.code;
+  for (size_t i = 2; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || kHookMethods.count(t[i].text) == 0 ||
+        !t[i + 1].Is("(")) {
+      continue;
+    }
+    // Only calls through a pointer can hit a detached (null) hook; a
+    // hook method invoked on a by-value member or local via '.' has
+    // nothing to guard.
+    if (!t[i - 1].Is("->")) continue;
+    const size_t base_begin = BaseBegin(t, i - 1);
+    const size_t base_end = i - 1;
+    if (base_begin >= base_end) continue;
+    bool guarded = false;
+    const size_t stop = base_begin > kGuardWindow ? base_begin - kGuardWindow
+                                                  : 0;
+    for (size_t k = base_begin; k-- > stop;) {
+      if (!SameTokenText(t, k, t, base_begin, base_end)) continue;
+      const size_t after = k + (base_end - base_begin);
+      if (after >= base_begin) continue;  // overlaps the call itself
+      // `base != nullptr` / `base == nullptr` (early-return style).
+      if (after + 1 < t.size() &&
+          (t[after].Is("!=") || t[after].Is("==")) &&
+          t[after + 1].IsIdent("nullptr")) {
+        guarded = true;
+        break;
+      }
+      // `if (base)` / `while (base)` — the bare truth test.
+      if (k >= 2 && t[k - 1].Is("(") &&
+          (t[k - 2].IsIdent("if") || t[k - 2].IsIdent("while")) &&
+          after < t.size() && t[after].Is(")")) {
+        guarded = true;
+        break;
+      }
+      // `if (!base.empty())`-style emptiness guard on a container of hooks.
+      if (after + 2 < t.size() && t[after].Is(".") &&
+          t[after + 1].IsIdent("empty") && t[after + 2].Is("(")) {
+        guarded = true;
+        break;
+      }
+      // Range-for binding: `for (Type* base : hooks_)` — iterating an
+      // empty chain is already free, the loop is its own guard.
+      if (base_end - base_begin == 1 && after < t.size() &&
+          t[after].Is(":")) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded) {
+      std::string base;
+      for (size_t k = base_begin; k < base_end; ++k) base += t[k].text;
+      Add(out, file, t[i].line, kHookGuard,
+          "call through observer seam '" + base +
+              std::string(t[i - 1].text) + std::string(t[i].text) +
+              "' without a null/empty guard: detached hooks must stay "
+              "zero-cost (guard with 'if (" + base + " != nullptr)')");
+    }
+  }
+}
+
+// --- pmg-atomic-shared-write -------------------------------------------------
+
+namespace {
+
+/// Collects the parameter names of a lambda/function parameter list whose
+/// '(' is at `open_idx`: the last identifier of each top-level argument.
+void ParamNames(const Tokens& t, size_t open_idx,
+                std::set<std::string>* names) {
+  std::vector<std::pair<size_t, size_t>> args;
+  SplitArgs(t, open_idx, &args);
+  for (const auto& [begin, end] : args) {
+    for (size_t k = end; k-- > begin;) {
+      if (t[k].kind == TokKind::kIdent) {
+        names->insert(std::string(t[k].text));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void CheckAtomicSharedWrite(const SourceFile& file, const TokenStream& ts,
+                            std::vector<Finding>* out) {
+  static const std::set<std::string_view> kParallelCalls = {
+      "ParallelFor", "ParallelForDynamic", "ParallelExecute",
+      "ForEachActive", "DrainAsync"};
+  static const std::set<std::string_view> kPlainWrites = {"Set", "Update"};
+  static const std::set<std::string_view> kAssignOps = {
+      "=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+  const Tokens& t = ts.code;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent ||
+        kParallelCalls.count(t[i].text) == 0 || !t[i + 1].Is("(")) {
+      continue;
+    }
+    const size_t call_close = MatchForward(t, i + 1, "(", ")");
+    if (call_close == t.size()) continue;
+    // Find the body lambda: a '[' capture whose ']' is followed by '(' or
+    // '{' inside the call's argument list.
+    size_t lam = t.size();
+    for (size_t k = i + 2; k < call_close; ++k) {
+      if (!t[k].Is("[")) continue;
+      const size_t cap_close = MatchForward(t, k, "[", "]");
+      if (cap_close < call_close && cap_close + 1 < t.size() &&
+          (t[cap_close + 1].Is("(") || t[cap_close + 1].Is("{"))) {
+        lam = k;
+        break;
+      }
+    }
+    if (lam == t.size()) continue;  // no inline lambda (named functor)
+    const size_t cap_close = MatchForward(t, lam, "[", "]");
+    // Owner index: the last parameter of the body lambda (`v` in
+    // `[&](ThreadId t, uint64_t v)`). Writes indexed by it touch state the
+    // partitioning made thread-private; anything else is shared.
+    std::set<std::string> params;
+    std::string induction;
+    size_t body_open = cap_close + 1;
+    if (t[body_open].Is("(")) {
+      std::vector<std::pair<size_t, size_t>> ps;
+      const size_t pc = SplitArgs(t, body_open, &ps);
+      ParamNames(t, body_open, &params);
+      for (const auto& [begin, end] : ps) {
+        for (size_t k = end; k-- > begin;) {
+          if (t[k].kind == TokKind::kIdent) {
+            induction = std::string(t[k].text);
+            break;
+          }
+        }
+      }
+      body_open = pc + 1;
+    }
+    if (body_open >= t.size() || !t[body_open].Is("{")) continue;
+    const size_t body_close = MatchForward(t, body_open, "{", "}");
+    if (body_close == t.size()) continue;
+
+    // Names declared inside the body (locals, structured bindings and
+    // nested-lambda parameters): private to one virtual thread's turn.
+    std::set<std::string> declared = params;
+    for (size_t k = body_open + 1; k < body_close; ++k) {
+      if (t[k].IsIdent("auto") && k + 1 < body_close && t[k + 1].Is("[")) {
+        const size_t bc = MatchForward(t, k + 1, "[", "]");
+        for (size_t m = k + 2; m < bc && m < body_close; ++m) {
+          if (t[m].kind == TokKind::kIdent) {
+            declared.insert(std::string(t[m].text));
+          }
+        }
+        continue;
+      }
+      if (t[k].Is("[") && k + 1 < t.size()) {
+        const size_t bc = MatchForward(t, k, "[", "]");
+        if (bc + 1 < body_close && t[bc + 1].Is("(")) {
+          // Nested lambda parameters: private, and (like the outer
+          // params) valid private-slot subscripts — edge visitors forward
+          // the runtime's thread id as `tt`.
+          ParamNames(t, bc + 1, &declared);
+          ParamNames(t, bc + 1, &params);
+        }
+        continue;
+      }
+      if (t[k].kind != TokKind::kIdent || k == body_open + 1) continue;
+      const Token& prev = t[k - 1];
+      const bool decl_shaped =
+          prev.kind == TokKind::kIdent || prev.Is(">") || prev.Is("*") ||
+          prev.Is("&") || prev.Is("&&");
+      const bool terminated =
+          k + 1 < body_close &&
+          (t[k + 1].Is("=") || t[k + 1].Is(";") || t[k + 1].Is("{"));
+      if (decl_shaped && terminated && !prev.IsIdent("return")) {
+        declared.insert(std::string(t[k].text));
+      }
+    }
+
+    // Pass 1: plain costed writes (.Set / .Update) whose element index
+    // does not involve the induction variable — a write to another
+    // thread's element must use the atomic variants.
+    for (size_t k = body_open + 1; k < body_close; ++k) {
+      if (t[k].kind == TokKind::kIdent && kPlainWrites.count(t[k].text) > 0 &&
+          k > 0 && (t[k - 1].Is(".") || t[k - 1].Is("->")) &&
+          k + 1 < body_close && t[k + 1].Is("(")) {
+        std::vector<std::pair<size_t, size_t>> args;
+        SplitArgs(t, k + 1, &args);
+        if (args.size() < 2) continue;
+        if (!induction.empty() &&
+            RangeContainsIdent(t, args[1].first, args[1].second, induction)) {
+          continue;  // owner write: index derives from the loop variable
+        }
+        Add(out, file, t[k].line, kAtomicSharedWrite,
+            "plain ." + std::string(t[k].text) +
+                "() on an element not indexed by the parallel loop "
+                "variable: another virtual thread may touch it this epoch "
+                "— use SetAtomic/UpdateAtomic/CasMin/FetchAdd (see "
+                "DESIGN.md, atomicity contract)");
+      }
+      // Pass 2 (same walk): mutation of captured names. Anything written
+      // through ++/--/assignment that is neither a parameter nor declared
+      // in the body is shared across virtual threads.
+      if (t[k].kind == TokKind::kIdent && k > 0 && !t[k - 1].Is(".") &&
+          !t[k - 1].Is("->") && !t[k - 1].Is("::") &&
+          declared.count(std::string(t[k].text)) == 0) {
+        bool pre_incr = (t[k - 1].Is("++") || t[k - 1].Is("--"));
+        if (pre_incr && k + 1 < body_close && t[k + 1].Is("[")) {
+          // `++arr[t]`: same private-slot exemption as the postfix walk.
+          const size_t sub = MatchForward(t, k + 1, "[", "]");
+          for (const std::string& p : params) {
+            if (RangeContainsIdent(t, k + 2, sub, p)) {
+              pre_incr = false;
+              break;
+            }
+          }
+        }
+        bool mutated = pre_incr;
+        std::string op = pre_incr ? std::string(t[k - 1].text) : "";
+        if (!mutated && k + 1 < body_close) {
+          size_t after = k + 1;
+          if (t[after].Is("[")) {
+            const size_t sub = MatchForward(t, after, "[", "]");
+            // A write whose subscript uses a lambda parameter (the loop
+            // variable or the thread id) lands in a slot private to this
+            // virtual thread — the per-thread-accumulator pattern.
+            bool private_slot = false;
+            for (const std::string& p : params) {
+              if (RangeContainsIdent(t, after + 1, sub, p)) {
+                private_slot = true;
+                break;
+              }
+            }
+            if (private_slot) continue;
+            after = sub + 1;
+          }
+          if (after < body_close && t[after].kind == TokKind::kPunct &&
+              (t[after].Is("++") || t[after].Is("--") ||
+               kAssignOps.count(t[after].text) > 0)) {
+            // Exclude declarations of the form `Type name = ...` (handled
+            // above) and comparisons (== etc. are distinct tokens).
+            const bool decl_shaped = t[k - 1].kind == TokKind::kIdent ||
+                                     t[k - 1].Is(">") || t[k - 1].Is("*") ||
+                                     t[k - 1].Is("&") || t[k - 1].Is("&&");
+            if (!decl_shaped) {
+              mutated = true;
+              op = std::string(t[after].text);
+            }
+          }
+        }
+        if (mutated) {
+          std::string msg("'");
+          msg.append(t[k].text);
+          msg.append(" ");
+          msg.append(op);
+          msg.append(
+              "' mutates state captured by reference inside a parallel "
+              "body: hoist it into a per-thread accumulator or an "
+              "atomic-annotated array (host-parallel execution will race "
+              "here)");
+          Add(out, file, t[k].line, kAtomicSharedWrite, msg);
+        }
+      }
+    }
+  }
+}
+
+// --- pmg-enum-switch ---------------------------------------------------------
+
+void CheckEnumSwitch(const SourceFile& file, const TokenStream& ts,
+                     const ProjectIndex& index, std::vector<Finding>* out) {
+  const Tokens& t = ts.code;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!t[i].IsIdent("switch") || !t[i + 1].Is("(")) continue;
+    const size_t cond_close = MatchForward(t, i + 1, "(", ")");
+    if (cond_close + 1 >= t.size() || !t[cond_close + 1].Is("{")) continue;
+    const size_t body_open = cond_close + 1;
+    const size_t body_close = MatchForward(t, body_open, "{", "}");
+    if (body_close == t.size()) continue;
+
+    std::string enum_name;
+    std::set<std::string> covered;
+    bool non_enum_case = false;
+    bool mixed = false;
+    size_t default_line = 0;
+    for (size_t k = body_open + 1; k < body_close; ++k) {
+      // Skip nested switches; they are visited by the outer loop anyway.
+      if (t[k].IsIdent("switch") && k + 1 < body_close && t[k + 1].Is("(")) {
+        const size_t nc = MatchForward(t, k + 1, "(", ")");
+        if (nc + 1 < body_close && t[nc + 1].Is("{")) {
+          k = MatchForward(t, nc + 1, "{", "}");
+          continue;
+        }
+      }
+      if (t[k].IsIdent("default") && k + 1 < body_close &&
+          t[k + 1].Is(":")) {
+        default_line = t[k].line;
+        continue;
+      }
+      if (!t[k].IsIdent("case")) continue;
+      // Tokens between `case` and its ':' — the last ident is the
+      // enumerator, the one before the final '::' the enum type.
+      std::vector<std::string_view> idents;
+      size_t m = k + 1;
+      while (m < body_close && !t[m].Is(":")) {
+        if (t[m].kind == TokKind::kIdent) idents.push_back(t[m].text);
+        ++m;
+      }
+      if (idents.size() < 2) {
+        non_enum_case = true;  // `case 3:` or an unscoped constant
+        continue;
+      }
+      const std::string name(idents[idents.size() - 2]);
+      if (index.enums.count(name) == 0) {
+        non_enum_case = true;  // switch over a library enum: out of scope
+        continue;
+      }
+      if (!enum_name.empty() && enum_name != name) mixed = true;
+      enum_name = name;
+      covered.insert(std::string(idents.back()));
+    }
+    if (enum_name.empty() || mixed || non_enum_case) continue;
+
+    if (default_line != 0) {
+      // A default is allowed, but only with a justification comment on
+      // its own line or the line above — an explicit sign-off that new
+      // enumerators are meant to fall through.
+      bool justified = ts.comments.count(default_line) > 0 ||
+                       ts.comments.count(default_line - 1) > 0;
+      if (!justified) {
+        Add(out, file, default_line, kEnumSwitch,
+            "default in switch over '" + enum_name +
+                "' has no justification comment: either cover every "
+                "enumerator or say why falling through is safe");
+      }
+      continue;
+    }
+    const auto& all = index.enums.at(enum_name);
+    std::string missing;
+    int missing_count = 0;
+    for (const std::string& e : all) {
+      if (covered.count(e) > 0) continue;
+      if (++missing_count <= 4) {
+        if (!missing.empty()) missing += ", ";
+        missing += e;
+      }
+    }
+    if (missing_count > 4) missing += ", ...";
+    if (missing_count > 0) {
+      Add(out, file, t[i].line, kEnumSwitch,
+          "switch over '" + enum_name + "' is not exhaustive: missing " +
+              missing + " (a new cost class must not silently take some "
+              "other class's price)");
+    }
+  }
+}
+
+// --- pmg-test-tier-label (cmake) --------------------------------------------
+
+namespace {
+
+struct CmakeTok {
+  std::string text;
+  uint32_t line;
+};
+
+/// CMake needs only words, parens and '#' comments; quoted strings are
+/// one word (quotes kept so "LABELS" the string differs from the keyword).
+void TokenizeCmake(const std::string& src, std::vector<CmakeTok>* toks,
+                   std::multimap<uint32_t, std::string>* comments) {
+  uint32_t line = 1;
+  size_t i = 0;
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      const size_t start = i;
+      while (i < src.size() && src[i] != '\n') ++i;
+      comments->emplace(line, src.substr(start, i - start));
+      continue;
+    }
+    if (c == '(' || c == ')') {
+      toks->push_back({std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      const size_t start = i++;
+      while (i < src.size() && src[i] != '"') {
+        i += src[i] == '\\' && i + 1 < src.size() ? 2 : 1;
+      }
+      if (i < src.size()) ++i;
+      toks->push_back({src.substr(start, i - start), line});
+      continue;
+    }
+    const size_t start = i;
+    while (i < src.size() && src[i] != ' ' && src[i] != '\t' &&
+           src[i] != '\n' && src[i] != '\r' && src[i] != '(' &&
+           src[i] != ')' && src[i] != '#') {
+      ++i;
+    }
+    toks->push_back({src.substr(start, i - start), line});
+  }
+}
+
+/// Collects the arguments of the call whose '(' is at `open`; returns the
+/// index after the matching ')'.
+size_t CmakeArgs(const std::vector<CmakeTok>& t, size_t open,
+                 std::vector<CmakeTok>* args) {
+  int depth = 0;
+  size_t k = open;
+  for (; k < t.size(); ++k) {
+    if (t[k].text == "(") {
+      ++depth;
+      if (depth == 1) continue;
+    }
+    if (t[k].text == ")" && --depth == 0) return k + 1;
+    if (depth >= 1) args->push_back(t[k]);
+  }
+  return k;
+}
+
+}  // namespace
+
+void CheckTestTierLabel(const SourceFile& file,
+                        std::multimap<uint32_t, std::string>* comment_lines,
+                        std::vector<Finding>* out) {
+  std::vector<CmakeTok> t;
+  TokenizeCmake(file.text, &t, comment_lines);
+
+  struct Registered {
+    std::string name;
+    uint32_t line;
+  };
+  std::vector<Registered> tests;
+  std::set<std::string> labelled;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i + 1].text != "(") continue;
+    if (t[i].text == "add_test") {
+      std::vector<CmakeTok> args;
+      CmakeArgs(t, i + 1, &args);
+      std::string name;
+      for (size_t k = 0; k < args.size(); ++k) {
+        if (args[k].text == "NAME" && k + 1 < args.size()) {
+          name = args[k + 1].text;
+          break;
+        }
+      }
+      if (name.empty() && !args.empty()) name = args[0].text;
+      if (!name.empty()) tests.push_back({name, t[i].line});
+    } else if (t[i].text == "set_tests_properties") {
+      std::vector<CmakeTok> args;
+      CmakeArgs(t, i + 1, &args);
+      bool labels = false;
+      bool timeout = false;
+      size_t props = args.size();
+      for (size_t k = 0; k < args.size(); ++k) {
+        if (args[k].text == "PROPERTIES" && props == args.size()) props = k;
+        if (args[k].text == "LABELS") labels = true;
+        if (args[k].text == "TIMEOUT") timeout = true;
+      }
+      if (labels && timeout) {
+        for (size_t k = 0; k < props; ++k) labelled.insert(args[k].text);
+      }
+    } else if (t[i].text == "gtest_discover_tests") {
+      std::vector<CmakeTok> args;
+      CmakeArgs(t, i + 1, &args);
+      bool labels = false;
+      bool timeout = false;
+      for (const CmakeTok& a : args) {
+        if (a.text == "LABELS") labels = true;
+        if (a.text == "TIMEOUT") timeout = true;
+      }
+      if (!labels || !timeout) {
+        Add(out, file, t[i].line, kTestTierLabel,
+            "gtest_discover_tests without LABELS tier1/tier2 and TIMEOUT "
+            "properties: untiered tests dodge both the merge gate and the "
+            "hang timeout");
+      }
+    }
+  }
+  for (const Registered& reg : tests) {
+    if (labelled.count(reg.name) > 0) continue;
+    Add(out, file, reg.line, kTestTierLabel,
+        "test '" + reg.name +
+            "' is registered without LABELS (tier1/tier2) and TIMEOUT "
+            "set_tests_properties: every ctest must pick a tier and a "
+            "hang bound");
+  }
+}
+
+}  // namespace pmg::lint::internal

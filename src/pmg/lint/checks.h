@@ -1,0 +1,50 @@
+#ifndef PMG_LINT_CHECKS_H_
+#define PMG_LINT_CHECKS_H_
+
+#include <vector>
+
+#include "pmg/lint/lexer.h"
+#include "pmg/lint/lint.h"
+
+/// \file checks.h
+/// Internal entry points of the individual pmg_lint checks. Each check
+/// appends raw findings (suppressions are applied later by LintSource).
+
+namespace pmg::lint::internal {
+
+/// Check ids, shared between the checks, the suppression validator and
+/// the docs.
+inline constexpr const char* kNoHostClock = "pmg-no-host-clock";
+inline constexpr const char* kUnorderedIteration = "pmg-unordered-iteration";
+inline constexpr const char* kCheckSideEffects = "pmg-check-side-effects";
+inline constexpr const char* kHookGuard = "pmg-hook-guard";
+inline constexpr const char* kAtomicSharedWrite = "pmg-atomic-shared-write";
+inline constexpr const char* kEnumSwitch = "pmg-enum-switch";
+inline constexpr const char* kTestTierLabel = "pmg-test-tier-label";
+/// Meta check: malformed `// pmg-lint: allow(...)` comments.
+inline constexpr const char* kSuppression = "pmg-suppression";
+
+void CheckNoHostClock(const SourceFile& file, const TokenStream& ts,
+                      const LintOptions& options, std::vector<Finding>* out);
+void CheckUnorderedIteration(const SourceFile& file, const TokenStream& ts,
+                             const ProjectIndex& index,
+                             std::vector<Finding>* out);
+void CheckCheckSideEffects(const SourceFile& file, const TokenStream& ts,
+                           std::vector<Finding>* out);
+void CheckHookGuard(const SourceFile& file, const TokenStream& ts,
+                    std::vector<Finding>* out);
+void CheckAtomicSharedWrite(const SourceFile& file, const TokenStream& ts,
+                            std::vector<Finding>* out);
+void CheckEnumSwitch(const SourceFile& file, const TokenStream& ts,
+                     const ProjectIndex& index, std::vector<Finding>* out);
+
+/// CMake-side check: every registered ctest carries a tier label and a
+/// timeout. Also fills `comment_lines` with the file's '#' comments so
+/// LintSource can apply suppressions with the same rules as C++.
+void CheckTestTierLabel(const SourceFile& file,
+                        std::multimap<uint32_t, std::string>* comment_lines,
+                        std::vector<Finding>* out);
+
+}  // namespace pmg::lint::internal
+
+#endif  // PMG_LINT_CHECKS_H_

@@ -1,0 +1,137 @@
+#include "pmg/lint/lexer.h"
+
+namespace pmg::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// Multi-character operators, longest first so "<<=" wins over "<<".
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*",
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view src) {
+  std::vector<Token> out;
+  uint32_t line = 1;
+  size_t i = 0;
+  const size_t n = src.size();
+  auto count_lines = [&](std::string_view text) {
+    for (char c : text) {
+      if (c == '\n') ++line;
+    }
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    const uint32_t start_line = line;
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      out.push_back({TokKind::kComment, src.substr(start, i - start),
+                     start_line});
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) ++i;
+      i = i + 1 < n ? i + 2 : n;
+      const std::string_view text = src.substr(start, i - start);
+      out.push_back({TokKind::kComment, text, start_line});
+      count_lines(text);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t d = i + 2;
+      while (d < n && src[d] != '(' && src[d] != '"' && src[d] != '\n') ++d;
+      if (d < n && src[d] == '(') {
+        const std::string_view delim = src.substr(i + 2, d - (i + 2));
+        std::string closer(")");
+        closer.append(delim);
+        closer.push_back('"');
+        const size_t end = src.find(closer, d + 1);
+        i = end == std::string_view::npos ? n : end + closer.size();
+        const std::string_view text = src.substr(start, i - start);
+        out.push_back({TokKind::kString, text, start_line});
+        count_lines(text);
+        continue;
+      }
+    }
+    // String / char literal (escapes honoured; unterminated -> rest of line).
+    if (c == '"' || c == '\'') {
+      ++i;
+      while (i < n && src[i] != c && src[i] != '\n') {
+        i += src[i] == '\\' && i + 1 < n ? 2 : 1;
+      }
+      if (i < n && src[i] == c) ++i;
+      out.push_back({c == '"' ? TokKind::kString : TokKind::kChar,
+                     src.substr(start, i - start), start_line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(src[i])) ++i;
+      out.push_back({TokKind::kIdent, src.substr(start, i - start),
+                     start_line});
+      continue;
+    }
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(src[i + 1]))) {
+      // Good-enough C++ number: digits, dots, exponents, hex, suffixes,
+      // and digit separators.
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' ||
+                       src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                         src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.push_back({TokKind::kNumber, src.substr(start, i - start),
+                     start_line});
+      continue;
+    }
+    // Punctuation, longest match first.
+    std::string_view matched;
+    for (std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        matched = p;
+        break;
+      }
+    }
+    const size_t len = matched.empty() ? 1 : matched.size();
+    out.push_back({TokKind::kPunct, src.substr(i, len), start_line});
+    i += len;
+  }
+  return out;
+}
+
+TokenStream TokenStream::Of(std::string_view src) {
+  TokenStream s;
+  for (const Token& t : Tokenize(src)) {
+    if (t.kind == TokKind::kComment) {
+      s.comments.emplace(t.line, t.text);
+    } else {
+      s.code.push_back(t);
+    }
+  }
+  return s;
+}
+
+}  // namespace pmg::lint

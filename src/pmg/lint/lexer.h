@@ -1,0 +1,56 @@
+#ifndef PMG_LINT_LEXER_H_
+#define PMG_LINT_LEXER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file lexer.h
+/// A lightweight C++ tokenizer for pmg_lint. It is not a compiler front
+/// end: it recognizes exactly what the project-invariant checks need —
+/// identifiers, literals, comments and multi-character punctuation, each
+/// stamped with its source line — and nothing more. Keeping the analyzer
+/// at token level (no libclang, no preprocessor) is what lets it build in
+/// every container CI builds in.
+
+namespace pmg::lint {
+
+enum class TokKind : uint8_t {
+  kIdent,    ///< Identifier or keyword.
+  kNumber,   ///< Numeric literal (integer or floating, any base).
+  kString,   ///< String literal, including raw strings; text keeps quotes.
+  kChar,     ///< Character literal.
+  kPunct,    ///< Operator / punctuation, longest-match (e.g. "->", "<<=").
+  kComment,  ///< // or /* */ comment; text keeps the comment markers.
+};
+
+struct Token {
+  TokKind kind;
+  std::string_view text;  ///< View into the tokenized source buffer.
+  uint32_t line;          ///< 1-based line of the token's first character.
+
+  bool Is(std::string_view s) const { return text == s; }
+  bool IsIdent(std::string_view s) const {
+    return kind == TokKind::kIdent && text == s;
+  }
+};
+
+/// Tokenizes `src` (which must outlive the returned tokens). Unterminated
+/// literals/comments are tolerated: the malformed tail becomes one token,
+/// so the linter degrades gracefully instead of aborting mid-file.
+std::vector<Token> Tokenize(std::string_view src);
+
+/// A tokenized file split into the two views every check wants: code
+/// tokens in order, and comment text grouped by line.
+struct TokenStream {
+  std::vector<Token> code;                       ///< Comments filtered out.
+  std::multimap<uint32_t, std::string_view> comments;  ///< line -> text.
+
+  static TokenStream Of(std::string_view src);
+};
+
+}  // namespace pmg::lint
+
+#endif  // PMG_LINT_LEXER_H_

@@ -1,0 +1,418 @@
+#include "pmg/lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "pmg/lint/checks.h"
+
+namespace pmg::lint {
+
+namespace fs = std::filesystem;
+
+std::string Finding::Format() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << check << ": " << message;
+  return os.str();
+}
+
+std::string Finding::Key() const {
+  std::ostringstream os;
+  os << file << ": " << check << ": " << message;
+  return os.str();
+}
+
+bool Finding::operator<(const Finding& o) const {
+  if (file != o.file) return file < o.file;
+  if (line != o.line) return line < o.line;
+  if (check != o.check) return check < o.check;
+  return message < o.message;
+}
+
+bool Finding::operator==(const Finding& o) const {
+  return file == o.file && line == o.line && check == o.check &&
+         message == o.message;
+}
+
+const std::vector<std::string>& AllCheckIds() {
+  static const std::vector<std::string> kIds = [] {
+    std::vector<std::string> ids = {
+        internal::kNoHostClock,   internal::kUnorderedIteration,
+        internal::kCheckSideEffects, internal::kHookGuard,
+        internal::kAtomicSharedWrite, internal::kEnumSwitch,
+        internal::kTestTierLabel, internal::kSuppression,
+    };
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }();
+  return kIds;
+}
+
+bool IsKnownCheckId(const std::string& id) {
+  const std::vector<std::string>& ids = AllCheckIds();
+  return std::binary_search(ids.begin(), ids.end(), id);
+}
+
+// ---------------------------------------------------------------------------
+// Project index
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Collects `enum [class|struct] Name [: base] { A, B = 1, C };`
+/// definitions. Anonymous enums and forward declarations are skipped.
+void IndexEnums(const std::vector<Token>& t, ProjectIndex* index) {
+  const size_t n = t.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!t[i].IsIdent("enum")) continue;
+    size_t j = i + 1;
+    if (j < n && (t[j].IsIdent("class") || t[j].IsIdent("struct"))) ++j;
+    if (j >= n || t[j].kind != TokKind::kIdent) continue;  // anonymous
+    const std::string name(t[j].text);
+    ++j;
+    // Skip an optional underlying type up to '{'; a ';' first means this
+    // was only a forward declaration.
+    while (j < n && !t[j].Is("{") && !t[j].Is(";")) ++j;
+    if (j >= n || !t[j].Is("{")) continue;
+    std::vector<std::string> enumerators;
+    ++j;
+    while (j < n && !t[j].Is("}")) {
+      if (t[j].kind != TokKind::kIdent) break;  // malformed; bail out
+      enumerators.emplace_back(t[j].text);
+      ++j;
+      // Skip an optional `= expr` (which may contain parens/casts) up to
+      // the next top-level ',' or the closing '}'.
+      int depth = 0;
+      while (j < n) {
+        if (t[j].Is("(") || t[j].Is("{") || t[j].Is("[")) ++depth;
+        if (t[j].Is(")") || t[j].Is("}") || t[j].Is("]")) {
+          if (depth == 0) break;  // the enum's own '}'
+          --depth;
+        }
+        if (depth == 0 && t[j].Is(",")) {
+          ++j;
+          break;
+        }
+        ++j;
+      }
+    }
+    if (!enumerators.empty()) index->enums[name] = enumerators;
+  }
+}
+
+/// Collects identifiers declared with an unordered container type:
+/// `std::unordered_map<K, V> name;` (members, locals, parameters). The
+/// template argument list is skipped with a depth walk that treats ">>"
+/// as closing two levels.
+void IndexUnorderedNames(const std::vector<Token>& t, ProjectIndex* index) {
+  const size_t n = t.size();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (!(t[i].IsIdent("unordered_map") || t[i].IsIdent("unordered_set")))
+      continue;
+    if (!t[i + 1].Is("<")) continue;
+    int depth = 0;
+    size_t j = i + 1;
+    for (; j < n; ++j) {
+      if (t[j].Is("<")) ++depth;
+      if (t[j].Is(">")) --depth;
+      if (t[j].Is(">>")) depth -= 2;
+      if (depth <= 0 && j > i + 1) break;
+    }
+    ++j;  // past the closing '>'
+    while (j < n && (t[j].Is("&") || t[j].Is("*") || t[j].IsIdent("const")))
+      ++j;
+    if (j < n && t[j].kind == TokKind::kIdent &&
+        !(j + 1 < n && t[j + 1].Is("("))) {
+      index->unordered_names.insert(std::string(t[j].text));
+    }
+  }
+}
+
+}  // namespace
+
+void IndexSource(const SourceFile& file, ProjectIndex* index) {
+  if (file.is_cmake) return;
+  const TokenStream ts = TokenStream::Of(file.text);
+  IndexEnums(ts.code, index);
+  IndexUnorderedNames(ts.code, index);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Suppression {
+  uint32_t line;       ///< Line of the directive comment.
+  std::string check;
+  uint32_t last_line;  ///< Last line of the contiguous comment block.
+};
+
+std::string Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '/' ||
+                   s[e - 1] == '*'))
+    --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Parses `pmg-lint: allow(<check-id>) <reason>` directives out of one
+/// comment. Malformed directives (unknown id, missing reason, missing
+/// allow clause) become pmg-suppression findings.
+void ParseSuppressionComment(const SourceFile& file, uint32_t line,
+                             std::string_view text,
+                             std::vector<Suppression>* sups,
+                             std::vector<Finding>* findings) {
+  // Only comments that *begin* with the tag (after the comment markers,
+  // '#' for cmake) are directives; prose that merely mentions the syntax
+  // is not.
+  size_t tag = 0;
+  while (tag < text.size() &&
+         (text[tag] == '/' || text[tag] == '*' || text[tag] == '#' ||
+          text[tag] == ' ' || text[tag] == '\t'))
+    ++tag;
+  if (text.substr(tag, 9) != "pmg-lint:") return;
+  size_t pos = tag;
+  bool any_allow = false;
+  while (true) {
+    const size_t a = text.find("allow(", pos);
+    if (a == std::string_view::npos) break;
+    const size_t close = text.find(')', a + 6);
+    if (close == std::string_view::npos) break;
+    any_allow = true;
+    const std::string id = Trim(text.substr(a + 6, close - (a + 6)));
+    const std::string reason = Trim(text.substr(close + 1));
+    if (!IsKnownCheckId(id)) {
+      findings->push_back({file.path, line, internal::kSuppression,
+                           "unknown check id '" + id +
+                               "' in suppression; see --list-checks"});
+    } else if (reason.empty()) {
+      findings->push_back({file.path, line, internal::kSuppression,
+                           "suppression of " + id +
+                               " needs a reason after the ')'"});
+    } else {
+      sups->push_back({line, id, line});
+    }
+    pos = close + 1;
+  }
+  if (!any_allow) {
+    findings->push_back({file.path, line, internal::kSuppression,
+                         "pmg-lint comment without an allow(<check-id>) "
+                         "clause"});
+  }
+}
+
+/// A suppression covers findings from its own line (trailing-comment
+/// form) through the line after its comment block ends — so a directive
+/// whose reason wraps onto further comment lines still reaches the
+/// statement below the block.
+bool Covers(const std::vector<Suppression>& sups, const Finding& f) {
+  for (const Suppression& s : sups) {
+    if (s.check != f.check) continue;
+    if (f.line >= s.line && f.line <= s.last_line + 1) return true;
+  }
+  return false;
+}
+
+/// Extends each suppression through the contiguous run of comment lines
+/// that follows it.
+void ExtendThroughCommentBlocks(const std::set<uint32_t>& comment_lines,
+                                std::vector<Suppression>* sups) {
+  for (Suppression& s : *sups) {
+    while (comment_lines.count(s.last_line + 1) > 0) ++s.last_line;
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> LintSource(const SourceFile& file,
+                                const ProjectIndex& index,
+                                const LintOptions& options) {
+  std::vector<Finding> raw;
+  std::vector<Suppression> sups;
+  std::vector<Finding> meta;  // malformed-suppression findings (never
+                              // suppressible themselves)
+  std::set<uint32_t> comment_lines;
+  if (file.is_cmake) {
+    std::multimap<uint32_t, std::string> comments;
+    internal::CheckTestTierLabel(file, &comments, &raw);
+    for (const auto& [line, text] : comments) {
+      comment_lines.insert(line);
+      ParseSuppressionComment(file, line, text, &sups, &meta);
+    }
+  } else {
+    const TokenStream ts = TokenStream::Of(file.text);
+    internal::CheckNoHostClock(file, ts, options, &raw);
+    internal::CheckUnorderedIteration(file, ts, index, &raw);
+    internal::CheckCheckSideEffects(file, ts, &raw);
+    internal::CheckHookGuard(file, ts, &raw);
+    internal::CheckAtomicSharedWrite(file, ts, &raw);
+    internal::CheckEnumSwitch(file, ts, index, &raw);
+    for (const auto& [line, text] : ts.comments) {
+      comment_lines.insert(line);
+      ParseSuppressionComment(file, line, text, &sups, &meta);
+    }
+  }
+  ExtendThroughCommentBlocks(comment_lines, &sups);
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    if (!Covers(sups, f)) out.push_back(std::move(f));
+  }
+  for (Finding& f : meta) out.push_back(std::move(f));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// File collection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool SkippedDir(const std::string& name) {
+  return name == "fixtures" || name == "goldens" || name == "baselines" ||
+         name == "third_party" || name == ".git" ||
+         name.rfind("build", 0) == 0;
+}
+
+bool LintableCpp(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cxx" || ext == ".hxx";
+}
+
+bool LintableCmake(const fs::path& p) {
+  return p.filename() == "CMakeLists.txt" || p.extension() == ".cmake";
+}
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  *out = os.str();
+  return true;
+}
+
+void Walk(const fs::path& root, const fs::path& dir,
+          std::vector<SourceFile>* out) {
+  std::vector<fs::path> entries;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    entries.push_back(e.path());
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const fs::path& p : entries) {
+    if (fs::is_directory(p)) {
+      if (SkippedDir(p.filename().string())) continue;
+      Walk(root, p, out);
+      continue;
+    }
+    const bool cpp = LintableCpp(p);
+    const bool cmake = LintableCmake(p);
+    if (!cpp && !cmake) continue;
+    SourceFile f;
+    f.path = fs::relative(p, root).generic_string();
+    f.is_cmake = cmake;
+    if (ReadFile(p, &f.text)) out->push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
+bool CollectFiles(const std::string& root, const std::vector<std::string>& dirs,
+                  std::vector<SourceFile>* out, std::string* error) {
+  const fs::path rp(root);
+  std::error_code ec;
+  if (!fs::is_directory(rp, ec)) {
+    *error = "root is not a directory: " + root;
+    return false;
+  }
+  for (const std::string& d : dirs) {
+    const fs::path sub = rp / d;
+    if (!fs::is_directory(sub, ec)) continue;  // missing dirs are skipped
+    Walk(rp, sub, out);
+  }
+  std::sort(out->begin(), out->end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return true;
+}
+
+std::vector<Finding> LintTree(const std::vector<SourceFile>& files,
+                              const LintOptions& options) {
+  ProjectIndex index;
+  for (const SourceFile& f : files) IndexSource(f, &index);
+  std::vector<Finding> out;
+  for (const SourceFile& f : files) {
+    std::vector<Finding> fs = LintSource(f, index, options);
+    out.insert(out.end(), std::make_move_iterator(fs.begin()),
+               std::make_move_iterator(fs.end()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) os << f.Format() << "\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> ParseBaseline(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    size_t b = 0;
+    while (b < line.size() && (line[b] == ' ' || line[b] == '\t')) ++b;
+    if (b == line.size() || line[b] == '#') continue;
+    out.push_back(line.substr(b));
+  }
+  return out;
+}
+
+BaselineDiff DiffAgainstBaseline(const std::vector<Finding>& findings,
+                                 const std::vector<std::string>& baseline) {
+  std::map<std::string, uint64_t> pool;
+  for (const std::string& k : baseline) ++pool[k];
+  BaselineDiff diff;
+  for (const Finding& f : findings) {
+    auto it = pool.find(f.Key());
+    if (it != pool.end() && it->second > 0) {
+      --it->second;
+      ++diff.matched;
+    } else {
+      diff.fresh.push_back(f);
+    }
+  }
+  for (const auto& [key, count] : pool) {
+    for (uint64_t i = 0; i < count; ++i) diff.stale.push_back(key);
+  }
+  return diff;
+}
+
+std::string WriteBaseline(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(f.Key());
+  std::sort(keys.begin(), keys.end());
+  std::ostringstream os;
+  os << "# pmg_lint baseline: grandfathered findings, one Finding::Key per\n"
+     << "# line. This file only shrinks: fix a finding, delete its line.\n"
+     << "# Regenerate with: pmg_lint --root . --write-baseline <file>\n";
+  for (const std::string& k : keys) os << k << "\n";
+  return os.str();
+}
+
+}  // namespace pmg::lint

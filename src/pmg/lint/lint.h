@@ -1,0 +1,128 @@
+#ifndef PMG_LINT_LINT_H_
+#define PMG_LINT_LINT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pmg/lint/lexer.h"
+
+/// \file lint.h
+/// pmg_lint: the project-invariant static analyzer. Where clang-tidy
+/// enforces generic C++ hygiene, this pass enforces *pmg's own* contracts
+/// — the ones whose violation silently corrupts measured results rather
+/// than crashing:
+///
+///   pmg-no-host-clock       host time/randomness inside simulated code
+///   pmg-unordered-iteration range-for over unordered containers
+///   pmg-check-side-effects  PMG_CHECK arguments that mutate state
+///   pmg-hook-guard          observer-seam calls without a null guard
+///   pmg-atomic-shared-write plain writes to shared state in ParallelFor
+///   pmg-enum-switch         non-exhaustive switches over taxonomy enums
+///   pmg-test-tier-label     ctests registered without tier label/timeout
+///
+/// The analyzer is a tokenizer/scoper over the repo's conventions, not a
+/// compiler: findings are deterministic `file:line: check: message` lines
+/// (byte-stable across runs, golden-tested like every other pmg surface).
+/// False negatives are acceptable; false positives are suppressed inline
+/// with `// pmg-lint: allow(<check-id>) <reason>` — the reason is
+/// mandatory — or grandfathered in a committed baseline that only shrinks.
+
+namespace pmg::lint {
+
+/// One diagnostic. `file` is the path as given to the linter (the driver
+/// passes repo-relative, forward-slash paths so output never depends on
+/// the checkout location).
+struct Finding {
+  std::string file;
+  uint32_t line = 0;
+  std::string check;
+  std::string message;
+
+  /// "file:line: check: message" — the printed form.
+  std::string Format() const;
+  /// "file: check: message" — the line-number-free form baselines store,
+  /// so grandfathered findings survive unrelated edits above them.
+  std::string Key() const;
+
+  bool operator<(const Finding& o) const;
+  bool operator==(const Finding& o) const;
+};
+
+/// Every check-id the analyzer knows, sorted, plus the meta check id used
+/// for malformed suppression comments ("pmg-suppression").
+const std::vector<std::string>& AllCheckIds();
+bool IsKnownCheckId(const std::string& id);
+
+struct LintOptions {
+  /// Path prefixes (repo-relative, e.g. "tools/hostperf/") where
+  /// pmg-no-host-clock does not apply: code that deliberately measures
+  /// the host, not the simulated machine.
+  std::vector<std::string> host_dirs;
+};
+
+/// One file handed to the analyzer.
+struct SourceFile {
+  std::string path;  ///< Repo-relative, forward slashes.
+  std::string text;
+  bool is_cmake = false;  ///< CMakeLists.txt / *.cmake: only check 7 runs.
+};
+
+/// Cross-file knowledge gathered in a first pass over the whole tree:
+/// enum definitions (for exhaustiveness) and the names of variables and
+/// members declared with unordered container types (for iteration-order
+/// checks — an unordered member is usually iterated far from its
+/// declaration).
+struct ProjectIndex {
+  /// enum name -> enumerator names, in declaration order.
+  std::map<std::string, std::vector<std::string>> enums;
+  /// Identifiers declared as std::unordered_map / std::unordered_set.
+  std::set<std::string> unordered_names;
+};
+
+void IndexSource(const SourceFile& file, ProjectIndex* index);
+
+/// Runs every applicable check on one file, applies inline suppressions,
+/// and returns the surviving findings (sorted).
+std::vector<Finding> LintSource(const SourceFile& file,
+                                const ProjectIndex& index,
+                                const LintOptions& options);
+
+/// Reads the lintable files under `root`, restricted to `dirs` (each a
+/// path relative to root; missing ones are skipped). Scans *.cc, *.h,
+/// *.cxx, *.hxx, CMakeLists.txt and *.cmake; skips fixture/golden/
+/// baseline/build directories. Paths come back sorted. Returns false
+/// with `error` set when root is unusable.
+bool CollectFiles(const std::string& root, const std::vector<std::string>& dirs,
+                  std::vector<SourceFile>* out, std::string* error);
+
+/// Index + lint every file; findings sorted (file, line, check, message).
+std::vector<Finding> LintTree(const std::vector<SourceFile>& files,
+                              const LintOptions& options);
+
+/// Renders findings one per line, Finding::Format form.
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+/// Baseline: a committed multiset of Finding::Key() lines ('#' comments
+/// and blank lines ignored). The gate is "no new findings, no stale
+/// entries": a baseline entry that no longer fires must be deleted, so
+/// the file can only shrink.
+std::vector<std::string> ParseBaseline(const std::string& text);
+
+struct BaselineDiff {
+  std::vector<Finding> fresh;       ///< Findings not covered by baseline.
+  std::vector<std::string> stale;   ///< Baseline keys that no longer fire.
+  uint64_t matched = 0;             ///< Findings absorbed by the baseline.
+};
+
+BaselineDiff DiffAgainstBaseline(const std::vector<Finding>& findings,
+                                 const std::vector<std::string>& baseline);
+
+/// Serializes findings as baseline keys (sorted, with a header comment).
+std::string WriteBaseline(const std::vector<Finding>& findings);
+
+}  // namespace pmg::lint
+
+#endif  // PMG_LINT_LINT_H_

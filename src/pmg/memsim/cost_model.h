@@ -141,7 +141,7 @@ inline SimNs UserLatencyNs(CostClass c, MachineKind kind,
       return tm.appdirect_local_ns;
     case CostClass::kStorageRemote:
       return tm.appdirect_remote_ns;
-    default:
+    default:  // kernel-side classes (faults, machine checks) cost 0 here
       break;
   }
   return 0;
@@ -160,7 +160,7 @@ inline double UserEventCostNs(CostClass c, MachineKind kind,
       return static_cast<double>(tm.appdirect_local_ns);
     case CostClass::kStorageRemote:
       return static_cast<double>(tm.appdirect_remote_ns);
-    default:
+    default:  // every remaining (memory-latency) class is MLP-divided
       return static_cast<double>(UserLatencyNs(c, kind, tm)) * inv_mlp;
   }
 }
@@ -188,7 +188,7 @@ inline SimNs KernelEventCostNs(CostClass c, MachineKind kind,
       return ApplyKernelFactor(tm.fault_small_dram_ns, kind, tm);
     case CostClass::kMachineCheck:
       return ApplyKernelFactor(tm.machine_check_ns, kind, tm);
-    default:
+    default:  // user-side classes have no kernel component
       break;
   }
   return 0;
@@ -210,15 +210,15 @@ struct ChannelByteCounts {
 /// the machine's roofline bit for bit.
 inline SimNs ChannelTimeNs(const ChannelByteCounts& ch,
                            const MemoryTimings& tm, double remote_factor) {
-  auto time = [](uint64_t bytes, double gbs) {
+  auto xfer_ns = [](uint64_t bytes, double gbs) {
     return static_cast<double>(bytes) / gbs;  // 1 GB/s == 1 byte/ns
   };
   auto side = [&](const uint64_t counters[2][2], const ChannelBandwidth& bw) {
     double ns = 0;
-    ns += time(counters[0][0], bw.seq_read_gbs);
-    ns += time(counters[0][1], bw.seq_write_gbs);
-    ns += time(counters[1][0], bw.rand_read_gbs);
-    ns += time(counters[1][1], bw.rand_write_gbs);
+    ns += xfer_ns(counters[0][0], bw.seq_read_gbs);
+    ns += xfer_ns(counters[0][1], bw.seq_write_gbs);
+    ns += xfer_ns(counters[1][0], bw.rand_read_gbs);
+    ns += xfer_ns(counters[1][1], bw.rand_write_gbs);
     return ns;
   };
   double ns = 0;

@@ -568,6 +568,9 @@ void Machine::EmitEpochTrace(uint64_t epoch_index, const EpochReport& report,
                              SimNs start_ns, uint32_t crit_index,
                              SimNs crit_user, SimNs crit_kernel,
                              double remote_factor) {
+  // Only the guarded EndEpoch call site reaches here; making the
+  // precondition explicit keeps every trace_-> dispatch null-checked.
+  PMG_CHECK(trace_ != nullptr);
   EpochTrace et;
   et.epoch_index = epoch_index;
   et.active_threads = epoch_active_threads_;

@@ -1,0 +1,61 @@
+#ifndef PMG_RUNTIME_PER_THREAD_H_
+#define PMG_RUNTIME_PER_THREAD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "pmg/common/types.h"
+
+/// \file per_thread.h
+/// Per-virtual-thread accumulators for parallel bodies. Bulk-synchronous
+/// kernels often need a host-side "did anything change" flag or a total
+/// counter; writing one shared variable from every virtual thread is
+/// benign under today's sequential execution but becomes a data race the
+/// day the runtime maps virtual threads onto host threads (ROADMAP:
+/// parallel host execution). These helpers give each virtual thread its
+/// own slot and reduce in thread-index order, so results are bit-exact
+/// regardless of execution order — which also keeps pmg_lint's
+/// pmg-atomic-shared-write check clean.
+
+namespace pmg::runtime {
+
+/// A monotone convergence flag: any virtual thread can set it during a
+/// parallel region; the host reads the OR after the region completes.
+class PerThreadFlag {
+ public:
+  explicit PerThreadFlag(uint32_t threads) : set_(threads, 0) {}
+
+  void Mark(ThreadId t) { set_[t] = 1; }
+  void Reset() { std::fill(set_.begin(), set_.end(), 0); }
+  bool Any() const {
+    return std::find(set_.begin(), set_.end(), uint8_t{1}) != set_.end();
+  }
+
+ private:
+  std::vector<uint8_t> set_;
+};
+
+/// A per-thread partial sum, reduced in thread-index order. Exact for
+/// integral T; for floating point the reduction order differs from a
+/// single shared accumulator, so switching an existing kernel changes
+/// low bits — use only where that is acceptable.
+template <typename T>
+class PerThreadSum {
+ public:
+  explicit PerThreadSum(uint32_t threads) : parts_(threads, T{}) {}
+
+  void Add(ThreadId t, T delta) { parts_[t] += delta; }
+  T Total() const {
+    T sum{};
+    for (const T& p : parts_) sum += p;
+    return sum;
+  }
+
+ private:
+  std::vector<T> parts_;
+};
+
+}  // namespace pmg::runtime
+
+#endif  // PMG_RUNTIME_PER_THREAD_H_

@@ -1,0 +1,146 @@
+# One pmg_lint CLI smoke case per ctest invocation:
+#
+#   cmake -DEXE=<pmg_lint> -DCASE=<name> -DOUT_DIR=<scratch> -P lint_case.cmake
+#
+# Exercises the analyzer's exit-code contract end to end on tiny synthetic
+# trees: exit 0 clean, exit 1 on new findings or stale baseline entries,
+# exit 2 on usage errors — and byte-identical output across runs.
+
+if(NOT DEFINED EXE OR NOT DEFINED CASE OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "lint_case.cmake needs -DEXE=, -DCASE= and -DOUT_DIR=")
+endif()
+
+set(work "${OUT_DIR}/lint_case.${CASE}")
+file(REMOVE_RECURSE "${work}")
+file(MAKE_DIRECTORY "${work}/src")
+
+# A tree with exactly one finding (host clock call), and a clean file.
+function(write_tree)
+  file(WRITE "${work}/src/dirty.cxx"
+    "inline long Bad() { return time(nullptr); }\n")
+  file(WRITE "${work}/src/clean.cxx"
+    "inline long Good(long x) { return x + 1; }\n")
+endfunction()
+
+function(run_lint)
+  execute_process(
+    COMMAND ${EXE} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    TIMEOUT 120)
+  set(rc "${rc}" PARENT_SCOPE)
+  set(out "${out}" PARENT_SCOPE)
+  set(err "${err}" PARENT_SCOPE)
+endfunction()
+
+function(expect_exit expected)
+  if(NOT rc EQUAL ${expected})
+    message(FATAL_ERROR
+            "case ${CASE}: expected exit ${expected}, got '${rc}'\n"
+            "stdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+if(CASE STREQUAL "help")
+  run_lint(--help)
+  expect_exit(0)
+  if(NOT out MATCHES "usage: pmg_lint")
+    message(FATAL_ERROR "case help: no usage text:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "list_checks")
+  run_lint(--list-checks)
+  expect_exit(0)
+  if(NOT out MATCHES "pmg-no-host-clock" OR NOT out MATCHES "pmg-enum-switch")
+    message(FATAL_ERROR "case list_checks: check ids missing:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "bad_flag")
+  run_lint(--bogus)
+  expect_exit(2)
+  if(NOT err MATCHES "^pmg_lint: ")
+    message(FATAL_ERROR "case bad_flag: bad stderr:\n${err}")
+  endif()
+
+elseif(CASE STREQUAL "missing_root")
+  run_lint(src)
+  expect_exit(2)
+  if(NOT err MATCHES "--root is required")
+    message(FATAL_ERROR "case missing_root: bad stderr:\n${err}")
+  endif()
+
+elseif(CASE STREQUAL "bad_root")
+  run_lint(--root "${work}/does-not-exist")
+  expect_exit(2)
+
+elseif(CASE STREQUAL "clean")
+  file(WRITE "${work}/src/clean.cxx"
+    "inline long Good(long x) { return x + 1; }\n")
+  run_lint(--root "${work}" src)
+  expect_exit(0)
+  if(NOT out MATCHES "verdict: CLEAN")
+    message(FATAL_ERROR "case clean: no CLEAN verdict:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "findings")
+  write_tree()
+  run_lint(--root "${work}" src)
+  expect_exit(1)
+  if(NOT out MATCHES "pmg-no-host-clock" OR NOT out MATCHES "verdict: DIRTY")
+    message(FATAL_ERROR "case findings: bad output:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "baseline_green")
+  # A baseline covering the one finding turns the gate green.
+  write_tree()
+  run_lint(--root "${work}" --write-baseline "${work}/baseline.txt" src)
+  expect_exit(0)
+  run_lint(--root "${work}" --baseline "${work}/baseline.txt" src)
+  expect_exit(0)
+  if(NOT out MATCHES "1 baselined" OR NOT out MATCHES "verdict: CLEAN")
+    message(FATAL_ERROR "case baseline_green: bad output:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "baseline_stale")
+  # Fixing the finding without shrinking the baseline must fail the gate:
+  # the file may only shrink.
+  write_tree()
+  run_lint(--root "${work}" --write-baseline "${work}/baseline.txt" src)
+  expect_exit(0)
+  file(WRITE "${work}/src/dirty.cxx"
+    "inline long Fixed(long x) { return x + 2; }\n")
+  run_lint(--root "${work}" --baseline "${work}/baseline.txt" src)
+  expect_exit(1)
+  if(NOT out MATCHES "stale baseline entry")
+    message(FATAL_ERROR "case baseline_stale: no stale message:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "baseline_missing_file")
+  write_tree()
+  run_lint(--root "${work}" --baseline "${work}/nope.txt" src)
+  expect_exit(2)
+
+elseif(CASE STREQUAL "determinism")
+  # Two runs over the same tree must print identical bytes.
+  write_tree()
+  run_lint(--root "${work}" src)
+  expect_exit(1)
+  set(first "${out}")
+  run_lint(--root "${work}" src)
+  expect_exit(1)
+  if(NOT first STREQUAL out)
+    message(FATAL_ERROR
+            "case determinism: output drifted between runs\n"
+            "first:\n${first}\nsecond:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "host_dir")
+  # --host-dir exempts deliberately host-measuring code.
+  write_tree()
+  run_lint(--root "${work}" --host-dir src/ src)
+  expect_exit(0)
+
+else()
+  message(FATAL_ERROR "unknown CASE '${CASE}'")
+endif()

@@ -1,0 +1,23 @@
+// Fixture: shared-state writes inside parallel bodies that would race
+// under host-parallel execution.
+#include <cstdint>
+
+namespace fx {
+
+inline void Kernel(Runtime& rt, NumaArray& level, NumaArray& dist,
+                   Worklist& wl, uint64_t frontier) {
+  long shared_sum = 0;
+  bool flag = false;
+  uint64_t spins = 0;
+  rt.ParallelFor(0, 100, [&](ThreadId t, uint64_t v) {
+    level.Set(t, frontier, 1);  // plain write to a non-owner element
+    shared_sum += v;            // captured accumulator
+    flag = true;                // captured flag
+    ++spins;                    // captured pre-increment
+  });
+  wl.ForEachActive(rt, [&](ThreadId t, uint64_t v) {
+    dist.Update(t, frontier, 7);  // plain Update off the loop variable
+  });
+}
+
+}  // namespace fx

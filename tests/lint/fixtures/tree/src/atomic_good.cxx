@@ -1,0 +1,32 @@
+// Fixture: the write shapes the atomicity contract allows in parallel
+// bodies — owner writes, atomic annotations, locals, per-thread slots.
+#include <cstdint>
+#include <vector>
+
+namespace fx {
+
+inline void Kernel(Runtime& rt, NumaArray& level, Graph& g,
+                   uint32_t nthreads) {
+  std::vector<uint8_t> changed(nthreads, 0);
+  std::vector<uint64_t> count(nthreads, 0);
+  rt.ParallelFor(0, 100, [&](ThreadId t, uint64_t v) {
+    level.Set(t, v, 0);           // owner write: indexed by the loop var
+    level.Set(t, v + 1, 0);       // still derived from the loop var
+    level.SetAtomic(t, 42, 1);    // atomic annotation carries the intent
+    level.CasMin(t, 7, 3);
+    uint64_t local = v * 2;       // body-local
+    local += 3;
+    changed[t] = 1;               // per-thread slot
+    ++count[t];                   // per-thread pre-increment
+    g.ForEachOutEdge(t, v, [&](ThreadId tt, uint64_t u, uint32_t w) {
+      level.CasMin(tt, u, w);     // neighbor write, atomic
+      count[tt] += w;             // nested-lambda thread id slot
+    });
+  });
+}
+
+inline void HostSide(NumaArray& level, uint64_t source) {
+  level.Set(0, source, 0);  // outside any parallel body: no finding
+}
+
+}  // namespace fx

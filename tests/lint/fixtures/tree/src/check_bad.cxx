@@ -1,0 +1,19 @@
+// Fixture: PMG_CHECK arguments that mutate state — the check disappears
+// in a build that compiles assertions out, and the mutation with it.
+#include <cstdint>
+
+namespace fx {
+
+struct Queue {
+  bool Pop(int* out);
+  int size() const;
+};
+
+inline void SideEffects(Queue& q, int* p, int n) {
+  int got = 0;
+  PMG_CHECK(n++ < 10);
+  PMG_CHECK_MSG((*p = n) != 0, "assigned inside the assert");
+  PMG_CHECK(q.Pop(&got));
+}
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// Fixture: pure PMG_CHECK predicates, and the macro definition site
+// itself (which the check must skip).
+#include <cstdlib>
+
+#define PMG_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) std::abort();                                 \
+  } while (0)
+#define PMG_CHECK_MSG(cond, msg) PMG_CHECK(cond)
+
+namespace fx {
+
+struct Queue {
+  int size() const;
+  bool empty() const;
+};
+
+inline void PurePredicates(const Queue& q, int a, int b) {
+  PMG_CHECK(a + b < 10);
+  PMG_CHECK(q.size() == a);  // const query, not a mutating call
+  PMG_CHECK_MSG(a == b || !q.empty(), "reads only");
+}
+
+}  // namespace fx

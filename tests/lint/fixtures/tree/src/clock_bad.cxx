@@ -1,0 +1,18 @@
+// Fixture: every way simulated code can leak host time or randomness.
+#include <chrono>
+#include <ctime>
+
+namespace fx {
+
+inline long HostLeaks() {
+  long a = time(nullptr);
+  long b = std::clock();
+  auto c = std::chrono::steady_clock::now();
+  int d = rand();
+  std::random_device rd;
+  struct timespec ts;
+  clock_gettime(0, &ts);
+  return a + b + d + static_cast<long>(rd());
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Fixture: simulated-time idioms that must NOT trip pmg-no-host-clock.
+#include <cstdint>
+
+namespace fx {
+
+struct Machine {
+  uint64_t now() const { return now_; }
+  uint64_t time(int scale) const { return now_ * scale; }  // member, not ::time
+  uint64_t now_ = 0;
+};
+
+inline uint64_t SimulatedOnly(const Machine& m) {
+  const uint64_t start = m.now();
+  const uint64_t scaled = m.time(2);  // member call named 'time' is fine
+  uint64_t randomish = start * 6364136223846793005ULL + 1442695040888963407ULL;
+  return scaled ^ randomish;  // deterministic LCG, no host entropy
+}
+
+}  // namespace fx

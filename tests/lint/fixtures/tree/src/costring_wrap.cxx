@@ -1,0 +1,26 @@
+// Fixture: regression model of the CostRing wrap bug. The ring's wrap
+// bookkeeping was executed as a side effect of the invariant check, so
+// any build (or refactor) that dropped the check also dropped the wrap
+// — exactly the bug class pmg-check-side-effects exists to catch.
+#include <cstdint>
+
+namespace fx {
+
+struct CostRingModel {
+  uint32_t head_ = 0;
+  uint32_t cap_ = 8;
+  uint32_t Advance(uint32_t n);       // mutates head_, returns new head
+  bool WouldWrap(uint32_t n) const;   // pure query
+};
+
+inline void ChargeBuggy(CostRingModel& ring, uint32_t n) {
+  PMG_CHECK(ring.Advance(n) < ring.cap_);  // wrap happens inside the check
+}
+
+inline void ChargeFixed(CostRingModel& ring, uint32_t n) {
+  PMG_CHECK(!ring.WouldWrap(n));  // pure predicate first...
+  const uint32_t head = ring.Advance(n);  // ...then the mutation
+  PMG_CHECK(head < ring.cap_);
+}
+
+}  // namespace fx

@@ -1,0 +1,25 @@
+// Fixture: non-exhaustive switches over a taxonomy enum.
+namespace fx {
+
+enum class Color { kRed, kGreen, kBlue };
+
+inline int Missing(Color c) {
+  switch (c) {
+    case Color::kRed:
+      return 1;
+    case Color::kGreen:
+      return 2;
+  }
+  return 0;
+}
+
+inline int UnjustifiedDefault(Color c) {
+  switch (c) {
+    case Color::kRed:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,37 @@
+// Fixture: exhaustive or justified switches, and the shapes the check
+// must leave alone.
+namespace fx {
+
+enum class Fruit { kApple, kPear, kPlum };
+
+inline int Exhaustive(Fruit f) {
+  switch (f) {
+    case Fruit::kApple:
+      return 1;
+    case Fruit::kPear:
+      return 2;
+    case Fruit::kPlum:
+      return 3;
+  }
+  return 0;
+}
+
+inline int Justified(Fruit f) {
+  switch (f) {
+    case Fruit::kApple:
+      return 1;
+    default:  // pears and plums price identically
+      return 2;
+  }
+}
+
+inline int NotAnEnum(int x) {
+  switch (x) {
+    case 0:
+      return 1;
+    default:
+      return 2;  // integer switch: out of scope
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,28 @@
+// Fixture: observer-seam dispatches with no null guard in sight.
+#include <cstdint>
+
+namespace fx {
+
+struct Sink {
+  void OnEpochTrace(int et);
+  void OnInstant(int kind, uint64_t at);
+};
+
+struct Machine {
+  Sink* trace_sink() const { return sink_; }
+  Sink* sink_ = nullptr;
+};
+
+struct Emitter {
+  Sink* trace_ = nullptr;
+
+  void Emit(int et) {
+    trace_->OnEpochTrace(et);  // no guard anywhere above
+  }
+};
+
+inline void Chained(const Machine& machine, uint64_t at) {
+  machine.trace_sink()->OnInstant(0, at);  // chained base, still unguarded
+}
+
+}  // namespace fx

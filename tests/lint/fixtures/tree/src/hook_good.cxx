@@ -1,0 +1,57 @@
+// Fixture: every guard shape the hook check accepts.
+#include <cstdint>
+#include <vector>
+
+namespace fx {
+
+struct Sink {
+  void OnEpochTrace(int et);
+  void OnInstant(int kind, uint64_t at);
+  bool WantsCostModel() const;
+};
+
+struct Obs {
+  void OnAccess(uint64_t addr);
+};
+
+struct Machine {
+  Sink* trace_sink() const { return sink_; }
+  Sink* sink_ = nullptr;
+};
+
+struct Emitter {
+  Sink* trace_ = nullptr;
+  std::vector<Obs*> observers_;
+
+  void Emit(int et) {
+    if (trace_ != nullptr) trace_->OnEpochTrace(et);  // explicit null test
+  }
+
+  void EmitIfTruthy(int et) {
+    if (trace_) trace_->OnEpochTrace(et);  // truthiness form
+  }
+
+  void EmitChecked(int et) {
+    PMG_CHECK(trace_ != nullptr);  // precondition form
+    trace_->OnEpochTrace(et);
+  }
+
+  void Fan(uint64_t addr) {
+    if (!observers_.empty()) {
+      for (Obs* o : observers_) o->OnAccess(addr);  // range-for binding
+    }
+  }
+};
+
+struct ByValue {
+  Obs heat_;
+  void OnAccess(uint64_t addr) { heat_.OnAccess(addr); }  // '.' never null
+};
+
+inline void Guarded(const Machine& machine, uint64_t at) {
+  if (machine.trace_sink() != nullptr) {
+    machine.trace_sink()->OnInstant(0, at);  // chained base, guarded
+  }
+}
+
+}  // namespace fx

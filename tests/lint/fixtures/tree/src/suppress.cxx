@@ -1,0 +1,23 @@
+// Fixture: well-formed suppressions — every violation here is covered,
+// so this file must produce zero findings.
+#include <cstdint>
+
+namespace fx {
+
+inline void Covered(Runtime& rt, long& shared) {
+  rt.ParallelFor(0, 10, [&](ThreadId t, uint64_t v) {
+    shared += v;  // pmg-lint: allow(pmg-atomic-shared-write) fixture: trailing form
+  });
+  rt.ParallelFor(0, 10, [&](ThreadId t, uint64_t v) {
+    // pmg-lint: allow(pmg-atomic-shared-write) fixture: comment-above form
+    shared += v;
+  });
+  rt.ParallelFor(0, 10, [&](ThreadId t, uint64_t v) {
+    // pmg-lint: allow(pmg-atomic-shared-write) fixture: a reason long
+    // enough to wrap onto a second comment line still covers the
+    // statement after the block
+    shared += v;
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Fixture: malformed suppressions. Each is itself a finding, and the
+// violation it meant to cover still fires.
+#include <cstdint>
+
+namespace fx {
+
+inline void Broken(Runtime& rt, long& shared) {
+  rt.ParallelFor(0, 10, [&](ThreadId t, uint64_t v) {
+    // pmg-lint: allow(pmg-atomic-shared-write)
+    shared += v;
+  });
+  rt.ParallelFor(0, 10, [&](ThreadId t, uint64_t v) {
+    // pmg-lint: allow(pmg-not-a-real-check) reason does not save it
+    shared += v;
+  });
+  rt.ParallelFor(0, 10, [&](ThreadId t, uint64_t v) {
+    // pmg-lint: this comment has no allow clause at all
+    shared += v;
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,30 @@
+// Fixture: iteration-order dependence on unordered containers.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fx {
+
+struct Index {
+  std::unordered_map<int, int> edges_;
+};
+
+inline int SumDirect(const std::unordered_map<int, long>& weights) {
+  int acc = 0;
+  for (const auto& [k, v] : weights) acc += static_cast<int>(v);
+  return acc;
+}
+
+inline int SumMember(const Index& ix) {
+  int acc = 0;
+  for (const auto& [k, v] : ix.edges_) acc += v;
+  return acc;
+}
+
+inline int SumInline(const std::unordered_set<int>& live,
+                     std::unordered_set<int> scratch) {
+  int acc = 0;
+  for (int v : scratch) acc += v;
+  return acc + static_cast<int>(live.size());
+}
+
+}  // namespace fx

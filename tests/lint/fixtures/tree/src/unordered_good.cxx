@@ -1,0 +1,24 @@
+// Fixture: order-stable iteration — declaring an unordered container is
+// fine; only range-for over one is not.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+struct Cache {
+  std::unordered_map<int, int> lookup_;  // declaration alone: no finding
+};
+
+inline int SortedSum(const Cache& c, const std::map<int, int>& ordered) {
+  int acc = 0;
+  for (const auto& [k, v] : ordered) acc += v;  // std::map is ordered
+  std::vector<int> keys;
+  for (int i = 0; i < 4; ++i) keys.push_back(c.lookup_.count(i));
+  std::sort(keys.begin(), keys.end());
+  for (int k : keys) acc += k;  // sorted snapshot: deterministic
+  return acc;
+}
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+// Fixture: deliberately host-measuring code, exempted via --host-dir.
+#include <chrono>
+
+namespace fx {
+
+inline double HostSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace fx

@@ -1,0 +1,424 @@
+// Tests for pmg::lint — the project-invariant static analyzer.
+//
+// The centerpiece is a golden of the full fixture-tree lint run: every
+// check has at least one firing and one non-firing fixture under
+// fixtures/tree/, and the rendered findings are pinned byte for byte.
+// Regenerate after an intentional check or message change with
+//
+//   ./lint_test --update-goldens
+//
+// Around the golden sit unit tests for the lexer, the suppression
+// grammar, the project index, and the baseline gate's multiset
+// semantics.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pmg/lint/lexer.h"
+#include "pmg/lint/lint.h"
+
+namespace pmg::lint {
+
+bool g_update_goldens = false;
+
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(PMG_GOLDEN_DIR) + "/" + name;
+}
+
+void ExpectMatchesGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_goldens) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with --update-goldens to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "output drifted from " << path
+      << "; rerun with --update-goldens if the change is intentional";
+}
+
+/// Collects and lints the fixture tree the way the CLI would: the same
+/// dirs, with tools/hostperf/ declared host-side.
+struct FixtureRun {
+  std::vector<SourceFile> files;
+  std::vector<Finding> findings;
+};
+
+FixtureRun LintFixtureTree() {
+  FixtureRun run;
+  LintOptions options;
+  options.host_dirs = {"tools/hostperf/"};
+  std::string error;
+  const bool ok = CollectFiles(PMG_LINT_FIXTURE_DIR, {"src", "tools", "tests"},
+                               &run.files, &error);
+  EXPECT_TRUE(ok) << error;
+  run.findings = LintTree(run.files, options);
+  return run;
+}
+
+SourceFile Cpp(const std::string& text) {
+  SourceFile f;
+  f.path = "src/unit.cc";
+  f.text = text;
+  return f;
+}
+
+std::vector<Finding> LintText(const std::string& text) {
+  const SourceFile f = Cpp(text);
+  ProjectIndex index;
+  IndexSource(f, &index);
+  return LintSource(f, index, LintOptions{});
+}
+
+// ---------------------------------------------------------------------------
+// Lexer.
+
+TEST(Lexer, TokenKindsAndLines) {
+  const std::string src =
+      "int x = 42;  // trailing\n"
+      "auto s = \"str\"; char c = 'a';\n"
+      "p->Call(0x1F);\n";
+  const std::vector<Token> toks = Tokenize(src);
+  ASSERT_FALSE(toks.empty());
+  EXPECT_TRUE(toks[0].IsIdent("int"));
+  EXPECT_EQ(toks[0].line, 1u);
+
+  bool saw_comment = false, saw_string = false, saw_char = false;
+  bool saw_arrow = false, saw_hex = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kComment && t.text == "// trailing") {
+      saw_comment = true;
+      EXPECT_EQ(t.line, 1u);
+    }
+    if (t.kind == TokKind::kString && t.text == "\"str\"") saw_string = true;
+    if (t.kind == TokKind::kChar && t.text == "'a'") saw_char = true;
+    if (t.kind == TokKind::kPunct && t.text == "->") {
+      saw_arrow = true;
+      EXPECT_EQ(t.line, 3u);
+    }
+    if (t.kind == TokKind::kNumber && t.text == "0x1F") saw_hex = true;
+  }
+  EXPECT_TRUE(saw_comment);
+  EXPECT_TRUE(saw_string);
+  EXPECT_TRUE(saw_char);
+  EXPECT_TRUE(saw_arrow);
+  EXPECT_TRUE(saw_hex);
+}
+
+TEST(Lexer, RawStringsAndBlockComments) {
+  const std::string src =
+      "auto r = R\"(time(nullptr) // not code)\";\n"
+      "/* time(nullptr)\n   spans lines */ int y;\n";
+  const TokenStream ts = TokenStream::Of(src);
+  // Neither the raw string body nor the comment body leaks code tokens.
+  for (const Token& t : ts.code) {
+    EXPECT_FALSE(t.IsIdent("time")) << "line " << t.line;
+  }
+  ASSERT_EQ(ts.comments.count(2u), 1u);
+  EXPECT_TRUE(ts.comments.find(2u)->second.find("spans lines") !=
+              std::string_view::npos);
+}
+
+TEST(Lexer, UnterminatedLiteralDoesNotAbort) {
+  const std::string src = "auto s = \"never closed\nint after = 1;\n";
+  const std::vector<Token> toks = Tokenize(src);
+  // Degrades to one malformed token plus the rest of the file.
+  bool saw_after = false;
+  for (const Token& t : toks) {
+    if (t.IsIdent("after")) saw_after = true;
+  }
+  EXPECT_TRUE(saw_after);
+}
+
+// ---------------------------------------------------------------------------
+// Finding formatting and check registry.
+
+TEST(Finding, FormatAndKey) {
+  Finding f;
+  f.file = "src/a.cc";
+  f.line = 12;
+  f.check = "pmg-no-host-clock";
+  f.message = "call to time()";
+  EXPECT_EQ(f.Format(), "src/a.cc:12: pmg-no-host-clock: call to time()");
+  EXPECT_EQ(f.Key(), "src/a.cc: pmg-no-host-clock: call to time()");
+}
+
+TEST(Finding, OrderingIsFileLineCheckMessage) {
+  Finding a{"a.cc", 5, "x", "m"};
+  Finding b{"a.cc", 9, "x", "m"};
+  Finding c{"b.cc", 1, "x", "m"};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(CheckRegistry, AllIdsKnownAndSorted) {
+  const std::vector<std::string>& ids = AllCheckIds();
+  EXPECT_EQ(ids.size(), 8u);  // 7 checks + the pmg-suppression meta check.
+  for (size_t i = 1; i < ids.size(); ++i) EXPECT_LT(ids[i - 1], ids[i]);
+  for (const std::string& id : ids) EXPECT_TRUE(IsKnownCheckId(id));
+  EXPECT_TRUE(IsKnownCheckId("pmg-suppression"));
+  EXPECT_FALSE(IsKnownCheckId("pmg-not-a-check"));
+}
+
+// ---------------------------------------------------------------------------
+// Project index.
+
+TEST(ProjectIndexTest, EnumsAndUnorderedNames) {
+  SourceFile f = Cpp(
+      "enum class Kind { kA, kB = 3, kC };\n"
+      "enum class Fwd;\n"
+      "std::unordered_map<int, long> lookup_;\n"
+      "std::unordered_set<std::string> seen;\n"
+      "std::map<int, int> ordered_;\n");
+  ProjectIndex index;
+  IndexSource(f, &index);
+  ASSERT_EQ(index.enums.count("Kind"), 1u);
+  EXPECT_EQ(index.enums["Kind"],
+            (std::vector<std::string>{"kA", "kB", "kC"}));
+  EXPECT_EQ(index.enums.count("Fwd"), 0u);  // forward decl has no body
+  EXPECT_EQ(index.unordered_names.count("lookup_"), 1u);
+  EXPECT_EQ(index.unordered_names.count("seen"), 1u);
+  EXPECT_EQ(index.unordered_names.count("ordered_"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+
+TEST(Suppression, TrailingAndPrecedingFormsCover) {
+  const std::string trailing =
+      "long F() {\n"
+      "  return time(nullptr);  // pmg-lint: allow(pmg-no-host-clock) fixture\n"
+      "}\n";
+  EXPECT_TRUE(LintText(trailing).empty());
+
+  const std::string above =
+      "long F() {\n"
+      "  // pmg-lint: allow(pmg-no-host-clock) fixture\n"
+      "  return time(nullptr);\n"
+      "}\n";
+  EXPECT_TRUE(LintText(above).empty());
+}
+
+TEST(Suppression, CommentBlockExtendsCoverage) {
+  // A two-line justification above the statement still covers it.
+  const std::string block =
+      "long F() {\n"
+      "  // pmg-lint: allow(pmg-no-host-clock) the justification is long\n"
+      "  // enough to need a second comment line\n"
+      "  return time(nullptr);\n"
+      "}\n";
+  EXPECT_TRUE(LintText(block).empty());
+}
+
+TEST(Suppression, MissingReasonIsItselfAFinding) {
+  const std::string src =
+      "long F() {\n"
+      "  return time(nullptr);  // pmg-lint: allow(pmg-no-host-clock)\n"
+      "}\n";
+  const std::vector<Finding> fs = LintText(src);
+  ASSERT_EQ(fs.size(), 2u);  // the meta finding + the uncovered violation
+  EXPECT_EQ(fs[0].check, "pmg-no-host-clock");
+  EXPECT_EQ(fs[1].check, "pmg-suppression");
+  EXPECT_TRUE(fs[1].message.find("needs a reason") != std::string::npos);
+}
+
+TEST(Suppression, UnknownCheckIdRejected) {
+  const std::string src =
+      "long F() {\n"
+      "  return time(nullptr);  // pmg-lint: allow(pmg-bogus) why not\n"
+      "}\n";
+  const std::vector<Finding> fs = LintText(src);
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[1].check, "pmg-suppression");
+  EXPECT_TRUE(fs[1].message.find("unknown check id") != std::string::npos);
+}
+
+TEST(Suppression, WrongCheckIdDoesNotCover) {
+  const std::string src =
+      "long F() {\n"
+      "  return time(nullptr);  // pmg-lint: allow(pmg-enum-switch) wrong id\n"
+      "}\n";
+  const std::vector<Finding> fs = LintText(src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].check, "pmg-no-host-clock");
+}
+
+TEST(Suppression, ProseMentionIsNotADirective) {
+  // Comments *about* the syntax (docs, this test's own sources) must not
+  // parse as suppressions: only comments starting with "pmg-lint:" do.
+  const std::string src =
+      "// Suppress with `// pmg-lint: allow(<check-id>) <reason>` inline.\n"
+      "long F(long x) { return x; }\n";
+  EXPECT_TRUE(LintText(src).empty());
+}
+
+TEST(Suppression, MetaFindingsAreNotSuppressible) {
+  // A malformed directive cannot silence itself.
+  const std::string src =
+      "// pmg-lint: allow(pmg-suppression) quiet please\n"
+      "// pmg-lint: allow(pmg-no-host-clock)\n"
+      "long F(long x) { return x; }\n";
+  const std::vector<Finding> fs = LintText(src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].check, "pmg-suppression");
+  EXPECT_EQ(fs[0].line, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline gate.
+
+TEST(Baseline, ParseSkipsCommentsAndBlanks) {
+  const std::string text =
+      "# header\n"
+      "\n"
+      "  src/a.cc: pmg-no-host-clock: call to time()\r\n"
+      "src/b.cc: pmg-enum-switch: switch over Kind misses kC\n";
+  const std::vector<std::string> keys = ParseBaseline(text);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "src/a.cc: pmg-no-host-clock: call to time()");
+  EXPECT_EQ(keys[1], "src/b.cc: pmg-enum-switch: switch over Kind misses kC");
+}
+
+TEST(Baseline, DiffSplitsFreshMatchedStale) {
+  Finding hit{"src/a.cc", 4, "pmg-no-host-clock", "call to time()"};
+  Finding fresh{"src/c.cc", 9, "pmg-hook-guard", "unguarded hook"};
+  const std::vector<std::string> baseline = {
+      hit.Key(), "src/gone.cc: pmg-enum-switch: fixed long ago"};
+  const BaselineDiff diff = DiffAgainstBaseline({hit, fresh}, baseline);
+  EXPECT_EQ(diff.matched, 1u);
+  ASSERT_EQ(diff.fresh.size(), 1u);
+  EXPECT_EQ(diff.fresh[0], fresh);
+  ASSERT_EQ(diff.stale.size(), 1u);
+  EXPECT_EQ(diff.stale[0], "src/gone.cc: pmg-enum-switch: fixed long ago");
+}
+
+TEST(Baseline, MultisetSemantics) {
+  // Two findings with the same key need two baseline entries: one entry
+  // absorbs one finding, the second finding is fresh.
+  Finding a{"src/a.cc", 4, "pmg-no-host-clock", "call to time()"};
+  Finding b{"src/a.cc", 9, "pmg-no-host-clock", "call to time()"};
+  const BaselineDiff one = DiffAgainstBaseline({a, b}, {a.Key()});
+  EXPECT_EQ(one.matched, 1u);
+  EXPECT_EQ(one.fresh.size(), 1u);
+  const BaselineDiff two = DiffAgainstBaseline({a, b}, {a.Key(), b.Key()});
+  EXPECT_EQ(two.matched, 2u);
+  EXPECT_TRUE(two.fresh.empty());
+  EXPECT_TRUE(two.stale.empty());
+}
+
+TEST(Baseline, WriteRoundTrips) {
+  Finding b{"src/b.cc", 2, "pmg-hook-guard", "unguarded hook"};
+  Finding a{"src/a.cc", 7, "pmg-no-host-clock", "call to time()"};
+  const std::string text = WriteBaseline({b, a});
+  EXPECT_EQ(text.front(), '#');  // header comment survives a round trip
+  const std::vector<std::string> keys = ParseBaseline(text);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], a.Key());  // serialized sorted
+  EXPECT_EQ(keys[1], b.Key());
+}
+
+// ---------------------------------------------------------------------------
+// The fixture tree: golden + per-check coverage + determinism.
+
+TEST(FixtureTree, GoldenFindings) {
+  const FixtureRun run = LintFixtureTree();
+  ExpectMatchesGolden("fixture_tree_findings.txt",
+                      FormatFindings(run.findings));
+}
+
+TEST(FixtureTree, EveryCheckFiresAndEveryGoodFileIsClean) {
+  const FixtureRun run = LintFixtureTree();
+  std::set<std::string> fired;
+  for (const Finding& f : run.findings) {
+    fired.insert(f.check);
+    // The *_good.cxx fixtures are the non-firing half of each check's
+    // coverage: a finding there is a linter regression.
+    EXPECT_EQ(f.file.find("_good"), std::string::npos) << f.Format();
+  }
+  for (const std::string& id : AllCheckIds()) {
+    EXPECT_EQ(fired.count(id), 1u) << "no fixture fires " << id;
+  }
+}
+
+TEST(FixtureTree, SuppressedFixturesStayQuiet) {
+  const FixtureRun run = LintFixtureTree();
+  for (const Finding& f : run.findings) {
+    EXPECT_EQ(f.file.find("suppress.cxx"), std::string::npos) << f.Format();
+    // The cmake suppression block in tests/CMakeLists.txt covers
+    // suppressed_test; the other unlabelled tests still fire.
+    if (f.file == "tests/CMakeLists.txt") {
+      EXPECT_EQ(f.message.find("suppressed_test"), std::string::npos)
+          << f.Format();
+    }
+  }
+}
+
+TEST(FixtureTree, HostDirExemptsHostPerfCode) {
+  const FixtureRun run = LintFixtureTree();
+  for (const Finding& f : run.findings) {
+    EXPECT_EQ(f.file.find("tools/hostperf/"), std::string::npos)
+        << f.Format();
+  }
+}
+
+TEST(FixtureTree, OutputIsByteDeterministic) {
+  // Two independent collect+lint passes over the same tree must render
+  // identical bytes — the property the golden relies on.
+  const FixtureRun first = LintFixtureTree();
+  const FixtureRun second = LintFixtureTree();
+  ASSERT_EQ(first.files.size(), second.files.size());
+  for (size_t i = 0; i < first.files.size(); ++i) {
+    EXPECT_EQ(first.files[i].path, second.files[i].path);
+  }
+  EXPECT_EQ(FormatFindings(first.findings), FormatFindings(second.findings));
+}
+
+TEST(FixtureTree, CollectSkipsFixtureAndBuildDirs) {
+  // The repo's own walker must never descend into fixtures/ — otherwise
+  // the fixture tree would pollute the repo gate.
+  std::vector<SourceFile> files;
+  std::string error;
+  ASSERT_TRUE(CollectFiles(PMG_LINT_FIXTURE_DIR, {"src", "tools", "tests"},
+                           &files, &error))
+      << error;
+  for (const SourceFile& f : files) {
+    EXPECT_EQ(f.path.find("fixtures/"), std::string::npos) << f.path;
+    EXPECT_EQ(f.path.find("build/"), std::string::npos) << f.path;
+  }
+  EXPECT_FALSE(files.empty());
+}
+
+TEST(CollectFiles, BadRootFails) {
+  std::vector<SourceFile> files;
+  std::string error;
+  EXPECT_FALSE(CollectFiles("/nonexistent/pmg-lint-root", {"src"}, &files,
+                            &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace pmg::lint
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-goldens") {
+      pmg::lint::g_update_goldens = true;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

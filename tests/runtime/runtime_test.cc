@@ -162,7 +162,9 @@ TEST(RuntimeTest, EmptyParallelForStillCostsAnEpoch) {
   int visits = 0;
   // begin == end is a legal empty round; it must still open and close a
   // machine epoch (bulk-synchronous loops count rounds by epochs).
+  // pmg-lint: allow(pmg-atomic-shared-write) empty range, body never runs
   rt.ParallelFor(10, 10, [&](ThreadId, uint64_t) { ++visits; });
+  // pmg-lint: allow(pmg-atomic-shared-write) empty range, body never runs
   rt.ParallelForDynamic(10, 10, 4, [&](ThreadId, uint64_t) { ++visits; });
   EXPECT_EQ(visits, 0);
   EXPECT_EQ(m.stats().epochs, before + 2);

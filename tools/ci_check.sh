@@ -4,15 +4,19 @@
 # clang-format skip those steps with a notice instead of failing, so the
 # script runs both in a full CI image and in the minimal build container.
 #
-# Usage: tools/ci_check.sh [--fast]
-#   --fast   skip the sanitizer rebuild (plain build + lint/format only)
+# Usage: tools/ci_check.sh [--fast|--tsan]
+#   --fast   skip the sanitizer rebuilds (plain build + lint/format only)
+#   --tsan   ThreadSanitizer preset: TSan build + tier1 tests only (the
+#            nightly job; ASan/UBSan and the full suite are skipped)
 set -u
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO"
 
 FAST=0
+TSAN=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
+[[ "${1:-}" == "--tsan" ]] && TSAN=1
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 FAILURES=0
@@ -23,6 +27,26 @@ fail() {
   FAILURES=$((FAILURES + 1))
 }
 
+# --- 0. TSan preset: nightly ThreadSanitizer pass, then exit ---
+# Virtual threads run sequentially on the host today, so TSan stays quiet;
+# this job exists so the first host-parallel ParallelFor (ROADMAP item 4)
+# meets a race detector on day one, not in production.
+if [[ "$TSAN" == 1 ]]; then
+  step "build + ctest tier1 (-DPMG_SANITIZE=thread)"
+  cmake -B build-ci-thread -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPMG_SANITIZE=thread >/dev/null \
+    && cmake --build build-ci-thread -j "$JOBS" \
+    && (cd build-ci-thread && ctest -L tier1 --output-on-failure -j "$JOBS") \
+    || fail "tsan build/tests"
+  step "summary"
+  if [[ "$FAILURES" -gt 0 ]]; then
+    echo "$FAILURES step(s) failed"
+    exit 1
+  fi
+  echo "all checks passed"
+  exit 0
+fi
+
 # --- 1. Plain Release build + full test suite ---
 step "build (Release)"
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null \
@@ -31,7 +55,20 @@ cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null \
 step "ctest (Release)"
 (cd build-ci && ctest --output-on-failure -j "$JOBS") || fail "release tests"
 
-# --- 2. Sanitizer build + full test suite (ASan, then UBSan) ---
+# --- 2. Project-invariant lint: pmg_lint over the tree ---
+# Built by step 1; enforces the determinism / hook-guard / atomicity
+# contracts (docs/static-analysis.md). The committed baseline only
+# shrinks, so both new findings and stale entries fail here.
+step "pmg_lint (repo gate)"
+if [[ -x build-ci/tools/pmg_lint ]]; then
+  ./build-ci/tools/pmg_lint --root "$REPO" \
+    --baseline tools/lint_baseline.txt \
+    src tools bench tests || fail "pmg_lint"
+else
+  fail "pmg_lint binary missing (build failed?)"
+fi
+
+# --- 3. Sanitizer build + full test suite (ASan, then UBSan) ---
 if [[ "$FAST" == 0 ]]; then
   for SAN in address undefined; do
     step "build + ctest (-DPMG_SANITIZE=$SAN)"
@@ -43,7 +80,7 @@ if [[ "$FAST" == 0 ]]; then
   done
 fi
 
-# --- 3. clang-tidy on files changed relative to the merge base ---
+# --- 4. clang-tidy on files changed relative to the merge base ---
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy (changed files)"
   BASE="$(git merge-base HEAD origin/main 2>/dev/null \
@@ -60,7 +97,7 @@ else
   echo "clang-tidy not found; skipping lint"
 fi
 
-# --- 4. Format check over the whole tree ---
+# --- 5. Format check over the whole tree ---
 if command -v clang-format >/dev/null 2>&1; then
   step "clang-format --dry-run"
   git ls-files '*.cc' '*.h' | grep -Ev '^build' \

@@ -1,0 +1,172 @@
+// pmg_lint: the project-invariant static analyzer.
+//
+// Walks the repo's lintable sources and enforces the contracts that keep
+// simulated results trustworthy: no host clocks in simulated code, no
+// iteration over unordered containers, no side effects in PMG_CHECK
+// arguments, null-guarded observer hooks, atomic-annotated shared writes
+// in parallel bodies, exhaustive taxonomy switches, and tier-labelled
+// tests. See docs/static-analysis.md.
+//
+// Exit codes (same contract as pmg_run / pmg_perf / pmg_explain):
+//   0  clean — no findings beyond the baseline, no stale baseline entries
+//   1  new findings, or baseline entries that no longer fire
+//   2  usage error
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pmg/lint/lint.h"
+
+namespace {
+
+void Usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: pmg_lint --root <dir> [options] [dir...]\n"
+      "\n"
+      "Runs the pmg project-invariant checks over the lintable files\n"
+      "(*.cc *.h *.cxx *.hxx CMakeLists.txt *.cmake) under the given\n"
+      "directories (relative to --root; default: src tools bench tests).\n"
+      "\n"
+      "options:\n"
+      "  --root <dir>            repository root (required)\n"
+      "  --baseline <file>       grandfathered findings; the gate becomes\n"
+      "                          'no new findings, no stale entries'\n"
+      "  --write-baseline <file> write current findings as a baseline and\n"
+      "                          exit 0\n"
+      "  --host-dir <prefix>     path prefix exempt from pmg-no-host-clock\n"
+      "                          (repeatable; host-measuring code only)\n"
+      "  --list-checks           print every check id and exit\n"
+      "  --help                  this text\n"
+      "\n"
+      "Findings print one per line as 'file:line: check-id: message',\n"
+      "sorted, byte-stable across runs. Suppress a false positive inline\n"
+      "with '// pmg-lint: allow(<check-id>) <reason>' on the finding's\n"
+      "line or the line above; the reason is mandatory.\n");
+}
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "pmg_lint: %s\n", msg.c_str());
+  std::fprintf(stderr, "Try: pmg_lint --help\n");
+  std::exit(2);
+}
+
+/// Accepts --flag=value and --flag value.
+bool FlagValue(int argc, char** argv, int* i, const char* name,
+               std::string* out) {
+  const std::string arg = argv[*i];
+  const std::string prefix = std::string(name) + "=";
+  if (arg == name) {
+    if (*i + 1 >= argc) Die(std::string("missing value for ") + name);
+    *out = argv[++*i];
+    return true;
+  }
+  if (arg.rfind(prefix, 0) == 0) {
+    *out = arg.substr(prefix.size());
+    if (out->empty()) Die(std::string("missing value for ") + name);
+    return true;
+  }
+  return false;
+}
+
+bool ReadFileOrDie(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  *out = os.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  pmg::lint::LintOptions options;
+  std::vector<std::string> dirs;
+  bool list_checks = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else if (arg == "--list-checks") {
+      list_checks = true;
+    } else if (FlagValue(argc, argv, &i, "--root", &value)) {
+      root = value;
+    } else if (FlagValue(argc, argv, &i, "--baseline", &value)) {
+      baseline_path = value;
+    } else if (FlagValue(argc, argv, &i, "--write-baseline", &value)) {
+      write_baseline_path = value;
+    } else if (FlagValue(argc, argv, &i, "--host-dir", &value)) {
+      options.host_dirs.push_back(value);
+    } else if (arg.rfind("--", 0) == 0) {
+      Die("unknown flag: " + arg);
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+
+  if (list_checks) {
+    for (const std::string& id : pmg::lint::AllCheckIds()) {
+      std::printf("%s\n", id.c_str());
+    }
+    return 0;
+  }
+  if (root.empty()) Die("--root is required");
+  if (dirs.empty()) dirs = {"src", "tools", "bench", "tests"};
+
+  std::vector<pmg::lint::SourceFile> files;
+  std::string error;
+  if (!pmg::lint::CollectFiles(root, dirs, &files, &error)) Die(error);
+
+  const std::vector<pmg::lint::Finding> findings =
+      pmg::lint::LintTree(files, options);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) Die("cannot write baseline: " + write_baseline_path);
+    out << pmg::lint::WriteBaseline(findings);
+    std::printf("pmg_lint: wrote %zu baseline entr%s to %s\n",
+                findings.size(), findings.size() == 1 ? "y" : "ies",
+                write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::vector<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!ReadFileOrDie(baseline_path, &text)) {
+      Die("cannot read baseline: " + baseline_path);
+    }
+    baseline = pmg::lint::ParseBaseline(text);
+  }
+
+  const pmg::lint::BaselineDiff diff =
+      pmg::lint::DiffAgainstBaseline(findings, baseline);
+
+  std::string out = pmg::lint::FormatFindings(diff.fresh);
+  std::fputs(out.c_str(), stdout);
+  for (const std::string& key : diff.stale) {
+    std::printf("stale baseline entry (fixed? delete its line): %s\n",
+                key.c_str());
+  }
+
+  std::printf(
+      "pmg_lint: %zu file(s), %zu finding(s): %zu new, %llu baselined, "
+      "%zu stale\n",
+      files.size(), findings.size(), diff.fresh.size(),
+      static_cast<unsigned long long>(diff.matched), diff.stale.size());
+  const bool clean = diff.fresh.empty() && diff.stale.empty();
+  std::printf("verdict: %s\n", clean ? "CLEAN" : "DIRTY");
+  return clean ? 0 : 1;
+}
