@@ -280,4 +280,205 @@ RecoveryResult RunPrWithRecovery(const graph::CsrTopology& topo,
   return out;
 }
 
+RecoveryResult RunCcWithRecovery(const graph::CsrTopology& topo,
+                                 const RecoveryConfig& cfg) {
+  RecoveryResult out;
+  FaultInjector injector(cfg.faults);
+  CheckpointStore store;
+  const uint64_t n = topo.num_vertices;
+
+  RunAttempts(cfg, injector, out,
+              [&](memsim::Machine& machine, uint32_t attempt_index) {
+    runtime::Runtime rt(&machine, cfg.threads);
+    graph::GraphLayout layout;
+    layout.policy = cfg.algo.label_policy;
+    graph::CsrGraph g(&machine, topo, layout, "g");
+    g.Prefault(cfg.threads);
+
+    runtime::NumaArray<uint64_t> label(&machine, n, cfg.algo.label_policy,
+                                       "cc.label");
+    runtime::NumaArray<uint64_t> next(&machine, n, cfg.algo.label_policy,
+                                      "cc.next");
+    runtime::DenseWorklist wl(&machine, n, cfg.algo.label_policy, "cc.wl");
+    uint64_t round = 0;
+    bool resumed = false;
+    if (attempt_index > 0) {
+      std::vector<uint8_t> payload;
+      const SimNs t0 = machine.now();
+      const bool ok = store.Restore(machine, &payload);
+      out.restore_ns += machine.now() - t0;
+      if (machine.trace_sink() != nullptr) {
+        machine.trace_sink()->OnInstant(
+            memsim::TraceInstantKind::kCheckpointRestore, 0, machine.now(),
+            payload.size());
+      }
+      if (ok) {
+        PayloadReader r(payload);
+        round = r.U64();
+        const uint64_t active = r.U64();
+        std::vector<uint64_t> lb(n);
+        std::vector<uint8_t> flags(n);
+        r.Bytes(lb.data(), n * sizeof(uint64_t));
+        r.Bytes(flags.data(), n);
+        PMG_CHECK_MSG(r.ok(), "cc checkpoint payload truncated");
+        rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+          label.Set(t, v, lb[v]);
+        });
+        wl.RestoreCur(rt, flags.data(), active);
+        resumed = true;
+        ++out.restarts_from_checkpoint;
+      }
+    }
+    if (!resumed) {
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        label.Set(t, v, v);
+        wl.ActivateCur(t, v);
+      });
+      if (attempt_index > 0) ++out.restarts_from_scratch;
+    }
+
+    // The CcLabelProp loop: `next` is rebuilt from `label` at the top of
+    // every round, so it never needs checkpointing.
+    while (!wl.Empty()) {
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        next.Set(t, v, label.Get(t, v));
+      });
+      wl.ForEachActive(rt, [&](ThreadId t, uint64_t v) {
+        const uint64_t lv = label.Get(t, v);
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+          if (next.CasMin(tt, u, lv)) wl.Activate(tt, u);
+        });
+      });
+      std::swap(label, next);
+      wl.Advance(rt);
+      ++round;
+      if (cfg.checkpoint_every > 0 && !wl.Empty() &&
+          round % cfg.checkpoint_every == 0) {
+        PayloadWriter w;
+        w.U64(round);
+        w.U64(wl.ActiveCount());
+        w.Bytes(label.raw(), n * sizeof(uint64_t));
+        w.Bytes(wl.cur_flags().raw(), n);
+        OpRange range;
+        range.begin_op = injector.media_ops();
+        const SimNs t0 = machine.now();
+        store.Write(machine, cfg.threads, w.data().data(), w.data().size());
+        out.checkpoint_write_ns += machine.now() - t0;
+        if (machine.trace_sink() != nullptr) {
+          machine.trace_sink()->OnInstant(
+              memsim::TraceInstantKind::kCheckpointWrite, 0, machine.now(),
+              w.data().size());
+        }
+        range.end_op = injector.media_ops();
+        out.ckpt_op_ranges.push_back(range);
+      }
+    }
+    out.rounds = round;
+    out.cc_labels.assign(label.raw(), label.raw() + n);
+    return true;
+  });
+  out.fault = injector.report();
+  out.ckpt = store.stats();
+  return out;
+}
+
+RecoveryResult RunSsspWithRecovery(const graph::CsrTopology& topo,
+                                   VertexId source,
+                                   const RecoveryConfig& cfg) {
+  RecoveryResult out;
+  FaultInjector injector(cfg.faults);
+  CheckpointStore store;
+  const uint64_t n = topo.num_vertices;
+  PMG_CHECK(source < n);
+
+  RunAttempts(cfg, injector, out,
+              [&](memsim::Machine& machine, uint32_t attempt_index) {
+    runtime::Runtime rt(&machine, cfg.threads);
+    graph::GraphLayout layout;
+    layout.policy = cfg.algo.label_policy;
+    layout.with_weights = true;
+    graph::CsrGraph g(&machine, topo, layout, "g");
+    g.Prefault(cfg.threads);
+
+    runtime::NumaArray<uint64_t> dist(&machine, n, cfg.algo.label_policy,
+                                      "sssp.dist");
+    runtime::DenseWorklist wl(&machine, n, cfg.algo.label_policy, "sssp.wl");
+    uint64_t round = 0;
+    bool resumed = false;
+    if (attempt_index > 0) {
+      std::vector<uint8_t> payload;
+      const SimNs t0 = machine.now();
+      const bool ok = store.Restore(machine, &payload);
+      out.restore_ns += machine.now() - t0;
+      if (machine.trace_sink() != nullptr) {
+        machine.trace_sink()->OnInstant(
+            memsim::TraceInstantKind::kCheckpointRestore, 0, machine.now(),
+            payload.size());
+      }
+      if (ok) {
+        PayloadReader r(payload);
+        round = r.U64();
+        const uint64_t active = r.U64();
+        std::vector<uint64_t> ds(n);
+        std::vector<uint8_t> flags(n);
+        r.Bytes(ds.data(), n * sizeof(uint64_t));
+        r.Bytes(flags.data(), n);
+        PMG_CHECK_MSG(r.ok(), "sssp checkpoint payload truncated");
+        rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+          dist.Set(t, v, ds[v]);
+        });
+        wl.RestoreCur(rt, flags.data(), active);
+        resumed = true;
+        ++out.restarts_from_checkpoint;
+      }
+    }
+    if (!resumed) {
+      rt.ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+        dist.Set(t, v, analytics::kInfDist);
+      });
+      dist.Set(0, source, 0);
+      wl.ActivateCur(0, source);
+      if (attempt_index > 0) ++out.restarts_from_scratch;
+    }
+
+    // The SsspDenseWl loop.
+    while (!wl.Empty()) {
+      wl.ForEachActive(rt, [&](ThreadId t, uint64_t v) {
+        const uint64_t dv = dist.GetAtomic(t, v);
+        g.ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t w) {
+          if (dist.CasMin(tt, u, dv + w)) wl.Activate(tt, u);
+        });
+      });
+      wl.Advance(rt);
+      ++round;
+      if (cfg.checkpoint_every > 0 && !wl.Empty() &&
+          round % cfg.checkpoint_every == 0) {
+        PayloadWriter w;
+        w.U64(round);
+        w.U64(wl.ActiveCount());
+        w.Bytes(dist.raw(), n * sizeof(uint64_t));
+        w.Bytes(wl.cur_flags().raw(), n);
+        OpRange range;
+        range.begin_op = injector.media_ops();
+        const SimNs t0 = machine.now();
+        store.Write(machine, cfg.threads, w.data().data(), w.data().size());
+        out.checkpoint_write_ns += machine.now() - t0;
+        if (machine.trace_sink() != nullptr) {
+          machine.trace_sink()->OnInstant(
+              memsim::TraceInstantKind::kCheckpointWrite, 0, machine.now(),
+              w.data().size());
+        }
+        range.end_op = injector.media_ops();
+        out.ckpt_op_ranges.push_back(range);
+      }
+    }
+    out.rounds = round;
+    out.sssp_dists.assign(dist.raw(), dist.raw() + n);
+    return true;
+  });
+  out.fault = injector.report();
+  out.ckpt = store.stats();
+  return out;
+}
+
 }  // namespace pmg::faultsim

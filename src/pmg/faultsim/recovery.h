@@ -89,9 +89,12 @@ struct RecoveryResult {
   std::vector<OpRange> ckpt_op_ranges;
   /// Machine stats of the final (completing) attempt.
   memsim::MachineStats stats;
-  /// Final labels: levels for bfs, ranks for pagerank.
+  /// Final labels: levels for bfs, ranks for pagerank, component labels
+  /// for cc, distances for sssp.
   std::vector<uint32_t> bfs_levels;
   std::vector<double> pr_ranks;
+  std::vector<uint64_t> cc_labels;
+  std::vector<uint64_t> sssp_dists;
 };
 
 /// Dense-worklist BFS (the BfsDenseWl loop) under faults + checkpointing.
@@ -101,6 +104,17 @@ RecoveryResult RunBfsWithRecovery(const graph::CsrTopology& topo,
 /// Pull PageRank (the PrPull loop) under faults + checkpointing.
 RecoveryResult RunPrWithRecovery(const graph::CsrTopology& topo,
                                  const RecoveryConfig& cfg);
+
+/// Double-buffered label propagation (the CcLabelProp loop) under faults +
+/// checkpointing. The `next` buffer is recomputed from the labels at the
+/// top of each round, so (round, labels, frontier) is the complete state.
+RecoveryResult RunCcWithRecovery(const graph::CsrTopology& topo,
+                                 const RecoveryConfig& cfg);
+
+/// Dense-worklist SSSP (the SsspDenseWl loop) under faults + checkpointing.
+RecoveryResult RunSsspWithRecovery(const graph::CsrTopology& topo,
+                                   VertexId source,
+                                   const RecoveryConfig& cfg);
 
 }  // namespace pmg::faultsim
 

@@ -218,6 +218,9 @@ enum class TraceInstantKind : uint8_t {
   kCheckpointWrite,     ///< value = payload bytes committed.
   kCheckpointRestore,   ///< value = payload bytes restored.
   kCrash,               ///< value = crash ordinal.
+  kServeDispatch,       ///< value = serving-layer request id (pmg::serve).
+  kServeComplete,       ///< value = request id of a finished query.
+  kServeShed,           ///< value = request id dropped by admission control.
 };
 
 constexpr const char* TraceInstantName(TraceInstantKind k) {
@@ -232,6 +235,12 @@ constexpr const char* TraceInstantName(TraceInstantKind k) {
       return "checkpoint-restore";
     case TraceInstantKind::kCrash:
       return "crash";
+    case TraceInstantKind::kServeDispatch:
+      return "serve-dispatch";
+    case TraceInstantKind::kServeComplete:
+      return "serve-complete";
+    case TraceInstantKind::kServeShed:
+      return "serve-shed";
   }
   return "?";
 }

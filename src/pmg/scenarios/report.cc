@@ -179,6 +179,61 @@ void PrintRecoveryReport(const faultsim::RecoveryResult& r, std::FILE* out) {
   table.Print(out);
 }
 
+void PrintServeReport(const serve::ServeReport& report, std::FILE* out) {
+  std::fprintf(
+      out,
+      "\nserve: %s — %llu offered, %llu answered (%llu degraded), "
+      "%llu shed, %llu failed, %s%% deadline misses\n",
+      report.finished ? "FINISHED" : "GAVE UP",
+      static_cast<unsigned long long>(report.offered),
+      static_cast<unsigned long long>(report.completed +
+                                      report.completed_degraded),
+      static_cast<unsigned long long>(report.completed_degraded),
+      static_cast<unsigned long long>(report.shed),
+      static_cast<unsigned long long>(report.failed),
+      FormatDouble(report.deadline_miss_pct).c_str());
+  Table actions({"metric", "value"});
+  actions.AddRow({"timeouts", std::to_string(report.timeouts)});
+  actions.AddRow({"retries", std::to_string(report.retries)});
+  actions.AddRow({"hedges", std::to_string(report.hedges)});
+  actions.AddRow({"crashes", std::to_string(report.crashes)});
+  actions.AddRow({"recoveries", std::to_string(report.recoveries)});
+  actions.AddRow({"shed: queue-full-reject",
+                  std::to_string(report.shed_by_reason[0])});
+  actions.AddRow({"shed: queue-full-oldest",
+                  std::to_string(report.shed_by_reason[1])});
+  actions.AddRow({"shed: deadline-hopeless",
+                  std::to_string(report.shed_by_reason[2])});
+  actions.AddRow({"busy time (ms)", FormatMillis(report.busy_ns)});
+  actions.AddRow({"idle time (ms)", FormatMillis(report.idle_ns)});
+  actions.AddRow({"recovery time (ms)", FormatMillis(report.recovery_ns)});
+  actions.AddRow({"total time (ms)", FormatMillis(report.total_ns)});
+  actions.AddRow(
+      {"conservation", report.Conserves() ? "OK" : "VIOLATED"});
+  actions.Print(out);
+  Table lat({"kind", "offered", "answered", "degraded", "shed", "failed",
+             "missed", "p50 (ms)", "p99 (ms)", "p999 (ms)"});
+  lat.AddRow({"all", std::to_string(report.offered),
+              std::to_string(report.completed + report.completed_degraded),
+              std::to_string(report.completed_degraded),
+              std::to_string(report.shed), std::to_string(report.failed),
+              std::to_string(report.deadline_missed),
+              FormatMillis(report.p50_ns), FormatMillis(report.p99_ns),
+              FormatMillis(report.p999_ns)});
+  for (const serve::ServeKindRow& row : report.kinds) {
+    if (row.offered == 0) continue;
+    lat.AddRow({serve::QueryKindName(row.kind), std::to_string(row.offered),
+                std::to_string(row.completed + row.degraded),
+                std::to_string(row.degraded), std::to_string(row.shed),
+                std::to_string(row.failed),
+                std::to_string(row.deadline_missed),
+                FormatMillis(row.p50_ns), FormatMillis(row.p99_ns),
+                FormatMillis(row.p999_ns)});
+  }
+  std::fputc('\n', out);
+  lat.Print(out);
+}
+
 void PrintTraceReport(const trace::TraceReport& report, std::FILE* out) {
   std::fprintf(out,
                "\ntrace: %llu epoch(s), %s ms attributed, conservation %s\n",

@@ -11,6 +11,7 @@
 #include "pmg/memsim/stats.h"
 #include "pmg/metrics/heatmap.h"
 #include "pmg/sancheck/sancheck.h"
+#include "pmg/serve/server.h"
 #include "pmg/trace/trace_session.h"
 #include "pmg/whatif/explain.h"
 
@@ -77,6 +78,12 @@ void PrintTraceReport(const trace::TraceReport& report,
 /// pages — with an explicit line for what the top-K table dropped.
 void PrintHeatReport(const metrics::HeatReport& heat,
                      std::FILE* out = stdout);
+
+/// Prints a serve run: outcome totals, the robustness-action counters
+/// (shed/timeouts/retries/hedges/crashes), the busy/idle/recovery time
+/// split, and per-query-kind latency quantile rows (p50/p99/p999).
+void PrintServeReport(const serve::ServeReport& report,
+                      std::FILE* out = stdout);
 
 /// Prints a journaled run's explanation: the epoch bound-classification
 /// split, the straggler table with the barrier-imbalance histogram, and

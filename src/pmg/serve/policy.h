@@ -1,0 +1,105 @@
+#ifndef PMG_SERVE_POLICY_H_
+#define PMG_SERVE_POLICY_H_
+
+#include <cstdint>
+
+#include "pmg/common/types.h"
+#include "pmg/serve/workload.h"
+
+/// \file policy.h
+/// The robustness policies of the serving layer. Every decision these
+/// configs drive — shed, retry, hedge, degrade — is a pure function of
+/// simulated time plus seeded draws, never of host state: two servers fed
+/// the same trace and fault schedule make byte-identical decisions.
+
+namespace pmg::serve {
+
+/// What a bounded admission queue does when it is full.
+enum class ShedPolicy : uint8_t {
+  kRejectNewest = 0,  ///< Classic bounded queue: drop the arrival.
+  kDropOldest,        ///< Evict the head (freshest-work-first under burst).
+  kDeadlineAware,     ///< Evict whichever queued/incoming request has the
+                      ///< least deadline slack, and drop first attempts
+                      ///< whose deadline already passed at dispatch.
+};
+
+constexpr const char* ShedPolicyName(ShedPolicy p) {
+  switch (p) {
+    case ShedPolicy::kRejectNewest:
+      return "reject";
+    case ShedPolicy::kDropOldest:
+      return "oldest-drop";
+    case ShedPolicy::kDeadlineAware:
+      return "deadline-aware";
+  }
+  return "?";
+}
+
+struct AdmissionConfig {
+  /// Queue capacity; 0 = unbounded (the naive baseline — nothing sheds).
+  uint64_t queue_capacity = 32;
+  ShedPolicy policy = ShedPolicy::kDeadlineAware;
+};
+
+/// Timeout/retry pricing. A timed-out attempt's work is still billed (the
+/// priced-timeout contract); the retry re-enters the queue after an
+/// exponential backoff with seeded jitter, and runs degraded.
+struct RetryConfig {
+  /// Total executions allowed per request, the first attempt included.
+  /// 1 = never retry (the naive baseline).
+  uint32_t max_attempts = 3;
+  /// Backoff before retry r (1-based) is base * 2^(r-1), jittered.
+  SimNs backoff_base_ns = 200'000;
+  /// Jitter range in percent: the drawn backoff is uniform in
+  /// [backoff * (100-j)/100, backoff * (100+j)/100].
+  uint32_t jitter_pct = 20;
+  uint64_t seed = 1;
+
+  /// The deterministic backoff before retry `retry_index` (1-based) of
+  /// request `request_id`. Pure in (config, id, index).
+  SimNs BackoffNs(uint64_t request_id, uint32_t retry_index) const {
+    SimNs base = backoff_base_ns;
+    for (uint32_t r = 1; r < retry_index; ++r) base *= 2;
+    if (jitter_pct == 0) return base;
+    const uint64_t draw = ServeMix64(
+        seed ^ (request_id * 0x2545f4914f6cdd1dull + retry_index));
+    const uint64_t span = 2 * jitter_pct + 1;
+    const int64_t offset_pct =
+        static_cast<int64_t>(draw % span) - jitter_pct;
+    const int64_t jittered =
+        static_cast<int64_t>(base) +
+        static_cast<int64_t>(base) * offset_pct / 100;
+    return jittered > 0 ? static_cast<SimNs>(jittered) : 1;
+  }
+};
+
+/// Straggler hedging: when a first attempt has consumed more than
+/// `hedge_after_ns` of machine time without finishing, abort it at the
+/// next round boundary and immediately re-run degraded. The aborted work
+/// stays billed — hedges trade wasted work for tail latency.
+struct HedgeConfig {
+  bool enabled = true;
+  SimNs hedge_after_ns = 3'000'000;
+};
+
+/// Graceful degradation: under queue pressure or recent fault activity the
+/// server answers approximately — truncated pagerank, depth-capped
+/// ego-nets — instead of queueing full-fidelity work it cannot afford.
+struct DegradeConfig {
+  bool enabled = true;
+  /// Enter degraded mode when the queue reaches `queue_high`; leave it
+  /// when the queue drains to `queue_low` (hysteresis).
+  uint64_t queue_high = 16;
+  uint64_t queue_low = 4;
+  /// Stay degraded this long after observed fault activity (transient
+  /// stalls, degraded-link epochs, crashes).
+  SimNs fault_hold_ns = 2'000'000;
+  /// Degraded pagerank runs this many rounds.
+  uint32_t pr_rounds = 3;
+  /// Degraded ego-nets cap the radius here.
+  uint32_t ego_radius = 1;
+};
+
+}  // namespace pmg::serve
+
+#endif  // PMG_SERVE_POLICY_H_

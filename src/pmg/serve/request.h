@@ -1,0 +1,135 @@
+#ifndef PMG_SERVE_REQUEST_H_
+#define PMG_SERVE_REQUEST_H_
+
+#include <cstdint>
+
+#include "pmg/common/types.h"
+
+/// \file request.h
+/// The request vocabulary of pmg::serve: what a client asks the resident
+/// graph, and what happened to each request by the time the serve run
+/// finished. Everything here is plain data — the Server (server.h) owns
+/// the policies that decide an outcome, and every field is a pure function
+/// of the workload seed + fault schedule, never of host state.
+
+namespace pmg::serve {
+
+/// The query mix a graph-serving deployment fields (ROADMAP item 1):
+/// point lookups with traversal (bfs/sssp), a ranking query (top-K
+/// pagerank), and a neighborhood query (ego-net).
+enum class QueryKind : uint8_t {
+  kBfs = 0,   ///< Level structure from an arbitrary source.
+  kSssp,      ///< Weighted distances from an arbitrary source.
+  kPrTopK,    ///< Top-K vertices by (truncatable) pull PageRank.
+  kEgoNet,    ///< Vertices/edges within `radius` hops of a source.
+};
+
+inline constexpr size_t kQueryKindCount = 4;
+
+constexpr const char* QueryKindName(QueryKind k) {
+  switch (k) {
+    case QueryKind::kBfs:
+      return "bfs";
+    case QueryKind::kSssp:
+      return "sssp";
+    case QueryKind::kPrTopK:
+      return "pr_topk";
+    case QueryKind::kEgoNet:
+      return "ego";
+  }
+  return "?";
+}
+
+/// One open-loop arrival. Arrival time and deadline are simulated
+/// nanoseconds on the serve timeline (0 = serving start).
+struct Request {
+  uint64_t id = 0;
+  QueryKind kind = QueryKind::kBfs;
+  /// Traversal source (bfs/sssp/ego; pr_topk ignores it).
+  VertexId source = 0;
+  /// pr_topk: how many ranked vertices the client wants.
+  uint32_t topk = 8;
+  /// ego: hop radius (the degradable knob).
+  uint32_t radius = 2;
+  SimNs arrival_ns = 0;
+  /// Relative latency budget; absolute deadline = arrival_ns + deadline_ns.
+  SimNs deadline_ns = 0;
+};
+
+/// Terminal state of a request.
+enum class Outcome : uint8_t {
+  kCompleted = 0,       ///< Full-fidelity answer delivered.
+  kCompletedDegraded,   ///< Answer delivered in a degraded mode (truncated
+                        ///< pagerank, depth-capped ego-net, or a retry that
+                        ///< re-ran degraded).
+  kShed,                ///< Dropped by admission control; never answered.
+  kFailed,              ///< All attempts exhausted (timeouts/crashes).
+};
+
+constexpr const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kCompleted:
+      return "completed";
+    case Outcome::kCompletedDegraded:
+      return "completed-degraded";
+    case Outcome::kShed:
+      return "shed";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+/// Why admission control dropped a request (valid when Outcome::kShed).
+enum class ShedReason : uint8_t {
+  kQueueFullReject = 0,  ///< Bounded queue full; newest arrival rejected.
+  kQueueFullOldest,      ///< Bounded queue full; oldest entry evicted.
+  kDeadlineHopeless,     ///< Deadline-aware policy: least-slack victim, or
+                         ///< a first attempt already past its deadline at
+                         ///< dispatch.
+};
+
+constexpr const char* ShedReasonName(ShedReason r) {
+  switch (r) {
+    case ShedReason::kQueueFullReject:
+      return "queue-full-reject";
+    case ShedReason::kQueueFullOldest:
+      return "queue-full-oldest";
+    case ShedReason::kDeadlineHopeless:
+      return "deadline-hopeless";
+  }
+  return "?";
+}
+
+/// Full per-request accounting, retained so tests can re-derive the
+/// conservation law (sum of billed_ns over records == the server's busy
+/// time) and replay shed decisions.
+struct RequestRecord {
+  Request req;
+  Outcome outcome = Outcome::kCompleted;
+  ShedReason shed_reason = ShedReason::kQueueFullReject;
+  /// Completed (possibly degraded) after its absolute deadline.
+  bool missed_deadline = false;
+  /// Executions started (first attempt + retries + the hedge re-run).
+  uint32_t attempts = 0;
+  uint32_t timeouts = 0;
+  uint32_t hedges = 0;
+  /// Crashes that interrupted one of this request's attempts.
+  uint32_t crashes = 0;
+  /// Serve-timeline completion; 0 for shed requests.
+  SimNs completion_ns = 0;
+  /// completion_ns - arrival_ns for answered requests; 0 otherwise.
+  SimNs latency_ns = 0;
+  /// Machine time consumed by every attempt of this request, including
+  /// aborted and crashed partial work — the priced-timeout contract. Each
+  /// simulated nanosecond the server spends executing is billed to exactly
+  /// one request.
+  SimNs billed_ns = 0;
+  /// Deterministic digest of the answer (levels/distances/top-K ids/ego
+  /// size), for replay-identity tests. 0 for unanswered requests.
+  uint64_t result_checksum = 0;
+};
+
+}  // namespace pmg::serve
+
+#endif  // PMG_SERVE_REQUEST_H_

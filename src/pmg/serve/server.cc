@@ -1,0 +1,765 @@
+#include "pmg/serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "pmg/common/check.h"
+#include "pmg/memsim/fault_hook.h"
+#include "pmg/metrics/metrics_session.h"
+#include "pmg/runtime/worklist.h"
+#include "pmg/trace/trace_session.h"
+
+namespace pmg::serve {
+
+namespace {
+
+/// "No event" sentinel on the serve timeline.
+inline constexpr SimNs kNever = ~0ull;
+
+/// Order-sensitive fold for result digests: position-salted splitmix64.
+uint64_t FoldChecksum(uint64_t h, uint64_t value) {
+  return ServeMix64(h ^ (value + 0x9e3779b97f4a7c15ull));
+}
+
+bool Answered(Outcome o) {
+  return o == Outcome::kCompleted || o == Outcome::kCompletedDegraded;
+}
+
+}  // namespace
+
+ServeConfig NaiveBaseline(ServeConfig cfg) {
+  cfg.admission.queue_capacity = 0;
+  cfg.admission.policy = ShedPolicy::kRejectNewest;
+  cfg.deadline_timeout = false;
+  cfg.retry.max_attempts = 1;
+  cfg.hedge.enabled = false;
+  cfg.degrade.enabled = false;
+  return cfg;
+}
+
+Server::Server(const graph::CsrTopology& topo, const ServeConfig& cfg)
+    : topo_(topo), cfg_(cfg), injector_(cfg.faults) {
+  ids_.latency = registry_.AddHistogram("pmg_serve_latency_ns",
+                                        "Answered-request latency");
+  for (size_t k = 0; k < kQueryKindCount; ++k) {
+    ids_.latency_kind[k] = registry_.AddHistogram(
+        std::string("pmg_serve_latency_") +
+            QueryKindName(static_cast<QueryKind>(k)) + "_ns",
+        "Answered-request latency by query kind");
+  }
+  ids_.offered = registry_.AddCounter("pmg_serve_offered_total",
+                                      "Requests the arrival trace offered");
+  ids_.completed = registry_.AddCounter("pmg_serve_completed_total",
+                                        "Full-fidelity answers");
+  ids_.degraded = registry_.AddCounter("pmg_serve_degraded_total",
+                                       "Degraded answers");
+  ids_.shed = registry_.AddCounter("pmg_serve_shed_total",
+                                   "Requests dropped by admission control");
+  ids_.failed = registry_.AddCounter("pmg_serve_failed_total",
+                                     "Requests that exhausted every attempt");
+  ids_.deadline_missed = registry_.AddCounter(
+      "pmg_serve_deadline_missed_total",
+      "Requests not answered within their deadline (shed/failed included)");
+  ids_.timeouts = registry_.AddCounter("pmg_serve_timeouts_total",
+                                       "Attempts aborted at their deadline");
+  ids_.retries = registry_.AddCounter("pmg_serve_retries_total",
+                                      "Retry attempts scheduled");
+  ids_.hedges = registry_.AddCounter("pmg_serve_hedges_total",
+                                     "Straggler attempts hedged");
+  ids_.crashes = registry_.AddCounter("pmg_serve_crashes_total",
+                                      "Simulated crashes while serving");
+}
+
+SimNs Server::Now() const { return clock_offset_ + machine_->now(); }
+
+void Server::IdleAdvance(SimNs to) {
+  const SimNs now = Now();
+  PMG_CHECK(to >= now);
+  idle_ns_ += to - now;
+  clock_offset_ += to - now;
+}
+
+void Server::BuildMachine(bool recovery) {
+  // Tear down in dependency order: the graph's NumaArrays free their
+  // regions on the machine they were built on, so they must go first.
+  graph_.reset();
+  rt_.reset();
+  machine_ = std::make_unique<memsim::Machine>(cfg_.machine);
+  machine_->SetFaultHook(&injector_);
+  // Session attach order matches the recovery drivers: trace first so the
+  // metrics session's epoch rows land on an already-continuous timeline.
+  if (cfg_.trace != nullptr) cfg_.trace->Attach(machine_.get());
+  if (cfg_.metrics != nullptr) cfg_.metrics->Attach(machine_.get());
+  rt_ = std::make_unique<runtime::Runtime>(machine_.get(), cfg_.threads);
+  graph::GraphLayout layout;
+  layout.policy = cfg_.algo.label_policy;
+  // The serving mix needs everything: out-edges (bfs/sssp/ego), in-edges
+  // (pull pagerank) and weights (sssp).
+  layout.load_out_edges = true;
+  layout.load_in_edges = true;
+  layout.with_weights = true;
+  graph_ = std::make_unique<graph::CsrGraph>(machine_.get(), topo_, layout,
+                                             "serve.g");
+  graph_->Prefault(cfg_.threads);
+  machine_->CloseEpochIfOpen();
+  (void)recovery;  // Billing is the caller's: Run excludes the initial
+                   // build from the timeline, Rebuild bills recovery_ns_.
+}
+
+void Server::DetachSessions() {
+  if (cfg_.metrics != nullptr && cfg_.metrics->attached()) {
+    cfg_.metrics->Detach();
+  }
+  if (cfg_.trace != nullptr && cfg_.trace->attached()) cfg_.trace->Detach();
+}
+
+bool Server::Rebuild(SimNs at) {
+  while (true) {
+    if (recoveries_ >= cfg_.max_recoveries) {
+      gave_up_ = true;
+      // Pin the serve clock to the end of the outage so the final report's
+      // timeline stays conserved (every dead rebuild's time is already in
+      // recovery_ns_ and `at`).
+      clock_offset_ = at - machine_->now();
+      return false;
+    }
+    ++recoveries_;
+    try {
+      BuildMachine(/*recovery=*/true);
+      recovery_ns_ += machine_->now();
+      clock_offset_ = at;
+      ObserveFaults();
+      return true;
+    } catch (const memsim::SimulatedCrash&) {
+      // The rebuild itself crashed (the schedule can fire on the graph
+      // reload's media ops). The outage grows by the dead rebuild's time.
+      ++crashes_;
+      registry_.Add(ids_.crashes, 1);
+      try {
+        machine_->CloseEpochIfOpen();
+      } catch (const memsim::SimulatedCrash&) {
+        ++crashes_;
+        registry_.Add(ids_.crashes, 1);
+      }
+      recovery_ns_ += machine_->now();
+      at += machine_->now();
+      DetachSessions();
+    }
+  }
+}
+
+void Server::ObserveFaults() {
+  const faultsim::FaultReport& r = injector_.report();
+  const bool changed = r.transient_faults != fault_snapshot_.transient_faults ||
+                       r.degraded_epochs != fault_snapshot_.degraded_epochs ||
+                       r.ue_delivered != fault_snapshot_.ue_delivered ||
+                       r.crashes != fault_snapshot_.crashes;
+  if (changed) {
+    fault_seen_ = true;
+    last_fault_ns_ = Now();
+    fault_snapshot_ = r;
+  }
+}
+
+bool Server::DegradedNow(SimNs now) {
+  if (!cfg_.degrade.enabled) return false;
+  if (!overload_degraded_ && queue_.size() >= cfg_.degrade.queue_high) {
+    overload_degraded_ = true;
+  } else if (overload_degraded_ && queue_.size() <= cfg_.degrade.queue_low) {
+    overload_degraded_ = false;
+  }
+  const bool fault_window =
+      fault_seen_ && now - last_fault_ns_ <= cfg_.degrade.fault_hold_ns;
+  return overload_degraded_ || fault_window;
+}
+
+void Server::RecordShed(uint64_t req_index, ShedReason reason, SimNs now) {
+  RequestRecord& rec = records_[req_index];
+  rec.outcome = Outcome::kShed;
+  rec.shed_reason = reason;
+  rec.missed_deadline = true;  // no answer is a missed budget
+  shed_log_.push_back(ShedRecord{rec.req.id, reason, now});
+  registry_.Add(ids_.shed, 1);
+  registry_.Add(ids_.deadline_missed, 1);
+  if (machine_->trace_sink() != nullptr) {
+    machine_->trace_sink()->OnInstant(memsim::TraceInstantKind::kServeShed, 0,
+                                      machine_->now(), rec.req.id);
+  }
+  ++terminal_;
+}
+
+void Server::Admit(const QueueEntry& e, SimNs now) {
+  const uint64_t cap = cfg_.admission.queue_capacity;
+  if (cap == 0 || queue_.size() < cap) {
+    queue_.push_back(e);
+    return;
+  }
+  switch (cfg_.admission.policy) {
+    case ShedPolicy::kRejectNewest:
+      RecordShed(e.req_index, ShedReason::kQueueFullReject, now);
+      return;
+    case ShedPolicy::kDropOldest:
+      RecordShed(queue_.front().req_index, ShedReason::kQueueFullOldest, now);
+      queue_.pop_front();
+      queue_.push_back(e);
+      return;
+    case ShedPolicy::kDeadlineAware: {
+      // Evict the least-slack request among the queue and the arrival.
+      // Scan order (front to back, arrival last) breaks ties, so the
+      // decision is a pure function of queue state.
+      auto slack = [&](uint64_t idx) {
+        const Request& r = records_[idx].req;
+        return static_cast<int64_t>(r.arrival_ns + r.deadline_ns) -
+               static_cast<int64_t>(now);
+      };
+      size_t victim = queue_.size();  // == the incoming entry
+      int64_t worst = slack(e.req_index);
+      for (size_t i = 0; i < queue_.size(); ++i) {
+        const int64_t s = slack(queue_[i].req_index);
+        if (s < worst) {
+          worst = s;
+          victim = i;
+        }
+      }
+      if (victim == queue_.size()) {
+        RecordShed(e.req_index, ShedReason::kDeadlineHopeless, now);
+      } else {
+        RecordShed(queue_[victim].req_index, ShedReason::kDeadlineHopeless,
+                   now);
+        queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(victim));
+        queue_.push_back(e);
+      }
+      return;
+    }
+  }
+}
+
+void Server::PumpArrivals(SimNs now) {
+  // Merge the arrival stream and due retries in event order (ties go to
+  // the retry: it was scheduled first).
+  while (true) {
+    const SimNs retry_at =
+        retries_.empty() ? kNever : retries_.front().eligible_ns;
+    const SimNs arrival_at = next_arrival_ < arrivals_.size()
+                                 ? arrivals_[next_arrival_].arrival_ns
+                                 : kNever;
+    if (retry_at > now && arrival_at > now) return;
+    if (retry_at <= arrival_at) {
+      const RetryEntry r = retries_.front();
+      retries_.erase(retries_.begin());
+      Admit(QueueEntry{r.req_index, r.attempt, retry_at}, now);
+    } else {
+      Admit(QueueEntry{next_arrival_, 1, arrival_at}, now);
+      ++next_arrival_;
+    }
+  }
+}
+
+SimNs Server::NextEventNs() const {
+  SimNs next = kNever;
+  if (!retries_.empty()) next = retries_.front().eligible_ns;
+  if (next_arrival_ < arrivals_.size()) {
+    next = std::min(next, arrivals_[next_arrival_].arrival_ns);
+  }
+  return next;
+}
+
+void Server::ScheduleRetry(uint64_t req_index, uint32_t prev_attempt) {
+  ++retries_count_;
+  registry_.Add(ids_.retries, 1);
+  RetryEntry r;
+  r.eligible_ns =
+      Now() + cfg_.retry.BackoffNs(records_[req_index].req.id, prev_attempt);
+  r.seq = retry_seq_++;
+  r.req_index = req_index;
+  r.attempt = prev_attempt + 1;
+  const auto pos = std::upper_bound(
+      retries_.begin(), retries_.end(), r, [](const RetryEntry& a,
+                                              const RetryEntry& b) {
+        return a.eligible_ns != b.eligible_ns ? a.eligible_ns < b.eligible_ns
+                                              : a.seq < b.seq;
+      });
+  retries_.insert(pos, r);
+}
+
+Server::AbortWhy Server::CheckRound(SimNs deadline_abs_ns, bool hedgeable,
+                                    SimNs attempt_start_ns) {
+  ObserveFaults();
+  if (cfg_.deadline_timeout && Now() > deadline_abs_ns) {
+    return AbortWhy::kDeadline;
+  }
+  if (hedgeable && Now() - attempt_start_ns > cfg_.hedge.hedge_after_ns) {
+    return AbortWhy::kHedge;
+  }
+  return AbortWhy::kNone;
+}
+
+// --- Query kernels -------------------------------------------------------
+
+Server::ExecResult Server::QueryBfs(const Request& req, uint32_t max_rounds,
+                                    SimNs deadline_abs_ns, bool hedgeable,
+                                    SimNs attempt_start_ns) {
+  const uint64_t n = graph_->num_vertices();
+  const memsim::PagePolicy policy = cfg_.algo.label_policy;
+  runtime::NumaArray<uint32_t> level(machine_.get(), n, policy,
+                                     "serve.bfs.level");
+  runtime::DenseWorklist wl(machine_.get(), n, policy, "serve.bfs.wl");
+  rt_->ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+    level.Set(t, v, analytics::kInfLevel);
+  });
+  level.Set(0, req.source, 0);
+  wl.ActivateCur(0, req.source);
+  uint32_t round = 0;
+  ExecResult out;
+  while (!wl.Empty() && round < max_rounds) {
+    const uint32_t next_level = round + 1;
+    wl.ForEachActive(*rt_, [&](ThreadId t, uint64_t v) {
+      graph_->ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t) {
+        if (level.CasMin(tt, u, next_level)) wl.Activate(tt, u);
+      });
+    });
+    wl.Advance(*rt_);
+    ++round;
+    out.aborted = CheckRound(deadline_abs_ns, hedgeable, attempt_start_ns);
+    if (out.aborted != AbortWhy::kNone) return out;
+  }
+  // Digest over reached vertices only, so a depth-capped (ego) run digests
+  // exactly its neighborhood.
+  uint64_t h = 0;
+  for (uint64_t v = 0; v < n; ++v) {
+    if (level.raw()[v] != analytics::kInfLevel) {
+      h = FoldChecksum(h, v * 2654435761ull + level.raw()[v]);
+    }
+  }
+  out.checksum = h;
+  return out;
+}
+
+Server::ExecResult Server::QuerySssp(const Request& req, SimNs deadline_abs_ns,
+                                     bool hedgeable, SimNs attempt_start_ns) {
+  const uint64_t n = graph_->num_vertices();
+  const memsim::PagePolicy policy = cfg_.algo.label_policy;
+  runtime::NumaArray<uint64_t> dist(machine_.get(), n, policy,
+                                    "serve.sssp.dist");
+  runtime::DenseWorklist wl(machine_.get(), n, policy, "serve.sssp.wl");
+  rt_->ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+    dist.Set(t, v, analytics::kInfDist);
+  });
+  dist.Set(0, req.source, 0);
+  wl.ActivateCur(0, req.source);
+  ExecResult out;
+  while (!wl.Empty()) {
+    wl.ForEachActive(*rt_, [&](ThreadId t, uint64_t v) {
+      const uint64_t dv = dist.GetAtomic(t, v);
+      graph_->ForEachOutEdge(t, v, [&](ThreadId tt, VertexId u, uint32_t w) {
+        if (dist.CasMin(tt, u, dv + w)) wl.Activate(tt, u);
+      });
+    });
+    wl.Advance(*rt_);
+    out.aborted = CheckRound(deadline_abs_ns, hedgeable, attempt_start_ns);
+    if (out.aborted != AbortWhy::kNone) return out;
+  }
+  uint64_t h = 0;
+  for (uint64_t v = 0; v < n; ++v) {
+    if (dist.raw()[v] != analytics::kInfDist) {
+      h = FoldChecksum(h, v * 2654435761ull + dist.raw()[v]);
+    }
+  }
+  out.checksum = h;
+  return out;
+}
+
+Server::ExecResult Server::QueryPrTopK(const Request& req, uint32_t rounds,
+                                       SimNs deadline_abs_ns, bool hedgeable,
+                                       SimNs attempt_start_ns) {
+  const uint64_t n = graph_->num_vertices();
+  const memsim::PagePolicy policy = cfg_.algo.label_policy;
+  const double base = 1.0 - cfg_.algo.pr_damping;
+  runtime::NumaArray<double> rank(machine_.get(), n, policy, "serve.pr.rank");
+  runtime::NumaArray<double> contrib(machine_.get(), n, policy,
+                                     "serve.pr.contrib");
+  rt_->ParallelFor(0, n,
+                   [&](ThreadId t, uint64_t v) { rank.Set(t, v, base); });
+  ExecResult out;
+  // Fixed-round pull pagerank: the round count *is* the fidelity knob the
+  // degraded mode truncates, so there is no tolerance test (and no
+  // cross-thread fp reduction to keep deterministic).
+  for (uint32_t r = 0; r < rounds; ++r) {
+    rt_->ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+      const auto [first, last] = graph_->OutRange(t, v);
+      const uint64_t deg = last - first;
+      contrib.Set(t, v,
+                  deg == 0 ? 0.0 : rank.Get(t, v) / static_cast<double>(deg));
+    });
+    rt_->ParallelFor(0, n, [&](ThreadId t, uint64_t v) {
+      double sum = 0;
+      const auto [first, last] = graph_->InRange(t, v);
+      for (EdgeId e = first; e < last; ++e) {
+        sum += contrib.Get(t, graph_->InSrc(t, e));
+      }
+      rank.Set(t, v, base + cfg_.algo.pr_damping * sum);
+    });
+    out.aborted = CheckRound(deadline_abs_ns, hedgeable, attempt_start_ns);
+    if (out.aborted != AbortWhy::kNone) return out;
+  }
+  // Costed rank scan (the top-K selection pass reads every score)...
+  rt_->ParallelFor(0, n,
+                   [&](ThreadId t, uint64_t v) { (void)rank.Get(t, v); });
+  out.aborted = CheckRound(deadline_abs_ns, hedgeable, attempt_start_ns);
+  if (out.aborted != AbortWhy::kNone) return out;
+  // ...with the heap maintenance host-side (its traffic is O(K), noise
+  // next to the scan). Ties break on vertex id for a deterministic answer.
+  const uint64_t k = std::min<uint64_t>(req.topk, n);
+  std::vector<std::pair<double, uint64_t>> top;
+  top.reserve(n);
+  for (uint64_t v = 0; v < n; ++v) top.emplace_back(rank.raw()[v], v);
+  std::partial_sort(top.begin(), top.begin() + static_cast<ptrdiff_t>(k),
+                    top.end(), [](const auto& a, const auto& b) {
+                      return a.first != b.first ? a.first > b.first
+                                                : a.second < b.second;
+                    });
+  uint64_t h = 0;
+  for (uint64_t i = 0; i < k; ++i) {
+    h = FoldChecksum(h, top[i].second + (i << 48));
+  }
+  out.checksum = h;
+  return out;
+}
+
+Server::ExecResult Server::RunAttempt(const Request& req, bool degraded,
+                                      SimNs deadline_abs_ns, bool hedgeable,
+                                      SimNs attempt_start_ns) {
+  switch (req.kind) {
+    case QueryKind::kBfs:
+      return QueryBfs(req, ~0u, deadline_abs_ns, hedgeable, attempt_start_ns);
+    case QueryKind::kSssp:
+      return QuerySssp(req, deadline_abs_ns, hedgeable, attempt_start_ns);
+    case QueryKind::kPrTopK:
+      return QueryPrTopK(req,
+                         degraded ? cfg_.degrade.pr_rounds : cfg_.pr_rounds,
+                         deadline_abs_ns, hedgeable, attempt_start_ns);
+    case QueryKind::kEgoNet:
+      return QueryBfs(req, degraded ? cfg_.degrade.ego_radius : req.radius,
+                      deadline_abs_ns, hedgeable, attempt_start_ns);
+  }
+  PMG_CHECK_MSG(false, "unreachable query kind");
+  return ExecResult{};
+}
+
+void Server::Finish(uint64_t req_index, Outcome outcome, bool degraded,
+                    uint64_t checksum, SimNs now) {
+  (void)degraded;
+  RequestRecord& rec = records_[req_index];
+  rec.outcome = outcome;
+  rec.result_checksum = checksum;
+  if (Answered(outcome)) {
+    rec.completion_ns = now;
+    rec.latency_ns = now - rec.req.arrival_ns;
+    rec.missed_deadline = rec.latency_ns > rec.req.deadline_ns;
+    registry_.Observe(ids_.latency, rec.latency_ns);
+    registry_.Observe(ids_.latency_kind[static_cast<size_t>(rec.req.kind)],
+                      rec.latency_ns);
+    registry_.Add(
+        outcome == Outcome::kCompleted ? ids_.completed : ids_.degraded, 1);
+    if (machine_->trace_sink() != nullptr) {
+      machine_->trace_sink()->OnInstant(
+          memsim::TraceInstantKind::kServeComplete, 0, machine_->now(),
+          rec.req.id);
+    }
+  } else {
+    rec.missed_deadline = true;
+    registry_.Add(ids_.failed, 1);
+  }
+  if (rec.missed_deadline) registry_.Add(ids_.deadline_missed, 1);
+  ++terminal_;
+}
+
+void Server::Execute(QueueEntry e) {
+  const Request& req = records_[e.req_index].req;
+  RequestRecord& rec = records_[e.req_index];
+  const SimNs deadline_abs = req.arrival_ns + req.deadline_ns;
+  const SimNs dispatch_ns = Now();
+  // Deadline-aware dispatch drop: a *first* attempt already past its
+  // deadline is pure waste. A retry past its deadline still runs — the
+  // late (degraded) answer is the graceful-degradation contract.
+  if (cfg_.admission.policy == ShedPolicy::kDeadlineAware &&
+      cfg_.admission.queue_capacity > 0 && e.attempt == 1 &&
+      dispatch_ns > deadline_abs) {
+    RecordShed(e.req_index, ShedReason::kDeadlineHopeless, dispatch_ns);
+    return;
+  }
+  bool degraded = cfg_.degrade.enabled &&
+                  (e.attempt > 1 || DegradedNow(dispatch_ns));
+  bool hedgeable = cfg_.hedge.enabled && e.attempt == 1 && !degraded;
+  while (true) {
+    ++rec.attempts;
+    if (machine_->trace_sink() != nullptr) {
+      machine_->trace_sink()->OnInstant(
+          memsim::TraceInstantKind::kServeDispatch, 0, machine_->now(),
+          req.id);
+    }
+    const SimNs attempt_start = Now();
+    const SimNs m0 = machine_->now();
+    ExecResult r;
+    bool crashed = false;
+    try {
+      r = RunAttempt(req, degraded, deadline_abs, hedgeable, attempt_start);
+      machine_->CloseEpochIfOpen();
+    } catch (const memsim::SimulatedCrash&) {
+      crashed = true;
+      ++crashes_;
+      ++rec.crashes;
+      registry_.Add(ids_.crashes, 1);
+      // Close the interrupted epoch so the partial work is priced; a
+      // second crash while closing is swallowed — this machine is dead.
+      try {
+        machine_->CloseEpochIfOpen();
+      } catch (const memsim::SimulatedCrash&) {
+        ++crashes_;
+        registry_.Add(ids_.crashes, 1);
+      }
+    }
+    // Everything the machine billed during the attempt — including work a
+    // timeout, hedge or crash threw away — lands on this request.
+    const SimNs delta = machine_->now() - m0;
+    busy_ns_ += delta;
+    rec.billed_ns += delta;
+    if (crashed) {
+      const SimNs t_crash = Now();
+      if (machine_->trace_sink() != nullptr) {
+        machine_->trace_sink()->OnInstant(memsim::TraceInstantKind::kCrash, 0,
+                                          machine_->now(), 1);
+      }
+      DetachSessions();
+      if (!Rebuild(t_crash)) return;  // gave up; Run fails the remainder
+      // The in-flight request rides the retry path (crash retries do not
+      // consume the timeout-retry budget; they are bounded by
+      // max_recoveries instead).
+      ScheduleRetry(e.req_index, e.attempt);
+      return;
+    }
+    if (r.aborted == AbortWhy::kHedge) {
+      // The straggler is abandoned (its bill stands) and re-run degraded
+      // immediately on the same dispatch.
+      ++hedges_;
+      ++rec.hedges;
+      registry_.Add(ids_.hedges, 1);
+      degraded = true;
+      hedgeable = false;
+      continue;
+    }
+    if (r.aborted == AbortWhy::kDeadline) {
+      ++timeouts_;
+      ++rec.timeouts;
+      registry_.Add(ids_.timeouts, 1);
+      if (e.attempt < cfg_.retry.max_attempts) {
+        ScheduleRetry(e.req_index, e.attempt);
+      } else {
+        Finish(e.req_index, Outcome::kFailed, degraded, 0, Now());
+      }
+      return;
+    }
+    const bool degraded_answer =
+        degraded && (req.kind == QueryKind::kPrTopK ||
+                     req.kind == QueryKind::kEgoNet);
+    Finish(e.req_index,
+           degraded_answer ? Outcome::kCompletedDegraded
+                           : Outcome::kCompleted,
+           degraded_answer, r.checksum, Now());
+    return;
+  }
+}
+
+ServeReport Server::Run() {
+  PMG_CHECK_MSG(records_.empty(), "Server::Run is one-shot");
+  arrivals_ = GenerateArrivals(cfg_.workload, topo_.num_vertices);
+  records_.resize(arrivals_.size());
+  for (size_t i = 0; i < arrivals_.size(); ++i) records_[i].req = arrivals_[i];
+  registry_.Add(ids_.offered, arrivals_.size());
+
+  // Initial residency: build the machine and load the graph. This predates
+  // the serve timeline (a server answers queries against an already-
+  // resident graph), so the clock offset rebases Now() to zero.
+  BuildMachine(/*recovery=*/false);
+  clock_offset_ = 0 - machine_->now();
+
+  while (terminal_ < records_.size() && !gave_up_) {
+    PumpArrivals(Now());
+    if (queue_.empty()) {
+      if (terminal_ == records_.size()) break;
+      const SimNs next = NextEventNs();
+      PMG_CHECK_MSG(next != kNever,
+                    "serve loop stalled with unanswered requests");
+      if (next > Now()) IdleAdvance(next);
+      continue;
+    }
+    const QueueEntry e = queue_.front();
+    queue_.pop_front();
+    Execute(e);
+  }
+  if (gave_up_) {
+    // Fail everything not yet terminal: queued, backing off, or unarrived.
+    // (A fresh record still reads kCompleted with completion_ns == 0; an
+    // actually-answered request always completes at a nonzero time.)
+    for (RequestRecord& rec : records_) {
+      const bool terminal = rec.outcome == Outcome::kShed ||
+                            rec.outcome == Outcome::kFailed ||
+                            (Answered(rec.outcome) && rec.completion_ns != 0);
+      if (terminal) continue;
+      rec.outcome = Outcome::kFailed;
+      rec.missed_deadline = true;
+      registry_.Add(ids_.failed, 1);
+      registry_.Add(ids_.deadline_missed, 1);
+    }
+  }
+  DetachSessions();
+  return BuildReport();
+}
+
+ServeReport Server::BuildReport() {
+  ServeReport rep;
+  rep.finished = !gave_up_;
+  rep.offered = records_.size();
+  rep.timeouts = timeouts_;
+  rep.retries = retries_count_;
+  rep.hedges = hedges_;
+  rep.crashes = crashes_;
+  rep.recoveries = recoveries_;
+  rep.busy_ns = busy_ns_;
+  rep.idle_ns = idle_ns_;
+  rep.recovery_ns = recovery_ns_;
+  rep.total_ns = Now();
+  PMG_CHECK_MSG(rep.Conserves(),
+                "serve timeline leaked: busy+idle+recovery != total");
+
+  rep.kinds.resize(kQueryKindCount);
+  for (size_t k = 0; k < kQueryKindCount; ++k) {
+    rep.kinds[k].kind = static_cast<QueryKind>(k);
+  }
+  for (const RequestRecord& rec : records_) {
+    ServeKindRow& row = rep.kinds[static_cast<size_t>(rec.req.kind)];
+    ++row.offered;
+    switch (rec.outcome) {
+      case Outcome::kCompleted:
+        ++rep.completed;
+        ++row.completed;
+        break;
+      case Outcome::kCompletedDegraded:
+        ++rep.completed_degraded;
+        ++row.degraded;
+        break;
+      case Outcome::kShed:
+        ++rep.shed;
+        ++row.shed;
+        ++rep.shed_by_reason[static_cast<size_t>(rec.shed_reason)];
+        break;
+      case Outcome::kFailed:
+        ++rep.failed;
+        ++row.failed;
+        break;
+    }
+    if (rec.missed_deadline) {
+      ++rep.deadline_missed;
+      ++row.deadline_missed;
+    }
+  }
+  rep.deadline_miss_pct =
+      rep.offered == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(rep.deadline_missed) /
+                static_cast<double>(rep.offered);
+
+  const metrics::HistogramSnapshot overall =
+      registry_.HistogramValue(ids_.latency);
+  rep.p50_ns = static_cast<SimNs>(overall.Quantile(0.5));
+  rep.p99_ns = static_cast<SimNs>(overall.Quantile(0.99));
+  rep.p999_ns = static_cast<SimNs>(overall.Quantile(0.999));
+  for (size_t k = 0; k < kQueryKindCount; ++k) {
+    const metrics::HistogramSnapshot h =
+        registry_.HistogramValue(ids_.latency_kind[k]);
+    rep.kinds[k].p50_ns = static_cast<SimNs>(h.Quantile(0.5));
+    rep.kinds[k].p99_ns = static_cast<SimNs>(h.Quantile(0.99));
+    rep.kinds[k].p999_ns = static_cast<SimNs>(h.Quantile(0.999));
+  }
+  rep.shed_log = shed_log_;
+  rep.records = records_;
+  rep.fault = injector_.report();
+  return rep;
+}
+
+// --- Report JSON ---------------------------------------------------------
+
+void ServeReport::AppendJson(trace::JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("schema_version").UInt(schema_version);
+  w->Key("finished").Bool(finished);
+  w->Key("offered").UInt(offered);
+  w->Key("completed").UInt(completed);
+  w->Key("completed_degraded").UInt(completed_degraded);
+  w->Key("shed").UInt(shed);
+  w->Key("failed").UInt(failed);
+  w->Key("deadline_missed").UInt(deadline_missed);
+  w->Key("deadline_miss_pct").Double(deadline_miss_pct);
+  w->Key("timeouts").UInt(timeouts);
+  w->Key("retries").UInt(retries);
+  w->Key("hedges").UInt(hedges);
+  w->Key("crashes").UInt(crashes);
+  w->Key("recoveries").UInt(recoveries);
+  w->Key("shed_by_reason").BeginObject();
+  w->Key("queue-full-reject").UInt(shed_by_reason[0]);
+  w->Key("queue-full-oldest").UInt(shed_by_reason[1]);
+  w->Key("deadline-hopeless").UInt(shed_by_reason[2]);
+  w->EndObject();
+  w->Key("busy_ns").UInt(busy_ns);
+  w->Key("idle_ns").UInt(idle_ns);
+  w->Key("recovery_ns").UInt(recovery_ns);
+  w->Key("total_ns").UInt(total_ns);
+  w->Key("p50_ns").UInt(p50_ns);
+  w->Key("p99_ns").UInt(p99_ns);
+  w->Key("p999_ns").UInt(p999_ns);
+  w->Key("kinds").BeginArray();
+  for (const ServeKindRow& row : kinds) {
+    w->BeginObject();
+    w->Key("kind").String(QueryKindName(row.kind));
+    w->Key("offered").UInt(row.offered);
+    w->Key("completed").UInt(row.completed);
+    w->Key("degraded").UInt(row.degraded);
+    w->Key("shed").UInt(row.shed);
+    w->Key("failed").UInt(row.failed);
+    w->Key("deadline_missed").UInt(row.deadline_missed);
+    w->Key("p50_ns").UInt(row.p50_ns);
+    w->Key("p99_ns").UInt(row.p99_ns);
+    w->Key("p999_ns").UInt(row.p999_ns);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("shed_log").BeginArray();
+  const size_t shown = std::min(shed_log.size(), kShedLogJsonRows);
+  for (size_t i = 0; i < shown; ++i) {
+    w->BeginObject();
+    w->Key("request").UInt(shed_log[i].request_id);
+    w->Key("reason").String(ShedReasonName(shed_log[i].reason));
+    w->Key("at_ns").UInt(shed_log[i].at_ns);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("shed_log_dropped").UInt(shed_log.size() - shown);
+  w->Key("fault").BeginObject();
+  w->Key("media_ops").UInt(fault.media_ops);
+  w->Key("ue_delivered").UInt(fault.ue_delivered);
+  w->Key("transient_faults").UInt(fault.transient_faults);
+  w->Key("retries").UInt(fault.retries);
+  w->Key("stall_ns").UInt(fault.stall_ns);
+  w->Key("degraded_epochs").UInt(fault.degraded_epochs);
+  w->Key("crashes").UInt(fault.crashes);
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string ServeReport::ToJson() const {
+  trace::JsonWriter w;
+  AppendJson(&w);
+  return w.str();
+}
+
+}  // namespace pmg::serve

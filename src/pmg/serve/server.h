@@ -1,0 +1,306 @@
+#ifndef PMG_SERVE_SERVER_H_
+#define PMG_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pmg/analytics/common.h"
+#include "pmg/faultsim/fault_injector.h"
+#include "pmg/faultsim/fault_schedule.h"
+#include "pmg/graph/csr_graph.h"
+#include "pmg/graph/topology.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/metrics/registry.h"
+#include "pmg/runtime/runtime.h"
+#include "pmg/serve/policy.h"
+#include "pmg/serve/request.h"
+#include "pmg/serve/workload.h"
+#include "pmg/trace/json.h"
+
+/// \file server.h
+/// pmg::serve — overload-robust graph-query serving on the simulated
+/// machine. The Server holds a resident CsrGraph and drains an open-loop
+/// arrival trace through a discrete-event loop on *simulated* time:
+///
+///   - one logical worker executes admitted queries FIFO, each query
+///     running round-by-round on the machine with `threads` virtual
+///     threads (the batch kernels' execution model);
+///   - between events the server is idle and the serve clock skips ahead
+///     (open-loop: arrivals do not wait for the server);
+///   - at every round boundary the robustness policies run: priced
+///     deadline timeout, straggler hedging, and degradation checks;
+///   - a bounded admission queue sheds load per ShedPolicy;
+///   - an attached faultsim schedule injects stalls/quarantines/degraded
+///     links/crashes; a crash kills the machine mid-query, the server
+///     rebuilds it (graph reload priced as recovery time) and retries the
+///     in-flight request.
+///
+/// Determinism is the core invariant: identical (workload seed, fault
+/// schedule, config) yield byte-identical ServeReports — every shed,
+/// retry, hedge, and degrade decision is a pure function of simulated
+/// time. The conservation law mirrors pmg::trace's: every simulated
+/// nanosecond of the serve timeline is busy (billed to exactly one
+/// request), idle, or recovery — PMG_CHECKed in Run and re-derivable from
+/// the per-request records.
+
+namespace pmg::metrics {
+class MetricsSession;
+}  // namespace pmg::metrics
+
+namespace pmg::trace {
+class TraceSession;
+}  // namespace pmg::trace
+
+namespace pmg::serve {
+
+inline constexpr uint32_t kServeSchemaVersion = 1;
+
+struct ServeConfig {
+  memsim::MachineConfig machine;
+  uint32_t threads = 8;
+  analytics::AlgoOptions algo;
+  /// Full-fidelity pagerank round count (serving runs fixed rounds; the
+  /// degraded mode truncates to DegradeConfig::pr_rounds).
+  uint32_t pr_rounds = 10;
+  WorkloadSpec workload;
+  AdmissionConfig admission;
+  RetryConfig retry;
+  HedgeConfig hedge;
+  DegradeConfig degrade;
+  /// Abort attempts that outlive their deadline at a round boundary
+  /// (priced timeout). Off = the naive server that lets slow queries hog
+  /// the worker.
+  bool deadline_timeout = true;
+  faultsim::FaultSchedule faults;
+  /// Give up serving after this many machine rebuilds.
+  uint32_t max_recoveries = 8;
+  /// Observability sessions, re-attached across crash rebuilds like the
+  /// recovery drivers do. Not owned.
+  trace::TraceSession* trace = nullptr;
+  metrics::MetricsSession* metrics = nullptr;
+};
+
+/// The naive baseline the acceptance scenario beats: unbounded queue, no
+/// timeout, no retries, no hedging, no degradation. Fault recovery stays
+/// on (a server that never comes back is not a baseline, it is an outage).
+ServeConfig NaiveBaseline(ServeConfig cfg);
+
+/// One shed decision, retained in full so tests can replay-compare.
+struct ShedRecord {
+  uint64_t request_id = 0;
+  ShedReason reason = ShedReason::kQueueFullReject;
+  SimNs at_ns = 0;
+};
+
+struct ServeKindRow {
+  QueryKind kind = QueryKind::kBfs;
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  uint64_t deadline_missed = 0;
+  /// Latency quantiles over answered requests (log2-histogram
+  /// interpolation, the pmg::metrics estimator).
+  SimNs p50_ns = 0;
+  SimNs p99_ns = 0;
+  SimNs p999_ns = 0;
+};
+
+struct ServeReport {
+  uint32_t schema_version = kServeSchemaVersion;
+  /// False when the server gave up (max_recoveries exceeded) with
+  /// requests still unanswered.
+  bool finished = true;
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t completed_degraded = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  uint64_t deadline_missed = 0;
+  uint64_t timeouts = 0;
+  uint64_t retries = 0;
+  uint64_t hedges = 0;
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+  /// Shed split by reason, indexed like ShedReason.
+  uint64_t shed_by_reason[3] = {0, 0, 0};
+  /// The serve-timeline split; Conserves() is the law.
+  SimNs busy_ns = 0;
+  SimNs idle_ns = 0;
+  SimNs recovery_ns = 0;
+  SimNs total_ns = 0;
+  /// Overall latency quantiles over answered requests.
+  SimNs p50_ns = 0;
+  SimNs p99_ns = 0;
+  SimNs p999_ns = 0;
+  /// deadline_missed / offered, percent (shed and failed count as misses:
+  /// the client did not get an answer in budget).
+  double deadline_miss_pct = 0;
+  std::vector<ServeKindRow> kinds;
+  /// Every shed decision, in decision order.
+  std::vector<ShedRecord> shed_log;
+  /// Every request's terminal accounting, by request id.
+  std::vector<RequestRecord> records;
+  faultsim::FaultReport fault;
+
+  /// Conservation law: every simulated nanosecond of the serve timeline
+  /// is attributed to exactly one of busy/idle/recovery.
+  bool Conserves() const {
+    return busy_ns + idle_ns + recovery_ns == total_ns;
+  }
+
+  /// Deterministic JSON (full log capped at kShedLogJsonRows rows, with
+  /// explicit dropped accounting; records are summarized, not serialized).
+  void AppendJson(trace::JsonWriter* w) const;
+  std::string ToJson() const;
+};
+
+/// Rows of the shed log the JSON document carries before truncating.
+inline constexpr size_t kShedLogJsonRows = 64;
+
+class Server {
+ public:
+  /// The graph is copied into machine-resident CSR arrays (both
+  /// directions + weights: the serving mix needs them all) when Run
+  /// starts; `topo` must outlive the call.
+  Server(const graph::CsrTopology& topo, const ServeConfig& cfg);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Builds the resident graph, generates the arrival trace, and drains
+  /// it. One call per Server.
+  ServeReport Run();
+
+  /// The serve-level metrics registry (latency histograms, outcome
+  /// counters). Deterministic PrometheusText — the byte-identical-report
+  /// acceptance test compares it across runs.
+  const metrics::Registry& registry() const { return registry_; }
+
+ private:
+  struct QueueEntry {
+    uint64_t req_index = 0;
+    uint32_t attempt = 1;  ///< 1-based execution ordinal.
+    SimNs enqueued_ns = 0;
+  };
+  struct RetryEntry {
+    SimNs eligible_ns = 0;
+    uint64_t seq = 0;  ///< Tie-break: schedule order.
+    uint64_t req_index = 0;
+    uint32_t attempt = 1;
+  };
+  enum class AbortWhy : uint8_t { kNone = 0, kDeadline, kHedge };
+  struct ExecResult {
+    bool crashed = false;
+    AbortWhy aborted = AbortWhy::kNone;
+    uint64_t checksum = 0;
+  };
+
+  /// Serve-timeline clock: offset + machine clock.
+  SimNs Now() const;
+  /// Advances the serve clock to `to` without machine work (idle).
+  void IdleAdvance(SimNs to);
+  /// Builds machine+runtime+graph; prices the build. `recovery` bills the
+  /// build to recovery_ns (crash rebuild) instead of excluding it
+  /// (initial residency, which predates the serve timeline).
+  void BuildMachine(bool recovery);
+  void DetachSessions();
+  /// Admits arrivals/retries due at `now` into the bounded queue,
+  /// shedding per policy.
+  void PumpArrivals(SimNs now);
+  void Admit(const QueueEntry& e, SimNs now);
+  void RecordShed(uint64_t req_index, ShedReason reason, SimNs now);
+  /// Next event time when the queue is empty (~0ull when none).
+  SimNs NextEventNs() const;
+  /// Executes one queue entry end to end (timeout/hedge/crash handling).
+  void Execute(QueueEntry e);
+  /// Queues retry `prev_attempt + 1` of a request after its backoff.
+  void ScheduleRetry(uint64_t req_index, uint32_t prev_attempt);
+  /// Machine rebuild after a crash observed at serve time `at`; loops on
+  /// crash-during-rebuild. False when max_recoveries is exhausted.
+  bool Rebuild(SimNs at);
+  /// Round-boundary policy check inside a running attempt.
+  AbortWhy CheckRound(SimNs deadline_abs_ns, bool hedgeable,
+                      SimNs attempt_start_ns);
+  /// Runs one attempt of `req` on the machine. Round-boundary checks fire
+  /// `ShouldAbort`. Throws SimulatedCrash through.
+  ExecResult RunAttempt(const Request& req, bool degraded,
+                        SimNs deadline_abs_ns, bool hedgeable,
+                        SimNs attempt_start_ns);
+  /// True when new attempts should run degraded at `now`.
+  bool DegradedNow(SimNs now);
+  /// Round-boundary fault observation: refreshes last_fault_ns_.
+  void ObserveFaults();
+  void Finish(uint64_t req_index, Outcome outcome, bool degraded,
+              uint64_t checksum, SimNs now);
+  ServeReport BuildReport();
+
+  // Query kernels (round-by-round, abort-checked; return the checksum).
+  ExecResult QueryBfs(const Request& req, uint32_t max_rounds,
+                      SimNs deadline_abs_ns, bool hedgeable,
+                      SimNs attempt_start_ns);
+  ExecResult QuerySssp(const Request& req, SimNs deadline_abs_ns,
+                       bool hedgeable, SimNs attempt_start_ns);
+  ExecResult QueryPrTopK(const Request& req, uint32_t rounds,
+                         SimNs deadline_abs_ns, bool hedgeable,
+                         SimNs attempt_start_ns);
+
+  const graph::CsrTopology& topo_;
+  ServeConfig cfg_;
+  faultsim::FaultInjector injector_;
+
+  std::unique_ptr<memsim::Machine> machine_;
+  std::unique_ptr<runtime::Runtime> rt_;
+  std::unique_ptr<graph::CsrGraph> graph_;
+
+  std::vector<Request> arrivals_;
+  size_t next_arrival_ = 0;
+  std::deque<QueueEntry> queue_;
+  std::vector<RetryEntry> retries_;  ///< Kept sorted by (eligible, seq).
+  uint64_t retry_seq_ = 0;
+
+  std::vector<RequestRecord> records_;
+  std::vector<ShedRecord> shed_log_;
+  uint64_t terminal_ = 0;  ///< Requests in a terminal state.
+
+  SimNs clock_offset_ = 0;
+  SimNs busy_ns_ = 0;
+  SimNs idle_ns_ = 0;
+  SimNs recovery_ns_ = 0;
+  uint64_t crashes_ = 0;
+  uint64_t recoveries_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t retries_count_ = 0;
+  uint64_t hedges_ = 0;
+  bool gave_up_ = false;
+
+  /// Degradation state (hysteresis + fault window).
+  bool overload_degraded_ = false;
+  bool fault_seen_ = false;
+  SimNs last_fault_ns_ = 0;
+  faultsim::FaultReport fault_snapshot_;
+
+  metrics::Registry registry_;
+  struct MetricIds {
+    metrics::MetricId latency;
+    metrics::MetricId latency_kind[kQueryKindCount];
+    metrics::MetricId offered;
+    metrics::MetricId completed;
+    metrics::MetricId degraded;
+    metrics::MetricId shed;
+    metrics::MetricId failed;
+    metrics::MetricId deadline_missed;
+    metrics::MetricId timeouts;
+    metrics::MetricId retries;
+    metrics::MetricId hedges;
+    metrics::MetricId crashes;
+  } ids_;
+};
+
+}  // namespace pmg::serve
+
+#endif  // PMG_SERVE_SERVER_H_

@@ -182,6 +182,13 @@ void TraceSession::OnInstant(TraceInstantKind kind, ThreadId thread,
     case TraceInstantKind::kCrash:
       ++crashes_;
       break;
+    case TraceInstantKind::kServeDispatch:
+    case TraceInstantKind::kServeComplete:
+    case TraceInstantKind::kServeShed:
+      // Per-request span markers from pmg::serve: recorded on the timeline
+      // (the Chrome export names them) but not aggregated here — the serve
+      // report owns the request-level counters.
+      break;
   }
   Instant in;
   in.kind = kind;

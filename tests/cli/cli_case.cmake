@@ -191,6 +191,84 @@ elseif(CASE STREQUAL "metrics_compose")
             "${folded}")
   endif()
 
+elseif(CASE STREQUAL "bad_serve")
+  run_cli(--graph kron30 --serve thisisnotaspec)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "bad_qps")
+  run_cli(--graph kron30 --serve steady --qps 0)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "bad_deadline")
+  run_cli(--graph kron30 --serve steady --deadline-ns 0)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "qps_without_serve")
+  run_cli(--graph kron30 --app bfs --qps 100)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "serve_with_app")
+  run_cli(--graph kron30 --app bfs --serve steady)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "serve_compose")
+  # Serve mode composing with --faults, --metrics, and --json: the report
+  # carries the serve section and the conservation law holds on stdout.
+  set(report_file "${OUT_DIR}/serve.report.json")
+  file(REMOVE "${report_file}")
+  run_cli(--graph kron30 --threads 8 --metrics
+          --serve "poisson:qps=500,n=10,deadline=8000000,seed=3"
+          --faults "lat@access:1000,ns=2000,count=4\;seed=7"
+          --json "${report_file}")
+  expect_exit(0)
+  expect_json_file("${report_file}")
+  file(READ "${report_file}" report)
+  foreach(needle "\"mode\":\"serve\"" "\"serve\":" "\"workload\":"
+          "\"busy_ns\":" "\"kinds\":" "\"shed_by_reason\":" "\"fault\":")
+    string(FIND "${report}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "case serve_compose: report.json lacks ${needle}:\n${report}")
+    endif()
+  endforeach()
+  if(NOT out MATCHES "conservation +OK")
+    message(FATAL_ERROR
+            "case serve_compose: no conservation OK line on stdout:\n${out}")
+  endif()
+  if(NOT out MATCHES "pmg_serve_latency_ns")
+    message(FATAL_ERROR
+            "case serve_compose: no serve metrics on stdout:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "serve_determinism")
+  # The acceptance invariant at the CLI layer: identical seeds and flags
+  # yield byte-identical serve reports.
+  set(report_a "${OUT_DIR}/serve.det.a.json")
+  set(report_b "${OUT_DIR}/serve.det.b.json")
+  file(REMOVE "${report_a}" "${report_b}")
+  run_cli(--graph kron30 --threads 8
+          --serve "burst:qps=600,x=4,duty=25,period=10000000,n=12,deadline=6000000,seed=11"
+          --faults "crash@access:2000000\;seed=9"
+          --json "${report_a}")
+  expect_exit(0)
+  run_cli(--graph kron30 --threads 8
+          --serve "burst:qps=600,x=4,duty=25,period=10000000,n=12,deadline=6000000,seed=11"
+          --faults "crash@access:2000000\;seed=9"
+          --json "${report_b}")
+  expect_exit(0)
+  file(READ "${report_a}" a)
+  file(READ "${report_b}" b)
+  if(NOT a STREQUAL b)
+    message(FATAL_ERROR
+            "case serve_determinism: identical-seed runs differ:\n"
+            "A: ${a}\nB: ${b}")
+  endif()
+
 elseif(CASE STREQUAL "compose")
   # --sanitize, --trace, --faults (plus --json) in one run.
   set(trace_file "${OUT_DIR}/compose.trace.json")

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -12,6 +13,7 @@
 #include "pmg/faultsim/recovery.h"
 #include "pmg/frameworks/framework.h"
 #include "pmg/graph/generators.h"
+#include "pmg/graph/topology.h"
 #include "pmg/memsim/machine.h"
 #include "pmg/memsim/machine_configs.h"
 
@@ -549,6 +551,70 @@ TEST(RecoveryTest, PagerankSurvivesEpochAndMidEpochCrashesBitIdentically) {
     EXPECT_EQ(0, std::memcmp(r.pr_ranks.data(), clean.pr_ranks.data(),
                              clean.pr_ranks.size() * sizeof(double)))
         << spec;
+  }
+}
+
+TEST(RecoveryTest, CcSurvivesEpochAndMidEpochCrashesBitIdentically) {
+  const graph::CsrTopology topo = graph::Grid2d(6, 6);
+  RecoveryConfig clean_cfg = BaseRecoveryConfig();
+  clean_cfg.checkpoint_every = 2;
+  const RecoveryResult clean = RunCcWithRecovery(topo, clean_cfg);
+  ASSERT_TRUE(clean.completed);
+  EXPECT_EQ(clean.attempts, 1u);
+  ASSERT_GT(clean.stats.epochs, 4u);
+  ASSERT_FALSE(clean.cc_labels.empty());
+
+  // Every epoch boundary, plus one mid-epoch media-op crash point.
+  std::vector<std::string> specs;
+  for (uint64_t e = 0; e < clean.stats.epochs; ++e) {
+    specs.push_back("crash@epoch:" + std::to_string(e));
+  }
+  specs.push_back("crash@access:" +
+                  std::to_string(clean.fault.media_ops / 2));
+  for (const std::string& spec : specs) {
+    RecoveryConfig cfg = BaseRecoveryConfig();
+    cfg.checkpoint_every = 2;
+    cfg.faults = MustParse(spec);
+    const RecoveryResult r = RunCcWithRecovery(topo, cfg);
+    ASSERT_TRUE(r.completed) << spec;
+    EXPECT_EQ(r.fault.crashes, 1u) << spec;
+    EXPECT_EQ(r.rounds, clean.rounds) << spec;
+    EXPECT_EQ(r.cc_labels, clean.cc_labels) << spec;
+    EXPECT_GT(r.total_ns, clean.total_ns) << spec;
+  }
+}
+
+TEST(RecoveryTest, SsspSurvivesEpochAndMidEpochCrashesBitIdentically) {
+  graph::CsrTopology topo = graph::Grid2d(6, 6);
+  graph::AssignRandomWeights(&topo, /*max_weight=*/9, /*seed=*/17);
+  RecoveryConfig clean_cfg = BaseRecoveryConfig();
+  clean_cfg.checkpoint_every = 2;
+  const RecoveryResult clean = RunSsspWithRecovery(topo, 0, clean_cfg);
+  ASSERT_TRUE(clean.completed);
+  EXPECT_EQ(clean.attempts, 1u);
+  ASSERT_GT(clean.stats.epochs, 4u);
+  ASSERT_FALSE(clean.sssp_dists.empty());
+  // The weighted relaxation actually happened: some distance exceeds the
+  // hop count any unweighted path could produce.
+  EXPECT_GT(*std::max_element(clean.sssp_dists.begin(),
+                              clean.sssp_dists.end()),
+            12u);
+
+  std::vector<std::string> specs;
+  for (uint64_t e = 0; e < clean.stats.epochs; ++e) {
+    specs.push_back("crash@epoch:" + std::to_string(e));
+  }
+  specs.push_back("crash@access:" +
+                  std::to_string(clean.fault.media_ops / 2));
+  for (const std::string& spec : specs) {
+    RecoveryConfig cfg = BaseRecoveryConfig();
+    cfg.checkpoint_every = 2;
+    cfg.faults = MustParse(spec);
+    const RecoveryResult r = RunSsspWithRecovery(topo, 0, cfg);
+    ASSERT_TRUE(r.completed) << spec;
+    EXPECT_EQ(r.fault.crashes, 1u) << spec;
+    EXPECT_EQ(r.rounds, clean.rounds) << spec;
+    EXPECT_EQ(r.sssp_dists, clean.sssp_dists) << spec;
   }
 }
 

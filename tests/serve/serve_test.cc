@@ -1,0 +1,404 @@
+#include "pmg/serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pmg/faultsim/fault_schedule.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/topology.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/serve/policy.h"
+#include "pmg/serve/request.h"
+#include "pmg/serve/workload.h"
+
+namespace pmg::serve {
+namespace {
+
+using memsim::MachineConfig;
+using memsim::MachineKind;
+
+/// The small 2-socket machine of the memsim tests: 4 threads, tiny caches.
+MachineConfig TinyConfig() {
+  MachineConfig c;
+  c.kind = MachineKind::kDramMain;
+  c.name = "tiny";
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;
+  c.topology.dram_bytes_per_socket = MiB(8);
+  c.topology.pmm_bytes_per_socket = 0;
+  c.cpu_cache_lines = 64;
+  return c;
+}
+
+WorkloadSpec MustSpec(const std::string& spec) {
+  WorkloadSpec w;
+  std::string error;
+  EXPECT_TRUE(WorkloadSpec::Parse(spec, &w, &error)) << error;
+  return w;
+}
+
+faultsim::FaultSchedule MustFaults(const std::string& spec) {
+  faultsim::FaultSchedule s;
+  std::string error;
+  EXPECT_TRUE(faultsim::FaultSchedule::Parse(spec, &s, &error)) << error;
+  return s;
+}
+
+/// The serving test graph: scale-free, 256 vertices, weighted.
+graph::CsrTopology ServeGraph() {
+  graph::CsrTopology topo = graph::Rmat(8, 8, 7);
+  graph::AssignRandomWeights(&topo, /*max_weight=*/9, /*seed=*/13);
+  return topo;
+}
+
+ServeConfig BaseConfig(const std::string& spec) {
+  ServeConfig c;
+  c.machine = TinyConfig();
+  c.threads = 4;
+  c.algo.label_policy.placement = memsim::Placement::kInterleaved;
+  c.pr_rounds = 5;
+  c.workload = MustSpec(spec);
+  return c;
+}
+
+uint64_t SumBilled(const ServeReport& rep) {
+  uint64_t sum = 0;
+  for (const RequestRecord& rec : rep.records) sum += rec.billed_ns;
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Workload grammar + arrival generation.
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadTest, PresetsExpandAndParse) {
+  for (const std::string& name : ServePresetNames()) {
+    ASSERT_FALSE(ServePresetSpec(name).empty()) << name;
+    WorkloadSpec w;
+    std::string error;
+    EXPECT_TRUE(WorkloadSpec::Parse(name, &w, &error)) << name << ": "
+                                                       << error;
+    EXPECT_GT(w.qps, 0.0) << name;
+    EXPECT_GT(w.requests, 0u) << name;
+  }
+  EXPECT_EQ(MustSpec("canonical").arrival, ArrivalKind::kBurst);
+}
+
+TEST(WorkloadTest, RejectsBadSpecs) {
+  WorkloadSpec w;
+  std::string error;
+  for (const char* bad :
+       {"nope", "poisson:qps=0,n=10", "poisson:qps=100,n=0",
+        "burst:qps=100,n=10,x=0.5", "poisson:qps=100,n=10,mix=bfs:50",
+        "poisson:qps=100,n=10,frobs=3", "flood:qps=100,n=10"}) {
+    EXPECT_FALSE(WorkloadSpec::Parse(bad, &w, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(WorkloadTest, ArrivalsAreDeterministicOrderedAndInRange) {
+  const WorkloadSpec spec =
+      MustSpec("burst:qps=5000,x=4,duty=30,period=5000000,n=64,"
+               "deadline=2000000,seed=9");
+  const std::vector<Request> a = GenerateArrivals(spec, 256);
+  const std::vector<Request> b = GenerateArrivals(spec, 256);
+  ASSERT_EQ(a.size(), spec.requests);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].source, b[i].source);
+    EXPECT_LT(a[i].source, 256u);
+    EXPECT_EQ(a[i].deadline_ns, spec.deadline_ns);
+    if (i > 0) EXPECT_GE(a[i].arrival_ns, a[i - 1].arrival_ns);
+  }
+  // A different seed moves the arrivals.
+  WorkloadSpec other = spec;
+  other.seed = 10;
+  const std::vector<Request> c = GenerateArrivals(other, 256);
+  bool any_differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_differs = any_differs || a[i].arrival_ns != c[i].arrival_ns;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(WorkloadTest, BurstRateIsASquareWave) {
+  const WorkloadSpec spec =
+      MustSpec("burst:qps=1000,x=6,duty=25,period=20000000,n=10");
+  // Inside the window: qps * x; outside: qps. PeakRate is the envelope.
+  EXPECT_DOUBLE_EQ(spec.RateAt(0), 6000.0);
+  EXPECT_DOUBLE_EQ(spec.RateAt(4'999'999), 6000.0);
+  EXPECT_DOUBLE_EQ(spec.RateAt(5'000'001), 1000.0);
+  EXPECT_DOUBLE_EQ(spec.RateAt(19'999'999), 1000.0);
+  EXPECT_DOUBLE_EQ(spec.RateAt(20'000'001), 6000.0);
+  EXPECT_DOUBLE_EQ(spec.PeakRate(), 6000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Backoff schedule properties.
+// ---------------------------------------------------------------------------
+
+TEST(PolicyTest, BackoffIsDeterministicPerSeed) {
+  RetryConfig retry;
+  retry.backoff_base_ns = 100'000;
+  retry.jitter_pct = 20;
+  retry.seed = 42;
+  const RetryConfig same = retry;
+  RetryConfig other = retry;
+  other.seed = 43;
+  bool any_differs = false;
+  for (uint64_t id = 0; id < 64; ++id) {
+    for (uint32_t r = 1; r <= 3; ++r) {
+      EXPECT_EQ(retry.BackoffNs(id, r), same.BackoffNs(id, r));
+      any_differs = any_differs || retry.BackoffNs(id, r) !=
+                                       other.BackoffNs(id, r);
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(PolicyTest, BackoffIsExponentialWithBoundedJitter) {
+  RetryConfig retry;
+  retry.backoff_base_ns = 100'000;
+  retry.jitter_pct = 20;
+  retry.seed = 7;
+  for (uint64_t id = 0; id < 256; ++id) {
+    for (uint32_t r = 1; r <= 4; ++r) {
+      const SimNs base = retry.backoff_base_ns << (r - 1);
+      const SimNs got = retry.BackoffNs(id, r);
+      EXPECT_GE(got, base * 80 / 100) << "id " << id << " retry " << r;
+      EXPECT_LE(got, base * 120 / 100) << "id " << id << " retry " << r;
+    }
+  }
+  // The jitter actually varies across request ids.
+  std::set<SimNs> distinct;
+  for (uint64_t id = 0; id < 256; ++id) distinct.insert(retry.BackoffNs(id, 1));
+  EXPECT_GT(distinct.size(), 8u);
+  // jitter_pct=0 is exact exponential doubling.
+  retry.jitter_pct = 0;
+  EXPECT_EQ(retry.BackoffNs(5, 1), 100'000u);
+  EXPECT_EQ(retry.BackoffNs(5, 2), 200'000u);
+  EXPECT_EQ(retry.BackoffNs(5, 3), 400'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Serve-loop conservation + determinism.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTest, ConservationHoldsAndBilledSumsToBusy) {
+  const graph::CsrTopology topo = ServeGraph();
+  const ServeConfig cfg = BaseConfig(
+      "poisson:qps=4000,n=40,deadline=2000000,"
+      "mix=bfs:40/sssp:20/pr:20/ego:20,seed=5");
+  Server server(topo, cfg);
+  const ServeReport rep = server.Run();
+  EXPECT_TRUE(rep.finished);
+  EXPECT_EQ(rep.offered, 40u);
+  EXPECT_TRUE(rep.Conserves());
+  EXPECT_EQ(rep.busy_ns + rep.idle_ns + rep.recovery_ns, rep.total_ns);
+  // The priced-work law: every busy nanosecond is billed to exactly one
+  // request — timeouts, hedges, and aborted work included.
+  EXPECT_EQ(SumBilled(rep), rep.busy_ns);
+  EXPECT_GT(rep.busy_ns, 0u);
+  EXPECT_EQ(rep.completed + rep.completed_degraded + rep.shed + rep.failed,
+            rep.offered);
+  // Answered requests carry nonzero checksums and latencies.
+  for (const RequestRecord& rec : rep.records) {
+    if (rec.outcome == Outcome::kCompleted ||
+        rec.outcome == Outcome::kCompletedDegraded) {
+      EXPECT_NE(rec.result_checksum, 0u) << rec.req.id;
+      EXPECT_GT(rec.completion_ns, 0u) << rec.req.id;
+      EXPECT_EQ(rec.latency_ns, rec.completion_ns - rec.req.arrival_ns);
+    }
+  }
+}
+
+TEST(ServeTest, ReportsAreByteIdenticalAcrossRuns) {
+  const graph::CsrTopology topo = ServeGraph();
+  const std::string spec =
+      "burst:qps=3000,x=5,duty=25,period=4000000,n=48,deadline=1500000,"
+      "mix=bfs:30/sssp:20/pr:20/ego:30,seed=21";
+  auto run = [&] {
+    Server server(topo, BaseConfig(spec));
+    const ServeReport rep = server.Run();
+    return std::make_pair(rep.ToJson(), server.registry().PrometheusText());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(ServeTest, ShedDecisionsReplayIdentically) {
+  const graph::CsrTopology topo = ServeGraph();
+  // Tiny queue + heavy burst: shedding is guaranteed.
+  auto make = [&] {
+    ServeConfig cfg = BaseConfig(
+        "burst:qps=20000,x=4,duty=50,period=2000000,n=64,deadline=800000,"
+        "mix=bfs:40/sssp:20/pr:20/ego:20,seed=3");
+    cfg.admission.queue_capacity = 4;
+    return cfg;
+  };
+  Server sa(topo, make());
+  const ServeReport a = sa.Run();
+  Server sb(topo, make());
+  const ServeReport b = sb.Run();
+  ASSERT_GT(a.shed, 0u);
+  ASSERT_EQ(a.shed_log.size(), b.shed_log.size());
+  for (size_t i = 0; i < a.shed_log.size(); ++i) {
+    EXPECT_EQ(a.shed_log[i].request_id, b.shed_log[i].request_id) << i;
+    EXPECT_EQ(a.shed_log[i].reason, b.shed_log[i].reason) << i;
+    EXPECT_EQ(a.shed_log[i].at_ns, b.shed_log[i].at_ns) << i;
+  }
+  // Every shed decision is also visible in the per-request records.
+  uint64_t shed_records = 0;
+  for (const RequestRecord& rec : a.records) {
+    shed_records += rec.outcome == Outcome::kShed ? 1 : 0;
+  }
+  EXPECT_EQ(shed_records, a.shed);
+}
+
+TEST(ServeTest, ShedPoliciesPickDifferentVictims) {
+  const graph::CsrTopology topo = ServeGraph();
+  const std::string spec =
+      "burst:qps=20000,x=4,duty=50,period=2000000,n=64,deadline=800000,"
+      "mix=bfs:40/sssp:20/pr:20/ego:20,seed=3";
+  auto run = [&](ShedPolicy policy) {
+    ServeConfig cfg = BaseConfig(spec);
+    cfg.admission.queue_capacity = 4;
+    cfg.admission.policy = policy;
+    Server server(topo, cfg);
+    return server.Run();
+  };
+  const ServeReport reject = run(ShedPolicy::kRejectNewest);
+  const ServeReport oldest = run(ShedPolicy::kDropOldest);
+  const ServeReport slack = run(ShedPolicy::kDeadlineAware);
+  ASSERT_GT(reject.shed, 0u);
+  ASSERT_GT(oldest.shed, 0u);
+  ASSERT_GT(slack.shed, 0u);
+  EXPECT_EQ(reject.shed_by_reason[0], reject.shed);
+  EXPECT_EQ(oldest.shed_by_reason[1], oldest.shed);
+  EXPECT_EQ(slack.shed_by_reason[2], slack.shed);
+}
+
+TEST(ServeTest, HedgesFireAndNeverDoubleBill) {
+  const graph::CsrTopology topo = ServeGraph();
+  ServeConfig cfg = BaseConfig(
+      "poisson:qps=500,n=24,deadline=50000000,"
+      "mix=bfs:50/sssp:50/pr:0/ego:0,seed=19");
+  // Hedge almost immediately, with a deadline far enough away that the
+  // hedge check (not the timeout) fires at the round boundary.
+  cfg.hedge.hedge_after_ns = 1'000;
+  // Keep queue-overload degradation out of the picture so first attempts
+  // stay hedgeable.
+  cfg.degrade.queue_high = 1'000'000;
+  Server server(topo, cfg);
+  const ServeReport rep = server.Run();
+  EXPECT_TRUE(rep.finished);
+  ASSERT_GT(rep.hedges, 0u);
+  // The conservation law IS the no-double-billing check: the abandoned
+  // straggler's work and its hedge re-run both land on the same request,
+  // and the sum of all bills still equals the busy time exactly.
+  EXPECT_EQ(SumBilled(rep), rep.busy_ns);
+  EXPECT_TRUE(rep.Conserves());
+  // A hedged request is answered (the degraded re-run completes).
+  for (const RequestRecord& rec : rep.records) {
+    if (rec.hedges > 0) {
+      EXPECT_GE(rec.attempts, 2u) << rec.req.id;
+      EXPECT_NE(rec.outcome, Outcome::kShed) << rec.req.id;
+    }
+  }
+}
+
+TEST(ServeTest, OverloadTriggersDegradedAnswers) {
+  const graph::CsrTopology topo = ServeGraph();
+  ServeConfig cfg = BaseConfig(
+      "poisson:qps=50000,n=32,deadline=20000000,"
+      "mix=bfs:0/sssp:0/pr:50/ego:50,seed=23");
+  cfg.degrade.queue_high = 2;
+  cfg.degrade.queue_low = 1;
+  Server server(topo, cfg);
+  const ServeReport rep = server.Run();
+  EXPECT_TRUE(rep.finished);
+  // The queue backs up instantly at this rate, so pagerank truncates and
+  // ego-nets cap their radius: degraded answers must appear.
+  EXPECT_GT(rep.completed_degraded, 0u);
+  EXPECT_TRUE(rep.Conserves());
+  EXPECT_EQ(SumBilled(rep), rep.busy_ns);
+}
+
+TEST(ServeTest, CrashRecoveryKeepsConservationAndDeterminism) {
+  const graph::CsrTopology topo = ServeGraph();
+  auto make = [&] {
+    ServeConfig cfg = BaseConfig(
+        "poisson:qps=3000,n=32,deadline=5000000,"
+        "mix=bfs:40/sssp:20/pr:20/ego:20,seed=11");
+    cfg.faults = MustFaults("crash@access:40000;seed=9");
+    return cfg;
+  };
+  Server sa(topo, make());
+  const ServeReport a = sa.Run();
+  ASSERT_TRUE(a.finished);
+  EXPECT_GE(a.crashes, 1u);
+  EXPECT_GE(a.recoveries, 1u);
+  EXPECT_GT(a.recovery_ns, 0u);
+  EXPECT_TRUE(a.Conserves());
+  EXPECT_EQ(SumBilled(a), a.busy_ns);
+  // The interrupted request is retried, not lost.
+  EXPECT_EQ(a.completed + a.completed_degraded + a.shed + a.failed,
+            a.offered);
+  Server sb(topo, make());
+  const ServeReport b = sb.Run();
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST(ServeTest, GivesUpWhenRecoveriesAreExhausted) {
+  const graph::CsrTopology topo = ServeGraph();
+  ServeConfig cfg = BaseConfig(
+      "poisson:qps=3000,n=32,deadline=5000000,"
+      "mix=bfs:40/sssp:20/pr:20/ego:20,seed=11");
+  // Crashes keep coming faster than the server may rebuild.
+  cfg.faults = MustFaults(
+      "crash@access:40000;crash@access:41000;crash@access:42000;seed=9");
+  cfg.max_recoveries = 1;
+  Server server(topo, cfg);
+  const ServeReport rep = server.Run();
+  EXPECT_FALSE(rep.finished);
+  EXPECT_GE(rep.crashes, 2u);
+  EXPECT_EQ(rep.recoveries, 1u);
+  // Everything unanswered at give-up is failed, and the timeline still
+  // conserves (the dead rebuild's time is recovery time).
+  EXPECT_EQ(rep.completed + rep.completed_degraded + rep.shed + rep.failed,
+            rep.offered);
+  EXPECT_GT(rep.failed, 0u);
+  EXPECT_TRUE(rep.Conserves());
+}
+
+TEST(ServeTest, NaiveBaselineNeverShedsAndNeverTimesOut) {
+  const graph::CsrTopology topo = ServeGraph();
+  ServeConfig cfg = BaseConfig(
+      "burst:qps=20000,x=4,duty=50,period=2000000,n=48,deadline=500000,"
+      "mix=bfs:40/sssp:20/pr:20/ego:20,seed=3");
+  const ServeConfig naive = NaiveBaseline(cfg);
+  EXPECT_EQ(naive.admission.queue_capacity, 0u);
+  EXPECT_FALSE(naive.deadline_timeout);
+  EXPECT_EQ(naive.retry.max_attempts, 1u);
+  EXPECT_FALSE(naive.hedge.enabled);
+  EXPECT_FALSE(naive.degrade.enabled);
+  Server server(topo, naive);
+  const ServeReport rep = server.Run();
+  EXPECT_TRUE(rep.finished);
+  EXPECT_EQ(rep.shed, 0u);
+  EXPECT_EQ(rep.timeouts, 0u);
+  EXPECT_EQ(rep.failed, 0u);
+  EXPECT_EQ(rep.completed + rep.completed_degraded, rep.offered);
+  EXPECT_TRUE(rep.Conserves());
+}
+
+}  // namespace
+}  // namespace pmg::serve

@@ -18,8 +18,16 @@
 // a one-line error and exit code 2.
 //
 // A schedule containing a crash — or any nonzero --checkpoint-every —
-// routes bfs/pr to the faultsim recovery drivers, which restart after
-// simulated crashes from the newest valid checkpoint.
+// routes bfs/cc/pr/sssp to the faultsim recovery drivers, which restart
+// after simulated crashes from the newest valid checkpoint.
+//
+// --serve=<spec> switches to the pmg::serve query-serving mode instead of
+// a batch app run: the graph stays resident and an open-loop arrival
+// trace (preset name or poisson|burst|diurnal:key=value,... grammar) is
+// drained through the overload-robust server. --qps and --deadline-ns
+// override the spec's values; --serve-naive runs the no-robustness
+// baseline. Serve mode composes with --faults (crash recovery is built
+// in), --trace, --json, --metrics, and --profile.
 
 #include <charconv>
 #include <cstdarg>
@@ -37,6 +45,8 @@
 #include "pmg/metrics/metrics_session.h"
 #include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
+#include "pmg/serve/server.h"
+#include "pmg/serve/workload.h"
 #include "pmg/trace/json.h"
 #include "pmg/trace/trace_session.h"
 #include "pmg/whatif/explain.h"
@@ -70,6 +80,10 @@ void Usage(std::FILE* out, const char* argv0) {
       "          [--trace <chrome-trace.json>] [--json <report.json>]\n"
       "          [--metrics[=prom|json]] [--profile <out.folded>]\n"
       "          [--explain[=table|json]] [--journal <out.pmgj>]\n"
+      "       %s --graph <name|file:path> --serve <preset|spec>\n"
+      "          [--qps <rate>] [--deadline-ns <ns>] [--serve-naive]\n"
+      "          [--faults <spec>] [--trace ...] [--json ...] "
+      "[--metrics...]\n"
       "graph names: kron30 clueweb12 uk14 iso_m100 rmat32 wdc12\n"
       "fault spec:  ';'-separated events, e.g.\n"
       "             'ue@access:500;lat@access:100,ns=2000,count=8;"
@@ -83,8 +97,13 @@ void Usage(std::FILE* out, const char* argv0) {
       "--explain records an epoch cost journal and prints the bottleneck\n"
       "explanation (bound split, stragglers, counterfactual levers);\n"
       "--journal writes the recorded journal to a versioned .pmgj file\n"
-      "that pmg_explain re-prices offline.\n",
-      argv0);
+      "that pmg_explain re-prices offline;\n"
+      "--serve serves bfs/sssp/pr-topk/ego queries from an open-loop\n"
+      "arrival trace (presets: canonical steady nightly, or\n"
+      "poisson|burst|diurnal:qps=...,n=...,deadline=...,mix=...,seed=...)\n"
+      "through the overload-robust server; --serve-naive drops the\n"
+      "robustness policies (unbounded queue, no timeout/retry/hedge).\n",
+      argv0, argv0);
 }
 
 /// The machine-counter section of the --json report.
@@ -164,6 +183,26 @@ bool ParseU32(const std::string& s, uint32_t* out) {
   return true;
 }
 
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Whole-string decimal double; rejects trailing junk, empty, inf/nan.
+bool ParseF64(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  if (!(v == v) || v > 1e300 || v < -1e300) return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,6 +234,12 @@ int main(int argc, char** argv) {
   std::string profile_path;
   std::string explain_mode;  // empty = no --explain
   std::string journal_path;
+  std::string serve_spec;  // empty = batch mode, not serve mode
+  double qps_override = 0;
+  uint64_t deadline_override = 0;
+  bool qps_set = false;
+  bool deadline_set = false;
+  bool serve_naive = false;
   bool migration = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -272,6 +317,24 @@ int main(int argc, char** argv) {
     } else if (flag == "--journal") {
       journal_path = need_value();
       if (journal_path.empty()) Die("--journal wants an output path");
+    } else if (flag == "--serve") {
+      serve_spec = need_value();
+      if (serve_spec.empty()) Die("--serve wants a workload spec");
+    } else if (flag == "--qps") {
+      if (!ParseF64(need_value(), &qps_override) || qps_override <= 0) {
+        Die("--qps wants a positive rate, got '%s'", value.c_str());
+      }
+      qps_set = true;
+    } else if (flag == "--deadline-ns") {
+      if (!ParseU64(need_value(), &deadline_override) ||
+          deadline_override == 0) {
+        Die("--deadline-ns wants a positive integer, got '%s'",
+            value.c_str());
+      }
+      deadline_set = true;
+    } else if (flag == "--serve-naive") {
+      no_value();
+      serve_naive = true;
     } else if (flag == "--checkpoint-every") {
       if (!ParseU32(need_value(), &cfg.checkpoint_every)) {
         Die("--checkpoint-every wants an integer, got '%s'", value.c_str());
@@ -291,10 +354,42 @@ int main(int argc, char** argv) {
     }
   }
   if (graph_name.empty()) Die("--graph is required");
-  if (app_name.empty()) Die("--app is required");
 
-  frameworks::App app;
-  if (!ParseApp(app_name, &app)) {
+  // Serve mode replaces the batch app run; flags that only make sense for
+  // a batch kernel are rejected rather than silently ignored.
+  const bool serve_mode = !serve_spec.empty();
+  serve::WorkloadSpec workload;
+  if (serve_mode) {
+    if (!app_name.empty()) {
+      Die("--serve and --app are mutually exclusive (serve runs its own "
+          "query mix)");
+    }
+    if (cfg.force_vertex_programs) {
+      Die("--vertex-programs does not apply to --serve");
+    }
+    if (cfg.sanitize) Die("--sanitize does not apply to --serve");
+    if (cfg.checkpoint_every > 0) {
+      Die("--checkpoint-every does not apply to --serve (crash recovery "
+          "is built in)");
+    }
+    if (!explain_mode.empty() || !journal_path.empty()) {
+      Die("--explain/--journal do not apply to --serve");
+    }
+    std::string error;
+    if (!serve::WorkloadSpec::Parse(serve_spec, &workload, &error)) {
+      Die("bad --serve spec: %s", error.c_str());
+    }
+    if (qps_set) workload.qps = qps_override;
+    if (deadline_set) workload.deadline_ns = deadline_override;
+  } else {
+    if (qps_set) Die("--qps requires --serve");
+    if (deadline_set) Die("--deadline-ns requires --serve");
+    if (serve_naive) Die("--serve-naive requires --serve");
+    if (app_name.empty()) Die("--app is required");
+  }
+
+  frameworks::App app = frameworks::App::kBfs;
+  if (!serve_mode && !ParseApp(app_name, &app)) {
     Die("unknown app '%s' (want bc|bfs|cc|kcore|pr|sssp|tc)",
         app_name.c_str());
   }
@@ -428,13 +523,73 @@ int main(int argc, char** argv) {
     w->Key("threads").UInt(cfg.threads);
   };
 
+  if (serve_mode) {
+    serve::ServeConfig sc;
+    sc.machine = cfg.machine;
+    sc.threads = cfg.threads;
+    if (cfg.page_size.has_value()) {
+      sc.algo.label_policy.page_size = *cfg.page_size;
+      sc.algo.label_policy.thp = false;
+    }
+    if (cfg.placement.has_value()) {
+      sc.algo.label_policy.placement = *cfg.placement;
+    }
+    sc.workload = workload;
+    sc.faults = cfg.faults;
+    if (traced) sc.trace = &session;
+    if (msession.has_value()) sc.metrics = &*msession;
+    if (serve_naive) sc = serve::NaiveBaseline(sc);
+
+    serve::Server server(topo, sc);
+    const serve::ServeReport rep = server.Run();
+    std::printf("\nserve%s %s on %s (%u threads): %.3f ms simulated\n",
+                serve_naive ? " (naive baseline)" : "", serve_spec.c_str(),
+                machine_name.c_str(), cfg.threads,
+                static_cast<double>(rep.total_ns) / 1e6);
+    scenarios::PrintServeReport(rep);
+    if (traced) scenarios::PrintTraceReport(session.report());
+    emit_metrics();
+    if (metrics_format == "prom") {
+      std::printf("\nserve metrics:\n%s",
+                  server.registry().PrometheusText().c_str());
+    }
+    if (!trace_path.empty()) {
+      std::string err;
+      if (!session.WriteChromeTrace(trace_path, &err)) Die("%s", err.c_str());
+    }
+    if (!json_path.empty()) {
+      trace::JsonWriter w;
+      w.BeginObject();
+      w.Key("schema_version").UInt(trace::kTraceSchemaVersion);
+      w.Key("tool").String("pmg_run");
+      w.Key("mode").String("serve");
+      w.Key("graph").String(graph_name);
+      w.Key("machine").String(machine_name);
+      w.Key("threads").UInt(cfg.threads);
+      w.Key("workload").String(serve_spec);
+      w.Key("naive").Bool(serve_naive);
+      w.Key("serve");
+      rep.AppendJson(&w);
+      w.Key("trace");
+      session.report().AppendJson(&w);
+      if (msession.has_value()) {
+        w.Key("metrics");
+        msession->AppendReportJson(&w);
+      }
+      w.EndObject();
+      WriteOrDie(json_path, w.str() + "\n");
+    }
+    return rep.finished ? 0 : 1;
+  }
+
   // Crash schedules and checkpointing run through the recovery drivers,
   // which know how to resume the bulk-synchronous loops mid-run.
   const bool wants_recovery =
       cfg.checkpoint_every > 0 || cfg.faults.HasCrash();
   if (wants_recovery) {
-    if (app != frameworks::App::kBfs && app != frameworks::App::kPr) {
-      Die("crash recovery supports --app bfs or pr, not %s",
+    if (app != frameworks::App::kBfs && app != frameworks::App::kCc &&
+        app != frameworks::App::kPr && app != frameworks::App::kSssp) {
+      Die("crash recovery supports --app bfs, cc, pr, or sssp, not %s",
           app_name.c_str());
     }
     faultsim::RecoveryConfig rc;
@@ -454,10 +609,20 @@ int main(int argc, char** argv) {
     if (journaled) rc.journal = &recorder;
     if (msession.has_value()) rc.metrics = &*msession;
     const VertexId source = graph::MaxOutDegreeVertex(topo);
-    const faultsim::RecoveryResult r =
-        app == frameworks::App::kBfs
-            ? faultsim::RunBfsWithRecovery(topo, source, rc)
-            : faultsim::RunPrWithRecovery(topo, rc);
+    const faultsim::RecoveryResult r = [&] {
+      switch (app) {
+        case frameworks::App::kBfs:
+          return faultsim::RunBfsWithRecovery(topo, source, rc);
+        case frameworks::App::kCc:
+          return faultsim::RunCcWithRecovery(topo, rc);
+        case frameworks::App::kSssp:
+          return faultsim::RunSsspWithRecovery(topo, source, rc);
+        // Only pr remains: the recovery-app validation above rejected
+        // everything outside {bfs, cc, pr, sssp}.
+        default:
+          return faultsim::RunPrWithRecovery(topo, rc);
+      }
+    }();
     std::printf("\n%s on %s (%u threads): %.3f ms simulated over %u "
                 "attempt(s)\n",
                 app_name.c_str(), machine_name.c_str(), cfg.threads,
