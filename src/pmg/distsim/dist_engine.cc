@@ -87,6 +87,7 @@ DistEngine::DistEngine(const graph::CsrTopology& topo,
     host.graph_bytes = graph::CsrBytes(local);
 
     host.machine = std::make_unique<memsim::Machine>(config_.host_machine);
+    host.machine->SetHostPool(memsim::HostPool::Default());
     const uint32_t threads =
         std::min(config_.threads_per_host, host.machine->MaxThreads());
     host.rt = std::make_unique<runtime::Runtime>(host.machine.get(), threads);

@@ -27,6 +27,9 @@ void RunAttempts(const RecoveryConfig& cfg, FaultInjector& injector,
   for (uint32_t i = 0; i <= cfg.max_restarts; ++i) {
     ++out.attempts;
     memsim::Machine machine(cfg.machine);
+    // Plumbed for uniformity: the always-attached injector keeps recovery
+    // attempts on direct pricing, but the pool costs nothing unattended.
+    machine.SetHostPool(memsim::HostPool::Default());
     machine.SetFaultHook(&injector);
     // Re-attach the trace session to this attempt's fresh machine; its
     // timeline continues where the crashed attempt's ended. Same for the

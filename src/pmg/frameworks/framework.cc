@@ -173,6 +173,9 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
   }
 
   memsim::Machine machine(config.machine);
+  machine.SetHostPool(config.host_threads == 0
+                          ? memsim::HostPool::Default()
+                          : memsim::HostPool::ForWorkers(config.host_threads));
   runtime::Runtime rt(&machine, config.threads);
 
   // The trace session covers the whole run, graph construction included:

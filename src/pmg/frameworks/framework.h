@@ -96,6 +96,12 @@ struct AppInputs {
 struct RunConfig {
   memsim::MachineConfig machine;
   uint32_t threads = 96;
+  /// Host worker threads for the machine's phased pricing engine
+  /// (docs/determinism.md). 0 = the process default (PMG_HOST_THREADS or
+  /// hardware concurrency); 1 = serial host execution; N > 1 = exactly N
+  /// host threads. Never changes a simulated result — every report is
+  /// byte-identical across values of this knob.
+  uint32_t host_threads = 0;
   /// Overrides of the profile's allocation habits (used by the Section 4
   /// studies: page-size and placement sweeps).
   std::optional<memsim::PageSizeClass> page_size;

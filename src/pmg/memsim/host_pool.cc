@@ -1,0 +1,154 @@
+#include "pmg/memsim/host_pool.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "pmg/common/check.h"
+
+namespace pmg::memsim {
+
+namespace {
+
+/// Deterministic mixer (splitmix64 step) for the dispatch shuffle. The
+/// shuffle must be seed-driven — never host entropy — so a failing
+/// schedule perturbation is replayable from its seed alone.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HostPool::HostPool(uint32_t workers) : workers_(workers) {
+  PMG_CHECK_MSG(workers >= 1, "a host pool needs at least one worker");
+  threads_.reserve(workers_ - 1);
+  for (uint32_t i = 0; i + 1 < workers_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+HostPool::~HostPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& th : threads_) th.join();
+}
+
+void HostPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(uint32_t)>* fn = nullptr;
+    uint32_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      fn = task_fn_;
+      count = task_count_;
+    }
+    uint32_t finished = 0;
+    for (;;) {
+      const uint32_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      (*fn)(order_.empty() ? i : order_[i]);
+      ++finished;
+    }
+    if (finished > 0 &&
+        done_.fetch_add(finished, std::memory_order_acq_rel) + finished ==
+            count) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void HostPool::RunTasks(uint32_t count,
+                        const std::function<void(uint32_t)>& fn) {
+  if (count == 0) return;
+  if (workers_ == 1 || count == 1) {
+    // Natural order is fine inline: with one lane there is no schedule
+    // to perturb, and single-task batches are order-free by definition.
+    for (uint32_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  PMG_CHECK_MSG(task_fn_ == nullptr, "HostPool::RunTasks is not reentrant");
+  order_.clear();
+  if (shuffle_seed_ != 0) {
+    // Fisher-Yates driven by the seed and a per-call counter: every
+    // batch of the run sees a fresh (but replayable) dispatch order.
+    order_.resize(count);
+    for (uint32_t i = 0; i < count; ++i) order_[i] = i;
+    uint64_t state = Mix(shuffle_seed_ ^ ++shuffle_calls_);
+    for (uint32_t i = count - 1; i > 0; --i) {
+      state = Mix(state);
+      const uint32_t j = static_cast<uint32_t>(state % (i + 1));
+      std::swap(order_[i], order_[j]);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_fn_ = &fn;
+    task_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // The caller is a worker too: pull tasks until the batch drains.
+  uint32_t finished = 0;
+  for (;;) {
+    const uint32_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) break;
+    fn(order_.empty() ? i : order_[i]);
+    ++finished;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (finished > 0 &&
+      done_.fetch_add(finished, std::memory_order_acq_rel) + finished ==
+          count) {
+    done_cv_.notify_all();
+  }
+  done_cv_.wait(lock, [&] {
+    return done_.load(std::memory_order_acquire) == count;
+  });
+  task_fn_ = nullptr;
+  task_count_ = 0;
+}
+
+HostPool* HostPool::ForWorkers(uint32_t workers) {
+  if (workers <= 1) return nullptr;
+  // Destroyed at static destruction, which joins the pooled threads; no
+  // machine outlives main(), so no batch can be in flight by then.
+  static std::mutex registry_mu;
+  static std::map<uint32_t, std::unique_ptr<HostPool>> registry;
+  std::lock_guard<std::mutex> lock(registry_mu);
+  std::unique_ptr<HostPool>& slot = registry[workers];
+  if (slot == nullptr) slot = std::make_unique<HostPool>(workers);
+  return slot.get();
+}
+
+HostPool* HostPool::Default() {
+  static HostPool* pool = [] {
+    uint32_t width = std::thread::hardware_concurrency();
+    if (const char* env = std::getenv("PMG_HOST_THREADS")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      PMG_CHECK_MSG(end != env && *end == '\0' && parsed >= 1,
+                    "PMG_HOST_THREADS must be a positive integer, got '%s'",
+                    env);
+      width = static_cast<uint32_t>(parsed);
+    }
+    if (width == 0) width = 1;  // hardware_concurrency() may report 0
+    return ForWorkers(width);
+  }();
+  return pool;
+}
+
+}  // namespace pmg::memsim

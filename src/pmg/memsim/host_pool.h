@@ -1,0 +1,86 @@
+#ifndef PMG_MEMSIM_HOST_POOL_H_
+#define PMG_MEMSIM_HOST_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file host_pool.h
+/// A persistent pool of *host* threads that the machine's phased pricing
+/// engine fans per-virtual-thread work onto (docs/determinism.md). The
+/// pool is pure mechanism: it runs `count` independent tasks to
+/// completion and blocks. Nothing about simulated results may depend on
+/// it — tasks must write disjoint state, and the task *execution order*
+/// is deliberately perturbable (SetShuffleSeed) so the schedule-stress
+/// tests can prove that published numbers are order-independent.
+///
+/// Worker count comes from PMG_HOST_THREADS (default: hardware
+/// concurrency) for the process-wide Default() pool; tests and the
+/// --host-threads CLI flag pin exact counts through ForWorkers().
+
+namespace pmg::memsim {
+
+class HostPool {
+ public:
+  /// `workers` is the total host concurrency: the calling thread plus
+  /// `workers - 1` pooled threads. Must be >= 1; a 1-worker pool runs
+  /// every task inline on the caller.
+  explicit HostPool(uint32_t workers);
+  ~HostPool();
+
+  HostPool(const HostPool&) = delete;
+  HostPool& operator=(const HostPool&) = delete;
+
+  uint32_t workers() const { return workers_; }
+
+  /// Runs `fn(i)` for every i in [0, count) across the pool (the caller
+  /// participates) and returns when all tasks finished. Tasks must be
+  /// independent: they may not touch shared mutable state, and no result
+  /// may depend on which worker ran a task or in what order. Not
+  /// reentrant: tasks must not call RunTasks.
+  void RunTasks(uint32_t count, const std::function<void(uint32_t)>& fn);
+
+  /// Seed != 0 makes every subsequent RunTasks dispatch its tasks in a
+  /// seed-derived shuffled order (varying per call); 0 restores natural
+  /// order. Results must be byte-identical either way — this knob exists
+  /// so the stress tests can prove it.
+  void SetShuffleSeed(uint64_t seed) { shuffle_seed_ = seed; }
+
+  /// The process-wide pool sized by PMG_HOST_THREADS (default: hardware
+  /// concurrency). Returns nullptr when the resolved width is 1 — serial
+  /// host execution needs no pool.
+  static HostPool* Default();
+
+  /// A cached pool of exactly `workers` host threads (nullptr when
+  /// `workers` <= 1). Pools are shared per width and live for the
+  /// process; machines only borrow them.
+  static HostPool* ForWorkers(uint32_t workers);
+
+ private:
+  void WorkerLoop();
+
+  const uint32_t workers_;
+  uint64_t shuffle_seed_ = 0;
+  uint64_t shuffle_calls_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  bool stopping_ = false;
+  uint32_t task_count_ = 0;
+  const std::function<void(uint32_t)>* task_fn_ = nullptr;
+  /// Shuffled task ids for the current batch; empty = natural order.
+  std::vector<uint32_t> order_;
+  std::atomic<uint32_t> next_{0};
+  std::atomic<uint32_t> done_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_HOST_POOL_H_

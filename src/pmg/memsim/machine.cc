@@ -68,6 +68,9 @@ RegionId Machine::Alloc(uint64_t bytes, const PagePolicy& policy,
 }
 
 void Machine::Free(RegionId id) {
+  // Pending recorded operations may reference the dying region: price
+  // them while its pages are still mapped.
+  if (host_recording_) HostSettle();
   for (AccessObserver* o : observers_) o->OnFree(id);
   pages_.ForEachMappedPage(
       [&](Region& r, PageInfo& p, VirtAddr /*base*/, PageSizeClass cls) {
@@ -222,6 +225,11 @@ SimNs Machine::ChannelTime(const ChannelBytes& ch,
 void Machine::Access(ThreadId t, VirtAddr addr, uint32_t bytes,
                      AccessType type) {
   if (!in_epoch_) BeginEpoch(1);
+  if (host_recording_) {
+    HostRecord(t, addr, 0, kHostAccess, static_cast<uint8_t>(type));
+    (void)bytes;
+    return;
+  }
   if (!observers_.empty()) [[unlikely]] {
     for (AccessObserver* o : observers_) o->OnAccess(t, addr, bytes, type);
   }
@@ -395,6 +403,10 @@ void Machine::AccessRange(ThreadId t, VirtAddr addr, uint64_t bytes,
 
 void Machine::AddCompute(ThreadId t, SimNs ns) {
   if (!in_epoch_) BeginEpoch(1);
+  if (host_recording_) {
+    HostRecord(t, ns, 0, kHostCompute, 0);
+    return;
+  }
   ChargeUser(Thread(t), TraceBucket::kCompute, static_cast<double>(ns));
 }
 
@@ -406,6 +418,13 @@ void Machine::AddCompute(ThreadId t, SimNs ns) {
 void Machine::StorageRead(ThreadId t, uint64_t bytes, NodeId node,
                           bool sequential, bool remote) {
   if (!in_epoch_) BeginEpoch(1);
+  if (host_recording_) {
+    // The fault hook is null whenever recording is on (eligibility), so
+    // skipping the hook dispatch here prices identically.
+    HostRecord(t, bytes, node, kHostStorage,
+               static_cast<uint8_t>((sequential ? 2 : 0) | (remote ? 4 : 0)));
+    return;
+  }
   if (fault_hook_ != nullptr) [[unlikely]] {
     const SimNs stall =
         fault_hook_->OnStorageOp(t, bytes, /*write=*/false);
@@ -429,6 +448,12 @@ void Machine::StorageRead(ThreadId t, uint64_t bytes, NodeId node,
 void Machine::StorageWrite(ThreadId t, uint64_t bytes, NodeId node,
                            bool sequential, bool remote) {
   if (!in_epoch_) BeginEpoch(1);
+  if (host_recording_) {
+    HostRecord(t, bytes, node, kHostStorage,
+               static_cast<uint8_t>(1 | (sequential ? 2 : 0) |
+                                    (remote ? 4 : 0)));
+    return;
+  }
   if (fault_hook_ != nullptr) [[unlikely]] {
     // May throw SimulatedCrash: a crash here is what tears a checkpoint
     // whose host-side buffer was mutated before this priced write.
@@ -473,10 +498,16 @@ void Machine::BeginEpoch(uint32_t active_threads) {
   epoch_active_threads_ = active_threads;
   in_epoch_ = true;
   for (AccessObserver* o : observers_) o->OnEpochBegin(active_threads);
+  host_recording_ = HostPhasedEligible(active_threads);
+  if (host_recording_) HostBeginRecord();
 }
 
 EpochReport Machine::EndEpoch() {
   PMG_CHECK(in_epoch_);
+  if (host_recording_) {
+    HostSettle();
+    host_recording_ = false;
+  }
   const uint64_t epoch_index = stats_.epochs;
   SimNs lat = 0;
   SimNs crit_user = 0;

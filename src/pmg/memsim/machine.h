@@ -13,6 +13,7 @@
 #include "pmg/memsim/cost_model.h"
 #include "pmg/memsim/fault_hook.h"
 #include "pmg/memsim/cpu_cache.h"
+#include "pmg/memsim/host_pool.h"
 #include "pmg/memsim/near_memory.h"
 #include "pmg/memsim/numa_topology.h"
 #include "pmg/memsim/page_table.h"
@@ -31,9 +32,14 @@
 /// max(latency critical path over threads, bandwidth roofline over
 /// channels), after which the optional NUMA-migration daemon runs.
 ///
-/// The machine is deliberately NOT thread-safe: the runtime interleaves
-/// virtual threads deterministically on one host thread, which is what makes
-/// simulated results bit-reproducible.
+/// Virtual-thread *execution* stays deterministic and single-threaded: the
+/// runtime interleaves bodies on one host thread, which is what makes
+/// simulated results bit-reproducible. Host parallelism enters only through
+/// the phased pricing engine (SetHostPool + docs/determinism.md): eligible
+/// epochs record the priced-operation stream and settle it with
+/// per-virtual-thread passes on a host worker pool plus a fixed-order
+/// serial replay of the order-dependent residue, producing clocks, stats
+/// and channel counters byte-identical to direct (serial) pricing.
 
 namespace pmg::memsim {
 
@@ -218,6 +224,26 @@ class Machine {
   }
   TraceSink* trace_sink() const { return trace_; }
 
+  // --- Host-parallel pricing (docs/determinism.md) ---
+
+  /// Attaches a host worker pool (nullptr detaches; the pool is not owned
+  /// and must outlive its attachment; attach/detach outside an epoch).
+  /// With a pool of more than one worker attached, epochs that carry no
+  /// order-dependent instrumentation (no observers, no trace sink, no
+  /// fault hook, migration daemon off) are priced in phases: the
+  /// recording pass stays on the calling thread and preserves the exact
+  /// serial schedule, per-virtual-thread simulation fans out across the
+  /// pool, and the order-dependent residue (first-touch faults, the
+  /// near-memory cache) replays serially in recorded global order. Every
+  /// published number — clocks, stats, channel bytes — is byte-identical
+  /// to pricing without a pool; host thread count is never observable.
+  /// Ineligible epochs fall back to direct pricing unchanged.
+  void SetHostPool(HostPool* pool) {
+    PMG_CHECK_MSG(!in_epoch_, "attach/detach the host pool outside an epoch");
+    host_pool_ = pool;
+  }
+  HostPool* host_pool() const { return host_pool_; }
+
   // --- Fault injection (faultsim) ---
 
   /// Attaches `hook` to the media-event path (nullptr detaches). The hook
@@ -323,6 +349,95 @@ class Machine {
   /// pricing.
   SimNs ChannelTime(const ChannelBytes& ch, double remote_factor = 1.0) const;
 
+  // --- Phased pricing (machine_phased.cc; see docs/determinism.md) ---
+
+  /// Kinds of recorded priced operations.
+  enum HostRecKind : uint8_t { kHostAccess = 0, kHostCompute, kHostStorage };
+  /// Pass-1/2 result bits stored in HostRec::tag.
+  enum HostTag : uint16_t {
+    kHostTagMiss = 1,   ///< CPU-cache miss: reaches the memory system.
+    kHostTagSeq = 2,    ///< Line-sequential at access time.
+    kHostTagWrite = 4,  ///< IsWrite(type).
+    kHostTagFault = 8,  ///< Page unmapped at pass-1 time: pass 2 resolves.
+  };
+  /// One recorded priced operation (16 bytes).
+  struct HostRec {
+    uint64_t a = 0;     ///< access: vaddr; compute: ns; storage: bytes
+    uint32_t b = 0;     ///< storage: node
+    uint8_t kind = 0;   ///< HostRecKind
+    uint8_t flags = 0;  ///< access: AccessType; storage: bit0 write,
+                        ///< bit1 sequential, bit2 remote
+    uint16_t tag = 0;   ///< HostTag bits, written by passes 1-2
+  };
+  /// The (up to) two user-clock charges of one operation, resolved by
+  /// passes 1-2 and accumulated in recorded order by pass 3. Zero-valued
+  /// adds are exact no-ops on the non-negative user clock, so absent
+  /// charges cost nothing and change no bits.
+  struct HostPriced {
+    double walk_ns = 0;  ///< TLB-walk charge (first add in serial order).
+    double main_ns = 0;  ///< Hit/medium/compute/storage charge (second).
+  };
+  /// Integer shadow counters one pass-1 worker accumulates for its
+  /// virtual thread; folded into stats_/channels_ at settle (integer
+  /// sums are order-free, so the fold is byte-identical to interleaved
+  /// direct-mode increments).
+  struct HostShadow {
+    uint64_t accesses = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t cpu_cache_hits = 0;
+    uint64_t cpu_cache_misses = 0;
+    uint64_t tlb_hits = 0;
+    uint64_t tlb_misses = 0;
+    SimNs page_walk_ns = 0;
+    uint64_t local_accesses = 0;
+    uint64_t remote_accesses = 0;
+    uint64_t dram_bytes = 0;
+    uint64_t storage_read_bytes = 0;
+    uint64_t storage_write_bytes = 0;
+    std::vector<ChannelByteCounts> channels;  // per socket
+  };
+  /// Per-virtual-thread recording and settle state.
+  struct HostLog {
+    std::vector<HostRec> rec;
+    std::vector<HostPriced> priced;
+    /// Indices into `rec` whose charges are order-dependent (faults,
+    /// memory-mode medium); resolved serially by pass 2 in global order.
+    std::vector<uint32_t> pass2;
+    HostShadow shadow;
+    uint32_t hint = ~0u;  ///< LookupView per-thread region cache.
+  };
+
+  /// Entries buffered before a mid-epoch settle bounds recording memory.
+  static constexpr uint64_t kHostSettleEntries = uint64_t{1} << 21;
+
+  bool HostPhasedEligible(uint32_t active_threads) const {
+    return host_pool_ != nullptr && host_pool_->workers() > 1 &&
+           active_threads > 1 && observers_.empty() && trace_ == nullptr &&
+           fault_hook_ == nullptr && !config_.migration.enabled;
+  }
+  void HostBeginRecord();
+  /// Prices the recorded prefix (parallel pass 1, serial pass 2 in global
+  /// order, parallel pass 3) and clears the logs; recording continues.
+  void HostSettle();
+  void HostPass1(ThreadId t);
+  void HostPass2();
+  void HostPass3(ThreadId t);
+
+  /// Appends one operation to thread `t`'s log, maintaining the global
+  /// turn log that pass 2 replays in exact serial order.
+  void HostRecord(ThreadId t, uint64_t a, uint32_t b, uint8_t kind,
+                  uint8_t flags) {
+    host_logs_[t].rec.push_back(HostRec{a, b, kind, flags, 0});
+    if (t != host_last_vt_) {
+      if (host_logs_[t].rec.size() == 1) host_active_.push_back(t);
+      host_runs_.emplace_back(t, 0u);
+      host_last_vt_ = t;
+    }
+    ++host_runs_.back().second;
+    if (++host_pending_ >= kHostSettleEntries) HostSettle();
+  }
+
   MachineConfig config_;
   PageTable pages_;
   std::unique_ptr<NearMemoryCache> near_mem_;
@@ -357,6 +472,23 @@ class Machine {
   /// epoch, maintained only when trace_cost_.
   std::vector<EpochTrace::CostRecord::SocketFill> cost_fills_;
   DaemonCost last_daemon_;
+  /// Not owned; null when no host pool is attached (direct pricing).
+  HostPool* host_pool_ = nullptr;
+  /// True while the current epoch records operations for phased pricing.
+  bool host_recording_ = false;
+  /// Per-virtual-thread operation logs (indexed by ThreadId; sized
+  /// lazily to the machine's thread count on first phased epoch).
+  std::vector<HostLog> host_logs_;
+  /// Global turn log: (thread, run length) in exact recording order.
+  /// Pass 2 walks it with per-thread cursors to replay the serial
+  /// schedule over the order-dependent residue.
+  std::vector<std::pair<uint32_t, uint32_t>> host_runs_;
+  uint32_t host_last_vt_ = ~0u;
+  /// Recorded-but-unsettled entries across all threads.
+  uint64_t host_pending_ = 0;
+  /// Threads with a non-empty log this settle window, in first-record
+  /// order (the settle fold iterates this fixed order).
+  std::vector<ThreadId> host_active_;
   /// Per-region access-path scratch for the current epoch, maintained
   /// only while tracing; indexed by RegionId, compacted via
   /// epoch_regions_ at epoch end.

@@ -1,0 +1,297 @@
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "pmg/common/check.h"
+#include "pmg/memsim/machine.h"
+
+/// \file machine_phased.cc
+/// The host-parallel phased pricing engine (docs/determinism.md).
+///
+/// Eligible epochs (HostPhasedEligible) do not price accesses inline.
+/// Instead the recording thread appends every priced operation to a
+/// per-virtual-thread log — preserving the exact serial schedule in a
+/// global turn log — and the log settles in three passes:
+///
+///   pass 1 (parallel, one task per virtual thread): everything whose
+///     outcome depends only on that thread's own history — CPU cache,
+///     sequentiality, TLB and page walks — plus integer shadow counters.
+///     Operations whose price is order-dependent across threads
+///     (first-touch faults, the shared near-memory cache) are deferred.
+///   pass 2 (serial): replays the deferred residue in recorded global
+///     order against the shared structures, reusing the direct-mode
+///     fault path verbatim so placement and charges match bit for bit.
+///   pass 3 (parallel): accumulates each thread's user clock from the
+///     resolved per-operation charges in recorded per-thread order.
+///
+/// Why the result is byte-identical to direct (serial) pricing:
+///  - every latency is computed by the same expressions on the same
+///    operands (cost_model.h), so each per-operation double matches;
+///  - the user clock sums those doubles in the same per-thread order
+///    (pass 3), and the extra `+= 0.0` adds for absent charges are exact
+///    identities on a non-negative clock;
+///  - all remaining counters are integers, whose sums are order-free;
+///  - all cross-thread-order-dependent state advances in recorded global
+///    order (pass 2), so faults, frame placement and near-memory hits
+///    resolve exactly as they would have inline.
+/// Host workers write disjoint state (their own thread's log and
+/// ThreadState), so the host schedule — worker count, dispatch order —
+/// can never leak into a published number.
+
+namespace pmg::memsim {
+
+namespace {
+
+void AddChannelBytes(ChannelByteCounts& dst, const ChannelByteCounts& src) {
+  for (int a = 0; a < 2; ++a) {
+    for (int s = 0; s < 2; ++s) {
+      for (int w = 0; w < 2; ++w) {
+        dst.dram[a][s][w] += src.dram[a][s][w];
+        dst.pmm[a][s][w] += src.pmm[a][s][w];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Machine::HostBeginRecord() {
+  if (host_logs_.size() != threads_.size()) host_logs_.resize(threads_.size());
+  host_last_vt_ = ~0u;
+  host_pending_ = 0;
+  host_runs_.clear();
+  host_active_.clear();
+}
+
+void Machine::HostPass1(ThreadId t) {
+  HostLog& log = host_logs_[t];
+  ThreadState& ts = Thread(t);
+  const MemoryTimings& tm = config_.timings;
+  const bool memory_mode = config_.kind == MachineKind::kMemoryMode;
+  const NodeId socket = SocketOfThread(t);
+  HostShadow& sh = log.shadow;
+  if (sh.channels.size() != channels_.size()) {
+    sh.channels.resize(channels_.size());
+  }
+  log.priced.assign(log.rec.size(), HostPriced{});
+  for (uint32_t i = 0; i < log.rec.size(); ++i) {
+    HostRec& r = log.rec[i];
+    HostPriced& p = log.priced[i];
+    if (r.kind == kHostCompute) {
+      p.main_ns = static_cast<double>(r.a);
+      continue;
+    }
+    if (r.kind == kHostStorage) {
+      const bool write = (r.flags & 1) != 0;
+      const bool sequential = (r.flags & 2) != 0;
+      const bool remote = (r.flags & 4) != 0;
+      const NodeId node = r.b % config_.topology.sockets;
+      sh.channels[node].pmm[remote ? 1 : 0][sequential ? 0 : 1]
+                       [write ? 1 : 0] += r.a;
+      if (write) {
+        sh.storage_write_bytes += r.a;
+      } else {
+        sh.storage_read_bytes += r.a;
+      }
+      const CostClass sc =
+          remote ? CostClass::kStorageRemote : CostClass::kStorageLocal;
+      p.main_ns = UserEventCostNs(sc, config_.kind, tm, inv_mlp_);
+      continue;
+    }
+
+    const AccessType type = static_cast<AccessType>(r.flags);
+    ++sh.accesses;
+    if (IsRead(type)) ++sh.reads;
+    if (IsWrite(type)) ++sh.writes;
+
+    const uint64_t line = r.a / kCacheLineBytes;
+    const bool sequential = line == ts.last_line + 1;
+    const bool was_resident = ts.cache->AccessLine(line);
+    ts.last_line = line;
+    if (was_resident) {
+      ++sh.cpu_cache_hits;
+      p.main_ns =
+          UserEventCostNs(CostClass::kCacheHit, config_.kind, tm, inv_mlp_);
+      continue;
+    }
+    ++sh.cpu_cache_misses;
+    uint16_t tag = kHostTagMiss;
+    if (sequential) tag |= kHostTagSeq;
+    if (IsWrite(type)) tag |= kHostTagWrite;
+
+    const ConstPageLookup lk = pages_.LookupView(r.a, &log.hint);
+
+    // The TLB depends only on (page base, size class), both fixed at
+    // region creation, so it simulates exactly even for pages whose
+    // first-touch fault has not replayed yet. Hint faults cannot occur:
+    // only the migration daemon arms them, and phased epochs require
+    // migration off.
+    if (ts.tlb->Lookup(lk.page_base, lk.cls)) {
+      ++sh.tlb_hits;
+    } else {
+      ++sh.tlb_misses;
+      const CostClass wc = lk.cls == PageSizeClass::k4K   ? CostClass::kTlbWalk4
+                           : lk.cls == PageSizeClass::k2M ? CostClass::kTlbWalk3
+                                                          : CostClass::kTlbWalk2;
+      const SimNs walk = UserLatencyNs(wc, config_.kind, tm);
+      p.walk_ns = static_cast<double>(walk) * inv_mlp_;
+      sh.page_walk_ns += walk;
+      ts.tlb->Insert(lk.page_base, lk.cls);
+    }
+
+    if (lk.page->frame == kInvalidFrame) {
+      // First touch: placement, locality and medium all resolve at the
+      // serial replay, after earlier-in-global-order faults mapped their
+      // pages and claimed their frames.
+      tag |= kHostTagFault;
+      r.tag = tag;
+      log.pass2.push_back(i);
+      continue;
+    }
+
+    const NodeId home = lk.page->node;
+    const bool local = home == socket;
+    if (local) {
+      ++sh.local_accesses;
+    } else {
+      ++sh.remote_accesses;
+    }
+    sh.channels[home].dram[local ? 0 : 1][sequential ? 0 : 1]
+                         [IsWrite(type) ? 1 : 0] += kCacheLineBytes;
+    sh.dram_bytes += kCacheLineBytes;
+    r.tag = tag;
+    if (memory_mode) {
+      // The near-memory cache is shared across threads: whether this
+      // miss hits near memory depends on the global access order, so
+      // the medium charge resolves in pass 2.
+      log.pass2.push_back(i);
+      continue;
+    }
+    const CostClass lat_class =
+        local ? CostClass::kDramLocal : CostClass::kDramRemote;
+    const SimNs lat = UserLatencyNs(lat_class, config_.kind, tm);
+    p.main_ns = static_cast<double>(lat) * inv_mlp_;
+  }
+}
+
+void Machine::HostPass2() {
+  const MemoryTimings& tm = config_.timings;
+  const bool memory_mode = config_.kind == MachineKind::kMemoryMode;
+  std::vector<uint32_t> cursor(host_logs_.size(), 0);
+  std::vector<uint32_t> next_deferred(host_logs_.size(), 0);
+  for (const auto& [t, len] : host_runs_) {
+    HostLog& log = host_logs_[t];
+    const uint32_t hi = cursor[t] + len;
+    cursor[t] = hi;
+    uint32_t& d = next_deferred[t];
+    while (d < log.pass2.size() && log.pass2[d] < hi) {
+      const uint32_t idx = log.pass2[d++];
+      HostRec& r = log.rec[idx];
+      PageLookup lk = pages_.Lookup(r.a);
+      if (lk.page->frame == kInvalidFrame) HandleFault(t, lk);
+      const bool write = (r.tag & kHostTagWrite) != 0;
+      const bool sequential = (r.tag & kHostTagSeq) != 0;
+      const NodeId home = lk.page->node;
+      const bool local = home == SocketOfThread(t);
+      if ((r.tag & kHostTagFault) != 0) {
+        // Pass 1 could not see the page's home node; account the
+        // locality split and the DRAM line here instead.
+        if (local) {
+          ++stats_.local_accesses;
+        } else {
+          ++stats_.remote_accesses;
+        }
+        ChargeChannel(home, /*pmm=*/false, !local, sequential, write,
+                      kCacheLineBytes);
+        stats_.dram_bytes += kCacheLineBytes;
+      }
+      CostClass lat_class;
+      if (memory_mode) {
+        const PhysPage frame =
+            lk.page->frame + ((r.a - lk.page_base) / kSmallPageBytes);
+        const NearMemoryCache::Result nr = near_mem_->Access(home, frame, write);
+        if (nr.hit) {
+          ++stats_.near_mem_hits;
+          lat_class =
+              local ? CostClass::kNearHitLocal : CostClass::kNearHitRemote;
+        } else {
+          ++stats_.near_mem_misses;
+          lat_class =
+              local ? CostClass::kPmmMissLocal : CostClass::kPmmMissRemote;
+          ChargeChannel(home, /*pmm=*/true, /*remote=*/false,
+                        /*sequential=*/true, /*write=*/false, kSmallPageBytes);
+          stats_.pmm_read_bytes += kSmallPageBytes;
+          if (nr.writeback) {
+            ++stats_.near_mem_writebacks;
+            ChargeChannel(home, true, false, true, true, kSmallPageBytes);
+            stats_.pmm_write_bytes += kSmallPageBytes;
+          }
+        }
+      } else {
+        lat_class = local ? CostClass::kDramLocal : CostClass::kDramRemote;
+      }
+      const SimNs lat = UserLatencyNs(lat_class, config_.kind, tm);
+      log.priced[idx].main_ns = static_cast<double>(lat) * inv_mlp_;
+    }
+  }
+}
+
+void Machine::HostPass3(ThreadId t) {
+  HostLog& log = host_logs_[t];
+  ThreadState& ts = threads_[t];
+  for (const HostPriced& p : log.priced) {
+    // Two adds per operation, in recorded per-thread order: the walk
+    // charge (if any) preceded the main charge inline, and a zero add
+    // is an exact identity on the non-negative clock.
+    ts.user_ns += p.walk_ns;
+    ts.user_ns += p.main_ns;
+  }
+  log.rec.clear();
+  log.priced.clear();
+  log.pass2.clear();
+  HostShadow& sh = log.shadow;
+  for (ChannelByteCounts& ch : sh.channels) ch = ChannelByteCounts{};
+  std::vector<ChannelByteCounts> channels = std::move(sh.channels);
+  sh = HostShadow{};
+  sh.channels = std::move(channels);
+}
+
+void Machine::HostSettle() {
+  if (host_pending_ == 0) {
+    host_runs_.clear();
+    host_active_.clear();
+    host_last_vt_ = ~0u;
+    return;
+  }
+  const uint32_t n = static_cast<uint32_t>(host_active_.size());
+  host_pool_->RunTasks(n, [this](uint32_t i) { HostPass1(host_active_[i]); });
+  HostPass2();
+  // Fold the integer shadows into the published counters. Iteration
+  // order is fixed (first-record order) and immaterial: integer sums.
+  for (const ThreadId t : host_active_) {
+    const HostShadow& sh = host_logs_[t].shadow;
+    stats_.accesses += sh.accesses;
+    stats_.reads += sh.reads;
+    stats_.writes += sh.writes;
+    stats_.cpu_cache_hits += sh.cpu_cache_hits;
+    stats_.cpu_cache_misses += sh.cpu_cache_misses;
+    stats_.tlb_hits += sh.tlb_hits;
+    stats_.tlb_misses += sh.tlb_misses;
+    stats_.page_walk_ns += sh.page_walk_ns;
+    stats_.local_accesses += sh.local_accesses;
+    stats_.remote_accesses += sh.remote_accesses;
+    stats_.dram_bytes += sh.dram_bytes;
+    stats_.storage_read_bytes += sh.storage_read_bytes;
+    stats_.storage_write_bytes += sh.storage_write_bytes;
+    for (size_t s = 0; s < channels_.size(); ++s) {
+      AddChannelBytes(channels_[s], sh.channels[s]);
+    }
+  }
+  host_pool_->RunTasks(n, [this](uint32_t i) { HostPass3(host_active_[i]); });
+  host_runs_.clear();
+  host_active_.clear();
+  host_last_vt_ = ~0u;
+  host_pending_ = 0;
+}
+
+}  // namespace pmg::memsim

@@ -92,6 +92,10 @@ void PageTable::DestroyRegion(RegionId id) {
   slots_[id].live = false;
   slots_[id].region.pages.clear();
   slots_[id].region.pages.shrink_to_fit();
+  // Collapse the dead region's range so no stale one-entry cache —
+  // last_slot_ here or a LookupView hint held by a caller — can ever
+  // match an address inside it again.
+  slots_[id].region.bytes = 0;
   last_slot_ = ~0u;
   RebuildIndex();
 }
@@ -128,6 +132,48 @@ PageLookup PageTable::Lookup(VirtAddr addr) {
   const uint64_t off = addr - r.base;
   const uint64_t chunk = off >> 21;
   PageLookup out;
+  out.region = &r;
+  if (r.chunk_is_huge[chunk]) {
+    out.page_index = r.chunk_first_page[chunk];
+    out.page_base = r.base + chunk * kHugePageBytes;
+    out.cls = PageSizeClass::k2M;
+  } else {
+    const uint64_t in_chunk = off & (kHugePageBytes - 1);
+    out.page_index = r.chunk_first_page[chunk] +
+                     static_cast<uint32_t>(in_chunk >> 12);
+    out.page_base = addr & ~(kSmallPageBytes - 1);
+    out.cls = PageSizeClass::k4K;
+  }
+  out.page = &r.pages[out.page_index];
+  return out;
+}
+
+ConstPageLookup PageTable::LookupView(VirtAddr addr,
+                                      uint32_t* hint_slot) const {
+  // Same resolution as Lookup, but const and with the one-entry cache
+  // owned by the caller: safe for concurrent translation streams.
+  uint32_t slot_idx = ~0u;
+  if (*hint_slot != ~0u && *hint_slot < slots_.size()) {
+    const Region& r = slots_[*hint_slot].region;
+    if (addr >= r.base && addr < r.end()) slot_idx = *hint_slot;
+  }
+  if (slot_idx == ~0u) {
+    auto it = std::upper_bound(index_.begin(), index_.end(),
+                               std::make_pair(addr, ~0u));
+    PMG_CHECK_MSG(it != index_.begin(), "address below all regions");
+    --it;
+    slot_idx = it->second;
+    const Region& r = slots_[slot_idx].region;
+    PMG_CHECK_MSG(addr >= r.base && addr < r.end(),
+                  "address 0x%llx outside any region",
+                  static_cast<unsigned long long>(addr));
+    *hint_slot = slot_idx;
+  }
+
+  const Region& r = slots_[slot_idx].region;
+  const uint64_t off = addr - r.base;
+  const uint64_t chunk = off >> 21;
+  ConstPageLookup out;
   out.region = &r;
   if (r.chunk_is_huge[chunk]) {
     out.page_index = r.chunk_first_page[chunk];

@@ -104,8 +104,21 @@ struct PageLookup {
   PageSizeClass cls = PageSizeClass::k4K;
 };
 
+/// Read-only result of translating a virtual address (the host-parallel
+/// pricing pass runs one translation stream per virtual thread, so its
+/// lookups must not touch the table's shared one-entry cache).
+struct ConstPageLookup {
+  const Region* region = nullptr;
+  const PageInfo* page = nullptr;
+  uint32_t page_index = 0;  // within region->pages
+  VirtAddr page_base = 0;
+  PageSizeClass cls = PageSizeClass::k4K;
+};
+
 /// The simulated page table: owns all regions and translates addresses.
-/// Not thread-safe; the runtime executes virtual threads serially.
+/// Mutations (CreateRegion/DestroyRegion/Lookup's internal cache) are not
+/// thread-safe and stay on the recording thread; LookupView is const and
+/// safe to call concurrently while the table is quiescent.
 class PageTable {
  public:
   /// `thp_percent`: fraction of chunks promoted when PagePolicy::thp is
@@ -125,6 +138,12 @@ class PageTable {
 
   /// Translates `addr`. Aborts if the address is not in any live region.
   PageLookup Lookup(VirtAddr addr);
+
+  /// Const translation for concurrent readers. `hint_slot` is a
+  /// caller-owned one-entry region cache (initialize to ~0u) replacing
+  /// the shared `last_slot_`, so parallel translation streams each keep
+  /// their own locality without racing on the table.
+  ConstPageLookup LookupView(VirtAddr addr, uint32_t* hint_slot) const;
 
   Region& region(RegionId id);
   const Region& region(RegionId id) const;

@@ -11,12 +11,13 @@
 /// Per-virtual-thread accumulators for parallel bodies. Bulk-synchronous
 /// kernels often need a host-side "did anything change" flag or a total
 /// counter; writing one shared variable from every virtual thread is
-/// benign under today's sequential execution but becomes a data race the
-/// day the runtime maps virtual threads onto host threads (ROADMAP:
-/// parallel host execution). These helpers give each virtual thread its
-/// own slot and reduce in thread-index order, so results are bit-exact
-/// regardless of execution order — which also keeps pmg_lint's
-/// pmg-atomic-shared-write check clean.
+/// benign while bodies execute sequentially, and bodies *stay*
+/// sequential — host parallelism lives in the machine's phased pricing
+/// engine, not in body dispatch (docs/determinism.md). These helpers
+/// still give each virtual thread its own slot and reduce in
+/// thread-index order, so results are bit-exact regardless of execution
+/// order — which also keeps pmg_lint's pmg-atomic-shared-write check
+/// clean and the door open for parallel body experiments.
 
 namespace pmg::runtime {
 

@@ -17,6 +17,13 @@
 /// critical path (max over threads) bounded below by the per-socket
 /// bandwidth roofline. This reproduces thread-count scaling effects
 /// (Figures 4 and 10) without host-machine nondeterminism.
+///
+/// Bodies always run in this fixed serial schedule — app semantics
+/// (CasMin races, worklist stealing) depend on it. What the machine may
+/// parallelize across host workers is the *pricing* of the recorded
+/// accesses, through a phased engine whose output is byte-identical to
+/// inline pricing (docs/determinism.md); host thread count is therefore
+/// a speed knob, never a model input.
 
 namespace pmg::runtime {
 
@@ -66,7 +73,9 @@ class Runtime {
   template <typename Body>
   void ParallelForDynamic(uint64_t begin, uint64_t end, uint64_t chunk,
                           Body&& body) {
-    PMG_CHECK(chunk > 0);
+    PMG_CHECK_MSG(chunk > 0,
+                  "ParallelForDynamic chunk must be positive: a chunk of 0 "
+                  "would loop forever without dispatching any iteration");
     PMG_CHECK_MSG(end >= begin,
                   "ParallelForDynamic range is inverted: [%llu, %llu)",
                   static_cast<unsigned long long>(begin),

@@ -85,6 +85,9 @@ void Server::BuildMachine(bool recovery) {
   graph_.reset();
   rt_.reset();
   machine_ = std::make_unique<memsim::Machine>(cfg_.machine);
+  // Plumbed for uniformity: the always-attached fault hook keeps serving
+  // machines on direct pricing, but the pool costs nothing unattended.
+  machine_->SetHostPool(memsim::HostPool::Default());
   machine_->SetFaultHook(&injector_);
   // Session attach order matches the recovery drivers: trace first so the
   // metrics session's epoch rows land on an already-continuous timeline.

@@ -16,4 +16,11 @@ inline void SideEffects(Queue& q, int* p, int n) {
   PMG_CHECK(q.Pop(&got));
 }
 
+// A broken clone of ParallelForDynamic's chunk guard: the decrement means
+// a build that compiles checks out also skips the "fix", and the loop
+// below it runs with a different chunk than the one validated.
+inline void GuardChunk(unsigned chunk) {
+  PMG_CHECK_MSG(chunk-- > 0, "chunk must be positive");
+}
+
 }  // namespace fx

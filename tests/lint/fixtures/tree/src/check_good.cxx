@@ -21,4 +21,11 @@ inline void PurePredicates(const Queue& q, int a, int b) {
   PMG_CHECK_MSG(a == b || !q.empty(), "reads only");
 }
 
+// The shape ParallelForDynamic's chunk guard actually uses: a pure
+// comparison with a message, which must lint clean.
+inline void GuardChunk(unsigned chunk) {
+  PMG_CHECK_MSG(chunk > 0,
+                "chunk must be positive: a chunk of 0 would loop forever");
+}
+
 }  // namespace fx

@@ -1,0 +1,183 @@
+// Tier-2 differential harness for host-parallel pricing: every published
+// artifact of a run — machine counters, simulated time, trace reports,
+// Chrome traces, Prometheus metrics, whatif journals, sanitizer summaries
+// — must be byte-identical whether the host prices the simulation with 1,
+// 2, 4 or 8 host threads. Host thread count is an execution-speed knob,
+// never an input to a simulated number; this sweep is the law's
+// enforcement across every app, machine kind and observer attachment.
+//
+// Observer-carrying runs exercise the fallback half of the contract
+// (instrumented epochs price directly, so width must be invisible);
+// observer-free runs exercise the phased engine itself.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/metrics/metrics_session.h"
+#include "pmg/trace/trace_session.h"
+#include "pmg/whatif/journal.h"
+
+namespace pmg::frameworks {
+namespace {
+
+struct MachineCase {
+  const char* label;
+  memsim::MachineConfig config;
+};
+
+// One machine per kind the simulator models: memory-mode PMM, the DRAM
+// baseline, app-direct PMM storage, and the second DRAM host ("Entropy").
+std::vector<MachineCase> Machines() {
+  return {
+      {"pmm", memsim::OptanePmmConfig()},
+      {"dram", memsim::DramOnlyConfig()},
+      {"appdirect", memsim::AppDirectConfig()},
+      {"entropy", memsim::EntropyConfig()},
+  };
+}
+
+enum class Observe { kNone, kSanitize, kTrace, kMetrics, kJournal };
+
+const char* ObserveName(Observe o) {
+  switch (o) {
+    case Observe::kNone:
+      return "none";
+    case Observe::kSanitize:
+      return "sanitize";
+    case Observe::kTrace:
+      return "trace";
+    case Observe::kMetrics:
+      return "metrics";
+    case Observe::kJournal:
+      return "journal";
+  }
+  return "?";
+}
+
+/// Everything a run publishes, captured as bytes.
+struct Artifacts {
+  bool supported = false;
+  AppRunResult result;
+  std::string trace_report;
+  std::string chrome_trace;
+  std::string metrics_text;
+  /// JournalToJson output — the exact bytes SaveJournal writes to a
+  /// .pmgj file, compared in memory instead of through the filesystem.
+  std::string journal_text;
+};
+
+Artifacts RunOnce(App app, const AppInputs& inputs,
+                  const memsim::MachineConfig& machine, Observe observe,
+                  uint32_t host_threads) {
+  RunConfig cfg;
+  cfg.machine = machine;
+  cfg.threads = 16;
+  cfg.pr_max_rounds = 10;
+  cfg.host_threads = host_threads;
+
+  trace::TraceSession trace;
+  metrics::MetricsSession metrics;
+  whatif::JournalRecorder journal;
+  switch (observe) {
+    case Observe::kNone:
+      break;
+    case Observe::kSanitize:
+      cfg.sanitize = true;
+      break;
+    case Observe::kTrace:
+      cfg.trace = &trace;
+      break;
+    case Observe::kMetrics:
+      cfg.metrics = &metrics;
+      break;
+    case Observe::kJournal:
+      cfg.journal = &journal;
+      break;
+  }
+
+  Artifacts a;
+  a.result = RunApp(FrameworkKind::kGalois, app, inputs, cfg);
+  a.supported = a.result.supported;
+  if (observe == Observe::kTrace) {
+    a.trace_report = trace.report().ToJson();
+    a.chrome_trace = trace.ChromeTraceJson();
+  }
+  if (observe == Observe::kMetrics) a.metrics_text = metrics.PrometheusText();
+  if (observe == Observe::kJournal) {
+    a.journal_text = whatif::JournalToJson(journal.journal());
+  }
+  return a;
+}
+
+/// Byte-compares two runs' artifacts. MachineStats is all-uint64_t POD,
+/// so memcmp is an exact (and padding-free) field-by-field comparison.
+void ExpectIdentical(const Artifacts& base, const Artifacts& run) {
+  ASSERT_EQ(base.supported, run.supported);
+  if (!base.supported) return;
+  EXPECT_EQ(base.result.time_ns, run.result.time_ns);
+  EXPECT_EQ(base.result.rounds, run.result.rounds);
+  EXPECT_EQ(std::memcmp(&base.result.stats, &run.result.stats,
+                        sizeof(base.result.stats)),
+            0);
+  EXPECT_EQ(base.result.sanitized, run.result.sanitized);
+  EXPECT_EQ(base.result.sancheck.checked_accesses,
+            run.result.sancheck.checked_accesses);
+  EXPECT_EQ(base.result.sancheck.checked_epochs,
+            run.result.sancheck.checked_epochs);
+  EXPECT_EQ(base.result.sancheck.races, run.result.sancheck.races);
+  EXPECT_EQ(base.trace_report, run.trace_report);
+  EXPECT_EQ(base.chrome_trace, run.chrome_trace);
+  EXPECT_EQ(base.metrics_text, run.metrics_text);
+  EXPECT_EQ(base.journal_text, run.journal_text);
+}
+
+TEST(HostParallelDiffTest, EveryArtifactIsByteIdenticalAcrossHostWidths) {
+  const AppInputs inputs = AppInputs::Prepare(graph::Rmat(10, 8, 3));
+  for (const MachineCase& mc : Machines()) {
+    for (const App app : AllApps()) {
+      for (const Observe observe :
+           {Observe::kNone, Observe::kSanitize, Observe::kTrace,
+            Observe::kMetrics, Observe::kJournal}) {
+        SCOPED_TRACE(std::string(mc.label) + "/" + AppName(app) + "/" +
+                     ObserveName(observe));
+        const Artifacts serial =
+            RunOnce(app, inputs, mc.config, observe, /*host_threads=*/1);
+        // The phased engine only engages on observer-free runs, so those
+        // sweep every width; instrumented runs prove the fallback at one
+        // representative width.
+        const std::vector<uint32_t> widths =
+            observe == Observe::kNone ? std::vector<uint32_t>{2, 4, 8}
+                                      : std::vector<uint32_t>{4};
+        for (const uint32_t w : widths) {
+          SCOPED_TRACE("host_threads=" + std::to_string(w));
+          ExpectIdentical(serial, RunOnce(app, inputs, mc.config, observe, w));
+        }
+      }
+    }
+  }
+}
+
+// The migration daemon is a per-epoch eligibility condition, not a
+// machine-construction one: a pool-carrying machine with migration on
+// must fall back to direct pricing and still publish identical bytes.
+TEST(HostParallelDiffTest, MigrationRunsFallBackAndStayIdentical) {
+  const AppInputs inputs = AppInputs::Prepare(graph::Rmat(10, 8, 3));
+  memsim::MachineConfig config = memsim::OptanePmmConfig();
+  config.migration.enabled = true;
+  const Artifacts serial =
+      RunOnce(App::kPr, inputs, config, Observe::kNone, /*host_threads=*/1);
+  for (const uint32_t w : {2u, 8u}) {
+    SCOPED_TRACE("host_threads=" + std::to_string(w));
+    ExpectIdentical(serial,
+                    RunOnce(App::kPr, inputs, config, Observe::kNone, w));
+  }
+}
+
+}  // namespace
+}  // namespace pmg::frameworks

@@ -187,6 +187,26 @@ TEST(RuntimeDeathTest, InvertedParallelForDynamicRangeAborts) {
                "inverted");
 }
 
+TEST(RuntimeDeathTest, ZeroChunkParallelForDynamicAborts) {
+  Machine m(SmallDram());
+  Runtime rt(&m, 4);
+  // chunk == 0 would spin on `c += chunk` forever; the guard must name
+  // the mistake instead of printing a bare condition.
+  EXPECT_DEATH(rt.ParallelForDynamic(0, 10, 0, [&](ThreadId, uint64_t) {}),
+               "chunk must be positive");
+}
+
+TEST(RuntimeDeathTest, SmallestLegalChunkDoesNotFire) {
+  Machine m(SmallDram());
+  Runtime rt(&m, 4);
+  // chunk == 1 sits right at the guard's boundary and must pass through.
+  uint64_t visits = 0;
+  // pmg-lint: allow(pmg-atomic-shared-write) chunk=1 round-robin, one
+  // iteration per turn
+  rt.ParallelForDynamic(0, 8, 1, [&](ThreadId, uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 8u);
+}
+
 TEST(NumaArrayTest, DistinctPoliciesAffectPlacement) {
   Machine m(SmallDram());
   PagePolicy local;

@@ -1,0 +1,42 @@
+#ifndef PMG_TOOLS_HOSTPERF_WALLCLOCK_H_
+#define PMG_TOOLS_HOSTPERF_WALLCLOCK_H_
+
+/// \file wallclock.h
+/// Host wall-clock measurement. This directory is the lint gate's sole
+/// --host-dir exemption from pmg-no-host-clock: host time may be read
+/// here and nowhere else that the gate scans. The simulator's clocks are
+/// all SimNs; this header exists to measure the simulator itself (how
+/// fast the host prices a run — edges per host-second), so anything
+/// derived from it is machine-dependent by nature. Bench emitters must
+/// publish such numbers only as non-`_ns` fields, which the pmg_perf
+/// gate treats as informational rather than regression-gated.
+
+#include <chrono>
+#include <cstdint>
+
+namespace pmg::hostperf {
+
+/// Monotonic host nanoseconds since an arbitrary epoch.
+inline uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Stopwatch over WallNowNs, started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_ns_(WallNowNs()) {}
+  void Reset() { start_ns_ = WallNowNs(); }
+  double Seconds() const {
+    return static_cast<double>(WallNowNs() - start_ns_) * 1e-9;
+  }
+
+ private:
+  uint64_t start_ns_;
+};
+
+}  // namespace pmg::hostperf
+
+#endif  // PMG_TOOLS_HOSTPERF_WALLCLOCK_H_

@@ -72,8 +72,8 @@ void Usage(std::FILE* out, const char* argv0) {
       "usage: %s --graph <name|file:path> --app <bc|bfs|cc|kcore|pr|sssp|tc>\n"
       "          [--framework galois|gap|graphit|gbbs] [--machine pmm|dram|"
       "entropy]\n"
-      "          [--threads N] [--pages 4k|2m] [--placement "
-      "local|interleaved|blocked]\n"
+      "          [--threads N] [--host-threads N] [--pages 4k|2m] "
+      "[--placement local|interleaved|blocked]\n"
       "          [--migration] [--pr-rounds N] [--vertex-programs] "
       "[--sanitize]\n"
       "          [--faults <spec>] [--checkpoint-every N]\n"
@@ -98,6 +98,9 @@ void Usage(std::FILE* out, const char* argv0) {
       "explanation (bound split, stragglers, counterfactual levers);\n"
       "--journal writes the recorded journal to a versioned .pmgj file\n"
       "that pmg_explain re-prices offline;\n"
+      "--host-threads sets how many host threads price the simulation\n"
+      "(default: PMG_HOST_THREADS, else hardware concurrency); every\n"
+      "simulated result is byte-identical no matter the value;\n"
       "--serve serves bfs/sssp/pr-topk/ego queries from an open-loop\n"
       "arrival trace (presets: canonical steady nightly, or\n"
       "poisson|burst|diurnal:qps=...,n=...,deadline=...,mix=...,seed=...)\n"
@@ -277,6 +280,14 @@ int main(int argc, char** argv) {
     } else if (flag == "--threads") {
       if (!ParseU32(need_value(), &cfg.threads) || cfg.threads == 0) {
         Die("--threads wants a positive integer, got '%s'", value.c_str());
+      }
+    } else if (flag == "--host-threads") {
+      // Host execution width only: never appears in any report, and every
+      // simulated number is byte-identical across values.
+      if (!ParseU32(need_value(), &cfg.host_threads) ||
+          cfg.host_threads == 0) {
+        Die("--host-threads wants a positive integer, got '%s'",
+            value.c_str());
       }
     } else if (flag == "--pages") {
       pages = need_value();
