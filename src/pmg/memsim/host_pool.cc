@@ -1,5 +1,6 @@
 #include "pmg/memsim/host_pool.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -23,7 +24,8 @@ uint64_t Mix(uint64_t x) {
 }  // namespace
 
 HostPool::HostPool(uint32_t workers) : workers_(workers) {
-  PMG_CHECK_MSG(workers >= 1, "a host pool needs at least one worker");
+  PMG_CHECK_MSG(workers >= 1 && workers <= kMaxWorkers,
+                "a host pool needs 1..%u workers", kMaxWorkers);
   threads_.reserve(workers_ - 1);
   for (uint32_t i = 0; i + 1 < workers_; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -39,6 +41,28 @@ HostPool::~HostPool() {
   for (std::thread& th : threads_) th.join();
 }
 
+uint32_t HostPool::DrainBatch(uint32_t gen, uint32_t count,
+                              const std::function<void(uint32_t)>& fn) {
+  uint32_t finished = 0;
+  for (;;) {
+    uint64_t t = ticket_.load(std::memory_order_acquire);
+    if (static_cast<uint32_t>(t >> 32) != gen) break;  // batch retired
+    const uint32_t i = static_cast<uint32_t>(t);
+    if (i >= count) break;  // batch drained
+    if (!ticket_.compare_exchange_weak(t, t + 1, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      continue;
+    }
+    // The CAS succeeded against our generation, so the batch is still in
+    // flight: RunTasks cannot return (done_ < count until we credit this
+    // task below via our caller), which keeps fn and order_ alive and
+    // stable for the read here.
+    fn(order_.empty() ? i : order_[i]);
+    ++finished;
+  }
+  return finished;
+}
+
 void HostPool::WorkerLoop() {
   uint64_t seen = 0;
   for (;;) {
@@ -50,16 +74,21 @@ void HostPool::WorkerLoop() {
                      [&] { return stopping_ || generation_ != seen; });
       if (stopping_) return;
       seen = generation_;
+      // A batch that already completed leaves task_fn_ null and
+      // task_count_ 0: DrainBatch then claims nothing and we go back to
+      // sleep without touching done_.
       fn = task_fn_;
       count = task_count_;
     }
-    uint32_t finished = 0;
-    for (;;) {
-      const uint32_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      (*fn)(order_.empty() ? i : order_[i]);
-      ++finished;
-    }
+    // Claims are generation-checked: if this thread stalls here until
+    // the batch completes and a new one starts, every claim attempt
+    // sees a ticket generation != `seen` and DrainBatch returns 0
+    // without calling the (by then destroyed) fn or reading the (by
+    // then rewritten) order_. The 32-bit generation would have to wrap
+    // exactly 2^32 batches during one stall to alias — not a real
+    // schedule.
+    const uint32_t finished =
+        count == 0 ? 0 : DrainBatch(static_cast<uint32_t>(seen), count, *fn);
     if (finished > 0 &&
         done_.fetch_add(finished, std::memory_order_acq_rel) + finished ==
             count) {
@@ -78,37 +107,45 @@ void HostPool::RunTasks(uint32_t count,
     for (uint32_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  PMG_CHECK_MSG(task_fn_ == nullptr, "HostPool::RunTasks is not reentrant");
+  // Pools are shared per width across machines, so the single-driver
+  // contract (one host thread inside RunTasks, no reentry from tasks)
+  // must fail loudly: a plain flag read could miss a concurrent caller.
+  PMG_CHECK_MSG(
+      !busy_.exchange(true, std::memory_order_acquire),
+      "HostPool::RunTasks: second driver on a shared pool (machines "
+      "borrowing one pool must settle from one host thread at a time, "
+      "and tasks must not call RunTasks)");
   order_.clear();
-  if (shuffle_seed_ != 0) {
+  const uint64_t seed = shuffle_seed_.load(std::memory_order_relaxed);
+  if (seed != 0) {
     // Fisher-Yates driven by the seed and a per-call counter: every
     // batch of the run sees a fresh (but replayable) dispatch order.
     order_.resize(count);
     for (uint32_t i = 0; i < count; ++i) order_[i] = i;
-    uint64_t state = Mix(shuffle_seed_ ^ ++shuffle_calls_);
+    uint64_t state = Mix(seed ^ ++shuffle_calls_);
     for (uint32_t i = count - 1; i > 0; --i) {
       state = Mix(state);
       const uint32_t j = static_cast<uint32_t>(state % (i + 1));
       std::swap(order_[i], order_[j]);
     }
   }
+  uint32_t gen = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     task_fn_ = &fn;
     task_count_ = count;
-    next_.store(0, std::memory_order_relaxed);
     done_.store(0, std::memory_order_relaxed);
     ++generation_;
+    gen = static_cast<uint32_t>(generation_);
+    // Publishing the new generation in ticket_ both opens the new batch
+    // (index 0) and retires the old one for any worker still holding
+    // stale batch state.
+    ticket_.store(static_cast<uint64_t>(gen) << 32,
+                  std::memory_order_release);
   }
   start_cv_.notify_all();
   // The caller is a worker too: pull tasks until the batch drains.
-  uint32_t finished = 0;
-  for (;;) {
-    const uint32_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= count) break;
-    fn(order_.empty() ? i : order_[i]);
-    ++finished;
-  }
+  const uint32_t finished = DrainBatch(gen, count, fn);
   std::unique_lock<std::mutex> lock(mu_);
   if (finished > 0 &&
       done_.fetch_add(finished, std::memory_order_acq_rel) + finished ==
@@ -120,6 +157,8 @@ void HostPool::RunTasks(uint32_t count,
   });
   task_fn_ = nullptr;
   task_count_ = 0;
+  lock.unlock();
+  busy_.store(false, std::memory_order_release);
 }
 
 HostPool* HostPool::ForWorkers(uint32_t workers) {
@@ -139,13 +178,16 @@ HostPool* HostPool::Default() {
     uint32_t width = std::thread::hardware_concurrency();
     if (const char* env = std::getenv("PMG_HOST_THREADS")) {
       char* end = nullptr;
+      errno = 0;
       const long parsed = std::strtol(env, &end, 10);
-      PMG_CHECK_MSG(end != env && *end == '\0' && parsed >= 1,
-                    "PMG_HOST_THREADS must be a positive integer, got '%s'",
-                    env);
+      PMG_CHECK_MSG(end != env && *end == '\0' && errno == 0 && parsed >= 1 &&
+                        parsed <= static_cast<long>(kMaxWorkers),
+                    "PMG_HOST_THREADS must be an integer in [1, %u], got '%s'",
+                    kMaxWorkers, env);
       width = static_cast<uint32_t>(parsed);
     }
     if (width == 0) width = 1;  // hardware_concurrency() may report 0
+    if (width > kMaxWorkers) width = kMaxWorkers;
     return ForWorkers(width);
   }();
   return pool;

@@ -26,9 +26,14 @@ namespace pmg::memsim {
 
 class HostPool {
  public:
+  /// Upper bound on the pool width: guards against typo'd or truncated
+  /// PMG_HOST_THREADS / --host-threads values spawning an absurd number
+  /// of OS threads.
+  static constexpr uint32_t kMaxWorkers = 4096;
+
   /// `workers` is the total host concurrency: the calling thread plus
-  /// `workers - 1` pooled threads. Must be >= 1; a 1-worker pool runs
-  /// every task inline on the caller.
+  /// `workers - 1` pooled threads. Must be in [1, kMaxWorkers]; a
+  /// 1-worker pool runs every task inline on the caller.
   explicit HostPool(uint32_t workers);
   ~HostPool();
 
@@ -40,15 +45,22 @@ class HostPool {
   /// Runs `fn(i)` for every i in [0, count) across the pool (the caller
   /// participates) and returns when all tasks finished. Tasks must be
   /// independent: they may not touch shared mutable state, and no result
-  /// may depend on which worker ran a task or in what order. Not
-  /// reentrant: tasks must not call RunTasks.
+  /// may depend on which worker ran a task or in what order.
+  ///
+  /// Single driver: pools are cached per width and shared by every
+  /// machine of that width, so exactly one host thread may be inside
+  /// RunTasks at a time and tasks must not call RunTasks themselves.
+  /// Both violations die on a PMG_CHECK rather than racing silently.
   void RunTasks(uint32_t count, const std::function<void(uint32_t)>& fn);
 
   /// Seed != 0 makes every subsequent RunTasks dispatch its tasks in a
   /// seed-derived shuffled order (varying per call); 0 restores natural
   /// order. Results must be byte-identical either way — this knob exists
-  /// so the stress tests can prove it.
-  void SetShuffleSeed(uint64_t seed) { shuffle_seed_ = seed; }
+  /// so the stress tests can prove it. Safe to call from any thread; the
+  /// new seed takes effect at the next RunTasks.
+  void SetShuffleSeed(uint64_t seed) {
+    shuffle_seed_.store(seed, std::memory_order_relaxed);
+  }
 
   /// The process-wide pool sized by PMG_HOST_THREADS (default: hardware
   /// concurrency). Returns nullptr when the resolved width is 1 — serial
@@ -57,15 +69,23 @@ class HostPool {
 
   /// A cached pool of exactly `workers` host threads (nullptr when
   /// `workers` <= 1). Pools are shared per width and live for the
-  /// process; machines only borrow them.
+  /// process; machines only borrow them (see the RunTasks single-driver
+  /// contract).
   static HostPool* ForWorkers(uint32_t workers);
 
  private:
   void WorkerLoop();
+  /// Claims and runs tasks of batch `gen` until the batch drains or
+  /// retires; returns how many tasks this thread finished. A claim is a
+  /// CAS on ticket_, so it can only succeed while ticket_ still carries
+  /// `gen` — a worker holding stale batch state can never touch a newer
+  /// batch's slots, order_, or fn.
+  uint32_t DrainBatch(uint32_t gen, uint32_t count,
+                      const std::function<void(uint32_t)>& fn);
 
   const uint32_t workers_;
-  uint64_t shuffle_seed_ = 0;
-  uint64_t shuffle_calls_ = 0;
+  std::atomic<uint64_t> shuffle_seed_{0};
+  uint64_t shuffle_calls_ = 0;  // mutated only by the single driver
 
   std::mutex mu_;
   std::condition_variable start_cv_;
@@ -76,8 +96,14 @@ class HostPool {
   const std::function<void(uint32_t)>* task_fn_ = nullptr;
   /// Shuffled task ids for the current batch; empty = natural order.
   std::vector<uint32_t> order_;
-  std::atomic<uint32_t> next_{0};
+  /// Current batch ticket: (generation & 0xffffffff) << 32 | next task
+  /// index. Packing the generation into the same atomic as the index
+  /// binds every task claim to its batch (see DrainBatch).
+  std::atomic<uint64_t> ticket_{0};
   std::atomic<uint32_t> done_{0};
+  /// Single-driver gate: set for the duration of each RunTasks so a
+  /// concurrent or reentrant call fails loudly instead of racing.
+  std::atomic<bool> busy_{false};
   std::vector<std::thread> threads_;
 };
 

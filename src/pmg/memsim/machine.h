@@ -164,8 +164,17 @@ class Machine {
 
   // --- Introspection ---
 
+  /// The global clock advances only at EndEpoch (in both pricing modes),
+  /// so this is exact even while an epoch records for phased pricing.
   SimNs now() const { return stats_.total_ns; }
-  const MachineStats& stats() const { return stats_; }
+  /// Reading stats mid-epoch first settles any recorded-but-unpriced
+  /// operations (host-parallel pricing defers them), so every observed
+  /// counter is byte-identical to serial pricing at the same program
+  /// point — introspection can never see the pricing mode.
+  const MachineStats& stats() const {
+    if (host_recording_) const_cast<Machine*>(this)->HostSettle();
+    return stats_;
+  }
   const MachineConfig& config() const { return config_; }
   NodeId SocketOfThread(ThreadId t) const {
     return config_.topology.SocketOfThread(t);

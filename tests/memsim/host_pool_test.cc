@@ -1,0 +1,130 @@
+#include "pmg/memsim/host_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+/// \file host_pool_test.cc
+/// Protocol tests for the host worker pool. The pool is pure host-side
+/// mechanism (docs/determinism.md), so these tests are about execution
+/// integrity — every task of every batch runs exactly once, stale
+/// workers can never leak into a newer batch, and contract violations
+/// die loudly — not about simulated numbers (the differential and
+/// schedule-stress suites own those).
+
+namespace pmg::memsim {
+namespace {
+
+/// Back-to-back small batches are the regression surface for the
+/// stale-generation race: the caller often drains a tiny batch before a
+/// pooled worker even wakes, so workers routinely carry state from a
+/// generation that has already retired into the next RunTasks. Each
+/// batch asserts exactly-once execution; the nightly TSan job runs this
+/// same loop under the race detector.
+TEST(HostPoolTest, EveryTaskRunsExactlyOncePerBatch) {
+  HostPool* pool = HostPool::ForWorkers(4);
+  ASSERT_NE(pool, nullptr);
+  constexpr int kBatches = 8000;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    // Exercise both natural and (replayable) shuffled dispatch, and
+    // batches smaller and larger than the worker count.
+    pool->SetShuffleSeed(batch % 3 == 0 ? 0 : 0x9e37u + batch);
+    const uint32_t count = 2 + batch % 8;
+    std::vector<std::atomic<uint32_t>> runs(count);
+    pool->RunTasks(count, [&](uint32_t i) {
+      ASSERT_LT(i, count);
+      runs[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (uint32_t i = 0; i < count; ++i) {
+      ASSERT_EQ(runs[i].load(std::memory_order_relaxed), 1u)
+          << "batch " << batch << " task " << i;
+    }
+  }
+  pool->SetShuffleSeed(0);
+}
+
+TEST(HostPoolTest, TrivialBatchesRunInlineInNaturalOrder) {
+  HostPool* pool = HostPool::ForWorkers(2);
+  ASSERT_NE(pool, nullptr);
+  pool->RunTasks(0, [&](uint32_t) { FAIL() << "empty batch ran a task"; });
+  uint32_t ran = 0;
+  pool->RunTasks(1, [&](uint32_t i) {
+    EXPECT_EQ(i, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1u);
+}
+
+TEST(HostPoolTest, ForWorkersCachesPerWidthAndSerialIsNull) {
+  EXPECT_EQ(HostPool::ForWorkers(0), nullptr);
+  EXPECT_EQ(HostPool::ForWorkers(1), nullptr);
+  HostPool* a = HostPool::ForWorkers(3);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->workers(), 3u);
+  EXPECT_EQ(HostPool::ForWorkers(3), a);
+  EXPECT_NE(HostPool::ForWorkers(2), a);
+}
+
+/// A second driver entering RunTasks while a batch is in flight: the
+/// first driver parks its whole batch, then another host thread calls
+/// RunTasks on the same pool and must die on the single-driver gate.
+[[noreturn]] void RaceTwoDrivers() {
+  HostPool* pool = HostPool::ForWorkers(2);
+  std::atomic<bool> entered{false};
+  std::atomic<bool> park{true};
+  std::thread first([&] {
+    pool->RunTasks(2, [&](uint32_t) {
+      entered.store(true);
+      while (park.load()) std::this_thread::yield();
+    });
+  });
+  while (!entered.load()) std::this_thread::yield();
+  pool->RunTasks(2, [](uint32_t) {});  // dies here
+  std::abort();                        // unreachable; keeps [[noreturn]] honest
+}
+
+TEST(HostPoolDeathTest, SecondConcurrentDriverDiesLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(RaceTwoDrivers(), "second driver on a shared pool");
+}
+
+TEST(HostPoolDeathTest, ReentrantRunTasksDiesLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  HostPool* pool = HostPool::ForWorkers(2);
+  ASSERT_NE(pool, nullptr);
+  // count must be >= 2 on both levels: single-task batches run inline
+  // by design and never reach the gate.
+  EXPECT_DEATH(
+      pool->RunTasks(2,
+                     [&](uint32_t) { pool->RunTasks(2, [](uint32_t) {}); }),
+      "second driver on a shared pool");
+}
+
+TEST(HostPoolDeathTest, RejectsZeroAndOversizedWidth) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(HostPool p(0), "1\\.\\.4096 workers");
+  EXPECT_DEATH(HostPool p(HostPool::kMaxWorkers + 1), "1\\.\\.4096 workers");
+}
+
+/// PMG_HOST_THREADS must die on garbage instead of truncating: trailing
+/// junk, zero, out-of-long-range (ERANGE would otherwise clamp to
+/// LONG_MAX and silently wrap through the uint32_t cast), and values
+/// past the worker cap. Nothing else in this binary calls Default(), so
+/// each re-exec'd death-test child resolves the env var fresh.
+TEST(HostPoolDeathTest, RejectsGarbagePmgHostThreads) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* kGarbage[] = {"8x", "0", "-3", "99999999999999999999", "5000"};
+  for (const char* value : kGarbage) {
+    ASSERT_EQ(setenv("PMG_HOST_THREADS", value, 1), 0);
+    EXPECT_DEATH(HostPool::Default(),
+                 "PMG_HOST_THREADS must be an integer in \\[1, 4096\\]")
+        << "value '" << value << "'";
+  }
+  ASSERT_EQ(unsetenv("PMG_HOST_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace pmg::memsim
