@@ -1,0 +1,132 @@
+// Servetrace overhead benchmark: the canonical burst+crash scenario run
+// bare, and again with a pmg::servetrace::ServeTracer attached.
+//
+// The contract this enforces (loudly — a violation is exit 1, not a
+// perf-gate delta): request tracing is host-side bookkeeping of
+// already-priced events, so
+//
+//   - detached tracing costs zero: a run with no observer produces the
+//     same bytes it did before the observer seam existed, and
+//   - attached tracing changes no simulated number: the ServeReport and
+//     Prometheus exposition are byte-identical with and without the
+//     tracer.
+//
+// Emits BENCH_serve_trace.json for the CI perf-regression gate: the *_ns
+// columns are simulated time and therefore exactly reproducible; the
+// traced row must stay bit-equal to the detached row forever.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "pmg/faultsim/fault_schedule.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/topology.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/serve/server.h"
+#include "pmg/serve/workload.h"
+#include "pmg/servetrace/servetrace.h"
+#include "pmg/trace/bench_report.h"
+
+namespace {
+
+using pmg::MiB;
+using pmg::serve::ServeConfig;
+using pmg::serve::ServeReport;
+using pmg::serve::Server;
+
+/// The acceptance machine/graph pair of tests/serve and bench_serve_p99.
+pmg::memsim::MachineConfig TinyConfig() {
+  pmg::memsim::MachineConfig c;
+  c.kind = pmg::memsim::MachineKind::kDramMain;
+  c.name = "tiny";
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;
+  c.topology.dram_bytes_per_socket = MiB(8);
+  c.topology.pmm_bytes_per_socket = 0;
+  c.cpu_cache_lines = 64;
+  return c;
+}
+
+ServeConfig CanonicalConfig() {
+  ServeConfig cfg;
+  cfg.machine = TinyConfig();
+  cfg.threads = 4;
+  cfg.algo.label_policy.placement = pmg::memsim::Placement::kInterleaved;
+  cfg.pr_rounds = 10;
+  std::string error;
+  if (!pmg::serve::WorkloadSpec::Parse("canonical", &cfg.workload, &error) ||
+      !pmg::faultsim::FaultSchedule::Parse("crash@access:300000;seed=42",
+                                           &cfg.faults, &error)) {
+    std::fprintf(stderr, "bad canonical config: %s\n", error.c_str());
+    std::abort();
+  }
+  return cfg;
+}
+
+void AddRow(pmg::trace::BenchJson* json, const char* config,
+            const ServeReport& rep) {
+  json->BeginRow();
+  json->writer().Key("config").String(config);
+  json->writer().Key("offered").UInt(rep.offered);
+  json->writer().Key("answered").UInt(rep.completed + rep.completed_degraded);
+  json->writer().Key("busy_ns").UInt(rep.busy_ns);
+  json->writer().Key("total_ns").UInt(rep.total_ns);
+  json->writer().Key("p50_ns").UInt(rep.p50_ns);
+  json->writer().Key("p99_ns").UInt(rep.p99_ns);
+  json->writer().Key("p999_ns").UInt(rep.p999_ns);
+  json->EndRow();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Servetrace overhead on the canonical burst+crash scenario\n"
+      "(attaching the tracer must change no simulated number; a byte\n"
+      " difference is a bug, not a regression)\n\n");
+
+  pmg::graph::CsrTopology topo = pmg::graph::Rmat(8, 8, 7);
+  pmg::graph::AssignRandomWeights(&topo, /*max_weight=*/9, /*seed=*/13);
+
+  Server bare_server(topo, CanonicalConfig());
+  const ServeReport bare = bare_server.Run();
+  const std::string bare_json = bare.ToJson();
+  const std::string bare_prom = bare_server.registry().PrometheusText();
+
+  ServeConfig traced_cfg = CanonicalConfig();
+  pmg::servetrace::ServeTracer tracer;
+  traced_cfg.observer = &tracer;
+  Server traced_server(topo, traced_cfg);
+  const ServeReport traced = traced_server.Run();
+
+  if (traced.ToJson() != bare_json ||
+      traced_server.registry().PrometheusText() != bare_prom) {
+    std::fprintf(stderr,
+                 "FAIL: attaching the tracer changed the serve report or "
+                 "metrics exposition\n");
+    return 1;
+  }
+
+  const pmg::servetrace::ServeTailReport tail =
+      pmg::servetrace::BuildTailReport(tracer);
+  size_t spans = 0;
+  for (const pmg::servetrace::RequestTimeline& t : tracer.timelines()) {
+    spans += t.spans.size();
+  }
+  std::printf(
+      "detached == traced: %llu requests, byte-identical report + metrics\n"
+      "traced extras: %zu spans across %zu timelines, %zu selected for "
+      "export, %zu tail rows\n",
+      static_cast<unsigned long long>(bare.offered), spans,
+      tracer.timelines().size(), tracer.SelectedRequests().size(),
+      tail.rows.size());
+
+  pmg::trace::BenchJson json("serve_trace");
+  AddRow(&json, "detached", bare);
+  AddRow(&json, "traced", traced);
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -221,6 +221,7 @@ enum class TraceInstantKind : uint8_t {
   kServeDispatch,       ///< value = serving-layer request id (pmg::serve).
   kServeComplete,       ///< value = request id of a finished query.
   kServeShed,           ///< value = request id dropped by admission control.
+  kServeRecovery,       ///< value = recovery ordinal after a crash rebuild.
 };
 
 constexpr const char* TraceInstantName(TraceInstantKind k) {
@@ -241,6 +242,8 @@ constexpr const char* TraceInstantName(TraceInstantKind k) {
       return "serve-complete";
     case TraceInstantKind::kServeShed:
       return "serve-shed";
+    case TraceInstantKind::kServeRecovery:
+      return "serve-recovery";
   }
   return "?";
 }

@@ -127,6 +127,14 @@ MetricId Registry::AddHistogram(std::string name, std::string help) {
   return static_cast<MetricId>(metrics_.size() - 1);
 }
 
+MetricId Registry::AddHistogramWithExemplars(std::string name,
+                                             std::string help) {
+  const MetricId id = AddHistogram(std::move(name), std::move(help));
+  metrics_[id].exemplar_slot = static_cast<int32_t>(exemplars_.size());
+  exemplars_.push_back({});
+  return id;
+}
+
 const Registry::Metric& Registry::Get(MetricId id, MetricKind kind) const {
   PMG_CHECK_MSG(id < metrics_.size(), "unknown metric id %u", id);
   const Metric& m = metrics_[id];
@@ -150,6 +158,26 @@ void Registry::ObserveShard(MetricId id, ThreadId t, uint64_t value) {
   std::atomic<uint64_t>* base = &shards_[t % kShards][m.slot];
   base[Log2Bucket(value)].fetch_add(1, std::memory_order_relaxed);
   base[kHistogramBuckets].fetch_add(value, std::memory_order_relaxed);
+}
+
+void Registry::ObserveExemplar(MetricId id, uint64_t value,
+                               uint64_t exemplar) {
+  const Metric& m = Get(id, MetricKind::kHistogram);
+  PMG_CHECK_MSG(m.exemplar_slot >= 0,
+                "metric '%s' was not registered with exemplars",
+                m.name.c_str());
+  ObserveShard(id, 0, value);
+  ExemplarCell& cell =
+      exemplars_[static_cast<size_t>(m.exemplar_slot)][Log2Bucket(value)];
+  // Order-independent replacement: the bucket's representative is the
+  // largest observation, ties to the lowest exemplar id — any observation
+  // order retains the same cell.
+  if (!cell.set || value > cell.value ||
+      (value == cell.value && exemplar < cell.exemplar)) {
+    cell.set = true;
+    cell.value = value;
+    cell.exemplar = exemplar;
+  }
 }
 
 uint64_t Registry::MergedSlot(size_t slot) const {
@@ -188,6 +216,18 @@ HistogramSnapshot Registry::HistogramValue(MetricId id) const {
   }
   snap.sum = MergedSlot(m.slot + kHistogramBuckets);
   return snap;
+}
+
+std::vector<HistogramExemplar> Registry::HistogramExemplars(
+    MetricId id) const {
+  const Metric& m = Get(id, MetricKind::kHistogram);
+  std::vector<HistogramExemplar> out;
+  if (m.exemplar_slot < 0) return out;
+  const auto& cells = exemplars_[static_cast<size_t>(m.exemplar_slot)];
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (cells[b].set) out.push_back({b, cells[b].value, cells[b].exemplar});
+  }
+  return out;
 }
 
 std::string Registry::PrometheusText() const {
@@ -234,6 +274,16 @@ std::string Registry::PrometheusText() const {
           }
           out += "\"} ";
           AppendU64(&out, cum);
+          if (m.exemplar_slot >= 0) {
+            const ExemplarCell& cell =
+                exemplars_[static_cast<size_t>(m.exemplar_slot)][b];
+            if (cell.set) {
+              out += " # {exemplar_id=\"";
+              AppendU64(&out, cell.exemplar);
+              out += "\"} ";
+              AppendU64(&out, cell.value);
+            }
+          }
           out += "\n";
         }
         out += m.name + "_sum ";

@@ -1,6 +1,7 @@
 #ifndef PMG_METRICS_REGISTRY_H_
 #define PMG_METRICS_REGISTRY_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -59,6 +60,16 @@ struct HistogramSnapshot {
   double Quantile(double q) const;
 };
 
+/// One bucket's representative observation (OpenMetrics-style exemplar):
+/// `exemplar` is a caller-defined id — pmg::serve records the request id
+/// whose latency landed in the bucket, so a histogram tail links straight
+/// back to a traceable request.
+struct HistogramExemplar {
+  size_t bucket = 0;
+  uint64_t value = 0;
+  uint64_t exemplar = 0;
+};
+
 class Registry {
  public:
   Registry();
@@ -71,6 +82,10 @@ class Registry {
   MetricId AddCounter(std::string name, std::string help);
   MetricId AddGauge(std::string name, std::string help);
   MetricId AddHistogram(std::string name, std::string help);
+  /// A histogram that additionally keeps one exemplar per bucket
+  /// (ObserveExemplar). Opt-in so plain histograms keep their exposition
+  /// bytes and write path unchanged.
+  MetricId AddHistogramWithExemplars(std::string name, std::string help);
 
   // --- Writes (lock-free; shard picked from the virtual thread id) ---
 
@@ -79,16 +94,29 @@ class Registry {
   void GaugeSet(MetricId id, int64_t value);
   void Observe(MetricId id, uint64_t value) { ObserveShard(id, 0, value); }
   void ObserveShard(MetricId id, ThreadId t, uint64_t value);
+  /// Observes `value` and records `exemplar` as the bucket's candidate
+  /// representative. The replacement rule is order-independent (largest
+  /// value wins, ties to the lowest exemplar id), so the retained set is
+  /// deterministic. Exemplar cells are not sharded: unlike the counter
+  /// cells this write path expects a single writer (the serve event loop);
+  /// the metric must come from AddHistogramWithExemplars.
+  void ObserveExemplar(MetricId id, uint64_t value, uint64_t exemplar);
 
   // --- Reads (merge shards; deterministic) ---
 
   uint64_t CounterValue(MetricId id) const;
   int64_t GaugeValue(MetricId id) const;
   HistogramSnapshot HistogramValue(MetricId id) const;
+  /// Retained exemplars of an AddHistogramWithExemplars histogram,
+  /// ascending by bucket; empty for a plain histogram.
+  std::vector<HistogramExemplar> HistogramExemplars(MetricId id) const;
 
   /// Deterministic Prometheus-style text exposition: families sorted by
   /// metric name, histogram buckets as cumulative `_bucket{le=...}` rows
-  /// (zero-count buckets elided), then `_sum` and `_count`.
+  /// (zero-count buckets elided), then `_sum` and `_count`. Exemplar
+  /// histograms append an OpenMetrics-style `# {exemplar_id="..."} value`
+  /// suffix to each bucket row; plain families are byte-identical to a
+  /// registry built before exemplars existed.
   std::string PrometheusText() const;
 
   size_t metric_count() const { return metrics_.size(); }
@@ -103,6 +131,14 @@ class Registry {
     /// Counter/histogram: base index into the sharded slot array.
     /// Gauge: index into gauges_.
     uint32_t slot = 0;
+    /// Histogram with exemplars: index into exemplars_; -1 = plain.
+    int32_t exemplar_slot = -1;
+  };
+
+  struct ExemplarCell {
+    bool set = false;
+    uint64_t value = 0;
+    uint64_t exemplar = 0;
   };
 
   static constexpr size_t kShards = 8;
@@ -121,6 +157,8 @@ class Registry {
   std::unique_ptr<std::atomic<uint64_t>[]> shards_[kShards];
   /// Deque: grows without moving (atomics are not movable).
   std::deque<std::atomic<int64_t>> gauges_;
+  /// Per-bucket exemplar cells of opt-in histograms (single-writer).
+  std::vector<std::array<ExemplarCell, kHistogramBuckets>> exemplars_;
 };
 
 }  // namespace pmg::metrics

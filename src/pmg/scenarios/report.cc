@@ -393,6 +393,134 @@ void PrintWhatifReport(const whatif::ExplainReport& report, std::FILE* out) {
   levers.Print(out);
 }
 
+void PrintServeTailReport(const servetrace::ServeTailReport& report,
+                          std::FILE* out) {
+  std::fprintf(out,
+               "\nserve tail: %llu offered, %llu answered, "
+               "%llu deadline miss(es)\n",
+               static_cast<unsigned long long>(report.offered),
+               static_cast<unsigned long long>(report.answered),
+               static_cast<unsigned long long>(report.deadline_missed));
+  if (report.rows.empty()) {
+    std::fprintf(out, "no answered requests — nothing to decompose\n");
+  } else {
+    Table rows({"scope", "quantile", "request", "latency (ms)", "queue",
+                "service", "degraded", "hedge", "backoff", "recovery"});
+    for (const servetrace::TailQuantileRow& r : report.rows) {
+      std::vector<std::string> cells = {
+          r.all ? "all" : serve::QueryKindName(r.kind), r.quantile,
+          std::to_string(r.request_id), FormatMillis(r.latency_ns)};
+      for (size_t c = 0; c < servetrace::kBreakdownComponents; ++c) {
+        cells.push_back(
+            FormatMillis(servetrace::BreakdownComponent(r.parts, c)));
+      }
+      rows.AddRow(std::move(cells));
+    }
+    rows.Print(out);
+
+    const SimNs total = report.answered_total.Sum();
+    const double denom = total == 0 ? 1.0 : static_cast<double>(total);
+    std::fprintf(out, "answered time split:");
+    for (size_t c = 0; c < servetrace::kBreakdownComponents; ++c) {
+      const SimNs ns =
+          servetrace::BreakdownComponent(report.answered_total, c);
+      std::fprintf(out, " %s=%s%%", servetrace::BreakdownComponentName(c),
+                   FormatDouble(static_cast<double>(ns) / denom * 100.0, 1)
+                       .c_str());
+    }
+    std::fprintf(out, "\n");
+  }
+  if (!report.miss_causes.empty()) {
+    std::fprintf(out, "miss causes (ranked):\n");
+    Table causes({"cause", "count"});
+    for (const servetrace::TailCause& c : report.miss_causes) {
+      causes.AddRow({c.cause, std::to_string(c.count)});
+    }
+    causes.Print(out);
+  }
+}
+
+void PrintServeTailContrast(const servetrace::ServeTailReport& base,
+                            const servetrace::ServeTailReport& other,
+                            std::FILE* out) {
+  std::fprintf(out,
+               "\nserve tail contrast: base %llu answered vs other %llu "
+               "answered\n",
+               static_cast<unsigned long long>(base.answered),
+               static_cast<unsigned long long>(other.answered));
+
+  auto find_all_row =
+      [](const servetrace::ServeTailReport& r,
+         const std::string& quantile) -> const servetrace::TailQuantileRow* {
+    for (const servetrace::TailQuantileRow& row : r.rows) {
+      if (row.all && row.quantile == quantile) return &row;
+    }
+    return nullptr;
+  };
+
+  Table quantiles(
+      {"quantile", "base (ms)", "other (ms)", "delta (ms)", "ratio"});
+  const char* kNames[] = {"p50", "p99", "p999"};
+  for (const char* q : kNames) {
+    const servetrace::TailQuantileRow* a = find_all_row(base, q);
+    const servetrace::TailQuantileRow* b = find_all_row(other, q);
+    if (a == nullptr || b == nullptr) continue;
+    const int64_t delta = static_cast<int64_t>(b->latency_ns) -
+                          static_cast<int64_t>(a->latency_ns);
+    const double ratio =
+        a->latency_ns == 0 ? 0.0
+                           : static_cast<double>(b->latency_ns) /
+                                 static_cast<double>(a->latency_ns);
+    char delta_ms[32];
+    std::snprintf(delta_ms, sizeof(delta_ms), "%+.3f",
+                  static_cast<double>(delta) / 1e6);
+    quantiles.AddRow({q, FormatMillis(a->latency_ns),
+                      FormatMillis(b->latency_ns), delta_ms,
+                      FormatRatio(ratio)});
+  }
+  quantiles.Print(out);
+
+  // The headline decomposition: which component moved the p999.
+  const servetrace::TailQuantileRow* a = find_all_row(base, "p999");
+  const servetrace::TailQuantileRow* b = find_all_row(other, "p999");
+  if (a == nullptr || b == nullptr) {
+    std::fprintf(out, "no p999 row on both sides — skipping component "
+                      "contrast\n");
+    return;
+  }
+  struct ComponentDelta {
+    size_t c;
+    int64_t delta;
+  };
+  std::vector<ComponentDelta> deltas;
+  for (size_t c = 0; c < servetrace::kBreakdownComponents; ++c) {
+    deltas.push_back(
+        {c, static_cast<int64_t>(servetrace::BreakdownComponent(b->parts, c)) -
+                static_cast<int64_t>(
+                    servetrace::BreakdownComponent(a->parts, c))});
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const ComponentDelta& x, const ComponentDelta& y) {
+              const int64_t ax = x.delta < 0 ? -x.delta : x.delta;
+              const int64_t ay = y.delta < 0 ? -y.delta : y.delta;
+              if (ax != ay) return ax > ay;
+              return x.c < y.c;
+            });
+  std::fprintf(out, "p999 movers (component deltas, largest first):\n");
+  Table movers({"component", "base (ms)", "other (ms)", "delta (ms)"});
+  for (const ComponentDelta& d : deltas) {
+    char delta_ms[32];
+    std::snprintf(delta_ms, sizeof(delta_ms), "%+.3f",
+                  static_cast<double>(d.delta) / 1e6);
+    movers.AddRow(
+        {servetrace::BreakdownComponentName(d.c),
+         FormatMillis(servetrace::BreakdownComponent(a->parts, d.c)),
+         FormatMillis(servetrace::BreakdownComponent(b->parts, d.c)),
+         delta_ms});
+  }
+  movers.Print(out);
+}
+
 double Geomean(const std::vector<double>& values) {
   double log_sum = 0;
   int n = 0;

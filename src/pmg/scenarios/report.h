@@ -12,6 +12,7 @@
 #include "pmg/metrics/heatmap.h"
 #include "pmg/sancheck/sancheck.h"
 #include "pmg/serve/server.h"
+#include "pmg/servetrace/servetrace.h"
 #include "pmg/trace/trace_session.h"
 #include "pmg/whatif/explain.h"
 
@@ -90,6 +91,20 @@ void PrintServeReport(const serve::ServeReport& report,
 /// the ranked "top levers" counterfactual table.
 void PrintWhatifReport(const whatif::ExplainReport& report,
                        std::FILE* out = stdout);
+
+/// Prints the tail explainer: per-kind p50/p99/p999 representative
+/// requests decomposed into the six latency components, the aggregate
+/// answered-time split, and the ranked miss-cause table.
+void PrintServeTailReport(const servetrace::ServeTailReport& report,
+                          std::FILE* out = stdout);
+
+/// Prints two tail reports side by side (the PMM-vs-DRAM workflow): the
+/// "all" quantile rows of `base` against `other` with ratios, then the
+/// headline p999 component deltas ranked largest-first, whatif's
+/// ranked-levers style.
+void PrintServeTailContrast(const servetrace::ServeTailReport& base,
+                            const servetrace::ServeTailReport& other,
+                            std::FILE* out = stdout);
 
 }  // namespace pmg::scenarios
 

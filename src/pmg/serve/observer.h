@@ -1,0 +1,88 @@
+#ifndef PMG_SERVE_OBSERVER_H_
+#define PMG_SERVE_OBSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pmg/serve/request.h"
+
+/// \file observer.h
+/// The request-timeline observer seam of pmg::serve. The Server narrates
+/// every state transition a request goes through — enqueue, dispatch,
+/// attempt end, retry backoff, recovery stall, terminal — as it happens on
+/// the simulated serve clock, and an attached ServeObserver (pmg::servetrace
+/// is the in-tree implementation) turns that narration into span timelines.
+///
+/// Contract, mirroring the Machine observer seams:
+///   - zero-cost when detached: every call site is null-guarded and the
+///     Server computes nothing observer-only ahead of the guard;
+///   - pure narration: observers must not feed anything back into serving
+///     decisions, and no simulated number may depend on one being attached
+///     (the serve report is byte-identical either way — asserted by
+///     bench_serve_trace);
+///   - hooks fire in simulated-time order for any single request, and the
+///     timestamps handed over are exact event times on the serve clock, so
+///     an observer can rebuild a gap-free span timeline per request
+///     (arrival -> queue -> attempts -> backoff/recovery -> terminal).
+
+namespace pmg::serve {
+
+class ServeObserver {
+ public:
+  /// Why an execution attempt stopped billing.
+  enum class ExecEnd : uint8_t {
+    kAnswered = 0,  ///< Produced a result (full or degraded fidelity).
+    kDeadline,      ///< Priced timeout at a round boundary.
+    kHedge,         ///< Straggler abandoned for an immediate degraded re-run.
+    kCrash,         ///< Simulated crash killed the machine mid-attempt.
+  };
+
+  virtual ~ServeObserver() = default;
+
+  /// Serving starts: the full arrival trace, indexed by request index
+  /// (== request id). Fires once, before any other hook.
+  virtual void OnRun(const std::vector<Request>& arrivals) = 0;
+
+  /// A request (attempt `attempt`, 1-based) enters admission at
+  /// `at_ns` — its arrival time for first attempts, its backoff-eligible
+  /// time for retries. Fires before the admission decision, so a
+  /// same-timestamp OnShed may immediately follow.
+  virtual void OnEnqueue(uint64_t req_index, uint32_t attempt,
+                         SimNs at_ns) = 0;
+
+  /// Admission (or the deadline-aware dispatch drop) shed the request.
+  /// Terminal.
+  virtual void OnShed(uint64_t req_index, ShedReason reason, SimNs at_ns) = 0;
+
+  /// The worker starts executing attempt `attempt` at `at_ns`. A hedge
+  /// re-run re-dispatches at the exact end of the abandoned straggler with
+  /// `hedge_rerun` set (and always degraded).
+  virtual void OnDispatch(uint64_t req_index, uint32_t attempt, bool degraded,
+                          bool hedge_rerun, SimNs at_ns) = 0;
+
+  /// The attempt started by the matching OnDispatch stopped billing at
+  /// `at_ns` (== dispatch time + machine time billed to the attempt).
+  virtual void OnExecEnd(uint64_t req_index, ExecEnd why, SimNs at_ns) = 0;
+
+  /// A retry was scheduled at `from_ns`; the request sits in backoff until
+  /// its eligible time (handed to the next OnEnqueue).
+  virtual void OnBackoff(uint64_t req_index, SimNs from_ns) = 0;
+
+  /// Crash recovery stalled the in-flight request from `from_ns` (the
+  /// crash) to `to_ns` (machine rebuilt — or the give-up point when the
+  /// server exhausted max_recoveries and OnAbandon follows).
+  virtual void OnRecovery(uint64_t req_index, SimNs from_ns, SimNs to_ns) = 0;
+
+  /// Terminal: the request was answered or exhausted its budget at
+  /// `at_ns` (== the matching OnExecEnd's timestamp).
+  virtual void OnFinish(uint64_t req_index, Outcome outcome,
+                        bool missed_deadline, SimNs at_ns) = 0;
+
+  /// Terminal without an answer: the server gave up (max_recoveries) with
+  /// this request queued, backing off, or not yet arrived.
+  virtual void OnAbandon(uint64_t req_index, SimNs at_ns) = 0;
+};
+
+}  // namespace pmg::serve
+
+#endif  // PMG_SERVE_OBSERVER_H_

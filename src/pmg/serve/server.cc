@@ -39,10 +39,13 @@ ServeConfig NaiveBaseline(ServeConfig cfg) {
 
 Server::Server(const graph::CsrTopology& topo, const ServeConfig& cfg)
     : topo_(topo), cfg_(cfg), injector_(cfg.faults) {
-  ids_.latency = registry_.AddHistogram("pmg_serve_latency_ns",
-                                        "Answered-request latency");
+  // Latency histograms carry exemplars: each log2 bucket remembers the
+  // request id of its largest observation, so a blown-up tail bucket links
+  // straight to a request the servetrace explainer can decompose.
+  ids_.latency = registry_.AddHistogramWithExemplars(
+      "pmg_serve_latency_ns", "Answered-request latency");
   for (size_t k = 0; k < kQueryKindCount; ++k) {
-    ids_.latency_kind[k] = registry_.AddHistogram(
+    ids_.latency_kind[k] = registry_.AddHistogramWithExemplars(
         std::string("pmg_serve_latency_") +
             QueryKindName(static_cast<QueryKind>(k)) + "_ns",
         "Answered-request latency by query kind");
@@ -87,7 +90,9 @@ void Server::BuildMachine(bool recovery) {
   machine_ = std::make_unique<memsim::Machine>(cfg_.machine);
   // Plumbed for uniformity: the always-attached fault hook keeps serving
   // machines on direct pricing, but the pool costs nothing unattended.
-  machine_->SetHostPool(memsim::HostPool::Default());
+  machine_->SetHostPool(cfg_.host_workers == 0
+                            ? memsim::HostPool::Default()
+                            : memsim::HostPool::ForWorkers(cfg_.host_workers));
   machine_->SetFaultHook(&injector_);
   // Session attach order matches the recovery drivers: trace first so the
   // metrics session's epoch rows land on an already-continuous timeline.
@@ -132,6 +137,11 @@ bool Server::Rebuild(SimNs at) {
       recovery_ns_ += machine_->now();
       clock_offset_ = at;
       ObserveFaults();
+      if (machine_->trace_sink() != nullptr) {
+        machine_->trace_sink()->OnInstant(
+            memsim::TraceInstantKind::kServeRecovery, 0, machine_->now(),
+            recoveries_);
+      }
       return true;
     } catch (const memsim::SimulatedCrash&) {
       // The rebuild itself crashed (the schedule can fire on the graph
@@ -188,6 +198,7 @@ void Server::RecordShed(uint64_t req_index, ShedReason reason, SimNs now) {
     machine_->trace_sink()->OnInstant(memsim::TraceInstantKind::kServeShed, 0,
                                       machine_->now(), rec.req.id);
   }
+  if (cfg_.observer != nullptr) cfg_.observer->OnShed(req_index, reason, now);
   ++terminal_;
 }
 
@@ -250,8 +261,14 @@ void Server::PumpArrivals(SimNs now) {
     if (retry_at <= arrival_at) {
       const RetryEntry r = retries_.front();
       retries_.erase(retries_.begin());
+      if (cfg_.observer != nullptr) {
+        cfg_.observer->OnEnqueue(r.req_index, r.attempt, retry_at);
+      }
       Admit(QueueEntry{r.req_index, r.attempt, retry_at}, now);
     } else {
+      if (cfg_.observer != nullptr) {
+        cfg_.observer->OnEnqueue(next_arrival_, 1, arrival_at);
+      }
       Admit(QueueEntry{next_arrival_, 1, arrival_at}, now);
       ++next_arrival_;
     }
@@ -270,6 +287,7 @@ SimNs Server::NextEventNs() const {
 void Server::ScheduleRetry(uint64_t req_index, uint32_t prev_attempt) {
   ++retries_count_;
   registry_.Add(ids_.retries, 1);
+  if (cfg_.observer != nullptr) cfg_.observer->OnBackoff(req_index, Now());
   RetryEntry r;
   r.eligible_ns =
       Now() + cfg_.retry.BackoffNs(records_[req_index].req.id, prev_attempt);
@@ -459,9 +477,10 @@ void Server::Finish(uint64_t req_index, Outcome outcome, bool degraded,
     rec.completion_ns = now;
     rec.latency_ns = now - rec.req.arrival_ns;
     rec.missed_deadline = rec.latency_ns > rec.req.deadline_ns;
-    registry_.Observe(ids_.latency, rec.latency_ns);
-    registry_.Observe(ids_.latency_kind[static_cast<size_t>(rec.req.kind)],
-                      rec.latency_ns);
+    registry_.ObserveExemplar(ids_.latency, rec.latency_ns, rec.req.id);
+    registry_.ObserveExemplar(
+        ids_.latency_kind[static_cast<size_t>(rec.req.kind)], rec.latency_ns,
+        rec.req.id);
     registry_.Add(
         outcome == Outcome::kCompleted ? ids_.completed : ids_.degraded, 1);
     if (machine_->trace_sink() != nullptr) {
@@ -474,6 +493,9 @@ void Server::Finish(uint64_t req_index, Outcome outcome, bool degraded,
     registry_.Add(ids_.failed, 1);
   }
   if (rec.missed_deadline) registry_.Add(ids_.deadline_missed, 1);
+  if (cfg_.observer != nullptr) {
+    cfg_.observer->OnFinish(req_index, outcome, rec.missed_deadline, now);
+  }
   ++terminal_;
 }
 
@@ -494,6 +516,7 @@ void Server::Execute(QueueEntry e) {
   bool degraded = cfg_.degrade.enabled &&
                   (e.attempt > 1 || DegradedNow(dispatch_ns));
   bool hedgeable = cfg_.hedge.enabled && e.attempt == 1 && !degraded;
+  bool hedge_rerun = false;
   while (true) {
     ++rec.attempts;
     if (machine_->trace_sink() != nullptr) {
@@ -502,6 +525,10 @@ void Server::Execute(QueueEntry e) {
           req.id);
     }
     const SimNs attempt_start = Now();
+    if (cfg_.observer != nullptr) {
+      cfg_.observer->OnDispatch(e.req_index, rec.attempts, degraded,
+                                hedge_rerun, attempt_start);
+    }
     const SimNs m0 = machine_->now();
     ExecResult r;
     bool crashed = false;
@@ -527,6 +554,17 @@ void Server::Execute(QueueEntry e) {
     const SimNs delta = machine_->now() - m0;
     busy_ns_ += delta;
     rec.billed_ns += delta;
+    if (cfg_.observer != nullptr) {
+      ServeObserver::ExecEnd why = ServeObserver::ExecEnd::kAnswered;
+      if (crashed) {
+        why = ServeObserver::ExecEnd::kCrash;
+      } else if (r.aborted == AbortWhy::kDeadline) {
+        why = ServeObserver::ExecEnd::kDeadline;
+      } else if (r.aborted == AbortWhy::kHedge) {
+        why = ServeObserver::ExecEnd::kHedge;
+      }
+      cfg_.observer->OnExecEnd(e.req_index, why, attempt_start + delta);
+    }
     if (crashed) {
       const SimNs t_crash = Now();
       if (machine_->trace_sink() != nullptr) {
@@ -534,7 +572,11 @@ void Server::Execute(QueueEntry e) {
                                           machine_->now(), 1);
       }
       DetachSessions();
-      if (!Rebuild(t_crash)) return;  // gave up; Run fails the remainder
+      const bool rebuilt = Rebuild(t_crash);
+      if (cfg_.observer != nullptr) {
+        cfg_.observer->OnRecovery(e.req_index, t_crash, Now());
+      }
+      if (!rebuilt) return;  // gave up; Run fails the remainder
       // The in-flight request rides the retry path (crash retries do not
       // consume the timeout-retry budget; they are bounded by
       // max_recoveries instead).
@@ -549,6 +591,7 @@ void Server::Execute(QueueEntry e) {
       registry_.Add(ids_.hedges, 1);
       degraded = true;
       hedgeable = false;
+      hedge_rerun = true;
       continue;
     }
     if (r.aborted == AbortWhy::kDeadline) {
@@ -579,6 +622,7 @@ ServeReport Server::Run() {
   records_.resize(arrivals_.size());
   for (size_t i = 0; i < arrivals_.size(); ++i) records_[i].req = arrivals_[i];
   registry_.Add(ids_.offered, arrivals_.size());
+  if (cfg_.observer != nullptr) cfg_.observer->OnRun(arrivals_);
 
   // Initial residency: build the machine and load the graph. This predates
   // the serve timeline (a server answers queries against an already-
@@ -604,7 +648,8 @@ ServeReport Server::Run() {
     // Fail everything not yet terminal: queued, backing off, or unarrived.
     // (A fresh record still reads kCompleted with completion_ns == 0; an
     // actually-answered request always completes at a nonzero time.)
-    for (RequestRecord& rec : records_) {
+    for (size_t i = 0; i < records_.size(); ++i) {
+      RequestRecord& rec = records_[i];
       const bool terminal = rec.outcome == Outcome::kShed ||
                             rec.outcome == Outcome::kFailed ||
                             (Answered(rec.outcome) && rec.completion_ns != 0);
@@ -613,6 +658,7 @@ ServeReport Server::Run() {
       rec.missed_deadline = true;
       registry_.Add(ids_.failed, 1);
       registry_.Add(ids_.deadline_missed, 1);
+      if (cfg_.observer != nullptr) cfg_.observer->OnAbandon(i, Now());
     }
   }
   DetachSessions();

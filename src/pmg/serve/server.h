@@ -15,6 +15,7 @@
 #include "pmg/memsim/machine.h"
 #include "pmg/metrics/registry.h"
 #include "pmg/runtime/runtime.h"
+#include "pmg/serve/observer.h"
 #include "pmg/serve/policy.h"
 #include "pmg/serve/request.h"
 #include "pmg/serve/workload.h"
@@ -81,6 +82,15 @@ struct ServeConfig {
   /// recovery drivers do. Not owned.
   trace::TraceSession* trace = nullptr;
   metrics::MetricsSession* metrics = nullptr;
+  /// Request-timeline observer (observer.h; pmg::servetrace is the in-tree
+  /// implementation). Survives crash rebuilds — it watches the serve
+  /// clock, not the machine. Not owned.
+  ServeObserver* observer = nullptr;
+  /// Host pricing-pool width: 0 = the process-wide PMG_HOST_THREADS pool,
+  /// N pins HostPool::ForWorkers(N) (1 = serial). Host-side execution
+  /// speed only — no simulated number may depend on it
+  /// (docs/determinism.md); the differential suite sweeps it.
+  uint32_t host_workers = 0;
 };
 
 /// The naive baseline the acceptance scenario beats: unbounded queue, no

@@ -1,0 +1,827 @@
+#include "pmg/servetrace/servetrace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "pmg/common/check.h"
+
+namespace pmg::servetrace {
+
+using serve::Outcome;
+using serve::QueryKind;
+using serve::ShedReason;
+using trace::JsonValue;
+using trace::JsonWriter;
+
+namespace {
+
+/// Synthetic Chrome tids. The epoch track sits at 1000000
+/// (trace_session.cc); the serve worker track and the per-request tracks
+/// live above it so the two layers never collide.
+constexpr uint64_t kServeWorkerTid = 2000000;
+constexpr uint64_t kFirstRequestTid = kServeWorkerTid + 1;
+
+double ToUs(SimNs ns) { return static_cast<double>(ns) / 1000.0; }
+
+unsigned long long Ull(uint64_t v) {
+  return static_cast<unsigned long long>(v);
+}
+
+bool Answered(const RequestTimeline& t) {
+  return t.terminal && (t.outcome == Outcome::kCompleted ||
+                        t.outcome == Outcome::kCompletedDegraded);
+}
+
+/// Nearest-rank index of quantile qnum/qden over n sorted samples, in
+/// pure integer math so every platform picks the same representative.
+size_t QuantileIndex(size_t n, size_t qnum, size_t qden) {
+  PMG_CHECK(n > 0);
+  const size_t rank = (n * qnum + qden - 1) / qden;  // ceil(n * q), >= 1
+  return std::min(n - 1, rank - 1);
+}
+
+struct QuantileSpec {
+  const char* name;
+  size_t qnum;
+  size_t qden;
+};
+
+constexpr QuantileSpec kQuantiles[] = {
+    {"p50", 1, 2}, {"p99", 99, 100}, {"p999", 999, 1000}};
+
+void AppendBreakdownJson(const LatencyBreakdown& b, JsonWriter* w) {
+  w->BeginObject();
+  for (size_t c = 0; c < kBreakdownComponents; ++c) {
+    w->Key(std::string(BreakdownComponentName(c)) + "_ns")
+        .UInt(BreakdownComponent(b, c));
+  }
+  w->EndObject();
+}
+
+bool ParseU64Field(const JsonValue& obj, const char* key, uint64_t* out,
+                   std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->IsNumber()) {
+    *error = std::string("serve_tail: missing numeric field '") + key + "'";
+    return false;
+  }
+  *out = v->AsUInt();
+  return true;
+}
+
+bool ParseBreakdown(const JsonValue& obj, const char* key,
+                    LatencyBreakdown* out, std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kObject) {
+    *error = std::string("serve_tail: missing object field '") + key + "'";
+    return false;
+  }
+  SimNs parts[kBreakdownComponents] = {};
+  for (size_t c = 0; c < kBreakdownComponents; ++c) {
+    const std::string name =
+        std::string(BreakdownComponentName(c)) + "_ns";
+    if (!ParseU64Field(*v, name.c_str(), &parts[c], error)) return false;
+  }
+  out->queue_ns = parts[0];
+  out->service_ns = parts[1];
+  out->degraded_ns = parts[2];
+  out->hedge_ns = parts[3];
+  out->backoff_ns = parts[4];
+  out->recovery_ns = parts[5];
+  return true;
+}
+
+}  // namespace
+
+const char* ExecEndName(serve::ServeObserver::ExecEnd why) {
+  switch (why) {
+    case serve::ServeObserver::ExecEnd::kAnswered:
+      return "answered";
+    case serve::ServeObserver::ExecEnd::kDeadline:
+      return "deadline";
+    case serve::ServeObserver::ExecEnd::kHedge:
+      return "hedge";
+    case serve::ServeObserver::ExecEnd::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+const char* BreakdownComponentName(size_t c) {
+  switch (c) {
+    case 0:
+      return "queue";
+    case 1:
+      return "service";
+    case 2:
+      return "degraded";
+    case 3:
+      return "hedge";
+    case 4:
+      return "backoff";
+    case 5:
+      return "recovery";
+    default:
+      return "?";
+  }
+}
+
+SimNs BreakdownComponent(const LatencyBreakdown& b, size_t c) {
+  switch (c) {
+    case 0:
+      return b.queue_ns;
+    case 1:
+      return b.service_ns;
+    case 2:
+      return b.degraded_ns;
+    case 3:
+      return b.hedge_ns;
+    case 4:
+      return b.backoff_ns;
+    case 5:
+      return b.recovery_ns;
+    default:
+      return 0;
+  }
+}
+
+LatencyBreakdown RequestTimeline::Breakdown() const {
+  LatencyBreakdown b;
+  for (const Span& s : spans) {
+    const SimNs d = s.end_ns - s.start_ns;
+    switch (s.kind) {
+      case SpanKind::kQueue:
+        b.queue_ns += d;
+        break;
+      case SpanKind::kExec:
+        if (s.hedge_rerun) {
+          b.hedge_ns += d;
+        } else if (s.degraded) {
+          b.degraded_ns += d;
+        } else {
+          b.service_ns += d;
+        }
+        break;
+      case SpanKind::kBackoff:
+        b.backoff_ns += d;
+        break;
+      case SpanKind::kRecovery:
+        b.recovery_ns += d;
+        break;
+    }
+  }
+  return b;
+}
+
+ServeTracer::ServeTracer(uint32_t slowest_k) : slowest_k_(slowest_k) {
+  PMG_CHECK_MSG(slowest_k_ >= 1, "ServeTracer slowest_k must be >= 1");
+}
+
+void ServeTracer::OnRun(const std::vector<serve::Request>& arrivals) {
+  PMG_CHECK_MSG(timelines_.empty(),
+                "ServeTracer is one-shot: attach a fresh tracer per run");
+  timelines_.resize(arrivals.size());
+  open_.assign(arrivals.size(), 0);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    timelines_[i].req = arrivals[i];
+  }
+}
+
+void ServeTracer::OpenSpan(uint64_t req_index, SpanKind kind, SimNs at_ns) {
+  PMG_CHECK(req_index < timelines_.size());
+  PMG_CHECK_MSG(open_[req_index] == 0,
+                "request %llu already has an open span", Ull(req_index));
+  Span s;
+  s.kind = kind;
+  s.start_ns = at_ns;
+  s.end_ns = at_ns;
+  timelines_[req_index].spans.push_back(s);
+  open_[req_index] = 1;
+}
+
+void ServeTracer::CloseOpenSpan(uint64_t req_index, SimNs at_ns) {
+  PMG_CHECK(req_index < timelines_.size());
+  PMG_CHECK_MSG(open_[req_index] != 0, "request %llu has no open span",
+                Ull(req_index));
+  Span& s = timelines_[req_index].spans.back();
+  PMG_CHECK_MSG(at_ns >= s.start_ns,
+                "request %llu span would close before it opened",
+                Ull(req_index));
+  s.end_ns = at_ns;
+  open_[req_index] = 0;
+}
+
+void ServeTracer::Terminal(uint64_t req_index, SimNs at_ns) {
+  RequestTimeline& t = timelines_[req_index];
+  PMG_CHECK_MSG(!t.terminal, "request %llu reached two terminal events",
+                Ull(req_index));
+  PMG_CHECK(open_[req_index] == 0);
+  t.terminal = true;
+  t.terminal_ns = at_ns;
+
+  // The conservation law, checked bit-exactly at every terminal: spans
+  // tile [arrival_ns, terminal_ns] with no gap and no overlap, so their
+  // durations sum to the end-to-end latency.
+  if (t.spans.empty()) {
+    PMG_CHECK_MSG(at_ns == t.req.arrival_ns,
+                  "request %llu: empty timeline must terminate at arrival",
+                  Ull(req_index));
+    return;
+  }
+  PMG_CHECK_MSG(t.spans.front().start_ns == t.req.arrival_ns,
+                "request %llu: first span does not start at arrival",
+                Ull(req_index));
+  SimNs sum = 0;
+  SimNs cursor = t.req.arrival_ns;
+  for (const Span& s : t.spans) {
+    PMG_CHECK_MSG(s.start_ns == cursor,
+                  "request %llu: span timeline has a gap at %llu",
+                  Ull(req_index), Ull(cursor));
+    PMG_CHECK(s.end_ns >= s.start_ns);
+    sum += s.end_ns - s.start_ns;
+    cursor = s.end_ns;
+  }
+  PMG_CHECK_MSG(cursor == at_ns,
+                "request %llu: last span does not end at the terminal",
+                Ull(req_index));
+  PMG_CHECK_MSG(sum == at_ns - t.req.arrival_ns,
+                "request %llu: span durations do not sum to latency",
+                Ull(req_index));
+}
+
+void ServeTracer::OnEnqueue(uint64_t req_index, uint32_t attempt,
+                            SimNs at_ns) {
+  (void)attempt;
+  PMG_CHECK(req_index < timelines_.size());
+  // A retry's backoff wait ends the moment it becomes eligible again.
+  if (open_[req_index] != 0) {
+    PMG_CHECK(timelines_[req_index].spans.back().kind == SpanKind::kBackoff);
+    CloseOpenSpan(req_index, at_ns);
+  }
+  OpenSpan(req_index, SpanKind::kQueue, at_ns);
+}
+
+void ServeTracer::OnShed(uint64_t req_index, ShedReason reason,
+                         SimNs at_ns) {
+  CloseOpenSpan(req_index, at_ns);  // always sheds out of the queue
+  RequestTimeline& t = timelines_[req_index];
+  t.outcome = Outcome::kShed;
+  t.shed_reason = reason;
+  Terminal(req_index, at_ns);
+}
+
+void ServeTracer::OnDispatch(uint64_t req_index, uint32_t attempt,
+                             bool degraded, bool hedge_rerun, SimNs at_ns) {
+  PMG_CHECK(req_index < timelines_.size());
+  // First dispatch of an attempt leaves the queue; the hedge re-run starts
+  // back-to-back with the aborted straggler, no span open in between.
+  if (open_[req_index] != 0) {
+    PMG_CHECK(timelines_[req_index].spans.back().kind == SpanKind::kQueue);
+    CloseOpenSpan(req_index, at_ns);
+  }
+  OpenSpan(req_index, SpanKind::kExec, at_ns);
+  Span& s = timelines_[req_index].spans.back();
+  s.attempt = attempt;
+  s.degraded = degraded;
+  s.hedge_rerun = hedge_rerun;
+  ++timelines_[req_index].attempts;
+}
+
+void ServeTracer::OnExecEnd(uint64_t req_index, ExecEnd why, SimNs at_ns) {
+  PMG_CHECK(req_index < timelines_.size());
+  PMG_CHECK(timelines_[req_index].spans.back().kind == SpanKind::kExec);
+  CloseOpenSpan(req_index, at_ns);
+  RequestTimeline& t = timelines_[req_index];
+  t.spans.back().end_why = why;
+  switch (why) {
+    case ExecEnd::kAnswered:
+      break;
+    case ExecEnd::kDeadline:
+      ++t.timeouts;
+      break;
+    case ExecEnd::kHedge:
+      ++t.hedges;
+      break;
+    case ExecEnd::kCrash:
+      ++t.crashes;
+      break;
+  }
+}
+
+void ServeTracer::OnBackoff(uint64_t req_index, SimNs from_ns) {
+  OpenSpan(req_index, SpanKind::kBackoff, from_ns);
+}
+
+void ServeTracer::OnRecovery(uint64_t req_index, SimNs from_ns,
+                             SimNs to_ns) {
+  PMG_CHECK(req_index < timelines_.size());
+  PMG_CHECK(to_ns >= from_ns);
+  OpenSpan(req_index, SpanKind::kRecovery, from_ns);
+  CloseOpenSpan(req_index, to_ns);
+}
+
+void ServeTracer::OnFinish(uint64_t req_index, Outcome outcome,
+                           bool missed_deadline, SimNs at_ns) {
+  PMG_CHECK(req_index < timelines_.size());
+  PMG_CHECK(open_[req_index] == 0);
+  RequestTimeline& t = timelines_[req_index];
+  t.outcome = outcome;
+  t.missed_deadline = missed_deadline;
+  Terminal(req_index, at_ns);
+}
+
+void ServeTracer::OnAbandon(uint64_t req_index, SimNs at_ns) {
+  PMG_CHECK(req_index < timelines_.size());
+  RequestTimeline& t = timelines_[req_index];
+  t.abandoned = true;
+  t.outcome = Outcome::kFailed;
+  if (open_[req_index] != 0) CloseOpenSpan(req_index, at_ns);
+  // Queued/backing-off requests terminate where their last span was cut;
+  // requests that never arrived before the server gave up keep an empty
+  // timeline pinned at their arrival (the 0 == 0 law).
+  Terminal(req_index,
+           t.spans.empty() ? t.req.arrival_ns : t.spans.back().end_ns);
+}
+
+std::vector<uint64_t> ServeTracer::SelectedRequests() const {
+  std::vector<uint64_t> answered;
+  std::vector<uint64_t> shed;
+  std::vector<uint64_t> failed;
+  for (uint64_t i = 0; i < timelines_.size(); ++i) {
+    const RequestTimeline& t = timelines_[i];
+    if (!t.terminal) continue;
+    if (Answered(t)) {
+      answered.push_back(i);
+    } else if (t.outcome == Outcome::kShed) {
+      shed.push_back(i);
+    } else {
+      failed.push_back(i);
+    }
+  }
+  std::sort(answered.begin(), answered.end(), [&](uint64_t a, uint64_t b) {
+    const SimNs la = timelines_[a].LatencyNs();
+    const SimNs lb = timelines_[b].LatencyNs();
+    if (la != lb) return la > lb;
+    return timelines_[a].req.id < timelines_[b].req.id;
+  });
+  if (answered.size() > slowest_k_) answered.resize(slowest_k_);
+  if (shed.size() > slowest_k_) shed.resize(slowest_k_);
+  if (failed.size() > slowest_k_) failed.resize(slowest_k_);
+
+  std::vector<uint64_t> selected;
+  selected.reserve(answered.size() + shed.size() + failed.size());
+  selected.insert(selected.end(), answered.begin(), answered.end());
+  selected.insert(selected.end(), shed.begin(), shed.end());
+  selected.insert(selected.end(), failed.begin(), failed.end());
+  std::sort(selected.begin(), selected.end(), [&](uint64_t a, uint64_t b) {
+    return timelines_[a].req.id < timelines_[b].req.id;
+  });
+  return selected;
+}
+
+void ServeTracer::AppendChromeEvents(JsonWriter* w) const {
+  const std::vector<uint64_t> selected = SelectedRequests();
+
+  auto metadata = [&](uint64_t tid, const std::string& name) {
+    w->BeginObject();
+    w->Key("name").String("thread_name");
+    w->Key("ph").String("M");
+    w->Key("pid").UInt(0);
+    w->Key("tid").UInt(tid);
+    w->Key("args").BeginObject();
+    w->Key("name").String(name);
+    w->EndObject();
+    w->EndObject();
+  };
+
+  auto slice = [&](uint64_t tid, const std::string& name, SimNs start,
+                   SimNs end) {
+    w->BeginObject();
+    w->Key("name").String(name);
+    w->Key("ph").String("X");
+    w->Key("pid").UInt(0);
+    w->Key("tid").UInt(tid);
+    w->Key("ts").Fixed(ToUs(start), 3);
+    w->Key("dur").Fixed(ToUs(end - start), 3);
+  };
+
+  auto instant = [&](uint64_t tid, const std::string& name, SimNs at,
+                     uint64_t value) {
+    w->BeginObject();
+    w->Key("name").String(name);
+    w->Key("ph").String("i");
+    w->Key("s").String("g");
+    w->Key("pid").UInt(0);
+    w->Key("tid").UInt(tid);
+    w->Key("ts").Fixed(ToUs(at), 3);
+    w->Key("args").BeginObject();
+    w->Key("value").UInt(value);
+    w->EndObject();
+    w->EndObject();
+  };
+
+  metadata(kServeWorkerTid, "serve worker (selected requests)");
+  for (size_t slot = 0; slot < selected.size(); ++slot) {
+    const RequestTimeline& t = timelines_[selected[slot]];
+    metadata(kFirstRequestTid + slot,
+             "req " + std::to_string(t.req.id) + " " +
+                 QueryKindName(t.req.kind));
+  }
+
+  for (size_t slot = 0; slot < selected.size(); ++slot) {
+    const RequestTimeline& t = timelines_[selected[slot]];
+    const uint64_t tid = kFirstRequestTid + slot;
+
+    // The request as a flow: arrival binds to the first span's slice, the
+    // terminal to the last, so Perfetto draws one arrow through the
+    // request's whole lifetime next to the epoch tracks.
+    if (!t.spans.empty()) {
+      w->BeginObject();
+      w->Key("name").String("req " + std::to_string(t.req.id));
+      w->Key("cat").String("serve");
+      w->Key("ph").String("s");
+      w->Key("id").UInt(t.req.id);
+      w->Key("pid").UInt(0);
+      w->Key("tid").UInt(tid);
+      w->Key("ts").Fixed(ToUs(t.spans.front().start_ns), 3);
+      w->EndObject();
+      w->BeginObject();
+      w->Key("name").String("req " + std::to_string(t.req.id));
+      w->Key("cat").String("serve");
+      w->Key("ph").String("f");
+      w->Key("bp").String("e");
+      w->Key("id").UInt(t.req.id);
+      w->Key("pid").UInt(0);
+      w->Key("tid").UInt(tid);
+      w->Key("ts").Fixed(ToUs(t.terminal_ns), 3);
+      w->EndObject();
+    }
+
+    for (const Span& s : t.spans) {
+      std::string name = SpanKindName(s.kind);
+      if (s.kind == SpanKind::kExec) {
+        name = "attempt " + std::to_string(s.attempt);
+        if (s.hedge_rerun) {
+          name += " (hedge)";
+        } else if (s.degraded) {
+          name += " (degraded)";
+        }
+      }
+      slice(tid, name, s.start_ns, s.end_ns);
+      w->Key("args").BeginObject();
+      w->Key("request").UInt(t.req.id);
+      if (s.kind == SpanKind::kExec) {
+        w->Key("attempt").UInt(s.attempt);
+        w->Key("degraded").Bool(s.degraded);
+        w->Key("hedge_rerun").Bool(s.hedge_rerun);
+        w->Key("end").String(ExecEndName(s.end_why));
+      }
+      w->EndObject();
+      w->EndObject();
+
+      // The busy view: execution and recovery stalls also land on the
+      // shared worker track, interleaving the selected requests the way
+      // the single worker actually ran them.
+      if (s.kind == SpanKind::kExec || s.kind == SpanKind::kRecovery) {
+        slice(kServeWorkerTid,
+              s.kind == SpanKind::kRecovery
+                  ? "recovery"
+                  : "req " + std::to_string(t.req.id),
+              s.start_ns, s.end_ns);
+        w->Key("args").BeginObject();
+        w->Key("request").UInt(t.req.id);
+        w->EndObject();
+        w->EndObject();
+      }
+
+      if (s.kind == SpanKind::kExec &&
+          s.end_why == ExecEnd::kHedge) {
+        instant(tid, "serve-hedge", s.end_ns, t.req.id);
+      }
+      if (s.kind == SpanKind::kExec &&
+          s.end_why == ExecEnd::kDeadline) {
+        instant(tid, "serve-timeout", s.end_ns, t.req.id);
+      }
+    }
+    if (t.terminal && t.outcome == Outcome::kShed) {
+      instant(tid, "serve-shed", t.terminal_ns, t.req.id);
+    }
+  }
+}
+
+void ServeTracer::AppendJson(JsonWriter* w) const {
+  const std::vector<uint64_t> selected = SelectedRequests();
+  uint64_t terminal = 0;
+  for (const RequestTimeline& t : timelines_) {
+    if (t.terminal) ++terminal;
+  }
+
+  w->BeginObject();
+  w->Key("schema_version").UInt(kServeTraceSchemaVersion);
+  w->Key("slowest_k").UInt(slowest_k_);
+  w->Key("requests").UInt(timelines_.size());
+  w->Key("terminal").UInt(terminal);
+  w->Key("selected").BeginArray();
+  for (const uint64_t i : selected) {
+    const RequestTimeline& t = timelines_[i];
+    w->BeginObject();
+    w->Key("id").UInt(t.req.id);
+    w->Key("kind").String(QueryKindName(t.req.kind));
+    w->Key("outcome").String(OutcomeName(t.outcome));
+    if (t.outcome == Outcome::kShed) {
+      w->Key("shed_reason").String(ShedReasonName(t.shed_reason));
+    }
+    if (t.abandoned) w->Key("abandoned").Bool(true);
+    w->Key("missed_deadline").Bool(t.missed_deadline);
+    w->Key("arrival_ns").UInt(t.req.arrival_ns);
+    w->Key("terminal_ns").UInt(t.terminal_ns);
+    w->Key("latency_ns").UInt(t.LatencyNs());
+    w->Key("attempts").UInt(t.attempts);
+    w->Key("hedges").UInt(t.hedges);
+    w->Key("timeouts").UInt(t.timeouts);
+    w->Key("crashes").UInt(t.crashes);
+    w->Key("breakdown");
+    AppendBreakdownJson(t.Breakdown(), w);
+    w->Key("spans").BeginArray();
+    for (const Span& s : t.spans) {
+      w->BeginObject();
+      w->Key("kind").String(SpanKindName(s.kind));
+      w->Key("start_ns").UInt(s.start_ns);
+      w->Key("end_ns").UInt(s.end_ns);
+      if (s.kind == SpanKind::kExec) {
+        w->Key("attempt").UInt(s.attempt);
+        w->Key("degraded").Bool(s.degraded);
+        w->Key("hedge_rerun").Bool(s.hedge_rerun);
+        w->Key("end").String(ExecEndName(s.end_why));
+      }
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("selected_dropped").UInt(terminal - selected.size());
+  w->EndObject();
+}
+
+std::string ServeTracer::ToJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.str();
+}
+
+void ServeTailReport::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("schema_version").UInt(schema_version);
+  w->Key("offered").UInt(offered);
+  w->Key("answered").UInt(answered);
+  w->Key("deadline_missed").UInt(deadline_missed);
+  w->Key("rows").BeginArray();
+  for (const TailQuantileRow& r : rows) {
+    w->BeginObject();
+    w->Key("scope").String(r.all ? "all" : QueryKindName(r.kind));
+    w->Key("quantile").String(r.quantile);
+    w->Key("request_id").UInt(r.request_id);
+    w->Key("latency_ns").UInt(r.latency_ns);
+    w->Key("parts");
+    AppendBreakdownJson(r.parts, w);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("miss_causes").BeginArray();
+  for (const TailCause& c : miss_causes) {
+    w->BeginObject();
+    w->Key("cause").String(c.cause);
+    w->Key("count").UInt(c.count);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("answered_total");
+  AppendBreakdownJson(answered_total, w);
+  w->EndObject();
+}
+
+std::string ServeTailReport::ToJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.str();
+}
+
+bool ServeTailReport::FromJson(const JsonValue& v, ServeTailReport* out,
+                               std::string* error) {
+  std::string scratch;
+  if (error == nullptr) error = &scratch;
+  if (v.kind != JsonValue::Kind::kObject) {
+    *error = "serve_tail: document is not an object";
+    return false;
+  }
+  ServeTailReport r;
+  uint64_t schema = 0;
+  if (!ParseU64Field(v, "schema_version", &schema, error)) return false;
+  if (schema != kServeTraceSchemaVersion) {
+    *error = "serve_tail: unsupported schema_version " +
+             std::to_string(schema);
+    return false;
+  }
+  r.schema_version = static_cast<uint32_t>(schema);
+  if (!ParseU64Field(v, "offered", &r.offered, error) ||
+      !ParseU64Field(v, "answered", &r.answered, error) ||
+      !ParseU64Field(v, "deadline_missed", &r.deadline_missed, error)) {
+    return false;
+  }
+  const JsonValue* rows = v.Find("rows");
+  if (rows == nullptr || rows->kind != JsonValue::Kind::kArray) {
+    *error = "serve_tail: missing 'rows' array";
+    return false;
+  }
+  for (const JsonValue& rv : rows->array) {
+    if (rv.kind != JsonValue::Kind::kObject) {
+      *error = "serve_tail: row is not an object";
+      return false;
+    }
+    TailQuantileRow row;
+    const JsonValue* scope = rv.Find("scope");
+    const JsonValue* quantile = rv.Find("quantile");
+    if (scope == nullptr || scope->kind != JsonValue::Kind::kString ||
+        quantile == nullptr ||
+        quantile->kind != JsonValue::Kind::kString) {
+      *error = "serve_tail: row needs string 'scope' and 'quantile'";
+      return false;
+    }
+    if (scope->string_value == "all") {
+      row.all = true;
+    } else {
+      bool known = false;
+      for (size_t k = 0; k < serve::kQueryKindCount; ++k) {
+        const QueryKind kind = static_cast<QueryKind>(k);
+        if (scope->string_value == QueryKindName(kind)) {
+          row.kind = kind;
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        *error = "serve_tail: unknown row scope '" + scope->string_value +
+                 "'";
+        return false;
+      }
+    }
+    row.quantile = quantile->string_value;
+    if (!ParseU64Field(rv, "request_id", &row.request_id, error) ||
+        !ParseU64Field(rv, "latency_ns", &row.latency_ns, error) ||
+        !ParseBreakdown(rv, "parts", &row.parts, error)) {
+      return false;
+    }
+    r.rows.push_back(std::move(row));
+  }
+  const JsonValue* causes = v.Find("miss_causes");
+  if (causes == nullptr || causes->kind != JsonValue::Kind::kArray) {
+    *error = "serve_tail: missing 'miss_causes' array";
+    return false;
+  }
+  for (const JsonValue& cv : causes->array) {
+    const JsonValue* cause =
+        cv.kind == JsonValue::Kind::kObject ? cv.Find("cause") : nullptr;
+    TailCause c;
+    if (cause == nullptr || cause->kind != JsonValue::Kind::kString ||
+        !ParseU64Field(cv, "count", &c.count, error)) {
+      *error = "serve_tail: malformed miss_causes entry";
+      return false;
+    }
+    c.cause = cause->string_value;
+    r.miss_causes.push_back(std::move(c));
+  }
+  if (!ParseBreakdown(v, "answered_total", &r.answered_total, error)) {
+    return false;
+  }
+  *out = std::move(r);
+  return true;
+}
+
+ServeTailReport BuildTailReport(const ServeTracer& tracer) {
+  ServeTailReport report;
+  const std::vector<RequestTimeline>& timelines = tracer.timelines();
+  report.offered = timelines.size();
+
+  std::vector<const RequestTimeline*> answered;
+  struct CauseAgg {
+    std::string cause;
+    uint64_t count = 0;
+  };
+  std::vector<CauseAgg> causes;
+  auto count_cause = [&](const std::string& cause) {
+    for (CauseAgg& c : causes) {
+      if (c.cause == cause) {
+        ++c.count;
+        return;
+      }
+    }
+    causes.push_back({cause, 1});
+  };
+
+  for (const RequestTimeline& t : timelines) {
+    if (!t.terminal) continue;
+    if (Answered(t)) {
+      answered.push_back(&t);
+      const LatencyBreakdown b = t.Breakdown();
+      report.answered_total.queue_ns += b.queue_ns;
+      report.answered_total.service_ns += b.service_ns;
+      report.answered_total.degraded_ns += b.degraded_ns;
+      report.answered_total.hedge_ns += b.hedge_ns;
+      report.answered_total.backoff_ns += b.backoff_ns;
+      report.answered_total.recovery_ns += b.recovery_ns;
+      if (t.missed_deadline) {
+        ++report.deadline_missed;
+        // A late answer's cause is its dominant latency component (the
+        // fixed component order breaks exact ties).
+        size_t dominant = 0;
+        for (size_t c = 1; c < kBreakdownComponents; ++c) {
+          if (BreakdownComponent(b, c) >
+              BreakdownComponent(b, dominant)) {
+            dominant = c;
+          }
+        }
+        count_cause(std::string("late:") + BreakdownComponentName(dominant));
+      }
+    } else if (t.outcome == Outcome::kShed) {
+      count_cause(std::string("shed:") + ShedReasonName(t.shed_reason));
+    } else {
+      count_cause(t.abandoned ? "failed:server-gave-up"
+                              : "failed:retries-exhausted");
+    }
+  }
+  report.answered = answered.size();
+
+  std::sort(answered.begin(), answered.end(),
+            [](const RequestTimeline* a, const RequestTimeline* b) {
+              const SimNs la = a->LatencyNs();
+              const SimNs lb = b->LatencyNs();
+              if (la != lb) return la < lb;
+              return a->req.id < b->req.id;
+            });
+
+  auto emit_rows = [&](bool all, QueryKind kind,
+                       const std::vector<const RequestTimeline*>& pool) {
+    if (pool.empty()) return;
+    for (const QuantileSpec& q : kQuantiles) {
+      const RequestTimeline* pick =
+          pool[QuantileIndex(pool.size(), q.qnum, q.qden)];
+      TailQuantileRow row;
+      row.all = all;
+      row.kind = kind;
+      row.quantile = q.name;
+      row.request_id = pick->req.id;
+      row.latency_ns = pick->LatencyNs();
+      row.parts = pick->Breakdown();
+      report.rows.push_back(std::move(row));
+    }
+  };
+
+  emit_rows(true, QueryKind::kBfs, answered);
+  for (size_t k = 0; k < serve::kQueryKindCount; ++k) {
+    const QueryKind kind = static_cast<QueryKind>(k);
+    std::vector<const RequestTimeline*> pool;
+    for (const RequestTimeline* t : answered) {
+      if (t->req.kind == kind) pool.push_back(t);
+    }
+    emit_rows(false, kind, pool);
+  }
+
+  std::sort(causes.begin(), causes.end(),
+            [](const CauseAgg& a, const CauseAgg& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.cause < b.cause;
+            });
+  for (CauseAgg& c : causes) {
+    report.miss_causes.push_back({std::move(c.cause), c.count});
+  }
+  return report;
+}
+
+void AppendRegistryExemplarsJson(const metrics::Registry& registry,
+                                 JsonWriter* w) {
+  w->BeginArray();
+  for (metrics::MetricId id = 0; id < registry.metric_count(); ++id) {
+    if (registry.kind(id) != metrics::MetricKind::kHistogram) continue;
+    for (const metrics::HistogramExemplar& e :
+         registry.HistogramExemplars(id)) {
+      w->BeginObject();
+      w->Key("metric").String(registry.name(id));
+      w->Key("bucket").UInt(e.bucket);
+      w->Key("le");
+      if (e.bucket == 0) {
+        w->String("0");
+      } else if (e.bucket == metrics::kHistogramBuckets - 1) {
+        w->String("+Inf");
+      } else {
+        w->String(std::to_string((uint64_t{1} << e.bucket) - 1));
+      }
+      w->Key("value").UInt(e.value);
+      w->Key("exemplar_id").UInt(e.exemplar);
+      w->EndObject();
+    }
+  }
+  w->EndArray();
+}
+
+}  // namespace pmg::servetrace

@@ -1,0 +1,241 @@
+#ifndef PMG_SERVETRACE_SERVETRACE_H_
+#define PMG_SERVETRACE_SERVETRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/metrics/registry.h"
+#include "pmg/serve/observer.h"
+#include "pmg/serve/request.h"
+#include "pmg/trace/json.h"
+#include "pmg/trace/trace_session.h"
+
+/// \file servetrace.h
+/// pmg::servetrace — request-scoped tracing and tail-latency attribution
+/// for the serving layer. A ServeTracer attaches to serve::Server through
+/// the ServeObserver seam (serve/observer.h) and rebuilds, per request, a
+/// gap-free span timeline on the simulated serve clock:
+///
+///   arrival -> queue wait -> attempt execution (per dispatch) ->
+///   retry backoff -> hedge re-run -> recovery stall -> terminal
+///
+/// The conservation law is the core invariant and is PMG_CHECKed at every
+/// request's terminal event: spans are contiguous from arrival_ns to
+/// terminal_ns and their durations sum *bit-exactly* to the end-to-end
+/// latency. (Tests re-derive the same law independently from the raw
+/// spans.) On top of the timelines sit three consumers:
+///
+///   - a Chrome trace-event exporter (trace::ChromeEventSource): the
+///     slowest-K answered requests plus shed/failed requests become
+///     per-request tracks of span slices, flow-linked arrival->terminal,
+///     laid next to the machine's epoch tracks in one Perfetto document;
+///   - log2-histogram exemplars (metrics::Registry) — emitted by
+///     pmg::serve itself; AppendRegistryExemplarsJson here renders them;
+///   - a tail explainer (BuildTailReport): p50/p99/p999 per query kind
+///     decomposed into queue/service/degraded/hedge/backoff/recovery
+///     components with ranked deadline-miss causes, in pmg::whatif's
+///     ranked-levers style. Two reports from different machines (PMM vs
+///     DRAM) diff offline via pmg_explain --tail/--contrast.
+///
+/// Everything here is host-side bookkeeping of already-priced simulated
+/// events: attaching a tracer never changes a simulated number
+/// (bench_serve_trace asserts byte-identical serve reports), and every
+/// output is a pure function of (workload seed, fault schedule, config) —
+/// byte-identical across reruns and PMG_HOST_THREADS widths.
+
+namespace pmg::servetrace {
+
+inline constexpr uint32_t kServeTraceSchemaVersion = 1;
+
+/// Default slowest-K selection width of the Chrome/JSON exports.
+inline constexpr uint32_t kDefaultSlowestK = 8;
+
+/// What a request was doing during one contiguous slice of its lifetime.
+enum class SpanKind : uint8_t {
+  kQueue = 0,   ///< Waiting in the admission queue.
+  kExec,        ///< Executing on the worker (one dispatch).
+  kBackoff,     ///< Waiting out a retry backoff.
+  kRecovery,    ///< Stalled by a crash-recovery machine rebuild.
+};
+
+constexpr const char* SpanKindName(SpanKind k) {
+  switch (k) {
+    case SpanKind::kQueue:
+      return "queue";
+    case SpanKind::kExec:
+      return "exec";
+    case SpanKind::kBackoff:
+      return "backoff";
+    case SpanKind::kRecovery:
+      return "recovery";
+  }
+  return "?";
+}
+
+struct Span {
+  SpanKind kind = SpanKind::kQueue;
+  SimNs start_ns = 0;
+  SimNs end_ns = 0;
+  /// Exec spans: the 1-based billed-attempt ordinal and its flavor.
+  uint32_t attempt = 0;
+  bool degraded = false;
+  bool hedge_rerun = false;
+  /// Exec spans: why the attempt stopped billing.
+  serve::ServeObserver::ExecEnd end_why =
+      serve::ServeObserver::ExecEnd::kAnswered;
+};
+
+const char* ExecEndName(serve::ServeObserver::ExecEnd why);
+
+/// The 6-component latency split of one request. Components partition the
+/// span timeline (each span lands in exactly one), so for every terminal
+/// request Sum() == terminal_ns - arrival_ns, bit-exactly.
+struct LatencyBreakdown {
+  SimNs queue_ns = 0;     ///< Admission-queue wait.
+  SimNs service_ns = 0;   ///< Full-fidelity execution.
+  SimNs degraded_ns = 0;  ///< Degraded execution (incl. degraded retries).
+  SimNs hedge_ns = 0;     ///< Hedge re-run execution after a straggler.
+  SimNs backoff_ns = 0;   ///< Retry backoff waits.
+  SimNs recovery_ns = 0;  ///< Crash-recovery stalls.
+
+  SimNs Sum() const {
+    return queue_ns + service_ns + degraded_ns + hedge_ns + backoff_ns +
+           recovery_ns;
+  }
+};
+
+inline constexpr size_t kBreakdownComponents = 6;
+const char* BreakdownComponentName(size_t c);
+SimNs BreakdownComponent(const LatencyBreakdown& b, size_t c);
+
+/// One request's reconstructed lifetime.
+struct RequestTimeline {
+  serve::Request req;
+  bool terminal = false;
+  /// Terminal without an answer because the server gave up.
+  bool abandoned = false;
+  bool missed_deadline = false;
+  serve::Outcome outcome = serve::Outcome::kCompleted;
+  serve::ShedReason shed_reason = serve::ShedReason::kQueueFullReject;
+  /// When the request left the system. Unarrived requests abandoned at
+  /// give-up carry their arrival time (empty timeline, 0 == 0 law).
+  SimNs terminal_ns = 0;
+  uint32_t attempts = 0;
+  uint32_t hedges = 0;
+  uint32_t timeouts = 0;
+  uint32_t crashes = 0;
+  /// Contiguous from arrival_ns to terminal_ns (the conservation law).
+  std::vector<Span> spans;
+
+  SimNs LatencyNs() const { return terminal_ns - req.arrival_ns; }
+  LatencyBreakdown Breakdown() const;
+};
+
+/// One quantile's representative request with its component split.
+struct TailQuantileRow {
+  bool all = false;  ///< Aggregate row over every kind.
+  serve::QueryKind kind = serve::QueryKind::kBfs;
+  std::string quantile;  ///< "p50" | "p99" | "p999".
+  uint64_t request_id = 0;
+  SimNs latency_ns = 0;
+  LatencyBreakdown parts;
+};
+
+/// One ranked reason answers missed their deadline (or never came).
+struct TailCause {
+  std::string cause;
+  uint64_t count = 0;
+};
+
+/// The tail explainer: nearest-rank p50/p99/p999 representatives per kind
+/// decomposed into components, plus ranked deadline-miss causes. Fully
+/// serializable (AppendJson/FromJson) so two runs on different machines
+/// (PMM vs DRAM) can be contrasted offline by pmg_explain.
+struct ServeTailReport {
+  uint32_t schema_version = kServeTraceSchemaVersion;
+  uint64_t offered = 0;
+  uint64_t answered = 0;
+  uint64_t deadline_missed = 0;
+  /// The "all" rows first (p50/p99/p999), then per kind with answers.
+  std::vector<TailQuantileRow> rows;
+  /// Count-ranked causes of missed deadlines (ties break on name).
+  std::vector<TailCause> miss_causes;
+  /// Component sums over every answered request (the mean split, kept as
+  /// exact integer sums).
+  LatencyBreakdown answered_total;
+
+  void AppendJson(trace::JsonWriter* w) const;
+  std::string ToJson() const;
+  /// Parses an AppendJson document (the `serve_tail` section of a
+  /// pmg_run --json report). False + *error on malformed input.
+  static bool FromJson(const trace::JsonValue& v, ServeTailReport* out,
+                       std::string* error);
+};
+
+/// The ServeObserver implementation. One-shot, like the Server it
+/// observes: construct a fresh tracer per Server::Run.
+class ServeTracer : public serve::ServeObserver,
+                    public trace::ChromeEventSource {
+ public:
+  explicit ServeTracer(uint32_t slowest_k = kDefaultSlowestK);
+
+  ServeTracer(const ServeTracer&) = delete;
+  ServeTracer& operator=(const ServeTracer&) = delete;
+
+  // ServeObserver:
+  void OnRun(const std::vector<serve::Request>& arrivals) override;
+  void OnEnqueue(uint64_t req_index, uint32_t attempt, SimNs at_ns) override;
+  void OnShed(uint64_t req_index, serve::ShedReason reason,
+              SimNs at_ns) override;
+  void OnDispatch(uint64_t req_index, uint32_t attempt, bool degraded,
+                  bool hedge_rerun, SimNs at_ns) override;
+  void OnExecEnd(uint64_t req_index, ExecEnd why, SimNs at_ns) override;
+  void OnBackoff(uint64_t req_index, SimNs from_ns) override;
+  void OnRecovery(uint64_t req_index, SimNs from_ns, SimNs to_ns) override;
+  void OnFinish(uint64_t req_index, serve::Outcome outcome,
+                bool missed_deadline, SimNs at_ns) override;
+  void OnAbandon(uint64_t req_index, SimNs at_ns) override;
+
+  // trace::ChromeEventSource — per-request tracks for the selection below.
+  void AppendChromeEvents(trace::JsonWriter* w) const override;
+
+  const std::vector<RequestTimeline>& timelines() const { return timelines_; }
+  uint32_t slowest_k() const { return slowest_k_; }
+
+  /// The deterministic export selection, ascending by request id: the
+  /// slowest K answered requests (latency desc, id asc) plus the first K
+  /// shed and first K failed requests.
+  std::vector<uint64_t> SelectedRequests() const;
+
+  /// The `servetrace` JSON section: selected timelines span by span, with
+  /// explicit dropped accounting.
+  void AppendJson(trace::JsonWriter* w) const;
+  std::string ToJson() const;
+
+ private:
+  /// Closes the open span (there must be one) at `at_ns`.
+  void CloseOpenSpan(uint64_t req_index, SimNs at_ns);
+  void OpenSpan(uint64_t req_index, SpanKind kind, SimNs at_ns);
+  /// Marks the terminal event and PMG_CHECKs the conservation law.
+  void Terminal(uint64_t req_index, SimNs at_ns);
+
+  uint32_t slowest_k_;
+  std::vector<RequestTimeline> timelines_;
+  /// open_[i] != 0: timelines_[i].spans.back() is still open.
+  std::vector<uint8_t> open_;
+};
+
+/// Builds the tail explainer from a finished tracer's timelines.
+ServeTailReport BuildTailReport(const ServeTracer& tracer);
+
+/// Renders every exemplar-carrying histogram of `registry` as one JSON
+/// array value (rows of {metric, bucket_le, value, exemplar_id}) — the
+/// `exemplars` section of the pmg_run --json serve report.
+void AppendRegistryExemplarsJson(const metrics::Registry& registry,
+                                 trace::JsonWriter* w);
+
+}  // namespace pmg::servetrace
+
+#endif  // PMG_SERVETRACE_SERVETRACE_H_

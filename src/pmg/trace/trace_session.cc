@@ -185,6 +185,7 @@ void TraceSession::OnInstant(TraceInstantKind kind, ThreadId thread,
     case TraceInstantKind::kServeDispatch:
     case TraceInstantKind::kServeComplete:
     case TraceInstantKind::kServeShed:
+    case TraceInstantKind::kServeRecovery:
       // Per-request span markers from pmg::serve: recorded on the timeline
       // (the Chrome export names them) but not aggregated here — the serve
       // report owns the request-level counters.
@@ -236,7 +237,8 @@ const TraceReport& TraceSession::report() {
   return report_;
 }
 
-std::string TraceSession::ChromeTraceJson() const {
+std::string TraceSession::ChromeTraceJson(const ChromeEventSource* extra)
+    const {
   JsonWriter w;
   w.BeginObject();
   w.Key("displayTimeUnit").String("ms");
@@ -349,14 +351,17 @@ std::string TraceSession::ChromeTraceJson() const {
     w.EndObject();
   }
 
+  if (extra != nullptr) extra->AppendChromeEvents(&w);
+
   w.EndArray();
   w.EndObject();
   return w.str();
 }
 
 bool TraceSession::WriteChromeTrace(const std::string& path,
-                                    std::string* error) const {
-  return WriteFile(path, ChromeTraceJson(), error);
+                                    std::string* error,
+                                    const ChromeEventSource* extra) const {
+  return WriteFile(path, ChromeTraceJson(extra), error);
 }
 
 bool TraceSession::WriteReportJson(const std::string& path,

@@ -36,6 +36,18 @@ namespace pmg::trace {
 /// Version stamp of every JSON document this layer emits.
 inline constexpr uint32_t kTraceSchemaVersion = 1;
 
+/// Extra events a composing layer contributes to the Chrome export.
+/// pmg::servetrace implements this to lay per-request span tracks next to
+/// the machine's epoch tracks in one Perfetto-loadable document. The
+/// implementation appends zero or more complete trace-event objects
+/// (`w` is positioned inside the traceEvents array) and must be
+/// deterministic — the export is byte-compared across runs.
+class ChromeEventSource {
+ public:
+  virtual ~ChromeEventSource() = default;
+  virtual void AppendChromeEvents(JsonWriter* w) const = 0;
+};
+
 struct TraceOptions {
   /// Retain per-epoch records (needed by the Chrome export; the aggregate
   /// report works without them).
@@ -130,11 +142,13 @@ class TraceSession : public memsim::TraceSink {
   /// machine's stats delta while attached).
   const TraceReport& report();
 
-  /// Chrome trace-event JSON of the retained epochs.
-  std::string ChromeTraceJson() const;
+  /// Chrome trace-event JSON of the retained epochs. `extra` (optional)
+  /// contributes additional events inside the same traceEvents array.
+  std::string ChromeTraceJson(const ChromeEventSource* extra = nullptr) const;
 
   /// File emitters; on failure return false and set `*error`.
-  bool WriteChromeTrace(const std::string& path, std::string* error) const;
+  bool WriteChromeTrace(const std::string& path, std::string* error,
+                        const ChromeEventSource* extra = nullptr) const;
   bool WriteReportJson(const std::string& path, std::string* error);
 
  private:

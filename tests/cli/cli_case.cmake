@@ -291,6 +291,64 @@ elseif(CASE STREQUAL "compose")
     endif()
   endforeach()
 
+elseif(CASE STREQUAL "bad_serve_trace")
+  run_cli(--graph kron30 --serve steady --serve-trace=0)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "serve_trace_without_serve")
+  run_cli(--graph kron30 --app bfs --serve-trace)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "bad_explain_tail")
+  run_cli(--graph kron30 --serve steady --explain-tail=frobs)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "explain_tail_without_serve")
+  run_cli(--graph kron30 --app bfs --explain-tail)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "serve_trace_compose")
+  # --serve-trace and --explain-tail composing with --serve-naive, --trace
+  # and --json: the report carries the servetrace / serve_tail / exemplars
+  # sections, the Chrome trace carries the per-request tracks, and the
+  # tail table lands on stdout.
+  set(trace_file "${OUT_DIR}/servetrace.trace.json")
+  set(report_file "${OUT_DIR}/servetrace.report.json")
+  file(REMOVE "${trace_file}" "${report_file}")
+  run_cli(--graph kron30 --threads 8 --serve-naive
+          --serve "poisson:qps=500,n=10,deadline=8000000,seed=3"
+          --serve-trace=4 --explain-tail
+          --trace "${trace_file}" --json "${report_file}")
+  expect_exit(0)
+  expect_json_file("${trace_file}")
+  expect_json_file("${report_file}")
+  file(READ "${report_file}" report)
+  foreach(needle "\"servetrace\":" "\"serve_tail\":" "\"exemplars\":"
+          "\"slowest_k\":4" "\"miss_causes\":")
+    string(FIND "${report}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "case serve_trace_compose: report.json lacks ${needle}:\n"
+              "${report}")
+    endif()
+  endforeach()
+  file(READ "${trace_file}" chrome)
+  foreach(needle "serve worker (selected requests)" "\"cat\":\"serve\"")
+    string(FIND "${chrome}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "case serve_trace_compose: Chrome trace lacks ${needle}")
+    endif()
+  endforeach()
+  if(NOT out MATCHES "serve tail:")
+    message(FATAL_ERROR
+            "case serve_trace_compose: no tail table on stdout:\n${out}")
+  endif()
+
 else()
   message(FATAL_ERROR "unknown CASE '${CASE}'")
 endif()

@@ -68,6 +68,24 @@ function(record_journal)
   endif()
 endfunction()
 
+# Records a serve-mode run report (with its serve_tail section) into
+# ${tail_report_<tag>} via pmg_run --serve --serve-trace --json.
+function(record_tail_report tag workload)
+  set(report "${OUT_DIR}/explain_case.tail.${tag}.json")
+  set(tail_report_${tag} "${report}" PARENT_SCOPE)
+  execute_process(
+    COMMAND ${RUN_EXE} --graph kron30 --threads 8
+            --serve "${workload}" --serve-trace --json "${report}"
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err
+    TIMEOUT 120)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+            "case ${CASE}: pmg_run --serve failed (${run_rc}):\n${run_err}")
+  endif()
+endfunction()
+
 if(CASE STREQUAL "help")
   run_cli(--help)
   expect_exit(0)
@@ -163,6 +181,64 @@ elseif(CASE STREQUAL "good_json")
       message(FATAL_ERROR "case good_json: output lacks ${needle}:\n${out}")
     endif()
   endforeach()
+
+elseif(CASE STREQUAL "tail")
+  record_tail_report(a "poisson:qps=500,n=10,deadline=8000000,seed=3")
+  run_cli(--tail "${tail_report_a}")
+  expect_exit(0)
+  foreach(needle "serve tail: " "p999" "answered time split:")
+    string(FIND "${out}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "case tail: stdout lacks '${needle}':\n${out}")
+    endif()
+  endforeach()
+
+elseif(CASE STREQUAL "tail_contrast")
+  # Two runs of different workloads contrasted offline — the same flow
+  # that diffs a PMM report against a DRAM one.
+  record_tail_report(a "poisson:qps=500,n=10,deadline=60000000,seed=3")
+  record_tail_report(b "burst:qps=600,x=4,duty=25,period=10000000,n=12,deadline=60000000,seed=11")
+  run_cli(--tail "${tail_report_a}" --contrast "${tail_report_b}" --json)
+  expect_exit(0)
+  foreach(needle "\"tool\":\"pmg_explain\"" "\"serve_tail\":"
+          "\"contrast_tail\":" "\"miss_causes\":")
+    string(FIND "${out}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "case tail_contrast: output lacks ${needle}:\n${out}")
+    endif()
+  endforeach()
+  run_cli(--tail "${tail_report_a}" --contrast "${tail_report_b}")
+  expect_exit(0)
+  if(NOT out MATCHES "p999 movers")
+    message(FATAL_ERROR
+            "case tail_contrast: no movers table on stdout:\n${out}")
+  endif()
+
+elseif(CASE STREQUAL "tail_missing")
+  run_cli(--tail "${OUT_DIR}/no_such_report.json")
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "tail_no_section")
+  # A valid JSON document that is not a serve report: clean exit-2 error.
+  set(bogus "${OUT_DIR}/explain_case.notail.json")
+  file(WRITE "${bogus}" "{\"schema_version\":1}")
+  run_cli(--tail "${bogus}")
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "tail_with_journal")
+  # --tail explains a run report; mixing in a journal positional is a
+  # usage error, not a silent pick-one.
+  run_cli(--tail "${OUT_DIR}/whatever.json" "${OUT_DIR}/whatever.pmgj")
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "contrast_without_tail")
+  run_cli(--contrast "${OUT_DIR}/whatever.json")
+  expect_exit(2)
+  expect_one_stderr_line()
 
 else()
   message(FATAL_ERROR "unknown CASE '${CASE}'")

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "pmg/memsim/machine.h"
 #include "pmg/memsim/machine_configs.h"
@@ -150,6 +151,82 @@ TEST(RegistryTest, PrometheusTextIsDeterministic) {
   // Families are sorted by name, not registration order.
   EXPECT_LT(a.find("aaa_gauge"), a.find("mmm_hist"));
   EXPECT_LT(a.find("mmm_hist"), a.find("zzz_total"));
+}
+
+// --- Exemplars ------------------------------------------------------------
+
+TEST(RegistryTest, ExemplarReplacementIsOrderIndependent) {
+  // Largest value wins the bucket; ties break to the lowest exemplar id —
+  // so any observation order retains the same exemplar set.
+  auto build = [](const int order[4]) {
+    Registry reg;
+    const MetricId h = reg.AddHistogramWithExemplars("h", "help");
+    // Two bucket-3 observations (4 and 6) and two tied bucket-4 ones.
+    const uint64_t values[4] = {4, 6, 9, 9};
+    const uint64_t ids[4] = {40, 41, 90, 7};
+    for (int i = 0; i < 4; ++i) {
+      reg.ObserveExemplar(h, values[order[i]], ids[order[i]]);
+    }
+    return reg.HistogramExemplars(h);
+  };
+  const int forward[4] = {0, 1, 2, 3};
+  const int backward[4] = {3, 2, 1, 0};
+  const std::vector<HistogramExemplar> a = build(forward);
+  const std::vector<HistogramExemplar> b = build(backward);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].bucket, 3u);  // [4, 7]: 6 beats 4.
+  EXPECT_EQ(a[0].value, 6u);
+  EXPECT_EQ(a[0].exemplar, 41u);
+  EXPECT_EQ(a[1].bucket, 4u);  // [8, 15]: the 9 == 9 tie goes to id 7.
+  EXPECT_EQ(a[1].value, 9u);
+  EXPECT_EQ(a[1].exemplar, 7u);
+  ASSERT_EQ(b.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(b[i].bucket, a[i].bucket);
+    EXPECT_EQ(b[i].value, a[i].value);
+    EXPECT_EQ(b[i].exemplar, a[i].exemplar);
+  }
+}
+
+TEST(RegistryTest, PlainHistogramsHaveNoExemplarsAndUnchangedText) {
+  // A plain histogram exposes no exemplars and its exposition bytes stay
+  // exactly as they were before exemplars existed; only the opt-in family
+  // grows the OpenMetrics-style suffix on its bucket rows.
+  Registry reg;
+  const MetricId plain = reg.AddHistogram("plain_hist", "plain");
+  const MetricId fancy = reg.AddHistogramWithExemplars("tagged_hist", "ex");
+  reg.Observe(plain, 9);
+  reg.ObserveExemplar(fancy, 9, 1234);
+  EXPECT_TRUE(reg.HistogramExemplars(plain).empty());
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("plain_hist_bucket{le=\"15\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tagged_hist_bucket{le=\"15\"} 1 "
+                      "# {exemplar_id=\"1234\"} 9\n"),
+            std::string::npos);
+  // The suffix never leaks onto the plain family's rows.
+  const size_t plain_at = text.find("plain_hist_bucket");
+  const size_t plain_end = text.find('\n', plain_at);
+  EXPECT_EQ(text.substr(plain_at, plain_end - plain_at)
+                .find("exemplar_id"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, ExemplarsComeBackAscendingByBucket) {
+  Registry reg;
+  const MetricId h = reg.AddHistogramWithExemplars("h", "help");
+  EXPECT_TRUE(reg.HistogramExemplars(h).empty());
+  const uint64_t values[] = {1ull << 20, 3, 1ull << 40, 0, 100};
+  for (uint64_t v : values) reg.ObserveExemplar(h, v, v + 1);
+  const std::vector<HistogramExemplar> got = reg.HistogramExemplars(h);
+  ASSERT_EQ(got.size(), 5u);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GT(got[i].bucket, got[i - 1].bucket);
+  }
+  for (const HistogramExemplar& e : got) {
+    EXPECT_EQ(Log2Bucket(e.value), e.bucket);
+    EXPECT_EQ(e.exemplar, e.value + 1);
+  }
 }
 
 // --- Hook seam ------------------------------------------------------------

@@ -16,10 +16,15 @@
 #include <string>
 #include <vector>
 
+#include "pmg/faultsim/fault_schedule.h"
 #include "pmg/frameworks/framework.h"
 #include "pmg/graph/generators.h"
+#include "pmg/graph/topology.h"
 #include "pmg/memsim/machine_configs.h"
 #include "pmg/metrics/metrics_session.h"
+#include "pmg/serve/server.h"
+#include "pmg/serve/workload.h"
+#include "pmg/servetrace/servetrace.h"
 #include "pmg/trace/trace_session.h"
 #include "pmg/whatif/journal.h"
 
@@ -176,6 +181,44 @@ TEST(HostParallelDiffTest, MigrationRunsFallBackAndStayIdentical) {
     SCOPED_TRACE("host_threads=" + std::to_string(w));
     ExpectIdentical(serial,
                     RunOnce(App::kPr, inputs, config, Observe::kNone, w));
+  }
+}
+
+// The serving layer prices its queries through the same host pool, and
+// pmg::servetrace layers request timelines, exemplars and the tail
+// explainer on top: all of it must be byte-identical across host widths.
+// This is the --serve-trace leg of the differential matrix — it covers
+// the ServeReport, the tracer's timeline JSON, the tail report, and the
+// exemplar-carrying Prometheus exposition in one sweep.
+TEST(HostParallelDiffTest, ServeTraceArtifactsAreByteIdenticalAcrossWidths) {
+  graph::CsrTopology topo = graph::Rmat(8, 8, 7);
+  graph::AssignRandomWeights(&topo, /*max_weight=*/9, /*seed=*/13);
+
+  auto run = [&](uint32_t host_workers) {
+    serve::ServeConfig cfg;
+    cfg.machine = memsim::OptanePmmConfig();
+    cfg.threads = 8;
+    cfg.host_workers = host_workers;
+    std::string error;
+    EXPECT_TRUE(
+        serve::WorkloadSpec::Parse("canonical", &cfg.workload, &error))
+        << error;
+    EXPECT_TRUE(faultsim::FaultSchedule::Parse("crash@access:300000;seed=42",
+                                               &cfg.faults, &error))
+        << error;
+    servetrace::ServeTracer tracer;
+    cfg.observer = &tracer;
+    serve::Server server(topo, cfg);
+    const serve::ServeReport rep = server.Run();
+    return rep.ToJson() + "\n" + tracer.ToJson() + "\n" +
+           servetrace::BuildTailReport(tracer).ToJson() + "\n" +
+           server.registry().PrometheusText();
+  };
+
+  const std::string serial = run(1);
+  for (const uint32_t w : {4u, 8u}) {
+    SCOPED_TRACE("host_workers=" + std::to_string(w));
+    EXPECT_EQ(serial, run(w));
   }
 }
 

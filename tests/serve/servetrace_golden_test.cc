@@ -1,0 +1,216 @@
+// Golden-file tests for the pmg::servetrace output surfaces on the
+// canonical burst+crash serving scenario (the bench_serve_p99 scenario:
+// `canonical` workload, one mid-serving crash, the tiny 2-socket
+// machine): the tail-explainer table and JSON, the selected-request
+// timeline JSON, the exemplars section, and the PMM-vs-DRAM contrast
+// table pmg_explain --tail/--contrast prints. "Enabled tracing is
+// byte-identical" is enforced twice: in-process (two runs compared) and
+// against the committed goldens (across builds and machines).
+// Regenerate after an intentional format change with
+//
+//   ./servetrace_golden_test --update-goldens
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pmg/faultsim/fault_schedule.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/topology.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/scenarios/report.h"
+#include "pmg/serve/server.h"
+#include "pmg/serve/workload.h"
+#include "pmg/servetrace/servetrace.h"
+#include "pmg/trace/json.h"
+
+namespace pmg::servetrace {
+
+bool g_update_goldens = false;
+
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(PMG_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compares `actual` against goldens/<name>, or rewrites the golden when
+/// the binary runs with --update-goldens.
+void ExpectMatchesGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_goldens) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with --update-goldens to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "output drifted from " << path
+      << "; rerun with --update-goldens if the change is intentional";
+}
+
+template <typename Fn>
+std::string Capture(Fn&& fn) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  fn(f);
+  std::fflush(f);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  std::string out(static_cast<size_t>(size), '\0');
+  const size_t read = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  EXPECT_EQ(read, out.size());
+  return out;
+}
+
+/// The acceptance machine of tests/serve and bench_serve_p99: a small
+/// 2-socket DRAM machine.
+memsim::MachineConfig TinyConfig() {
+  memsim::MachineConfig c;
+  c.kind = memsim::MachineKind::kDramMain;
+  c.name = "tiny";
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;
+  c.topology.dram_bytes_per_socket = MiB(8);
+  c.topology.pmm_bytes_per_socket = 0;
+  c.cpu_cache_lines = 64;
+  return c;
+}
+
+/// The same machine with Optane PMM as main memory and a small DRAM
+/// cache (Memory Mode) — the paper's contrast axis, shrunk to test size.
+memsim::MachineConfig TinyPmmConfig() {
+  memsim::MachineConfig c = TinyConfig();
+  c.kind = memsim::MachineKind::kMemoryMode;
+  c.name = "tiny-pmm";
+  c.topology.dram_bytes_per_socket = MiB(1);
+  c.topology.pmm_bytes_per_socket = MiB(8);
+  return c;
+}
+
+/// The canonical burst+crash serving scenario of bench_serve_p99.
+serve::ServeConfig CanonicalConfig(const memsim::MachineConfig& machine) {
+  serve::ServeConfig cfg;
+  cfg.machine = machine;
+  cfg.threads = 4;
+  cfg.algo.label_policy.placement = memsim::Placement::kInterleaved;
+  cfg.pr_rounds = 10;
+  std::string error;
+  EXPECT_TRUE(serve::WorkloadSpec::Parse("canonical", &cfg.workload, &error))
+      << error;
+  EXPECT_TRUE(faultsim::FaultSchedule::Parse("crash@access:300000;seed=42",
+                                             &cfg.faults, &error))
+      << error;
+  return cfg;
+}
+
+struct GoldenOutputs {
+  std::string tail_table;
+  std::string tail_json;
+  std::string trace_json;
+  std::string exemplars_json;
+  ServeTailReport tail;
+};
+
+GoldenOutputs RunCanonical(const memsim::MachineConfig& machine) {
+  graph::CsrTopology topo = graph::Rmat(8, 8, 7);
+  graph::AssignRandomWeights(&topo, /*max_weight=*/9, /*seed=*/13);
+
+  serve::ServeConfig cfg = CanonicalConfig(machine);
+  ServeTracer tracer;
+  cfg.observer = &tracer;
+  serve::Server server(topo, cfg);
+  (void)server.Run();
+
+  GoldenOutputs out;
+  out.tail = BuildTailReport(tracer);
+  out.tail_table =
+      Capture([&](std::FILE* f) { scenarios::PrintServeTailReport(out.tail, f); });
+  out.tail_json = out.tail.ToJson();
+  out.trace_json = tracer.ToJson();
+  trace::JsonWriter w;
+  AppendRegistryExemplarsJson(server.registry(), &w);
+  out.exemplars_json = w.str();
+  return out;
+}
+
+TEST(ServeTraceGoldenTest, OutputsAreIdenticalAcrossRuns) {
+  const GoldenOutputs a = RunCanonical(TinyConfig());
+  const GoldenOutputs b = RunCanonical(TinyConfig());
+  EXPECT_EQ(a.tail_table, b.tail_table);
+  EXPECT_EQ(a.tail_json, b.tail_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.exemplars_json, b.exemplars_json);
+}
+
+TEST(ServeTraceGoldenTest, TailTable) {
+  ExpectMatchesGolden("serve_tail_table.golden",
+                      RunCanonical(TinyConfig()).tail_table);
+}
+
+TEST(ServeTraceGoldenTest, TailJson) {
+  const std::string doc = RunCanonical(TinyConfig()).tail_json;
+  ExpectMatchesGolden("serve_tail.json.golden", doc);
+  // Schema contract: versioned, parseable, FromJson round-trips to the
+  // same bytes.
+  trace::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(trace::JsonValue::Parse(doc, &v, &err)) << err;
+  EXPECT_EQ(v.Find("schema_version")->AsUInt(), kServeTraceSchemaVersion);
+  ServeTailReport report;
+  ASSERT_TRUE(ServeTailReport::FromJson(v, &report, &err)) << err;
+  EXPECT_EQ(report.ToJson(), doc);
+}
+
+TEST(ServeTraceGoldenTest, TimelineJson) {
+  const std::string doc = RunCanonical(TinyConfig()).trace_json;
+  ExpectMatchesGolden("servetrace.json.golden", doc);
+  trace::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(trace::JsonValue::Parse(doc, &v, &err)) << err;
+  EXPECT_EQ(v.Find("schema_version")->AsUInt(), kServeTraceSchemaVersion);
+  ASSERT_NE(v.Find("selected"), nullptr);
+}
+
+TEST(ServeTraceGoldenTest, ExemplarsJson) {
+  const std::string doc = RunCanonical(TinyConfig()).exemplars_json;
+  ExpectMatchesGolden("serve_exemplars.json.golden", doc);
+  trace::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(trace::JsonValue::Parse(doc, &v, &err)) << err;
+}
+
+TEST(ServeTraceGoldenTest, PmmVsDramContrastTable) {
+  // The paper's axis: the same canonical scenario served from Optane PMM
+  // (Memory Mode) vs DRAM. The contrast table ranks which latency
+  // component moved the p999 — the pmg_explain --tail/--contrast path.
+  const GoldenOutputs pmm = RunCanonical(TinyPmmConfig());
+  const GoldenOutputs dram = RunCanonical(TinyConfig());
+  ExpectMatchesGolden(
+      "serve_tail_contrast.golden", Capture([&](std::FILE* f) {
+        scenarios::PrintServeTailContrast(pmm.tail, dram.tail, f);
+      }));
+}
+
+}  // namespace
+}  // namespace pmg::servetrace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-goldens") {
+      pmg::servetrace::g_update_goldens = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,362 @@
+#include "pmg/servetrace/servetrace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pmg/faultsim/fault_schedule.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/topology.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/metrics/registry.h"
+#include "pmg/serve/request.h"
+#include "pmg/serve/server.h"
+#include "pmg/serve/workload.h"
+#include "pmg/trace/json.h"
+
+namespace pmg::servetrace {
+namespace {
+
+using memsim::MachineConfig;
+using memsim::MachineKind;
+
+/// The small 2-socket machine of the serve tests: 4 threads, tiny caches.
+MachineConfig TinyConfig() {
+  MachineConfig c;
+  c.kind = MachineKind::kDramMain;
+  c.name = "tiny";
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;
+  c.topology.dram_bytes_per_socket = MiB(8);
+  c.topology.pmm_bytes_per_socket = 0;
+  c.cpu_cache_lines = 64;
+  return c;
+}
+
+serve::WorkloadSpec MustSpec(const std::string& spec) {
+  serve::WorkloadSpec w;
+  std::string error;
+  EXPECT_TRUE(serve::WorkloadSpec::Parse(spec, &w, &error)) << error;
+  return w;
+}
+
+faultsim::FaultSchedule MustFaults(const std::string& spec) {
+  faultsim::FaultSchedule s;
+  std::string error;
+  EXPECT_TRUE(faultsim::FaultSchedule::Parse(spec, &s, &error)) << error;
+  return s;
+}
+
+graph::CsrTopology ServeGraph() {
+  graph::CsrTopology topo = graph::Rmat(8, 8, 7);
+  graph::AssignRandomWeights(&topo, /*max_weight=*/9, /*seed=*/13);
+  return topo;
+}
+
+serve::ServeConfig BaseConfig(const std::string& spec) {
+  serve::ServeConfig c;
+  c.machine = TinyConfig();
+  c.threads = 4;
+  c.algo.label_policy.placement = memsim::Placement::kInterleaved;
+  c.pr_rounds = 5;
+  c.workload = MustSpec(spec);
+  return c;
+}
+
+/// The crash-recovery scenario of serve_test: a mixed poisson trace with
+/// one mid-serving crash. Every request lifecycle shows up: answers,
+/// sheds, timeouts, retries, and a recovery stall.
+serve::ServeConfig CrashConfig() {
+  serve::ServeConfig c = BaseConfig(
+      "poisson:qps=3000,n=32,deadline=5000000,"
+      "mix=bfs:40/sssp:20/pr:20/ego:20,seed=11");
+  c.faults = MustFaults("crash@access:40000;seed=9");
+  return c;
+}
+
+bool Answered(const RequestTimeline& t) {
+  return t.terminal && (t.outcome == serve::Outcome::kCompleted ||
+                        t.outcome == serve::Outcome::kCompletedDegraded);
+}
+
+/// Independently re-derives the conservation law from the raw spans —
+/// deliberately NOT through RequestTimeline::LatencyNs/Breakdown, so a
+/// bookkeeping bug in the tracer cannot vouch for itself.
+void ExpectConservation(const RequestTimeline& t) {
+  ASSERT_TRUE(t.terminal) << "request " << t.req.id;
+  if (t.spans.empty()) {
+    // Unarrived give-up abandons: the request never entered the system,
+    // so it terminates at its own arrival (the 0 == 0 law).
+    EXPECT_EQ(t.terminal_ns, t.req.arrival_ns) << "request " << t.req.id;
+    return;
+  }
+  EXPECT_EQ(t.spans.front().start_ns, t.req.arrival_ns)
+      << "request " << t.req.id;
+  SimNs cursor = t.req.arrival_ns;
+  SimNs sum = 0;
+  for (const Span& s : t.spans) {
+    EXPECT_EQ(s.start_ns, cursor) << "gap/overlap in request " << t.req.id;
+    EXPECT_GE(s.end_ns, s.start_ns) << "request " << t.req.id;
+    sum += s.end_ns - s.start_ns;
+    cursor = s.end_ns;
+  }
+  EXPECT_EQ(cursor, t.terminal_ns) << "request " << t.req.id;
+  EXPECT_EQ(sum, t.terminal_ns - t.req.arrival_ns)
+      << "request " << t.req.id;
+}
+
+// ---------------------------------------------------------------------------
+// The conservation law, re-derived independently of the tracer's own
+// PMG_CHECK, and cross-checked against the server's terminal records.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTracerTest, ConservationLawRederivedIndependently) {
+  const graph::CsrTopology topo = ServeGraph();
+  serve::ServeConfig cfg = CrashConfig();
+  ServeTracer tracer;
+  cfg.observer = &tracer;
+  serve::Server server(topo, cfg);
+  const serve::ServeReport rep = server.Run();
+
+  ASSERT_EQ(tracer.timelines().size(), rep.records.size());
+  EXPECT_GT(rep.completed + rep.completed_degraded, 0u);
+  EXPECT_GT(rep.crashes, 0u);
+
+  for (const RequestTimeline& t : tracer.timelines()) {
+    ExpectConservation(t);
+    // The component split partitions the same timeline, so its sum is the
+    // same bit-exact latency.
+    EXPECT_EQ(t.Breakdown().Sum(), t.LatencyNs()) << t.req.id;
+  }
+
+  // The timelines must agree with the server's own terminal accounting —
+  // two independent derivations of every request's lifetime.
+  for (const serve::RequestRecord& rec : rep.records) {
+    const RequestTimeline& t = tracer.timelines()[rec.req.id];
+    EXPECT_EQ(t.req.id, rec.req.id);
+    EXPECT_EQ(t.outcome, rec.outcome) << rec.req.id;
+    EXPECT_EQ(t.missed_deadline, rec.missed_deadline) << rec.req.id;
+    EXPECT_EQ(t.attempts, rec.attempts) << rec.req.id;
+    EXPECT_EQ(t.hedges, rec.hedges) << rec.req.id;
+    EXPECT_EQ(t.timeouts, rec.timeouts) << rec.req.id;
+    EXPECT_EQ(t.crashes, rec.crashes) << rec.req.id;
+    if (Answered(t)) {
+      EXPECT_EQ(t.terminal_ns, rec.completion_ns) << rec.req.id;
+      EXPECT_EQ(t.LatencyNs(), rec.latency_ns) << rec.req.id;
+    }
+    if (rec.outcome == serve::Outcome::kShed) {
+      EXPECT_EQ(t.shed_reason, rec.shed_reason) << rec.req.id;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery shows up in the timeline as a crash-ended exec span
+// followed by a recovery span, and the whole artifact re-runs to the byte.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTracerTest, CrashRecoveryAppearsAsRecoverySpans) {
+  const graph::CsrTopology topo = ServeGraph();
+
+  auto run = [&](std::string* trace_json, std::string* tail_json) {
+    serve::ServeConfig cfg = CrashConfig();
+    ServeTracer tracer;
+    cfg.observer = &tracer;
+    serve::Server server(topo, cfg);
+    const serve::ServeReport rep = server.Run();
+    EXPECT_GT(rep.recoveries, 0u);
+    *trace_json = tracer.ToJson();
+    *tail_json = BuildTailReport(tracer).ToJson();
+
+    bool saw_recovery = false;
+    for (const RequestTimeline& t : tracer.timelines()) {
+      for (size_t i = 0; i < t.spans.size(); ++i) {
+        if (t.spans[i].kind != SpanKind::kRecovery) continue;
+        saw_recovery = true;
+        EXPECT_GT(t.spans[i].end_ns, t.spans[i].start_ns);
+        // The stall is caused by a crash that killed this request's
+        // attempt: the preceding span is that crashed execution.
+        ASSERT_GT(i, 0u) << t.req.id;
+        EXPECT_EQ(t.spans[i - 1].kind, SpanKind::kExec) << t.req.id;
+        EXPECT_EQ(t.spans[i - 1].end_why,
+                  serve::ServeObserver::ExecEnd::kCrash)
+            << t.req.id;
+      }
+    }
+    EXPECT_TRUE(saw_recovery);
+  };
+
+  std::string trace_a, tail_a, trace_b, tail_b;
+  run(&trace_a, &tail_a);
+  run(&trace_b, &tail_b);
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(tail_a, tail_b);
+}
+
+// ---------------------------------------------------------------------------
+// Observer neutrality: attaching a tracer changes no simulated number.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTracerTest, AttachingTheTracerChangesNoSimulatedNumber) {
+  const graph::CsrTopology topo = ServeGraph();
+
+  std::string bare_report, bare_prom;
+  {
+    serve::Server server(topo, CrashConfig());
+    bare_report = server.Run().ToJson();
+    bare_prom = server.registry().PrometheusText();
+  }
+
+  serve::ServeConfig cfg = CrashConfig();
+  ServeTracer tracer;
+  cfg.observer = &tracer;
+  serve::Server server(topo, cfg);
+  EXPECT_EQ(server.Run().ToJson(), bare_report);
+  EXPECT_EQ(server.registry().PrometheusText(), bare_prom);
+}
+
+// ---------------------------------------------------------------------------
+// Give-up abandons: when the server exhausts max_recoveries mid-serving,
+// every request still terminates and the law still holds.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTracerTest, GiveUpAbandonsKeepTheLaw) {
+  const graph::CsrTopology topo = ServeGraph();
+  serve::ServeConfig cfg = CrashConfig();
+  cfg.faults = MustFaults(
+      "crash@access:40000;crash@access:41000;crash@access:42000;seed=9");
+  cfg.max_recoveries = 1;
+  ServeTracer tracer;
+  cfg.observer = &tracer;
+  serve::Server server(topo, cfg);
+  const serve::ServeReport rep = server.Run();
+  EXPECT_FALSE(rep.finished);
+
+  uint64_t abandoned = 0;
+  for (const RequestTimeline& t : tracer.timelines()) {
+    ExpectConservation(t);
+    if (t.abandoned) {
+      ++abandoned;
+      EXPECT_EQ(t.outcome, serve::Outcome::kFailed) << t.req.id;
+    }
+  }
+  EXPECT_GT(abandoned, 0u);
+  EXPECT_EQ(abandoned, rep.failed);
+}
+
+// ---------------------------------------------------------------------------
+// The tail report round-trips through its own JSON bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTailReportTest, JsonRoundTrips) {
+  const graph::CsrTopology topo = ServeGraph();
+  serve::ServeConfig cfg = CrashConfig();
+  ServeTracer tracer;
+  cfg.observer = &tracer;
+  serve::Server server(topo, cfg);
+  (void)server.Run();
+
+  const ServeTailReport report = BuildTailReport(tracer);
+  EXPECT_EQ(report.offered, tracer.timelines().size());
+  ASSERT_FALSE(report.rows.empty());
+  EXPECT_TRUE(report.rows.front().all);
+  const std::string first = report.ToJson();
+
+  trace::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(trace::JsonValue::Parse(first, &doc, &error)) << error;
+  ServeTailReport reparsed;
+  ASSERT_TRUE(ServeTailReport::FromJson(doc, &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed.ToJson(), first);
+
+  // A wrong schema version is a parse error, not a silent misread.
+  trace::JsonValue bad;
+  ASSERT_TRUE(trace::JsonValue::Parse(
+      "{\"schema_version\": 999, \"offered\": 0}", &bad, &error));
+  EXPECT_FALSE(ServeTailReport::FromJson(bad, &reparsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Host pricing-pool width is a host-side execution detail: no traced byte
+// may depend on it (the determinism contract the differential suite
+// sweeps end to end).
+// ---------------------------------------------------------------------------
+
+TEST(ServeTracerTest, HostWorkerWidthNeverChangesTraceBytes) {
+  const graph::CsrTopology topo = ServeGraph();
+
+  auto run = [&](uint32_t host_workers, std::string* out) {
+    serve::ServeConfig cfg = CrashConfig();
+    cfg.host_workers = host_workers;
+    ServeTracer tracer;
+    cfg.observer = &tracer;
+    serve::Server server(topo, cfg);
+    const serve::ServeReport rep = server.Run();
+    *out = rep.ToJson() + "\n" + tracer.ToJson() + "\n" +
+           BuildTailReport(tracer).ToJson() + "\n" +
+           server.registry().PrometheusText();
+  };
+
+  std::string serial, wide;
+  run(1, &serial);
+  run(4, &wide);
+  EXPECT_EQ(serial, wide);
+}
+
+// ---------------------------------------------------------------------------
+// Exemplars: each latency bucket links to a real answered request whose
+// latency actually lands there.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTracerTest, LatencyHistogramsCarryRequestExemplars) {
+  const graph::CsrTopology topo = ServeGraph();
+  serve::ServeConfig cfg = CrashConfig();
+  ServeTracer tracer;
+  cfg.observer = &tracer;
+  serve::Server server(topo, cfg);
+  const serve::ServeReport rep = server.Run();
+  ASSERT_GT(rep.completed + rep.completed_degraded, 0u);
+
+  const metrics::Registry& reg = server.registry();
+  metrics::MetricId latency_id = 0;
+  bool found = false;
+  for (metrics::MetricId id = 0; id < reg.metric_count(); ++id) {
+    if (reg.name(id) == "pmg_serve_latency_ns") {
+      latency_id = id;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  const std::vector<metrics::HistogramExemplar> exemplars =
+      reg.HistogramExemplars(latency_id);
+  ASSERT_FALSE(exemplars.empty());
+  size_t prev_bucket = 0;
+  for (size_t i = 0; i < exemplars.size(); ++i) {
+    const metrics::HistogramExemplar& e = exemplars[i];
+    if (i > 0) {
+      EXPECT_GT(e.bucket, prev_bucket);
+    }
+    prev_bucket = e.bucket;
+    EXPECT_EQ(metrics::Log2Bucket(e.value), e.bucket);
+    // The exemplar id is an answered request, and the exemplar value is
+    // exactly that request's end-to-end latency.
+    ASSERT_LT(e.exemplar, rep.records.size());
+    const serve::RequestRecord& rec = rep.records[e.exemplar];
+    EXPECT_TRUE(rec.outcome == serve::Outcome::kCompleted ||
+                rec.outcome == serve::Outcome::kCompletedDegraded)
+        << e.exemplar;
+    EXPECT_EQ(rec.latency_ns, e.value) << e.exemplar;
+  }
+
+  // The exposition carries them too, on bucket rows of this family only.
+  const std::string prom = reg.PrometheusText();
+  EXPECT_NE(prom.find("pmg_serve_latency_ns_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("# {exemplar_id="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmg::servetrace

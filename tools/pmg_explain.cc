@@ -17,6 +17,14 @@
 //
 // A missing, malformed, truncated, or version-mismatched journal is a
 // one-line "pmg_explain: ..." error on stderr and exit code 2.
+//
+//   pmg_explain --tail <run.json> [--contrast <other.json>] [--json]
+//
+// The second mode explains serve-mode tails offline: --tail loads the
+// serve_tail section of a pmg_run --serve --serve-trace --json report
+// (or a bare --explain-tail=json document) and prints the quantile
+// decomposition; --contrast loads a second report — the PMM-vs-DRAM
+// workflow — and ranks which latency component moved the p999.
 
 #include <cstdarg>
 #include <cstdio>
@@ -25,6 +33,7 @@
 #include <string>
 
 #include "pmg/scenarios/report.h"
+#include "pmg/servetrace/servetrace.h"
 #include "pmg/trace/json.h"
 #include "pmg/whatif/explain.h"
 #include "pmg/whatif/journal.h"
@@ -49,11 +58,17 @@ void Usage(std::FILE* out, const char* argv0) {
       out,
       "usage: %s <journal.pmgj> [--json]\n"
       "          [--folded <profile.folded> --region <label> [--speedup F]]\n"
+      "       %s --tail <run.json> [--contrast <other.json>] [--json]\n"
       "Re-prices a pmg_run --journal file offline: verifies the identity\n"
       "law, classifies epochs latency/bandwidth/daemon-bound, attributes\n"
       "stragglers, and ranks counterfactual levers. --folded/--region add\n"
-      "a COZ-style virtual speedup estimate of one profiled region.\n",
-      argv0);
+      "a COZ-style virtual speedup estimate of one profiled region.\n"
+      "--tail explains a serve run's latency tail offline from the\n"
+      "serve_tail section of a pmg_run --serve --serve-trace --json\n"
+      "report; --contrast diffs a second report against the first and\n"
+      "ranks which component (queue/service/degraded/hedge/backoff/\n"
+      "recovery) moved the p999.\n",
+      argv0, argv0);
 }
 
 std::string ReadFileOrDie(const std::string& path) {
@@ -67,12 +82,40 @@ std::string ReadFileOrDie(const std::string& path) {
   return text;
 }
 
+/// Loads the serve_tail section of a pmg_run --json serve report, or a
+/// bare --explain-tail=json document. Any problem is a Die (exit 2).
+servetrace::ServeTailReport LoadTailOrDie(const std::string& path) {
+  const std::string text = ReadFileOrDie(path);
+  trace::JsonValue doc;
+  std::string error;
+  if (!trace::JsonValue::Parse(text, &doc, &error)) {
+    Die("'%s' is not valid JSON: %s", path.c_str(), error.c_str());
+  }
+  const trace::JsonValue* tail = doc.Find("serve_tail");
+  if (tail == nullptr) {
+    if (doc.Find("rows") != nullptr) {
+      tail = &doc;  // a bare serve_tail document
+    } else {
+      Die("'%s' has no serve_tail section (write one with pmg_run --serve "
+          "--serve-trace --json <path>)",
+          path.c_str());
+    }
+  }
+  servetrace::ServeTailReport report;
+  if (!servetrace::ServeTailReport::FromJson(*tail, &report, &error)) {
+    Die("'%s': %s", path.c_str(), error.c_str());
+  }
+  return report;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string journal_path;
   std::string folded_path;
   std::string region;
+  std::string tail_path;
+  std::string contrast_path;
   double speedup_factor = 2.0;
   bool json = false;
 
@@ -103,6 +146,12 @@ int main(int argc, char** argv) {
     if (flag == "--json") {
       if (has_value) Die("flag --json takes no value");
       json = true;
+    } else if (flag == "--tail") {
+      tail_path = need_value();
+      if (tail_path.empty()) Die("--tail wants a run-report path");
+    } else if (flag == "--contrast") {
+      contrast_path = need_value();
+      if (contrast_path.empty()) Die("--contrast wants a run-report path");
     } else if (flag == "--folded") {
       folded_path = need_value();
     } else if (flag == "--region") {
@@ -121,6 +170,41 @@ int main(int argc, char** argv) {
       Die("more than one journal given ('%s' and '%s')",
           journal_path.c_str(), flag.c_str());
     }
+  }
+  if (!contrast_path.empty() && tail_path.empty()) {
+    Die("--contrast requires --tail");
+  }
+  if (!tail_path.empty()) {
+    if (!journal_path.empty()) {
+      Die("--tail explains a run report, not a journal (drop '%s')",
+          journal_path.c_str());
+    }
+    if (!folded_path.empty() || !region.empty()) {
+      Die("--folded/--region do not apply to --tail");
+    }
+    const servetrace::ServeTailReport base = LoadTailOrDie(tail_path);
+    if (json) {
+      trace::JsonWriter w;
+      w.BeginObject();
+      w.Key("schema_version").UInt(servetrace::kServeTraceSchemaVersion);
+      w.Key("tool").String("pmg_explain");
+      w.Key("tail").String(tail_path);
+      w.Key("serve_tail");
+      base.AppendJson(&w);
+      if (!contrast_path.empty()) {
+        w.Key("contrast").String(contrast_path);
+        w.Key("contrast_tail");
+        LoadTailOrDie(contrast_path).AppendJson(&w);
+      }
+      w.EndObject();
+      std::printf("%s\n", w.str().c_str());
+      return 0;
+    }
+    scenarios::PrintServeTailReport(base);
+    if (!contrast_path.empty()) {
+      scenarios::PrintServeTailContrast(base, LoadTailOrDie(contrast_path));
+    }
+    return 0;
   }
   if (journal_path.empty()) {
     Usage(stderr, argv[0]);

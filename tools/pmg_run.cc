@@ -27,7 +27,11 @@
 // drained through the overload-robust server. --qps and --deadline-ns
 // override the spec's values; --serve-naive runs the no-robustness
 // baseline. Serve mode composes with --faults (crash recovery is built
-// in), --trace, --json, --metrics, and --profile.
+// in), --trace, --json, --metrics, and --profile. --serve-trace[=K]
+// attaches the pmg::servetrace request tracer (per-request span tracks in
+// the Chrome trace, timelines in the JSON report); --explain-tail[=table|
+// json] decomposes the p50/p99/p999 latencies into queue/service/degraded/
+// hedge/backoff/recovery components with ranked miss causes.
 
 #include <charconv>
 #include <cstdarg>
@@ -47,6 +51,7 @@
 #include "pmg/scenarios/scenarios.h"
 #include "pmg/serve/server.h"
 #include "pmg/serve/workload.h"
+#include "pmg/servetrace/servetrace.h"
 #include "pmg/trace/json.h"
 #include "pmg/trace/trace_session.h"
 #include "pmg/whatif/explain.h"
@@ -82,6 +87,7 @@ void Usage(std::FILE* out, const char* argv0) {
       "          [--explain[=table|json]] [--journal <out.pmgj>]\n"
       "       %s --graph <name|file:path> --serve <preset|spec>\n"
       "          [--qps <rate>] [--deadline-ns <ns>] [--serve-naive]\n"
+      "          [--serve-trace[=K]] [--explain-tail[=table|json]]\n"
       "          [--faults <spec>] [--trace ...] [--json ...] "
       "[--metrics...]\n"
       "graph names: kron30 clueweb12 uk14 iso_m100 rmat32 wdc12\n"
@@ -105,7 +111,13 @@ void Usage(std::FILE* out, const char* argv0) {
       "arrival trace (presets: canonical steady nightly, or\n"
       "poisson|burst|diurnal:qps=...,n=...,deadline=...,mix=...,seed=...)\n"
       "through the overload-robust server; --serve-naive drops the\n"
-      "robustness policies (unbounded queue, no timeout/retry/hedge).\n",
+      "robustness policies (unbounded queue, no timeout/retry/hedge);\n"
+      "--serve-trace records per-request span timelines (slowest-K plus\n"
+      "shed/failed requests become request tracks in --trace output and a\n"
+      "servetrace section in --json output; default K=8);\n"
+      "--explain-tail decomposes p50/p99/p999 per query kind into\n"
+      "queue/service/degraded/hedge/backoff/recovery time with ranked\n"
+      "miss causes (contrast two runs offline with pmg_explain --tail).\n",
       argv0, argv0);
 }
 
@@ -243,6 +255,9 @@ int main(int argc, char** argv) {
   bool qps_set = false;
   bool deadline_set = false;
   bool serve_naive = false;
+  uint32_t serve_trace_k = servetrace::kDefaultSlowestK;
+  bool serve_trace_set = false;
+  std::string explain_tail_mode;  // empty = no --explain-tail
   bool migration = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -346,6 +361,22 @@ int main(int argc, char** argv) {
     } else if (flag == "--serve-naive") {
       no_value();
       serve_naive = true;
+    } else if (flag == "--serve-trace") {
+      // The slowest-K value is optional, so only the "=" form supplies
+      // one: a bare --serve-trace must not swallow the next flag.
+      serve_trace_set = true;
+      if (has_value &&
+          (!ParseU32(value, &serve_trace_k) || serve_trace_k == 0)) {
+        Die("--serve-trace wants a positive slowest-K, got '%s'",
+            value.c_str());
+      }
+    } else if (flag == "--explain-tail") {
+      // Like --metrics, the value is optional: only the "=" form counts.
+      explain_tail_mode = has_value ? value : "table";
+      if (explain_tail_mode != "table" && explain_tail_mode != "json") {
+        Die("unknown explain-tail mode '%s' (want table|json)",
+            explain_tail_mode.c_str());
+      }
     } else if (flag == "--checkpoint-every") {
       if (!ParseU32(need_value(), &cfg.checkpoint_every)) {
         Die("--checkpoint-every wants an integer, got '%s'", value.c_str());
@@ -396,6 +427,8 @@ int main(int argc, char** argv) {
     if (qps_set) Die("--qps requires --serve");
     if (deadline_set) Die("--deadline-ns requires --serve");
     if (serve_naive) Die("--serve-naive requires --serve");
+    if (serve_trace_set) Die("--serve-trace requires --serve");
+    if (!explain_tail_mode.empty()) Die("--explain-tail requires --serve");
     if (app_name.empty()) Die("--app is required");
   }
 
@@ -550,6 +583,15 @@ int main(int argc, char** argv) {
     if (traced) sc.trace = &session;
     if (msession.has_value()) sc.metrics = &*msession;
     if (serve_naive) sc = serve::NaiveBaseline(sc);
+    // Request-timeline tracing rides on the observer seam; attaching it
+    // never changes a simulated number.
+    const bool traced_requests =
+        serve_trace_set || !explain_tail_mode.empty();
+    std::optional<servetrace::ServeTracer> tracer;
+    if (traced_requests) {
+      tracer.emplace(serve_trace_k);
+      sc.observer = &*tracer;
+    }
 
     serve::Server server(topo, sc);
     const serve::ServeReport rep = server.Run();
@@ -558,6 +600,15 @@ int main(int argc, char** argv) {
                 machine_name.c_str(), cfg.threads,
                 static_cast<double>(rep.total_ns) / 1e6);
     scenarios::PrintServeReport(rep);
+    if (!explain_tail_mode.empty()) {
+      const servetrace::ServeTailReport tail =
+          servetrace::BuildTailReport(*tracer);
+      if (explain_tail_mode == "json") {
+        std::printf("%s\n", tail.ToJson().c_str());
+      } else {
+        scenarios::PrintServeTailReport(tail);
+      }
+    }
     if (traced) scenarios::PrintTraceReport(session.report());
     emit_metrics();
     if (metrics_format == "prom") {
@@ -566,7 +617,11 @@ int main(int argc, char** argv) {
     }
     if (!trace_path.empty()) {
       std::string err;
-      if (!session.WriteChromeTrace(trace_path, &err)) Die("%s", err.c_str());
+      if (!session.WriteChromeTrace(trace_path, &err,
+                                    tracer.has_value() ? &*tracer
+                                                       : nullptr)) {
+        Die("%s", err.c_str());
+      }
     }
     if (!json_path.empty()) {
       trace::JsonWriter w;
@@ -581,6 +636,14 @@ int main(int argc, char** argv) {
       w.Key("naive").Bool(serve_naive);
       w.Key("serve");
       rep.AppendJson(&w);
+      if (tracer.has_value()) {
+        w.Key("servetrace");
+        tracer->AppendJson(&w);
+        w.Key("serve_tail");
+        servetrace::BuildTailReport(*tracer).AppendJson(&w);
+      }
+      w.Key("exemplars");
+      servetrace::AppendRegistryExemplarsJson(server.registry(), &w);
       w.Key("trace");
       session.report().AppendJson(&w);
       if (msession.has_value()) {
