@@ -12,6 +12,7 @@
 #include "pmg/memsim/machine_configs.h"
 #include "pmg/scenarios/report.h"
 #include "pmg/scenarios/scenarios.h"
+#include "pmg/tierscope/tierscope.h"
 #include "pmg/trace/bench_report.h"
 
 namespace {
@@ -25,16 +26,30 @@ using pmg::frameworks::RunConfig;
 using pmg::memsim::MachineConfig;
 using pmg::memsim::PageSizeClass;
 
-SimNs AppTime(App app, const AppInputs& inputs,
-              const MachineConfig& machine, PageSizeClass page_size,
-              bool migration) {
+struct Fig5Cell {
+  SimNs time_ns = 0;
+  /// Decision audit of the migration-on run (empty when migration off).
+  pmg::tierscope::TierReport tier;
+};
+
+Fig5Cell AppTime(App app, const AppInputs& inputs,
+                 const MachineConfig& machine, PageSizeClass page_size,
+                 bool migration) {
   RunConfig cfg;
   cfg.machine = machine;
   cfg.machine.migration.enabled = migration;
   cfg.threads = 96;
   cfg.page_size = page_size;
   cfg.pr_max_rounds = 10;
-  return RunApp(FrameworkKind::kGalois, app, inputs, cfg).time_ns;
+  // The tier audit (attached only when the daemon runs) exports the
+  // daemon's scan/move/remap/shootdown cost split into the perf gate, so
+  // daemon cost drift fails the gate even when total time stays put.
+  pmg::tierscope::TierScope scope;
+  if (migration) cfg.tierscope = &scope;
+  Fig5Cell cell;
+  cell.time_ns = RunApp(FrameworkKind::kGalois, app, inputs, cfg).time_ns;
+  if (migration) cell.tier = scope.report();
+  return cell;
 }
 
 void RunMachine(const char* title, const MachineConfig& machine,
@@ -62,14 +77,15 @@ void RunMachine(const char* title, const MachineConfig& machine,
         continue;
       }
       for (PageSizeClass ps : {PageSizeClass::k4K, PageSizeClass::k2M}) {
-        const SimNs on = AppTime(app, inputs, machine, ps, true);
-        const SimNs off = AppTime(app, inputs, machine, ps, false);
-        const double pct = 100.0 * (static_cast<double>(on) - off) /
-                           static_cast<double>(on);
+        const Fig5Cell on = AppTime(app, inputs, machine, ps, true);
+        const Fig5Cell off = AppTime(app, inputs, machine, ps, false);
+        const double pct = 100.0 *
+                           (static_cast<double>(on.time_ns) - off.time_ns) /
+                           static_cast<double>(on.time_ns);
         t.AddRow({name, pmg::frameworks::AppName(app),
                   ps == PageSizeClass::k4K ? "4KB" : "2MB",
-                  pmg::scenarios::FormatSeconds(on),
-                  pmg::scenarios::FormatSeconds(off),
+                  pmg::scenarios::FormatSeconds(on.time_ns),
+                  pmg::scenarios::FormatSeconds(off.time_ns),
                   pmg::scenarios::FormatDouble(pct, 1) + "%"});
         json->BeginRow();
         json->writer().Key("machine").String(title);
@@ -77,9 +93,15 @@ void RunMachine(const char* title, const MachineConfig& machine,
         json->writer().Key("app").String(pmg::frameworks::AppName(app));
         json->writer().Key("pages").String(
             ps == PageSizeClass::k4K ? "4KB" : "2MB");
-        json->writer().Key("migration_on_ns").UInt(on);
-        json->writer().Key("migration_off_ns").UInt(off);
+        json->writer().Key("migration_on_ns").UInt(on.time_ns);
+        json->writer().Key("migration_off_ns").UInt(off.time_ns);
         json->writer().Key("off_improvement_pct").Fixed(pct, 2);
+        json->writer().Key("daemon_scan_ns").UInt(on.tier.daemon_scan_ns);
+        json->writer().Key("daemon_move_ns").UInt(on.tier.daemon_move_ns);
+        json->writer().Key("daemon_remap_ns").UInt(on.tier.daemon_remap_ns);
+        json->writer().Key("daemon_shootdown_ns").UInt(
+            on.tier.daemon_shootdown_ns);
+        json->writer().Key("migrated_pages").UInt(on.tier.migrated_pages);
         json->EndRow();
       }
     }

@@ -1,0 +1,153 @@
+// Tierscope overhead benchmark: a migration-heavy Galois pagerank run
+// priced bare, and again with a pmg::tierscope::TierScope attached as
+// the machine's tier hook.
+//
+// The contract this enforces (loudly — a violation is exit 1, not a
+// perf-gate delta): the tier audit is host-side bookkeeping of
+// already-priced decisions, so
+//
+//   - detached auditing costs zero: a run with no hook produces the same
+//     bytes it did before the TierHook seam existed, and
+//   - attached auditing changes no simulated number: the machine
+//     counters and the trace report are byte-identical with and without
+//     the scope, even though attaching it forces inline (non-host-
+//     parallel) pricing.
+//
+// Emits BENCH_tierscope.json for the CI perf-regression gate: the *_ns
+// columns are simulated time and therefore exactly reproducible; the
+// scoped row must stay bit-equal to the detached row forever.
+
+#include <cstdio>
+#include <string>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/graph/topology.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/tierscope/tierscope.h"
+#include "pmg/trace/bench_report.h"
+#include "pmg/trace/json.h"
+#include "pmg/trace/trace_session.h"
+
+namespace {
+
+using pmg::MiB;
+using pmg::frameworks::App;
+using pmg::frameworks::AppInputs;
+using pmg::frameworks::AppRunResult;
+using pmg::frameworks::FrameworkKind;
+using pmg::frameworks::RunApp;
+using pmg::frameworks::RunConfig;
+
+/// The acceptance machine of tests/serve and bench_serve_trace: two
+/// sockets, small enough that interleaved pagerank keeps the migration
+/// daemon busy.
+pmg::memsim::MachineConfig TinyConfig() {
+  pmg::memsim::MachineConfig c;
+  c.kind = pmg::memsim::MachineKind::kDramMain;
+  c.name = "tiny";
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;
+  c.topology.dram_bytes_per_socket = MiB(8);
+  c.topology.pmm_bytes_per_socket = 0;
+  c.cpu_cache_lines = 64;
+  return c;
+}
+
+/// One pr run; fills `*out` and returns the trace report's JSON.
+std::string RunOnce(const pmg::graph::CsrTopology& topo,
+                    pmg::tierscope::TierScope* scope, AppRunResult* out) {
+  RunConfig cfg;
+  cfg.machine = TinyConfig();
+  cfg.machine.migration.enabled = true;
+  // The tiny run simulates well under AutoNUMA's default scan period;
+  // tighten it so every epoch can scan and the daemon actually decides.
+  cfg.machine.migration.scan_interval_ns = 20000;
+  cfg.threads = 4;
+  cfg.placement = pmg::memsim::Placement::kInterleaved;
+  cfg.pr_max_rounds = 10;
+  pmg::trace::TraceSession session;
+  cfg.trace = &session;
+  cfg.tierscope = scope;
+  const AppInputs inputs = AppInputs::Prepare(topo, 0);
+  *out = RunApp(FrameworkKind::kGalois, App::kPr, inputs, cfg);
+  pmg::trace::JsonWriter w;
+  session.report().AppendJson(&w);
+  return w.str();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Tierscope overhead on interleaved pagerank with the migration "
+      "daemon on\n(attaching the scope must change no simulated number; "
+      "a byte\n difference is a bug, not a regression)\n\n");
+
+  pmg::graph::CsrTopology topo = pmg::graph::Rmat(8, 8, 7);
+  pmg::graph::AssignRandomWeights(&topo, /*max_weight=*/9, /*seed=*/13);
+
+  AppRunResult bare;
+  const std::string bare_trace = RunOnce(topo, nullptr, &bare);
+  const std::string bare_stats = bare.stats.ToString();
+
+  pmg::tierscope::TierScope scope;
+  AppRunResult scoped;
+  const std::string scoped_trace = RunOnce(topo, &scope, &scoped);
+
+  if (scoped.time_ns != bare.time_ns ||
+      scoped.stats.ToString() != bare_stats || scoped_trace != bare_trace) {
+    std::fprintf(stderr,
+                 "FAIL: attaching the tier scope changed the simulated "
+                 "time, counters, or trace report\n");
+    return 1;
+  }
+  const pmg::tierscope::TierReport& tier = scope.report();
+  if (!tier.Conserves()) {
+    std::fprintf(stderr,
+                 "FAIL: tier decision audit does not reconcile with the "
+                 "machine counters\n");
+    return 1;
+  }
+  if (tier.scans == 0 || tier.migrated_pages == 0) {
+    std::fprintf(stderr,
+                 "FAIL: the scenario exercised no migration decisions "
+                 "(scans=%llu migrated=%llu)\n",
+                 static_cast<unsigned long long>(tier.scans),
+                 static_cast<unsigned long long>(tier.migrated_pages));
+    return 1;
+  }
+
+  std::printf(
+      "detached == scoped: %.3f ms simulated, byte-identical counters + "
+      "trace report\nscoped extras: %llu scan(s), %llu candidate(s) -> "
+      "%llu migrated, conservation OK\n",
+      static_cast<double>(bare.time_ns) / 1e6,
+      static_cast<unsigned long long>(tier.scans),
+      static_cast<unsigned long long>(tier.candidates),
+      static_cast<unsigned long long>(tier.migrated_pages));
+
+  pmg::trace::BenchJson json("tierscope");
+  json.BeginRow();
+  json.writer().Key("config").String("detached");
+  json.writer().Key("time_ns").UInt(bare.time_ns);
+  json.writer().Key("total_ns").UInt(bare.stats.total_ns);
+  json.writer().Key("kernel_ns").UInt(bare.stats.kernel_ns);
+  json.EndRow();
+  json.BeginRow();
+  json.writer().Key("config").String("scoped");
+  json.writer().Key("time_ns").UInt(scoped.time_ns);
+  json.writer().Key("total_ns").UInt(scoped.stats.total_ns);
+  json.writer().Key("kernel_ns").UInt(scoped.stats.kernel_ns);
+  json.writer().Key("daemon_scan_ns").UInt(tier.daemon_scan_ns);
+  json.writer().Key("daemon_move_ns").UInt(tier.daemon_move_ns);
+  json.writer().Key("daemon_remap_ns").UInt(tier.daemon_remap_ns);
+  json.writer().Key("daemon_shootdown_ns").UInt(tier.daemon_shootdown_ns);
+  json.writer().Key("migrated_pages").UInt(tier.migrated_pages);
+  json.writer().Key("candidates").UInt(tier.candidates);
+  json.EndRow();
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "pmg/graph/properties.h"
 #include "pmg/metrics/metrics_session.h"
 #include "pmg/runtime/runtime.h"
+#include "pmg/tierscope/tierscope.h"
 #include "pmg/trace/trace_session.h"
 #include "pmg/whatif/journal.h"
 
@@ -191,6 +192,10 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
   // and the counter mirrors cover everything the machine prices.
   if (config.metrics != nullptr) config.metrics->Attach(&machine);
 
+  // And the tier scope: first-touch placements during graph construction
+  // are most of where memory ends up living.
+  if (config.tierscope != nullptr) config.tierscope->Attach(&machine);
+
   // Attach the sanitizer before the graph is materialized so its shadow
   // region table sees every allocation.
   std::unique_ptr<sancheck::Sancheck> checker;
@@ -328,6 +333,9 @@ AppRunResult RunApp(FrameworkKind kind, App app, const AppInputs& inputs,
   // Detach while the graph is still mapped: the heatmap folds still-live
   // regions against the page table.
   if (config.metrics != nullptr) config.metrics->Detach();
+  // The tier scope keeps its shadow of still-live pages across detach (the
+  // misplacement join runs after the machine is gone).
+  if (config.tierscope != nullptr) config.tierscope->Detach();
   if (config.trace != nullptr) config.trace->Detach();
   out.supported = true;
   return out;

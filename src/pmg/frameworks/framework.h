@@ -43,6 +43,10 @@ namespace pmg::whatif {
 class JournalRecorder;
 }  // namespace pmg::whatif
 
+namespace pmg::tierscope {
+class TierScope;
+}  // namespace pmg::tierscope
+
 namespace pmg::frameworks {
 
 enum class FrameworkKind { kGalois, kGap, kGraphIt, kGbbs };
@@ -139,6 +143,12 @@ struct RunConfig {
   /// downstream — and detached first. Recording changes no simulated
   /// result; the recorded journal re-prices the run bit-exactly.
   whatif::JournalRecorder* journal = nullptr;
+  /// Attach this pmg::tierscope placement observer for the run (page
+  /// lifecycle events, migration decision audit, per-epoch tier
+  /// time-series). Same contract as the other seams: attached before the
+  /// graph is built, detached before the machine dies, changes no
+  /// simulated number (it only forces inline pricing).
+  tierscope::TierScope* tierscope = nullptr;
 };
 
 struct AppRunResult {

@@ -292,7 +292,11 @@ void CheckHookGuard(const SourceFile& file, const TokenStream& ts,
       "OnEpochTrace", "OnInstant",     "OnMediaAccess", "OnStorageOp",
       "OnQuarantined","RemoteBandwidthFactor",          "OnEpochBegin",
       "OnEpochEnd",   "OnAccess",      "OnAlloc",       "OnFree",
-      "WantsCostModel"};
+      "WantsCostModel",
+      // The TierHook seam: the migration daemon's decision events.
+      "OnTierAlloc",  "OnTierFree",    "OnTierPagePlaced",
+      "OnTierCandidate", "OnTierMigrated", "OnTierSkipped",
+      "OnTierScan",   "OnTierQuarantine", "OnTierEpoch"};
   // How far back (in tokens) a guard may sit. Wide enough that a
   // PMG_CHECK(ptr != nullptr) precondition at the top of a long emitter
   // function still counts; crossing into the previous function only

@@ -64,6 +64,9 @@ RegionId Machine::Alloc(uint64_t bytes, const PagePolicy& policy,
   for (AccessObserver* o : observers_) {
     o->OnAlloc(id, pages_.region(id).base, bytes, name);
   }
+  if (tier_ != nullptr) [[unlikely]] {
+    tier_->OnTierAlloc(id, pages_.region(id).base, bytes, name);
+  }
   return id;
 }
 
@@ -72,6 +75,9 @@ void Machine::Free(RegionId id) {
   // them while its pages are still mapped.
   if (host_recording_) HostSettle();
   for (AccessObserver* o : observers_) o->OnFree(id);
+  if (tier_ != nullptr) [[unlikely]] {
+    tier_->OnTierFree(id);
+  }
   pages_.ForEachMappedPage(
       [&](Region& r, PageInfo& p, VirtAddr /*base*/, PageSizeClass cls) {
         if (&r != &pages_.region(id)) return;
@@ -162,6 +168,10 @@ void Machine::HandleFault(ThreadId t, const PageLookup& lk) {
   ChargeKernel(ts, TraceBucket::kMinorFault,
                KernelEventCostNs(fc, config_.kind, config_.timings));
   CountCost(ts, fc);
+  if (tier_ != nullptr) [[unlikely]] {
+    tier_->OnTierPagePlaced(lk.region->id, lk.page_base, lk.cls,
+                            lk.page->node, t, stats_.total_ns);
+  }
 }
 
 void Machine::QuarantinePage(ThreadId t, const PageLookup& lk) {
@@ -202,6 +212,10 @@ void Machine::QuarantinePage(ThreadId t, const PageLookup& lk) {
   if (fault_hook_ != nullptr) {
     fault_hook_->OnQuarantined(lk.page_base, PageBytes(lk.cls),
                                lk.region->name);
+  }
+  if (tier_ != nullptr) [[unlikely]] {
+    tier_->OnTierQuarantine(lk.page_base, lk.cls, old_node, lk.page->node,
+                            stats_.total_ns);
   }
 }
 
@@ -570,6 +584,29 @@ EpochReport Machine::EndEpoch() {
     EmitEpochTrace(epoch_index, report, epoch_start_ns, crit_index,
                    crit_user_base, crit_kernel, remote_factor);
   }
+  if (tier_ != nullptr) [[unlikely]] {
+    TierEpochSample sample;
+    sample.epoch_index = epoch_index;
+    sample.start_ns = epoch_start_ns;
+    sample.total_ns = report.total_ns;
+    sample.daemon_ns = daemon;
+    sample.migrations = daemon > 0 ? last_daemon_.migrated : 0;
+    sample.nodes.resize(config_.topology.sockets);
+    for (NodeId n = 0; n < config_.topology.sockets; ++n) {
+      TierEpochSample::NodeSample& ns = sample.nodes[n];
+      ns.bytes_used = NodeBytesUsed(n);
+      const ChannelBytes& ch = channels_[n];
+      for (int a = 0; a < 2; ++a) {
+        for (int s = 0; s < 2; ++s) {
+          for (int w = 0; w < 2; ++w) {
+            ns.dram_bytes += ch.dram[a][s][w];
+            ns.pmm_bytes += ch.pmm[a][s][w];
+          }
+        }
+      }
+    }
+    tier_->OnTierEpoch(sample);
+  }
   if (!observers_.empty()) [[unlikely]] {
     uint64_t races = 0;
     for (AccessObserver* o : observers_) races += o->OnEpochEnd();
@@ -679,6 +716,12 @@ void Machine::EmitEpochTrace(uint64_t epoch_index, const EpochReport& report,
                       report.daemon_ns,
                   "unattributed migration-daemon time");
     et.migrations = last_daemon_.migrated;
+    // The raw (pre-pmm_kernel_factor) daemon inputs used to be dropped
+    // unless full cost tracing was on; carry them on every traced epoch
+    // so the run report can reconcile daemon cost (satellite: DaemonCost
+    // _raw fields were in no report).
+    et.daemon_scan_raw_ns = last_daemon_.scan_raw;
+    et.daemon_shootdown_raw_ns = last_daemon_.shootdown_raw;
   }
 
   for (uint32_t i = 0; i < threads_.size(); ++i) {
@@ -748,8 +791,14 @@ SimNs Machine::RunMigrationDaemon() {
   ++scan_counter_;
   ++stats_.migration_scans;
   DaemonCost dc;
-  dc.scan_raw = pages_.mapped_pages() * mc.scan_per_page_ns;
+  const uint64_t mapped = pages_.mapped_pages();
+  dc.scan_raw = mapped * mc.scan_per_page_ns;
   dc.scan = KernelCost(dc.scan_raw);
+
+  // Decision audit of this scan, maintained only while a TierHook is
+  // attached. Emitting it never changes a decision: `hot && rate &&
+  // budget` below composes to exactly the historical candidate condition.
+  TierScanRecord audit;
 
   uint32_t migrated = 0;
   uint64_t page_seq = 0;
@@ -766,15 +815,21 @@ SimNs Machine::RunMigrationDaemon() {
         cls == PageSizeClass::k4K
             ? mc.min_remote_accesses
             : mc.min_remote_accesses * mc.huge_page_threshold_factor;
-    const bool candidate = p.remote_accesses >= threshold &&
-                           p.remote_accesses > p.local_accesses &&
-                           migrated < mc.max_migrations_per_scan &&
+    const bool hot = p.remote_accesses >= threshold &&
+                     p.remote_accesses > p.local_accesses;
+    const bool candidate = hot && migrated < mc.max_migrations_per_scan &&
                            PageBytes(cls) <= migrate_budget_bytes_;
+    const NodeId target = p.last_remote_node % config_.topology.sockets;
+    if (hot && tier_ != nullptr) [[unlikely]] {
+      ++audit.candidates;
+      tier_->OnTierCandidate(base, cls, p.node, target, p.remote_accesses,
+                             p.local_accesses);
+    }
     if (candidate) {
-      const NodeId target = p.last_remote_node % config_.topology.sockets;
       const uint64_t n = PageBytes(cls) / kSmallPageBytes;
       const PhysPage nf = AllocFrames(target, n);
       if (nf != kInvalidFrame && NodeOfFrame(nf) == target) {
+        const NodeId old_node = p.node;
         if (near_mem_ != nullptr) near_mem_->Invalidate(p.node, p.frame, n);
         FreeFrames(p.node, p.frame, n);
         // Copy + PTE remap.
@@ -784,16 +839,35 @@ SimNs Machine::RunMigrationDaemon() {
         p.frame = nf;
         p.node = target;
         migrate_budget_bytes_ -= PageBytes(cls);
+        dc.migrated_bytes += PageBytes(cls);
         ++migrated;
         ++stats_.migrations;
         // Remap invalidates the translation on every core.
         for (ThreadState& ts : threads_) {
           if (ts.tlb != nullptr) ts.tlb->InvalidatePage(base, cls);
         }
+        if (tier_ != nullptr) [[unlikely]] {
+          tier_->OnTierMigrated(base, cls, old_node, target, PageBytes(cls));
+        }
       } else if (nf != kInvalidFrame) {
         // Spilled to the wrong node: give the frames back, skip.
         FreeFrames(NodeOfFrame(nf), nf, n);
+        if (tier_ != nullptr) [[unlikely]] {
+          ++audit.skipped[static_cast<size_t>(TierSkipReason::kWrongNode)];
+          tier_->OnTierSkipped(base, cls, p.node, TierSkipReason::kWrongNode);
+        }
+      } else if (tier_ != nullptr) [[unlikely]] {
+        ++audit.skipped[static_cast<size_t>(TierSkipReason::kNoFrames)];
+        tier_->OnTierSkipped(base, cls, p.node, TierSkipReason::kNoFrames);
       }
+    } else if (hot && tier_ != nullptr) [[unlikely]] {
+      // The canonical reason is the first failed test, in the candidate
+      // condition's own order: rate limit, then byte budget.
+      const TierSkipReason reason = migrated >= mc.max_migrations_per_scan
+                                        ? TierSkipReason::kRateLimit
+                                        : TierSkipReason::kByteBudget;
+      ++audit.skipped[static_cast<size_t>(reason)];
+      tier_->OnTierSkipped(base, cls, p.node, reason);
     }
     p.local_accesses = 0;
     p.remote_accesses = 0;
@@ -810,6 +884,20 @@ SimNs Machine::RunMigrationDaemon() {
   }
   dc.migrated = migrated;
   last_daemon_ = dc;
+  if (tier_ != nullptr) [[unlikely]] {
+    audit.scan_index = stats_.migration_scans;
+    audit.at_ns = last_scan_ns_;
+    audit.mapped_pages = mapped;
+    audit.scan_ns = dc.scan;
+    audit.move_ns = dc.move;
+    audit.remap_ns = dc.remap;
+    audit.shootdown_ns = dc.shootdown;
+    audit.scan_raw_ns = dc.scan_raw;
+    audit.shootdown_raw_ns = dc.shootdown_raw;
+    audit.migrated_pages = migrated;
+    audit.migrated_bytes = dc.migrated_bytes;
+    tier_->OnTierScan(audit);
+  }
   return dc.scan + dc.move + dc.remap + dc.shootdown;
 }
 

@@ -18,6 +18,7 @@
 #include "pmg/memsim/numa_topology.h"
 #include "pmg/memsim/page_table.h"
 #include "pmg/memsim/stats.h"
+#include "pmg/memsim/tier_hook.h"
 #include "pmg/memsim/timings.h"
 #include "pmg/memsim/tlb.h"
 #include "pmg/memsim/trace_sink.h"
@@ -265,6 +266,21 @@ class Machine {
   }
   FaultHook* fault_hook() const { return fault_hook_; }
 
+  // --- Tier placement observability (pmg::tierscope) ---
+
+  /// Attaches `hook` to the placement-decision path (nullptr detaches).
+  /// The hook is not owned and must outlive its attachment; attach/detach
+  /// outside an epoch. With no hook attached the machine prices
+  /// bit-identically to a hook-free build (each decision site pays only a
+  /// null check); with one attached, pricing is unchanged — the hook only
+  /// observes decisions already priced — but epochs fall back to inline
+  /// pricing (see HostPhasedEligible), which is itself byte-identical.
+  void SetTierHook(TierHook* hook) {
+    PMG_CHECK_MSG(!in_epoch_, "attach/detach a tier hook outside an epoch");
+    tier_ = hook;
+  }
+  TierHook* tier_hook() const { return tier_; }
+
  private:
   struct ThreadState {
     double user_ns = 0;  // fractional: per-miss cost is latency / MLP
@@ -294,6 +310,7 @@ class Machine {
     SimNs scan_raw = 0;
     SimNs shootdown_raw = 0;
     uint64_t migrated = 0;
+    uint64_t migrated_bytes = 0;
   };
 
   /// Byte counters of one socket's channels for the current epoch
@@ -423,7 +440,8 @@ class Machine {
   bool HostPhasedEligible(uint32_t active_threads) const {
     return host_pool_ != nullptr && host_pool_->workers() > 1 &&
            active_threads > 1 && observers_.empty() && trace_ == nullptr &&
-           fault_hook_ == nullptr && !config_.migration.enabled;
+           fault_hook_ == nullptr && tier_ == nullptr &&
+           !config_.migration.enabled;
   }
   void HostBeginRecord();
   /// Prices the recorded prefix (parallel pass 1, serial pass 2 in global
@@ -477,6 +495,9 @@ class Machine {
   TraceSink* trace_ = nullptr;
   /// Cached trace_->WantsCostModel() so the hot path pays one bool test.
   bool trace_cost_ = false;
+  /// Not owned; null when no tier-placement observability is attached
+  /// (every decision site pays only a null check).
+  TierHook* tier_ = nullptr;
   /// Per-socket near-memory miss fill/writeback bytes for the current
   /// epoch, maintained only when trace_cost_.
   std::vector<EpochTrace::CostRecord::SocketFill> cost_fills_;

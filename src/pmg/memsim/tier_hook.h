@@ -1,0 +1,169 @@
+#ifndef PMG_MEMSIM_TIER_HOOK_H_
+#define PMG_MEMSIM_TIER_HOOK_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/page_table.h"
+
+/// \file tier_hook.h
+/// The machine-side seam of the pmg::tierscope placement-observability
+/// layer (the sibling of access_observer.h / trace_sink.h / fault_hook.h).
+/// While a TierHook is attached the machine reports every page-placement
+/// decision it makes — first-touch placement, the migration daemon's
+/// candidate/migrate/skip verdicts with the reason a candidate was passed
+/// over, quarantine remaps, region teardown — plus one per-epoch tier
+/// sample (per-node occupancy, per-socket channel traffic, daemon cost).
+/// The contract matches the other seams: with no hook attached the hot
+/// path pays one null check and the machine prices bit-identically to a
+/// hook-free build; attaching one never changes a simulated number (it
+/// only forces inline pricing — see docs/determinism.md); attach/detach
+/// only outside an epoch.
+///
+/// The conservation law (enforced by pmg::tierscope at emit and re-derived
+/// in tests/tierscope): per scan, every hot page is exactly one of
+/// migrated or skipped-for-one-reason, so
+///   candidates == migrated_pages + sum(skipped by reason),
+/// and the audit totals reconcile bit-exactly with MachineStats
+/// (migrations, migration_scans, tlb_shootdowns, minor_faults) and the
+/// DaemonCost breakdown the trace layer buckets.
+
+namespace pmg::memsim {
+
+/// Why the migration daemon passed over a hot page. A page is *hot* when
+/// its sampled remote accesses reach the (page-size-scaled) threshold and
+/// exceed its local accesses; a hot page migrates unless exactly one of
+/// these stops it. Reasons are canonical: the daemon tests them in this
+/// order, so each skip carries the first reason that applied.
+enum class TierSkipReason : uint8_t {
+  /// max_migrations_per_scan already reached this scan.
+  kRateLimit = 0,
+  /// The page is larger than the remaining migration byte budget.
+  kByteBudget,
+  /// No node had frames for the page (simulated memory full).
+  kNoFrames,
+  /// Frames spilled to a node other than the target; given back.
+  kWrongNode,
+  kCount,
+};
+
+inline constexpr size_t kTierSkipReasonCount =
+    static_cast<size_t>(TierSkipReason::kCount);
+
+constexpr const char* TierSkipReasonName(TierSkipReason r) {
+  switch (r) {
+    case TierSkipReason::kRateLimit:
+      return "rate-limit";
+    case TierSkipReason::kByteBudget:
+      return "byte-budget";
+    case TierSkipReason::kNoFrames:
+      return "no-frames";
+    case TierSkipReason::kWrongNode:
+      return "wrong-node";
+    case TierSkipReason::kCount:
+      break;
+  }
+  return "?";
+}
+
+/// The finished audit of one migration-daemon scan, delivered after the
+/// per-page candidate/migrate/skip events of the same scan. The cost
+/// split mirrors Machine::DaemonCost: the four priced components sum to
+/// exactly the daemon time the scan added to the epoch, and the _raw
+/// fields are the pre-pmm_kernel_factor integral inputs.
+struct TierScanRecord {
+  /// 1-based ordinal (equals MachineStats::migration_scans after the
+  /// scan).
+  uint64_t scan_index = 0;
+  /// Simulated clock the scan ran at (end of the triggering epoch,
+  /// before daemon time is added).
+  SimNs at_ns = 0;
+  /// Pages mapped when the scan started (what the scan walk priced).
+  uint64_t mapped_pages = 0;
+  SimNs scan_ns = 0;
+  SimNs move_ns = 0;
+  SimNs remap_ns = 0;
+  SimNs shootdown_ns = 0;
+  SimNs scan_raw_ns = 0;
+  SimNs shootdown_raw_ns = 0;
+  uint64_t migrated_pages = 0;
+  uint64_t migrated_bytes = 0;
+  /// Hot pages examined this scan == migrated_pages + sum(skipped).
+  uint64_t candidates = 0;
+  uint64_t skipped[kTierSkipReasonCount] = {};
+};
+
+/// One per-epoch sample of where memory lives and what moved, taken at
+/// epoch end after the machine's stats are final for the epoch.
+struct TierEpochSample {
+  uint64_t epoch_index = 0;
+  /// Machine clock when the epoch began / its duration (incl. daemon).
+  SimNs start_ns = 0;
+  SimNs total_ns = 0;
+  SimNs daemon_ns = 0;
+  /// Pages migrated by the scan that ran at this epoch's end (0 when no
+  /// scan ran).
+  uint64_t migrations = 0;
+  struct NodeSample {
+    /// Bytes backed by frames on the node at epoch end.
+    uint64_t bytes_used = 0;
+    /// Bytes the node's channels moved this epoch, by medium.
+    uint64_t dram_bytes = 0;
+    uint64_t pmm_bytes = 0;
+  };
+  /// Indexed by node (== socket).
+  std::vector<NodeSample> nodes;
+};
+
+/// Receiver of the placement-decision stream. Not owned by the machine;
+/// must outlive its attachment. Implemented by tierscope::TierScope.
+class TierHook {
+ public:
+  virtual ~TierHook() = default;
+
+  /// A region was mapped (frames still unassigned — placement happens at
+  /// first touch).
+  virtual void OnTierAlloc(RegionId id, VirtAddr base, uint64_t bytes,
+                           std::string_view name) = 0;
+  /// A region is being unmapped; its pages leave their nodes.
+  virtual void OnTierFree(RegionId id) = 0;
+
+  /// First-touch placement: a minor fault mapped `page_base` onto `node`.
+  /// `at_ns` is the clock of the surrounding epoch's start (simulated
+  /// time only advances at epoch end).
+  virtual void OnTierPagePlaced(RegionId region, VirtAddr page_base,
+                                PageSizeClass cls, NodeId node,
+                                ThreadId toucher, SimNs at_ns) = 0;
+
+  /// The daemon found a hot page on `node` whose sampled accesses want it
+  /// on `wanted`. Followed, for the same page in the same scan, by either
+  /// OnTierMigrated or OnTierSkipped.
+  virtual void OnTierCandidate(VirtAddr page_base, PageSizeClass cls,
+                               NodeId node, NodeId wanted,
+                               uint32_t remote_accesses,
+                               uint32_t local_accesses) = 0;
+  /// The daemon moved a page (`bytes` == PageBytes(cls)).
+  virtual void OnTierMigrated(VirtAddr page_base, PageSizeClass cls,
+                              NodeId from, NodeId to, uint64_t bytes) = 0;
+  /// The daemon passed over a hot page for the canonical `reason`.
+  virtual void OnTierSkipped(VirtAddr page_base, PageSizeClass cls,
+                             NodeId node, TierSkipReason reason) = 0;
+  /// One finished scan (after its candidate/migrate/skip events).
+  virtual void OnTierScan(const TierScanRecord& scan) = 0;
+
+  /// An uncorrectable media error retired the page's frames; it was
+  /// remapped from `from` to `to` (usually the same node; differs when
+  /// the node was full and the remap spilled).
+  virtual void OnTierQuarantine(VirtAddr page_base, PageSizeClass cls,
+                                NodeId from, NodeId to, SimNs at_ns) = 0;
+
+  /// One finished epoch's tier sample (after stats are updated, before
+  /// observers and the fault hook see the epoch end).
+  virtual void OnTierEpoch(const TierEpochSample& sample) = 0;
+};
+
+}  // namespace pmg::memsim
+
+#endif  // PMG_MEMSIM_TIER_HOOK_H_

@@ -159,6 +159,12 @@ struct EpochTrace {
   /// Pages migrated by the daemon scan that ran at this epoch's end.
   uint64_t migrations = 0;
 
+  /// Raw (pre-pmm_kernel_factor) daemon inputs of that scan. Unlike the
+  /// CostRecord copies below these are carried on every traced epoch, so
+  /// the run report never silently drops the DaemonCost breakdown.
+  SimNs daemon_scan_raw_ns = 0;
+  SimNs daemon_shootdown_raw_ns = 0;
+
   /// The priced inputs of the epoch, sufficient to re-derive its cost
   /// from a MemoryTimings (pmg::whatif). Populated only for sinks whose
   /// WantsCostModel() returns true; `valid` is false otherwise.

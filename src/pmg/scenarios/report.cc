@@ -521,6 +521,103 @@ void PrintServeTailContrast(const servetrace::ServeTailReport& base,
   movers.Print(out);
 }
 
+void PrintTierReport(const tierscope::TierReport& report, std::FILE* out) {
+  std::fprintf(out,
+               "\ntierscope: %llu scan(s), %llu candidate(s) -> %llu "
+               "migrated page(s) (%llu bytes), conservation %s\n",
+               static_cast<unsigned long long>(report.scans),
+               static_cast<unsigned long long>(report.candidates),
+               static_cast<unsigned long long>(report.migrated_pages),
+               static_cast<unsigned long long>(report.migrated_bytes),
+               report.Conserves() ? "OK" : "VIOLATED");
+  std::fprintf(out,
+               "placements %llu, quarantines %llu, shootdowns %llu over "
+               "%llu epoch(s)\n",
+               static_cast<unsigned long long>(report.placements),
+               static_cast<unsigned long long>(report.quarantines),
+               static_cast<unsigned long long>(report.shootdowns),
+               static_cast<unsigned long long>(report.epochs));
+
+  Table funnel({"decision", "pages"});
+  funnel.AddRow({"candidates", std::to_string(report.candidates)});
+  funnel.AddRow({"migrated", std::to_string(report.migrated_pages)});
+  for (size_t r = 0; r < memsim::kTierSkipReasonCount; ++r) {
+    funnel.AddRow({std::string("skipped: ") +
+                       memsim::TierSkipReasonName(
+                           static_cast<memsim::TierSkipReason>(r)),
+                   std::to_string(report.skipped[r])});
+  }
+  funnel.Print(out);
+
+  Table daemon({"daemon component", "time (ms)"});
+  daemon.AddRow({"scan", FormatMillis(report.daemon_scan_ns)});
+  daemon.AddRow({"move", FormatMillis(report.daemon_move_ns)});
+  daemon.AddRow({"remap", FormatMillis(report.daemon_remap_ns)});
+  daemon.AddRow({"shootdown", FormatMillis(report.daemon_shootdown_ns)});
+  daemon.Print(out);
+
+  if (!report.flows.empty()) {
+    Table flows({"flow", "pages", "bytes"});
+    for (const tierscope::TierFlowRow& f : report.flows) {
+      flows.AddRow({"node " + std::to_string(f.from) + " -> node " +
+                        std::to_string(f.to),
+                    std::to_string(f.pages), std::to_string(f.bytes)});
+    }
+    std::fprintf(out, "migration flows:\n");
+    flows.Print(out);
+  }
+  Table nodes({"node", "placed", "bytes used", "mig in", "mig out",
+               "traffic bytes"});
+  for (const tierscope::TierNodeRow& n : report.nodes) {
+    nodes.AddRow({"node " + std::to_string(n.node),
+                  std::to_string(n.placements), std::to_string(n.bytes_used),
+                  std::to_string(n.migrations_in),
+                  std::to_string(n.migrations_out),
+                  std::to_string(n.dram_bytes + n.pmm_bytes)});
+  }
+  nodes.Print(out);
+  if (report.dropped_scans + report.dropped_epochs > 0) {
+    std::fprintf(out,
+                 "dropped from the Chrome export: %llu scan(s), %llu "
+                 "epoch(s) (aggregates above are complete)\n",
+                 static_cast<unsigned long long>(report.dropped_scans),
+                 static_cast<unsigned long long>(report.dropped_epochs));
+  }
+}
+
+void PrintMisplacementReport(const tierscope::MisplacementReport& report,
+                             std::FILE* out) {
+  std::fprintf(out,
+               "\nmisplacement: %llu hot page(s) joined to live placement, "
+               "%llu unjoined, tiering regret %s ms\n",
+               static_cast<unsigned long long>(report.joined_pages),
+               static_cast<unsigned long long>(report.unjoined_pages),
+               FormatMillis(report.regret_total_ns).c_str());
+  if (!report.pages.empty()) {
+    Table pages({"structure", "page", "node", "wanted", "heat", "remote",
+                 "local"});
+    for (const tierscope::MisplacedPageRow& p : report.pages) {
+      pages.AddRow({p.structure, std::to_string(p.page_index),
+                    std::to_string(p.node), std::to_string(p.wanted),
+                    std::to_string(p.accesses),
+                    std::to_string(p.remote_accesses),
+                    std::to_string(p.local_accesses)});
+    }
+    std::fprintf(out, "hot pages on the wrong node:\n");
+    pages.Print(out);
+  }
+  if (!report.structures.empty()) {
+    Table structures(
+        {"structure", "misplaced pages", "remote accesses", "regret (ms)"});
+    for (const tierscope::MisplacementStructureRow& s : report.structures) {
+      structures.AddRow({s.structure, std::to_string(s.misplaced_pages),
+                         std::to_string(s.remote_accesses),
+                         FormatMillis(s.regret_ns)});
+    }
+    structures.Print(out);
+  }
+}
+
 double Geomean(const std::vector<double>& values) {
   double log_sum = 0;
   int n = 0;

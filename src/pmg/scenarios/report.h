@@ -13,6 +13,7 @@
 #include "pmg/sancheck/sancheck.h"
 #include "pmg/serve/server.h"
 #include "pmg/servetrace/servetrace.h"
+#include "pmg/tierscope/tierscope.h"
 #include "pmg/trace/trace_session.h"
 #include "pmg/whatif/explain.h"
 
@@ -97,6 +98,18 @@ void PrintWhatifReport(const whatif::ExplainReport& report,
 /// answered-time split, and the ranked miss-cause table.
 void PrintServeTailReport(const servetrace::ServeTailReport& report,
                           std::FILE* out = stdout);
+
+/// Prints a tier-scoped run's decision audit: the candidate -> migrate /
+/// skip-by-reason funnel, the daemon cost split, the node-to-node flow
+/// matrix, per-node placement rows, and the conservation verdict.
+void PrintTierReport(const tierscope::TierReport& report,
+                     std::FILE* out = stdout);
+
+/// Prints the misplacement join: hot pages living off their wanted node
+/// ranked by sampled remote accesses, the per-structure regret table, and
+/// the journal-priced regret total.
+void PrintMisplacementReport(const tierscope::MisplacementReport& report,
+                             std::FILE* out = stdout);
 
 /// Prints two tail reports side by side (the PMM-vs-DRAM workflow): the
 /// "all" quantile rows of `base` against `other` with ratios, then the

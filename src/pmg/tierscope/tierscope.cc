@@ -1,0 +1,766 @@
+#include "pmg/tierscope/tierscope.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "pmg/common/check.h"
+#include "pmg/memsim/cost_model.h"
+
+namespace pmg::tierscope {
+
+using memsim::kTierSkipReasonCount;
+using memsim::TierEpochSample;
+using memsim::TierScanRecord;
+using memsim::TierSkipReason;
+using memsim::TierSkipReasonName;
+using trace::JsonValue;
+using trace::JsonWriter;
+
+namespace {
+
+/// Synthetic Chrome tid of the migration-daemon track; sits above the
+/// trace layer's epoch track (1000000) so the two exports never collide.
+constexpr uint64_t kTierDaemonTid = 2000000;
+
+double ToUs(SimNs ns) { return static_cast<double>(ns) / 1000.0; }
+
+bool ReadUInt(const JsonValue& v, const char* key, uint64_t* out,
+              std::string* error) {
+  const JsonValue* f = v.Find(key);
+  if (f == nullptr || !f->IsNumber()) {
+    if (error != nullptr) {
+      *error = std::string("missing or non-numeric '") + key + "'";
+    }
+    return false;
+  }
+  *out = f->AsUInt();
+  return true;
+}
+
+/// One channel side's transfer time, shared with the regret pricer.
+double SideNs(const uint64_t counters[2][2],
+              const memsim::ChannelBandwidth& bw) {
+  auto xfer_ns = [](uint64_t bytes, double gbs) {
+    return static_cast<double>(bytes) / gbs;  // 1 GB/s == 1 byte/ns
+  };
+  double ns = 0;
+  ns += xfer_ns(counters[0][0], bw.seq_read_gbs);
+  ns += xfer_ns(counters[0][1], bw.seq_write_gbs);
+  ns += xfer_ns(counters[1][0], bw.rand_read_gbs);
+  ns += xfer_ns(counters[1][1], bw.rand_write_gbs);
+  return ns;
+}
+
+}  // namespace
+
+SimNs JournalRegretNs(const whatif::CostJournal& journal) {
+  double regret = 0;
+  for (const whatif::EpochCost& e : journal.epochs) {
+    for (const memsim::ChannelByteCounts& ch : e.channels) {
+      regret += SideNs(ch.dram[1], journal.timings.dram_remote) -
+                SideNs(ch.dram[1], journal.timings.dram_local);
+      regret += SideNs(ch.pmm[1], journal.timings.pmm_remote) -
+                SideNs(ch.pmm[1], journal.timings.pmm_local);
+    }
+  }
+  if (regret < 0) regret = 0;
+  return static_cast<SimNs>(regret);
+}
+
+// --- TierReport ---
+
+void TierReport::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("schema_version").UInt(schema_version);
+  w->Key("conserves").Bool(Conserves());
+  w->Key("scans").UInt(scans);
+  w->Key("candidates").UInt(candidates);
+  w->Key("migrated_pages").UInt(migrated_pages);
+  w->Key("migrated_bytes").UInt(migrated_bytes);
+  w->Key("skipped").BeginObject();
+  for (size_t r = 0; r < kTierSkipReasonCount; ++r) {
+    w->Key(TierSkipReasonName(static_cast<TierSkipReason>(r)))
+        .UInt(skipped[r]);
+  }
+  w->EndObject();
+  w->Key("shootdowns").UInt(shootdowns);
+  w->Key("placements").UInt(placements);
+  w->Key("quarantines").UInt(quarantines);
+  w->Key("allocs").UInt(allocs);
+  w->Key("frees").UInt(frees);
+  w->Key("epochs").UInt(epochs);
+  w->Key("daemon").BeginObject();
+  w->Key("scan_ns").UInt(daemon_scan_ns);
+  w->Key("move_ns").UInt(daemon_move_ns);
+  w->Key("remap_ns").UInt(daemon_remap_ns);
+  w->Key("shootdown_ns").UInt(daemon_shootdown_ns);
+  w->Key("scan_raw_ns").UInt(daemon_scan_raw_ns);
+  w->Key("shootdown_raw_ns").UInt(daemon_shootdown_raw_ns);
+  w->Key("epoch_daemon_ns").UInt(epoch_daemon_ns);
+  w->EndObject();
+  w->Key("machine").BeginObject();
+  w->Key("migrations").UInt(stats_migrations);
+  w->Key("migration_scans").UInt(stats_migration_scans);
+  w->Key("tlb_shootdowns").UInt(stats_tlb_shootdowns);
+  w->Key("minor_faults").UInt(stats_minor_faults);
+  w->Key("pages_quarantined").UInt(stats_pages_quarantined);
+  w->EndObject();
+  w->Key("flows").BeginArray();
+  for (const TierFlowRow& f : flows) {
+    w->BeginObject();
+    w->Key("from").UInt(f.from);
+    w->Key("to").UInt(f.to);
+    w->Key("pages").UInt(f.pages);
+    w->Key("bytes").UInt(f.bytes);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("nodes").BeginArray();
+  for (const TierNodeRow& n : nodes) {
+    w->BeginObject();
+    w->Key("node").UInt(n.node);
+    w->Key("placements").UInt(n.placements);
+    w->Key("migrations_in").UInt(n.migrations_in);
+    w->Key("migrations_out").UInt(n.migrations_out);
+    w->Key("bytes_used").UInt(n.bytes_used);
+    w->Key("dram_bytes").UInt(n.dram_bytes);
+    w->Key("pmm_bytes").UInt(n.pmm_bytes);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("dropped_scans").UInt(dropped_scans);
+  w->Key("dropped_epochs").UInt(dropped_epochs);
+  w->EndObject();
+}
+
+std::string TierReport::ToJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.str();
+}
+
+bool TierReport::FromJson(const JsonValue& v, TierReport* out,
+                          std::string* error) {
+  *out = TierReport();
+  uint64_t version = 0;
+  if (!ReadUInt(v, "schema_version", &version, error)) return false;
+  if (version != kTierScopeSchemaVersion) {
+    if (error != nullptr) {
+      *error = "tierscope schema_version " + std::to_string(version) +
+               " != supported " + std::to_string(kTierScopeSchemaVersion);
+    }
+    return false;
+  }
+  out->schema_version = static_cast<uint32_t>(version);
+  if (!ReadUInt(v, "scans", &out->scans, error) ||
+      !ReadUInt(v, "candidates", &out->candidates, error) ||
+      !ReadUInt(v, "migrated_pages", &out->migrated_pages, error) ||
+      !ReadUInt(v, "migrated_bytes", &out->migrated_bytes, error) ||
+      !ReadUInt(v, "shootdowns", &out->shootdowns, error) ||
+      !ReadUInt(v, "placements", &out->placements, error) ||
+      !ReadUInt(v, "quarantines", &out->quarantines, error) ||
+      !ReadUInt(v, "allocs", &out->allocs, error) ||
+      !ReadUInt(v, "frees", &out->frees, error) ||
+      !ReadUInt(v, "epochs", &out->epochs, error) ||
+      !ReadUInt(v, "dropped_scans", &out->dropped_scans, error) ||
+      !ReadUInt(v, "dropped_epochs", &out->dropped_epochs, error)) {
+    return false;
+  }
+  const JsonValue* skipped = v.Find("skipped");
+  if (skipped == nullptr) {
+    if (error != nullptr) *error = "missing 'skipped'";
+    return false;
+  }
+  for (size_t r = 0; r < kTierSkipReasonCount; ++r) {
+    if (!ReadUInt(*skipped, TierSkipReasonName(static_cast<TierSkipReason>(r)),
+                  &out->skipped[r], error)) {
+      return false;
+    }
+  }
+  const JsonValue* daemon = v.Find("daemon");
+  if (daemon == nullptr) {
+    if (error != nullptr) *error = "missing 'daemon'";
+    return false;
+  }
+  if (!ReadUInt(*daemon, "scan_ns", &out->daemon_scan_ns, error) ||
+      !ReadUInt(*daemon, "move_ns", &out->daemon_move_ns, error) ||
+      !ReadUInt(*daemon, "remap_ns", &out->daemon_remap_ns, error) ||
+      !ReadUInt(*daemon, "shootdown_ns", &out->daemon_shootdown_ns, error) ||
+      !ReadUInt(*daemon, "scan_raw_ns", &out->daemon_scan_raw_ns, error) ||
+      !ReadUInt(*daemon, "shootdown_raw_ns", &out->daemon_shootdown_raw_ns,
+                error) ||
+      !ReadUInt(*daemon, "epoch_daemon_ns", &out->epoch_daemon_ns, error)) {
+    return false;
+  }
+  const JsonValue* machine = v.Find("machine");
+  if (machine == nullptr) {
+    if (error != nullptr) *error = "missing 'machine'";
+    return false;
+  }
+  if (!ReadUInt(*machine, "migrations", &out->stats_migrations, error) ||
+      !ReadUInt(*machine, "migration_scans", &out->stats_migration_scans,
+                error) ||
+      !ReadUInt(*machine, "tlb_shootdowns", &out->stats_tlb_shootdowns,
+                error) ||
+      !ReadUInt(*machine, "minor_faults", &out->stats_minor_faults, error) ||
+      !ReadUInt(*machine, "pages_quarantined", &out->stats_pages_quarantined,
+                error)) {
+    return false;
+  }
+  const JsonValue* flows = v.Find("flows");
+  if (flows == nullptr || flows->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "missing 'flows' array";
+    return false;
+  }
+  for (const JsonValue& fv : flows->array) {
+    TierFlowRow f;
+    uint64_t from = 0;
+    uint64_t to = 0;
+    if (!ReadUInt(fv, "from", &from, error) ||
+        !ReadUInt(fv, "to", &to, error) ||
+        !ReadUInt(fv, "pages", &f.pages, error) ||
+        !ReadUInt(fv, "bytes", &f.bytes, error)) {
+      return false;
+    }
+    f.from = static_cast<NodeId>(from);
+    f.to = static_cast<NodeId>(to);
+    out->flows.push_back(f);
+  }
+  const JsonValue* nodes = v.Find("nodes");
+  if (nodes == nullptr || nodes->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "missing 'nodes' array";
+    return false;
+  }
+  for (const JsonValue& nv : nodes->array) {
+    TierNodeRow n;
+    uint64_t node = 0;
+    if (!ReadUInt(nv, "node", &node, error) ||
+        !ReadUInt(nv, "placements", &n.placements, error) ||
+        !ReadUInt(nv, "migrations_in", &n.migrations_in, error) ||
+        !ReadUInt(nv, "migrations_out", &n.migrations_out, error) ||
+        !ReadUInt(nv, "bytes_used", &n.bytes_used, error) ||
+        !ReadUInt(nv, "dram_bytes", &n.dram_bytes, error) ||
+        !ReadUInt(nv, "pmm_bytes", &n.pmm_bytes, error)) {
+      return false;
+    }
+    n.node = static_cast<NodeId>(node);
+    out->nodes.push_back(n);
+  }
+  return true;
+}
+
+// --- MisplacementReport ---
+
+void MisplacementReport::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("schema_version").UInt(schema_version);
+  w->Key("regret_total_ns").UInt(regret_total_ns);
+  w->Key("joined_pages").UInt(joined_pages);
+  w->Key("unjoined_pages").UInt(unjoined_pages);
+  w->Key("pages").BeginArray();
+  for (const MisplacedPageRow& p : pages) {
+    w->BeginObject();
+    w->Key("structure").String(p.structure);
+    w->Key("page_index").UInt(p.page_index);
+    w->Key("page_bytes").UInt(p.page_bytes);
+    w->Key("node").UInt(p.node);
+    w->Key("wanted").UInt(p.wanted);
+    w->Key("accesses").UInt(p.accesses);
+    w->Key("remote_accesses").UInt(p.remote_accesses);
+    w->Key("local_accesses").UInt(p.local_accesses);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("structures").BeginArray();
+  for (const MisplacementStructureRow& s : structures) {
+    w->BeginObject();
+    w->Key("structure").String(s.structure);
+    w->Key("misplaced_pages").UInt(s.misplaced_pages);
+    w->Key("remote_accesses").UInt(s.remote_accesses);
+    w->Key("regret_ns").UInt(s.regret_ns);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string MisplacementReport::ToJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.str();
+}
+
+bool MisplacementReport::FromJson(const JsonValue& v, MisplacementReport* out,
+                                  std::string* error) {
+  *out = MisplacementReport();
+  uint64_t version = 0;
+  if (!ReadUInt(v, "schema_version", &version, error)) return false;
+  if (version != kTierScopeSchemaVersion) {
+    if (error != nullptr) {
+      *error = "misplacement schema_version " + std::to_string(version) +
+               " != supported " + std::to_string(kTierScopeSchemaVersion);
+    }
+    return false;
+  }
+  out->schema_version = static_cast<uint32_t>(version);
+  if (!ReadUInt(v, "regret_total_ns", &out->regret_total_ns, error) ||
+      !ReadUInt(v, "joined_pages", &out->joined_pages, error) ||
+      !ReadUInt(v, "unjoined_pages", &out->unjoined_pages, error)) {
+    return false;
+  }
+  const JsonValue* pages = v.Find("pages");
+  if (pages == nullptr || pages->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "missing 'pages' array";
+    return false;
+  }
+  for (const JsonValue& pv : pages->array) {
+    MisplacedPageRow p;
+    const JsonValue* name = pv.Find("structure");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      if (error != nullptr) *error = "page row without 'structure'";
+      return false;
+    }
+    p.structure = name->string_value;
+    uint64_t node = 0;
+    uint64_t wanted = 0;
+    if (!ReadUInt(pv, "page_index", &p.page_index, error) ||
+        !ReadUInt(pv, "page_bytes", &p.page_bytes, error) ||
+        !ReadUInt(pv, "node", &node, error) ||
+        !ReadUInt(pv, "wanted", &wanted, error) ||
+        !ReadUInt(pv, "accesses", &p.accesses, error) ||
+        !ReadUInt(pv, "remote_accesses", &p.remote_accesses, error) ||
+        !ReadUInt(pv, "local_accesses", &p.local_accesses, error)) {
+      return false;
+    }
+    p.node = static_cast<NodeId>(node);
+    p.wanted = static_cast<NodeId>(wanted);
+    out->pages.push_back(p);
+  }
+  const JsonValue* structures = v.Find("structures");
+  if (structures == nullptr ||
+      structures->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "missing 'structures' array";
+    return false;
+  }
+  for (const JsonValue& sv : structures->array) {
+    MisplacementStructureRow s;
+    const JsonValue* name = sv.Find("structure");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      if (error != nullptr) *error = "structure row without 'structure'";
+      return false;
+    }
+    s.structure = name->string_value;
+    if (!ReadUInt(sv, "misplaced_pages", &s.misplaced_pages, error) ||
+        !ReadUInt(sv, "remote_accesses", &s.remote_accesses, error) ||
+        !ReadUInt(sv, "regret_ns", &s.regret_ns, error)) {
+      return false;
+    }
+    out->structures.push_back(s);
+  }
+  return true;
+}
+
+// --- TierScope ---
+
+TierScope::TierScope(const TierScopeOptions& options) : options_(options) {}
+
+void TierScope::Attach(memsim::Machine* machine) {
+  PMG_CHECK_MSG(machine_ == nullptr,
+                "TierScope is already attached to a machine");
+  PMG_CHECK(machine != nullptr);
+  machine_ = machine;
+  stats_base_ = machine->stats();
+  machine->SetTierHook(this);
+}
+
+void TierScope::Detach() {
+  PMG_CHECK_MSG(machine_ != nullptr, "TierScope is not attached");
+  const memsim::MachineStats delta = machine_->stats() - stats_base_;
+  done_migrations_ += delta.migrations;
+  done_migration_scans_ += delta.migration_scans;
+  done_tlb_shootdowns_ += delta.tlb_shootdowns;
+  done_minor_faults_ += delta.minor_faults;
+  done_pages_quarantined_ += delta.pages_quarantined;
+  machine_->SetTierHook(nullptr);
+  machine_ = nullptr;
+}
+
+void TierScope::OnTierAlloc(memsim::RegionId id, VirtAddr base,
+                            uint64_t bytes, std::string_view name) {
+  ++allocs_;
+  RegionInfo& info = regions_[id];
+  info.base = base;
+  info.bytes = bytes;
+  info.name = std::string(name);
+  info.live = true;
+}
+
+void TierScope::OnTierFree(memsim::RegionId id) {
+  ++frees_;
+  auto it = regions_.find(id);
+  if (it == regions_.end()) return;  // allocated before the scope attached
+  it->second.live = false;
+  pages_.erase(pages_.lower_bound(it->second.base),
+               pages_.lower_bound(it->second.base + it->second.bytes));
+}
+
+void TierScope::OnTierPagePlaced(memsim::RegionId region, VirtAddr page_base,
+                                 memsim::PageSizeClass cls, NodeId node,
+                                 ThreadId /*toucher*/, SimNs /*at_ns*/) {
+  ++placements_;
+  PageState ps;
+  ps.node = node;
+  ps.cls = cls;
+  ps.region = region;
+  pages_[page_base] = ps;
+  ++nodes_[node].placements;
+}
+
+void TierScope::OnTierCandidate(VirtAddr page_base, memsim::PageSizeClass /*cls*/,
+                                NodeId /*node*/, NodeId wanted,
+                                uint32_t remote_accesses,
+                                uint32_t local_accesses) {
+  ++pending_candidates_;
+  auto it = pages_.find(page_base);
+  if (it == pages_.end()) return;  // placed before the scope attached
+  it->second.remote_accesses += remote_accesses;
+  it->second.local_accesses += local_accesses;
+  it->second.wanted = wanted;
+  it->second.ever_candidate = true;
+}
+
+void TierScope::OnTierMigrated(VirtAddr page_base, memsim::PageSizeClass /*cls*/,
+                               NodeId from, NodeId to, uint64_t bytes) {
+  ++pending_migrated_pages_;
+  pending_migrated_bytes_ += bytes;
+  auto it = pages_.find(page_base);
+  if (it != pages_.end()) it->second.node = to;
+  TierFlowRow& flow = flows_[{from, to}];
+  flow.from = from;
+  flow.to = to;
+  ++flow.pages;
+  flow.bytes += bytes;
+  ++nodes_[to].migrations_in;
+  ++nodes_[from].migrations_out;
+  TierFlowRow* pending = nullptr;
+  for (TierFlowRow& f : pending_flows_) {
+    if (f.from == from && f.to == to) {
+      pending = &f;
+      break;
+    }
+  }
+  if (pending == nullptr) {
+    pending_flows_.push_back(TierFlowRow{from, to, 0, 0});
+    pending = &pending_flows_.back();
+  }
+  ++pending->pages;
+  pending->bytes += bytes;
+}
+
+void TierScope::OnTierSkipped(VirtAddr /*page_base*/, memsim::PageSizeClass /*cls*/,
+                              NodeId /*node*/, TierSkipReason reason) {
+  PMG_CHECK(reason < TierSkipReason::kCount);
+  ++pending_skipped_[static_cast<size_t>(reason)];
+}
+
+void TierScope::OnTierScan(const TierScanRecord& scan) {
+  // The emit-time conservation law: the scan record the machine hands us
+  // must equal, integer for integer, the per-page events it summarizes —
+  // and every hot page must have received exactly one verdict.
+  PMG_CHECK_MSG(scan.candidates == pending_candidates_,
+                "tier scan record disagrees with candidate events");
+  PMG_CHECK_MSG(scan.migrated_pages == pending_migrated_pages_,
+                "tier scan record disagrees with migration events");
+  PMG_CHECK_MSG(scan.migrated_bytes == pending_migrated_bytes_,
+                "tier scan record disagrees with migrated bytes");
+  uint64_t skipped_total = 0;
+  for (size_t r = 0; r < kTierSkipReasonCount; ++r) {
+    PMG_CHECK_MSG(scan.skipped[r] == pending_skipped_[r],
+                  "tier scan record disagrees with skip events for '%s'",
+                  TierSkipReasonName(static_cast<TierSkipReason>(r)));
+    skipped_total += scan.skipped[r];
+  }
+  PMG_CHECK_MSG(scan.candidates == scan.migrated_pages + skipped_total,
+                "a hot page escaped the migrate-or-skip accounting");
+
+  ++scans_seen_;
+  candidates_ += scan.candidates;
+  migrated_pages_ += scan.migrated_pages;
+  migrated_bytes_ += scan.migrated_bytes;
+  for (size_t r = 0; r < kTierSkipReasonCount; ++r) {
+    skipped_[r] += scan.skipped[r];
+  }
+  if (scan.migrated_pages > 0) ++shootdowns_;
+  daemon_scan_ns_ += scan.scan_ns;
+  daemon_move_ns_ += scan.move_ns;
+  daemon_remap_ns_ += scan.remap_ns;
+  daemon_shootdown_ns_ += scan.shootdown_ns;
+  daemon_scan_raw_ns_ += scan.scan_raw_ns;
+  daemon_shootdown_raw_ns_ += scan.shootdown_raw_ns;
+
+  if (scans_.size() < options_.max_scans) {
+    scans_.push_back(scan);
+    scan_flows_.push_back(pending_flows_);
+  } else {
+    ++dropped_scans_;
+  }
+  pending_candidates_ = 0;
+  pending_migrated_pages_ = 0;
+  pending_migrated_bytes_ = 0;
+  for (uint64_t& s : pending_skipped_) s = 0;
+  pending_flows_.clear();
+}
+
+void TierScope::OnTierQuarantine(VirtAddr page_base, memsim::PageSizeClass /*cls*/,
+                                 NodeId /*from*/, NodeId to, SimNs /*at_ns*/) {
+  ++quarantines_;
+  auto it = pages_.find(page_base);
+  if (it != pages_.end()) it->second.node = to;
+}
+
+void TierScope::OnTierEpoch(const TierEpochSample& sample) {
+  ++epochs_seen_;
+  epoch_daemon_ns_ += sample.daemon_ns;
+  for (size_t n = 0; n < sample.nodes.size(); ++n) {
+    TierNodeRow& row = nodes_[static_cast<NodeId>(n)];
+    row.bytes_used = sample.nodes[n].bytes_used;
+    row.dram_bytes += sample.nodes[n].dram_bytes;
+    row.pmm_bytes += sample.nodes[n].pmm_bytes;
+  }
+  if (epochs_.size() < options_.max_epochs) {
+    epochs_.push_back(sample);
+  } else {
+    ++dropped_epochs_;
+  }
+}
+
+const TierReport& TierScope::report() {
+  report_ = TierReport();
+  report_.scans = scans_seen_;
+  report_.candidates = candidates_;
+  report_.migrated_pages = migrated_pages_;
+  report_.migrated_bytes = migrated_bytes_;
+  for (size_t r = 0; r < kTierSkipReasonCount; ++r) {
+    report_.skipped[r] = skipped_[r];
+  }
+  report_.shootdowns = shootdowns_;
+  report_.placements = placements_;
+  report_.quarantines = quarantines_;
+  report_.allocs = allocs_;
+  report_.frees = frees_;
+  report_.epochs = epochs_seen_;
+  report_.daemon_scan_ns = daemon_scan_ns_;
+  report_.daemon_move_ns = daemon_move_ns_;
+  report_.daemon_remap_ns = daemon_remap_ns_;
+  report_.daemon_shootdown_ns = daemon_shootdown_ns_;
+  report_.daemon_scan_raw_ns = daemon_scan_raw_ns_;
+  report_.daemon_shootdown_raw_ns = daemon_shootdown_raw_ns_;
+  report_.epoch_daemon_ns = epoch_daemon_ns_;
+  report_.stats_migrations = done_migrations_;
+  report_.stats_migration_scans = done_migration_scans_;
+  report_.stats_tlb_shootdowns = done_tlb_shootdowns_;
+  report_.stats_minor_faults = done_minor_faults_;
+  report_.stats_pages_quarantined = done_pages_quarantined_;
+  if (machine_ != nullptr) {
+    const memsim::MachineStats delta = machine_->stats() - stats_base_;
+    report_.stats_migrations += delta.migrations;
+    report_.stats_migration_scans += delta.migration_scans;
+    report_.stats_tlb_shootdowns += delta.tlb_shootdowns;
+    report_.stats_minor_faults += delta.minor_faults;
+    report_.stats_pages_quarantined += delta.pages_quarantined;
+  }
+  for (const auto& [key, flow] : flows_) {
+    report_.flows.push_back(flow);
+  }
+  for (const auto& [node, row] : nodes_) {
+    report_.nodes.push_back(row);
+    report_.nodes.back().node = node;
+  }
+  report_.dropped_scans = dropped_scans_;
+  report_.dropped_epochs = dropped_epochs_;
+  return report_;
+}
+
+MisplacementReport TierScope::BuildMisplacementReport(
+    const metrics::HeatReport* heat,
+    const whatif::CostJournal* journal) const {
+  MisplacementReport out;
+  if (journal != nullptr) out.regret_total_ns = JournalRegretNs(*journal);
+  if (heat == nullptr) return out;
+
+  // Heat rows address pages by (structure name, page index); resolve the
+  // name back to the region bases the scope saw allocated.
+  std::map<std::string, std::vector<const RegionInfo*>> by_name;
+  for (const auto& [id, info] : regions_) {
+    by_name[info.name].push_back(&info);
+  }
+
+  struct StructAgg {
+    uint64_t misplaced_pages = 0;
+    uint64_t remote_accesses = 0;
+  };
+  std::map<std::string, StructAgg> per_structure;
+  uint64_t total_remote = 0;
+
+  for (const metrics::HotPageRow& hp : heat->hot_pages) {
+    const PageState* ps = nullptr;
+    auto names = by_name.find(hp.structure);
+    if (names != by_name.end()) {
+      for (const RegionInfo* info : names->second) {
+        const VirtAddr addr = info->base + hp.page_index * hp.page_bytes;
+        if (addr < info->base || addr >= info->base + info->bytes) continue;
+        auto it = pages_.find(addr);
+        if (it != pages_.end()) {
+          ps = &it->second;
+          break;
+        }
+      }
+    }
+    if (ps == nullptr) {
+      ++out.unjoined_pages;
+      continue;
+    }
+    ++out.joined_pages;
+    // Misplaced == the daemon's own sampling says accesses want the page
+    // elsewhere, and it still lives where it was.
+    if (!ps->ever_candidate || ps->node == ps->wanted ||
+        ps->remote_accesses <= ps->local_accesses) {
+      continue;
+    }
+    MisplacedPageRow row;
+    row.structure = hp.structure;
+    row.page_index = hp.page_index;
+    row.page_bytes = hp.page_bytes;
+    row.node = ps->node;
+    row.wanted = ps->wanted;
+    row.accesses = hp.accesses;
+    row.remote_accesses = ps->remote_accesses;
+    row.local_accesses = ps->local_accesses;
+    out.pages.push_back(row);
+    StructAgg& agg = per_structure[hp.structure];
+    ++agg.misplaced_pages;
+    agg.remote_accesses += ps->remote_accesses;
+    total_remote += ps->remote_accesses;
+  }
+
+  std::sort(out.pages.begin(), out.pages.end(),
+            [](const MisplacedPageRow& a, const MisplacedPageRow& b) {
+              if (a.remote_accesses != b.remote_accesses) {
+                return a.remote_accesses > b.remote_accesses;
+              }
+              if (a.structure != b.structure) return a.structure < b.structure;
+              return a.page_index < b.page_index;
+            });
+  if (out.pages.size() > options_.top_k) out.pages.resize(options_.top_k);
+
+  for (const auto& [name, agg] : per_structure) {
+    MisplacementStructureRow row;
+    row.structure = name;
+    row.misplaced_pages = agg.misplaced_pages;
+    row.remote_accesses = agg.remote_accesses;
+    if (total_remote > 0) {
+      row.regret_ns = static_cast<SimNs>(
+          static_cast<double>(out.regret_total_ns) *
+          (static_cast<double>(agg.remote_accesses) /
+           static_cast<double>(total_remote)));
+    }
+    out.structures.push_back(row);
+  }
+  std::sort(out.structures.begin(), out.structures.end(),
+            [](const MisplacementStructureRow& a,
+               const MisplacementStructureRow& b) {
+              if (a.regret_ns != b.regret_ns) return a.regret_ns > b.regret_ns;
+              return a.structure < b.structure;
+            });
+  return out;
+}
+
+void TierScope::AppendChromeEvents(JsonWriter* w) const {
+  // Named daemon track beside the trace layer's epoch track.
+  w->BeginObject();
+  w->Key("name").String("thread_name");
+  w->Key("ph").String("M");
+  w->Key("pid").UInt(0);
+  w->Key("tid").UInt(kTierDaemonTid);
+  w->Key("args").BeginObject();
+  w->Key("name").String("tier daemon");
+  w->EndObject();
+  w->EndObject();
+
+  // Per-node occupancy counter tracks, one sample per retained epoch.
+  for (const TierEpochSample& e : epochs_) {
+    for (size_t n = 0; n < e.nodes.size(); ++n) {
+      w->BeginObject();
+      w->Key("name").String("node" + std::to_string(n) + " occupancy MB");
+      w->Key("ph").String("C");
+      w->Key("pid").UInt(0);
+      w->Key("ts").Fixed(ToUs(e.start_ns), 3);
+      w->Key("args").BeginObject();
+      w->Key("used").Fixed(
+          static_cast<double>(e.nodes[n].bytes_used) / (1024.0 * 1024.0), 3);
+      w->EndObject();
+      w->EndObject();
+    }
+  }
+
+  // Daemon scan slices with the decision audit in args, plus migration
+  // flow and shootdown instants.
+  for (size_t i = 0; i < scans_.size(); ++i) {
+    const TierScanRecord& s = scans_[i];
+    const SimNs dur = s.scan_ns + s.move_ns + s.remap_ns + s.shootdown_ns;
+    w->BeginObject();
+    w->Key("name").String("scan " + std::to_string(s.scan_index));
+    w->Key("ph").String("X");
+    w->Key("pid").UInt(0);
+    w->Key("tid").UInt(kTierDaemonTid);
+    w->Key("ts").Fixed(ToUs(s.at_ns), 3);
+    w->Key("dur").Fixed(ToUs(dur), 3);
+    w->Key("args").BeginObject();
+    w->Key("mapped_pages").UInt(s.mapped_pages);
+    w->Key("candidates").UInt(s.candidates);
+    w->Key("migrated_pages").UInt(s.migrated_pages);
+    w->Key("migrated_bytes").UInt(s.migrated_bytes);
+    for (size_t r = 0; r < kTierSkipReasonCount; ++r) {
+      if (s.skipped[r] == 0) continue;
+      w->Key(std::string("skipped ") +
+             TierSkipReasonName(static_cast<TierSkipReason>(r)))
+          .UInt(s.skipped[r]);
+    }
+    w->EndObject();
+    w->EndObject();
+
+    for (const TierFlowRow& f : scan_flows_[i]) {
+      w->BeginObject();
+      w->Key("name").String("migrate node" + std::to_string(f.from) +
+                            "->node" + std::to_string(f.to));
+      w->Key("ph").String("i");
+      w->Key("s").String("g");
+      w->Key("pid").UInt(0);
+      w->Key("tid").UInt(kTierDaemonTid);
+      w->Key("ts").Fixed(ToUs(s.at_ns), 3);
+      w->Key("args").BeginObject();
+      w->Key("pages").UInt(f.pages);
+      w->Key("bytes").UInt(f.bytes);
+      w->EndObject();
+      w->EndObject();
+    }
+
+    if (s.shootdown_ns > 0) {
+      w->BeginObject();
+      w->Key("name").String("tlb-shootdown");
+      w->Key("ph").String("i");
+      w->Key("s").String("g");
+      w->Key("pid").UInt(0);
+      w->Key("tid").UInt(kTierDaemonTid);
+      w->Key("ts").Fixed(ToUs(s.at_ns + s.scan_ns + s.move_ns + s.remap_ns),
+                         3);
+      w->Key("args").BeginObject();
+      w->Key("ns").UInt(s.shootdown_ns);
+      w->Key("pages").UInt(s.migrated_pages);
+      w->EndObject();
+      w->EndObject();
+    }
+  }
+}
+
+}  // namespace pmg::tierscope

@@ -1,0 +1,361 @@
+#ifndef PMG_TIERSCOPE_TIERSCOPE_H_
+#define PMG_TIERSCOPE_TIERSCOPE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmg/common/types.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/tier_hook.h"
+#include "pmg/metrics/heatmap.h"
+#include "pmg/trace/json.h"
+#include "pmg/trace/trace_session.h"
+#include "pmg/whatif/journal.h"
+
+/// \file tierscope.h
+/// pmg::tierscope — placement and migration-decision observability for
+/// the memory tiers. A TierScope attaches to a memsim::Machine as its
+/// TierHook, collects the per-page placement stream (first-touch
+/// placement, the daemon's candidate / migrate / skip-with-reason
+/// verdicts, quarantines, frees) and the per-epoch tier time-series
+/// (per-node occupancy, per-node channel bytes, daemon cost), and turns
+/// them into
+///   - a TierReport: the decision audit — scans, candidates, migrations,
+///     skips by reason, the daemon cost split, a node-to-node migration
+///     flow matrix, and a mirror of the machine's own counters so the
+///     conservation law (audit == MachineStats, bit-exact) is checkable
+///     from the report alone;
+///   - a MisplacementReport: the PR-4 heatmap joined against live
+///     placement, ranking pages that are hot on the wrong node, with a
+///     "tiering regret" estimate priced from the PR-5 whatif journal's
+///     per-channel bytes (what the interconnect traffic cost beyond
+///     local-bandwidth pricing);
+///   - Chrome-trace per-NUMA-node tracks (occupancy counters, daemon
+///     scan slices, migration flow and shootdown instants) merged beside
+///     the pmg::trace epoch tracks via ChromeEventSource;
+///   - a versioned JSON report section (`pmg_run --tierscope=json`,
+///     re-read by `pmg_explain --tiering`).
+///
+/// Attaching a scope never changes a simulated number: the machine's
+/// tier seam is null-checked, and its only side effect is forcing
+/// inline (non-host-parallel) pricing, which is byte-identical by the
+/// phased-pricing contract (docs/determinism.md). The conservation law
+/// is PMG_CHECKed at emit (every scan record must equal the per-page
+/// events it summarizes) and re-derived independently in
+/// tests/tierscope.
+
+namespace pmg::tierscope {
+
+/// Version stamp of every JSON document this layer emits.
+inline constexpr uint32_t kTierScopeSchemaVersion = 1;
+
+struct TierScopeOptions {
+  /// Caps on retained per-scan / per-epoch records; beyond them events
+  /// still aggregate into the report but drop out of the Chrome export
+  /// (counted, never silent).
+  uint64_t max_scans = 1ull << 16;
+  uint64_t max_epochs = 1ull << 20;
+  /// Top-K rows in the misplacement page table.
+  size_t top_k = 32;
+};
+
+/// Pages that moved from one node to another, summed over the window.
+struct TierFlowRow {
+  NodeId from = 0;
+  NodeId to = 0;
+  uint64_t pages = 0;
+  uint64_t bytes = 0;
+};
+
+/// Per-node placement activity and final occupancy.
+struct TierNodeRow {
+  NodeId node = 0;
+  /// First-touch placements that landed here.
+  uint64_t placements = 0;
+  uint64_t migrations_in = 0;
+  uint64_t migrations_out = 0;
+  /// Bytes backed by frames on the node at the last observed epoch end.
+  uint64_t bytes_used = 0;
+  /// Channel traffic summed over observed epochs, by medium.
+  uint64_t dram_bytes = 0;
+  uint64_t pmm_bytes = 0;
+};
+
+/// The decision audit of everything the scope observed. The `stats_*`
+/// mirror fields come from MachineStats deltas — an accounting path
+/// independent of the event stream — so Conserves() proves the audit
+/// complete without trusting the audit.
+struct TierReport {
+  uint32_t schema_version = kTierScopeSchemaVersion;
+
+  // --- Audit totals (from the event stream) ---
+  uint64_t scans = 0;
+  uint64_t candidates = 0;
+  uint64_t migrated_pages = 0;
+  uint64_t migrated_bytes = 0;
+  uint64_t skipped[memsim::kTierSkipReasonCount] = {};
+  /// Scans that migrated at least one page (== batched TLB shootdowns).
+  uint64_t shootdowns = 0;
+  uint64_t placements = 0;
+  uint64_t quarantines = 0;
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t epochs = 0;
+  /// Daemon cost split summed over scan records (priced values).
+  SimNs daemon_scan_ns = 0;
+  SimNs daemon_move_ns = 0;
+  SimNs daemon_remap_ns = 0;
+  SimNs daemon_shootdown_ns = 0;
+  /// Raw (pre-pmm_kernel_factor) daemon inputs.
+  SimNs daemon_scan_raw_ns = 0;
+  SimNs daemon_shootdown_raw_ns = 0;
+  /// Daemon time summed over epoch samples (must equal the scan split).
+  SimNs epoch_daemon_ns = 0;
+
+  // --- MachineStats mirror (independent accounting path) ---
+  uint64_t stats_migrations = 0;
+  uint64_t stats_migration_scans = 0;
+  uint64_t stats_tlb_shootdowns = 0;
+  uint64_t stats_minor_faults = 0;
+  uint64_t stats_pages_quarantined = 0;
+
+  /// Node-to-node migration flows, ordered (from asc, to asc).
+  std::vector<TierFlowRow> flows;
+  /// Per-node rows, ordered by node id.
+  std::vector<TierNodeRow> nodes;
+
+  /// Scan / epoch records dropped from the Chrome export by the caps.
+  uint64_t dropped_scans = 0;
+  uint64_t dropped_epochs = 0;
+
+  uint64_t SkippedTotal() const {
+    uint64_t sum = 0;
+    for (uint64_t s : skipped) sum += s;
+    return sum;
+  }
+
+  /// The conservation law: every decision the audit recorded is exactly
+  /// one the machine counted, and vice versa.
+  ///   - every hot page got exactly one verdict:
+  ///       candidates == migrated_pages + sum(skipped)
+  ///   - the audit saw every migration / scan / shootdown / placement /
+  ///     quarantine the machine billed (bit-exact counter equality)
+  ///   - the daemon time the epochs carried is exactly the per-scan
+  ///     split: epoch_daemon_ns == scan + move + remap + shootdown.
+  bool Conserves() const {
+    return candidates == migrated_pages + SkippedTotal() &&
+           migrated_pages == stats_migrations &&
+           scans == stats_migration_scans &&
+           shootdowns == stats_tlb_shootdowns &&
+           placements == stats_minor_faults &&
+           quarantines == stats_pages_quarantined &&
+           epoch_daemon_ns == daemon_scan_ns + daemon_move_ns +
+                                  daemon_remap_ns + daemon_shootdown_ns;
+  }
+
+  /// Appends this report as one JSON object to `w`.
+  void AppendJson(trace::JsonWriter* w) const;
+  /// Standalone versioned JSON document.
+  std::string ToJson() const;
+  /// Parses a report emitted by AppendJson (pmg_explain --tiering). On
+  /// failure returns false with a one-line description in `*error`.
+  static bool FromJson(const trace::JsonValue& v, TierReport* out,
+                       std::string* error);
+};
+
+/// One hot page living on the wrong node: the heatmap says it is hot,
+/// live placement says its accesses mostly come from another socket.
+struct MisplacedPageRow {
+  std::string structure;
+  /// Page index within the structure, in units of `page_bytes`.
+  uint64_t page_index = 0;
+  uint64_t page_bytes = 0;
+  /// Where the page lives vs where its accesses want it.
+  NodeId node = 0;
+  NodeId wanted = 0;
+  /// Heatmap access count and the daemon's sampled locality split.
+  uint64_t accesses = 0;
+  uint64_t remote_accesses = 0;
+  uint64_t local_accesses = 0;
+};
+
+struct MisplacementStructureRow {
+  std::string structure;
+  /// Hot pages of the structure currently placed off their wanted node.
+  uint64_t misplaced_pages = 0;
+  uint64_t remote_accesses = 0;
+  /// Share of the global regret attributed to this structure
+  /// (proportional to its sampled remote accesses).
+  SimNs regret_ns = 0;
+};
+
+/// The heatmap-vs-placement join plus the journal-priced regret.
+struct MisplacementReport {
+  uint32_t schema_version = kTierScopeSchemaVersion;
+  /// Hot pages on the wrong node, ranked (remote_accesses desc,
+  /// structure asc, page_index asc).
+  std::vector<MisplacedPageRow> pages;
+  /// Per-structure attribution, ordered (regret desc, structure asc).
+  std::vector<MisplacementStructureRow> structures;
+  /// What remote-bandwidth pricing cost beyond pricing the same bytes at
+  /// local bandwidth, summed over the journal's epochs. Zero without a
+  /// journal.
+  SimNs regret_total_ns = 0;
+  /// Heatmap hot pages joined to a live placement vs not (freed regions,
+  /// pre-attach allocations).
+  uint64_t joined_pages = 0;
+  uint64_t unjoined_pages = 0;
+
+  void AppendJson(trace::JsonWriter* w) const;
+  std::string ToJson() const;
+  static bool FromJson(const trace::JsonValue& v, MisplacementReport* out,
+                       std::string* error);
+};
+
+/// Prices the "tiering regret" of a recorded run: for every epoch's
+/// per-socket channel bytes, the remote-side traffic priced at the
+/// journal's remote bandwidth rows minus the same bytes priced at the
+/// local rows. Deterministic summation order (epochs, then sockets).
+SimNs JournalRegretNs(const whatif::CostJournal& journal);
+
+/// Collects the placement-decision stream of one or more machine
+/// attachments. Not copyable; must be detached before the machine dies.
+class TierScope final : public memsim::TierHook,
+                        public trace::ChromeEventSource {
+ public:
+  explicit TierScope(const TierScopeOptions& options = TierScopeOptions());
+
+  TierScope(const TierScope&) = delete;
+  TierScope& operator=(const TierScope&) = delete;
+
+  /// Registers this scope as `machine`'s tier hook and snapshots its
+  /// stats for the mirror counters.
+  void Attach(memsim::Machine* machine);
+  /// Folds the machine's stats delta into the mirror and unregisters.
+  void Detach();
+  bool attached() const { return machine_ != nullptr; }
+
+  // TierHook:
+  void OnTierAlloc(memsim::RegionId id, VirtAddr base, uint64_t bytes,
+                   std::string_view name) override;
+  void OnTierFree(memsim::RegionId id) override;
+  void OnTierPagePlaced(memsim::RegionId region, VirtAddr page_base,
+                        memsim::PageSizeClass cls, NodeId node, ThreadId toucher,
+                        SimNs at_ns) override;
+  void OnTierCandidate(VirtAddr page_base, memsim::PageSizeClass cls, NodeId node,
+                       NodeId wanted, uint32_t remote_accesses,
+                       uint32_t local_accesses) override;
+  void OnTierMigrated(VirtAddr page_base, memsim::PageSizeClass cls, NodeId from,
+                      NodeId to, uint64_t bytes) override;
+  void OnTierSkipped(VirtAddr page_base, memsim::PageSizeClass cls, NodeId node,
+                     memsim::TierSkipReason reason) override;
+  void OnTierScan(const memsim::TierScanRecord& scan) override;
+  void OnTierQuarantine(VirtAddr page_base, memsim::PageSizeClass cls, NodeId from,
+                        NodeId to, SimNs at_ns) override;
+  void OnTierEpoch(const memsim::TierEpochSample& sample) override;
+
+  /// The decision audit (rebuilt on each call; includes the live
+  /// machine's stats delta while attached).
+  const TierReport& report();
+
+  /// Joins `heat` (hot pages) against the scope's live placement and
+  /// candidacy evidence; prices the regret from `journal`. Either input
+  /// may be null (the corresponding section is empty / zero).
+  MisplacementReport BuildMisplacementReport(
+      const metrics::HeatReport* heat,
+      const whatif::CostJournal* journal) const;
+
+  // ChromeEventSource: per-node occupancy counters, daemon scan slices,
+  // migration flow and shootdown instants.
+  void AppendChromeEvents(trace::JsonWriter* w) const override;
+
+  const std::vector<memsim::TierScanRecord>& scan_records() const {
+    return scans_;
+  }
+  const std::vector<memsim::TierEpochSample>& epoch_samples() const {
+    return epochs_;
+  }
+
+ private:
+  struct RegionInfo {
+    VirtAddr base = 0;
+    uint64_t bytes = 0;
+    std::string name;
+    bool live = false;
+  };
+  /// What the scope believes about one live page, maintained purely from
+  /// the event stream (tests diff it against the machine's page table).
+  struct PageState {
+    NodeId node = 0;
+    memsim::PageSizeClass cls = memsim::PageSizeClass::k4K;
+    memsim::RegionId region = 0;
+    /// Sampled locality evidence accumulated over candidate events.
+    uint64_t remote_accesses = 0;
+    uint64_t local_accesses = 0;
+    NodeId wanted = 0;
+    bool ever_candidate = false;
+  };
+
+  TierScopeOptions options_;
+  memsim::Machine* machine_ = nullptr;
+  memsim::MachineStats stats_base_;
+
+  /// Shadow placement, keyed by page base address. Ordered map: report
+  /// building iterates it and output must be deterministic.
+  std::map<VirtAddr, PageState> pages_;
+  std::map<memsim::RegionId, RegionInfo> regions_;
+
+  // --- Pending per-scan event counters, reconciled (PMG_CHECK) against
+  // the TierScanRecord that closes the scan. ---
+  uint64_t pending_candidates_ = 0;
+  uint64_t pending_migrated_pages_ = 0;
+  uint64_t pending_migrated_bytes_ = 0;
+  uint64_t pending_skipped_[memsim::kTierSkipReasonCount] = {};
+  std::vector<TierFlowRow> pending_flows_;
+
+  // --- Aggregates ---
+  uint64_t scans_seen_ = 0;
+  uint64_t candidates_ = 0;
+  uint64_t migrated_pages_ = 0;
+  uint64_t migrated_bytes_ = 0;
+  uint64_t skipped_[memsim::kTierSkipReasonCount] = {};
+  uint64_t shootdowns_ = 0;
+  uint64_t placements_ = 0;
+  uint64_t quarantines_ = 0;
+  uint64_t allocs_ = 0;
+  uint64_t frees_ = 0;
+  uint64_t epochs_seen_ = 0;
+  SimNs daemon_scan_ns_ = 0;
+  SimNs daemon_move_ns_ = 0;
+  SimNs daemon_remap_ns_ = 0;
+  SimNs daemon_shootdown_ns_ = 0;
+  SimNs daemon_scan_raw_ns_ = 0;
+  SimNs daemon_shootdown_raw_ns_ = 0;
+  SimNs epoch_daemon_ns_ = 0;
+  /// Mirror counters folded from detached machines.
+  uint64_t done_migrations_ = 0;
+  uint64_t done_migration_scans_ = 0;
+  uint64_t done_tlb_shootdowns_ = 0;
+  uint64_t done_minor_faults_ = 0;
+  uint64_t done_pages_quarantined_ = 0;
+
+  std::map<std::pair<NodeId, NodeId>, TierFlowRow> flows_;
+  std::map<NodeId, TierNodeRow> nodes_;
+
+  /// Retained records for the Chrome export; the flows of scan i are
+  /// scan_flows_[i] (same truncation).
+  std::vector<memsim::TierScanRecord> scans_;
+  std::vector<std::vector<TierFlowRow>> scan_flows_;
+  std::vector<memsim::TierEpochSample> epochs_;
+  uint64_t dropped_scans_ = 0;
+  uint64_t dropped_epochs_ = 0;
+
+  TierReport report_;
+};
+
+}  // namespace pmg::tierscope
+
+#endif  // PMG_TIERSCOPE_TIERSCOPE_H_

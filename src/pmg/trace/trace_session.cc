@@ -51,6 +51,8 @@ void TraceReport::AppendJson(JsonWriter* w) const {
   w->Key("epochs").UInt(epochs);
   w->Key("bandwidth_bound_epochs").UInt(bandwidth_bound_epochs);
   w->Key("migrated_pages").UInt(migrated_pages);
+  w->Key("daemon_scan_raw_ns").UInt(daemon_scan_raw_ns);
+  w->Key("daemon_shootdown_raw_ns").UInt(daemon_shootdown_raw_ns);
   w->Key("quarantines").UInt(quarantines);
   w->Key("checkpoint_writes").UInt(checkpoint_writes);
   w->Key("checkpoint_restores").UInt(checkpoint_restores);
@@ -122,6 +124,8 @@ void TraceSession::OnEpochTrace(const EpochTrace& epoch) {
   ++epochs_seen_;
   if (epoch.bandwidth_bound) ++bandwidth_bound_epochs_;
   migrated_pages_ += epoch.migrations;
+  daemon_scan_raw_ns_ += epoch.daemon_scan_raw_ns;
+  daemon_shootdown_raw_ns_ += epoch.daemon_shootdown_raw_ns;
 
   for (const EpochTrace::ThreadSlice& slice : epoch.threads) {
     if (slice.thread >= thread_agg_.size()) {
@@ -220,6 +224,8 @@ const TraceReport& TraceSession::report() {
   report_.epochs = epochs_seen_;
   report_.bandwidth_bound_epochs = bandwidth_bound_epochs_;
   report_.migrated_pages = migrated_pages_;
+  report_.daemon_scan_raw_ns = daemon_scan_raw_ns_;
+  report_.daemon_shootdown_raw_ns = daemon_shootdown_raw_ns_;
   report_.quarantines = quarantines_;
   report_.checkpoint_writes = checkpoint_writes_;
   report_.checkpoint_restores = checkpoint_restores_;

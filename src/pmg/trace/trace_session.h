@@ -72,6 +72,11 @@ struct TraceReport {
   uint64_t epochs = 0;
   uint64_t bandwidth_bound_epochs = 0;
   uint64_t migrated_pages = 0;
+  /// Raw (pre-pmm_kernel_factor) migration-daemon inputs summed over the
+  /// traced epochs — the DaemonCost breakdown the machine would otherwise
+  /// drop after each scan.
+  SimNs daemon_scan_raw_ns = 0;
+  SimNs daemon_shootdown_raw_ns = 0;
   uint64_t quarantines = 0;
   uint64_t checkpoint_writes = 0;
   uint64_t checkpoint_restores = 0;
@@ -185,6 +190,8 @@ class TraceSession : public memsim::TraceSink {
   uint64_t epochs_seen_ = 0;
   uint64_t bandwidth_bound_epochs_ = 0;
   uint64_t migrated_pages_ = 0;
+  SimNs daemon_scan_raw_ns_ = 0;
+  SimNs daemon_shootdown_raw_ns_ = 0;
   uint64_t quarantines_ = 0;
   uint64_t checkpoint_writes_ = 0;
   uint64_t checkpoint_restores_ = 0;

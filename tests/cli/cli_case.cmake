@@ -291,6 +291,66 @@ elseif(CASE STREQUAL "compose")
     endif()
   endforeach()
 
+elseif(CASE STREQUAL "bad_tierscope")
+  run_cli(--graph kron30 --app bfs --tierscope=xml)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "tierscope_with_serve")
+  run_cli(--graph kron30 --serve steady --tierscope)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "tierscope_with_recovery")
+  run_cli(--graph kron30 --app bfs --checkpoint-every 2 --tierscope)
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "tierscope_compose")
+  # --tierscope composing with --migration, --metrics, --explain, --trace
+  # and --json: the audit table (with its conservation verdict) and the
+  # misplacement join land on stdout, the report carries the versioned
+  # tierscope/misplacement sections, and the Chrome trace carries the
+  # per-node tier tracks.
+  set(trace_file "${OUT_DIR}/tierscope.trace.json")
+  set(report_file "${OUT_DIR}/tierscope.report.json")
+  file(REMOVE "${trace_file}" "${report_file}")
+  run_cli(--graph kron30 --app bfs --machine pmm --migration --threads 8
+          --tierscope --metrics --explain
+          --trace "${trace_file}" --json "${report_file}")
+  expect_exit(0)
+  expect_json_file("${trace_file}")
+  expect_json_file("${report_file}")
+  file(READ "${report_file}" report)
+  foreach(needle "\"tierscope\":" "\"misplacement\":" "\"conserves\":true"
+          "\"flows\":" "\"nodes\":" "\"regret_total_ns\":")
+    string(FIND "${report}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "case tierscope_compose: report.json lacks ${needle}:\n"
+              "${report}")
+    endif()
+  endforeach()
+  file(READ "${trace_file}" chrome)
+  if(NOT chrome MATCHES "tier daemon")
+    message(FATAL_ERROR
+            "case tierscope_compose: Chrome trace lacks the tier daemon "
+            "track")
+  endif()
+  if(NOT out MATCHES "tierscope: ")
+    message(FATAL_ERROR
+            "case tierscope_compose: no tierscope audit on stdout:\n${out}")
+  endif()
+  if(NOT out MATCHES "conservation OK")
+    message(FATAL_ERROR
+            "case tierscope_compose: no conservation verdict on stdout:\n"
+            "${out}")
+  endif()
+  if(NOT out MATCHES "misplacement: ")
+    message(FATAL_ERROR
+            "case tierscope_compose: no misplacement join on stdout:\n${out}")
+  endif()
+
 elseif(CASE STREQUAL "bad_serve_trace")
   run_cli(--graph kron30 --serve steady --serve-trace=0)
   expect_exit(2)

@@ -68,6 +68,25 @@ function(record_journal)
   endif()
 endfunction()
 
+# Records a batch run report with a tierscope section into
+# ${tiering_report} via pmg_run --tierscope --json.
+function(record_tiering_report)
+  set(report "${OUT_DIR}/explain_case.tiering.json")
+  set(tiering_report "${report}" PARENT_SCOPE)
+  execute_process(
+    COMMAND ${RUN_EXE} --graph kron30 --app bfs --threads 8
+            --machine pmm --migration --tierscope --json "${report}"
+    RESULT_VARIABLE run_rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err
+    TIMEOUT 120)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR
+            "case ${CASE}: pmg_run --tierscope failed (${run_rc}):\n"
+            "${run_err}")
+  endif()
+endfunction()
+
 # Records a serve-mode run report (with its serve_tail section) into
 # ${tail_report_<tag>} via pmg_run --serve --serve-trace --json.
 function(record_tail_report tag workload)
@@ -237,6 +256,57 @@ elseif(CASE STREQUAL "tail_with_journal")
 
 elseif(CASE STREQUAL "contrast_without_tail")
   run_cli(--contrast "${OUT_DIR}/whatever.json")
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "tiering")
+  record_tiering_report()
+  run_cli(--tiering "${tiering_report}")
+  expect_exit(0)
+  foreach(needle "tierscope: " "conservation OK" "daemon component")
+    string(FIND "${out}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "case tiering: stdout lacks '${needle}':\n${out}")
+    endif()
+  endforeach()
+
+elseif(CASE STREQUAL "tiering_json")
+  record_tiering_report()
+  run_cli(--tiering "${tiering_report}" --json)
+  expect_exit(0)
+  if(NOT out MATCHES "^{")
+    message(FATAL_ERROR "case tiering_json: stdout is not JSON:\n${out}")
+  endif()
+  foreach(needle "\"tool\":\"pmg_explain\"" "\"tierscope\":"
+          "\"conserves\":true" "\"misplacement\":")
+    string(FIND "${out}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR
+              "case tiering_json: output lacks ${needle}:\n${out}")
+    endif()
+  endforeach()
+
+elseif(CASE STREQUAL "tiering_missing")
+  run_cli(--tiering "${OUT_DIR}/no_such_report.json")
+  expect_exit(2)
+  expect_one_stderr_line()
+
+elseif(CASE STREQUAL "tiering_no_section")
+  # A valid JSON document without a tierscope section: clean exit-2 error
+  # that tells the user how to write one.
+  set(bogus "${OUT_DIR}/explain_case.notiering.json")
+  file(WRITE "${bogus}" "{\"schema_version\":1}")
+  run_cli(--tiering "${bogus}")
+  expect_exit(2)
+  expect_one_stderr_line()
+  if(NOT err MATCHES "--tierscope")
+    message(FATAL_ERROR
+            "case tiering_no_section: error does not point at pmg_run "
+            "--tierscope:\n${err}")
+  endif()
+
+elseif(CASE STREQUAL "tiering_with_tail")
+  run_cli(--tail "${OUT_DIR}/whatever.json" --tiering "${OUT_DIR}/other.json")
   expect_exit(2)
   expect_one_stderr_line()
 

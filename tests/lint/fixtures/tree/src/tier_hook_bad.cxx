@@ -1,0 +1,33 @@
+// Fixture: TierHook seam dispatches with no null guard in sight.
+#include <cstdint>
+
+namespace fx {
+
+struct TierHook {
+  void OnTierCandidate(uint64_t page, int from, int to);
+  void OnTierMigrated(uint64_t page, int from, int to, uint64_t bytes);
+  void OnTierScan(int record);
+};
+
+struct Machine {
+  TierHook* tier_hook() const { return tier_; }
+  TierHook* tier_ = nullptr;
+};
+
+struct Daemon {
+  TierHook* tier_ = nullptr;
+
+  void Decide(uint64_t page) {
+    tier_->OnTierCandidate(page, 0, 1);  // no guard anywhere above
+  }
+
+  void Move(uint64_t page, uint64_t bytes) {
+    tier_->OnTierMigrated(page, 0, 1, bytes);  // still unguarded
+  }
+};
+
+inline void Chained(const Machine& machine, int record) {
+  machine.tier_hook()->OnTierScan(record);  // chained base, unguarded
+}
+
+}  // namespace fx

@@ -1,0 +1,46 @@
+// Fixture: guarded TierHook seam dispatches, every accepted shape.
+#include <cstdint>
+
+namespace fx {
+
+struct TierHook {
+  void OnTierCandidate(uint64_t page, int from, int to);
+  void OnTierMigrated(uint64_t page, int from, int to, uint64_t bytes);
+  void OnTierScan(int record);
+  void OnTierEpoch(int sample);
+};
+
+struct Machine {
+  TierHook* tier_hook() const { return tier_; }
+  TierHook* tier_ = nullptr;
+};
+
+struct Daemon {
+  TierHook* tier_ = nullptr;
+
+  void Decide(uint64_t page) {
+    if (tier_ != nullptr) tier_->OnTierCandidate(page, 0, 1);  // null test
+  }
+
+  void Move(uint64_t page, uint64_t bytes) {
+    if (tier_) tier_->OnTierMigrated(page, 0, 1, bytes);  // truthiness
+  }
+
+  void CloseEpoch(int sample) {
+    PMG_CHECK(tier_ != nullptr);  // precondition form
+    tier_->OnTierEpoch(sample);
+  }
+};
+
+struct ByValue {
+  TierHook audit_;
+  void OnTierScan(int record) { audit_.OnTierScan(record); }  // '.' never null
+};
+
+inline void Guarded(const Machine& machine, int record) {
+  if (machine.tier_hook() != nullptr) {
+    machine.tier_hook()->OnTierScan(record);  // chained base, guarded
+  }
+}
+
+}  // namespace fx

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string_view>
 
 #include "pmg/memsim/machine.h"
 #include "pmg/memsim/machine_configs.h"
+#include "pmg/memsim/tier_hook.h"
 
 // Focused tests of the AutoNUMA migration model's rate controls.
 
@@ -85,6 +87,136 @@ TEST(MigrationTest, ByteBudgetLimitsPerScanMigrations) {
   }
   m.EndEpoch();
   EXPECT_LE(m.stats().migrations, 4u);
+}
+
+/// Counts every daemon decision event; the boundary tests reconcile the
+/// counts against MachineStats and the scan records as exact integers.
+struct CountingTierHook final : TierHook {
+  uint64_t candidates = 0;
+  uint64_t migrated_pages = 0;
+  uint64_t migrated_bytes = 0;
+  uint64_t skipped[kTierSkipReasonCount] = {};
+  uint64_t scans = 0;
+  /// Sums of the per-scan records, the daemon's own accounting path.
+  uint64_t scan_candidates = 0;
+  uint64_t scan_migrated = 0;
+  uint64_t scan_skipped = 0;
+
+  uint64_t SkippedTotal() const {
+    uint64_t sum = 0;
+    for (uint64_t s : skipped) sum += s;
+    return sum;
+  }
+
+  void OnTierAlloc(RegionId, VirtAddr, uint64_t, std::string_view) override {}
+  void OnTierFree(RegionId) override {}
+  void OnTierPagePlaced(RegionId, VirtAddr, PageSizeClass, NodeId, ThreadId,
+                        SimNs) override {}
+  void OnTierCandidate(VirtAddr, PageSizeClass, NodeId, NodeId, uint32_t,
+                       uint32_t) override {
+    ++candidates;
+  }
+  void OnTierMigrated(VirtAddr, PageSizeClass, NodeId, NodeId,
+                      uint64_t bytes) override {
+    ++migrated_pages;
+    migrated_bytes += bytes;
+  }
+  void OnTierSkipped(VirtAddr, PageSizeClass, NodeId,
+                     TierSkipReason reason) override {
+    ++skipped[static_cast<size_t>(reason)];
+  }
+  void OnTierScan(const TierScanRecord& scan) override {
+    ++scans;
+    scan_candidates += scan.candidates;
+    scan_migrated += scan.migrated_pages;
+    for (uint64_t s : scan.skipped) scan_skipped += s;
+  }
+  void OnTierQuarantine(VirtAddr, PageSizeClass, NodeId, NodeId,
+                        SimNs) override {}
+  void OnTierEpoch(const TierEpochSample&) override {}
+};
+
+/// One epoch that makes all `pages` 4KB pages of `base` hot (4 remote
+/// reads each, zero local) and closes with exactly one daemon scan.
+void HammerOnce(Machine& m, VirtAddr base, uint64_t pages) {
+  m.BeginEpoch(4);
+  for (uint64_t pg = 0; pg < pages; ++pg) {
+    for (int i = 0; i < 4; ++i) {
+      m.Access(2, base + pg * kSmallPageBytes + uint64_t{i} * 64, 8,
+               AccessType::kRead);
+    }
+  }
+  m.EndEpoch();
+}
+
+TEST(MigrationTest, RateLimitCapHitExactlyAtBoundary) {
+  MachineConfig c = Base();
+  c.migration.max_migrations_per_scan = 3;
+  c.migration.migrate_bytes_per_scan = MiB(16);  // byte budget not in play
+  Machine m(c);
+  CountingTierHook h;
+  m.SetTierHook(&h);
+  const VirtAddr base = m.BaseOf(m.Alloc(16 * kSmallPageBytes,
+                                         LocalPolicy(), "r"));
+  HammerOnce(m, base, 16);
+  // All 16 pages were hot; exactly max_migrations_per_scan moved and
+  // every other candidate was skipped for the rate limit alone.
+  ASSERT_EQ(h.scans, 1u);
+  EXPECT_EQ(m.stats().migrations, 3u);
+  EXPECT_EQ(h.candidates, 16u);
+  EXPECT_EQ(h.migrated_pages, 3u);
+  EXPECT_EQ(h.skipped[static_cast<size_t>(TierSkipReason::kRateLimit)], 13u);
+  EXPECT_EQ(h.skipped[static_cast<size_t>(TierSkipReason::kByteBudget)], 0u);
+  EXPECT_EQ(h.skipped[static_cast<size_t>(TierSkipReason::kNoFrames)], 0u);
+  EXPECT_EQ(h.skipped[static_cast<size_t>(TierSkipReason::kWrongNode)], 0u);
+  m.SetTierHook(nullptr);
+}
+
+TEST(MigrationTest, ByteBudgetCapHitExactlyAtBoundary) {
+  MachineConfig c = Base();
+  c.migration.max_migrations_per_scan = 64;  // rate limit not in play
+  c.migration.migrate_bytes_per_scan = 3 * kSmallPageBytes;
+  Machine m(c);
+  CountingTierHook h;
+  m.SetTierHook(&h);
+  const VirtAddr base = m.BaseOf(m.Alloc(16 * kSmallPageBytes,
+                                         LocalPolicy(), "r"));
+  HammerOnce(m, base, 16);
+  // The first scan's budget is exactly one installment: three 4KB pages
+  // move, consuming the budget to the byte, and the rest skip on it.
+  ASSERT_EQ(h.scans, 1u);
+  EXPECT_EQ(m.stats().migrations, 3u);
+  EXPECT_EQ(h.migrated_bytes, 3 * kSmallPageBytes);
+  EXPECT_EQ(h.candidates, 16u);
+  EXPECT_EQ(h.skipped[static_cast<size_t>(TierSkipReason::kByteBudget)], 13u);
+  EXPECT_EQ(h.skipped[static_cast<size_t>(TierSkipReason::kRateLimit)], 0u);
+  m.SetTierHook(nullptr);
+}
+
+TEST(MigrationTest, SkipReasonAccountingIsExact) {
+  // Over many scans with both rate controls engaged, every candidate
+  // resolves to exactly one verdict: candidates == migrated + skipped,
+  // per event stream and per the daemon's own scan records, and the
+  // migrated count is MachineStats' — all exact integers.
+  MachineConfig c = Base();
+  c.migration.max_migrations_per_scan = 2;
+  c.migration.migrate_bytes_per_scan = 3 * kSmallPageBytes;
+  Machine m(c);
+  CountingTierHook h;
+  m.SetTierHook(&h);
+  const VirtAddr base = m.BaseOf(m.Alloc(24 * kSmallPageBytes,
+                                         LocalPolicy(), "r"));
+  HammerRemote(m, base, 24, 6);
+  EXPECT_GT(h.candidates, 0u);
+  EXPECT_GT(h.migrated_pages, 0u);
+  EXPECT_GT(h.SkippedTotal(), 0u);
+  EXPECT_EQ(h.candidates, h.migrated_pages + h.SkippedTotal());
+  EXPECT_EQ(h.scan_candidates, h.candidates);
+  EXPECT_EQ(h.scan_migrated, h.migrated_pages);
+  EXPECT_EQ(h.scan_skipped, h.SkippedTotal());
+  EXPECT_EQ(h.migrated_pages, m.stats().migrations);
+  EXPECT_EQ(h.scans, m.stats().migration_scans);
+  m.SetTierHook(nullptr);
 }
 
 TEST(MigrationTest, HugePagesMigrateMoreReluctantly) {

@@ -25,6 +25,8 @@
 #include "pmg/serve/server.h"
 #include "pmg/serve/workload.h"
 #include "pmg/servetrace/servetrace.h"
+#include "pmg/tierscope/tierscope.h"
+#include "pmg/trace/json.h"
 #include "pmg/trace/trace_session.h"
 #include "pmg/whatif/journal.h"
 
@@ -218,6 +220,42 @@ TEST(HostParallelDiffTest, ServeTraceArtifactsAreByteIdenticalAcrossWidths) {
   const std::string serial = run(1);
   for (const uint32_t w : {4u, 8u}) {
     SCOPED_TRACE("host_workers=" + std::to_string(w));
+    EXPECT_EQ(serial, run(w));
+  }
+}
+
+// The tier scope rides the machine's TierHook seam, which (like the
+// other observers) forces direct pricing: the decision audit, its JSON
+// report, and the per-node Chrome tracks must be byte-identical across
+// host widths — this is the --tierscope leg of the differential matrix.
+TEST(HostParallelDiffTest, TierscopeArtifactsAreByteIdenticalAcrossWidths) {
+  const AppInputs inputs = AppInputs::Prepare(graph::Rmat(10, 8, 3));
+  memsim::MachineConfig config = memsim::OptanePmmConfig();
+  config.migration.enabled = true;
+
+  auto run = [&](uint32_t host_threads) {
+    RunConfig cfg;
+    cfg.machine = config;
+    cfg.threads = 16;
+    cfg.pr_max_rounds = 10;
+    cfg.host_threads = host_threads;
+    tierscope::TierScope scope;
+    cfg.tierscope = &scope;
+    const AppRunResult r =
+        RunApp(FrameworkKind::kGalois, App::kPr, inputs, cfg);
+    EXPECT_TRUE(r.supported);
+    EXPECT_TRUE(scope.report().Conserves());
+    trace::JsonWriter w;
+    w.BeginArray();
+    scope.AppendChromeEvents(&w);
+    w.EndArray();
+    return std::to_string(r.time_ns) + "\n" + r.stats.ToString() + "\n" +
+           scope.report().ToJson() + "\n" + w.str();
+  };
+
+  const std::string serial = run(1);
+  for (const uint32_t w : {2u, 4u, 8u}) {
+    SCOPED_TRACE("host_threads=" + std::to_string(w));
     EXPECT_EQ(serial, run(w));
   }
 }

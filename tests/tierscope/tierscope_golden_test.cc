@@ -1,0 +1,196 @@
+// Golden-file tests for the tierscope output surfaces: the --tierscope
+// table, the misplacement join, the versioned "tierscope"/"misplacement"
+// JSON sections, and the Chrome per-node tracks. The workload is a fixed
+// interleaved Galois pagerank on a tiny two-socket machine with the
+// migration daemon on (deterministic by construction), so what a user
+// sees is pinned byte for byte. Regenerate after an intentional format
+// change with
+//
+//   ./tierscope_golden_test --update-goldens
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/metrics/metrics_session.h"
+#include "pmg/scenarios/report.h"
+#include "pmg/tierscope/tierscope.h"
+#include "pmg/trace/json.h"
+#include "pmg/whatif/journal.h"
+
+namespace pmg::tierscope {
+
+bool g_update_goldens = false;
+
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(PMG_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compares `actual` against goldens/<name>, or rewrites the golden when
+/// the binary runs with --update-goldens.
+void ExpectMatchesGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (g_update_goldens) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with --update-goldens to create it)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "output drifted from " << path
+      << "; rerun with --update-goldens if the change is intentional";
+}
+
+/// Renders through a real FILE* so the goldens capture exactly what
+/// pmg_run --tierscope and pmg_explain --tiering print.
+template <typename Fn>
+std::string Capture(Fn&& fn) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  fn(f);
+  std::fflush(f);
+  const long size = std::ftell(f);
+  std::rewind(f);
+  std::string out(static_cast<size_t>(size), '\0');
+  const size_t read = std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  EXPECT_EQ(read, out.size());
+  return out;
+}
+
+/// The fixed workload behind every golden: interleaved pagerank on the
+/// bench_tierscope machine, with the heatmap and journal attached so the
+/// misplacement join has both of its inputs.
+struct GoldenRun {
+  TierScope scope;
+  metrics::MetricsSession metrics;
+  whatif::JournalRecorder recorder;
+};
+
+GoldenRun& Fixture() {
+  static GoldenRun* run = [] {
+    auto* r = new GoldenRun();
+    memsim::MachineConfig mc;
+    mc.kind = memsim::MachineKind::kDramMain;
+    mc.name = "tiny";
+    mc.topology.sockets = 2;
+    mc.topology.cores_per_socket = 2;
+    mc.topology.smt = 1;
+    mc.topology.dram_bytes_per_socket = MiB(8);
+    mc.topology.pmm_bytes_per_socket = 0;
+    mc.cpu_cache_lines = 64;
+    mc.migration.enabled = true;
+    mc.migration.scan_interval_ns = 20000;
+    frameworks::RunConfig cfg;
+    cfg.machine = mc;
+    cfg.threads = 4;
+    cfg.placement = memsim::Placement::kInterleaved;
+    cfg.pr_max_rounds = 10;
+    cfg.tierscope = &r->scope;
+    cfg.metrics = &r->metrics;
+    cfg.journal = &r->recorder;
+    graph::CsrTopology topo = graph::Rmat(8, 8, 7);
+    graph::AssignRandomWeights(&topo, /*max_weight=*/9, /*seed=*/13);
+    const frameworks::AppInputs inputs =
+        frameworks::AppInputs::Prepare(std::move(topo), 0);
+    RunApp(frameworks::FrameworkKind::kGalois, frameworks::App::kPr, inputs,
+           cfg);
+    return r;
+  }();
+  return *run;
+}
+
+MisplacementReport GoldenMisplacement() {
+  GoldenRun& run = Fixture();
+  const metrics::HeatReport heat = run.metrics.BuildHeatReport();
+  return run.scope.BuildMisplacementReport(&heat, &run.recorder.journal());
+}
+
+TEST(TierScopeGoldenTest, TierTable) {
+  const TierReport& report = Fixture().scope.report();
+  ASSERT_TRUE(report.Conserves());
+  ExpectMatchesGolden("tier_report.golden", Capture([&](std::FILE* f) {
+                        scenarios::PrintTierReport(report, f);
+                      }));
+}
+
+TEST(TierScopeGoldenTest, TierJson) {
+  trace::JsonWriter w;
+  w.BeginObject().Key("tierscope");
+  Fixture().scope.report().AppendJson(&w);
+  w.EndObject();
+  const std::string doc = w.str();
+  ExpectMatchesGolden("tier_report.json.golden", doc);
+  // Schema contract: parseable, stable through parse -> dump -> parse,
+  // and re-readable by the pmg_explain --tiering loader.
+  trace::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(trace::JsonValue::Parse(doc, &v, &err)) << err;
+  const std::string dumped = v.Dump();
+  trace::JsonValue again;
+  ASSERT_TRUE(trace::JsonValue::Parse(dumped, &again, &err)) << err;
+  EXPECT_EQ(again.Dump(), dumped);
+  TierReport back;
+  ASSERT_TRUE(TierReport::FromJson(*v.Find("tierscope"), &back, &err)) << err;
+  EXPECT_TRUE(back.Conserves());
+}
+
+TEST(TierScopeGoldenTest, MisplacementTable) {
+  const MisplacementReport report = GoldenMisplacement();
+  ExpectMatchesGolden("misplacement.golden", Capture([&](std::FILE* f) {
+                        scenarios::PrintMisplacementReport(report, f);
+                      }));
+}
+
+TEST(TierScopeGoldenTest, MisplacementJson) {
+  trace::JsonWriter w;
+  w.BeginObject().Key("misplacement");
+  GoldenMisplacement().AppendJson(&w);
+  w.EndObject();
+  const std::string doc = w.str();
+  ExpectMatchesGolden("misplacement.json.golden", doc);
+  trace::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(trace::JsonValue::Parse(doc, &v, &err)) << err;
+  MisplacementReport back;
+  ASSERT_TRUE(
+      MisplacementReport::FromJson(*v.Find("misplacement"), &back, &err))
+      << err;
+  EXPECT_EQ(back.pages.size(), GoldenMisplacement().pages.size());
+}
+
+TEST(TierScopeGoldenTest, ChromeTracks) {
+  // The per-node occupancy counters, daemon scan slices, and migration
+  // flow/shootdown instants, exactly as they land inside --trace output.
+  trace::JsonWriter w;
+  w.BeginArray();
+  Fixture().scope.AppendChromeEvents(&w);
+  w.EndArray();
+  ExpectMatchesGolden("tier_chrome.json.golden", w.str());
+}
+
+}  // namespace
+}  // namespace pmg::tierscope
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-goldens") {
+      pmg::tierscope::g_update_goldens = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pmg/frameworks/framework.h"
+#include "pmg/graph/generators.h"
+#include "pmg/memsim/machine.h"
+#include "pmg/memsim/machine_configs.h"
+#include "pmg/metrics/metrics_session.h"
+#include "pmg/scenarios/scenarios.h"
+#include "pmg/tierscope/tierscope.h"
+#include "pmg/trace/json.h"
+#include "pmg/whatif/journal.h"
+
+// pmg::tierscope: the decision conservation law re-derived independently
+// of the scope's own Conserves() check, attach/detach byte-identity,
+// JSON round-trips, the regret pricer, and the misplacement join.
+
+namespace pmg::tierscope {
+namespace {
+
+/// The bench_tierscope machine: two sockets, small, migration-heavy.
+memsim::MachineConfig TinyConfig() {
+  memsim::MachineConfig c;
+  c.kind = memsim::MachineKind::kDramMain;
+  c.name = "tiny";
+  c.topology.sockets = 2;
+  c.topology.cores_per_socket = 2;
+  c.topology.smt = 1;
+  c.topology.dram_bytes_per_socket = MiB(8);
+  c.topology.pmm_bytes_per_socket = 0;
+  c.cpu_cache_lines = 64;
+  c.migration.enabled = true;
+  c.migration.scan_interval_ns = 20000;
+  return c;
+}
+
+frameworks::AppRunResult RunTiny(frameworks::App app, TierScope* scope) {
+  frameworks::RunConfig cfg;
+  cfg.machine = TinyConfig();
+  cfg.threads = 4;
+  cfg.placement = memsim::Placement::kInterleaved;
+  cfg.pr_max_rounds = 10;
+  cfg.tierscope = scope;
+  graph::CsrTopology topo = graph::Rmat(8, 8, 7);
+  graph::AssignRandomWeights(&topo, /*max_weight=*/9, /*seed=*/13);
+  const frameworks::AppInputs inputs =
+      frameworks::AppInputs::Prepare(std::move(topo), 0);
+  return RunApp(frameworks::FrameworkKind::kGalois, app, inputs, cfg);
+}
+
+/// Re-derives every conjunct of the conservation law from the scope's
+/// retained records and its folded machine-counter mirrors — the two
+/// accounting paths the audit claims to reconcile — without trusting
+/// TierReport::Conserves(). (AppRunResult.stats is deliberately NOT the
+/// comparison target: the framework reports a kernel-only delta while
+/// the scope spans attach to detach, graph construction included. The
+/// bit-exact audit-vs-machine diff with both sides alive is pinned by
+/// ConservationMatchesMachineCountersDirectly below.)
+void ExpectConserved(const TierScope& scope, const TierReport& rep) {
+  // The event-stream audit vs the machine-counter delta the scope folded
+  // at detach: two independent sources inside the machine.
+  EXPECT_EQ(rep.migrated_pages, rep.stats_migrations);
+  EXPECT_EQ(rep.scans, rep.stats_migration_scans);
+  EXPECT_EQ(rep.shootdowns, rep.stats_tlb_shootdowns);
+  EXPECT_EQ(rep.placements, rep.stats_minor_faults);
+  EXPECT_EQ(rep.quarantines, rep.stats_pages_quarantined);
+  // Every hot page got exactly one verdict.
+  EXPECT_EQ(rep.candidates, rep.migrated_pages + rep.SkippedTotal());
+  // The retained scan records re-derive the same totals.
+  uint64_t candidates = 0, migrated = 0, skipped = 0;
+  SimNs scan_split = 0;
+  for (const memsim::TierScanRecord& s : scope.scan_records()) {
+    candidates += s.candidates;
+    migrated += s.migrated_pages;
+    for (uint64_t k : s.skipped) skipped += k;
+    scan_split += s.scan_ns + s.move_ns + s.remap_ns + s.shootdown_ns;
+    EXPECT_EQ(s.candidates, s.migrated_pages +
+                                s.skipped[0] + s.skipped[1] + s.skipped[2] +
+                                s.skipped[3]);
+  }
+  if (rep.dropped_scans == 0) {
+    EXPECT_EQ(candidates, rep.candidates);
+    EXPECT_EQ(migrated, rep.migrated_pages);
+    EXPECT_EQ(skipped, rep.SkippedTotal());
+    EXPECT_EQ(scan_split, rep.daemon_scan_ns + rep.daemon_move_ns +
+                              rep.daemon_remap_ns + rep.daemon_shootdown_ns);
+  }
+  // The daemon time the epochs carried equals the per-scan split.
+  SimNs epoch_daemon = 0;
+  for (const memsim::TierEpochSample& e : scope.epoch_samples()) {
+    epoch_daemon += e.daemon_ns;
+  }
+  if (rep.dropped_epochs == 0 && rep.dropped_scans == 0) {
+    EXPECT_EQ(epoch_daemon, scan_split);
+  }
+  EXPECT_EQ(rep.epoch_daemon_ns, rep.daemon_scan_ns + rep.daemon_move_ns +
+                                     rep.daemon_remap_ns +
+                                     rep.daemon_shootdown_ns);
+  // Only after re-deriving everything: the report's own verdict.
+  EXPECT_TRUE(rep.Conserves());
+}
+
+TEST(TierScopeTest, ConservationLawAcrossFig5Corpus) {
+  // The fig-5 corpus cells that fit tier-1 time: every graph x app on
+  // the Optane machine with the daemon on, exactly as the figure runs
+  // them. Conservation must hold bit-exactly on each.
+  for (const char* name : {"kron30", "clueweb12"}) {
+    const scenarios::Scenario s = scenarios::MakeScenario(name);
+    const frameworks::AppInputs inputs =
+        frameworks::AppInputs::Prepare(s.topo, s.represented_vertices);
+    for (const frameworks::App app :
+         {frameworks::App::kBfs, frameworks::App::kPr}) {
+      frameworks::RunConfig cfg;
+      cfg.machine = memsim::OptanePmmConfig();
+      cfg.machine.migration.enabled = true;
+      cfg.threads = 96;
+      cfg.pr_max_rounds = 10;
+      TierScope scope;
+      cfg.tierscope = &scope;
+      const frameworks::AppRunResult r =
+          RunApp(frameworks::FrameworkKind::kGalois, app, inputs, cfg);
+      ASSERT_TRUE(r.supported);
+      const TierReport& rep = scope.report();
+      SCOPED_TRACE(std::string(name) + "/" + frameworks::AppName(app));
+      EXPECT_GT(rep.scans, 0u);
+      ExpectConserved(scope, rep);
+    }
+  }
+}
+
+TEST(TierScopeTest, AttachingChangesNoSimulatedNumber) {
+  frameworks::AppRunResult bare = RunTiny(frameworks::App::kPr, nullptr);
+  TierScope scope;
+  frameworks::AppRunResult scoped = RunTiny(frameworks::App::kPr, &scope);
+  EXPECT_EQ(scoped.time_ns, bare.time_ns);
+  EXPECT_EQ(scoped.rounds, bare.rounds);
+  EXPECT_EQ(scoped.stats.ToString(), bare.stats.ToString());
+  EXPECT_GT(scope.report().migrated_pages, 0u);
+  ExpectConserved(scope, scope.report());
+}
+
+TEST(TierScopeTest, ConservationMatchesMachineCountersDirectly) {
+  // The genuinely independent accounting path: a hand-driven machine
+  // whose MachineStats are still alive to diff against the audit.
+  // RunApp cannot offer this (its AppRunResult.stats is a kernel-only
+  // delta and the machine dies inside it), so this is where
+  // audit == machine is pinned bit-exactly against the source counters.
+  memsim::MachineConfig c = TinyConfig();
+  c.migration.scan_interval_ns = 0;  // scan every epoch
+  c.migration.min_remote_accesses = 2;
+  memsim::Machine m(c);
+  TierScope scope;
+  scope.Attach(&m);
+  memsim::PagePolicy policy;
+  policy.placement = memsim::Placement::kLocal;
+  policy.preferred_node = 0;
+  policy.page_size = memsim::PageSizeClass::k4K;
+  const VirtAddr base =
+      m.BaseOf(m.Alloc(24 * memsim::kSmallPageBytes, policy, "r"));
+  // Hammer every page from a socket-1 thread so the daemon keeps finding
+  // hot-remote candidates round after round.
+  for (int round = 0; round < 6; ++round) {
+    m.BeginEpoch(4);
+    for (uint64_t pg = 0; pg < 24; ++pg) {
+      for (int i = 0; i < 4; ++i) {
+        m.Access(2, base + pg * memsim::kSmallPageBytes +
+                        static_cast<uint64_t>(i) * 64,
+                 8, AccessType::kRead);
+      }
+    }
+    m.EndEpoch();
+    m.FlushVolatileState();
+  }
+  const memsim::MachineStats stats = m.stats();
+  scope.Detach();
+  const TierReport& rep = scope.report();
+  EXPECT_GT(rep.scans, 0u);
+  EXPECT_GT(rep.migrated_pages, 0u);
+  // Audit vs the machine's own counters, bit-exact, both sides alive.
+  EXPECT_EQ(rep.migrated_pages, stats.migrations);
+  EXPECT_EQ(rep.scans, stats.migration_scans);
+  EXPECT_EQ(rep.shootdowns, stats.tlb_shootdowns);
+  EXPECT_EQ(rep.placements, stats.minor_faults);
+  EXPECT_EQ(rep.quarantines, stats.pages_quarantined);
+  ExpectConserved(scope, rep);
+}
+
+TEST(TierScopeTest, ReportAndChromeEventsDeterministicAcrossReruns) {
+  auto once = [](std::string* chrome) {
+    TierScope scope;
+    RunTiny(frameworks::App::kPr, &scope);
+    trace::JsonWriter w;
+    w.BeginArray();
+    scope.AppendChromeEvents(&w);
+    w.EndArray();
+    *chrome = w.str();
+    return scope.report().ToJson();
+  };
+  std::string chrome_a, chrome_b;
+  const std::string a = once(&chrome_a);
+  const std::string b = once(&chrome_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(chrome_a, chrome_b);
+}
+
+TEST(TierScopeTest, TierReportJsonRoundTrips) {
+  TierScope scope;
+  RunTiny(frameworks::App::kPr, &scope);
+  const TierReport& rep = scope.report();
+  const std::string doc = rep.ToJson();
+  trace::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(trace::JsonValue::Parse(doc, &v, &error)) << error;
+  TierReport back;
+  ASSERT_TRUE(TierReport::FromJson(v, &back, &error)) << error;
+  EXPECT_EQ(back.ToJson(), doc);
+  EXPECT_TRUE(back.Conserves());
+}
+
+TEST(TierScopeTest, TierReportFromJsonRejectsGarbage) {
+  trace::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(trace::JsonValue::Parse("{\"schema_version\":1}", &v, &error))
+      << error;
+  TierReport out;
+  EXPECT_FALSE(TierReport::FromJson(v, &out, &error));
+  EXPECT_FALSE(error.empty());
+  ASSERT_TRUE(trace::JsonValue::Parse("{\"schema_version\":99}", &v, &error))
+      << error;
+  EXPECT_FALSE(TierReport::FromJson(v, &out, &error));
+}
+
+TEST(TierScopeTest, JournalRegretPricesRemoteTrafficDelta) {
+  whatif::CostJournal journal;
+  journal.timings.dram_local.seq_read_gbs = 10.0;
+  journal.timings.dram_remote.seq_read_gbs = 5.0;
+  whatif::EpochCost epoch;
+  memsim::ChannelByteCounts ch;
+  // 1000 remote sequential-read DRAM bytes: 200 ns at the remote row,
+  // 100 ns at the local row => 100 ns of regret. Local-side traffic
+  // must not contribute.
+  ch.dram[1][0][0] = 1000;
+  ch.dram[0][0][0] = 999999;
+  epoch.channels.push_back(ch);
+  journal.epochs.push_back(epoch);
+  EXPECT_EQ(JournalRegretNs(journal), 100u);
+  // Two epochs price independently and sum deterministically.
+  journal.epochs.push_back(epoch);
+  EXPECT_EQ(JournalRegretNs(journal), 200u);
+  // A journal with no remote traffic has zero regret.
+  whatif::CostJournal clean;
+  clean.timings = journal.timings;
+  whatif::EpochCost local_only;
+  memsim::ChannelByteCounts lc;
+  lc.dram[0][0][0] = 4096;
+  local_only.channels.push_back(lc);
+  clean.epochs.push_back(local_only);
+  EXPECT_EQ(JournalRegretNs(clean), 0u);
+}
+
+TEST(TierScopeTest, MisplacementJoinRanksHotRemotePages) {
+  frameworks::RunConfig cfg;
+  cfg.machine = TinyConfig();
+  cfg.threads = 4;
+  cfg.placement = memsim::Placement::kInterleaved;
+  cfg.pr_max_rounds = 10;
+  TierScope scope;
+  cfg.tierscope = &scope;
+  metrics::MetricsSession msession;
+  cfg.metrics = &msession;
+  whatif::JournalRecorder recorder;
+  cfg.journal = &recorder;
+  graph::CsrTopology topo = graph::Rmat(8, 8, 7);
+  graph::AssignRandomWeights(&topo, /*max_weight=*/9, /*seed=*/13);
+  const frameworks::AppInputs inputs =
+      frameworks::AppInputs::Prepare(std::move(topo), 0);
+  RunApp(frameworks::FrameworkKind::kGalois, frameworks::App::kPr, inputs,
+         cfg);
+
+  const metrics::HeatReport heat = msession.BuildHeatReport();
+  ASSERT_FALSE(heat.hot_pages.empty());
+  const MisplacementReport rep =
+      scope.BuildMisplacementReport(&heat, &recorder.journal());
+  // Every heatmap hot page is either joined to a live placement or
+  // counted out loud — none vanish.
+  EXPECT_EQ(rep.joined_pages + rep.unjoined_pages, heat.hot_pages.size());
+  // Rows are ranked by sampled remote accesses, descending.
+  for (size_t i = 1; i < rep.pages.size(); ++i) {
+    EXPECT_GE(rep.pages[i - 1].remote_accesses, rep.pages[i].remote_accesses);
+  }
+  // A misplaced row is exactly one living off its wanted node with
+  // remote-majority evidence.
+  for (const MisplacedPageRow& row : rep.pages) {
+    EXPECT_NE(row.node, row.wanted);
+    EXPECT_GT(row.remote_accesses, row.local_accesses);
+  }
+  // Per-structure regret attribution never exceeds the priced total.
+  SimNs attributed = 0;
+  for (const MisplacementStructureRow& s : rep.structures) {
+    attributed += s.regret_ns;
+  }
+  EXPECT_LE(attributed, rep.regret_total_ns);
+  // The report round-trips through its JSON.
+  const std::string doc = rep.ToJson();
+  trace::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(trace::JsonValue::Parse(doc, &v, &error)) << error;
+  MisplacementReport back;
+  ASSERT_TRUE(MisplacementReport::FromJson(v, &back, &error)) << error;
+  EXPECT_EQ(back.ToJson(), doc);
+}
+
+TEST(TierScopeTest, DetachFoldsStatsSoReportSurvivesTheMachine) {
+  // After RunApp the machine is gone; the report must still reconcile
+  // because Detach folded the final stats delta into the mirrors.
+  TierScope scope;
+  const frameworks::AppRunResult r = RunTiny(frameworks::App::kBfs, &scope);
+  EXPECT_FALSE(scope.attached());
+  const TierReport& rep = scope.report();
+  EXPECT_EQ(rep.placements, rep.stats_minor_faults);
+  // The scope covers graph construction too, so it has seen at least the
+  // kernel-only faults the framework reports.
+  EXPECT_GE(rep.placements, r.stats.minor_faults);
+  EXPECT_TRUE(rep.Conserves());
+}
+
+}  // namespace
+}  // namespace pmg::tierscope

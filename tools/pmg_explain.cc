@@ -25,6 +25,14 @@
 // (or a bare --explain-tail=json document) and prints the quantile
 // decomposition; --contrast loads a second report — the PMM-vs-DRAM
 // workflow — and ranks which latency component moved the p999.
+//
+//   pmg_explain --tiering <run.json> [--json]
+//
+// The third mode explains memory-tier placement offline: --tiering loads
+// the tierscope section of a pmg_run --tierscope --json report (or a
+// bare --tierscope=json document), re-checks the decision conservation
+// law, and prints the candidate -> migrate/skip audit plus, when the
+// report carries one, the hot-on-the-wrong-node misplacement join.
 
 #include <cstdarg>
 #include <cstdio>
@@ -34,6 +42,7 @@
 
 #include "pmg/scenarios/report.h"
 #include "pmg/servetrace/servetrace.h"
+#include "pmg/tierscope/tierscope.h"
 #include "pmg/trace/json.h"
 #include "pmg/whatif/explain.h"
 #include "pmg/whatif/journal.h"
@@ -59,6 +68,7 @@ void Usage(std::FILE* out, const char* argv0) {
       "usage: %s <journal.pmgj> [--json]\n"
       "          [--folded <profile.folded> --region <label> [--speedup F]]\n"
       "       %s --tail <run.json> [--contrast <other.json>] [--json]\n"
+      "       %s --tiering <run.json> [--json]\n"
       "Re-prices a pmg_run --journal file offline: verifies the identity\n"
       "law, classifies epochs latency/bandwidth/daemon-bound, attributes\n"
       "stragglers, and ranks counterfactual levers. --folded/--region add\n"
@@ -67,8 +77,12 @@ void Usage(std::FILE* out, const char* argv0) {
       "serve_tail section of a pmg_run --serve --serve-trace --json\n"
       "report; --contrast diffs a second report against the first and\n"
       "ranks which component (queue/service/degraded/hedge/backoff/\n"
-      "recovery) moved the p999.\n",
-      argv0, argv0);
+      "recovery) moved the p999.\n"
+      "--tiering explains memory-tier placement offline from the\n"
+      "tierscope section of a pmg_run --tierscope --json report: the\n"
+      "candidate -> migrate/skip decision audit with its conservation\n"
+      "verdict, plus the misplacement join when the report carries one.\n",
+      argv0, argv0, argv0);
 }
 
 std::string ReadFileOrDie(const std::string& path) {
@@ -116,6 +130,7 @@ int main(int argc, char** argv) {
   std::string region;
   std::string tail_path;
   std::string contrast_path;
+  std::string tiering_path;
   double speedup_factor = 2.0;
   bool json = false;
 
@@ -152,6 +167,9 @@ int main(int argc, char** argv) {
     } else if (flag == "--contrast") {
       contrast_path = need_value();
       if (contrast_path.empty()) Die("--contrast wants a run-report path");
+    } else if (flag == "--tiering") {
+      tiering_path = need_value();
+      if (tiering_path.empty()) Die("--tiering wants a run-report path");
     } else if (flag == "--folded") {
       folded_path = need_value();
     } else if (flag == "--region") {
@@ -173,6 +191,66 @@ int main(int argc, char** argv) {
   }
   if (!contrast_path.empty() && tail_path.empty()) {
     Die("--contrast requires --tail");
+  }
+  if (!tiering_path.empty()) {
+    if (!tail_path.empty()) {
+      Die("--tail and --tiering are separate modes (pick one)");
+    }
+    if (!journal_path.empty()) {
+      Die("--tiering explains a run report, not a journal (drop '%s')",
+          journal_path.c_str());
+    }
+    if (!folded_path.empty() || !region.empty()) {
+      Die("--folded/--region do not apply to --tiering");
+    }
+    const std::string text = ReadFileOrDie(tiering_path);
+    trace::JsonValue doc;
+    std::string error;
+    if (!trace::JsonValue::Parse(text, &doc, &error)) {
+      Die("'%s' is not valid JSON: %s", tiering_path.c_str(),
+          error.c_str());
+    }
+    // A pmg_run --json report and a bare --tierscope=json document both
+    // carry the audit under a "tierscope" key.
+    const trace::JsonValue* tier = doc.Find("tierscope");
+    if (tier == nullptr) {
+      Die("'%s' has no tierscope section (write one with pmg_run "
+          "--tierscope --json <path>)",
+          tiering_path.c_str());
+    }
+    tierscope::TierReport report;
+    if (!tierscope::TierReport::FromJson(*tier, &report, &error)) {
+      Die("'%s': %s", tiering_path.c_str(), error.c_str());
+    }
+    // The misplacement join is optional: it is empty unless the run also
+    // metered a heatmap.
+    const trace::JsonValue* mis = doc.Find("misplacement");
+    tierscope::MisplacementReport misreport;
+    const bool has_mis =
+        mis != nullptr &&
+        tierscope::MisplacementReport::FromJson(*mis, &misreport, &error);
+    if (mis != nullptr && !has_mis) {
+      Die("'%s': %s", tiering_path.c_str(), error.c_str());
+    }
+    if (json) {
+      trace::JsonWriter w;
+      w.BeginObject();
+      w.Key("schema_version").UInt(tierscope::kTierScopeSchemaVersion);
+      w.Key("tool").String("pmg_explain");
+      w.Key("tiering").String(tiering_path);
+      w.Key("tierscope");
+      report.AppendJson(&w);
+      if (has_mis) {
+        w.Key("misplacement");
+        misreport.AppendJson(&w);
+      }
+      w.EndObject();
+      std::printf("%s\n", w.str().c_str());
+      return 0;
+    }
+    scenarios::PrintTierReport(report);
+    if (has_mis) scenarios::PrintMisplacementReport(misreport);
+    return 0;
   }
   if (!tail_path.empty()) {
     if (!journal_path.empty()) {

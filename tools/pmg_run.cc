@@ -32,6 +32,13 @@
 // the Chrome trace, timelines in the JSON report); --explain-tail[=table|
 // json] decomposes the p50/p99/p999 latencies into queue/service/degraded/
 // hedge/backoff/recovery components with ranked miss causes.
+//
+// --tierscope[=table|json] attaches the pmg::tierscope placement observer
+// to a batch run: the migration daemon's candidate / migrate / skip
+// decision audit, the per-node occupancy series, and (with --metrics /
+// --explain) the hot-on-the-wrong-node misplacement join with its
+// journal-priced tiering regret. Attaching it never changes a simulated
+// number.
 
 #include <charconv>
 #include <cstdarg>
@@ -52,6 +59,7 @@
 #include "pmg/serve/server.h"
 #include "pmg/serve/workload.h"
 #include "pmg/servetrace/servetrace.h"
+#include "pmg/tierscope/tierscope.h"
 #include "pmg/trace/json.h"
 #include "pmg/trace/trace_session.h"
 #include "pmg/whatif/explain.h"
@@ -85,6 +93,7 @@ void Usage(std::FILE* out, const char* argv0) {
       "          [--trace <chrome-trace.json>] [--json <report.json>]\n"
       "          [--metrics[=prom|json]] [--profile <out.folded>]\n"
       "          [--explain[=table|json]] [--journal <out.pmgj>]\n"
+      "          [--tierscope[=table|json]]\n"
       "       %s --graph <name|file:path> --serve <preset|spec>\n"
       "          [--qps <rate>] [--deadline-ns <ns>] [--serve-naive]\n"
       "          [--serve-trace[=K]] [--explain-tail[=table|json]]\n"
@@ -117,7 +126,13 @@ void Usage(std::FILE* out, const char* argv0) {
       "servetrace section in --json output; default K=8);\n"
       "--explain-tail decomposes p50/p99/p999 per query kind into\n"
       "queue/service/degraded/hedge/backoff/recovery time with ranked\n"
-      "miss causes (contrast two runs offline with pmg_explain --tail).\n",
+      "miss causes (contrast two runs offline with pmg_explain --tail);\n"
+      "--tierscope audits the memory-tier decisions of a batch run (the\n"
+      "candidate -> migrate/skip funnel, daemon cost split, per-node\n"
+      "flows; with --metrics also the hot-on-the-wrong-node misplacement\n"
+      "join, priced from the --explain journal) as a table or the\n"
+      "versioned JSON that pmg_explain --tiering re-reads; per-node\n"
+      "occupancy/migration tracks join the --trace output.\n",
       argv0, argv0);
 }
 
@@ -258,6 +273,7 @@ int main(int argc, char** argv) {
   uint32_t serve_trace_k = servetrace::kDefaultSlowestK;
   bool serve_trace_set = false;
   std::string explain_tail_mode;  // empty = no --explain-tail
+  std::string tierscope_mode;  // empty = no --tierscope
   bool migration = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -377,6 +393,14 @@ int main(int argc, char** argv) {
         Die("unknown explain-tail mode '%s' (want table|json)",
             explain_tail_mode.c_str());
       }
+    } else if (flag == "--tierscope") {
+      // Like --metrics, the value is optional: only the "=" form supplies
+      // one, so a bare --tierscope must not swallow the next flag.
+      tierscope_mode = has_value ? value : "table";
+      if (tierscope_mode != "table" && tierscope_mode != "json") {
+        Die("unknown tierscope mode '%s' (want table|json)",
+            tierscope_mode.c_str());
+      }
     } else if (flag == "--checkpoint-every") {
       if (!ParseU32(need_value(), &cfg.checkpoint_every)) {
         Die("--checkpoint-every wants an integer, got '%s'", value.c_str());
@@ -416,6 +440,10 @@ int main(int argc, char** argv) {
     }
     if (!explain_mode.empty() || !journal_path.empty()) {
       Die("--explain/--journal do not apply to --serve");
+    }
+    if (!tierscope_mode.empty()) {
+      Die("--tierscope does not apply to --serve (it audits a batch "
+          "run's machine)");
     }
     std::string error;
     if (!serve::WorkloadSpec::Parse(serve_spec, &workload, &error)) {
@@ -666,6 +694,10 @@ int main(int argc, char** argv) {
       Die("crash recovery supports --app bfs, cc, pr, or sssp, not %s",
           app_name.c_str());
     }
+    if (!tierscope_mode.empty()) {
+      Die("--tierscope does not apply to crash-recovery runs (the "
+          "recovery drivers rebuild the machine per attempt)");
+    }
     faultsim::RecoveryConfig rc;
     rc.machine = cfg.machine;
     rc.threads = cfg.threads;
@@ -745,12 +777,62 @@ int main(int argc, char** argv) {
   if (traced) cfg.trace = &session;
   if (journaled) cfg.journal = &recorder;
   if (msession.has_value()) cfg.metrics = &*msession;
+  // The tier-decision audit rides the machine's TierHook seam; attaching
+  // it never changes a simulated number.
+  std::optional<tierscope::TierScope> tscope;
+  if (!tierscope_mode.empty()) {
+    tscope.emplace();
+    cfg.tierscope = &*tscope;
+  }
   const frameworks::AppRunResult r = RunApp(fw, app, inputs, cfg);
+
+  // The misplacement join needs the heatmap (--metrics) and prices its
+  // regret from the cost journal (--explain/--journal); either absent
+  // side just leaves that part of the report empty.
+  auto build_misplacement = [&]() -> tierscope::MisplacementReport {
+    std::optional<metrics::HeatReport> heat;
+    if (msession.has_value()) heat = msession->BuildHeatReport();
+    return tscope->BuildMisplacementReport(
+        heat.has_value() ? &*heat : nullptr,
+        journaled ? &recorder.journal() : nullptr);
+  };
+  // Prints the audit (and join) to stdout in the requested mode.
+  auto emit_tierscope = [&]() {
+    if (!tscope.has_value()) return;
+    if (tierscope_mode == "json") {
+      trace::JsonWriter w;
+      w.BeginObject();
+      w.Key("schema_version").UInt(tierscope::kTierScopeSchemaVersion);
+      w.Key("tierscope");
+      tscope->report().AppendJson(&w);
+      w.Key("misplacement");
+      build_misplacement().AppendJson(&w);
+      w.EndObject();
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      scenarios::PrintTierReport(tscope->report());
+      if (msession.has_value()) {
+        scenarios::PrintMisplacementReport(build_misplacement());
+      }
+    }
+  };
+  // The report's tierscope sections, mirrors of the stdout audit.
+  auto append_tierscope_json = [&](trace::JsonWriter* w) {
+    if (!tscope.has_value()) return;
+    w->Key("tierscope");
+    tscope->report().AppendJson(w);
+    w->Key("misplacement");
+    build_misplacement().AppendJson(w);
+  };
 
   auto emit_outputs = [&]() {
     if (!trace_path.empty()) {
       std::string err;
-      if (!session.WriteChromeTrace(trace_path, &err)) Die("%s", err.c_str());
+      if (!session.WriteChromeTrace(trace_path, &err,
+                                    tscope.has_value() ? &*tscope
+                                                       : nullptr)) {
+        Die("%s", err.c_str());
+      }
     }
     if (json_path.empty()) return;
     trace::JsonWriter w;
@@ -789,6 +871,7 @@ int main(int argc, char** argv) {
       w.EndObject();
     }
     append_whatif_json(&w);
+    append_tierscope_json(&w);
     w.EndObject();
     WriteOrDie(json_path, w.str() + "\n");
   };
@@ -796,11 +879,12 @@ int main(int argc, char** argv) {
   if (!r.supported) {
     std::printf("%s cannot run %s on this graph (framework limitation)\n",
                 framework_name.c_str(), app_name.c_str());
-    // The sessions never attached, so the heatmap, registry, and journal
-    // are empty; still emit so scripted --profile/--journal always get
-    // their output files.
+    // The sessions never attached, so the heatmap, registry, journal,
+    // and tier audit are empty; still emit so scripted --profile/
+    // --journal/--tierscope always get their output.
     emit_whatif();
     emit_metrics();
+    emit_tierscope();
     emit_outputs();
     return 0;
   }
@@ -812,6 +896,7 @@ int main(int argc, char** argv) {
     if (traced) scenarios::PrintTraceReport(session.report());
     emit_whatif();
     emit_metrics();
+    emit_tierscope();
     emit_outputs();
     return 1;
   }
@@ -824,6 +909,7 @@ int main(int argc, char** argv) {
   if (traced) scenarios::PrintTraceReport(session.report());
   emit_whatif();
   emit_metrics();
+  emit_tierscope();
   emit_outputs();
   if (r.sanitized) {
     scenarios::PrintSancheckReport(r.sancheck);
